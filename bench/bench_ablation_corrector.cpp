@@ -1,0 +1,64 @@
+// ABL3 -- corrector ablation (ours): the paper's Moore-Penrose Newton
+// corrector vs the pseudo-arclength corrector classical continuation uses
+// (Allgower-Georg, the paper's own reference for the method). Both refine
+// the same Euler predictions on the same TSPC contour; we compare
+// iteration counts, retries and the traced coverage across step lengths.
+#include "bench_common.hpp"
+
+#include "shtrace/chz/seed.hpp"
+#include "shtrace/chz/tracer.hpp"
+
+int main() {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+
+    printHeader("ABL3", "MPNR vs pseudo-arclength corrector");
+
+    const RegisterFixture reg = buildTspcRegister();
+    const CharacterizationProblem problem(reg, tspcCriterion());
+    const SeedResult seed = findSeedPoint(problem.h(), problem.passSign());
+    if (!seed.found) {
+        std::cerr << "seed search failed\n";
+        return 1;
+    }
+    SkewPoint start = seed.seed;
+    start.hold = tspcWindow().holdMax;
+
+    TablePrinter table({"corrector", "alpha", "points",
+                        "avg corrector iters", "retries", "transients",
+                        "max |h|"});
+    for (const CorrectorKind kind :
+         {CorrectorKind::MoorePenrose, CorrectorKind::PseudoArclength}) {
+        for (double alpha : {6e-12, 12e-12, 24e-12}) {
+            SimStats stats;
+            TracerOptions opt;
+            opt.bounds = tspcWindow();
+            opt.maxPoints = 24;
+            opt.stepLength = alpha;
+            opt.maxStepLength = alpha;
+            opt.growFactor = 1.0;
+            opt.correctorKind = kind;
+            const TracedContour contour =
+                traceContour(problem.h(), start, opt, &stats);
+            double maxResidual = 0.0;
+            for (double r : contour.residuals) {
+                maxResidual = std::max(maxResidual, r);
+            }
+            table.addRowValues(
+                kind == CorrectorKind::MoorePenrose ? "MPNR"
+                                                    : "pseudo-arclength",
+                ps(alpha), static_cast<int>(contour.points.size()),
+                contour.averageCorrectorIterations(),
+                contour.predictorRetries,
+                static_cast<unsigned long long>(stats.hEvaluations),
+                maxResidual);
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nBoth correctors deliver in-tolerance points; MPNR's "
+                 "minimum-norm update is the\npaper's choice, while the "
+                 "arclength constraint pins each point to its predictor\n"
+                 "plane (useful when the curve folds back -- not the case "
+                 "for setup/hold contours).\n";
+    return 0;
+}

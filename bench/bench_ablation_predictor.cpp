@@ -1,0 +1,111 @@
+// ABL1 -- ablation of the Euler predictor (ours, extending the paper's
+// analysis): trace the same TSPC contour with
+//   (a) the full Euler-Newton tangent predictor at several step lengths;
+//   (b) a degenerate "no predictor" variant (tangent replaced by a pure
+//       hold-axis walk, mimicking naive re-seeding from the previous
+//       point).
+// The tangent predictor should deliver lower corrector iteration counts
+// and fewer step-shrink retries at equal coverage -- the property the
+// paper leans on for its "2-3 MPNR iterations typical" behaviour.
+#include "bench_common.hpp"
+
+#include "shtrace/chz/mpnr.hpp"
+#include "shtrace/chz/seed.hpp"
+#include "shtrace/chz/tracer.hpp"
+#include "shtrace/linalg/pseudo_inverse.hpp"
+
+namespace {
+
+using namespace shtrace;
+
+/// Naive baseline: walk DOWN the hold axis from the previous point and let
+/// MPNR pull each guess back to the curve (no tangent information).
+struct NaiveWalkResult {
+    int points = 0;
+    double totalIterations = 0.0;
+    int failures = 0;
+};
+
+NaiveWalkResult naiveWalk(const HFunction& h, SkewPoint start, double step,
+                          int maxPoints, const SkewBounds& bounds,
+                          SimStats* stats) {
+    NaiveWalkResult result;
+    MpnrResult current = solveMpnr(h, start, {}, stats);
+    if (!current.converged) {
+        ++result.failures;
+        return result;
+    }
+    while (result.points < maxPoints) {
+        SkewPoint guess = current.point;
+        guess.hold -= step;  // pure axis walk; no tangent
+        if (!bounds.contains(guess)) {
+            break;
+        }
+        const MpnrResult next = solveMpnr(h, guess, {}, stats);
+        if (!next.converged) {
+            ++result.failures;
+            break;
+        }
+        ++result.points;
+        result.totalIterations += next.iterations;
+        current = next;
+    }
+    return result;
+}
+
+}  // namespace
+
+int main() {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+
+    printHeader("ABL1", "Euler tangent predictor vs naive axis walk");
+
+    const RegisterFixture reg = buildTspcRegister();
+    const CharacterizationProblem problem(reg, tspcCriterion());
+    const SeedResult seed = findSeedPoint(problem.h(), problem.passSign());
+    if (!seed.found) {
+        std::cerr << "seed search failed\n";
+        return 1;
+    }
+    SkewPoint start = seed.seed;
+    start.hold = tspcWindow().holdMax;
+
+    TablePrinter table({"predictor", "alpha", "points",
+                        "avg corrector iters", "retries/failures",
+                        "transients"});
+
+    for (double alpha : {4e-12, 8e-12, 16e-12}) {
+        SimStats stats;
+        TracerOptions opt;
+        opt.bounds = tspcWindow();
+        opt.maxPoints = 24;
+        opt.stepLength = alpha;
+        opt.maxStepLength = alpha;   // fixed alpha for the ablation
+        opt.growFactor = 1.0;
+        const TracedContour contour =
+            traceContour(problem.h(), start, opt, &stats);
+        table.addRowValues(
+            "Euler tangent", ps(alpha),
+            static_cast<int>(contour.points.size()),
+            contour.averageCorrectorIterations(), contour.predictorRetries,
+            static_cast<unsigned long long>(stats.hEvaluations));
+    }
+
+    for (double alpha : {4e-12, 8e-12, 16e-12}) {
+        SimStats stats;
+        const NaiveWalkResult naive = naiveWalk(
+            problem.h(), start, alpha, 23, tspcWindow(), &stats);
+        table.addRowValues(
+            "naive hold-axis walk", ps(alpha), naive.points + 1,
+            naive.points > 0 ? naive.totalIterations / naive.points : 0.0,
+            naive.failures,
+            static_cast<unsigned long long>(stats.hEvaluations));
+    }
+    table.print(std::cout);
+    std::cout << "\nThe tangent predictor needs fewer corrector iterations "
+                 "per point at equal\nstep length -- and unlike the axis "
+                 "walk it follows the curve around the knee\ninto the "
+                 "hold-asymptote region (more curve covered per point).\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the experiment benches. Each bench binary regenerates
+// one figure/claim of the paper (see DESIGN.md experiment index); this
+// header centralizes the register/problem setup so every bench runs the
+// same configuration the tests validated.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "shtrace/cells/c2mos.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/characterize.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/surface_method.hpp"
+#include "shtrace/util/table.hpp"
+#include "shtrace/util/units.hpp"
+
+namespace shtrace::bench {
+
+/// The TSPC configuration of Section IV-A (50% criterion).
+inline CriterionOptions tspcCriterion() {
+    return CriterionOptions{};  // 50%, 10% degradation
+}
+
+/// The C2MOS configuration of Section IV-B (90% criterion).
+inline CriterionOptions c2mosCriterion() {
+    CriterionOptions crit;
+    crit.transitionFraction = 0.9;
+    return crit;
+}
+
+/// Skew window containing the interesting part of the TSPC contour.
+inline SkewBounds tspcWindow() {
+    return SkewBounds{120e-12, 560e-12, 60e-12, 460e-12};
+}
+
+/// Skew window for the C2MOS contour (larger setup/hold, per Fig. 12).
+inline SkewBounds c2mosWindow() {
+    return SkewBounds{250e-12, 800e-12, 100e-12, 600e-12};
+}
+
+inline SurfaceMethodOptions surfaceOptionsFor(const SkewBounds& b, int n) {
+    SurfaceMethodOptions opt;
+    opt.setupPoints = n;
+    opt.holdPoints = n;
+    opt.setupMin = b.setupMin;
+    opt.setupMax = b.setupMax;
+    opt.holdMin = b.holdMin;
+    opt.holdMax = b.holdMax;
+    return opt;
+}
+
+inline std::string ps(double seconds) {
+    return formatEngineering(seconds, "s");
+}
+
+inline void printHeader(const std::string& id, const std::string& title) {
+    std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+inline void printCriterion(const CharacterizationProblem& problem) {
+    std::cout << "characteristic clock-to-Q = "
+              << ps(problem.characteristicClockToQ())
+              << ", 10% degraded = " << ps(problem.degradedClockToQ())
+              << ", t_f = " << ps(problem.tf()) << ", r = " << problem.r()
+              << " V\n";
+}
+
+}  // namespace shtrace::bench

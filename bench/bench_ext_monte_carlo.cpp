@@ -1,0 +1,60 @@
+// EXT2 -- statistical characterization (extension): Monte Carlo process
+// samples on the TSPC register, reporting the setup/hold/clock-to-Q
+// distributions. This is the "statistical process samples" workload from
+// the paper's cost analysis; the per-sample cost is small because each
+// sample uses the sensitivity-driven scalar Newton (Section IIIB), not
+// bisection.
+#include "bench_common.hpp"
+
+#include <optional>
+
+#include "shtrace/chz/monte_carlo.hpp"
+
+int main() {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+
+    printHeader("EXT2", "Monte Carlo statistical setup/hold on TSPC");
+
+    MonteCarloOptions opt;
+    opt.samples = 30;
+    opt.variation.vtSigma = 0.02;
+    opt.variation.kpRelSigma = 0.05;
+    opt.variation.vddRelSigma = 0.01;
+
+    SimStats stats;
+    std::optional<MonteCarloResult> mcHolder;
+    {
+        ScopedTimer timer(&stats);
+        mcHolder = runMonteCarlo(
+        ProcessCorner::typical(),
+        [](const ProcessCorner& corner) {
+            TspcOptions cellOpt;
+            cellOpt.corner = corner;
+            return buildTspcRegister(cellOpt);
+        },
+        opt, &stats);
+    }
+    const MonteCarloResult& mc = *mcHolder;
+
+    std::cout << "samples: " << mc.samplesConverged << "/"
+              << mc.samplesRequested << " converged\n\n";
+    TablePrinter table({"quantity", "mean", "sigma", "min", "max"});
+    const auto row = [&](const char* name, const SampleStatistics& s) {
+        table.addRowValues(name, ps(s.mean), ps(s.stddev), ps(s.min),
+                           ps(s.max));
+    };
+    row("setup time", mc.setup);
+    row("hold time", mc.hold);
+    row("clock-to-Q", mc.clockToQ);
+    table.print(std::cout);
+
+    CsvWriter csv("monte_carlo.csv");
+    csv.writeHeader({"setup_s", "hold_s", "clock_to_q_s"});
+    for (std::size_t i = 0; i < mc.setupTimes.size(); ++i) {
+        csv.writeRow({mc.setupTimes[i], mc.holdTimes[i], mc.clockToQs[i]});
+    }
+    std::cout << "\ncost: " << stats << "\n";
+    std::cout << "CSV written: monte_carlo.csv\n";
+    return mc.samplesConverged >= mc.samplesRequested - 2 ? 0 : 1;
+}

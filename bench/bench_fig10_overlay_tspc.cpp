@@ -1,0 +1,79 @@
+// FIG9_10 -- reproduces paper Figs. 9-10: the TSPC output surface at t_f
+// (Fig. 9) and the overlay verification (Fig. 10) that the Euler-Newton
+// contour exactly matches the intersection of the plane at height r with
+// that surface. The quantitative criterion: every traced point within one
+// surface grid cell of the marching-squares contour.
+#include "bench_common.hpp"
+
+#include "shtrace/chz/seed.hpp"
+#include "shtrace/chz/tracer.hpp"
+#include "shtrace/measure/contour.hpp"
+
+int main() {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+
+    printHeader("FIG9_10", "TSPC surface at t_f + Euler-Newton overlay");
+
+    const RegisterFixture reg = buildTspcRegister();
+    const CharacterizationProblem problem(reg, tspcCriterion());
+    printCriterion(problem);
+
+    // Fig. 9 surface (40x40 as in the paper's brute-force run).
+    SimStats surfaceStats;
+    const auto surfOpt = surfaceOptionsFor(tspcWindow(), 40);
+    const SurfaceMethodResult surface =
+        runSurfaceMethod(problem.h(), surfOpt, &surfaceStats);
+    surface.surface.writeCsv("fig9_surface.csv");
+
+    // Euler-Newton contour over the same window.
+    SimStats tracerStats;
+    TracerOptions tracerOpt;
+    tracerOpt.bounds = tspcWindow();
+    tracerOpt.maxPoints = 40;
+    tracerOpt.stepLength = 8e-12;
+    tracerOpt.maxStepLength = 30e-12;
+    const SeedResult seedResult =
+        findSeedPoint(problem.h(), problem.passSign(), {}, &tracerStats);
+    if (!seedResult.found) {
+        std::cerr << "seed search failed\n";
+        return 1;
+    }
+    SkewPoint seed = seedResult.seed;
+    seed.hold = tspcWindow().holdMax;
+    const TracedContour traced =
+        traceContour(problem.h(), seed, tracerOpt, &tracerStats);
+    if (!traced.seedConverged || traced.points.empty()) {
+        std::cerr << "tracer failed\n";
+        return 1;
+    }
+
+    const double dev = maxDeviation(traced.points, surface.contours);
+    const double cell =
+        (surfOpt.setupMax - surfOpt.setupMin) / (surfOpt.setupPoints - 1);
+    TablePrinter table({"quantity", "value"});
+    table.addRowValues("surface transients", surface.transientCount);
+    table.addRowValues("traced points",
+                       static_cast<int>(traced.points.size()));
+    table.addRowValues("tracer transients",
+                       static_cast<unsigned long long>(
+                           tracerStats.hEvaluations));
+    table.addRowValues("max overlay deviation", ps(dev));
+    table.addRowValues("surface grid cell", ps(cell));
+    table.addRowValues("overlay verdict", dev < cell ? "MATCH" : "MISMATCH");
+    table.print(std::cout);
+
+    CsvWriter csv("fig10_overlay.csv");
+    csv.writeHeader({"source", "setup_skew_s", "hold_skew_s"});
+    for (const auto& poly : surface.contours) {
+        for (const SkewPoint& p : poly) {
+            csv.writeRow({0.0, p.setup, p.hold});
+        }
+    }
+    for (const SkewPoint& p : traced.points) {
+        csv.writeRow({1.0, p.setup, p.hold});
+    }
+    std::cout << "CSV written: fig9_surface.csv, fig10_overlay.csv "
+                 "(source 0 = surface contour, 1 = Euler-Newton)\n";
+    return dev < cell ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// FIG12 -- reproduces paper Fig. 12(a): the C2MOS constant clock-to-Q
+// contour with the 90% criterion (the clk/clk-bar overlap causes false
+// partial transitions, Fig. 11(b), so the 50% criterion is unusable), plus
+// the overlay verification of Fig. 12(b) against the brute-force surface.
+//
+// Paper reference values: r = 0.25 V (high->low data), t_c = 12.055 ns,
+// t_f = 12.155 ns; contour spans setup ~350-500 ps, hold ~200-300 ps.
+#include "bench_common.hpp"
+
+#include "shtrace/measure/contour.hpp"
+
+int main() {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+
+    printHeader("FIG12", "C2MOS contour (90% criterion) + surface overlay");
+
+    const RegisterFixture reg = buildC2mosRegister();
+    CharacterizeOptions opt;
+    opt.criterion = c2mosCriterion();
+    opt.tracer.maxPoints = 40;
+    opt.tracer.bounds = c2mosWindow();
+    opt.tracer.stepLength = 8e-12;
+    opt.tracer.maxStepLength = 30e-12;
+
+    const CharacterizeResult result = characterizeInterdependent(reg, opt);
+    if (!result.success) {
+        std::cerr << "characterization failed\n";
+        return 1;
+    }
+    std::cout << "paper:  t_c = 12.055ns, t_f = 12.155ns, r = 0.25 V\n";
+    std::cout << "ours:   t_c = "
+              << ps(11.05e-9 + result.characteristicClockToQ)
+              << ", t_f = " << ps(result.tf) << ", r = " << result.r
+              << " V\n\n";
+
+    TablePrinter table({"#", "setup skew", "hold skew", "|h| (V)"});
+    CsvWriter csv("fig12_c2mos_contour.csv");
+    csv.writeHeader({"setup_skew_s", "hold_skew_s", "abs_h"});
+    for (std::size_t i = 0; i < result.contour.points.size(); ++i) {
+        const SkewPoint& p = result.contour.points[i];
+        table.addRowValues(static_cast<int>(i), ps(p.setup), ps(p.hold),
+                           result.contour.residuals[i]);
+        csv.writeRow({p.setup, p.hold, result.contour.residuals[i]});
+    }
+    table.print(std::cout);
+
+    // Overlay verification (Fig. 12(b)) on a moderate surface grid.
+    const CharacterizationProblem problem(reg, opt.criterion);
+    const auto surfOpt = surfaceOptionsFor(opt.tracer.bounds, 21);
+    const SurfaceMethodResult surface =
+        runSurfaceMethod(problem.h(), surfOpt);
+    const double dev = maxDeviation(result.contour.points, surface.contours);
+    const double cell =
+        (surfOpt.setupMax - surfOpt.setupMin) / (surfOpt.setupPoints - 1);
+    std::cout << "\noverlay: max deviation from surface contour = " << ps(dev)
+              << " (grid cell = " << ps(cell) << ") -> "
+              << (dev < cell ? "MATCH" : "MISMATCH") << "\n";
+    std::cout << "cost (tracer): " << result.stats << "\n";
+    std::cout << "CSV written: fig12_c2mos_contour.csv\n";
+    return dev < cell ? 0 : 1;
+}

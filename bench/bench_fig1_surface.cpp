@@ -1,0 +1,63 @@
+// FIG1 -- reproduces paper Fig. 1(a)/(b): the Q output surface over the
+// (setup skew, hold skew) plane at t_f and the 10%-degraded constant
+// clock-to-Q contour extracted from it. This is the prevailing brute-force
+// flow the paper competes with (and our baseline elsewhere).
+//
+// Writes the full surface to fig1_surface.csv and the extracted contour to
+// fig1_contour.csv; prints a coarse ASCII rendition of the surface and the
+// contour extent.
+#include "bench_common.hpp"
+
+int main() {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+
+    printHeader("FIG1", "Q output surface and 10%-degraded contour (TSPC)");
+
+    const RegisterFixture reg = buildTspcRegister();
+    SimStats stats;
+    const CharacterizationProblem problem(reg, tspcCriterion(), {}, &stats);
+    printCriterion(problem);
+
+    const auto surfOpt = surfaceOptionsFor(tspcWindow(), 25);
+    const SurfaceMethodResult result =
+        runSurfaceMethod(problem.h(), surfOpt, &stats);
+    result.surface.writeCsv("fig1_surface.csv");
+
+    // ASCII rendition: '#' = output above r (failed latch of the falling
+    // datum), '.' = below r (passed). The boundary is the contour.
+    std::cout << "\nsurface (rows: hold skew top->bottom high->low; cols: "
+                 "setup skew left->right low->high)\n";
+    for (std::size_t j = result.surface.holdCount(); j-- > 0;) {
+        std::cout << "  ";
+        for (std::size_t i = 0; i < result.surface.setupCount(); ++i) {
+            std::cout << (result.surface.value(i, j) >= problem.r() ? '#'
+                                                                    : '.');
+        }
+        std::cout << "\n";
+    }
+
+    CsvWriter contourCsv("fig1_contour.csv");
+    contourCsv.writeHeader({"setup_skew_s", "hold_skew_s"});
+    std::size_t points = 0;
+    for (const auto& poly : result.contours) {
+        for (const SkewPoint& p : poly) {
+            contourCsv.writeRow({p.setup, p.hold});
+            ++points;
+        }
+    }
+    std::cout << "\ncontour polylines: " << result.contours.size()
+              << ", total points: " << points << "\n";
+    if (!result.contours.empty()) {
+        const auto& main = result.contours.front();
+        std::cout << "main contour from (" << ps(main.front().setup) << ", "
+                  << ps(main.front().hold) << ") to ("
+                  << ps(main.back().setup) << ", " << ps(main.back().hold)
+                  << ")\n";
+    }
+    std::cout << "transients: " << result.transientCount
+              << " (the cost the curve tracer avoids)\n";
+    std::cout << "cost: " << stats << "\n";
+    std::cout << "CSV written: fig1_surface.csv, fig1_contour.csv\n";
+    return result.contours.empty() ? 1 : 0;
+}

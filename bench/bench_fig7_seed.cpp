@@ -1,0 +1,50 @@
+// FIG7 -- reproduces paper Fig. 7: seeding the first curve point. With the
+// hold skew pinned very large, bracket the setup time between latch-pass
+// and latch-fail, shrink by coarse bisection to within the MPNR
+// convergence range, then demonstrate that MPNR converges from anywhere in
+// the final bracket (the "convergence region" of Fig. 7(b)).
+#include "bench_common.hpp"
+
+#include "shtrace/chz/mpnr.hpp"
+#include "shtrace/chz/seed.hpp"
+
+int main() {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+
+    printHeader("FIG7", "seed bracketing and the MPNR convergence region");
+
+    const RegisterFixture reg = buildTspcRegister();
+    SimStats stats;
+    const CharacterizationProblem problem(reg, tspcCriterion(), {}, &stats);
+    printCriterion(problem);
+
+    const SeedResult seed =
+        findSeedPoint(problem.h(), problem.passSign(), {}, &stats);
+    if (!seed.found) {
+        std::cerr << "seed search failed\n";
+        return 1;
+    }
+    std::cout << "bracket after coarse bisection: ["
+              << ps(seed.bracketLo) << " (fail), " << ps(seed.bracketHi)
+              << " (pass)], width " << ps(seed.bracketHi - seed.bracketLo)
+              << ", " << seed.evaluations << " transients\n\n";
+
+    // Convergence region: launch MPNR from guesses across and beyond the
+    // bracket; report where it converges and to what.
+    TablePrinter table({"initial setup guess", "converged", "iters",
+                        "final setup", "final hold"});
+    const double center = seed.seed.setup;
+    for (double offset : {-80e-12, -40e-12, -10e-12, 0.0, 10e-12, 40e-12,
+                          80e-12, 160e-12}) {
+        const SkewPoint guess{center + offset, seed.seed.hold};
+        const MpnrResult r = solveMpnr(problem.h(), guess, {}, &stats);
+        table.addRowValues(ps(guess.setup), r.converged ? "yes" : "no",
+                           r.iterations,
+                           r.converged ? ps(r.point.setup) : "-",
+                           r.converged ? ps(r.point.hold) : "-");
+    }
+    table.print(std::cout);
+    std::cout << "\ncost: " << stats << "\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+// FIG8 -- reproduces paper Fig. 8: the constant clock-to-Q delay contour of
+// the TSPC register (10% degradation), traced by Euler-Newton with 40
+// points. Also reports the Section IV-A scalar criterion quantities
+// (t_c, characteristic clock-to-Q, t_f, r) next to the paper's values.
+//
+// Paper reference values (their 2.5 V process): t_c = 11.348 ns,
+// characteristic clock-to-Q = 298 ps, t_f = 11.3778 ns, r = 1.25 V; contour
+// spans setup ~150-350 ps, hold ~100-200 ps. Our process differs, so match
+// the SHAPE and regimes, not the exact picoseconds.
+#include "bench_common.hpp"
+
+#include "shtrace/util/table.hpp"
+
+int main() {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+
+    printHeader("FIG8", "TSPC constant clock-to-Q contour via Euler-Newton");
+
+    const RegisterFixture reg = buildTspcRegister();
+    CharacterizeOptions opt;
+    opt.criterion = tspcCriterion();
+    opt.tracer.maxPoints = 40;
+    opt.tracer.bounds = tspcWindow();
+    opt.tracer.stepLength = 8e-12;
+    opt.tracer.maxStepLength = 30e-12;
+
+    const CharacterizeResult result = characterizeInterdependent(reg, opt);
+    if (!result.success) {
+        std::cerr << "characterization failed\n";
+        return 1;
+    }
+    std::cout << "paper:  t_c = 11.348ns, char. C2Q = 298ps, t_f = 11.3778ns,"
+                 " r = 1.25 V\n";
+    std::cout << "ours:   t_c = " << ps(11.05e-9 + result.characteristicClockToQ)
+              << ", char. C2Q = " << ps(result.characteristicClockToQ)
+              << ", t_f = " << ps(result.tf) << ", r = " << result.r
+              << " V\n\n";
+
+    TablePrinter table({"#", "setup skew", "hold skew", "|h| (V)",
+                        "MPNR iters"});
+    CsvWriter csv("fig8_tspc_contour.csv");
+    csv.writeHeader({"setup_skew_s", "hold_skew_s", "abs_h"});
+    for (std::size_t i = 0; i < result.contour.points.size(); ++i) {
+        const SkewPoint& p = result.contour.points[i];
+        table.addRowValues(static_cast<int>(i), ps(p.setup), ps(p.hold),
+                           result.contour.residuals[i],
+                           result.contour.correctorIterations[i]);
+        csv.writeRow({p.setup, p.hold, result.contour.residuals[i]});
+    }
+    table.print(std::cout);
+    std::cout << "\npoints: " << result.contour.points.size()
+              << ", avg corrector iterations: "
+              << result.contour.averageCorrectorIterations()
+              << " (paper: 2-3 typical)\n";
+    std::cout << "cost: " << result.stats << "\n";
+    std::cout << "CSV written: fig8_tspc_contour.csv\n";
+    return 0;
+}

@@ -1,0 +1,117 @@
+// MICRO -- google-benchmark micro-benchmarks of the simulator kernels that
+// dominate characterization cost: dense LU factor/solve at MNA sizes,
+// full-circuit assembly, one transient step, one complete h evaluation
+// with and without sensitivities (the marginal cost of the analytic
+// gradient is the pair of extra back-substitutions per step -- the paper's
+// efficiency argument).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "shtrace/analysis/adjoint.hpp"
+#include "shtrace/analysis/transient.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/linalg/lu.hpp"
+
+namespace {
+
+using namespace shtrace;
+
+Matrix randomSystem(std::size_t n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            m(i, j) = dist(rng);
+        }
+        m(i, i) += 3.0;
+    }
+    return m;
+}
+
+void BM_LuFactor(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = randomSystem(n, 42);
+    LuFactorization lu;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lu.factor(a));
+    }
+}
+BENCHMARK(BM_LuFactor)->Arg(8)->Arg(13)->Arg(20)->Arg(40);
+
+void BM_LuSolve(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = randomSystem(n, 42);
+    LuFactorization lu;
+    lu.factor(a);
+    Vector b(n, 1.0);
+    for (auto _ : state) {
+        Vector x = lu.solve(b);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(13)->Arg(20)->Arg(40);
+
+void BM_TspcAssembly(benchmark::State& state) {
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(300e-12, 300e-12);
+    Assembler asmb(reg.circuit.systemSize());
+    Vector x(reg.circuit.systemSize(), 1.0);
+    for (auto _ : state) {
+        reg.circuit.assemble(x, 11.0e-9, asmb);
+        benchmark::DoNotOptimize(asmb.f());
+    }
+}
+BENCHMARK(BM_TspcAssembly);
+
+void BM_TspcTransient(benchmark::State& state) {
+    const bool sensitivities = state.range(0) != 0;
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(300e-12, 300e-12);
+    TransientOptions opt;
+    opt.tStop = 11.6e-9;
+    opt.fixedSteps = 1160;  // the default 10 ps recipe
+    opt.trackSkewSensitivities = sensitivities;
+    opt.storeStates = false;
+    // Reuse one DC solve across iterations, as HFunction does.
+    TransientOptions probe = opt;
+    probe.tStop = 1e-12;
+    probe.fixedSteps = 1;
+    for (auto _ : state) {
+        const TransientResult tr =
+            TransientAnalysis(reg.circuit, opt).run();
+        benchmark::DoNotOptimize(tr.finalState);
+    }
+}
+// Arg 0: plain transient (surface-method unit cost).
+// Arg 1: with sensitivities (Euler-Newton unit cost). The ratio of these
+// two is the TRUE per-evaluation overhead of the analytic gradient.
+BENCHMARK(BM_TspcTransient)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TspcAdjointGradient(benchmark::State& state) {
+    // Tape-recording transient + backward sweep: the adjoint route to the
+    // same gradient (wins when the parameter count grows beyond 2).
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(300e-12, 300e-12);
+    TransientOptions opt;
+    opt.tStop = 11.6e-9;
+    opt.fixedSteps = 1160;
+    opt.recordAdjointTape = true;
+    opt.storeStates = false;
+    const Vector sel = reg.circuit.selectorFor(reg.q);
+    for (auto _ : state) {
+        const TransientResult tr =
+            TransientAnalysis(reg.circuit, opt).run();
+        const AdjointGradient grad =
+            computeAdjointGradient(reg.circuit, tr, sel);
+        benchmark::DoNotOptimize(grad);
+    }
+}
+BENCHMARK(BM_TspcAdjointGradient)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// netlist_tool -- characterize a register supplied as a SPICE-style
+// netlist file. Demonstrates the text front end: the netlist declares the
+// clock with CLOCK(...) and the skew-parameterized data line with
+// DATAPULSE(...); the tool runs the complete Euler-Newton flow against it.
+//
+// Usage:
+//   netlist_tool                  (runs a built-in TSPC-like demo netlist)
+//   netlist_tool FILE Q_NODE      (characterizes your netlist's Q_NODE)
+#include <iostream>
+#include <string>
+
+#include "shtrace/analysis/dc_op.hpp"
+#include "shtrace/circuit/netlist_parser.hpp"
+#include "shtrace/chz/h_function.hpp"
+#include "shtrace/chz/mpnr.hpp"
+#include "shtrace/chz/seed.hpp"
+#include "shtrace/chz/tracer.hpp"
+#include "shtrace/measure/clock_to_q.hpp"
+#include "shtrace/util/table.hpp"
+#include "shtrace/util/units.hpp"
+
+namespace {
+
+// A dynamic register in netlist form: the TSPC structure of Fig. 6 with
+// explicit .model cards, latching a falling datum at the 11.05 ns edge.
+const char* kDemoNetlist = R"(
+* TSPC positive edge-triggered register (Yuan-Svensson 9T + output inverter)
+.model n1 NMOS VT0=0.45 KP=60u LAMBDA=0.06 W=0.6u L=0.25u CGS=1.44f CGD=1.44f CGB=0.12f CDB=0.48f CSB=0.48f
+.model p1 PMOS VT0=0.50 KP=25u LAMBDA=0.10 W=1.2u L=0.25u CGS=2.88f CGD=2.88f CGB=0.24f CDB=0.96f CSB=0.96f
+Vdd   vdd 0 2.5
+Vclk  clk 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vdata d   0 DATAPULSE(2.5 0 11.05n 0.1n)
+* stage 1: p-section (clock-gated pull-up)
+MP1a s1 d   vdd vdd p1
+MP1b x1 clk s1  vdd p1
+MN1  x1 d   0   0   n1
+* stage 2: precharge / evaluate
+MP2  y  clk vdd vdd p1
+MN3  y  x1  s2  0   n1
+MN4  s2 clk 0   0   n1
+* stage 3: hold / evaluate
+MP3  qb y   vdd vdd p1
+MN5  qb clk s3  0   n1
+MN6  s3 y   0   0   n1
+* output inverter + load
+MP4  q  qb  vdd vdd p1
+MN7  q  qb  0   0   n1
+Cload q 0 20f
+Cx1 x1 0 2f
+Cy  y  0 2f
+Cqb qb 0 2f
+.end
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace shtrace;
+
+    ParsedNetlist parsed;
+    std::string qName = "q";
+    if (argc >= 2) {
+        parsed = parseNetlistFile(argv[1]);
+        if (argc >= 3) {
+            qName = argv[2];
+        }
+        std::cout << "netlist: " << argv[1] << "\n";
+    } else {
+        parsed = parseNetlistString(kDemoNetlist);
+        std::cout << "netlist: built-in TSPC demo\n";
+    }
+
+    const Circuit& ckt = parsed.circuit;
+    const auto data = parsed.theDataPulse();
+    const auto clock = parsed.theClock();
+    const NodeId q = ckt.findNode(qName);
+    std::cout << "devices: " << ckt.deviceCount()
+              << ", unknowns: " << ckt.systemSize() << ", output node: '"
+              << qName << "'\n";
+
+    // --- criterion: characteristic clock-to-Q at generous skews ---
+    const double tEdge = data->spec().activeEdgeTime;
+    data->setSkews(2e-9, 2e-9);
+    const Vector x0 = solveDcOperatingPoint(ckt).x;
+    TransientOptions refOpt;
+    refOpt.tStop = tEdge + 3e-9;
+    refOpt.fixedSteps = static_cast<int>(refOpt.tStop / 10e-12);
+    refOpt.initialCondition = x0;
+    const TransientResult ref = TransientAnalysis(ckt, refOpt).run();
+    if (!ref.success) {
+        std::cerr << "reference transient failed: " << ref.failureReason
+                  << "\n";
+        return 1;
+    }
+    ClockToQSpec spec;
+    spec.clockEdgeMidpoint = tEdge;
+    spec.outputInitial = data->spec().v0;  // Q follows D in this cell
+    spec.outputFinal = data->spec().v1;
+    const auto c2q =
+        measureClockToQ(ref, ckt.selectorFor(q), spec);
+    if (!c2q) {
+        std::cerr << "register did not latch at generous skews\n";
+        return 1;
+    }
+    const double tf = tEdge + 1.1 * *c2q;
+    std::cout << "characteristic clock-to-Q: " << formatEngineering(*c2q, "s")
+              << ", t_f = " << formatEngineering(tf, "s")
+              << ", r = " << spec.threshold() << " V\n";
+
+    // --- Euler-Newton characterization ---
+    TransientOptions hOpt;
+    hOpt.tStop = tf;
+    hOpt.fixedSteps = static_cast<int>(tf / 10e-12);
+    hOpt.initialCondition = x0;
+    const HFunction h(ckt, data, ckt.selectorFor(q), tf, spec.threshold(),
+                      hOpt);
+    const double passSign = spec.risingOutput() ? 1.0 : -1.0;
+    const SeedResult seed = findSeedPoint(h, passSign);
+    if (!seed.found) {
+        std::cerr << "seed search failed\n";
+        return 1;
+    }
+    TracerOptions tracerOpt;
+    tracerOpt.maxPoints = 16;
+    tracerOpt.bounds = SkewBounds{50e-12, 900e-12, 50e-12, 500e-12};
+    SkewPoint start = seed.seed;
+    start.hold = tracerOpt.bounds.holdMax;
+    const TracedContour contour = traceContour(h, start, tracerOpt);
+    if (!contour.seedConverged) {
+        std::cerr << "tracing failed\n";
+        return 1;
+    }
+
+    TablePrinter table({"setup skew", "hold skew", "|h| (V)"});
+    for (std::size_t i = 0; i < contour.points.size(); ++i) {
+        table.addRowValues(formatEngineering(contour.points[i].setup, "s"),
+                           formatEngineering(contour.points[i].hold, "s"),
+                           contour.residuals[i]);
+    }
+    table.print(std::cout);
+    return 0;
+}

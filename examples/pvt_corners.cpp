@@ -1,0 +1,58 @@
+// pvt_corners -- characterize a register across process/voltage/temperature
+// corners, the workload the paper's introduction motivates ("setup/hold
+// times need to be characterized ... for all PVT corners").
+//
+// Uses the fast independent characterization (sensitivity-driven scalar
+// Newton, Section IIIB) per corner plus the characteristic clock-to-Q.
+#include <iostream>
+#include <vector>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/pvt.hpp"
+#include "shtrace/util/table.hpp"
+#include "shtrace/util/units.hpp"
+
+int main() {
+    using namespace shtrace;
+
+    // Three process corners, each at two temperatures.
+    std::vector<ProcessCorner> corners;
+    for (const ProcessCorner& base :
+         {ProcessCorner::typical(), ProcessCorner::fast(),
+          ProcessCorner::slow()}) {
+        corners.push_back(base.atTemperature(27.0));
+        corners.push_back(base.atTemperature(125.0));
+    }
+
+    std::cout << "PVT sweep of the TSPC register (independent setup/hold "
+                 "via scalar Newton)\n";
+    SimStats stats;
+    const auto rows = sweepPvtCorners(
+        corners,
+        [](const ProcessCorner& corner) {
+            TspcOptions opt;
+            opt.corner = corner;
+            return buildTspcRegister(opt);
+        },
+        {}, &stats);
+
+    TablePrinter table({"corner", "clock-to-Q", "setup time", "hold time",
+                        "transients"});
+    for (const auto& row : rows) {
+        if (!row.success) {
+            table.addRowValues(row.corner, "FAILED", "-", "-", 0);
+            continue;
+        }
+        table.addRowValues(row.corner,
+                           formatEngineering(row.characteristicClockToQ, "s"),
+                           formatEngineering(row.setupTime, "s"),
+                           formatEngineering(row.holdTime, "s"),
+                           row.transientCount);
+    }
+    table.print(std::cout);
+    std::cout << "\ntotal cost: " << stats << "\n";
+    std::cout << "Slow/hot corners show larger clock-to-Q and larger "
+                 "setup/hold times; the\nper-corner cost is a handful of "
+                 "transients thanks to the Newton method.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+// shia_sta_slack -- the downstream use case that motivates the paper:
+// Setup/Hold-Interdependence-Aware STA (SHIA-STA) pessimism reduction.
+//
+// Scenario (from the paper's introduction): a path into a register has a
+// HOLD violation under the conventional single-point (setup, hold)
+// characterization. Conventional STA flags it. But the register admits a
+// whole CONTOUR of valid (setup, hold) pairs at the same clock-to-Q
+// degradation: trading a longer (non-critical) setup time buys a shorter
+// hold requirement, clearing the violation with no circuit change.
+//
+// This example traces the TSPC contour, then walks it to re-time a small
+// synthetic path pair.
+#include <algorithm>
+#include <iostream>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/characterize.hpp"
+#include "shtrace/chz/shia_contour.hpp"
+#include "shtrace/util/table.hpp"
+#include "shtrace/util/units.hpp"
+
+int main() {
+    using namespace shtrace;
+
+    // --- characterize the register interdependently ---
+    const RegisterFixture reg = buildTspcRegister();
+    CharacterizeOptions opt;
+    opt.tracer.maxPoints = 24;
+    opt.tracer.bounds = SkewBounds{120e-12, 560e-12, 60e-12, 460e-12};
+    const CharacterizeResult chz = characterizeInterdependent(reg, opt);
+    if (!chz.success) {
+        std::cerr << "characterization failed\n";
+        return 1;
+    }
+    const auto& contour = chz.contour.points;
+    // The STA-facing view: monotone interpolation + admission queries.
+    const ShiaContour shia = ShiaContour::fromTrace(chz.contour);
+
+    // Conventional library characterization publishes ONE valid
+    // (setup, hold) pair -- here the balanced knee of the contour. Any
+    // path must meet BOTH numbers; the rest of the contour's flexibility
+    // is thrown away.
+    const SkewPoint knee = contour[contour.size() / 2];
+    const double holdMin = contour.back().hold;  // horizontal asymptote
+
+    // --- synthetic timing paths into this register ---
+    // Data arrives `arrival` before the capture edge (that margin is the
+    // available setup skew) and is held `stability` after the edge (the
+    // available hold skew).
+    struct Path {
+        const char* name;
+        double arrival;    // data-valid margin before the edge
+        double stability;  // data-stable margin after the edge
+    };
+    const Path paths[] = {
+        {"P1 (comfortable)", knee.setup + 100e-12, knee.hold + 100e-12},
+        // Plenty of setup margin, hold margin BELOW the knee requirement
+        // but above the contour's hold asymptote: SHIA-STA territory.
+        {"P2 (hold-critical)", contour.back().setup + 30e-12,
+         0.5 * (knee.hold + holdMin)},
+        // Below the smallest hold any contour point allows: truly broken.
+        {"P3 (truly violating)", contour.back().setup + 30e-12,
+         0.7 * holdMin},
+    };
+
+    TablePrinter table({"path", "avail setup", "avail hold",
+                        "conventional STA", "SHIA-STA", "SHIA hold slack"});
+    for (const Path& p : paths) {
+        const bool conventionalOk =
+            p.arrival >= knee.setup && p.stability >= knee.hold;
+        // SHIA-STA: the path is safe when its (setup, hold) budget admits
+        // SOME valid pair on the contour.
+        const bool shiaOk = shia.admits(p.arrival, p.stability);
+        const auto slack = shia.holdSlack(p.arrival, p.stability);
+        table.addRowValues(p.name, formatEngineering(p.arrival, "s"),
+                           formatEngineering(p.stability, "s"),
+                           conventionalOk ? "PASS" : "VIOLATION",
+                           shiaOk ? "PASS" : "VIOLATION",
+                           slack ? formatEngineering(*slack, "s")
+                                 : std::string("infeasible"));
+    }
+
+    std::cout << "register: " << reg.name
+              << ", conventional (knee) setup/hold = ("
+              << formatEngineering(knee.setup, "s") << ", "
+              << formatEngineering(knee.hold, "s") << ")\n";
+    std::cout << "interdependent contour: " << contour.size()
+              << " points from (" << formatEngineering(contour.front().setup, "s")
+              << ", " << formatEngineering(contour.front().hold, "s")
+              << ") to (" << formatEngineering(contour.back().setup, "s")
+              << ", " << formatEngineering(contour.back().hold, "s") << ")\n\n";
+    table.print(std::cout);
+    std::cout << "\nP2 is flagged by conventional STA (hold margin below "
+                 "the independent hold\ntime) but clears under SHIA-STA: "
+                 "its generous setup margin buys a point on\nthe contour "
+                 "with a smaller hold requirement. P3 violates both -- the "
+                 "contour\ncannot rescue a genuinely bad path.\n";
+    return 0;
+}

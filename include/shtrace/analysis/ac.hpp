@@ -1,0 +1,50 @@
+// shtrace -- AC small-signal analysis.
+//
+// Linearizes the circuit at its DC operating point and solves
+//     (G + j omega C) x = s
+// over a frequency sweep, where s carries the AC stimulus magnitudes
+// declared on independent sources. Complements the transient machinery
+// (same assembler, same Jacobians) and is the standard verification tool
+// for the device models' small-signal parameters (gm, gds, capacitances).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "shtrace/analysis/newton.hpp"
+#include "shtrace/circuit/circuit.hpp"
+
+namespace shtrace {
+
+struct AcOptions {
+    /// Frequencies to solve at (Hz). Use logSweep() for decades.
+    std::vector<double> frequencies;
+    NewtonOptions newton;  ///< for the underlying DC solve
+    double gmin = 1e-9;    ///< DC operating-point leak
+};
+
+/// Log-spaced frequency grid: pointsPerDecade samples from fStart to fStop.
+std::vector<double> logSweep(double fStart, double fStop,
+                             int pointsPerDecade = 10);
+
+struct AcResult {
+    std::vector<double> frequencies;
+    /// response[k] = complex unknown vector at frequencies[k].
+    std::vector<std::vector<std::complex<double>>> response;
+    Vector operatingPoint;  ///< the DC solution the sweep linearized at
+
+    /// Complex response of one node across the sweep.
+    std::vector<std::complex<double>> nodeResponse(NodeId node) const;
+    /// 20*log10(|v(node)|) across the sweep.
+    std::vector<double> magnitudeDb(NodeId node) const;
+    /// Phase in degrees across the sweep.
+    std::vector<double> phaseDegrees(NodeId node) const;
+};
+
+/// Runs the sweep. AC stimuli are declared per source via
+/// VoltageSource/CurrentSource::setAcMagnitude (default 0). Throws when no
+/// source carries a stimulus or a system is singular.
+AcResult runAcAnalysis(const Circuit& circuit, const AcOptions& options,
+                       SimStats* stats = nullptr);
+
+}  // namespace shtrace

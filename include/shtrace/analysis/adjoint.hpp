@@ -1,0 +1,44 @@
+// shtrace -- adjoint (backward) skew sensitivities.
+//
+// The forward recurrences (transient.hpp) propagate m = dx/dtau for each
+// parameter; the adjoint method instead propagates one costate lambda
+// BACKWARD from the output projection c and recovers the gradient of the
+// scalar objective J = c^T x(t_f) with respect to ALL parameters in a
+// single sweep:
+//
+//   BE:   J_N^T lambda_N = c,
+//         J_i^T lambda_i = a C_i^T lambda_{i+1},            a = 1/dt
+//         dJ/dtau = - sum_i lambda_i^T b z(t_i)
+//   TRAP: J_i^T lambda_i = (a C_i - G_i)^T lambda_{i+1},    a = 2/dt
+//         dJ/dtau = - sum_i lambda_i^T b (z(t_i) + z(t_{i-1}))
+//
+// with J_i = a C_i + G_i the same step Jacobians the forward transient
+// factored. Because the tape records the exact discrete system, the
+// adjoint gradient equals the forward gradient to solver precision -- the
+// cross-check tests exploit this.
+//
+// With only two parameters (tau_s, tau_h) forward and adjoint cost about
+// the same; the adjoint wins when the parameter count grows (e.g. per-edge
+// slew or PVT sensitivities), which is why it is provided as an extension.
+#pragma once
+
+#include "shtrace/analysis/transient.hpp"
+
+namespace shtrace {
+
+/// Gradient of c^T x(t_f) with respect to the skews.
+struct AdjointGradient {
+    double dSetup = 0.0;
+    double dHold = 0.0;
+};
+
+/// Consumes the adjoint tape recorded by a transient run with
+/// `recordAdjointTape = true` (see TransientOptions) and performs the
+/// backward sweep. Throws when the tape is missing or a step Jacobian is
+/// singular.
+AdjointGradient computeAdjointGradient(const Circuit& circuit,
+                                       const TransientResult& result,
+                                       const Vector& selector,
+                                       SimStats* stats = nullptr);
+
+}  // namespace shtrace

@@ -1,0 +1,42 @@
+// shtrace -- DC operating point via Newton with gmin-stepping homotopy.
+//
+// Solves f(x) + b(t0) = 0 (charge terms dropped). Dynamic latch nodes that
+// have no DC path to a supply are handled by the gmin conductances: a
+// floating node settles to 0 V through the gmin leak, which mirrors real
+// leakage and gives the fixed, tau-independent x0 the formulation needs.
+//
+// Strategy: try plain Newton at the gmin floor first; on failure walk gmin
+// down from a large value (each stage seeded with the previous solution) --
+// a textbook continuation method, fitting for a paper built on numerical
+// continuation.
+#pragma once
+
+#include <vector>
+
+#include "shtrace/analysis/newton.hpp"
+#include "shtrace/circuit/circuit.hpp"
+
+namespace shtrace {
+
+struct DcOptions {
+    NewtonOptions newton;
+    double time = 0.0;        ///< source evaluation time
+    double gminFloor = 1e-9;  ///< final leak conductance (kept, not removed)
+    /// gmin continuation ladder used when the direct solve fails.
+    std::vector<double> gminLadder = {1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8};
+};
+
+struct DcResult {
+    Vector x;
+    bool converged = false;
+    int totalNewtonIterations = 0;
+    bool usedContinuation = false;
+};
+
+/// Computes the DC operating point. Throws NumericalError only when even
+/// the continuation ladder fails at its largest gmin (hopeless circuit).
+DcResult solveDcOperatingPoint(const Circuit& circuit,
+                               const DcOptions& options = {},
+                               SimStats* stats = nullptr);
+
+}  // namespace shtrace

@@ -1,0 +1,56 @@
+// shtrace -- damped Newton-Raphson for square nonlinear systems.
+//
+// Shared by the DC operating-point solver and the per-step transient solve.
+// Convergence uses the SPICE tolerance model: every unknown's update must
+// satisfy |dx_i| <= relTol*max(|x_i^new|, |x_i^old|) + absTol_i, where
+// absTol_i is a voltage tolerance on node rows and a current tolerance on
+// branch rows, plus an absolute residual check.
+#pragma once
+
+#include <functional>
+
+#include "shtrace/linalg/lu.hpp"
+#include "shtrace/linalg/matrix.hpp"
+#include "shtrace/util/stats.hpp"
+
+namespace shtrace {
+
+struct NewtonOptions {
+    int maxIterations = 60;
+    double relTol = 1e-4;
+    double vAbsTol = 1e-6;       ///< update tolerance, node-voltage rows (V)
+    double iAbsTol = 1e-9;       ///< update tolerance, branch-current rows (A)
+    double residualTol = 1e-6;   ///< infinity-norm residual tolerance (A / V)
+    double maxUpdate = 1.0;      ///< per-iteration infinity-norm damping clamp
+};
+
+struct NewtonResult {
+    bool converged = false;
+    int iterations = 0;
+    double finalResidualNorm = 0.0;
+    double finalUpdateNorm = 0.0;
+    bool singular = false;  ///< Jacobian factorization failed at some iterate
+};
+
+/// Evaluates the residual and Jacobian at x. Must fill both outputs.
+using NewtonSystemFn =
+    std::function<void(const Vector& x, Vector& residual, Matrix& jacobian)>;
+
+/// Solves F(x) = 0 starting from x (updated in place). `nodeRows` is the
+/// number of leading rows using the voltage tolerance; remaining rows use
+/// the current tolerance.
+///
+/// When `finalFactorization` is non-null it receives the LU factors of the
+/// LAST Jacobian the iteration assembled (i.e. at the final pre-update
+/// iterate, which is within the Newton tolerance of the converged
+/// solution). The transient engine hands this to the sensitivity
+/// recurrences so each sensitivity costs only a pair of back-substitutions
+/// -- the reuse the paper's efficiency argument rests on. The O(relTol)
+/// Jacobian mismatch perturbs the computed gradient by the same relative
+/// amount, far below what the Moore-Penrose Newton needs.
+NewtonResult solveNewton(const NewtonSystemFn& system, Vector& x,
+                         std::size_t nodeRows, const NewtonOptions& options,
+                         SimStats* stats = nullptr,
+                         LuFactorization* finalFactorization = nullptr);
+
+}  // namespace shtrace

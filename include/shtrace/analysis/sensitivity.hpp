@@ -1,0 +1,45 @@
+// shtrace -- skew-sensitivity helpers and finite-difference validation.
+//
+// The analytic sensitivities are computed inside TransientAnalysis (see
+// transient.hpp). This header provides the convenience wrapper used by the
+// characterization layer -- "run a transient and give me c^T x(t_f) plus its
+// gradient w.r.t. (tau_s, tau_h)" -- and central-finite-difference reference
+// implementations used by tests and by the ablation benches to quantify the
+// cost the analytic method avoids.
+#pragma once
+
+#include <memory>
+
+#include "shtrace/analysis/transient.hpp"
+#include "shtrace/waveform/data_pulse.hpp"
+
+namespace shtrace {
+
+/// Output of one skew-parameterized transient evaluation.
+struct SkewEvaluation {
+    bool success = false;
+    double output = 0.0;  ///< c^T x(t_f)
+    double dOutputDSetup = 0.0;
+    double dOutputDHold = 0.0;
+};
+
+/// Sets the skews on `data`, runs the transient described by `options`
+/// (with sensitivity tracking forced on) and projects through `selector`.
+SkewEvaluation evaluateWithSensitivities(const Circuit& circuit,
+                                         DataPulse& data,
+                                         const Vector& selector,
+                                         double setupSkew, double holdSkew,
+                                         const TransientOptions& options,
+                                         SimStats* stats = nullptr);
+
+/// Central finite-difference gradient of c^T x(t_f) w.r.t. the skews,
+/// using 2 extra transients per parameter. Reference for tests/benches.
+SkewEvaluation evaluateWithFiniteDifferences(const Circuit& circuit,
+                                             DataPulse& data,
+                                             const Vector& selector,
+                                             double setupSkew, double holdSkew,
+                                             const TransientOptions& options,
+                                             double delta = 1e-13,
+                                             SimStats* stats = nullptr);
+
+}  // namespace shtrace

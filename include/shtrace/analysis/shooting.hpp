@@ -1,0 +1,57 @@
+// shtrace -- periodic steady state by shooting Newton (Aprille-Trick).
+//
+// The paper derives its method from the nonlinear state-transition
+// function phi(t; x0, t0) and cites Aprille-Trick [7] as the lineage; this
+// module is that ancestor algorithm on the same machinery: find x0 with
+//     F(x0) = phi(t0 + T; x0, t0) - x0 = 0
+// by Newton, where dF/dx0 = M - I and M is the monodromy matrix
+// M = d phi / d x0, propagated step by step from the recorded transient
+// tape exactly as the skew sensitivities are (same factored Jacobians,
+// matrix-valued right-hand sides):
+//     BE:   (a C_i + G_i) M_i = a C_{i-1} M_{i-1}
+//     TRAP: (a C_i + G_i) M_i = (a C_{i-1} - G_{i-1}) M_{i-1},  M_0 = I.
+//
+// The circuit's sources must be T-periodic over the shooting window
+// (start the window after any initial source delay).
+#pragma once
+
+#include <optional>
+
+#include "shtrace/analysis/transient.hpp"
+
+namespace shtrace {
+
+struct ShootingOptions {
+    double period = 0.0;      ///< required: source period T
+    double tStart = 0.0;      ///< window start (sources periodic from here)
+    int stepsPerPeriod = 400;
+    /// Backward Euler only: trapezoidal integration leaves the algebraic
+    /// (MNA constraint) modes undamped, which puts unit eigenvalues into
+    /// the monodromy matrix and makes (M - I) structurally singular. BE
+    /// damps algebraic modes in one step, so its monodromy is the correct
+    /// dynamic-subspace map.
+    IntegrationMethod method = IntegrationMethod::BackwardEuler;
+    int maxIterations = 25;
+    /// Convergence: ||phi(T;x0) - x0||_inf below this (volts).
+    double tolerance = 1e-6;
+    NewtonOptions newton;  ///< inner per-step solves
+    double gmin = 1e-12;
+    /// Starting guess for x0; empty = DC operating point at tStart.
+    std::optional<Vector> initialGuess;
+};
+
+struct ShootingResult {
+    bool converged = false;
+    Vector periodicState;     ///< x0 with phi(T;x0) = x0
+    int iterations = 0;
+    double finalError = 0.0;  ///< ||phi - x0||_inf at the last iterate
+    /// The steady-state waveform over one period from `periodicState`
+    /// (stored states), for inspection/measurement.
+    TransientResult steadyStatePeriod;
+};
+
+ShootingResult solvePeriodicSteadyState(const Circuit& circuit,
+                                        const ShootingOptions& options,
+                                        SimStats* stats = nullptr);
+
+}  // namespace shtrace

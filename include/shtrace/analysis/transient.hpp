@@ -1,0 +1,129 @@
+// shtrace -- transient analysis of d/dt q(x) + f(x) + b(t) = 0.
+//
+// Two stepping modes:
+//
+//  * fixed grid ("divide t=0..t_f into N points", paper algorithm step
+//    2.a.i): uniform steps, used by the characterization layer. On a fixed
+//    grid the DISCRETIZED state-transition function is itself a smooth
+//    function of (tau_s, tau_h), and the sensitivity recurrences below
+//    compute its exact derivative -- which is what makes the Moore-Penrose
+//    Newton iteration converge quadratically regardless of grid resolution.
+//
+//  * adaptive: LTE-controlled step size with waveform-breakpoint landing,
+//    for general-purpose simulation and the integrator ablation bench.
+//
+// Integration methods: Backward Euler and trapezoidal.
+//
+// Skew sensitivities (paper Section IIIC): when enabled, the engine
+// co-integrates m_s = dx/dtau_s and m_h = dx/dtau_h. For Backward Euler
+// (paper eqs. 11/13):
+//     (C_i/dt + G_i) m_i = (C_{i-1}/dt) m_{i-1} - b_d z(t_i),
+// and for trapezoidal (differentiating the TRAP residual):
+//     (2C_i/dt + G_i) m_i = (2C_{i-1}/dt - G_{i-1}) m_{i-1}
+//                           - b_d z(t_i) - b_d z(t_{i-1}).
+// Both reuse the factored (a*C_i + G_i) matrix assembled at the accepted
+// step solution, so each sensitivity costs one back-substitution -- the
+// efficiency the paper leans on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shtrace/analysis/newton.hpp"
+#include "shtrace/circuit/circuit.hpp"
+
+namespace shtrace {
+
+enum class IntegrationMethod {
+    BackwardEuler,
+    Trapezoidal,
+    /// Gear's second-order BDF: A-stable like BE but second order, without
+    /// TRAP's tendency to ring on stiff transitions. Fixed-grid mode only
+    /// (the constant-step coefficients 3/2, -2, 1/2 are hard-coded); the
+    /// first step bootstraps with Backward Euler.
+    Gear2,
+};
+
+struct TransientOptions {
+    double tStart = 0.0;
+    double tStop = 0.0;  ///< required
+    IntegrationMethod method = IntegrationMethod::Trapezoidal;
+
+    // --- fixed-grid mode ---
+    bool adaptive = false;
+    int fixedSteps = 0;  ///< 0 = derive from dtMax (ceil of span/dtMax)
+
+    // --- adaptive mode ---
+    double dtInit = 1e-12;
+    double dtMin = 1e-17;
+    double dtMax = 0.0;  ///< 0 = (tStop - tStart) / 200
+    double lteRelTol = 1e-3;
+    double lteAbsTol = 1e-5;  ///< volts
+    bool useBreakpoints = true;
+
+    NewtonOptions newton;
+    double gmin = 1e-12;  ///< node-row leak applied throughout
+
+    /// Empty => solve the DC operating point at tStart for x0.
+    std::optional<Vector> initialCondition;
+
+    bool trackSkewSensitivities = false;
+    bool storeStates = true;  ///< keep full x at every accepted step
+
+    /// Record the per-step Jacobian pieces (C_i, G_i incl. gmin, times and
+    /// method) needed by the adjoint backward sweep (adjoint.hpp). Costs
+    /// two dense matrices per accepted step of memory, no extra compute.
+    bool recordAdjointTape = false;
+};
+
+/// One entry of the adjoint tape: the epilogue assembly of an accepted
+/// step (entry 0 is the initial condition's assembly at tStart).
+struct AdjointTapeEntry {
+    double t = 0.0;
+    Matrix c;  ///< dq/dx at the accepted solution
+    Matrix g;  ///< df/dx at the accepted solution, including gmin
+};
+
+struct TransientResult {
+    bool success = false;
+    std::string failureReason;
+
+    std::vector<double> times;   ///< accepted time points (incl. t0)
+    std::vector<Vector> states;  ///< full x per time point (if storeStates)
+
+    Vector finalState;           ///< x(tStop)
+    Vector finalSensitivitySetup;  ///< m_s(tStop) (if tracked)
+    Vector finalSensitivityHold;   ///< m_h(tStop) (if tracked)
+
+    /// Sensitivity trajectories (only when storeStates && tracked).
+    std::vector<Vector> sensitivitySetup;
+    std::vector<Vector> sensitivityHold;
+
+    /// Adjoint tape (only when recordAdjointTape); entry i corresponds to
+    /// time point i (entry 0 = initial condition).
+    std::vector<AdjointTapeEntry> adjointTape;
+    IntegrationMethod tapeMethod = IntegrationMethod::Trapezoidal;
+
+    /// Linear interpolation of c^T x at time t (requires storeStates).
+    double valueAt(const Vector& selector, double t) const;
+    /// Scalar signal c^T x at every stored time point.
+    std::vector<double> signal(const Vector& selector) const;
+};
+
+class TransientAnalysis {
+public:
+    TransientAnalysis(const Circuit& circuit, TransientOptions options);
+
+    /// Runs the analysis. Returns success=false (with a reason) instead of
+    /// throwing on step-level non-convergence; throws only on misuse.
+    TransientResult run(SimStats* stats = nullptr) const;
+
+    const TransientOptions& options() const { return options_; }
+
+private:
+    const Circuit& circuit_;
+    TransientOptions options_;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,29 @@
+// shtrace -- small gate-level construction helpers (inverter, transmission
+// gate) shared by the register builders.
+#pragma once
+
+#include "shtrace/cells/mos_library.hpp"
+#include "shtrace/circuit/circuit.hpp"
+
+namespace shtrace {
+
+/// Relative device sizing for a gate.
+struct GateSizing {
+    double wn = 0.6e-6;
+    double wp = 1.2e-6;
+    double l = 0.25e-6;
+};
+
+/// Adds a static CMOS inverter in->out. `prefix` names the transistors.
+void addInverter(Circuit& ckt, const std::string& prefix, NodeId in,
+                 NodeId out, NodeId vdd, const ProcessCorner& corner,
+                 const GateSizing& sizing = {});
+
+/// Adds a CMOS transmission gate between a and b, conducting when
+/// nGate is high / pGate is low. `vdd` supplies the PMOS bulk.
+void addTransmissionGate(Circuit& ckt, const std::string& prefix, NodeId a,
+                         NodeId b, NodeId nGate, NodeId pGate, NodeId vdd,
+                         const ProcessCorner& corner,
+                         const GateSizing& sizing = {});
+
+}  // namespace shtrace

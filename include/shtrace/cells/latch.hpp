@@ -1,0 +1,40 @@
+// shtrace -- level-sensitive transparent latch (extension cell).
+//
+// A TG-input static latch, transparent while the clock is HIGH and opaque
+// while it is low. Characterizing a transparent latch with the same flow
+// demonstrates the method's generality beyond edge-triggered registers:
+// the "active edge" is the CLOSING (falling) edge of the clock -- data
+// must set up before the latch closes and hold until the loop takes over.
+#pragma once
+
+#include "shtrace/cells/mos_library.hpp"
+#include "shtrace/cells/register_fixture.hpp"
+
+namespace shtrace {
+
+struct LatchOptions {
+    ProcessCorner corner = ProcessCorner::typical();
+    ClockWaveform::Spec clockSpec{};
+    double clkBarDelay = 0.05e-9;
+
+    /// Which falling (closing) clock edge the data pulse is centered on.
+    int activeEdgeIndex = 1;
+    double dataTransitionTime = 0.1e-9;
+    bool risingData = true;
+
+    double outputLoadCapacitance = 20e-15;
+    double internalNodeCapacitance = 1e-15;
+
+    double wn = 0.6e-6;
+    double wp = 1.2e-6;
+    double l = 0.25e-6;
+    double keeperRatio = 0.25;
+};
+
+/// Builds the latch. Note the returned fixture's activeEdgeMidpoint() is
+/// the FALLING clock edge (via a duty-cycle-aware computation in the
+/// builder, stored through the fixture's clock handle and edge index
+/// convention: the data pulse is already centered on the closing edge).
+RegisterFixture buildTransparentLatch(const LatchOptions& options = {});
+
+}  // namespace shtrace

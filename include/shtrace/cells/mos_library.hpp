@@ -1,0 +1,52 @@
+// shtrace -- process corner description and MOSFET parameter generation.
+//
+// The paper characterizes registers at 2.5 V logic levels on an unnamed
+// process; we use a generic 0.25 um-class level-1 parameter set whose cell
+// delays land in the same few-hundred-ps regime. The corner knobs (supply,
+// threshold shift, mobility scale, temperature) feed the PVT sweep harness
+// that the paper's introduction motivates (characterization "for all PVT
+// corners").
+#pragma once
+
+#include <string>
+
+#include "shtrace/devices/mosfet.hpp"
+
+namespace shtrace {
+
+struct ProcessCorner {
+    std::string name = "TT";
+    double vdd = 2.5;
+
+    // Threshold magnitudes (V).
+    double vtn = 0.45;
+    double vtp = 0.50;
+    // Process transconductance u0*Cox (A/V^2).
+    double kpn = 60e-6;
+    double kpp = 25e-6;
+    // Channel-length modulation (1/V).
+    double lambdaN = 0.06;
+    double lambdaP = 0.10;
+    // Gate oxide capacitance per area (F/m^2) and overlap cap per width (F/m).
+    double coxPerArea = 8e-3;
+    double overlapCapPerWidth = 4e-10;
+    // Simplified junction capacitance per device width (F/m).
+    double junctionCapPerWidth = 8e-10;
+
+    static ProcessCorner typical();
+    /// Fast corner: lower |vt|, higher mobility, higher vdd.
+    static ProcessCorner fast();
+    /// Slow corner: higher |vt|, lower mobility, lower vdd.
+    static ProcessCorner slow();
+
+    /// First-order temperature derating from the 27C reference: mobility
+    /// ~ (T/300K)^-1.5, |vt| decreasing ~1.5 mV/K.
+    ProcessCorner atTemperature(double celsius) const;
+};
+
+/// Level-1 parameters for an NMOS/PMOS of the given geometry at a corner,
+/// including the Meyer-simplified gate and junction capacitances.
+MosfetParams makeNmos(const ProcessCorner& corner, double w, double l);
+MosfetParams makePmos(const ProcessCorner& corner, double w, double l);
+
+}  // namespace shtrace

@@ -1,0 +1,52 @@
+// shtrace -- a characterizable register: circuit + timing handles.
+//
+// Register builders (tspc.hpp, c2mos.hpp, tg_dff.hpp) return this bundle.
+// The characterization layer needs: the finalized circuit, the output node,
+// the skew-parameterized data source (to retune tau_s/tau_h), the clock
+// (for active-edge timing), and the expected output transition levels.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "shtrace/circuit/circuit.hpp"
+#include "shtrace/waveform/clock.hpp"
+#include "shtrace/waveform/data_pulse.hpp"
+
+namespace shtrace {
+
+struct RegisterFixture {
+    std::string name;
+    Circuit circuit;
+
+    NodeId q;    ///< observed output node
+    NodeId d;    ///< data input node
+    NodeId clk;  ///< clock input node
+
+    std::shared_ptr<DataPulse> data;          ///< retunable data source
+    std::shared_ptr<ClockWaveform> clock;     ///< main clock
+    std::shared_ptr<ClockWaveform> clockBar;  ///< nullptr if unused
+
+    double vdd = 2.5;
+    int activeEdgeIndex = 1;  ///< which rising edge latches the measured datum
+
+    /// Expected Q levels for the measured transition (set by the builder
+    /// according to the data pulse polarity).
+    double qInitial = 0.0;
+    double qFinal = 2.5;
+
+    /// For cells whose active (latching) edge is not a rising clock edge
+    /// (e.g. the transparent latch closes on the FALLING edge), builders
+    /// set the 50% time here; 0 means "use the rising edge".
+    double activeEdgeOverride = 0.0;
+
+    /// 50% time of the measured active clock edge.
+    double activeEdgeMidpoint() const {
+        if (activeEdgeOverride > 0.0) {
+            return activeEdgeOverride;
+        }
+        return clock->risingEdgeMidpoint(activeEdgeIndex);
+    }
+};
+
+}  // namespace shtrace

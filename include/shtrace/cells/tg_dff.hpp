@@ -1,0 +1,36 @@
+// shtrace -- transmission-gate master/slave D flip-flop (extension cell).
+//
+// Not part of the paper's validation set; included to demonstrate that the
+// characterization machinery is register-architecture agnostic ("the method
+// is generally applicable to any kind of latch or register", Conclusions).
+// Classic static MS-DFF: TG-input master latch with weak feedback inverter,
+// TG-coupled slave latch, positive edge-triggered, Q follows D.
+#pragma once
+
+#include "shtrace/cells/mos_library.hpp"
+#include "shtrace/cells/register_fixture.hpp"
+
+namespace shtrace {
+
+struct TgDffOptions {
+    ProcessCorner corner = ProcessCorner::typical();
+    ClockWaveform::Spec clockSpec{};
+    double clkBarDelay = 0.05e-9;  ///< local inverter delay modeled as skew
+
+    int activeEdgeIndex = 1;
+    double dataTransitionTime = 0.1e-9;
+    bool risingData = true;
+
+    double outputLoadCapacitance = 20e-15;
+    double internalNodeCapacitance = 1e-15;
+
+    double wn = 0.6e-6;
+    double wp = 1.2e-6;
+    double l = 0.25e-6;
+    /// Feedback ("keeper") inverters are weak by this width ratio.
+    double keeperRatio = 0.25;
+};
+
+RegisterFixture buildTgDffRegister(const TgDffOptions& options = {});
+
+}  // namespace shtrace

@@ -1,0 +1,56 @@
+// shtrace -- positive edge-triggered True Single-Phase Clock register
+// (paper Fig. 6; Yuan-Svensson "doubled n-latch" 9T structure plus an
+// output inverter).
+//
+// Stage 1 (p-section, transparent at CLK=0):  x1 = ~D while CLK=0; during
+//   CLK=1 the pull-up is clock-gated so x1 can only FALL -- this one-way
+//   property is what makes the structure edge-triggered.
+// Stage 2 (n-section precharge/evaluate):     y precharges high at CLK=0,
+//   evaluates ~x1 at CLK=1 (can only fall during evaluation).
+// Stage 3 (hold/evaluate):                    qb = ~y at CLK=1, dynamic
+//   hold at CLK=0.
+// Output inverter:                            Q = ~qb = D (sampled at the
+//   rising edge).
+//
+// The register exhibits positive setup AND hold times, matching the paper's
+// description of the TSPC validation vehicle; see DESIGN.md section 6 for
+// the data-polarity discussion (the interdependent race is for a falling
+// datum, hence the default risingData = false).
+#pragma once
+
+#include "shtrace/cells/mos_library.hpp"
+#include "shtrace/cells/register_fixture.hpp"
+#include "shtrace/waveform/clock.hpp"
+#include "shtrace/waveform/data_pulse.hpp"
+
+namespace shtrace {
+
+struct TspcOptions {
+    ProcessCorner corner = ProcessCorner::typical();
+
+    /// Clock per the paper: 10 ns period, 1 ns delay, 0.1 ns edges, 2.5 V.
+    ClockWaveform::Spec clockSpec{};  // defaults already match
+
+    int activeEdgeIndex = 1;        ///< measure at the 11 ns edge
+    double dataTransitionTime = 0.1e-9;
+    /// Latch polarity. Default: latch a 1->0 datum. In this topology the
+    /// falling datum carries the interesting interdependence: setup is the
+    /// race to precharge x1 through the clock-gated PMOS stack before the
+    /// edge, hold is the race to finish discharging y through MN3 after the
+    /// edge while D stays low -- a late arrival weakens MN3's drive and
+    /// demands a longer hold, which is exactly the tradeoff of Fig. 1(b).
+    bool risingData = false;
+
+    double outputLoadCapacitance = 20e-15;
+    double internalNodeCapacitance = 2e-15;  ///< extra wiring cap per stage
+
+    double wn = 0.6e-6;  ///< NMOS width
+    double wp = 1.2e-6;  ///< PMOS width
+    double l = 0.25e-6;
+};
+
+/// Builds the TSPC register with clock/data sources attached and the
+/// circuit finalized.
+RegisterFixture buildTspcRegister(const TspcOptions& options = {});
+
+}  // namespace shtrace

@@ -1,0 +1,39 @@
+// shtrace -- one-call interdependent characterization pipeline.
+//
+// Ties the whole Section IIIE algorithm together: criterion -> seed search
+// (Fig. 7) -> Euler-Newton contour tracing. This is the API an end user
+// (standard-cell characterization flow) calls per register/corner.
+#pragma once
+
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/seed.hpp"
+#include "shtrace/chz/tracer.hpp"
+
+namespace shtrace {
+
+struct CharacterizeOptions {
+    CriterionOptions criterion;
+    SimulationRecipe recipe;
+    SeedOptions seed;
+    TracerOptions tracer;
+};
+
+struct CharacterizeResult {
+    bool success = false;
+    double characteristicClockToQ = 0.0;
+    double degradedClockToQ = 0.0;
+    double tf = 0.0;
+    double r = 0.0;
+    SeedResult seed;
+    TracedContour contour;
+    SimStats stats;  ///< complete cost of the run
+};
+
+/// Full interdependent setup/hold characterization of a register. The seed
+/// search runs at a large pinned hold skew; the seed's hold coordinate is
+/// then clamped into the tracer's bounds before tracing so the produced
+/// points lie in the requested window.
+CharacterizeResult characterizeInterdependent(
+    const RegisterFixture& fixture, const CharacterizeOptions& options = {});
+
+}  // namespace shtrace

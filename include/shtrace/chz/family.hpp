@@ -1,0 +1,46 @@
+// shtrace -- families of constant clock-to-Q contours.
+//
+// SHIA-STA flows want more than the single 10% contour: a family at
+// several degradation levels quantifies how much extra clock-to-Q a path
+// must absorb for a given setup/hold relaxation (the paper fixes 10% "for
+// example"; the machinery is degradation-agnostic). Members are traced in
+// order and each seed search warm-starts from the previous member's setup
+// asymptote, since the contours are nested: a larger allowed degradation
+// tolerates later data, moving the contour toward smaller skews.
+#pragma once
+
+#include <vector>
+
+#include "shtrace/chz/characterize.hpp"
+
+namespace shtrace {
+
+struct ContourFamilyOptions {
+    /// Degradation levels, ascending (e.g. {0.05, 0.10, 0.20}).
+    std::vector<double> degradations = {0.05, 0.10, 0.20};
+    CriterionOptions criterion;  ///< .degradation is overridden per member
+    SimulationRecipe recipe;
+    SeedOptions seed;
+    TracerOptions tracer;
+};
+
+struct ContourFamilyMember {
+    double degradation = 0.0;
+    double tf = 0.0;
+    bool success = false;
+    SeedResult seed;
+    TracedContour contour;
+};
+
+struct ContourFamilyResult {
+    double characteristicClockToQ = 0.0;
+    std::vector<ContourFamilyMember> members;
+    SimStats stats;
+
+    bool allSucceeded() const;
+};
+
+ContourFamilyResult characterizeContourFamily(
+    const RegisterFixture& fixture, const ContourFamilyOptions& options = {});
+
+}  // namespace shtrace

@@ -1,0 +1,71 @@
+// shtrace -- the underdetermined scalar equation h(tau_s, tau_h).
+//
+// Paper eq. 4:  h(tau) = c^T phi(t_f; x0, 0, tau_s, tau_h) - r = 0.
+// Evaluating h means one transient simulation of the register from the
+// fixed initial condition x0 to t_f; the gradient [dh/dtau_s, dh/dtau_h]
+// falls out of the co-integrated sensitivities (eqs. 11-14) at the cost of
+// two extra back-substitutions per time step.
+//
+// HFunction pins the simulation recipe: FIXED uniform time grid (paper
+// algorithm step 2.a.i) so that the discretized h is a smooth function of
+// tau and the analytic gradient is its exact derivative.
+#pragma once
+
+#include <memory>
+
+#include "shtrace/analysis/transient.hpp"
+#include "shtrace/measure/surface.hpp"
+#include "shtrace/waveform/data_pulse.hpp"
+
+namespace shtrace {
+
+/// One evaluation of h and (optionally) its gradient.
+struct HEvaluation {
+    bool success = false;
+    double h = 0.0;      ///< c^T x(t_f) - r
+    double dhds = 0.0;   ///< dh/dtau_s
+    double dhdh = 0.0;   ///< dh/dtau_h
+};
+
+class HFunction {
+public:
+    /// `selector` is the output projection c; `tf` and `r` come from the
+    /// criterion computation (see CharacterizationProblem). `baseOptions`
+    /// must describe the fixed-grid transient recipe; its tStop is
+    /// overridden with tf, and its initialCondition should carry the shared
+    /// x0 (computed once -- the paper's fixed initial state).
+    HFunction(const Circuit& circuit, std::shared_ptr<DataPulse> data,
+              Vector selector, double tf, double r,
+              TransientOptions baseOptions);
+
+    /// h and gradient at (tau_s, tau_h); one sensitivity-tracked transient.
+    HEvaluation evaluate(double setupSkew, double holdSkew,
+                         SimStats* stats = nullptr) const;
+
+    /// h only (no sensitivities); one plain transient. Used by the
+    /// brute-force surface baseline and by bisection seeding.
+    HEvaluation evaluateValueOnly(double setupSkew, double holdSkew,
+                                  SimStats* stats = nullptr) const;
+
+    /// Full transient with stored states at (tau_s, tau_h) -- for waveform
+    /// inspection and clock-to-Q measurement.
+    TransientResult simulate(double setupSkew, double holdSkew,
+                             SimStats* stats = nullptr) const;
+
+    double tf() const { return tf_; }
+    double r() const { return r_; }
+    const Vector& selector() const { return selector_; }
+    DataPulse& data() const { return *data_; }
+
+private:
+    TransientOptions makeOptions(bool sensitivities, bool storeStates) const;
+
+    const Circuit& circuit_;
+    std::shared_ptr<DataPulse> data_;
+    Vector selector_;
+    double tf_;
+    double r_;
+    TransientOptions baseOptions_;
+};
+
+}  // namespace shtrace

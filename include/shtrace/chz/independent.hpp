@@ -1,0 +1,51 @@
+// shtrace -- independent setup/hold characterization (paper Section IIIB).
+//
+// With the other skew pinned very large, h reduces to a scalar equation in
+// one scalar unknown:
+//   * binary search on the pass/fail transition -- the prevailing industry
+//     practice and the baseline of the paper's earlier DATE'07 work [6];
+//   * 1-D Newton-Raphson on h using the analytic sensitivity, the [6]
+//     method, reported there to be 4-10x faster than bisection.
+#pragma once
+
+#include "shtrace/chz/h_function.hpp"
+
+namespace shtrace {
+
+/// Which skew is being characterized (the other is pinned large).
+enum class SkewAxis { Setup, Hold };
+
+struct IndependentOptions {
+    double pinnedSkew = 1.5e-9;   ///< the "very large" other skew
+    double lo = 5e-12;            ///< initial bracket / search range
+    double hi = 1.5e-9;
+    double tolerance = 0.05e-12;  ///< bisection stopping width (s)
+    int maxIterations = 60;
+
+    // Newton-specific:
+    double hTol = 2e-5;           ///< |h| tolerance (V)
+    double newtonSeed = 0.0;      ///< 0 = coarse 4-way bracket scan first
+};
+
+struct IndependentResult {
+    bool converged = false;
+    double skew = 0.0;       ///< the characterized setup or hold time
+    int iterations = 0;
+    int transientCount = 0;  ///< transients this call consumed
+};
+
+/// Bisection on the pass/fail boundary. `passSign` as in seed.hpp.
+IndependentResult characterizeByBisection(const HFunction& h, SkewAxis axis,
+                                          double passSign,
+                                          const IndependentOptions& options = {},
+                                          SimStats* stats = nullptr);
+
+/// Scalar Newton on h along one axis (ref [6]). A short coarse scan
+/// brackets the root first when no seed is given; Newton then refines with
+/// sensitivity-driven steps.
+IndependentResult characterizeByNewton(const HFunction& h, SkewAxis axis,
+                                       double passSign,
+                                       const IndependentOptions& options = {},
+                                       SimStats* stats = nullptr);
+
+}  // namespace shtrace

@@ -1,0 +1,65 @@
+// shtrace -- standard-cell library characterization flow.
+//
+// The paper's economic argument: setup/hold must be characterized "for
+// every register/cell of every standard cell library ... characterization
+// typically takes weeks or months". This module is the batch driver a
+// library team would run: a list of cells, one characterization recipe,
+// per-cell independent setup/hold plus (optionally) the interdependent
+// contour, and a Liberty-flavoured text report.
+//
+// The report is deliberately "Liberty-lite": readable .lib-style syntax
+// carrying the characterized numbers (and the SHIA contour as a vendor
+// extension group), NOT a spec-conformant Liberty file.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "shtrace/cells/register_fixture.hpp"
+#include "shtrace/chz/independent.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/seed.hpp"
+#include "shtrace/chz/tracer.hpp"
+
+namespace shtrace {
+
+/// One cell to characterize: a name, a fixture builder and its criterion
+/// (e.g. C2MOS needs the 90% transition fraction).
+struct LibraryCell {
+    std::string name;
+    std::function<RegisterFixture()> build;
+    CriterionOptions criterion;
+};
+
+struct LibraryFlowOptions {
+    SimulationRecipe recipe;
+    IndependentOptions independent;
+    SeedOptions seed;
+    TracerOptions tracer;
+    bool traceContours = true;  ///< false: independent numbers only (fast)
+};
+
+struct LibraryRow {
+    std::string cell;
+    bool success = false;
+    std::string failureReason;
+    double characteristicClockToQ = 0.0;
+    double setupTime = 0.0;  ///< independent (other skew pinned large)
+    double holdTime = 0.0;
+    std::vector<SkewPoint> contour;  ///< interdependent pairs (may be empty)
+    SimStats stats;
+};
+
+/// Characterizes every cell; failures are reported per row, never thrown.
+std::vector<LibraryRow> characterizeLibrary(
+    const std::vector<LibraryCell>& cells,
+    const LibraryFlowOptions& options = {});
+
+/// Writes the Liberty-lite report. Throws Error when the file cannot be
+/// written.
+void writeLibertyLite(const std::vector<LibraryRow>& rows,
+                      const std::string& path,
+                      const std::string& libraryName = "shtrace_chz");
+
+}  // namespace shtrace

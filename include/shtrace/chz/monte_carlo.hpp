@@ -1,0 +1,62 @@
+// shtrace -- Monte Carlo statistical setup/hold characterization.
+//
+// The paper's cost analysis covers "all process-voltage-temperature
+// corners OR statistical process samples". This harness draws process
+// samples (normal perturbations on threshold, mobility and supply around a
+// nominal corner), runs the fast sensitivity-driven independent
+// characterization per sample, and reports distribution statistics --
+// the inputs to statistical STA setup/hold models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shtrace/chz/pvt.hpp"
+
+namespace shtrace {
+
+struct ProcessVariation {
+    double vtSigma = 0.02;    ///< absolute sigma on vtn/vtp (V)
+    double kpRelSigma = 0.05; ///< relative sigma on kpn/kpp
+    double vddRelSigma = 0.01;///< relative sigma on the supply
+};
+
+struct MonteCarloOptions {
+    int samples = 20;
+    std::uint64_t seed = 1;   ///< deterministic by default
+    ProcessVariation variation;
+    CriterionOptions criterion;
+    SimulationRecipe recipe;
+    IndependentOptions independent;
+};
+
+/// Distribution summary of one characterized quantity.
+struct SampleStatistics {
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+struct MonteCarloResult {
+    int samplesRequested = 0;
+    int samplesConverged = 0;
+    std::vector<double> setupTimes;  ///< per converged sample
+    std::vector<double> holdTimes;
+    std::vector<double> clockToQs;
+    SampleStatistics setup;
+    SampleStatistics hold;
+    SampleStatistics clockToQ;
+};
+
+/// Draws a perturbed corner (exposed for tests).
+ProcessCorner sampleCorner(const ProcessCorner& nominal,
+                           const ProcessVariation& variation,
+                           std::uint64_t seed, int sampleIndex);
+
+MonteCarloResult runMonteCarlo(const ProcessCorner& nominal,
+                               const CornerFixtureBuilder& builder,
+                               const MonteCarloOptions& options = {},
+                               SimStats* stats = nullptr);
+
+}  // namespace shtrace

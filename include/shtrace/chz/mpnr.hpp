@@ -1,0 +1,62 @@
+// shtrace -- Moore-Penrose pseudo-inverse Newton-Raphson (MPNR).
+//
+// Solves the underdetermined scalar equation h(tau_s, tau_h) = 0 (paper
+// Section IIIC): from an initial guess A, iterate
+//     tau <- tau - H^+ h,   H^+ = H^T (H H^T)^{-1}   (eqs. 23-24)
+// which converges to a point B on the solution curve; for small residuals B
+// is the curve point nearest A, which is exactly what the Euler predictor
+// wants from its corrector.
+#pragma once
+
+#include "shtrace/chz/h_function.hpp"
+#include "shtrace/measure/surface.hpp"
+
+namespace shtrace {
+
+struct MpnrOptions {
+    int maxIterations = 15;
+    double skewRelTol = 1e-5;    ///< relative skew-update tolerance
+    double skewAbsTol = 1e-16;   ///< absolute skew-update tolerance (s)
+    double hTol = 2e-5;          ///< |h| tolerance (V)
+    double maxStep = 100e-12;    ///< clamp on one update's 2-norm (s)
+    /// Gradient norm (V/s) below which the iterate is declared to be on
+    /// the flat plateau of h (both skews generous -> output insensitive).
+    /// Useful gradients near the contour are ~1e9..1e10 V/s; plateau
+    /// residues are orders of magnitude smaller.
+    double gradientTol = 1e8;
+};
+
+struct MpnrResult {
+    bool converged = false;
+    SkewPoint point;       ///< final iterate
+    double h = 0.0;        ///< residual at `point`
+    double dhds = 0.0;     ///< gradient at `point` (feeds the Euler tangent)
+    double dhdh = 0.0;
+    int iterations = 0;
+    bool gradientVanished = false;  ///< hit a critical point of h
+    bool transientFailed = false;
+};
+
+/// Runs MPNR from `guess`. Non-convergence is reported, not thrown -- the
+/// tracer probes and shrinks its predictor step on failure.
+MpnrResult solveMpnr(const HFunction& h, SkewPoint guess,
+                     const MpnrOptions& options = {},
+                     SimStats* stats = nullptr);
+
+/// Pseudo-arclength corrector (Allgower-Georg, the alternative the
+/// continuation literature pairs with Euler predictors): solve the SQUARE
+/// augmented system
+///     h(tau) = 0
+///     T^T (tau - guess) = 0
+/// by plain Newton, constraining the correction to the hyperplane through
+/// the predicted point orthogonal to the tangent T. Unlike MPNR the step
+/// direction is fully determined each iteration (no minimum-norm
+/// projection), which keeps the corrector from sliding along the curve --
+/// at the price of failing outright when the curve is tangent to the
+/// constraint plane. Reported through the same MpnrResult.
+MpnrResult solveArclengthCorrector(const HFunction& h, SkewPoint guess,
+                                   const Vector& tangent,
+                                   const MpnrOptions& options = {},
+                                   SimStats* stats = nullptr);
+
+}  // namespace shtrace

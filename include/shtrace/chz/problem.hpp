@@ -1,0 +1,85 @@
+// shtrace -- end-to-end characterization problem setup.
+//
+// Wraps a RegisterFixture and reproduces the paper's Section IV procedure:
+//
+//  1. simulate once with very large setup and hold skews;
+//  2. find t_c, the time the output crosses the criterion threshold r
+//     (50% of the swing for TSPC, 90% for C2MOS);
+//  3. characteristic clock-to-Q = t_c - (50% point of the active edge);
+//  4. degraded clock-to-Q = (1 + degradation) * characteristic;
+//  5. t_f = active-edge midpoint + degraded clock-to-Q.
+//
+// The pair (t_f, r) then defines h(tau_s, tau_h) = c^T x(t_f) - r, whose
+// zero set is the constant-clock-to-Q contour. The DC operating point x0 is
+// computed once and shared by every subsequent transient (the paper's fixed
+// initial condition, which is what makes m(t0) = 0 valid).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "shtrace/cells/register_fixture.hpp"
+#include "shtrace/chz/h_function.hpp"
+#include "shtrace/measure/clock_to_q.hpp"
+
+namespace shtrace {
+
+struct CriterionOptions {
+    double transitionFraction = 0.5;  ///< r = qInitial + frac * swing
+    double degradation = 0.10;        ///< clock-to-Q pushout defining the contour
+    double referenceSetupSkew = 2e-9;   ///< "very large" skews for t_c
+    double referenceHoldSkew = 2e-9;
+    double observationWindow = 3e-9;  ///< simulate to edge + window for t_c
+};
+
+struct SimulationRecipe {
+    IntegrationMethod method = IntegrationMethod::Trapezoidal;
+    double dtNominal = 10e-12;  ///< fixed-grid step target
+    NewtonOptions newton;
+    double gmin = 1e-12;
+};
+
+class CharacterizationProblem {
+public:
+    /// Computes the criterion immediately (one reference transient + one DC
+    /// solve). Throws NumericalError when the reference run never crosses
+    /// the threshold (the register does not latch at huge skews: a broken
+    /// fixture).
+    CharacterizationProblem(const RegisterFixture& fixture,
+                            CriterionOptions criterion = {},
+                            SimulationRecipe recipe = {},
+                            SimStats* stats = nullptr);
+
+    const RegisterFixture& fixture() const { return fixture_; }
+    const HFunction& h() const { return *h_; }
+
+    double characteristicClockToQ() const { return characteristicC2Q_; }
+    double degradedClockToQ() const { return degradedC2Q_; }
+    double tc() const { return tc_; }
+    double tf() const { return h_->tf(); }
+    double r() const { return h_->r(); }
+    /// True when the measured Q transition is rising (polarity for seeding
+    /// and pass/fail tests: a passing latch has passSign()*h > 0).
+    bool risingOutput() const { return spec_.risingOutput(); }
+    double passSign() const { return risingOutput() ? 1.0 : -1.0; }
+
+    const Vector& initialCondition() const { return x0_; }
+    const ClockToQSpec& clockToQSpec() const { return spec_; }
+
+    /// Measures clock-to-Q at the given skews (full stored transient).
+    std::optional<double> measureClockToQAt(double setupSkew, double holdSkew,
+                                            SimStats* stats = nullptr) const;
+
+private:
+    const RegisterFixture& fixture_;
+    CriterionOptions criterion_;
+    SimulationRecipe recipe_;
+    ClockToQSpec spec_;
+    Vector x0_;
+    double tc_ = 0.0;
+    double characteristicC2Q_ = 0.0;
+    double degradedC2Q_ = 0.0;
+    std::unique_ptr<HFunction> h_;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,45 @@
+// shtrace -- PVT corner sweep harness.
+//
+// The paper's motivation: "setup/hold times need to be characterized for
+// every register of every standard cell library ... for all PVT corners".
+// This harness runs independent setup/hold characterization (the cheap
+// per-corner quantities) plus the characteristic clock-to-Q across a list
+// of corners for any register builder.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "shtrace/cells/mos_library.hpp"
+#include "shtrace/cells/register_fixture.hpp"
+#include "shtrace/chz/independent.hpp"
+#include "shtrace/chz/problem.hpp"
+
+namespace shtrace {
+
+/// Builds a fixture for a given corner (e.g. wraps buildTspcRegister).
+using CornerFixtureBuilder =
+    std::function<RegisterFixture(const ProcessCorner&)>;
+
+struct PvtCornerResult {
+    std::string corner;
+    bool success = false;
+    double characteristicClockToQ = 0.0;
+    double setupTime = 0.0;  ///< independent, hold pinned large
+    double holdTime = 0.0;   ///< independent, setup pinned large
+    int transientCount = 0;
+};
+
+struct PvtSweepOptions {
+    CriterionOptions criterion;
+    SimulationRecipe recipe;
+    IndependentOptions independent;
+};
+
+std::vector<PvtCornerResult> sweepPvtCorners(
+    const std::vector<ProcessCorner>& corners,
+    const CornerFixtureBuilder& builder, const PvtSweepOptions& options = {},
+    SimStats* stats = nullptr);
+
+}  // namespace shtrace

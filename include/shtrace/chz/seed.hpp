@@ -1,0 +1,37 @@
+// shtrace -- seed search for the first curve point (paper Fig. 7).
+//
+// With the hold skew pinned very large, the setup time becomes independent
+// of it; bracket the setup skew between a latch-pass value and a latch-fail
+// value, shrink the bracket by coarse bisection until it is inside MPNR's
+// convergence basin, and hand the midpoint to the tracer as its seed.
+#pragma once
+
+#include "shtrace/chz/h_function.hpp"
+#include "shtrace/measure/surface.hpp"
+
+namespace shtrace {
+
+struct SeedOptions {
+    double holdSkewLarge = 1.5e-9;  ///< pinned hold skew during seeding
+    double setupLo = 10e-12;        ///< initial bracket (will be expanded
+    double setupHi = 1.5e-9;        ///<   outward if it does not straddle)
+    double bracketTarget = 20e-12;  ///< stop bisecting at this interval width
+    int maxBisections = 40;
+    int maxExpansions = 8;
+};
+
+struct SeedResult {
+    bool found = false;
+    SkewPoint seed;          ///< midpoint of the final bracket, at large hold
+    double bracketLo = 0.0;  ///< fail side (latch misses the deadline)
+    double bracketHi = 0.0;  ///< pass side (latch makes the deadline)
+    int evaluations = 0;     ///< transients spent
+};
+
+/// `passSign`: +1 when a successful latch gives h > 0 (rising output),
+/// -1 for falling outputs (see CharacterizationProblem::passSign()).
+SeedResult findSeedPoint(const HFunction& h, double passSign,
+                         const SeedOptions& options = {},
+                         SimStats* stats = nullptr);
+
+}  // namespace shtrace

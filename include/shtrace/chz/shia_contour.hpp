@@ -1,0 +1,63 @@
+// shtrace -- STA-facing view of an interdependent setup/hold contour.
+//
+// A traced contour is a point list; an STA engine needs queries:
+//   * holdRequirementAt(setup): the minimal hold time compatible with a
+//     given available setup margin (monotone interpolation along the
+//     curve, clamped to the asymptotes);
+//   * admits(setup, hold): does SOME point on the contour lie component-
+//     wise below the available (setup, hold) budget? -- the SHIA-STA
+//     pass/fail test;
+//   * slack decomposition for reporting.
+//
+// The class normalizes the tracer output to its Pareto frontier once --
+// this absorbs the vertical setup-asymptote segment (many holds at one
+// setup) and corrector wiggle -- so downstream queries are O(log n).
+#pragma once
+
+#include <optional>
+
+#include "shtrace/chz/tracer.hpp"
+
+namespace shtrace {
+
+class ShiaContour {
+public:
+    /// Takes tracer output and keeps its Pareto-minimal staircase. Throws
+    /// InvalidArgumentError when fewer than 2 points are supplied or the
+    /// frontier degenerates to a single point (no tradeoff present). The
+    /// second parameter is accepted for API stability and unused.
+    explicit ShiaContour(std::vector<SkewPoint> points,
+                         double monotoneSlack = 0.0);
+
+    /// Convenience: from a traced contour.
+    static ShiaContour fromTrace(const TracedContour& contour,
+                                 double monotoneSlack = 0.0);
+
+    std::size_t size() const { return points_.size(); }
+    const std::vector<SkewPoint>& points() const { return points_; }
+
+    /// Smallest setup skew on the contour (the setup-time asymptote end).
+    double minSetup() const { return points_.front().setup; }
+    /// Smallest hold skew on the contour (the hold-time asymptote end).
+    double minHold() const { return points_.back().hold; }
+
+    /// The minimal hold requirement at a given setup margin: linear
+    /// interpolation along the curve; nullopt when `setup` is below the
+    /// contour's smallest setup (no valid pair exists there); clamped to
+    /// minHold() beyond the largest traced setup.
+    std::optional<double> holdRequirementAt(double setup) const;
+
+    /// SHIA-STA admission test: the budget (setupAvail, holdAvail)
+    /// dominates some valid pair on the contour.
+    bool admits(double setupAvail, double holdAvail) const;
+
+    /// Hold slack at the given budget: holdAvail - holdRequirementAt
+    /// (negative = violation; nullopt when setup itself is infeasible).
+    std::optional<double> holdSlack(double setupAvail,
+                                    double holdAvail) const;
+
+private:
+    std::vector<SkewPoint> points_;  ///< sorted by increasing setup
+};
+
+}  // namespace shtrace

@@ -1,0 +1,37 @@
+// shtrace -- brute-force output-surface baseline (paper Section I / IV).
+//
+// The prevailing industrial flow the paper competes with: run one transient
+// per (setup skew, hold skew) grid point to build the output surface at
+// t_f, then intersect with the plane at height r (marching squares) to get
+// the constant-clock-to-Q contour. Cost: O(n^2) transients for n contour
+// points; accuracy limited by grid interpolation.
+#pragma once
+
+#include "shtrace/chz/h_function.hpp"
+#include "shtrace/measure/contour.hpp"
+
+namespace shtrace {
+
+struct SurfaceMethodOptions {
+    int setupPoints = 40;
+    int holdPoints = 40;
+    double setupMin = 50e-12;
+    double setupMax = 500e-12;
+    double holdMin = 50e-12;
+    double holdMax = 500e-12;
+};
+
+struct SurfaceMethodResult {
+    OutputSurface surface;
+    /// Level-set polylines at the criterion height r.
+    std::vector<ContourPolyline> contours;
+    int transientCount = 0;
+};
+
+/// Runs the full grid (setupPoints x holdPoints transients) and extracts
+/// the r-level contour.
+SurfaceMethodResult runSurfaceMethod(const HFunction& h,
+                                     const SurfaceMethodOptions& options = {},
+                                     SimStats* stats = nullptr);
+
+}  // namespace shtrace

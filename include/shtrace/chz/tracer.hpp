@@ -1,0 +1,76 @@
+// shtrace -- Euler-Newton curve tracing of the constant clock-to-Q contour.
+//
+// Paper Section IIID/IIIE: from a point on the curve, the unit tangent
+// T = [-dh/dtau_h, dh/dtau_s]/||.|| (eq. 16) is read off the MPNR Jacobian
+// for free. Predict tau + alpha*T, correct with MPNR (2-3 iterations
+// typical, since the predictor is an excellent guess), repeat. Tracing runs
+// in both directions from the seed and the two half-curves are spliced.
+//
+// Step-length control beyond the paper's fixed alpha: the step shrinks when
+// the corrector struggles (or lands too far from the prediction) and grows
+// geometrically on easy corrections -- standard continuation practice
+// [Allgower-Georg], which the paper cites for the method.
+#pragma once
+
+#include <vector>
+
+#include "shtrace/chz/mpnr.hpp"
+
+namespace shtrace {
+
+/// Rectangle of skews within which tracing proceeds.
+struct SkewBounds {
+    double setupMin = 0.0;
+    double setupMax = 1e-9;
+    double holdMin = 0.0;
+    double holdMax = 1e-9;
+
+    bool contains(const SkewPoint& p) const {
+        return p.setup >= setupMin && p.setup <= setupMax &&
+               p.hold >= holdMin && p.hold <= holdMax;
+    }
+};
+
+/// Which corrector refines each Euler prediction back onto the curve.
+enum class CorrectorKind {
+    MoorePenrose,     ///< the paper's MPNR (minimum-norm update)
+    PseudoArclength,  ///< augmented square system (Allgower-Georg)
+};
+
+struct TracerOptions {
+    MpnrOptions corrector;
+    CorrectorKind correctorKind = CorrectorKind::MoorePenrose;
+    SkewBounds bounds;
+
+    double stepLength = 10e-12;      ///< initial alpha (s)
+    double minStepLength = 0.25e-12;
+    double maxStepLength = 50e-12;
+    double growFactor = 1.4;         ///< applied after easy corrections
+    int easyIterations = 3;          ///< "easy" = converged within this many
+    /// Reject a correction landing farther than this multiple of alpha from
+    /// the predicted point (the corrector wandered to a distant curve part).
+    double maxCorrectionRatio = 2.0;
+
+    int maxPoints = 40;  ///< total contour points to produce (paper: 40)
+    bool traceBothDirections = true;
+};
+
+struct TracedContour {
+    bool seedConverged = false;
+    /// Points ordered along the curve (increasing setup skew by convention).
+    std::vector<SkewPoint> points;
+    /// |h| at each point (the "exact to prescribed accuracy" property).
+    std::vector<double> residuals;
+    /// Corrector iteration count per point.
+    std::vector<int> correctorIterations;
+    int predictorRetries = 0;  ///< step-shrink events
+
+    double averageCorrectorIterations() const;
+};
+
+/// Traces the contour through `seed` (corrected onto the curve first).
+TracedContour traceContour(const HFunction& h, SkewPoint seed,
+                           const TracerOptions& options = {},
+                           SimStats* stats = nullptr);
+
+}  // namespace shtrace

@@ -1,0 +1,107 @@
+// shtrace -- MNA stamp accumulator.
+//
+// One Assembler instance is reused across the whole analysis; beginPass()
+// zeroes the arrays, devices stamp, and the analysis reads f/q/G/C. Ground
+// rows and columns are silently dropped, which keeps device stamping code
+// free of special cases.
+#pragma once
+
+#include "shtrace/circuit/device.hpp"
+#include "shtrace/linalg/matrix.hpp"
+
+namespace shtrace {
+
+class Assembler {
+public:
+    explicit Assembler(std::size_t systemSize)
+        : f_(systemSize),
+          q_(systemSize),
+          g_(systemSize, systemSize),
+          c_(systemSize, systemSize) {}
+
+    void beginPass() {
+        f_.setZero();
+        q_.setZero();
+        g_.setZero();
+        c_.setZero();
+    }
+
+    std::size_t systemSize() const { return f_.size(); }
+
+    // --- node-indexed stamps (ground dropped automatically) ---
+
+    /// f[n] += i : current `i` leaves node n through the device.
+    void addCurrent(NodeId n, double i) {
+        if (!n.isGround()) {
+            f_[row(n)] += i;
+        }
+    }
+    /// q[n] += charge.
+    void addCharge(NodeId n, double charge) {
+        if (!n.isGround()) {
+            q_[row(n)] += charge;
+        }
+    }
+    /// G[a][b] += g.
+    void addConductance(NodeId a, NodeId b, double g) {
+        if (!a.isGround() && !b.isGround()) {
+            g_(row(a), row(b)) += g;
+        }
+    }
+    /// C[a][b] += c.
+    void addCapacitance(NodeId a, NodeId b, double c) {
+        if (!a.isGround() && !b.isGround()) {
+            c_(row(a), row(b)) += c;
+        }
+    }
+
+    // --- raw-row stamps (branch equations) ---
+
+    void addToF(int rowIdx, double v) { f_[check(rowIdx)] += v; }
+    void addToQ(int rowIdx, double v) { q_[check(rowIdx)] += v; }
+    void addToG(int rowIdx, NodeId col, double v) {
+        if (!col.isGround()) {
+            g_(check(rowIdx), row(col)) += v;
+        }
+    }
+    void addToGRaw(int rowIdx, int colIdx, double v) {
+        g_(check(rowIdx), check(colIdx)) += v;
+    }
+    void addToCRaw(int rowIdx, int colIdx, double v) {
+        c_(check(rowIdx), check(colIdx)) += v;
+    }
+    /// Column-only stamp: G[row(a)][branchCol] += v (node KCL row picks up a
+    /// branch current).
+    void addBranchToNode(NodeId a, int branchCol, double v) {
+        if (!a.isGround()) {
+            g_(row(a), check(branchCol)) += v;
+        }
+    }
+
+    /// Voltage of node n under unknown vector x (0 for ground).
+    static double nodeVoltage(const Vector& x, NodeId n) {
+        return n.isGround() ? 0.0 : x[static_cast<std::size_t>(n.index)];
+    }
+
+    const Vector& f() const { return f_; }
+    const Vector& q() const { return q_; }
+    const Matrix& g() const { return g_; }
+    const Matrix& c() const { return c_; }
+
+private:
+    std::size_t row(NodeId n) const {
+        return static_cast<std::size_t>(check(n.index));
+    }
+    int check(int idx) const {
+        require(idx >= 0 && static_cast<std::size_t>(idx) < f_.size(),
+                "Assembler: row/col ", idx, " out of range ", f_.size());
+        return idx;
+    }
+
+    Vector f_;
+    Vector q_;
+    Matrix g_;
+    Matrix c_;
+};
+
+}  // namespace shtrace

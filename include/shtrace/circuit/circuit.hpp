@@ -1,0 +1,86 @@
+// shtrace -- circuit container: nodes, devices, and the assembled MNA system.
+//
+// Usage:
+//     Circuit ckt;
+//     NodeId vdd = ckt.node("vdd"), out = ckt.node("out");
+//     ckt.add<Resistor>("R1", vdd, out, 10e3);
+//     ...
+//     ckt.finalize();                 // assigns branch rows, freezes size
+//     Assembler asmb(ckt.systemSize());
+//     ckt.assemble(x, t, asmb);       // f, q, G, C at (x, t)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/device.hpp"
+#include "shtrace/util/stats.hpp"
+
+namespace shtrace {
+
+class Circuit {
+public:
+    Circuit() = default;
+
+    /// Returns the node with `name`, creating it when new. "0" and "gnd"
+    /// (case-sensitive) map to ground.
+    NodeId node(const std::string& name);
+
+    /// Looks up an existing node; throws InvalidArgumentError when missing.
+    NodeId findNode(const std::string& name) const;
+    bool hasNode(const std::string& name) const;
+    const std::string& nodeName(NodeId n) const;
+
+    /// Constructs a device in place and returns a reference to it. The
+    /// circuit owns the device. Must be called before finalize().
+    template <typename T, typename... Args>
+    T& add(Args&&... args) {
+        require(!finalized_, "Circuit::add after finalize()");
+        auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+        T& ref = *dev;
+        devices_.push_back(std::move(dev));
+        return ref;
+    }
+
+    /// Assigns branch-current rows and freezes the unknown layout.
+    void finalize();
+    bool finalized() const { return finalized_; }
+
+    int nodeCount() const { return static_cast<int>(nodeNames_.size()); }
+    int branchCount() const { return branchRows_; }
+    /// Total unknowns: node voltages + branch currents. Requires finalize().
+    std::size_t systemSize() const;
+
+    std::size_t deviceCount() const { return devices_.size(); }
+    const Device& device(std::size_t i) const { return *devices_[i]; }
+
+    /// Full assembly pass: f, q, G, C at (x, t).
+    void assemble(const Vector& x, double t, Assembler& out,
+                  SimStats* stats = nullptr) const;
+
+    /// Accumulates sum over devices of b * du/dtau_p at time t into `rhs`
+    /// (rhs must be systemSize() long; contributions are ADDED).
+    void addSkewDerivative(double t, SkewParam p, Vector& rhs) const;
+
+    /// Accumulates every source's AC stimulus into `rhs` (for AC analysis).
+    void addAcStimulus(Vector& rhs) const;
+
+    /// Collects all waveform breakpoints in (t0, t1), sorted and deduped.
+    std::vector<double> breakpoints(double t0, double t1) const;
+
+    /// Unit selector vector c with 1.0 at the row of node n (paper's c^T x).
+    Vector selectorFor(NodeId n) const;
+
+private:
+    std::unordered_map<std::string, int> nodeIndex_;
+    std::vector<std::string> nodeNames_;
+    std::vector<std::unique_ptr<Device>> devices_;
+    int branchRows_ = 0;
+    bool finalized_ = false;
+};
+
+}  // namespace shtrace

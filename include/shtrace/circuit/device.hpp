@@ -1,0 +1,92 @@
+// shtrace -- device interface for MNA stamping.
+//
+// Every nonlinear circuit is represented by the DAE (paper eq. 1)
+//     d/dt q(x) + f(x) + b_c u_c(t) + b_d u_d(t, tau_s, tau_h) = 0
+// in MNA form: x stacks non-ground node voltages and source/inductor branch
+// currents. Devices contribute to q, f and their Jacobians C = dq/dx,
+// G = df/dx through the Assembler. Independent sources additionally fold
+// their waveform value into f at evaluation time; sources driven by a
+// skew-parameterized waveform expose b * du/dtau for the sensitivity engine
+// via addSkewDerivative (the b_d z_s / b_d z_h terms of eqs. 11/13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shtrace/linalg/vector.hpp"
+#include "shtrace/waveform/waveform.hpp"
+
+namespace shtrace {
+
+class Assembler;
+
+/// Identifies a circuit node. Ground is index -1; every other node has a
+/// non-negative dense index equal to its row in the unknown vector.
+struct NodeId {
+    int index = -1;
+
+    constexpr bool isGround() const noexcept { return index < 0; }
+    friend constexpr bool operator==(NodeId a, NodeId b) noexcept {
+        return a.index == b.index;
+    }
+};
+
+/// The designated ground node.
+inline constexpr NodeId kGround{-1};
+
+/// Hands out branch-current rows during Circuit::finalize().
+class BranchAllocator {
+public:
+    explicit BranchAllocator(int firstRow) : next_(firstRow) {}
+    int allocate() { return next_++; }
+    int next() const { return next_; }
+
+private:
+    int next_;
+};
+
+/// Everything a device needs to evaluate itself at one (x, t) point.
+struct EvalContext {
+    const Vector& x;  ///< current unknown vector
+    double time;      ///< simulation time (DC uses the analysis time, usually 0)
+};
+
+class Device {
+public:
+    explicit Device(std::string name) : name_(std::move(name)) {}
+    virtual ~Device() = default;
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    const std::string& name() const { return name_; }
+
+    /// Number of extra unknown rows (branch currents) this device needs.
+    virtual int branchCount() const { return 0; }
+
+    /// Called once by Circuit::finalize(); devices with branches must store
+    /// the allocated row indices.
+    virtual void allocateBranches(BranchAllocator&) {}
+
+    /// Adds the device's contributions to f, q, G, C (and the source value
+    /// terms b*u(t) into f).
+    virtual void eval(const EvalContext& ctx, Assembler& out) const = 0;
+
+    /// Adds b * du/dtau_p at time t into `rhs` for sources whose waveform
+    /// depends on the skews. Default: no dependence.
+    virtual void addSkewDerivative(double /*t*/, SkewParam /*p*/,
+                                   Vector& /*rhs*/) const {}
+
+    /// Adds this device's AC stimulus into the small-signal right-hand
+    /// side (independent sources with a nonzero AC magnitude). Default:
+    /// none.
+    virtual void addAcStimulus(Vector& /*rhs*/) const {}
+
+    /// Appends waveform breakpoints in (t0, t1) for the transient stepper.
+    virtual void breakpoints(double /*t0*/, double /*t1*/,
+                             std::vector<double>& /*out*/) const {}
+
+private:
+    std::string name_;
+};
+
+}  // namespace shtrace

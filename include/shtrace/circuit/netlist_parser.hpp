@@ -1,0 +1,62 @@
+// shtrace -- SPICE-style netlist parser.
+//
+// Grammar (one element per line, '*' or ';' comments, case-insensitive
+// keywords, SPICE engineering suffixes on all numbers):
+//
+//   R<name> n1 n2 <value>
+//   C<name> n1 n2 <value>
+//   L<name> n1 n2 <value>
+//   V<name> n+ n- <value>
+//   V<name> n+ n- DC <value>
+//   V<name> n+ n- PULSE(v0 v1 delay rise width fall)
+//   V<name> n+ n- PWL(t1 v1 t2 v2 ...)
+//   V<name> n+ n- CLOCK(v0 v1 period delay rise fall [duty] [inv])
+//   V<name> n+ n- DATAPULSE(v0 v1 tedge ttrans)
+//   V<name> n+ n- SIN(offset amplitude freq [delay] [damping])
+//   V<name> n+ n- EXP(v1 v2 td1 tau1 td2 tau2)
+//   I<name> n+ n- <same value forms>
+//   E<name> p n cp cn <gain>
+//   G<name> p n cp cn <transconductance>
+//   D<name> anode cathode [IS=..] [N=..] [CJ0=..] [VJ=..] [M=..] [TT=..]
+//   M<name> d g s b <NMOS|PMOS|modelname> [W=..] [L=..] [VT0=..] [KP=..]
+//           [LAMBDA=..] [GAMMA=..] [PHI=..] [CGS=..] [CGD=..] [CGB=..]
+//           [CDB=..] [CSB=..]
+//   .model <name> <NMOS|PMOS> [same M parameters]
+//   .end   (optional)
+//
+// Nodes "0" and "gnd" are ground. The parser records handles to every
+// DATAPULSE and CLOCK waveform it creates so that characterization code can
+// retune skews / read edge timing without re-parsing.
+#pragma once
+
+#include <istream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "shtrace/circuit/circuit.hpp"
+#include "shtrace/waveform/clock.hpp"
+#include "shtrace/waveform/data_pulse.hpp"
+
+namespace shtrace {
+
+struct ParsedNetlist {
+    Circuit circuit;  ///< finalized and ready to analyze
+    /// Skew-parameterized data waveforms by source name (usually one).
+    std::map<std::string, std::shared_ptr<DataPulse>> dataPulses;
+    /// Clock waveforms by source name.
+    std::map<std::string, std::shared_ptr<ClockWaveform>> clocks;
+
+    /// The unique data pulse; throws when there is none or more than one.
+    std::shared_ptr<DataPulse> theDataPulse() const;
+    /// The unique non-inverted clock; throws when absent/ambiguous.
+    std::shared_ptr<ClockWaveform> theClock() const;
+};
+
+/// Parses a complete netlist. Throws ParseError with a line number on any
+/// syntax or semantic problem.
+ParsedNetlist parseNetlist(std::istream& in);
+ParsedNetlist parseNetlistString(const std::string& text);
+ParsedNetlist parseNetlistFile(const std::string& path);
+
+}  // namespace shtrace

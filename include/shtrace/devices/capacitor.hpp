@@ -1,0 +1,23 @@
+// shtrace -- linear capacitor.
+#pragma once
+
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/device.hpp"
+
+namespace shtrace {
+
+class Capacitor final : public Device {
+public:
+    Capacitor(std::string name, NodeId a, NodeId b, double capacitance);
+
+    void eval(const EvalContext& ctx, Assembler& out) const override;
+
+    double capacitance() const { return capacitance_; }
+
+private:
+    NodeId a_;
+    NodeId b_;
+    double capacitance_;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,44 @@
+// shtrace -- junction diode with exponential I-V, depletion and diffusion
+// charge. Exercises the fully nonlinear q(x) path of the MNA formulation.
+#pragma once
+
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/device.hpp"
+
+namespace shtrace {
+
+struct DiodeParams {
+    double is = 1e-14;        ///< saturation current (A)
+    double n = 1.0;           ///< emission coefficient
+    double vt = 0.02585;      ///< thermal voltage kT/q (V)
+    double cj0 = 0.0;         ///< zero-bias depletion capacitance (F)
+    double vj = 0.8;          ///< junction potential (V)
+    double m = 0.5;           ///< grading coefficient
+    double fc = 0.5;          ///< forward-bias depletion formula switch
+    double tt = 0.0;          ///< transit time for diffusion charge (s)
+    double maxExpArg = 40.0;  ///< exponent cap; linearized above (C1)
+};
+
+class Diode final : public Device {
+public:
+    Diode(std::string name, NodeId anode, NodeId cathode,
+          const DiodeParams& params = {});
+
+    void eval(const EvalContext& ctx, Assembler& out) const override;
+
+    const DiodeParams& params() const { return params_; }
+
+    /// Static I-V evaluation (exposed for unit tests): current and dI/dV.
+    static void currentAndConductance(const DiodeParams& p, double v,
+                                      double& current, double& conductance);
+    /// Depletion + diffusion charge and incremental capacitance at v.
+    static void chargeAndCapacitance(const DiodeParams& p, double v,
+                                     double& charge, double& capacitance);
+
+private:
+    NodeId anode_;
+    NodeId cathode_;
+    DiodeParams params_;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,33 @@
+// shtrace -- linear inductor (branch-current formulation).
+//
+// Branch equation row: v(a) - v(b) - L di/dt = 0, realized as
+// q[branch] = -L*i and f[branch] = v(a) - v(b) so that d/dt q + f = 0.
+#pragma once
+
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/device.hpp"
+
+namespace shtrace {
+
+class Inductor final : public Device {
+public:
+    Inductor(std::string name, NodeId a, NodeId b, double inductance);
+
+    int branchCount() const override { return 1; }
+    void allocateBranches(BranchAllocator& alloc) override {
+        branchRow_ = alloc.allocate();
+    }
+
+    void eval(const EvalContext& ctx, Assembler& out) const override;
+
+    /// Row of this inductor's current unknown (valid after finalize()).
+    int branchRow() const { return branchRow_; }
+
+private:
+    NodeId a_;
+    NodeId b_;
+    double inductance_;
+    int branchRow_ = -1;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,82 @@
+// shtrace -- level-1 (Shichman-Hodges) MOSFET.
+//
+// The registers in the paper's validation (TSPC, C2MOS) are built from
+// these. The model includes:
+//   * square-law triode/saturation regions with the (1 + lambda*vds) factor
+//     applied in BOTH regions, which keeps Id and dId/dVds continuous across
+//     the vds = vgs - vt boundary (as SPICE level 1 does);
+//   * drain/source swap for vds < 0 (the model is symmetric);
+//   * optional body effect: vt = vt0 + gamma*(sqrt(phi - vbs) - sqrt(phi));
+//   * Meyer-simplified constant gate capacitances cgs/cgd/cgb plus constant
+//     junction capacitances cdb/csb. Constant gate caps are a documented
+//     simplification (DESIGN.md): they preserve the latch dynamics that make
+//     setup/hold interdependent while keeping q(x) assembly simple; the
+//     fully nonlinear q path is exercised by Diode's junction charge.
+//
+// PMOS devices use the standard polarity trick: all terminal voltages are
+// negated, the NMOS equations evaluated, and the resulting current negated.
+// Parameters are given as magnitudes for both types.
+#pragma once
+
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/device.hpp"
+
+namespace shtrace {
+
+enum class MosfetType { Nmos, Pmos };
+
+struct MosfetParams {
+    MosfetType type = MosfetType::Nmos;
+    double vt0 = 0.45;      ///< threshold magnitude (V)
+    double kp = 115e-6;     ///< process transconductance u0*Cox (A/V^2)
+    double lambda = 0.06;   ///< channel-length modulation (1/V)
+    double gamma = 0.0;     ///< body-effect coefficient (sqrt(V))
+    double phi = 0.65;      ///< surface potential (V)
+    double w = 1e-6;        ///< channel width (m)
+    double l = 0.25e-6;     ///< channel length (m)
+    double cgs = 0.0;       ///< gate-source capacitance (F)
+    double cgd = 0.0;       ///< gate-drain capacitance (F)
+    double cgb = 0.0;       ///< gate-bulk capacitance (F)
+    double cdb = 0.0;       ///< drain-bulk junction capacitance (F)
+    double csb = 0.0;       ///< source-bulk junction capacitance (F)
+
+    double beta() const { return kp * w / l; }
+};
+
+/// Operating-point summary (exposed for tests and debugging).
+struct MosfetOperatingPoint {
+    double id = 0.0;   ///< drain current, referenced drain->source (signed)
+    double gm = 0.0;   ///< d|id|/dvgs in the normalized frame
+    double gds = 0.0;
+    double gmb = 0.0;
+    bool swapped = false;  ///< true when vds < 0 forced a terminal swap
+    int region = 0;        ///< 0 cutoff, 1 triode, 2 saturation
+};
+
+class Mosfet final : public Device {
+public:
+    Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+           NodeId bulk, const MosfetParams& params);
+
+    void eval(const EvalContext& ctx, Assembler& out) const override;
+
+    const MosfetParams& params() const { return params_; }
+
+    /// Computes the DC operating point at the given terminal voltages
+    /// (exposed for unit tests; `id` is the current flowing from the actual
+    /// drain terminal to the actual source terminal).
+    MosfetOperatingPoint operatingPoint(double vd, double vg, double vs,
+                                        double vb) const;
+
+private:
+    void stampLinearCap(Assembler& out, const Vector& x, NodeId a, NodeId b,
+                        double c) const;
+
+    NodeId drain_;
+    NodeId gate_;
+    NodeId source_;
+    NodeId bulk_;
+    MosfetParams params_;
+};
+
+}  // namespace shtrace

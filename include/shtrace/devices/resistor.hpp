@@ -1,0 +1,25 @@
+// shtrace -- linear resistor.
+#pragma once
+
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/device.hpp"
+
+namespace shtrace {
+
+class Resistor final : public Device {
+public:
+    Resistor(std::string name, NodeId a, NodeId b, double resistance);
+
+    void eval(const EvalContext& ctx, Assembler& out) const override;
+
+    double resistance() const { return resistance_; }
+    NodeId nodeA() const { return a_; }
+    NodeId nodeB() const { return b_; }
+
+private:
+    NodeId a_;
+    NodeId b_;
+    double resistance_;
+};
+
+}  // namespace shtrace

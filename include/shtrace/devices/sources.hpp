@@ -1,0 +1,83 @@
+// shtrace -- independent voltage and current sources.
+//
+// Sources carry a Waveform (shared_ptr so the characterization layer can
+// retune the data source's skews between transients without rebuilding the
+// circuit). A source whose waveform is a SkewParametricWaveform contributes
+// the b_d * z_s / b_d * z_h terms of the sensitivity recurrences through
+// Device::addSkewDerivative.
+#pragma once
+
+#include <memory>
+
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/device.hpp"
+
+namespace shtrace {
+
+/// Ideal voltage source between `pos` and `neg`; adds one branch-current
+/// unknown. Branch equation: v(pos) - v(neg) - u(t) = 0.
+class VoltageSource final : public Device {
+public:
+    VoltageSource(std::string name, NodeId pos, NodeId neg,
+                  std::shared_ptr<const Waveform> waveform);
+    /// DC convenience.
+    VoltageSource(std::string name, NodeId pos, NodeId neg, double dcValue);
+
+    int branchCount() const override { return 1; }
+    void allocateBranches(BranchAllocator& alloc) override {
+        branchRow_ = alloc.allocate();
+    }
+
+    void eval(const EvalContext& ctx, Assembler& out) const override;
+    void addSkewDerivative(double t, SkewParam p, Vector& rhs) const override;
+    void addAcStimulus(Vector& rhs) const override;
+    void breakpoints(double t0, double t1,
+                     std::vector<double>& out) const override;
+
+    const Waveform& waveform() const { return *waveform_; }
+    /// Row of the source's branch current (positive current flows from
+    /// `pos` through the external circuit into `neg`... i.e. the unknown is
+    /// the current INTO the positive terminal, SPICE convention).
+    int branchRow() const { return branchRow_; }
+
+    /// AC analysis stimulus magnitude (volts); default 0 = quiet source.
+    void setAcMagnitude(double magnitude) { acMagnitude_ = magnitude; }
+    double acMagnitude() const { return acMagnitude_; }
+
+private:
+    NodeId pos_;
+    NodeId neg_;
+    std::shared_ptr<const Waveform> waveform_;
+    int branchRow_ = -1;
+    double acMagnitude_ = 0.0;
+};
+
+/// Ideal current source: `value(t)` amperes flow from `pos` through the
+/// source to `neg` (SPICE convention: positive value pulls current out of
+/// the pos node).
+class CurrentSource final : public Device {
+public:
+    CurrentSource(std::string name, NodeId pos, NodeId neg,
+                  std::shared_ptr<const Waveform> waveform);
+    CurrentSource(std::string name, NodeId pos, NodeId neg, double dcValue);
+
+    void eval(const EvalContext& ctx, Assembler& out) const override;
+    void addSkewDerivative(double t, SkewParam p, Vector& rhs) const override;
+    void addAcStimulus(Vector& rhs) const override;
+    void breakpoints(double t0, double t1,
+                     std::vector<double>& out) const override;
+
+    const Waveform& waveform() const { return *waveform_; }
+
+    /// AC analysis stimulus magnitude (amperes); default 0 = quiet source.
+    void setAcMagnitude(double magnitude) { acMagnitude_ = magnitude; }
+    double acMagnitude() const { return acMagnitude_; }
+
+private:
+    NodeId pos_;
+    NodeId neg_;
+    std::shared_ptr<const Waveform> waveform_;
+    double acMagnitude_ = 0.0;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,30 @@
+// shtrace -- linear voltage-controlled current source (SPICE 'G' element).
+//
+// i(pos->neg through the source) = gm * (v(ctrlPos) - v(ctrlNeg)). Useful
+// for behavioral models (e.g. clock receivers) and small-signal-style test
+// fixtures; no extra unknowns.
+#pragma once
+
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/device.hpp"
+
+namespace shtrace {
+
+class Vccs final : public Device {
+public:
+    Vccs(std::string name, NodeId pos, NodeId neg, NodeId ctrlPos,
+         NodeId ctrlNeg, double transconductance);
+
+    void eval(const EvalContext& ctx, Assembler& out) const override;
+
+    double transconductance() const { return gm_; }
+
+private:
+    NodeId pos_;
+    NodeId neg_;
+    NodeId ctrlPos_;
+    NodeId ctrlNeg_;
+    double gm_;
+};
+
+}  // namespace shtrace

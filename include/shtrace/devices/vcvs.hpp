@@ -1,0 +1,35 @@
+// shtrace -- linear voltage-controlled voltage source (SPICE 'E' element).
+//
+// Useful for behavioral clock buffering in tests and for building idealized
+// fixtures; branch equation v(p) - v(n) - gain*(v(cp) - v(cn)) = 0.
+#pragma once
+
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/device.hpp"
+
+namespace shtrace {
+
+class Vcvs final : public Device {
+public:
+    Vcvs(std::string name, NodeId pos, NodeId neg, NodeId ctrlPos,
+         NodeId ctrlNeg, double gain);
+
+    int branchCount() const override { return 1; }
+    void allocateBranches(BranchAllocator& alloc) override {
+        branchRow_ = alloc.allocate();
+    }
+
+    void eval(const EvalContext& ctx, Assembler& out) const override;
+
+    double gain() const { return gain_; }
+
+private:
+    NodeId pos_;
+    NodeId neg_;
+    NodeId ctrlPos_;
+    NodeId ctrlNeg_;
+    double gain_;
+    int branchRow_ = -1;
+};
+
+}  // namespace shtrace

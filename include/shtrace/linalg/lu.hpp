@@ -1,0 +1,54 @@
+// shtrace -- LU factorization with partial pivoting.
+//
+// The transient engine factors (C/dt + G) once per Newton iteration and then
+// reuses the SAME factorization for the sensitivity recurrences (paper
+// eqs. 11/13) -- that reuse is the core efficiency argument of the method,
+// so the factorization object is explicitly separable from the solve.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "shtrace/linalg/matrix.hpp"
+#include "shtrace/util/stats.hpp"
+
+namespace shtrace {
+
+class LuFactorization {
+public:
+    LuFactorization() = default;
+
+    /// Factors PA = LU in place (copy of `a` is taken). Returns false when
+    /// the matrix is numerically singular (pivot below `pivotTol`).
+    bool factor(const Matrix& a, SimStats* stats = nullptr,
+                double pivotTol = 1e-14);
+
+    bool valid() const noexcept { return valid_; }
+    std::size_t dimension() const noexcept { return lu_.rows(); }
+
+    /// Solves A x = b. Requires valid().
+    Vector solve(const Vector& b, SimStats* stats = nullptr) const;
+    void solveInPlace(Vector& b, SimStats* stats = nullptr) const;
+
+    /// Solves A^T x = b (used by adjoint-style checks in tests).
+    Vector solveTransposed(const Vector& b, SimStats* stats = nullptr) const;
+
+    /// det(A), from the pivots (cheap; for diagnostics/tests only).
+    double determinant() const;
+
+    /// Crude reciprocal condition estimate: min|pivot| / max|pivot|.
+    double reciprocalPivotRatio() const noexcept;
+
+private:
+    Matrix lu_;
+    std::vector<std::size_t> perm_;
+    int permSign_ = 1;
+    bool valid_ = false;
+};
+
+/// One-shot convenience: solves A x = b, throwing NumericalError when A is
+/// singular. Prefer LuFactorization when multiple right-hand sides share A.
+Vector solveLinearSystem(const Matrix& a, const Vector& b,
+                         SimStats* stats = nullptr);
+
+}  // namespace shtrace

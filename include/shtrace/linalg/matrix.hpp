@@ -1,0 +1,89 @@
+// shtrace -- small dense row-major matrix for MNA Jacobians.
+//
+// Dense storage is deliberate: latch MNA systems are ~10-25 unknowns where a
+// dense LU beats any sparse machinery. The Assembler stamps directly into
+// Matrix via operator()(i, j) +=.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "shtrace/linalg/vector.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+    bool empty() const noexcept { return data_.empty(); }
+
+    double& operator()(std::size_t i, std::size_t j) {
+        return data_[i * cols_ + j];
+    }
+    double operator()(std::size_t i, std::size_t j) const {
+        return data_[i * cols_ + j];
+    }
+
+    double& at(std::size_t i, std::size_t j) {
+        require(i < rows_ && j < cols_, "Matrix::at (", i, ",", j,
+                ") out of range ", rows_, "x", cols_);
+        return (*this)(i, j);
+    }
+
+    double* rowData(std::size_t i) noexcept { return data_.data() + i * cols_; }
+    const double* rowData(std::size_t i) const noexcept {
+        return data_.data() + i * cols_;
+    }
+
+    void resize(std::size_t rows, std::size_t cols, double fill = 0.0) {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, fill);
+    }
+    void setZero() noexcept {
+        for (double& v : data_) {
+            v = 0.0;
+        }
+    }
+
+    Matrix& operator+=(const Matrix& o);
+    Matrix& operator-=(const Matrix& o);
+    Matrix& operator*=(double s) noexcept;
+
+    friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+    friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+    friend Matrix operator*(Matrix a, double s) noexcept { return a *= s; }
+    friend Matrix operator*(double s, Matrix a) noexcept { return a *= s; }
+
+    /// y = A x.
+    Vector multiply(const Vector& x) const;
+    /// y += s * (A x), without allocating.
+    void multiplyAccumulate(const Vector& x, double s, Vector& y) const;
+    /// y = A^T x.
+    Vector multiplyTransposed(const Vector& x) const;
+
+    Matrix multiply(const Matrix& b) const;
+    Matrix transposed() const;
+
+    double normInf() const noexcept;
+    /// max |a_ij - b_ij|.
+    double maxAbsDiff(const Matrix& o) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace shtrace

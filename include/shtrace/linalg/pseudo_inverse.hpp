@@ -1,0 +1,28 @@
+// shtrace -- Moore-Penrose pseudo-inverse for wide Jacobians.
+//
+// The interdependent setup/hold problem is one scalar equation in two
+// unknowns; its Jacobian H is 1x2. The MPNR update (paper eqs. 23-24) is
+//     dtau = -H^+ h,   H^+ = H^T (H H^T)^{-1},
+// and the Euler predictor tangent (eq. 16) is the unit null-space vector of
+// H. Both are provided here for general 1xm rows plus a small-matrix general
+// form used by tests.
+#pragma once
+
+#include "shtrace/linalg/matrix.hpp"
+
+namespace shtrace {
+
+/// Moore-Penrose pseudo-inverse of a full-row-rank wide matrix (rows<=cols):
+/// A^+ = A^T (A A^T)^{-1}. Throws NumericalError when A A^T is singular.
+Matrix pseudoInverseWide(const Matrix& a);
+
+/// MPNR step for a scalar equation h with row Jacobian hRow (1xm):
+/// returns -h * hRow^T / (hRow hRow^T). Throws NumericalError when the
+/// gradient norm is below `gradTol` (no descent direction available).
+Vector moorePenroseStep(const Vector& hRow, double h, double gradTol = 1e-30);
+
+/// Unit tangent induced by a 1x2 Jacobian [dh/ds, dh/dh] (paper eq. 16):
+/// T = [-dh/dh, dh/ds] / ||.||. Throws NumericalError on zero gradient.
+Vector tangentFromGradient2(double dhds, double dhdh, double gradTol = 1e-30);
+
+}  // namespace shtrace

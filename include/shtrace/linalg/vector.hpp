@@ -1,0 +1,76 @@
+// shtrace -- small dense vector for MNA state and residuals.
+//
+// Circuit systems in this library are tiny (tens of unknowns); a simple
+// contiguous double vector with value semantics is the right tool. All
+// arithmetic is bounds-checked in the sense that dimension mismatches throw.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+class Vector {
+public:
+    Vector() = default;
+    explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+    Vector(std::initializer_list<double> values) : data_(values) {}
+
+    std::size_t size() const noexcept { return data_.size(); }
+    bool empty() const noexcept { return data_.empty(); }
+
+    double& operator[](std::size_t i) { return data_[i]; }
+    double operator[](std::size_t i) const { return data_[i]; }
+
+    double& at(std::size_t i) {
+        require(i < size(), "Vector::at index ", i, " out of range ", size());
+        return data_[i];
+    }
+    double at(std::size_t i) const {
+        require(i < size(), "Vector::at index ", i, " out of range ", size());
+        return data_[i];
+    }
+
+    double* data() noexcept { return data_.data(); }
+    const double* data() const noexcept { return data_.data(); }
+
+    auto begin() noexcept { return data_.begin(); }
+    auto end() noexcept { return data_.end(); }
+    auto begin() const noexcept { return data_.begin(); }
+    auto end() const noexcept { return data_.end(); }
+
+    void resize(std::size_t n, double fill = 0.0) { data_.resize(n, fill); }
+    void setZero() noexcept {
+        for (double& v : data_) {
+            v = 0.0;
+        }
+    }
+
+    Vector& operator+=(const Vector& o);
+    Vector& operator-=(const Vector& o);
+    Vector& operator*=(double s) noexcept;
+
+    friend Vector operator+(Vector a, const Vector& b) { return a += b; }
+    friend Vector operator-(Vector a, const Vector& b) { return a -= b; }
+    friend Vector operator*(Vector a, double s) noexcept { return a *= s; }
+    friend Vector operator*(double s, Vector a) noexcept { return a *= s; }
+
+    /// a += s * b (axpy).
+    void addScaled(double s, const Vector& b);
+
+    double dot(const Vector& o) const;
+    double norm2() const noexcept { return std::sqrt(this->dot(*this)); }
+    double normInf() const noexcept;
+
+private:
+    std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Vector& v);
+
+}  // namespace shtrace

@@ -1,0 +1,42 @@
+// shtrace -- clock-to-Q delay measurement.
+//
+// Clock-to-Q delay: from the 50% transition of the active clock edge to the
+// prescribed transition fraction of the Q output (50% in the paper's TSPC
+// experiment; 90% for C2MOS, whose clk/clk-bar overlap causes false partial
+// transitions that revert after reaching 80% -- Fig. 11(b)).
+#pragma once
+
+#include <optional>
+
+#include "shtrace/analysis/transient.hpp"
+
+namespace shtrace {
+
+struct ClockToQSpec {
+    double clockEdgeMidpoint = 0.0;  ///< 50% time of the active clock edge
+    double outputInitial = 0.0;      ///< Q level before the transition
+    double outputFinal = 2.5;        ///< Q level after a successful latch
+    double transitionFraction = 0.5; ///< fraction of the swing defining "done"
+
+    /// Measurement threshold r: initial + fraction * (final - initial).
+    double threshold() const {
+        return outputInitial +
+               transitionFraction * (outputFinal - outputInitial);
+    }
+    bool risingOutput() const { return outputFinal > outputInitial; }
+};
+
+/// Clock-to-Q delay from a stored transient; nullopt when the output never
+/// crosses the threshold after the clock edge (failed latch).
+std::optional<double> measureClockToQ(const TransientResult& result,
+                                      const Vector& outputSelector,
+                                      const ClockToQSpec& spec);
+
+/// True when the output still sits past the threshold at the LAST stored
+/// sample -- guards against the C2MOS false transitions where Q crosses the
+/// threshold but then reverts (paper Fig. 11(b)).
+bool latchedSuccessfully(const TransientResult& result,
+                         const Vector& outputSelector,
+                         const ClockToQSpec& spec);
+
+}  // namespace shtrace

@@ -1,0 +1,34 @@
+// shtrace -- level-set contour extraction (marching squares).
+//
+// The brute-force flow intersects a horizontal plane at height r with the
+// output surface (paper Figs. 1(b), 10, 12(b)); marching squares with
+// linear interpolation is exactly that, and the interpolation error it
+// carries is the accuracy handicap the paper contrasts with the "exact"
+// (Newton-refined) Euler-Newton points.
+#pragma once
+
+#include <vector>
+
+#include "shtrace/measure/surface.hpp"
+
+namespace shtrace {
+
+/// An open or closed polyline in the skew plane.
+using ContourPolyline = std::vector<SkewPoint>;
+
+/// Extracts all polylines of the level set {surface == level}. Polylines
+/// are assembled from cell-edge segments by endpoint matching and ordered
+/// by decreasing length.
+std::vector<ContourPolyline> extractLevelContours(const OutputSurface& surface,
+                                                  double level);
+
+/// Distance from a point to the nearest point on a polyline (segments
+/// treated exactly).
+double distanceToPolyline(const SkewPoint& p, const ContourPolyline& poly);
+
+/// Max over `points` of the distance to the nearest polyline in `contours`
+/// -- the overlay-verification metric for Figs. 10/12(b).
+double maxDeviation(const std::vector<SkewPoint>& points,
+                    const std::vector<ContourPolyline>& contours);
+
+}  // namespace shtrace

@@ -1,0 +1,29 @@
+// shtrace -- threshold-crossing detection on sampled signals.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace shtrace {
+
+struct Crossing {
+    double time = 0.0;
+    bool rising = false;  ///< signal increases through the threshold
+};
+
+/// All threshold crossings of a sampled signal (linear interpolation
+/// between samples). `times` must be strictly increasing and the two arrays
+/// equally sized. Samples exactly at the threshold count as a crossing with
+/// the direction of the surrounding slope.
+std::vector<Crossing> findCrossings(const std::vector<double>& times,
+                                    const std::vector<double>& values,
+                                    double threshold);
+
+/// First crossing at or after `tAfter`; `wantRising` filters direction
+/// (nullopt = either).
+std::optional<Crossing> firstCrossingAfter(
+    const std::vector<double>& times, const std::vector<double>& values,
+    double threshold, double tAfter,
+    std::optional<bool> wantRising = std::nullopt);
+
+}  // namespace shtrace

@@ -1,0 +1,50 @@
+// shtrace -- output surface over the (setup skew, hold skew) plane.
+//
+// The brute-force baseline (paper Figs. 1(a), 9): one transient per grid
+// point, recording c^T x(t_f). Contours of constant clock-to-Q delay are
+// then level sets of this surface (contour.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shtrace/linalg/matrix.hpp"
+
+namespace shtrace {
+
+/// A point in the skew plane.
+struct SkewPoint {
+    double setup = 0.0;
+    double hold = 0.0;
+};
+
+class OutputSurface {
+public:
+    /// Axes must be strictly increasing with at least 2 samples each.
+    OutputSurface(std::vector<double> setupSkews, std::vector<double> holdSkews);
+
+    std::size_t setupCount() const { return setupSkews_.size(); }
+    std::size_t holdCount() const { return holdSkews_.size(); }
+    double setupAt(std::size_t i) const { return setupSkews_[i]; }
+    double holdAt(std::size_t j) const { return holdSkews_[j]; }
+    const std::vector<double>& setupSkews() const { return setupSkews_; }
+    const std::vector<double>& holdSkews() const { return holdSkews_; }
+
+    double value(std::size_t i, std::size_t j) const { return values_(i, j); }
+    void setValue(std::size_t i, std::size_t j, double v) { values_(i, j) = v; }
+
+    /// Bilinear interpolation at an arbitrary in-range skew point.
+    double interpolate(const SkewPoint& p) const;
+    bool contains(const SkewPoint& p) const;
+
+    /// Dumps setup,hold,value rows (regenerates the paper's 3-D surface
+    /// figures externally).
+    void writeCsv(const std::string& path) const;
+
+private:
+    std::vector<double> setupSkews_;
+    std::vector<double> holdSkews_;
+    Matrix values_;  ///< [setup index][hold index]
+};
+
+}  // namespace shtrace

@@ -1,0 +1,76 @@
+// shtrace -- error handling primitives.
+//
+// All recoverable failures in the library are reported as exceptions derived
+// from shtrace::Error. Numerical non-convergence, which callers routinely
+// probe for (e.g. the curve tracer shrinking its predictor step), is reported
+// through status-carrying result types instead of exceptions; Error is for
+// contract violations and unrecoverable setup problems.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace shtrace {
+
+/// Base class for all shtrace exceptions.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an API is used in violation of its documented contract
+/// (bad dimensions, unknown node names, out-of-range arguments, ...).
+class InvalidArgumentError : public Error {
+public:
+    explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when parsing a netlist or waveform specification fails.
+class ParseError : public Error {
+public:
+    ParseError(const std::string& what, int line)
+        : Error("parse error (line " + std::to_string(line) + "): " + what),
+          line_(line) {}
+
+    int line() const noexcept { return line_; }
+
+private:
+    int line_;
+};
+
+/// Thrown when a numerical routine cannot proceed at all (singular system
+/// with no recovery path, analysis invoked on an empty circuit, ...).
+class NumericalError : public Error {
+public:
+    explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+inline void formatInto(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void formatInto(std::ostringstream& os, const T& first, const Rest&... rest) {
+    os << first;
+    formatInto(os, rest...);
+}
+}  // namespace detail
+
+/// Builds a message from streamable pieces: message("n=", n, " out of range").
+template <typename... Args>
+std::string message(const Args&... args) {
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+/// Precondition check used throughout the library.
+/// Throws InvalidArgumentError when `cond` is false.
+template <typename... Args>
+void require(bool cond, const Args&... args) {
+    if (!cond) {
+        throw InvalidArgumentError(message(args...));
+    }
+}
+
+}  // namespace shtrace

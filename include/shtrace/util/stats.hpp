@@ -1,0 +1,65 @@
+// shtrace -- cost accounting for apples-to-apples method comparisons.
+//
+// The paper's headline claim is a cost ratio: Euler-Newton curve tracing is
+// linear in the number of contour points while brute-force surface generation
+// is quadratic. SimStats counts the primitive operations both methods share
+// (transient solves, time steps, Newton iterations, LU work) so benches can
+// report both wall time and machine-independent operation counts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+
+namespace shtrace {
+
+/// Accumulated cost counters. Engines take a SimStats* (may be null) and
+/// increment as they work; callers aggregate across whole experiments.
+struct SimStats {
+    std::uint64_t transientSolves = 0;    ///< complete transient analyses
+    std::uint64_t timeSteps = 0;          ///< accepted time steps
+    std::uint64_t rejectedSteps = 0;      ///< steps rejected by LTE control
+    std::uint64_t newtonIterations = 0;   ///< nonlinear iterations (all solvers)
+    std::uint64_t luFactorizations = 0;
+    std::uint64_t luSolves = 0;           ///< back-substitutions (incl. sensitivities)
+    std::uint64_t deviceEvaluations = 0;  ///< full-circuit assembly passes
+    std::uint64_t sensitivitySteps = 0;   ///< sensitivity recurrence updates
+    std::uint64_t hEvaluations = 0;       ///< evaluations of h(tau_s, tau_h)
+    std::uint64_t mpnrIterations = 0;     ///< Moore-Penrose Newton iterations
+    double wallSeconds = 0.0;             ///< accumulated via ScopedTimer
+
+    SimStats& operator+=(const SimStats& other) noexcept;
+    friend SimStats operator+(SimStats a, const SimStats& b) noexcept {
+        a += b;
+        return a;
+    }
+
+    void reset() noexcept { *this = SimStats{}; }
+};
+
+std::ostream& operator<<(std::ostream& os, const SimStats& s);
+
+/// Adds the lifetime of the scope to `stats.wallSeconds` (no-op when null).
+class ScopedTimer {
+public:
+    explicit ScopedTimer(SimStats* stats) noexcept
+        : stats_(stats), start_(Clock::now()) {}
+    ~ScopedTimer() {
+        if (stats_ != nullptr) {
+            stats_->wallSeconds += elapsedSeconds();
+        }
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    double elapsedSeconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    SimStats* stats_;
+    Clock::time_point start_;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,61 @@
+// shtrace -- console tables and CSV output for benches and examples.
+//
+// Benches print paper-style rows; TablePrinter keeps the columns aligned and
+// CsvWriter dumps the same data for external plotting (the figures in the
+// paper are 2-D curves and 3-D surfaces; the CSV files regenerate them).
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace shtrace {
+
+/// Fixed-column console table. Collects rows of strings, prints with a
+/// header rule. Cheap and allocation-heavy by design: used only in benches.
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /// Convenience: converts numeric cells with operator<< semantics.
+    template <typename... Cells>
+    void addRowValues(const Cells&... cells) {
+        addRow({toCell(cells)...});
+    }
+
+    void print(std::ostream& os) const;
+
+private:
+    static std::string toCell(const std::string& s) { return s; }
+    static std::string toCell(const char* s) { return s; }
+    static std::string toCell(double v);
+    static std::string toCell(int v) { return std::to_string(v); }
+    static std::string toCell(long v) { return std::to_string(v); }
+    static std::string toCell(unsigned long v) { return std::to_string(v); }
+    static std::string toCell(unsigned long long v) { return std::to_string(v); }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer; quotes nothing (values here are numbers/identifiers).
+class CsvWriter {
+public:
+    /// Opens `path` for writing; throws Error when the file cannot be opened.
+    explicit CsvWriter(const std::string& path);
+    ~CsvWriter();
+    CsvWriter(const CsvWriter&) = delete;
+    CsvWriter& operator=(const CsvWriter&) = delete;
+
+    void writeHeader(std::initializer_list<std::string> names);
+    void writeRow(std::initializer_list<double> values);
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,27 @@
+// shtrace -- SI-suffixed engineering number parsing and formatting.
+//
+// The netlist parser accepts SPICE-style magnitudes ("2.5", "10k", "0.1n",
+// "5f", "3meg"); benches format times as "298ps" style strings. Suffix
+// matching is case-insensitive and, as in SPICE, any trailing alphabetic
+// characters after the suffix are ignored ("10kOhm" == 10e3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace shtrace {
+
+/// Parses an engineering-notation number. Returns nullopt on malformed input.
+/// Recognized suffixes: f p n u m k meg g t (and "mil" = 25.4e-6, as SPICE).
+std::optional<double> parseEngineering(std::string_view text);
+
+/// Parses or throws ParseError with the provided line number for context.
+double parseEngineeringOrThrow(std::string_view text, int line);
+
+/// Formats a value with an SI suffix and the given significant digits,
+/// e.g. formatEngineering(2.98e-10, "s") == "298ps".
+std::string formatEngineering(double value, std::string_view unit,
+                              int significantDigits = 4);
+
+}  // namespace shtrace

@@ -1,0 +1,60 @@
+// shtrace -- analog source waveforms (SPICE SIN and EXP).
+//
+// Not needed by the characterization flow itself, but a circuit simulator
+// that wants to be adopted needs the standard source vocabulary; they also
+// exercise the smooth-waveform (no breakpoints) path of the transient
+// stepper in tests.
+#pragma once
+
+#include "shtrace/waveform/waveform.hpp"
+
+namespace shtrace {
+
+/// SPICE SIN(vo va freq td theta): offset + damped sine starting at td.
+class SineWaveform final : public Waveform {
+public:
+    struct Spec {
+        double offset = 0.0;     ///< vo
+        double amplitude = 1.0;  ///< va
+        double frequency = 1e6;  ///< Hz
+        double delay = 0.0;      ///< td: value is `offset` before this
+        double damping = 0.0;    ///< theta (1/s)
+    };
+
+    explicit SineWaveform(const Spec& spec);
+
+    double value(double t) const override;
+    void breakpoints(double t0, double t1,
+                     std::vector<double>& out) const override;
+
+    const Spec& spec() const { return spec_; }
+
+private:
+    Spec spec_;
+};
+
+/// SPICE EXP(v1 v2 td1 tau1 td2 tau2): exponential rise then decay.
+class ExpWaveform final : public Waveform {
+public:
+    struct Spec {
+        double v1 = 0.0;
+        double v2 = 1.0;
+        double riseDelay = 0.0;
+        double riseTau = 1e-9;
+        double fallDelay = 2e-9;
+        double fallTau = 1e-9;
+    };
+
+    explicit ExpWaveform(const Spec& spec);
+
+    double value(double t) const override;
+    void breakpoints(double t0, double t1,
+                     std::vector<double>& out) const override;
+
+    const Spec& spec() const { return spec_; }
+
+private:
+    Spec spec_;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,48 @@
+// shtrace -- periodic clock waveform u_c(t).
+//
+// Matches the paper's validation setup: period 10 ns, logic levels 0 V /
+// 2.5 V, initial delay 1 ns, 0.1 ns rise/fall -> active (rising) edges at
+// 1 ns, 11 ns, 21 ns, ... The C2MOS register additionally needs an inverted
+// clock delayed by 0.3 ns, hence the `inverted` flag and arbitrary delay.
+#pragma once
+
+#include "shtrace/waveform/waveform.hpp"
+
+namespace shtrace {
+
+class ClockWaveform final : public Waveform {
+public:
+    struct Spec {
+        double v0 = 0.0;        ///< logic-low level
+        double v1 = 2.5;        ///< logic-high level
+        double period = 10e-9;
+        double delay = 1e-9;    ///< time of the first rising-edge start
+        double riseTime = 0.1e-9;
+        double fallTime = 0.1e-9;
+        double dutyCycle = 0.5;  ///< fraction of period at v1 (50% points)
+        bool inverted = false;   ///< swap v0/v1 (for clk-bar generation)
+        EdgeShape shape = EdgeShape::Smoothstep;
+    };
+
+    explicit ClockWaveform(const Spec& spec);
+
+    double value(double t) const override;
+    void breakpoints(double t0, double t1,
+                     std::vector<double>& out) const override;
+
+    /// Time of the 50% point of the k-th rising edge (k = 0, 1, ...).
+    /// For an inverted clock this is still the k-th rising edge of the
+    /// UNDERLYING (non-inverted) clock, i.e. the shared timing reference.
+    double risingEdgeMidpoint(int k) const;
+
+    const Spec& spec() const { return spec_; }
+
+private:
+    /// Phase-folded waveform of the non-inverted clock at local time
+    /// tau in [0, period).
+    double basePhaseValue(double tau) const;
+
+    Spec spec_;
+};
+
+}  // namespace shtrace

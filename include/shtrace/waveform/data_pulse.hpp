@@ -1,0 +1,63 @@
+// shtrace -- the skew-parameterized data waveform u_d(t, tau_s, tau_h).
+//
+// Per the paper's Fig. 2, the data line carries a pulse centered on the
+// active clock edge: its leading-edge 50% point precedes the edge by the
+// setup skew tau_s and its trailing-edge 50% point follows the edge by the
+// hold skew tau_h. Increasing tau_s moves the data transition earlier;
+// increasing tau_h keeps it stable longer after the edge.
+//
+// The waveform's analytic skew derivatives z_s(t) = du/dtau_s and
+// z_h(t) = du/dtau_h drive the sensitivity recurrences (eqs. 11/13). With a
+// leading-edge profile p((t - tLead + tr/2)/tr), tLead = tEdge - tau_s:
+//     du/dtau_s = (v1 - v0) * p'(u) / tr  (nonzero only on the leading edge)
+// and symmetrically for the trailing edge with opposite sign convention.
+#pragma once
+
+#include "shtrace/waveform/waveform.hpp"
+
+namespace shtrace {
+
+class DataPulse final : public SkewParametricWaveform {
+public:
+    struct Spec {
+        double v0 = 0.0;       ///< level before the pulse (and after it)
+        double v1 = 2.5;       ///< pulse level (the latched datum)
+        double activeEdgeTime = 11e-9;  ///< 50% point of the active clock edge
+        double transitionTime = 0.1e-9;  ///< data rise/fall time (both edges)
+        EdgeShape shape = EdgeShape::Smoothstep;
+    };
+
+    explicit DataPulse(const Spec& spec);
+
+    void setSkews(double setupSkew, double holdSkew) override;
+    double setupSkew() const override { return setupSkew_; }
+    double holdSkew() const override { return holdSkew_; }
+
+    double value(double t) const override;
+    double skewDerivative(double t, SkewParam p) const override;
+    void breakpoints(double t0, double t1,
+                     std::vector<double>& out) const override;
+
+    const Spec& spec() const { return spec_; }
+
+    /// 50% time of the leading (data-arrival) edge: tEdge - tau_s.
+    double leadingEdgeMidpoint() const {
+        return spec_.activeEdgeTime - setupSkew_;
+    }
+    /// 50% time of the trailing (data-removal) edge: tEdge + tau_h.
+    double trailingEdgeMidpoint() const {
+        return spec_.activeEdgeTime + holdSkew_;
+    }
+
+private:
+    /// Normalized progress u of an edge whose 50% point is at `mid`.
+    double edgeU(double t, double mid) const {
+        return (t - (mid - 0.5 * spec_.transitionTime)) / spec_.transitionTime;
+    }
+
+    Spec spec_;
+    double setupSkew_ = 0.0;
+    double holdSkew_ = 0.0;
+};
+
+}  // namespace shtrace

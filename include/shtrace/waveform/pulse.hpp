@@ -1,0 +1,34 @@
+// shtrace -- single (non-periodic) pulse waveform with shaped edges.
+#pragma once
+
+#include "shtrace/waveform/waveform.hpp"
+
+namespace shtrace {
+
+/// v0 until `delay`, ramps to v1 over `riseTime`, holds for `width`,
+/// ramps back over `fallTime`, v0 afterwards.
+class PulseWaveform final : public Waveform {
+public:
+    struct Spec {
+        double v0 = 0.0;
+        double v1 = 1.0;
+        double delay = 0.0;     ///< start of the rising edge
+        double riseTime = 0.0;  ///< 0 means an ideal step
+        double width = 0.0;     ///< time at v1 between edges
+        double fallTime = 0.0;
+        EdgeShape shape = EdgeShape::Smoothstep;
+    };
+
+    explicit PulseWaveform(const Spec& spec);
+
+    double value(double t) const override;
+    void breakpoints(double t0, double t1,
+                     std::vector<double>& out) const override;
+
+    const Spec& spec() const { return spec_; }
+
+private:
+    Spec spec_;
+};
+
+}  // namespace shtrace

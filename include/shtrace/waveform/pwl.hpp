@@ -1,0 +1,31 @@
+// shtrace -- piecewise-linear waveform (SPICE PWL source).
+#pragma once
+
+#include <vector>
+
+#include "shtrace/waveform/waveform.hpp"
+
+namespace shtrace {
+
+class PwlWaveform final : public Waveform {
+public:
+    struct Point {
+        double t;
+        double v;
+    };
+
+    /// Points must be strictly increasing in time; at least one required.
+    /// Value is held constant before the first and after the last point.
+    explicit PwlWaveform(std::vector<Point> points);
+
+    double value(double t) const override;
+    void breakpoints(double t0, double t1,
+                     std::vector<double>& out) const override;
+
+    const std::vector<Point>& points() const { return points_; }
+
+private:
+    std::vector<Point> points_;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,72 @@
+// shtrace -- time-domain source waveforms.
+//
+// Waveforms drive independent sources. Two features matter for this library
+// beyond plain value(t):
+//
+//  * breakpoints: the adaptive transient stepper must land exactly on corner
+//    times of piecewise waveforms or the local truncation error estimate
+//    (and hence h(tau_s, tau_h)) picks up spurious noise;
+//  * skew parametrization: the data waveform u_d(t, tau_s, tau_h) exposes
+//    the analytic derivatives z_s = du/dtau_s and z_h = du/dtau_h needed by
+//    the forward sensitivity recurrences (paper eqs. 7-13). Those live on
+//    the SkewParametricWaveform subinterface.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace shtrace {
+
+/// Identifies which skew parameter a derivative is taken with respect to.
+enum class SkewParam {
+    Setup,  ///< tau_s: data 50% leading edge precedes the clock edge by tau_s
+    Hold,   ///< tau_h: data 50% trailing edge follows the clock edge by tau_h
+};
+
+class Waveform {
+public:
+    virtual ~Waveform() = default;
+
+    /// Source value at time t (volts or amperes, per owning device).
+    virtual double value(double t) const = 0;
+
+    /// Appends every non-smooth point of the waveform inside (t0, t1) to
+    /// `out`. Default: none (smooth waveform).
+    virtual void breakpoints(double t0, double t1,
+                             std::vector<double>& out) const;
+};
+
+/// A waveform parameterized by setup/hold skews, with analytic derivatives.
+class SkewParametricWaveform : public Waveform {
+public:
+    virtual void setSkews(double setupSkew, double holdSkew) = 0;
+    virtual double setupSkew() const = 0;
+    virtual double holdSkew() const = 0;
+
+    /// d value(t) / d tau_p at the current skews (z_s or z_h in the paper).
+    virtual double skewDerivative(double t, SkewParam p) const = 0;
+};
+
+/// Constant value (DC source).
+class DcWaveform final : public Waveform {
+public:
+    explicit DcWaveform(double level) : level_(level) {}
+    double value(double) const override { return level_; }
+    double level() const { return level_; }
+
+private:
+    double level_;
+};
+
+/// Edge interpolation shape for ramped waveforms.
+enum class EdgeShape {
+    Linear,      ///< SPICE-style linear ramp (C0)
+    Smoothstep,  ///< 3u^2-2u^3 ramp (C1) -- default, keeps h smooth in tau
+};
+
+/// Normalized edge profile: s(u) for u clamped to [0,1], plus its slope.
+/// Exposed for tests and for waveform implementations.
+double edgeProfile(EdgeShape shape, double u);
+double edgeProfileSlope(EdgeShape shape, double u);
+
+}  // namespace shtrace

@@ -1,0 +1,24 @@
+* C2MOS positive edge-triggered master/slave register (paper Fig. 11a)
+* clk-bar is delayed 0.3 ns after clk, creating the overlap that imposes a
+* positive hold time (and the Fig. 11(b) false transitions).
+* Characterize with:  netlist_tool netlists/c2mos.sp q
+.model n1 NMOS VT0=0.45 KP=60u LAMBDA=0.06 W=0.6u L=0.25u CGS=0.84f CGD=0.84f CGB=0.12f CDB=0.48f CSB=0.48f
+.model p1 PMOS VT0=0.50 KP=25u LAMBDA=0.10 W=1.2u L=0.25u CGS=1.68f CGD=1.68f CGB=0.24f CDB=0.96f CSB=0.96f
+Vdd   vdd  0 2.5
+Vclk  clk  0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vclkb clkb 0 CLOCK(0 2.5 10n 1.3n 0.1n 0.1n 0.5 INV)
+Vdata d    0 DATAPULSE(2.5 0 11.05n 0.1n)
+* master C2MOS inverter: transparent when CLK=0
+MP1 m1 d    vdd vdd p1
+MP2 x  clk  m1  vdd p1
+MN1 x  clkb m2  0   n1
+MN2 m2 d    0   0   n1
+* slave C2MOS inverter: transparent when CLK=1
+MP3 sp x    vdd vdd p1
+MP4 q  clkb sp  vdd p1
+MN3 q  clk  sn  0   n1
+MN4 sn x    0   0   n1
+* parasitics
+Cload q 0 20f
+Cx x 0 2f
+.end

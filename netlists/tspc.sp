@@ -1,0 +1,28 @@
+* TSPC positive edge-triggered register (Yuan-Svensson 9T + output inverter)
+* Matches buildTspcRegister() defaults; characterize with:
+*   netlist_tool netlists/tspc.sp q
+.model n1 NMOS VT0=0.45 KP=60u LAMBDA=0.06 W=0.6u L=0.25u CGS=0.84f CGD=0.84f CGB=0.12f CDB=0.48f CSB=0.48f
+.model p1 PMOS VT0=0.50 KP=25u LAMBDA=0.10 W=1.2u L=0.25u CGS=1.68f CGD=1.68f CGB=0.24f CDB=0.96f CSB=0.96f
+Vdd   vdd 0 2.5
+Vclk  clk 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vdata d   0 DATAPULSE(2.5 0 11.05n 0.1n)
+* stage 1: p-section (clock-gated pull-up)
+MP1a s1 d   vdd vdd p1
+MP1b x1 clk s1  vdd p1
+MN1  x1 d   0   0   n1
+* stage 2: precharge / evaluate
+MP2  y  clk vdd vdd p1
+MN3  y  x1  s2  0   n1
+MN4  s2 clk 0   0   n1
+* stage 3: hold / evaluate
+MP3  qb y   vdd vdd p1
+MN5  qb clk s3  0   n1
+MN6  s3 y   0   0   n1
+* output inverter + parasitics
+MP4  q  qb  vdd vdd p1
+MN7  q  qb  0   0   n1
+Cload q 0 20f
+Cx1 x1 0 2f
+Cy  y  0 2f
+Cqb qb 0 2f
+.end

@@ -1,0 +1,197 @@
+#include "shtrace/analysis/ac.hpp"
+
+#include <cmath>
+
+#include "shtrace/analysis/dc_op.hpp"
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+using Complex = std::complex<double>;
+
+/// Minimal dense complex LU with partial pivoting (the real LU's twin;
+/// kept file-local -- AC is the only complex consumer).
+class ComplexLu {
+public:
+    bool factor(std::vector<Complex> a, std::size_t n) {
+        lu_ = std::move(a);
+        n_ = n;
+        perm_.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            perm_[i] = i;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+            std::size_t pivotRow = k;
+            double best = std::abs(at(k, k));
+            for (std::size_t i = k + 1; i < n; ++i) {
+                const double cand = std::abs(at(i, k));
+                if (cand > best) {
+                    best = cand;
+                    pivotRow = i;
+                }
+            }
+            if (best < 1e-300) {
+                return false;
+            }
+            if (pivotRow != k) {
+                for (std::size_t j = 0; j < n; ++j) {
+                    std::swap(at(k, j), at(pivotRow, j));
+                }
+                std::swap(perm_[k], perm_[pivotRow]);
+            }
+            const Complex invPivot = 1.0 / at(k, k);
+            for (std::size_t i = k + 1; i < n; ++i) {
+                const Complex lik = at(i, k) * invPivot;
+                at(i, k) = lik;
+                if (lik == Complex{}) {
+                    continue;
+                }
+                for (std::size_t j = k + 1; j < n; ++j) {
+                    at(i, j) -= lik * at(k, j);
+                }
+            }
+        }
+        return true;
+    }
+
+    std::vector<Complex> solve(const std::vector<Complex>& b) const {
+        std::vector<Complex> y(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+            y[i] = b[perm_[i]];
+        }
+        for (std::size_t i = 1; i < n_; ++i) {
+            Complex acc = y[i];
+            for (std::size_t j = 0; j < i; ++j) {
+                acc -= at(i, j) * y[j];
+            }
+            y[i] = acc;
+        }
+        for (std::size_t ii = n_; ii-- > 0;) {
+            Complex acc = y[ii];
+            for (std::size_t j = ii + 1; j < n_; ++j) {
+                acc -= at(ii, j) * y[j];
+            }
+            y[ii] = acc / at(ii, ii);
+        }
+        return y;
+    }
+
+private:
+    Complex& at(std::size_t i, std::size_t j) { return lu_[i * n_ + j]; }
+    const Complex& at(std::size_t i, std::size_t j) const {
+        return lu_[i * n_ + j];
+    }
+
+    std::vector<Complex> lu_;
+    std::vector<std::size_t> perm_;
+    std::size_t n_ = 0;
+};
+
+}  // namespace
+
+std::vector<double> logSweep(double fStart, double fStop,
+                             int pointsPerDecade) {
+    require(fStart > 0.0 && fStop > fStart,
+            "logSweep: need 0 < fStart < fStop");
+    require(pointsPerDecade >= 1, "logSweep: pointsPerDecade must be >= 1");
+    std::vector<double> freqs;
+    const double step = 1.0 / pointsPerDecade;
+    for (double e = std::log10(fStart); ; e += step) {
+        const double f = std::pow(10.0, e);
+        if (f > fStop * (1.0 + 1e-12)) {
+            break;
+        }
+        freqs.push_back(f);
+    }
+    if (freqs.empty() || freqs.back() < fStop * (1.0 - 1e-9)) {
+        freqs.push_back(fStop);
+    }
+    return freqs;
+}
+
+std::vector<Complex> AcResult::nodeResponse(NodeId node) const {
+    require(!node.isGround(), "AcResult::nodeResponse: ground has no row");
+    std::vector<Complex> out;
+    out.reserve(response.size());
+    for (const auto& x : response) {
+        out.push_back(x[static_cast<std::size_t>(node.index)]);
+    }
+    return out;
+}
+
+std::vector<double> AcResult::magnitudeDb(NodeId node) const {
+    std::vector<double> out;
+    for (const Complex& v : nodeResponse(node)) {
+        out.push_back(20.0 * std::log10(std::max(std::abs(v), 1e-300)));
+    }
+    return out;
+}
+
+std::vector<double> AcResult::phaseDegrees(NodeId node) const {
+    std::vector<double> out;
+    for (const Complex& v : nodeResponse(node)) {
+        out.push_back(std::arg(v) * 180.0 / M_PI);
+    }
+    return out;
+}
+
+AcResult runAcAnalysis(const Circuit& circuit, const AcOptions& opt,
+                       SimStats* stats) {
+    require(circuit.finalized(), "runAcAnalysis: circuit not finalized");
+    require(!opt.frequencies.empty(), "runAcAnalysis: no frequencies given");
+    const std::size_t n = circuit.systemSize();
+
+    // Stimulus vector (frequency independent).
+    Vector stimulus(n);
+    circuit.addAcStimulus(stimulus);
+    require(stimulus.normInf() > 0.0,
+            "runAcAnalysis: no source carries an AC magnitude (call "
+            "setAcMagnitude on the stimulus source)");
+
+    // Linearize at the DC operating point.
+    AcResult result;
+    DcOptions dcOpt;
+    dcOpt.newton = opt.newton;
+    dcOpt.gminFloor = opt.gmin;
+    result.operatingPoint = solveDcOperatingPoint(circuit, dcOpt, stats).x;
+    Assembler asmb(n);
+    circuit.assemble(result.operatingPoint, 0.0, asmb, stats);
+    const Matrix& g = asmb.g();
+    const Matrix& c = asmb.c();
+
+    result.frequencies = opt.frequencies;
+    result.response.reserve(opt.frequencies.size());
+    std::vector<Complex> system(n * n);
+    std::vector<Complex> rhs(n);
+    for (double f : opt.frequencies) {
+        const double omega = 2.0 * M_PI * f;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                double gij = g(i, j);
+                if (i == j && static_cast<int>(i) <
+                                  static_cast<int>(circuit.nodeCount())) {
+                    gij += opt.gmin;  // keep floating nodes well posed
+                }
+                system[i * n + j] = Complex(gij, omega * c(i, j));
+            }
+            rhs[i] = stimulus[i];
+        }
+        ComplexLu lu;
+        if (!lu.factor(std::move(system), n)) {
+            throw NumericalError(message(
+                "runAcAnalysis: singular small-signal system at f=", f));
+        }
+        system.assign(n * n, Complex{});  // factor() consumed the storage
+        result.response.push_back(lu.solve(rhs));
+        if (stats != nullptr) {
+            ++stats->luFactorizations;
+            ++stats->luSolves;
+        }
+    }
+    return result;
+}
+
+}  // namespace shtrace

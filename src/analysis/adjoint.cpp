@@ -1,0 +1,88 @@
+#include "shtrace/analysis/adjoint.hpp"
+
+#include "shtrace/linalg/lu.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+AdjointGradient computeAdjointGradient(const Circuit& circuit,
+                                       const TransientResult& result,
+                                       const Vector& selector,
+                                       SimStats* stats) {
+    const auto& tape = result.adjointTape;
+    require(tape.size() >= 2,
+            "computeAdjointGradient: transient was not run with "
+            "recordAdjointTape (tape has fewer than 2 entries)");
+    require(selector.size() == circuit.systemSize(),
+            "computeAdjointGradient: selector size mismatch");
+    require(result.tapeMethod != IntegrationMethod::Gear2,
+            "computeAdjointGradient: Gear2 tapes are not supported (use the "
+            "forward sensitivities, which cover all methods)");
+
+    const bool trap = result.tapeMethod == IntegrationMethod::Trapezoidal;
+    const std::size_t n = circuit.systemSize();
+    const std::size_t steps = tape.size() - 1;  // entry 0 = initial state
+
+    AdjointGradient grad;
+    // lambda carries the costate of step i (1-based over tape entries).
+    Vector lambda;
+    Vector nextLambdaRhs = selector;  // rhs for the final step's solve
+
+    // Backward sweep: i = steps .. 1 (tape[i] is the accepted state of
+    // step i; tape[i-1] its predecessor).
+    for (std::size_t i = steps; i >= 1; --i) {
+        const AdjointTapeEntry& cur = tape[i];
+        const AdjointTapeEntry& prev = tape[i - 1];
+        const double dt = cur.t - prev.t;
+        require(dt > 0.0, "computeAdjointGradient: non-increasing tape time");
+        const double a = (trap ? 2.0 : 1.0) / dt;
+
+        // J_i = a C_i + G_i; solve J_i^T lambda_i = rhs.
+        Matrix jacobian = cur.c;
+        jacobian *= a;
+        jacobian += cur.g;
+        LuFactorization lu;
+        if (!lu.factor(jacobian, stats)) {
+            throw NumericalError(message(
+                "computeAdjointGradient: singular step Jacobian at t=",
+                cur.t));
+        }
+        lambda = lu.solveTransposed(nextLambdaRhs, stats);
+
+        // Gradient accumulation: dJ/dtau -= lambda^T dF_i/dtau, where
+        // dF_i/dtau = b z(t_i) (+ b z(t_{i-1}) for TRAP).
+        const auto accumulate = [&](SkewParam p, double& out) {
+            Vector bz(n);
+            circuit.addSkewDerivative(cur.t, p, bz);
+            if (trap) {
+                circuit.addSkewDerivative(prev.t, p, bz);
+            }
+            out -= lambda.dot(bz);
+        };
+        accumulate(SkewParam::Setup, grad.dSetup);
+        accumulate(SkewParam::Hold, grad.dHold);
+
+        if (i == 1) {
+            break;  // x_0 is fixed: no dependence through the initial state
+        }
+
+        // rhs for step i-1: -(dF_i/dx_{i-1})^T lambda_i
+        //   BE:   dF_i/dx_{i-1} = -a C_{i-1}         -> rhs = a C_{i-1}^T l
+        //   TRAP: dF_i/dx_{i-1} = -a C_{i-1}+G_{i-1} -> rhs = (aC-G)^T l
+        // NOTE: `a` of step i-1 differs when the grid is non-uniform, but
+        // the C/G factors here belong to F_i, so THIS step's a is correct.
+        Vector rhs = prev.c.multiplyTransposed(lambda);
+        rhs *= a;
+        if (trap) {
+            const Vector gTerm = prev.g.multiplyTransposed(lambda);
+            rhs -= gTerm;
+        }
+        nextLambdaRhs = std::move(rhs);
+        if (stats != nullptr) {
+            ++stats->sensitivitySteps;
+        }
+    }
+    return grad;
+}
+
+}  // namespace shtrace

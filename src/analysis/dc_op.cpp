@@ -1,0 +1,86 @@
+#include "shtrace/analysis/dc_op.hpp"
+
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+/// One Newton solve of f(x) + gmin*v = 0 at fixed gmin, from the given seed.
+NewtonResult solveAtGmin(const Circuit& circuit, double time, double gmin,
+                         const NewtonOptions& newtonOptions, Vector& x,
+                         Assembler& asmb, SimStats* stats) {
+    const std::size_t nodeRows = static_cast<std::size_t>(circuit.nodeCount());
+    const NewtonSystemFn system = [&](const Vector& xi, Vector& residual,
+                                      Matrix& jacobian) {
+        circuit.assemble(xi, time, asmb, stats);
+        residual = asmb.f();
+        jacobian = asmb.g();
+        for (std::size_t i = 0; i < nodeRows; ++i) {
+            residual[i] += gmin * xi[i];
+            jacobian(i, i) += gmin;
+        }
+    };
+    return solveNewton(system, x, nodeRows, newtonOptions, stats);
+}
+
+}  // namespace
+
+DcResult solveDcOperatingPoint(const Circuit& circuit, const DcOptions& options,
+                               SimStats* stats) {
+    require(circuit.finalized(), "solveDcOperatingPoint: circuit not finalized");
+    DcResult result;
+    result.x = Vector(circuit.systemSize());
+    Assembler asmb(circuit.systemSize());
+
+    // Direct attempt at the gmin floor.
+    NewtonResult nr = solveAtGmin(circuit, options.time, options.gminFloor,
+                                  options.newton, result.x, asmb, stats);
+    result.totalNewtonIterations += nr.iterations;
+    if (nr.converged) {
+        result.converged = true;
+        return result;
+    }
+
+    // gmin continuation: restart from zero at the top of the ladder, then
+    // walk down re-seeding each stage with the previous stage's solution.
+    result.usedContinuation = true;
+    result.x.setZero();
+    bool haveSeed = false;
+    for (double gmin : options.gminLadder) {
+        if (gmin < options.gminFloor) {
+            continue;
+        }
+        Vector trial = result.x;
+        nr = solveAtGmin(circuit, options.time, gmin, options.newton, trial,
+                         asmb, stats);
+        result.totalNewtonIterations += nr.iterations;
+        if (!nr.converged) {
+            if (!haveSeed) {
+                throw NumericalError(message(
+                    "DC operating point failed even at gmin=", gmin,
+                    " (residual=", nr.finalResidualNorm, ")"));
+            }
+            // Stage failed: keep the last good solution and stop tightening.
+            break;
+        }
+        result.x = trial;
+        haveSeed = true;
+    }
+    require(haveSeed, "DC gmin ladder is empty or entirely below the floor");
+
+    // Final polish at the floor from the continuation seed.
+    nr = solveAtGmin(circuit, options.time, options.gminFloor, options.newton,
+                     result.x, asmb, stats);
+    result.totalNewtonIterations += nr.iterations;
+    result.converged = nr.converged;
+    if (!result.converged) {
+        throw NumericalError(
+            "DC operating point: continuation reached the gmin floor but the "
+            "final polish did not converge");
+    }
+    return result;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,71 @@
+#include "shtrace/analysis/sensitivity.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+SkewEvaluation evaluateWithSensitivities(const Circuit& circuit,
+                                         DataPulse& data,
+                                         const Vector& selector,
+                                         double setupSkew, double holdSkew,
+                                         const TransientOptions& options,
+                                         SimStats* stats) {
+    data.setSkews(setupSkew, holdSkew);
+    TransientOptions opt = options;
+    opt.trackSkewSensitivities = true;
+    opt.storeStates = false;
+    const TransientResult tr = TransientAnalysis(circuit, opt).run(stats);
+    SkewEvaluation out;
+    out.success = tr.success;
+    if (!tr.success) {
+        return out;
+    }
+    out.output = selector.dot(tr.finalState);
+    out.dOutputDSetup = selector.dot(tr.finalSensitivitySetup);
+    out.dOutputDHold = selector.dot(tr.finalSensitivityHold);
+    return out;
+}
+
+SkewEvaluation evaluateWithFiniteDifferences(const Circuit& circuit,
+                                             DataPulse& data,
+                                             const Vector& selector,
+                                             double setupSkew, double holdSkew,
+                                             const TransientOptions& options,
+                                             double delta, SimStats* stats) {
+    require(delta > 0.0, "evaluateWithFiniteDifferences: delta must be > 0");
+    TransientOptions opt = options;
+    opt.trackSkewSensitivities = false;
+    opt.storeStates = false;
+
+    const auto runAt = [&](double ts, double th, double& value) {
+        data.setSkews(ts, th);
+        const TransientResult tr = TransientAnalysis(circuit, opt).run(stats);
+        if (!tr.success) {
+            return false;
+        }
+        value = selector.dot(tr.finalState);
+        return true;
+    };
+
+    SkewEvaluation out;
+    double center = 0.0;
+    double sPlus = 0.0;
+    double sMinus = 0.0;
+    double hPlus = 0.0;
+    double hMinus = 0.0;
+    out.success = runAt(setupSkew, holdSkew, center) &&
+                  runAt(setupSkew + delta, holdSkew, sPlus) &&
+                  runAt(setupSkew - delta, holdSkew, sMinus) &&
+                  runAt(setupSkew, holdSkew + delta, hPlus) &&
+                  runAt(setupSkew, holdSkew - delta, hMinus);
+    data.setSkews(setupSkew, holdSkew);  // restore
+    if (!out.success) {
+        return out;
+    }
+    out.output = center;
+    out.dOutputDSetup = (sPlus - sMinus) / (2.0 * delta);
+    out.dOutputDHold = (hPlus - hMinus) / (2.0 * delta);
+    return out;
+}
+
+}  // namespace shtrace

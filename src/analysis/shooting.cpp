@@ -1,0 +1,131 @@
+#include "shtrace/analysis/shooting.hpp"
+
+#include <cmath>
+
+#include "shtrace/analysis/dc_op.hpp"
+#include "shtrace/linalg/lu.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+/// Propagates the monodromy matrix M = d phi / d x0 along a recorded tape.
+Matrix propagateMonodromy(const TransientResult& tr, std::size_t n,
+                          SimStats* stats) {
+    const bool trap = tr.tapeMethod == IntegrationMethod::Trapezoidal;
+    Matrix m = Matrix::identity(n);
+    for (std::size_t i = 1; i < tr.adjointTape.size(); ++i) {
+        const AdjointTapeEntry& cur = tr.adjointTape[i];
+        const AdjointTapeEntry& prev = tr.adjointTape[i - 1];
+        const double dt = cur.t - prev.t;
+        const double a = (trap ? 2.0 : 1.0) / dt;
+
+        Matrix jacobian = cur.c;
+        jacobian *= a;
+        jacobian += cur.g;
+        LuFactorization lu;
+        if (!lu.factor(jacobian, stats)) {
+            throw NumericalError(message(
+                "shooting: singular step Jacobian at t=", cur.t));
+        }
+        // rhs = (a C_{i-1} [- G_{i-1}]) M_{i-1}, column by column.
+        Matrix rhsBase = prev.c;
+        rhsBase *= a;
+        if (trap) {
+            rhsBase -= prev.g;
+        }
+        Matrix next(n, n);
+        Vector col(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t r = 0; r < n; ++r) {
+                double acc = 0.0;
+                for (std::size_t k = 0; k < n; ++k) {
+                    acc += rhsBase(r, k) * m(k, j);
+                }
+                col[r] = acc;
+            }
+            lu.solveInPlace(col, stats);
+            for (std::size_t r = 0; r < n; ++r) {
+                next(r, j) = col[r];
+            }
+        }
+        m = std::move(next);
+    }
+    return m;
+}
+
+}  // namespace
+
+ShootingResult solvePeriodicSteadyState(const Circuit& circuit,
+                                        const ShootingOptions& opt,
+                                        SimStats* stats) {
+    require(circuit.finalized(), "shooting: circuit not finalized");
+    require(opt.period > 0.0, "shooting: period must be positive");
+    require(opt.stepsPerPeriod >= 8, "shooting: too few steps per period");
+    require(opt.method == IntegrationMethod::BackwardEuler,
+            "shooting: Backward Euler only (TRAP leaves MNA algebraic "
+            "modes undamped, making M - I singular; see ShootingOptions)");
+    const std::size_t n = circuit.systemSize();
+
+    ShootingResult result;
+    if (opt.initialGuess.has_value()) {
+        require(opt.initialGuess->size() == n,
+                "shooting: initial guess size mismatch");
+        result.periodicState = *opt.initialGuess;
+    } else {
+        DcOptions dcOpt;
+        dcOpt.newton = opt.newton;
+        dcOpt.time = opt.tStart;
+        result.periodicState = solveDcOperatingPoint(circuit, dcOpt, stats).x;
+    }
+
+    TransientOptions tranOpt;
+    tranOpt.tStart = opt.tStart;
+    tranOpt.tStop = opt.tStart + opt.period;
+    tranOpt.method = opt.method;
+    tranOpt.adaptive = false;
+    tranOpt.fixedSteps = opt.stepsPerPeriod;
+    tranOpt.newton = opt.newton;
+    tranOpt.gmin = opt.gmin;
+    tranOpt.recordAdjointTape = true;
+    tranOpt.storeStates = true;
+
+    for (result.iterations = 1; result.iterations <= opt.maxIterations;
+         ++result.iterations) {
+        tranOpt.initialCondition = result.periodicState;
+        const TransientResult tr =
+            TransientAnalysis(circuit, tranOpt).run(stats);
+        if (!tr.success) {
+            throw NumericalError(message(
+                "shooting: transient failed inside Newton (",
+                tr.failureReason, ")"));
+        }
+        // F = phi(T; x0) - x0.
+        Vector residual = tr.finalState;
+        residual -= result.periodicState;
+        result.finalError = residual.normInf();
+        if (result.finalError <= opt.tolerance) {
+            result.converged = true;
+            result.steadyStatePeriod = tr;
+            return result;
+        }
+
+        // Newton: dx0 = -(M - I)^{-1} F.
+        Matrix jacobian = propagateMonodromy(tr, n, stats);
+        jacobian -= Matrix::identity(n);
+        LuFactorization lu;
+        if (!lu.factor(jacobian, stats)) {
+            throw NumericalError(
+                "shooting: (M - I) singular -- the circuit has a floating "
+                "(marginally stable) mode; shooting cannot isolate a unique "
+                "periodic orbit");
+        }
+        lu.solveInPlace(residual, stats);
+        result.periodicState -= residual;
+    }
+    result.iterations = opt.maxIterations;
+    return result;
+}
+
+}  // namespace shtrace

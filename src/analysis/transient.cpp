@@ -1,0 +1,434 @@
+#include "shtrace/analysis/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "shtrace/analysis/dc_op.hpp"
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+// ---------------------------------------------------------------- result ---
+
+double TransientResult::valueAt(const Vector& selector, double t) const {
+    require(!times.empty() && states.size() == times.size(),
+            "TransientResult::valueAt requires stored states");
+    if (t <= times.front()) {
+        return selector.dot(states.front());
+    }
+    if (t >= times.back()) {
+        return selector.dot(states.back());
+    }
+    const auto it = std::upper_bound(times.begin(), times.end(), t);
+    const std::size_t hi = static_cast<std::size_t>(it - times.begin());
+    const std::size_t lo = hi - 1;
+    const double frac = (t - times[lo]) / (times[hi] - times[lo]);
+    const double vLo = selector.dot(states[lo]);
+    const double vHi = selector.dot(states[hi]);
+    return vLo + frac * (vHi - vLo);
+}
+
+std::vector<double> TransientResult::signal(const Vector& selector) const {
+    std::vector<double> out;
+    out.reserve(states.size());
+    for (const Vector& x : states) {
+        out.push_back(selector.dot(x));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------- engine ---
+
+namespace {
+
+/// Everything retained from the previously ACCEPTED step.
+struct StepHistory {
+    double t = 0.0;
+    Vector x;
+    Vector q;
+    Vector fTotal;  ///< f(x,t) + b(t) + gmin*v  (the complete algebraic part)
+    Matrix c;
+    Matrix g;       ///< df/dx + gmin on node diagonal
+    Vector ms;      ///< dx/dtau_s
+    Vector mh;      ///< dx/dtau_h
+};
+
+class Engine {
+public:
+    Engine(const Circuit& circuit, const TransientOptions& opt, SimStats* stats)
+        : circuit_(circuit),
+          opt_(opt),
+          stats_(stats),
+          n_(circuit.systemSize()),
+          nodeRows_(static_cast<std::size_t>(circuit.nodeCount())),
+          asmb_(circuit.systemSize()) {}
+
+    TransientResult run() {
+        TransientResult result;
+        const double span = opt_.tStop - opt_.tStart;
+        require(span > 0.0, "TransientAnalysis: tStop must exceed tStart");
+
+        if (stats_ != nullptr) {
+            ++stats_->transientSolves;
+        }
+
+        // --- initial condition ---
+        StepHistory prev;
+        prev.t = opt_.tStart;
+        if (opt_.initialCondition.has_value()) {
+            require(opt_.initialCondition->size() == n_,
+                    "TransientAnalysis: initial condition size mismatch");
+            prev.x = *opt_.initialCondition;
+        } else {
+            DcOptions dcOpt;
+            dcOpt.newton = opt_.newton;
+            dcOpt.time = opt_.tStart;
+            prev.x = solveDcOperatingPoint(circuit_, dcOpt, stats_).x;
+        }
+        assembleHistory(prev.x, prev.t, prev);
+        if (opt_.trackSkewSensitivities) {
+            // x0 is fixed (tau-independent), so m(t0) = 0 (paper step 1c).
+            prev.ms = Vector(n_);
+            prev.mh = Vector(n_);
+        }
+        result.tapeMethod = opt_.method;
+        recordTape(result, prev);
+        record(result, prev);
+
+        // --- step-size plan ---
+        const double dtMax =
+            opt_.dtMax > 0.0 ? opt_.dtMax : span / 200.0;
+        double dt;
+        int remainingFixedSteps = 0;
+        if (!opt_.adaptive) {
+            remainingFixedSteps =
+                opt_.fixedSteps > 0
+                    ? opt_.fixedSteps
+                    : static_cast<int>(std::ceil(span / dtMax));
+            dt = span / remainingFixedSteps;
+        } else {
+            dt = std::min(opt_.dtInit, dtMax);
+        }
+
+        std::vector<double> breakpoints;
+        std::size_t nextBreakpoint = 0;
+        if (opt_.adaptive && opt_.useBreakpoints) {
+            breakpoints = circuit_.breakpoints(opt_.tStart, opt_.tStop);
+        }
+
+        // Previous-previous accepted step (predictor history; also the
+        // q/C/m history Gear2 needs).
+        StepHistory prev2;
+        bool havePrev2 = false;
+
+        // --- main loop ---
+        while (prev.t < opt_.tStop - 1e-18 * span) {
+            double stepDt = dt;
+            bool landedOnBreakpoint = false;
+            if (!opt_.adaptive) {
+                // Uniform grid: recompute from the remaining span to kill
+                // floating-point drift; the last step lands exactly on tStop.
+                stepDt = (opt_.tStop - prev.t) /
+                         std::max(1, remainingFixedSteps);
+            } else {
+                while (nextBreakpoint < breakpoints.size() &&
+                       breakpoints[nextBreakpoint] <= prev.t + 1e-18 * span) {
+                    ++nextBreakpoint;
+                }
+                if (nextBreakpoint < breakpoints.size() &&
+                    prev.t + stepDt >= breakpoints[nextBreakpoint]) {
+                    stepDt = breakpoints[nextBreakpoint] - prev.t;
+                    landedOnBreakpoint = true;
+                }
+                if (prev.t + stepDt > opt_.tStop) {
+                    stepDt = opt_.tStop - prev.t;
+                }
+            }
+
+            // Nonlinear solve, halving dt on failure (adaptive mode only).
+            StepHistory next;
+            bool solved = false;
+            while (true) {
+                next.t = prev.t + stepDt;
+                next.x = predict(prev, havePrev2 ? &prev2 : nullptr, next.t);
+                if (solveStep(prev, havePrev2 ? &prev2 : nullptr, next,
+                              stepDt)) {
+                    solved = true;
+                    break;
+                }
+                if (!opt_.adaptive) {
+                    break;  // fixed grid must not silently change the grid
+                }
+                landedOnBreakpoint = false;
+                stepDt *= 0.5;
+                if (stepDt < opt_.dtMin) {
+                    break;
+                }
+            }
+            if (!solved) {
+                result.failureReason = message(
+                    "Newton failed to converge at t=", prev.t + stepDt,
+                    (opt_.adaptive ? " (dt underflow)" : " (fixed grid)"));
+                return result;
+            }
+
+            // LTE control (adaptive only, needs two history points).
+            if (opt_.adaptive && havePrev2) {
+                const double err = lteEstimate(prev, prev2, next);
+                if (err > 1.0 && stepDt > opt_.dtMin && !landedOnBreakpoint) {
+                    if (stats_ != nullptr) {
+                        ++stats_->rejectedSteps;
+                    }
+                    dt = std::max(opt_.dtMin, stepDt * 0.5);
+                    continue;  // reject
+                }
+                const double order =
+                    opt_.method == IntegrationMethod::Trapezoidal ? 3.0 : 2.0;
+                const double grow =
+                    0.9 * std::pow(std::max(err, 1e-8), -1.0 / order);
+                dt = std::clamp(stepDt * std::clamp(grow, 0.2, 2.0),
+                                opt_.dtMin, dtMax);
+            }
+
+            // Accept: epilogue assembly at the converged solution, then
+            // advance sensitivities with the SAME factored matrix.
+            assembleHistory(next.x, next.t, next);
+            if (opt_.trackSkewSensitivities) {
+                advanceSensitivities(prev, havePrev2 ? &prev2 : nullptr,
+                                     next, stepDt);
+            }
+            if (stats_ != nullptr) {
+                ++stats_->timeSteps;
+            }
+            prev2 = std::move(prev);
+            havePrev2 = true;
+            prev = std::move(next);
+            if (!opt_.adaptive) {
+                --remainingFixedSteps;
+            }
+            recordTape(result, prev);
+            record(result, prev);
+        }
+
+        result.finalState = prev.x;
+        if (opt_.trackSkewSensitivities) {
+            result.finalSensitivitySetup = prev.ms;
+            result.finalSensitivityHold = prev.mh;
+        }
+        result.success = true;
+        return result;
+    }
+
+private:
+    /// Assembles q, fTotal, C, G (+gmin) at (x, t) into `h`, and factors
+    /// J = a*C + G for the just-completed step when needed by sensitivities.
+    void assembleHistory(const Vector& x, double t, StepHistory& h) {
+        circuit_.assemble(x, t, asmb_, stats_);
+        h.x = x;
+        h.t = t;
+        h.q = asmb_.q();
+        h.fTotal = asmb_.f();
+        h.c = asmb_.c();
+        h.g = asmb_.g();
+        for (std::size_t i = 0; i < nodeRows_; ++i) {
+            h.fTotal[i] += opt_.gmin * x[i];
+            h.g(i, i) += opt_.gmin;
+        }
+    }
+
+    Vector predict(const StepHistory& prev, const StepHistory* prev2,
+                   double tNew) const {
+        if (prev2 == nullptr || prev.t <= prev2->t) {
+            return prev.x;
+        }
+        // Linear extrapolation through the last two accepted points.
+        const double frac = (tNew - prev.t) / (prev.t - prev2->t);
+        Vector guess = prev.x;
+        for (std::size_t i = 0; i < n_; ++i) {
+            guess[i] += frac * (prev.x[i] - prev2->x[i]);
+        }
+        return guess;
+    }
+
+    /// Integration formula actually used for a step: Gear2 bootstraps its
+    /// first step (no second history point yet) with Backward Euler.
+    IntegrationMethod effectiveMethod(const StepHistory* prev2) const {
+        if (opt_.method == IntegrationMethod::Gear2 && prev2 == nullptr) {
+            return IntegrationMethod::BackwardEuler;
+        }
+        return opt_.method;
+    }
+
+    /// Discretized residual solve for one step; next.x holds the initial
+    /// guess on entry and the solution on (successful) exit.
+    ///
+    /// Residuals (all with the gmin leak folded into f):
+    ///   BE:    (q_i - q_{i-1})/dt + f_i = 0                 J = C/dt + G
+    ///   TRAP:  2(q_i - q_{i-1})/dt + f_i + f_{i-1} = 0      J = 2C/dt + G
+    ///   Gear2: (1.5 q_i - 2 q_{i-1} + 0.5 q_{i-2})/dt + f_i = 0,
+    ///                                                       J = 1.5C/dt + G
+    bool solveStep(const StepHistory& prev, const StepHistory* prev2,
+                   StepHistory& next, double dt) {
+        const IntegrationMethod method = effectiveMethod(prev2);
+        const bool trap = method == IntegrationMethod::Trapezoidal;
+        const bool gear = method == IntegrationMethod::Gear2;
+        const double a = (trap ? 2.0 : (gear ? 1.5 : 1.0)) / dt;
+        const double tNew = next.t;
+        const NewtonSystemFn system = [&](const Vector& xi, Vector& residual,
+                                          Matrix& jacobian) {
+            circuit_.assemble(xi, tNew, asmb_, stats_);
+            residual = asmb_.q();
+            residual *= a;
+            if (gear) {
+                residual.addScaled(-2.0 / dt, prev.q);
+                residual.addScaled(0.5 / dt, prev2->q);
+            } else {
+                residual.addScaled(-a, prev.q);
+            }
+            residual += asmb_.f();
+            jacobian = asmb_.c();
+            jacobian *= a;
+            jacobian += asmb_.g();
+            for (std::size_t i = 0; i < nodeRows_; ++i) {
+                residual[i] += opt_.gmin * xi[i];
+                jacobian(i, i) += opt_.gmin;
+            }
+            if (trap) {
+                residual += prev.fTotal;
+            }
+        };
+        const NewtonResult nr =
+            solveNewton(system, next.x, nodeRows_, opt_.newton, stats_,
+                        &stepLu_);
+        return nr.converged;
+    }
+
+    /// Weighted LTE estimate (>1 means reject): difference between the
+    /// accepted solution and the polynomial predictor through the previous
+    /// two points, measured against lteRelTol/lteAbsTol.
+    double lteEstimate(const StepHistory& prev, const StepHistory& prev2,
+                       const StepHistory& next) const {
+        const double frac = (next.t - prev.t) / (prev.t - prev2.t);
+        double worst = 0.0;
+        for (std::size_t i = 0; i < n_; ++i) {
+            const double pred =
+                prev.x[i] + frac * (prev.x[i] - prev2.x[i]);
+            const double err = std::fabs(next.x[i] - pred);
+            const double tol =
+                opt_.lteRelTol * std::max(std::fabs(next.x[i]),
+                                          std::fabs(prev.x[i])) +
+                opt_.lteAbsTol;
+            worst = std::max(worst, err / tol);
+        }
+        return worst;
+    }
+
+    /// m_i update reusing the state solve's factored (a*C_i + G_i) -- the
+    /// paper's central efficiency point: each sensitivity costs one extra
+    /// back-substitution per step, not a new factorization. The reused
+    /// factors are from the final Newton iterate, within Newton tolerance
+    /// of the accepted solution (see solveNewton docs).
+    void advanceSensitivities(const StepHistory& prev,
+                              const StepHistory* prev2, StepHistory& next,
+                              double dt) {
+        const IntegrationMethod method = effectiveMethod(prev2);
+        const bool trap = method == IntegrationMethod::Trapezoidal;
+        const bool gear = method == IntegrationMethod::Gear2;
+        const double a = (trap ? 2.0 : (gear ? 1.5 : 1.0)) / dt;
+        const LuFactorization& lu = stepLu_;
+        if (!lu.valid()) {
+            throw NumericalError(message(
+                "sensitivity update without a factored step Jacobian at t=",
+                next.t));
+        }
+        const auto advanceOne = [&](SkewParam p, const Vector& mPrev,
+                                    const Vector* mPrev2) {
+            // Differentiating the step residual w.r.t. tau:
+            //   BE:    rhs = C_{i-1} m_{i-1}/dt - b z_i
+            //   TRAP:  rhs = (2C_{i-1}/dt - G_{i-1}) m_{i-1}
+            //                - b z_i - b z_{i-1}
+            //   Gear2: rhs = (2 C_{i-1} m_{i-1} - 0.5 C_{i-2} m_{i-2})/dt
+            //                - b z_i
+            Vector rhs(n_);
+            if (gear) {
+                prev.c.multiplyAccumulate(mPrev, 2.0 / dt, rhs);
+                prev2->c.multiplyAccumulate(*mPrev2, -0.5 / dt, rhs);
+            } else {
+                prev.c.multiplyAccumulate(mPrev, a, rhs);
+                if (trap) {
+                    prev.g.multiplyAccumulate(mPrev, -1.0, rhs);
+                }
+            }
+            Vector bz(n_);
+            circuit_.addSkewDerivative(next.t, p, bz);
+            if (trap) {
+                circuit_.addSkewDerivative(prev.t, p, bz);
+            }
+            rhs -= bz;
+            lu.solveInPlace(rhs, stats_);
+            return rhs;
+        };
+        next.ms = advanceOne(SkewParam::Setup, prev.ms,
+                             prev2 != nullptr ? &prev2->ms : nullptr);
+        next.mh = advanceOne(SkewParam::Hold, prev.mh,
+                             prev2 != nullptr ? &prev2->mh : nullptr);
+        if (stats_ != nullptr) {
+            stats_->sensitivitySteps += 2;
+        }
+    }
+
+    void recordTape(TransientResult& result, const StepHistory& h) const {
+        if (!opt_.recordAdjointTape) {
+            return;
+        }
+        AdjointTapeEntry entry;
+        entry.t = h.t;
+        entry.c = h.c;
+        entry.g = h.g;
+        result.adjointTape.push_back(std::move(entry));
+    }
+
+    void record(TransientResult& result, const StepHistory& h) const {
+        if (!opt_.storeStates) {
+            return;
+        }
+        result.times.push_back(h.t);
+        result.states.push_back(h.x);
+        if (opt_.trackSkewSensitivities) {
+            result.sensitivitySetup.push_back(h.ms);
+            result.sensitivityHold.push_back(h.mh);
+        }
+    }
+
+    const Circuit& circuit_;
+    const TransientOptions& opt_;
+    SimStats* stats_;
+    std::size_t n_;
+    std::size_t nodeRows_;
+    Assembler asmb_;
+    /// Factorization of the last accepted step's Newton Jacobian, reused
+    /// by the sensitivity recurrences.
+    LuFactorization stepLu_;
+};
+
+}  // namespace
+
+TransientAnalysis::TransientAnalysis(const Circuit& circuit,
+                                     TransientOptions options)
+    : circuit_(circuit), options_(std::move(options)) {
+    require(circuit.finalized(), "TransientAnalysis: circuit not finalized");
+    require(options_.tStop > options_.tStart,
+            "TransientAnalysis: tStop must exceed tStart");
+    require(!(options_.method == IntegrationMethod::Gear2 &&
+              options_.adaptive),
+            "TransientAnalysis: Gear2 uses constant-step coefficients and "
+            "supports the fixed grid only");
+}
+
+TransientResult TransientAnalysis::run(SimStats* stats) const {
+    Engine engine(circuit_, options_, stats);
+    return engine.run();
+}
+
+}  // namespace shtrace

@@ -1,0 +1,88 @@
+#include "shtrace/cells/c2mos.hpp"
+
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/mosfet.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+RegisterFixture buildC2mosRegister(const C2mosOptions& opt) {
+    RegisterFixture fx;
+    fx.name = "C2MOS";
+    fx.vdd = opt.corner.vdd;
+    fx.activeEdgeIndex = opt.activeEdgeIndex;
+
+    Circuit& ckt = fx.circuit;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId clk = ckt.node("clk");
+    const NodeId clkb = ckt.node("clkb");
+    const NodeId d = ckt.node("d");
+    const NodeId m1 = ckt.node("m1");  // master PMOS stack internal node
+    const NodeId m2 = ckt.node("m2");  // master NMOS stack internal node
+    const NodeId x = ckt.node("x");    // master output / slave input
+    const NodeId sp = ckt.node("sp");  // slave PMOS stack internal node
+    const NodeId sn = ckt.node("sn");  // slave NMOS stack internal node
+    const NodeId q = ckt.node("q");
+    fx.clk = clk;
+    fx.d = d;
+    fx.q = q;
+
+    // --- sources ---
+    ckt.add<VoltageSource>("Vdd", vdd, kGround, opt.corner.vdd);
+
+    ClockWaveform::Spec clockSpec = opt.clockSpec;
+    clockSpec.v1 = opt.corner.vdd;
+    fx.clock = std::make_shared<ClockWaveform>(clockSpec);
+    ckt.add<VoltageSource>("Vclk", clk, kGround, fx.clock);
+
+    ClockWaveform::Spec barSpec = clockSpec;
+    barSpec.inverted = true;
+    barSpec.delay += opt.clkBarDelay;  // paper: clk-bar delayed 0.3 ns
+    fx.clockBar = std::make_shared<ClockWaveform>(barSpec);
+    ckt.add<VoltageSource>("Vclkb", clkb, kGround, fx.clockBar);
+
+    DataPulse::Spec dataSpec;
+    dataSpec.v0 = opt.risingData ? 0.0 : opt.corner.vdd;
+    dataSpec.v1 = opt.risingData ? opt.corner.vdd : 0.0;
+    dataSpec.activeEdgeTime = fx.clock->risingEdgeMidpoint(opt.activeEdgeIndex);
+    dataSpec.transitionTime = opt.dataTransitionTime;
+    fx.data = std::make_shared<DataPulse>(dataSpec);
+    ckt.add<VoltageSource>("Vdata", d, kGround, fx.data);
+
+    // Two inversions: Q follows D.
+    fx.qInitial = dataSpec.v0;
+    fx.qFinal = dataSpec.v1;
+
+    const auto nmos = [&](double w) { return makeNmos(opt.corner, w, opt.l); };
+    const auto pmos = [&](double w) { return makePmos(opt.corner, w, opt.l); };
+
+    // --- master C2MOS inverter: transparent when CLK=0 ---
+    //   MP1: vdd -> m1, gate D      MP2: m1 -> x, gate CLK
+    //   MN1: x -> m2,  gate CLKB    MN2: m2 -> gnd, gate D
+    ckt.add<Mosfet>("MP1", m1, d, vdd, vdd, pmos(opt.wp));
+    ckt.add<Mosfet>("MP2", x, clk, m1, vdd, pmos(opt.wp));
+    ckt.add<Mosfet>("MN1", x, clkb, m2, kGround, nmos(opt.wn));
+    ckt.add<Mosfet>("MN2", m2, d, kGround, kGround, nmos(opt.wn));
+
+    // --- slave C2MOS inverter: transparent when CLK=1 ---
+    //   MP3: vdd -> sp, gate X      MP4: sp -> q, gate CLKB
+    //   MN3: q -> sn,  gate CLK     MN4: sn -> gnd, gate X
+    ckt.add<Mosfet>("MP3", sp, x, vdd, vdd, pmos(opt.wp));
+    ckt.add<Mosfet>("MP4", q, clkb, sp, vdd, pmos(opt.wp));
+    ckt.add<Mosfet>("MN3", q, clk, sn, kGround, nmos(opt.wn));
+    ckt.add<Mosfet>("MN4", sn, x, kGround, kGround, nmos(opt.wn));
+
+    // --- parasitics / load ---
+    require(opt.outputLoadCapacitance > 0.0,
+            "buildC2mosRegister: output load must be positive");
+    ckt.add<Capacitor>("Cload", q, kGround, opt.outputLoadCapacitance);
+    if (opt.internalNodeCapacitance > 0.0) {
+        ckt.add<Capacitor>("Cx", x, kGround, opt.internalNodeCapacitance);
+    }
+
+    ckt.finalize();
+    return fx;
+}
+
+}  // namespace shtrace

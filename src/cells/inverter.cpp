@@ -1,0 +1,24 @@
+#include "shtrace/cells/inverter.hpp"
+
+namespace shtrace {
+
+void addInverter(Circuit& ckt, const std::string& prefix, NodeId in,
+                 NodeId out, NodeId vdd, const ProcessCorner& corner,
+                 const GateSizing& sizing) {
+    ckt.add<Mosfet>(prefix + "_p", out, in, vdd, vdd,
+                    makePmos(corner, sizing.wp, sizing.l));
+    ckt.add<Mosfet>(prefix + "_n", out, in, kGround, kGround,
+                    makeNmos(corner, sizing.wn, sizing.l));
+}
+
+void addTransmissionGate(Circuit& ckt, const std::string& prefix, NodeId a,
+                         NodeId b, NodeId nGate, NodeId pGate, NodeId vdd,
+                         const ProcessCorner& corner,
+                         const GateSizing& sizing) {
+    ckt.add<Mosfet>(prefix + "_n", a, nGate, b, kGround,
+                    makeNmos(corner, sizing.wn, sizing.l));
+    ckt.add<Mosfet>(prefix + "_p", a, pGate, b, vdd,
+                    makePmos(corner, sizing.wp, sizing.l));
+}
+
+}  // namespace shtrace

@@ -1,0 +1,81 @@
+#include "shtrace/cells/latch.hpp"
+
+#include "shtrace/cells/inverter.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+RegisterFixture buildTransparentLatch(const LatchOptions& opt) {
+    RegisterFixture fx;
+    fx.name = "TG-LATCH";
+    fx.vdd = opt.corner.vdd;
+    fx.activeEdgeIndex = opt.activeEdgeIndex;
+
+    Circuit& ckt = fx.circuit;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId clk = ckt.node("clk");
+    const NodeId clkb = ckt.node("clkb");
+    const NodeId d = ckt.node("d");
+    const NodeId a = ckt.node("a");    // storage node
+    const NodeId qb = ckt.node("qb");  // ~D while transparent
+    const NodeId q = ckt.node("q");
+    fx.clk = clk;
+    fx.d = d;
+    fx.q = q;
+
+    // --- sources ---
+    ckt.add<VoltageSource>("Vdd", vdd, kGround, opt.corner.vdd);
+
+    ClockWaveform::Spec clockSpec = opt.clockSpec;
+    clockSpec.v1 = opt.corner.vdd;
+    fx.clock = std::make_shared<ClockWaveform>(clockSpec);
+    ckt.add<VoltageSource>("Vclk", clk, kGround, fx.clock);
+
+    ClockWaveform::Spec barSpec = clockSpec;
+    barSpec.inverted = true;
+    barSpec.delay += opt.clkBarDelay;
+    fx.clockBar = std::make_shared<ClockWaveform>(barSpec);
+    ckt.add<VoltageSource>("Vclkb", clkb, kGround, fx.clockBar);
+
+    // The latch is transparent while CLK is high and CLOSES on the falling
+    // edge: center the data pulse (and the measurement) on that edge.
+    const double closingEdge =
+        fx.clock->risingEdgeMidpoint(opt.activeEdgeIndex) +
+        clockSpec.dutyCycle * clockSpec.period;
+    fx.activeEdgeOverride = closingEdge;
+
+    DataPulse::Spec dataSpec;
+    dataSpec.v0 = opt.risingData ? 0.0 : opt.corner.vdd;
+    dataSpec.v1 = opt.risingData ? opt.corner.vdd : 0.0;
+    dataSpec.activeEdgeTime = closingEdge;
+    dataSpec.transitionTime = opt.dataTransitionTime;
+    fx.data = std::make_shared<DataPulse>(dataSpec);
+    ckt.add<VoltageSource>("Vdata", d, kGround, fx.data);
+
+    fx.qInitial = dataSpec.v0;
+    fx.qFinal = dataSpec.v1;
+
+    // --- the latch: TG (transparent at CLK=1), keeper, output buffer ---
+    const GateSizing drive{opt.wn, opt.wp, opt.l};
+    const GateSizing keeper{opt.wn * opt.keeperRatio,
+                            opt.wp * opt.keeperRatio, opt.l};
+    addTransmissionGate(ckt, "TG1", d, a, clk, clkb, vdd, opt.corner, drive);
+    addInverter(ckt, "INV1", a, qb, vdd, opt.corner, drive);
+    addInverter(ckt, "KPR1", qb, a, vdd, opt.corner, keeper);
+    addInverter(ckt, "INV2", qb, q, vdd, opt.corner, drive);
+
+    // --- parasitics / load ---
+    require(opt.outputLoadCapacitance > 0.0,
+            "buildTransparentLatch: output load must be positive");
+    ckt.add<Capacitor>("Cload", q, kGround, opt.outputLoadCapacitance);
+    if (opt.internalNodeCapacitance > 0.0) {
+        ckt.add<Capacitor>("Ca", a, kGround, opt.internalNodeCapacitance);
+    }
+
+    ckt.finalize();
+    return fx;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,88 @@
+#include "shtrace/cells/mos_library.hpp"
+
+#include <cmath>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+ProcessCorner ProcessCorner::typical() { return ProcessCorner{}; }
+
+ProcessCorner ProcessCorner::fast() {
+    ProcessCorner c;
+    c.name = "FF";
+    c.vdd = 2.75;
+    c.vtn = 0.38;
+    c.vtp = 0.43;
+    c.kpn = 72e-6;
+    c.kpp = 30e-6;
+    return c;
+}
+
+ProcessCorner ProcessCorner::slow() {
+    ProcessCorner c;
+    c.name = "SS";
+    c.vdd = 2.25;
+    c.vtn = 0.52;
+    c.vtp = 0.57;
+    c.kpn = 50e-6;
+    c.kpp = 21e-6;
+    return c;
+}
+
+ProcessCorner ProcessCorner::atTemperature(double celsius) const {
+    ProcessCorner c = *this;
+    const double tKelvin = celsius + 273.15;
+    const double ratio = tKelvin / 300.0;
+    const double mobilityScale = std::pow(ratio, -1.5);
+    const double vtShift = -1.5e-3 * (tKelvin - 300.0);
+    c.kpn *= mobilityScale;
+    c.kpp *= mobilityScale;
+    c.vtn = std::max(0.05, c.vtn + vtShift);
+    c.vtp = std::max(0.05, c.vtp + vtShift);
+    c.name += message("@", celsius, "C");
+    return c;
+}
+
+namespace {
+void fillCaps(const ProcessCorner& corner, double w, double l,
+              MosfetParams& p) {
+    const double gateCap = corner.coxPerArea * w * l;
+    const double overlap = corner.overlapCapPerWidth * w;
+    // Meyer-simplified split: half the channel capacitance to each of
+    // source and drain, plus overlaps; a small residual to bulk.
+    p.cgs = 0.5 * gateCap + overlap;
+    p.cgd = 0.5 * gateCap + overlap;
+    p.cgb = 0.1 * gateCap;
+    p.cdb = corner.junctionCapPerWidth * w;
+    p.csb = corner.junctionCapPerWidth * w;
+}
+}  // namespace
+
+MosfetParams makeNmos(const ProcessCorner& corner, double w, double l) {
+    require(w > 0.0 && l > 0.0, "makeNmos: W/L must be positive");
+    MosfetParams p;
+    p.type = MosfetType::Nmos;
+    p.vt0 = corner.vtn;
+    p.kp = corner.kpn;
+    p.lambda = corner.lambdaN;
+    p.w = w;
+    p.l = l;
+    fillCaps(corner, w, l, p);
+    return p;
+}
+
+MosfetParams makePmos(const ProcessCorner& corner, double w, double l) {
+    require(w > 0.0 && l > 0.0, "makePmos: W/L must be positive");
+    MosfetParams p;
+    p.type = MosfetType::Pmos;
+    p.vt0 = corner.vtp;
+    p.kp = corner.kpp;
+    p.lambda = corner.lambdaP;
+    p.w = w;
+    p.l = l;
+    fillCaps(corner, w, l, p);
+    return p;
+}
+
+}  // namespace shtrace

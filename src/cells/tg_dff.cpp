@@ -1,0 +1,83 @@
+#include "shtrace/cells/tg_dff.hpp"
+
+#include "shtrace/cells/inverter.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+RegisterFixture buildTgDffRegister(const TgDffOptions& opt) {
+    RegisterFixture fx;
+    fx.name = "TG-DFF";
+    fx.vdd = opt.corner.vdd;
+    fx.activeEdgeIndex = opt.activeEdgeIndex;
+
+    Circuit& ckt = fx.circuit;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId clk = ckt.node("clk");
+    const NodeId clkb = ckt.node("clkb");
+    const NodeId d = ckt.node("d");
+    const NodeId a = ckt.node("a");    // master storage node
+    const NodeId b = ckt.node("b");    // master output (~D)
+    const NodeId c = ckt.node("c");    // slave storage node
+    const NodeId q = ckt.node("q");    // slave output (= D)
+    fx.clk = clk;
+    fx.d = d;
+    fx.q = q;
+
+    // --- sources ---
+    ckt.add<VoltageSource>("Vdd", vdd, kGround, opt.corner.vdd);
+
+    ClockWaveform::Spec clockSpec = opt.clockSpec;
+    clockSpec.v1 = opt.corner.vdd;
+    fx.clock = std::make_shared<ClockWaveform>(clockSpec);
+    ckt.add<VoltageSource>("Vclk", clk, kGround, fx.clock);
+
+    ClockWaveform::Spec barSpec = clockSpec;
+    barSpec.inverted = true;
+    barSpec.delay += opt.clkBarDelay;
+    fx.clockBar = std::make_shared<ClockWaveform>(barSpec);
+    ckt.add<VoltageSource>("Vclkb", clkb, kGround, fx.clockBar);
+
+    DataPulse::Spec dataSpec;
+    dataSpec.v0 = opt.risingData ? 0.0 : opt.corner.vdd;
+    dataSpec.v1 = opt.risingData ? opt.corner.vdd : 0.0;
+    dataSpec.activeEdgeTime = fx.clock->risingEdgeMidpoint(opt.activeEdgeIndex);
+    dataSpec.transitionTime = opt.dataTransitionTime;
+    fx.data = std::make_shared<DataPulse>(dataSpec);
+    ckt.add<VoltageSource>("Vdata", d, kGround, fx.data);
+
+    fx.qInitial = dataSpec.v0;
+    fx.qFinal = dataSpec.v1;
+
+    const GateSizing drive{opt.wn, opt.wp, opt.l};
+    const GateSizing keeper{opt.wn * opt.keeperRatio, opt.wp * opt.keeperRatio,
+                            opt.l};
+
+    // --- master latch: transparent at CLK=0 ---
+    // TG1 passes D -> a when clk low (NMOS gate clkb, PMOS gate clk).
+    addTransmissionGate(ckt, "TG1", d, a, clkb, clk, vdd, opt.corner, drive);
+    addInverter(ckt, "INV1", a, b, vdd, opt.corner, drive);
+    // Weak keeper holds node a when the TG is off.
+    addInverter(ckt, "KPR1", b, a, vdd, opt.corner, keeper);
+
+    // --- slave latch: transparent at CLK=1 ---
+    addTransmissionGate(ckt, "TG2", b, c, clk, clkb, vdd, opt.corner, drive);
+    addInverter(ckt, "INV2", c, q, vdd, opt.corner, drive);
+    addInverter(ckt, "KPR2", q, c, vdd, opt.corner, keeper);
+
+    // --- parasitics / load ---
+    require(opt.outputLoadCapacitance > 0.0,
+            "buildTgDffRegister: output load must be positive");
+    ckt.add<Capacitor>("Cload", q, kGround, opt.outputLoadCapacitance);
+    if (opt.internalNodeCapacitance > 0.0) {
+        ckt.add<Capacitor>("Ca", a, kGround, opt.internalNodeCapacitance);
+        ckt.add<Capacitor>("Cc", c, kGround, opt.internalNodeCapacitance);
+    }
+
+    ckt.finalize();
+    return fx;
+}
+
+}  // namespace shtrace

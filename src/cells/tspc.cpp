@@ -1,0 +1,95 @@
+#include "shtrace/cells/tspc.hpp"
+
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/mosfet.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+RegisterFixture buildTspcRegister(const TspcOptions& opt) {
+    RegisterFixture fx;
+    fx.name = "TSPC";
+    fx.vdd = opt.corner.vdd;
+    fx.activeEdgeIndex = opt.activeEdgeIndex;
+
+    Circuit& ckt = fx.circuit;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId clk = ckt.node("clk");
+    const NodeId d = ckt.node("d");
+    const NodeId x1 = ckt.node("x1");
+    const NodeId s1 = ckt.node("s1");
+    const NodeId y = ckt.node("y");
+    const NodeId s2 = ckt.node("s2");
+    const NodeId qb = ckt.node("qb");
+    const NodeId s3 = ckt.node("s3");
+    const NodeId q = ckt.node("q");
+    fx.clk = clk;
+    fx.d = d;
+    fx.q = q;
+
+    // --- sources ---
+    ckt.add<VoltageSource>("Vdd", vdd, kGround, opt.corner.vdd);
+
+    ClockWaveform::Spec clockSpec = opt.clockSpec;
+    clockSpec.v1 = opt.corner.vdd;  // clock swings rail to rail
+    fx.clock = std::make_shared<ClockWaveform>(clockSpec);
+    ckt.add<VoltageSource>("Vclk", clk, kGround, fx.clock);
+
+    DataPulse::Spec dataSpec;
+    dataSpec.v0 = opt.risingData ? 0.0 : opt.corner.vdd;
+    dataSpec.v1 = opt.risingData ? opt.corner.vdd : 0.0;
+    dataSpec.activeEdgeTime = fx.clock->risingEdgeMidpoint(opt.activeEdgeIndex);
+    dataSpec.transitionTime = opt.dataTransitionTime;
+    fx.data = std::make_shared<DataPulse>(dataSpec);
+    ckt.add<VoltageSource>("Vdata", d, kGround, fx.data);
+
+    // The latched datum is dataSpec.v1; with the output inverter Q follows D.
+    fx.qInitial = dataSpec.v0;
+    fx.qFinal = dataSpec.v1;
+
+    // --- stage 1: p-section, transparent at CLK=0 ---
+    //   MP1a: vdd -> s1, gate D      (series pull-up, clock-gated so x1
+    //   MP1b: s1 -> x1,  gate CLK     cannot RISE during evaluation --
+    //   MN1:  x1 -> gnd, gate D       this is what makes TSPC edge-triggered)
+    const auto nmos = [&](double w) { return makeNmos(opt.corner, w, opt.l); };
+    const auto pmos = [&](double w) { return makePmos(opt.corner, w, opt.l); };
+    ckt.add<Mosfet>("MP1a", s1, d, vdd, vdd, pmos(opt.wp));
+    ckt.add<Mosfet>("MP1b", x1, clk, s1, vdd, pmos(opt.wp));
+    ckt.add<Mosfet>("MN1", x1, d, kGround, kGround, nmos(opt.wn));
+
+    // --- stage 2: n-section precharge (CLK=0) / evaluate ~x1 (CLK=1) ---
+    //   MP2: vdd -> y, gate CLK
+    //   MN3: y -> s2,  gate x1
+    //   MN4: s2 -> gnd, gate CLK
+    ckt.add<Mosfet>("MP2", y, clk, vdd, vdd, pmos(opt.wp));
+    ckt.add<Mosfet>("MN3", y, x1, s2, kGround, nmos(opt.wn));
+    ckt.add<Mosfet>("MN4", s2, clk, kGround, kGround, nmos(opt.wn));
+
+    // --- stage 3: qb = ~y when CLK=1, dynamic hold when CLK=0 ---
+    //   MP3: vdd -> qb, gate y
+    //   MN5: qb -> s3,  gate CLK
+    //   MN6: s3 -> gnd, gate y
+    ckt.add<Mosfet>("MP3", qb, y, vdd, vdd, pmos(opt.wp));
+    ckt.add<Mosfet>("MN5", qb, clk, s3, kGround, nmos(opt.wn));
+    ckt.add<Mosfet>("MN6", s3, y, kGround, kGround, nmos(opt.wn));
+
+    // --- output inverter: Q = ~qb ---
+    ckt.add<Mosfet>("MP4", q, qb, vdd, vdd, pmos(opt.wp));
+    ckt.add<Mosfet>("MN7", q, qb, kGround, kGround, nmos(opt.wn));
+
+    // --- parasitics / load ---
+    require(opt.outputLoadCapacitance > 0.0,
+            "buildTspcRegister: output load must be positive");
+    ckt.add<Capacitor>("Cload", q, kGround, opt.outputLoadCapacitance);
+    if (opt.internalNodeCapacitance > 0.0) {
+        ckt.add<Capacitor>("Cx1", x1, kGround, opt.internalNodeCapacitance);
+        ckt.add<Capacitor>("Cy", y, kGround, opt.internalNodeCapacitance);
+        ckt.add<Capacitor>("Cqb", qb, kGround, opt.internalNodeCapacitance);
+    }
+
+    ckt.finalize();
+    return fx;
+}
+
+}  // namespace shtrace

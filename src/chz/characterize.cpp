@@ -1,0 +1,38 @@
+#include "shtrace/chz/characterize.hpp"
+
+#include <algorithm>
+
+namespace shtrace {
+
+CharacterizeResult characterizeInterdependent(
+    const RegisterFixture& fixture, const CharacterizeOptions& options) {
+    CharacterizeResult result;
+    ScopedTimer timer(&result.stats);
+
+    const CharacterizationProblem problem(fixture, options.criterion,
+                                          options.recipe, &result.stats);
+    result.characteristicClockToQ = problem.characteristicClockToQ();
+    result.degradedClockToQ = problem.degradedClockToQ();
+    result.tf = problem.tf();
+    result.r = problem.r();
+
+    result.seed = findSeedPoint(problem.h(), problem.passSign(), options.seed,
+                                &result.stats);
+    if (!result.seed.found) {
+        return result;
+    }
+
+    // Enter the tracer window along the hold axis: MPNR will then pull the
+    // point onto the curve inside (or near) the bounds.
+    SkewPoint seed = result.seed.seed;
+    seed.hold = std::clamp(seed.hold, options.tracer.bounds.holdMin,
+                           options.tracer.bounds.holdMax);
+
+    result.contour =
+        traceContour(problem.h(), seed, options.tracer, &result.stats);
+    result.success =
+        result.contour.seedConverged && !result.contour.points.empty();
+    return result;
+}
+
+}  // namespace shtrace

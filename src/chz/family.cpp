@@ -1,0 +1,57 @@
+#include "shtrace/chz/family.hpp"
+
+#include <algorithm>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+bool ContourFamilyResult::allSucceeded() const {
+    if (members.empty()) {
+        return false;
+    }
+    return std::all_of(members.begin(), members.end(),
+                       [](const ContourFamilyMember& m) { return m.success; });
+}
+
+ContourFamilyResult characterizeContourFamily(
+    const RegisterFixture& fixture, const ContourFamilyOptions& options) {
+    require(!options.degradations.empty(),
+            "characterizeContourFamily: no degradation levels given");
+    ContourFamilyResult result;
+    ScopedTimer timer(&result.stats);
+
+    SeedOptions seedOpt = options.seed;
+    for (double degradation : options.degradations) {
+        ContourFamilyMember member;
+        member.degradation = degradation;
+
+        CriterionOptions criterion = options.criterion;
+        criterion.degradation = degradation;
+        const CharacterizationProblem problem(fixture, criterion,
+                                              options.recipe, &result.stats);
+        result.characteristicClockToQ = problem.characteristicClockToQ();
+        member.tf = problem.tf();
+
+        member.seed = findSeedPoint(problem.h(), problem.passSign(), seedOpt,
+                                    &result.stats);
+        if (member.seed.found) {
+            SkewPoint seed = member.seed.seed;
+            seed.hold = std::clamp(seed.hold, options.tracer.bounds.holdMin,
+                                   options.tracer.bounds.holdMax);
+            member.contour = traceContour(problem.h(), seed, options.tracer,
+                                          &result.stats);
+            member.success = member.contour.seedConverged &&
+                             !member.contour.points.empty();
+
+            // Warm start the next member: contours are nested, so the next
+            // setup asymptote is near (at most somewhat below) this one.
+            seedOpt.setupLo = 0.5 * member.seed.seed.setup;
+            seedOpt.setupHi = 2.0 * member.seed.seed.setup;
+        }
+        result.members.push_back(std::move(member));
+    }
+    return result;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,76 @@
+#include "shtrace/chz/h_function.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+HFunction::HFunction(const Circuit& circuit, std::shared_ptr<DataPulse> data,
+                     Vector selector, double tf, double r,
+                     TransientOptions baseOptions)
+    : circuit_(circuit),
+      data_(std::move(data)),
+      selector_(std::move(selector)),
+      tf_(tf),
+      r_(r),
+      baseOptions_(std::move(baseOptions)) {
+    require(data_ != nullptr, "HFunction: null data pulse");
+    require(selector_.size() == circuit.systemSize(),
+            "HFunction: selector size mismatch");
+    require(tf_ > baseOptions_.tStart, "HFunction: tf must follow tStart");
+    require(!baseOptions_.adaptive,
+            "HFunction requires the fixed-grid transient recipe; the "
+            "discretized h must not depend on an adaptive grid");
+}
+
+TransientOptions HFunction::makeOptions(bool sensitivities,
+                                        bool storeStates) const {
+    TransientOptions opt = baseOptions_;
+    opt.tStop = tf_;
+    opt.trackSkewSensitivities = sensitivities;
+    opt.storeStates = storeStates;
+    return opt;
+}
+
+HEvaluation HFunction::evaluate(double setupSkew, double holdSkew,
+                                SimStats* stats) const {
+    data_->setSkews(setupSkew, holdSkew);
+    const TransientResult tr =
+        TransientAnalysis(circuit_, makeOptions(true, false)).run(stats);
+    HEvaluation out;
+    out.success = tr.success;
+    if (stats != nullptr) {
+        ++stats->hEvaluations;
+    }
+    if (!tr.success) {
+        return out;
+    }
+    out.h = selector_.dot(tr.finalState) - r_;
+    out.dhds = selector_.dot(tr.finalSensitivitySetup);
+    out.dhdh = selector_.dot(tr.finalSensitivityHold);
+    return out;
+}
+
+HEvaluation HFunction::evaluateValueOnly(double setupSkew, double holdSkew,
+                                         SimStats* stats) const {
+    data_->setSkews(setupSkew, holdSkew);
+    const TransientResult tr =
+        TransientAnalysis(circuit_, makeOptions(false, false)).run(stats);
+    HEvaluation out;
+    out.success = tr.success;
+    if (stats != nullptr) {
+        ++stats->hEvaluations;
+    }
+    if (!tr.success) {
+        return out;
+    }
+    out.h = selector_.dot(tr.finalState) - r_;
+    return out;
+}
+
+TransientResult HFunction::simulate(double setupSkew, double holdSkew,
+                                    SimStats* stats) const {
+    data_->setSkews(setupSkew, holdSkew);
+    return TransientAnalysis(circuit_, makeOptions(false, true)).run(stats);
+}
+
+}  // namespace shtrace

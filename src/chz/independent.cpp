@@ -1,0 +1,153 @@
+#include "shtrace/chz/independent.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+/// Skew pair along an axis with the other coordinate pinned.
+SkewPoint onAxis(SkewAxis axis, double value, double pinned) {
+    return axis == SkewAxis::Setup ? SkewPoint{value, pinned}
+                                   : SkewPoint{pinned, value};
+}
+
+}  // namespace
+
+IndependentResult characterizeByBisection(const HFunction& h, SkewAxis axis,
+                                          double passSign,
+                                          const IndependentOptions& opt,
+                                          SimStats* stats) {
+    require(opt.lo < opt.hi, "characterizeByBisection: bad bracket");
+    IndependentResult result;
+
+    const auto passMetric = [&](double v) {
+        const SkewPoint p = onAxis(axis, v, opt.pinnedSkew);
+        const HEvaluation eval = h.evaluateValueOnly(p.setup, p.hold, stats);
+        ++result.transientCount;
+        require(eval.success, "characterizeByBisection: transient failed");
+        return passSign * eval.h;
+    };
+
+    double lo = opt.lo;
+    double hi = opt.hi;
+    double mLo = passMetric(lo);
+    double mHi = passMetric(hi);
+    if (mLo > 0.0 || mHi <= 0.0) {
+        return result;  // transition not inside the range
+    }
+    while (hi - lo > opt.tolerance &&
+           result.iterations < opt.maxIterations) {
+        ++result.iterations;
+        const double mid = 0.5 * (lo + hi);
+        if (passMetric(mid) > 0.0) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    result.converged = hi - lo <= opt.tolerance;
+    result.skew = 0.5 * (lo + hi);
+    return result;
+}
+
+IndependentResult characterizeByNewton(const HFunction& h, SkewAxis axis,
+                                       double passSign,
+                                       const IndependentOptions& opt,
+                                       SimStats* stats) {
+    require(opt.lo < opt.hi, "characterizeByNewton: bad bracket");
+    IndependentResult result;
+
+    // --- coarse bracket scan (a handful of cheap transients) ---
+    double seed = opt.newtonSeed;
+    double lo = opt.lo;
+    double hi = opt.hi;
+    if (seed <= 0.0) {
+        constexpr int kScanPoints = 5;
+        std::vector<double> grid(kScanPoints);
+        if (lo > 0.0) {
+            // Geometric spacing resolves the decades of a positive range.
+            const double ratio = std::pow(hi / lo, 1.0 / (kScanPoints - 1));
+            double v = lo;
+            for (int i = 0; i < kScanPoints; ++i, v *= ratio) {
+                grid[static_cast<std::size_t>(i)] = v;
+            }
+        } else {
+            // Ranges admitting negative skews (zero/negative setup or hold
+            // constraints) scan linearly.
+            for (int i = 0; i < kScanPoints; ++i) {
+                grid[static_cast<std::size_t>(i)] =
+                    lo + (hi - lo) * i / (kScanPoints - 1);
+            }
+        }
+        double prevMetric = 0.0;
+        bool seeded = false;
+        for (int i = 0; i < kScanPoints; ++i) {
+            const SkewPoint p =
+                onAxis(axis, grid[static_cast<std::size_t>(i)], opt.pinnedSkew);
+            const HEvaluation eval =
+                h.evaluateValueOnly(p.setup, p.hold, stats);
+            ++result.transientCount;
+            require(eval.success, "characterizeByNewton: scan transient failed");
+            const double metric = passSign * eval.h;
+            if (i > 0 && prevMetric <= 0.0 && metric > 0.0) {
+                lo = grid[static_cast<std::size_t>(i - 1)];
+                hi = grid[static_cast<std::size_t>(i)];
+                seed = 0.5 * (lo + hi);
+                seeded = true;
+                break;
+            }
+            prevMetric = metric;
+        }
+        if (!seeded) {
+            return result;  // no transition found in range
+        }
+    }
+
+    // --- safeguarded Newton: sensitivity-driven steps, bracket fallback ---
+    double x = seed;
+    for (result.iterations = 1; result.iterations <= opt.maxIterations;
+         ++result.iterations) {
+        const SkewPoint p = onAxis(axis, x, opt.pinnedSkew);
+        const HEvaluation eval = h.evaluate(p.setup, p.hold, stats);
+        ++result.transientCount;
+        require(eval.success, "characterizeByNewton: transient failed");
+        const double deriv =
+            axis == SkewAxis::Setup ? eval.dhds : eval.dhdh;
+
+        // Maintain the bracket from the sign of the pass metric.
+        if (passSign * eval.h > 0.0) {
+            hi = std::min(hi, x);
+        } else {
+            lo = std::max(lo, x);
+        }
+
+        if (std::fabs(eval.h) <= opt.hTol) {
+            result.converged = true;
+            result.skew = x;
+            return result;
+        }
+        double xNext;
+        if (std::fabs(deriv) > 1e-30) {
+            xNext = x - eval.h / deriv;
+        } else {
+            xNext = 0.5 * (lo + hi);  // flat spot: bisect
+        }
+        if (xNext <= lo || xNext >= hi) {
+            xNext = 0.5 * (lo + hi);  // Newton left the bracket: bisect
+        }
+        if (std::fabs(xNext - x) <= opt.tolerance && hi - lo < 4.0 * opt.tolerance) {
+            result.converged = true;
+            result.skew = xNext;
+            return result;
+        }
+        x = xNext;
+    }
+    result.skew = x;
+    return result;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,97 @@
+#include "shtrace/chz/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+SampleStatistics summarize(const std::vector<double>& values) {
+    SampleStatistics s;
+    if (values.empty()) {
+        return s;
+    }
+    double sum = 0.0;
+    s.min = values.front();
+    s.max = values.front();
+    for (double v : values) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(values.size());
+    double acc = 0.0;
+    for (double v : values) {
+        acc += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = values.size() > 1
+                   ? std::sqrt(acc / static_cast<double>(values.size() - 1))
+                   : 0.0;
+    return s;
+}
+
+}  // namespace
+
+ProcessCorner sampleCorner(const ProcessCorner& nominal,
+                           const ProcessVariation& var, std::uint64_t seed,
+                           int sampleIndex) {
+    // One independent stream per sample: reproducible regardless of
+    // evaluation order.
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull +
+                        static_cast<std::uint64_t>(sampleIndex));
+    std::normal_distribution<double> normal(0.0, 1.0);
+    ProcessCorner c = nominal;
+    c.name = message(nominal.name, "#", sampleIndex);
+    c.vtn = std::max(0.05, c.vtn + var.vtSigma * normal(rng));
+    c.vtp = std::max(0.05, c.vtp + var.vtSigma * normal(rng));
+    c.kpn *= std::max(0.2, 1.0 + var.kpRelSigma * normal(rng));
+    c.kpp *= std::max(0.2, 1.0 + var.kpRelSigma * normal(rng));
+    c.vdd *= std::max(0.5, 1.0 + var.vddRelSigma * normal(rng));
+    return c;
+}
+
+MonteCarloResult runMonteCarlo(const ProcessCorner& nominal,
+                               const CornerFixtureBuilder& builder,
+                               const MonteCarloOptions& opt,
+                               SimStats* stats) {
+    require(opt.samples >= 1, "runMonteCarlo: need at least one sample");
+    MonteCarloResult result;
+    result.samplesRequested = opt.samples;
+
+    for (int i = 0; i < opt.samples; ++i) {
+        const ProcessCorner corner =
+            sampleCorner(nominal, opt.variation, opt.seed, i);
+        try {
+            const RegisterFixture fixture = builder(corner);
+            const CharacterizationProblem problem(fixture, opt.criterion,
+                                                  opt.recipe, stats);
+            const IndependentResult setup = characterizeByNewton(
+                problem.h(), SkewAxis::Setup, problem.passSign(),
+                opt.independent, stats);
+            const IndependentResult hold = characterizeByNewton(
+                problem.h(), SkewAxis::Hold, problem.passSign(),
+                opt.independent, stats);
+            if (!setup.converged || !hold.converged) {
+                continue;
+            }
+            result.setupTimes.push_back(setup.skew);
+            result.holdTimes.push_back(hold.skew);
+            result.clockToQs.push_back(problem.characteristicClockToQ());
+            ++result.samplesConverged;
+        } catch (const Error&) {
+            // A pathological sample (e.g. vt beyond the supply) is
+            // reported through the converged count, not by aborting the
+            // whole study.
+        }
+    }
+    result.setup = summarize(result.setupTimes);
+    result.hold = summarize(result.holdTimes);
+    result.clockToQ = summarize(result.clockToQs);
+    return result;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,133 @@
+#include "shtrace/chz/mpnr.hpp"
+
+#include <cmath>
+
+#include "shtrace/linalg/pseudo_inverse.hpp"
+
+namespace shtrace {
+
+MpnrResult solveMpnr(const HFunction& h, SkewPoint guess,
+                     const MpnrOptions& options, SimStats* stats) {
+    MpnrResult result;
+    result.point = guess;
+
+    for (result.iterations = 1; result.iterations <= options.maxIterations;
+         ++result.iterations) {
+        if (stats != nullptr) {
+            ++stats->mpnrIterations;
+        }
+        const HEvaluation eval =
+            h.evaluate(result.point.setup, result.point.hold, stats);
+        if (!eval.success) {
+            result.transientFailed = true;
+            return result;
+        }
+        result.h = eval.h;
+        result.dhds = eval.dhds;
+        result.dhdh = eval.dhdh;
+
+        const double gram = eval.dhds * eval.dhds + eval.dhdh * eval.dhdh;
+        if (!(gram > options.gradientTol * options.gradientTol)) {
+            // Flat spot of h: no Moore-Penrose direction exists. Typical
+            // cause: both skews so generous that the output no longer
+            // depends on them (the plateau of the output surface).
+            result.gradientVanished = true;
+            return result;
+        }
+
+        // dtau = -H^+ h = -h * H^T / (H H^T).
+        double ds = -eval.h * eval.dhds / gram;
+        double dh = -eval.h * eval.dhdh / gram;
+        const double stepNorm = std::sqrt(ds * ds + dh * dh);
+        if (stepNorm > options.maxStep) {
+            const double scale = options.maxStep / stepNorm;
+            ds *= scale;
+            dh *= scale;
+        }
+        result.point.setup += ds;
+        result.point.hold += dh;
+
+        const bool updateSmall =
+            std::fabs(ds) <= options.skewRelTol * std::fabs(result.point.setup) +
+                                 options.skewAbsTol &&
+            std::fabs(dh) <= options.skewRelTol * std::fabs(result.point.hold) +
+                                 options.skewAbsTol;
+        if (updateSmall && std::fabs(eval.h) <= options.hTol) {
+            result.converged = true;
+            return result;
+        }
+    }
+    result.iterations = options.maxIterations;
+    return result;
+}
+
+MpnrResult solveArclengthCorrector(const HFunction& h, SkewPoint guess,
+                                   const Vector& tangent,
+                                   const MpnrOptions& options,
+                                   SimStats* stats) {
+    require(tangent.size() == 2, "solveArclengthCorrector: tangent must be 2D");
+    MpnrResult result;
+    result.point = guess;
+
+    for (result.iterations = 1; result.iterations <= options.maxIterations;
+         ++result.iterations) {
+        if (stats != nullptr) {
+            ++stats->mpnrIterations;
+        }
+        const HEvaluation eval =
+            h.evaluate(result.point.setup, result.point.hold, stats);
+        if (!eval.success) {
+            result.transientFailed = true;
+            return result;
+        }
+        result.h = eval.h;
+        result.dhds = eval.dhds;
+        result.dhdh = eval.dhdh;
+
+        // Augmented residual: [h; T^T (tau - guess)].
+        const double planeResidual =
+            tangent[0] * (result.point.setup - guess.setup) +
+            tangent[1] * (result.point.hold - guess.hold);
+
+        // 2x2 Newton: [dh/ds dh/dh; T0 T1] dtau = -[h; planeResidual].
+        const double det =
+            eval.dhds * tangent[1] - eval.dhdh * tangent[0];
+        const double gradNorm =
+            std::sqrt(eval.dhds * eval.dhds + eval.dhdh * eval.dhdh);
+        if (std::fabs(det) <= options.gradientTol ||
+            gradNorm <= options.gradientTol) {
+            // The curve is (numerically) tangent to the constraint plane,
+            // or h is flat: the square system is singular.
+            result.gradientVanished = true;
+            return result;
+        }
+        double ds =
+            (-eval.h * tangent[1] + planeResidual * eval.dhdh) / det;
+        double dh =
+            (-planeResidual * eval.dhds + eval.h * tangent[0]) / det;
+        const double stepNorm = std::sqrt(ds * ds + dh * dh);
+        if (stepNorm > options.maxStep) {
+            const double scale = options.maxStep / stepNorm;
+            ds *= scale;
+            dh *= scale;
+        }
+        result.point.setup += ds;
+        result.point.hold += dh;
+
+        const bool updateSmall =
+            std::fabs(ds) <= options.skewRelTol *
+                                 std::fabs(result.point.setup) +
+                                 options.skewAbsTol &&
+            std::fabs(dh) <= options.skewRelTol *
+                                 std::fabs(result.point.hold) +
+                                 options.skewAbsTol;
+        if (updateSmall && std::fabs(eval.h) <= options.hTol) {
+            result.converged = true;
+            return result;
+        }
+    }
+    result.iterations = options.maxIterations;
+    return result;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,109 @@
+#include "shtrace/chz/problem.hpp"
+
+#include <cmath>
+
+#include "shtrace/analysis/dc_op.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+CharacterizationProblem::CharacterizationProblem(
+    const RegisterFixture& fixture, CriterionOptions criterion,
+    SimulationRecipe recipe, SimStats* stats)
+    : fixture_(fixture), criterion_(criterion), recipe_(recipe) {
+    require(fixture.circuit.finalized(),
+            "CharacterizationProblem: fixture circuit not finalized");
+    require(criterion.degradation > 0.0,
+            "CharacterizationProblem: degradation must be positive");
+    require(criterion.transitionFraction > 0.0 &&
+                criterion.transitionFraction < 1.0,
+            "CharacterizationProblem: transitionFraction must be in (0,1)");
+
+    spec_.clockEdgeMidpoint = fixture.activeEdgeMidpoint();
+    spec_.outputInitial = fixture.qInitial;
+    spec_.outputFinal = fixture.qFinal;
+    spec_.transitionFraction = criterion.transitionFraction;
+
+    // Shared initial condition: DC operating point at t = 0 (skews do not
+    // affect the data value at t = 0, so x0 is tau-independent).
+    fixture.data->setSkews(criterion.referenceSetupSkew,
+                           criterion.referenceHoldSkew);
+    DcOptions dcOpt;
+    dcOpt.newton = recipe.newton;
+    x0_ = solveDcOperatingPoint(fixture.circuit, dcOpt, stats).x;
+
+    // Reference transient at very large skews -> t_c and the
+    // characteristic clock-to-Q delay.
+    const double tEdge = spec_.clockEdgeMidpoint;
+    TransientOptions refOpt;
+    refOpt.tStart = 0.0;
+    refOpt.tStop = tEdge + criterion.observationWindow;
+    refOpt.method = recipe.method;
+    refOpt.adaptive = false;
+    refOpt.fixedSteps = static_cast<int>(
+        std::ceil((refOpt.tStop - refOpt.tStart) / recipe.dtNominal));
+    refOpt.newton = recipe.newton;
+    refOpt.gmin = recipe.gmin;
+    refOpt.initialCondition = x0_;
+    refOpt.storeStates = true;
+
+    const TransientResult ref =
+        TransientAnalysis(fixture.circuit, refOpt).run(stats);
+    if (!ref.success) {
+        throw NumericalError(message(
+            "CharacterizationProblem: reference transient failed (",
+            ref.failureReason, ")"));
+    }
+    const Vector selector = fixture.circuit.selectorFor(fixture.q);
+    const auto c2q = measureClockToQ(ref, selector, spec_);
+    if (!c2q.has_value()) {
+        throw NumericalError(
+            "CharacterizationProblem: register did not latch at reference "
+            "skews; cannot define the characteristic clock-to-Q delay");
+    }
+    characteristicC2Q_ = *c2q;
+    tc_ = tEdge + characteristicC2Q_;
+    degradedC2Q_ = (1.0 + criterion.degradation) * characteristicC2Q_;
+    const double tf = tEdge + degradedC2Q_;
+
+    // Build the fixed-grid h-function recipe covering [0, tf].
+    TransientOptions hOpt;
+    hOpt.tStart = 0.0;
+    hOpt.tStop = tf;  // overridden identically inside HFunction
+    hOpt.method = recipe.method;
+    hOpt.adaptive = false;
+    hOpt.fixedSteps =
+        static_cast<int>(std::ceil((tf - hOpt.tStart) / recipe.dtNominal));
+    hOpt.newton = recipe.newton;
+    hOpt.gmin = recipe.gmin;
+    hOpt.initialCondition = x0_;
+
+    h_ = std::make_unique<HFunction>(fixture.circuit, fixture.data, selector,
+                                     tf, spec_.threshold(), hOpt);
+}
+
+std::optional<double> CharacterizationProblem::measureClockToQAt(
+    double setupSkew, double holdSkew, SimStats* stats) const {
+    // Simulate past t_f so a degraded-but-successful transition is visible.
+    fixture_.data->setSkews(setupSkew, holdSkew);
+    TransientOptions opt;
+    opt.tStart = 0.0;
+    opt.tStop = spec_.clockEdgeMidpoint + criterion_.observationWindow;
+    opt.method = recipe_.method;
+    opt.adaptive = false;
+    opt.fixedSteps = static_cast<int>(
+        std::ceil((opt.tStop - opt.tStart) / recipe_.dtNominal));
+    opt.newton = recipe_.newton;
+    opt.gmin = recipe_.gmin;
+    opt.initialCondition = x0_;
+    opt.storeStates = true;
+    const TransientResult tr =
+        TransientAnalysis(fixture_.circuit, opt).run(stats);
+    if (!tr.success) {
+        return std::nullopt;
+    }
+    return measureClockToQ(tr, fixture_.circuit.selectorFor(fixture_.q),
+                           spec_);
+}
+
+}  // namespace shtrace

@@ -1,0 +1,42 @@
+#include "shtrace/chz/pvt.hpp"
+
+namespace shtrace {
+
+std::vector<PvtCornerResult> sweepPvtCorners(
+    const std::vector<ProcessCorner>& corners,
+    const CornerFixtureBuilder& builder, const PvtSweepOptions& options,
+    SimStats* stats) {
+    std::vector<PvtCornerResult> results;
+    results.reserve(corners.size());
+    for (const ProcessCorner& corner : corners) {
+        PvtCornerResult row;
+        row.corner = corner.name;
+        SimStats local;
+        try {
+            const RegisterFixture fixture = builder(corner);
+            const CharacterizationProblem problem(fixture, options.criterion,
+                                                  options.recipe, &local);
+            row.characteristicClockToQ = problem.characteristicClockToQ();
+
+            const IndependentResult setup = characterizeByNewton(
+                problem.h(), SkewAxis::Setup, problem.passSign(),
+                options.independent, &local);
+            const IndependentResult hold = characterizeByNewton(
+                problem.h(), SkewAxis::Hold, problem.passSign(),
+                options.independent, &local);
+            row.setupTime = setup.skew;
+            row.holdTime = hold.skew;
+            row.transientCount = setup.transientCount + hold.transientCount;
+            row.success = setup.converged && hold.converged;
+        } catch (const Error&) {
+            row.success = false;
+        }
+        if (stats != nullptr) {
+            *stats += local;
+        }
+        results.push_back(row);
+    }
+    return results;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,62 @@
+#include "shtrace/chz/seed.hpp"
+
+#include <cmath>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+SeedResult findSeedPoint(const HFunction& h, double passSign,
+                         const SeedOptions& opt, SimStats* stats) {
+    require(passSign == 1.0 || passSign == -1.0,
+            "findSeedPoint: passSign must be +1 or -1");
+    require(opt.setupLo < opt.setupHi, "findSeedPoint: bad initial bracket");
+
+    SeedResult result;
+    const double th = opt.holdSkewLarge;
+
+    // Signed pass metric: positive when the register latched in time.
+    const auto passMetric = [&](double ts) {
+        const HEvaluation eval = h.evaluateValueOnly(ts, th, stats);
+        ++result.evaluations;
+        require(eval.success, "findSeedPoint: transient failed at tau_s=", ts);
+        return passSign * eval.h;
+    };
+
+    // Large setup skew should pass; small should fail. Expand outward when
+    // the initial bracket does not straddle the transition.
+    double lo = opt.setupLo;
+    double hi = opt.setupHi;
+    double mLo = passMetric(lo);
+    double mHi = passMetric(hi);
+    for (int i = 0; i < opt.maxExpansions && mHi <= 0.0; ++i) {
+        hi *= 2.0;
+        mHi = passMetric(hi);
+    }
+    for (int i = 0; i < opt.maxExpansions && mLo > 0.0; ++i) {
+        lo *= 0.5;
+        mLo = passMetric(lo);
+    }
+    if (mHi <= 0.0 || mLo > 0.0) {
+        return result;  // no pass/fail transition in reach: found = false
+    }
+
+    // Coarse bisection down to the MPNR convergence range (paper Fig. 7(b)).
+    for (int i = 0; i < opt.maxBisections && hi - lo > opt.bracketTarget;
+         ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (passMetric(mid) > 0.0) {
+            hi = mid;  // mid passes: the setup-time transition is below it
+        } else {
+            lo = mid;
+        }
+    }
+
+    result.found = true;
+    result.bracketLo = lo;
+    result.bracketHi = hi;
+    result.seed = SkewPoint{0.5 * (lo + hi), th};
+    return result;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,72 @@
+#include "shtrace/chz/shia_contour.hpp"
+
+#include <algorithm>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+ShiaContour::ShiaContour(std::vector<SkewPoint> points, double) {
+    require(points.size() >= 2, "ShiaContour: need at least 2 contour points");
+    // Normalize to the Pareto frontier (lower-left staircase): every traced
+    // point is a valid (setup, hold) pair, but for QUERIES only the
+    // non-dominated ones matter. This also absorbs the vertical
+    // setup-asymptote segment (many holds at one setup -> keep the lowest)
+    // and any few-ps corrector wiggle (dominated points drop out).
+    std::sort(points.begin(), points.end(),
+              [](const SkewPoint& a, const SkewPoint& b) {
+                  if (a.setup != b.setup) {
+                      return a.setup < b.setup;
+                  }
+                  return a.hold < b.hold;
+              });
+    for (const SkewPoint& p : points) {
+        if (points_.empty() || p.hold < points_.back().hold) {
+            points_.push_back(p);
+        }
+    }
+    require(points_.size() >= 2,
+            "ShiaContour: contour degenerates to a single non-dominated "
+            "point (no setup/hold tradeoff present)");
+}
+
+ShiaContour ShiaContour::fromTrace(const TracedContour& contour,
+                                   double monotoneSlack) {
+    return ShiaContour(contour.points, monotoneSlack);
+}
+
+std::optional<double> ShiaContour::holdRequirementAt(double setup) const {
+    if (setup < points_.front().setup) {
+        return std::nullopt;  // below the setup asymptote: infeasible
+    }
+    if (setup >= points_.back().setup) {
+        return points_.back().hold;  // clamped to the hold asymptote
+    }
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), setup,
+        [](double lhs, const SkewPoint& p) { return lhs < p.setup; });
+    const SkewPoint& hi = *it;
+    const SkewPoint& lo = *(it - 1);
+    const double span = hi.setup - lo.setup;
+    if (span <= 0.0) {
+        return lo.hold;
+    }
+    const double frac = (setup - lo.setup) / span;
+    return lo.hold + frac * (hi.hold - lo.hold);
+}
+
+bool ShiaContour::admits(double setupAvail, double holdAvail) const {
+    const auto requirement = holdRequirementAt(setupAvail);
+    return requirement.has_value() && holdAvail >= *requirement;
+}
+
+std::optional<double> ShiaContour::holdSlack(double setupAvail,
+                                             double holdAvail) const {
+    const auto requirement = holdRequirementAt(setupAvail);
+    if (!requirement.has_value()) {
+        return std::nullopt;
+    }
+    return holdAvail - *requirement;
+}
+
+}  // namespace shtrace

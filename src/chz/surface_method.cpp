@@ -1,0 +1,46 @@
+#include "shtrace/chz/surface_method.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+std::vector<double> linspace(double lo, double hi, int n) {
+    require(n >= 2 && hi > lo, "runSurfaceMethod: bad axis spec");
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        out[static_cast<std::size_t>(i)] =
+            lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(n - 1);
+    }
+    return out;
+}
+}  // namespace
+
+SurfaceMethodResult runSurfaceMethod(const HFunction& h,
+                                     const SurfaceMethodOptions& opt,
+                                     SimStats* stats) {
+    SurfaceMethodResult result{
+        OutputSurface(linspace(opt.setupMin, opt.setupMax, opt.setupPoints),
+                      linspace(opt.holdMin, opt.holdMax, opt.holdPoints)),
+        {},
+        0};
+    OutputSurface& surface = result.surface;
+    for (std::size_t i = 0; i < surface.setupCount(); ++i) {
+        for (std::size_t j = 0; j < surface.holdCount(); ++j) {
+            const HEvaluation eval = h.evaluateValueOnly(
+                surface.setupAt(i), surface.holdAt(j), stats);
+            require(eval.success,
+                    "runSurfaceMethod: transient failed at grid point (",
+                    surface.setupAt(i), ", ", surface.holdAt(j), ")");
+            // Store the raw output c^T x(t_f); the contour level is r,
+            // i.e. h = 0.
+            surface.setValue(i, j, eval.h + h.r());
+            ++result.transientCount;
+        }
+    }
+    result.contours = extractLevelContours(surface, h.r());
+    return result;
+}
+
+}  // namespace shtrace

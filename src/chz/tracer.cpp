@@ -1,0 +1,156 @@
+#include "shtrace/chz/tracer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "shtrace/linalg/pseudo_inverse.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+struct PointOnCurve {
+    SkewPoint p;
+    double h = 0.0;
+    double dhds = 0.0;
+    double dhdh = 0.0;
+    int iterations = 0;
+};
+
+/// Traces one direction from `start`, appending points to `out`.
+void traceDirection(const HFunction& h, const TracerOptions& opt,
+                    PointOnCurve start, Vector tangent, int budget,
+                    std::vector<PointOnCurve>& out, int& retries,
+                    SimStats* stats) {
+    PointOnCurve current = start;
+    double alpha = opt.stepLength;
+
+    while (static_cast<int>(out.size()) < budget) {
+        // Euler predictor (paper eq. 26).
+        const SkewPoint predicted{current.p.setup + alpha * tangent[0],
+                                  current.p.hold + alpha * tangent[1]};
+        const MpnrResult corrected =
+            opt.correctorKind == CorrectorKind::MoorePenrose
+                ? solveMpnr(h, predicted, opt.corrector, stats)
+                : solveArclengthCorrector(h, predicted, tangent,
+                                          opt.corrector, stats);
+
+        bool accept = corrected.converged;
+        if (accept) {
+            const double ds = corrected.point.setup - predicted.setup;
+            const double dh = corrected.point.hold - predicted.hold;
+            const double wander = std::sqrt(ds * ds + dh * dh);
+            if (wander > opt.maxCorrectionRatio * alpha) {
+                accept = false;  // landed on a distant part of the curve
+            }
+        }
+        if (!accept) {
+            alpha *= 0.5;
+            ++retries;
+            if (alpha < opt.minStepLength) {
+                return;  // cannot make progress in this direction
+            }
+            continue;
+        }
+        if (!opt.bounds.contains(corrected.point)) {
+            return;  // curve left the characterization window
+        }
+
+        PointOnCurve next;
+        next.p = corrected.point;
+        next.h = corrected.h;
+        next.dhds = corrected.dhds;
+        next.dhdh = corrected.dhdh;
+        next.iterations = corrected.iterations;
+        out.push_back(next);
+
+        // New tangent, oriented to continue the previous direction.
+        Vector newTangent = tangentFromGradient2(next.dhds, next.dhdh);
+        if (newTangent[0] * tangent[0] + newTangent[1] * tangent[1] < 0.0) {
+            newTangent *= -1.0;
+        }
+        tangent = newTangent;
+        current = next;
+
+        if (corrected.iterations <= opt.easyIterations) {
+            alpha = std::min(alpha * opt.growFactor, opt.maxStepLength);
+        }
+    }
+}
+
+}  // namespace
+
+double TracedContour::averageCorrectorIterations() const {
+    if (correctorIterations.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (int it : correctorIterations) {
+        sum += it;
+    }
+    return sum / static_cast<double>(correctorIterations.size());
+}
+
+TracedContour traceContour(const HFunction& h, SkewPoint seed,
+                           const TracerOptions& opt, SimStats* stats) {
+    require(opt.maxPoints >= 1, "traceContour: maxPoints must be >= 1");
+    TracedContour contour;
+
+    // Put the seed exactly on the curve.
+    const MpnrResult seedResult = solveMpnr(h, seed, opt.corrector, stats);
+    if (!seedResult.converged) {
+        return contour;  // seedConverged stays false
+    }
+    contour.seedConverged = true;
+
+    PointOnCurve p0;
+    p0.p = seedResult.point;
+    p0.h = seedResult.h;
+    p0.dhds = seedResult.dhds;
+    p0.dhdh = seedResult.dhdh;
+    p0.iterations = seedResult.iterations;
+
+    const Vector t0 = tangentFromGradient2(p0.dhds, p0.dhdh);
+
+    // Direction A runs with the full point budget (it stops early when the
+    // curve leaves the bounds); direction B then consumes whatever is left.
+    // A seed on the window boundary therefore spends everything on the one
+    // productive direction, while a mid-curve seed covers both sides.
+    const int remaining = opt.maxPoints - 1;
+    std::vector<PointOnCurve> forward;
+    std::vector<PointOnCurve> backward;
+    traceDirection(h, opt, p0, t0, remaining, forward,
+                   contour.predictorRetries, stats);
+    if (opt.traceBothDirections) {
+        Vector tNeg = t0;
+        tNeg *= -1.0;
+        const int budget = remaining - static_cast<int>(forward.size());
+        traceDirection(h, opt, p0, tNeg, budget, backward,
+                       contour.predictorRetries, stats);
+    }
+
+    // Splice: reversed backward + seed + forward, then order by setup skew
+    // for a clean presentation (the physical contour is monotone).
+    std::vector<PointOnCurve> all;
+    all.reserve(backward.size() + 1 + forward.size());
+    for (auto it = backward.rbegin(); it != backward.rend(); ++it) {
+        all.push_back(*it);
+    }
+    all.push_back(p0);
+    for (const auto& p : forward) {
+        all.push_back(p);
+    }
+
+    contour.points.reserve(all.size());
+    contour.residuals.reserve(all.size());
+    contour.correctorIterations.reserve(all.size());
+    for (const auto& p : all) {
+        contour.points.push_back(p.p);
+        contour.residuals.push_back(std::fabs(p.h));
+        contour.correctorIterations.push_back(p.iterations);
+    }
+    return contour;
+}
+
+}  // namespace shtrace

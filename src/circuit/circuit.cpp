@@ -1,0 +1,120 @@
+#include "shtrace/circuit/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shtrace {
+
+NodeId Circuit::node(const std::string& name) {
+    if (name == "0" || name == "gnd") {
+        return kGround;
+    }
+    const auto it = nodeIndex_.find(name);
+    if (it != nodeIndex_.end()) {
+        return NodeId{it->second};
+    }
+    require(!finalized_, "Circuit::node creating '", name,
+            "' after finalize()");
+    const int idx = static_cast<int>(nodeNames_.size());
+    nodeIndex_.emplace(name, idx);
+    nodeNames_.push_back(name);
+    return NodeId{idx};
+}
+
+NodeId Circuit::findNode(const std::string& name) const {
+    if (name == "0" || name == "gnd") {
+        return kGround;
+    }
+    const auto it = nodeIndex_.find(name);
+    require(it != nodeIndex_.end(), "Circuit: unknown node '", name, "'");
+    return NodeId{it->second};
+}
+
+bool Circuit::hasNode(const std::string& name) const {
+    return name == "0" || name == "gnd" || nodeIndex_.count(name) != 0;
+}
+
+const std::string& Circuit::nodeName(NodeId n) const {
+    static const std::string kGroundName = "0";
+    if (n.isGround()) {
+        return kGroundName;
+    }
+    require(n.index >= 0 && n.index < nodeCount(), "Circuit::nodeName: bad id");
+    return nodeNames_[static_cast<std::size_t>(n.index)];
+}
+
+void Circuit::finalize() {
+    require(!finalized_, "Circuit::finalize called twice");
+    require(!devices_.empty(), "Circuit::finalize on an empty circuit");
+    BranchAllocator alloc(nodeCount());
+    for (auto& dev : devices_) {
+        dev->allocateBranches(alloc);
+    }
+    branchRows_ = alloc.next() - nodeCount();
+    finalized_ = true;
+}
+
+std::size_t Circuit::systemSize() const {
+    require(finalized_, "Circuit::systemSize before finalize()");
+    return static_cast<std::size_t>(nodeCount() + branchRows_);
+}
+
+void Circuit::assemble(const Vector& x, double t, Assembler& out,
+                       SimStats* stats) const {
+    require(finalized_, "Circuit::assemble before finalize()");
+    require(x.size() == systemSize(), "Circuit::assemble: x has size ",
+            x.size(), ", expected ", systemSize());
+    out.beginPass();
+    const EvalContext ctx{x, t};
+    for (const auto& dev : devices_) {
+        dev->eval(ctx, out);
+    }
+    if (stats != nullptr) {
+        ++stats->deviceEvaluations;
+    }
+}
+
+void Circuit::addSkewDerivative(double t, SkewParam p, Vector& rhs) const {
+    require(rhs.size() == systemSize(),
+            "Circuit::addSkewDerivative: rhs size mismatch");
+    for (const auto& dev : devices_) {
+        dev->addSkewDerivative(t, p, rhs);
+    }
+}
+
+void Circuit::addAcStimulus(Vector& rhs) const {
+    require(rhs.size() == systemSize(),
+            "Circuit::addAcStimulus: rhs size mismatch");
+    for (const auto& dev : devices_) {
+        dev->addAcStimulus(rhs);
+    }
+}
+
+std::vector<double> Circuit::breakpoints(double t0, double t1) const {
+    std::vector<double> pts;
+    for (const auto& dev : devices_) {
+        dev->breakpoints(t0, t1, pts);
+    }
+    std::sort(pts.begin(), pts.end());
+    // Dedupe with a tolerance tied to the window width; coincident waveform
+    // corners (e.g. clock and clk-bar edges) otherwise produce zero-length
+    // steps.
+    const double tol = 1e-15 * std::max(1.0, std::fabs(t1 - t0));
+    std::vector<double> out;
+    for (double p : pts) {
+        if (out.empty() || p - out.back() > tol) {
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
+Vector Circuit::selectorFor(NodeId n) const {
+    require(finalized_, "Circuit::selectorFor before finalize()");
+    require(!n.isGround(), "Circuit::selectorFor: ground has no row");
+    Vector c(systemSize());
+    c[static_cast<std::size_t>(n.index)] = 1.0;
+    return c;
+}
+
+}  // namespace shtrace

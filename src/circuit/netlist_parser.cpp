@@ -1,0 +1,439 @@
+#include "shtrace/circuit/netlist_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/diode.hpp"
+#include "shtrace/devices/inductor.hpp"
+#include "shtrace/devices/mosfet.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/devices/vccs.hpp"
+#include "shtrace/devices/vcvs.hpp"
+#include "shtrace/util/units.hpp"
+#include "shtrace/waveform/analog_sources.hpp"
+#include "shtrace/waveform/pulse.hpp"
+#include "shtrace/waveform/pwl.hpp"
+
+namespace shtrace {
+
+namespace {
+
+std::string toUpper(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+    });
+    return s;
+}
+
+/// Splits a line into tokens; '(' ')' '=' ',' become separators.
+std::vector<std::string> tokenize(const std::string& line) {
+    std::string padded;
+    padded.reserve(line.size() + 8);
+    for (char c : line) {
+        if (c == '(' || c == ')' || c == '=' || c == ',') {
+            padded += ' ';
+            if (c == '=') {
+                padded += '=';
+                padded += ' ';
+            }
+        } else {
+            padded += c;
+        }
+    }
+    std::istringstream is(padded);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (is >> tok) {
+        tokens.push_back(tok);
+    }
+    return tokens;
+}
+
+/// key=value parameter list starting at tokens[pos] ("KEY", "=", "value").
+std::map<std::string, double> parseParams(const std::vector<std::string>& t,
+                                          std::size_t pos, int line) {
+    std::map<std::string, double> params;
+    while (pos < t.size()) {
+        if (pos + 2 >= t.size() + 1 || pos + 2 > t.size() ||
+            t[pos + 1] != "=") {
+            throw ParseError(
+                message("expected KEY=VALUE, got '", t[pos], "'"), line);
+        }
+        params[toUpper(t[pos])] = parseEngineeringOrThrow(t[pos + 2], line);
+        pos += 3;
+    }
+    return params;
+}
+
+double getParam(const std::map<std::string, double>& p, const std::string& key,
+                double fallback) {
+    const auto it = p.find(key);
+    return it == p.end() ? fallback : it->second;
+}
+
+class ParserState {
+public:
+    ParsedNetlist result;
+    std::map<std::string, MosfetParams> models;
+
+    void parseLine(const std::string& rawLine, int line) {
+        std::string text = rawLine;
+        const auto semi = text.find(';');
+        if (semi != std::string::npos) {
+            text.erase(semi);
+        }
+        const auto tokens = tokenize(text);
+        if (tokens.empty()) {
+            return;
+        }
+        const std::string first = toUpper(tokens[0]);
+        if (first[0] == '*') {
+            return;  // comment
+        }
+        if (first == ".END") {
+            sawEnd_ = true;
+            return;
+        }
+        if (sawEnd_) {
+            throw ParseError("content after .end", line);
+        }
+        if (first == ".MODEL") {
+            parseModel(tokens, line);
+            return;
+        }
+        switch (first[0]) {
+            case 'R': parseTwoTerminal(tokens, line, 'R'); break;
+            case 'C': parseTwoTerminal(tokens, line, 'C'); break;
+            case 'L': parseTwoTerminal(tokens, line, 'L'); break;
+            case 'V': parseSource(tokens, line, /*voltage=*/true); break;
+            case 'I': parseSource(tokens, line, /*voltage=*/false); break;
+            case 'E': parseVcvs(tokens, line); break;
+            case 'G': parseVccs(tokens, line); break;
+            case 'D': parseDiode(tokens, line); break;
+            case 'M': parseMosfet(tokens, line); break;
+            default:
+                throw ParseError(
+                    message("unknown element '", tokens[0], "'"), line);
+        }
+    }
+
+    void finish(int line) {
+        if (result.circuit.deviceCount() == 0) {
+            throw ParseError("netlist contains no devices", line);
+        }
+        result.circuit.finalize();
+    }
+
+private:
+    void needTokens(const std::vector<std::string>& t, std::size_t n,
+                    int line, const char* what) {
+        if (t.size() < n) {
+            throw ParseError(
+                message(what, ": expected at least ", n, " tokens, got ",
+                        t.size()),
+                line);
+        }
+    }
+
+    void parseTwoTerminal(const std::vector<std::string>& t, int line,
+                          char kind) {
+        needTokens(t, 4, line, "two-terminal element");
+        Circuit& ckt = result.circuit;
+        const NodeId a = ckt.node(t[1]);
+        const NodeId b = ckt.node(t[2]);
+        const double value = parseEngineeringOrThrow(t[3], line);
+        switch (kind) {
+            case 'R': ckt.add<Resistor>(t[0], a, b, value); break;
+            case 'C': ckt.add<Capacitor>(t[0], a, b, value); break;
+            case 'L': ckt.add<Inductor>(t[0], a, b, value); break;
+            default: throw ParseError("internal: bad two-terminal kind", line);
+        }
+    }
+
+    std::shared_ptr<const Waveform> parseWaveform(
+        const std::vector<std::string>& t, std::size_t pos, int line,
+        const std::string& sourceName) {
+        const std::string kind = toUpper(t[pos]);
+        auto numbers = [&](std::size_t from) {
+            std::vector<double> vals;
+            for (std::size_t i = from; i < t.size(); ++i) {
+                if (toUpper(t[i]) == "INV") {
+                    vals.push_back(-1.0);  // sentinel handled by CLOCK only
+                } else {
+                    vals.push_back(parseEngineeringOrThrow(t[i], line));
+                }
+            }
+            return vals;
+        };
+        if (kind == "DC") {
+            needTokens(t, pos + 2, line, "DC source");
+            return std::make_shared<DcWaveform>(
+                parseEngineeringOrThrow(t[pos + 1], line));
+        }
+        if (kind == "PULSE") {
+            const auto v = numbers(pos + 1);
+            if (v.size() != 6) {
+                throw ParseError(
+                    "PULSE needs (v0 v1 delay rise width fall)", line);
+            }
+            PulseWaveform::Spec s;
+            s.v0 = v[0];
+            s.v1 = v[1];
+            s.delay = v[2];
+            s.riseTime = v[3];
+            s.width = v[4];
+            s.fallTime = v[5];
+            return std::make_shared<PulseWaveform>(s);
+        }
+        if (kind == "PWL") {
+            const auto v = numbers(pos + 1);
+            if (v.size() < 2 || v.size() % 2 != 0) {
+                throw ParseError("PWL needs an even number of t/v values",
+                                 line);
+            }
+            std::vector<PwlWaveform::Point> pts;
+            for (std::size_t i = 0; i + 1 < v.size(); i += 2) {
+                pts.push_back({v[i], v[i + 1]});
+            }
+            return std::make_shared<PwlWaveform>(std::move(pts));
+        }
+        if (kind == "CLOCK") {
+            ClockWaveform::Spec s;
+            bool inverted = false;
+            std::vector<double> v;
+            for (std::size_t i = pos + 1; i < t.size(); ++i) {
+                if (toUpper(t[i]) == "INV") {
+                    inverted = true;
+                } else {
+                    v.push_back(parseEngineeringOrThrow(t[i], line));
+                }
+            }
+            if (v.size() < 6 || v.size() > 7) {
+                throw ParseError(
+                    "CLOCK needs (v0 v1 period delay rise fall [duty] [inv])",
+                    line);
+            }
+            s.v0 = v[0];
+            s.v1 = v[1];
+            s.period = v[2];
+            s.delay = v[3];
+            s.riseTime = v[4];
+            s.fallTime = v[5];
+            if (v.size() == 7) {
+                s.dutyCycle = v[6];
+            }
+            s.inverted = inverted;
+            auto clock = std::make_shared<ClockWaveform>(s);
+            result.clocks.emplace(toUpper(sourceName), clock);
+            return clock;
+        }
+        if (kind == "SIN") {
+            const auto v = numbers(pos + 1);
+            if (v.size() < 3 || v.size() > 5) {
+                throw ParseError(
+                    "SIN needs (offset amplitude freq [delay] [damping])",
+                    line);
+            }
+            SineWaveform::Spec s;
+            s.offset = v[0];
+            s.amplitude = v[1];
+            s.frequency = v[2];
+            if (v.size() > 3) {
+                s.delay = v[3];
+            }
+            if (v.size() > 4) {
+                s.damping = v[4];
+            }
+            return std::make_shared<SineWaveform>(s);
+        }
+        if (kind == "EXP") {
+            const auto v = numbers(pos + 1);
+            if (v.size() != 6) {
+                throw ParseError("EXP needs (v1 v2 td1 tau1 td2 tau2)",
+                                 line);
+            }
+            ExpWaveform::Spec s;
+            s.v1 = v[0];
+            s.v2 = v[1];
+            s.riseDelay = v[2];
+            s.riseTau = v[3];
+            s.fallDelay = v[4];
+            s.fallTau = v[5];
+            return std::make_shared<ExpWaveform>(s);
+        }
+        if (kind == "DATAPULSE") {
+            const auto v = numbers(pos + 1);
+            if (v.size() != 4) {
+                throw ParseError("DATAPULSE needs (v0 v1 tedge ttrans)", line);
+            }
+            DataPulse::Spec s;
+            s.v0 = v[0];
+            s.v1 = v[1];
+            s.activeEdgeTime = v[2];
+            s.transitionTime = v[3];
+            auto pulse = std::make_shared<DataPulse>(s);
+            result.dataPulses.emplace(toUpper(sourceName), pulse);
+            return pulse;
+        }
+        // Bare value: "V1 a 0 2.5".
+        if (pos + 1 == t.size()) {
+            return std::make_shared<DcWaveform>(
+                parseEngineeringOrThrow(t[pos], line));
+        }
+        throw ParseError(message("unknown waveform '", t[pos], "'"), line);
+    }
+
+    void parseSource(const std::vector<std::string>& t, int line,
+                     bool voltage) {
+        needTokens(t, 4, line, "source");
+        Circuit& ckt = result.circuit;
+        const NodeId pos = ckt.node(t[1]);
+        const NodeId neg = ckt.node(t[2]);
+        auto wave = parseWaveform(t, 3, line, t[0]);
+        if (voltage) {
+            ckt.add<VoltageSource>(t[0], pos, neg, std::move(wave));
+        } else {
+            ckt.add<CurrentSource>(t[0], pos, neg, std::move(wave));
+        }
+    }
+
+    void parseVcvs(const std::vector<std::string>& t, int line) {
+        needTokens(t, 6, line, "VCVS");
+        Circuit& ckt = result.circuit;
+        ckt.add<Vcvs>(t[0], ckt.node(t[1]), ckt.node(t[2]), ckt.node(t[3]),
+                      ckt.node(t[4]), parseEngineeringOrThrow(t[5], line));
+    }
+
+    void parseVccs(const std::vector<std::string>& t, int line) {
+        needTokens(t, 6, line, "VCCS");
+        Circuit& ckt = result.circuit;
+        ckt.add<Vccs>(t[0], ckt.node(t[1]), ckt.node(t[2]), ckt.node(t[3]),
+                      ckt.node(t[4]), parseEngineeringOrThrow(t[5], line));
+    }
+
+    void parseDiode(const std::vector<std::string>& t, int line) {
+        needTokens(t, 3, line, "diode");
+        const auto params = parseParams(t, 3, line);
+        DiodeParams dp;
+        dp.is = getParam(params, "IS", dp.is);
+        dp.n = getParam(params, "N", dp.n);
+        dp.cj0 = getParam(params, "CJ0", dp.cj0);
+        dp.vj = getParam(params, "VJ", dp.vj);
+        dp.m = getParam(params, "M", dp.m);
+        dp.tt = getParam(params, "TT", dp.tt);
+        Circuit& ckt = result.circuit;
+        ckt.add<Diode>(t[0], ckt.node(t[1]), ckt.node(t[2]), dp);
+    }
+
+    static void applyMosParams(MosfetParams& mp,
+                               const std::map<std::string, double>& params) {
+        mp.vt0 = getParam(params, "VT0", mp.vt0);
+        mp.kp = getParam(params, "KP", mp.kp);
+        mp.lambda = getParam(params, "LAMBDA", mp.lambda);
+        mp.gamma = getParam(params, "GAMMA", mp.gamma);
+        mp.phi = getParam(params, "PHI", mp.phi);
+        mp.w = getParam(params, "W", mp.w);
+        mp.l = getParam(params, "L", mp.l);
+        mp.cgs = getParam(params, "CGS", mp.cgs);
+        mp.cgd = getParam(params, "CGD", mp.cgd);
+        mp.cgb = getParam(params, "CGB", mp.cgb);
+        mp.cdb = getParam(params, "CDB", mp.cdb);
+        mp.csb = getParam(params, "CSB", mp.csb);
+    }
+
+    void parseModel(const std::vector<std::string>& t, int line) {
+        needTokens(t, 3, line, ".model");
+        const std::string modelName = toUpper(t[1]);
+        const std::string type = toUpper(t[2]);
+        MosfetParams mp;
+        if (type == "NMOS") {
+            mp.type = MosfetType::Nmos;
+        } else if (type == "PMOS") {
+            mp.type = MosfetType::Pmos;
+        } else {
+            throw ParseError(
+                message("unsupported model type '", t[2], "'"), line);
+        }
+        applyMosParams(mp, parseParams(t, 3, line));
+        models[modelName] = mp;
+    }
+
+    void parseMosfet(const std::vector<std::string>& t, int line) {
+        needTokens(t, 6, line, "MOSFET");
+        const std::string modelName = toUpper(t[5]);
+        MosfetParams mp;
+        if (modelName == "NMOS") {
+            mp.type = MosfetType::Nmos;
+        } else if (modelName == "PMOS") {
+            mp.type = MosfetType::Pmos;
+        } else {
+            const auto it = models.find(modelName);
+            if (it == models.end()) {
+                throw ParseError(
+                    message("unknown MOSFET model '", t[5], "'"), line);
+            }
+            mp = it->second;
+        }
+        applyMosParams(mp, parseParams(t, 6, line));
+        Circuit& ckt = result.circuit;
+        ckt.add<Mosfet>(t[0], ckt.node(t[1]), ckt.node(t[2]), ckt.node(t[3]),
+                        ckt.node(t[4]), mp);
+    }
+
+    bool sawEnd_ = false;
+};
+
+}  // namespace
+
+std::shared_ptr<DataPulse> ParsedNetlist::theDataPulse() const {
+    require(dataPulses.size() == 1,
+            "ParsedNetlist::theDataPulse: netlist has ", dataPulses.size(),
+            " DATAPULSE sources, expected exactly 1");
+    return dataPulses.begin()->second;
+}
+
+std::shared_ptr<ClockWaveform> ParsedNetlist::theClock() const {
+    std::shared_ptr<ClockWaveform> found;
+    for (const auto& [name, clock] : clocks) {
+        if (!clock->spec().inverted) {
+            require(found == nullptr,
+                    "ParsedNetlist::theClock: multiple non-inverted clocks");
+            found = clock;
+        }
+    }
+    require(found != nullptr,
+            "ParsedNetlist::theClock: no non-inverted CLOCK source");
+    return found;
+}
+
+ParsedNetlist parseNetlist(std::istream& in) {
+    ParserState state;
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        state.parseLine(line, lineNo);
+    }
+    state.finish(lineNo);
+    return std::move(state.result);
+}
+
+ParsedNetlist parseNetlistString(const std::string& text) {
+    std::istringstream is(text);
+    return parseNetlist(is);
+}
+
+ParsedNetlist parseNetlistFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw Error(message("cannot open netlist file '", path, "'"));
+    }
+    return parseNetlist(in);
+}
+
+}  // namespace shtrace

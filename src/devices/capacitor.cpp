@@ -1,0 +1,25 @@
+#include "shtrace/devices/capacitor.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance)
+    : Device(std::move(name)), a_(a), b_(b), capacitance_(capacitance) {
+    require(capacitance > 0.0, "Capacitor ", this->name(),
+            ": capacitance must be positive, got ", capacitance);
+}
+
+void Capacitor::eval(const EvalContext& ctx, Assembler& out) const {
+    const double va = Assembler::nodeVoltage(ctx.x, a_);
+    const double vb = Assembler::nodeVoltage(ctx.x, b_);
+    const double charge = capacitance_ * (va - vb);
+    out.addCharge(a_, charge);
+    out.addCharge(b_, -charge);
+    out.addCapacitance(a_, a_, capacitance_);
+    out.addCapacitance(a_, b_, -capacitance_);
+    out.addCapacitance(b_, a_, -capacitance_);
+    out.addCapacitance(b_, b_, capacitance_);
+}
+
+}  // namespace shtrace

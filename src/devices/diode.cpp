@@ -1,0 +1,104 @@
+#include "shtrace/devices/diode.hpp"
+
+#include <cmath>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode,
+             const DiodeParams& params)
+    : Device(std::move(name)), anode_(anode), cathode_(cathode),
+      params_(params) {
+    require(params.is > 0.0 && params.n > 0.0 && params.vt > 0.0,
+            "Diode ", this->name(), ": is, n, vt must be positive");
+    require(params.m > 0.0 && params.m < 1.0, "Diode ", this->name(),
+            ": grading coefficient must be in (0,1)");
+    require(params.fc > 0.0 && params.fc < 1.0, "Diode ", this->name(),
+            ": fc must be in (0,1)");
+}
+
+void Diode::currentAndConductance(const DiodeParams& p, double v,
+                                  double& current, double& conductance) {
+    const double nvt = p.n * p.vt;
+    const double arg = v / nvt;
+    if (arg > p.maxExpArg) {
+        // Linear extension above the cap keeps the model C1 and prevents
+        // overflow during wild Newton iterates.
+        const double expMax = std::exp(p.maxExpArg);
+        const double iMax = p.is * (expMax - 1.0);
+        const double gMax = p.is * expMax / nvt;
+        current = iMax + gMax * (v - p.maxExpArg * nvt);
+        conductance = gMax;
+    } else {
+        const double e = std::exp(arg);
+        current = p.is * (e - 1.0);
+        conductance = p.is * e / nvt;
+    }
+}
+
+void Diode::chargeAndCapacitance(const DiodeParams& p, double v,
+                                 double& charge, double& capacitance) {
+    charge = 0.0;
+    capacitance = 0.0;
+    if (p.cj0 > 0.0) {
+        const double vSwitch = p.fc * p.vj;
+        if (v < vSwitch) {
+            const double u = 1.0 - v / p.vj;
+            const double um = std::pow(u, 1.0 - p.m);
+            charge = p.cj0 * p.vj / (1.0 - p.m) * (1.0 - um);
+            capacitance = p.cj0 * std::pow(u, -p.m);
+        } else {
+            // SPICE forward-bias linearization of the depletion formula.
+            const double f1 =
+                p.vj / (1.0 - p.m) * (1.0 - std::pow(1.0 - p.fc, 1.0 - p.m));
+            const double f2 = std::pow(1.0 - p.fc, 1.0 + p.m);
+            const double f3 = 1.0 - p.fc * (1.0 + p.m);
+            const double dv = v - vSwitch;
+            // q is the integral of C(v') = cj0/f2 * (f3 + m v'/vj) from
+            // vSwitch, so the quadratic term uses v^2 - vSwitch^2.
+            charge = p.cj0 *
+                     (f1 + (1.0 / f2) *
+                               (f3 * dv + p.m / (2.0 * p.vj) *
+                                              (v * v - vSwitch * vSwitch)));
+            capacitance = p.cj0 / f2 * (f3 + p.m * v / p.vj);
+        }
+    }
+    if (p.tt > 0.0) {
+        double i = 0.0;
+        double g = 0.0;
+        currentAndConductance(p, v, i, g);
+        charge += p.tt * i;
+        capacitance += p.tt * g;
+    }
+}
+
+void Diode::eval(const EvalContext& ctx, Assembler& out) const {
+    const double va = Assembler::nodeVoltage(ctx.x, anode_);
+    const double vc = Assembler::nodeVoltage(ctx.x, cathode_);
+    const double v = va - vc;
+
+    double i = 0.0;
+    double g = 0.0;
+    currentAndConductance(params_, v, i, g);
+    out.addCurrent(anode_, i);
+    out.addCurrent(cathode_, -i);
+    out.addConductance(anode_, anode_, g);
+    out.addConductance(anode_, cathode_, -g);
+    out.addConductance(cathode_, anode_, -g);
+    out.addConductance(cathode_, cathode_, g);
+
+    double q = 0.0;
+    double c = 0.0;
+    chargeAndCapacitance(params_, v, q, c);
+    if (q != 0.0 || c != 0.0) {
+        out.addCharge(anode_, q);
+        out.addCharge(cathode_, -q);
+        out.addCapacitance(anode_, anode_, c);
+        out.addCapacitance(anode_, cathode_, -c);
+        out.addCapacitance(cathode_, anode_, -c);
+        out.addCapacitance(cathode_, cathode_, c);
+    }
+}
+
+}  // namespace shtrace

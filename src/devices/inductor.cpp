@@ -1,0 +1,33 @@
+#include "shtrace/devices/inductor.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+Inductor::Inductor(std::string name, NodeId a, NodeId b, double inductance)
+    : Device(std::move(name)), a_(a), b_(b), inductance_(inductance) {
+    require(inductance > 0.0, "Inductor ", this->name(),
+            ": inductance must be positive, got ", inductance);
+}
+
+void Inductor::eval(const EvalContext& ctx, Assembler& out) const {
+    require(branchRow_ >= 0, "Inductor ", name(), ": eval before finalize()");
+    const double va = Assembler::nodeVoltage(ctx.x, a_);
+    const double vb = Assembler::nodeVoltage(ctx.x, b_);
+    const double i = ctx.x[static_cast<std::size_t>(branchRow_)];
+
+    // KCL rows: branch current leaves a, enters b.
+    out.addCurrent(a_, i);
+    out.addCurrent(b_, -i);
+    out.addBranchToNode(a_, branchRow_, 1.0);
+    out.addBranchToNode(b_, branchRow_, -1.0);
+
+    // Branch row: v(a) - v(b) - L di/dt = 0.
+    out.addToF(branchRow_, va - vb);
+    out.addToG(branchRow_, a_, 1.0);
+    out.addToG(branchRow_, b_, -1.0);
+    out.addToQ(branchRow_, -inductance_ * i);
+    out.addToCRaw(branchRow_, branchRow_, -inductance_);
+}
+
+}  // namespace shtrace

@@ -1,0 +1,140 @@
+#include "shtrace/devices/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+               NodeId bulk, const MosfetParams& params)
+    : Device(std::move(name)),
+      drain_(drain),
+      gate_(gate),
+      source_(source),
+      bulk_(bulk),
+      params_(params) {
+    require(params.kp > 0.0, "Mosfet ", this->name(), ": kp must be positive");
+    require(params.w > 0.0 && params.l > 0.0, "Mosfet ", this->name(),
+            ": W and L must be positive");
+    require(params.vt0 >= 0.0, "Mosfet ", this->name(),
+            ": vt0 is a magnitude (>= 0) for both types");
+    require(params.lambda >= 0.0 && params.gamma >= 0.0 && params.phi > 0.0,
+            "Mosfet ", this->name(), ": lambda/gamma/phi out of range");
+}
+
+MosfetOperatingPoint Mosfet::operatingPoint(double vd, double vg, double vs,
+                                            double vb) const {
+    const double sgn = (params_.type == MosfetType::Nmos) ? 1.0 : -1.0;
+    MosfetOperatingPoint op;
+
+    // Normalize polarities so the NMOS equations apply.
+    double nvd = sgn * vd;
+    double nvs = sgn * vs;
+    const double nvg = sgn * vg;
+    const double nvb = sgn * vb;
+
+    // The level-1 model is symmetric: for vds < 0 exchange drain and source.
+    op.swapped = nvd < nvs;
+    if (op.swapped) {
+        std::swap(nvd, nvs);
+    }
+    const double vgs = nvg - nvs;
+    const double vds = nvd - nvs;
+    const double vbs = nvb - nvs;
+
+    // Threshold with body effect; clamp the sqrt argument to keep the model
+    // defined (and C1) for forward-biased bulk junctions during iterates.
+    double vt = params_.vt0;
+    double dvtDvbs = 0.0;
+    if (params_.gamma > 0.0) {
+        const double kMinArg = 1e-4;
+        const double arg = std::max(params_.phi - vbs, kMinArg);
+        vt = params_.vt0 +
+             params_.gamma * (std::sqrt(arg) - std::sqrt(params_.phi));
+        if (params_.phi - vbs > kMinArg) {
+            dvtDvbs = -params_.gamma / (2.0 * std::sqrt(arg));
+        }
+    }
+
+    const double vov = vgs - vt;
+    const double beta = params_.beta();
+    if (vov <= 0.0) {
+        op.region = 0;  // cutoff
+        return op;
+    }
+    const double clm = 1.0 + params_.lambda * vds;
+    if (vds < vov) {
+        op.region = 1;  // triode
+        const double shape = vov * vds - 0.5 * vds * vds;
+        op.id = beta * shape * clm;
+        op.gm = beta * vds * clm;
+        op.gds = beta * (vov - vds) * clm + beta * shape * params_.lambda;
+    } else {
+        op.region = 2;  // saturation
+        op.id = 0.5 * beta * vov * vov * clm;
+        op.gm = beta * vov * clm;
+        op.gds = 0.5 * beta * vov * vov * params_.lambda;
+    }
+    // dId/dvbs = dId/dvt * dvt/dvbs = -gm * dvt/dvbs.
+    op.gmb = -op.gm * dvtDvbs;
+    return op;
+}
+
+void Mosfet::stampLinearCap(Assembler& out, const Vector& x, NodeId a,
+                            NodeId b, double c) const {
+    if (c <= 0.0) {
+        return;
+    }
+    const double va = Assembler::nodeVoltage(x, a);
+    const double vb = Assembler::nodeVoltage(x, b);
+    const double q = c * (va - vb);
+    out.addCharge(a, q);
+    out.addCharge(b, -q);
+    out.addCapacitance(a, a, c);
+    out.addCapacitance(a, b, -c);
+    out.addCapacitance(b, a, -c);
+    out.addCapacitance(b, b, c);
+}
+
+void Mosfet::eval(const EvalContext& ctx, Assembler& out) const {
+    const double vd = Assembler::nodeVoltage(ctx.x, drain_);
+    const double vg = Assembler::nodeVoltage(ctx.x, gate_);
+    const double vs = Assembler::nodeVoltage(ctx.x, source_);
+    const double vb = Assembler::nodeVoltage(ctx.x, bulk_);
+
+    const MosfetOperatingPoint op = operatingPoint(vd, vg, vs, vb);
+    const double sgn = (params_.type == MosfetType::Nmos) ? 1.0 : -1.0;
+
+    // Effective drain/source after the symmetry swap: conduction current
+    // flows from dEff to sEff in the normalized frame.
+    const NodeId dEff = op.swapped ? source_ : drain_;
+    const NodeId sEff = op.swapped ? drain_ : source_;
+
+    // In terminal voltages, the residual at dEff is sgn*id(vgs, vds, vbs)
+    // with vgs = sgn*(Vg - VsEff) etc., so the sgn factors cancel in every
+    // Jacobian entry:
+    const double i = sgn * op.id;
+    out.addCurrent(dEff, i);
+    out.addCurrent(sEff, -i);
+
+    const double gSum = op.gm + op.gds + op.gmb;
+    out.addConductance(dEff, gate_, op.gm);
+    out.addConductance(dEff, dEff, op.gds);
+    out.addConductance(dEff, bulk_, op.gmb);
+    out.addConductance(dEff, sEff, -gSum);
+    out.addConductance(sEff, gate_, -op.gm);
+    out.addConductance(sEff, dEff, -op.gds);
+    out.addConductance(sEff, bulk_, -op.gmb);
+    out.addConductance(sEff, sEff, gSum);
+
+    // Meyer-simplified constant capacitances on the ACTUAL terminals.
+    stampLinearCap(out, ctx.x, gate_, source_, params_.cgs);
+    stampLinearCap(out, ctx.x, gate_, drain_, params_.cgd);
+    stampLinearCap(out, ctx.x, gate_, bulk_, params_.cgb);
+    stampLinearCap(out, ctx.x, drain_, bulk_, params_.cdb);
+    stampLinearCap(out, ctx.x, source_, bulk_, params_.csb);
+}
+
+}  // namespace shtrace

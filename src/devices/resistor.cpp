@@ -1,0 +1,26 @@
+#include "shtrace/devices/resistor.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
+    : Device(std::move(name)), a_(a), b_(b), resistance_(resistance) {
+    require(resistance > 0.0, "Resistor ", this->name(),
+            ": resistance must be positive, got ", resistance);
+}
+
+void Resistor::eval(const EvalContext& ctx, Assembler& out) const {
+    const double g = 1.0 / resistance_;
+    const double va = Assembler::nodeVoltage(ctx.x, a_);
+    const double vb = Assembler::nodeVoltage(ctx.x, b_);
+    const double i = g * (va - vb);
+    out.addCurrent(a_, i);
+    out.addCurrent(b_, -i);
+    out.addConductance(a_, a_, g);
+    out.addConductance(a_, b_, -g);
+    out.addConductance(b_, a_, -g);
+    out.addConductance(b_, b_, g);
+}
+
+}  // namespace shtrace

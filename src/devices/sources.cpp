@@ -1,0 +1,125 @@
+#include "shtrace/devices/sources.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+const SkewParametricWaveform* asSkewWave(const Waveform& w) {
+    return dynamic_cast<const SkewParametricWaveform*>(&w);
+}
+}  // namespace
+
+// --------------------------------------------------------- VoltageSource ---
+
+VoltageSource::VoltageSource(std::string name, NodeId pos, NodeId neg,
+                             std::shared_ptr<const Waveform> waveform)
+    : Device(std::move(name)),
+      pos_(pos),
+      neg_(neg),
+      waveform_(std::move(waveform)) {
+    require(waveform_ != nullptr, "VoltageSource ", this->name(),
+            ": null waveform");
+    require(!(pos == neg), "VoltageSource ", this->name(),
+            ": terminals must differ");
+}
+
+VoltageSource::VoltageSource(std::string name, NodeId pos, NodeId neg,
+                             double dcValue)
+    : VoltageSource(std::move(name), pos, neg,
+                    std::make_shared<DcWaveform>(dcValue)) {}
+
+void VoltageSource::eval(const EvalContext& ctx, Assembler& out) const {
+    require(branchRow_ >= 0, "VoltageSource ", name(),
+            ": eval before finalize()");
+    const double i = ctx.x[static_cast<std::size_t>(branchRow_)];
+    // Branch current i is defined INTO the positive terminal through the
+    // source; it appears in both node KCL rows.
+    out.addCurrent(pos_, i);
+    out.addCurrent(neg_, -i);
+    out.addBranchToNode(pos_, branchRow_, 1.0);
+    out.addBranchToNode(neg_, branchRow_, -1.0);
+
+    // Branch equation: v(pos) - v(neg) - u(t) = 0.
+    const double vpos = Assembler::nodeVoltage(ctx.x, pos_);
+    const double vneg = Assembler::nodeVoltage(ctx.x, neg_);
+    out.addToF(branchRow_, vpos - vneg - waveform_->value(ctx.time));
+    out.addToG(branchRow_, pos_, 1.0);
+    out.addToG(branchRow_, neg_, -1.0);
+}
+
+void VoltageSource::addSkewDerivative(double t, SkewParam p,
+                                      Vector& rhs) const {
+    if (const auto* w = asSkewWave(*waveform_)) {
+        rhs[static_cast<std::size_t>(branchRow_)] -= w->skewDerivative(t, p);
+    }
+}
+
+void VoltageSource::addAcStimulus(Vector& rhs) const {
+    // Branch equation carries -u: moving the stimulus to the right-hand
+    // side of (G + jwC)x = s gives +magnitude at the branch row.
+    if (acMagnitude_ != 0.0) {
+        rhs[static_cast<std::size_t>(branchRow_)] += acMagnitude_;
+    }
+}
+
+void VoltageSource::breakpoints(double t0, double t1,
+                                std::vector<double>& out) const {
+    waveform_->breakpoints(t0, t1, out);
+}
+
+// --------------------------------------------------------- CurrentSource ---
+
+CurrentSource::CurrentSource(std::string name, NodeId pos, NodeId neg,
+                             std::shared_ptr<const Waveform> waveform)
+    : Device(std::move(name)),
+      pos_(pos),
+      neg_(neg),
+      waveform_(std::move(waveform)) {
+    require(waveform_ != nullptr, "CurrentSource ", this->name(),
+            ": null waveform");
+}
+
+CurrentSource::CurrentSource(std::string name, NodeId pos, NodeId neg,
+                             double dcValue)
+    : CurrentSource(std::move(name), pos, neg,
+                    std::make_shared<DcWaveform>(dcValue)) {}
+
+void CurrentSource::eval(const EvalContext& ctx, Assembler& out) const {
+    const double i = waveform_->value(ctx.time);
+    // Positive source current leaves pos (through the source to neg).
+    out.addCurrent(pos_, i);
+    out.addCurrent(neg_, -i);
+}
+
+void CurrentSource::addSkewDerivative(double t, SkewParam p,
+                                      Vector& rhs) const {
+    if (const auto* w = asSkewWave(*waveform_)) {
+        const double z = w->skewDerivative(t, p);
+        if (!pos_.isGround()) {
+            rhs[static_cast<std::size_t>(pos_.index)] += z;
+        }
+        if (!neg_.isGround()) {
+            rhs[static_cast<std::size_t>(neg_.index)] -= z;
+        }
+    }
+}
+
+void CurrentSource::addAcStimulus(Vector& rhs) const {
+    // KCL rows carry +u at pos: on the right-hand side the signs flip.
+    if (acMagnitude_ != 0.0) {
+        if (!pos_.isGround()) {
+            rhs[static_cast<std::size_t>(pos_.index)] -= acMagnitude_;
+        }
+        if (!neg_.isGround()) {
+            rhs[static_cast<std::size_t>(neg_.index)] += acMagnitude_;
+        }
+    }
+}
+
+void CurrentSource::breakpoints(double t0, double t1,
+                                std::vector<double>& out) const {
+    waveform_->breakpoints(t0, t1, out);
+}
+
+}  // namespace shtrace

@@ -1,0 +1,26 @@
+#include "shtrace/devices/vccs.hpp"
+
+namespace shtrace {
+
+Vccs::Vccs(std::string name, NodeId pos, NodeId neg, NodeId ctrlPos,
+           NodeId ctrlNeg, double transconductance)
+    : Device(std::move(name)),
+      pos_(pos),
+      neg_(neg),
+      ctrlPos_(ctrlPos),
+      ctrlNeg_(ctrlNeg),
+      gm_(transconductance) {}
+
+void Vccs::eval(const EvalContext& ctx, Assembler& out) const {
+    const double vc = Assembler::nodeVoltage(ctx.x, ctrlPos_) -
+                      Assembler::nodeVoltage(ctx.x, ctrlNeg_);
+    const double i = gm_ * vc;
+    out.addCurrent(pos_, i);
+    out.addCurrent(neg_, -i);
+    out.addConductance(pos_, ctrlPos_, gm_);
+    out.addConductance(pos_, ctrlNeg_, -gm_);
+    out.addConductance(neg_, ctrlPos_, -gm_);
+    out.addConductance(neg_, ctrlNeg_, gm_);
+}
+
+}  // namespace shtrace

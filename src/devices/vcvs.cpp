@@ -1,0 +1,37 @@
+#include "shtrace/devices/vcvs.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+Vcvs::Vcvs(std::string name, NodeId pos, NodeId neg, NodeId ctrlPos,
+           NodeId ctrlNeg, double gain)
+    : Device(std::move(name)),
+      pos_(pos),
+      neg_(neg),
+      ctrlPos_(ctrlPos),
+      ctrlNeg_(ctrlNeg),
+      gain_(gain) {
+    require(!(pos == neg), "Vcvs ", this->name(), ": terminals must differ");
+}
+
+void Vcvs::eval(const EvalContext& ctx, Assembler& out) const {
+    require(branchRow_ >= 0, "Vcvs ", name(), ": eval before finalize()");
+    const double i = ctx.x[static_cast<std::size_t>(branchRow_)];
+    out.addCurrent(pos_, i);
+    out.addCurrent(neg_, -i);
+    out.addBranchToNode(pos_, branchRow_, 1.0);
+    out.addBranchToNode(neg_, branchRow_, -1.0);
+
+    const double vp = Assembler::nodeVoltage(ctx.x, pos_);
+    const double vn = Assembler::nodeVoltage(ctx.x, neg_);
+    const double vcp = Assembler::nodeVoltage(ctx.x, ctrlPos_);
+    const double vcn = Assembler::nodeVoltage(ctx.x, ctrlNeg_);
+    out.addToF(branchRow_, vp - vn - gain_ * (vcp - vcn));
+    out.addToG(branchRow_, pos_, 1.0);
+    out.addToG(branchRow_, neg_, -1.0);
+    out.addToG(branchRow_, ctrlPos_, -gain_);
+    out.addToG(branchRow_, ctrlNeg_, gain_);
+}
+
+}  // namespace shtrace

@@ -1,0 +1,183 @@
+#include "shtrace/linalg/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+bool LuFactorization::factor(const Matrix& a, SimStats* stats,
+                             double pivotTol) {
+    require(a.rows() == a.cols(), "LU requires a square matrix, got ",
+            a.rows(), "x", a.cols());
+    const std::size_t n = a.rows();
+    lu_ = a;
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        perm_[i] = i;
+    }
+    permSign_ = 1;
+    valid_ = false;
+
+    // Implicit row scaling for pivot selection (Crout-style scaled partial
+    // pivoting): MNA rows mix conductances (~1e-3 S) and unit-entries of
+    // source branch equations, so unscaled pivoting can pick poor pivots.
+    std::vector<double> scale(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double rowMax = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            rowMax = std::max(rowMax, std::fabs(lu_(i, j)));
+        }
+        if (rowMax == 0.0) {
+            return false;  // structurally empty row
+        }
+        scale[i] = 1.0 / rowMax;
+    }
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Pivot search on the scaled column.
+        std::size_t pivotRow = k;
+        double best = std::fabs(lu_(k, k)) * scale[k];
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double cand = std::fabs(lu_(i, k)) * scale[i];
+            if (cand > best) {
+                best = cand;
+                pivotRow = i;
+            }
+        }
+        if (pivotRow != k) {
+            for (std::size_t j = 0; j < n; ++j) {
+                std::swap(lu_(k, j), lu_(pivotRow, j));
+            }
+            std::swap(perm_[k], perm_[pivotRow]);
+            std::swap(scale[k], scale[pivotRow]);
+            permSign_ = -permSign_;
+        }
+        const double pivot = lu_(k, k);
+        if (std::fabs(pivot) < pivotTol) {
+            return false;
+        }
+        const double invPivot = 1.0 / pivot;
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double lik = lu_(i, k) * invPivot;
+            lu_(i, k) = lik;
+            if (lik == 0.0) {
+                continue;
+            }
+            double* rowI = lu_.rowData(i);
+            const double* rowK = lu_.rowData(k);
+            for (std::size_t j = k + 1; j < n; ++j) {
+                rowI[j] -= lik * rowK[j];
+            }
+        }
+    }
+    valid_ = true;
+    if (stats != nullptr) {
+        ++stats->luFactorizations;
+    }
+    return true;
+}
+
+Vector LuFactorization::solve(const Vector& b, SimStats* stats) const {
+    Vector x = b;
+    solveInPlace(x, stats);
+    return x;
+}
+
+void LuFactorization::solveInPlace(Vector& b, SimStats* stats) const {
+    require(valid_, "LuFactorization::solve on invalid factorization");
+    require(b.size() == dimension(), "LU solve dimension mismatch");
+    const std::size_t n = dimension();
+    // Apply the permutation.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        y[i] = b[perm_[i]];
+    }
+    // Forward substitution (L has implicit unit diagonal).
+    for (std::size_t i = 1; i < n; ++i) {
+        const double* row = lu_.rowData(i);
+        double acc = y[i];
+        for (std::size_t j = 0; j < i; ++j) {
+            acc -= row[j] * y[j];
+        }
+        y[i] = acc;
+    }
+    // Back substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+        const double* row = lu_.rowData(ii);
+        double acc = y[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) {
+            acc -= row[j] * y[j];
+        }
+        y[ii] = acc / row[ii];
+    }
+    b = std::move(y);
+    if (stats != nullptr) {
+        ++stats->luSolves;
+    }
+}
+
+Vector LuFactorization::solveTransposed(const Vector& b,
+                                        SimStats* stats) const {
+    require(valid_, "LuFactorization::solveTransposed on invalid factorization");
+    require(b.size() == dimension(), "LU solveTransposed dimension mismatch");
+    const std::size_t n = dimension();
+    // A^T = (P^T L U)^T = U^T L^T P, so solve U^T z = b, L^T w = z, x = P^T w.
+    Vector z = b;
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = z[i];
+        for (std::size_t j = 0; j < i; ++j) {
+            acc -= lu_(j, i) * z[j];
+        }
+        z[i] = acc / lu_(i, i);
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = z[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) {
+            acc -= lu_(j, ii) * z[j];
+        }
+        z[ii] = acc;
+    }
+    Vector x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[perm_[i]] = z[i];
+    }
+    if (stats != nullptr) {
+        ++stats->luSolves;
+    }
+    return x;
+}
+
+double LuFactorization::determinant() const {
+    require(valid_, "determinant of invalid factorization");
+    double det = permSign_;
+    for (std::size_t i = 0; i < dimension(); ++i) {
+        det *= lu_(i, i);
+    }
+    return det;
+}
+
+double LuFactorization::reciprocalPivotRatio() const noexcept {
+    if (!valid_ || dimension() == 0) {
+        return 0.0;
+    }
+    double minPivot = std::fabs(lu_(0, 0));
+    double maxPivot = minPivot;
+    for (std::size_t i = 1; i < dimension(); ++i) {
+        const double p = std::fabs(lu_(i, i));
+        minPivot = std::min(minPivot, p);
+        maxPivot = std::max(maxPivot, p);
+    }
+    return maxPivot == 0.0 ? 0.0 : minPivot / maxPivot;
+}
+
+Vector solveLinearSystem(const Matrix& a, const Vector& b, SimStats* stats) {
+    LuFactorization lu;
+    if (!lu.factor(a, stats)) {
+        throw NumericalError("solveLinearSystem: singular matrix");
+    }
+    return lu.solve(b, stats);
+}
+
+}  // namespace shtrace

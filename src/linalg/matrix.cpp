@@ -1,0 +1,206 @@
+#include "shtrace/linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace shtrace {
+
+// ---------------------------------------------------------------- Vector ---
+
+Vector& Vector::operator+=(const Vector& o) {
+    require(size() == o.size(), "Vector += size mismatch: ", size(), " vs ",
+            o.size());
+    for (std::size_t i = 0; i < size(); ++i) {
+        data_[i] += o.data_[i];
+    }
+    return *this;
+}
+
+Vector& Vector::operator-=(const Vector& o) {
+    require(size() == o.size(), "Vector -= size mismatch: ", size(), " vs ",
+            o.size());
+    for (std::size_t i = 0; i < size(); ++i) {
+        data_[i] -= o.data_[i];
+    }
+    return *this;
+}
+
+Vector& Vector::operator*=(double s) noexcept {
+    for (double& v : data_) {
+        v *= s;
+    }
+    return *this;
+}
+
+void Vector::addScaled(double s, const Vector& b) {
+    require(size() == b.size(), "Vector::addScaled size mismatch: ", size(),
+            " vs ", b.size());
+    for (std::size_t i = 0; i < size(); ++i) {
+        data_[i] += s * b.data_[i];
+    }
+}
+
+double Vector::dot(const Vector& o) const {
+    require(size() == o.size(), "Vector::dot size mismatch: ", size(), " vs ",
+            o.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < size(); ++i) {
+        acc += data_[i] * o.data_[i];
+    }
+    return acc;
+}
+
+double Vector::normInf() const noexcept {
+    double acc = 0.0;
+    for (double v : data_) {
+        acc = std::max(acc, std::fabs(v));
+    }
+    return acc;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vector& v) {
+    os << '[';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i != 0) {
+            os << ", ";
+        }
+        os << v[i];
+    }
+    return os << ']';
+}
+
+// ---------------------------------------------------------------- Matrix ---
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 1.0;
+    }
+    return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+    require(rows_ == o.rows_ && cols_ == o.cols_, "Matrix += shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += o.data_[i];
+    }
+    return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+    require(rows_ == o.rows_ && cols_ == o.cols_, "Matrix -= shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] -= o.data_[i];
+    }
+    return *this;
+}
+
+Matrix& Matrix::operator*=(double s) noexcept {
+    for (double& v : data_) {
+        v *= s;
+    }
+    return *this;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+    require(x.size() == cols_, "Matrix*Vector shape mismatch: ", rows_, "x",
+            cols_, " vs ", x.size());
+    Vector y(rows_);
+    multiplyAccumulate(x, 1.0, y);
+    return y;
+}
+
+void Matrix::multiplyAccumulate(const Vector& x, double s, Vector& y) const {
+    require(x.size() == cols_ && y.size() == rows_,
+            "Matrix::multiplyAccumulate shape mismatch");
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double* row = rowData(i);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j) {
+            acc += row[j] * x[j];
+        }
+        y[i] += s * acc;
+    }
+}
+
+Vector Matrix::multiplyTransposed(const Vector& x) const {
+    require(x.size() == rows_, "Matrix^T*Vector shape mismatch");
+    Vector y(cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double* row = rowData(i);
+        for (std::size_t j = 0; j < cols_; ++j) {
+            y[j] += row[j] * x[i];
+        }
+    }
+    return y;
+}
+
+Matrix Matrix::multiply(const Matrix& b) const {
+    require(cols_ == b.rows_, "Matrix*Matrix shape mismatch");
+    Matrix c(rows_, b.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0) {
+                continue;
+            }
+            const double* brow = b.rowData(k);
+            double* crow = c.rowData(i);
+            for (std::size_t j = 0; j < b.cols_; ++j) {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    return c;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            t(j, i) = (*this)(i, j);
+        }
+    }
+    return t;
+}
+
+double Matrix::normInf() const noexcept {
+    double best = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double rowSum = 0.0;
+        const double* row = rowData(i);
+        for (std::size_t j = 0; j < cols_; ++j) {
+            rowSum += std::fabs(row[j]);
+        }
+        best = std::max(best, rowSum);
+    }
+    return best;
+}
+
+double Matrix::maxAbsDiff(const Matrix& o) const {
+    require(rows_ == o.rows_ && cols_ == o.cols_,
+            "Matrix::maxAbsDiff shape mismatch");
+    double best = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        best = std::max(best, std::fabs(data_[i] - o.data_[i]));
+    }
+    return best;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        os << (i == 0 ? "[[" : " [");
+        for (std::size_t j = 0; j < m.cols(); ++j) {
+            if (j != 0) {
+                os << ", ";
+            }
+            os << std::setw(12) << m(i, j);
+        }
+        os << (i + 1 == m.rows() ? "]]" : "]\n");
+    }
+    return os;
+}
+
+}  // namespace shtrace

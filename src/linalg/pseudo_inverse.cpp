@@ -1,0 +1,60 @@
+#include "shtrace/linalg/pseudo_inverse.hpp"
+
+#include <cmath>
+
+#include "shtrace/linalg/lu.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+Matrix pseudoInverseWide(const Matrix& a) {
+    require(a.rows() <= a.cols(),
+            "pseudoInverseWide expects a wide matrix, got ", a.rows(), "x",
+            a.cols());
+    const Matrix at = a.transposed();
+    const Matrix gram = a.multiply(at);  // rows x rows
+    LuFactorization lu;
+    if (!lu.factor(gram)) {
+        throw NumericalError(
+            "pseudoInverseWide: A A^T is singular (rank-deficient rows)");
+    }
+    // Solve gram * X = A column-block-wise: A^+ = A^T gram^{-1}.
+    Matrix pinv(a.cols(), a.rows());
+    for (std::size_t j = 0; j < a.rows(); ++j) {
+        Vector e(a.rows());
+        e[j] = 1.0;
+        const Vector col = lu.solve(e);  // j-th column of gram^{-1}
+        for (std::size_t i = 0; i < a.cols(); ++i) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.rows(); ++k) {
+                acc += at(i, k) * col[k];
+            }
+            pinv(i, j) = acc;
+        }
+    }
+    return pinv;
+}
+
+Vector moorePenroseStep(const Vector& hRow, double h, double gradTol) {
+    const double gram = hRow.dot(hRow);
+    if (!(gram > gradTol)) {
+        throw NumericalError(
+            message("moorePenroseStep: vanishing gradient (|H|^2=", gram,
+                    "); the iterate is at a critical point of h"));
+    }
+    Vector step = hRow;
+    step *= -h / gram;
+    return step;
+}
+
+Vector tangentFromGradient2(double dhds, double dhdh, double gradTol) {
+    const double norm2 = dhds * dhds + dhdh * dhdh;
+    if (!(norm2 > gradTol)) {
+        throw NumericalError(
+            "tangentFromGradient2: zero gradient, tangent undefined");
+    }
+    const double inv = 1.0 / std::sqrt(norm2);
+    return Vector{-dhdh * inv, dhds * inv};
+}
+
+}  // namespace shtrace

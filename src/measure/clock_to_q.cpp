@@ -1,0 +1,33 @@
+#include "shtrace/measure/clock_to_q.hpp"
+
+#include "shtrace/measure/crossing.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+std::optional<double> measureClockToQ(const TransientResult& result,
+                                      const Vector& outputSelector,
+                                      const ClockToQSpec& spec) {
+    require(!result.times.empty() && !result.states.empty(),
+            "measureClockToQ: transient has no stored states");
+    const std::vector<double> signal = result.signal(outputSelector);
+    const auto crossing =
+        firstCrossingAfter(result.times, signal, spec.threshold(),
+                           spec.clockEdgeMidpoint, spec.risingOutput());
+    if (!crossing) {
+        return std::nullopt;
+    }
+    return crossing->time - spec.clockEdgeMidpoint;
+}
+
+bool latchedSuccessfully(const TransientResult& result,
+                         const Vector& outputSelector,
+                         const ClockToQSpec& spec) {
+    require(!result.states.empty(),
+            "latchedSuccessfully: transient has no stored states");
+    const double finalValue = outputSelector.dot(result.states.back());
+    return spec.risingOutput() ? finalValue >= spec.threshold()
+                               : finalValue <= spec.threshold();
+}
+
+}  // namespace shtrace

@@ -1,0 +1,196 @@
+#include "shtrace/measure/contour.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <list>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+struct Segment {
+    SkewPoint a;
+    SkewPoint b;
+};
+
+/// Interpolated crossing of `level` along the edge (p0,v0)-(p1,v1).
+SkewPoint edgeCrossing(const SkewPoint& p0, double v0, const SkewPoint& p1,
+                       double v1, double level) {
+    const double denom = v1 - v0;
+    const double frac = denom == 0.0 ? 0.5 : (level - v0) / denom;
+    return SkewPoint{p0.setup + frac * (p1.setup - p0.setup),
+                     p0.hold + frac * (p1.hold - p0.hold)};
+}
+
+double pointDistance(const SkewPoint& a, const SkewPoint& b) {
+    const double ds = a.setup - b.setup;
+    const double dh = a.hold - b.hold;
+    return std::sqrt(ds * ds + dh * dh);
+}
+
+double polylineLength(const ContourPolyline& poly) {
+    double len = 0.0;
+    for (std::size_t i = 1; i < poly.size(); ++i) {
+        len += pointDistance(poly[i - 1], poly[i]);
+    }
+    return len;
+}
+
+/// Collects marching-squares segments for one grid cell.
+void cellSegments(const OutputSurface& s, std::size_t i, std::size_t j,
+                  double level, std::vector<Segment>& out) {
+    // Corner order: 0=(i,j) 1=(i+1,j) 2=(i+1,j+1) 3=(i,j+1).
+    const SkewPoint p[4] = {{s.setupAt(i), s.holdAt(j)},
+                            {s.setupAt(i + 1), s.holdAt(j)},
+                            {s.setupAt(i + 1), s.holdAt(j + 1)},
+                            {s.setupAt(i), s.holdAt(j + 1)}};
+    const double v[4] = {s.value(i, j), s.value(i + 1, j),
+                         s.value(i + 1, j + 1), s.value(i, j + 1)};
+    int mask = 0;
+    for (int k = 0; k < 4; ++k) {
+        if (v[k] >= level) {
+            mask |= 1 << k;
+        }
+    }
+    if (mask == 0 || mask == 15) {
+        return;
+    }
+    // Edges: e0 = 0-1, e1 = 1-2, e2 = 2-3, e3 = 3-0.
+    const auto cross = [&](int e) {
+        const int k0 = e;
+        const int k1 = (e + 1) % 4;
+        return edgeCrossing(p[k0], v[k0], p[k1], v[k1], level);
+    };
+    const bool cut[4] = {((mask >> 0) & 1) != ((mask >> 1) & 1),
+                         ((mask >> 1) & 1) != ((mask >> 2) & 1),
+                         ((mask >> 2) & 1) != ((mask >> 3) & 1),
+                         ((mask >> 3) & 1) != ((mask >> 0) & 1)};
+    int cutEdges[4];
+    int numCut = 0;
+    for (int e = 0; e < 4; ++e) {
+        if (cut[e]) {
+            cutEdges[numCut++] = e;
+        }
+    }
+    if (numCut == 2) {
+        out.push_back({cross(cutEdges[0]), cross(cutEdges[1])});
+        return;
+    }
+    // Saddle (4 cuts): resolve by the cell-center average, the standard
+    // marching-squares disambiguation.
+    if (numCut == 4) {
+        const double center = 0.25 * (v[0] + v[1] + v[2] + v[3]);
+        const bool centerHigh = center >= level;
+        const bool corner0High = ((mask >> 0) & 1) != 0;
+        if (corner0High == centerHigh) {
+            out.push_back({cross(0), cross(1)});
+            out.push_back({cross(2), cross(3)});
+        } else {
+            out.push_back({cross(3), cross(0)});
+            out.push_back({cross(1), cross(2)});
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<ContourPolyline> extractLevelContours(const OutputSurface& surface,
+                                                  double level) {
+    std::vector<Segment> segments;
+    for (std::size_t i = 0; i + 1 < surface.setupCount(); ++i) {
+        for (std::size_t j = 0; j + 1 < surface.holdCount(); ++j) {
+            cellSegments(surface, i, j, level, segments);
+        }
+    }
+
+    // Endpoint-matching tolerance: a small fraction of the finest cell.
+    double minSpacing = std::numeric_limits<double>::max();
+    for (std::size_t i = 1; i < surface.setupCount(); ++i) {
+        minSpacing =
+            std::min(minSpacing, surface.setupAt(i) - surface.setupAt(i - 1));
+    }
+    for (std::size_t j = 1; j < surface.holdCount(); ++j) {
+        minSpacing =
+            std::min(minSpacing, surface.holdAt(j) - surface.holdAt(j - 1));
+    }
+    const double tol = 1e-9 * minSpacing;
+
+    std::list<Segment> pool(segments.begin(), segments.end());
+    std::vector<ContourPolyline> polylines;
+    while (!pool.empty()) {
+        std::deque<SkewPoint> chain{pool.front().a, pool.front().b};
+        pool.pop_front();
+        bool extended = true;
+        while (extended) {
+            extended = false;
+            for (auto it = pool.begin(); it != pool.end(); ++it) {
+                if (pointDistance(it->a, chain.back()) <= tol) {
+                    chain.push_back(it->b);
+                } else if (pointDistance(it->b, chain.back()) <= tol) {
+                    chain.push_back(it->a);
+                } else if (pointDistance(it->a, chain.front()) <= tol) {
+                    chain.push_front(it->b);
+                } else if (pointDistance(it->b, chain.front()) <= tol) {
+                    chain.push_front(it->a);
+                } else {
+                    continue;
+                }
+                pool.erase(it);
+                extended = true;
+                break;
+            }
+        }
+        polylines.emplace_back(chain.begin(), chain.end());
+    }
+    std::sort(polylines.begin(), polylines.end(),
+              [](const ContourPolyline& a, const ContourPolyline& b) {
+                  return polylineLength(a) > polylineLength(b);
+              });
+    return polylines;
+}
+
+double distanceToPolyline(const SkewPoint& p, const ContourPolyline& poly) {
+    require(!poly.empty(), "distanceToPolyline: empty polyline");
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+        if (i + 1 < poly.size()) {
+            // Exact point-to-segment distance.
+            const SkewPoint& a = poly[i];
+            const SkewPoint& b = poly[i + 1];
+            const double abS = b.setup - a.setup;
+            const double abH = b.hold - a.hold;
+            const double len2 = abS * abS + abH * abH;
+            double t = 0.0;
+            if (len2 > 0.0) {
+                t = ((p.setup - a.setup) * abS + (p.hold - a.hold) * abH) /
+                    len2;
+                t = std::clamp(t, 0.0, 1.0);
+            }
+            const SkewPoint proj{a.setup + t * abS, a.hold + t * abH};
+            best = std::min(best, pointDistance(p, proj));
+        } else {
+            best = std::min(best, pointDistance(p, poly[i]));
+        }
+    }
+    return best;
+}
+
+double maxDeviation(const std::vector<SkewPoint>& points,
+                    const std::vector<ContourPolyline>& contours) {
+    require(!contours.empty(), "maxDeviation: no contours to compare against");
+    double worst = 0.0;
+    for (const SkewPoint& p : points) {
+        double best = std::numeric_limits<double>::max();
+        for (const ContourPolyline& poly : contours) {
+            best = std::min(best, distanceToPolyline(p, poly));
+        }
+        worst = std::max(worst, best);
+    }
+    return worst;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,56 @@
+#include "shtrace/measure/crossing.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+std::vector<Crossing> findCrossings(const std::vector<double>& times,
+                                    const std::vector<double>& values,
+                                    double threshold) {
+    require(times.size() == values.size(),
+            "findCrossings: times/values size mismatch");
+    std::vector<Crossing> out;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        require(times[i] > times[i - 1],
+                "findCrossings: times must be strictly increasing");
+        const double a = values[i - 1] - threshold;
+        const double b = values[i] - threshold;
+        if (a == 0.0 && b == 0.0) {
+            continue;  // flat at the threshold: no crossing
+        }
+        const bool crosses = (a <= 0.0 && b > 0.0) || (a >= 0.0 && b < 0.0) ||
+                             (a < 0.0 && b >= 0.0) || (a > 0.0 && b <= 0.0);
+        if (!crosses) {
+            continue;
+        }
+        const double frac = a / (a - b);
+        Crossing c;
+        c.time = times[i - 1] + frac * (times[i] - times[i - 1]);
+        c.rising = b > a;
+        // Avoid duplicate reports when a sample sits exactly on the
+        // threshold (it terminates one segment and begins the next).
+        if (!out.empty() && c.time <= out.back().time) {
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::optional<Crossing> firstCrossingAfter(const std::vector<double>& times,
+                                           const std::vector<double>& values,
+                                           double threshold, double tAfter,
+                                           std::optional<bool> wantRising) {
+    for (const Crossing& c : findCrossings(times, values, threshold)) {
+        if (c.time < tAfter) {
+            continue;
+        }
+        if (wantRising.has_value() && c.rising != *wantRising) {
+            continue;
+        }
+        return c;
+    }
+    return std::nullopt;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,70 @@
+#include "shtrace/measure/surface.hpp"
+
+#include <algorithm>
+
+#include "shtrace/util/error.hpp"
+#include "shtrace/util/table.hpp"
+
+namespace shtrace {
+
+namespace {
+void checkAxis(const std::vector<double>& axis, const char* name) {
+    require(axis.size() >= 2, "OutputSurface: axis '", name,
+            "' needs at least 2 samples");
+    for (std::size_t i = 1; i < axis.size(); ++i) {
+        require(axis[i] > axis[i - 1], "OutputSurface: axis '", name,
+                "' must be strictly increasing");
+    }
+}
+
+/// Index of the interval containing v (axis[k] <= v <= axis[k+1]).
+std::size_t intervalIndex(const std::vector<double>& axis, double v) {
+    const auto it = std::upper_bound(axis.begin(), axis.end(), v);
+    std::size_t hi = static_cast<std::size_t>(it - axis.begin());
+    hi = std::clamp<std::size_t>(hi, 1, axis.size() - 1);
+    return hi - 1;
+}
+}  // namespace
+
+OutputSurface::OutputSurface(std::vector<double> setupSkews,
+                             std::vector<double> holdSkews)
+    : setupSkews_(std::move(setupSkews)),
+      holdSkews_(std::move(holdSkews)),
+      values_(setupSkews_.size(), holdSkews_.size()) {
+    checkAxis(setupSkews_, "setup");
+    checkAxis(holdSkews_, "hold");
+}
+
+bool OutputSurface::contains(const SkewPoint& p) const {
+    return p.setup >= setupSkews_.front() && p.setup <= setupSkews_.back() &&
+           p.hold >= holdSkews_.front() && p.hold <= holdSkews_.back();
+}
+
+double OutputSurface::interpolate(const SkewPoint& p) const {
+    require(contains(p), "OutputSurface::interpolate: point (", p.setup, ",",
+            p.hold, ") outside the sampled grid");
+    const std::size_t i = intervalIndex(setupSkews_, p.setup);
+    const std::size_t j = intervalIndex(holdSkews_, p.hold);
+    const double fs = (p.setup - setupSkews_[i]) /
+                      (setupSkews_[i + 1] - setupSkews_[i]);
+    const double fh =
+        (p.hold - holdSkews_[j]) / (holdSkews_[j + 1] - holdSkews_[j]);
+    const double v00 = values_(i, j);
+    const double v10 = values_(i + 1, j);
+    const double v01 = values_(i, j + 1);
+    const double v11 = values_(i + 1, j + 1);
+    return v00 * (1 - fs) * (1 - fh) + v10 * fs * (1 - fh) +
+           v01 * (1 - fs) * fh + v11 * fs * fh;
+}
+
+void OutputSurface::writeCsv(const std::string& path) const {
+    CsvWriter csv(path);
+    csv.writeHeader({"setup_skew", "hold_skew", "output"});
+    for (std::size_t i = 0; i < setupCount(); ++i) {
+        for (std::size_t j = 0; j < holdCount(); ++j) {
+            csv.writeRow({setupSkews_[i], holdSkews_[j], values_(i, j)});
+        }
+    }
+}
+
+}  // namespace shtrace

@@ -1,0 +1,32 @@
+#include "shtrace/util/stats.hpp"
+
+#include <ostream>
+
+namespace shtrace {
+
+SimStats& SimStats::operator+=(const SimStats& other) noexcept {
+    transientSolves += other.transientSolves;
+    timeSteps += other.timeSteps;
+    rejectedSteps += other.rejectedSteps;
+    newtonIterations += other.newtonIterations;
+    luFactorizations += other.luFactorizations;
+    luSolves += other.luSolves;
+    deviceEvaluations += other.deviceEvaluations;
+    sensitivitySteps += other.sensitivitySteps;
+    hEvaluations += other.hEvaluations;
+    mpnrIterations += other.mpnrIterations;
+    wallSeconds += other.wallSeconds;
+    return *this;
+}
+
+std::ostream& operator<<(std::ostream& os, const SimStats& s) {
+    os << "transients=" << s.transientSolves << " steps=" << s.timeSteps
+       << " (+" << s.rejectedSteps << " rejected)"
+       << " newton=" << s.newtonIterations << " lu=" << s.luFactorizations
+       << "/" << s.luSolves << " devEval=" << s.deviceEvaluations
+       << " sensSteps=" << s.sensitivitySteps << " hEval=" << s.hEvaluations
+       << " mpnr=" << s.mpnrIterations << " wall=" << s.wallSeconds << "s";
+    return os;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,97 @@
+#include "shtrace/util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> cells) {
+    require(cells.size() == headers_.size(), "table row has ", cells.size(),
+            " cells, expected ", headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::toCell(double v) {
+    std::ostringstream os;
+    os << std::setprecision(6) << v;
+    return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto printRule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto printCells = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << std::setw(static_cast<int>(widths[c])) << std::left
+               << cells[c] << ' ';
+        }
+        os << "|\n";
+    };
+    printRule();
+    printCells(headers_);
+    printRule();
+    for (const auto& row : rows_) {
+        printCells(row);
+    }
+    printRule();
+}
+
+struct CsvWriter::Impl {
+    std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+    impl_->out.open(path);
+    if (!impl_->out) {
+        delete impl_;
+        throw Error(message("cannot open CSV file '", path, "' for writing"));
+    }
+    impl_->out << std::setprecision(12);
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::writeHeader(std::initializer_list<std::string> names) {
+    bool first = true;
+    for (const auto& n : names) {
+        if (!first) {
+            impl_->out << ',';
+        }
+        impl_->out << n;
+        first = false;
+    }
+    impl_->out << '\n';
+}
+
+void CsvWriter::writeRow(std::initializer_list<double> values) {
+    bool first = true;
+    for (double v : values) {
+        if (!first) {
+            impl_->out << ',';
+        }
+        impl_->out << v;
+        first = false;
+    }
+    impl_->out << '\n';
+}
+
+}  // namespace shtrace

@@ -1,0 +1,113 @@
+#include "shtrace/util/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+bool iequalsPrefix(std::string_view text, std::string_view lowerPrefix) {
+    if (text.size() < lowerPrefix.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < lowerPrefix.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(text[i])) !=
+            lowerPrefix[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Maps the trailing suffix of a numeric token to a scale factor.
+double suffixScale(std::string_view rest) {
+    if (rest.empty()) {
+        return 1.0;
+    }
+    // Multi-letter suffixes first: "meg" and "mil" both start with 'm'.
+    if (iequalsPrefix(rest, "meg")) {
+        return 1e6;
+    }
+    if (iequalsPrefix(rest, "mil")) {
+        return 25.4e-6;
+    }
+    switch (std::tolower(static_cast<unsigned char>(rest[0]))) {
+        case 't': return 1e12;
+        case 'g': return 1e9;
+        case 'k': return 1e3;
+        case 'm': return 1e-3;
+        case 'u': return 1e-6;
+        case 'n': return 1e-9;
+        case 'p': return 1e-12;
+        case 'f': return 1e-15;
+        case 'a': return 1e-18;
+        default: return 1.0;  // unrecognized letters are units ("V", "Ohm")
+    }
+}
+
+}  // namespace
+
+std::optional<double> parseEngineering(std::string_view text) {
+    if (text.empty()) {
+        return std::nullopt;
+    }
+    std::string buf(text);
+    const char* begin = buf.c_str();
+    char* end = nullptr;
+    const double mantissa = std::strtod(begin, &end);
+    if (end == begin) {
+        return std::nullopt;
+    }
+    std::string_view rest(end);
+    // Everything after the number must be alphabetic (suffix and/or unit).
+    for (char c : rest) {
+        if (std::isalpha(static_cast<unsigned char>(c)) == 0) {
+            return std::nullopt;
+        }
+    }
+    return mantissa * suffixScale(rest);
+}
+
+double parseEngineeringOrThrow(std::string_view text, int line) {
+    const auto value = parseEngineering(text);
+    if (!value) {
+        throw ParseError(message("malformed number '", text, "'"), line);
+    }
+    return *value;
+}
+
+std::string formatEngineering(double value, std::string_view unit,
+                              int significantDigits) {
+    struct Band {
+        double scale;
+        const char* prefix;
+    };
+    // "Meg", not "M": in SPICE notation (which parseEngineering follows)
+    // a leading 'm' is always milli, so mega must round-trip as "Meg".
+    static constexpr Band kBands[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "Meg"}, {1e3, "k"},  {1.0, ""},
+        {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+    };
+    std::ostringstream os;
+    os.precision(significantDigits);
+    if (value == 0.0 || !std::isfinite(value)) {
+        os << value << unit;
+        return os.str();
+    }
+    const double mag = std::fabs(value);
+    for (const Band& band : kBands) {
+        if (mag >= band.scale * 0.9995) {
+            os << value / band.scale << band.prefix << unit;
+            return os.str();
+        }
+    }
+    os << value << unit;
+    return os.str();
+}
+
+}  // namespace shtrace

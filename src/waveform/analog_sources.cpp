@@ -1,0 +1,64 @@
+#include "shtrace/waveform/analog_sources.hpp"
+
+#include <cmath>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+SineWaveform::SineWaveform(const Spec& spec) : spec_(spec) {
+    require(spec.frequency > 0.0, "SineWaveform: frequency must be positive");
+    require(spec.damping >= 0.0, "SineWaveform: damping must be >= 0");
+}
+
+double SineWaveform::value(double t) const {
+    const Spec& s = spec_;
+    if (t <= s.delay) {
+        return s.offset;
+    }
+    const double local = t - s.delay;
+    const double envelope =
+        s.damping > 0.0 ? std::exp(-s.damping * local) : 1.0;
+    return s.offset + s.amplitude * envelope *
+                          std::sin(2.0 * M_PI * s.frequency * local);
+}
+
+void SineWaveform::breakpoints(double t0, double t1,
+                               std::vector<double>& out) const {
+    // The only non-smooth point is the turn-on instant.
+    if (spec_.delay > t0 && spec_.delay < t1) {
+        out.push_back(spec_.delay);
+    }
+}
+
+ExpWaveform::ExpWaveform(const Spec& spec) : spec_(spec) {
+    require(spec.riseTau > 0.0 && spec.fallTau > 0.0,
+            "ExpWaveform: time constants must be positive");
+    require(spec.fallDelay >= spec.riseDelay,
+            "ExpWaveform: fall delay precedes rise delay");
+}
+
+double ExpWaveform::value(double t) const {
+    const Spec& s = spec_;
+    double v = s.v1;
+    if (t > s.riseDelay) {
+        v += (s.v2 - s.v1) *
+             (1.0 - std::exp(-(t - s.riseDelay) / s.riseTau));
+    }
+    if (t > s.fallDelay) {
+        v += (s.v1 - s.v2) *
+             (1.0 - std::exp(-(t - s.fallDelay) / s.fallTau));
+    }
+    return v;
+}
+
+void ExpWaveform::breakpoints(double t0, double t1,
+                              std::vector<double>& out) const {
+    for (double c : {spec_.riseDelay, spec_.fallDelay}) {
+        if (c > t0 && c < t1) {
+            out.push_back(c);
+        }
+    }
+}
+
+}  // namespace shtrace

@@ -1,0 +1,88 @@
+#include "shtrace/waveform/clock.hpp"
+
+#include <cmath>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+ClockWaveform::ClockWaveform(const Spec& spec) : spec_(spec) {
+    require(spec.period > 0.0, "ClockWaveform: period must be positive");
+    require(spec.riseTime >= 0.0 && spec.fallTime >= 0.0,
+            "ClockWaveform: negative rise/fall time");
+    require(spec.dutyCycle > 0.0 && spec.dutyCycle < 1.0,
+            "ClockWaveform: duty cycle must be in (0,1)");
+    // The high interval (between 50% points) must fit the edges.
+    require(spec.dutyCycle * spec.period >
+                0.5 * (spec.riseTime + spec.fallTime),
+            "ClockWaveform: duty cycle too small for edge times");
+    require(
+        (1.0 - spec.dutyCycle) * spec.period >
+            0.5 * (spec.riseTime + spec.fallTime),
+        "ClockWaveform: duty cycle too large for edge times");
+}
+
+double ClockWaveform::basePhaseValue(double tau) const {
+    const Spec& s = spec_;
+    // tau in [0, period), measured from the start of the rising edge.
+    const double fallStart =
+        0.5 * s.riseTime + s.dutyCycle * s.period - 0.5 * s.fallTime;
+    if (tau < s.riseTime) {
+        return s.v0 +
+               (s.v1 - s.v0) * edgeProfile(s.shape, tau / s.riseTime);
+    }
+    if (tau < fallStart) {
+        return s.v1;
+    }
+    if (tau < fallStart + s.fallTime) {
+        return s.v1 + (s.v0 - s.v1) *
+                          edgeProfile(s.shape, (tau - fallStart) / s.fallTime);
+    }
+    return s.v0;
+}
+
+double ClockWaveform::value(double t) const {
+    const Spec& s = spec_;
+    double base;
+    if (t <= s.delay) {
+        base = s.v0;
+    } else {
+        const double local = t - s.delay;
+        base = basePhaseValue(local - s.period * std::floor(local / s.period));
+    }
+    return s.inverted ? (s.v0 + s.v1) - base : base;
+}
+
+void ClockWaveform::breakpoints(double t0, double t1,
+                                std::vector<double>& out) const {
+    const Spec& s = spec_;
+    if (t1 <= s.delay) {
+        return;
+    }
+    const double fallStart =
+        0.5 * s.riseTime + s.dutyCycle * s.period - 0.5 * s.fallTime;
+    const long firstCycle = static_cast<long>(
+        std::floor((std::max(t0, s.delay) - s.delay) / s.period));
+    for (long k = std::max(0L, firstCycle - 1);; ++k) {
+        const double cycleStart = s.delay + static_cast<double>(k) * s.period;
+        if (cycleStart > t1) {
+            break;
+        }
+        const double corners[] = {cycleStart, cycleStart + s.riseTime,
+                                  cycleStart + fallStart,
+                                  cycleStart + fallStart + s.fallTime};
+        for (double c : corners) {
+            if (c > t0 && c < t1) {
+                out.push_back(c);
+            }
+        }
+    }
+}
+
+double ClockWaveform::risingEdgeMidpoint(int k) const {
+    require(k >= 0, "ClockWaveform::risingEdgeMidpoint: negative edge index");
+    return spec_.delay + 0.5 * spec_.riseTime +
+           static_cast<double>(k) * spec_.period;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,54 @@
+#include "shtrace/waveform/data_pulse.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+DataPulse::DataPulse(const Spec& spec) : spec_(spec) {
+    require(spec.transitionTime > 0.0,
+            "DataPulse: transitionTime must be positive (the skew "
+            "derivatives scale as 1/transitionTime)");
+    require(spec.activeEdgeTime > 0.0,
+            "DataPulse: activeEdgeTime must be positive");
+}
+
+void DataPulse::setSkews(double setupSkew, double holdSkew) {
+    setupSkew_ = setupSkew;
+    holdSkew_ = holdSkew;
+}
+
+double DataPulse::value(double t) const {
+    // Pulse = leading-edge progress minus trailing-edge progress. This form
+    // stays well defined (a reduced-amplitude pulse) even if the tracer
+    // wanders into a region where the two edges overlap.
+    const double lead =
+        edgeProfile(spec_.shape, edgeU(t, leadingEdgeMidpoint()));
+    const double trail =
+        edgeProfile(spec_.shape, edgeU(t, trailingEdgeMidpoint()));
+    return spec_.v0 + (spec_.v1 - spec_.v0) * (lead - trail);
+}
+
+double DataPulse::skewDerivative(double t, SkewParam p) const {
+    const double mid = (p == SkewParam::Setup) ? leadingEdgeMidpoint()
+                                               : trailingEdgeMidpoint();
+    const double slope = edgeProfileSlope(spec_.shape, edgeU(t, mid));
+    // d u_lead / d tau_s = +1/tr; d u_trail / d tau_h = -1/tr, but the
+    // trailing edge enters the value with a minus sign, so both derivatives
+    // reduce to +(v1-v0) * p'(u) / tr.
+    return (spec_.v1 - spec_.v0) * slope / spec_.transitionTime;
+}
+
+void DataPulse::breakpoints(double t0, double t1,
+                            std::vector<double>& out) const {
+    const double half = 0.5 * spec_.transitionTime;
+    const double corners[] = {
+        leadingEdgeMidpoint() - half, leadingEdgeMidpoint() + half,
+        trailingEdgeMidpoint() - half, trailingEdgeMidpoint() + half};
+    for (double c : corners) {
+        if (c > t0 && c < t1) {
+            out.push_back(c);
+        }
+    }
+}
+
+}  // namespace shtrace

@@ -1,0 +1,48 @@
+#include "shtrace/waveform/pulse.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+PulseWaveform::PulseWaveform(const Spec& spec) : spec_(spec) {
+    require(spec.riseTime >= 0.0 && spec.fallTime >= 0.0 && spec.width >= 0.0,
+            "PulseWaveform: negative rise/fall/width");
+}
+
+double PulseWaveform::value(double t) const {
+    const Spec& s = spec_;
+    const double riseStart = s.delay;
+    const double riseEnd = riseStart + s.riseTime;
+    const double fallStart = riseEnd + s.width;
+    const double fallEnd = fallStart + s.fallTime;
+    if (t <= riseStart) {
+        return s.v0;
+    }
+    if (t < riseEnd) {
+        const double u = (t - riseStart) / s.riseTime;
+        return s.v0 + (s.v1 - s.v0) * edgeProfile(s.shape, u);
+    }
+    if (t <= fallStart) {
+        return s.v1;
+    }
+    if (t < fallEnd) {
+        const double u = (t - fallStart) / s.fallTime;
+        return s.v1 + (s.v0 - s.v1) * edgeProfile(s.shape, u);
+    }
+    return s.v0;
+}
+
+void PulseWaveform::breakpoints(double t0, double t1,
+                                std::vector<double>& out) const {
+    const Spec& s = spec_;
+    const double corners[] = {s.delay, s.delay + s.riseTime,
+                              s.delay + s.riseTime + s.width,
+                              s.delay + s.riseTime + s.width + s.fallTime};
+    for (double c : corners) {
+        if (c > t0 && c < t1) {
+            out.push_back(c);
+        }
+    }
+}
+
+}  // namespace shtrace

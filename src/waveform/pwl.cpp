@@ -1,0 +1,43 @@
+#include "shtrace/waveform/pwl.hpp"
+
+#include <algorithm>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+PwlWaveform::PwlWaveform(std::vector<Point> points)
+    : points_(std::move(points)) {
+    require(!points_.empty(), "PwlWaveform requires at least one point");
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        require(points_[i].t > points_[i - 1].t,
+                "PwlWaveform points must be strictly increasing in time");
+    }
+}
+
+double PwlWaveform::value(double t) const {
+    if (t <= points_.front().t) {
+        return points_.front().v;
+    }
+    if (t >= points_.back().t) {
+        return points_.back().v;
+    }
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](double lhs, const Point& p) { return lhs < p.t; });
+    const Point& hi = *it;
+    const Point& lo = *(it - 1);
+    const double frac = (t - lo.t) / (hi.t - lo.t);
+    return lo.v + frac * (hi.v - lo.v);
+}
+
+void PwlWaveform::breakpoints(double t0, double t1,
+                              std::vector<double>& out) const {
+    for (const Point& p : points_) {
+        if (p.t > t0 && p.t < t1) {
+            out.push_back(p.t);
+        }
+    }
+}
+
+}  // namespace shtrace

@@ -1,0 +1,36 @@
+#include "shtrace/waveform/waveform.hpp"
+
+namespace shtrace {
+
+void Waveform::breakpoints(double, double, std::vector<double>&) const {}
+
+double edgeProfile(EdgeShape shape, double u) {
+    if (u <= 0.0) {
+        return 0.0;
+    }
+    if (u >= 1.0) {
+        return 1.0;
+    }
+    switch (shape) {
+        case EdgeShape::Linear:
+            return u;
+        case EdgeShape::Smoothstep:
+            return u * u * (3.0 - 2.0 * u);
+    }
+    return u;  // unreachable; silences -Wreturn-type
+}
+
+double edgeProfileSlope(EdgeShape shape, double u) {
+    if (u <= 0.0 || u >= 1.0) {
+        return 0.0;
+    }
+    switch (shape) {
+        case EdgeShape::Linear:
+            return 1.0;
+        case EdgeShape::Smoothstep:
+            return 6.0 * u * (1.0 - u);
+    }
+    return 0.0;
+}
+
+}  // namespace shtrace

@@ -1,0 +1,148 @@
+// Tests for AC small-signal analysis: canonical filter responses and the
+// MOSFET small-signal gain, validating the linearization path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shtrace/analysis/ac.hpp"
+#include "shtrace/cells/mos_library.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/inductor.hpp"
+#include "shtrace/devices/mosfet.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(LogSweep, CoversDecadesInclusively) {
+    const auto f = logSweep(1e3, 1e6, 2);
+    ASSERT_GE(f.size(), 7u);
+    EXPECT_NEAR(f.front(), 1e3, 1e-9);
+    EXPECT_NEAR(f.back(), 1e6, 1.0);
+    EXPECT_TRUE(std::is_sorted(f.begin(), f.end()));
+    EXPECT_THROW(logSweep(0.0, 1e3), InvalidArgumentError);
+}
+
+TEST(Ac, RcLowpassPoleAtMinus3Db) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    const double r = 1e3;
+    const double c = 1e-12;
+    const double fc = 1.0 / (2.0 * M_PI * r * c);
+    auto& src = ckt.add<VoltageSource>("V1", in, kGround, 0.0);
+    src.setAcMagnitude(1.0);
+    ckt.add<Resistor>("R1", in, out, r);
+    ckt.add<Capacitor>("C1", out, kGround, c);
+    ckt.finalize();
+
+    AcOptions opt;
+    opt.frequencies = {fc / 100.0, fc, fc * 100.0};
+    const AcResult ac = runAcAnalysis(ckt, opt);
+
+    const auto mag = ac.magnitudeDb(out);
+    const auto phase = ac.phaseDegrees(out);
+    EXPECT_NEAR(mag[0], 0.0, 0.01);      // passband: 0 dB
+    EXPECT_NEAR(mag[1], -3.0103, 0.01);  // pole: -3 dB
+    EXPECT_NEAR(mag[2], -40.0, 0.1);     // -20 dB/decade, 2 decades out
+    EXPECT_NEAR(phase[1], -45.0, 0.5);
+    EXPECT_NEAR(phase[2], -90.0, 1.0);
+}
+
+TEST(Ac, RlcSeriesResonancePeaksAtF0) {
+    // Series RLC from the source, output across the capacitor: response
+    // peaks near f0 = 1/(2 pi sqrt(LC)) with Q = (1/R) sqrt(L/C).
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId mid = ckt.node("mid");
+    const NodeId out = ckt.node("out");
+    const double l = 100e-9;
+    const double c = 1e-12;
+    const double r = 30.0;
+    auto& src = ckt.add<VoltageSource>("V1", in, kGround, 0.0);
+    src.setAcMagnitude(1.0);
+    ckt.add<Resistor>("R1", in, mid, r);
+    ckt.add<Inductor>("L1", mid, out, l);
+    ckt.add<Capacitor>("C1", out, kGround, c);
+    ckt.finalize();
+
+    const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
+    AcOptions opt;
+    opt.frequencies = logSweep(f0 / 10.0, f0 * 10.0, 40);
+    const AcResult ac = runAcAnalysis(ckt, opt);
+    const auto mag = ac.magnitudeDb(out);
+
+    // Locate the peak.
+    std::size_t peakIdx = 0;
+    for (std::size_t i = 1; i < mag.size(); ++i) {
+        if (mag[i] > mag[peakIdx]) {
+            peakIdx = i;
+        }
+    }
+    EXPECT_NEAR(ac.frequencies[peakIdx], f0, 0.1 * f0);
+    const double q = std::sqrt(l / c) / r;
+    EXPECT_NEAR(std::pow(10.0, mag[peakIdx] / 20.0), q, 0.15 * q);
+}
+
+TEST(Ac, CommonSourceGainMatchesGmOverGds) {
+    // NMOS with an ideal current-source load (small gds only): low-
+    // frequency gain = -gm/gds from the level-1 small-signal parameters.
+    const ProcessCorner corner = ProcessCorner::typical();
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VoltageSource>("Vdd", vdd, kGround, corner.vdd);
+    auto& vin = ckt.add<VoltageSource>("Vin", in, kGround, 0.8);
+    vin.setAcMagnitude(1.0);
+    const MosfetParams mp = makeNmos(corner, 2e-6, 0.25e-6);
+    auto& m1 = ckt.add<Mosfet>("M1", out, in, kGround, kGround, mp);
+    // Bias the drain via a large resistor to VDD (approximates a current
+    // source; its conductance adds to gds).
+    const double rload = 30e3;
+    ckt.add<Resistor>("RL", vdd, out, rload);
+    ckt.finalize();
+
+    AcOptions opt;
+    opt.frequencies = {1e3};  // far below any pole
+    const AcResult ac = runAcAnalysis(ckt, opt);
+
+    // Expected gain from the operating point.
+    const Vector& x = ac.operatingPoint;
+    const MosfetOperatingPoint op = m1.operatingPoint(
+        x[static_cast<std::size_t>(out.index)], 0.8, 0.0, 0.0);
+    ASSERT_EQ(op.region, 2);  // saturation
+    const double expected = -op.gm / (op.gds + 1.0 / rload);
+    const auto resp = ac.nodeResponse(out);
+    EXPECT_NEAR(resp[0].real(), expected, 0.02 * std::fabs(expected));
+    EXPECT_NEAR(resp[0].imag(), 0.0, 0.02 * std::fabs(expected));
+}
+
+TEST(Ac, RequiresAStimulus) {
+    Circuit ckt;
+    ckt.add<VoltageSource>("V1", ckt.node("a"), kGround, 1.0);
+    ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1e3);
+    ckt.finalize();
+    AcOptions opt;
+    opt.frequencies = {1e6};
+    EXPECT_THROW(runAcAnalysis(ckt, opt), InvalidArgumentError);
+}
+
+TEST(Ac, CurrentSourceStimulusSeesImpedance) {
+    // 1 A AC into a 1 kOhm resistor: v = 1000 V (linear analysis scales).
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    auto& src = ckt.add<CurrentSource>("I1", kGround, a, 0.0);
+    src.setAcMagnitude(1.0);
+    ckt.add<Resistor>("R1", a, kGround, 1e3);
+    ckt.finalize();
+    AcOptions opt;
+    opt.frequencies = {1e6};
+    const AcResult ac = runAcAnalysis(ckt, opt);
+    EXPECT_NEAR(ac.nodeResponse(a)[0].real(), 1e3, 1e3 * 2e-5);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,149 @@
+// Tests for the adjoint (backward) skew-sensitivity sweep: it must
+// reproduce the forward-sensitivity gradient of the SAME discrete map.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "shtrace/analysis/adjoint.hpp"
+#include "shtrace/analysis/sensitivity.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+struct RcDataFixture {
+    Circuit ckt;
+    std::shared_ptr<DataPulse> data;
+    NodeId out;
+
+    RcDataFixture() {
+        DataPulse::Spec spec;
+        spec.v0 = 0.0;
+        spec.v1 = 2.5;
+        spec.activeEdgeTime = 2e-9;
+        spec.transitionTime = 0.1e-9;
+        data = std::make_shared<DataPulse>(spec);
+        data->setSkews(300e-12, 200e-12);
+        const NodeId in = ckt.node("in");
+        out = ckt.node("out");
+        ckt.add<VoltageSource>("Vd", in, kGround, data);
+        ckt.add<Resistor>("R1", in, out, 1e3);
+        ckt.add<Capacitor>("C1", out, kGround, 0.2e-12);
+        ckt.finalize();
+    }
+};
+
+class AdjointVsForward
+    : public ::testing::TestWithParam<IntegrationMethod> {};
+
+TEST_P(AdjointVsForward, MatchesForwardOnLinearCircuit) {
+    RcDataFixture fx;
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    TransientOptions opt;
+    opt.tStop = 2.2e-9;  // ends mid-trailing-edge: both gradients active
+    opt.method = GetParam();
+    opt.fixedSteps = 1100;
+    opt.initialCondition = Vector(fx.ckt.systemSize());
+    opt.trackSkewSensitivities = true;
+    opt.recordAdjointTape = true;
+    opt.storeStates = false;
+
+    const TransientResult tr = TransientAnalysis(fx.ckt, opt).run();
+    ASSERT_TRUE(tr.success);
+    const double fwdS = sel.dot(tr.finalSensitivitySetup);
+    const double fwdH = sel.dot(tr.finalSensitivityHold);
+    const AdjointGradient adj = computeAdjointGradient(fx.ckt, tr, sel);
+
+    // On a LINEAR circuit the step Jacobians are state-independent, so
+    // forward and adjoint differentiate the identical discrete map: the
+    // agreement is solver-precision tight.
+    const double scale = std::max({std::fabs(fwdS), std::fabs(fwdH), 1.0});
+    EXPECT_NEAR(adj.dSetup, fwdS, 1e-9 * scale);
+    EXPECT_NEAR(adj.dHold, fwdH, 1e-9 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, AdjointVsForward,
+                         ::testing::Values(IntegrationMethod::BackwardEuler,
+                                           IntegrationMethod::Trapezoidal));
+
+TEST(Adjoint, MatchesForwardOnTspcRegister) {
+    const RegisterFixture reg = buildTspcRegister();
+    const Vector sel = reg.circuit.selectorFor(reg.q);
+    reg.data->setSkews(230e-12, 190e-12);  // near the knee
+    TransientOptions opt;
+    opt.tStop = reg.activeEdgeMidpoint() + 0.52e-9;
+    opt.fixedSteps = static_cast<int>(opt.tStop / 10e-12);
+    opt.trackSkewSensitivities = true;
+    opt.recordAdjointTape = true;
+    opt.storeStates = false;
+
+    const TransientResult tr = TransientAnalysis(reg.circuit, opt).run();
+    ASSERT_TRUE(tr.success);
+    const double fwdS = sel.dot(tr.finalSensitivitySetup);
+    const double fwdH = sel.dot(tr.finalSensitivityHold);
+    const AdjointGradient adj = computeAdjointGradient(reg.circuit, tr, sel);
+
+    // Forward reuses the Newton factorization (O(relTol) off the accepted
+    // state); the adjoint refactors exactly. Agreement to ~0.1%.
+    EXPECT_NEAR(adj.dSetup, fwdS, 1e-3 * std::fabs(fwdS));
+    EXPECT_NEAR(adj.dHold, fwdH, 1e-3 * std::fabs(fwdH));
+    EXPECT_GT(std::fabs(adj.dSetup), 1e8);
+    EXPECT_GT(std::fabs(adj.dHold), 1e8);
+}
+
+TEST(Adjoint, ZeroGradientBeforeDataMoves) {
+    RcDataFixture fx;
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    TransientOptions opt;
+    opt.tStop = 1e-9;  // before the leading edge
+    opt.fixedSteps = 100;
+    opt.initialCondition = Vector(fx.ckt.systemSize());
+    opt.recordAdjointTape = true;
+    const TransientResult tr = TransientAnalysis(fx.ckt, opt).run();
+    ASSERT_TRUE(tr.success);
+    const AdjointGradient adj = computeAdjointGradient(fx.ckt, tr, sel);
+    EXPECT_DOUBLE_EQ(adj.dSetup, 0.0);
+    EXPECT_DOUBLE_EQ(adj.dHold, 0.0);
+}
+
+TEST(Adjoint, RequiresTape) {
+    RcDataFixture fx;
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    TransientOptions opt;
+    opt.tStop = 1e-9;
+    opt.fixedSteps = 10;
+    opt.initialCondition = Vector(fx.ckt.systemSize());
+    const TransientResult tr = TransientAnalysis(fx.ckt, opt).run();
+    ASSERT_TRUE(tr.success);
+    EXPECT_THROW(computeAdjointGradient(fx.ckt, tr, sel),
+                 InvalidArgumentError);
+    EXPECT_THROW(computeAdjointGradient(fx.ckt, tr, Vector(2)),
+                 InvalidArgumentError);
+}
+
+TEST(Adjoint, TapeWorksWithAdaptiveGrid) {
+    // Non-uniform steps: the per-step `a` bookkeeping must stay coherent.
+    RcDataFixture fx;
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    TransientOptions opt;
+    opt.tStop = 2.2e-9;
+    opt.adaptive = true;
+    opt.dtInit = 1e-13;
+    opt.lteRelTol = 1e-4;
+    opt.initialCondition = Vector(fx.ckt.systemSize());
+    opt.trackSkewSensitivities = true;
+    opt.recordAdjointTape = true;
+    const TransientResult tr = TransientAnalysis(fx.ckt, opt).run();
+    ASSERT_TRUE(tr.success);
+    const double fwdH = sel.dot(tr.finalSensitivityHold);
+    const AdjointGradient adj = computeAdjointGradient(fx.ckt, tr, sel);
+    EXPECT_NEAR(adj.dHold, fwdH, 1e-6 * std::max(std::fabs(fwdH), 1.0));
+}
+
+}  // namespace
+}  // namespace shtrace

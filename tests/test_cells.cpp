@@ -1,0 +1,168 @@
+// Functional tests of the register cells: correct latching at generous
+// skews (both data polarities), failure at hopeless skews, dynamic-node
+// behaviour, and the C2MOS false-transition phenomenon (paper Fig. 11(b)).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "shtrace/analysis/transient.hpp"
+#include "shtrace/cells/c2mos.hpp"
+#include "shtrace/cells/tg_dff.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/measure/clock_to_q.hpp"
+#include "shtrace/measure/crossing.hpp"
+
+namespace shtrace {
+namespace {
+
+TransientResult simulate(const RegisterFixture& reg, double extraTime,
+                         double setupSkew, double holdSkew) {
+    reg.data->setSkews(setupSkew, holdSkew);
+    TransientOptions opt;
+    opt.tStop = reg.activeEdgeMidpoint() + extraTime;
+    opt.fixedSteps = static_cast<int>(opt.tStop / 10e-12);
+    return TransientAnalysis(reg.circuit, opt).run();
+}
+
+double finalQ(const RegisterFixture& reg, const TransientResult& tr) {
+    return reg.circuit.selectorFor(reg.q).dot(tr.finalState);
+}
+
+struct CellCase {
+    const char* name;
+    std::function<RegisterFixture(bool risingData)> build;
+};
+
+class RegisterFunctional : public ::testing::TestWithParam<CellCase> {};
+
+TEST_P(RegisterFunctional, LatchesDatumAtGenerousSkews) {
+    for (bool rising : {true, false}) {
+        const RegisterFixture reg = GetParam().build(rising);
+        const TransientResult tr = simulate(reg, 3e-9, 2e-9, 2e-9);
+        ASSERT_TRUE(tr.success) << tr.failureReason;
+        EXPECT_NEAR(finalQ(reg, tr), reg.qFinal, 0.2)
+            << GetParam().name << " rising=" << rising;
+        // And before the active edge Q held the previously latched datum.
+        const Vector sel = reg.circuit.selectorFor(reg.q);
+        EXPECT_NEAR(tr.valueAt(sel, reg.activeEdgeMidpoint() - 1e-9),
+                    reg.qInitial, 0.2)
+            << GetParam().name << " rising=" << rising;
+    }
+}
+
+TEST_P(RegisterFunctional, FailsToLatchWithHopelessSetupSkew) {
+    // Data arriving AFTER the edge (negative effective setup) cannot latch.
+    const RegisterFixture reg = GetParam().build(false);
+    const TransientResult tr = simulate(reg, 3e-9, -0.5e-9, 2e-9);
+    ASSERT_TRUE(tr.success) << tr.failureReason;
+    EXPECT_NEAR(finalQ(reg, tr), reg.qInitial, 0.3) << GetParam().name;
+}
+
+TEST_P(RegisterFunctional, OutputHoldsAfterDataGoesAway) {
+    // With a modest hold skew past the hold time, Q must stay latched even
+    // though D returns to its idle level long before the window ends.
+    const RegisterFixture reg = GetParam().build(false);
+    const TransientResult tr = simulate(reg, 4e-9, 1.2e-9, 0.6e-9);
+    ASSERT_TRUE(tr.success) << tr.failureReason;
+    EXPECT_NEAR(finalQ(reg, tr), reg.qFinal, 0.2) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisters, RegisterFunctional,
+    ::testing::Values(
+        CellCase{"TSPC",
+                 [](bool rising) {
+                     TspcOptions opt;
+                     opt.risingData = rising;
+                     return buildTspcRegister(opt);
+                 }},
+        CellCase{"C2MOS",
+                 [](bool rising) {
+                     C2mosOptions opt;
+                     opt.risingData = rising;
+                     return buildC2mosRegister(opt);
+                 }},
+        CellCase{"TGDFF",
+                 [](bool rising) {
+                     TgDffOptions opt;
+                     opt.risingData = rising;
+                     return buildTgDffRegister(opt);
+                 }}),
+    [](const ::testing::TestParamInfo<CellCase>& info) {
+        return info.param.name;
+    });
+
+TEST(Tspc, SystemSizeAndStructure) {
+    const RegisterFixture reg = buildTspcRegister();
+    // 10 circuit nodes (vdd clk d x1 s1 y s2 qb s3 q) + 3 source branches.
+    EXPECT_EQ(reg.circuit.nodeCount(), 10);
+    EXPECT_EQ(reg.circuit.branchCount(), 3);
+    EXPECT_EQ(reg.name, "TSPC");
+    EXPECT_EQ(reg.clockBar, nullptr);  // single-phase!
+    EXPECT_NEAR(reg.activeEdgeMidpoint(), 11.05e-9, 1e-15);
+}
+
+TEST(C2mos, HasDelayedInvertedClockBar) {
+    const RegisterFixture reg = buildC2mosRegister();
+    ASSERT_NE(reg.clockBar, nullptr);
+    EXPECT_TRUE(reg.clockBar->spec().inverted);
+    EXPECT_NEAR(reg.clockBar->spec().delay - reg.clock->spec().delay, 0.3e-9,
+                1e-15);
+}
+
+TEST(C2mos, FalseTransitionRevertsAfterReaching80Percent) {
+    // Paper Fig. 11(b): due to the clk/clk-bar overlap, for some hold skews
+    // the output crosses 80% of its transition and then reverts. A longer
+    // overlap and lighter load make the race decisive, as in the paper's
+    // setup where the criterion had to move to 90% of the transition.
+    C2mosOptions copt;
+    copt.clkBarDelay = 0.5e-9;
+    copt.outputLoadCapacitance = 8e-15;
+    const RegisterFixture reg = buildC2mosRegister(copt);  // falling data
+    const double v80 = reg.qInitial + 0.8 * (reg.qFinal - reg.qInitial);
+    bool foundFalseTransition = false;
+    for (double th = 100e-12; th <= 350e-12; th += 25e-12) {
+        const TransientResult tr = simulate(reg, 3e-9, 2e-9, th);
+        ASSERT_TRUE(tr.success);
+        const Vector sel = reg.circuit.selectorFor(reg.q);
+        const auto crossed =
+            firstCrossingAfter(tr.times, tr.signal(sel), v80,
+                               reg.activeEdgeMidpoint(), false);
+        const double qEnd = finalQ(reg, tr);
+        const bool reverted =
+            std::fabs(qEnd - reg.qInitial) < 0.5;  // came back up
+        if (crossed.has_value() && reverted) {
+            foundFalseTransition = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(foundFalseTransition)
+        << "no hold skew produced the Fig. 11(b) false transition";
+}
+
+TEST(TgDff, KeeperHoldsStorageNodesStatically) {
+    // The TG-DFF is static: after latching, Q must hold without drooping
+    // through the entire remaining clock cycle (through the clk-low phase
+    // where the slave storage node is kept only by the weak feedback
+    // inverter). Stop before the NEXT rising edge at 21 ns, which would
+    // correctly latch the idle datum.
+    const RegisterFixture reg = buildTgDffRegister();
+    const TransientResult tr = simulate(reg, 8e-9, 2e-9, 2e-9);
+    ASSERT_TRUE(tr.success);
+    EXPECT_NEAR(finalQ(reg, tr), reg.qFinal, 0.1);
+}
+
+TEST(Cells, CornerPropagatesToSupplyAndSwing) {
+    TspcOptions opt;
+    opt.corner = ProcessCorner::fast();
+    const RegisterFixture reg = buildTspcRegister(opt);
+    EXPECT_DOUBLE_EQ(reg.vdd, 2.75);
+    EXPECT_DOUBLE_EQ(reg.clock->spec().v1, 2.75);
+    // Falling data: latches a 0 from an idle 2.75 V.
+    EXPECT_DOUBLE_EQ(reg.data->spec().v0, 2.75);
+    EXPECT_DOUBLE_EQ(reg.qInitial, 2.75);
+    EXPECT_DOUBLE_EQ(reg.qFinal, 0.0);
+}
+
+}  // namespace
+}  // namespace shtrace

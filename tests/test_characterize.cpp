@@ -1,0 +1,128 @@
+// End-to-end tests of the one-call characterization pipeline on both of the
+// paper's validation registers (TSPC with the 50% criterion, C2MOS with the
+// 90% criterion) and the extension TG-DFF.
+#include <gtest/gtest.h>
+
+#include "shtrace/cells/c2mos.hpp"
+#include "shtrace/cells/tg_dff.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/characterize.hpp"
+
+namespace shtrace {
+namespace {
+
+CharacterizeOptions smallBudget() {
+    CharacterizeOptions opt;
+    opt.tracer.maxPoints = 10;
+    opt.tracer.bounds = SkewBounds{80e-12, 700e-12, 40e-12, 500e-12};
+    return opt;
+}
+
+TEST(Characterize, TspcEndToEnd) {
+    const RegisterFixture reg = buildTspcRegister();
+    const CharacterizeResult r =
+        characterizeInterdependent(reg, smallBudget());
+    ASSERT_TRUE(r.success);
+    // Characteristic clock-to-Q in the few-hundred-ps regime of the paper.
+    EXPECT_GT(r.characteristicClockToQ, 100e-12);
+    EXPECT_LT(r.characteristicClockToQ, 1e-9);
+    EXPECT_NEAR(r.degradedClockToQ, 1.1 * r.characteristicClockToQ, 1e-15);
+    // t_f = active edge + degraded clock-to-Q.
+    EXPECT_NEAR(r.tf, 11.05e-9 + r.degradedClockToQ, 1e-15);
+    // TSPC latches a falling datum: r is 50% of a 2.5 V swing.
+    EXPECT_NEAR(r.r, 1.25, 1e-12);
+    EXPECT_GE(r.contour.points.size(), 5u);
+    // Cost counters were accumulated.
+    EXPECT_GT(r.stats.transientSolves, 10u);
+    EXPECT_GT(r.stats.wallSeconds, 0.0);
+}
+
+TEST(Characterize, C2mosWith90PercentCriterion) {
+    const RegisterFixture reg = buildC2mosRegister();
+    CharacterizeOptions opt = smallBudget();
+    // Paper Sec. IV-B: 90% criterion to reject false transitions; for the
+    // high->low data transition this puts r at 0.25 V.
+    opt.criterion.transitionFraction = 0.9;
+    const CharacterizeResult r = characterizeInterdependent(reg, opt);
+    ASSERT_TRUE(r.success);
+    EXPECT_NEAR(r.r, 0.25, 1e-12);
+    EXPECT_GE(r.contour.points.size(), 5u);
+    // C2MOS with delayed clk-bar has larger setup/hold than TSPC; the
+    // contour must sit in the few-hundred-ps band (paper Fig. 12: setup
+    // 350-500 ps, hold 200-300 ps).
+    for (const SkewPoint& p : r.contour.points) {
+        EXPECT_GT(p.setup, 100e-12);
+        EXPECT_LT(p.setup, 700e-12);
+        EXPECT_GT(p.hold, 40e-12);
+        EXPECT_LT(p.hold, 500e-12);
+    }
+}
+
+TEST(Characterize, TgDffExtensionCell) {
+    // "The method is generally applicable to any kind of latch or
+    // register" -- the static TG-DFF must characterize with the same flow.
+    const RegisterFixture reg = buildTgDffRegister();
+    const CharacterizeResult r =
+        characterizeInterdependent(reg, smallBudget());
+    ASSERT_TRUE(r.success);
+    EXPECT_GE(r.contour.points.size(), 3u);
+}
+
+TEST(Characterize, ContoursAreOnTheConstantClockToQCurve) {
+    // Closing the loop on the DEFINITION: pick traced points and verify by
+    // direct measurement that the clock-to-Q delay there is degraded by
+    // ~10% over the characteristic value.
+    const RegisterFixture reg = buildTspcRegister();
+    CharacterizeOptions opt = smallBudget();
+    opt.tracer.maxPoints = 6;
+    const CharacterizeResult r = characterizeInterdependent(reg, opt);
+    ASSERT_TRUE(r.success);
+
+    const CharacterizationProblem problem(reg, opt.criterion, opt.recipe);
+    for (std::size_t i = 0; i < r.contour.points.size(); i += 2) {
+        const SkewPoint& p = r.contour.points[i];
+        const auto c2q = problem.measureClockToQAt(p.setup, p.hold);
+        ASSERT_TRUE(c2q.has_value()) << "point " << i;
+        // Within 2% of the degraded target (interpolation on the stored
+        // 10 ps grid limits the measurement, not the contour).
+        EXPECT_NEAR(*c2q, r.degradedClockToQ, 0.02 * r.degradedClockToQ)
+            << "point " << i;
+    }
+}
+
+TEST(Characterize, HigherDegradationMovesContourInward) {
+    // A 25%-degradation contour tolerates LATER data arrival than a 10%
+    // one: smaller setup time at matched hold skew.
+    const RegisterFixture reg = buildTspcRegister();
+    CharacterizeOptions opt10 = smallBudget();
+    opt10.tracer.maxPoints = 4;
+    CharacterizeOptions opt25 = opt10;
+    opt25.criterion.degradation = 0.25;
+
+    const CharacterizeResult r10 = characterizeInterdependent(reg, opt10);
+    const CharacterizeResult r25 = characterizeInterdependent(reg, opt25);
+    ASSERT_TRUE(r10.success);
+    ASSERT_TRUE(r25.success);
+    // Compare the seed-side (vertical asymptote) setup values.
+    EXPECT_LT(r25.seed.seed.setup, r10.seed.seed.setup);
+}
+
+TEST(Characterize, FailsCleanlyOnBrokenFixture) {
+    // A register whose data pulse is centered on a non-existent edge index
+    // will never latch; the criterion computation must throw, not hang.
+    TspcOptions opt;
+    opt.outputLoadCapacitance = 20e-15;
+    RegisterFixture reg = buildTspcRegister(opt);
+    // Sabotage: point the data pulse 40 ns late so the reference run's
+    // window sees no data transition at the measured edge.
+    DataPulse::Spec spec = reg.data->spec();
+    (void)spec;
+    reg.data->setSkews(-30e-9, 50e-9);  // pulse far after the edge
+    CriterionOptions crit;
+    crit.referenceSetupSkew = -30e-9;
+    crit.referenceHoldSkew = 50e-9;
+    EXPECT_THROW(CharacterizationProblem(reg, crit), NumericalError);
+}
+
+}  // namespace
+}  // namespace shtrace

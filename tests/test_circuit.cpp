@@ -1,0 +1,151 @@
+// Tests for the Circuit container: node management, finalize, assembly
+// bookkeeping, skew-derivative accumulation, breakpoints, selectors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "shtrace/circuit/circuit.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+#include "shtrace/waveform/data_pulse.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(Circuit, GroundAliases) {
+    Circuit ckt;
+    EXPECT_TRUE(ckt.node("0").isGround());
+    EXPECT_TRUE(ckt.node("gnd").isGround());
+    EXPECT_FALSE(ckt.node("a").isGround());
+}
+
+TEST(Circuit, NodesAreDedupedAndNamed) {
+    Circuit ckt;
+    const NodeId a1 = ckt.node("a");
+    const NodeId a2 = ckt.node("a");
+    EXPECT_EQ(a1.index, a2.index);
+    EXPECT_EQ(ckt.nodeCount(), 1);
+    EXPECT_EQ(ckt.nodeName(a1), "a");
+    EXPECT_EQ(ckt.nodeName(kGround), "0");
+    EXPECT_TRUE(ckt.hasNode("a"));
+    EXPECT_FALSE(ckt.hasNode("zz"));
+    EXPECT_THROW(ckt.findNode("zz"), InvalidArgumentError);
+}
+
+TEST(Circuit, FinalizeAssignsBranchRowsAfterNodes) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    const NodeId b = ckt.node("b");
+    auto& v1 = ckt.add<VoltageSource>("V1", a, kGround, 1.0);
+    auto& v2 = ckt.add<VoltageSource>("V2", b, kGround, 2.0);
+    ckt.add<Resistor>("R1", a, b, 1e3);
+    ckt.finalize();
+    EXPECT_EQ(ckt.systemSize(), 4u);
+    EXPECT_EQ(v1.branchRow(), 2);
+    EXPECT_EQ(v2.branchRow(), 3);
+    EXPECT_EQ(ckt.branchCount(), 2);
+}
+
+TEST(Circuit, LifecycleGuards) {
+    Circuit ckt;
+    EXPECT_THROW(ckt.finalize(), InvalidArgumentError);  // empty
+    ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1.0);
+    EXPECT_THROW(ckt.systemSize(), InvalidArgumentError);  // pre-finalize
+    ckt.finalize();
+    EXPECT_THROW(ckt.finalize(), InvalidArgumentError);  // double finalize
+    EXPECT_THROW(ckt.add<Resistor>("R2", ckt.node("a"), kGround, 1.0),
+                 InvalidArgumentError);  // add after finalize
+    EXPECT_THROW(ckt.node("newnode"), InvalidArgumentError);
+}
+
+TEST(Circuit, SelectorPicksNodeRow) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    const NodeId b = ckt.node("b");
+    ckt.add<Resistor>("R1", a, b, 1.0);
+    ckt.finalize();
+    const Vector c = ckt.selectorFor(b);
+    EXPECT_DOUBLE_EQ(c[0], 0.0);
+    EXPECT_DOUBLE_EQ(c[1], 1.0);
+    EXPECT_THROW(ckt.selectorFor(kGround), InvalidArgumentError);
+}
+
+TEST(Circuit, SkewDerivativeComesFromDataSource) {
+    Circuit ckt;
+    const NodeId d = ckt.node("d");
+    DataPulse::Spec spec;
+    spec.activeEdgeTime = 10e-9;
+    spec.transitionTime = 0.1e-9;
+    auto data = std::make_shared<DataPulse>(spec);
+    data->setSkews(200e-12, 200e-12);
+    auto& vsrc = ckt.add<VoltageSource>("Vd", d, kGround, data);
+    ckt.add<Resistor>("R1", d, kGround, 1e3);
+    ckt.add<VoltageSource>("Vdc", ckt.node("x"), kGround, 1.0);
+    ckt.add<Resistor>("R2", ckt.node("x"), kGround, 1e3);
+    ckt.finalize();
+
+    Vector rhs(ckt.systemSize());
+    // On the leading edge: only the data source's branch row is touched.
+    const double tLead = data->leadingEdgeMidpoint();
+    ckt.addSkewDerivative(tLead, SkewParam::Setup, rhs);
+    const auto branchRow = static_cast<std::size_t>(vsrc.branchRow());
+    EXPECT_NE(rhs[branchRow], 0.0);
+    double others = 0.0;
+    for (std::size_t i = 0; i < rhs.size(); ++i) {
+        if (i != branchRow) {
+            others += std::abs(rhs[i]);
+        }
+    }
+    EXPECT_DOUBLE_EQ(others, 0.0);
+    // The branch equation carries -u(t), so b*z is negative of z_s > 0.
+    EXPECT_LT(rhs[branchRow], 0.0);
+
+    // Off the edges: all zero.
+    Vector rhs2(ckt.systemSize());
+    ckt.addSkewDerivative(5e-9, SkewParam::Setup, rhs2);
+    EXPECT_DOUBLE_EQ(rhs2.normInf(), 0.0);
+}
+
+TEST(Circuit, BreakpointsSortedAndDeduped) {
+    Circuit ckt;
+    DataPulse::Spec spec;
+    spec.activeEdgeTime = 10e-9;
+    spec.transitionTime = 0.1e-9;
+    auto data1 = std::make_shared<DataPulse>(spec);
+    auto data2 = std::make_shared<DataPulse>(spec);  // identical corners
+    data1->setSkews(100e-12, 100e-12);
+    data2->setSkews(100e-12, 100e-12);
+    ckt.add<VoltageSource>("V1", ckt.node("a"), kGround, data1);
+    ckt.add<VoltageSource>("V2", ckt.node("b"), kGround, data2);
+    ckt.add<Resistor>("R1", ckt.node("a"), ckt.node("b"), 1e3);
+    ckt.finalize();
+    const std::vector<double> bp = ckt.breakpoints(0.0, 20e-9);
+    EXPECT_EQ(bp.size(), 4u);  // duplicates merged
+    EXPECT_TRUE(std::is_sorted(bp.begin(), bp.end()));
+}
+
+TEST(Circuit, AssembleValidatesState) {
+    Circuit ckt;
+    ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1.0);
+    ckt.finalize();
+    Assembler asmb(1);
+    EXPECT_THROW(ckt.assemble(Vector(5), 0.0, asmb), InvalidArgumentError);
+}
+
+TEST(Circuit, AssembleCountsDeviceEvaluations) {
+    Circuit ckt;
+    ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1.0);
+    ckt.finalize();
+    Assembler asmb(1);
+    SimStats stats;
+    ckt.assemble(Vector(1), 0.0, asmb, &stats);
+    ckt.assemble(Vector(1), 0.0, asmb, &stats);
+    EXPECT_EQ(stats.deviceEvaluations, 2u);
+}
+
+}  // namespace
+}  // namespace shtrace

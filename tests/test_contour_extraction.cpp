@@ -1,0 +1,115 @@
+// Tests for marching-squares level-set extraction and polyline distances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shtrace/measure/contour.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+std::vector<double> linspace(double lo, double hi, int n) {
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        v[static_cast<std::size_t>(i)] = lo + (hi - lo) * i / (n - 1);
+    }
+    return v;
+}
+
+OutputSurface sampled(const std::function<double(double, double)>& f, int n) {
+    OutputSurface s(linspace(-1.0, 1.0, n), linspace(-1.0, 1.0, n));
+    for (std::size_t i = 0; i < s.setupCount(); ++i) {
+        for (std::size_t j = 0; j < s.holdCount(); ++j) {
+            s.setValue(i, j, f(s.setupAt(i), s.holdAt(j)));
+        }
+    }
+    return s;
+}
+
+TEST(Contour, ExtractsCircleLevelSet) {
+    // f = x^2 + y^2; level 0.25 is the circle of radius 0.5.
+    const OutputSurface s =
+        sampled([](double x, double y) { return x * x + y * y; }, 41);
+    const auto contours = extractLevelContours(s, 0.25);
+    ASSERT_GE(contours.size(), 1u);
+    // One closed polyline with every point at radius ~0.5.
+    const ContourPolyline& circle = contours.front();
+    EXPECT_GT(circle.size(), 20u);
+    for (const SkewPoint& p : circle) {
+        const double r = std::sqrt(p.setup * p.setup + p.hold * p.hold);
+        EXPECT_NEAR(r, 0.5, 0.01);
+    }
+    // Closed: the chained endpoints meet.
+    const SkewPoint& a = circle.front();
+    const SkewPoint& b = circle.back();
+    const double gap = std::hypot(a.setup - b.setup, a.hold - b.hold);
+    EXPECT_LT(gap, 0.2);  // within a couple of cells
+}
+
+TEST(Contour, ExtractsStraightLine) {
+    // f = x + y; the level is chosen off the grid corners (a level hitting
+    // corners exactly degenerates into many zero-length segments).
+    const OutputSurface s =
+        sampled([](double x, double y) { return x + y; }, 21);
+    const double level = 0.0131;
+    const auto contours = extractLevelContours(s, level);
+    ASSERT_EQ(contours.size(), 1u);
+    for (const SkewPoint& p : contours.front()) {
+        EXPECT_NEAR(p.setup + p.hold, level, 1e-9);
+    }
+    // Spans corner to corner.
+    EXPECT_GT(contours.front().size(), 20u);
+}
+
+TEST(Contour, EmptyWhenLevelOutsideRange) {
+    const OutputSurface s =
+        sampled([](double x, double y) { return x + y; }, 11);
+    EXPECT_TRUE(extractLevelContours(s, 5.0).empty());
+}
+
+TEST(Contour, SaddleProducesTwoSegmentsNotACross) {
+    // f = x*y has a saddle at the origin; level +-0.1 must produce clean
+    // hyperbola branches (2 polylines), not self-intersecting chains.
+    const OutputSurface s =
+        sampled([](double x, double y) { return x * y; }, 41);
+    const auto contours = extractLevelContours(s, 0.1);
+    ASSERT_GE(contours.size(), 2u);
+    for (const auto& poly : contours) {
+        for (const SkewPoint& p : poly) {
+            EXPECT_NEAR(p.setup * p.hold, 0.1, 0.01);
+        }
+    }
+}
+
+TEST(Contour, InterpolationIsExactForBilinearData) {
+    // On a bilinear function the edge crossings are exact.
+    const OutputSurface s =
+        sampled([](double x, double) { return x; }, 11);
+    const auto contours = extractLevelContours(s, 0.05);
+    ASSERT_EQ(contours.size(), 1u);
+    for (const SkewPoint& p : contours.front()) {
+        EXPECT_NEAR(p.setup, 0.05, 1e-12);
+    }
+}
+
+TEST(PolylineDistance, PointToSegmentExact) {
+    const ContourPolyline line{{0.0, 0.0}, {1.0, 0.0}};
+    EXPECT_NEAR(distanceToPolyline({0.5, 0.3}, line), 0.3, 1e-12);
+    EXPECT_NEAR(distanceToPolyline({-0.4, 0.3}, line), 0.5, 1e-12);
+    EXPECT_NEAR(distanceToPolyline({2.0, 0.0}, line), 1.0, 1e-12);
+    EXPECT_THROW(distanceToPolyline({0, 0}, {}), InvalidArgumentError);
+}
+
+TEST(PolylineDistance, MaxDeviationPicksWorstPoint) {
+    const std::vector<ContourPolyline> contours{
+        {{0.0, 0.0}, {1.0, 0.0}},
+        {{0.0, 1.0}, {1.0, 1.0}},
+    };
+    const std::vector<SkewPoint> points{{0.5, 0.1}, {0.5, 0.45}, {0.5, 0.9}};
+    EXPECT_NEAR(maxDeviation(points, contours), 0.45, 1e-12);
+    EXPECT_THROW(maxDeviation(points, {}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,149 @@
+// Tests for the skew-parameterized data waveform u_d(t, tau_s, tau_h) and
+// its analytic derivatives z_s, z_h -- the inputs to the sensitivity
+// recurrences (paper eqs. 7-13).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shtrace/util/error.hpp"
+#include "shtrace/waveform/data_pulse.hpp"
+
+namespace shtrace {
+namespace {
+
+DataPulse::Spec paperSpec(EdgeShape shape = EdgeShape::Smoothstep) {
+    DataPulse::Spec s;
+    s.v0 = 0.0;
+    s.v1 = 2.5;
+    s.activeEdgeTime = 11.05e-9;
+    s.transitionTime = 0.1e-9;
+    s.shape = shape;
+    return s;
+}
+
+TEST(DataPulse, EdgeMidpointsFollowSkews) {
+    DataPulse w(paperSpec());
+    w.setSkews(200e-12, 150e-12);
+    EXPECT_NEAR(w.leadingEdgeMidpoint(), 11.05e-9 - 200e-12, 1e-18);
+    EXPECT_NEAR(w.trailingEdgeMidpoint(), 11.05e-9 + 150e-12, 1e-18);
+    // 50% levels exactly at the midpoints.
+    EXPECT_NEAR(w.value(w.leadingEdgeMidpoint()), 1.25, 1e-9);
+    EXPECT_NEAR(w.value(w.trailingEdgeMidpoint()), 1.25, 1e-9);
+}
+
+TEST(DataPulse, PulseLevelsAwayFromEdges) {
+    DataPulse w(paperSpec());
+    w.setSkews(300e-12, 300e-12);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(11.05e-9), 2.5);  // centered on the edge
+    EXPECT_DOUBLE_EQ(w.value(13e-9), 0.0);
+}
+
+TEST(DataPulse, FallingDataInvertsLevels) {
+    DataPulse::Spec s = paperSpec();
+    s.v0 = 2.5;
+    s.v1 = 0.0;
+    DataPulse w(s);
+    w.setSkews(300e-12, 300e-12);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 2.5);
+    EXPECT_DOUBLE_EQ(w.value(11.05e-9), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(13e-9), 2.5);
+}
+
+struct DerivCase {
+    EdgeShape shape;
+    double setup;
+    double hold;
+};
+
+class DataPulseDerivative : public ::testing::TestWithParam<DerivCase> {};
+
+// Property: the analytic z_s/z_h match central finite differences in the
+// skews, at time points covering both edges and the plateau.
+TEST_P(DataPulseDerivative, MatchesFiniteDifference) {
+    const auto& [shape, setup, hold] = GetParam();
+    DataPulse w(paperSpec(shape));
+    const double delta = 1e-15;
+    const double tEdge = 11.05e-9;
+    for (double t :
+         {tEdge - setup - 40e-12, tEdge - setup, tEdge - setup + 30e-12,
+          tEdge, tEdge + hold - 30e-12, tEdge + hold, tEdge + hold + 40e-12}) {
+        w.setSkews(setup + delta, hold);
+        const double vsPlus = w.value(t);
+        w.setSkews(setup - delta, hold);
+        const double vsMinus = w.value(t);
+        w.setSkews(setup, hold + delta);
+        const double vhPlus = w.value(t);
+        w.setSkews(setup, hold - delta);
+        const double vhMinus = w.value(t);
+        w.setSkews(setup, hold);
+
+        const double fdS = (vsPlus - vsMinus) / (2.0 * delta);
+        const double fdH = (vhPlus - vhMinus) / (2.0 * delta);
+        EXPECT_NEAR(w.skewDerivative(t, SkewParam::Setup), fdS,
+                    1e-4 * 2.5 / 0.1e-9)
+            << "t=" << t;
+        EXPECT_NEAR(w.skewDerivative(t, SkewParam::Hold), fdH,
+                    1e-4 * 2.5 / 0.1e-9)
+            << "t=" << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSkews, DataPulseDerivative,
+    ::testing::Values(DerivCase{EdgeShape::Smoothstep, 200e-12, 150e-12},
+                      DerivCase{EdgeShape::Smoothstep, 350e-12, 80e-12},
+                      DerivCase{EdgeShape::Linear, 200e-12, 150e-12},
+                      DerivCase{EdgeShape::Linear, 100e-12, 300e-12}));
+
+TEST(DataPulse, DerivativeZeroOffEdges) {
+    DataPulse w(paperSpec());
+    w.setSkews(200e-12, 200e-12);
+    for (double t : {0.0, 5e-9, 11.05e-9, 20e-9}) {
+        EXPECT_DOUBLE_EQ(w.skewDerivative(t, SkewParam::Setup), 0.0);
+        EXPECT_DOUBLE_EQ(w.skewDerivative(t, SkewParam::Hold), 0.0);
+    }
+}
+
+TEST(DataPulse, DerivativeSignPushesPulseWider) {
+    DataPulse w(paperSpec());
+    w.setSkews(200e-12, 200e-12);
+    // On the leading edge, increasing tau_s moves the rise earlier, so the
+    // value at a fixed mid-edge time increases (v1 > v0).
+    const double tLead = w.leadingEdgeMidpoint();
+    EXPECT_GT(w.skewDerivative(tLead, SkewParam::Setup), 0.0);
+    // On the trailing edge, increasing tau_h delays the fall: value rises.
+    const double tTrail = w.trailingEdgeMidpoint();
+    EXPECT_GT(w.skewDerivative(tTrail, SkewParam::Hold), 0.0);
+}
+
+TEST(DataPulse, OverlappingEdgesStayBounded) {
+    DataPulse w(paperSpec());
+    // A negative hold skew brings the edges into overlap: the pulse
+    // amplitude shrinks but the waveform stays within [v0, v1].
+    w.setSkews(20e-12, -10e-12);
+    for (double t = 10.9e-9; t < 11.2e-9; t += 1e-12) {
+        const double v = w.value(t);
+        EXPECT_GE(v, -1e-12);
+        EXPECT_LE(v, 2.5 + 1e-12);
+    }
+}
+
+TEST(DataPulse, BreakpointsTrackSkews) {
+    DataPulse w(paperSpec());
+    w.setSkews(200e-12, 100e-12);
+    std::vector<double> bp;
+    w.breakpoints(0.0, 20e-9, bp);
+    ASSERT_EQ(bp.size(), 4u);
+    EXPECT_NEAR(bp[0], 11.05e-9 - 200e-12 - 50e-12, 1e-18);
+    EXPECT_NEAR(bp[3], 11.05e-9 + 100e-12 + 50e-12, 1e-18);
+}
+
+TEST(DataPulse, RejectsBadSpec) {
+    DataPulse::Spec s = paperSpec();
+    s.transitionTime = 0.0;
+    EXPECT_THROW(DataPulse{s}, InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

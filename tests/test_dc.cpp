@@ -1,0 +1,127 @@
+// Tests for the DC operating-point solver (Newton + gmin continuation).
+#include <gtest/gtest.h>
+
+#include "shtrace/analysis/dc_op.hpp"
+#include "shtrace/cells/mos_library.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/diode.hpp"
+#include "shtrace/devices/mosfet.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+double nodeV(const DcResult& dc, const Circuit& ckt, const char* name) {
+    return dc.x[static_cast<std::size_t>(ckt.findNode(name).index)];
+}
+
+TEST(DcOp, LinearDivider) {
+    Circuit ckt;
+    ckt.add<VoltageSource>("V1", ckt.node("in"), kGround, 10.0);
+    ckt.add<Resistor>("R1", ckt.node("in"), ckt.node("mid"), 3e3);
+    ckt.add<Resistor>("R2", ckt.node("mid"), kGround, 1e3);
+    ckt.finalize();
+    const DcResult dc = solveDcOperatingPoint(ckt);
+    ASSERT_TRUE(dc.converged);
+    // Tolerance reflects the retained gmin floor (1e-9 S leak).
+    EXPECT_NEAR(nodeV(dc, ckt, "mid"), 2.5, 1e-5);
+    EXPECT_FALSE(dc.usedContinuation);
+}
+
+TEST(DcOp, SourceBranchCurrentIsCorrect) {
+    Circuit ckt;
+    auto& v1 = ckt.add<VoltageSource>("V1", ckt.node("a"), kGround, 5.0);
+    ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1e3);
+    ckt.finalize();
+    const DcResult dc = solveDcOperatingPoint(ckt);
+    ASSERT_TRUE(dc.converged);
+    // KCL at a: i_branch + v/R = 0 -> branch current = -5 mA.
+    EXPECT_NEAR(dc.x[static_cast<std::size_t>(v1.branchRow())], -5e-3, 2e-8);
+}
+
+TEST(DcOp, DiodeResistorBias) {
+    Circuit ckt;
+    ckt.add<VoltageSource>("V1", ckt.node("in"), kGround, 5.0);
+    ckt.add<Resistor>("R1", ckt.node("in"), ckt.node("d"), 1e3);
+    ckt.add<Diode>("D1", ckt.node("d"), kGround, DiodeParams{});
+    ckt.finalize();
+    const DcResult dc = solveDcOperatingPoint(ckt);
+    ASSERT_TRUE(dc.converged);
+    const double vd = nodeV(dc, ckt, "d");
+    EXPECT_GT(vd, 0.5);
+    EXPECT_LT(vd, 0.8);
+    // Consistency: resistor current equals diode current.
+    double iD = 0.0;
+    double g = 0.0;
+    Diode::currentAndConductance(DiodeParams{}, vd, iD, g);
+    EXPECT_NEAR((5.0 - vd) / 1e3, iD, 1e-6);
+}
+
+TEST(DcOp, CmosInverterRails) {
+    const ProcessCorner corner = ProcessCorner::typical();
+    for (const double vin : {0.0, corner.vdd}) {
+        Circuit ckt;
+        const NodeId vdd = ckt.node("vdd");
+        const NodeId in = ckt.node("in");
+        const NodeId out = ckt.node("out");
+        ckt.add<VoltageSource>("Vdd", vdd, kGround, corner.vdd);
+        ckt.add<VoltageSource>("Vin", in, kGround, vin);
+        ckt.add<Mosfet>("MP", out, in, vdd, vdd, makePmos(corner, 1.2e-6, 0.25e-6));
+        ckt.add<Mosfet>("MN", out, in, kGround, kGround,
+                        makeNmos(corner, 0.6e-6, 0.25e-6));
+        ckt.finalize();
+        const DcResult dc = solveDcOperatingPoint(ckt);
+        ASSERT_TRUE(dc.converged) << "vin=" << vin;
+        const double expected = vin == 0.0 ? corner.vdd : 0.0;
+        EXPECT_NEAR(nodeV(dc, ckt, "out"), expected, 0.02) << "vin=" << vin;
+    }
+}
+
+TEST(DcOp, FloatingNodeSettlesToZeroThroughGmin) {
+    Circuit ckt;
+    // A node connected only through a capacitor: no DC path.
+    ckt.add<VoltageSource>("V1", ckt.node("a"), kGround, 3.0);
+    ckt.add<Capacitor>("C1", ckt.node("a"), ckt.node("float"), 1e-12);
+    ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1e3);
+    ckt.finalize();
+    const DcResult dc = solveDcOperatingPoint(ckt);
+    ASSERT_TRUE(dc.converged);
+    EXPECT_NEAR(nodeV(dc, ckt, "float"), 0.0, 1e-9);
+}
+
+TEST(DcOp, TspcRegisterOperatingPoint) {
+    // A realistic latch circuit: must converge (directly or via the ladder)
+    // with all node voltages within the rails.
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(1e-9, 1e-9);
+    const DcResult dc = solveDcOperatingPoint(reg.circuit);
+    ASSERT_TRUE(dc.converged);
+    for (int i = 0; i < reg.circuit.nodeCount(); ++i) {
+        const double v = dc.x[static_cast<std::size_t>(i)];
+        EXPECT_GT(v, -0.1) << "node " << i;
+        EXPECT_LT(v, reg.vdd + 0.1) << "node " << i;
+    }
+}
+
+TEST(DcOp, StatsAccumulate) {
+    Circuit ckt;
+    ckt.add<VoltageSource>("V1", ckt.node("a"), kGround, 1.0);
+    ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1e3);
+    ckt.finalize();
+    SimStats stats;
+    (void)solveDcOperatingPoint(ckt, {}, &stats);
+    EXPECT_GT(stats.newtonIterations, 0u);
+    EXPECT_GT(stats.luFactorizations, 0u);
+}
+
+TEST(DcOp, RequiresFinalizedCircuit) {
+    Circuit ckt;
+    ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1.0);
+    EXPECT_THROW(solveDcOperatingPoint(ckt), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

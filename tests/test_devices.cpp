@@ -1,0 +1,282 @@
+// Tests for passive devices, sources and the MNA assembly: stamp values and
+// the Jacobian consistency property G = df/dx, C = dq/dx (central FD).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "shtrace/circuit/circuit.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/diode.hpp"
+#include "shtrace/devices/inductor.hpp"
+#include "shtrace/devices/mosfet.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/devices/vcvs.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+/// Checks G = df/dx and C = dq/dx by central differences at state x.
+void checkJacobians(const Circuit& ckt, const Vector& x, double t,
+                    double delta = 1e-7, double tol = 1e-4) {
+    Assembler asmb(ckt.systemSize());
+    ckt.assemble(x, t, asmb);
+    const Matrix g = asmb.g();
+    const Matrix c = asmb.c();
+    const std::size_t n = ckt.systemSize();
+    for (std::size_t j = 0; j < n; ++j) {
+        Vector xp = x;
+        xp[j] += delta;
+        ckt.assemble(xp, t, asmb);
+        const Vector fPlus = asmb.f();
+        const Vector qPlus = asmb.q();
+        Vector xm = x;
+        xm[j] -= delta;
+        ckt.assemble(xm, t, asmb);
+        const Vector fMinus = asmb.f();
+        const Vector qMinus = asmb.q();
+        for (std::size_t i = 0; i < n; ++i) {
+            const double fdG = (fPlus[i] - fMinus[i]) / (2.0 * delta);
+            const double fdC = (qPlus[i] - qMinus[i]) / (2.0 * delta);
+            EXPECT_NEAR(g(i, j), fdG, tol * (1.0 + std::fabs(fdG)))
+                << "G(" << i << "," << j << ")";
+            EXPECT_NEAR(c(i, j), fdC, tol * (1.0 + std::fabs(fdC)))
+                << "C(" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST(Resistor, StampsOhmsLaw) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    const NodeId b = ckt.node("b");
+    ckt.add<Resistor>("R1", a, b, 1e3);
+    ckt.finalize();
+    Assembler asmb(ckt.systemSize());
+    Vector x(2);
+    x[0] = 2.0;  // v(a)
+    x[1] = 0.5;  // v(b)
+    ckt.assemble(x, 0.0, asmb);
+    EXPECT_NEAR(asmb.f()[0], 1.5e-3, 1e-15);   // current leaving a
+    EXPECT_NEAR(asmb.f()[1], -1.5e-3, 1e-15);  // current entering b
+    EXPECT_NEAR(asmb.g()(0, 0), 1e-3, 1e-15);
+    EXPECT_NEAR(asmb.g()(0, 1), -1e-3, 1e-15);
+}
+
+TEST(Resistor, GroundedTerminalDropsRow) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<Resistor>("R1", a, kGround, 2e3);
+    ckt.finalize();
+    EXPECT_EQ(ckt.systemSize(), 1u);
+    Assembler asmb(1);
+    Vector x(1);
+    x[0] = 4.0;
+    ckt.assemble(x, 0.0, asmb);
+    EXPECT_NEAR(asmb.f()[0], 2e-3, 1e-15);
+    EXPECT_NEAR(asmb.g()(0, 0), 5e-4, 1e-15);
+}
+
+TEST(Resistor, RejectsNonPositive) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    EXPECT_THROW(ckt.add<Resistor>("R1", a, kGround, 0.0),
+                 InvalidArgumentError);
+    EXPECT_THROW(ckt.add<Resistor>("R2", a, kGround, -5.0),
+                 InvalidArgumentError);
+}
+
+TEST(Capacitor, StampsChargeAndCapacitance) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<Capacitor>("C1", a, kGround, 1e-12);
+    ckt.finalize();
+    Assembler asmb(1);
+    Vector x(1);
+    x[0] = 2.5;
+    ckt.assemble(x, 0.0, asmb);
+    EXPECT_NEAR(asmb.q()[0], 2.5e-12, 1e-24);
+    EXPECT_NEAR(asmb.c()(0, 0), 1e-12, 1e-24);
+    EXPECT_DOUBLE_EQ(asmb.f()[0], 0.0);  // no resistive current
+}
+
+TEST(VoltageSource, EnforcesBranchEquation) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<VoltageSource>("V1", a, kGround, 1.8);
+    ckt.add<Resistor>("R1", a, kGround, 1e3);
+    ckt.finalize();
+    ASSERT_EQ(ckt.systemSize(), 2u);  // node + branch
+    Assembler asmb(2);
+    Vector x(2);
+    x[0] = 1.8;      // consistent node voltage
+    x[1] = -1.8e-3;  // branch current INTO the + terminal
+    ckt.assemble(x, 0.0, asmb);
+    // Node KCL: branch current + resistor current = 0.
+    EXPECT_NEAR(asmb.f()[0], 0.0, 1e-15);
+    // Branch row: v(a) - 1.8 = 0.
+    EXPECT_NEAR(asmb.f()[1], 0.0, 1e-15);
+}
+
+TEST(CurrentSource, PushesCurrentIntoNegNode) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<CurrentSource>("I1", kGround, a, 1e-3);  // pumps INTO a
+    ckt.add<Resistor>("R1", a, kGround, 1e3);
+    ckt.finalize();
+    Assembler asmb(1);
+    Vector x(1);
+    x[0] = 1.0;  // v = I*R
+    ckt.assemble(x, 0.0, asmb);
+    EXPECT_NEAR(asmb.f()[0], 0.0, 1e-15);
+}
+
+TEST(Inductor, BranchEquationRelatesFluxAndVoltage) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<Inductor>("L1", a, kGround, 1e-9);
+    ckt.add<Resistor>("R1", a, kGround, 50.0);
+    ckt.finalize();
+    ASSERT_EQ(ckt.systemSize(), 2u);
+    Assembler asmb(2);
+    Vector x(2);
+    x[0] = 3.0;   // v(a)
+    x[1] = 0.25;  // inductor current
+    ckt.assemble(x, 0.0, asmb);
+    // Node KCL: iL + v/R.
+    EXPECT_NEAR(asmb.f()[0], 0.25 + 3.0 / 50.0, 1e-15);
+    // Branch: f = v(a), q = -L*i.
+    EXPECT_NEAR(asmb.f()[1], 3.0, 1e-15);
+    EXPECT_NEAR(asmb.q()[1], -1e-9 * 0.25, 1e-24);
+}
+
+TEST(Vcvs, AmplifiesControlVoltage) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VoltageSource>("V1", in, kGround, 0.1);
+    ckt.add<Vcvs>("E1", out, kGround, in, kGround, 10.0);
+    ckt.add<Resistor>("R1", out, kGround, 1e3);
+    ckt.finalize();
+    // At the consistent solution out = 1.0.
+    Assembler asmb(ckt.systemSize());
+    Vector x(ckt.systemSize());
+    x[static_cast<std::size_t>(in.index)] = 0.1;
+    x[static_cast<std::size_t>(out.index)] = 1.0;
+    // branch currents: V1 carries 0 (no load on in), E1 carries -1 mA.
+    x[2] = 0.0;
+    x[3] = -1e-3;
+    ckt.assemble(x, 0.0, asmb);
+    for (std::size_t i = 0; i < ckt.systemSize(); ++i) {
+        EXPECT_NEAR(asmb.f()[i], 0.0, 1e-12) << "row " << i;
+    }
+}
+
+TEST(Diode, ForwardCurrentMatchesShockley) {
+    DiodeParams p;
+    double i = 0.0;
+    double g = 0.0;
+    Diode::currentAndConductance(p, 0.6, i, g);
+    const double expected = p.is * (std::exp(0.6 / p.vt) - 1.0);
+    EXPECT_NEAR(i, expected, expected * 1e-12);
+    EXPECT_NEAR(g, expected / p.vt + p.is / p.vt, expected / p.vt * 1e-6);
+}
+
+TEST(Diode, OverflowLimitingIsC1) {
+    DiodeParams p;
+    const double vCap = p.maxExpArg * p.n * p.vt;
+    double iBelow = 0.0;
+    double gBelow = 0.0;
+    double iAbove = 0.0;
+    double gAbove = 0.0;
+    Diode::currentAndConductance(p, vCap - 1e-9, iBelow, gBelow);
+    Diode::currentAndConductance(p, vCap + 1e-9, iAbove, gAbove);
+    EXPECT_NEAR(iBelow, iAbove, std::fabs(iBelow) * 1e-4);
+    EXPECT_NEAR(gBelow, gAbove, std::fabs(gBelow) * 1e-4);
+    // And no overflow far beyond the cap.
+    Diode::currentAndConductance(p, 100.0, iAbove, gAbove);
+    EXPECT_TRUE(std::isfinite(iAbove));
+    EXPECT_TRUE(std::isfinite(gAbove));
+}
+
+TEST(Diode, DepletionChargeContinuousAtFcVj) {
+    DiodeParams p;
+    p.cj0 = 1e-12;
+    const double vSwitch = p.fc * p.vj;
+    double qBelow = 0.0;
+    double cBelow = 0.0;
+    double qAbove = 0.0;
+    double cAbove = 0.0;
+    Diode::chargeAndCapacitance(p, vSwitch - 1e-9, qBelow, cBelow);
+    Diode::chargeAndCapacitance(p, vSwitch + 1e-9, qAbove, cAbove);
+    EXPECT_NEAR(qBelow, qAbove, 1e-18);
+    EXPECT_NEAR(cBelow, cAbove, cBelow * 1e-4);
+}
+
+TEST(Diode, CapacitanceIsDerivativeOfCharge) {
+    DiodeParams p;
+    p.cj0 = 2e-12;
+    p.tt = 1e-12;
+    const double dv = 1e-6;
+    for (double v : {-1.0, 0.0, 0.3, p.fc * p.vj + 0.05, 0.7}) {
+        double qp = 0.0;
+        double cp = 0.0;
+        double qm = 0.0;
+        double cm = 0.0;
+        double q0 = 0.0;
+        double c0 = 0.0;
+        Diode::chargeAndCapacitance(p, v + dv, qp, cp);
+        Diode::chargeAndCapacitance(p, v - dv, qm, cm);
+        Diode::chargeAndCapacitance(p, v, q0, c0);
+        EXPECT_NEAR((qp - qm) / (2.0 * dv), c0, 1e-4 * c0 + 1e-18)
+            << "v=" << v;
+    }
+}
+
+// The assembled Jacobians of a kitchen-sink circuit match finite
+// differences of the assembled residual/charge -- the single most
+// load-bearing property for Newton and the sensitivity recurrences.
+class JacobianConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobianConsistency, MatchesFiniteDifference) {
+    const int variant = GetParam();
+    Circuit ckt;
+    const NodeId n1 = ckt.node("n1");
+    const NodeId n2 = ckt.node("n2");
+    const NodeId n3 = ckt.node("n3");
+    ckt.add<VoltageSource>("V1", n1, kGround, 2.5);
+    ckt.add<Resistor>("R1", n1, n2, 10e3);
+    ckt.add<Capacitor>("C1", n2, kGround, 1e-12);
+    DiodeParams dp;
+    dp.cj0 = 0.5e-12;
+    dp.tt = 2e-12;
+    ckt.add<Diode>("D1", n2, n3, dp);
+    ckt.add<Resistor>("R2", n3, kGround, 5e3);
+    ckt.add<Inductor>("L1", n2, n3, 2e-9);
+    MosfetParams mp;
+    mp.type = variant == 0 ? MosfetType::Nmos : MosfetType::Pmos;
+    mp.gamma = 0.4;
+    mp.cgs = 1e-15;
+    mp.cgd = 1e-15;
+    mp.cdb = 0.5e-15;
+    ckt.add<Mosfet>("M1", n3, n2, kGround, kGround, mp);
+    ckt.finalize();
+
+    Vector x(ckt.systemSize());
+    // A generic operating point away from region boundaries.
+    x[0] = 2.5;
+    x[1] = variant == 0 ? 1.3 : -0.9;
+    x[2] = 0.4;
+    for (std::size_t i = 3; i < x.size(); ++i) {
+        x[i] = 1e-4;
+    }
+    checkJacobians(ckt, x, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NmosAndPmos, JacobianConsistency,
+                         ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,118 @@
+// Failure-injection tests: the library must fail loudly and precisely, not
+// hang or fabricate numbers, when the numerics are sabotaged.
+#include <gtest/gtest.h>
+
+#include "shtrace/analysis/transient.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/mpnr.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/tracer.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(FailurePaths, TransientReportsNewtonFailureWithTime) {
+    // One Newton iteration is never enough for the nonlinear latch step:
+    // the transient must return success=false with the failing time in the
+    // reason, not throw or loop.
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(300e-12, 300e-12);
+    TransientOptions opt;
+    opt.tStop = 2e-9;
+    opt.fixedSteps = 200;
+    opt.newton.maxIterations = 1;
+    // Explicit (bad) initial condition so the sabotaged Newton settings do
+    // not already kill the DC solve: the STEP failure path is under test.
+    opt.initialCondition = Vector(reg.circuit.systemSize());
+    const TransientResult tr = TransientAnalysis(reg.circuit, opt).run();
+    EXPECT_FALSE(tr.success);
+    EXPECT_NE(tr.failureReason.find("Newton failed"), std::string::npos);
+    EXPECT_NE(tr.failureReason.find("fixed grid"), std::string::npos);
+}
+
+TEST(FailurePaths, AdaptiveModeRetriesBeforeGivingUp) {
+    // Same sabotage in adaptive mode: the stepper halves dt until dtMin
+    // and reports the underflow.
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(300e-12, 300e-12);
+    TransientOptions opt;
+    opt.tStop = 2e-9;
+    opt.adaptive = true;
+    opt.dtMin = 1e-15;
+    opt.newton.maxIterations = 1;
+    opt.initialCondition = Vector(reg.circuit.systemSize());
+    const TransientResult tr = TransientAnalysis(reg.circuit, opt).run();
+    EXPECT_FALSE(tr.success);
+    EXPECT_NE(tr.failureReason.find("dt underflow"), std::string::npos);
+}
+
+TEST(FailurePaths, MpnrPropagatesTransientFailure) {
+    const RegisterFixture reg = buildTspcRegister();
+    const CharacterizationProblem problem(reg);
+    // Build a SECOND h-function over the same circuit with sabotaged
+    // Newton settings.
+    TransientOptions bad;
+    bad.tStop = problem.tf();
+    bad.fixedSteps = 100;  // grotesquely coarse: huge steps CAN still pass,
+    bad.newton.maxIterations = 1;  // but one NR iteration cannot
+    bad.initialCondition = problem.initialCondition();
+    const HFunction h(reg.circuit, reg.data,
+                      reg.circuit.selectorFor(reg.q), problem.tf(),
+                      problem.r(), bad);
+    const MpnrResult r = solveMpnr(h, SkewPoint{200e-12, 300e-12});
+    EXPECT_FALSE(r.converged);
+    EXPECT_TRUE(r.transientFailed);
+}
+
+TEST(FailurePaths, TracerReturnsEmptyOnBrokenH) {
+    const RegisterFixture reg = buildTspcRegister();
+    const CharacterizationProblem problem(reg);
+    TransientOptions bad;
+    bad.tStop = problem.tf();
+    bad.fixedSteps = 100;
+    bad.newton.maxIterations = 1;
+    bad.initialCondition = problem.initialCondition();
+    const HFunction h(reg.circuit, reg.data,
+                      reg.circuit.selectorFor(reg.q), problem.tf(),
+                      problem.r(), bad);
+    const TracedContour contour =
+        traceContour(h, SkewPoint{200e-12, 300e-12});
+    EXPECT_FALSE(contour.seedConverged);
+    EXPECT_TRUE(contour.points.empty());
+}
+
+TEST(FailurePaths, HFunctionRejectsAdaptiveRecipe) {
+    const RegisterFixture reg = buildTspcRegister();
+    TransientOptions opt;
+    opt.tStop = 12e-9;
+    opt.adaptive = true;  // forbidden: h must live on a fixed grid
+    EXPECT_THROW(HFunction(reg.circuit, reg.data,
+                           reg.circuit.selectorFor(reg.q), 12e-9, 1.25, opt),
+                 InvalidArgumentError);
+}
+
+TEST(FailurePaths, SingularCircuitFailsDcLoudly) {
+    // Two ideal voltage sources in parallel with conflicting values: the
+    // MNA system is inconsistent; DC must throw NumericalError (after the
+    // gmin ladder gives up), not return garbage.
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<VoltageSource>("V1", a, kGround, 1.0);
+    ckt.add<VoltageSource>("V2", a, kGround, 2.0);
+    ckt.add<Resistor>("R1", a, kGround, 1e3);
+    ckt.finalize();
+    EXPECT_THROW(
+        {
+            TransientOptions opt;
+            opt.tStop = 1e-9;
+            opt.fixedSteps = 10;
+            (void)TransientAnalysis(ckt, opt).run();
+        },
+        NumericalError);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,67 @@
+// Tests for contour families at multiple degradation levels.
+#include <gtest/gtest.h>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/family.hpp"
+
+namespace shtrace {
+namespace {
+
+ContourFamilyOptions smallFamily() {
+    ContourFamilyOptions opt;
+    opt.degradations = {0.05, 0.10, 0.20};
+    opt.tracer.maxPoints = 8;
+    opt.tracer.bounds = SkewBounds{80e-12, 700e-12, 40e-12, 500e-12};
+    return opt;
+}
+
+TEST(ContourFamily, TracesAllMembers) {
+    const RegisterFixture reg = buildTspcRegister();
+    const ContourFamilyResult fam =
+        characterizeContourFamily(reg, smallFamily());
+    ASSERT_EQ(fam.members.size(), 3u);
+    EXPECT_TRUE(fam.allSucceeded());
+    EXPECT_GT(fam.characteristicClockToQ, 100e-12);
+    for (const auto& m : fam.members) {
+        EXPECT_GE(m.contour.points.size(), 4u) << m.degradation;
+        // t_f grows with the allowed degradation.
+        EXPECT_GT(m.tf, 11.05e-9);
+    }
+    EXPECT_LT(fam.members[0].tf, fam.members[1].tf);
+    EXPECT_LT(fam.members[1].tf, fam.members[2].tf);
+}
+
+TEST(ContourFamily, ContoursAreNested) {
+    // A larger allowed degradation tolerates later data: its setup
+    // asymptote (the seed) sits at a smaller setup skew.
+    const RegisterFixture reg = buildTspcRegister();
+    const ContourFamilyResult fam =
+        characterizeContourFamily(reg, smallFamily());
+    ASSERT_TRUE(fam.allSucceeded());
+    EXPECT_GT(fam.members[0].seed.seed.setup,
+              fam.members[1].seed.seed.setup);
+    EXPECT_GT(fam.members[1].seed.seed.setup,
+              fam.members[2].seed.seed.setup);
+}
+
+TEST(ContourFamily, WarmStartReducesSeedCost) {
+    const RegisterFixture reg = buildTspcRegister();
+    const ContourFamilyResult fam =
+        characterizeContourFamily(reg, smallFamily());
+    ASSERT_TRUE(fam.allSucceeded());
+    // Members after the first bisect inside a narrowed bracket.
+    EXPECT_LE(fam.members[1].seed.evaluations,
+              fam.members[0].seed.evaluations);
+    EXPECT_LE(fam.members[2].seed.evaluations,
+              fam.members[0].seed.evaluations);
+}
+
+TEST(ContourFamily, RejectsEmptyLevelList) {
+    const RegisterFixture reg = buildTspcRegister();
+    ContourFamilyOptions opt = smallFamily();
+    opt.degradations.clear();
+    EXPECT_THROW(characterizeContourFamily(reg, opt), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

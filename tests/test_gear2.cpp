@@ -1,0 +1,152 @@
+// Tests for the Gear2 (BDF2) integrator: order of accuracy, A-stability
+// behaviour on a stiff transition, sensitivity consistency, guards.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "shtrace/analysis/sensitivity.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+#include "shtrace/waveform/pulse.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(Gear2, SecondOrderOnRcDecay) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    const double r = 1e3;
+    const double c = 1e-12;
+    ckt.add<Resistor>("R1", a, kGround, r);
+    ckt.add<Capacitor>("C1", a, kGround, c);
+    ckt.finalize();
+    const Vector sel = ckt.selectorFor(a);
+    auto errorWith = [&](int steps) {
+        TransientOptions opt;
+        opt.tStop = 2e-9;
+        opt.method = IntegrationMethod::Gear2;
+        opt.fixedSteps = steps;
+        Vector x0(1);
+        x0[0] = 2.0;
+        opt.initialCondition = x0;
+        opt.storeStates = false;
+        const TransientResult tr = TransientAnalysis(ckt, opt).run();
+        EXPECT_TRUE(tr.success);
+        const double analytic = 2.0 * std::exp(-2e-9 / (r * c));
+        return std::fabs(sel.dot(tr.finalState) - analytic);
+    };
+    const double ratio = errorWith(100) / errorWith(200);
+    // Second order: halving dt shrinks the error ~4x (the BE bootstrap
+    // step costs a little, hence the loose lower bound).
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 5.0);
+}
+
+TEST(Gear2, NoTrapezoidalRingingOnStiffStep) {
+    // Stiff parasitic pole: tau = 1 ps on a 20 ps grid. TRAP rings with
+    // slowly-damped alternating error after the step; BDF2's strong
+    // damping kills it. Measure the oscillation of the error signal after
+    // the input step has settled.
+    const auto oscillation = [](IntegrationMethod method) {
+        Circuit ckt;
+        const NodeId in = ckt.node("in");
+        const NodeId out = ckt.node("out");
+        PulseWaveform::Spec step;
+        step.v1 = 1.0;
+        step.delay = 100e-12;
+        step.riseTime = 1e-15;  // near-ideal step
+        step.width = 1.0;
+        step.fallTime = 1e-15;
+        step.shape = EdgeShape::Linear;
+        ckt.add<VoltageSource>("V1", in, kGround,
+                               std::make_shared<PulseWaveform>(step));
+        ckt.add<Resistor>("R1", in, out, 100.0);
+        ckt.add<Capacitor>("C1", out, kGround, 10e-15);  // tau = 1 ps
+        ckt.finalize();
+        TransientOptions opt;
+        opt.tStop = 1e-9;
+        opt.method = method;
+        opt.fixedSteps = 50;  // 20 ps steps: tau is under-resolved
+        opt.initialCondition = Vector(ckt.systemSize());
+        const TransientResult tr = TransientAnalysis(ckt, opt).run();
+        EXPECT_TRUE(tr.success);
+        const Vector sel = ckt.selectorFor(out);
+        // Sum of |sample-to-sample| changes well after the step: the
+        // settled solution is constant, so this measures ringing.
+        double wiggle = 0.0;
+        const std::vector<double> sig = tr.signal(sel);
+        for (std::size_t i = 1; i < sig.size(); ++i) {
+            if (tr.times[i] > 400e-12) {
+                wiggle += std::fabs(sig[i] - sig[i - 1]);
+            }
+        }
+        return wiggle;
+    };
+    const double trapWiggle = oscillation(IntegrationMethod::Trapezoidal);
+    const double gearWiggle = oscillation(IntegrationMethod::Gear2);
+    EXPECT_LT(gearWiggle, 0.2 * trapWiggle + 1e-12);
+}
+
+TEST(Gear2, SensitivityMatchesFiniteDifference) {
+    DataPulse::Spec spec;
+    spec.v0 = 0.0;
+    spec.v1 = 2.5;
+    spec.activeEdgeTime = 2e-9;
+    spec.transitionTime = 0.1e-9;
+    auto data = std::make_shared<DataPulse>(spec);
+    data->setSkews(300e-12, 200e-12);
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VoltageSource>("Vd", in, kGround, data);
+    ckt.add<Resistor>("R1", in, out, 1e3);
+    ckt.add<Capacitor>("C1", out, kGround, 0.2e-12);
+    ckt.finalize();
+    const Vector sel = ckt.selectorFor(out);
+
+    TransientOptions opt;
+    opt.tStop = 2.2e-9;  // mid trailing edge
+    opt.method = IntegrationMethod::Gear2;
+    opt.fixedSteps = 1100;
+    opt.initialCondition = Vector(ckt.systemSize());
+    const SkewEvaluation analytic =
+        evaluateWithSensitivities(ckt, *data, sel, 300e-12, 200e-12, opt);
+    const SkewEvaluation fd = evaluateWithFiniteDifferences(
+        ckt, *data, sel, 300e-12, 200e-12, opt, 1e-14);
+    ASSERT_TRUE(analytic.success);
+    ASSERT_TRUE(fd.success);
+    const double scale = 2.5 / 0.1e-9;
+    EXPECT_NEAR(analytic.dOutputDSetup, fd.dOutputDSetup, 2e-4 * scale);
+    EXPECT_NEAR(analytic.dOutputDHold, fd.dOutputDHold, 2e-4 * scale);
+}
+
+TEST(Gear2, WorksOnTspcRegister) {
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(2e-9, 2e-9);
+    TransientOptions opt;
+    opt.tStop = reg.activeEdgeMidpoint() + 2e-9;
+    opt.method = IntegrationMethod::Gear2;
+    opt.fixedSteps = static_cast<int>(opt.tStop / 10e-12);
+    const TransientResult tr = TransientAnalysis(reg.circuit, opt).run();
+    ASSERT_TRUE(tr.success);
+    const Vector sel = reg.circuit.selectorFor(reg.q);
+    EXPECT_NEAR(sel.dot(tr.finalState), reg.qFinal, 0.1);
+}
+
+TEST(Gear2, RejectsAdaptiveMode) {
+    Circuit ckt;
+    ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1.0);
+    ckt.finalize();
+    TransientOptions opt;
+    opt.tStop = 1e-9;
+    opt.method = IntegrationMethod::Gear2;
+    opt.adaptive = true;
+    EXPECT_THROW(TransientAnalysis(ckt, opt), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,128 @@
+// Tests for independent setup/hold characterization (paper Section IIIB):
+// bisection baseline vs sensitivity-driven scalar Newton (ref [6]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/independent.hpp"
+#include "shtrace/chz/problem.hpp"
+
+namespace shtrace {
+namespace {
+
+class IndependentOnTspc : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        fixture_ = new RegisterFixture(buildTspcRegister());
+        problem_ = new CharacterizationProblem(*fixture_);
+    }
+    static void TearDownTestSuite() {
+        delete problem_;
+        delete fixture_;
+        problem_ = nullptr;
+        fixture_ = nullptr;
+    }
+    static RegisterFixture* fixture_;
+    static CharacterizationProblem* problem_;
+};
+
+RegisterFixture* IndependentOnTspc::fixture_ = nullptr;
+CharacterizationProblem* IndependentOnTspc::problem_ = nullptr;
+
+TEST_F(IndependentOnTspc, BisectionFindsSetupTime) {
+    const IndependentResult r = characterizeByBisection(
+        problem_->h(), SkewAxis::Setup, problem_->passSign());
+    ASSERT_TRUE(r.converged);
+    EXPECT_GT(r.skew, 150e-12);
+    EXPECT_LT(r.skew, 280e-12);
+}
+
+TEST_F(IndependentOnTspc, BisectionFindsHoldTime) {
+    const IndependentResult r = characterizeByBisection(
+        problem_->h(), SkewAxis::Hold, problem_->passSign());
+    ASSERT_TRUE(r.converged);
+    EXPECT_GT(r.skew, 80e-12);
+    EXPECT_LT(r.skew, 250e-12);
+}
+
+TEST_F(IndependentOnTspc, NewtonAgreesWithBisection) {
+    for (const SkewAxis axis : {SkewAxis::Setup, SkewAxis::Hold}) {
+        const IndependentResult bisect = characterizeByBisection(
+            problem_->h(), axis, problem_->passSign());
+        const IndependentResult newton = characterizeByNewton(
+            problem_->h(), axis, problem_->passSign());
+        ASSERT_TRUE(bisect.converged);
+        ASSERT_TRUE(newton.converged);
+        // Both solve h = 0 along the axis; the Newton answer lands where
+        // |h| <= hTol, which is within ~1 ps of the bisection boundary.
+        EXPECT_NEAR(newton.skew, bisect.skew, 2e-12)
+            << "axis=" << static_cast<int>(axis);
+    }
+}
+
+TEST_F(IndependentOnTspc, NewtonUsesFarFewerTransients) {
+    // The ref [6] claim: 4-10x fewer simulations than bisection, measured
+    // at matched accuracy. Newton's |h| <= hTol corresponds to sub-0.01 ps
+    // skew accuracy (gradients ~1e10 V/s), so the fair bisection baseline
+    // runs at 0.01 ps tolerance.
+    IndependentOptions bisectOpt;
+    bisectOpt.tolerance = 0.01e-12;
+    const IndependentResult bisect = characterizeByBisection(
+        problem_->h(), SkewAxis::Setup, problem_->passSign(), bisectOpt);
+    const IndependentResult newton = characterizeByNewton(
+        problem_->h(), SkewAxis::Setup, problem_->passSign());
+    ASSERT_TRUE(bisect.converged);
+    ASSERT_TRUE(newton.converged);
+    EXPECT_GE(static_cast<double>(bisect.transientCount) /
+                  newton.transientCount,
+              2.0);
+
+    // In the library-characterization setting a seed from a neighbouring
+    // corner is available, skipping the coarse scan entirely: this is the
+    // configuration in which ref [6] reports 4-10x.
+    IndependentOptions seeded;
+    seeded.newtonSeed = newton.skew * 1.05;
+    const IndependentResult warm = characterizeByNewton(
+        problem_->h(), SkewAxis::Setup, problem_->passSign(), seeded);
+    ASSERT_TRUE(warm.converged);
+    EXPECT_GE(static_cast<double>(bisect.transientCount) /
+                  warm.transientCount,
+              4.0);
+}
+
+TEST_F(IndependentOnTspc, NewtonResidualIsTiny) {
+    const IndependentResult newton = characterizeByNewton(
+        problem_->h(), SkewAxis::Setup, problem_->passSign());
+    ASSERT_TRUE(newton.converged);
+    const HEvaluation check = problem_->h().evaluateValueOnly(
+        newton.skew, IndependentOptions{}.pinnedSkew);
+    EXPECT_LT(std::fabs(check.h), 2.0 * IndependentOptions{}.hTol);
+}
+
+TEST_F(IndependentOnTspc, ReportsFailureOutsideRange) {
+    IndependentOptions opt;
+    opt.lo = 600e-12;  // setup time (~204 ps) is below the range
+    opt.hi = 1.4e-9;
+    const IndependentResult bisect = characterizeByBisection(
+        problem_->h(), SkewAxis::Setup, problem_->passSign(), opt);
+    EXPECT_FALSE(bisect.converged);
+    const IndependentResult newton = characterizeByNewton(
+        problem_->h(), SkewAxis::Setup, problem_->passSign(), opt);
+    EXPECT_FALSE(newton.converged);
+}
+
+TEST_F(IndependentOnTspc, RejectsBadBracket) {
+    IndependentOptions opt;
+    opt.lo = 1e-9;
+    opt.hi = 0.5e-9;
+    EXPECT_THROW(characterizeByBisection(problem_->h(), SkewAxis::Setup, 1.0,
+                                         opt),
+                 InvalidArgumentError);
+    EXPECT_THROW(
+        characterizeByNewton(problem_->h(), SkewAxis::Setup, 1.0, opt),
+        InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

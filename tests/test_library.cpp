@@ -1,0 +1,110 @@
+// Tests for the batch library-characterization flow and Liberty-lite
+// output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "shtrace/cells/c2mos.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/library.hpp"
+
+namespace shtrace {
+namespace {
+
+std::vector<LibraryCell> twoCellLibrary() {
+    CriterionOptions c2mosCrit;
+    c2mosCrit.transitionFraction = 0.9;
+    return {
+        LibraryCell{"TSPC_X1", [] { return buildTspcRegister(); },
+                    CriterionOptions{}},
+        LibraryCell{"C2MOS_X1", [] { return buildC2mosRegister(); },
+                    c2mosCrit},
+    };
+}
+
+LibraryFlowOptions fastFlow(bool contours) {
+    LibraryFlowOptions opt;
+    opt.traceContours = contours;
+    opt.tracer.maxPoints = 6;
+    opt.tracer.bounds = SkewBounds{80e-12, 900e-12, 40e-12, 700e-12};
+    return opt;
+}
+
+TEST(LibraryFlow, CharacterizesAllCells) {
+    const auto rows = characterizeLibrary(twoCellLibrary(), fastFlow(true));
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto& row : rows) {
+        EXPECT_TRUE(row.success) << row.cell << ": " << row.failureReason;
+        EXPECT_GT(row.setupTime, 0.0) << row.cell;
+        EXPECT_GT(row.holdTime, 0.0) << row.cell;
+        EXPECT_GE(row.contour.size(), 3u) << row.cell;
+        EXPECT_GT(row.stats.transientSolves, 0u) << row.cell;
+    }
+    // C2MOS (delayed clk-bar) needs more setup than TSPC.
+    EXPECT_GT(rows[1].setupTime, rows[0].setupTime);
+}
+
+TEST(LibraryFlow, IndependentOnlyModeSkipsContours) {
+    const auto rows = characterizeLibrary(
+        {twoCellLibrary()[0]}, fastFlow(false));
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_TRUE(rows[0].success);
+    EXPECT_TRUE(rows[0].contour.empty());
+}
+
+TEST(LibraryFlow, BuilderFailureIsReportedPerRow) {
+    std::vector<LibraryCell> cells = twoCellLibrary();
+    cells.push_back(LibraryCell{
+        "BROKEN",
+        []() -> RegisterFixture {
+            throw NumericalError("intentionally broken builder");
+        },
+        CriterionOptions{}});
+    const auto rows = characterizeLibrary(cells, fastFlow(false));
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_TRUE(rows[0].success);
+    EXPECT_FALSE(rows[2].success);
+    EXPECT_NE(rows[2].failureReason.find("broken"), std::string::npos);
+}
+
+TEST(LibraryFlow, LibertyLiteOutputContainsTheNumbers) {
+    const auto rows = characterizeLibrary(twoCellLibrary(), fastFlow(true));
+    const std::string path = ::testing::TempDir() + "/shtrace_lib.lib";
+    writeLibertyLite(rows, path, "testlib");
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    EXPECT_NE(text.find("library (testlib)"), std::string::npos);
+    EXPECT_NE(text.find("cell (TSPC_X1)"), std::string::npos);
+    EXPECT_NE(text.find("cell (C2MOS_X1)"), std::string::npos);
+    EXPECT_NE(text.find("setup_rising"), std::string::npos);
+    EXPECT_NE(text.find("hold_rising"), std::string::npos);
+    EXPECT_NE(text.find("setup_hold_contour"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(LibraryFlow, LibertyLiteMarksFailedCells) {
+    std::vector<LibraryRow> rows(1);
+    rows[0].cell = "DEAD";
+    rows[0].failureReason = "no latch";
+    const std::string path = ::testing::TempDir() + "/shtrace_dead.lib";
+    writeLibertyLite(rows, path);
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("CHARACTERIZATION FAILED: no latch"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(LibraryFlow, WriteToBadPathThrows) {
+    EXPECT_THROW(writeLibertyLite({}, "/no_such_dir_xyz/lib.lib"), Error);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,162 @@
+// Tests for LU factorization with scaled partial pivoting.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "shtrace/linalg/lu.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+Matrix randomMatrix(std::size_t n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            m(i, j) = dist(rng);
+        }
+        m(i, i) += 2.0;  // keep it comfortably nonsingular
+    }
+    return m;
+}
+
+Vector randomVector(std::size_t n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = dist(rng);
+    }
+    return v;
+}
+
+class LuSolveProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuSolveProperty, SolutionSatisfiesSystem) {
+    const std::size_t n = GetParam();
+    for (unsigned seed = 1; seed <= 5; ++seed) {
+        const Matrix a = randomMatrix(n, seed);
+        const Vector b = randomVector(n, seed + 100);
+        LuFactorization lu;
+        ASSERT_TRUE(lu.factor(a));
+        const Vector x = lu.solve(b);
+        const Vector residual = a.multiply(x) - b;
+        EXPECT_LT(residual.normInf(), 1e-10 * (1.0 + b.normInf()))
+            << "n=" << n << " seed=" << seed;
+    }
+}
+
+TEST_P(LuSolveProperty, TransposedSolveSatisfiesTransposedSystem) {
+    const std::size_t n = GetParam();
+    const Matrix a = randomMatrix(n, 7);
+    const Vector b = randomVector(n, 8);
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factor(a));
+    const Vector x = lu.solveTransposed(b);
+    const Vector residual = a.transposed().multiply(x) - b;
+    EXPECT_LT(residual.normInf(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSolveProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40));
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+    Matrix a(2, 2);
+    a(0, 0) = 3;
+    a(0, 1) = 1;
+    a(1, 0) = 4;
+    a(1, 1) = 2;
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factor(a));
+    EXPECT_NEAR(lu.determinant(), 2.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+    Matrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 4;  // rank 1
+    LuFactorization lu;
+    EXPECT_FALSE(lu.factor(a));
+    EXPECT_FALSE(lu.valid());
+}
+
+TEST(Lu, DetectsEmptyRow) {
+    Matrix a(3, 3);
+    a(0, 0) = 1;
+    a(2, 2) = 1;  // row 1 all zero
+    LuFactorization lu;
+    EXPECT_FALSE(lu.factor(a));
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+    // Requires a row swap: [[0 1],[1 0]].
+    Matrix a(2, 2);
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factor(a));
+    const Vector x = lu.solve(Vector{3.0, 5.0});
+    EXPECT_DOUBLE_EQ(x[0], 5.0);
+    EXPECT_DOUBLE_EQ(x[1], 3.0);
+    EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, ScaledPivotingHandlesBadlyScaledRows) {
+    // Row 0 is a branch-like row (unit entries), row 1 conductance-scale.
+    Matrix a(2, 2);
+    a(0, 0) = 1e-12;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1e-3;
+    a(1, 1) = 1e-3;
+    const Vector b{1.0, 2e-3};
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factor(a));
+    const Vector x = lu.solve(b);
+    const Vector residual = a.multiply(x) - b;
+    EXPECT_LT(residual.normInf(), 1e-12);
+}
+
+TEST(Lu, SolveBeforeFactorThrows) {
+    LuFactorization lu;
+    EXPECT_THROW(lu.solve(Vector(2)), InvalidArgumentError);
+}
+
+TEST(Lu, RejectsNonSquare) {
+    LuFactorization lu;
+    EXPECT_THROW(lu.factor(Matrix(2, 3)), InvalidArgumentError);
+}
+
+TEST(Lu, OneShotSolverThrowsOnSingular) {
+    Matrix a(2, 2);  // all zeros
+    EXPECT_THROW(solveLinearSystem(a, Vector(2)), NumericalError);
+}
+
+TEST(Lu, StatsCountFactorAndSolve) {
+    SimStats stats;
+    const Matrix a = randomMatrix(4, 3);
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factor(a, &stats));
+    (void)lu.solve(Vector(4, 1.0), &stats);
+    (void)lu.solve(Vector(4, 2.0), &stats);
+    EXPECT_EQ(stats.luFactorizations, 1u);
+    EXPECT_EQ(stats.luSolves, 2u);
+}
+
+TEST(Lu, ReciprocalPivotRatioReflectsConditioning) {
+    LuFactorization good;
+    ASSERT_TRUE(good.factor(Matrix::identity(3)));
+    EXPECT_DOUBLE_EQ(good.reciprocalPivotRatio(), 1.0);
+
+    Matrix skewed = Matrix::identity(3);
+    skewed(2, 2) = 1e-9;
+    LuFactorization bad;
+    ASSERT_TRUE(bad.factor(skewed));
+    EXPECT_LT(bad.reciprocalPivotRatio(), 1e-8);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,148 @@
+// Tests for crossing detection, clock-to-Q measurement and output surfaces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "shtrace/measure/clock_to_q.hpp"
+#include "shtrace/measure/crossing.hpp"
+#include "shtrace/measure/surface.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(Crossing, FindsInterpolatedCrossings) {
+    const std::vector<double> t{0.0, 1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> v{0.0, 2.0, 2.0, 0.0, 2.0};
+    const auto crossings = findCrossings(t, v, 1.0);
+    ASSERT_EQ(crossings.size(), 3u);
+    EXPECT_NEAR(crossings[0].time, 0.5, 1e-12);
+    EXPECT_TRUE(crossings[0].rising);
+    EXPECT_NEAR(crossings[1].time, 2.5, 1e-12);
+    EXPECT_FALSE(crossings[1].rising);
+    EXPECT_NEAR(crossings[2].time, 3.5, 1e-12);
+    EXPECT_TRUE(crossings[2].rising);
+}
+
+TEST(Crossing, SampleExactlyOnThresholdNotDoubleCounted) {
+    const std::vector<double> t{0.0, 1.0, 2.0};
+    const std::vector<double> v{0.0, 1.0, 2.0};  // hits threshold at sample 1
+    const auto crossings = findCrossings(t, v, 1.0);
+    ASSERT_EQ(crossings.size(), 1u);
+    EXPECT_NEAR(crossings[0].time, 1.0, 1e-12);
+}
+
+TEST(Crossing, FlatAtThresholdIsNotACrossing) {
+    const std::vector<double> t{0.0, 1.0, 2.0};
+    const std::vector<double> v{1.0, 1.0, 1.0};
+    EXPECT_TRUE(findCrossings(t, v, 1.0).empty());
+}
+
+TEST(Crossing, FirstAfterFiltersTimeAndDirection) {
+    const std::vector<double> t{0.0, 1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> v{0.0, 2.0, 0.0, 2.0, 0.0};
+    const auto c = firstCrossingAfter(t, v, 1.0, 1.2, true);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_NEAR(c->time, 2.5, 1e-12);
+    EXPECT_FALSE(
+        firstCrossingAfter(t, v, 1.0, 3.6, true).has_value());
+}
+
+TEST(Crossing, RejectsBadInput) {
+    EXPECT_THROW(findCrossings({0.0, 1.0}, {0.0}, 0.5), InvalidArgumentError);
+    EXPECT_THROW(findCrossings({1.0, 1.0}, {0.0, 1.0}, 0.5),
+                 InvalidArgumentError);
+}
+
+TEST(ClockToQSpec, ThresholdAndPolarity) {
+    ClockToQSpec rising;
+    rising.outputInitial = 0.0;
+    rising.outputFinal = 2.5;
+    rising.transitionFraction = 0.5;
+    EXPECT_DOUBLE_EQ(rising.threshold(), 1.25);
+    EXPECT_TRUE(rising.risingOutput());
+
+    ClockToQSpec falling;
+    falling.outputInitial = 2.5;
+    falling.outputFinal = 0.0;
+    falling.transitionFraction = 0.9;  // the C2MOS criterion
+    EXPECT_DOUBLE_EQ(falling.threshold(), 0.25);
+    EXPECT_FALSE(falling.risingOutput());
+}
+
+TEST(ClockToQ, MeasuresOnSyntheticTransient) {
+    TransientResult tr;
+    tr.success = true;
+    // One "node": ramps 0 -> 2.5 between t = 1.0 and 2.0.
+    for (double t = 0.0; t <= 3.0 + 1e-9; t += 0.25) {
+        tr.times.push_back(t);
+        Vector x(1);
+        x[0] = std::clamp((t - 1.0) / 1.0, 0.0, 1.0) * 2.5;
+        tr.states.push_back(x);
+    }
+    Vector sel(1);
+    sel[0] = 1.0;
+    ClockToQSpec spec;
+    spec.clockEdgeMidpoint = 0.5;
+    spec.outputFinal = 2.5;
+    const auto c2q = measureClockToQ(tr, sel, spec);
+    ASSERT_TRUE(c2q.has_value());
+    EXPECT_NEAR(*c2q, 1.0, 1e-9);  // crosses 1.25 at t = 1.5
+    EXPECT_TRUE(latchedSuccessfully(tr, sel, spec));
+}
+
+TEST(ClockToQ, FailedLatchReturnsNullopt) {
+    TransientResult tr;
+    tr.success = true;
+    for (double t = 0.0; t <= 2.0; t += 0.5) {
+        tr.times.push_back(t);
+        tr.states.push_back(Vector(1, 0.2));  // output never moves
+    }
+    Vector sel(1);
+    sel[0] = 1.0;
+    ClockToQSpec spec;
+    EXPECT_FALSE(measureClockToQ(tr, sel, spec).has_value());
+    EXPECT_FALSE(latchedSuccessfully(tr, sel, spec));
+}
+
+TEST(ClockToQ, FalseTransitionDetectedByFinalValue) {
+    // Q rises through the threshold then reverts (the Fig. 11(b) case):
+    // the crossing exists but latchedSuccessfully must say no.
+    TransientResult tr;
+    tr.success = true;
+    const double values[] = {0.0, 1.0, 2.0, 1.5, 0.3, 0.0};
+    for (int i = 0; i < 6; ++i) {
+        tr.times.push_back(i);
+        tr.states.push_back(Vector(1, values[i]));
+    }
+    Vector sel(1);
+    sel[0] = 1.0;
+    ClockToQSpec spec;  // threshold 1.25 rising
+    EXPECT_TRUE(measureClockToQ(tr, sel, spec).has_value());
+    EXPECT_FALSE(latchedSuccessfully(tr, sel, spec));
+}
+
+TEST(Surface, InterpolatesBilinearly) {
+    OutputSurface s({0.0, 1.0, 2.0}, {0.0, 2.0});
+    // f(x, y) = 3x + 0.5y is reproduced exactly by bilinear interpolation.
+    for (std::size_t i = 0; i < s.setupCount(); ++i) {
+        for (std::size_t j = 0; j < s.holdCount(); ++j) {
+            s.setValue(i, j, 3.0 * s.setupAt(i) + 0.5 * s.holdAt(j));
+        }
+    }
+    EXPECT_NEAR(s.interpolate({0.5, 1.0}), 2.0, 1e-12);
+    EXPECT_NEAR(s.interpolate({1.7, 0.4}), 5.3, 1e-12);
+    EXPECT_TRUE(s.contains({2.0, 2.0}));
+    EXPECT_FALSE(s.contains({2.1, 1.0}));
+    EXPECT_THROW(s.interpolate({-0.1, 0.0}), InvalidArgumentError);
+}
+
+TEST(Surface, RejectsBadAxes) {
+    EXPECT_THROW(OutputSurface({0.0}, {0.0, 1.0}), InvalidArgumentError);
+    EXPECT_THROW(OutputSurface({0.0, 0.0}, {0.0, 1.0}),
+                 InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

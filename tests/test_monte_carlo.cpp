@@ -1,0 +1,96 @@
+// Tests for the Monte Carlo statistical characterization harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/monte_carlo.hpp"
+
+namespace shtrace {
+namespace {
+
+CornerFixtureBuilder tspcBuilder() {
+    return [](const ProcessCorner& corner) {
+        TspcOptions opt;
+        opt.corner = corner;
+        return buildTspcRegister(opt);
+    };
+}
+
+TEST(MonteCarlo, SamplingIsDeterministicPerSeedAndIndex) {
+    const ProcessCorner nominal = ProcessCorner::typical();
+    const ProcessVariation var;
+    const ProcessCorner a = sampleCorner(nominal, var, 7, 3);
+    const ProcessCorner b = sampleCorner(nominal, var, 7, 3);
+    EXPECT_DOUBLE_EQ(a.vtn, b.vtn);
+    EXPECT_DOUBLE_EQ(a.kpn, b.kpn);
+    EXPECT_DOUBLE_EQ(a.vdd, b.vdd);
+    // Different index or seed: different sample.
+    const ProcessCorner c = sampleCorner(nominal, var, 7, 4);
+    const ProcessCorner d = sampleCorner(nominal, var, 8, 3);
+    EXPECT_NE(a.vtn, c.vtn);
+    EXPECT_NE(a.vtn, d.vtn);
+}
+
+TEST(MonteCarlo, SamplesSpreadAroundTheNominal) {
+    const ProcessCorner nominal = ProcessCorner::typical();
+    ProcessVariation var;
+    var.vtSigma = 0.03;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        const double vt = sampleCorner(nominal, var, 1, i).vtn;
+        sum += vt;
+        sumSq += vt * vt;
+    }
+    const double mean = sum / n;
+    const double sigma = std::sqrt(sumSq / n - mean * mean);
+    EXPECT_NEAR(mean, nominal.vtn, 0.01);
+    EXPECT_NEAR(sigma, var.vtSigma, 0.01);
+}
+
+TEST(MonteCarlo, CharacterizesDistributionOnTspc) {
+    MonteCarloOptions opt;
+    opt.samples = 8;  // keep the test quick; each sample is ~6 transients
+    SimStats stats;
+    const MonteCarloResult mc =
+        runMonteCarlo(ProcessCorner::typical(), tspcBuilder(), opt, &stats);
+    EXPECT_EQ(mc.samplesRequested, 8);
+    ASSERT_GE(mc.samplesConverged, 6);  // allow a rare pathological sample
+
+    // Means near the nominal characterization (204 ps / 147 ps / 472 ps).
+    EXPECT_NEAR(mc.setup.mean, 204e-12, 40e-12);
+    EXPECT_NEAR(mc.hold.mean, 147e-12, 40e-12);
+    EXPECT_NEAR(mc.clockToQ.mean, 472e-12, 100e-12);
+    // Variation produces real spread but not chaos.
+    EXPECT_GT(mc.setup.stddev, 1e-12);
+    EXPECT_LT(mc.setup.stddev, 60e-12);
+    EXPECT_LE(mc.setup.min, mc.setup.mean);
+    EXPECT_GE(mc.setup.max, mc.setup.mean);
+    EXPECT_GT(stats.transientSolves, 0u);
+}
+
+TEST(MonteCarlo, ZeroVariationCollapsesTheDistribution) {
+    MonteCarloOptions opt;
+    opt.samples = 3;
+    opt.variation.vtSigma = 0.0;
+    opt.variation.kpRelSigma = 0.0;
+    opt.variation.vddRelSigma = 0.0;
+    const MonteCarloResult mc =
+        runMonteCarlo(ProcessCorner::typical(), tspcBuilder(), opt);
+    ASSERT_EQ(mc.samplesConverged, 3);
+    EXPECT_NEAR(mc.setup.stddev, 0.0, 1e-15);
+    EXPECT_NEAR(mc.hold.stddev, 0.0, 1e-15);
+}
+
+TEST(MonteCarlo, RejectsZeroSamples) {
+    MonteCarloOptions opt;
+    opt.samples = 0;
+    EXPECT_THROW(
+        runMonteCarlo(ProcessCorner::typical(), tspcBuilder(), opt),
+        InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,192 @@
+// Tests for the level-1 MOSFET model: regions, continuity, symmetry,
+// body effect and the PMOS polarity mirror.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shtrace/circuit/circuit.hpp"
+#include "shtrace/devices/mosfet.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+MosfetParams nmosParams() {
+    MosfetParams p;  // defaults are NMOS
+    return p;
+}
+
+Mosfet makeDevice(const MosfetParams& p) {
+    // Standalone device; node ids are irrelevant for operatingPoint().
+    return Mosfet("M", NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}, p);
+}
+
+TEST(Mosfet, CutoffBelowThreshold) {
+    const Mosfet m = makeDevice(nmosParams());
+    const MosfetOperatingPoint op = m.operatingPoint(1.0, 0.3, 0.0, 0.0);
+    EXPECT_EQ(op.region, 0);
+    EXPECT_DOUBLE_EQ(op.id, 0.0);
+    EXPECT_DOUBLE_EQ(op.gm, 0.0);
+}
+
+TEST(Mosfet, TriodeMatchesSquareLaw) {
+    const MosfetParams p = nmosParams();
+    const Mosfet m = makeDevice(p);
+    const double vgs = 1.5;
+    const double vds = 0.3;  // < vov = 1.05
+    const MosfetOperatingPoint op = m.operatingPoint(vds, vgs, 0.0, 0.0);
+    EXPECT_EQ(op.region, 1);
+    const double vov = vgs - p.vt0;
+    const double expected = p.beta() * (vov * vds - 0.5 * vds * vds) *
+                            (1.0 + p.lambda * vds);
+    EXPECT_NEAR(op.id, expected, expected * 1e-12);
+}
+
+TEST(Mosfet, SaturationMatchesSquareLaw) {
+    const MosfetParams p = nmosParams();
+    const Mosfet m = makeDevice(p);
+    const double vgs = 1.5;
+    const double vds = 2.0;  // > vov
+    const MosfetOperatingPoint op = m.operatingPoint(vds, vgs, 0.0, 0.0);
+    EXPECT_EQ(op.region, 2);
+    const double vov = vgs - p.vt0;
+    const double expected =
+        0.5 * p.beta() * vov * vov * (1.0 + p.lambda * vds);
+    EXPECT_NEAR(op.id, expected, expected * 1e-12);
+    EXPECT_NEAR(op.gm, p.beta() * vov * (1.0 + p.lambda * vds),
+                op.gm * 1e-12);
+}
+
+TEST(Mosfet, CurrentAndGdsContinuousAtVdsat) {
+    const MosfetParams p = nmosParams();
+    const Mosfet m = makeDevice(p);
+    const double vov = 1.5 - p.vt0;
+    const double eps = 1e-9;
+    const MosfetOperatingPoint below =
+        m.operatingPoint(vov - eps, 1.5, 0.0, 0.0);
+    const MosfetOperatingPoint above =
+        m.operatingPoint(vov + eps, 1.5, 0.0, 0.0);
+    EXPECT_NEAR(below.id, above.id, std::fabs(below.id) * 1e-6);
+    EXPECT_NEAR(below.gds, above.gds, std::fabs(below.gds) * 1e-4 + 1e-12);
+    EXPECT_NEAR(below.gm, above.gm, std::fabs(below.gm) * 1e-6);
+}
+
+TEST(Mosfet, CurrentContinuousAtThreshold) {
+    const MosfetParams p = nmosParams();
+    const Mosfet m = makeDevice(p);
+    const double eps = 1e-9;
+    const MosfetOperatingPoint below =
+        m.operatingPoint(1.0, p.vt0 - eps, 0.0, 0.0);
+    const MosfetOperatingPoint above =
+        m.operatingPoint(1.0, p.vt0 + eps, 0.0, 0.0);
+    EXPECT_NEAR(below.id, above.id, 1e-12);
+}
+
+TEST(Mosfet, SymmetricUnderTerminalSwap) {
+    // I(vd, vs) = -I(vs, vd): the level-1 model is symmetric.
+    const Mosfet m = makeDevice(nmosParams());
+    const MosfetOperatingPoint fwd = m.operatingPoint(1.2, 2.0, 0.3, 0.0);
+    const MosfetOperatingPoint rev = m.operatingPoint(0.3, 2.0, 1.2, 0.0);
+    EXPECT_TRUE(rev.swapped);
+    EXPECT_FALSE(fwd.swapped);
+    EXPECT_NEAR(fwd.id, rev.id, std::fabs(fwd.id) * 1e-12);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+    MosfetParams pn = nmosParams();
+    MosfetParams pp = pn;
+    pp.type = MosfetType::Pmos;
+    const Mosfet mn = makeDevice(pn);
+    const Mosfet mp = makeDevice(pp);
+    // Mirrored bias: all voltages negated.
+    const MosfetOperatingPoint opN = mn.operatingPoint(1.2, 2.0, 0.0, 0.0);
+    const MosfetOperatingPoint opP =
+        mp.operatingPoint(-1.2, -2.0, 0.0, 0.0);
+    EXPECT_NEAR(opN.id, opP.id, std::fabs(opN.id) * 1e-12);
+    EXPECT_EQ(opN.region, opP.region);
+}
+
+TEST(Mosfet, BodyEffectRaisesThreshold) {
+    MosfetParams p = nmosParams();
+    p.gamma = 0.5;
+    const Mosfet m = makeDevice(p);
+    // Reverse body bias (vbs < 0) raises vt and lowers the current.
+    const MosfetOperatingPoint noBias = m.operatingPoint(2.0, 1.2, 0.0, 0.0);
+    const MosfetOperatingPoint revBias =
+        m.operatingPoint(2.0, 1.2, 0.0, -1.0);
+    EXPECT_LT(revBias.id, noBias.id);
+    EXPECT_GT(revBias.gmb, 0.0);
+}
+
+TEST(Mosfet, GmbZeroWithoutGamma) {
+    const Mosfet m = makeDevice(nmosParams());
+    const MosfetOperatingPoint op = m.operatingPoint(2.0, 1.2, 0.0, -1.0);
+    EXPECT_DOUBLE_EQ(op.gmb, 0.0);
+}
+
+TEST(Mosfet, GmGdsMatchFiniteDifferenceAcrossRegions) {
+    MosfetParams p = nmosParams();
+    p.gamma = 0.4;
+    const Mosfet m = makeDevice(p);
+    const double dv = 1e-6;
+    for (double vgs : {0.8, 1.2, 2.0}) {
+        for (double vds : {0.1, 0.5, 1.0, 2.2}) {
+            const auto id = [&](double g, double d) {
+                return m.operatingPoint(d, g, 0.0, 0.0).id;
+            };
+            const MosfetOperatingPoint op =
+                m.operatingPoint(vds, vgs, 0.0, 0.0);
+            const double fdGm =
+                (id(vgs + dv, vds) - id(vgs - dv, vds)) / (2.0 * dv);
+            const double fdGds =
+                (id(vgs, vds + dv) - id(vgs, vds - dv)) / (2.0 * dv);
+            EXPECT_NEAR(op.gm, fdGm, 1e-5 * (1.0 + std::fabs(fdGm)))
+                << "vgs=" << vgs << " vds=" << vds;
+            EXPECT_NEAR(op.gds, fdGds, 1e-5 * (1.0 + std::fabs(fdGds)))
+                << "vgs=" << vgs << " vds=" << vds;
+        }
+    }
+}
+
+TEST(Mosfet, StampsConserveCurrent) {
+    // KCL across the device: f contributions over all nodes sum to zero.
+    Circuit ckt;
+    const NodeId d = ckt.node("d");
+    const NodeId g = ckt.node("g");
+    const NodeId s = ckt.node("s");
+    const NodeId b = ckt.node("b");
+    MosfetParams p = nmosParams();
+    p.cgs = 1e-15;
+    p.cgd = 1e-15;
+    p.cgb = 0.2e-15;
+    p.cdb = 0.5e-15;
+    p.csb = 0.5e-15;
+    ckt.add<Mosfet>("M1", d, g, s, b, p);
+    ckt.finalize();
+    Assembler asmb(4);
+    Vector x{1.8, 1.2, 0.2, 0.0};
+    ckt.assemble(x, 0.0, asmb);
+    double fSum = 0.0;
+    double qSum = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        fSum += asmb.f()[i];
+        qSum += asmb.q()[i];
+    }
+    EXPECT_NEAR(fSum, 0.0, 1e-18);
+    EXPECT_NEAR(qSum, 0.0, 1e-27);
+}
+
+TEST(Mosfet, RejectsBadParams) {
+    MosfetParams p;
+    p.kp = 0.0;
+    EXPECT_THROW(makeDevice(p), InvalidArgumentError);
+    p = MosfetParams{};
+    p.w = -1.0;
+    EXPECT_THROW(makeDevice(p), InvalidArgumentError);
+    p = MosfetParams{};
+    p.vt0 = -0.4;  // magnitudes only
+    EXPECT_THROW(makeDevice(p), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,113 @@
+// Tests for the Moore-Penrose Newton corrector on the real TSPC h-function
+// (paper Section IIIC). Shared fixture: one criterion computation reused by
+// all tests (it is the expensive part).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/mpnr.hpp"
+#include "shtrace/chz/problem.hpp"
+
+namespace shtrace {
+namespace {
+
+class MpnrOnTspc : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        fixture_ = new RegisterFixture(buildTspcRegister());
+        problem_ = new CharacterizationProblem(*fixture_);
+    }
+    static void TearDownTestSuite() {
+        delete problem_;
+        delete fixture_;
+        problem_ = nullptr;
+        fixture_ = nullptr;
+    }
+
+    static RegisterFixture* fixture_;
+    static CharacterizationProblem* problem_;
+};
+
+RegisterFixture* MpnrOnTspc::fixture_ = nullptr;
+CharacterizationProblem* MpnrOnTspc::problem_ = nullptr;
+
+TEST_F(MpnrOnTspc, ConvergesFromNearbyGuessToCurvePoint) {
+    // Start near the setup-time knee found during development (~204 ps at
+    // generous hold): MPNR must land on the curve with |h| below tolerance.
+    const MpnrResult r =
+        solveMpnr(problem_->h(), SkewPoint{230e-12, 300e-12});
+    ASSERT_TRUE(r.converged);
+    EXPECT_LT(std::fabs(r.h), MpnrOptions{}.hTol);
+    // The gradient at the solution is available for the Euler tangent.
+    EXPECT_GT(std::hypot(r.dhds, r.dhdh), 0.0);
+}
+
+TEST_F(MpnrOnTspc, SolutionIsNearTheGuessNotAcrossTheCurve) {
+    // MPNR converges toward the nearest curve point (paper Fig. 4): from a
+    // guess 30 ps off the curve the solution must not jump hundreds of ps.
+    const SkewPoint guess{230e-12, 300e-12};
+    const MpnrResult r = solveMpnr(problem_->h(), guess);
+    ASSERT_TRUE(r.converged);
+    const double dist = std::hypot(r.point.setup - guess.setup,
+                                   r.point.hold - guess.hold);
+    EXPECT_LT(dist, 100e-12);
+}
+
+TEST_F(MpnrOnTspc, ResidualRefinedToPrescribedAccuracy) {
+    // Tighten hTol: the "exact to any prescribed accuracy" property of
+    // Newton-refined points (Sec. IV: 5 digits).
+    MpnrOptions tight;
+    tight.hTol = 1e-8;
+    tight.maxIterations = 25;
+    const MpnrResult r =
+        solveMpnr(problem_->h(), SkewPoint{210e-12, 280e-12}, tight);
+    ASSERT_TRUE(r.converged);
+    EXPECT_LT(std::fabs(r.h), 1e-8);
+}
+
+TEST_F(MpnrOnTspc, ReportsVanishingGradientOnThePlateau) {
+    // Far out on the plateau (both skews huge) h is flat: no MPNR
+    // direction exists and the solver must say so rather than loop.
+    const MpnrResult r =
+        solveMpnr(problem_->h(), SkewPoint{1.4e-9, 1.4e-9});
+    EXPECT_FALSE(r.converged);
+    EXPECT_TRUE(r.gradientVanished);
+}
+
+TEST_F(MpnrOnTspc, IterationCountIsSmallNearTheCurve) {
+    // Seeded close to the curve (as the Euler predictor does), 2-3
+    // iterations are typical per the paper.
+    const MpnrResult far =
+        solveMpnr(problem_->h(), SkewPoint{230e-12, 300e-12});
+    ASSERT_TRUE(far.converged);
+    const SkewPoint near{far.point.setup + 2e-12, far.point.hold + 2e-12};
+    const MpnrResult r = solveMpnr(problem_->h(), near);
+    ASSERT_TRUE(r.converged);
+    EXPECT_LE(r.iterations, 4);
+}
+
+TEST_F(MpnrOnTspc, StatsCountMpnrIterations) {
+    SimStats stats;
+    (void)solveMpnr(problem_->h(), SkewPoint{230e-12, 300e-12}, {}, &stats);
+    EXPECT_GT(stats.mpnrIterations, 0u);
+    EXPECT_EQ(stats.mpnrIterations, stats.hEvaluations);
+}
+
+TEST_F(MpnrOnTspc, MaxStepClampPreventsWildJumps) {
+    MpnrOptions clamped;
+    clamped.maxStep = 5e-12;
+    clamped.maxIterations = 3;  // not enough to travel far
+    const MpnrResult r =
+        solveMpnr(problem_->h(), SkewPoint{300e-12, 400e-12}, clamped);
+    // From this far out the solver cannot converge in 3 clamped steps...
+    EXPECT_FALSE(r.converged);
+    // ...and must have moved at most 3 * maxStep.
+    const double moved = std::hypot(r.point.setup - 300e-12,
+                                    r.point.hold - 400e-12);
+    EXPECT_LE(moved, 3 * 5e-12 + 1e-15);
+}
+
+}  // namespace
+}  // namespace shtrace

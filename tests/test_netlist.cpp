@@ -1,0 +1,162 @@
+// Tests for the SPICE-style netlist parser.
+#include <gtest/gtest.h>
+
+#include "shtrace/analysis/dc_op.hpp"
+#include "shtrace/circuit/netlist_parser.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(Netlist, ParsesVoltageDividerAndSolves) {
+    const auto parsed = parseNetlistString(R"(
+* a comment line
+V1 in 0 DC 3.0
+R1 in mid 1k       ; trailing comment
+R2 mid 0 2k
+.end
+)");
+    EXPECT_EQ(parsed.circuit.nodeCount(), 2);
+    EXPECT_EQ(parsed.circuit.deviceCount(), 3u);
+    const DcResult dc = solveDcOperatingPoint(parsed.circuit);
+    ASSERT_TRUE(dc.converged);
+    const NodeId mid = parsed.circuit.findNode("mid");
+    EXPECT_NEAR(dc.x[static_cast<std::size_t>(mid.index)], 2.0, 1e-5);
+}
+
+TEST(Netlist, ParsesEngineeringSuffixes) {
+    const auto parsed = parseNetlistString(R"(
+V1 a 0 2.5V
+R1 a b 10kOhm
+C1 b 0 100f
+L1 b 0 2n
+)");
+    EXPECT_EQ(parsed.circuit.deviceCount(), 4u);
+}
+
+TEST(Netlist, ParsesAllSourceWaveforms) {
+    const auto parsed = parseNetlistString(R"(
+V1 a 0 PULSE(0 2.5 1n 0.1n 2n 0.1n)
+V2 b 0 PWL(0 0 1n 2.5 2n 0)
+V3 c 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+V4 cb 0 CLOCK(0 2.5 10n 1.3n 0.1n 0.1n 0.5 INV)
+V5 d 0 DATAPULSE(0 2.5 11.05n 0.1n)
+I1 e 0 DC 1m
+R1 a b 1k
+R2 b c 1k
+R3 c d 1k
+R4 d e 1k
+R5 e 0 1k
+R6 cb 0 1k
+)");
+    EXPECT_EQ(parsed.clocks.size(), 2u);
+    EXPECT_EQ(parsed.dataPulses.size(), 1u);
+    const auto clock = parsed.theClock();  // the non-inverted one
+    EXPECT_FALSE(clock->spec().inverted);
+    EXPECT_NEAR(clock->risingEdgeMidpoint(1), 11.05e-9, 1e-15);
+    const auto data = parsed.theDataPulse();
+    EXPECT_NEAR(data->spec().activeEdgeTime, 11.05e-9, 1e-15);
+}
+
+TEST(Netlist, ParsesMosfetWithInlineAndModelParams) {
+    const auto parsed = parseNetlistString(R"(
+.model mynmos NMOS VT0=0.5 KP=100u LAMBDA=0.05
+V1 vdd 0 2.5
+M1 out in 0 0 mynmos W=2u L=0.25u
+M2 out in vdd vdd PMOS W=4u L=0.25u VT0=0.45
+R1 out 0 100k
+Vin in 0 1.2
+)");
+    EXPECT_EQ(parsed.circuit.deviceCount(), 5u);
+    // Finds a DC operating point (an inverter biased mid-rail).
+    const DcResult dc = solveDcOperatingPoint(parsed.circuit);
+    EXPECT_TRUE(dc.converged);
+}
+
+TEST(Netlist, ParsesDiodeAndVcvs) {
+    const auto parsed = parseNetlistString(R"(
+V1 a 0 1.0
+D1 a b IS=1e-14 N=1.2 CJ0=0.5p
+R1 b 0 1k
+E1 c 0 b 0 2.0
+R2 c 0 1k
+)");
+    EXPECT_EQ(parsed.circuit.deviceCount(), 5u);
+    const DcResult dc = solveDcOperatingPoint(parsed.circuit);
+    ASSERT_TRUE(dc.converged);
+    const NodeId b = parsed.circuit.findNode("b");
+    const NodeId c = parsed.circuit.findNode("c");
+    EXPECT_NEAR(dc.x[static_cast<std::size_t>(c.index)],
+                2.0 * dc.x[static_cast<std::size_t>(b.index)], 1e-6);
+}
+
+TEST(Netlist, ErrorsCarryLineNumbers) {
+    try {
+        parseNetlistString("V1 a 0 1.0\nR1 a 0 bogus\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(Netlist, RejectsUnknownElementAndModel) {
+    EXPECT_THROW(parseNetlistString("X1 a b 1k\n"), ParseError);
+    EXPECT_THROW(parseNetlistString("M1 d g s b nosuchmodel\n"), ParseError);
+    EXPECT_THROW(parseNetlistString(".model m1 BJT\n"), ParseError);
+}
+
+TEST(Netlist, RejectsContentAfterEnd) {
+    EXPECT_THROW(parseNetlistString("R1 a 0 1k\n.end\nR2 b 0 1k\n"),
+                 ParseError);
+}
+
+TEST(Netlist, RejectsEmptyNetlist) {
+    EXPECT_THROW(parseNetlistString("* nothing here\n"), ParseError);
+}
+
+TEST(Netlist, RejectsMalformedWaveforms) {
+    EXPECT_THROW(parseNetlistString("V1 a 0 PULSE(0 2.5 1n)\nR1 a 0 1k\n"),
+                 ParseError);
+    EXPECT_THROW(parseNetlistString("V1 a 0 PWL(0 0 1n)\nR1 a 0 1k\n"),
+                 ParseError);
+    EXPECT_THROW(parseNetlistString("V1 a 0 WIGGLE(1 2)\nR1 a 0 1k\n"),
+                 ParseError);
+}
+
+TEST(Netlist, TheDataPulseRequiresExactlyOne) {
+    const auto none = parseNetlistString("R1 a 0 1k\n");
+    EXPECT_THROW(none.theDataPulse(), InvalidArgumentError);
+}
+
+TEST(Netlist, MangledInputNeverCrashes) {
+    // Deterministic mutation sweep over a valid netlist: every mutant must
+    // either parse or throw ParseError/InvalidArgumentError -- never crash
+    // or hang. (A poor man's fuzzer, kept deterministic for CI.)
+    const std::string base =
+        "V1 in 0 PULSE(0 2.5 1n 0.1n 2n 0.1n)\n"
+        "M1 out in 0 0 NMOS W=1u L=0.25u\n"
+        "R1 out 0 10k\n"
+        "C1 out 0 5f\n"
+        ".end\n";
+    const char junk[] = {'(', ')', '=', '!', 'z', '9', ' ', '\t', '-'};
+    int parsed = 0;
+    int rejected = 0;
+    for (std::size_t pos = 0; pos < base.size(); pos += 3) {
+        for (char c : junk) {
+            std::string mutant = base;
+            mutant[pos] = c;
+            try {
+                (void)parseNetlistString(mutant);
+                ++parsed;
+            } catch (const Error&) {
+                ++rejected;
+            }
+        }
+    }
+    // Sanity: the sweep exercised both outcomes.
+    EXPECT_GT(parsed, 0);
+    EXPECT_GT(rejected, 0);
+}
+
+}  // namespace
+}  // namespace shtrace

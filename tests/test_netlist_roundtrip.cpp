@@ -1,0 +1,116 @@
+// Integration test: the TSPC register expressed as a NETLIST must
+// characterize identically to the programmatic builder -- the parser, the
+// model cards and the builder are three descriptions of one circuit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shtrace/analysis/dc_op.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/independent.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/circuit/netlist_parser.hpp"
+#include "shtrace/measure/clock_to_q.hpp"
+
+namespace shtrace {
+namespace {
+
+// The builder's default TSPC (typical corner, 0.6u/1.2u devices, 20 fF
+// load, 2 fF internal nodes) transcribed by hand. Cap values mirror
+// makeNmos/makePmos: cgs = cgd = 0.5*cox*W*L + 4e-10*W, cgb = 0.1*cox*W*L,
+// cdb = csb = 8e-10*W with cox = 8e-3.
+const char* kTspcNetlist = R"(
+.model n1 NMOS VT0=0.45 KP=60u LAMBDA=0.06 W=0.6u L=0.25u CGS=0.84f CGD=0.84f CGB=0.12f CDB=0.48f CSB=0.48f
+.model p1 PMOS VT0=0.50 KP=25u LAMBDA=0.10 W=1.2u L=0.25u CGS=1.68f CGD=1.68f CGB=0.24f CDB=0.96f CSB=0.96f
+Vdd   vdd 0 2.5
+Vclk  clk 0 CLOCK(0 2.5 10n 1n 0.1n 0.1n)
+Vdata d   0 DATAPULSE(2.5 0 11.05n 0.1n)
+MP1a s1 d   vdd vdd p1
+MP1b x1 clk s1  vdd p1
+MN1  x1 d   0   0   n1
+MP2  y  clk vdd vdd p1
+MN3  y  x1  s2  0   n1
+MN4  s2 clk 0   0   n1
+MP3  qb y   vdd vdd p1
+MN5  qb clk s3  0   n1
+MN6  s3 y   0   0   n1
+MP4  q  qb  vdd vdd p1
+MN7  q  qb  0   0   n1
+Cload q 0 20f
+Cx1 x1 0 2f
+Cy  y  0 2f
+Cqb qb 0 2f
+.end
+)";
+
+TEST(NetlistRoundtrip, ShippedNetlistFilesParseAndSimulate) {
+    // The files under netlists/ are user-facing: they must stay in sync
+    // with the parser and describe working registers.
+    for (const char* file : {"/tspc.sp", "/c2mos.sp"}) {
+        const ParsedNetlist parsed =
+            parseNetlistFile(std::string(SHTRACE_NETLIST_DIR) + file);
+        EXPECT_GE(parsed.circuit.deviceCount(), 12u) << file;
+        EXPECT_NO_THROW((void)parsed.theDataPulse()) << file;
+        EXPECT_NO_THROW((void)parsed.theClock()) << file;
+        const DcResult dc = solveDcOperatingPoint(parsed.circuit);
+        EXPECT_TRUE(dc.converged) << file;
+    }
+    EXPECT_THROW(parseNetlistFile("/no/such/file.sp"), Error);
+}
+
+TEST(NetlistRoundtrip, DcOperatingPointsAgree) {
+    const RegisterFixture built = buildTspcRegister();
+    const ParsedNetlist parsed = parseNetlistString(kTspcNetlist);
+    built.data->setSkews(2e-9, 2e-9);
+    parsed.theDataPulse()->setSkews(2e-9, 2e-9);
+
+    const DcResult dcBuilt = solveDcOperatingPoint(built.circuit);
+    const DcResult dcParsed = solveDcOperatingPoint(parsed.circuit);
+    ASSERT_TRUE(dcBuilt.converged);
+    ASSERT_TRUE(dcParsed.converged);
+    // Node orderings coincide by construction (same declaration order).
+    for (const char* node : {"x1", "y", "qb", "q"}) {
+        const double a =
+            dcBuilt.x[static_cast<std::size_t>(
+                built.circuit.findNode(node).index)];
+        const double b =
+            dcParsed.x[static_cast<std::size_t>(
+                parsed.circuit.findNode(node).index)];
+        EXPECT_NEAR(a, b, 1e-6) << node;
+    }
+}
+
+TEST(NetlistRoundtrip, IndependentSetupHoldAgree) {
+    // Characterize both descriptions and compare the numbers.
+    const RegisterFixture built = buildTspcRegister();
+    const CharacterizationProblem probBuilt(built);
+
+    ParsedNetlist parsed = parseNetlistString(kTspcNetlist);
+    RegisterFixture viaNetlist;
+    viaNetlist.name = "TSPC-netlist";
+    viaNetlist.data = parsed.theDataPulse();
+    viaNetlist.clock = parsed.theClock();
+    viaNetlist.circuit = std::move(parsed.circuit);
+    viaNetlist.q = viaNetlist.circuit.findNode("q");
+    viaNetlist.d = viaNetlist.circuit.findNode("d");
+    viaNetlist.clk = viaNetlist.circuit.findNode("clk");
+    viaNetlist.vdd = 2.5;
+    viaNetlist.activeEdgeIndex = 1;
+    viaNetlist.qInitial = 2.5;
+    viaNetlist.qFinal = 0.0;
+    const CharacterizationProblem probParsed(viaNetlist);
+
+    EXPECT_NEAR(probParsed.characteristicClockToQ(),
+                probBuilt.characteristicClockToQ(), 2e-12);
+
+    const IndependentResult setupBuilt = characterizeByNewton(
+        probBuilt.h(), SkewAxis::Setup, probBuilt.passSign());
+    const IndependentResult setupParsed = characterizeByNewton(
+        probParsed.h(), SkewAxis::Setup, probParsed.passSign());
+    ASSERT_TRUE(setupBuilt.converged);
+    ASSERT_TRUE(setupParsed.converged);
+    EXPECT_NEAR(setupParsed.skew, setupBuilt.skew, 1e-12);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,156 @@
+// Unit tests for the damped Newton solver itself (so far it was exercised
+// only through DC/transient): convergence on known systems, the SPICE
+// tolerance model, damping, singularity reporting, iteration limits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shtrace/analysis/newton.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(Newton, SolvesLinearSystemInOneCorrection) {
+    // F(x) = A x - b with A = [[2, 1], [1, 3]].
+    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+        j.resize(2, 2);
+        j(0, 0) = 2;
+        j(0, 1) = 1;
+        j(1, 0) = 1;
+        j(1, 1) = 3;
+        f.resize(2);
+        f[0] = 2 * x[0] + x[1] - 5;
+        f[1] = x[0] + 3 * x[1] - 10;
+    };
+    Vector x(2);
+    NewtonOptions opt;
+    opt.maxUpdate = 100.0;  // no damping interference
+    const NewtonResult r = solveNewton(system, x, 2, opt);
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(x[0], 1.0, 1e-9);
+    EXPECT_NEAR(x[1], 3.0, 1e-9);
+    EXPECT_LE(r.iterations, 3);  // one step + convergence confirmation
+}
+
+TEST(Newton, QuadraticConvergenceOnScalarRoot) {
+    // F(x) = x^2 - 4 from x0 = 3: classic quadratic contraction.
+    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+        f.resize(1);
+        j.resize(1, 1);
+        f[0] = x[0] * x[0] - 4.0;
+        j(0, 0) = 2.0 * x[0];
+    };
+    Vector x(1);
+    x[0] = 3.0;
+    NewtonOptions opt;
+    opt.relTol = 1e-12;
+    opt.residualTol = 1e-12;
+    const NewtonResult r = solveNewton(system, x, 1, opt);
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(x[0], 2.0, 1e-10);
+    EXPECT_LE(r.iterations, 8);
+}
+
+TEST(Newton, DampingClampsLargeUpdates) {
+    // Steep residual far from the root would take a huge first step;
+    // maxUpdate must clamp it.
+    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+        f.resize(1);
+        j.resize(1, 1);
+        f[0] = 1e-3 * (x[0] - 1000.0);
+        j(0, 0) = 1e-3;
+    };
+    Vector x(1);
+    NewtonOptions opt;
+    opt.maxUpdate = 1.0;
+    opt.maxIterations = 3;
+    const NewtonResult r = solveNewton(system, x, 1, opt);
+    EXPECT_FALSE(r.converged);  // 3 clamped steps cannot reach 1000
+    EXPECT_LE(std::fabs(x[0]), 3.0 + 1e-12);
+}
+
+TEST(Newton, ReportsSingularJacobian) {
+    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+        f.resize(2);
+        j.resize(2, 2);
+        f[0] = x[0] + x[1] - 1;
+        f[1] = 2 * x[0] + 2 * x[1] - 2;  // dependent row
+        j(0, 0) = 1;
+        j(0, 1) = 1;
+        j(1, 0) = 2;
+        j(1, 1) = 2;
+    };
+    Vector x(2);
+    const NewtonResult r = solveNewton(system, x, 2, NewtonOptions{});
+    EXPECT_FALSE(r.converged);
+    EXPECT_TRUE(r.singular);
+}
+
+TEST(Newton, HonoursIterationLimit) {
+    // A cycle-inducing system (Newton on x^(1/3)-style residual diverges).
+    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+        f.resize(1);
+        j.resize(1, 1);
+        const double v = x[0];
+        f[0] = std::cbrt(v);
+        j(0, 0) = v == 0.0 ? 1.0 : 1.0 / (3.0 * std::pow(std::fabs(v), 2.0 / 3.0));
+    };
+    Vector x(1);
+    x[0] = 1.0;
+    NewtonOptions opt;
+    opt.maxIterations = 7;
+    opt.maxUpdate = 1e9;
+    const NewtonResult r = solveNewton(system, x, 1, opt);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.iterations, 7);
+}
+
+TEST(Newton, BranchRowsUseCurrentTolerance) {
+    // Two identical decoupled equations with a solution at 1e-7: row 0 is
+    // a "node" row (vAbsTol = 1e-6 -> immediately inside tolerance), row 1
+    // a "branch" row (iAbsTol = 1e-9 -> must actually converge). Verify
+    // that the solver does NOT stop until the branch row's tighter
+    // tolerance is met.
+    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+        f.resize(2);
+        j.resize(2, 2);
+        f[0] = x[0] - 1e-7;
+        f[1] = x[1] - 1e-7;
+        j(0, 0) = 1;
+        j(1, 1) = 1;
+        j(0, 1) = j(1, 0) = 0;
+    };
+    Vector x(2);
+    x[0] = 5e-7;
+    x[1] = 5e-7;
+    NewtonOptions opt;
+    opt.residualTol = 1e-12;
+    const NewtonResult r = solveNewton(system, x, 1, opt);
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(x[1], 1e-7, 1e-12);
+}
+
+TEST(Newton, CountsIterationsInStats) {
+    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+        f.resize(1);
+        j.resize(1, 1);
+        f[0] = x[0] - 1;
+        j(0, 0) = 1;
+    };
+    Vector x(1);
+    SimStats stats;
+    (void)solveNewton(system, x, 1, NewtonOptions{}, &stats);
+    EXPECT_GT(stats.newtonIterations, 0u);
+    EXPECT_EQ(stats.newtonIterations, stats.luFactorizations);
+}
+
+TEST(Newton, RejectsBadNodeRows) {
+    const NewtonSystemFn system = [](const Vector&, Vector&, Matrix&) {};
+    Vector x(2);
+    EXPECT_THROW(solveNewton(system, x, 5, NewtonOptions{}),
+                 InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

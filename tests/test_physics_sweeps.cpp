@@ -1,0 +1,112 @@
+// Cross-cutting physics property sweeps: characterized quantities must
+// track device sizing, load and recipe choices the way circuit theory
+// says they should. These catch sign errors and unit slips that unit
+// tests of individual modules cannot.
+#include <gtest/gtest.h>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/independent.hpp"
+#include "shtrace/chz/problem.hpp"
+
+namespace shtrace {
+namespace {
+
+struct Characterized {
+    double clockToQ = 0.0;
+    double setup = 0.0;
+    double hold = 0.0;
+};
+
+Characterized characterize(const TspcOptions& cellOpt,
+                           SimulationRecipe recipe = {}) {
+    const RegisterFixture reg = buildTspcRegister(cellOpt);
+    const CharacterizationProblem problem(reg, {}, recipe);
+    const IndependentResult setup = characterizeByNewton(
+        problem.h(), SkewAxis::Setup, problem.passSign());
+    const IndependentResult hold = characterizeByNewton(
+        problem.h(), SkewAxis::Hold, problem.passSign());
+    EXPECT_TRUE(setup.converged);
+    EXPECT_TRUE(hold.converged);
+    return {problem.characteristicClockToQ(), setup.skew, hold.skew};
+}
+
+TEST(PhysicsSweeps, HeavierLoadSlowsClockToQButNotSetup) {
+    TspcOptions light;
+    light.outputLoadCapacitance = 10e-15;
+    TspcOptions heavy;
+    heavy.outputLoadCapacitance = 60e-15;
+    const Characterized a = characterize(light);
+    const Characterized b = characterize(heavy);
+    // The load sits on Q, after the latching nodes: clock-to-Q grows...
+    EXPECT_GT(b.clockToQ, a.clockToQ + 50e-12);
+    // ...but the setup race (stage-1 precharge) barely moves.
+    EXPECT_NEAR(b.setup, a.setup, 25e-12);
+}
+
+TEST(PhysicsSweeps, WiderPmosShortensSetupTime) {
+    // The TSPC setup race charges x1 through the PMOS stack: doubling the
+    // PMOS width must shorten the setup time.
+    TspcOptions narrow;
+    narrow.wp = 0.9e-6;
+    TspcOptions wide;
+    wide.wp = 2.4e-6;
+    const Characterized a = characterize(narrow);
+    const Characterized b = characterize(wide);
+    EXPECT_LT(b.setup, a.setup - 10e-12);
+}
+
+TEST(PhysicsSweeps, SlowerDataEdgeIncreasesSetupTime) {
+    // A slower data transition reaches its 50% point later relative to its
+    // start: the register needs more setup skew.
+    TspcOptions fast;
+    fast.dataTransitionTime = 0.05e-9;
+    TspcOptions slow;
+    slow.dataTransitionTime = 0.4e-9;
+    const Characterized a = characterize(fast);
+    const Characterized b = characterize(slow);
+    EXPECT_GT(b.setup, a.setup + 10e-12);
+}
+
+class RecipeConsistency
+    : public ::testing::TestWithParam<IntegrationMethod> {};
+
+// The characterized setup time is a property of the CIRCUIT: any accurate
+// integration recipe must agree to within its grid error.
+TEST_P(RecipeConsistency, SetupTimeIndependentOfIntegrator) {
+    SimulationRecipe reference;  // TRAP at 10 ps (the default)
+    SimulationRecipe variant;
+    variant.method = GetParam();
+    variant.dtNominal = 5e-12;
+    const Characterized a = characterize(TspcOptions{}, reference);
+    const Characterized b = characterize(TspcOptions{}, variant);
+    // Second-order methods sit within a few ps of the reference; BE's
+    // first-order truncation error at 5 ps steps is itself worth several
+    // ps of skew (see ABL2), hence the wider band.
+    const double tol =
+        GetParam() == IntegrationMethod::BackwardEuler ? 10e-12 : 3e-12;
+    EXPECT_NEAR(b.setup, a.setup, tol);
+    EXPECT_NEAR(b.hold, a.hold, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, RecipeConsistency,
+                         ::testing::Values(IntegrationMethod::Trapezoidal,
+                                           IntegrationMethod::Gear2,
+                                           IntegrationMethod::BackwardEuler));
+
+TEST(PhysicsSweeps, FinerGridConvergesToTheSameSetupTime) {
+    SimulationRecipe coarse;
+    coarse.dtNominal = 20e-12;
+    SimulationRecipe fine;
+    fine.dtNominal = 5e-12;
+    SimulationRecipe finest;
+    finest.dtNominal = 2.5e-12;
+    const double a = characterize(TspcOptions{}, coarse).setup;
+    const double b = characterize(TspcOptions{}, fine).setup;
+    const double c = characterize(TspcOptions{}, finest).setup;
+    // Successive refinements contract (2nd-order recipe).
+    EXPECT_LT(std::fabs(c - b), std::fabs(b - a) + 0.2e-12);
+    EXPECT_NEAR(b, c, 1e-12);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,122 @@
+// Tests for the Moore-Penrose pseudo-inverse and the Euler tangent
+// (paper eqs. 15-16 and 23-24).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "shtrace/linalg/pseudo_inverse.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+Matrix randomWide(std::size_t rows, std::size_t cols, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            m(i, j) = dist(rng) + (i == j ? 1.5 : 0.0);
+        }
+    }
+    return m;
+}
+
+struct WideShape {
+    std::size_t rows;
+    std::size_t cols;
+};
+
+class PinvProperty : public ::testing::TestWithParam<WideShape> {};
+
+// Moore-Penrose axioms for a full-row-rank wide A: A A^+ = I (rows), and
+// A^+ A is symmetric idempotent.
+TEST_P(PinvProperty, SatisfiesPenroseAxioms) {
+    const auto [rows, cols] = GetParam();
+    const Matrix a = randomWide(rows, cols, 42 + rows * 10 + cols);
+    const Matrix pinv = pseudoInverseWide(a);
+    ASSERT_EQ(pinv.rows(), cols);
+    ASSERT_EQ(pinv.cols(), rows);
+
+    const Matrix aap = a.multiply(pinv);
+    EXPECT_LT(aap.maxAbsDiff(Matrix::identity(rows)), 1e-10);
+
+    const Matrix proj = pinv.multiply(a);  // projector onto row space
+    EXPECT_LT(proj.maxAbsDiff(proj.transposed()), 1e-10);
+    EXPECT_LT(proj.multiply(proj).maxAbsDiff(proj), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PinvProperty,
+                         ::testing::Values(WideShape{1, 2}, WideShape{1, 5},
+                                           WideShape{2, 4}, WideShape{3, 7}));
+
+TEST(Pinv, RejectsTallMatrix) {
+    EXPECT_THROW(pseudoInverseWide(Matrix(3, 2)), InvalidArgumentError);
+}
+
+TEST(Pinv, ThrowsOnRankDeficientRows) {
+    Matrix a(2, 3);
+    a(0, 0) = 1;
+    a(1, 0) = 2;  // row 1 = 2 * row 0
+    a(0, 1) = 3;
+    a(1, 1) = 6;
+    EXPECT_THROW(pseudoInverseWide(a), NumericalError);
+}
+
+// The MPNR step dtau = -h * H^T/(H H^T) is the minimum-norm solution of
+// H dtau = -h: check both properties.
+TEST(MoorePenroseStep, SolvesAndIsMinimumNorm) {
+    const Vector hRow{3.0, -4.0};
+    const double h = 2.5;
+    const Vector step = moorePenroseStep(hRow, h);
+    // H * step = -h.
+    EXPECT_NEAR(hRow.dot(step), -h, 1e-12);
+    // Minimum-norm solutions are parallel to H^T.
+    EXPECT_NEAR(step[0] * hRow[1] - step[1] * hRow[0], 0.0, 1e-12);
+    // Norm equals |h| / ||H||.
+    EXPECT_NEAR(step.norm2(), std::fabs(h) / 5.0, 1e-12);
+}
+
+TEST(MoorePenroseStep, ThrowsOnVanishingGradient) {
+    EXPECT_THROW(moorePenroseStep(Vector{0.0, 0.0}, 1.0), NumericalError);
+}
+
+// Tangent (eq. 16): unit length and in the null space of the Jacobian row.
+TEST(Tangent, UnitLengthAndOrthogonalToGradient) {
+    for (const auto& [ds, dh] : std::vector<std::pair<double, double>>{
+             {1.0, 0.0}, {0.0, -2.0}, {3.0, 4.0}, {-1e9, 2e9}, {1e-8, 1e-8}}) {
+        const Vector t = tangentFromGradient2(ds, dh);
+        EXPECT_NEAR(t.norm2(), 1.0, 1e-12);
+        // Orthogonal to the gradient => H * T = 0 (null space of H).
+        const double proj = (ds * t[0] + dh * t[1]) /
+                            std::sqrt(ds * ds + dh * dh);
+        EXPECT_NEAR(proj, 0.0, 1e-12);
+    }
+}
+
+TEST(Tangent, MatchesPaperFormula) {
+    const Vector t = tangentFromGradient2(3.0, 4.0);
+    EXPECT_NEAR(t[0], -4.0 / 5.0, 1e-12);
+    EXPECT_NEAR(t[1], 3.0 / 5.0, 1e-12);
+}
+
+TEST(Tangent, ThrowsOnZeroGradient) {
+    EXPECT_THROW(tangentFromGradient2(0.0, 0.0), NumericalError);
+}
+
+// MPNR converges in ONE step for an affine h (the model problem behind the
+// "2-3 iterations" behaviour on the nearly-linear latch response).
+TEST(MoorePenroseStep, ExactForAffineFunction) {
+    // h(tau) = a . tau + b.
+    const Vector a{2.0, -1.0};
+    const double b = 0.3;
+    Vector tau{1.0, 1.0};
+    const double h0 = a.dot(tau) + b;
+    const Vector step = moorePenroseStep(a, h0);
+    tau += step;
+    EXPECT_NEAR(a.dot(tau) + b, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace shtrace

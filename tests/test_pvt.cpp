@@ -1,0 +1,83 @@
+// Tests for the PVT corner sweep harness and the process corner library.
+#include <gtest/gtest.h>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/pvt.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(ProcessCorner, NamedCornersAreOrdered) {
+    const ProcessCorner tt = ProcessCorner::typical();
+    const ProcessCorner ff = ProcessCorner::fast();
+    const ProcessCorner ss = ProcessCorner::slow();
+    EXPECT_GT(ff.vdd, tt.vdd);
+    EXPECT_LT(ss.vdd, tt.vdd);
+    EXPECT_LT(ff.vtn, tt.vtn);
+    EXPECT_GT(ss.vtn, tt.vtn);
+    EXPECT_GT(ff.kpn, tt.kpn);
+    EXPECT_LT(ss.kpn, tt.kpn);
+}
+
+TEST(ProcessCorner, TemperatureDeratesMobilityAndThreshold) {
+    const ProcessCorner tt = ProcessCorner::typical();
+    const ProcessCorner hot = tt.atTemperature(125.0);
+    const ProcessCorner cold = tt.atTemperature(-40.0);
+    EXPECT_LT(hot.kpn, tt.kpn);
+    EXPECT_GT(cold.kpn, tt.kpn);
+    EXPECT_LT(hot.vtn, tt.vtn);
+    EXPECT_GT(cold.vtn, tt.vtn);
+    EXPECT_NE(hot.name, tt.name);
+}
+
+TEST(MosLibrary, CapacitancesScaleWithGeometry) {
+    const ProcessCorner tt = ProcessCorner::typical();
+    const MosfetParams small = makeNmos(tt, 0.5e-6, 0.25e-6);
+    const MosfetParams wide = makeNmos(tt, 2.0e-6, 0.25e-6);
+    EXPECT_GT(wide.cgs, small.cgs);
+    EXPECT_GT(wide.cdb, small.cdb);
+    EXPECT_NEAR(wide.beta() / small.beta(), 4.0, 1e-12);
+    EXPECT_THROW(makeNmos(tt, 0.0, 0.25e-6), InvalidArgumentError);
+    EXPECT_THROW(makePmos(tt, 1e-6, -1.0), InvalidArgumentError);
+}
+
+TEST(PvtSweep, CharacterizesAllCornersOfTspc) {
+    const std::vector<ProcessCorner> corners{
+        ProcessCorner::typical(), ProcessCorner::fast(),
+        ProcessCorner::slow()};
+    SimStats stats;
+    const auto rows = sweepPvtCorners(
+        corners,
+        [](const ProcessCorner& corner) {
+            TspcOptions opt;
+            opt.corner = corner;
+            return buildTspcRegister(opt);
+        },
+        {}, &stats);
+    ASSERT_EQ(rows.size(), 3u);
+    for (const auto& row : rows) {
+        EXPECT_TRUE(row.success) << row.corner;
+        EXPECT_GT(row.setupTime, 0.0) << row.corner;
+        EXPECT_GT(row.holdTime, 0.0) << row.corner;
+        EXPECT_GT(row.characteristicClockToQ, 50e-12) << row.corner;
+    }
+    // FF must be faster than SS on the characteristic clock-to-Q delay.
+    EXPECT_LT(rows[1].characteristicClockToQ,
+              rows[2].characteristicClockToQ);
+    EXPECT_GT(stats.transientSolves, 0u);
+}
+
+TEST(PvtSweep, BuilderExceptionYieldsFailedRow) {
+    const std::vector<ProcessCorner> corners{ProcessCorner::typical()};
+    const auto rows = sweepPvtCorners(
+        corners,
+        [](const ProcessCorner&) -> RegisterFixture {
+            throw NumericalError("builder exploded");
+        },
+        {});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_FALSE(rows[0].success);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,101 @@
+// Tests for the Fig. 7 seed search (bracketing + coarse bisection).
+#include <gtest/gtest.h>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/seed.hpp"
+
+namespace shtrace {
+namespace {
+
+class SeedOnTspc : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        fixture_ = new RegisterFixture(buildTspcRegister());
+        problem_ = new CharacterizationProblem(*fixture_);
+    }
+    static void TearDownTestSuite() {
+        delete problem_;
+        delete fixture_;
+        problem_ = nullptr;
+        fixture_ = nullptr;
+    }
+    static RegisterFixture* fixture_;
+    static CharacterizationProblem* problem_;
+};
+
+RegisterFixture* SeedOnTspc::fixture_ = nullptr;
+CharacterizationProblem* SeedOnTspc::problem_ = nullptr;
+
+TEST_F(SeedOnTspc, FindsBracketAroundSetupTime) {
+    const SeedResult seed =
+        findSeedPoint(problem_->h(), problem_->passSign());
+    ASSERT_TRUE(seed.found);
+    // Bracket is ordered and within the requested width.
+    EXPECT_LT(seed.bracketLo, seed.bracketHi);
+    EXPECT_LE(seed.bracketHi - seed.bracketLo, SeedOptions{}.bracketTarget);
+    // The development-time setup time at generous hold is ~204 ps.
+    EXPECT_GT(seed.seed.setup, 150e-12);
+    EXPECT_LT(seed.seed.setup, 280e-12);
+    EXPECT_DOUBLE_EQ(seed.seed.hold, SeedOptions{}.holdSkewLarge);
+}
+
+TEST_F(SeedOnTspc, BracketEndsHaveOppositeSigns) {
+    const SeedResult seed =
+        findSeedPoint(problem_->h(), problem_->passSign());
+    ASSERT_TRUE(seed.found);
+    const double sign = problem_->passSign();
+    const double mLo =
+        sign *
+        problem_->h().evaluateValueOnly(seed.bracketLo, seed.seed.hold).h;
+    const double mHi =
+        sign *
+        problem_->h().evaluateValueOnly(seed.bracketHi, seed.seed.hold).h;
+    EXPECT_LE(mLo, 0.0);  // lo fails
+    EXPECT_GT(mHi, 0.0);  // hi passes
+}
+
+TEST_F(SeedOnTspc, ExpandsWhenInitialBracketDoesNotStraddle) {
+    SeedOptions opt;
+    opt.setupLo = 240e-12;  // both ends initially on the pass side
+    opt.setupHi = 400e-12;
+    const SeedResult seed =
+        findSeedPoint(problem_->h(), problem_->passSign(), opt);
+    ASSERT_TRUE(seed.found);
+    EXPECT_LT(seed.seed.setup, 240e-12);  // expanded downward past lo
+}
+
+TEST_F(SeedOnTspc, ReportsFailureWhenNoTransitionInReach) {
+    SeedOptions opt;
+    opt.setupLo = 500e-12;  // always passes
+    opt.setupHi = 1.4e-9;
+    opt.maxExpansions = 1;  // not enough expansion budget to reach failure
+    const SeedResult seed =
+        findSeedPoint(problem_->h(), problem_->passSign(), opt);
+    EXPECT_FALSE(seed.found);
+}
+
+TEST_F(SeedOnTspc, EvaluationCountIsLogarithmic) {
+    SimStats stats;
+    const SeedResult seed =
+        findSeedPoint(problem_->h(), problem_->passSign(), {}, &stats);
+    ASSERT_TRUE(seed.found);
+    // 2 bracket probes + ~log2(1.5ns / 20ps) ~ 7 bisections, plus slack.
+    EXPECT_LE(seed.evaluations, 16);
+    EXPECT_EQ(static_cast<std::uint64_t>(seed.evaluations),
+              stats.hEvaluations);
+}
+
+TEST(Seed, RejectsBadArguments) {
+    const RegisterFixture reg = buildTspcRegister();
+    const CharacterizationProblem problem(reg);
+    EXPECT_THROW(findSeedPoint(problem.h(), 0.5), InvalidArgumentError);
+    SeedOptions bad;
+    bad.setupLo = 1e-9;
+    bad.setupHi = 0.5e-9;
+    EXPECT_THROW(findSeedPoint(problem.h(), 1.0, bad),
+                 InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,174 @@
+// Tests for the forward skew sensitivities (paper eqs. 7-14): the analytic
+// m_s, m_h computed alongside the transient must match central finite
+// differences of the state trajectory in (tau_s, tau_h). This is THE
+// correctness property behind the Moore-Penrose Newton Jacobian.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "shtrace/analysis/sensitivity.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+
+namespace shtrace {
+namespace {
+
+/// Linear RC probe driven by the data pulse: has an exact analytic
+/// sensitivity structure and converges fast.
+struct RcDataFixture {
+    Circuit ckt;
+    std::shared_ptr<DataPulse> data;
+    NodeId out;
+
+    explicit RcDataFixture(double capacitance = 0.2e-12) {
+        DataPulse::Spec spec;
+        spec.v0 = 0.0;
+        spec.v1 = 2.5;
+        spec.activeEdgeTime = 2e-9;
+        spec.transitionTime = 0.1e-9;
+        data = std::make_shared<DataPulse>(spec);
+        data->setSkews(300e-12, 200e-12);
+        const NodeId in = ckt.node("in");
+        out = ckt.node("out");
+        ckt.add<VoltageSource>("Vd", in, kGround, data);
+        ckt.add<Resistor>("R1", in, out, 1e3);
+        ckt.add<Capacitor>("C1", out, kGround, capacitance);
+        ckt.finalize();
+    }
+};
+
+struct SensCase {
+    IntegrationMethod method;
+    double tStop;
+    int steps;
+};
+
+class RcSensitivity : public ::testing::TestWithParam<SensCase> {};
+
+TEST_P(RcSensitivity, MatchesFiniteDifferenceOnLinearCircuit) {
+    const auto& [method, tStop, steps] = GetParam();
+    RcDataFixture fx;
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    TransientOptions opt;
+    opt.tStop = tStop;
+    opt.method = method;
+    opt.fixedSteps = steps;
+    opt.initialCondition = Vector(fx.ckt.systemSize());
+
+    const SkewEvaluation analytic = evaluateWithSensitivities(
+        fx.ckt, *fx.data, sel, 300e-12, 200e-12, opt);
+    // On the FIXED grid the analytic sensitivity is the exact derivative of
+    // the discretized map, so a small FD delta must agree tightly.
+    const SkewEvaluation fd = evaluateWithFiniteDifferences(
+        fx.ckt, *fx.data, sel, 300e-12, 200e-12, opt, 1e-14);
+    ASSERT_TRUE(analytic.success);
+    ASSERT_TRUE(fd.success);
+    EXPECT_NEAR(analytic.output, fd.output, 1e-12);
+    const double scale = 2.5 / 0.1e-9;  // typical magnitude of du/dtau
+    EXPECT_NEAR(analytic.dOutputDSetup, fd.dOutputDSetup, 2e-4 * scale);
+    EXPECT_NEAR(analytic.dOutputDHold, fd.dOutputDHold, 2e-4 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndWindows, RcSensitivity,
+    ::testing::Values(
+        SensCase{IntegrationMethod::BackwardEuler, 2.5e-9, 1250},
+        SensCase{IntegrationMethod::Trapezoidal, 2.5e-9, 1250},
+        // End the window ON the trailing edge: both sensitivities active.
+        SensCase{IntegrationMethod::Trapezoidal, 2.2e-9, 1100},
+        SensCase{IntegrationMethod::BackwardEuler, 2.2e-9, 550}));
+
+TEST(Sensitivity, RcSetupSensitivityHasAnalyticValue) {
+    // For the linear RC, x(t) = convolution of u_d with the RC kernel, so
+    // dx/dtau_s(t_f) = integral of kernel * du/dtau_s. For t_f many time
+    // constants past the leading edge (but before the trailing edge), the
+    // response to the edge shift has fully settled: dx/dtau_s -> 0; ON the
+    // trailing edge, dx/dtau_h is substantial. Use a fast RC (tau = 20 ps)
+    // so "many time constants" fits between the edges.
+    RcDataFixture fx(0.02e-12);
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    TransientOptions opt;
+    opt.method = IntegrationMethod::Trapezoidal;
+    opt.initialCondition = Vector(fx.ckt.systemSize());
+
+    // Window ends between the edges: setup sensitivity ~0 (settled).
+    opt.tStop = 2.05e-9;
+    opt.fixedSteps = 1025;
+    const SkewEvaluation mid = evaluateWithSensitivities(
+        fx.ckt, *fx.data, sel, 300e-12, 200e-12, opt);
+    ASSERT_TRUE(mid.success);
+    EXPECT_NEAR(mid.output, 2.5, 1e-3);  // settled at v1
+    EXPECT_NEAR(mid.dOutputDSetup, 0.0, 1e6);  // ~0 vs scale 2.5e10
+    EXPECT_NEAR(mid.dOutputDHold, 0.0, 1e6);
+
+    // Window ends mid-trailing-edge: hold sensitivity ~ +u'(t) magnitude.
+    opt.tStop = 2.2e-9;
+    opt.fixedSteps = 1100;
+    const SkewEvaluation trail = evaluateWithSensitivities(
+        fx.ckt, *fx.data, sel, 300e-12, 200e-12, opt);
+    ASSERT_TRUE(trail.success);
+    EXPECT_GT(trail.dOutputDHold, 1e9);  // rising with hold skew
+    EXPECT_NEAR(trail.dOutputDSetup, 0.0, 1e6);
+}
+
+TEST(Sensitivity, TspcNonlinearMatchesFiniteDifference) {
+    // The real thing: the TSPC register near its setup/hold knee, where h
+    // varies strongly with both skews.
+    const RegisterFixture reg = buildTspcRegister();
+    const Vector sel = reg.circuit.selectorFor(reg.q);
+    TransientOptions opt;
+    opt.tStop = reg.activeEdgeMidpoint() + 0.52e-9;
+    opt.fixedSteps = static_cast<int>(opt.tStop / 10e-12);
+    opt.method = IntegrationMethod::Trapezoidal;
+
+    const double ts = 230e-12;
+    const double th = 190e-12;
+    const SkewEvaluation analytic =
+        evaluateWithSensitivities(reg.circuit, *reg.data, sel, ts, th, opt);
+    const SkewEvaluation fd = evaluateWithFiniteDifferences(
+        reg.circuit, *reg.data, sel, ts, th, opt, 5e-15);
+    ASSERT_TRUE(analytic.success);
+    ASSERT_TRUE(fd.success);
+    // Gradients are large (V per second of skew); require 1% agreement.
+    const double tolS =
+        0.01 * std::max(std::fabs(fd.dOutputDSetup), 1e8);
+    const double tolH = 0.01 * std::max(std::fabs(fd.dOutputDHold), 1e8);
+    EXPECT_NEAR(analytic.dOutputDSetup, fd.dOutputDSetup, tolS);
+    EXPECT_NEAR(analytic.dOutputDHold, fd.dOutputDHold, tolH);
+    // Both sensitivities must be significant at the knee.
+    EXPECT_GT(std::fabs(analytic.dOutputDSetup), 1e8);
+    EXPECT_GT(std::fabs(analytic.dOutputDHold), 1e8);
+}
+
+TEST(Sensitivity, ZeroWhenWindowEndsBeforeDataMoves) {
+    RcDataFixture fx;
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    TransientOptions opt;
+    opt.tStop = 1e-9;  // before the leading edge
+    opt.fixedSteps = 100;
+    opt.initialCondition = Vector(fx.ckt.systemSize());
+    const SkewEvaluation eval = evaluateWithSensitivities(
+        fx.ckt, *fx.data, sel, 300e-12, 200e-12, opt);
+    ASSERT_TRUE(eval.success);
+    EXPECT_DOUBLE_EQ(eval.dOutputDSetup, 0.0);
+    EXPECT_DOUBLE_EQ(eval.dOutputDHold, 0.0);
+}
+
+TEST(Sensitivity, FiniteDifferenceRestoresSkews) {
+    RcDataFixture fx;
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    TransientOptions opt;
+    opt.tStop = 1e-9;
+    opt.fixedSteps = 100;
+    opt.initialCondition = Vector(fx.ckt.systemSize());
+    (void)evaluateWithFiniteDifferences(fx.ckt, *fx.data, sel, 300e-12,
+                                        200e-12, opt, 1e-13);
+    EXPECT_DOUBLE_EQ(fx.data->setupSkew(), 300e-12);
+    EXPECT_DOUBLE_EQ(fx.data->holdSkew(), 200e-12);
+}
+
+}  // namespace
+}  // namespace shtrace

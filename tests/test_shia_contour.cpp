@@ -1,0 +1,110 @@
+// Tests for the STA-facing contour view (interpolation, admission, slack).
+#include <gtest/gtest.h>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/characterize.hpp"
+#include "shtrace/chz/shia_contour.hpp"
+
+namespace shtrace {
+namespace {
+
+ShiaContour synthetic() {
+    // A clean L-shaped tradeoff: (100,400) (150,250) (250,150) (400,100).
+    return ShiaContour({{100e-12, 400e-12},
+                        {150e-12, 250e-12},
+                        {250e-12, 150e-12},
+                        {400e-12, 100e-12}});
+}
+
+TEST(ShiaContour, SortsAndExposesAsymptotes) {
+    // Deliberately unsorted input.
+    const ShiaContour c({{250e-12, 150e-12},
+                         {100e-12, 400e-12},
+                         {400e-12, 100e-12},
+                         {150e-12, 250e-12}});
+    EXPECT_DOUBLE_EQ(c.minSetup(), 100e-12);
+    EXPECT_DOUBLE_EQ(c.minHold(), 100e-12);
+    EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(ShiaContour, InterpolatesHoldRequirement) {
+    const ShiaContour c = synthetic();
+    // Midpoint of the (150,250)-(250,150) segment.
+    const auto req = c.holdRequirementAt(200e-12);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_NEAR(*req, 200e-12, 1e-15);
+    // Exactly on a point.
+    EXPECT_NEAR(*c.holdRequirementAt(150e-12), 250e-12, 1e-15);
+}
+
+TEST(ShiaContour, ClampsAndRejectsOutsideTheRange) {
+    const ShiaContour c = synthetic();
+    // Beyond the largest traced setup: the hold asymptote.
+    EXPECT_NEAR(*c.holdRequirementAt(1e-9), 100e-12, 1e-15);
+    // Below the setup asymptote: no feasible pair.
+    EXPECT_FALSE(c.holdRequirementAt(50e-12).has_value());
+}
+
+TEST(ShiaContour, AdmissionMatchesDomination) {
+    const ShiaContour c = synthetic();
+    EXPECT_TRUE(c.admits(300e-12, 200e-12));   // above the curve
+    EXPECT_FALSE(c.admits(300e-12, 110e-12));  // below the curve
+    EXPECT_FALSE(c.admits(80e-12, 1e-9));      // infeasible setup
+    EXPECT_TRUE(c.admits(150e-12, 250e-12));   // exactly on the curve
+}
+
+TEST(ShiaContour, HoldSlackSignsAreMeaningful) {
+    const ShiaContour c = synthetic();
+    EXPECT_NEAR(*c.holdSlack(200e-12, 260e-12), 60e-12, 1e-15);
+    EXPECT_NEAR(*c.holdSlack(200e-12, 150e-12), -50e-12, 1e-15);
+    EXPECT_FALSE(c.holdSlack(50e-12, 1e-9).has_value());
+}
+
+TEST(ShiaContour, RejectsDegenerateInput) {
+    EXPECT_THROW(ShiaContour({{1e-10, 1e-10}}), InvalidArgumentError);
+    // A "contour" with no tradeoff (second point dominated): the Pareto
+    // frontier collapses to one point.
+    EXPECT_THROW(ShiaContour({{100e-12, 100e-12}, {200e-12, 200e-12}}),
+                 InvalidArgumentError);
+}
+
+TEST(ShiaContour, DropsDominatedWigglePoints) {
+    // The (300, 202) point is dominated by (200, 200): it is removed and
+    // queries interpolate across the remaining frontier.
+    const ShiaContour c({{100e-12, 300e-12},
+                         {200e-12, 200e-12},
+                         {300e-12, 202e-12},  // corrector wiggle upward
+                         {400e-12, 150e-12}});
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_NEAR(*c.holdRequirementAt(300e-12), 175e-12, 1e-15);
+}
+
+TEST(ShiaContour, VerticalAsymptoteSegmentCollapsesToItsLowestPoint) {
+    // Many holds at (numerically) one setup -- the tracer's descent along
+    // the setup asymptote: keep the lowest, queries stay well defined.
+    const ShiaContour c({{204e-12, 460e-12},
+                         {204e-12, 380e-12},
+                         {204e-12, 300e-12},
+                         {250e-12, 180e-12},
+                         {400e-12, 140e-12}});
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_NEAR(*c.holdRequirementAt(204e-12), 300e-12, 1e-15);
+}
+
+TEST(ShiaContour, FromRealTracedContour) {
+    const RegisterFixture reg = buildTspcRegister();
+    CharacterizeOptions opt;
+    opt.tracer.maxPoints = 12;
+    opt.tracer.bounds = SkewBounds{120e-12, 560e-12, 60e-12, 460e-12};
+    const CharacterizeResult r = characterizeInterdependent(reg, opt);
+    ASSERT_TRUE(r.success);
+    const ShiaContour c = ShiaContour::fromTrace(r.contour);
+    // The real curve supports the SHIA trade: generous setup admits a hold
+    // budget below the knee requirement.
+    const double knee = *c.holdRequirementAt(c.minSetup() + 30e-12);
+    EXPECT_TRUE(c.admits(c.points().back().setup, c.minHold()));
+    EXPECT_GT(knee, c.minHold());
+}
+
+}  // namespace
+}  // namespace shtrace

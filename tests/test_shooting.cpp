@@ -1,0 +1,156 @@
+// Tests for periodic steady state via shooting Newton (Aprille-Trick, the
+// paper's reference [7], built on the same state-transition machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "shtrace/analysis/shooting.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/diode.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+#include "shtrace/waveform/analog_sources.hpp"
+#include "shtrace/waveform/clock.hpp"
+
+namespace shtrace {
+namespace {
+
+/// RC lowpass driven by a 100 MHz clock, slow RC (settles over many
+/// periods -- the case where shooting beats brute-force integration).
+struct DrivenRc {
+    Circuit ckt;
+    NodeId out;
+    double period = 10e-9;
+
+    DrivenRc(double r, double c) {
+        ClockWaveform::Spec clk;
+        clk.period = period;
+        clk.delay = 0.0;
+        clk.v1 = 1.0;
+        const NodeId in = ckt.node("in");
+        out = ckt.node("out");
+        ckt.add<VoltageSource>("V1", in, kGround,
+                               std::make_shared<ClockWaveform>(clk));
+        ckt.add<Resistor>("R1", in, out, r);
+        ckt.add<Capacitor>("C1", out, kGround, c);
+        ckt.finalize();
+    }
+};
+
+TEST(Shooting, LinearCircuitConvergesInOneNewtonStep) {
+    // For a linear circuit F(x0) is affine: shooting must converge on the
+    // second iteration (first computes the exact Newton step).
+    DrivenRc fx(10e3, 10e-12);  // tau = 100 ns >> period: slow settling
+    ShootingOptions opt;
+    opt.period = fx.period;
+    opt.tStart = 10e-9;  // one period in: sources periodic from here
+    const ShootingResult pss = solvePeriodicSteadyState(fx.ckt, opt);
+    ASSERT_TRUE(pss.converged);
+    EXPECT_LE(pss.iterations, 2);
+    EXPECT_LT(pss.finalError, 1e-6);
+}
+
+TEST(Shooting, MatchesLongTransientSteadyState) {
+    DrivenRc fx(10e3, 10e-12);  // tau = 100 ns: ~50 periods to settle
+    ShootingOptions opt;
+    opt.period = fx.period;
+    opt.tStart = 10e-9;
+    const ShootingResult pss = solvePeriodicSteadyState(fx.ckt, opt);
+    ASSERT_TRUE(pss.converged);
+
+    // Brute force: integrate 80 periods and compare the state at an
+    // equivalent phase.
+    TransientOptions longRun;
+    longRun.tStop = 10e-9 + 80.0 * fx.period;
+    longRun.fixedSteps = 80 * 200;
+    longRun.storeStates = false;
+    const TransientResult brute =
+        TransientAnalysis(fx.ckt, longRun).run();
+    ASSERT_TRUE(brute.success);
+    // Same phase as tStart (multiple of the period past it).
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    EXPECT_NEAR(sel.dot(pss.periodicState), sel.dot(brute.finalState),
+                2e-3);
+}
+
+TEST(Shooting, PeriodicityOfTheReturnedWaveform) {
+    DrivenRc fx(2e3, 5e-12);
+    ShootingOptions opt;
+    opt.period = fx.period;
+    opt.tStart = 10e-9;
+    const ShootingResult pss = solvePeriodicSteadyState(fx.ckt, opt);
+    ASSERT_TRUE(pss.converged);
+    // First and last stored states of the period agree component-wise.
+    const Vector& first = pss.steadyStatePeriod.states.front();
+    const Vector& last = pss.steadyStatePeriod.states.back();
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_NEAR(first[i], last[i], 1e-5) << "component " << i;
+    }
+}
+
+TEST(Shooting, NonlinearRectifierFindsDcOutputWithRipple) {
+    // Diode half-wave rectifier with an RC smoothing tank driven by a
+    // sine: PSS output must sit near the positive peak with small ripple.
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    SineWaveform::Spec sine;
+    sine.amplitude = 3.0;
+    sine.frequency = 100e6;
+    ckt.add<VoltageSource>("V1", in, kGround,
+                           std::make_shared<SineWaveform>(sine));
+    ckt.add<Diode>("D1", in, out, DiodeParams{});
+    ckt.add<Capacitor>("C1", out, kGround, 20e-12);
+    ckt.add<Resistor>("R1", out, kGround, 20e3);
+    ckt.finalize();
+
+    ShootingOptions opt;
+    opt.period = 1.0 / sine.frequency;
+    opt.stepsPerPeriod = 400;
+    const ShootingResult pss = solvePeriodicSteadyState(ckt, opt);
+    ASSERT_TRUE(pss.converged);
+
+    const Vector sel = ckt.selectorFor(out);
+    const std::vector<double> wave = pss.steadyStatePeriod.signal(sel);
+    double lo = 1e9;
+    double hi = -1e9;
+    for (double v : wave) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_GT(lo, 1.5);           // holds well above zero: rectified
+    EXPECT_LT(hi, 3.0);           // below the peak minus the diode drop
+    EXPECT_LT(hi - lo, 0.5);      // modest ripple
+}
+
+TEST(Shooting, FewerStepsThanBruteForceSettling) {
+    // The selling point: slow RC settles over ~50 periods; shooting needs
+    // a couple of period-long transients.
+    DrivenRc fx(10e3, 10e-12);
+    ShootingOptions opt;
+    opt.period = fx.period;
+    opt.tStart = 10e-9;
+    SimStats stats;
+    const ShootingResult pss =
+        solvePeriodicSteadyState(fx.ckt, opt, &stats);
+    ASSERT_TRUE(pss.converged);
+    // <= 2 iterations x 400 steps, far below the ~16000 brute-force steps.
+    EXPECT_LT(stats.timeSteps, 2000u);
+}
+
+TEST(Shooting, RejectsBadOptions) {
+    DrivenRc fx(1e3, 1e-12);
+    ShootingOptions opt;
+    opt.period = 0.0;
+    EXPECT_THROW(solvePeriodicSteadyState(fx.ckt, opt),
+                 InvalidArgumentError);
+    opt.period = 1e-9;
+    opt.initialGuess = Vector(99);
+    EXPECT_THROW(solvePeriodicSteadyState(fx.ckt, opt),
+                 InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,109 @@
+// Integration test: brute-force surface baseline vs Euler-Newton tracing.
+// The overlay agreement (paper Figs. 10/12(b)) is THE correctness check of
+// the whole method: two completely different algorithms must produce the
+// same constant clock-to-Q contour.
+#include <gtest/gtest.h>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/surface_method.hpp"
+#include "shtrace/chz/tracer.hpp"
+
+namespace shtrace {
+namespace {
+
+class SurfaceVsTracer : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        fixture_ = new RegisterFixture(buildTspcRegister());
+        problem_ = new CharacterizationProblem(*fixture_);
+
+        // Moderate grid over the knee region (cost: 15x15 transients).
+        SurfaceMethodOptions surfOpt;
+        surfOpt.setupPoints = 15;
+        surfOpt.holdPoints = 15;
+        surfOpt.setupMin = 150e-12;
+        surfOpt.setupMax = 450e-12;
+        surfOpt.holdMin = 80e-12;
+        surfOpt.holdMax = 400e-12;
+        surface_ = new SurfaceMethodResult(
+            runSurfaceMethod(problem_->h(), surfOpt));
+    }
+    static void TearDownTestSuite() {
+        delete surface_;
+        delete problem_;
+        delete fixture_;
+        surface_ = nullptr;
+        problem_ = nullptr;
+        fixture_ = nullptr;
+    }
+
+    static RegisterFixture* fixture_;
+    static CharacterizationProblem* problem_;
+    static SurfaceMethodResult* surface_;
+};
+
+RegisterFixture* SurfaceVsTracer::fixture_ = nullptr;
+CharacterizationProblem* SurfaceVsTracer::problem_ = nullptr;
+SurfaceMethodResult* SurfaceVsTracer::surface_ = nullptr;
+
+TEST_F(SurfaceVsTracer, SurfaceHasExpectedShape) {
+    const OutputSurface& s = surface_->surface;
+    // TSPC latches a falling datum: passing corner (large setup AND hold)
+    // has LOW output, failing corner (small skews) stays HIGH.
+    const double pass = s.value(s.setupCount() - 1, s.holdCount() - 1);
+    const double fail = s.value(0, 0);
+    EXPECT_LT(pass, problem_->r());
+    EXPECT_GT(fail, problem_->r());
+    EXPECT_EQ(surface_->transientCount, 15 * 15);
+}
+
+TEST_F(SurfaceVsTracer, ContourExtractedFromSurface) {
+    ASSERT_GE(surface_->contours.size(), 1u);
+    // The main polyline spans a substantial part of the window.
+    EXPECT_GE(surface_->contours.front().size(), 8u);
+}
+
+TEST_F(SurfaceVsTracer, EulerNewtonContourOverlaysSurfaceContour) {
+    TracerOptions opt;
+    opt.bounds = SkewBounds{160e-12, 440e-12, 90e-12, 390e-12};
+    opt.maxPoints = 16;
+    const TracedContour traced =
+        traceContour(problem_->h(), SkewPoint{220e-12, 380e-12}, opt);
+    ASSERT_TRUE(traced.seedConverged);
+    ASSERT_GE(traced.points.size(), 8u);
+
+    // Every Newton-refined point must lie within one grid cell of the
+    // interpolated surface contour (the surface carries the interpolation
+    // error, not the tracer).
+    const double cell = (450e-12 - 150e-12) / 14.0;  // ~21 ps
+    const double dev = maxDeviation(traced.points, surface_->contours);
+    EXPECT_LT(dev, cell);
+}
+
+TEST_F(SurfaceVsTracer, TracerCostIsFarBelowSurfaceCost) {
+    SimStats tracerStats;
+    TracerOptions opt;
+    opt.bounds = SkewBounds{160e-12, 440e-12, 90e-12, 390e-12};
+    opt.maxPoints = 15;
+    const TracedContour traced = traceContour(
+        problem_->h(), SkewPoint{220e-12, 380e-12}, opt, &tracerStats);
+    ASSERT_TRUE(traced.seedConverged);
+    // ~15 points at 2-3 MPNR iterations each ~= 40-60 transients, vs 225
+    // for even this COARSE surface (a real 40x40 surface needs 1600).
+    EXPECT_LT(tracerStats.hEvaluations,
+              static_cast<std::uint64_t>(surface_->transientCount) / 2);
+}
+
+TEST_F(SurfaceVsTracer, SurfaceInterpolationConsistentWithDirectEval) {
+    // Bilinear interpolation of the sampled surface approximates a direct
+    // h evaluation mid-cell (loose tolerance: the surface is coarse).
+    const SkewPoint mid{290e-12, 230e-12};
+    const double interp = surface_->surface.interpolate(mid);
+    const HEvaluation direct =
+        problem_->h().evaluateValueOnly(mid.setup, mid.hold);
+    EXPECT_NEAR(interp, direct.h + problem_->r(), 0.25);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,58 @@
+// Tests for the console table printer and CSV writer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "shtrace/util/error.hpp"
+#include "shtrace/util/table.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(TablePrinter, AlignsColumnsAndPrintsAllRows) {
+    TablePrinter table({"name", "value"});
+    table.addRowValues("alpha", 1.5);
+    table.addRowValues("b", 42);
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+    // Header rule, header, rule, 2 rows, rule => 6 lines.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+}
+
+TEST(TablePrinter, RejectsWrongArity) {
+    TablePrinter table({"a", "b", "c"});
+    EXPECT_THROW(table.addRowValues(1, 2), InvalidArgumentError);
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+    const std::string path = ::testing::TempDir() + "/shtrace_test.csv";
+    {
+        CsvWriter csv(path);
+        csv.writeHeader({"x", "y"});
+        csv.writeRow({1.0, 2.5});
+        csv.writeRow({3.0, -4.0});
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "x,y");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "1,2.5");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "3,-4");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+    EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,135 @@
+// Tests for Euler-Newton contour tracing (paper Sections IIID/IIIE).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/tracer.hpp"
+
+namespace shtrace {
+namespace {
+
+class TracerOnTspc : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        fixture_ = new RegisterFixture(buildTspcRegister());
+        problem_ = new CharacterizationProblem(*fixture_);
+    }
+    static void TearDownTestSuite() {
+        delete problem_;
+        delete fixture_;
+        problem_ = nullptr;
+        fixture_ = nullptr;
+    }
+
+    static TracerOptions window() {
+        TracerOptions opt;
+        opt.bounds = SkewBounds{100e-12, 600e-12, 50e-12, 450e-12};
+        opt.maxPoints = 14;
+        return opt;
+    }
+
+    static RegisterFixture* fixture_;
+    static CharacterizationProblem* problem_;
+};
+
+RegisterFixture* TracerOnTspc::fixture_ = nullptr;
+CharacterizationProblem* TracerOnTspc::problem_ = nullptr;
+
+TEST_F(TracerOnTspc, EveryPointSatisfiesHWithinTolerance) {
+    const TracedContour contour =
+        traceContour(problem_->h(), SkewPoint{220e-12, 450e-12}, window());
+    ASSERT_TRUE(contour.seedConverged);
+    ASSERT_GE(contour.points.size(), 8u);
+    for (std::size_t i = 0; i < contour.points.size(); ++i) {
+        EXPECT_LT(contour.residuals[i], TracerOptions{}.corrector.hTol)
+            << "point " << i;
+    }
+}
+
+TEST_F(TracerOnTspc, ContourShowsSetupHoldTradeoff) {
+    const TracedContour contour =
+        traceContour(problem_->h(), SkewPoint{220e-12, 450e-12}, window());
+    ASSERT_TRUE(contour.seedConverged);
+    // Along the curve, hold skew must be (weakly) decreasing as setup skew
+    // increases -- the interdependence tradeoff of Fig. 1(b)/Fig. 8.
+    // Allow a few ps of wiggle from corrector tolerance.
+    const auto& pts = contour.points;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GE(pts[i].setup, pts[i - 1].setup - 3e-12) << "point " << i;
+        EXPECT_LE(pts[i].hold, pts[i - 1].hold + 3e-12) << "point " << i;
+    }
+    // And the tradeoff is substantial: the traced span covers both the
+    // setup-critical and hold-critical regions.
+    EXPECT_GT(pts.back().setup - pts.front().setup, 100e-12);
+    EXPECT_GT(pts.front().hold - pts.back().hold, 100e-12);
+}
+
+TEST_F(TracerOnTspc, AllPointsInsideBounds) {
+    const TracerOptions opt = window();
+    const TracedContour contour =
+        traceContour(problem_->h(), SkewPoint{220e-12, 450e-12}, opt);
+    for (const SkewPoint& p : contour.points) {
+        EXPECT_TRUE(opt.bounds.contains(p))
+            << "(" << p.setup << ", " << p.hold << ")";
+    }
+}
+
+TEST_F(TracerOnTspc, RespectsPointBudget) {
+    TracerOptions opt = window();
+    opt.maxPoints = 5;
+    const TracedContour contour =
+        traceContour(problem_->h(), SkewPoint{220e-12, 450e-12}, opt);
+    EXPECT_LE(contour.points.size(), 5u);
+    EXPECT_GE(contour.points.size(), 3u);
+}
+
+TEST_F(TracerOnTspc, CorrectorStaysCheapAlongTheCurve) {
+    // The paper's efficiency claim: Euler predictors are good enough that
+    // MPNR needs only 2-3 iterations per point.
+    const TracedContour contour =
+        traceContour(problem_->h(), SkewPoint{220e-12, 450e-12}, window());
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_LE(contour.averageCorrectorIterations(), 4.0);
+}
+
+TEST_F(TracerOnTspc, MidCurveSeedTracesBothDirections) {
+    // Seed near the knee: points must appear on both sides of the seed.
+    TracerOptions opt = window();
+    opt.maxPoints = 12;
+    const TracedContour contour =
+        traceContour(problem_->h(), SkewPoint{260e-12, 180e-12}, opt);
+    ASSERT_TRUE(contour.seedConverged);
+    ASSERT_GE(contour.points.size(), 6u);
+    // The seed's corrected position sits strictly inside the traced span.
+    double minSetup = 1.0;
+    double maxSetup = 0.0;
+    for (const SkewPoint& p : contour.points) {
+        minSetup = std::min(minSetup, p.setup);
+        maxSetup = std::max(maxSetup, p.setup);
+    }
+    EXPECT_LT(minSetup, 250e-12);
+    EXPECT_GT(maxSetup, 280e-12);
+}
+
+TEST_F(TracerOnTspc, FailsGracefullyFromHopelessSeed) {
+    // A seed on the plateau: MPNR cannot converge, tracer reports it.
+    const TracedContour contour =
+        traceContour(problem_->h(), SkewPoint{1.4e-9, 1.4e-9}, window());
+    EXPECT_FALSE(contour.seedConverged);
+    EXPECT_TRUE(contour.points.empty());
+}
+
+TEST_F(TracerOnTspc, SingleDirectionModeCoversOneSide) {
+    TracerOptions opt = window();
+    opt.traceBothDirections = false;
+    opt.maxPoints = 8;
+    const TracedContour contour =
+        traceContour(problem_->h(), SkewPoint{220e-12, 450e-12}, opt);
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_LE(contour.points.size(), 8u);
+}
+
+}  // namespace
+}  // namespace shtrace

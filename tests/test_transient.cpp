@@ -1,0 +1,273 @@
+// Tests for transient analysis: analytic RC/RL references, integrator
+// accuracy orders, fixed vs adaptive grids, breakpoints, failure paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shtrace/analysis/transient.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/inductor.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+#include "shtrace/waveform/pulse.hpp"
+
+namespace shtrace {
+namespace {
+
+/// RC lowpass driven by a step: v(t) = V * (1 - exp(-t/RC)).
+struct RcFixture {
+    Circuit ckt;
+    NodeId out;
+    double r = 1e3;
+    double c = 1e-12;
+    double v = 2.0;
+
+    RcFixture() {
+        const NodeId in = ckt.node("in");
+        out = ckt.node("out");
+        PulseWaveform::Spec step;
+        step.v0 = 0.0;
+        step.v1 = v;
+        step.delay = 0.0;
+        step.riseTime = 1e-15;  // effectively a step just after t=0
+        step.width = 1.0;
+        step.fallTime = 1e-15;
+        step.shape = EdgeShape::Linear;
+        ckt.add<VoltageSource>("V1", in, kGround,
+                               std::make_shared<PulseWaveform>(step));
+        ckt.add<Resistor>("R1", in, out, r);
+        ckt.add<Capacitor>("C1", out, kGround, c);
+        ckt.finalize();
+    }
+
+    double analytic(double t) const { return v * (1.0 - std::exp(-t / (r * c))); }
+};
+
+TEST(Transient, RcStepMatchesAnalytic) {
+    RcFixture fx;
+    TransientOptions opt;
+    opt.tStop = 5e-9;  // 5 time constants
+    opt.fixedSteps = 2000;
+    opt.initialCondition = Vector(fx.ckt.systemSize());  // start discharged
+    const TransientResult tr = TransientAnalysis(fx.ckt, opt).run();
+    ASSERT_TRUE(tr.success);
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    for (double t : {0.5e-9, 1e-9, 2e-9, 4e-9}) {
+        EXPECT_NEAR(tr.valueAt(sel, t), fx.analytic(t), 5e-3) << "t=" << t;
+    }
+    EXPECT_NEAR(sel.dot(tr.finalState), fx.analytic(5e-9), 5e-3);
+}
+
+TEST(Transient, StartsFromDcWhenNoInitialCondition) {
+    // DC at t=0: the pulse has not started (value 0) -> same trajectory.
+    RcFixture fx;
+    TransientOptions opt;
+    opt.tStop = 2e-9;
+    opt.fixedSteps = 1000;
+    const TransientResult tr = TransientAnalysis(fx.ckt, opt).run();
+    ASSERT_TRUE(tr.success);
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+    EXPECT_NEAR(tr.valueAt(sel, 1e-9), fx.analytic(1e-9), 5e-3);
+}
+
+// Convergence-order property: TRAP error shrinks ~4x when steps double;
+// BE error shrinks ~2x.
+class IntegratorOrder
+    : public ::testing::TestWithParam<IntegrationMethod> {};
+
+TEST_P(IntegratorOrder, ErrorScalesWithExpectedOrder) {
+    const IntegrationMethod method = GetParam();
+    // Source-free RC discharge: v(t) = v0 exp(-t/RC). No input edges, so
+    // the observed error is purely the integrator's truncation error.
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    const double r = 1e3;
+    const double c = 1e-12;
+    ckt.add<Resistor>("R1", a, kGround, r);
+    ckt.add<Capacitor>("C1", a, kGround, c);
+    ckt.finalize();
+    const Vector sel = ckt.selectorFor(a);
+    auto errorWith = [&](int steps) {
+        TransientOptions opt;
+        opt.tStop = 2e-9;
+        opt.method = method;
+        opt.fixedSteps = steps;
+        Vector x0(1);
+        x0[0] = 2.0;
+        opt.initialCondition = x0;
+        opt.storeStates = false;
+        const TransientResult tr = TransientAnalysis(ckt, opt).run();
+        EXPECT_TRUE(tr.success);
+        const double analytic = 2.0 * std::exp(-2e-9 / (r * c));
+        return std::fabs(sel.dot(tr.finalState) - analytic);
+    };
+    const double e1 = errorWith(100);
+    const double e2 = errorWith(200);
+    const double ratio = e1 / e2;
+    if (method == IntegrationMethod::Trapezoidal) {
+        EXPECT_GT(ratio, 3.0) << "TRAP should be ~2nd order (ratio ~4)";
+    } else {
+        EXPECT_GT(ratio, 1.7) << "BE should be ~1st order (ratio ~2)";
+        EXPECT_LT(ratio, 2.6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, IntegratorOrder,
+                         ::testing::Values(IntegrationMethod::BackwardEuler,
+                                           IntegrationMethod::Trapezoidal));
+
+TEST(Transient, RlcRingingFrequencyIsCorrect) {
+    // Series R-L-C from a charged capacitor: underdamped oscillation at
+    // f ~ 1/(2 pi sqrt(LC)).
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    const NodeId b = ckt.node("b");
+    const double l = 10e-9;
+    const double c = 1e-12;
+    ckt.add<Capacitor>("C1", a, kGround, c);
+    ckt.add<Inductor>("L1", a, b, l);
+    ckt.add<Resistor>("R1", b, kGround, 5.0);  // lightly damped
+    ckt.finalize();
+
+    TransientOptions opt;
+    opt.tStop = 3e-9;
+    opt.fixedSteps = 6000;
+    Vector x0(ckt.systemSize());
+    x0[static_cast<std::size_t>(a.index)] = 1.0;  // charged cap
+    opt.initialCondition = x0;
+    const TransientResult tr = TransientAnalysis(ckt, opt).run();
+    ASSERT_TRUE(tr.success);
+
+    // Find the first two downward zero crossings of v(a).
+    const Vector sel = ckt.selectorFor(a);
+    const std::vector<double> sig = tr.signal(sel);
+    double firstDown = -1.0;
+    double period = -1.0;
+    for (std::size_t i = 1; i < sig.size(); ++i) {
+        if (sig[i - 1] > 0.0 && sig[i] <= 0.0) {
+            const double frac = sig[i - 1] / (sig[i - 1] - sig[i]);
+            const double t =
+                tr.times[i - 1] + frac * (tr.times[i] - tr.times[i - 1]);
+            if (firstDown < 0.0) {
+                firstDown = t;
+            } else {
+                period = t - firstDown;
+                break;
+            }
+        }
+    }
+    ASSERT_GT(period, 0.0);
+    const double expected = 2.0 * M_PI * std::sqrt(l * c);
+    EXPECT_NEAR(period, expected, 0.03 * expected);
+}
+
+TEST(Transient, AdaptiveAgreesWithFixedGrid) {
+    RcFixture fx;
+    const Vector sel = fx.ckt.selectorFor(fx.out);
+
+    TransientOptions fixed;
+    fixed.tStop = 3e-9;
+    fixed.fixedSteps = 3000;
+    fixed.initialCondition = Vector(fx.ckt.systemSize());
+    const TransientResult a = TransientAnalysis(fx.ckt, fixed).run();
+
+    TransientOptions adaptive = fixed;
+    adaptive.adaptive = true;
+    adaptive.dtInit = 1e-13;
+    adaptive.lteRelTol = 1e-4;
+    adaptive.lteAbsTol = 1e-6;
+    SimStats stats;
+    const TransientResult b = TransientAnalysis(fx.ckt, adaptive).run(&stats);
+
+    ASSERT_TRUE(a.success);
+    ASSERT_TRUE(b.success);
+    EXPECT_NEAR(sel.dot(a.finalState), sel.dot(b.finalState), 2e-3);
+    // The adaptive run should use far fewer steps than the fine fixed grid.
+    EXPECT_LT(stats.timeSteps, 2000u);
+}
+
+TEST(Transient, AdaptiveLandsOnBreakpoints) {
+    RcFixture fx;  // pulse corners at ~0, 1s... use a pulse inside window
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    PulseWaveform::Spec spec;
+    spec.v1 = 1.0;
+    spec.delay = 1e-9;
+    spec.riseTime = 0.1e-9;
+    spec.width = 0.5e-9;
+    spec.fallTime = 0.1e-9;
+    ckt.add<VoltageSource>("V1", in, kGround,
+                           std::make_shared<PulseWaveform>(spec));
+    ckt.add<Resistor>("R1", in, out, 1e3);
+    ckt.add<Capacitor>("C1", out, kGround, 1e-12);
+    ckt.finalize();
+
+    TransientOptions opt;
+    opt.tStop = 3e-9;
+    opt.adaptive = true;
+    const TransientResult tr = TransientAnalysis(ckt, opt).run();
+    ASSERT_TRUE(tr.success);
+    // Every waveform corner must be an exact time point.
+    for (double corner : {1e-9, 1.1e-9, 1.6e-9, 1.7e-9}) {
+        bool hit = false;
+        for (double t : tr.times) {
+            if (std::fabs(t - corner) < 1e-18) {
+                hit = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(hit) << "missing breakpoint " << corner;
+    }
+    // And the final time is exactly tStop.
+    EXPECT_DOUBLE_EQ(tr.times.back(), 3e-9);
+}
+
+TEST(Transient, FixedGridEndsExactlyAtTstop) {
+    RcFixture fx;
+    TransientOptions opt;
+    opt.tStop = 1.7e-9;
+    opt.fixedSteps = 333;
+    opt.initialCondition = Vector(fx.ckt.systemSize());
+    const TransientResult tr = TransientAnalysis(fx.ckt, opt).run();
+    ASSERT_TRUE(tr.success);
+    EXPECT_DOUBLE_EQ(tr.times.back(), 1.7e-9);
+    EXPECT_EQ(tr.times.size(), 334u);  // t0 + 333 steps
+}
+
+TEST(Transient, RejectsBadOptions) {
+    RcFixture fx;
+    TransientOptions opt;
+    opt.tStop = 0.0;
+    EXPECT_THROW(TransientAnalysis(fx.ckt, opt), InvalidArgumentError);
+    opt.tStop = 1e-9;
+    opt.initialCondition = Vector(7);  // wrong size (system has 3 unknowns)
+    EXPECT_THROW(TransientAnalysis(fx.ckt, opt).run(), InvalidArgumentError);
+}
+
+TEST(Transient, StoreStatesOffKeepsOnlyFinalState) {
+    RcFixture fx;
+    TransientOptions opt;
+    opt.tStop = 1e-9;
+    opt.fixedSteps = 100;
+    opt.storeStates = false;
+    const TransientResult tr = TransientAnalysis(fx.ckt, opt).run();
+    ASSERT_TRUE(tr.success);
+    EXPECT_TRUE(tr.times.empty());
+    EXPECT_EQ(tr.finalState.size(), fx.ckt.systemSize());
+}
+
+TEST(Transient, StatsCountSteps) {
+    RcFixture fx;
+    TransientOptions opt;
+    opt.tStop = 1e-9;
+    opt.fixedSteps = 50;
+    SimStats stats;
+    (void)TransientAnalysis(fx.ckt, opt).run(&stats);
+    EXPECT_EQ(stats.timeSteps, 50u);
+    EXPECT_EQ(stats.transientSolves, 1u);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,81 @@
+// Tests for SI-suffixed engineering number parsing and formatting.
+#include <gtest/gtest.h>
+
+#include "shtrace/util/error.hpp"
+#include "shtrace/util/units.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(Units, ParsesPlainNumbers) {
+    EXPECT_DOUBLE_EQ(*parseEngineering("2.5"), 2.5);
+    EXPECT_DOUBLE_EQ(*parseEngineering("-3"), -3.0);
+    EXPECT_DOUBLE_EQ(*parseEngineering("1e-9"), 1e-9);
+    EXPECT_DOUBLE_EQ(*parseEngineering("0"), 0.0);
+}
+
+struct SuffixCase {
+    const char* text;
+    double expected;
+};
+
+class UnitsSuffix : public ::testing::TestWithParam<SuffixCase> {};
+
+TEST_P(UnitsSuffix, ParsesSuffix) {
+    const auto& [text, expected] = GetParam();
+    const auto value = parseEngineering(text);
+    ASSERT_TRUE(value.has_value()) << text;
+    EXPECT_NEAR(*value, expected, std::abs(expected) * 1e-12) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuffixes, UnitsSuffix,
+    ::testing::Values(
+        SuffixCase{"10k", 10e3}, SuffixCase{"10K", 10e3},
+        SuffixCase{"3meg", 3e6}, SuffixCase{"3MEG", 3e6},
+        SuffixCase{"2g", 2e9}, SuffixCase{"1t", 1e12},
+        SuffixCase{"5m", 5e-3}, SuffixCase{"5u", 5e-6},
+        SuffixCase{"0.1n", 0.1e-9}, SuffixCase{"5p", 5e-12},
+        SuffixCase{"5f", 5e-15}, SuffixCase{"2a", 2e-18},
+        SuffixCase{"1mil", 25.4e-6},
+        // Trailing unit letters are ignored, as in SPICE.
+        SuffixCase{"10kOhm", 10e3}, SuffixCase{"2.5V", 2.5},
+        SuffixCase{"100pF", 100e-12}, SuffixCase{"-0.3ns", -0.3e-9}));
+
+TEST(Units, RejectsMalformedInput) {
+    EXPECT_FALSE(parseEngineering("").has_value());
+    EXPECT_FALSE(parseEngineering("abc").has_value());
+    EXPECT_FALSE(parseEngineering("1.2.3").has_value());
+    EXPECT_FALSE(parseEngineering("3k9").has_value());  // digit after suffix
+}
+
+TEST(Units, ThrowingParserReportsLine) {
+    EXPECT_DOUBLE_EQ(parseEngineeringOrThrow("4n", 7), 4e-9);
+    try {
+        parseEngineeringOrThrow("bogus", 42);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 42);
+    }
+}
+
+TEST(Units, FormatsWithPrefixes) {
+    EXPECT_EQ(formatEngineering(2.98e-10, "s"), "298ps");
+    EXPECT_EQ(formatEngineering(1.25, "V"), "1.25V");
+    EXPECT_EQ(formatEngineering(10e3, "Hz"), "10kHz");
+    EXPECT_EQ(formatEngineering(-3.3e-9, "s"), "-3.3ns");
+    EXPECT_EQ(formatEngineering(0.0, "s"), "0s");
+}
+
+TEST(Units, FormatRoundTripsThroughParse) {
+    for (double v : {1e-15, 2.5e-12, 3.3e-9, 4.7e-6, 1e-3, 1.0, 42.0, 1e3,
+                     2e6, 3e9}) {
+        const std::string text = formatEngineering(v, "", 9);
+        const auto parsed = parseEngineering(text);
+        ASSERT_TRUE(parsed.has_value()) << text;
+        EXPECT_NEAR(*parsed, v, v * 1e-6) << text;
+    }
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,127 @@
+// Tests for the dense Vector and Matrix primitives.
+#include <gtest/gtest.h>
+
+#include "shtrace/linalg/matrix.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(Vector, ConstructionAndAccess) {
+    Vector v(3, 1.5);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[0], 1.5);
+    v[1] = -2.0;
+    EXPECT_DOUBLE_EQ(v.at(1), -2.0);
+    EXPECT_THROW(v.at(3), InvalidArgumentError);
+
+    const Vector init{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(init[2], 3.0);
+}
+
+TEST(Vector, Arithmetic) {
+    const Vector a{1.0, 2.0};
+    const Vector b{3.0, -1.0};
+    const Vector sum = a + b;
+    EXPECT_DOUBLE_EQ(sum[0], 4.0);
+    EXPECT_DOUBLE_EQ(sum[1], 1.0);
+    const Vector diff = a - b;
+    EXPECT_DOUBLE_EQ(diff[0], -2.0);
+    const Vector scaled = 2.0 * a;
+    EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+
+    Vector axpy = a;
+    axpy.addScaled(-3.0, b);
+    EXPECT_DOUBLE_EQ(axpy[0], 1.0 - 9.0);
+    EXPECT_DOUBLE_EQ(axpy[1], 2.0 + 3.0);
+}
+
+TEST(Vector, DotAndNorms) {
+    const Vector a{3.0, -4.0};
+    EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+    EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
+    EXPECT_DOUBLE_EQ(a.normInf(), 4.0);
+    EXPECT_THROW(a.dot(Vector(3)), InvalidArgumentError);
+}
+
+TEST(Vector, SizeMismatchThrows) {
+    Vector a(2);
+    const Vector b(3);
+    EXPECT_THROW(a += b, InvalidArgumentError);
+    EXPECT_THROW(a -= b, InvalidArgumentError);
+}
+
+TEST(Matrix, IdentityAndAccess) {
+    const Matrix eye = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(eye(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+    Matrix m(2, 3);
+    m(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+    EXPECT_THROW(m.at(2, 0), InvalidArgumentError);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+    Matrix m(2, 3);
+    // [1 2 3; 4 5 6]
+    m(0, 0) = 1;
+    m(0, 1) = 2;
+    m(0, 2) = 3;
+    m(1, 0) = 4;
+    m(1, 1) = 5;
+    m(1, 2) = 6;
+    const Vector x{1.0, 0.0, -1.0};
+    const Vector y = m.multiply(x);
+    EXPECT_DOUBLE_EQ(y[0], -2.0);
+    EXPECT_DOUBLE_EQ(y[1], -2.0);
+
+    const Vector yt = m.multiplyTransposed(Vector{1.0, 1.0});
+    EXPECT_DOUBLE_EQ(yt[0], 5.0);
+    EXPECT_DOUBLE_EQ(yt[1], 7.0);
+    EXPECT_DOUBLE_EQ(yt[2], 9.0);
+}
+
+TEST(Matrix, MultiplyAccumulateAddsScaled) {
+    Matrix m = Matrix::identity(2);
+    Vector y{10.0, 20.0};
+    m.multiplyAccumulate(Vector{1.0, 2.0}, 3.0, y);
+    EXPECT_DOUBLE_EQ(y[0], 13.0);
+    EXPECT_DOUBLE_EQ(y[1], 26.0);
+}
+
+TEST(Matrix, MatrixMatrixProductAndTranspose) {
+    Matrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    const Matrix b = a.transposed();
+    EXPECT_DOUBLE_EQ(b(0, 1), 3.0);
+    const Matrix c = a.multiply(b);  // A A^T is symmetric
+    EXPECT_DOUBLE_EQ(c(0, 1), c(1, 0));
+    EXPECT_DOUBLE_EQ(c(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 25.0);
+}
+
+TEST(Matrix, Norms) {
+    Matrix m(2, 2);
+    m(0, 0) = -1;
+    m(0, 1) = 2;
+    m(1, 0) = 0.5;
+    m(1, 1) = 0.25;
+    EXPECT_DOUBLE_EQ(m.normInf(), 3.0);
+    Matrix m2 = m;
+    m2(1, 1) = 1.25;
+    EXPECT_DOUBLE_EQ(m.maxAbsDiff(m2), 1.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+    Matrix a(2, 3);
+    const Matrix b(3, 2);
+    EXPECT_THROW(a += b, InvalidArgumentError);
+    EXPECT_THROW(a.multiply(Vector(2)), InvalidArgumentError);
+    EXPECT_THROW(Matrix(2, 2).multiply(Matrix(3, 3)), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,154 @@
+// Tests for PWL, pulse and clock waveforms and edge profiles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "shtrace/util/error.hpp"
+#include "shtrace/waveform/clock.hpp"
+#include "shtrace/waveform/pulse.hpp"
+#include "shtrace/waveform/pwl.hpp"
+
+namespace shtrace {
+namespace {
+
+TEST(EdgeProfile, ClampsAndHitsHalfAtMidpoint) {
+    for (EdgeShape shape : {EdgeShape::Linear, EdgeShape::Smoothstep}) {
+        EXPECT_DOUBLE_EQ(edgeProfile(shape, -0.5), 0.0);
+        EXPECT_DOUBLE_EQ(edgeProfile(shape, 0.0), 0.0);
+        EXPECT_DOUBLE_EQ(edgeProfile(shape, 0.5), 0.5);
+        EXPECT_DOUBLE_EQ(edgeProfile(shape, 1.0), 1.0);
+        EXPECT_DOUBLE_EQ(edgeProfile(shape, 2.0), 1.0);
+    }
+}
+
+TEST(EdgeProfile, SlopeMatchesFiniteDifference) {
+    const double du = 1e-7;
+    for (EdgeShape shape : {EdgeShape::Linear, EdgeShape::Smoothstep}) {
+        for (double u : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+            const double fd =
+                (edgeProfile(shape, u + du) - edgeProfile(shape, u - du)) /
+                (2.0 * du);
+            EXPECT_NEAR(edgeProfileSlope(shape, u), fd, 1e-5)
+                << "shape=" << static_cast<int>(shape) << " u=" << u;
+        }
+    }
+}
+
+TEST(EdgeProfile, SmoothstepIsC1AtEnds) {
+    EXPECT_DOUBLE_EQ(edgeProfileSlope(EdgeShape::Smoothstep, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(edgeProfileSlope(EdgeShape::Smoothstep, 1.0), 0.0);
+    EXPECT_NEAR(edgeProfileSlope(EdgeShape::Smoothstep, 1e-4), 0.0, 1e-3);
+}
+
+TEST(Pwl, InterpolatesAndClamps) {
+    const PwlWaveform w({{0.0, 0.0}, {1.0, 2.0}, {3.0, -2.0}});
+    EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);   // clamp before
+    EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);    // on first segment
+    EXPECT_DOUBLE_EQ(w.value(1.0), 2.0);    // at a point
+    EXPECT_DOUBLE_EQ(w.value(2.0), 0.0);    // on second segment
+    EXPECT_DOUBLE_EQ(w.value(10.0), -2.0);  // clamp after
+}
+
+TEST(Pwl, BreakpointsInsideWindowOnly) {
+    const PwlWaveform w({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}});
+    std::vector<double> bp;
+    w.breakpoints(0.5, 1.5, bp);
+    ASSERT_EQ(bp.size(), 1u);
+    EXPECT_DOUBLE_EQ(bp[0], 1.0);
+}
+
+TEST(Pwl, RejectsBadInput) {
+    EXPECT_THROW(PwlWaveform({}), InvalidArgumentError);
+    EXPECT_THROW(PwlWaveform({{1.0, 0.0}, {1.0, 1.0}}), InvalidArgumentError);
+}
+
+TEST(Pulse, ShapeIsCorrect) {
+    PulseWaveform::Spec spec;
+    spec.v0 = 0.5;
+    spec.v1 = 2.5;
+    spec.delay = 1.0;
+    spec.riseTime = 0.2;
+    spec.width = 1.0;
+    spec.fallTime = 0.4;
+    const PulseWaveform w(spec);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 0.5);
+    EXPECT_NEAR(w.value(1.1), 1.5, 1e-12);  // 50% of the rise
+    EXPECT_DOUBLE_EQ(w.value(1.5), 2.5);    // plateau
+    EXPECT_NEAR(w.value(2.4), 1.5, 1e-12);  // 50% of the fall
+    EXPECT_DOUBLE_EQ(w.value(5.0), 0.5);
+
+    std::vector<double> bp;
+    w.breakpoints(0.0, 10.0, bp);
+    EXPECT_EQ(bp.size(), 4u);
+}
+
+TEST(Clock, PaperTimingProducesEdgesAt1And11ns) {
+    const ClockWaveform clock{ClockWaveform::Spec{}};  // paper defaults
+    EXPECT_NEAR(clock.risingEdgeMidpoint(0), 1.05e-9, 1e-15);
+    EXPECT_NEAR(clock.risingEdgeMidpoint(1), 11.05e-9, 1e-15);
+    EXPECT_DOUBLE_EQ(clock.value(0.5e-9), 0.0);   // before first edge
+    EXPECT_DOUBLE_EQ(clock.value(3e-9), 2.5);     // high phase
+    EXPECT_DOUBLE_EQ(clock.value(8e-9), 0.0);     // low phase
+    EXPECT_DOUBLE_EQ(clock.value(13e-9), 2.5);    // next cycle high
+    // 50% at the edge midpoint.
+    EXPECT_NEAR(clock.value(11.05e-9), 1.25, 1e-12);
+}
+
+TEST(Clock, DutyCycleControlsHighFraction) {
+    ClockWaveform::Spec spec;
+    spec.dutyCycle = 0.3;
+    const ClockWaveform clock(spec);
+    // Falling 50% point is 0.3 * period after the rising 50% point.
+    const double t50fall = clock.risingEdgeMidpoint(0) + 0.3 * spec.period;
+    EXPECT_NEAR(clock.value(t50fall), 1.25, 1e-9);
+}
+
+TEST(Clock, InvertedAndDelayedForClkBar) {
+    // The C2MOS clk-bar: inverted, delayed 0.3 ns after clk.
+    ClockWaveform::Spec spec;
+    spec.delay = 1e-9 + 0.3e-9;
+    spec.inverted = true;
+    const ClockWaveform bar(spec);
+    EXPECT_DOUBLE_EQ(bar.value(0.0), 2.5);     // high while clk low
+    EXPECT_DOUBLE_EQ(bar.value(3e-9), 0.0);    // low while clk high
+    // At the (delayed) rising edge of the underlying clock, bar falls.
+    EXPECT_NEAR(bar.value(1.35e-9), 1.25, 1e-12);
+}
+
+TEST(Clock, BreakpointsCoverEveryEdgeCorner) {
+    const ClockWaveform clock{ClockWaveform::Spec{}};
+    std::vector<double> bp;
+    clock.breakpoints(0.0, 21e-9, bp);
+    // Two full cycles in the window: 4 corners each (cycle starting at 1 ns
+    // and 11 ns), plus the rise corners of the cycle at 21 ns are outside.
+    EXPECT_GE(bp.size(), 8u);
+    EXPECT_TRUE(std::is_sorted(bp.begin(), bp.end()));
+    // The first rising-edge corners are present.
+    EXPECT_NEAR(bp[0], 1e-9, 1e-15);
+    EXPECT_NEAR(bp[1], 1.1e-9, 1e-15);
+}
+
+TEST(Clock, RejectsBadSpecs) {
+    ClockWaveform::Spec bad;
+    bad.period = 0.0;
+    EXPECT_THROW(ClockWaveform{bad}, InvalidArgumentError);
+    bad = ClockWaveform::Spec{};
+    bad.dutyCycle = 1.5;
+    EXPECT_THROW(ClockWaveform{bad}, InvalidArgumentError);
+    bad = ClockWaveform::Spec{};
+    bad.dutyCycle = 0.004;  // high time shorter than the edges
+    EXPECT_THROW(ClockWaveform{bad}, InvalidArgumentError);
+}
+
+TEST(Dc, ConstantEverywhere) {
+    const DcWaveform w(1.8);
+    EXPECT_DOUBLE_EQ(w.value(-1.0), 1.8);
+    EXPECT_DOUBLE_EQ(w.value(1e9), 1.8);
+    std::vector<double> bp;
+    w.breakpoints(0.0, 1.0, bp);
+    EXPECT_TRUE(bp.empty());
+}
+
+}  // namespace
+}  // namespace shtrace
