@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_corrector.cpp" "bench/CMakeFiles/bench_ablation_corrector.dir/bench_ablation_corrector.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_corrector.dir/bench_ablation_corrector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shtrace_chz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_corrector.dir/bench_ablation_corrector.cpp.o"
+  "CMakeFiles/bench_ablation_corrector.dir/bench_ablation_corrector.cpp.o.d"
+  "bench_ablation_corrector"
+  "bench_ablation_corrector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_corrector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

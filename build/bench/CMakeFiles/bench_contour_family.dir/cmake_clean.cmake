@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contour_family.dir/bench_contour_family.cpp.o"
+  "CMakeFiles/bench_contour_family.dir/bench_contour_family.cpp.o.d"
+  "bench_contour_family"
+  "bench_contour_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contour_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_overlay_tspc.dir/bench_fig10_overlay_tspc.cpp.o"
+  "CMakeFiles/bench_fig10_overlay_tspc.dir/bench_fig10_overlay_tspc.cpp.o.d"
+  "bench_fig10_overlay_tspc"
+  "bench_fig10_overlay_tspc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_overlay_tspc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_overlay_tspc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_c2mos_false_transition.
+# This may be replaced when dependencies are built.

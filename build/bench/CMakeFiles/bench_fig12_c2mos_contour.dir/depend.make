@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_c2mos_contour.
+# This may be replaced when dependencies are built.

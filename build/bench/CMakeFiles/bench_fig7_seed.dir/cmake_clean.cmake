@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_seed.dir/bench_fig7_seed.cpp.o"
+  "CMakeFiles/bench_fig7_seed.dir/bench_fig7_seed.cpp.o.d"
+  "bench_fig7_seed"
+  "bench_fig7_seed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

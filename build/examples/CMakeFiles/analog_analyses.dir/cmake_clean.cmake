@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analog_analyses.dir/analog_analyses.cpp.o"
+  "CMakeFiles/analog_analyses.dir/analog_analyses.cpp.o.d"
+  "analog_analyses"
+  "analog_analyses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analog_analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

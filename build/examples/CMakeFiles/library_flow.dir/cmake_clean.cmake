@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_flow.dir/library_flow.cpp.o"
+  "CMakeFiles/library_flow.dir/library_flow.cpp.o.d"
+  "library_flow"
+  "library_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

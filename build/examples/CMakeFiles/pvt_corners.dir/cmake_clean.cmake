@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvt_corners.dir/pvt_corners.cpp.o"
+  "CMakeFiles/pvt_corners.dir/pvt_corners.cpp.o.d"
+  "pvt_corners"
+  "pvt_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvt_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

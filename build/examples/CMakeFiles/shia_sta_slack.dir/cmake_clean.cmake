@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shia_sta_slack.dir/shia_sta_slack.cpp.o"
+  "CMakeFiles/shia_sta_slack.dir/shia_sta_slack.cpp.o.d"
+  "shia_sta_slack"
+  "shia_sta_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shia_sta_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

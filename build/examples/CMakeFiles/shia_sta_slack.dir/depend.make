@@ -1,0 +1,2 @@
+# Empty dependencies file for shia_sta_slack.
+# This may be replaced when dependencies are built.

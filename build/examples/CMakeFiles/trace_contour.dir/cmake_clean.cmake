@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_contour.dir/trace_contour.cpp.o"
+  "CMakeFiles/trace_contour.dir/trace_contour.cpp.o.d"
+  "trace_contour"
+  "trace_contour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

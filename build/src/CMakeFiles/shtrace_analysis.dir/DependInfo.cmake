@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ac.cpp" "src/CMakeFiles/shtrace_analysis.dir/analysis/ac.cpp.o" "gcc" "src/CMakeFiles/shtrace_analysis.dir/analysis/ac.cpp.o.d"
+  "/root/repo/src/analysis/adjoint.cpp" "src/CMakeFiles/shtrace_analysis.dir/analysis/adjoint.cpp.o" "gcc" "src/CMakeFiles/shtrace_analysis.dir/analysis/adjoint.cpp.o.d"
+  "/root/repo/src/analysis/dc_op.cpp" "src/CMakeFiles/shtrace_analysis.dir/analysis/dc_op.cpp.o" "gcc" "src/CMakeFiles/shtrace_analysis.dir/analysis/dc_op.cpp.o.d"
+  "/root/repo/src/analysis/newton.cpp" "src/CMakeFiles/shtrace_analysis.dir/analysis/newton.cpp.o" "gcc" "src/CMakeFiles/shtrace_analysis.dir/analysis/newton.cpp.o.d"
+  "/root/repo/src/analysis/sensitivity.cpp" "src/CMakeFiles/shtrace_analysis.dir/analysis/sensitivity.cpp.o" "gcc" "src/CMakeFiles/shtrace_analysis.dir/analysis/sensitivity.cpp.o.d"
+  "/root/repo/src/analysis/shooting.cpp" "src/CMakeFiles/shtrace_analysis.dir/analysis/shooting.cpp.o" "gcc" "src/CMakeFiles/shtrace_analysis.dir/analysis/shooting.cpp.o.d"
+  "/root/repo/src/analysis/transient.cpp" "src/CMakeFiles/shtrace_analysis.dir/analysis/transient.cpp.o" "gcc" "src/CMakeFiles/shtrace_analysis.dir/analysis/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shtrace_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shtrace_analysis.dir/analysis/ac.cpp.o"
+  "CMakeFiles/shtrace_analysis.dir/analysis/ac.cpp.o.d"
+  "CMakeFiles/shtrace_analysis.dir/analysis/adjoint.cpp.o"
+  "CMakeFiles/shtrace_analysis.dir/analysis/adjoint.cpp.o.d"
+  "CMakeFiles/shtrace_analysis.dir/analysis/dc_op.cpp.o"
+  "CMakeFiles/shtrace_analysis.dir/analysis/dc_op.cpp.o.d"
+  "CMakeFiles/shtrace_analysis.dir/analysis/newton.cpp.o"
+  "CMakeFiles/shtrace_analysis.dir/analysis/newton.cpp.o.d"
+  "CMakeFiles/shtrace_analysis.dir/analysis/sensitivity.cpp.o"
+  "CMakeFiles/shtrace_analysis.dir/analysis/sensitivity.cpp.o.d"
+  "CMakeFiles/shtrace_analysis.dir/analysis/shooting.cpp.o"
+  "CMakeFiles/shtrace_analysis.dir/analysis/shooting.cpp.o.d"
+  "CMakeFiles/shtrace_analysis.dir/analysis/transient.cpp.o"
+  "CMakeFiles/shtrace_analysis.dir/analysis/transient.cpp.o.d"
+  "libshtrace_analysis.a"
+  "libshtrace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shtrace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshtrace_analysis.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/c2mos.cpp" "src/CMakeFiles/shtrace_cells.dir/cells/c2mos.cpp.o" "gcc" "src/CMakeFiles/shtrace_cells.dir/cells/c2mos.cpp.o.d"
+  "/root/repo/src/cells/inverter.cpp" "src/CMakeFiles/shtrace_cells.dir/cells/inverter.cpp.o" "gcc" "src/CMakeFiles/shtrace_cells.dir/cells/inverter.cpp.o.d"
+  "/root/repo/src/cells/latch.cpp" "src/CMakeFiles/shtrace_cells.dir/cells/latch.cpp.o" "gcc" "src/CMakeFiles/shtrace_cells.dir/cells/latch.cpp.o.d"
+  "/root/repo/src/cells/mos_library.cpp" "src/CMakeFiles/shtrace_cells.dir/cells/mos_library.cpp.o" "gcc" "src/CMakeFiles/shtrace_cells.dir/cells/mos_library.cpp.o.d"
+  "/root/repo/src/cells/tg_dff.cpp" "src/CMakeFiles/shtrace_cells.dir/cells/tg_dff.cpp.o" "gcc" "src/CMakeFiles/shtrace_cells.dir/cells/tg_dff.cpp.o.d"
+  "/root/repo/src/cells/tspc.cpp" "src/CMakeFiles/shtrace_cells.dir/cells/tspc.cpp.o" "gcc" "src/CMakeFiles/shtrace_cells.dir/cells/tspc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shtrace_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

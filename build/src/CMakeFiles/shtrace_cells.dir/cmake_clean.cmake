@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shtrace_cells.dir/cells/c2mos.cpp.o"
+  "CMakeFiles/shtrace_cells.dir/cells/c2mos.cpp.o.d"
+  "CMakeFiles/shtrace_cells.dir/cells/inverter.cpp.o"
+  "CMakeFiles/shtrace_cells.dir/cells/inverter.cpp.o.d"
+  "CMakeFiles/shtrace_cells.dir/cells/latch.cpp.o"
+  "CMakeFiles/shtrace_cells.dir/cells/latch.cpp.o.d"
+  "CMakeFiles/shtrace_cells.dir/cells/mos_library.cpp.o"
+  "CMakeFiles/shtrace_cells.dir/cells/mos_library.cpp.o.d"
+  "CMakeFiles/shtrace_cells.dir/cells/tg_dff.cpp.o"
+  "CMakeFiles/shtrace_cells.dir/cells/tg_dff.cpp.o.d"
+  "CMakeFiles/shtrace_cells.dir/cells/tspc.cpp.o"
+  "CMakeFiles/shtrace_cells.dir/cells/tspc.cpp.o.d"
+  "libshtrace_cells.a"
+  "libshtrace_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shtrace_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshtrace_cells.a"
+)

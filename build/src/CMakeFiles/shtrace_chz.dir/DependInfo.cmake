@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chz/characterize.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/characterize.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/characterize.cpp.o.d"
+  "/root/repo/src/chz/family.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/family.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/family.cpp.o.d"
+  "/root/repo/src/chz/h_function.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/h_function.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/h_function.cpp.o.d"
+  "/root/repo/src/chz/independent.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/independent.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/independent.cpp.o.d"
+  "/root/repo/src/chz/library.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/library.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/library.cpp.o.d"
+  "/root/repo/src/chz/monte_carlo.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/monte_carlo.cpp.o.d"
+  "/root/repo/src/chz/mpnr.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/mpnr.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/mpnr.cpp.o.d"
+  "/root/repo/src/chz/problem.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/problem.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/problem.cpp.o.d"
+  "/root/repo/src/chz/pvt.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/pvt.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/pvt.cpp.o.d"
+  "/root/repo/src/chz/seed.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/seed.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/seed.cpp.o.d"
+  "/root/repo/src/chz/shia_contour.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/shia_contour.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/shia_contour.cpp.o.d"
+  "/root/repo/src/chz/surface_method.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/surface_method.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/surface_method.cpp.o.d"
+  "/root/repo/src/chz/tracer.cpp" "src/CMakeFiles/shtrace_chz.dir/chz/tracer.cpp.o" "gcc" "src/CMakeFiles/shtrace_chz.dir/chz/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shtrace_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shtrace_chz.dir/chz/characterize.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/characterize.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/family.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/family.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/h_function.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/h_function.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/independent.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/independent.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/library.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/library.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/monte_carlo.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/monte_carlo.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/mpnr.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/mpnr.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/problem.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/problem.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/pvt.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/pvt.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/seed.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/seed.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/shia_contour.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/shia_contour.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/surface_method.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/surface_method.cpp.o.d"
+  "CMakeFiles/shtrace_chz.dir/chz/tracer.cpp.o"
+  "CMakeFiles/shtrace_chz.dir/chz/tracer.cpp.o.d"
+  "libshtrace_chz.a"
+  "libshtrace_chz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shtrace_chz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

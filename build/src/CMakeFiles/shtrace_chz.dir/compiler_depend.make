@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shtrace_chz.
+# This may be replaced when dependencies are built.

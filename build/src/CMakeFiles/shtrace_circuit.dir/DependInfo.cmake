@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/shtrace_circuit.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/shtrace_circuit.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/netlist_parser.cpp" "src/CMakeFiles/shtrace_circuit.dir/circuit/netlist_parser.cpp.o" "gcc" "src/CMakeFiles/shtrace_circuit.dir/circuit/netlist_parser.cpp.o.d"
+  "/root/repo/src/devices/capacitor.cpp" "src/CMakeFiles/shtrace_circuit.dir/devices/capacitor.cpp.o" "gcc" "src/CMakeFiles/shtrace_circuit.dir/devices/capacitor.cpp.o.d"
+  "/root/repo/src/devices/diode.cpp" "src/CMakeFiles/shtrace_circuit.dir/devices/diode.cpp.o" "gcc" "src/CMakeFiles/shtrace_circuit.dir/devices/diode.cpp.o.d"
+  "/root/repo/src/devices/inductor.cpp" "src/CMakeFiles/shtrace_circuit.dir/devices/inductor.cpp.o" "gcc" "src/CMakeFiles/shtrace_circuit.dir/devices/inductor.cpp.o.d"
+  "/root/repo/src/devices/mosfet.cpp" "src/CMakeFiles/shtrace_circuit.dir/devices/mosfet.cpp.o" "gcc" "src/CMakeFiles/shtrace_circuit.dir/devices/mosfet.cpp.o.d"
+  "/root/repo/src/devices/resistor.cpp" "src/CMakeFiles/shtrace_circuit.dir/devices/resistor.cpp.o" "gcc" "src/CMakeFiles/shtrace_circuit.dir/devices/resistor.cpp.o.d"
+  "/root/repo/src/devices/sources.cpp" "src/CMakeFiles/shtrace_circuit.dir/devices/sources.cpp.o" "gcc" "src/CMakeFiles/shtrace_circuit.dir/devices/sources.cpp.o.d"
+  "/root/repo/src/devices/vccs.cpp" "src/CMakeFiles/shtrace_circuit.dir/devices/vccs.cpp.o" "gcc" "src/CMakeFiles/shtrace_circuit.dir/devices/vccs.cpp.o.d"
+  "/root/repo/src/devices/vcvs.cpp" "src/CMakeFiles/shtrace_circuit.dir/devices/vcvs.cpp.o" "gcc" "src/CMakeFiles/shtrace_circuit.dir/devices/vcvs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shtrace_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shtrace_circuit.dir/circuit/circuit.cpp.o"
+  "CMakeFiles/shtrace_circuit.dir/circuit/circuit.cpp.o.d"
+  "CMakeFiles/shtrace_circuit.dir/circuit/netlist_parser.cpp.o"
+  "CMakeFiles/shtrace_circuit.dir/circuit/netlist_parser.cpp.o.d"
+  "CMakeFiles/shtrace_circuit.dir/devices/capacitor.cpp.o"
+  "CMakeFiles/shtrace_circuit.dir/devices/capacitor.cpp.o.d"
+  "CMakeFiles/shtrace_circuit.dir/devices/diode.cpp.o"
+  "CMakeFiles/shtrace_circuit.dir/devices/diode.cpp.o.d"
+  "CMakeFiles/shtrace_circuit.dir/devices/inductor.cpp.o"
+  "CMakeFiles/shtrace_circuit.dir/devices/inductor.cpp.o.d"
+  "CMakeFiles/shtrace_circuit.dir/devices/mosfet.cpp.o"
+  "CMakeFiles/shtrace_circuit.dir/devices/mosfet.cpp.o.d"
+  "CMakeFiles/shtrace_circuit.dir/devices/resistor.cpp.o"
+  "CMakeFiles/shtrace_circuit.dir/devices/resistor.cpp.o.d"
+  "CMakeFiles/shtrace_circuit.dir/devices/sources.cpp.o"
+  "CMakeFiles/shtrace_circuit.dir/devices/sources.cpp.o.d"
+  "CMakeFiles/shtrace_circuit.dir/devices/vccs.cpp.o"
+  "CMakeFiles/shtrace_circuit.dir/devices/vccs.cpp.o.d"
+  "CMakeFiles/shtrace_circuit.dir/devices/vcvs.cpp.o"
+  "CMakeFiles/shtrace_circuit.dir/devices/vcvs.cpp.o.d"
+  "libshtrace_circuit.a"
+  "libshtrace_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shtrace_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

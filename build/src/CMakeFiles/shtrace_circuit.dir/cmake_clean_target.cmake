@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshtrace_circuit.a"
+)

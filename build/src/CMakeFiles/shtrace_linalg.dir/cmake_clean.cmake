@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shtrace_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/shtrace_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/shtrace_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/shtrace_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/shtrace_linalg.dir/linalg/pseudo_inverse.cpp.o"
+  "CMakeFiles/shtrace_linalg.dir/linalg/pseudo_inverse.cpp.o.d"
+  "libshtrace_linalg.a"
+  "libshtrace_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shtrace_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

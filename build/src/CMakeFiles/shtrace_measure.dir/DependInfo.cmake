@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/clock_to_q.cpp" "src/CMakeFiles/shtrace_measure.dir/measure/clock_to_q.cpp.o" "gcc" "src/CMakeFiles/shtrace_measure.dir/measure/clock_to_q.cpp.o.d"
+  "/root/repo/src/measure/contour.cpp" "src/CMakeFiles/shtrace_measure.dir/measure/contour.cpp.o" "gcc" "src/CMakeFiles/shtrace_measure.dir/measure/contour.cpp.o.d"
+  "/root/repo/src/measure/crossing.cpp" "src/CMakeFiles/shtrace_measure.dir/measure/crossing.cpp.o" "gcc" "src/CMakeFiles/shtrace_measure.dir/measure/crossing.cpp.o.d"
+  "/root/repo/src/measure/surface.cpp" "src/CMakeFiles/shtrace_measure.dir/measure/surface.cpp.o" "gcc" "src/CMakeFiles/shtrace_measure.dir/measure/surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shtrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/shtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

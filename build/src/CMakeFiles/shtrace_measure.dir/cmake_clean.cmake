@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shtrace_measure.dir/measure/clock_to_q.cpp.o"
+  "CMakeFiles/shtrace_measure.dir/measure/clock_to_q.cpp.o.d"
+  "CMakeFiles/shtrace_measure.dir/measure/contour.cpp.o"
+  "CMakeFiles/shtrace_measure.dir/measure/contour.cpp.o.d"
+  "CMakeFiles/shtrace_measure.dir/measure/crossing.cpp.o"
+  "CMakeFiles/shtrace_measure.dir/measure/crossing.cpp.o.d"
+  "CMakeFiles/shtrace_measure.dir/measure/surface.cpp.o"
+  "CMakeFiles/shtrace_measure.dir/measure/surface.cpp.o.d"
+  "libshtrace_measure.a"
+  "libshtrace_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shtrace_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shtrace_util.dir/util/stats.cpp.o"
+  "CMakeFiles/shtrace_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/shtrace_util.dir/util/table.cpp.o"
+  "CMakeFiles/shtrace_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/shtrace_util.dir/util/units.cpp.o"
+  "CMakeFiles/shtrace_util.dir/util/units.cpp.o.d"
+  "libshtrace_util.a"
+  "libshtrace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shtrace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/waveform/analog_sources.cpp" "src/CMakeFiles/shtrace_waveform.dir/waveform/analog_sources.cpp.o" "gcc" "src/CMakeFiles/shtrace_waveform.dir/waveform/analog_sources.cpp.o.d"
+  "/root/repo/src/waveform/clock.cpp" "src/CMakeFiles/shtrace_waveform.dir/waveform/clock.cpp.o" "gcc" "src/CMakeFiles/shtrace_waveform.dir/waveform/clock.cpp.o.d"
+  "/root/repo/src/waveform/data_pulse.cpp" "src/CMakeFiles/shtrace_waveform.dir/waveform/data_pulse.cpp.o" "gcc" "src/CMakeFiles/shtrace_waveform.dir/waveform/data_pulse.cpp.o.d"
+  "/root/repo/src/waveform/pulse.cpp" "src/CMakeFiles/shtrace_waveform.dir/waveform/pulse.cpp.o" "gcc" "src/CMakeFiles/shtrace_waveform.dir/waveform/pulse.cpp.o.d"
+  "/root/repo/src/waveform/pwl.cpp" "src/CMakeFiles/shtrace_waveform.dir/waveform/pwl.cpp.o" "gcc" "src/CMakeFiles/shtrace_waveform.dir/waveform/pwl.cpp.o.d"
+  "/root/repo/src/waveform/waveform.cpp" "src/CMakeFiles/shtrace_waveform.dir/waveform/waveform.cpp.o" "gcc" "src/CMakeFiles/shtrace_waveform.dir/waveform/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shtrace_waveform.dir/waveform/analog_sources.cpp.o"
+  "CMakeFiles/shtrace_waveform.dir/waveform/analog_sources.cpp.o.d"
+  "CMakeFiles/shtrace_waveform.dir/waveform/clock.cpp.o"
+  "CMakeFiles/shtrace_waveform.dir/waveform/clock.cpp.o.d"
+  "CMakeFiles/shtrace_waveform.dir/waveform/data_pulse.cpp.o"
+  "CMakeFiles/shtrace_waveform.dir/waveform/data_pulse.cpp.o.d"
+  "CMakeFiles/shtrace_waveform.dir/waveform/pulse.cpp.o"
+  "CMakeFiles/shtrace_waveform.dir/waveform/pulse.cpp.o.d"
+  "CMakeFiles/shtrace_waveform.dir/waveform/pwl.cpp.o"
+  "CMakeFiles/shtrace_waveform.dir/waveform/pwl.cpp.o.d"
+  "CMakeFiles/shtrace_waveform.dir/waveform/waveform.cpp.o"
+  "CMakeFiles/shtrace_waveform.dir/waveform/waveform.cpp.o.d"
+  "libshtrace_waveform.a"
+  "libshtrace_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shtrace_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arclength.dir/test_arclength.cpp.o"
+  "CMakeFiles/test_arclength.dir/test_arclength.cpp.o.d"
+  "test_arclength"
+  "test_arclength.pdb"
+  "test_arclength[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arclength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

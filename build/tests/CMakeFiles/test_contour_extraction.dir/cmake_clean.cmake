@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contour_extraction.dir/test_contour_extraction.cpp.o"
+  "CMakeFiles/test_contour_extraction.dir/test_contour_extraction.cpp.o.d"
+  "test_contour_extraction"
+  "test_contour_extraction.pdb"
+  "test_contour_extraction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contour_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

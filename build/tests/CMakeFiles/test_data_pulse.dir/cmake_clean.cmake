@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_pulse.dir/test_data_pulse.cpp.o"
+  "CMakeFiles/test_data_pulse.dir/test_data_pulse.cpp.o.d"
+  "test_data_pulse"
+  "test_data_pulse.pdb"
+  "test_data_pulse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

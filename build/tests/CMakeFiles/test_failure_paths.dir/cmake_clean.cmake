@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_paths.dir/test_failure_paths.cpp.o"
+  "CMakeFiles/test_failure_paths.dir/test_failure_paths.cpp.o.d"
+  "test_failure_paths"
+  "test_failure_paths.pdb"
+  "test_failure_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

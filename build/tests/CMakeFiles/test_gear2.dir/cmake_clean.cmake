@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gear2.dir/test_gear2.cpp.o"
+  "CMakeFiles/test_gear2.dir/test_gear2.cpp.o.d"
+  "test_gear2"
+  "test_gear2.pdb"
+  "test_gear2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gear2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

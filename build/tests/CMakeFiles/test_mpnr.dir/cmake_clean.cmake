@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpnr.dir/test_mpnr.cpp.o"
+  "CMakeFiles/test_mpnr.dir/test_mpnr.cpp.o.d"
+  "test_mpnr"
+  "test_mpnr.pdb"
+  "test_mpnr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

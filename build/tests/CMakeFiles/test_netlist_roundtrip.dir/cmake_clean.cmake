@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_roundtrip.dir/test_netlist_roundtrip.cpp.o"
+  "CMakeFiles/test_netlist_roundtrip.dir/test_netlist_roundtrip.cpp.o.d"
+  "test_netlist_roundtrip"
+  "test_netlist_roundtrip.pdb"
+  "test_netlist_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_newton.dir/test_newton.cpp.o"
+  "CMakeFiles/test_newton.dir/test_newton.cpp.o.d"
+  "test_newton"
+  "test_newton.pdb"
+  "test_newton[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_newton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

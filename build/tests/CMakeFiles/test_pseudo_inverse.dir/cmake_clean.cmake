@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pseudo_inverse.dir/test_pseudo_inverse.cpp.o"
+  "CMakeFiles/test_pseudo_inverse.dir/test_pseudo_inverse.cpp.o.d"
+  "test_pseudo_inverse"
+  "test_pseudo_inverse.pdb"
+  "test_pseudo_inverse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pseudo_inverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

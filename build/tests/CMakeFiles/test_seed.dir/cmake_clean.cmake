@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seed.dir/test_seed.cpp.o"
+  "CMakeFiles/test_seed.dir/test_seed.cpp.o.d"
+  "test_seed"
+  "test_seed.pdb"
+  "test_seed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

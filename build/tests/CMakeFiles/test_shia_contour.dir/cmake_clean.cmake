@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shia_contour.dir/test_shia_contour.cpp.o"
+  "CMakeFiles/test_shia_contour.dir/test_shia_contour.cpp.o.d"
+  "test_shia_contour"
+  "test_shia_contour.pdb"
+  "test_shia_contour[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shia_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

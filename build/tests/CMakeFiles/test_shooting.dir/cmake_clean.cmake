@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shooting.dir/test_shooting.cpp.o"
+  "CMakeFiles/test_shooting.dir/test_shooting.cpp.o.d"
+  "test_shooting"
+  "test_shooting.pdb"
+  "test_shooting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shooting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surface_method.dir/test_surface_method.cpp.o"
+  "CMakeFiles/test_surface_method.dir/test_surface_method.cpp.o.d"
+  "test_surface_method"
+  "test_surface_method.pdb"
+  "test_surface_method[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surface_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_matrix.dir/test_vector_matrix.cpp.o"
+  "CMakeFiles/test_vector_matrix.dir/test_vector_matrix.cpp.o.d"
+  "test_vector_matrix"
+  "test_vector_matrix.pdb"
+  "test_vector_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

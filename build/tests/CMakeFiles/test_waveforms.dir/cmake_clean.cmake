@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waveforms.dir/test_waveforms.cpp.o"
+  "CMakeFiles/test_waveforms.dir/test_waveforms.cpp.o.d"
+  "test_waveforms"
+  "test_waveforms.pdb"
+  "test_waveforms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
