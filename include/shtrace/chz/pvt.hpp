@@ -13,8 +13,7 @@
 
 #include "shtrace/cells/mos_library.hpp"
 #include "shtrace/cells/register_fixture.hpp"
-#include "shtrace/chz/independent.hpp"
-#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/run_config.hpp"
 
 namespace shtrace {
 
@@ -25,21 +24,33 @@ using CornerFixtureBuilder =
 struct PvtCornerResult {
     std::string corner;
     bool success = false;
+    std::string failureReason;
     double characteristicClockToQ = 0.0;
     double setupTime = 0.0;  ///< independent, hold pinned large
     double holdTime = 0.0;   ///< independent, setup pinned large
-    int transientCount = 0;
+    int transientCount = 0;  ///< = stats.transientSolves of the two searches
+    /// Full cost of this corner (criterion + both searches), so corner
+    /// sweeps are cost-comparable with library rows.
+    SimStats stats;
 };
 
-struct PvtSweepOptions {
-    CriterionOptions criterion;
-    SimulationRecipe recipe;
-    IndependentOptions independent;
-};
+/// DEPRECATED alias: the sweep now takes the unified RunConfig.
+using PvtSweepOptions = RunConfig;
 
+/// Corner rows in input order plus the merged sweep cost.
+using PvtSweepResult = BatchResult<PvtCornerResult>;
+
+/// Characterizes every corner; failures are reported per row, never
+/// thrown. Corners run in parallel on config.parallel.threads workers.
+PvtSweepResult sweepPvtCorners(const std::vector<ProcessCorner>& corners,
+                               const CornerFixtureBuilder& builder,
+                               const RunConfig& config = {});
+
+/// DEPRECATED overload (one release): stats out-param instead of the
+/// result-embedded SimStats. Forwards to the RunConfig entry point.
 std::vector<PvtCornerResult> sweepPvtCorners(
     const std::vector<ProcessCorner>& corners,
-    const CornerFixtureBuilder& builder, const PvtSweepOptions& options = {},
-    SimStats* stats = nullptr);
+    const CornerFixtureBuilder& builder, const RunConfig& config,
+    SimStats* stats);
 
 }  // namespace shtrace

@@ -1,0 +1,114 @@
+// shtrace -- the one options bundle every batch driver shares.
+//
+// Historically each batch entry point grew its own bundle
+// (LibraryFlowOptions, PvtSweepOptions, CharacterizeOptions, ...) holding
+// the same criterion/recipe/independent/seed/tracer fields in different
+// subsets. RunConfig unifies them: one struct, one fluent builder, plus
+// the ParallelOptions knob that all drivers now honour. The legacy names
+// survive as thin aliases (see library.hpp / pvt.hpp / characterize.hpp)
+// so existing call sites compile unchanged; new code should spell
+// RunConfig.
+//
+// RunContext is the per-run execution state a driver derives from its
+// config: the resolved worker count and the per-job SimStats arena whose
+// deterministic (job-order) merge makes batch cost totals independent of
+// the thread count.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "shtrace/chz/independent.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/seed.hpp"
+#include "shtrace/chz/tracer.hpp"
+#include "shtrace/util/parallel.hpp"
+
+namespace shtrace {
+
+struct RunConfig {
+    CriterionOptions criterion;      ///< per-cell criteria override this
+    SimulationRecipe recipe;
+    IndependentOptions independent;  ///< scalar-Newton setup/hold search
+    SeedOptions seed;                ///< contour seed search (Fig. 7)
+    TracerOptions tracer;            ///< Euler-Newton contour tracing
+    ParallelOptions parallel;        ///< worker pool (threads=1: serial)
+    bool traceContours = true;       ///< false: independent numbers only
+    ProgressCallback onJobDone;      ///< optional batch observability hook
+
+    static RunConfig defaults() { return RunConfig{}; }
+
+    RunConfig& withCriterion(const CriterionOptions& value) {
+        criterion = value;
+        return *this;
+    }
+    RunConfig& withRecipe(const SimulationRecipe& value) {
+        recipe = value;
+        return *this;
+    }
+    RunConfig& withIndependent(const IndependentOptions& value) {
+        independent = value;
+        return *this;
+    }
+    RunConfig& withSeedSearch(const SeedOptions& value) {
+        seed = value;
+        return *this;
+    }
+    RunConfig& withTracer(const TracerOptions& value) {
+        tracer = value;
+        return *this;
+    }
+    RunConfig& withParallel(const ParallelOptions& value) {
+        parallel = value;
+        return *this;
+    }
+    RunConfig& withThreads(int threads) {
+        parallel.threads = threads;
+        return *this;
+    }
+    RunConfig& withChunk(int chunk) {
+        parallel.chunk = chunk;
+        return *this;
+    }
+    RunConfig& withContours(bool enabled) {
+        traceContours = enabled;
+        return *this;
+    }
+    RunConfig& withProgress(ProgressCallback callback) {
+        onJobDone = std::move(callback);
+        return *this;
+    }
+};
+
+/// Per-run state shared by the batch drivers: the resolved worker count
+/// and one SimStats slot per job. Jobs accumulate into their own slot (no
+/// sharing), and mergedStats() folds the slots in job order, so counter
+/// totals are byte-identical for any thread count.
+class RunContext {
+public:
+    RunContext(const RunConfig& config, std::size_t jobCount)
+        : config_(config),
+          threads_(resolveThreadCount(config.parallel.threads, jobCount)),
+          jobStats_(jobCount) {}
+
+    const RunConfig& config() const { return config_; }
+    int threads() const { return threads_; }
+    std::size_t jobCount() const { return jobStats_.size(); }
+    SimStats& jobStats(std::size_t job) { return jobStats_[job]; }
+
+    SimStats mergedStats() const {
+        SimStats total;
+        for (const SimStats& s : jobStats_) {
+            total.merge(s);
+        }
+        return total;
+    }
+
+private:
+    const RunConfig& config_;
+    int threads_;
+    std::vector<SimStats> jobStats_;
+};
+
+}  // namespace shtrace

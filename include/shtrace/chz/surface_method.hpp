@@ -7,7 +7,11 @@
 // points; accuracy limited by grid interpolation.
 #pragma once
 
+#include <functional>
+
+#include "shtrace/cells/register_fixture.hpp"
 #include "shtrace/chz/h_function.hpp"
+#include "shtrace/chz/run_config.hpp"
 #include "shtrace/measure/contour.hpp"
 
 namespace shtrace {
@@ -26,12 +30,31 @@ struct SurfaceMethodResult {
     /// Level-set polylines at the criterion height r.
     std::vector<ContourPolyline> contours;
     int transientCount = 0;
+    /// Cost of the grid transients (the criterion setup of per-worker
+    /// problems in the parallel overload is excluded, so totals are
+    /// byte-identical for any thread count).
+    SimStats stats;
 };
 
 /// Runs the full grid (setupPoints x holdPoints transients) and extracts
-/// the r-level contour.
+/// the r-level contour. Serial: evaluating h retunes the fixture's shared
+/// data pulse, so a single HFunction cannot be driven from several
+/// threads -- use the fixture-source overload below to parallelize.
 SurfaceMethodResult runSurfaceMethod(const HFunction& h,
                                      const SurfaceMethodOptions& options = {},
                                      SimStats* stats = nullptr);
+
+/// Builds one identical fixture per worker (the source must be a pure
+/// factory returning the same register each call).
+using FixtureSource = std::function<RegisterFixture()>;
+
+/// Parallel grid: each worker builds its own fixture + characterization
+/// problem from `source` and sweeps whole grid rows, so transients run
+/// concurrently without sharing a data pulse. Grid values, contours and
+/// counter totals are byte-identical to the serial overload. Throws Error
+/// when any grid transient fails (same contract as the serial overload).
+SurfaceMethodResult runSurfaceMethod(const FixtureSource& source,
+                                     const RunConfig& config,
+                                     const SurfaceMethodOptions& options = {});
 
 }  // namespace shtrace

@@ -1,0 +1,84 @@
+// shtrace -- fixed-size worker-pool executor for batch characterization.
+//
+// The paper's economic motivation is an embarrassingly parallel workload:
+// setup/hold is characterized "for every register of every standard cell
+// library ... for all PVT corners", and every cell/corner/sample job is
+// independent. This executor is the one scheduling primitive all batch
+// drivers (characterizeLibrary, sweepPvtCorners, runMonteCarlo, the
+// surface grid) share:
+//
+//   * deterministic result ordering -- job i writes slot i, so results are
+//     identical for any thread count;
+//   * per-job exception capture -- a poisoned job fails its own row (the
+//     failureReason pattern), never the batch;
+//   * per-worker/per-job SimStats accumulation merged at join -- no shared
+//     mutable counters on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "shtrace/util/stats.hpp"
+
+namespace shtrace {
+
+/// How a batch driver spreads its jobs over threads.
+struct ParallelOptions {
+    /// Worker count; 0 = hardware concurrency, 1 (default) = serial in the
+    /// calling thread (no pool, bit-for-bit the historical behaviour).
+    int threads = 1;
+    /// Jobs claimed per counter grab. 1 (default) balances best when jobs
+    /// are heavyweight transients; raise it for many tiny jobs.
+    int chunk = 1;
+};
+
+/// Observability hook: called after job `jobIndex` (0-based) of
+/// `totalJobs` completes. Invocations are serialized under a mutex but may
+/// come from any worker thread and in any job order.
+using ProgressCallback =
+    std::function<void(std::size_t jobIndex, std::size_t totalJobs)>;
+
+/// The worker count parallelRun will actually use: `requested` clamped to
+/// [1, jobCount], with 0 resolving to std::thread::hardware_concurrency().
+int resolveThreadCount(int requested, std::size_t jobCount) noexcept;
+
+/// Runs body(job, worker) for every job in [0, jobCount) on
+/// resolveThreadCount(options.threads, jobCount) workers; worker indices
+/// are in [0, threads). Blocks until all jobs finish. The body must not
+/// throw: an escaped exception stops the remaining jobs and is rethrown as
+/// Error after the join (a defensive net, not a control-flow path -- batch
+/// drivers catch per job and stamp failureReason instead).
+void parallelRun(std::size_t jobCount,
+                 const std::function<void(std::size_t job,
+                                          std::size_t worker)>& body,
+                 const ParallelOptions& options = {},
+                 const ProgressCallback& onJobDone = {});
+
+/// Rows plus the merged cost of producing them. Duck-types as a container
+/// (and converts to the row vector) so pre-RunConfig call sites that did
+/// `const auto rows = driver(...)` keep compiling.
+template <typename Row>
+struct BatchResult {
+    std::vector<Row> rows;
+    /// Merged across jobs in job order: counter totals are identical for
+    /// any thread count (wallSeconds is a timing measurement and is not).
+    SimStats stats;
+
+    std::size_t size() const { return rows.size(); }
+    bool empty() const { return rows.empty(); }
+    Row& operator[](std::size_t i) { return rows[i]; }
+    const Row& operator[](std::size_t i) const { return rows[i]; }
+    typename std::vector<Row>::iterator begin() { return rows.begin(); }
+    typename std::vector<Row>::iterator end() { return rows.end(); }
+    typename std::vector<Row>::const_iterator begin() const {
+        return rows.begin();
+    }
+    typename std::vector<Row>::const_iterator end() const {
+        return rows.end();
+    }
+    operator const std::vector<Row>&() const { return rows; }  // NOLINT
+};
+
+}  // namespace shtrace

@@ -34,6 +34,12 @@ struct SimStats {
         return a;
     }
 
+    /// Folds another accumulator into this one. Counter totals are
+    /// associative and order-independent; parallel batch drivers accumulate
+    /// into per-worker/per-job instances and merge at join, so the hot path
+    /// never shares mutable counters across threads.
+    void merge(const SimStats& other) noexcept { *this += other; }
+
     void reset() noexcept { *this = SimStats{}; }
 };
 

@@ -62,31 +62,60 @@ MonteCarloResult runMonteCarlo(const ProcessCorner& nominal,
     MonteCarloResult result;
     result.samplesRequested = opt.samples;
 
-    for (int i = 0; i < opt.samples; ++i) {
-        const ProcessCorner corner =
-            sampleCorner(nominal, opt.variation, opt.seed, i);
-        try {
-            const RegisterFixture fixture = builder(corner);
-            const CharacterizationProblem problem(fixture, opt.criterion,
-                                                  opt.recipe, stats);
-            const IndependentResult setup = characterizeByNewton(
-                problem.h(), SkewAxis::Setup, problem.passSign(),
-                opt.independent, stats);
-            const IndependentResult hold = characterizeByNewton(
-                problem.h(), SkewAxis::Hold, problem.passSign(),
-                opt.independent, stats);
-            if (!setup.converged || !hold.converged) {
-                continue;
+    // One slot per sample: workers fill their own slot, the compaction
+    // below walks them in sample order, so the distributions are
+    // independent of how jobs were scheduled over threads.
+    struct SampleSlot {
+        bool converged = false;
+        double setupTime = 0.0;
+        double holdTime = 0.0;
+        double clockToQ = 0.0;
+    };
+    const std::size_t jobs = static_cast<std::size_t>(opt.samples);
+    std::vector<SampleSlot> slots(jobs);
+    RunContext context(opt, jobs);
+
+    parallelRun(
+        jobs,
+        [&](std::size_t job, std::size_t /*worker*/) {
+            SimStats& jobStats = context.jobStats(job);
+            try {
+                const ProcessCorner corner = sampleCorner(
+                    nominal, opt.variation, opt.seed, static_cast<int>(job));
+                const RegisterFixture fixture = builder(corner);
+                const CharacterizationProblem problem(fixture, opt.criterion,
+                                                      opt.recipe, &jobStats);
+                const IndependentResult setup = characterizeByNewton(
+                    problem.h(), SkewAxis::Setup, problem.passSign(),
+                    opt.independent, &jobStats);
+                const IndependentResult hold = characterizeByNewton(
+                    problem.h(), SkewAxis::Hold, problem.passSign(),
+                    opt.independent, &jobStats);
+                if (!setup.converged || !hold.converged) {
+                    return;
+                }
+                slots[job] = SampleSlot{true, setup.skew, hold.skew,
+                                        problem.characteristicClockToQ()};
+            } catch (const std::exception&) {
+                // A pathological sample (e.g. vt beyond the supply) is
+                // reported through the converged count, not by aborting
+                // the whole study.
             }
-            result.setupTimes.push_back(setup.skew);
-            result.holdTimes.push_back(hold.skew);
-            result.clockToQs.push_back(problem.characteristicClockToQ());
-            ++result.samplesConverged;
-        } catch (const Error&) {
-            // A pathological sample (e.g. vt beyond the supply) is
-            // reported through the converged count, not by aborting the
-            // whole study.
+        },
+        opt.parallel, opt.onJobDone);
+
+    for (const SampleSlot& slot : slots) {
+        if (!slot.converged) {
+            continue;
         }
+        result.setupTimes.push_back(slot.setupTime);
+        result.holdTimes.push_back(slot.holdTime);
+        result.clockToQs.push_back(slot.clockToQ);
+        ++result.samplesConverged;
+    }
+    result.stats = context.mergedStats();
+    if (stats != nullptr) {
+        *stats += result.stats;  // deprecated out-param path
     }
     result.setup = summarize(result.setupTimes);
     result.hold = summarize(result.holdTimes);

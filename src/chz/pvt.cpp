@@ -1,42 +1,78 @@
 #include "shtrace/chz/pvt.hpp"
 
+#include "shtrace/util/error.hpp"
+
 namespace shtrace {
+
+namespace {
+
+PvtCornerResult characterizeCorner(const ProcessCorner& corner,
+                                   const CornerFixtureBuilder& builder,
+                                   const RunConfig& config) {
+    PvtCornerResult row;
+    row.corner = corner.name;
+    ScopedTimer timer(&row.stats);
+    try {
+        const RegisterFixture fixture = builder(corner);
+        const CharacterizationProblem problem(fixture, config.criterion,
+                                              config.recipe, &row.stats);
+        row.characteristicClockToQ = problem.characteristicClockToQ();
+
+        const IndependentResult setup = characterizeByNewton(
+            problem.h(), SkewAxis::Setup, problem.passSign(),
+            config.independent, &row.stats);
+        const IndependentResult hold = characterizeByNewton(
+            problem.h(), SkewAxis::Hold, problem.passSign(),
+            config.independent, &row.stats);
+        row.setupTime = setup.skew;
+        row.holdTime = hold.skew;
+        row.transientCount = setup.transientCount + hold.transientCount;
+        row.success = setup.converged && hold.converged;
+        if (!row.success) {
+            row.failureReason = "independent characterization diverged";
+        }
+    } catch (const Error& e) {
+        row.success = false;
+        row.failureReason = e.what();
+    }
+    return row;
+}
+
+}  // namespace
+
+PvtSweepResult sweepPvtCorners(const std::vector<ProcessCorner>& corners,
+                               const CornerFixtureBuilder& builder,
+                               const RunConfig& config) {
+    PvtSweepResult result;
+    result.rows.resize(corners.size());
+    parallelRun(
+        corners.size(),
+        [&](std::size_t job, std::size_t /*worker*/) {
+            try {
+                result.rows[job] =
+                    characterizeCorner(corners[job], builder, config);
+            } catch (const std::exception& e) {
+                result.rows[job].corner = corners[job].name;
+                result.rows[job].success = false;
+                result.rows[job].failureReason = e.what();
+            }
+        },
+        config.parallel, config.onJobDone);
+    for (const PvtCornerResult& row : result.rows) {
+        result.stats.merge(row.stats);
+    }
+    return result;
+}
 
 std::vector<PvtCornerResult> sweepPvtCorners(
     const std::vector<ProcessCorner>& corners,
-    const CornerFixtureBuilder& builder, const PvtSweepOptions& options,
+    const CornerFixtureBuilder& builder, const RunConfig& config,
     SimStats* stats) {
-    std::vector<PvtCornerResult> results;
-    results.reserve(corners.size());
-    for (const ProcessCorner& corner : corners) {
-        PvtCornerResult row;
-        row.corner = corner.name;
-        SimStats local;
-        try {
-            const RegisterFixture fixture = builder(corner);
-            const CharacterizationProblem problem(fixture, options.criterion,
-                                                  options.recipe, &local);
-            row.characteristicClockToQ = problem.characteristicClockToQ();
-
-            const IndependentResult setup = characterizeByNewton(
-                problem.h(), SkewAxis::Setup, problem.passSign(),
-                options.independent, &local);
-            const IndependentResult hold = characterizeByNewton(
-                problem.h(), SkewAxis::Hold, problem.passSign(),
-                options.independent, &local);
-            row.setupTime = setup.skew;
-            row.holdTime = hold.skew;
-            row.transientCount = setup.transientCount + hold.transientCount;
-            row.success = setup.converged && hold.converged;
-        } catch (const Error&) {
-            row.success = false;
-        }
-        if (stats != nullptr) {
-            *stats += local;
-        }
-        results.push_back(row);
+    PvtSweepResult result = sweepPvtCorners(corners, builder, config);
+    if (stats != nullptr) {
+        *stats += result.stats;
     }
-    return results;
+    return std::move(result.rows);
 }
 
 }  // namespace shtrace

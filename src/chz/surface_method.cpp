@@ -1,10 +1,13 @@
 #include "shtrace/chz/surface_method.hpp"
 
+#include <memory>
+
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
 
 namespace {
+
 std::vector<double> linspace(double lo, double hi, int n) {
     require(n >= 2 && hi > lo, "runSurfaceMethod: bad axis spec");
     std::vector<double> out(static_cast<std::size_t>(n));
@@ -15,31 +18,102 @@ std::vector<double> linspace(double lo, double hi, int n) {
     }
     return out;
 }
+
+OutputSurface makeGrid(const SurfaceMethodOptions& opt) {
+    return OutputSurface(
+        linspace(opt.setupMin, opt.setupMax, opt.setupPoints),
+        linspace(opt.holdMin, opt.holdMax, opt.holdPoints));
+}
+
+/// Fills one grid row i of `surface` with the raw output c^T x(t_f); the
+/// contour level is r, i.e. h = 0.
+void fillRow(OutputSurface& surface, std::size_t i, const HFunction& h,
+             SimStats* stats) {
+    for (std::size_t j = 0; j < surface.holdCount(); ++j) {
+        const HEvaluation eval = h.evaluateValueOnly(
+            surface.setupAt(i), surface.holdAt(j), stats);
+        require(eval.success,
+                "runSurfaceMethod: transient failed at grid point (",
+                surface.setupAt(i), ", ", surface.holdAt(j), ")");
+        surface.setValue(i, j, eval.h + h.r());
+    }
+}
+
 }  // namespace
 
 SurfaceMethodResult runSurfaceMethod(const HFunction& h,
                                      const SurfaceMethodOptions& opt,
                                      SimStats* stats) {
-    SurfaceMethodResult result{
-        OutputSurface(linspace(opt.setupMin, opt.setupMax, opt.setupPoints),
-                      linspace(opt.holdMin, opt.holdMax, opt.holdPoints)),
-        {},
-        0};
+    SurfaceMethodResult result{makeGrid(opt), {}, 0, SimStats{}};
     OutputSurface& surface = result.surface;
     for (std::size_t i = 0; i < surface.setupCount(); ++i) {
-        for (std::size_t j = 0; j < surface.holdCount(); ++j) {
-            const HEvaluation eval = h.evaluateValueOnly(
-                surface.setupAt(i), surface.holdAt(j), stats);
-            require(eval.success,
-                    "runSurfaceMethod: transient failed at grid point (",
-                    surface.setupAt(i), ", ", surface.holdAt(j), ")");
-            // Store the raw output c^T x(t_f); the contour level is r,
-            // i.e. h = 0.
-            surface.setValue(i, j, eval.h + h.r());
-            ++result.transientCount;
-        }
+        fillRow(surface, i, h, &result.stats);
+    }
+    result.transientCount =
+        static_cast<int>(surface.setupCount() * surface.holdCount());
+    if (stats != nullptr) {
+        *stats += result.stats;
     }
     result.contours = extractLevelContours(surface, h.r());
+    return result;
+}
+
+SurfaceMethodResult runSurfaceMethod(const FixtureSource& source,
+                                     const RunConfig& config,
+                                     const SurfaceMethodOptions& opt) {
+    require(source != nullptr, "runSurfaceMethod: null fixture source");
+    SurfaceMethodResult result{makeGrid(opt), {}, 0, SimStats{}};
+    OutputSurface& surface = result.surface;
+
+    // Worker-local evaluation context: evaluating h retunes the fixture's
+    // shared data pulse, so every worker needs its own fixture + problem.
+    // The criterion computation is deterministic, so all workers derive
+    // the same (t_f, r) and the grid is byte-identical to the serial path.
+    struct Worker {
+        RegisterFixture fixture;
+        CharacterizationProblem problem;
+        SimStats stats;
+
+        Worker(const FixtureSource& source, const RunConfig& config)
+            : fixture(source()),
+              // Setup cost excluded from the batch stats: it scales with
+              // the worker count, not with the grid.
+              problem(fixture, config.criterion, config.recipe, nullptr) {}
+    };
+    const std::size_t rows = surface.setupCount();
+    const int threads = resolveThreadCount(config.parallel.threads, rows);
+    std::vector<std::unique_ptr<Worker>> workers(
+        static_cast<std::size_t>(threads));
+
+    parallelRun(
+        rows,
+        [&](std::size_t i, std::size_t workerIndex) {
+            // Lazily build the context on the worker's first job; each
+            // worker only ever touches its own slot.
+            std::unique_ptr<Worker>& slot = workers[workerIndex];
+            if (slot == nullptr) {
+                slot = std::make_unique<Worker>(source, config);
+            }
+            fillRow(surface, i, slot->problem.h(), &slot->stats);
+        },
+        config.parallel, config.onJobDone);
+
+    double r = 0.0;
+    bool haveR = false;
+    for (const std::unique_ptr<Worker>& worker : workers) {
+        if (worker == nullptr) {
+            continue;
+        }
+        result.stats.merge(worker->stats);
+        if (!haveR) {
+            r = worker->problem.r();
+            haveR = true;
+        }
+    }
+    require(haveR, "runSurfaceMethod: no grid rows were evaluated");
+    result.transientCount =
+        static_cast<int>(surface.setupCount() * surface.holdCount());
+    result.contours = extractLevelContours(surface, r);
     return result;
 }
 

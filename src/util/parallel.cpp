@@ -1,0 +1,106 @@
+#include "shtrace/util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+int resolveThreadCount(int requested, std::size_t jobCount) noexcept {
+    int threads = requested;
+    if (threads <= 0) {
+        const unsigned hc = std::thread::hardware_concurrency();
+        threads = hc == 0 ? 1 : static_cast<int>(hc);
+    }
+    if (jobCount < static_cast<std::size_t>(threads)) {
+        threads = static_cast<int>(jobCount);
+    }
+    return std::max(threads, 1);
+}
+
+void parallelRun(std::size_t jobCount,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 const ParallelOptions& options,
+                 const ProgressCallback& onJobDone) {
+    if (jobCount == 0) {
+        return;
+    }
+    require(body != nullptr, "parallelRun: null job body");
+    const int threads = resolveThreadCount(options.threads, jobCount);
+    const std::size_t chunk =
+        options.chunk < 1 ? 1 : static_cast<std::size_t>(options.chunk);
+
+    if (threads == 1) {
+        // Serial fast path: no pool, no atomics -- the historical batch
+        // loop, byte for byte.
+        for (std::size_t job = 0; job < jobCount; ++job) {
+            body(job, 0);
+            if (onJobDone) {
+                onJobDone(job, jobCount);
+            }
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+    std::mutex mutex;  // guards firstFailure and serializes onJobDone
+    std::string firstFailure;
+
+    const auto workerLoop = [&](std::size_t worker) {
+        for (;;) {
+            if (stop.load(std::memory_order_relaxed)) {
+                return;
+            }
+            const std::size_t start =
+                next.fetch_add(chunk, std::memory_order_relaxed);
+            if (start >= jobCount) {
+                return;
+            }
+            const std::size_t end = std::min(jobCount, start + chunk);
+            for (std::size_t job = start; job < end; ++job) {
+                try {
+                    body(job, worker);
+                } catch (const std::exception& e) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (firstFailure.empty()) {
+                        firstFailure = e.what();
+                    }
+                    stop.store(true, std::memory_order_relaxed);
+                    return;
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (firstFailure.empty()) {
+                        firstFailure = "non-standard exception";
+                    }
+                    stop.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                if (onJobDone) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    onJobDone(job, jobCount);
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads) - 1);
+    for (int worker = 1; worker < threads; ++worker) {
+        pool.emplace_back(workerLoop, static_cast<std::size_t>(worker));
+    }
+    workerLoop(0);
+    for (std::thread& t : pool) {
+        t.join();
+    }
+    if (!firstFailure.empty()) {
+        throw Error(
+            message("parallelRun: job threw out of the batch: ",
+                    firstFailure));
+    }
+}
+
+}  // namespace shtrace

@@ -1,0 +1,363 @@
+// Tests for the parallel batch-characterization engine: the worker-pool
+// executor, SimStats::merge, the unified RunConfig API, and the
+// determinism guarantee (threads=N produces byte-identical rows, contours
+// and counter totals to threads=1).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/characterize.hpp"
+#include "shtrace/chz/library.hpp"
+#include "shtrace/chz/monte_carlo.hpp"
+#include "shtrace/chz/pvt.hpp"
+#include "shtrace/chz/surface_method.hpp"
+#include "shtrace/util/parallel.hpp"
+
+namespace shtrace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SimStats::merge
+
+SimStats statsWith(std::uint64_t transients, std::uint64_t steps,
+                   double wall) {
+    SimStats s;
+    s.transientSolves = transients;
+    s.timeSteps = steps;
+    s.wallSeconds = wall;
+    return s;
+}
+
+TEST(SimStatsMerge, MatchesPlusAndIsAssociative) {
+    const SimStats a = statsWith(1, 10, 0.5);
+    const SimStats b = statsWith(2, 20, 0.25);
+    const SimStats c = statsWith(4, 40, 0.125);
+
+    SimStats viaMerge = a;
+    viaMerge.merge(b);
+    const SimStats viaPlus = a + b;
+    EXPECT_EQ(viaMerge.transientSolves, viaPlus.transientSolves);
+    EXPECT_EQ(viaMerge.timeSteps, viaPlus.timeSteps);
+    EXPECT_DOUBLE_EQ(viaMerge.wallSeconds, viaPlus.wallSeconds);
+
+    // (a+b)+c == a+(b+c) on every counter.
+    SimStats left = a;
+    left.merge(b);
+    left.merge(c);
+    SimStats bc = b;
+    bc.merge(c);
+    SimStats right = a;
+    right.merge(bc);
+    EXPECT_EQ(left.transientSolves, right.transientSolves);
+    EXPECT_EQ(left.timeSteps, right.timeSteps);
+    EXPECT_DOUBLE_EQ(left.wallSeconds, right.wallSeconds);
+}
+
+// ---------------------------------------------------------------------------
+// parallelRun core
+
+TEST(ParallelRun, ResolveThreadCountClampsAndResolvesZero) {
+    EXPECT_EQ(resolveThreadCount(3, 100), 3);
+    EXPECT_EQ(resolveThreadCount(8, 2), 2);   // never more workers than jobs
+    EXPECT_EQ(resolveThreadCount(1, 0), 1);
+    EXPECT_GE(resolveThreadCount(0, 100), 1); // 0 = hardware concurrency
+}
+
+TEST(ParallelRun, ExecutesEveryJobExactlyOnce) {
+    const std::size_t n = 137;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) {
+        h.store(0);
+    }
+    ParallelOptions opt;
+    opt.threads = 8;
+    opt.chunk = 3;
+    parallelRun(
+        n, [&](std::size_t job, std::size_t) { ++hits[job]; }, opt);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+    }
+}
+
+TEST(ParallelRun, WorkerIndicesStayInRange) {
+    ParallelOptions opt;
+    opt.threads = 4;
+    std::atomic<bool> inRange{true};
+    parallelRun(
+        64,
+        [&](std::size_t, std::size_t worker) {
+            if (worker >= 4) {
+                inRange = false;
+            }
+        },
+        opt);
+    EXPECT_TRUE(inRange.load());
+}
+
+TEST(ParallelRun, ProgressCallbackReportsEveryJobSerialized) {
+    const std::size_t n = 50;
+    ParallelOptions opt;
+    opt.threads = 8;
+    std::set<std::size_t> seen;  // mutated inside the serialized callback
+    std::size_t total = 0;
+    parallelRun(
+        n, [](std::size_t, std::size_t) {}, opt,
+        [&](std::size_t job, std::size_t totalJobs) {
+            seen.insert(job);
+            total = totalJobs;
+        });
+    EXPECT_EQ(seen.size(), n);
+    EXPECT_EQ(total, n);
+}
+
+TEST(ParallelRun, EscapedExceptionIsRethrownAsErrorAfterJoin) {
+    ParallelOptions opt;
+    opt.threads = 4;
+    EXPECT_THROW(parallelRun(
+                     16,
+                     [&](std::size_t job, std::size_t) {
+                         if (job == 5) {
+                             throw std::runtime_error("grid point exploded");
+                         }
+                     },
+                     opt),
+                 Error);
+}
+
+// ---------------------------------------------------------------------------
+// RunConfig fluent builder and legacy aliases
+
+TEST(RunConfig, FluentBuilderSetsEveryKnob) {
+    CriterionOptions crit;
+    crit.transitionFraction = 0.9;
+    TracerOptions tracer;
+    tracer.maxPoints = 7;
+    const RunConfig cfg = RunConfig::defaults()
+                              .withThreads(8)
+                              .withChunk(2)
+                              .withCriterion(crit)
+                              .withTracer(tracer)
+                              .withContours(false);
+    EXPECT_EQ(cfg.parallel.threads, 8);
+    EXPECT_EQ(cfg.parallel.chunk, 2);
+    EXPECT_DOUBLE_EQ(cfg.criterion.transitionFraction, 0.9);
+    EXPECT_EQ(cfg.tracer.maxPoints, 7);
+    EXPECT_FALSE(cfg.traceContours);
+}
+
+TEST(RunConfig, LegacyOptionBundlesStillCompile) {
+    LibraryFlowOptions lib;  // = RunConfig
+    lib.traceContours = false;
+    lib.tracer.maxPoints = 5;
+    PvtSweepOptions pvt;  // = RunConfig
+    pvt.independent.maxIterations = 10;
+    CharacterizeOptions chz;  // = RunConfig
+    chz.seed.maxBisections = 12;
+    MonteCarloOptions mc;  // derives from RunConfig; seed shadows RNG seed
+    mc.samples = 4;
+    mc.seed = 99;
+    mc.parallel.threads = 2;
+    EXPECT_FALSE(lib.traceContours);
+    EXPECT_EQ(static_cast<RunConfig&>(mc).parallel.threads, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-driver determinism and failure isolation on the TSPC fixture
+
+std::vector<LibraryCell> tspcLibrary() {
+    const auto tspcAt = [](double load) {
+        return [load] {
+            TspcOptions opt;
+            opt.outputLoadCapacitance = load;
+            return buildTspcRegister(opt);
+        };
+    };
+    return {
+        LibraryCell{"TSPC_X1", tspcAt(20e-15), CriterionOptions{}},
+        LibraryCell{"TSPC_X2", tspcAt(40e-15), CriterionOptions{}},
+        LibraryCell{"TSPC_X4", tspcAt(80e-15), CriterionOptions{}},
+    };
+}
+
+RunConfig fastConfig(int threads) {
+    RunConfig cfg = RunConfig::defaults().withThreads(threads);
+    cfg.tracer.maxPoints = 6;
+    cfg.tracer.bounds = SkewBounds{80e-12, 900e-12, 40e-12, 700e-12};
+    return cfg;
+}
+
+void expectRowsIdentical(const LibraryRow& a, const LibraryRow& b) {
+    EXPECT_EQ(a.cell, b.cell);
+    EXPECT_EQ(a.success, b.success);
+    // Byte-identical, not approximately equal: the same jobs run the same
+    // FP instruction streams regardless of the thread count.
+    EXPECT_EQ(a.characteristicClockToQ, b.characteristicClockToQ);
+    EXPECT_EQ(a.setupTime, b.setupTime);
+    EXPECT_EQ(a.holdTime, b.holdTime);
+    ASSERT_EQ(a.contour.size(), b.contour.size());
+    for (std::size_t i = 0; i < a.contour.size(); ++i) {
+        EXPECT_EQ(a.contour[i].setup, b.contour[i].setup);
+        EXPECT_EQ(a.contour[i].hold, b.contour[i].hold);
+    }
+    EXPECT_EQ(a.stats.transientSolves, b.stats.transientSolves);
+    EXPECT_EQ(a.stats.newtonIterations, b.stats.newtonIterations);
+    EXPECT_EQ(a.stats.hEvaluations, b.stats.hEvaluations);
+}
+
+TEST(ParallelLibrary, ThreadsEightMatchesThreadsOneByteForByte) {
+    const LibraryResult serial =
+        characterizeLibrary(tspcLibrary(), fastConfig(1));
+    const LibraryResult parallel =
+        characterizeLibrary(tspcLibrary(), fastConfig(8));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(serial[i].success) << serial[i].failureReason;
+        expectRowsIdentical(serial[i], parallel[i]);
+    }
+    EXPECT_EQ(serial.stats.transientSolves, parallel.stats.transientSolves);
+    EXPECT_EQ(serial.stats.newtonIterations,
+              parallel.stats.newtonIterations);
+    EXPECT_EQ(serial.stats.hEvaluations, parallel.stats.hEvaluations);
+    EXPECT_GT(serial.stats.transientSolves, 0u);
+}
+
+TEST(ParallelLibrary, PoisonedCellFailsItsRowOthersSucceed) {
+    std::vector<LibraryCell> cells = tspcLibrary();
+    // A non-Error exception: characterizeOne only catches Error, so this
+    // exercises the pool's own per-job capture net.
+    cells[1].build = []() -> RegisterFixture {
+        throw std::runtime_error("poisoned cell fixture");
+    };
+    RunConfig cfg = fastConfig(4);
+    cfg.traceContours = false;
+    const LibraryResult rows = characterizeLibrary(cells, cfg);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_TRUE(rows[0].success) << rows[0].failureReason;
+    EXPECT_FALSE(rows[1].success);
+    EXPECT_NE(rows[1].failureReason.find("poisoned"), std::string::npos);
+    EXPECT_TRUE(rows[2].success) << rows[2].failureReason;
+}
+
+TEST(ParallelLibrary, ProgressCallbackSeesEveryCell) {
+    RunConfig cfg = fastConfig(4);
+    cfg.traceContours = false;
+    std::set<std::size_t> seen;
+    cfg.onJobDone = [&](std::size_t job, std::size_t total) {
+        seen.insert(job);
+        EXPECT_EQ(total, 3u);
+    };
+    const LibraryResult rows = characterizeLibrary(tspcLibrary(), cfg);
+    EXPECT_EQ(rows.size(), 3u);
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+CornerFixtureBuilder tspcCornerBuilder() {
+    return [](const ProcessCorner& corner) {
+        TspcOptions opt;
+        opt.corner = corner;
+        return buildTspcRegister(opt);
+    };
+}
+
+TEST(ParallelPvt, DeterministicAndCarriesFullStatsPerCorner) {
+    const std::vector<ProcessCorner> corners{ProcessCorner::typical(),
+                                             ProcessCorner::fast(),
+                                             ProcessCorner::slow()};
+    const PvtSweepResult serial = sweepPvtCorners(
+        corners, tspcCornerBuilder(), RunConfig::defaults().withThreads(1));
+    const PvtSweepResult parallel = sweepPvtCorners(
+        corners, tspcCornerBuilder(), RunConfig::defaults().withThreads(4));
+    ASSERT_EQ(serial.size(), 3u);
+    ASSERT_EQ(parallel.size(), 3u);
+    SimStats rowSum;
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(serial[i].success) << serial[i].failureReason;
+        EXPECT_EQ(serial[i].setupTime, parallel[i].setupTime);
+        EXPECT_EQ(serial[i].holdTime, parallel[i].holdTime);
+        EXPECT_EQ(serial[i].characteristicClockToQ,
+                  parallel[i].characteristicClockToQ);
+        // The bugfix: corners now carry the full SimStats, not just a
+        // transient count, so sweeps are cost-comparable with library rows.
+        EXPECT_GT(serial[i].stats.transientSolves, 0u);
+        EXPECT_GT(serial[i].stats.newtonIterations, 0u);
+        EXPECT_EQ(serial[i].stats.transientSolves,
+                  parallel[i].stats.transientSolves);
+        rowSum.merge(serial[i].stats);
+    }
+    EXPECT_EQ(serial.stats.transientSolves, rowSum.transientSolves);
+    EXPECT_EQ(serial.stats.transientSolves, parallel.stats.transientSolves);
+}
+
+TEST(ParallelPvt, DeprecatedOutParamOverloadStillWorks) {
+    const std::vector<ProcessCorner> corners{ProcessCorner::typical()};
+    SimStats stats;
+    const std::vector<PvtCornerResult> rows =
+        sweepPvtCorners(corners, tspcCornerBuilder(), {}, &stats);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_TRUE(rows[0].success);
+    EXPECT_GT(stats.transientSolves, 0u);
+    EXPECT_EQ(stats.transientSolves, rows[0].stats.transientSolves);
+}
+
+TEST(ParallelMonteCarlo, DeterministicAcrossThreadCounts) {
+    MonteCarloOptions opt;
+    opt.samples = 6;
+    opt.parallel.threads = 1;
+    const MonteCarloResult serial =
+        runMonteCarlo(ProcessCorner::typical(), tspcCornerBuilder(), opt);
+    opt.parallel.threads = 4;
+    const MonteCarloResult parallel =
+        runMonteCarlo(ProcessCorner::typical(), tspcCornerBuilder(), opt);
+    EXPECT_EQ(serial.samplesConverged, parallel.samplesConverged);
+    ASSERT_EQ(serial.setupTimes.size(), parallel.setupTimes.size());
+    for (std::size_t i = 0; i < serial.setupTimes.size(); ++i) {
+        EXPECT_EQ(serial.setupTimes[i], parallel.setupTimes[i]);
+        EXPECT_EQ(serial.holdTimes[i], parallel.holdTimes[i]);
+        EXPECT_EQ(serial.clockToQs[i], parallel.clockToQs[i]);
+    }
+    EXPECT_EQ(serial.setup.mean, parallel.setup.mean);
+    EXPECT_EQ(serial.setup.stddev, parallel.setup.stddev);
+    EXPECT_GT(serial.stats.transientSolves, 0u);
+    EXPECT_EQ(serial.stats.transientSolves, parallel.stats.transientSolves);
+}
+
+TEST(ParallelSurface, GridMatchesSerialOverloadByteForByte) {
+    SurfaceMethodOptions surfOpt;
+    surfOpt.setupPoints = 8;
+    surfOpt.holdPoints = 8;
+    surfOpt.setupMin = 120e-12;
+    surfOpt.setupMax = 560e-12;
+    surfOpt.holdMin = 60e-12;
+    surfOpt.holdMax = 460e-12;
+
+    const auto source = [] { return buildTspcRegister(); };
+    // Serial reference through the legacy HFunction overload.
+    const RegisterFixture reg = buildTspcRegister();
+    const CharacterizationProblem problem(reg, CriterionOptions{});
+    const SurfaceMethodResult serial =
+        runSurfaceMethod(problem.h(), surfOpt);
+    const SurfaceMethodResult parallel = runSurfaceMethod(
+        source, RunConfig::defaults().withThreads(4), surfOpt);
+
+    ASSERT_EQ(serial.surface.setupCount(), parallel.surface.setupCount());
+    ASSERT_EQ(serial.surface.holdCount(), parallel.surface.holdCount());
+    for (std::size_t i = 0; i < serial.surface.setupCount(); ++i) {
+        for (std::size_t j = 0; j < serial.surface.holdCount(); ++j) {
+            EXPECT_EQ(serial.surface.value(i, j),
+                      parallel.surface.value(i, j))
+                << "grid point (" << i << ", " << j << ")";
+        }
+    }
+    ASSERT_EQ(serial.contours.size(), parallel.contours.size());
+    EXPECT_EQ(serial.transientCount, parallel.transientCount);
+    EXPECT_EQ(serial.stats.transientSolves, parallel.stats.transientSolves);
+    EXPECT_EQ(serial.stats.hEvaluations, parallel.stats.hEvaluations);
+}
+
+}  // namespace
+}  // namespace shtrace
