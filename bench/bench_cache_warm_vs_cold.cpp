@@ -1,0 +1,103 @@
+// CACHE -- cost of recharacterization with the persistent store
+// (docs/STORE.md). Three scenarios on the TSPC register, one row each:
+//
+//   cold        empty store: full seed bisection + trace, entry published
+//   hit         identical rerun: served from the store, ZERO transients
+//   warm        perturbed clock-to-Q target (+5% degradation): full key
+//               misses, problem key matches, the tracer is seeded from the
+//               cached contour instead of bisecting
+//   cold_perturbed  the same perturbed run with caching off -- the
+//               baseline the warm start is measured against
+//
+// The exit status asserts the two claims the store makes: a hit does zero
+// transient integrations, and a warm start costs measurably fewer
+// transients than the cold perturbed run.
+#include "bench_common.hpp"
+
+#include <filesystem>
+
+int main() {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+
+    printHeader("CACHE", "persistent store: cold vs hit vs warm start");
+
+    const std::filesystem::path storeDir =
+        std::filesystem::temp_directory_path() / "shtrace_bench_cache";
+    std::filesystem::remove_all(storeDir);
+
+    const RegisterFixture reg = buildTspcRegister();
+    TracerOptions tracer;
+    tracer.bounds = tspcWindow();
+    // High enough that every trace covers the whole window and stops at
+    // its bounds: cold and warm then trace the same arc, and the saved
+    // seed bisection is the measured difference.
+    tracer.maxPoints = 40;
+    const CharacterizeOptions cached =
+        CharacterizeOptions::defaults().withTracer(tracer).withCacheDir(
+            storeDir.string());
+
+    CharacterizeOptions perturbed = cached;
+    perturbed.criterion.degradation += 0.05;
+    CharacterizeOptions perturbedNoCache = perturbed;
+    perturbedNoCache.cacheDir.clear();
+
+    struct Row {
+        const char* mode;
+        CharacterizeResult result;
+    };
+    const Row rows[] = {
+        {"cold", characterizeInterdependent(reg, cached)},
+        {"hit", characterizeInterdependent(reg, cached)},
+        {"warm", characterizeInterdependent(reg, perturbed)},
+        {"cold_perturbed",
+         characterizeInterdependent(reg, perturbedNoCache)},
+    };
+
+    TablePrinter table({"mode", "transients", "h evals", "seed evals",
+                        "contour pts", "wall (s)"});
+    CsvWriter csv("cache_speedup.csv");
+    csv.writeHeader({"mode", "transients", "h_evals", "seed_evals",
+                     "contour_points", "wall_s"});
+    for (std::size_t i = 0; i < 4; ++i) {
+        const CharacterizeResult& r = rows[i].result;
+        if (!r.success) {
+            std::cerr << rows[i].mode << " run failed\n";
+            return 1;
+        }
+        table.addRowValues(
+            rows[i].mode,
+            static_cast<unsigned long long>(r.stats.transientSolves),
+            static_cast<unsigned long long>(r.stats.hEvaluations),
+            r.seed.evaluations, static_cast<int>(r.contour.points.size()),
+            r.stats.wallSeconds);
+        csv.writeRow({static_cast<double>(i),
+                      static_cast<double>(r.stats.transientSolves),
+                      static_cast<double>(r.stats.hEvaluations),
+                      static_cast<double>(r.seed.evaluations),
+                      static_cast<double>(r.contour.points.size()),
+                      r.stats.wallSeconds});
+    }
+    table.print(std::cout);
+
+    const SimStats& hit = rows[1].result.stats;
+    const SimStats& warm = rows[2].result.stats;
+    const SimStats& coldP = rows[3].result.stats;
+    const double warmRatio =
+        static_cast<double>(coldP.transientSolves) /
+        static_cast<double>(warm.transientSolves);
+    std::cout << "\nhit: " << hit.transientSolves
+              << " transients (claim: 0); warm start: "
+              << warm.transientSolves << " vs cold "
+              << coldP.transientSolves << " transients ("
+              << warmRatio << "x fewer)\n"
+              << "CSV written: cache_speedup.csv (mode ids: 0=cold 1=hit "
+                 "2=warm 3=cold_perturbed)\n";
+
+    std::filesystem::remove_all(storeDir);
+    const bool hitIsFree = hit.transientSolves == 0 && hit.cacheHits == 1;
+    const bool warmIsCheaper =
+        warm.cacheWarmStarts == 1 &&
+        warm.transientSolves < coldP.transientSolves;
+    return (hitIsFree && warmIsCheaper) ? 0 : 1;
+}

@@ -3,6 +3,9 @@
 // contour attached as a vendor extension. This is the industrial workload
 // the paper's introduction costs out ("every register of every standard
 // cell library, for all PVT corners, weeks or months on clusters").
+//
+// Usage: library_flow [output.lib]   (default: results/shtrace_cells.lib)
+#include <filesystem>
 #include <iostream>
 
 #include "shtrace/cells/c2mos.hpp"
@@ -12,8 +15,11 @@
 #include "shtrace/util/table.hpp"
 #include "shtrace/util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace shtrace;
+
+    const std::string outputPath =
+        argc > 1 ? argv[1] : "results/shtrace_cells.lib";
 
     CriterionOptions c2mosCrit;
     c2mosCrit.transitionFraction = 0.9;  // Sec. IV-B criterion
@@ -67,8 +73,13 @@ int main() {
     }
     table.print(std::cout);
 
-    writeLibertyLite(rows, "shtrace_cells.lib");
+    const std::filesystem::path parent =
+        std::filesystem::path(outputPath).parent_path();
+    if (!parent.empty()) {
+        std::filesystem::create_directories(parent);
+    }
+    writeLibertyLite(rows, outputPath);
     std::cout << "\ntotal batch cost: " << rows.stats << "\n";
-    std::cout << "Liberty-lite report written: shtrace_cells.lib\n";
+    std::cout << "Liberty-lite report written: " << outputPath << "\n";
     return 0;
 }

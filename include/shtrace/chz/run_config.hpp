@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "shtrace/chz/problem.hpp"
 #include "shtrace/chz/seed.hpp"
 #include "shtrace/chz/tracer.hpp"
+#include "shtrace/store/policy.hpp"
 #include "shtrace/util/parallel.hpp"
 
 namespace shtrace {
@@ -36,6 +38,9 @@ struct RunConfig {
     ParallelOptions parallel;        ///< worker pool (threads=1: serial)
     bool traceContours = true;       ///< false: independent numbers only
     ProgressCallback onJobDone;      ///< optional batch observability hook
+    std::string cacheDir;            ///< persistent store dir; empty: off
+    CachePolicy cachePolicy = CachePolicy::ReadWrite;
+    bool warmStart = true;           ///< seed traces from near-hit contours
 
     static RunConfig defaults() { return RunConfig{}; }
 
@@ -77,6 +82,19 @@ struct RunConfig {
     }
     RunConfig& withProgress(ProgressCallback callback) {
         onJobDone = std::move(callback);
+        return *this;
+    }
+    /// Enables the persistent result store rooted at `dir` (store/STORE.md).
+    RunConfig& withCacheDir(std::string dir) {
+        cacheDir = std::move(dir);
+        return *this;
+    }
+    RunConfig& withCachePolicy(CachePolicy policy) {
+        cachePolicy = policy;
+        return *this;
+    }
+    RunConfig& withWarmStart(bool enabled) {
+        warmStart = enabled;
         return *this;
     }
 };

@@ -75,6 +75,14 @@ public:
     /// Unit selector vector c with 1.0 at the row of node n (paper's c^T x).
     Vector selectorFor(NodeId n) const;
 
+    /// Canonical text describing the finalized circuit's physics: node and
+    /// branch counts plus every device's Device::describe() line in
+    /// declaration order (which fixes the MNA row layout). Node and device
+    /// NAMES are excluded -- two circuits that differ only in labels get
+    /// the same text. The persistent store (store/) hashes this as the
+    /// netlist component of a characterization cache key.
+    std::string canonicalDescription() const;
+
 private:
     std::unordered_map<std::string, int> nodeIndex_;
     std::vector<std::string> nodeNames_;

@@ -10,6 +10,7 @@
 // via addSkewDerivative (the b_d z_s / b_d z_h terms of eqs. 11/13).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,15 @@ public:
     /// Adds the device's contributions to f, q, G, C (and the source value
     /// terms b*u(t) into f).
     virtual void eval(const EvalContext& ctx, Assembler& out) const = 0;
+
+    /// Writes a one-line canonical description: device type, terminal node
+    /// indices, and every parameter that influences eval(), numbers in
+    /// hex-float. The persistent store (store/) hashes this text as part
+    /// of the circuit's cache key, so equal descriptions MUST imply equal
+    /// stamps -- pure virtual so a new device cannot silently alias with
+    /// another in the cache. The device NAME is deliberately excluded:
+    /// renaming a transistor does not change the physics.
+    virtual void describe(std::ostream& os) const = 0;
 
     /// Adds b * du/dtau_p at time t into `rhs` for sources whose waveform
     /// depends on the skews. Default: no dependence.

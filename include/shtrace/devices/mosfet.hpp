@@ -59,6 +59,7 @@ public:
            NodeId bulk, const MosfetParams& params);
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
+    void describe(std::ostream& os) const override;
 
     const MosfetParams& params() const { return params_; }
 

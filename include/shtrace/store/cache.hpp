@@ -1,0 +1,84 @@
+// shtrace -- content-addressed on-disk store of characterization results.
+//
+// One directory, one file per entry, named by the 16-hex-digit content
+// address (store/key.hpp). Entries are self-verifying text:
+//
+//     shtrace-store 1                     magic + format version
+//     kind library_row                    payload type tag
+//     key 6b1f...                        must match the file name
+//     problem 9c2e...                    warm-start family hash
+//     label "TSPC_X1"                    display-only provenance
+//     payload 12 a3c4...                 line count + FNV-1a of the payload
+//     <12 payload lines>                  (store/serialize.hpp formats)
+//     end
+//
+// Loads verify every framing field plus the checksum; ANY mismatch -- a
+// truncated write, a flipped bit, a stale format version -- reads as a
+// clean miss, never as wrong data or a crash. Writes go to a unique temp
+// file and rename into place, so concurrent batch workers publishing
+// distinct keys never expose a torn entry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shtrace/store/policy.hpp"
+
+namespace shtrace::store {
+
+/// One stored result: framing metadata plus the serialized payload text.
+struct StoreEntry {
+    std::string kind;            ///< payload tag (library_row, pvt_row, ...)
+    std::uint64_t key = 0;       ///< content address (file name)
+    std::uint64_t problem = 0;   ///< warm-start family hash
+    std::string label;           ///< cell/corner name, display only
+    std::string payload;         ///< serialized result (serialize.hpp)
+};
+
+class ResultStore {
+public:
+    /// Opens (creating if needed) the store directory. Throws Error when
+    /// the directory cannot be created.
+    explicit ResultStore(std::string dir);
+
+    const std::string& dir() const { return dir_; }
+
+    /// Loads the entry at `key`; nullopt on miss OR any corruption.
+    std::optional<StoreEntry> load(std::uint64_t key) const;
+
+    /// Publishes an entry (atomically: temp file + rename), overwriting
+    /// any previous content at the same key.
+    void save(const StoreEntry& entry) const;
+
+    /// Every valid entry, sorted by key. Corrupt files are skipped.
+    std::vector<StoreEntry> list() const;
+
+    /// Best warm-start candidate: a valid entry with the same problem hash
+    /// but a different content address, and a non-empty contour. Prefers
+    /// `characterize` / `library_row` kinds (the contour carriers).
+    std::optional<StoreEntry> findNearHit(std::uint64_t problem,
+                                          std::uint64_t excludeKey) const;
+
+    /// Removes the entry at `key` if present; returns true when removed.
+    bool remove(std::uint64_t key) const;
+
+    struct GcReport {
+        std::size_t kept = 0;
+        std::size_t removed = 0;  ///< corrupt, stale-version, or misnamed
+    };
+    /// Deletes every .shtr file that does not load cleanly (including
+    /// entries written by an older format version).
+    GcReport gc() const;
+
+    /// "<16 hex>.shtr"
+    static std::string entryFileName(std::uint64_t key);
+
+private:
+    std::string pathFor(std::uint64_t key) const;
+
+    std::string dir_;
+};
+
+}  // namespace shtrace::store

@@ -1,0 +1,94 @@
+// shtrace -- content-addressed cache keys for characterization results.
+//
+// A cached result is only reusable when EVERY input that shaped it is
+// unchanged: the circuit (devices, topology, waveforms), the criterion, the
+// simulation recipe, the search/tracer numerics, and the serialization
+// format itself. Each of those is rendered to a canonical text block
+// (hex-float numbers, fixed field order; see Device::describe and
+// Circuit::canonicalDescription) and the concatenation is FNV-1a hashed
+// into a 64-bit content address. Any input change flips the hash and the
+// lookup misses cleanly -- there is no partial invalidation to get wrong.
+//
+// Every key carries a second hash, the PROBLEM key, over just the circuit,
+// recipe, and the criterion fields that fix the state-transition function
+// h(tau_s, tau_h) up to the contour level (everything except the clock-to-Q
+// degradation target). Entries sharing a problem key describe contours of
+// the same h at nearby levels, so a miss with a problem-key match can
+// warm-start the tracer from a cached contour point instead of running the
+// seed bisection (SetupKit-style cross-target reuse).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "shtrace/cells/register_fixture.hpp"
+#include "shtrace/chz/run_config.hpp"
+#include "shtrace/chz/surface_method.hpp"
+
+namespace shtrace::store {
+
+/// Bump on ANY change to the canonical texts or the serialization format;
+/// old entries then miss (and `shtrace-store gc` removes them).
+inline constexpr int kFormatVersion = 1;
+
+/// Streaming 64-bit FNV-1a.
+class Fnv1a {
+public:
+    Fnv1a& update(std::string_view text) noexcept {
+        for (const char c : text) {
+            state_ ^= static_cast<unsigned char>(c);
+            state_ *= 1099511628211ull;
+        }
+        return *this;
+    }
+    std::uint64_t value() const noexcept { return state_; }
+
+private:
+    std::uint64_t state_ = 14695981039346656037ull;
+};
+
+/// 16 lowercase hex digits (the store's file-name spelling of a key).
+std::string toHexKey(std::uint64_t key);
+/// Parses a toHexKey spelling; nullopt on anything else.
+std::optional<std::uint64_t> parseHexKey(const std::string& text);
+
+struct CacheKey {
+    std::uint64_t full = 0;     ///< content address of the whole input set
+    std::uint64_t problem = 0;  ///< warm-start family (see header comment)
+};
+
+// Canonical text blocks (deterministic, hex-float numbers). Exposed for
+// tests and for `shtrace-store` debugging; the key builders below are what
+// the drivers use.
+std::string canonicalFixture(const RegisterFixture& fixture);
+std::string canonicalCriterion(const CriterionOptions& criterion);
+std::string canonicalRecipe(const SimulationRecipe& recipe);
+std::string canonicalIndependent(const IndependentOptions& options);
+std::string canonicalSeed(const SeedOptions& options);
+std::string canonicalTracer(const TracerOptions& options);
+std::string canonicalSurfaceOptions(const SurfaceMethodOptions& options);
+
+/// Key for a full characterizeInterdependent run.
+CacheKey characterizeKey(const RegisterFixture& fixture,
+                         const RunConfig& config);
+
+/// Key for one library row. The cell's own criterion overrides the config
+/// one (as characterizeLibrary does); the cell NAME is excluded, so two
+/// identically-built cells share one entry.
+CacheKey libraryRowKey(const RegisterFixture& fixture,
+                       const CriterionOptions& cellCriterion,
+                       const RunConfig& config,
+                       bool traceContours);
+
+/// Key for an independent-only row (PVT corner or Monte-Carlo sample): the
+/// corner's identity is entirely in the built fixture.
+CacheKey independentRowKey(const RegisterFixture& fixture,
+                           const RunConfig& config);
+
+/// Key for a brute-force surface run.
+CacheKey surfaceKey(const RegisterFixture& fixture, const RunConfig& config,
+                    const SurfaceMethodOptions& options);
+
+}  // namespace shtrace::store

@@ -1,0 +1,16 @@
+// shtrace -- cache policy knob shared by RunConfig and the result store.
+//
+// Kept in its own tiny header so chz/run_config.hpp can carry the policy
+// without pulling the whole store subsystem into every driver header.
+#pragma once
+
+namespace shtrace {
+
+/// How a batch driver uses the persistent characterization store.
+enum class CachePolicy {
+    ReadWrite,  ///< serve hits, warm-start near-hits, save fresh results
+    ReadOnly,   ///< serve hits / warm starts but never write to the store
+    Refresh,    ///< ignore existing entries, recompute and overwrite
+};
+
+}  // namespace shtrace

@@ -1,0 +1,84 @@
+// shtrace -- versioned, round-trip-exact serialization of result types.
+//
+// Text-based and line-oriented with a stable field order; every double is
+// spelled in hex-float (util/hexfloat.hpp), so deserialize(serialize(x))
+// reproduces x BIT FOR BIT -- the property that lets a cache hit promise
+// byte-identical rows to the cold run that produced the entry.
+//
+// Parsers are strict: a wrong tag, short line, or malformed number throws
+// StoreFormatError, which the cache layer converts into a clean miss. The
+// format is versioned as a whole via store::kFormatVersion (key.hpp);
+// changing anything here requires bumping that constant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shtrace/chz/characterize.hpp"
+#include "shtrace/chz/library.hpp"
+#include "shtrace/chz/pvt.hpp"
+#include "shtrace/chz/surface_method.hpp"
+#include "shtrace/store/cache.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace::store {
+
+/// Thrown by every deserializer on malformed input. Derived from Error so
+/// unaware callers still see a shtrace exception; the cache layer catches
+/// it and treats the entry as a miss.
+class StoreFormatError : public Error {
+public:
+    explicit StoreFormatError(const std::string& what)
+        : Error("store format: " + what) {}
+};
+
+/// One Monte-Carlo sample's characterized numbers (the per-job unit the MC
+/// driver caches; distribution statistics are recomputed from the rows).
+struct McSampleRow {
+    bool converged = false;
+    double setupTime = 0.0;
+    double holdTime = 0.0;
+    double clockToQ = 0.0;
+};
+
+// Payload kind tags (StoreEntry::kind).
+inline constexpr const char* kKindCharacterize = "characterize";
+inline constexpr const char* kKindLibraryRow = "library_row";
+inline constexpr const char* kKindPvtRow = "pvt_row";
+inline constexpr const char* kKindMcRow = "mc_row";
+inline constexpr const char* kKindSurface = "surface";
+
+// Serializers produce the entry payload text; deserializers parse it back
+// (throwing StoreFormatError on any malformation).
+std::string serializeSimStats(const SimStats& stats);
+SimStats deserializeSimStats(const std::string& text);
+
+std::string serializeContourPoints(const std::vector<SkewPoint>& points);
+std::vector<SkewPoint> deserializeContourPoints(const std::string& text);
+
+std::string serializeCharacterizeResult(const CharacterizeResult& result);
+CharacterizeResult deserializeCharacterizeResult(const std::string& text);
+
+std::string serializeLibraryRow(const LibraryRow& row);
+LibraryRow deserializeLibraryRow(const std::string& text);
+
+std::string serializePvtRow(const PvtCornerResult& row);
+PvtCornerResult deserializePvtRow(const std::string& text);
+
+std::string serializeMcRow(const McSampleRow& row);
+McSampleRow deserializeMcRow(const std::string& text);
+
+std::string serializeSurfaceResult(const SurfaceMethodResult& result);
+SurfaceMethodResult deserializeSurfaceResult(const std::string& text);
+
+/// The contour points a cached entry carries: the traced contour for
+/// characterize/library_row payloads, empty for everything else (and for
+/// payloads that fail to parse). This is what warm starts seed from.
+std::vector<SkewPoint> contourOfEntry(const StoreEntry& entry);
+
+/// The cached point nearest to `target` (Euclidean in the skew plane);
+/// nullopt for an empty contour.
+std::optional<SkewPoint> nearestPoint(const std::vector<SkewPoint>& points,
+                                      const SkewPoint& target);
+
+}  // namespace shtrace::store

@@ -1,0 +1,24 @@
+// shtrace -- exact, deterministic text encoding of doubles.
+//
+// The persistent store (store/) needs two properties a "%g" style format
+// cannot give: byte-identical round trips (deserialize(serialize(x)) == x
+// bit for bit) and a canonical spelling (equal bit patterns produce equal
+// text, so content hashes are stable). C99 hex-float notation gives both:
+// the mantissa is written in base 16, so every finite double has an exact,
+// shortest representation that strtod parses back without rounding.
+#pragma once
+
+#include <string>
+
+namespace shtrace {
+
+/// Canonical hex-float spelling of `v` (e.g. "0x1.8p+1" for 3.0).
+/// Specials are spelled "inf", "-inf" and "nan"; negative zero keeps its
+/// sign ("-0x0p+0").
+std::string toHexFloat(double v);
+
+/// Parses a toHexFloat() spelling (or any strtod-accepted number).
+/// Throws InvalidArgumentError when `text` is not a complete number.
+double fromHexFloat(const std::string& text);
+
+}  // namespace shtrace

@@ -26,6 +26,11 @@ struct SimStats {
     std::uint64_t sensitivitySteps = 0;   ///< sensitivity recurrence updates
     std::uint64_t hEvaluations = 0;       ///< evaluations of h(tau_s, tau_h)
     std::uint64_t mpnrIterations = 0;     ///< Moore-Penrose Newton iterations
+    // Persistent-store accounting (store/): a hit skips all transients for
+    // the job, a warm start skips the seed bisection only.
+    std::uint64_t cacheHits = 0;          ///< jobs served from the store
+    std::uint64_t cacheMisses = 0;        ///< store lookups that computed
+    std::uint64_t cacheWarmStarts = 0;    ///< traces seeded from a near-hit
     double wallSeconds = 0.0;             ///< accumulated via ScopedTimer
 
     SimStats& operator+=(const SimStats& other) noexcept;

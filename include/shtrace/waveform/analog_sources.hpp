@@ -26,6 +26,7 @@ public:
     double value(double t) const override;
     void breakpoints(double t0, double t1,
                      std::vector<double>& out) const override;
+    void describe(std::ostream& os) const override;
 
     const Spec& spec() const { return spec_; }
 
@@ -50,6 +51,7 @@ public:
     double value(double t) const override;
     void breakpoints(double t0, double t1,
                      std::vector<double>& out) const override;
+    void describe(std::ostream& os) const override;
 
     const Spec& spec() const { return spec_; }
 

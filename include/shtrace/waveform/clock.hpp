@@ -29,6 +29,7 @@ public:
     double value(double t) const override;
     void breakpoints(double t0, double t1,
                      std::vector<double>& out) const override;
+    void describe(std::ostream& os) const override;
 
     /// Time of the 50% point of the k-th rising edge (k = 0, 1, ...).
     /// For an inverted clock this is still the k-th rising edge of the

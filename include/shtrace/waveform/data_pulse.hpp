@@ -37,6 +37,9 @@ public:
     double skewDerivative(double t, SkewParam p) const override;
     void breakpoints(double t0, double t1,
                      std::vector<double>& out) const override;
+    /// Describes the structural Spec only -- the current skews are the
+    /// running coordinates of h(tau_s, tau_h), not circuit identity.
+    void describe(std::ostream& os) const override;
 
     const Spec& spec() const { return spec_; }
 

@@ -21,6 +21,7 @@ public:
     double value(double t) const override;
     void breakpoints(double t0, double t1,
                      std::vector<double>& out) const override;
+    void describe(std::ostream& os) const override;
 
     const std::vector<Point>& points() const { return points_; }
 

@@ -12,6 +12,7 @@
 //    the SkewParametricWaveform subinterface.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -34,6 +35,15 @@ public:
     /// `out`. Default: none (smooth waveform).
     virtual void breakpoints(double t0, double t1,
                              std::vector<double>& out) const;
+
+    /// Writes a one-line canonical description: waveform type followed by
+    /// every parameter that influences value(t), numbers in hex-float
+    /// (util/hexfloat.hpp). The persistent store hashes this text as part
+    /// of a circuit's identity, so equal descriptions MUST imply equal
+    /// u(t) -- pure virtual to keep new waveforms from silently aliasing
+    /// in the cache. Runtime coordinates (the data pulse's current skews)
+    /// are excluded by contract: they are inputs of h, not circuit state.
+    virtual void describe(std::ostream& os) const = 0;
 };
 
 /// A waveform parameterized by setup/hold skews, with analytic derivatives.
@@ -52,6 +62,7 @@ class DcWaveform final : public Waveform {
 public:
     explicit DcWaveform(double level) : level_(level) {}
     double value(double) const override { return level_; }
+    void describe(std::ostream& os) const override;
     double level() const { return level_; }
 
 private:

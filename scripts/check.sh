@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Full local gate: the tier-1 suite plus both sanitizer sweeps.
+#
+#   scripts/check.sh            everything (tier-1 + tsan + asan/ubsan)
+#   scripts/check.sh tier1      plain build + full ctest only
+#   scripts/check.sh tsan       ThreadSanitizer build, tsan-labeled tests
+#   scripts/check.sh asan       address,undefined build, store + parallel
+#
+# Each stage uses its own build tree (build/, build-tsan/, build-asan/) so
+# the sanitizer configurations never dirty the primary cache. Exits nonzero
+# on the first failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+STAGE="${1:-all}"
+
+run_tier1() {
+    echo "== tier-1: plain build + full ctest =="
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "${JOBS}"
+    ctest --test-dir build --output-on-failure -j "${JOBS}"
+}
+
+run_tsan() {
+    echo "== tsan: ThreadSanitizer build, tsan-labeled tests =="
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DSHTRACE_SANITIZE=thread
+    cmake --build build-tsan -j "${JOBS}" \
+          --target test_parallel test_store_cache
+    ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
+}
+
+run_asan() {
+    echo "== asan: address,undefined build, store + parallel tests =="
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DSHTRACE_SANITIZE=address,undefined
+    cmake --build build-asan -j "${JOBS}" \
+          --target test_store test_store_cache test_parallel
+    ./build-asan/tests/test_store
+    ./build-asan/tests/test_store_cache
+    ./build-asan/tests/test_parallel
+}
+
+case "${STAGE}" in
+    tier1) run_tier1 ;;
+    tsan)  run_tsan ;;
+    asan)  run_asan ;;
+    all)   run_tier1; run_tsan; run_asan ;;
+    *)     echo "usage: scripts/check.sh [tier1|tsan|asan|all]" >&2; exit 2 ;;
+esac
+
+echo "check.sh: ${STAGE} OK"

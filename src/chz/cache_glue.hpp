@@ -1,0 +1,84 @@
+// shtrace -- internal helpers wiring the persistent store into the batch
+// drivers (docs/STORE.md). Not installed; drivers include it from src/.
+//
+// The contract every driver follows:
+//   * policy Refresh never reads, ReadOnly never writes;
+//   * a hit returns the cached payload with FRESH stats (cacheHits = 1 and
+//     the lookup's wall time) -- the characterized numbers are
+//     byte-identical to the producing run, the cost counters describe THIS
+//     run, which did no transient work;
+//   * a computed job counts cacheMisses = 1; failed jobs are never saved;
+//   * with warmStart enabled, a miss whose problem hash matches a cached
+//     contour seeds the tracer from the nearest cached point instead of
+//     running the seed bisection (cacheWarmStarts = 1).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "shtrace/chz/run_config.hpp"
+#include "shtrace/store/cache.hpp"
+#include "shtrace/store/key.hpp"
+#include "shtrace/store/serialize.hpp"
+
+namespace shtrace::chz_detail {
+
+/// Opens the store named by config.cacheDir; nullopt when caching is off.
+/// Throws Error when the directory cannot be created.
+inline std::optional<store::ResultStore> openStore(const RunConfig& config) {
+    if (config.cacheDir.empty()) {
+        return std::nullopt;
+    }
+    return store::ResultStore(config.cacheDir);
+}
+
+inline bool mayRead(const RunConfig& config) {
+    return config.cachePolicy != CachePolicy::Refresh;
+}
+
+inline bool mayWrite(const RunConfig& config) {
+    return config.cachePolicy != CachePolicy::ReadOnly;
+}
+
+/// Loads the entry at `key` when it exists AND carries the expected kind.
+inline std::optional<store::StoreEntry> loadKind(
+    const store::ResultStore& cache, std::uint64_t key, const char* kind) {
+    auto entry = cache.load(key);
+    if (!entry || entry->kind != kind) {
+        return std::nullopt;
+    }
+    return entry;
+}
+
+/// The tracer seed a near-hit provides: a point of the cached contour
+/// (same problem family, different full key) clamped into the tracer
+/// window. MPNR then pulls it onto the new contour, replacing the seed
+/// bisection. The point chosen is the cached contour's large-hold end --
+/// the same entry geometry the seed search uses (hold pinned large, setup
+/// bisected), so the trace spends its whole budget sweeping the window
+/// once instead of ramping up from mid-curve in both directions.
+/// nullopt: trace cold.
+inline std::optional<SkewPoint> warmStartPoint(
+    const store::ResultStore& cache, const store::CacheKey& key,
+    const TracerOptions& tracer) {
+    const auto near = cache.findNearHit(key.problem, key.full);
+    if (!near) {
+        return std::nullopt;
+    }
+    const std::vector<SkewPoint> contour = store::contourOfEntry(*near);
+    if (contour.empty()) {
+        return std::nullopt;
+    }
+    SkewPoint point = *std::max_element(
+        contour.begin(), contour.end(),
+        [](const SkewPoint& a, const SkewPoint& b) {
+            return a.hold < b.hold;
+        });
+    point.setup = std::clamp(point.setup, tracer.bounds.setupMin,
+                             tracer.bounds.setupMax);
+    point.hold = std::clamp(point.hold, tracer.bounds.holdMin,
+                            tracer.bounds.holdMax);
+    return point;
+}
+
+}  // namespace shtrace::chz_detail

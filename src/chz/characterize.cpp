@@ -1,13 +1,55 @@
 #include "shtrace/chz/characterize.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "cache_glue.hpp"
 
 namespace shtrace {
+
+namespace {
+
+/// Clamps the seed's hold coordinate into the tracer window and traces;
+/// MPNR then pulls the point onto the curve inside (or near) the bounds.
+void traceFrom(const CharacterizationProblem& problem, SkewPoint seed,
+               const CharacterizeOptions& options,
+               CharacterizeResult* result) {
+    seed.hold = std::clamp(seed.hold, options.tracer.bounds.holdMin,
+                           options.tracer.bounds.holdMax);
+    result->contour =
+        traceContour(problem.h(), seed, options.tracer, &result->stats);
+    result->success =
+        result->contour.seedConverged && !result->contour.points.empty();
+}
+
+}  // namespace
 
 CharacterizeResult characterizeInterdependent(
     const RegisterFixture& fixture, const CharacterizeOptions& options) {
     CharacterizeResult result;
     ScopedTimer timer(&result.stats);
+
+    const std::optional<store::ResultStore> cache =
+        chz_detail::openStore(options);
+    std::optional<store::CacheKey> key;
+    if (cache) {
+        key = store::characterizeKey(fixture, options);
+        if (chz_detail::mayRead(options)) {
+            if (const auto entry = chz_detail::loadKind(
+                    *cache, key->full, store::kKindCharacterize)) {
+                try {
+                    result =
+                        store::deserializeCharacterizeResult(entry->payload);
+                    result.stats = SimStats{};
+                    result.stats.cacheHits = 1;
+                    return result;
+                } catch (const store::StoreFormatError&) {
+                    // Unreadable payload: recompute (and overwrite below).
+                }
+            }
+        }
+        result.stats.cacheMisses = 1;
+    }
 
     const CharacterizationProblem problem(fixture, options.criterion,
                                           options.recipe, &result.stats);
@@ -16,22 +58,37 @@ CharacterizeResult characterizeInterdependent(
     result.tf = problem.tf();
     result.r = problem.r();
 
-    result.seed = findSeedPoint(problem.h(), problem.passSign(), options.seed,
-                                &result.stats);
-    if (!result.seed.found) {
-        return result;
+    // A cached contour of the same problem family (same circuit/recipe,
+    // different degradation target) replaces the seed bisection entirely;
+    // a failed warm trace falls back to the cold path below.
+    if (cache && options.warmStart) {
+        if (const auto warm =
+                chz_detail::warmStartPoint(*cache, *key, options.tracer)) {
+            result.seed = SeedResult{};
+            result.seed.found = true;
+            result.seed.seed = *warm;
+            result.stats.cacheWarmStarts = 1;
+            traceFrom(problem, *warm, options, &result);
+        }
     }
 
-    // Enter the tracer window along the hold axis: MPNR will then pull the
-    // point onto the curve inside (or near) the bounds.
-    SkewPoint seed = result.seed.seed;
-    seed.hold = std::clamp(seed.hold, options.tracer.bounds.holdMin,
-                           options.tracer.bounds.holdMax);
+    if (!result.success) {
+        result.seed = findSeedPoint(problem.h(), problem.passSign(),
+                                    options.seed, &result.stats);
+        if (!result.seed.found) {
+            return result;
+        }
+        traceFrom(problem, result.seed.seed, options, &result);
+    }
 
-    result.contour =
-        traceContour(problem.h(), seed, options.tracer, &result.stats);
-    result.success =
-        result.contour.seedConverged && !result.contour.points.empty();
+    if (result.success && cache && chz_detail::mayWrite(options)) {
+        store::StoreEntry entry;
+        entry.kind = store::kKindCharacterize;
+        entry.key = key->full;
+        entry.problem = key->problem;
+        entry.payload = store::serializeCharacterizeResult(result);
+        cache->save(entry);
+    }
     return result;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 
+#include "cache_glue.hpp"
 #include "shtrace/util/error.hpp"
 #include "shtrace/util/units.hpp"
 
@@ -10,12 +12,38 @@ namespace shtrace {
 
 namespace {
 
-LibraryRow characterizeOne(const LibraryCell& cell, const RunConfig& opt) {
+LibraryRow characterizeOne(const LibraryCell& cell, const RunConfig& opt,
+                           const store::ResultStore* cache) {
     LibraryRow row;
     row.cell = cell.name;
     ScopedTimer timer(&row.stats);
     try {
         const RegisterFixture fixture = cell.build();
+
+        std::optional<store::CacheKey> key;
+        if (cache != nullptr) {
+            key = store::libraryRowKey(fixture, cell.criterion, opt,
+                                       opt.traceContours);
+            if (chz_detail::mayRead(opt)) {
+                if (const auto entry = chz_detail::loadKind(
+                        *cache, key->full, store::kKindLibraryRow)) {
+                    try {
+                        row = store::deserializeLibraryRow(entry->payload);
+                        // The cell NAME is not part of the key (two
+                        // identically-built cells share an entry), so
+                        // restore this row's own name.
+                        row.cell = cell.name;
+                        row.stats = SimStats{};
+                        row.stats.cacheHits = 1;
+                        return row;
+                    } catch (const store::StoreFormatError&) {
+                        // Unreadable payload: recompute and overwrite.
+                    }
+                }
+            }
+            row.stats.cacheMisses = 1;
+        }
+
         const CharacterizationProblem problem(fixture, cell.criterion,
                                               opt.recipe, &row.stats);
         row.characteristicClockToQ = problem.characteristicClockToQ();
@@ -46,24 +74,51 @@ LibraryRow characterizeOne(const LibraryCell& cell, const RunConfig& opt) {
         row.holdTime = hold.skew;
 
         if (opt.traceContours) {
-            const SeedResult seed = findSeedPoint(
-                problem.h(), problem.passSign(), opt.seed, &row.stats);
-            if (!seed.found) {
-                row.failureReason = "contour seed search failed";
-                return row;
+            // A cached contour of the same problem family replaces the
+            // seed bisection; a failed warm trace falls back cold.
+            bool traced = false;
+            if (cache != nullptr && opt.warmStart) {
+                if (const auto warm = chz_detail::warmStartPoint(
+                        *cache, *key, opt.tracer)) {
+                    row.stats.cacheWarmStarts = 1;
+                    const TracedContour contour = traceContour(
+                        problem.h(), *warm, opt.tracer, &row.stats);
+                    if (contour.seedConverged && !contour.points.empty()) {
+                        row.contour = contour.points;
+                        traced = true;
+                    }
+                }
             }
-            SkewPoint start = seed.seed;
-            start.hold = std::clamp(start.hold, opt.tracer.bounds.holdMin,
-                                    opt.tracer.bounds.holdMax);
-            const TracedContour contour =
-                traceContour(problem.h(), start, opt.tracer, &row.stats);
-            if (!contour.seedConverged) {
-                row.failureReason = "contour tracing failed";
-                return row;
+            if (!traced) {
+                const SeedResult seed = findSeedPoint(
+                    problem.h(), problem.passSign(), opt.seed, &row.stats);
+                if (!seed.found) {
+                    row.failureReason = "contour seed search failed";
+                    return row;
+                }
+                SkewPoint start = seed.seed;
+                start.hold =
+                    std::clamp(start.hold, opt.tracer.bounds.holdMin,
+                               opt.tracer.bounds.holdMax);
+                const TracedContour contour =
+                    traceContour(problem.h(), start, opt.tracer, &row.stats);
+                if (!contour.seedConverged) {
+                    row.failureReason = "contour tracing failed";
+                    return row;
+                }
+                row.contour = contour.points;
             }
-            row.contour = contour.points;
         }
         row.success = true;
+        if (cache != nullptr && chz_detail::mayWrite(opt)) {
+            store::StoreEntry entry;
+            entry.kind = store::kKindLibraryRow;
+            entry.key = key->full;
+            entry.problem = key->problem;
+            entry.label = cell.name;
+            entry.payload = store::serializeLibraryRow(row);
+            cache->save(entry);
+        }
     } catch (const Error& e) {
         row.failureReason = e.what();
     }
@@ -76,6 +131,9 @@ LibraryResult characterizeLibrary(const std::vector<LibraryCell>& cells,
                                   const RunConfig& config) {
     LibraryResult result;
     result.rows.resize(cells.size());
+    const std::optional<store::ResultStore> cache =
+        chz_detail::openStore(config);
+    const store::ResultStore* cachePtr = cache ? &*cache : nullptr;
     parallelRun(
         cells.size(),
         [&](std::size_t job, std::size_t /*worker*/) {
@@ -83,7 +141,8 @@ LibraryResult characterizeLibrary(const std::vector<LibraryCell>& cells,
             // turns any other escaped exception into the job's row failure
             // so one poisoned cell never takes down the batch.
             try {
-                result.rows[job] = characterizeOne(cells[job], config);
+                result.rows[job] =
+                    characterizeOne(cells[job], config, cachePtr);
             } catch (const std::exception& e) {
                 result.rows[job].cell = cells[job].name;
                 result.rows[job].success = false;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <random>
 
+#include "cache_glue.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -74,6 +76,7 @@ MonteCarloResult runMonteCarlo(const ProcessCorner& nominal,
     const std::size_t jobs = static_cast<std::size_t>(opt.samples);
     std::vector<SampleSlot> slots(jobs);
     RunContext context(opt, jobs);
+    const std::optional<store::ResultStore> cache = chz_detail::openStore(opt);
 
     parallelRun(
         jobs,
@@ -83,6 +86,32 @@ MonteCarloResult runMonteCarlo(const ProcessCorner& nominal,
                 const ProcessCorner corner = sampleCorner(
                     nominal, opt.variation, opt.seed, static_cast<int>(job));
                 const RegisterFixture fixture = builder(corner);
+
+                // The sampled parameters are baked into the fixture, so
+                // the content key is unique per sample and stable across
+                // runs (the RNG streams are seed-deterministic).
+                std::optional<store::CacheKey> key;
+                if (cache) {
+                    key = store::independentRowKey(fixture, opt);
+                    if (chz_detail::mayRead(opt)) {
+                        if (const auto entry = chz_detail::loadKind(
+                                *cache, key->full, store::kKindMcRow)) {
+                            try {
+                                const store::McSampleRow cached =
+                                    store::deserializeMcRow(entry->payload);
+                                slots[job] = SampleSlot{
+                                    cached.converged, cached.setupTime,
+                                    cached.holdTime, cached.clockToQ};
+                                jobStats.cacheHits = 1;
+                                return;
+                            } catch (const store::StoreFormatError&) {
+                                // Unreadable payload: recompute.
+                            }
+                        }
+                    }
+                    jobStats.cacheMisses = 1;
+                }
+
                 const CharacterizationProblem problem(fixture, opt.criterion,
                                                       opt.recipe, &jobStats);
                 const IndependentResult setup = characterizeByNewton(
@@ -96,6 +125,20 @@ MonteCarloResult runMonteCarlo(const ProcessCorner& nominal,
                 }
                 slots[job] = SampleSlot{true, setup.skew, hold.skew,
                                         problem.characteristicClockToQ()};
+                if (cache && chz_detail::mayWrite(opt)) {
+                    store::McSampleRow row;
+                    row.converged = true;
+                    row.setupTime = setup.skew;
+                    row.holdTime = hold.skew;
+                    row.clockToQ = problem.characteristicClockToQ();
+                    store::StoreEntry entry;
+                    entry.kind = store::kKindMcRow;
+                    entry.key = key->full;
+                    entry.problem = key->problem;
+                    entry.label = corner.name;
+                    entry.payload = store::serializeMcRow(row);
+                    cache->save(entry);
+                }
             } catch (const std::exception&) {
                 // A pathological sample (e.g. vt beyond the supply) is
                 // reported through the converged count, not by aborting

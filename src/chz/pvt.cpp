@@ -1,5 +1,8 @@
 #include "shtrace/chz/pvt.hpp"
 
+#include <optional>
+
+#include "cache_glue.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -8,12 +11,36 @@ namespace {
 
 PvtCornerResult characterizeCorner(const ProcessCorner& corner,
                                    const CornerFixtureBuilder& builder,
-                                   const RunConfig& config) {
+                                   const RunConfig& config,
+                                   const store::ResultStore* cache) {
     PvtCornerResult row;
     row.corner = corner.name;
     ScopedTimer timer(&row.stats);
     try {
         const RegisterFixture fixture = builder(corner);
+
+        std::optional<store::CacheKey> key;
+        if (cache != nullptr) {
+            key = store::independentRowKey(fixture, config);
+            if (chz_detail::mayRead(config)) {
+                if (const auto entry = chz_detail::loadKind(
+                        *cache, key->full, store::kKindPvtRow)) {
+                    try {
+                        row = store::deserializePvtRow(entry->payload);
+                        // The corner's identity is entirely in the built
+                        // fixture; restore this sweep's display name.
+                        row.corner = corner.name;
+                        row.stats = SimStats{};
+                        row.stats.cacheHits = 1;
+                        return row;
+                    } catch (const store::StoreFormatError&) {
+                        // Unreadable payload: recompute and overwrite.
+                    }
+                }
+            }
+            row.stats.cacheMisses = 1;
+        }
+
         const CharacterizationProblem problem(fixture, config.criterion,
                                               config.recipe, &row.stats);
         row.characteristicClockToQ = problem.characteristicClockToQ();
@@ -30,6 +57,14 @@ PvtCornerResult characterizeCorner(const ProcessCorner& corner,
         row.success = setup.converged && hold.converged;
         if (!row.success) {
             row.failureReason = "independent characterization diverged";
+        } else if (cache != nullptr && chz_detail::mayWrite(config)) {
+            store::StoreEntry entry;
+            entry.kind = store::kKindPvtRow;
+            entry.key = key->full;
+            entry.problem = key->problem;
+            entry.label = corner.name;
+            entry.payload = store::serializePvtRow(row);
+            cache->save(entry);
         }
     } catch (const Error& e) {
         row.success = false;
@@ -45,12 +80,15 @@ PvtSweepResult sweepPvtCorners(const std::vector<ProcessCorner>& corners,
                                const RunConfig& config) {
     PvtSweepResult result;
     result.rows.resize(corners.size());
+    const std::optional<store::ResultStore> cache =
+        chz_detail::openStore(config);
+    const store::ResultStore* cachePtr = cache ? &*cache : nullptr;
     parallelRun(
         corners.size(),
         [&](std::size_t job, std::size_t /*worker*/) {
             try {
-                result.rows[job] =
-                    characterizeCorner(corners[job], builder, config);
+                result.rows[job] = characterizeCorner(corners[job], builder,
+                                                      config, cachePtr);
             } catch (const std::exception& e) {
                 result.rows[job].corner = corners[job].name;
                 result.rows[job].success = false;

@@ -1,7 +1,9 @@
 #include "shtrace/chz/surface_method.hpp"
 
 #include <memory>
+#include <optional>
 
+#include "cache_glue.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -62,6 +64,32 @@ SurfaceMethodResult runSurfaceMethod(const FixtureSource& source,
                                      const RunConfig& config,
                                      const SurfaceMethodOptions& opt) {
     require(source != nullptr, "runSurfaceMethod: null fixture source");
+
+    // The store can answer the whole grid: one entry per (fixture,
+    // criterion, recipe, grid spec). Building one fixture for the key is
+    // cheap -- no transient runs before a hit returns.
+    const std::optional<store::ResultStore> cache =
+        chz_detail::openStore(config);
+    std::optional<store::CacheKey> key;
+    if (cache) {
+        const RegisterFixture keyFixture = source();
+        key = store::surfaceKey(keyFixture, config, opt);
+        if (chz_detail::mayRead(config)) {
+            if (const auto entry = chz_detail::loadKind(
+                    *cache, key->full, store::kKindSurface)) {
+                try {
+                    SurfaceMethodResult cached =
+                        store::deserializeSurfaceResult(entry->payload);
+                    cached.stats = SimStats{};
+                    cached.stats.cacheHits = 1;
+                    return cached;
+                } catch (const store::StoreFormatError&) {
+                    // Unreadable payload: recompute and overwrite.
+                }
+            }
+        }
+    }
+
     SurfaceMethodResult result{makeGrid(opt), {}, 0, SimStats{}};
     OutputSurface& surface = result.surface;
 
@@ -114,6 +142,17 @@ SurfaceMethodResult runSurfaceMethod(const FixtureSource& source,
     result.transientCount =
         static_cast<int>(surface.setupCount() * surface.holdCount());
     result.contours = extractLevelContours(surface, r);
+    if (cache) {
+        result.stats.cacheMisses = 1;
+        if (chz_detail::mayWrite(config)) {
+            store::StoreEntry entry;
+            entry.kind = store::kKindSurface;
+            entry.key = key->full;
+            entry.problem = key->problem;
+            entry.payload = store::serializeSurfaceResult(result);
+            cache->save(entry);
+        }
+    }
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace shtrace {
 
@@ -107,6 +108,18 @@ std::vector<double> Circuit::breakpoints(double t0, double t1) const {
         }
     }
     return out;
+}
+
+std::string Circuit::canonicalDescription() const {
+    require(finalized_, "Circuit::canonicalDescription before finalize()");
+    std::ostringstream os;
+    os << "circuit nodes=" << nodeCount() << " branches=" << branchRows_
+       << '\n';
+    for (const auto& dev : devices_) {
+        dev->describe(os);
+        os << '\n';
+    }
+    return os.str();
 }
 
 Vector Circuit::selectorFor(NodeId n) const {

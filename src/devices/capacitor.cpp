@@ -1,6 +1,9 @@
 #include "shtrace/devices/capacitor.hpp"
 
+#include <ostream>
+
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -20,6 +23,12 @@ void Capacitor::eval(const EvalContext& ctx, Assembler& out) const {
     out.addCapacitance(a_, b_, -capacitance_);
     out.addCapacitance(b_, a_, -capacitance_);
     out.addCapacitance(b_, b_, capacitance_);
+}
+
+
+void Capacitor::describe(std::ostream& os) const {
+    os << "C " << a_.index << ' ' << b_.index << ' '
+       << toHexFloat(capacitance_);
 }
 
 }  // namespace shtrace

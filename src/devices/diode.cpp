@@ -1,8 +1,10 @@
 #include "shtrace/devices/diode.hpp"
 
 #include <cmath>
+#include <ostream>
 
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -99,6 +101,16 @@ void Diode::eval(const EvalContext& ctx, Assembler& out) const {
         out.addCapacitance(cathode_, anode_, -c);
         out.addCapacitance(cathode_, cathode_, c);
     }
+}
+
+
+void Diode::describe(std::ostream& os) const {
+    os << "D " << anode_.index << ' ' << cathode_.index << ' '
+       << toHexFloat(params_.is) << ' ' << toHexFloat(params_.n) << ' '
+       << toHexFloat(params_.vt) << ' ' << toHexFloat(params_.cj0) << ' '
+       << toHexFloat(params_.vj) << ' ' << toHexFloat(params_.m) << ' '
+       << toHexFloat(params_.fc) << ' ' << toHexFloat(params_.tt) << ' '
+       << toHexFloat(params_.maxExpArg);
 }
 
 }  // namespace shtrace

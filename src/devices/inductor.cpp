@@ -1,6 +1,9 @@
 #include "shtrace/devices/inductor.hpp"
 
+#include <ostream>
+
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -28,6 +31,12 @@ void Inductor::eval(const EvalContext& ctx, Assembler& out) const {
     out.addToG(branchRow_, b_, -1.0);
     out.addToQ(branchRow_, -inductance_ * i);
     out.addToCRaw(branchRow_, branchRow_, -inductance_);
+}
+
+
+void Inductor::describe(std::ostream& os) const {
+    os << "L " << a_.index << ' ' << b_.index << ' '
+       << toHexFloat(inductance_);
 }
 
 }  // namespace shtrace

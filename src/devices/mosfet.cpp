@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -135,6 +137,19 @@ void Mosfet::eval(const EvalContext& ctx, Assembler& out) const {
     stampLinearCap(out, ctx.x, gate_, bulk_, params_.cgb);
     stampLinearCap(out, ctx.x, drain_, bulk_, params_.cdb);
     stampLinearCap(out, ctx.x, source_, bulk_, params_.csb);
+}
+
+
+void Mosfet::describe(std::ostream& os) const {
+    os << "M " << drain_.index << ' ' << gate_.index << ' ' << source_.index
+       << ' ' << bulk_.index
+       << (params_.type == MosfetType::Nmos ? " nmos " : " pmos ")
+       << toHexFloat(params_.vt0) << ' ' << toHexFloat(params_.kp) << ' '
+       << toHexFloat(params_.lambda) << ' ' << toHexFloat(params_.gamma)
+       << ' ' << toHexFloat(params_.phi) << ' ' << toHexFloat(params_.w)
+       << ' ' << toHexFloat(params_.l) << ' ' << toHexFloat(params_.cgs)
+       << ' ' << toHexFloat(params_.cgd) << ' ' << toHexFloat(params_.cgb)
+       << ' ' << toHexFloat(params_.cdb) << ' ' << toHexFloat(params_.csb);
 }
 
 }  // namespace shtrace

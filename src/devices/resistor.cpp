@@ -1,6 +1,9 @@
 #include "shtrace/devices/resistor.hpp"
 
+#include <ostream>
+
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -21,6 +24,12 @@ void Resistor::eval(const EvalContext& ctx, Assembler& out) const {
     out.addConductance(a_, b_, -g);
     out.addConductance(b_, a_, -g);
     out.addConductance(b_, b_, g);
+}
+
+
+void Resistor::describe(std::ostream& os) const {
+    os << "R " << a_.index << ' ' << b_.index << ' '
+       << toHexFloat(resistance_);
 }
 
 }  // namespace shtrace

@@ -1,6 +1,9 @@
 #include "shtrace/devices/sources.hpp"
 
+#include <ostream>
+
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -120,6 +123,17 @@ void CurrentSource::addAcStimulus(Vector& rhs) const {
 void CurrentSource::breakpoints(double t0, double t1,
                                 std::vector<double>& out) const {
     waveform_->breakpoints(t0, t1, out);
+}
+
+
+void VoltageSource::describe(std::ostream& os) const {
+    os << "V " << pos_.index << ' ' << neg_.index << ' ';
+    waveform_->describe(os);
+}
+
+void CurrentSource::describe(std::ostream& os) const {
+    os << "I " << pos_.index << ' ' << neg_.index << ' ';
+    waveform_->describe(os);
 }
 
 }  // namespace shtrace

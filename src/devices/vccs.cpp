@@ -1,5 +1,9 @@
 #include "shtrace/devices/vccs.hpp"
 
+#include <ostream>
+
+#include "shtrace/util/hexfloat.hpp"
+
 namespace shtrace {
 
 Vccs::Vccs(std::string name, NodeId pos, NodeId neg, NodeId ctrlPos,
@@ -21,6 +25,12 @@ void Vccs::eval(const EvalContext& ctx, Assembler& out) const {
     out.addConductance(pos_, ctrlNeg_, -gm_);
     out.addConductance(neg_, ctrlPos_, -gm_);
     out.addConductance(neg_, ctrlNeg_, gm_);
+}
+
+
+void Vccs::describe(std::ostream& os) const {
+    os << "G " << pos_.index << ' ' << neg_.index << ' ' << ctrlPos_.index
+       << ' ' << ctrlNeg_.index << ' ' << toHexFloat(gm_);
 }
 
 }  // namespace shtrace

@@ -1,6 +1,9 @@
 #include "shtrace/devices/vcvs.hpp"
 
+#include <ostream>
+
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -32,6 +35,12 @@ void Vcvs::eval(const EvalContext& ctx, Assembler& out) const {
     out.addToG(branchRow_, neg_, -1.0);
     out.addToG(branchRow_, ctrlPos_, -gain_);
     out.addToG(branchRow_, ctrlNeg_, gain_);
+}
+
+
+void Vcvs::describe(std::ostream& os) const {
+    os << "E " << pos_.index << ' ' << neg_.index << ' ' << ctrlPos_.index
+       << ' ' << ctrlNeg_.index << ' ' << toHexFloat(gain_);
 }
 
 }  // namespace shtrace

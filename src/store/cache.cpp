@@ -1,0 +1,389 @@
+#include "shtrace/store/cache.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "shtrace/store/key.hpp"
+#include "shtrace/store/serialize.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "shtrace-store";
+constexpr const char* kSuffix = ".shtr";
+
+std::string quoteLabel(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\r':
+                out += "\\r";
+                break;
+            default:
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::optional<std::string> unquoteLabel(const std::string& s) {
+    if (s.size() < 2 || s.front() != '"' || s.back() != '"') {
+        return std::nullopt;
+    }
+    std::string out;
+    for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        if (++i + 1 >= s.size()) {
+            return std::nullopt;
+        }
+        switch (s[i]) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            default:
+                return std::nullopt;
+        }
+    }
+    return out;
+}
+
+/// Remainder of `line` after "<tag> "; nullopt when the tag doesn't match.
+std::optional<std::string> afterTag(const std::string& line,
+                                    const std::string& tag) {
+    if (line.size() <= tag.size() || line.compare(0, tag.size(), tag) != 0 ||
+        line[tag.size()] != ' ') {
+        return std::nullopt;
+    }
+    return line.substr(tag.size() + 1);
+}
+
+/// Parses one entry file. Returns nullopt on ANY deviation from the
+/// documented framing -- wrong magic/version, bad hex, short payload,
+/// checksum mismatch, missing terminator, trailing junk.
+std::optional<StoreEntry> parseEntryFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        return std::nullopt;
+    }
+    std::string line;
+
+    if (!std::getline(in, line)) {
+        return std::nullopt;
+    }
+    {
+        std::istringstream head(line);
+        std::string magic;
+        int version = 0;
+        if (!(head >> magic >> version) || magic != kMagic ||
+            version != kFormatVersion) {
+            return std::nullopt;
+        }
+        std::string extra;
+        if (head >> extra) {
+            return std::nullopt;
+        }
+    }
+
+    StoreEntry entry;
+    if (!std::getline(in, line)) {
+        return std::nullopt;
+    }
+    if (const auto kind = afterTag(line, "kind")) {
+        entry.kind = *kind;
+        if (entry.kind.empty() ||
+            entry.kind.find(' ') != std::string::npos) {
+            return std::nullopt;
+        }
+    } else {
+        return std::nullopt;
+    }
+
+    if (!std::getline(in, line)) {
+        return std::nullopt;
+    }
+    if (const auto key = afterTag(line, "key")) {
+        const auto parsed = parseHexKey(*key);
+        if (!parsed) {
+            return std::nullopt;
+        }
+        entry.key = *parsed;
+    } else {
+        return std::nullopt;
+    }
+
+    if (!std::getline(in, line)) {
+        return std::nullopt;
+    }
+    if (const auto problem = afterTag(line, "problem")) {
+        const auto parsed = parseHexKey(*problem);
+        if (!parsed) {
+            return std::nullopt;
+        }
+        entry.problem = *parsed;
+    } else {
+        return std::nullopt;
+    }
+
+    if (!std::getline(in, line)) {
+        return std::nullopt;
+    }
+    if (const auto label = afterTag(line, "label")) {
+        const auto parsed = unquoteLabel(*label);
+        if (!parsed) {
+            return std::nullopt;
+        }
+        entry.label = *parsed;
+    } else {
+        return std::nullopt;
+    }
+
+    std::size_t lineCount = 0;
+    std::uint64_t checksum = 0;
+    if (!std::getline(in, line)) {
+        return std::nullopt;
+    }
+    if (const auto payload = afterTag(line, "payload")) {
+        std::istringstream head(*payload);
+        std::string countTok;
+        std::string sumTok;
+        std::string extra;
+        if (!(head >> countTok >> sumTok) || head >> extra) {
+            return std::nullopt;
+        }
+        try {
+            std::size_t used = 0;
+            const unsigned long long n = std::stoull(countTok, &used);
+            if (used != countTok.size() || n > (1u << 22)) {
+                return std::nullopt;
+            }
+            lineCount = static_cast<std::size_t>(n);
+        } catch (const std::exception&) {
+            return std::nullopt;
+        }
+        const auto sum = parseHexKey(sumTok);
+        if (!sum) {
+            return std::nullopt;
+        }
+        checksum = *sum;
+    } else {
+        return std::nullopt;
+    }
+
+    std::ostringstream payload;
+    for (std::size_t i = 0; i < lineCount; ++i) {
+        if (!std::getline(in, line)) {
+            return std::nullopt;
+        }
+        payload << line << '\n';
+    }
+    entry.payload = payload.str();
+
+    if (!std::getline(in, line) || line != "end") {
+        return std::nullopt;
+    }
+    while (std::getline(in, line)) {
+        if (!line.empty()) {
+            return std::nullopt;
+        }
+    }
+
+    if (Fnv1a().update(entry.payload).value() != checksum) {
+        return std::nullopt;
+    }
+    return entry;
+}
+
+std::size_t countLines(const std::string& payload) {
+    return static_cast<std::size_t>(
+        std::count(payload.begin(), payload.end(), '\n'));
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+    require(!dir_.empty(), "ResultStore: empty directory path");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_)) {
+        throw Error("ResultStore: cannot create directory '" + dir_ + "'");
+    }
+}
+
+std::string ResultStore::entryFileName(std::uint64_t key) {
+    return toHexKey(key) + kSuffix;
+}
+
+std::string ResultStore::pathFor(std::uint64_t key) const {
+    return (fs::path(dir_) / entryFileName(key)).string();
+}
+
+std::optional<StoreEntry> ResultStore::load(std::uint64_t key) const {
+    auto entry = parseEntryFile(pathFor(key));
+    if (entry && entry->key != key) {
+        return std::nullopt;  // renamed or mislabeled entry
+    }
+    return entry;
+}
+
+void ResultStore::save(const StoreEntry& entry) const {
+    require(!entry.kind.empty(), "ResultStore::save: empty kind");
+    require(entry.payload.empty() || entry.payload.back() == '\n',
+            "ResultStore::save: payload must be newline-terminated");
+
+    std::ostringstream os;
+    os << kMagic << ' ' << kFormatVersion << '\n';
+    os << "kind " << entry.kind << '\n';
+    os << "key " << toHexKey(entry.key) << '\n';
+    os << "problem " << toHexKey(entry.problem) << '\n';
+    os << "label " << quoteLabel(entry.label) << '\n';
+    os << "payload " << countLines(entry.payload) << ' '
+       << toHexKey(Fnv1a().update(entry.payload).value()) << '\n';
+    os << entry.payload;
+    os << "end\n";
+
+    // Unique temp name per writer, then an atomic rename: concurrent batch
+    // workers publishing the same key race benignly (last rename wins with
+    // identical content), and readers never observe a torn file.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::uint64_t nonce =
+        Fnv1a()
+            .update(std::to_string(
+                reinterpret_cast<std::uintptr_t>(&counter)))
+            .value() ^
+        counter.fetch_add(1, std::memory_order_relaxed);
+    const fs::path tmp =
+        fs::path(dir_) /
+        (entryFileName(entry.key) + ".tmp-" + toHexKey(nonce));
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            throw Error("ResultStore: cannot write '" + tmp.string() + "'");
+        }
+        out << os.str();
+        out.flush();
+        if (!out) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            throw Error("ResultStore: short write to '" + tmp.string() +
+                        "'");
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, pathFor(entry.key), ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        throw Error("ResultStore: cannot publish entry " +
+                    toHexKey(entry.key));
+    }
+}
+
+std::vector<StoreEntry> ResultStore::list() const {
+    std::vector<StoreEntry> entries;
+    std::error_code ec;
+    for (const auto& item : fs::directory_iterator(dir_, ec)) {
+        if (!item.is_regular_file()) {
+            continue;
+        }
+        const std::string name = item.path().filename().string();
+        if (name.size() != 16 + std::string(kSuffix).size() ||
+            name.substr(16) != kSuffix) {
+            continue;
+        }
+        const auto key = parseHexKey(name.substr(0, 16));
+        if (!key) {
+            continue;
+        }
+        if (auto entry = load(*key)) {
+            entries.push_back(std::move(*entry));
+        }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const StoreEntry& a, const StoreEntry& b) {
+                  return a.key < b.key;
+              });
+    return entries;
+}
+
+std::optional<StoreEntry> ResultStore::findNearHit(
+    std::uint64_t problem, std::uint64_t excludeKey) const {
+    std::optional<StoreEntry> best;
+    for (StoreEntry& entry : list()) {
+        if (entry.problem != problem || entry.key == excludeKey) {
+            continue;
+        }
+        if (contourOfEntry(entry).empty()) {
+            continue;
+        }
+        if (!best || entry.key < best->key) {
+            best = std::move(entry);
+        }
+    }
+    return best;
+}
+
+bool ResultStore::remove(std::uint64_t key) const {
+    std::error_code ec;
+    return fs::remove(pathFor(key), ec) && !ec;
+}
+
+ResultStore::GcReport ResultStore::gc() const {
+    GcReport report;
+    std::vector<fs::path> doomed;
+    std::error_code ec;
+    for (const auto& item : fs::directory_iterator(dir_, ec)) {
+        if (!item.is_regular_file()) {
+            continue;
+        }
+        const std::string name = item.path().filename().string();
+        if (name.size() < std::string(kSuffix).size() ||
+            name.substr(name.size() - std::string(kSuffix).size()) !=
+                kSuffix) {
+            continue;  // not a store entry (e.g. an in-flight temp file)
+        }
+        const auto key = name.size() == 16 + std::string(kSuffix).size()
+                             ? parseHexKey(name.substr(0, 16))
+                             : std::nullopt;
+        if (key && load(*key)) {
+            ++report.kept;
+        } else {
+            doomed.push_back(item.path());
+        }
+    }
+    for (const fs::path& path : doomed) {
+        if (fs::remove(path, ec) && !ec) {
+            ++report.removed;
+        }
+    }
+    return report;
+}
+
+}  // namespace shtrace::store

@@ -1,0 +1,227 @@
+#include "shtrace/store/key.hpp"
+
+#include <sstream>
+
+#include "shtrace/util/hexfloat.hpp"
+
+namespace shtrace::store {
+
+namespace {
+
+const char* methodName(IntegrationMethod m) {
+    switch (m) {
+        case IntegrationMethod::BackwardEuler:
+            return "be";
+        case IntegrationMethod::Trapezoidal:
+            return "trap";
+        case IntegrationMethod::Gear2:
+            return "gear2";
+    }
+    return "?";
+}
+
+void criterionSansTarget(std::ostringstream& os,
+                         const CriterionOptions& c) {
+    // Everything that shapes h except the degradation target: entries
+    // differing only there trace the same curve family at nearby levels.
+    os << "criterion-family frac=" << toHexFloat(c.transitionFraction)
+       << " refSetup=" << toHexFloat(c.referenceSetupSkew)
+       << " refHold=" << toHexFloat(c.referenceHoldSkew)
+       << " window=" << toHexFloat(c.observationWindow) << '\n';
+}
+
+std::string problemText(const RegisterFixture& fixture,
+                        const CriterionOptions& criterion,
+                        const SimulationRecipe& recipe) {
+    std::ostringstream os;
+    os << "format " << kFormatVersion << '\n';
+    os << canonicalFixture(fixture);
+    criterionSansTarget(os, criterion);
+    os << canonicalRecipe(recipe);
+    return os.str();
+}
+
+}  // namespace
+
+std::string toHexKey(std::uint64_t key) {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[key & 0xF];
+        key >>= 4;
+    }
+    return out;
+}
+
+std::optional<std::uint64_t> parseHexKey(const std::string& text) {
+    if (text.size() != 16) {
+        return std::nullopt;
+    }
+    std::uint64_t key = 0;
+    for (const char c : text) {
+        key <<= 4;
+        if (c >= '0' && c <= '9') {
+            key |= static_cast<std::uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            key |= static_cast<std::uint64_t>(c - 'a' + 10);
+        } else {
+            return std::nullopt;
+        }
+    }
+    return key;
+}
+
+std::string canonicalFixture(const RegisterFixture& fixture) {
+    std::ostringstream os;
+    os << "fixture q=" << fixture.q.index << " d=" << fixture.d.index
+       << " clk=" << fixture.clk.index
+       << " vdd=" << toHexFloat(fixture.vdd)
+       << " edge=" << fixture.activeEdgeIndex
+       << " qInitial=" << toHexFloat(fixture.qInitial)
+       << " qFinal=" << toHexFloat(fixture.qFinal)
+       << " edgeOverride=" << toHexFloat(fixture.activeEdgeOverride) << '\n';
+    os << fixture.circuit.canonicalDescription();
+    return os.str();
+}
+
+std::string canonicalCriterion(const CriterionOptions& c) {
+    std::ostringstream os;
+    criterionSansTarget(os, c);
+    os << "criterion degradation=" << toHexFloat(c.degradation) << '\n';
+    return os.str();
+}
+
+std::string canonicalRecipe(const SimulationRecipe& r) {
+    std::ostringstream os;
+    os << "recipe method=" << methodName(r.method)
+       << " dt=" << toHexFloat(r.dtNominal)
+       << " gmin=" << toHexFloat(r.gmin)
+       << " newton=" << r.newton.maxIterations << ' '
+       << toHexFloat(r.newton.relTol) << ' ' << toHexFloat(r.newton.vAbsTol)
+       << ' ' << toHexFloat(r.newton.iAbsTol) << ' '
+       << toHexFloat(r.newton.residualTol) << ' '
+       << toHexFloat(r.newton.maxUpdate) << '\n';
+    return os.str();
+}
+
+std::string canonicalIndependent(const IndependentOptions& o) {
+    std::ostringstream os;
+    os << "independent pinned=" << toHexFloat(o.pinnedSkew)
+       << " lo=" << toHexFloat(o.lo) << " hi=" << toHexFloat(o.hi)
+       << " tol=" << toHexFloat(o.tolerance) << " maxIter=" << o.maxIterations
+       << " hTol=" << toHexFloat(o.hTol)
+       << " seed=" << toHexFloat(o.newtonSeed) << '\n';
+    return os.str();
+}
+
+std::string canonicalSeed(const SeedOptions& o) {
+    std::ostringstream os;
+    os << "seed holdLarge=" << toHexFloat(o.holdSkewLarge)
+       << " lo=" << toHexFloat(o.setupLo) << " hi=" << toHexFloat(o.setupHi)
+       << " bracket=" << toHexFloat(o.bracketTarget)
+       << " maxBisect=" << o.maxBisections
+       << " maxExpand=" << o.maxExpansions << '\n';
+    return os.str();
+}
+
+std::string canonicalTracer(const TracerOptions& o) {
+    std::ostringstream os;
+    os << "tracer corrector=" << static_cast<int>(o.correctorKind)
+       << " mpnr=" << o.corrector.maxIterations << ' '
+       << toHexFloat(o.corrector.skewRelTol) << ' '
+       << toHexFloat(o.corrector.skewAbsTol) << ' '
+       << toHexFloat(o.corrector.hTol) << ' '
+       << toHexFloat(o.corrector.maxStep) << ' '
+       << toHexFloat(o.corrector.gradientTol)
+       << " bounds=" << toHexFloat(o.bounds.setupMin) << ' '
+       << toHexFloat(o.bounds.setupMax) << ' '
+       << toHexFloat(o.bounds.holdMin) << ' '
+       << toHexFloat(o.bounds.holdMax)
+       << " step=" << toHexFloat(o.stepLength) << ' '
+       << toHexFloat(o.minStepLength) << ' ' << toHexFloat(o.maxStepLength)
+       << ' ' << toHexFloat(o.growFactor) << " easy=" << o.easyIterations
+       << " maxRatio=" << toHexFloat(o.maxCorrectionRatio)
+       << " maxPoints=" << o.maxPoints
+       << " both=" << (o.traceBothDirections ? 1 : 0) << '\n';
+    return os.str();
+}
+
+std::string canonicalSurfaceOptions(const SurfaceMethodOptions& o) {
+    std::ostringstream os;
+    os << "surface n=" << o.setupPoints << 'x' << o.holdPoints
+       << " setup=" << toHexFloat(o.setupMin) << ".." << toHexFloat(o.setupMax)
+       << " hold=" << toHexFloat(o.holdMin) << ".." << toHexFloat(o.holdMax)
+       << '\n';
+    return os.str();
+}
+
+CacheKey characterizeKey(const RegisterFixture& fixture,
+                         const RunConfig& config) {
+    std::ostringstream os;
+    os << "format " << kFormatVersion << '\n' << "kind characterize\n"
+       << canonicalFixture(fixture) << canonicalCriterion(config.criterion)
+       << canonicalRecipe(config.recipe) << canonicalSeed(config.seed)
+       << canonicalTracer(config.tracer);
+    CacheKey key;
+    key.full = Fnv1a().update(os.str()).value();
+    key.problem =
+        Fnv1a()
+            .update(problemText(fixture, config.criterion, config.recipe))
+            .value();
+    return key;
+}
+
+CacheKey libraryRowKey(const RegisterFixture& fixture,
+                       const CriterionOptions& cellCriterion,
+                       const RunConfig& config, bool traceContours) {
+    std::ostringstream os;
+    os << "format " << kFormatVersion << '\n' << "kind library_row\n"
+       << "contours " << (traceContours ? 1 : 0) << '\n'
+       << canonicalFixture(fixture) << canonicalCriterion(cellCriterion)
+       << canonicalRecipe(config.recipe)
+       << canonicalIndependent(config.independent);
+    if (traceContours) {
+        os << canonicalSeed(config.seed) << canonicalTracer(config.tracer);
+    }
+    CacheKey key;
+    key.full = Fnv1a().update(os.str()).value();
+    key.problem =
+        Fnv1a()
+            .update(problemText(fixture, cellCriterion, config.recipe))
+            .value();
+    return key;
+}
+
+CacheKey independentRowKey(const RegisterFixture& fixture,
+                           const RunConfig& config) {
+    std::ostringstream os;
+    os << "format " << kFormatVersion << '\n' << "kind independent_row\n"
+       << canonicalFixture(fixture) << canonicalCriterion(config.criterion)
+       << canonicalRecipe(config.recipe)
+       << canonicalIndependent(config.independent);
+    CacheKey key;
+    key.full = Fnv1a().update(os.str()).value();
+    key.problem =
+        Fnv1a()
+            .update(problemText(fixture, config.criterion, config.recipe))
+            .value();
+    return key;
+}
+
+CacheKey surfaceKey(const RegisterFixture& fixture, const RunConfig& config,
+                    const SurfaceMethodOptions& options) {
+    std::ostringstream os;
+    os << "format " << kFormatVersion << '\n' << "kind surface\n"
+       << canonicalFixture(fixture) << canonicalCriterion(config.criterion)
+       << canonicalRecipe(config.recipe)
+       << canonicalSurfaceOptions(options);
+    CacheKey key;
+    key.full = Fnv1a().update(os.str()).value();
+    key.problem =
+        Fnv1a()
+            .update(problemText(fixture, config.criterion, config.recipe))
+            .value();
+    return key;
+}
+
+}  // namespace shtrace::store

@@ -1,0 +1,528 @@
+#include "shtrace/store/serialize.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "shtrace/util/hexfloat.hpp"
+
+namespace shtrace::store {
+
+namespace {
+
+// Guards the vector-prealloc paths against absurd counts from a corrupt
+// entry (the checksum already catches random damage; this bounds malice).
+constexpr std::size_t kMaxCount = 1u << 20;
+
+std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\r':
+                out += "\\r";
+                break;
+            default:
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string unquoted(const std::string& s) {
+    if (s.size() < 2 || s.front() != '"' || s.back() != '"') {
+        throw StoreFormatError("expected quoted string, got '" + s + "'");
+    }
+    std::string out;
+    for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        if (++i + 1 >= s.size() + 1) {
+            throw StoreFormatError("dangling escape in string");
+        }
+        switch (s[i]) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            default:
+                throw StoreFormatError("bad escape in string");
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> tokens(const std::string& line) {
+    std::vector<std::string> out;
+    std::istringstream in(line);
+    std::string tok;
+    while (in >> tok) {
+        out.push_back(tok);
+    }
+    return out;
+}
+
+double num(const std::string& tok) {
+    try {
+        return fromHexFloat(tok);
+    } catch (const Error&) {
+        throw StoreFormatError("bad number '" + tok + "'");
+    }
+}
+
+long integer(const std::string& tok) {
+    std::size_t used = 0;
+    long v = 0;
+    try {
+        v = std::stol(tok, &used);
+    } catch (const std::exception&) {
+        throw StoreFormatError("bad integer '" + tok + "'");
+    }
+    if (used != tok.size()) {
+        throw StoreFormatError("bad integer '" + tok + "'");
+    }
+    return v;
+}
+
+std::uint64_t counter(const std::string& tok) {
+    std::size_t used = 0;
+    std::uint64_t v = 0;
+    try {
+        v = std::stoull(tok, &used);
+    } catch (const std::exception&) {
+        throw StoreFormatError("bad counter '" + tok + "'");
+    }
+    if (used != tok.size()) {
+        throw StoreFormatError("bad counter '" + tok + "'");
+    }
+    return v;
+}
+
+bool boolean(const std::string& tok) {
+    if (tok == "1") {
+        return true;
+    }
+    if (tok == "0") {
+        return false;
+    }
+    throw StoreFormatError("bad bool '" + tok + "'");
+}
+
+std::size_t count(const std::string& tok) {
+    const long v = integer(tok);
+    if (v < 0 || static_cast<std::size_t>(v) > kMaxCount) {
+        throw StoreFormatError("count out of range '" + tok + "'");
+    }
+    return static_cast<std::size_t>(v);
+}
+
+/// Strict line cursor over a payload string.
+class Reader {
+public:
+    explicit Reader(const std::string& text) : in_(text) {}
+
+    std::string line() {
+        std::string l;
+        if (!std::getline(in_, l)) {
+            throw StoreFormatError("unexpected end of payload");
+        }
+        return l;
+    }
+
+    /// Next line must start with "<tag> "; returns the remainder.
+    std::string tagged(const std::string& tag) {
+        const std::string l = line();
+        if (l.size() <= tag.size() || l.compare(0, tag.size(), tag) != 0 ||
+            l[tag.size()] != ' ') {
+            throw StoreFormatError("expected '" + tag + "' line, got '" + l +
+                                   "'");
+        }
+        return l.substr(tag.size() + 1);
+    }
+
+    /// Like tagged(), but tokenized and checked for an exact token count.
+    std::vector<std::string> fields(const std::string& tag, std::size_t n) {
+        const std::vector<std::string> toks = tokens(tagged(tag));
+        if (toks.size() != n) {
+            throw StoreFormatError("'" + tag + "' line needs " +
+                                   std::to_string(n) + " fields, got " +
+                                   std::to_string(toks.size()));
+        }
+        return toks;
+    }
+
+    void expectEnd() {
+        std::string l;
+        while (std::getline(in_, l)) {
+            if (!l.empty()) {
+                throw StoreFormatError("trailing content: '" + l + "'");
+            }
+        }
+    }
+
+private:
+    std::istringstream in_;
+};
+
+void writeStats(std::ostream& os, const SimStats& s) {
+    os << "stats " << s.transientSolves << ' ' << s.timeSteps << ' '
+       << s.rejectedSteps << ' ' << s.newtonIterations << ' '
+       << s.luFactorizations << ' ' << s.luSolves << ' '
+       << s.deviceEvaluations << ' ' << s.sensitivitySteps << ' '
+       << s.hEvaluations << ' ' << s.mpnrIterations << ' ' << s.cacheHits
+       << ' ' << s.cacheMisses << ' ' << s.cacheWarmStarts << ' '
+       << toHexFloat(s.wallSeconds) << '\n';
+}
+
+SimStats readStats(Reader& r) {
+    const auto f = r.fields("stats", 14);
+    SimStats s;
+    s.transientSolves = counter(f[0]);
+    s.timeSteps = counter(f[1]);
+    s.rejectedSteps = counter(f[2]);
+    s.newtonIterations = counter(f[3]);
+    s.luFactorizations = counter(f[4]);
+    s.luSolves = counter(f[5]);
+    s.deviceEvaluations = counter(f[6]);
+    s.sensitivitySteps = counter(f[7]);
+    s.hEvaluations = counter(f[8]);
+    s.mpnrIterations = counter(f[9]);
+    s.cacheHits = counter(f[10]);
+    s.cacheMisses = counter(f[11]);
+    s.cacheWarmStarts = counter(f[12]);
+    s.wallSeconds = num(f[13]);
+    return s;
+}
+
+void writePoints(std::ostream& os, const std::vector<SkewPoint>& points) {
+    os << "points " << points.size() << '\n';
+    for (const SkewPoint& p : points) {
+        os << toHexFloat(p.setup) << ' ' << toHexFloat(p.hold) << '\n';
+    }
+}
+
+std::vector<SkewPoint> readPoints(Reader& r) {
+    const auto f = r.fields("points", 1);
+    const std::size_t n = count(f[0]);
+    std::vector<SkewPoint> points;
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto toks = tokens(r.line());
+        if (toks.size() != 2) {
+            throw StoreFormatError("contour point needs 2 fields");
+        }
+        points.push_back(SkewPoint{num(toks[0]), num(toks[1])});
+    }
+    return points;
+}
+
+void writeSeed(std::ostream& os, const SeedResult& s) {
+    os << "seed " << (s.found ? 1 : 0) << ' ' << toHexFloat(s.seed.setup)
+       << ' ' << toHexFloat(s.seed.hold) << ' ' << toHexFloat(s.bracketLo)
+       << ' ' << toHexFloat(s.bracketHi) << ' ' << s.evaluations << '\n';
+}
+
+SeedResult readSeed(Reader& r) {
+    const auto f = r.fields("seed", 6);
+    SeedResult s;
+    s.found = boolean(f[0]);
+    s.seed.setup = num(f[1]);
+    s.seed.hold = num(f[2]);
+    s.bracketLo = num(f[3]);
+    s.bracketHi = num(f[4]);
+    s.evaluations = static_cast<int>(integer(f[5]));
+    return s;
+}
+
+void writeTraced(std::ostream& os, const TracedContour& c) {
+    os << "traced " << (c.seedConverged ? 1 : 0) << ' ' << c.predictorRetries
+       << ' ' << c.points.size() << '\n';
+    for (std::size_t i = 0; i < c.points.size(); ++i) {
+        os << toHexFloat(c.points[i].setup) << ' '
+           << toHexFloat(c.points[i].hold) << ' '
+           << toHexFloat(i < c.residuals.size() ? c.residuals[i] : 0.0)
+           << ' '
+           << (i < c.correctorIterations.size() ? c.correctorIterations[i]
+                                                : 0)
+           << '\n';
+    }
+}
+
+TracedContour readTraced(Reader& r) {
+    const auto f = r.fields("traced", 3);
+    TracedContour c;
+    c.seedConverged = boolean(f[0]);
+    c.predictorRetries = static_cast<int>(integer(f[1]));
+    const std::size_t n = count(f[2]);
+    c.points.reserve(n);
+    c.residuals.reserve(n);
+    c.correctorIterations.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto toks = tokens(r.line());
+        if (toks.size() != 4) {
+            throw StoreFormatError("traced point needs 4 fields");
+        }
+        c.points.push_back(SkewPoint{num(toks[0]), num(toks[1])});
+        c.residuals.push_back(num(toks[2]));
+        c.correctorIterations.push_back(static_cast<int>(integer(toks[3])));
+    }
+    return c;
+}
+
+}  // namespace
+
+std::string serializeSimStats(const SimStats& stats) {
+    std::ostringstream os;
+    writeStats(os, stats);
+    return os.str();
+}
+
+SimStats deserializeSimStats(const std::string& text) {
+    Reader r(text);
+    const SimStats s = readStats(r);
+    r.expectEnd();
+    return s;
+}
+
+std::string serializeContourPoints(const std::vector<SkewPoint>& points) {
+    std::ostringstream os;
+    writePoints(os, points);
+    return os.str();
+}
+
+std::vector<SkewPoint> deserializeContourPoints(const std::string& text) {
+    Reader r(text);
+    std::vector<SkewPoint> points = readPoints(r);
+    r.expectEnd();
+    return points;
+}
+
+std::string serializeCharacterizeResult(const CharacterizeResult& result) {
+    std::ostringstream os;
+    os << "characterize " << (result.success ? 1 : 0) << '\n';
+    os << "values " << toHexFloat(result.characteristicClockToQ) << ' '
+       << toHexFloat(result.degradedClockToQ) << ' ' << toHexFloat(result.tf)
+       << ' ' << toHexFloat(result.r) << '\n';
+    writeSeed(os, result.seed);
+    writeTraced(os, result.contour);
+    writeStats(os, result.stats);
+    return os.str();
+}
+
+CharacterizeResult deserializeCharacterizeResult(const std::string& text) {
+    Reader r(text);
+    CharacterizeResult result;
+    result.success = boolean(r.fields("characterize", 1)[0]);
+    const auto v = r.fields("values", 4);
+    result.characteristicClockToQ = num(v[0]);
+    result.degradedClockToQ = num(v[1]);
+    result.tf = num(v[2]);
+    result.r = num(v[3]);
+    result.seed = readSeed(r);
+    result.contour = readTraced(r);
+    result.stats = readStats(r);
+    r.expectEnd();
+    return result;
+}
+
+std::string serializeLibraryRow(const LibraryRow& row) {
+    std::ostringstream os;
+    os << "library_row " << (row.success ? 1 : 0) << '\n';
+    os << "cell " << quoted(row.cell) << '\n';
+    os << "reason " << quoted(row.failureReason) << '\n';
+    os << "values " << toHexFloat(row.characteristicClockToQ) << ' '
+       << toHexFloat(row.setupTime) << ' ' << toHexFloat(row.holdTime)
+       << '\n';
+    writePoints(os, row.contour);
+    writeStats(os, row.stats);
+    return os.str();
+}
+
+LibraryRow deserializeLibraryRow(const std::string& text) {
+    Reader r(text);
+    LibraryRow row;
+    row.success = boolean(r.fields("library_row", 1)[0]);
+    row.cell = unquoted(r.tagged("cell"));
+    row.failureReason = unquoted(r.tagged("reason"));
+    const auto v = r.fields("values", 3);
+    row.characteristicClockToQ = num(v[0]);
+    row.setupTime = num(v[1]);
+    row.holdTime = num(v[2]);
+    row.contour = readPoints(r);
+    row.stats = readStats(r);
+    r.expectEnd();
+    return row;
+}
+
+std::string serializePvtRow(const PvtCornerResult& row) {
+    std::ostringstream os;
+    os << "pvt_row " << (row.success ? 1 : 0) << ' ' << row.transientCount
+       << '\n';
+    os << "corner " << quoted(row.corner) << '\n';
+    os << "reason " << quoted(row.failureReason) << '\n';
+    os << "values " << toHexFloat(row.characteristicClockToQ) << ' '
+       << toHexFloat(row.setupTime) << ' ' << toHexFloat(row.holdTime)
+       << '\n';
+    writeStats(os, row.stats);
+    return os.str();
+}
+
+PvtCornerResult deserializePvtRow(const std::string& text) {
+    Reader r(text);
+    PvtCornerResult row;
+    const auto head = r.fields("pvt_row", 2);
+    row.success = boolean(head[0]);
+    row.transientCount = static_cast<int>(integer(head[1]));
+    row.corner = unquoted(r.tagged("corner"));
+    row.failureReason = unquoted(r.tagged("reason"));
+    const auto v = r.fields("values", 3);
+    row.characteristicClockToQ = num(v[0]);
+    row.setupTime = num(v[1]);
+    row.holdTime = num(v[2]);
+    row.stats = readStats(r);
+    r.expectEnd();
+    return row;
+}
+
+std::string serializeMcRow(const McSampleRow& row) {
+    std::ostringstream os;
+    os << "mc_row " << (row.converged ? 1 : 0) << ' '
+       << toHexFloat(row.setupTime) << ' ' << toHexFloat(row.holdTime) << ' '
+       << toHexFloat(row.clockToQ) << '\n';
+    return os.str();
+}
+
+McSampleRow deserializeMcRow(const std::string& text) {
+    Reader r(text);
+    const auto f = r.fields("mc_row", 4);
+    McSampleRow row;
+    row.converged = boolean(f[0]);
+    row.setupTime = num(f[1]);
+    row.holdTime = num(f[2]);
+    row.clockToQ = num(f[3]);
+    r.expectEnd();
+    return row;
+}
+
+std::string serializeSurfaceResult(const SurfaceMethodResult& result) {
+    std::ostringstream os;
+    os << "surface " << result.transientCount << '\n';
+    const auto axis = [&os](const char* tag,
+                            const std::vector<double>& values) {
+        os << tag << ' ' << values.size();
+        for (const double v : values) {
+            os << ' ' << toHexFloat(v);
+        }
+        os << '\n';
+    };
+    axis("setup_axis", result.surface.setupSkews());
+    axis("hold_axis", result.surface.holdSkews());
+    for (std::size_t i = 0; i < result.surface.setupCount(); ++i) {
+        os << "row";
+        for (std::size_t j = 0; j < result.surface.holdCount(); ++j) {
+            os << ' ' << toHexFloat(result.surface.value(i, j));
+        }
+        os << '\n';
+    }
+    os << "contours " << result.contours.size() << '\n';
+    for (const ContourPolyline& poly : result.contours) {
+        writePoints(os, poly);
+    }
+    writeStats(os, result.stats);
+    return os.str();
+}
+
+SurfaceMethodResult deserializeSurfaceResult(const std::string& text) {
+    Reader r(text);
+    const auto head = r.fields("surface", 1);
+    const auto axis = [&r](const std::string& tag) {
+        const auto toks = tokens(r.tagged(tag));
+        if (toks.empty()) {
+            throw StoreFormatError("'" + tag + "' needs a count");
+        }
+        const std::size_t n = count(toks[0]);
+        if (toks.size() != n + 1) {
+            throw StoreFormatError("'" + tag + "' count mismatch");
+        }
+        std::vector<double> values;
+        values.reserve(n);
+        for (std::size_t i = 1; i < toks.size(); ++i) {
+            values.push_back(num(toks[i]));
+        }
+        return values;
+    };
+    const std::vector<double> setups = axis("setup_axis");
+    const std::vector<double> holds = axis("hold_axis");
+    SurfaceMethodResult result{OutputSurface(setups, holds), {}, 0, {}};
+    result.transientCount = static_cast<int>(integer(head[0]));
+    for (std::size_t i = 0; i < setups.size(); ++i) {
+        const auto toks = tokens(r.tagged("row"));
+        if (toks.size() != holds.size()) {
+            throw StoreFormatError("surface row width mismatch");
+        }
+        for (std::size_t j = 0; j < toks.size(); ++j) {
+            result.surface.setValue(i, j, num(toks[j]));
+        }
+    }
+    const std::size_t k = count(r.fields("contours", 1)[0]);
+    result.contours.reserve(k);
+    for (std::size_t c = 0; c < k; ++c) {
+        result.contours.push_back(readPoints(r));
+    }
+    result.stats = readStats(r);
+    r.expectEnd();
+    return result;
+}
+
+std::vector<SkewPoint> contourOfEntry(const StoreEntry& entry) {
+    try {
+        if (entry.kind == kKindCharacterize) {
+            return deserializeCharacterizeResult(entry.payload).contour.points;
+        }
+        if (entry.kind == kKindLibraryRow) {
+            return deserializeLibraryRow(entry.payload).contour;
+        }
+    } catch (const StoreFormatError&) {
+        // A malformed near-hit is not worth failing a run over.
+    }
+    return {};
+}
+
+std::optional<SkewPoint> nearestPoint(const std::vector<SkewPoint>& points,
+                                      const SkewPoint& target) {
+    if (points.empty()) {
+        return std::nullopt;
+    }
+    const SkewPoint* best = &points.front();
+    double bestDist = std::numeric_limits<double>::infinity();
+    for (const SkewPoint& p : points) {
+        const double ds = p.setup - target.setup;
+        const double dh = p.hold - target.hold;
+        const double dist = ds * ds + dh * dh;
+        if (dist < bestDist) {
+            bestDist = dist;
+            best = &p;
+        }
+    }
+    return *best;
+}
+
+}  // namespace shtrace::store

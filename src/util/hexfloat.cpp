@@ -1,0 +1,35 @@
+#include "shtrace/util/hexfloat.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+std::string toHexFloat(double v) {
+    if (std::isnan(v)) {
+        return "nan";
+    }
+    if (std::isinf(v)) {
+        return v > 0.0 ? "inf" : "-inf";
+    }
+    // "%a" prints the shortest exact hex mantissa; the spelling is fully
+    // determined by the bit pattern (no locale, no rounding mode).
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+double fromHexFloat(const std::string& text) {
+    require(!text.empty(), "fromHexFloat: empty string");
+    const char* begin = text.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    require(end == begin + text.size(),
+            "fromHexFloat: not a number: '", text, "'");
+    return v;
+}
+
+}  // namespace shtrace

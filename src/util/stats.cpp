@@ -15,6 +15,9 @@ SimStats& SimStats::operator+=(const SimStats& other) noexcept {
     sensitivitySteps += other.sensitivitySteps;
     hEvaluations += other.hEvaluations;
     mpnrIterations += other.mpnrIterations;
+    cacheHits += other.cacheHits;
+    cacheMisses += other.cacheMisses;
+    cacheWarmStarts += other.cacheWarmStarts;
     wallSeconds += other.wallSeconds;
     return *this;
 }
@@ -25,7 +28,12 @@ std::ostream& operator<<(std::ostream& os, const SimStats& s) {
        << " newton=" << s.newtonIterations << " lu=" << s.luFactorizations
        << "/" << s.luSolves << " devEval=" << s.deviceEvaluations
        << " sensSteps=" << s.sensitivitySteps << " hEval=" << s.hEvaluations
-       << " mpnr=" << s.mpnrIterations << " wall=" << s.wallSeconds << "s";
+       << " mpnr=" << s.mpnrIterations;
+    if (s.cacheHits != 0 || s.cacheMisses != 0 || s.cacheWarmStarts != 0) {
+        os << " cache=" << s.cacheHits << "h/" << s.cacheMisses << "m/"
+           << s.cacheWarmStarts << "w";
+    }
+    os << " wall=" << s.wallSeconds << "s";
     return os;
 }
 

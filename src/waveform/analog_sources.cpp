@@ -1,8 +1,10 @@
 #include "shtrace/waveform/analog_sources.hpp"
 
 #include <cmath>
+#include <ostream>
 
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -59,6 +61,20 @@ void ExpWaveform::breakpoints(double t0, double t1,
             out.push_back(c);
         }
     }
+}
+
+
+void SineWaveform::describe(std::ostream& os) const {
+    os << "sin " << toHexFloat(spec_.offset) << ' '
+       << toHexFloat(spec_.amplitude) << ' ' << toHexFloat(spec_.frequency)
+       << ' ' << toHexFloat(spec_.delay) << ' ' << toHexFloat(spec_.damping);
+}
+
+void ExpWaveform::describe(std::ostream& os) const {
+    os << "exp " << toHexFloat(spec_.v1) << ' ' << toHexFloat(spec_.v2)
+       << ' ' << toHexFloat(spec_.riseDelay) << ' '
+       << toHexFloat(spec_.riseTau) << ' ' << toHexFloat(spec_.fallDelay)
+       << ' ' << toHexFloat(spec_.fallTau);
 }
 
 }  // namespace shtrace

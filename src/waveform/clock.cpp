@@ -1,8 +1,10 @@
 #include "shtrace/waveform/clock.hpp"
 
 #include <cmath>
+#include <ostream>
 
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -83,6 +85,16 @@ double ClockWaveform::risingEdgeMidpoint(int k) const {
     require(k >= 0, "ClockWaveform::risingEdgeMidpoint: negative edge index");
     return spec_.delay + 0.5 * spec_.riseTime +
            static_cast<double>(k) * spec_.period;
+}
+
+
+void ClockWaveform::describe(std::ostream& os) const {
+    os << "clock " << toHexFloat(spec_.v0) << ' ' << toHexFloat(spec_.v1)
+       << ' ' << toHexFloat(spec_.period) << ' ' << toHexFloat(spec_.delay)
+       << ' ' << toHexFloat(spec_.riseTime) << ' '
+       << toHexFloat(spec_.fallTime) << ' ' << toHexFloat(spec_.dutyCycle)
+       << " inv=" << (spec_.inverted ? 1 : 0)
+       << " shape=" << static_cast<int>(spec_.shape);
 }
 
 }  // namespace shtrace

@@ -1,6 +1,9 @@
 #include "shtrace/waveform/data_pulse.hpp"
 
+#include <ostream>
+
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -49,6 +52,16 @@ void DataPulse::breakpoints(double t0, double t1,
             out.push_back(c);
         }
     }
+}
+
+
+void DataPulse::describe(std::ostream& os) const {
+    // Structural spec only: setupSkew_/holdSkew_ are the coordinates h is
+    // evaluated at, not part of the circuit's identity.
+    os << "datapulse " << toHexFloat(spec_.v0) << ' ' << toHexFloat(spec_.v1)
+       << ' ' << toHexFloat(spec_.activeEdgeTime) << ' '
+       << toHexFloat(spec_.transitionTime)
+       << " shape=" << static_cast<int>(spec_.shape);
 }
 
 }  // namespace shtrace

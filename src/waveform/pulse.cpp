@@ -1,6 +1,9 @@
 #include "shtrace/waveform/pulse.hpp"
 
+#include <ostream>
+
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -43,6 +46,14 @@ void PulseWaveform::breakpoints(double t0, double t1,
             out.push_back(c);
         }
     }
+}
+
+
+void PulseWaveform::describe(std::ostream& os) const {
+    os << "pulse " << toHexFloat(spec_.v0) << ' ' << toHexFloat(spec_.v1)
+       << ' ' << toHexFloat(spec_.delay) << ' ' << toHexFloat(spec_.riseTime)
+       << ' ' << toHexFloat(spec_.width) << ' ' << toHexFloat(spec_.fallTime)
+       << " shape=" << static_cast<int>(spec_.shape);
 }
 
 }  // namespace shtrace

@@ -1,8 +1,10 @@
 #include "shtrace/waveform/pwl.hpp"
 
 #include <algorithm>
+#include <ostream>
 
 #include "shtrace/util/error.hpp"
+#include "shtrace/util/hexfloat.hpp"
 
 namespace shtrace {
 
@@ -37,6 +39,14 @@ void PwlWaveform::breakpoints(double t0, double t1,
         if (p.t > t0 && p.t < t1) {
             out.push_back(p.t);
         }
+    }
+}
+
+
+void PwlWaveform::describe(std::ostream& os) const {
+    os << "pwl";
+    for (const Point& p : points_) {
+        os << ' ' << toHexFloat(p.t) << ':' << toHexFloat(p.v);
     }
 }
 

@@ -1,8 +1,16 @@
 #include "shtrace/waveform/waveform.hpp"
 
+#include <ostream>
+
+#include "shtrace/util/hexfloat.hpp"
+
 namespace shtrace {
 
 void Waveform::breakpoints(double, double, std::vector<double>&) const {}
+
+void DcWaveform::describe(std::ostream& os) const {
+    os << "dc " << toHexFloat(level_);
+}
 
 double edgeProfile(EdgeShape shape, double u) {
     if (u <= 0.0) {

@@ -1,0 +1,79 @@
+// Golden-file test for the Liberty-lite writer: synthetic rows with fixed
+// numbers must produce byte-identical report text, release after release.
+// If a deliberate format change breaks this, regenerate the golden file
+// (instructions below) and review the diff like any other API change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "shtrace/chz/library.hpp"
+
+namespace shtrace {
+namespace {
+
+std::vector<LibraryRow> syntheticRows() {
+    LibraryRow good;
+    good.cell = "TSPC_X1";
+    good.success = true;
+    good.characteristicClockToQ = 81.25e-12;
+    good.setupTime = 123.5e-12;
+    good.holdTime = 45.25e-12;
+    good.contour = {{100e-12, 400e-12},
+                    {150e-12, 200e-12},
+                    {250e-12, 100e-12}};
+
+    LibraryRow bare;
+    bare.cell = "C2MOS_X1";
+    bare.success = true;
+    bare.characteristicClockToQ = 95e-12;
+    bare.setupTime = 180e-12;
+    bare.holdTime = 60e-12;  // no contour: independent-only row
+
+    LibraryRow failed;
+    failed.cell = "BROKEN_X1";
+    failed.success = false;
+    failed.failureReason = "contour seed search failed";
+
+    return {good, bare, failed};
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(LibraryReport, MatchesGoldenFile) {
+    const std::string actualPath =
+        ::testing::TempDir() + "/shtrace_golden_check.lib";
+    writeLibertyLite(syntheticRows(), actualPath, "shtrace_golden");
+    const std::string actual = slurp(actualPath);
+
+    const std::string goldenPath =
+        std::string(SHTRACE_GOLDEN_DIR) + "/library_report.lib";
+    const std::string golden = slurp(goldenPath);
+
+    EXPECT_EQ(actual, golden)
+        << "Liberty-lite output drifted from tests/golden/"
+           "library_report.lib.\nIf the change is intentional, regenerate "
+           "with:\n  cp " << actualPath << " " << goldenPath;
+    std::remove(actualPath.c_str());
+}
+
+TEST(LibraryReport, WriterIsDeterministic) {
+    const std::string a = ::testing::TempDir() + "/shtrace_det_a.lib";
+    const std::string b = ::testing::TempDir() + "/shtrace_det_b.lib";
+    writeLibertyLite(syntheticRows(), a, "shtrace_golden");
+    writeLibertyLite(syntheticRows(), b, "shtrace_golden");
+    EXPECT_EQ(slurp(a), slurp(b));
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+}  // namespace
+}  // namespace shtrace

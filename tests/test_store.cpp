@@ -1,0 +1,531 @@
+// Tests for the persistent store primitives: hex-float round-trips, FNV-1a
+// content keys (and their per-component invalidation), the serialization
+// formats (bit-for-bit round-trips), and the on-disk ResultStore.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/store/cache.hpp"
+#include "shtrace/store/key.hpp"
+#include "shtrace/store/serialize.hpp"
+#include "shtrace/util/hexfloat.hpp"
+
+namespace shtrace {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- hexfloat
+
+TEST(HexFloat, RoundTripsAwkwardValues) {
+    const double values[] = {0.0,
+                             -0.0,
+                             1.0,
+                             -1.0,
+                             1.23456789e-12,
+                             -3.141592653589793,
+                             1e300,
+                             5e-324,  // min subnormal
+                             std::numeric_limits<double>::max(),
+                             std::numeric_limits<double>::epsilon()};
+    for (const double v : values) {
+        const double back = fromHexFloat(toHexFloat(v));
+        EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << toHexFloat(v);
+    }
+}
+
+TEST(HexFloat, RoundTripsSpecials) {
+    EXPECT_TRUE(std::isnan(fromHexFloat(toHexFloat(
+        std::numeric_limits<double>::quiet_NaN()))));
+    EXPECT_EQ(fromHexFloat(toHexFloat(
+                  std::numeric_limits<double>::infinity())),
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(fromHexFloat(toHexFloat(
+                  -std::numeric_limits<double>::infinity())),
+              -std::numeric_limits<double>::infinity());
+}
+
+TEST(HexFloat, RejectsJunk) {
+    EXPECT_THROW(fromHexFloat(""), Error);
+    EXPECT_THROW(fromHexFloat("0x1p0 trailing"), Error);
+    EXPECT_THROW(fromHexFloat("hello"), Error);
+}
+
+// -------------------------------------------------------------------- keys
+
+TEST(StoreKey, Fnv1aMatchesReferenceVectors) {
+    // Published FNV-1a 64-bit test vectors.
+    EXPECT_EQ(store::Fnv1a().value(), 14695981039346656037ull);
+    EXPECT_EQ(store::Fnv1a().update("a").value(), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(store::Fnv1a().update("foobar").value(),
+              0x85944171f73967e8ull);
+    // Streaming == one-shot.
+    EXPECT_EQ(store::Fnv1a().update("foo").update("bar").value(),
+              store::Fnv1a().update("foobar").value());
+}
+
+TEST(StoreKey, HexKeySpellingRoundTrips) {
+    const std::uint64_t keys[] = {0ull, 1ull, 0xdeadbeefcafef00dull,
+                                  ~0ull};
+    for (const std::uint64_t key : keys) {
+        const std::string text = store::toHexKey(key);
+        EXPECT_EQ(text.size(), 16u);
+        const auto back = store::parseHexKey(text);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, key);
+    }
+    EXPECT_FALSE(store::parseHexKey("short"));
+    EXPECT_FALSE(store::parseHexKey("123456789012345X"));
+    EXPECT_FALSE(store::parseHexKey("0123456789ABCDEF"));  // upper case
+}
+
+TEST(StoreKey, EveryKeyComponentInvalidates) {
+    const RegisterFixture fixture = buildTspcRegister();
+    const RunConfig base;
+    const store::CacheKey ref = store::characterizeKey(fixture, base);
+
+    // Same inputs -> same key (stable across calls).
+    EXPECT_EQ(store::characterizeKey(fixture, base).full, ref.full);
+    EXPECT_EQ(store::characterizeKey(fixture, base).problem, ref.problem);
+
+    // Criterion target: full key flips, problem key survives (that is the
+    // warm-start family).
+    {
+        RunConfig c = base;
+        c.criterion.degradation = 0.25;
+        const store::CacheKey k = store::characterizeKey(fixture, c);
+        EXPECT_NE(k.full, ref.full);
+        EXPECT_EQ(k.problem, ref.problem);
+    }
+    // Criterion family field: both flip.
+    {
+        RunConfig c = base;
+        c.criterion.transitionFraction = 0.8;
+        const store::CacheKey k = store::characterizeKey(fixture, c);
+        EXPECT_NE(k.full, ref.full);
+        EXPECT_NE(k.problem, ref.problem);
+    }
+    // Recipe: both flip.
+    {
+        RunConfig c = base;
+        c.recipe.dtNominal *= 0.5;
+        const store::CacheKey k = store::characterizeKey(fixture, c);
+        EXPECT_NE(k.full, ref.full);
+        EXPECT_NE(k.problem, ref.problem);
+    }
+    // Tracer numerics: full flips, problem survives.
+    {
+        RunConfig c = base;
+        c.tracer.stepLength *= 2.0;
+        const store::CacheKey k = store::characterizeKey(fixture, c);
+        EXPECT_NE(k.full, ref.full);
+        EXPECT_EQ(k.problem, ref.problem);
+    }
+    // Seed search options: full flips.
+    {
+        RunConfig c = base;
+        c.seed.maxBisections += 1;
+        EXPECT_NE(store::characterizeKey(fixture, c).full, ref.full);
+    }
+    // The circuit itself: both flip.
+    {
+        TspcOptions opt;
+        opt.outputLoadCapacitance = 33e-15;
+        const RegisterFixture other = buildTspcRegister(opt);
+        const store::CacheKey k = store::characterizeKey(other, base);
+        EXPECT_NE(k.full, ref.full);
+        EXPECT_NE(k.problem, ref.problem);
+    }
+    // Parallelism does NOT shape the result: keys must not see it.
+    {
+        RunConfig c = base;
+        c.parallel.threads = 7;
+        EXPECT_EQ(store::characterizeKey(fixture, c).full, ref.full);
+    }
+    // Cache knobs themselves are not part of the key.
+    {
+        RunConfig c = base;
+        c.cacheDir = "/somewhere";
+        c.cachePolicy = CachePolicy::Refresh;
+        EXPECT_EQ(store::characterizeKey(fixture, c).full, ref.full);
+    }
+}
+
+TEST(StoreKey, KindSeparatesEntryFamilies) {
+    const RegisterFixture fixture = buildTspcRegister();
+    const RunConfig config;
+    const std::uint64_t chz = store::characterizeKey(fixture, config).full;
+    const std::uint64_t lib =
+        store::libraryRowKey(fixture, config.criterion, config, true).full;
+    const std::uint64_t ind = store::independentRowKey(fixture, config).full;
+    EXPECT_NE(chz, lib);
+    EXPECT_NE(chz, ind);
+    EXPECT_NE(lib, ind);
+}
+
+TEST(StoreKey, LibraryRowKeySeesContourToggleAndCriterion) {
+    const RegisterFixture fixture = buildTspcRegister();
+    const RunConfig config;
+    const std::uint64_t with =
+        store::libraryRowKey(fixture, config.criterion, config, true).full;
+    const std::uint64_t without =
+        store::libraryRowKey(fixture, config.criterion, config, false).full;
+    EXPECT_NE(with, without);
+
+    CriterionOptions cellCrit;
+    cellCrit.transitionFraction = 0.9;
+    EXPECT_NE(store::libraryRowKey(fixture, cellCrit, config, true).full,
+              with);
+}
+
+// ------------------------------------------------------------ round trips
+
+SimStats sampleStats() {
+    SimStats s;
+    s.transientSolves = 11;
+    s.timeSteps = 1234;
+    s.rejectedSteps = 5;
+    s.newtonIterations = 4321;
+    s.luFactorizations = 999;
+    s.luSolves = 1001;
+    s.deviceEvaluations = 123456;
+    s.sensitivitySteps = 77;
+    s.hEvaluations = 42;
+    s.mpnrIterations = 13;
+    s.cacheHits = 1;
+    s.cacheMisses = 2;
+    s.cacheWarmStarts = 3;
+    s.wallSeconds = 0.12345678901234567;
+    return s;
+}
+
+void expectSameStats(const SimStats& a, const SimStats& b) {
+    EXPECT_EQ(a.transientSolves, b.transientSolves);
+    EXPECT_EQ(a.timeSteps, b.timeSteps);
+    EXPECT_EQ(a.rejectedSteps, b.rejectedSteps);
+    EXPECT_EQ(a.newtonIterations, b.newtonIterations);
+    EXPECT_EQ(a.luFactorizations, b.luFactorizations);
+    EXPECT_EQ(a.luSolves, b.luSolves);
+    EXPECT_EQ(a.deviceEvaluations, b.deviceEvaluations);
+    EXPECT_EQ(a.sensitivitySteps, b.sensitivitySteps);
+    EXPECT_EQ(a.hEvaluations, b.hEvaluations);
+    EXPECT_EQ(a.mpnrIterations, b.mpnrIterations);
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    EXPECT_EQ(a.cacheWarmStarts, b.cacheWarmStarts);
+    EXPECT_EQ(std::memcmp(&a.wallSeconds, &b.wallSeconds, sizeof(double)),
+              0);
+}
+
+TEST(StoreSerialize, SimStatsRoundTripsBitForBit) {
+    const SimStats s = sampleStats();
+    const SimStats back =
+        store::deserializeSimStats(store::serializeSimStats(s));
+    expectSameStats(s, back);
+}
+
+TEST(StoreSerialize, CharacterizeResultRoundTripsBitForBit) {
+    CharacterizeResult r;
+    r.success = true;
+    r.characteristicClockToQ = 81.25e-12;
+    r.degradedClockToQ = 89.375e-12;
+    r.tf = 1.1e-9;
+    r.r = 0.567;
+    r.seed.found = true;
+    r.seed.seed = SkewPoint{123.456e-12, 700e-12};
+    r.seed.bracketLo = 100e-12;
+    r.seed.bracketHi = 150e-12;
+    r.seed.evaluations = 17;
+    r.contour.seedConverged = true;
+    r.contour.predictorRetries = 2;
+    r.contour.points = {{1e-12, 2e-12}, {3e-12, 4e-12}, {5e-12, 6e-12}};
+    r.contour.residuals = {1e-15, 2e-15, 3e-15};
+    r.contour.correctorIterations = {2, 3, 4};
+    r.stats = sampleStats();
+
+    const CharacterizeResult back = store::deserializeCharacterizeResult(
+        store::serializeCharacterizeResult(r));
+    EXPECT_EQ(back.success, r.success);
+    EXPECT_EQ(back.characteristicClockToQ, r.characteristicClockToQ);
+    EXPECT_EQ(back.degradedClockToQ, r.degradedClockToQ);
+    EXPECT_EQ(back.tf, r.tf);
+    EXPECT_EQ(back.r, r.r);
+    EXPECT_EQ(back.seed.found, r.seed.found);
+    EXPECT_EQ(back.seed.seed.setup, r.seed.seed.setup);
+    EXPECT_EQ(back.seed.seed.hold, r.seed.seed.hold);
+    EXPECT_EQ(back.seed.bracketLo, r.seed.bracketLo);
+    EXPECT_EQ(back.seed.bracketHi, r.seed.bracketHi);
+    EXPECT_EQ(back.seed.evaluations, r.seed.evaluations);
+    EXPECT_EQ(back.contour.seedConverged, r.contour.seedConverged);
+    EXPECT_EQ(back.contour.predictorRetries, r.contour.predictorRetries);
+    ASSERT_EQ(back.contour.points.size(), r.contour.points.size());
+    for (std::size_t i = 0; i < r.contour.points.size(); ++i) {
+        EXPECT_EQ(back.contour.points[i].setup, r.contour.points[i].setup);
+        EXPECT_EQ(back.contour.points[i].hold, r.contour.points[i].hold);
+        EXPECT_EQ(back.contour.residuals[i], r.contour.residuals[i]);
+        EXPECT_EQ(back.contour.correctorIterations[i],
+                  r.contour.correctorIterations[i]);
+    }
+    expectSameStats(r.stats, back.stats);
+
+    // Serialization is deterministic: serialize(deserialize(text)) == text.
+    const std::string text = store::serializeCharacterizeResult(r);
+    EXPECT_EQ(store::serializeCharacterizeResult(back), text);
+}
+
+TEST(StoreSerialize, LibraryRowRoundTripsIncludingStrings) {
+    LibraryRow row;
+    row.cell = "TSPC_X1 \"quoted\"\nsecond line\\";
+    row.success = true;
+    row.failureReason = "";
+    row.characteristicClockToQ = 81e-12;
+    row.setupTime = 123.4567e-12;
+    row.holdTime = -4.5e-12;
+    row.contour = {{1e-12, 2e-12}, {3e-12, 4e-12}};
+    row.stats = sampleStats();
+
+    const LibraryRow back =
+        store::deserializeLibraryRow(store::serializeLibraryRow(row));
+    EXPECT_EQ(back.cell, row.cell);
+    EXPECT_EQ(back.success, row.success);
+    EXPECT_EQ(back.failureReason, row.failureReason);
+    EXPECT_EQ(back.characteristicClockToQ, row.characteristicClockToQ);
+    EXPECT_EQ(back.setupTime, row.setupTime);
+    EXPECT_EQ(back.holdTime, row.holdTime);
+    ASSERT_EQ(back.contour.size(), row.contour.size());
+    EXPECT_EQ(back.contour[1].hold, row.contour[1].hold);
+    expectSameStats(row.stats, back.stats);
+}
+
+TEST(StoreSerialize, PvtAndMcRowsRoundTrip) {
+    PvtCornerResult row;
+    row.corner = "ss/0.9V/125C";
+    row.success = true;
+    row.characteristicClockToQ = 99e-12;
+    row.setupTime = 44e-12;
+    row.holdTime = 11e-12;
+    row.transientCount = 23;
+    row.stats = sampleStats();
+    const PvtCornerResult backPvt =
+        store::deserializePvtRow(store::serializePvtRow(row));
+    EXPECT_EQ(backPvt.corner, row.corner);
+    EXPECT_EQ(backPvt.setupTime, row.setupTime);
+    EXPECT_EQ(backPvt.transientCount, row.transientCount);
+    expectSameStats(row.stats, backPvt.stats);
+
+    store::McSampleRow mc{true, 1.25e-12, -0.5e-12, 80e-12};
+    const store::McSampleRow backMc =
+        store::deserializeMcRow(store::serializeMcRow(mc));
+    EXPECT_EQ(backMc.converged, mc.converged);
+    EXPECT_EQ(backMc.setupTime, mc.setupTime);
+    EXPECT_EQ(backMc.holdTime, mc.holdTime);
+    EXPECT_EQ(backMc.clockToQ, mc.clockToQ);
+}
+
+TEST(StoreSerialize, SurfaceResultRoundTrips) {
+    SurfaceMethodResult r{OutputSurface({1e-12, 2e-12, 3e-12},
+                                        {10e-12, 20e-12}),
+                          {}, 6, sampleStats()};
+    double v = 0.5;
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            r.surface.setValue(i, j, v);
+            v += 0.125;
+        }
+    }
+    r.contours = {{{1.5e-12, 15e-12}, {2.5e-12, 12e-12}}};
+
+    const SurfaceMethodResult back =
+        store::deserializeSurfaceResult(store::serializeSurfaceResult(r));
+    EXPECT_EQ(back.transientCount, r.transientCount);
+    ASSERT_EQ(back.surface.setupCount(), r.surface.setupCount());
+    ASSERT_EQ(back.surface.holdCount(), r.surface.holdCount());
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            EXPECT_EQ(back.surface.value(i, j), r.surface.value(i, j));
+        }
+    }
+    ASSERT_EQ(back.contours.size(), 1u);
+    ASSERT_EQ(back.contours[0].size(), 2u);
+    EXPECT_EQ(back.contours[0][1].setup, 2.5e-12);
+    expectSameStats(r.stats, back.stats);
+}
+
+TEST(StoreSerialize, MalformedPayloadsThrowNotCrash) {
+    EXPECT_THROW(store::deserializeSimStats(""), store::StoreFormatError);
+    EXPECT_THROW(store::deserializeSimStats("stats 1 2\n"),
+                 store::StoreFormatError);
+    EXPECT_THROW(store::deserializeCharacterizeResult("characterize 1\n"),
+                 store::StoreFormatError);
+    EXPECT_THROW(store::deserializeLibraryRow("library_row 5\n"),
+                 store::StoreFormatError);
+    EXPECT_THROW(
+        store::deserializeContourPoints("points 3\n0x1p0 0x1p0\n"),
+        store::StoreFormatError);
+    // Trailing garbage is rejected too.
+    EXPECT_THROW(store::deserializeMcRow(
+                     store::serializeMcRow({true, 1, 2, 3}) + "extra\n"),
+                 store::StoreFormatError);
+}
+
+// ------------------------------------------------------------ ResultStore
+
+class ResultStoreTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::path(::testing::TempDir()) /
+               ("shtrace_store_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+        fs::remove_all(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    store::StoreEntry sampleEntry(std::uint64_t key,
+                                  std::uint64_t problem) const {
+        store::StoreEntry entry;
+        entry.kind = store::kKindMcRow;
+        entry.key = key;
+        entry.problem = problem;
+        entry.label = "sample";
+        entry.payload = store::serializeMcRow({true, 1e-12, 2e-12, 3e-12});
+        return entry;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(ResultStoreTest, SaveLoadListRemove) {
+    const store::ResultStore cache(dir_.string());
+    EXPECT_FALSE(cache.load(42).has_value());
+
+    cache.save(sampleEntry(42, 7));
+    cache.save(sampleEntry(43, 7));
+    const auto entry = cache.load(42);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->kind, store::kKindMcRow);
+    EXPECT_EQ(entry->key, 42u);
+    EXPECT_EQ(entry->problem, 7u);
+    EXPECT_EQ(entry->label, "sample");
+
+    const auto all = cache.list();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].key, 42u);
+    EXPECT_EQ(all[1].key, 43u);
+
+    EXPECT_TRUE(cache.remove(42));
+    EXPECT_FALSE(cache.remove(42));
+    EXPECT_FALSE(cache.load(42).has_value());
+}
+
+TEST_F(ResultStoreTest, OverwriteReplacesContent) {
+    const store::ResultStore cache(dir_.string());
+    cache.save(sampleEntry(1, 2));
+    store::StoreEntry updated = sampleEntry(1, 2);
+    updated.label = "updated";
+    cache.save(updated);
+    ASSERT_EQ(cache.list().size(), 1u);
+    EXPECT_EQ(cache.load(1)->label, "updated");
+}
+
+TEST_F(ResultStoreTest, CorruptionReadsAsCleanMiss) {
+    const store::ResultStore cache(dir_.string());
+    cache.save(sampleEntry(5, 9));
+    const fs::path path = dir_ / store::ResultStore::entryFileName(5);
+
+    // Flip a payload byte: checksum mismatch.
+    {
+        std::string text;
+        {
+            std::ifstream in(path);
+            std::stringstream buf;
+            buf << in.rdbuf();
+            text = buf.str();
+        }
+        const std::size_t pos = text.find("0x");
+        ASSERT_NE(pos, std::string::npos);
+        text[pos + 2] = text[pos + 2] == '1' ? '2' : '1';
+        std::ofstream(path) << text;
+    }
+    EXPECT_FALSE(cache.load(5).has_value());
+
+    // Truncation.
+    cache.save(sampleEntry(5, 9));
+    {
+        std::error_code ec;
+        fs::resize_file(path, fs::file_size(path) / 2, ec);
+        ASSERT_FALSE(ec);
+    }
+    EXPECT_FALSE(cache.load(5).has_value());
+
+    // Plain junk.
+    std::ofstream(path) << "not a store entry\n";
+    EXPECT_FALSE(cache.load(5).has_value());
+
+    // A valid entry renamed to the wrong key must not be served.
+    cache.save(sampleEntry(6, 9));
+    fs::copy_file(dir_ / store::ResultStore::entryFileName(6),
+                  dir_ / store::ResultStore::entryFileName(77));
+    EXPECT_FALSE(cache.load(77).has_value());
+}
+
+TEST_F(ResultStoreTest, GcRemovesOnlyBrokenEntries) {
+    const store::ResultStore cache(dir_.string());
+    cache.save(sampleEntry(10, 1));
+    cache.save(sampleEntry(11, 1));
+    std::ofstream(dir_ / store::ResultStore::entryFileName(12))
+        << "garbage\n";
+    std::ofstream(dir_ / "README.txt") << "not an entry at all\n";
+
+    const auto report = cache.gc();
+    EXPECT_EQ(report.kept, 2u);
+    EXPECT_EQ(report.removed, 1u);
+    EXPECT_TRUE(cache.load(10).has_value());
+    EXPECT_TRUE(cache.load(11).has_value());
+    EXPECT_TRUE(fs::exists(dir_ / "README.txt"));  // non-.shtr untouched
+}
+
+TEST_F(ResultStoreTest, FindNearHitPrefersContourCarriers) {
+    const store::ResultStore cache(dir_.string());
+    // An mc_row in the family: no contour, never a warm-start source.
+    cache.save(sampleEntry(20, 99));
+    EXPECT_FALSE(cache.findNearHit(99, 0).has_value());
+
+    LibraryRow row;
+    row.cell = "X";
+    row.success = true;
+    row.contour = {{1e-12, 2e-12}};
+    store::StoreEntry entry;
+    entry.kind = store::kKindLibraryRow;
+    entry.key = 21;
+    entry.problem = 99;
+    entry.payload = store::serializeLibraryRow(row);
+    cache.save(entry);
+
+    const auto hit = cache.findNearHit(99, 0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->key, 21u);
+    // The entry itself is excluded (a near-hit must be a DIFFERENT entry),
+    // and other problem families never match.
+    EXPECT_FALSE(cache.findNearHit(99, 21).has_value());
+    EXPECT_FALSE(cache.findNearHit(98, 0).has_value());
+}
+
+TEST(NearestPoint, PicksEuclideanNearest) {
+    const std::vector<SkewPoint> points = {
+        {0.0, 0.0}, {1.0, 1.0}, {5.0, 5.0}};
+    const auto p = store::nearestPoint(points, SkewPoint{1.2, 0.9});
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->setup, 1.0);
+    EXPECT_EQ(p->hold, 1.0);
+    EXPECT_FALSE(store::nearestPoint({}, SkewPoint{0, 0}).has_value());
+}
+
+}  // namespace
+}  // namespace shtrace

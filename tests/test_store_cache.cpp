@@ -1,0 +1,313 @@
+// Driver-level tests of the persistent result cache: a cold batch
+// populates the store, a second identical run is served entirely from it
+// (zero transient integrations, byte-identical rows, any thread count),
+// policies gate reads/writes, corruption recomputes, and a perturbed
+// clock-to-Q target warm-starts the tracer from the cached contour.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/characterize.hpp"
+#include "shtrace/chz/library.hpp"
+#include "shtrace/chz/monte_carlo.hpp"
+#include "shtrace/chz/pvt.hpp"
+#include "shtrace/chz/surface_method.hpp"
+#include "shtrace/store/cache.hpp"
+#include "shtrace/store/key.hpp"
+
+namespace shtrace {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreCacheTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::path(::testing::TempDir()) /
+               ("shtrace_cache_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+        fs::remove_all(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string dir() const { return dir_.string(); }
+
+    std::size_t entryCount() const {
+        return store::ResultStore(dir()).list().size();
+    }
+
+    fs::path dir_;
+};
+
+std::vector<LibraryCell> twoCellLibrary() {
+    TspcOptions heavy;
+    heavy.outputLoadCapacitance = 40e-15;
+    return {
+        LibraryCell{"TSPC_X1", [] { return buildTspcRegister(); },
+                    CriterionOptions{}},
+        LibraryCell{"TSPC_X2",
+                    [heavy] { return buildTspcRegister(heavy); },
+                    CriterionOptions{}},
+    };
+}
+
+RunConfig fastConfig() {
+    RunConfig config;
+    config.traceContours = true;
+    config.tracer.maxPoints = 6;
+    config.tracer.bounds = SkewBounds{80e-12, 900e-12, 40e-12, 700e-12};
+    return config;
+}
+
+void expectSameRow(const LibraryRow& a, const LibraryRow& b) {
+    EXPECT_EQ(a.cell, b.cell);
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(std::memcmp(&a.setupTime, &b.setupTime, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&a.holdTime, &b.holdTime, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&a.characteristicClockToQ,
+                          &b.characteristicClockToQ, sizeof(double)),
+              0);
+    ASSERT_EQ(a.contour.size(), b.contour.size());
+    for (std::size_t i = 0; i < a.contour.size(); ++i) {
+        EXPECT_EQ(a.contour[i].setup, b.contour[i].setup);
+        EXPECT_EQ(a.contour[i].hold, b.contour[i].hold);
+    }
+}
+
+TEST_F(StoreCacheTest, LibrarySecondRunDoesZeroTransientWork) {
+    const RunConfig cold = fastConfig().withCacheDir(dir());
+    const auto first = characterizeLibrary(twoCellLibrary(), cold);
+    ASSERT_TRUE(first[0].success && first[1].success);
+    EXPECT_GT(first.stats.transientSolves, 0u);
+    EXPECT_EQ(first.stats.cacheMisses, 2u);
+    EXPECT_EQ(first.stats.cacheHits, 0u);
+    EXPECT_EQ(entryCount(), 2u);
+
+    // Identical run, 1 thread and 8 threads: every row served from the
+    // store, no transient integration anywhere, rows byte-identical.
+    for (const int threads : {1, 8}) {
+        const RunConfig warm =
+            fastConfig().withCacheDir(dir()).withThreads(threads);
+        const auto second = characterizeLibrary(twoCellLibrary(), warm);
+        EXPECT_EQ(second.stats.transientSolves, 0u) << threads;
+        EXPECT_EQ(second.stats.timeSteps, 0u) << threads;
+        EXPECT_EQ(second.stats.hEvaluations, 0u) << threads;
+        EXPECT_EQ(second.stats.cacheHits, 2u) << threads;
+        EXPECT_EQ(second.stats.cacheMisses, 0u) << threads;
+        ASSERT_EQ(second.size(), first.size());
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            expectSameRow(first[i], second[i]);
+        }
+    }
+}
+
+TEST_F(StoreCacheTest, ReadOnlyNeverWritesRefreshRecomputes) {
+    // ReadOnly against an empty store: computes, stores nothing.
+    const RunConfig readOnly = fastConfig()
+                                   .withCacheDir(dir())
+                                   .withCachePolicy(CachePolicy::ReadOnly);
+    const auto first = characterizeLibrary(twoCellLibrary(), readOnly);
+    EXPECT_TRUE(first[0].success);
+    EXPECT_EQ(first.stats.cacheMisses, 2u);
+    EXPECT_EQ(entryCount(), 0u);
+
+    // Populate, then Refresh: recomputes (no hits) but re-publishes.
+    characterizeLibrary(twoCellLibrary(), fastConfig().withCacheDir(dir()));
+    ASSERT_EQ(entryCount(), 2u);
+    const RunConfig refresh = fastConfig()
+                                  .withCacheDir(dir())
+                                  .withCachePolicy(CachePolicy::Refresh)
+                                  .withWarmStart(false);
+    const auto again = characterizeLibrary(twoCellLibrary(), refresh);
+    EXPECT_GT(again.stats.transientSolves, 0u);
+    EXPECT_EQ(again.stats.cacheHits, 0u);
+    EXPECT_EQ(again.stats.cacheMisses, 2u);
+    EXPECT_EQ(entryCount(), 2u);
+}
+
+TEST_F(StoreCacheTest, CorruptedEntryRecomputesAndHeals) {
+    const RunConfig config = fastConfig().withCacheDir(dir());
+    const auto first = characterizeLibrary(twoCellLibrary(), config);
+    ASSERT_EQ(entryCount(), 2u);
+
+    // Trash every entry file in the store.
+    for (const auto& item : fs::directory_iterator(dir_)) {
+        std::ofstream(item.path()) << "scrambled bits\n";
+    }
+    EXPECT_EQ(entryCount(), 0u);
+
+    const auto second = characterizeLibrary(twoCellLibrary(), config);
+    EXPECT_TRUE(second[0].success && second[1].success);
+    EXPECT_GT(second.stats.transientSolves, 0u);  // really recomputed
+    EXPECT_EQ(second.stats.cacheMisses, 2u);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        expectSameRow(first[i], second[i]);  // determinism, not the cache
+    }
+    EXPECT_EQ(entryCount(), 2u);  // healed
+
+    const auto third = characterizeLibrary(twoCellLibrary(), config);
+    EXPECT_EQ(third.stats.cacheHits, 2u);
+}
+
+TEST_F(StoreCacheTest, CharacterizeHitSkipsAllTransients) {
+    const RegisterFixture fixture = buildTspcRegister();
+    CharacterizeOptions opt = fastConfig().withCacheDir(dir());
+
+    const CharacterizeResult cold = characterizeInterdependent(fixture, opt);
+    ASSERT_TRUE(cold.success);
+    EXPECT_EQ(cold.stats.cacheMisses, 1u);
+    EXPECT_GT(cold.stats.transientSolves, 0u);
+
+    const CharacterizeResult hit = characterizeInterdependent(fixture, opt);
+    EXPECT_TRUE(hit.success);
+    EXPECT_EQ(hit.stats.cacheHits, 1u);
+    EXPECT_EQ(hit.stats.transientSolves, 0u);
+    EXPECT_EQ(std::memcmp(&hit.characteristicClockToQ,
+                          &cold.characteristicClockToQ, sizeof(double)),
+              0);
+    ASSERT_EQ(hit.contour.points.size(), cold.contour.points.size());
+    for (std::size_t i = 0; i < cold.contour.points.size(); ++i) {
+        EXPECT_EQ(hit.contour.points[i].setup, cold.contour.points[i].setup);
+        EXPECT_EQ(hit.contour.points[i].hold, cold.contour.points[i].hold);
+    }
+}
+
+TEST_F(StoreCacheTest, PerturbedTargetWarmStartsFromCachedContour) {
+    const RegisterFixture fixture = buildTspcRegister();
+    CharacterizeOptions opt = fastConfig().withCacheDir(dir());
+
+    const CharacterizeResult cold = characterizeInterdependent(fixture, opt);
+    ASSERT_TRUE(cold.success);
+
+    // Same circuit and recipe, different clock-to-Q degradation target:
+    // full key misses, problem key matches the cached contour.
+    CharacterizeOptions perturbed = opt;
+    perturbed.criterion.degradation = opt.criterion.degradation + 0.05;
+    const CharacterizeResult warm =
+        characterizeInterdependent(fixture, perturbed);
+    ASSERT_TRUE(warm.success);
+    EXPECT_EQ(warm.stats.cacheHits, 0u);
+    EXPECT_EQ(warm.stats.cacheMisses, 1u);
+    EXPECT_EQ(warm.stats.cacheWarmStarts, 1u);
+    EXPECT_EQ(warm.seed.evaluations, 0);  // no bisection ran
+
+    // The same perturbed run without a cache pays for the seed search.
+    CharacterizeOptions noCache = perturbed;
+    noCache.cacheDir.clear();
+    const CharacterizeResult coldPerturbed =
+        characterizeInterdependent(fixture, noCache);
+    ASSERT_TRUE(coldPerturbed.success);
+    EXPECT_GT(coldPerturbed.seed.evaluations, 0);
+    EXPECT_LT(warm.stats.transientSolves,
+              coldPerturbed.stats.transientSolves);
+
+    // Warm start can be opted out of.
+    CharacterizeOptions noWarm = perturbed;
+    noWarm.warmStart = false;
+    noWarm.criterion.degradation = opt.criterion.degradation + 0.07;
+    const CharacterizeResult opted =
+        characterizeInterdependent(fixture, noWarm);
+    EXPECT_EQ(opted.stats.cacheWarmStarts, 0u);
+}
+
+TEST_F(StoreCacheTest, PvtSweepCachesPerCorner) {
+    const CornerFixtureBuilder builder = [](const ProcessCorner& corner) {
+        TspcOptions opt;
+        opt.corner = corner;
+        return buildTspcRegister(opt);
+    };
+    const std::vector<ProcessCorner> corners = {ProcessCorner::typical()};
+    const RunConfig config = RunConfig::defaults().withCacheDir(dir());
+
+    const auto first = sweepPvtCorners(corners, builder, config);
+    ASSERT_TRUE(first[0].success);
+    EXPECT_EQ(first.stats.cacheMisses, 1u);
+    ASSERT_EQ(entryCount(), 1u);
+
+    const auto second = sweepPvtCorners(corners, builder, config);
+    EXPECT_EQ(second.stats.transientSolves, 0u);
+    EXPECT_EQ(second.stats.cacheHits, 1u);
+    EXPECT_EQ(std::memcmp(&first[0].setupTime, &second[0].setupTime,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&first[0].holdTime, &second[0].holdTime,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(first[0].corner, second[0].corner);
+}
+
+TEST_F(StoreCacheTest, MonteCarloCachesPerSample) {
+    const CornerFixtureBuilder builder = [](const ProcessCorner& corner) {
+        TspcOptions opt;
+        opt.corner = corner;
+        return buildTspcRegister(opt);
+    };
+    MonteCarloOptions opt;
+    opt.samples = 3;
+    opt.seed = 7;
+    opt.cacheDir = dir();
+
+    const MonteCarloResult first =
+        runMonteCarlo(ProcessCorner::typical(), builder, opt);
+    ASSERT_EQ(first.samplesConverged, 3);
+    EXPECT_EQ(first.stats.cacheMisses, 3u);
+
+    const MonteCarloResult second =
+        runMonteCarlo(ProcessCorner::typical(), builder, opt);
+    EXPECT_EQ(second.stats.transientSolves, 0u);
+    EXPECT_EQ(second.stats.cacheHits, 3u);
+    ASSERT_EQ(second.samplesConverged, first.samplesConverged);
+    for (std::size_t i = 0; i < first.setupTimes.size(); ++i) {
+        EXPECT_EQ(std::memcmp(&first.setupTimes[i], &second.setupTimes[i],
+                              sizeof(double)),
+                  0);
+        EXPECT_EQ(std::memcmp(&first.holdTimes[i], &second.holdTimes[i],
+                              sizeof(double)),
+                  0);
+    }
+
+    // A different RNG seed samples different corners: all misses.
+    MonteCarloOptions reseeded = opt;
+    reseeded.seed = 8;
+    const MonteCarloResult third =
+        runMonteCarlo(ProcessCorner::typical(), builder, reseeded);
+    EXPECT_EQ(third.stats.cacheHits, 0u);
+    EXPECT_EQ(third.stats.cacheMisses, 3u);
+}
+
+TEST_F(StoreCacheTest, SurfaceMethodCachesTheWholeGrid) {
+    const FixtureSource source = [] { return buildTspcRegister(); };
+    const RunConfig config = RunConfig::defaults().withCacheDir(dir());
+    SurfaceMethodOptions opt;
+    opt.setupPoints = 3;
+    opt.holdPoints = 3;
+
+    const SurfaceMethodResult first = runSurfaceMethod(source, config, opt);
+    EXPECT_EQ(first.stats.cacheMisses, 1u);
+    EXPECT_GT(first.stats.transientSolves, 0u);
+
+    const SurfaceMethodResult second = runSurfaceMethod(source, config, opt);
+    EXPECT_EQ(second.stats.transientSolves, 0u);
+    EXPECT_EQ(second.stats.cacheHits, 1u);
+    ASSERT_EQ(second.surface.setupCount(), first.surface.setupCount());
+    for (std::size_t i = 0; i < first.surface.setupCount(); ++i) {
+        for (std::size_t j = 0; j < first.surface.holdCount(); ++j) {
+            EXPECT_EQ(second.surface.value(i, j), first.surface.value(i, j));
+        }
+    }
+
+    // A different grid is a different entry.
+    SurfaceMethodOptions denser = opt;
+    denser.holdPoints = 4;
+    const SurfaceMethodResult third =
+        runSurfaceMethod(source, config, denser);
+    EXPECT_EQ(third.stats.cacheHits, 0u);
+    EXPECT_EQ(entryCount(), 2u);
+}
+
+}  // namespace
+}  // namespace shtrace

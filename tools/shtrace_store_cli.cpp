@@ -1,0 +1,144 @@
+// shtrace-store -- inspect and maintain a persistent characterization
+// store (docs/STORE.md).
+//
+//   shtrace-store list <dir>                 one line per valid entry
+//   shtrace-store show <dir> <key>           framing + raw payload text
+//   shtrace-store gc <dir>                   delete corrupt/stale entries
+//   shtrace-store export <dir> <out.lib> [library-name]
+//                                            Liberty-lite from cached rows
+//
+// Exit status: 0 on success, 1 on a failed operation (unknown key, write
+// error), 2 on a usage error.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "shtrace/chz/library.hpp"
+#include "shtrace/store/cache.hpp"
+#include "shtrace/store/key.hpp"
+#include "shtrace/store/serialize.hpp"
+#include "shtrace/util/table.hpp"
+
+namespace {
+
+using namespace shtrace;
+
+int usage() {
+    std::cerr << "usage: shtrace-store list <dir>\n"
+                 "       shtrace-store show <dir> <key>\n"
+                 "       shtrace-store gc <dir>\n"
+                 "       shtrace-store export <dir> <out.lib> "
+                 "[library-name]\n";
+    return 2;
+}
+
+std::size_t payloadLines(const store::StoreEntry& entry) {
+    return static_cast<std::size_t>(
+        std::count(entry.payload.begin(), entry.payload.end(), '\n'));
+}
+
+int runList(const store::ResultStore& cache) {
+    const std::vector<store::StoreEntry> entries = cache.list();
+    TablePrinter table({"key", "kind", "label", "problem", "lines"});
+    for (const store::StoreEntry& entry : entries) {
+        table.addRowValues(store::toHexKey(entry.key), entry.kind,
+                           entry.label.empty() ? "-" : entry.label,
+                           store::toHexKey(entry.problem),
+                           static_cast<int>(payloadLines(entry)));
+    }
+    table.print(std::cout);
+    std::cout << entries.size() << " entries in " << cache.dir() << "\n";
+    return 0;
+}
+
+int runShow(const store::ResultStore& cache, const std::string& keyText) {
+    const auto key = store::parseHexKey(keyText);
+    if (!key) {
+        std::cerr << "shtrace-store: '" << keyText
+                  << "' is not a 16-hex-digit key\n";
+        return 2;
+    }
+    const auto entry = cache.load(*key);
+    if (!entry) {
+        std::cerr << "shtrace-store: no valid entry "
+                  << store::toHexKey(*key) << " in " << cache.dir() << "\n";
+        return 1;
+    }
+    std::cout << "key     " << store::toHexKey(entry->key) << "\n"
+              << "problem " << store::toHexKey(entry->problem) << "\n"
+              << "kind    " << entry->kind << "\n"
+              << "label   " << (entry->label.empty() ? "-" : entry->label)
+              << "\n"
+              << "payload (" << payloadLines(*entry) << " lines)\n"
+              << entry->payload;
+    return 0;
+}
+
+int runGc(const store::ResultStore& cache) {
+    const store::ResultStore::GcReport report = cache.gc();
+    std::cout << "kept " << report.kept << ", removed " << report.removed
+              << " in " << cache.dir() << "\n";
+    return 0;
+}
+
+int runExport(const store::ResultStore& cache, const std::string& outPath,
+              const std::string& libraryName) {
+    std::vector<LibraryRow> rows;
+    for (const store::StoreEntry& entry : cache.list()) {
+        if (entry.kind != store::kKindLibraryRow) {
+            continue;
+        }
+        try {
+            rows.push_back(store::deserializeLibraryRow(entry.payload));
+        } catch (const store::StoreFormatError& e) {
+            std::cerr << "shtrace-store: skipping "
+                      << store::toHexKey(entry.key) << ": " << e.what()
+                      << "\n";
+        }
+    }
+    if (rows.empty()) {
+        std::cerr << "shtrace-store: no library_row entries in "
+                  << cache.dir() << "\n";
+        return 1;
+    }
+    // list() orders by content key; a report reads better by cell name.
+    std::sort(rows.begin(), rows.end(),
+              [](const LibraryRow& a, const LibraryRow& b) {
+                  return a.cell < b.cell;
+              });
+    writeLibertyLite(rows, outPath, libraryName);
+    std::cout << "wrote " << rows.size() << " cells to " << outPath << "\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.size() < 2) {
+        return usage();
+    }
+    const std::string& command = args[0];
+    try {
+        const store::ResultStore cache(args[1]);
+        if (command == "list" && args.size() == 2) {
+            return runList(cache);
+        }
+        if (command == "show" && args.size() == 3) {
+            return runShow(cache, args[2]);
+        }
+        if (command == "gc" && args.size() == 2) {
+            return runGc(cache);
+        }
+        if (command == "export" &&
+            (args.size() == 3 || args.size() == 4)) {
+            return runExport(cache, args[2],
+                             args.size() == 4 ? args[3] : "shtrace_cached");
+        }
+    } catch (const Error& e) {
+        std::cerr << "shtrace-store: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
