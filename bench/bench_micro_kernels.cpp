@@ -1,9 +1,10 @@
 // MICRO -- google-benchmark micro-benchmarks of the simulator kernels that
-// dominate characterization cost: dense LU factor/solve at MNA sizes,
-// full-circuit assembly, one transient step, one complete h evaluation
-// with and without sensitivities (the marginal cost of the analytic
-// gradient is the pair of extra back-substitutions per step -- the paper's
-// efficiency argument).
+// dominate characterization cost: dense LU factor/solve on the REAL
+// TSPC-assembled MNA Jacobian (a*C + G at a mid-transient state, not a
+// random matrix), full vs residual-only circuit assembly, the chord step
+// kernel vs the full Newton step kernel, one transient, and one complete
+// gradient evaluation. The chord/full and residual/full ratios are the
+// per-iteration savings the Jacobian-reuse path banks on.
 #include <benchmark/benchmark.h>
 
 #include <random>
@@ -31,7 +32,36 @@ Matrix randomSystem(std::size_t n, unsigned seed) {
     return m;
 }
 
-void BM_LuFactor(benchmark::State& state) {
+// A register fixture advanced to the middle of the capture transient, so
+// the assembled matrices carry realistic operating-point stamps (devices
+// in saturation/triode/cutoff, charged caps) instead of the DC state.
+struct TspcMidTransient {
+    RegisterFixture reg = buildTspcRegister();
+    Vector x;
+    double t = 5.8e-9;
+
+    TspcMidTransient() {
+        reg.data->setSkews(300e-12, 300e-12);
+        TransientOptions opt;
+        opt.tStop = t;
+        opt.fixedSteps = 580;  // the default 10 ps recipe, half the window
+        opt.storeStates = false;
+        x = TransientAnalysis(reg.circuit, opt).run().finalState;
+    }
+};
+
+// The backward-Euler iteration matrix J = C/dt + G at the mid-transient
+// state -- the exact matrix the hot loop factors.
+Matrix tspcIterationMatrix(const TspcMidTransient& mid) {
+    Assembler asmb(mid.reg.circuit.systemSize());
+    mid.reg.circuit.assemble(mid.x, mid.t, asmb);
+    Matrix j = asmb.c();
+    j *= 1.0 / 10e-12;
+    j += asmb.g();
+    return j;
+}
+
+void BM_LuFactorRandom(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     const Matrix a = randomSystem(n, 42);
     LuFactorization lu;
@@ -39,56 +69,126 @@ void BM_LuFactor(benchmark::State& state) {
         benchmark::DoNotOptimize(lu.factor(a));
     }
 }
-BENCHMARK(BM_LuFactor)->Arg(8)->Arg(13)->Arg(20)->Arg(40);
+BENCHMARK(BM_LuFactorRandom)->Arg(8)->Arg(13)->Arg(20)->Arg(40);
 
-void BM_LuSolve(benchmark::State& state) {
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const Matrix a = randomSystem(n, 42);
+void BM_TspcLuFactor(benchmark::State& state) {
+    // Factor the real TSPC iteration matrix (what a full Newton iteration
+    // pays and a chord iteration skips).
+    const TspcMidTransient mid;
+    const Matrix j = tspcIterationMatrix(mid);
     LuFactorization lu;
-    lu.factor(a);
-    Vector b(n, 1.0);
     for (auto _ : state) {
-        Vector x = lu.solve(b);
-        benchmark::DoNotOptimize(x);
+        benchmark::DoNotOptimize(lu.factor(j));
     }
 }
-BENCHMARK(BM_LuSolve)->Arg(8)->Arg(13)->Arg(20)->Arg(40);
+BENCHMARK(BM_TspcLuFactor);
+
+void BM_TspcLuSolve(benchmark::State& state) {
+    const TspcMidTransient mid;
+    const Matrix j = tspcIterationMatrix(mid);
+    LuFactorization lu;
+    lu.factor(j);
+    Vector rhs(j.rows(), 1e-3);
+    Vector b(j.rows());
+    for (auto _ : state) {
+        b = rhs;
+        lu.solveInPlace(b);
+        benchmark::DoNotOptimize(b);
+    }
+}
+BENCHMARK(BM_TspcLuSolve);
 
 void BM_TspcAssembly(benchmark::State& state) {
-    const RegisterFixture reg = buildTspcRegister();
-    reg.data->setSkews(300e-12, 300e-12);
-    Assembler asmb(reg.circuit.systemSize());
-    Vector x(reg.circuit.systemSize(), 1.0);
+    // Full pass: f, q, G and C (what a full Newton iteration evaluates).
+    const TspcMidTransient mid;
+    Assembler asmb(mid.reg.circuit.systemSize());
     for (auto _ : state) {
-        reg.circuit.assemble(x, 11.0e-9, asmb);
+        mid.reg.circuit.assemble(mid.x, mid.t, asmb);
         benchmark::DoNotOptimize(asmb.f());
     }
 }
 BENCHMARK(BM_TspcAssembly);
 
+void BM_TspcResidualAssembly(benchmark::State& state) {
+    // Residual-only pass: f and q without the Jacobian stamps (what a
+    // chord iteration evaluates). The gap to BM_TspcAssembly is the
+    // per-iteration assembly saving of the reuse path.
+    const TspcMidTransient mid;
+    Assembler asmb(mid.reg.circuit.systemSize());
+    for (auto _ : state) {
+        mid.reg.circuit.assembleResidual(mid.x, mid.t, asmb);
+        benchmark::DoNotOptimize(asmb.f());
+    }
+}
+BENCHMARK(BM_TspcResidualAssembly);
+
+void BM_TspcFullNewtonStepKernel(benchmark::State& state) {
+    // One full Newton iteration's linear-algebra + assembly cost:
+    // assemble f/q/G/C, form J = C/dt + G, factor, back-substitute.
+    const TspcMidTransient mid;
+    const std::size_t n = mid.reg.circuit.systemSize();
+    Assembler asmb(n);
+    Matrix j(n, n);
+    LuFactorization lu;
+    Vector rhs(n);
+    for (auto _ : state) {
+        mid.reg.circuit.assemble(mid.x, mid.t, asmb);
+        j = asmb.c();
+        j *= 1.0 / 10e-12;
+        j += asmb.g();
+        lu.factor(j);
+        rhs = asmb.f();
+        lu.solveInPlace(rhs);
+        benchmark::DoNotOptimize(rhs);
+    }
+}
+BENCHMARK(BM_TspcFullNewtonStepKernel);
+
+void BM_TspcChordStepKernel(benchmark::State& state) {
+    // One chord iteration's cost: residual-only assembly plus a
+    // back-substitution on the stale factors. The ratio to
+    // BM_TspcFullNewtonStepKernel is the per-iteration chord speedup.
+    const TspcMidTransient mid;
+    const std::size_t n = mid.reg.circuit.systemSize();
+    Assembler asmb(n);
+    LuFactorization lu;
+    lu.factor(tspcIterationMatrix(mid));
+    Vector rhs(n);
+    for (auto _ : state) {
+        mid.reg.circuit.assembleResidual(mid.x, mid.t, asmb);
+        rhs = asmb.f();
+        lu.solveInPlace(rhs);
+        benchmark::DoNotOptimize(rhs);
+    }
+}
+BENCHMARK(BM_TspcChordStepKernel);
+
 void BM_TspcTransient(benchmark::State& state) {
     const bool sensitivities = state.range(0) != 0;
+    const bool reuse = state.range(1) != 0;
     const RegisterFixture reg = buildTspcRegister();
     reg.data->setSkews(300e-12, 300e-12);
     TransientOptions opt;
     opt.tStop = 11.6e-9;
     opt.fixedSteps = 1160;  // the default 10 ps recipe
     opt.trackSkewSensitivities = sensitivities;
+    opt.jacobianReuse = reuse;
     opt.storeStates = false;
-    // Reuse one DC solve across iterations, as HFunction does.
-    TransientOptions probe = opt;
-    probe.tStop = 1e-12;
-    probe.fixedSteps = 1;
     for (auto _ : state) {
         const TransientResult tr =
             TransientAnalysis(reg.circuit, opt).run();
         benchmark::DoNotOptimize(tr.finalState);
     }
 }
-// Arg 0: plain transient (surface-method unit cost).
-// Arg 1: with sensitivities (Euler-Newton unit cost). The ratio of these
-// two is the TRUE per-evaluation overhead of the analytic gradient.
-BENCHMARK(BM_TspcTransient)->Arg(0)->Arg(1)
+// Args {sensitivities, jacobianReuse}:
+//   {0,0} plain transient, full Newton (legacy surface-method unit cost)
+//   {0,1} plain transient, chord reuse (the new default)
+//   {1,0} with sensitivities, full Newton (legacy Euler-Newton unit cost)
+//   {1,1} with sensitivities, chord reuse + epilogue refactorization
+// The {*,0} vs {*,1} gaps are the end-to-end reuse speedup; the {0,*} vs
+// {1,*} gaps are the TRUE per-evaluation overhead of the analytic gradient.
+BENCHMARK(BM_TspcTransient)
+    ->Args({0, 0})->Args({0, 1})->Args({1, 0})->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_TspcAdjointGradient(benchmark::State& state) {

@@ -1,0 +1,139 @@
+// HOTPATH -- end-to-end cost of the chord-Newton transient hot path on the
+// two paper contours: Fig. 8 (TSPC, 50% criterion) and Fig. 12 (C2MOS, 90%
+// criterion), each characterized with Jacobian reuse off (legacy
+// assemble-and-factor-every-iteration) and on (the default). Prints a
+// comparison table and writes a machine-readable JSON report
+// (default bench_hotpath.json, override with argv[1]) so the numbers in
+// README.md are regenerable with scripts/bench_hotpath.sh.
+//
+// Exit code asserts the PR's acceptance criterion on both cells: reuse-on
+// must spend <= 60% of reuse-off's LU factorizations and strictly fewer
+// full device-assembly passes while producing the same number of contour
+// points.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <fstream>
+
+int main(int argc, char** argv) {
+    using namespace shtrace;
+    using namespace shtrace::bench;
+    using Clock = std::chrono::steady_clock;
+
+    const std::string jsonPath = argc > 1 ? argv[1] : "bench_hotpath.json";
+
+    struct Run {
+        std::string cell;
+        bool reuse = false;
+        std::size_t points = 0;
+        double wallSeconds = 0.0;
+        SimStats stats;
+    };
+    std::vector<Run> runs;
+
+    struct Cell {
+        std::string name;
+        RegisterFixture fixture;
+        CriterionOptions criterion;
+        SkewBounds window;
+    };
+    std::vector<Cell> cells;
+    cells.push_back({"tspc_fig8", buildTspcRegister(), tspcCriterion(),
+                     tspcWindow()});
+    cells.push_back({"c2mos_fig12", buildC2mosRegister(), c2mosCriterion(),
+                     c2mosWindow()});
+
+    printHeader("HOTPATH", "chord-Newton reuse off/on, Fig. 8 + Fig. 12");
+
+    bool pass = true;
+    for (const Cell& cell : cells) {
+        for (const bool reuse : {false, true}) {
+            CharacterizeOptions opt;
+            opt.criterion = cell.criterion;
+            opt.tracer.maxPoints = 40;
+            opt.tracer.bounds = cell.window;
+            opt.tracer.stepLength = 8e-12;
+            opt.tracer.maxStepLength = 30e-12;
+            opt.withJacobianReuse(reuse);
+
+            const auto t0 = Clock::now();
+            const CharacterizeResult result =
+                characterizeInterdependent(cell.fixture, opt);
+            const double wall =
+                std::chrono::duration<double>(Clock::now() - t0).count();
+            if (!result.success) {
+                std::cerr << cell.name << " reuse=" << reuse
+                          << ": characterization failed\n";
+                return 1;
+            }
+            runs.push_back({cell.name, reuse, result.contour.points.size(),
+                            wall, result.stats});
+        }
+
+        const Run& off = runs[runs.size() - 2];
+        const Run& on = runs[runs.size() - 1];
+        TablePrinter table({"reuse", "points", "transients", "LU factor",
+                            "LU solve", "newton", "chord", "dev evals",
+                            "wall (s)"});
+        for (const Run* r : {&off, &on}) {
+            table.addRowValues(r->reuse ? "on" : "off",
+                               static_cast<int>(r->points),
+                               static_cast<int>(r->stats.transientSolves),
+                               static_cast<int>(r->stats.luFactorizations),
+                               static_cast<int>(r->stats.luSolves),
+                               static_cast<int>(r->stats.newtonIterations),
+                               static_cast<int>(r->stats.chordIterations),
+                               static_cast<int>(r->stats.deviceEvaluations),
+                               r->wallSeconds);
+        }
+        std::cout << "\n--- " << cell.name << " ---\n";
+        table.print(std::cout);
+        const double factorRatio =
+            static_cast<double>(on.stats.luFactorizations) /
+            static_cast<double>(off.stats.luFactorizations);
+        std::cout << "LU factorizations: " << (1.0 - factorRatio) * 100.0
+                  << "% fewer, wall speedup x"
+                  << off.wallSeconds / on.wallSeconds << "\n";
+
+        // Acceptance criterion (see docs/ALGORITHM.md section 13).
+        if (on.stats.luFactorizations * 10 >
+                off.stats.luFactorizations * 6 ||
+            on.stats.deviceEvaluations >= off.stats.deviceEvaluations ||
+            on.points != off.points) {
+            std::cerr << cell.name
+                      << ": reuse-on failed the >=40% factorization / fewer "
+                         "assembly-passes criterion\n";
+            pass = false;
+        }
+    }
+
+    std::ofstream json(jsonPath);
+    json << "{\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Run& r = runs[i];
+        json << "    {\"cell\": \"" << r.cell << "\", \"jacobian_reuse\": "
+             << (r.reuse ? "true" : "false")
+             << ", \"contour_points\": " << r.points
+             << ",\n     \"transient_solves\": " << r.stats.transientSolves
+             << ", \"time_steps\": " << r.stats.timeSteps
+             << ", \"newton_iterations\": " << r.stats.newtonIterations
+             << ",\n     \"lu_factorizations\": " << r.stats.luFactorizations
+             << ", \"lu_solves\": " << r.stats.luSolves
+             << ", \"chord_iterations\": " << r.stats.chordIterations
+             << ",\n     \"residual_only_assemblies\": "
+             << r.stats.residualOnlyAssemblies
+             << ", \"bypassed_factorizations\": "
+             << r.stats.bypassedFactorizations
+             << ", \"device_evaluations\": " << r.stats.deviceEvaluations
+             << ",\n     \"wall_seconds\": " << r.wallSeconds << "}"
+             << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    json.close();
+    std::cout << "\nJSON written: " << jsonPath << "\n";
+    if (!pass) {
+        return 1;
+    }
+    std::cout << "acceptance criterion met on both cells\n";
+    return 0;
+}

@@ -22,19 +22,52 @@ struct NewtonOptions {
     double iAbsTol = 1e-9;       ///< update tolerance, branch-current rows (A)
     double residualTol = 1e-6;   ///< infinity-norm residual tolerance (A / V)
     double maxUpdate = 1.0;      ///< per-iteration infinity-norm damping clamp
+
+    // Chord (bypass) phase of solveNewtonChord. A chord iteration solves
+    // with a REUSED factorization and an exact residual; it converges
+    // linearly with rate ||I - J_stale^-1 J||, so we demand each update to
+    // shrink by `chordContraction` -- anything slower means the stale
+    // Jacobian has drifted and a fresh factorization is cheaper than more
+    // chord iterations.
+    int chordMaxIterations = 8;      ///< chord budget before refactoring
+    double chordContraction = 0.5;   ///< required per-iteration decay factor
 };
 
 struct NewtonResult {
     bool converged = false;
-    int iterations = 0;
+    int iterations = 0;          ///< full (fresh-Jacobian) iterations taken
+    int chordIterations = 0;     ///< iterations taken on a reused LU
     double finalResidualNorm = 0.0;
     double finalUpdateNorm = 0.0;
     bool singular = false;  ///< Jacobian factorization failed at some iterate
+    bool refactored = false;  ///< solveNewtonChord assembled a fresh Jacobian
 };
 
 /// Evaluates the residual and Jacobian at x. Must fill both outputs.
 using NewtonSystemFn =
     std::function<void(const Vector& x, Vector& residual, Matrix& jacobian)>;
+
+/// Evaluates only the residual at x (chord iterations; the Jacobian is not
+/// restamped). MUST agree exactly with the residual the NewtonSystemFn
+/// produces at the same x.
+using NewtonResidualFn = std::function<void(const Vector& x, Vector& residual)>;
+
+/// Reusable buffers for the Newton step loop. One workspace per engine: the
+/// transient hot path calls the solver thousands of times, and without this
+/// every call would allocate an n-vector pair and an n x n matrix.
+struct NewtonWorkspace {
+    Vector residual;
+    Vector dx;
+    Matrix jacobian;
+
+    void resize(std::size_t n) {
+        residual.resize(n);
+        dx.resize(n);
+        if (jacobian.rows() != n || jacobian.cols() != n) {
+            jacobian.resize(n, n);
+        }
+    }
+};
 
 /// Solves F(x) = 0 starting from x (updated in place). `nodeRows` is the
 /// number of leading rows using the voltage tolerance; remaining rows use
@@ -52,5 +85,27 @@ NewtonResult solveNewton(const NewtonSystemFn& system, Vector& x,
                          std::size_t nodeRows, const NewtonOptions& options,
                          SimStats* stats = nullptr,
                          LuFactorization* finalFactorization = nullptr);
+
+/// Chord-Newton: like solveNewton, but when `reuseFactorization` is true and
+/// `lu` holds a valid factorization, the solve first runs a chord phase --
+/// exact residuals against the REUSED factorization, no assembly of G/C and
+/// no refactorization. The chord phase hands over to full Newton (fresh
+/// Jacobian each iteration, `result.refactored = true`) as soon as it
+/// stalls: update growth, contraction slower than
+/// `options.chordContraction`, a step that would trigger damping, or the
+/// `chordMaxIterations` budget. Convergence criteria are IDENTICAL to
+/// solveNewton, so an accepted solution is within the same tolerance
+/// regardless of which phase produced it.
+///
+/// On return `lu` holds the factorization the converged solution was
+/// computed against (stale for a pure-chord solve, fresh otherwise); the
+/// transient engine reuses it both for the sensitivity recurrences and as
+/// the candidate chord factorization of the NEXT step.
+NewtonResult solveNewtonChord(const NewtonSystemFn& system,
+                              const NewtonResidualFn& residualOnly, Vector& x,
+                              std::size_t nodeRows,
+                              const NewtonOptions& options,
+                              LuFactorization& lu, bool reuseFactorization,
+                              NewtonWorkspace& ws, SimStats* stats = nullptr);
 
 }  // namespace shtrace

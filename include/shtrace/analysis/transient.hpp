@@ -23,7 +23,11 @@
 //                           - b_d z(t_i) - b_d z(t_{i-1}).
 // Both reuse the factored (a*C_i + G_i) matrix assembled at the accepted
 // step solution, so each sensitivity costs one back-substitution -- the
-// efficiency the paper leans on.
+// efficiency the paper leans on. With jacobianReuse on, that factorization
+// may additionally be a few steps stale (chord Newton, see
+// docs/ALGORITHM.md section 13); the chord contraction test bounds the
+// staleness, keeping the recurrences first-order accurate in the Newton
+// tolerance exactly as with per-step refactorization.
 #pragma once
 
 #include <optional>
@@ -64,6 +68,17 @@ struct TransientOptions {
 
     NewtonOptions newton;
     double gmin = 1e-12;  ///< node-row leak applied throughout
+
+    /// Reuse the factored step Jacobian a*C + G across Newton iterations
+    /// AND across accepted steps while the integration coefficient a =
+    /// coef/dt is unchanged (chord/bypass Newton). Iterations on the reused
+    /// factorization evaluate the EXACT residual (residual-only assembly,
+    /// no G/C restamp) and apply the same convergence criteria as full
+    /// Newton, so accepted solutions satisfy the same tolerances; the
+    /// engine refactors automatically on slow convergence, damping
+    /// activation, rejected steps, or a dt change. Off = legacy behavior:
+    /// assemble + factor every iteration.
+    bool jacobianReuse = true;
 
     /// Empty => solve the DC operating point at tStart for x0.
     std::optional<Vector> initialCondition;

@@ -37,6 +37,9 @@ struct SimulationRecipe {
     double dtNominal = 10e-12;  ///< fixed-grid step target
     NewtonOptions newton;
     double gmin = 1e-12;
+    /// Chord-Newton LU reuse in every transient this recipe drives (see
+    /// TransientOptions::jacobianReuse). Part of the store cache key.
+    bool jacobianReuse = true;
 };
 
 class CharacterizationProblem {

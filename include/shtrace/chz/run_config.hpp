@@ -52,6 +52,13 @@ struct RunConfig {
         recipe = value;
         return *this;
     }
+    /// Chord-Newton LU reuse in every transient (on by default; see
+    /// TransientOptions::jacobianReuse). Off reproduces the legacy
+    /// assemble-and-factor-every-iteration behavior.
+    RunConfig& withJacobianReuse(bool enabled) {
+        recipe.jacobianReuse = enabled;
+        return *this;
+    }
     RunConfig& withIndependent(const IndependentOptions& value) {
         independent = value;
         return *this;

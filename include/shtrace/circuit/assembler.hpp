@@ -4,6 +4,14 @@
 // zeroes the arrays, devices stamp, and the analysis reads f/q/G/C. Ground
 // rows and columns are silently dropped, which keeps device stamping code
 // free of special cases.
+//
+// Residual-only passes: beginResidualPass() zeroes only f/q and makes every
+// G/C stamp a no-op, so chord (bypass) Newton iterations -- which reuse a
+// previously factored Jacobian -- skip both the O(n^2) matrix zeroing and
+// the Jacobian arithmetic. Devices may additionally override
+// Device::evalResidual to skip computing derivative terms entirely; the
+// mode flag here keeps the default eval() fallback correct regardless.
+// Reading g()/c() after a residual pass is a misuse and throws.
 #pragma once
 
 #include "shtrace/circuit/device.hpp"
@@ -20,11 +28,23 @@ public:
           c_(systemSize, systemSize) {}
 
     void beginPass() {
+        residualOnly_ = false;
         f_.setZero();
         q_.setZero();
         g_.setZero();
         c_.setZero();
     }
+
+    /// Starts an f/q-only pass: G/C keep their (stale) values and every
+    /// Jacobian stamp below becomes a no-op.
+    void beginResidualPass() {
+        residualOnly_ = true;
+        f_.setZero();
+        q_.setZero();
+    }
+
+    /// True while the current pass accumulates only f and q.
+    bool residualOnly() const noexcept { return residualOnly_; }
 
     std::size_t systemSize() const { return f_.size(); }
 
@@ -44,13 +64,13 @@ public:
     }
     /// G[a][b] += g.
     void addConductance(NodeId a, NodeId b, double g) {
-        if (!a.isGround() && !b.isGround()) {
+        if (!residualOnly_ && !a.isGround() && !b.isGround()) {
             g_(row(a), row(b)) += g;
         }
     }
     /// C[a][b] += c.
     void addCapacitance(NodeId a, NodeId b, double c) {
-        if (!a.isGround() && !b.isGround()) {
+        if (!residualOnly_ && !a.isGround() && !b.isGround()) {
             c_(row(a), row(b)) += c;
         }
     }
@@ -60,20 +80,24 @@ public:
     void addToF(int rowIdx, double v) { f_[check(rowIdx)] += v; }
     void addToQ(int rowIdx, double v) { q_[check(rowIdx)] += v; }
     void addToG(int rowIdx, NodeId col, double v) {
-        if (!col.isGround()) {
+        if (!residualOnly_ && !col.isGround()) {
             g_(check(rowIdx), row(col)) += v;
         }
     }
     void addToGRaw(int rowIdx, int colIdx, double v) {
-        g_(check(rowIdx), check(colIdx)) += v;
+        if (!residualOnly_) {
+            g_(check(rowIdx), check(colIdx)) += v;
+        }
     }
     void addToCRaw(int rowIdx, int colIdx, double v) {
-        c_(check(rowIdx), check(colIdx)) += v;
+        if (!residualOnly_) {
+            c_(check(rowIdx), check(colIdx)) += v;
+        }
     }
     /// Column-only stamp: G[row(a)][branchCol] += v (node KCL row picks up a
     /// branch current).
     void addBranchToNode(NodeId a, int branchCol, double v) {
-        if (!a.isGround()) {
+        if (!residualOnly_ && !a.isGround()) {
             g_(row(a), check(branchCol)) += v;
         }
     }
@@ -85,8 +109,14 @@ public:
 
     const Vector& f() const { return f_; }
     const Vector& q() const { return q_; }
-    const Matrix& g() const { return g_; }
-    const Matrix& c() const { return c_; }
+    const Matrix& g() const {
+        require(!residualOnly_, "Assembler::g() after a residual-only pass");
+        return g_;
+    }
+    const Matrix& c() const {
+        require(!residualOnly_, "Assembler::c() after a residual-only pass");
+        return c_;
+    }
 
 private:
     std::size_t row(NodeId n) const {
@@ -102,6 +132,7 @@ private:
     Vector q_;
     Matrix g_;
     Matrix c_;
+    bool residualOnly_ = false;
 };
 
 }  // namespace shtrace

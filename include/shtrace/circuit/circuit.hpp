@@ -62,6 +62,12 @@ public:
     void assemble(const Vector& x, double t, Assembler& out,
                   SimStats* stats = nullptr) const;
 
+    /// Residual-only assembly pass: f and q at (x, t), leaving G/C
+    /// untouched (chord-Newton iterations on a reused factorization).
+    /// Counted in SimStats::residualOnlyAssemblies, NOT deviceEvaluations.
+    void assembleResidual(const Vector& x, double t, Assembler& out,
+                          SimStats* stats = nullptr) const;
+
     /// Accumulates sum over devices of b * du/dtau_p at time t into `rhs`
     /// (rhs must be systemSize() long; contributions are ADDED).
     void addSkewDerivative(double t, SkewParam p, Vector& rhs) const;

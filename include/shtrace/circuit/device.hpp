@@ -72,6 +72,17 @@ public:
     /// terms b*u(t) into f).
     virtual void eval(const EvalContext& ctx, Assembler& out) const = 0;
 
+    /// Adds only the algebraic contributions f and q at (x, t) -- no G/C
+    /// stamps. Chord (bypass) Newton iterations reuse a previously factored
+    /// Jacobian, so restamping it every iteration is wasted work. The
+    /// default forwards to eval(); the Assembler silently drops Jacobian
+    /// stamps during a residual pass, so overriding this is purely an
+    /// optimization (skip the derivative arithmetic), never a correctness
+    /// requirement. Overrides MUST produce byte-identical f/q to eval().
+    virtual void evalResidual(const EvalContext& ctx, Assembler& out) const {
+        eval(ctx, out);
+    }
+
     /// Writes a one-line canonical description: device type, terminal node
     /// indices, and every parameter that influences eval(), numbers in
     /// hex-float. The persistent store (store/) hashes this text as part

@@ -11,6 +11,7 @@ public:
     Capacitor(std::string name, NodeId a, NodeId b, double capacitance);
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
+    void evalResidual(const EvalContext& ctx, Assembler& out) const override;
     void describe(std::ostream& os) const override;
 
     double capacitance() const { return capacitance_; }

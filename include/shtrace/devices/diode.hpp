@@ -25,6 +25,7 @@ public:
           const DiodeParams& params = {});
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
+    void evalResidual(const EvalContext& ctx, Assembler& out) const override;
     void describe(std::ostream& os) const override;
 
     const DiodeParams& params() const { return params_; }

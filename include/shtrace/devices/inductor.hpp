@@ -19,6 +19,7 @@ public:
     }
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
+    void evalResidual(const EvalContext& ctx, Assembler& out) const override;
     void describe(std::ostream& os) const override;
 
     /// Row of this inductor's current unknown (valid after finalize()).

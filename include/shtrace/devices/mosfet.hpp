@@ -59,6 +59,7 @@ public:
            NodeId bulk, const MosfetParams& params);
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
+    void evalResidual(const EvalContext& ctx, Assembler& out) const override;
     void describe(std::ostream& os) const override;
 
     const MosfetParams& params() const { return params_; }
@@ -72,6 +73,8 @@ public:
 private:
     void stampLinearCap(Assembler& out, const Vector& x, NodeId a, NodeId b,
                         double c) const;
+    static void stampLinearCapCharge(Assembler& out, const Vector& x, NodeId a,
+                                     NodeId b, double c);
 
     NodeId drain_;
     NodeId gate_;

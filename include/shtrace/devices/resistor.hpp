@@ -11,6 +11,7 @@ public:
     Resistor(std::string name, NodeId a, NodeId b, double resistance);
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
+    void evalResidual(const EvalContext& ctx, Assembler& out) const override;
     void describe(std::ostream& os) const override;
 
     double resistance() const { return resistance_; }

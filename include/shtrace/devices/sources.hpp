@@ -29,6 +29,7 @@ public:
     }
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
+    void evalResidual(const EvalContext& ctx, Assembler& out) const override;
     void describe(std::ostream& os) const override;
     void addSkewDerivative(double t, SkewParam p, Vector& rhs) const override;
     void addAcStimulus(Vector& rhs) const override;
@@ -63,6 +64,7 @@ public:
     CurrentSource(std::string name, NodeId pos, NodeId neg, double dcValue);
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
+    void evalResidual(const EvalContext& ctx, Assembler& out) const override;
     void describe(std::ostream& os) const override;
     void addSkewDerivative(double t, SkewParam p, Vector& rhs) const override;
     void addAcStimulus(Vector& rhs) const override;

@@ -16,6 +16,7 @@ public:
          NodeId ctrlNeg, double transconductance);
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
+    void evalResidual(const EvalContext& ctx, Assembler& out) const override;
     void describe(std::ostream& os) const override;
 
     double transconductance() const { return gm_; }

@@ -20,6 +20,7 @@ public:
     }
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
+    void evalResidual(const EvalContext& ctx, Assembler& out) const override;
     void describe(std::ostream& os) const override;
 
     double gain() const { return gain_; }

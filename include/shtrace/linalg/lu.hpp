@@ -4,6 +4,11 @@
 // reuses the SAME factorization for the sensitivity recurrences (paper
 // eqs. 11/13) -- that reuse is the core efficiency argument of the method,
 // so the factorization object is explicitly separable from the solve.
+//
+// A LuFactorization recycles its internal storage across factor() and
+// solve() calls (no allocations once warmed up), which makes concurrent
+// solves on ONE object a data race. Each transient engine / batch job owns
+// its own instance, so this costs nothing in practice.
 #pragma once
 
 #include <cstddef>
@@ -42,6 +47,9 @@ public:
 private:
     Matrix lu_;
     std::vector<std::size_t> perm_;
+    // Scratch buffers reused across calls (see the thread-safety note above).
+    std::vector<double> scaleBuf_;
+    mutable Vector scratch_;
     int permSign_ = 1;
     bool valid_ = false;
 };

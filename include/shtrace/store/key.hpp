@@ -31,7 +31,7 @@ namespace shtrace::store {
 
 /// Bump on ANY change to the canonical texts or the serialization format;
 /// old entries then miss (and `shtrace-store gc` removes them).
-inline constexpr int kFormatVersion = 1;
+inline constexpr int kFormatVersion = 2;
 
 /// Streaming 64-bit FNV-1a.
 class Fnv1a {

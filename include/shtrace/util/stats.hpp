@@ -23,6 +23,12 @@ struct SimStats {
     std::uint64_t luFactorizations = 0;
     std::uint64_t luSolves = 0;           ///< back-substitutions (incl. sensitivities)
     std::uint64_t deviceEvaluations = 0;  ///< full-circuit assembly passes
+    // Chord-Newton hot-path accounting (transient.cpp): a chord iteration
+    // reuses a previously factored Jacobian, so it performs a residual-only
+    // assembly (f/q, no G/C restamp) and bypasses one LU factorization.
+    std::uint64_t residualOnlyAssemblies = 0;  ///< f/q-only assembly passes
+    std::uint64_t chordIterations = 0;     ///< Newton iterations on a reused LU
+    std::uint64_t bypassedFactorizations = 0;  ///< factorizations chord avoided
     std::uint64_t sensitivitySteps = 0;   ///< sensitivity recurrence updates
     std::uint64_t hEvaluations = 0;       ///< evaluations of h(tau_s, tau_h)
     std::uint64_t mpnrIterations = 0;     ///< Moore-Penrose Newton iterations

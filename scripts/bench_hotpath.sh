@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates results/bench_hotpath.json: the committed chord-Newton
+# hot-path report (Fig. 8 TSPC + Fig. 12 C2MOS contours, Jacobian reuse
+# off vs on). Builds Release so the wall times are meaningful; the bench's
+# exit code enforces the >=40%-fewer-factorizations acceptance criterion.
+#
+#   scripts/bench_hotpath.sh [build-dir]   default build dir: build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD}" -j "${JOBS}" --target bench_transient_hotpath
+
+mkdir -p results
+"./${BUILD}/bench/bench_transient_hotpath" results/bench_hotpath.json
+echo "bench_hotpath.sh: OK -> results/bench_hotpath.json"

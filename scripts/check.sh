@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Full local gate: the tier-1 suite plus both sanitizer sweeps.
 #
-#   scripts/check.sh            everything (tier-1 + tsan + asan/ubsan)
+#   scripts/check.sh            everything (tier-1 + tsan + asan/ubsan + bench smoke)
 #   scripts/check.sh tier1      plain build + full ctest only
 #   scripts/check.sh tsan       ThreadSanitizer build, tsan-labeled tests
 #   scripts/check.sh asan       address,undefined build, store + parallel
+#   scripts/check.sh bench      build bench targets, one quick hot-path run
 #
 # Each stage uses its own build tree (build/, build-tsan/, build-asan/) so
 # the sanitizer configurations never dirty the primary cache. Exits nonzero
@@ -42,12 +43,25 @@ run_asan() {
     ./build-asan/tests/test_parallel
 }
 
+run_bench() {
+    echo "== bench smoke: build benches, one quick hot-path repetition =="
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "${JOBS}" \
+          --target bench_transient_hotpath bench_micro_kernels
+    # The hot path bench doubles as a perf regression gate: its exit code
+    # asserts reuse-on does >=40% fewer LU factorizations on both cells.
+    ./build/bench/bench_transient_hotpath /tmp/bench_hotpath_smoke.json
+    ./build/bench/bench_micro_kernels --benchmark_min_time=0.01 \
+        --benchmark_filter='BM_Tspc(Chord|FullNewton)StepKernel'
+}
+
 case "${STAGE}" in
     tier1) run_tier1 ;;
     tsan)  run_tsan ;;
     asan)  run_asan ;;
-    all)   run_tier1; run_tsan; run_asan ;;
-    *)     echo "usage: scripts/check.sh [tier1|tsan|asan|all]" >&2; exit 2 ;;
+    bench) run_bench ;;
+    all)   run_tier1; run_tsan; run_asan; run_bench ;;
+    *)     echo "usage: scripts/check.sh [tier1|tsan|asan|bench|all]" >&2; exit 2 ;;
 esac
 
 echo "check.sh: ${STAGE} OK"

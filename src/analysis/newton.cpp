@@ -2,59 +2,64 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
 
-NewtonResult solveNewton(const NewtonSystemFn& system, Vector& x,
-                         std::size_t nodeRows, const NewtonOptions& options,
-                         SimStats* stats, LuFactorization* finalFactorization) {
-    require(nodeRows <= x.size(), "solveNewton: nodeRows exceeds system size");
-    const std::size_t n = x.size();
-    NewtonResult result;
-    Vector residual(n);
-    Matrix jacobian(n, n);
-    LuFactorization localLu;
-    LuFactorization& lu =
-        finalFactorization != nullptr ? *finalFactorization : localLu;
+namespace {
 
+// Applies the (possibly damped) update x -= scale*dx and evaluates the SPICE
+// per-unknown tolerance model. Returns true when every component passed.
+bool applyUpdate(Vector& x, const Vector& dx, double scale,
+                 std::size_t nodeRows, const NewtonOptions& options) {
+    bool updateConverged = true;
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double step = scale * dx[i];
+        const double xOld = x[i];
+        const double xNew = xOld - step;
+        const double absTol = (i < nodeRows) ? options.vAbsTol : options.iAbsTol;
+        const double tol =
+            options.relTol * std::max(std::fabs(xNew), std::fabs(xOld)) + absTol;
+        if (std::fabs(step) > tol) {
+            updateConverged = false;
+        }
+        x[i] = xNew;
+    }
+    return updateConverged;
+}
+
+// The classic damped Newton loop on fresh Jacobians. `result` accumulates
+// across phases (chord iterations already counted by the caller).
+void runFullNewton(const NewtonSystemFn& system, Vector& x,
+                   std::size_t nodeRows, const NewtonOptions& options,
+                   LuFactorization& lu, NewtonWorkspace& ws, SimStats* stats,
+                   NewtonResult& result) {
     for (result.iterations = 1; result.iterations <= options.maxIterations;
          ++result.iterations) {
         if (stats != nullptr) {
             ++stats->newtonIterations;
         }
-        system(x, residual, jacobian);
-        result.finalResidualNorm = residual.normInf();
+        system(x, ws.residual, ws.jacobian);
+        result.finalResidualNorm = ws.residual.normInf();
 
-        if (!lu.factor(jacobian, stats)) {
+        if (!lu.factor(ws.jacobian, stats)) {
             result.singular = true;
-            return result;
+            return;
         }
-        Vector dx = residual;
-        lu.solveInPlace(dx, stats);
+        ws.dx = ws.residual;
+        lu.solveInPlace(ws.dx, stats);
 
         // Damping: scale the whole update so no component exceeds maxUpdate.
-        const double updateNorm = dx.normInf();
+        const double updateNorm = ws.dx.normInf();
         double scale = 1.0;
         if (updateNorm > options.maxUpdate) {
             scale = options.maxUpdate / updateNorm;
         }
-        bool updateConverged = true;
-        for (std::size_t i = 0; i < n; ++i) {
-            const double step = scale * dx[i];
-            const double xOld = x[i];
-            const double xNew = xOld - step;
-            const double absTol =
-                (i < nodeRows) ? options.vAbsTol : options.iAbsTol;
-            const double tol =
-                options.relTol * std::max(std::fabs(xNew), std::fabs(xOld)) +
-                absTol;
-            if (std::fabs(step) > tol) {
-                updateConverged = false;
-            }
-            x[i] = xNew;
-        }
+        const bool updateConverged =
+            applyUpdate(x, ws.dx, scale, nodeRows, options);
         result.finalUpdateNorm = scale * updateNorm;
 
         // Converged when the (undamped) update passes the tolerance model
@@ -64,10 +69,84 @@ NewtonResult solveNewton(const NewtonSystemFn& system, Vector& x,
         if (updateConverged && scale == 1.0 &&
             result.finalResidualNorm <= options.residualTol) {
             result.converged = true;
-            return result;
+            return;
         }
     }
     result.iterations = options.maxIterations;
+}
+
+}  // namespace
+
+NewtonResult solveNewton(const NewtonSystemFn& system, Vector& x,
+                         std::size_t nodeRows, const NewtonOptions& options,
+                         SimStats* stats, LuFactorization* finalFactorization) {
+    require(nodeRows <= x.size(), "solveNewton: nodeRows exceeds system size");
+    NewtonResult result;
+    NewtonWorkspace ws;
+    ws.resize(x.size());
+    LuFactorization localLu;
+    LuFactorization& lu =
+        finalFactorization != nullptr ? *finalFactorization : localLu;
+    runFullNewton(system, x, nodeRows, options, lu, ws, stats, result);
+    return result;
+}
+
+NewtonResult solveNewtonChord(const NewtonSystemFn& system,
+                              const NewtonResidualFn& residualOnly, Vector& x,
+                              std::size_t nodeRows,
+                              const NewtonOptions& options,
+                              LuFactorization& lu, bool reuseFactorization,
+                              NewtonWorkspace& ws, SimStats* stats) {
+    require(nodeRows <= x.size(),
+            "solveNewtonChord: nodeRows exceeds system size");
+    const std::size_t n = x.size();
+    NewtonResult result;
+    ws.resize(n);
+
+    if (reuseFactorization && lu.valid() && lu.dimension() == n) {
+        double prevUpdateNorm = std::numeric_limits<double>::infinity();
+        for (int it = 1; it <= options.chordMaxIterations; ++it) {
+            residualOnly(x, ws.residual);
+            const double residualNorm = ws.residual.normInf();
+
+            ws.dx = ws.residual;
+            lu.solveInPlace(ws.dx, stats);
+            const double updateNorm = ws.dx.normInf();
+
+            // A step large enough to need damping means the iterate left the
+            // basin the stale Jacobian was factored in -- bail WITHOUT
+            // applying and let full Newton handle it with damping.
+            if (updateNorm > options.maxUpdate) {
+                break;
+            }
+            // Linear chord convergence demands geometric decay; a stalled or
+            // growing update says the stale Jacobian has drifted too far.
+            if (it > 1 && updateNorm > options.chordContraction * prevUpdateNorm) {
+                break;
+            }
+            prevUpdateNorm = updateNorm;
+
+            const bool updateConverged =
+                applyUpdate(x, ws.dx, 1.0, nodeRows, options);
+            ++result.chordIterations;
+            if (stats != nullptr) {
+                ++stats->chordIterations;
+                ++stats->bypassedFactorizations;
+            }
+            result.finalResidualNorm = residualNorm;
+            result.finalUpdateNorm = updateNorm;
+
+            // Same two-criterion test as full Newton: the accepted solution
+            // is within the same tolerance no matter which phase found it.
+            if (updateConverged && residualNorm <= options.residualTol) {
+                result.converged = true;
+                return result;
+            }
+        }
+    }
+
+    result.refactored = true;
+    runFullNewton(system, x, nodeRows, options, lu, ws, stats, result);
     return result;
 }
 

@@ -118,8 +118,11 @@ public:
         }
 
         // Previous-previous accepted step (predictor history; also the
-        // q/C/m history Gear2 needs).
+        // q/C/m history Gear2 needs). `next` lives outside the loop so the
+        // swap-based rotation below recycles all three histories' buffers:
+        // after the first two steps the loop allocates nothing.
         StepHistory prev2;
+        StepHistory next;
         bool havePrev2 = false;
 
         // --- main loop ---
@@ -147,11 +150,11 @@ public:
             }
 
             // Nonlinear solve, halving dt on failure (adaptive mode only).
-            StepHistory next;
             bool solved = false;
             while (true) {
                 next.t = prev.t + stepDt;
-                next.x = predict(prev, havePrev2 ? &prev2 : nullptr, next.t);
+                predictInto(prev, havePrev2 ? &prev2 : nullptr, next.t,
+                            next.x);
                 if (solveStep(prev, havePrev2 ? &prev2 : nullptr, next,
                               stepDt)) {
                     solved = true;
@@ -180,6 +183,9 @@ public:
                     if (stats_ != nullptr) {
                         ++stats_->rejectedSteps;
                     }
+                    // The factorization now corresponds to a rejected
+                    // iterate, and the retry changes dt anyway.
+                    forceRefactor_ = true;
                     dt = std::max(opt_.dtMin, stepDt * 0.5);
                     continue;  // reject
                 }
@@ -201,9 +207,11 @@ public:
             if (stats_ != nullptr) {
                 ++stats_->timeSteps;
             }
-            prev2 = std::move(prev);
+            // Rotate by swapping: the retired prev2's buffers become the
+            // next step's scratch instead of being freed.
+            std::swap(prev2, prev);
+            std::swap(prev, next);
             havePrev2 = true;
-            prev = std::move(next);
             if (!opt_.adaptive) {
                 --remainingFixedSteps;
             }
@@ -221,34 +229,47 @@ public:
     }
 
 private:
-    /// Assembles q, fTotal, C, G (+gmin) at (x, t) into `h`, and factors
-    /// J = a*C + G for the just-completed step when needed by sensitivities.
+    /// Assembles q, fTotal (+gmin) at (x, t) into `h`; C and G only when a
+    /// consumer exists (sensitivity recurrences, adjoint tape). The step
+    /// residuals themselves read only q/fTotal history, so the epilogue of
+    /// a plain transient is a residual-only pass.
     void assembleHistory(const Vector& x, double t, StepHistory& h) {
-        circuit_.assemble(x, t, asmb_, stats_);
+        const bool needJacobians =
+            opt_.trackSkewSensitivities || opt_.recordAdjointTape;
+        if (needJacobians) {
+            circuit_.assemble(x, t, asmb_, stats_);
+        } else {
+            circuit_.assembleResidual(x, t, asmb_, stats_);
+        }
         h.x = x;
         h.t = t;
         h.q = asmb_.q();
         h.fTotal = asmb_.f();
-        h.c = asmb_.c();
-        h.g = asmb_.g();
         for (std::size_t i = 0; i < nodeRows_; ++i) {
             h.fTotal[i] += opt_.gmin * x[i];
-            h.g(i, i) += opt_.gmin;
+        }
+        if (needJacobians) {
+            h.c = asmb_.c();
+            h.g = asmb_.g();
+            for (std::size_t i = 0; i < nodeRows_; ++i) {
+                h.g(i, i) += opt_.gmin;
+            }
         }
     }
 
-    Vector predict(const StepHistory& prev, const StepHistory* prev2,
-                   double tNew) const {
+    /// Initial guess for the step at tNew, written into `out` (which keeps
+    /// its capacity across steps).
+    void predictInto(const StepHistory& prev, const StepHistory* prev2,
+                     double tNew, Vector& out) const {
+        out = prev.x;
         if (prev2 == nullptr || prev.t <= prev2->t) {
-            return prev.x;
+            return;
         }
         // Linear extrapolation through the last two accepted points.
         const double frac = (tNew - prev.t) / (prev.t - prev2->t);
-        Vector guess = prev.x;
         for (std::size_t i = 0; i < n_; ++i) {
-            guess[i] += frac * (prev.x[i] - prev2->x[i]);
+            out[i] += frac * (prev.x[i] - prev2->x[i]);
         }
-        return guess;
     }
 
     /// Integration formula actually used for a step: Gear2 bootstraps its
@@ -298,10 +319,51 @@ private:
                 residual += prev.fTotal;
             }
         };
+        // Residual-only twin of `system`: identical f/q arithmetic, no G/C
+        // restamp and no Jacobian build (chord iterations keep the old LU).
+        const NewtonResidualFn residualOnly = [&](const Vector& xi,
+                                                  Vector& residual) {
+            circuit_.assembleResidual(xi, tNew, asmb_, stats_);
+            residual = asmb_.q();
+            residual *= a;
+            if (gear) {
+                residual.addScaled(-2.0 / dt, prev.q);
+                residual.addScaled(0.5 / dt, prev2->q);
+            } else {
+                residual.addScaled(-a, prev.q);
+            }
+            residual += asmb_.f();
+            for (std::size_t i = 0; i < nodeRows_; ++i) {
+                residual[i] += opt_.gmin * xi[i];
+            }
+            if (trap) {
+                residual += prev.fTotal;
+            }
+        };
+
+        // The factorization carried in stepLu_ is reusable only while the
+        // discretization coefficient matches: a = coef/dt enters the
+        // Jacobian as a*C + G, so a dt change (adaptive control, final-step
+        // truncation) or a method-coefficient change (Gear2's BE bootstrap)
+        // invalidates it. The comparison is RELATIVE: fixed grids recompute
+        // stepDt from the remaining span each step, so `a` drifts by a few
+        // ulps even when the grid is nominally uniform.
+        const bool reuse = opt_.jacobianReuse && !forceRefactor_ &&
+                           stepLu_.valid() && haveLuCoef_ &&
+                           std::fabs(a - luCoef_) <= 1e-9 * std::fabs(a);
         const NewtonResult nr =
-            solveNewton(system, next.x, nodeRows_, opt_.newton, stats_,
-                        &stepLu_);
-        return nr.converged;
+            solveNewtonChord(system, residualOnly, next.x, nodeRows_,
+                             opt_.newton, stepLu_, reuse, ws_, stats_);
+        if (!nr.converged) {
+            forceRefactor_ = true;
+            return false;
+        }
+        if (nr.refactored) {
+            luCoef_ = a;
+            haveLuCoef_ = true;
+        }
+        forceRefactor_ = false;
+        return true;
     }
 
     /// Weighted LTE estimate (>1 means reject): difference between the
@@ -328,7 +390,10 @@ private:
     /// paper's central efficiency point: each sensitivity costs one extra
     /// back-substitution per step, not a new factorization. The reused
     /// factors are from the final Newton iterate, within Newton tolerance
-    /// of the accepted solution (see solveNewton docs).
+    /// of the accepted solution (see solveNewton docs). With jacobianReuse
+    /// they may additionally be a few chord steps stale; the chord
+    /// contraction threshold bounds ||I - J_stale^-1 J||, so the extra
+    /// perturbation stays of the same order (docs/ALGORITHM.md section 13).
     void advanceSensitivities(const StepHistory& prev,
                               const StepHistory* prev2, StepHistory& next,
                               double dt) {
@@ -336,6 +401,24 @@ private:
         const bool trap = method == IntegrationMethod::Trapezoidal;
         const bool gear = method == IntegrationMethod::Gear2;
         const double a = (trap ? 2.0 : (gear ? 1.5 : 1.0)) / dt;
+        if (opt_.jacobianReuse) {
+            // The recurrence is a PRODUCT of per-step J^-1 applications, so
+            // unlike the self-correcting Newton iteration it compounds any
+            // factorization staleness across the whole run. Refactor at the
+            // accepted solution (whose C/G the epilogue just assembled):
+            // exactly one factorization per step -- still well below the
+            // one-per-Newton-iteration cost with reuse off -- and the next
+            // step's chord phase starts from these fresher factors too.
+            ws_.jacobian = next.c;
+            ws_.jacobian *= a;
+            ws_.jacobian += next.g;
+            if (!stepLu_.factor(ws_.jacobian, stats_)) {
+                throw NumericalError(message(
+                    "singular Jacobian at accepted step t=", next.t));
+            }
+            luCoef_ = a;
+            haveLuCoef_ = true;
+        }
         const LuFactorization& lu = stepLu_;
         if (!lu.valid()) {
             throw NumericalError(message(
@@ -343,14 +426,18 @@ private:
                 next.t));
         }
         const auto advanceOne = [&](SkewParam p, const Vector& mPrev,
-                                    const Vector* mPrev2) {
+                                    const Vector* mPrev2, Vector& mOut) {
             // Differentiating the step residual w.r.t. tau:
             //   BE:    rhs = C_{i-1} m_{i-1}/dt - b z_i
             //   TRAP:  rhs = (2C_{i-1}/dt - G_{i-1}) m_{i-1}
             //                - b z_i - b z_{i-1}
             //   Gear2: rhs = (2 C_{i-1} m_{i-1} - 0.5 C_{i-2} m_{i-2})/dt
             //                - b z_i
-            Vector rhs(n_);
+            // sensRhs_/sensBz_ are member scratch so the per-step loop does
+            // not allocate.
+            sensRhs_.resize(n_);
+            sensRhs_.setZero();
+            Vector& rhs = sensRhs_;
             if (gear) {
                 prev.c.multiplyAccumulate(mPrev, 2.0 / dt, rhs);
                 prev2->c.multiplyAccumulate(*mPrev2, -0.5 / dt, rhs);
@@ -360,19 +447,20 @@ private:
                     prev.g.multiplyAccumulate(mPrev, -1.0, rhs);
                 }
             }
-            Vector bz(n_);
-            circuit_.addSkewDerivative(next.t, p, bz);
+            sensBz_.resize(n_);
+            sensBz_.setZero();
+            circuit_.addSkewDerivative(next.t, p, sensBz_);
             if (trap) {
-                circuit_.addSkewDerivative(prev.t, p, bz);
+                circuit_.addSkewDerivative(prev.t, p, sensBz_);
             }
-            rhs -= bz;
+            rhs -= sensBz_;
             lu.solveInPlace(rhs, stats_);
-            return rhs;
+            mOut = rhs;
         };
-        next.ms = advanceOne(SkewParam::Setup, prev.ms,
-                             prev2 != nullptr ? &prev2->ms : nullptr);
-        next.mh = advanceOne(SkewParam::Hold, prev.mh,
-                             prev2 != nullptr ? &prev2->mh : nullptr);
+        advanceOne(SkewParam::Setup, prev.ms,
+                   prev2 != nullptr ? &prev2->ms : nullptr, next.ms);
+        advanceOne(SkewParam::Hold, prev.mh,
+                   prev2 != nullptr ? &prev2->mh : nullptr, next.mh);
         if (stats_ != nullptr) {
             stats_->sensitivitySteps += 2;
         }
@@ -407,9 +495,22 @@ private:
     std::size_t n_;
     std::size_t nodeRows_;
     Assembler asmb_;
-    /// Factorization of the last accepted step's Newton Jacobian, reused
-    /// by the sensitivity recurrences.
+    /// Factorization of the last Newton Jacobian this engine assembled,
+    /// reused by the sensitivity recurrences and -- with jacobianReuse --
+    /// as the chord factorization of subsequent iterations and steps.
     LuFactorization stepLu_;
+    /// Integration coefficient a = coef/dt the stepLu_ factors were built
+    /// with; chord reuse requires the current step's a to match.
+    double luCoef_ = 0.0;
+    bool haveLuCoef_ = false;
+    /// Set on rejected/failed steps: the factorization corresponds to an
+    /// abandoned iterate, start the next solve with a fresh Jacobian.
+    bool forceRefactor_ = false;
+    /// Newton solver buffers, reused across every step of the run.
+    NewtonWorkspace ws_;
+    /// Sensitivity-recurrence scratch, reused across steps.
+    Vector sensRhs_;
+    Vector sensBz_;
 };
 
 }  // namespace

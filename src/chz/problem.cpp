@@ -44,6 +44,7 @@ CharacterizationProblem::CharacterizationProblem(
         std::ceil((refOpt.tStop - refOpt.tStart) / recipe.dtNominal));
     refOpt.newton = recipe.newton;
     refOpt.gmin = recipe.gmin;
+    refOpt.jacobianReuse = recipe.jacobianReuse;
     refOpt.initialCondition = x0_;
     refOpt.storeStates = true;
 
@@ -76,6 +77,7 @@ CharacterizationProblem::CharacterizationProblem(
         static_cast<int>(std::ceil((tf - hOpt.tStart) / recipe.dtNominal));
     hOpt.newton = recipe.newton;
     hOpt.gmin = recipe.gmin;
+    hOpt.jacobianReuse = recipe.jacobianReuse;
     hOpt.initialCondition = x0_;
 
     h_ = std::make_unique<HFunction>(fixture.circuit, fixture.data, selector,
@@ -95,6 +97,7 @@ std::optional<double> CharacterizationProblem::measureClockToQAt(
         std::ceil((opt.tStop - opt.tStart) / recipe_.dtNominal));
     opt.newton = recipe_.newton;
     opt.gmin = recipe_.gmin;
+    opt.jacobianReuse = recipe_.jacobianReuse;
     opt.initialCondition = x0_;
     opt.storeStates = true;
     const TransientResult tr =

@@ -75,6 +75,21 @@ void Circuit::assemble(const Vector& x, double t, Assembler& out,
     }
 }
 
+void Circuit::assembleResidual(const Vector& x, double t, Assembler& out,
+                               SimStats* stats) const {
+    require(finalized_, "Circuit::assembleResidual before finalize()");
+    require(x.size() == systemSize(), "Circuit::assembleResidual: x has size ",
+            x.size(), ", expected ", systemSize());
+    out.beginResidualPass();
+    const EvalContext ctx{x, t};
+    for (const auto& dev : devices_) {
+        dev->evalResidual(ctx, out);
+    }
+    if (stats != nullptr) {
+        ++stats->residualOnlyAssemblies;
+    }
+}
+
 void Circuit::addSkewDerivative(double t, SkewParam p, Vector& rhs) const {
     require(rhs.size() == systemSize(),
             "Circuit::addSkewDerivative: rhs size mismatch");

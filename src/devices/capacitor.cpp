@@ -25,6 +25,14 @@ void Capacitor::eval(const EvalContext& ctx, Assembler& out) const {
     out.addCapacitance(b_, b_, capacitance_);
 }
 
+void Capacitor::evalResidual(const EvalContext& ctx, Assembler& out) const {
+    const double va = Assembler::nodeVoltage(ctx.x, a_);
+    const double vb = Assembler::nodeVoltage(ctx.x, b_);
+    const double charge = capacitance_ * (va - vb);
+    out.addCharge(a_, charge);
+    out.addCharge(b_, -charge);
+}
+
 
 void Capacitor::describe(std::ostream& os) const {
     os << "C " << a_.index << ' ' << b_.index << ' '

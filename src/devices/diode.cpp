@@ -103,6 +103,30 @@ void Diode::eval(const EvalContext& ctx, Assembler& out) const {
     }
 }
 
+void Diode::evalResidual(const EvalContext& ctx, Assembler& out) const {
+    const double va = Assembler::nodeVoltage(ctx.x, anode_);
+    const double vc = Assembler::nodeVoltage(ctx.x, cathode_);
+    const double v = va - vc;
+
+    // currentAndConductance / chargeAndCapacitance compute the derivative as
+    // a byproduct of keeping i/q C1 at the region switches; recomputing both
+    // keeps f/q bit-identical to eval() while the Assembler drops the
+    // untaken Jacobian stamps.
+    double i = 0.0;
+    double g = 0.0;
+    currentAndConductance(params_, v, i, g);
+    out.addCurrent(anode_, i);
+    out.addCurrent(cathode_, -i);
+
+    double q = 0.0;
+    double c = 0.0;
+    chargeAndCapacitance(params_, v, q, c);
+    if (q != 0.0 || c != 0.0) {
+        out.addCharge(anode_, q);
+        out.addCharge(cathode_, -q);
+    }
+}
+
 
 void Diode::describe(std::ostream& os) const {
     os << "D " << anode_.index << ' ' << cathode_.index << ' '

@@ -33,6 +33,17 @@ void Inductor::eval(const EvalContext& ctx, Assembler& out) const {
     out.addToCRaw(branchRow_, branchRow_, -inductance_);
 }
 
+void Inductor::evalResidual(const EvalContext& ctx, Assembler& out) const {
+    require(branchRow_ >= 0, "Inductor ", name(), ": eval before finalize()");
+    const double va = Assembler::nodeVoltage(ctx.x, a_);
+    const double vb = Assembler::nodeVoltage(ctx.x, b_);
+    const double i = ctx.x[static_cast<std::size_t>(branchRow_)];
+    out.addCurrent(a_, i);
+    out.addCurrent(b_, -i);
+    out.addToF(branchRow_, va - vb);
+    out.addToQ(branchRow_, -inductance_ * i);
+}
+
 
 void Inductor::describe(std::ostream& os) const {
     os << "L " << a_.index << ' ' << b_.index << ' '

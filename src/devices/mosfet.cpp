@@ -139,6 +139,42 @@ void Mosfet::eval(const EvalContext& ctx, Assembler& out) const {
     stampLinearCap(out, ctx.x, source_, bulk_, params_.csb);
 }
 
+void Mosfet::stampLinearCapCharge(Assembler& out, const Vector& x, NodeId a,
+                                  NodeId b, double c) {
+    if (c <= 0.0) {
+        return;
+    }
+    const double va = Assembler::nodeVoltage(x, a);
+    const double vb = Assembler::nodeVoltage(x, b);
+    const double q = c * (va - vb);
+    out.addCharge(a, q);
+    out.addCharge(b, -q);
+}
+
+void Mosfet::evalResidual(const EvalContext& ctx, Assembler& out) const {
+    const double vd = Assembler::nodeVoltage(ctx.x, drain_);
+    const double vg = Assembler::nodeVoltage(ctx.x, gate_);
+    const double vs = Assembler::nodeVoltage(ctx.x, source_);
+    const double vb = Assembler::nodeVoltage(ctx.x, bulk_);
+
+    // operatingPoint() computes gm/gds/gmb alongside id for negligible extra
+    // cost; the saving here is skipping the eight conductance stamps and the
+    // capacitance stamps below.
+    const MosfetOperatingPoint op = operatingPoint(vd, vg, vs, vb);
+    const double sgn = (params_.type == MosfetType::Nmos) ? 1.0 : -1.0;
+    const NodeId dEff = op.swapped ? source_ : drain_;
+    const NodeId sEff = op.swapped ? drain_ : source_;
+    const double i = sgn * op.id;
+    out.addCurrent(dEff, i);
+    out.addCurrent(sEff, -i);
+
+    stampLinearCapCharge(out, ctx.x, gate_, source_, params_.cgs);
+    stampLinearCapCharge(out, ctx.x, gate_, drain_, params_.cgd);
+    stampLinearCapCharge(out, ctx.x, gate_, bulk_, params_.cgb);
+    stampLinearCapCharge(out, ctx.x, drain_, bulk_, params_.cdb);
+    stampLinearCapCharge(out, ctx.x, source_, bulk_, params_.csb);
+}
+
 
 void Mosfet::describe(std::ostream& os) const {
     os << "M " << drain_.index << ' ' << gate_.index << ' ' << source_.index

@@ -26,6 +26,15 @@ void Resistor::eval(const EvalContext& ctx, Assembler& out) const {
     out.addConductance(b_, b_, g);
 }
 
+void Resistor::evalResidual(const EvalContext& ctx, Assembler& out) const {
+    const double g = 1.0 / resistance_;
+    const double va = Assembler::nodeVoltage(ctx.x, a_);
+    const double vb = Assembler::nodeVoltage(ctx.x, b_);
+    const double i = g * (va - vb);
+    out.addCurrent(a_, i);
+    out.addCurrent(b_, -i);
+}
+
 
 void Resistor::describe(std::ostream& os) const {
     os << "R " << a_.index << ' ' << b_.index << ' '

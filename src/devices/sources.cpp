@@ -51,6 +51,18 @@ void VoltageSource::eval(const EvalContext& ctx, Assembler& out) const {
     out.addToG(branchRow_, neg_, -1.0);
 }
 
+void VoltageSource::evalResidual(const EvalContext& ctx,
+                                 Assembler& out) const {
+    require(branchRow_ >= 0, "VoltageSource ", name(),
+            ": eval before finalize()");
+    const double i = ctx.x[static_cast<std::size_t>(branchRow_)];
+    out.addCurrent(pos_, i);
+    out.addCurrent(neg_, -i);
+    const double vpos = Assembler::nodeVoltage(ctx.x, pos_);
+    const double vneg = Assembler::nodeVoltage(ctx.x, neg_);
+    out.addToF(branchRow_, vpos - vneg - waveform_->value(ctx.time));
+}
+
 void VoltageSource::addSkewDerivative(double t, SkewParam p,
                                       Vector& rhs) const {
     if (const auto* w = asSkewWave(*waveform_)) {
@@ -93,6 +105,12 @@ void CurrentSource::eval(const EvalContext& ctx, Assembler& out) const {
     // Positive source current leaves pos (through the source to neg).
     out.addCurrent(pos_, i);
     out.addCurrent(neg_, -i);
+}
+
+void CurrentSource::evalResidual(const EvalContext& ctx,
+                                 Assembler& out) const {
+    // eval() stamps no Jacobian entries, so the residual pass is identical.
+    eval(ctx, out);
 }
 
 void CurrentSource::addSkewDerivative(double t, SkewParam p,

@@ -27,6 +27,14 @@ void Vccs::eval(const EvalContext& ctx, Assembler& out) const {
     out.addConductance(neg_, ctrlNeg_, gm_);
 }
 
+void Vccs::evalResidual(const EvalContext& ctx, Assembler& out) const {
+    const double vc = Assembler::nodeVoltage(ctx.x, ctrlPos_) -
+                      Assembler::nodeVoltage(ctx.x, ctrlNeg_);
+    const double i = gm_ * vc;
+    out.addCurrent(pos_, i);
+    out.addCurrent(neg_, -i);
+}
+
 
 void Vccs::describe(std::ostream& os) const {
     os << "G " << pos_.index << ' ' << neg_.index << ' ' << ctrlPos_.index

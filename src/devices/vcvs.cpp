@@ -37,6 +37,19 @@ void Vcvs::eval(const EvalContext& ctx, Assembler& out) const {
     out.addToG(branchRow_, ctrlNeg_, gain_);
 }
 
+void Vcvs::evalResidual(const EvalContext& ctx, Assembler& out) const {
+    require(branchRow_ >= 0, "Vcvs ", name(), ": eval before finalize()");
+    const double i = ctx.x[static_cast<std::size_t>(branchRow_)];
+    out.addCurrent(pos_, i);
+    out.addCurrent(neg_, -i);
+
+    const double vp = Assembler::nodeVoltage(ctx.x, pos_);
+    const double vn = Assembler::nodeVoltage(ctx.x, neg_);
+    const double vcp = Assembler::nodeVoltage(ctx.x, ctrlPos_);
+    const double vcn = Assembler::nodeVoltage(ctx.x, ctrlNeg_);
+    out.addToF(branchRow_, vp - vn - gain_ * (vcp - vcn));
+}
+
 
 void Vcvs::describe(std::ostream& os) const {
     os << "E " << pos_.index << ' ' << neg_.index << ' ' << ctrlPos_.index

@@ -12,6 +12,9 @@ bool LuFactorization::factor(const Matrix& a, SimStats* stats,
     require(a.rows() == a.cols(), "LU requires a square matrix, got ",
             a.rows(), "x", a.cols());
     const std::size_t n = a.rows();
+    // Vector copy-assignment reuses existing capacity, so after the first
+    // factor() at a given size this copy allocates nothing -- the transient
+    // step loop calls factor() thousands of times on one object.
     lu_ = a;
     perm_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -23,7 +26,8 @@ bool LuFactorization::factor(const Matrix& a, SimStats* stats,
     // Implicit row scaling for pivot selection (Crout-style scaled partial
     // pivoting): MNA rows mix conductances (~1e-3 S) and unit-entries of
     // source branch equations, so unscaled pivoting can pick poor pivots.
-    std::vector<double> scale(n, 0.0);
+    scaleBuf_.assign(n, 0.0);
+    std::vector<double>& scale = scaleBuf_;
     for (std::size_t i = 0; i < n; ++i) {
         double rowMax = 0.0;
         for (std::size_t j = 0; j < n; ++j) {
@@ -89,8 +93,10 @@ void LuFactorization::solveInPlace(Vector& b, SimStats* stats) const {
     require(valid_, "LuFactorization::solve on invalid factorization");
     require(b.size() == dimension(), "LU solve dimension mismatch");
     const std::size_t n = dimension();
-    // Apply the permutation.
-    Vector y(n);
+    // Apply the permutation into the reused scratch buffer (resize is a
+    // no-op after the first solve at this size).
+    scratch_.resize(n);
+    Vector& y = scratch_;
     for (std::size_t i = 0; i < n; ++i) {
         y[i] = b[perm_[i]];
     }
@@ -112,7 +118,8 @@ void LuFactorization::solveInPlace(Vector& b, SimStats* stats) const {
         }
         y[ii] = acc / row[ii];
     }
-    b = std::move(y);
+    // Copy (not move): y aliases the reusable scratch buffer.
+    b = y;
     if (stats != nullptr) {
         ++stats->luSolves;
     }

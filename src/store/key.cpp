@@ -96,6 +96,7 @@ std::string canonicalRecipe(const SimulationRecipe& r) {
     os << "recipe method=" << methodName(r.method)
        << " dt=" << toHexFloat(r.dtNominal)
        << " gmin=" << toHexFloat(r.gmin)
+       << " reuse=" << (r.jacobianReuse ? 1 : 0)
        << " newton=" << r.newton.maxIterations << ' '
        << toHexFloat(r.newton.relTol) << ' ' << toHexFloat(r.newton.vAbsTol)
        << ' ' << toHexFloat(r.newton.iAbsTol) << ' '

@@ -186,14 +186,16 @@ void writeStats(std::ostream& os, const SimStats& s) {
     os << "stats " << s.transientSolves << ' ' << s.timeSteps << ' '
        << s.rejectedSteps << ' ' << s.newtonIterations << ' '
        << s.luFactorizations << ' ' << s.luSolves << ' '
-       << s.deviceEvaluations << ' ' << s.sensitivitySteps << ' '
-       << s.hEvaluations << ' ' << s.mpnrIterations << ' ' << s.cacheHits
-       << ' ' << s.cacheMisses << ' ' << s.cacheWarmStarts << ' '
-       << toHexFloat(s.wallSeconds) << '\n';
+       << s.deviceEvaluations << ' ' << s.residualOnlyAssemblies << ' '
+       << s.chordIterations << ' ' << s.bypassedFactorizations << ' '
+       << s.sensitivitySteps << ' ' << s.hEvaluations << ' '
+       << s.mpnrIterations << ' ' << s.cacheHits << ' ' << s.cacheMisses
+       << ' ' << s.cacheWarmStarts << ' ' << toHexFloat(s.wallSeconds)
+       << '\n';
 }
 
 SimStats readStats(Reader& r) {
-    const auto f = r.fields("stats", 14);
+    const auto f = r.fields("stats", 17);
     SimStats s;
     s.transientSolves = counter(f[0]);
     s.timeSteps = counter(f[1]);
@@ -202,13 +204,16 @@ SimStats readStats(Reader& r) {
     s.luFactorizations = counter(f[4]);
     s.luSolves = counter(f[5]);
     s.deviceEvaluations = counter(f[6]);
-    s.sensitivitySteps = counter(f[7]);
-    s.hEvaluations = counter(f[8]);
-    s.mpnrIterations = counter(f[9]);
-    s.cacheHits = counter(f[10]);
-    s.cacheMisses = counter(f[11]);
-    s.cacheWarmStarts = counter(f[12]);
-    s.wallSeconds = num(f[13]);
+    s.residualOnlyAssemblies = counter(f[7]);
+    s.chordIterations = counter(f[8]);
+    s.bypassedFactorizations = counter(f[9]);
+    s.sensitivitySteps = counter(f[10]);
+    s.hEvaluations = counter(f[11]);
+    s.mpnrIterations = counter(f[12]);
+    s.cacheHits = counter(f[13]);
+    s.cacheMisses = counter(f[14]);
+    s.cacheWarmStarts = counter(f[15]);
+    s.wallSeconds = num(f[16]);
     return s;
 }
 

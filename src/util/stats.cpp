@@ -12,6 +12,9 @@ SimStats& SimStats::operator+=(const SimStats& other) noexcept {
     luFactorizations += other.luFactorizations;
     luSolves += other.luSolves;
     deviceEvaluations += other.deviceEvaluations;
+    residualOnlyAssemblies += other.residualOnlyAssemblies;
+    chordIterations += other.chordIterations;
+    bypassedFactorizations += other.bypassedFactorizations;
     sensitivitySteps += other.sensitivitySteps;
     hEvaluations += other.hEvaluations;
     mpnrIterations += other.mpnrIterations;
@@ -29,6 +32,11 @@ std::ostream& operator<<(std::ostream& os, const SimStats& s) {
        << "/" << s.luSolves << " devEval=" << s.deviceEvaluations
        << " sensSteps=" << s.sensitivitySteps << " hEval=" << s.hEvaluations
        << " mpnr=" << s.mpnrIterations;
+    if (s.chordIterations != 0 || s.residualOnlyAssemblies != 0) {
+        os << " chord=" << s.chordIterations
+           << " residEval=" << s.residualOnlyAssemblies
+           << " luBypassed=" << s.bypassedFactorizations;
+    }
     if (s.cacheHits != 0 || s.cacheMisses != 0 || s.cacheWarmStarts != 0) {
         os << " cache=" << s.cacheHits << "h/" << s.cacheMisses << "m/"
            << s.cacheWarmStarts << "w";

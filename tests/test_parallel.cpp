@@ -226,6 +226,31 @@ TEST(ParallelLibrary, ThreadsEightMatchesThreadsOneByteForByte) {
     EXPECT_GT(serial.stats.transientSolves, 0u);
 }
 
+TEST(ParallelLibrary, ChordReuseIsDeterministicAcrossThreadCounts) {
+    // Each worker's engines own their LU factorizations and Newton
+    // workspaces, so chord reuse must not introduce any cross-thread state:
+    // rows AND the chord counters are byte-identical for any thread count
+    // (this binary runs under tsan in the sanitizer sweep).
+    RunConfig cfg = fastConfig(1).withJacobianReuse(true);
+    const LibraryResult serial = characterizeLibrary(tspcLibrary(), cfg);
+    const LibraryResult parallel =
+        characterizeLibrary(tspcLibrary(), cfg.withThreads(8));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(serial[i].success) << serial[i].failureReason;
+        expectRowsIdentical(serial[i], parallel[i]);
+        EXPECT_EQ(serial[i].stats.chordIterations,
+                  parallel[i].stats.chordIterations);
+        EXPECT_EQ(serial[i].stats.residualOnlyAssemblies,
+                  parallel[i].stats.residualOnlyAssemblies);
+        EXPECT_EQ(serial[i].stats.bypassedFactorizations,
+                  parallel[i].stats.bypassedFactorizations);
+    }
+    EXPECT_GT(serial.stats.chordIterations, 0u);
+    EXPECT_GT(serial.stats.bypassedFactorizations, 0u);
+    EXPECT_EQ(serial.stats.chordIterations, parallel.stats.chordIterations);
+}
+
 TEST(ParallelLibrary, PoisonedCellFailsItsRowOthersSucceed) {
     std::vector<LibraryCell> cells = tspcLibrary();
     // A non-Error exception: characterizeOne only catches Error, so this

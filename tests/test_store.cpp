@@ -196,6 +196,9 @@ SimStats sampleStats() {
     s.luFactorizations = 999;
     s.luSolves = 1001;
     s.deviceEvaluations = 123456;
+    s.residualOnlyAssemblies = 888;
+    s.chordIterations = 654;
+    s.bypassedFactorizations = 321;
     s.sensitivitySteps = 77;
     s.hEvaluations = 42;
     s.mpnrIterations = 13;
@@ -214,6 +217,9 @@ void expectSameStats(const SimStats& a, const SimStats& b) {
     EXPECT_EQ(a.luFactorizations, b.luFactorizations);
     EXPECT_EQ(a.luSolves, b.luSolves);
     EXPECT_EQ(a.deviceEvaluations, b.deviceEvaluations);
+    EXPECT_EQ(a.residualOnlyAssemblies, b.residualOnlyAssemblies);
+    EXPECT_EQ(a.chordIterations, b.chordIterations);
+    EXPECT_EQ(a.bypassedFactorizations, b.bypassedFactorizations);
     EXPECT_EQ(a.sensitivitySteps, b.sensitivitySteps);
     EXPECT_EQ(a.hEvaluations, b.hEvaluations);
     EXPECT_EQ(a.mpnrIterations, b.mpnrIterations);

@@ -1,0 +1,316 @@
+// Tests for the chord-Newton transient hot path: residual-only assembly,
+// LU/Jacobian reuse across iterations and steps, the automatic refactor
+// triggers, and the end-to-end Fig. 8 acceptance claim (same contour,
+// far fewer factorizations).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "shtrace/analysis/transient.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/tracer.hpp"
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/diode.hpp"
+#include "shtrace/devices/inductor.hpp"
+#include "shtrace/devices/mosfet.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/devices/vccs.hpp"
+#include "shtrace/devices/vcvs.hpp"
+#include "shtrace/util/error.hpp"
+#include "shtrace/waveform/pulse.hpp"
+
+namespace shtrace {
+namespace {
+
+// ----------------------------------------------- residual-only assembly ---
+
+/// One circuit containing every device type, so the f/q-equality contract
+/// of Device::evalResidual is pinned for each implementation at once.
+Circuit buildEveryDeviceCircuit() {
+    Circuit ckt;
+    const NodeId n1 = ckt.node("n1");
+    const NodeId n2 = ckt.node("n2");
+    const NodeId n3 = ckt.node("n3");
+    const NodeId n4 = ckt.node("n4");
+    const NodeId n5 = ckt.node("n5");
+    PulseWaveform::Spec pulse;
+    pulse.v0 = 0.0;
+    pulse.v1 = 1.1;
+    pulse.delay = 0.1e-9;
+    pulse.riseTime = 0.2e-9;
+    pulse.width = 2e-9;
+    pulse.fallTime = 0.2e-9;
+    ckt.add<VoltageSource>("V1", n1, kGround,
+                           std::make_shared<PulseWaveform>(pulse));
+    ckt.add<CurrentSource>("I1", n2, kGround, 1e-6);
+    ckt.add<Resistor>("R1", n1, n2, 10e3);
+    ckt.add<Capacitor>("C1", n2, kGround, 1e-12);
+    ckt.add<Inductor>("L1", n2, n3, 1e-9);
+    ckt.add<Vcvs>("E1", n4, kGround, n2, kGround, 2.0);
+    ckt.add<Vccs>("G1", n3, kGround, n1, n2, 1e-3);
+    DiodeParams dp;
+    dp.cj0 = 1e-15;
+    dp.tt = 1e-12;
+    ckt.add<Diode>("D1", n3, kGround, dp);
+    MosfetParams mp;
+    mp.gamma = 0.3;
+    mp.cgs = 1e-15;
+    mp.cgd = 0.8e-15;
+    mp.cdb = 0.5e-15;
+    ckt.add<Mosfet>("M1", n5, n1, kGround, kGround, mp);
+    ckt.add<Resistor>("R2", n4, n5, 5e3);
+    ckt.finalize();
+    return ckt;
+}
+
+TEST(ResidualAssembly, MatchesFullAssemblyForEveryDeviceType) {
+    const Circuit ckt = buildEveryDeviceCircuit();
+    const std::size_t n = ckt.systemSize();
+    Assembler asmb(n);
+
+    // A deliberately awkward state: mixed signs, forward- and
+    // reverse-biased junctions, nonzero branch currents.
+    Vector x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = 0.7 * std::sin(1.0 + 3.7 * static_cast<double>(i));
+    }
+    for (double t : {0.0, 0.25e-9, 1.0e-9, 2.4e-9}) {
+        ckt.assemble(x, t, asmb);
+        const Vector fFull = asmb.f();
+        const Vector qFull = asmb.q();
+
+        ckt.assembleResidual(x, t, asmb);
+        ASSERT_EQ(asmb.f().size(), fFull.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            // Byte-identical, not approximately equal: evalResidual must
+            // run the exact same f/q arithmetic as eval.
+            EXPECT_EQ(asmb.f()[i], fFull[i]) << "f row " << i << " t=" << t;
+            EXPECT_EQ(asmb.q()[i], qFull[i]) << "q row " << i << " t=" << t;
+        }
+    }
+}
+
+TEST(ResidualAssembly, JacobianAccessAfterResidualPassThrows) {
+    const Circuit ckt = buildEveryDeviceCircuit();
+    Assembler asmb(ckt.systemSize());
+    const Vector x(ckt.systemSize());
+    ckt.assembleResidual(x, 0.0, asmb);
+    EXPECT_THROW(asmb.g(), InvalidArgumentError);
+    EXPECT_THROW(asmb.c(), InvalidArgumentError);
+    // A fresh full pass restores access.
+    ckt.assemble(x, 0.0, asmb);
+    EXPECT_NO_THROW(asmb.g());
+    EXPECT_NO_THROW(asmb.c());
+}
+
+TEST(ResidualAssembly, CountsInItsOwnStatsBucket) {
+    const Circuit ckt = buildEveryDeviceCircuit();
+    Assembler asmb(ckt.systemSize());
+    const Vector x(ckt.systemSize());
+    SimStats stats;
+    ckt.assemble(x, 0.0, asmb, &stats);
+    ckt.assembleResidual(x, 0.0, asmb, &stats);
+    ckt.assembleResidual(x, 0.0, asmb, &stats);
+    EXPECT_EQ(stats.deviceEvaluations, 1u);
+    EXPECT_EQ(stats.residualOnlyAssemblies, 2u);
+}
+
+// ------------------------------------------------- chord vs full Newton ---
+
+TransientOptions tspcTransientOptions(IntegrationMethod method, bool reuse) {
+    TransientOptions opt;
+    opt.tStop = 11.6e-9;
+    opt.fixedSteps = 1160;  // the default 10 ps recipe
+    opt.method = method;
+    opt.jacobianReuse = reuse;
+    opt.storeStates = false;
+    return opt;
+}
+
+class ChordEquivalence
+    : public ::testing::TestWithParam<IntegrationMethod> {};
+
+TEST_P(ChordEquivalence, FixedGridStateMatchesFullNewton) {
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(300e-12, 300e-12);
+
+    SimStats off;
+    const TransientResult full = TransientAnalysis(
+        reg.circuit, tspcTransientOptions(GetParam(), false)).run(&off);
+    SimStats on;
+    const TransientResult chord = TransientAnalysis(
+        reg.circuit, tspcTransientOptions(GetParam(), true)).run(&on);
+    ASSERT_TRUE(full.success);
+    ASSERT_TRUE(chord.success);
+
+    // Both trajectories satisfy the same per-step Newton tolerances
+    // (relTol 1e-4, vAbsTol 1e-6); on the contracting latch dynamics the
+    // accumulated divergence stays of the same order.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < full.finalState.size(); ++i) {
+        worst = std::max(worst,
+                         std::fabs(full.finalState[i] - chord.finalState[i]));
+    }
+    EXPECT_LT(worst, 5e-4);
+
+    // The whole point: reuse must slash factorizations, not just match.
+    EXPECT_GT(on.chordIterations, 0u);
+    EXPECT_EQ(on.chordIterations, on.bypassedFactorizations);
+    EXPECT_GT(on.residualOnlyAssemblies, 0u);
+    EXPECT_LT(on.luFactorizations, (off.luFactorizations * 3) / 5);
+
+    // Legacy path must not silently pick up chord behavior.
+    EXPECT_EQ(off.chordIterations, 0u);
+    EXPECT_EQ(off.bypassedFactorizations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, ChordEquivalence,
+                         ::testing::Values(IntegrationMethod::BackwardEuler,
+                                           IntegrationMethod::Trapezoidal,
+                                           IntegrationMethod::Gear2));
+
+TEST(ChordNewton, SensitivitiesMatchFullNewton) {
+    // With jacobianReuse the sensitivity recurrences run against the
+    // epilogue refactorization (factored AT the accepted solution), so the
+    // gradients must agree with the reuse-off path to Newton-tolerance
+    // accuracy -- this is what the Euler-Newton tracer lives on.
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(300e-12, 300e-12);
+
+    TransientOptions base =
+        tspcTransientOptions(IntegrationMethod::Trapezoidal, false);
+    base.trackSkewSensitivities = true;
+    TransientOptions reuse = base;
+    reuse.jacobianReuse = true;
+
+    const TransientResult full = TransientAnalysis(reg.circuit, base).run();
+    const TransientResult chord = TransientAnalysis(reg.circuit, reuse).run();
+    ASSERT_TRUE(full.success);
+    ASSERT_TRUE(chord.success);
+
+    const Vector sel = reg.circuit.selectorFor(reg.q);
+    const double dhdsFull = sel.dot(full.finalSensitivitySetup);
+    const double dhdsChord = sel.dot(chord.finalSensitivitySetup);
+    const double dhdhFull = sel.dot(full.finalSensitivityHold);
+    const double dhdhChord = sel.dot(chord.finalSensitivityHold);
+    const double scale =
+        std::max({std::fabs(dhdsFull), std::fabs(dhdhFull), 1e6});
+    EXPECT_LT(std::fabs(dhdsFull - dhdsChord), 1e-2 * scale);
+    EXPECT_LT(std::fabs(dhdhFull - dhdhChord), 1e-2 * scale);
+}
+
+TEST(ChordNewton, AdaptiveRejectionsAndDtChangesRefactor) {
+    // Adaptive LTE control rejects steps and continually rescales dt; both
+    // are refactor triggers, so reuse must stay correct AND still save
+    // factorizations on the accepted stretches.
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(300e-12, 300e-12);
+
+    TransientOptions opt;
+    opt.tStop = 11.6e-9;
+    opt.adaptive = true;
+    opt.dtInit = 1e-12;
+    opt.lteRelTol = 1e-3;
+    opt.storeStates = false;
+
+    TransientOptions off = opt;
+    off.jacobianReuse = false;
+    TransientOptions on = opt;
+    on.jacobianReuse = true;
+
+    SimStats statsOff;
+    const TransientResult rOff =
+        TransientAnalysis(reg.circuit, off).run(&statsOff);
+    SimStats statsOn;
+    const TransientResult rOn =
+        TransientAnalysis(reg.circuit, on).run(&statsOn);
+    ASSERT_TRUE(rOff.success);
+    ASSERT_TRUE(rOn.success);
+    // The scenario must actually exercise the rejection trigger.
+    EXPECT_GT(statsOn.rejectedSteps, 0u);
+
+    double worst = 0.0;
+    for (std::size_t i = 0; i < rOff.finalState.size(); ++i) {
+        worst = std::max(worst,
+                         std::fabs(rOff.finalState[i] - rOn.finalState[i]));
+    }
+    // Adaptive grids need not match step-for-step; compare the settled
+    // final state only.
+    EXPECT_LT(worst, 5e-3);
+    EXPECT_LT(statsOn.luFactorizations, statsOff.luFactorizations);
+}
+
+// ---------------------------------------------- Fig. 8 acceptance claim ---
+
+double distanceToPolyline(const SkewPoint& p,
+                          const std::vector<SkewPoint>& poly) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i + 1 < poly.size(); ++i) {
+        const double ax = poly[i].setup;
+        const double ay = poly[i].hold;
+        const double bx = poly[i + 1].setup;
+        const double by = poly[i + 1].hold;
+        const double dx = bx - ax;
+        const double dy = by - ay;
+        const double len2 = dx * dx + dy * dy;
+        double u = 0.0;
+        if (len2 > 0.0) {
+            u = ((p.setup - ax) * dx + (p.hold - ay) * dy) / len2;
+            u = std::clamp(u, 0.0, 1.0);
+        }
+        const double ex = p.setup - (ax + u * dx);
+        const double ey = p.hold - (ay + u * dy);
+        best = std::min(best, std::hypot(ex, ey));
+    }
+    return best;
+}
+
+TEST(ChordNewton, Fig8TspcContourFewerFactorizationsSameCurve) {
+    const RegisterFixture reg = buildTspcRegister();
+    TracerOptions window;
+    window.bounds = SkewBounds{100e-12, 600e-12, 50e-12, 450e-12};
+    window.maxPoints = 12;
+
+    const auto trace = [&](bool reuse, SimStats& stats) {
+        SimulationRecipe recipe;
+        recipe.jacobianReuse = reuse;
+        const CharacterizationProblem problem(reg, CriterionOptions{}, recipe,
+                                              &stats);
+        return traceContour(problem.h(), SkewPoint{220e-12, 450e-12}, window,
+                            &stats);
+    };
+
+    SimStats off;
+    const TracedContour reference = trace(false, off);
+    SimStats on;
+    const TracedContour reused = trace(true, on);
+    ASSERT_TRUE(reference.seedConverged);
+    ASSERT_TRUE(reused.seedConverged);
+    ASSERT_GE(reference.points.size(), 8u);
+    ASSERT_GE(reused.points.size(), 8u);
+
+    // Acceptance: >= 40% fewer LU factorizations and fewer full device
+    // assemblies over the whole criterion + seed + trace pipeline.
+    EXPECT_LE(on.luFactorizations, (off.luFactorizations * 6) / 10)
+        << "on=" << on.luFactorizations << " off=" << off.luFactorizations;
+    EXPECT_LT(on.deviceEvaluations, off.deviceEvaluations);
+    EXPECT_GT(on.chordIterations, 0u);
+
+    // Same curve: points may slide ALONG the contour (the predictor step
+    // positions differ once iterates differ in the last Newton digit), so
+    // compare geometric distance to the reference polyline, not indexwise.
+    for (const SkewPoint& p : reused.points) {
+        EXPECT_LT(distanceToPolyline(p, reference.points), 2e-12)
+            << "setup=" << p.setup << " hold=" << p.hold;
+    }
+    for (const SkewPoint& p : reference.points) {
+        EXPECT_LT(distanceToPolyline(p, reused.points), 2e-12)
+            << "setup=" << p.setup << " hold=" << p.hold;
+    }
+}
+
+}  // namespace
+}  // namespace shtrace
