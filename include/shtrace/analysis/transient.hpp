@@ -103,6 +103,10 @@ struct AdjointTapeEntry {
 struct TransientResult {
     bool success = false;
     std::string failureReason;
+    /// True when the run was aborted because an ACCEPTED state or
+    /// co-integrated sensitivity went NaN/Inf (as opposed to an ordinary
+    /// Newton non-convergence). Lets callers classify the failure.
+    bool nonFinite = false;
 
     std::vector<double> times;   ///< accepted time points (incl. t0)
     std::vector<Vector> states;  ///< full x per time point (if storeStates)

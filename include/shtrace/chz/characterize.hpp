@@ -5,6 +5,8 @@
 // (standard-cell characterization flow) calls per register/corner.
 #pragma once
 
+#include <string>
+
 #include "shtrace/chz/run_config.hpp"
 
 namespace shtrace {
@@ -16,6 +18,9 @@ using CharacterizeOptions = RunConfig;
 
 struct CharacterizeResult {
     bool success = false;
+    /// Empty on success; otherwise why the pipeline stopped, including the
+    /// tracer's diagnostics summary ("no empty contour with no reason").
+    std::string failureReason;
     double characteristicClockToQ = 0.0;
     double degradedClockToQ = 0.0;
     double tf = 0.0;

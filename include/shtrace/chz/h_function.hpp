@@ -25,6 +25,11 @@ struct HEvaluation {
     double h = 0.0;      ///< c^T x(t_f) - r
     double dhds = 0.0;   ///< dh/dtau_s
     double dhdh = 0.0;   ///< dh/dtau_h
+    /// True when the failure was a NaN/Inf caught at a guard (in the
+    /// transient engine or on h/dhds/dhdh themselves) rather than an
+    /// ordinary non-convergence; the offending values stay in h/dhds/dhdh
+    /// for diagnostics. success is always false when this is set.
+    bool nonFinite = false;
 };
 
 class HFunction {
@@ -37,20 +42,32 @@ public:
     HFunction(const Circuit& circuit, std::shared_ptr<DataPulse> data,
               Vector selector, double tf, double r,
               TransientOptions baseOptions);
+    /// Decorators (tests/fault_injection.hpp) copy the wrapped function's
+    /// whole recipe; spelled out because the virtual destructor would
+    /// otherwise deprecate the implicit copy.
+    HFunction(const HFunction&) = default;
+    virtual ~HFunction() = default;
+
+    // The evaluation entry points are virtual so a test harness can wrap an
+    // HFunction in a fault-injecting decorator (tests/fault_injection.hpp)
+    // without touching the production call sites. Production code has
+    // exactly one concrete type; the virtual dispatch cost is noise next to
+    // the transient each call runs.
 
     /// h and gradient at (tau_s, tau_h); one sensitivity-tracked transient.
-    HEvaluation evaluate(double setupSkew, double holdSkew,
-                         SimStats* stats = nullptr) const;
+    /// Guarantees: success implies h/dhds/dhdh are all finite.
+    virtual HEvaluation evaluate(double setupSkew, double holdSkew,
+                                 SimStats* stats = nullptr) const;
 
     /// h only (no sensitivities); one plain transient. Used by the
     /// brute-force surface baseline and by bisection seeding.
-    HEvaluation evaluateValueOnly(double setupSkew, double holdSkew,
-                                  SimStats* stats = nullptr) const;
+    virtual HEvaluation evaluateValueOnly(double setupSkew, double holdSkew,
+                                          SimStats* stats = nullptr) const;
 
     /// Full transient with stored states at (tau_s, tau_h) -- for waveform
     /// inspection and clock-to-Q measurement.
-    TransientResult simulate(double setupSkew, double holdSkew,
-                             SimStats* stats = nullptr) const;
+    virtual TransientResult simulate(double setupSkew, double holdSkew,
+                                     SimStats* stats = nullptr) const;
 
     double tf() const { return tf_; }
     double r() const { return r_; }

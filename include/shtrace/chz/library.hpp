@@ -41,6 +41,9 @@ struct LibraryRow {
     double setupTime = 0.0;  ///< independent (other skew pinned large)
     double holdTime = 0.0;
     std::vector<SkewPoint> contour;  ///< interdependent pairs (may be empty)
+    /// The contour trace's incident log (empty when contours are off or the
+    /// row failed before tracing); serialized with the row.
+    TraceDiagnostics diagnostics;
     SimStats stats;
 };
 

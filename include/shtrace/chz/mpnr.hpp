@@ -28,13 +28,22 @@ struct MpnrOptions {
 
 struct MpnrResult {
     bool converged = false;
-    SkewPoint point;       ///< final iterate
+    /// Final iterate. On every NON-converged exit `h/dhds/dhdh` were
+    /// evaluated exactly AT `point` (the solver rewinds its speculative
+    /// last step rather than pairing a stale residual with a new point);
+    /// on convergence they are from the final evaluation, one vanishing
+    /// update away.
+    SkewPoint point;
     double h = 0.0;        ///< residual at `point`
     double dhds = 0.0;     ///< gradient at `point` (feeds the Euler tangent)
     double dhdh = 0.0;
     int iterations = 0;
     bool gradientVanished = false;  ///< hit a critical point of h
     bool transientFailed = false;
+    /// NaN/Inf met a guard: the evaluation reported non-finite values, or
+    /// the Newton update itself went non-finite. The offending values stay
+    /// in h/dhds/dhdh for diagnostics.
+    bool nonFinite = false;
 };
 
 /// Runs MPNR from `guess`. Non-convergence is reported, not thrown -- the

@@ -71,6 +71,22 @@ struct RunConfig {
         tracer = value;
         return *this;
     }
+    /// Transient-failure recovery: up to `limit` perturbed-predictor
+    /// retries (lateral nudge of `jitter` x alpha) before alpha halving.
+    /// limit=0 restores the legacy halve-immediately behavior.
+    RunConfig& withTransientRetry(int limit, double jitter) {
+        tracer.transientRetryLimit = limit;
+        tracer.transientRetryJitter = jitter;
+        return *this;
+    }
+    /// Plateau recovery: up to `limit` re-corrections with the prediction
+    /// pulled back by `pull` per attempt, leaving alpha untouched.
+    /// limit=0 restores the legacy halve-immediately behavior.
+    RunConfig& withPlateauReseed(int limit, double pull) {
+        tracer.plateauReseedLimit = limit;
+        tracer.plateauReseedPull = pull;
+        return *this;
+    }
     RunConfig& withParallel(const ParallelOptions& value) {
         parallel = value;
         return *this;

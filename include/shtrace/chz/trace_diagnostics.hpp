@@ -1,0 +1,160 @@
+// shtrace -- structured failure taxonomy for the Euler-Newton tracer.
+//
+// A traced contour used to come back empty (or truncated) with no record of
+// WHY: the tracer conflated "transient blew up" with "corrector diverged"
+// and returned nothing a batch driver could report. TraceDiagnostics is the
+// flight recorder: every retry, recovery attempt and termination is logged
+// as a TraceEvent carrying the offending (tau_s, tau_h), the predictor step
+// length in force, and the corrector iteration count, classified by
+// TraceEventKind. The record rides on TracedContour, survives store
+// round-trips (format v3), and is what `shtrace-store show` and the batch
+// drivers surface to the user.
+//
+// Header-only on purpose: store/serialize.cpp consumes chz types by header
+// alone (the static-library link order puts chz before store), so the
+// taxonomy must not add chz .o dependencies to the store module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "shtrace/measure/surface.hpp"
+
+namespace shtrace {
+
+/// Why a trace step was retried, recovered, or a direction terminated.
+enum class TraceEventKind : std::uint8_t {
+    TransientFailed,    ///< the transient under an h-evaluation did not solve
+    CorrectorDiverged,  ///< MPNR/arclength ran out of iterations (or wandered)
+    GradientVanished,   ///< flat h: no corrector direction (output plateau)
+    NonFinite,          ///< NaN/Inf met a guard (state, h, gradient, or step)
+    LeftBounds,         ///< the curve exited the characterization window
+    BudgetExhausted,    ///< maxPoints reached with the curve still in bounds
+    StepUnderflow,      ///< alpha shrank below minStepLength
+};
+
+inline constexpr int kTraceEventKindCount = 7;
+
+/// Which stage of traceContour observed the event.
+enum class TracePhase : std::uint8_t {
+    Seed,      ///< correcting the user's seed onto the curve
+    Forward,   ///< direction A (along the seed tangent)
+    Backward,  ///< direction B (against it)
+};
+
+constexpr const char* toString(TraceEventKind kind) {
+    switch (kind) {
+        case TraceEventKind::TransientFailed:
+            return "TransientFailed";
+        case TraceEventKind::CorrectorDiverged:
+            return "CorrectorDiverged";
+        case TraceEventKind::GradientVanished:
+            return "GradientVanished";
+        case TraceEventKind::NonFinite:
+            return "NonFinite";
+        case TraceEventKind::LeftBounds:
+            return "LeftBounds";
+        case TraceEventKind::BudgetExhausted:
+            return "BudgetExhausted";
+        case TraceEventKind::StepUnderflow:
+            return "StepUnderflow";
+    }
+    return "?";
+}
+
+constexpr const char* toString(TracePhase phase) {
+    switch (phase) {
+        case TracePhase::Seed:
+            return "seed";
+        case TracePhase::Forward:
+            return "forward";
+        case TracePhase::Backward:
+            return "backward";
+    }
+    return "?";
+}
+
+/// Inverse of toString(TraceEventKind); `ok` reports whether `name` matched.
+inline TraceEventKind traceEventKindFromString(const std::string& name,
+                                               bool& ok) {
+    ok = true;
+    for (int i = 0; i < kTraceEventKindCount; ++i) {
+        const auto kind = static_cast<TraceEventKind>(i);
+        if (name == toString(kind)) {
+            return kind;
+        }
+    }
+    ok = false;
+    return TraceEventKind::TransientFailed;
+}
+
+/// Inverse of toString(TracePhase); `ok` reports whether `name` matched.
+inline TracePhase tracePhaseFromString(const std::string& name, bool& ok) {
+    ok = true;
+    for (int i = 0; i < 3; ++i) {
+        const auto phase = static_cast<TracePhase>(i);
+        if (name == toString(phase)) {
+            return phase;
+        }
+    }
+    ok = false;
+    return TracePhase::Seed;
+}
+
+/// One classified incident during a trace.
+struct TraceEvent {
+    TraceEventKind kind = TraceEventKind::CorrectorDiverged;
+    TracePhase phase = TracePhase::Seed;
+    SkewPoint at;                ///< offending (tau_s, tau_h)
+    double stepLength = 0.0;     ///< predictor alpha in force (s)
+    int correctorIterations = 0; ///< iterations the corrector spent
+};
+
+/// The ordered incident log of one traceContour call.
+struct TraceDiagnostics {
+    std::vector<TraceEvent> events;
+
+    void record(TraceEventKind kind, TracePhase phase, const SkewPoint& at,
+                double stepLength, int correctorIterations) {
+        events.push_back(
+            TraceEvent{kind, phase, at, stepLength, correctorIterations});
+    }
+
+    bool empty() const { return events.empty(); }
+
+    std::size_t count(TraceEventKind kind) const {
+        std::size_t n = 0;
+        for (const TraceEvent& e : events) {
+            if (e.kind == kind) {
+                ++n;
+            }
+        }
+        return n;
+    }
+
+    /// Why the trace ended/struggled, in one line: "LeftBounds x2,
+    /// TransientFailed x1" (kind order, zero counts omitted). Empty string
+    /// for an event-free trace.
+    std::string summary() const {
+        std::ostringstream os;
+        bool first = true;
+        for (int i = 0; i < kTraceEventKindCount; ++i) {
+            const auto kind = static_cast<TraceEventKind>(i);
+            const std::size_t n = count(kind);
+            if (n == 0) {
+                continue;
+            }
+            if (!first) {
+                os << ", ";
+            }
+            first = false;
+            os << toString(kind) << " x" << n;
+        }
+        return os.str();
+    }
+};
+
+}  // namespace shtrace

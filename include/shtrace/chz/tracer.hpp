@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "shtrace/chz/mpnr.hpp"
+#include "shtrace/chz/trace_diagnostics.hpp"
 
 namespace shtrace {
 
@@ -53,6 +54,27 @@ struct TracerOptions {
 
     int maxPoints = 40;  ///< total contour points to produce (paper: 40)
     bool traceBothDirections = true;
+
+    // --- differentiated recovery (docs/ALGORITHM.md section 14) ---
+    // A failed transient is usually a spatial accident (the predictor
+    // overshot into a region where the fixed-grid Newton recipe breaks
+    // down), so before surrendering step length the tracer re-aims the SAME
+    // alpha at a laterally perturbed target. A vanished gradient means the
+    // predictor left the curve's basin for the plateau, so the recovery
+    // pulls the prediction back TOWARD the last on-curve point without
+    // shrinking alpha for future steps. Only when a policy's budget is
+    // spent does the tracer fall back to the classic halving.
+    /// Perturbed-predictor retries per step on a failed transient (0
+    /// reproduces the legacy halve-immediately behavior).
+    int transientRetryLimit = 2;
+    /// Lateral perturbation, as a fraction of alpha, applied perpendicular
+    /// to the tangent (alternating sides across retries).
+    double transientRetryJitter = 0.35;
+    /// Pulled-back re-corrections per step on a vanished gradient (0
+    /// reproduces the legacy halve-immediately behavior).
+    int plateauReseedLimit = 2;
+    /// Fraction of the prediction distance kept per plateau re-seed.
+    double plateauReseedPull = 0.5;
 };
 
 struct TracedContour {
@@ -63,7 +85,12 @@ struct TracedContour {
     std::vector<double> residuals;
     /// Corrector iteration count per point.
     std::vector<int> correctorIterations;
-    int predictorRetries = 0;  ///< step-shrink events
+    /// Rejected predictor attempts (halvings, perturbed retries, re-seeds).
+    int predictorRetries = 0;
+    /// The flight recorder: every retry/recovery/termination, classified.
+    /// A healthy trace still logs its terminations (LeftBounds per
+    /// direction, or BudgetExhausted); anything else signals a struggle.
+    TraceDiagnostics diagnostics;
 
     double averageCorrectorIterations() const;
 };

@@ -73,4 +73,16 @@ private:
 
 std::ostream& operator<<(std::ostream& os, const Vector& v);
 
+/// True when every component is finite (no NaN/Inf). The engines call this
+/// at layer boundaries -- an accepted transient state or sensitivity that
+/// fails the check must be reported, never propagated.
+inline bool allFinite(const Vector& v) noexcept {
+    for (const double x : v) {
+        if (!std::isfinite(x)) {
+            return false;
+        }
+    }
+    return true;
+}
+
 }  // namespace shtrace

@@ -31,7 +31,10 @@ namespace shtrace::store {
 
 /// Bump on ANY change to the canonical texts or the serialization format;
 /// old entries then miss (and `shtrace-store gc` removes them).
-inline constexpr int kFormatVersion = 2;
+/// v3: trace diagnostics block in traced contours, failure reasons on
+/// characterize payloads, 21-field stats line, tracer recovery knobs in
+/// the canonical tracer text.
+inline constexpr int kFormatVersion = 3;
 
 /// Streaming 64-bit FNV-1a.
 class Fnv1a {

@@ -37,6 +37,12 @@ struct SimStats {
     std::uint64_t cacheHits = 0;          ///< jobs served from the store
     std::uint64_t cacheMisses = 0;        ///< store lookups that computed
     std::uint64_t cacheWarmStarts = 0;    ///< traces seeded from a near-hit
+    // Tracer-robustness accounting (chz/tracer.cpp): recovery-policy work
+    // and guard rejections, mirrored in TraceDiagnostics per contour.
+    std::uint64_t traceNonFiniteRejections = 0;  ///< NaN/Inf met a guard
+    std::uint64_t traceTransientRetries = 0;  ///< perturbed-predictor retries
+    std::uint64_t tracePlateauReseeds = 0;    ///< pulled-back re-seeds
+    std::uint64_t traceStepHalvings = 0;      ///< predictor alpha halvings
     double wallSeconds = 0.0;             ///< accumulated via ScopedTimer
 
     SimStats& operator+=(const SimStats& other) noexcept;

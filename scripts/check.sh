@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Full local gate: the tier-1 suite plus both sanitizer sweeps.
 #
-#   scripts/check.sh            everything (tier-1 + tsan + asan/ubsan + bench smoke)
+#   scripts/check.sh            everything (tier-1 + tsan + asan + ubsan + bench smoke)
 #   scripts/check.sh tier1      plain build + full ctest only
 #   scripts/check.sh tsan       ThreadSanitizer build, tsan-labeled tests
 #   scripts/check.sh asan       address,undefined build, store + parallel
+#   scripts/check.sh ubsan      UBSan (incl. float-divide-by-zero) build,
+#                               ubsan-labeled tests (the fault-injection
+#                               suite, where the NaN/Inf paths live)
 #   scripts/check.sh bench      build bench targets, one quick hot-path run
 #
-# Each stage uses its own build tree (build/, build-tsan/, build-asan/) so
-# the sanitizer configurations never dirty the primary cache. Exits nonzero
-# on the first failing stage.
+# Each stage uses its own build tree (build/, build-tsan/, build-asan/,
+# build-ubsan/) so the sanitizer configurations never dirty the primary
+# cache. Exits nonzero on the first failing stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,7 +31,7 @@ run_tsan() {
     cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DSHTRACE_SANITIZE=thread
     cmake --build build-tsan -j "${JOBS}" \
-          --target test_parallel test_store_cache
+          --target test_parallel test_store_cache test_trace_robustness
     ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
 }
 
@@ -41,6 +44,18 @@ run_asan() {
     ./build-asan/tests/test_store
     ./build-asan/tests/test_store_cache
     ./build-asan/tests/test_parallel
+}
+
+run_ubsan() {
+    # Separate from asan's address,undefined: this build adds
+    # float-divide-by-zero (not in -fsanitize=undefined by default), which
+    # is exactly the class of arithmetic the fault-injection suite drives
+    # through the tracer guards.
+    echo "== ubsan: undefined,float-divide-by-zero build, ubsan-labeled tests =="
+    cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DSHTRACE_SANITIZE=undefined,float-divide-by-zero
+    cmake --build build-ubsan -j "${JOBS}" --target test_trace_robustness
+    ctest --test-dir build-ubsan -L ubsan --output-on-failure -j "${JOBS}"
 }
 
 run_bench() {
@@ -59,9 +74,10 @@ case "${STAGE}" in
     tier1) run_tier1 ;;
     tsan)  run_tsan ;;
     asan)  run_asan ;;
+    ubsan) run_ubsan ;;
     bench) run_bench ;;
-    all)   run_tier1; run_tsan; run_asan; run_bench ;;
-    *)     echo "usage: scripts/check.sh [tier1|tsan|asan|bench|all]" >&2; exit 2 ;;
+    all)   run_tier1; run_tsan; run_asan; run_ubsan; run_bench ;;
+    *)     echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|bench|all]" >&2; exit 2 ;;
 esac
 
 echo "check.sh: ${STAGE} OK"

@@ -199,10 +199,24 @@ public:
 
             // Accept: epilogue assembly at the converged solution, then
             // advance sensitivities with the SAME factored matrix.
+            if (!allFinite(next.x)) {
+                result.nonFinite = true;
+                result.failureReason =
+                    message("non-finite accepted state at t=", next.t);
+                return result;
+            }
             assembleHistory(next.x, next.t, next);
             if (opt_.trackSkewSensitivities) {
                 advanceSensitivities(prev, havePrev2 ? &prev2 : nullptr,
                                      next, stepDt);
+                // The sensitivity recurrence has no Newton loop to reject a
+                // blow-up; NaN here would flow straight into dh/dtau.
+                if (!allFinite(next.ms) || !allFinite(next.mh)) {
+                    result.nonFinite = true;
+                    result.failureReason = message(
+                        "non-finite sensitivity at t=", next.t);
+                    return result;
+                }
             }
             if (stats_ != nullptr) {
                 ++stats_->timeSteps;

@@ -20,6 +20,18 @@ void traceFrom(const CharacterizationProblem& problem, SkewPoint seed,
         traceContour(problem.h(), seed, options.tracer, &result->stats);
     result->success =
         result->contour.seedConverged && !result->contour.points.empty();
+    if (result->success) {
+        result->failureReason.clear();
+    } else {
+        // Never hand back an empty contour without a reason: the tracer's
+        // incident log says exactly what went wrong and where.
+        const std::string why = result->contour.diagnostics.summary();
+        result->failureReason =
+            std::string(result->contour.seedConverged
+                            ? "contour tracing produced no points"
+                            : "contour seed correction failed") +
+            (why.empty() ? "" : " (" + why + ")");
+    }
 }
 
 }  // namespace
@@ -76,6 +88,7 @@ CharacterizeResult characterizeInterdependent(
         result.seed = findSeedPoint(problem.h(), problem.passSign(),
                                     options.seed, &result.stats);
         if (!result.seed.found) {
+            result.failureReason = "contour seed search failed";
             return result;
         }
         traceFrom(problem, result.seed.seed, options, &result);

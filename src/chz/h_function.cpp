@@ -1,5 +1,7 @@
 #include "shtrace/chz/h_function.hpp"
 
+#include <cmath>
+
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -42,11 +44,20 @@ HEvaluation HFunction::evaluate(double setupSkew, double holdSkew,
         ++stats->hEvaluations;
     }
     if (!tr.success) {
+        out.nonFinite = tr.nonFinite;
         return out;
     }
     out.h = selector_.dot(tr.finalState) - r_;
     out.dhds = selector_.dot(tr.finalSensitivitySetup);
     out.dhdh = selector_.dot(tr.finalSensitivityHold);
+    // Boundary guard: success promises finite values to every consumer
+    // (MPNR divides by the gradient norm; the tracer builds tangents from
+    // it). The offending values stay visible for diagnostics.
+    if (!std::isfinite(out.h) || !std::isfinite(out.dhds) ||
+        !std::isfinite(out.dhdh)) {
+        out.success = false;
+        out.nonFinite = true;
+    }
     return out;
 }
 
@@ -61,9 +72,14 @@ HEvaluation HFunction::evaluateValueOnly(double setupSkew, double holdSkew,
         ++stats->hEvaluations;
     }
     if (!tr.success) {
+        out.nonFinite = tr.nonFinite;
         return out;
     }
     out.h = selector_.dot(tr.finalState) - r_;
+    if (!std::isfinite(out.h)) {
+        out.success = false;
+        out.nonFinite = true;
+    }
     return out;
 }
 

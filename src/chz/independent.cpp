@@ -28,7 +28,9 @@ IndependentResult characterizeByBisection(const HFunction& h, SkewAxis axis,
         const SkewPoint p = onAxis(axis, v, opt.pinnedSkew);
         const HEvaluation eval = h.evaluateValueOnly(p.setup, p.hold, stats);
         ++result.transientCount;
-        require(eval.success, "characterizeByBisection: transient failed");
+        require(eval.success, "characterizeByBisection: ",
+                eval.nonFinite ? "non-finite transient (NaN/Inf guard)"
+                               : "transient failed");
         return passSign * eval.h;
     };
 
@@ -91,7 +93,9 @@ IndependentResult characterizeByNewton(const HFunction& h, SkewAxis axis,
             const HEvaluation eval =
                 h.evaluateValueOnly(p.setup, p.hold, stats);
             ++result.transientCount;
-            require(eval.success, "characterizeByNewton: scan transient failed");
+            require(eval.success, "characterizeByNewton: scan ",
+                    eval.nonFinite ? "non-finite transient (NaN/Inf guard)"
+                                   : "transient failed");
             const double metric = passSign * eval.h;
             if (i > 0 && prevMetric <= 0.0 && metric > 0.0) {
                 lo = grid[static_cast<std::size_t>(i - 1)];
@@ -114,7 +118,9 @@ IndependentResult characterizeByNewton(const HFunction& h, SkewAxis axis,
         const SkewPoint p = onAxis(axis, x, opt.pinnedSkew);
         const HEvaluation eval = h.evaluate(p.setup, p.hold, stats);
         ++result.transientCount;
-        require(eval.success, "characterizeByNewton: transient failed");
+        require(eval.success, "characterizeByNewton: ",
+                eval.nonFinite ? "non-finite transient (NaN/Inf guard)"
+                               : "transient failed");
         const double deriv =
             axis == SkewAxis::Setup ? eval.dhds : eval.dhdh;
 

@@ -83,6 +83,7 @@ LibraryRow characterizeOne(const LibraryCell& cell, const RunConfig& opt,
                     row.stats.cacheWarmStarts = 1;
                     const TracedContour contour = traceContour(
                         problem.h(), *warm, opt.tracer, &row.stats);
+                    row.diagnostics = contour.diagnostics;
                     if (contour.seedConverged && !contour.points.empty()) {
                         row.contour = contour.points;
                         traced = true;
@@ -102,8 +103,12 @@ LibraryRow characterizeOne(const LibraryCell& cell, const RunConfig& opt,
                                opt.tracer.bounds.holdMax);
                 const TracedContour contour =
                     traceContour(problem.h(), start, opt.tracer, &row.stats);
-                if (!contour.seedConverged) {
-                    row.failureReason = "contour tracing failed";
+                row.diagnostics = contour.diagnostics;
+                if (!contour.seedConverged || contour.points.empty()) {
+                    const std::string why = contour.diagnostics.summary();
+                    row.failureReason =
+                        "contour tracing failed" +
+                        (why.empty() ? std::string() : " (" + why + ")");
                     return row;
                 }
                 row.contour = contour.points;

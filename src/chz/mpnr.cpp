@@ -6,6 +6,32 @@
 
 namespace shtrace {
 
+namespace {
+
+/// Copies the evaluation into the result and applies the corrector-side
+/// non-finite guard: an evaluation that reports success with NaN/Inf values
+/// (possible only through a misbehaving HFunction override -- the concrete
+/// class guards its own outputs) must not feed a Newton step. Returns false
+/// when the iteration must stop.
+bool absorbEvaluation(const HEvaluation& eval, MpnrResult& result) {
+    result.h = eval.h;
+    result.dhds = eval.dhds;
+    result.dhdh = eval.dhdh;
+    if (!eval.success) {
+        result.transientFailed = !eval.nonFinite;
+        result.nonFinite = eval.nonFinite;
+        return false;
+    }
+    if (!std::isfinite(eval.h) || !std::isfinite(eval.dhds) ||
+        !std::isfinite(eval.dhdh)) {
+        result.nonFinite = true;
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
 MpnrResult solveMpnr(const HFunction& h, SkewPoint guess,
                      const MpnrOptions& options, SimStats* stats) {
     MpnrResult result;
@@ -18,13 +44,12 @@ MpnrResult solveMpnr(const HFunction& h, SkewPoint guess,
         }
         const HEvaluation eval =
             h.evaluate(result.point.setup, result.point.hold, stats);
-        if (!eval.success) {
-            result.transientFailed = true;
+        if (!absorbEvaluation(eval, result)) {
             return result;
         }
-        result.h = eval.h;
-        result.dhds = eval.dhds;
-        result.dhdh = eval.dhdh;
+        // result.point now matches h/dhds/dhdh; every non-converged exit
+        // below must keep (or restore) this pairing.
+        const SkewPoint evaluated = result.point;
 
         const double gram = eval.dhds * eval.dhds + eval.dhdh * eval.dhdh;
         if (!(gram > options.gradientTol * options.gradientTol)) {
@@ -44,6 +69,10 @@ MpnrResult solveMpnr(const HFunction& h, SkewPoint guess,
             ds *= scale;
             dh *= scale;
         }
+        if (!std::isfinite(ds) || !std::isfinite(dh)) {
+            result.nonFinite = true;  // overflow in the update arithmetic
+            return result;
+        }
         result.point.setup += ds;
         result.point.hold += dh;
 
@@ -56,8 +85,13 @@ MpnrResult solveMpnr(const HFunction& h, SkewPoint guess,
             result.converged = true;
             return result;
         }
+        if (result.iterations == options.maxIterations) {
+            // Out of budget: rewind the speculative last step so the
+            // reported (point, residual) pair is consistent.
+            result.point = evaluated;
+            return result;
+        }
     }
-    result.iterations = options.maxIterations;
     return result;
 }
 
@@ -76,13 +110,10 @@ MpnrResult solveArclengthCorrector(const HFunction& h, SkewPoint guess,
         }
         const HEvaluation eval =
             h.evaluate(result.point.setup, result.point.hold, stats);
-        if (!eval.success) {
-            result.transientFailed = true;
+        if (!absorbEvaluation(eval, result)) {
             return result;
         }
-        result.h = eval.h;
-        result.dhds = eval.dhds;
-        result.dhdh = eval.dhdh;
+        const SkewPoint evaluated = result.point;
 
         // Augmented residual: [h; T^T (tau - guess)].
         const double planeResidual =
@@ -111,6 +142,10 @@ MpnrResult solveArclengthCorrector(const HFunction& h, SkewPoint guess,
             ds *= scale;
             dh *= scale;
         }
+        if (!std::isfinite(ds) || !std::isfinite(dh)) {
+            result.nonFinite = true;
+            return result;
+        }
         result.point.setup += ds;
         result.point.hold += dh;
 
@@ -125,8 +160,11 @@ MpnrResult solveArclengthCorrector(const HFunction& h, SkewPoint guess,
             result.converged = true;
             return result;
         }
+        if (result.iterations == options.maxIterations) {
+            result.point = evaluated;  // keep (point, residual) consistent
+            return result;
+        }
     }
-    result.iterations = options.maxIterations;
     return result;
 }
 

@@ -19,7 +19,10 @@ SeedResult findSeedPoint(const HFunction& h, double passSign,
     const auto passMetric = [&](double ts) {
         const HEvaluation eval = h.evaluateValueOnly(ts, th, stats);
         ++result.evaluations;
-        require(eval.success, "findSeedPoint: transient failed at tau_s=", ts);
+        require(eval.success, "findSeedPoint: ",
+                eval.nonFinite ? "non-finite transient (NaN/Inf guard)"
+                               : "transient failed",
+                " at tau_s=", ts);
         return passSign * eval.h;
     };
 

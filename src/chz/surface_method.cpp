@@ -34,9 +34,11 @@ void fillRow(OutputSurface& surface, std::size_t i, const HFunction& h,
     for (std::size_t j = 0; j < surface.holdCount(); ++j) {
         const HEvaluation eval = h.evaluateValueOnly(
             surface.setupAt(i), surface.holdAt(j), stats);
-        require(eval.success,
-                "runSurfaceMethod: transient failed at grid point (",
-                surface.setupAt(i), ", ", surface.holdAt(j), ")");
+        require(eval.success, "runSurfaceMethod: ",
+                eval.nonFinite ? "non-finite transient (NaN/Inf guard)"
+                               : "transient failed",
+                " at grid point (", surface.setupAt(i), ", ",
+                surface.holdAt(j), ")");
         surface.setValue(i, j, eval.h + h.r());
     }
 }

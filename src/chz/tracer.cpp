@@ -18,18 +18,76 @@ struct PointOnCurve {
     int iterations = 0;
 };
 
-/// Traces one direction from `start`, appending points to `out`.
+bool finitePoint(const SkewPoint& p) {
+    return std::isfinite(p.setup) && std::isfinite(p.hold);
+}
+
+bool finiteResult(const MpnrResult& r) {
+    return finitePoint(r.point) && std::isfinite(r.h) &&
+           std::isfinite(r.dhds) && std::isfinite(r.dhdh);
+}
+
+/// Maps a non-converged corrector result to its taxonomy kind.
+TraceEventKind classifyRejection(const MpnrResult& r) {
+    if (r.nonFinite) {
+        return TraceEventKind::NonFinite;
+    }
+    if (r.transientFailed) {
+        return TraceEventKind::TransientFailed;
+    }
+    if (r.gradientVanished) {
+        return TraceEventKind::GradientVanished;
+    }
+    return TraceEventKind::CorrectorDiverged;
+}
+
+/// Traces one direction from `start`, appending points to `out` and every
+/// incident to `diag`.
 void traceDirection(const HFunction& h, const TracerOptions& opt,
                     PointOnCurve start, Vector tangent, int budget,
-                    std::vector<PointOnCurve>& out, int& retries,
-                    SimStats* stats) {
+                    TracePhase phase, std::vector<PointOnCurve>& out,
+                    int& retries, TraceDiagnostics& diag, SimStats* stats) {
     PointOnCurve current = start;
     double alpha = opt.stepLength;
 
+    // Recovery state, reset whenever a point is accepted: a lateral offset
+    // re-aims the next prediction after a transient failure, a pull < 1
+    // shortens it after a plateau hit. Both leave alpha itself alone.
+    double lateral = 0.0;
+    double pull = 1.0;
+    int transientRetries = 0;
+    int plateauReseeds = 0;
+
+    // Falls back to the classic halving once a recovery budget is spent.
+    const auto halve = [&](bool resetPull) {
+        alpha *= 0.5;
+        ++retries;
+        if (stats != nullptr) {
+            ++stats->traceStepHalvings;
+        }
+        lateral = 0.0;
+        if (resetPull) {
+            pull = 1.0;
+        }
+    };
+
     while (static_cast<int>(out.size()) < budget) {
-        // Euler predictor (paper eq. 26).
-        const SkewPoint predicted{current.p.setup + alpha * tangent[0],
-                                  current.p.hold + alpha * tangent[1]};
+        // Euler predictor (paper eq. 26), optionally re-aimed by the
+        // recovery policies.
+        SkewPoint predicted{current.p.setup + pull * alpha * tangent[0],
+                            current.p.hold + pull * alpha * tangent[1]};
+        predicted.setup += lateral * -tangent[1];
+        predicted.hold += lateral * tangent[0];
+        if (!finitePoint(predicted)) {
+            // A non-finite prediction means the tangent itself is broken;
+            // no amount of step control recovers from that.
+            diag.record(TraceEventKind::NonFinite, phase, predicted, alpha,
+                        0);
+            if (stats != nullptr) {
+                ++stats->traceNonFiniteRejections;
+            }
+            return;
+        }
         const MpnrResult corrected =
             opt.correctorKind == CorrectorKind::MoorePenrose
                 ? solveMpnr(h, predicted, opt.corrector, stats)
@@ -37,24 +95,85 @@ void traceDirection(const HFunction& h, const TracerOptions& opt,
                                           opt.corrector, stats);
 
         bool accept = corrected.converged;
+        bool wandered = false;
+        if (accept && !finiteResult(corrected)) {
+            accept = false;  // never let NaN/Inf into the contour
+        }
         if (accept) {
             const double ds = corrected.point.setup - predicted.setup;
             const double dh = corrected.point.hold - predicted.hold;
             const double wander = std::sqrt(ds * ds + dh * dh);
-            if (wander > opt.maxCorrectionRatio * alpha) {
-                accept = false;  // landed on a distant part of the curve
+            if (!(wander <= opt.maxCorrectionRatio * alpha)) {
+                // Spelled as !(<=) so a NaN wander REJECTS: the legacy
+                // (wander > limit) comparison is false for NaN and silently
+                // accepted the point.
+                accept = false;
+                wandered = true;
             }
         }
         if (!accept) {
-            alpha *= 0.5;
-            ++retries;
+            const TraceEventKind kind =
+                corrected.converged && !wandered
+                    ? TraceEventKind::NonFinite
+                    : (wandered ? TraceEventKind::CorrectorDiverged
+                                : classifyRejection(corrected));
+            diag.record(kind, phase, corrected.point, alpha,
+                        corrected.iterations);
+            switch (kind) {
+                case TraceEventKind::NonFinite:
+                    if (stats != nullptr) {
+                        ++stats->traceNonFiniteRejections;
+                    }
+                    halve(true);
+                    break;
+                case TraceEventKind::TransientFailed:
+                    // Spatial accident: re-aim the same alpha at a target
+                    // nudged perpendicular to the tangent, alternating
+                    // sides, before surrendering step length.
+                    if (transientRetries < opt.transientRetryLimit) {
+                        ++transientRetries;
+                        ++retries;
+                        if (stats != nullptr) {
+                            ++stats->traceTransientRetries;
+                        }
+                        lateral = opt.transientRetryJitter * alpha *
+                                  (transientRetries % 2 == 1 ? 1.0 : -1.0);
+                    } else {
+                        halve(false);
+                    }
+                    break;
+                case TraceEventKind::GradientVanished:
+                    // Plateau: pull the prediction back toward the curve
+                    // instead of shrinking alpha for all future steps.
+                    if (plateauReseeds < opt.plateauReseedLimit) {
+                        ++plateauReseeds;
+                        ++retries;
+                        if (stats != nullptr) {
+                            ++stats->tracePlateauReseeds;
+                        }
+                        pull *= opt.plateauReseedPull;
+                        lateral = 0.0;
+                    } else {
+                        halve(true);
+                    }
+                    break;
+                default:
+                    halve(true);
+                    break;
+            }
             if (alpha < opt.minStepLength) {
+                diag.record(TraceEventKind::StepUnderflow, phase, predicted,
+                            alpha, corrected.iterations);
                 return;  // cannot make progress in this direction
             }
             continue;
         }
         if (!opt.bounds.contains(corrected.point)) {
-            return;  // curve left the characterization window
+            // Curve left the characterization window: the normal, healthy
+            // end of a direction.
+            diag.record(TraceEventKind::LeftBounds, phase, corrected.point,
+                        alpha, corrected.iterations);
+            return;
         }
 
         PointOnCurve next;
@@ -64,6 +183,10 @@ void traceDirection(const HFunction& h, const TracerOptions& opt,
         next.dhdh = corrected.dhdh;
         next.iterations = corrected.iterations;
         out.push_back(next);
+        lateral = 0.0;
+        pull = 1.0;
+        transientRetries = 0;
+        plateauReseeds = 0;
 
         // New tangent, oriented to continue the previous direction.
         Vector newTangent = tangentFromGradient2(next.dhds, next.dhdh);
@@ -77,6 +200,8 @@ void traceDirection(const HFunction& h, const TracerOptions& opt,
             alpha = std::min(alpha * opt.growFactor, opt.maxStepLength);
         }
     }
+    // Loop exit means the point budget ran dry with the curve still alive.
+    diag.record(TraceEventKind::BudgetExhausted, phase, current.p, alpha, 0);
 }
 
 }  // namespace
@@ -99,10 +224,29 @@ TracedContour traceContour(const HFunction& h, SkewPoint seed,
 
     // Put the seed exactly on the curve.
     const MpnrResult seedResult = solveMpnr(h, seed, opt.corrector, stats);
-    if (!seedResult.converged) {
+    if (!seedResult.converged || !finiteResult(seedResult)) {
+        const TraceEventKind kind =
+            seedResult.converged ? TraceEventKind::NonFinite
+                                 : classifyRejection(seedResult);
+        contour.diagnostics.record(kind, TracePhase::Seed, seedResult.point,
+                                   0.0, seedResult.iterations);
+        if (kind == TraceEventKind::NonFinite && stats != nullptr) {
+            ++stats->traceNonFiniteRejections;
+        }
         return contour;  // seedConverged stays false
     }
     contour.seedConverged = true;
+    const bool seedInWindow = opt.bounds.contains(seedResult.point);
+    if (!seedInWindow) {
+        // The corrector pulled the seed onto the curve but OUTSIDE the
+        // characterization window (the standard flow clamps the raw seed to
+        // the window edge, so an epsilon overshoot here is routine). The
+        // curve itself is still valid: trace both directions from it, but
+        // keep the out-of-window seed out of the emitted points.
+        contour.diagnostics.record(TraceEventKind::LeftBounds,
+                                   TracePhase::Seed, seedResult.point, 0.0,
+                                   seedResult.iterations);
+    }
 
     PointOnCurve p0;
     p0.p = seedResult.point;
@@ -116,18 +260,20 @@ TracedContour traceContour(const HFunction& h, SkewPoint seed,
     // Direction A runs with the full point budget (it stops early when the
     // curve leaves the bounds); direction B then consumes whatever is left.
     // A seed on the window boundary therefore spends everything on the one
-    // productive direction, while a mid-curve seed covers both sides.
-    const int remaining = opt.maxPoints - 1;
+    // productive direction, while a mid-curve seed covers both sides. An
+    // out-of-window seed is not emitted, so it does not cost a point.
+    const int remaining = opt.maxPoints - (seedInWindow ? 1 : 0);
     std::vector<PointOnCurve> forward;
     std::vector<PointOnCurve> backward;
-    traceDirection(h, opt, p0, t0, remaining, forward,
-                   contour.predictorRetries, stats);
+    traceDirection(h, opt, p0, t0, remaining, TracePhase::Forward, forward,
+                   contour.predictorRetries, contour.diagnostics, stats);
     if (opt.traceBothDirections) {
         Vector tNeg = t0;
         tNeg *= -1.0;
         const int budget = remaining - static_cast<int>(forward.size());
-        traceDirection(h, opt, p0, tNeg, budget, backward,
-                       contour.predictorRetries, stats);
+        traceDirection(h, opt, p0, tNeg, budget, TracePhase::Backward,
+                       backward, contour.predictorRetries,
+                       contour.diagnostics, stats);
     }
 
     // Splice: reversed backward + seed + forward, then order by setup skew
@@ -137,7 +283,9 @@ TracedContour traceContour(const HFunction& h, SkewPoint seed,
     for (auto it = backward.rbegin(); it != backward.rend(); ++it) {
         all.push_back(*it);
     }
-    all.push_back(p0);
+    if (seedInWindow) {
+        all.push_back(p0);
+    }
     for (const auto& p : forward) {
         all.push_back(p);
     }

@@ -143,7 +143,11 @@ std::string canonicalTracer(const TracerOptions& o) {
        << ' ' << toHexFloat(o.growFactor) << " easy=" << o.easyIterations
        << " maxRatio=" << toHexFloat(o.maxCorrectionRatio)
        << " maxPoints=" << o.maxPoints
-       << " both=" << (o.traceBothDirections ? 1 : 0) << '\n';
+       << " both=" << (o.traceBothDirections ? 1 : 0)
+       << " retry=" << o.transientRetryLimit << ' '
+       << toHexFloat(o.transientRetryJitter)
+       << " reseed=" << o.plateauReseedLimit << ' '
+       << toHexFloat(o.plateauReseedPull) << '\n';
     return os.str();
 }
 

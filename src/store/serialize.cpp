@@ -190,12 +190,14 @@ void writeStats(std::ostream& os, const SimStats& s) {
        << s.chordIterations << ' ' << s.bypassedFactorizations << ' '
        << s.sensitivitySteps << ' ' << s.hEvaluations << ' '
        << s.mpnrIterations << ' ' << s.cacheHits << ' ' << s.cacheMisses
-       << ' ' << s.cacheWarmStarts << ' ' << toHexFloat(s.wallSeconds)
+       << ' ' << s.cacheWarmStarts << ' ' << s.traceNonFiniteRejections
+       << ' ' << s.traceTransientRetries << ' ' << s.tracePlateauReseeds
+       << ' ' << s.traceStepHalvings << ' ' << toHexFloat(s.wallSeconds)
        << '\n';
 }
 
 SimStats readStats(Reader& r) {
-    const auto f = r.fields("stats", 17);
+    const auto f = r.fields("stats", 21);
     SimStats s;
     s.transientSolves = counter(f[0]);
     s.timeSteps = counter(f[1]);
@@ -213,7 +215,11 @@ SimStats readStats(Reader& r) {
     s.cacheHits = counter(f[13]);
     s.cacheMisses = counter(f[14]);
     s.cacheWarmStarts = counter(f[15]);
-    s.wallSeconds = num(f[16]);
+    s.traceNonFiniteRejections = counter(f[16]);
+    s.traceTransientRetries = counter(f[17]);
+    s.tracePlateauReseeds = counter(f[18]);
+    s.traceStepHalvings = counter(f[19]);
+    s.wallSeconds = num(f[20]);
     return s;
 }
 
@@ -257,6 +263,45 @@ SeedResult readSeed(Reader& r) {
     return s;
 }
 
+void writeDiagnostics(std::ostream& os, const TraceDiagnostics& d) {
+    os << "diag " << d.events.size() << '\n';
+    for (const TraceEvent& e : d.events) {
+        os << toString(e.kind) << ' ' << toString(e.phase) << ' '
+           << toHexFloat(e.at.setup) << ' ' << toHexFloat(e.at.hold) << ' '
+           << toHexFloat(e.stepLength) << ' ' << e.correctorIterations
+           << '\n';
+    }
+}
+
+TraceDiagnostics readDiagnostics(Reader& r) {
+    const auto f = r.fields("diag", 1);
+    const std::size_t n = count(f[0]);
+    TraceDiagnostics d;
+    d.events.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto toks = tokens(r.line());
+        if (toks.size() != 6) {
+            throw StoreFormatError("diag event needs 6 fields");
+        }
+        TraceEvent e;
+        bool ok = false;
+        e.kind = traceEventKindFromString(toks[0], ok);
+        if (!ok) {
+            throw StoreFormatError("bad diag kind '" + toks[0] + "'");
+        }
+        e.phase = tracePhaseFromString(toks[1], ok);
+        if (!ok) {
+            throw StoreFormatError("bad diag phase '" + toks[1] + "'");
+        }
+        e.at.setup = num(toks[2]);
+        e.at.hold = num(toks[3]);
+        e.stepLength = num(toks[4]);
+        e.correctorIterations = static_cast<int>(integer(toks[5]));
+        d.events.push_back(e);
+    }
+    return d;
+}
+
 void writeTraced(std::ostream& os, const TracedContour& c) {
     os << "traced " << (c.seedConverged ? 1 : 0) << ' ' << c.predictorRetries
        << ' ' << c.points.size() << '\n';
@@ -269,6 +314,7 @@ void writeTraced(std::ostream& os, const TracedContour& c) {
                                                 : 0)
            << '\n';
     }
+    writeDiagnostics(os, c.diagnostics);
 }
 
 TracedContour readTraced(Reader& r) {
@@ -289,6 +335,7 @@ TracedContour readTraced(Reader& r) {
         c.residuals.push_back(num(toks[2]));
         c.correctorIterations.push_back(static_cast<int>(integer(toks[3])));
     }
+    c.diagnostics = readDiagnostics(r);
     return c;
 }
 
@@ -323,6 +370,7 @@ std::vector<SkewPoint> deserializeContourPoints(const std::string& text) {
 std::string serializeCharacterizeResult(const CharacterizeResult& result) {
     std::ostringstream os;
     os << "characterize " << (result.success ? 1 : 0) << '\n';
+    os << "reason " << quoted(result.failureReason) << '\n';
     os << "values " << toHexFloat(result.characteristicClockToQ) << ' '
        << toHexFloat(result.degradedClockToQ) << ' ' << toHexFloat(result.tf)
        << ' ' << toHexFloat(result.r) << '\n';
@@ -336,6 +384,7 @@ CharacterizeResult deserializeCharacterizeResult(const std::string& text) {
     Reader r(text);
     CharacterizeResult result;
     result.success = boolean(r.fields("characterize", 1)[0]);
+    result.failureReason = unquoted(r.tagged("reason"));
     const auto v = r.fields("values", 4);
     result.characteristicClockToQ = num(v[0]);
     result.degradedClockToQ = num(v[1]);
@@ -357,6 +406,7 @@ std::string serializeLibraryRow(const LibraryRow& row) {
        << toHexFloat(row.setupTime) << ' ' << toHexFloat(row.holdTime)
        << '\n';
     writePoints(os, row.contour);
+    writeDiagnostics(os, row.diagnostics);
     writeStats(os, row.stats);
     return os.str();
 }
@@ -372,6 +422,7 @@ LibraryRow deserializeLibraryRow(const std::string& text) {
     row.setupTime = num(v[1]);
     row.holdTime = num(v[2]);
     row.contour = readPoints(r);
+    row.diagnostics = readDiagnostics(r);
     row.stats = readStats(r);
     r.expectEnd();
     return row;

@@ -21,6 +21,10 @@ SimStats& SimStats::operator+=(const SimStats& other) noexcept {
     cacheHits += other.cacheHits;
     cacheMisses += other.cacheMisses;
     cacheWarmStarts += other.cacheWarmStarts;
+    traceNonFiniteRejections += other.traceNonFiniteRejections;
+    traceTransientRetries += other.traceTransientRetries;
+    tracePlateauReseeds += other.tracePlateauReseeds;
+    traceStepHalvings += other.traceStepHalvings;
     wallSeconds += other.wallSeconds;
     return *this;
 }
@@ -40,6 +44,12 @@ std::ostream& operator<<(std::ostream& os, const SimStats& s) {
     if (s.cacheHits != 0 || s.cacheMisses != 0 || s.cacheWarmStarts != 0) {
         os << " cache=" << s.cacheHits << "h/" << s.cacheMisses << "m/"
            << s.cacheWarmStarts << "w";
+    }
+    if (s.traceNonFiniteRejections != 0 || s.traceTransientRetries != 0 ||
+        s.tracePlateauReseeds != 0 || s.traceStepHalvings != 0) {
+        os << " trace=" << s.traceStepHalvings << "halve/"
+           << s.traceTransientRetries << "retry/" << s.tracePlateauReseeds
+           << "reseed/" << s.traceNonFiniteRejections << "nonfinite";
     }
     os << " wall=" << s.wallSeconds << "s";
     return os;

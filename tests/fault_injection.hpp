@@ -1,0 +1,237 @@
+// Deterministic fault injection for the tracer-hardening tests.
+//
+// Two decorators, both scripted by CALL INDEX so every run of a test
+// produces the identical fault sequence (no randomness, no timing):
+//
+//  * FaultInjectingHFunction wraps a real HFunction (the virtual hooks
+//    exist for exactly this, see h_function.hpp) and rewrites selected
+//    evaluations AFTER the concrete class ran its own guards -- modelling a
+//    buggy or hostile h source, which is what the corrector- and
+//    tracer-level defenses must survive.
+//
+//  * FaultInjectingDevice wraps any Device and forwards every virtual,
+//    corrupting the MNA stamps or the skew-derivative right-hand side from
+//    a scripted call onward -- driving the NaN through the TRANSIENT
+//    engine's guards rather than past them.
+//
+// Header-only and test-only: production code never sees these types.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shtrace/chz/h_function.hpp"
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/device.hpp"
+
+namespace shtrace::faults {
+
+inline double quietNan() {
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+/// What a faulted h evaluation reports.
+enum class FaultKind {
+    None,
+    /// h = NaN with success still claimed: a hostile evaluation that the
+    /// corrector's absorbEvaluation guard must catch (-> NonFinite).
+    NanH,
+    /// success = false, nonFinite = false: an ordinary transient failure
+    /// (-> TransientFailed, eligible for the perturbed-predictor retry).
+    TransientFail,
+    /// success = false, nonFinite = true, h = NaN: exactly what the concrete
+    /// HFunction reports when its own NaN/Inf guard trips (-> NonFinite,
+    /// and the "non-finite transient" require() message in the scalar
+    /// drivers).
+    NonFiniteEval,
+    /// dhds = dhdh = 0: the plateau (-> GradientVanished, eligible for the
+    /// pulled-back re-seed).
+    FlatGradient,
+    /// h *= 1e3: the corrector cannot reach hTol and exhausts its
+    /// iterations (-> CorrectorDiverged).
+    AmplifyH,
+    /// dhds = dhdh = 1e200: finite but overflowing gradient; the Gram
+    /// product H H^T is Inf, the Moore-Penrose update collapses to zero and
+    /// the corrector spins in place until its budget dies
+    /// (-> CorrectorDiverged, with all reported values still finite).
+    OverflowGradient,
+};
+
+/// One scripted fault: applies to evaluation calls in [firstCall, lastCall]
+/// (0-based, inclusive; lastCall < 0 means "forever after").
+struct FaultWindow {
+    FaultKind kind = FaultKind::None;
+    int firstCall = 0;
+    int lastCall = -1;
+
+    bool covers(int call) const {
+        return call >= firstCall && (lastCall < 0 || call <= lastCall);
+    }
+};
+
+/// HFunction decorator: forwards to the wrapped recipe (the copy carries
+/// circuit/selector/tf/r/options), then rewrites the result per the fault
+/// plan. One shared counter covers evaluate() and evaluateValueOnly() so a
+/// test can reason about "the k-th h evaluation" regardless of entry point.
+class FaultInjectingHFunction final : public HFunction {
+public:
+    FaultInjectingHFunction(const HFunction& inner,
+                            std::vector<FaultWindow> plan)
+        : HFunction(inner), plan_(std::move(plan)) {}
+
+    /// Total evaluations seen so far (for calibrating fault windows).
+    int calls() const { return calls_; }
+
+    HEvaluation evaluate(double setupSkew, double holdSkew,
+                         SimStats* stats = nullptr) const override {
+        HEvaluation out = HFunction::evaluate(setupSkew, holdSkew, stats);
+        corrupt(out, /*gradientKnown=*/true);
+        return out;
+    }
+
+    HEvaluation evaluateValueOnly(double setupSkew, double holdSkew,
+                                  SimStats* stats = nullptr) const override {
+        HEvaluation out =
+            HFunction::evaluateValueOnly(setupSkew, holdSkew, stats);
+        corrupt(out, /*gradientKnown=*/false);
+        return out;
+    }
+
+private:
+    void corrupt(HEvaluation& out, bool gradientKnown) const {
+        const int call = calls_++;
+        for (const FaultWindow& w : plan_) {
+            if (!w.covers(call)) {
+                continue;
+            }
+            switch (w.kind) {
+                case FaultKind::None:
+                    break;
+                case FaultKind::NanH:
+                    out.h = quietNan();  // success left as reported
+                    break;
+                case FaultKind::TransientFail:
+                    out = HEvaluation{};  // success=false, nonFinite=false
+                    break;
+                case FaultKind::NonFiniteEval:
+                    out = HEvaluation{};
+                    out.h = quietNan();
+                    out.nonFinite = true;
+                    break;
+                case FaultKind::FlatGradient:
+                    if (gradientKnown) {
+                        out.dhds = 0.0;
+                        out.dhdh = 0.0;
+                    }
+                    break;
+                case FaultKind::AmplifyH:
+                    out.h *= 1e3;
+                    break;
+                case FaultKind::OverflowGradient:
+                    if (gradientKnown) {
+                        out.dhds = 1e200;
+                        out.dhdh = 1e200;
+                    }
+                    break;
+            }
+        }
+    }
+
+    std::vector<FaultWindow> plan_;
+    mutable int calls_ = 0;
+};
+
+/// Where a FaultInjectingDevice corrupts the simulation.
+enum class DeviceFaultKind {
+    None,
+    /// addSkewDerivative adds NaN into the right-hand side: the state
+    /// trajectory stays clean but the co-integrated sensitivities go NaN
+    /// (the transient engine's sensitivity guard must trip).
+    SensitivityNan,
+    /// eval stamps a NaN current into its node's KCL row: Newton cannot
+    /// converge and the step fails as an ordinary transient failure.
+    ResidualNan,
+};
+
+/// Device decorator: owns the wrapped device and forwards every virtual.
+/// The fault fires from the given 0-based call of the corrupted entry point
+/// onward (eval calls for ResidualNan, addSkewDerivative calls for
+/// SensitivityNan); counting per entry point keeps the scripts independent
+/// of how often the other hooks run.
+class FaultInjectingDevice final : public Device {
+public:
+    FaultInjectingDevice(std::unique_ptr<Device> inner, NodeId node,
+                         DeviceFaultKind kind, int firstCall)
+        : Device("fault(" + inner->name() + ")"),
+          inner_(std::move(inner)),
+          node_(node),
+          kind_(kind),
+          firstCall_(firstCall) {}
+
+    int evalCalls() const { return evalCalls_; }
+    int skewCalls() const { return skewCalls_; }
+
+    int branchCount() const override { return inner_->branchCount(); }
+    void allocateBranches(BranchAllocator& alloc) override {
+        inner_->allocateBranches(alloc);
+    }
+
+    void eval(const EvalContext& ctx, Assembler& out) const override {
+        inner_->eval(ctx, out);
+        if (kind_ == DeviceFaultKind::ResidualNan &&
+            evalCalls_++ >= firstCall_) {
+            out.addCurrent(node_, quietNan());
+        }
+    }
+
+    void evalResidual(const EvalContext& ctx, Assembler& out) const override {
+        // Counted as an eval: chord-Newton residual passes must see the
+        // same corruption as full assembly passes.
+        inner_->evalResidual(ctx, out);
+        if (kind_ == DeviceFaultKind::ResidualNan &&
+            evalCalls_++ >= firstCall_) {
+            out.addCurrent(node_, quietNan());
+        }
+    }
+
+    void describe(std::ostream& os) const override {
+        // The store hashes this text; a faulted device must never alias its
+        // clean twin in a cache.
+        os << "fault_injecting kind=" << static_cast<int>(kind_)
+           << " first=" << firstCall_ << " inner={";
+        inner_->describe(os);
+        os << "}";
+    }
+
+    void addSkewDerivative(double t, SkewParam p,
+                           Vector& rhs) const override {
+        inner_->addSkewDerivative(t, p, rhs);
+        if (kind_ == DeviceFaultKind::SensitivityNan &&
+            skewCalls_++ >= firstCall_ && !node_.isGround()) {
+            rhs[static_cast<std::size_t>(node_.index)] = quietNan();
+        }
+    }
+
+    void addAcStimulus(Vector& rhs) const override {
+        inner_->addAcStimulus(rhs);
+    }
+
+    void breakpoints(double t0, double t1,
+                     std::vector<double>& out) const override {
+        inner_->breakpoints(t0, t1, out);
+    }
+
+private:
+    std::unique_ptr<Device> inner_;
+    NodeId node_;
+    DeviceFaultKind kind_;
+    int firstCall_;
+    mutable int evalCalls_ = 0;
+    mutable int skewCalls_ = 0;
+};
+
+}  // namespace shtrace::faults

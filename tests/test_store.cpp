@@ -205,6 +205,10 @@ SimStats sampleStats() {
     s.cacheHits = 1;
     s.cacheMisses = 2;
     s.cacheWarmStarts = 3;
+    s.traceNonFiniteRejections = 4;
+    s.traceTransientRetries = 5;
+    s.tracePlateauReseeds = 6;
+    s.traceStepHalvings = 7;
     s.wallSeconds = 0.12345678901234567;
     return s;
 }
@@ -226,8 +230,30 @@ void expectSameStats(const SimStats& a, const SimStats& b) {
     EXPECT_EQ(a.cacheHits, b.cacheHits);
     EXPECT_EQ(a.cacheMisses, b.cacheMisses);
     EXPECT_EQ(a.cacheWarmStarts, b.cacheWarmStarts);
+    EXPECT_EQ(a.traceNonFiniteRejections, b.traceNonFiniteRejections);
+    EXPECT_EQ(a.traceTransientRetries, b.traceTransientRetries);
+    EXPECT_EQ(a.tracePlateauReseeds, b.tracePlateauReseeds);
+    EXPECT_EQ(a.traceStepHalvings, b.traceStepHalvings);
     EXPECT_EQ(std::memcmp(&a.wallSeconds, &b.wallSeconds, sizeof(double)),
               0);
+}
+
+void expectSameDiagnostics(const TraceDiagnostics& a,
+                           const TraceDiagnostics& b) {
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+        EXPECT_EQ(a.events[i].phase, b.events[i].phase);
+        EXPECT_EQ(std::memcmp(&a.events[i].at.setup, &b.events[i].at.setup,
+                              sizeof(double)),
+                  0);
+        EXPECT_EQ(std::memcmp(&a.events[i].at.hold, &b.events[i].at.hold,
+                              sizeof(double)),
+                  0);
+        EXPECT_EQ(a.events[i].stepLength, b.events[i].stepLength);
+        EXPECT_EQ(a.events[i].correctorIterations,
+                  b.events[i].correctorIterations);
+    }
 }
 
 TEST(StoreSerialize, SimStatsRoundTripsBitForBit) {
@@ -254,6 +280,16 @@ TEST(StoreSerialize, CharacterizeResultRoundTripsBitForBit) {
     r.contour.points = {{1e-12, 2e-12}, {3e-12, 4e-12}, {5e-12, 6e-12}};
     r.contour.residuals = {1e-15, 2e-15, 3e-15};
     r.contour.correctorIterations = {2, 3, 4};
+    r.failureReason = "contour tracing produced no points (NonFinite x1)";
+    // Diagnostics round-trip bit-for-bit, including a NaN offending point
+    // (hex-float carries the payload bits).
+    r.contour.diagnostics.record(
+        TraceEventKind::NonFinite, TracePhase::Forward,
+        SkewPoint{std::numeric_limits<double>::quiet_NaN(), 2e-12}, 8e-12,
+        5);
+    r.contour.diagnostics.record(TraceEventKind::LeftBounds,
+                                 TracePhase::Backward,
+                                 SkewPoint{-3e-12, 4e-12}, 1.25e-12, 2);
     r.stats = sampleStats();
 
     const CharacterizeResult back = store::deserializeCharacterizeResult(
@@ -279,6 +315,8 @@ TEST(StoreSerialize, CharacterizeResultRoundTripsBitForBit) {
         EXPECT_EQ(back.contour.correctorIterations[i],
                   r.contour.correctorIterations[i]);
     }
+    EXPECT_EQ(back.failureReason, r.failureReason);
+    expectSameDiagnostics(r.contour.diagnostics, back.contour.diagnostics);
     expectSameStats(r.stats, back.stats);
 
     // Serialization is deterministic: serialize(deserialize(text)) == text.
@@ -295,6 +333,12 @@ TEST(StoreSerialize, LibraryRowRoundTripsIncludingStrings) {
     row.setupTime = 123.4567e-12;
     row.holdTime = -4.5e-12;
     row.contour = {{1e-12, 2e-12}, {3e-12, 4e-12}};
+    row.diagnostics.record(TraceEventKind::TransientFailed,
+                           TracePhase::Forward, SkewPoint{2e-12, 3e-12},
+                           4e-12, 1);
+    row.diagnostics.record(TraceEventKind::BudgetExhausted,
+                           TracePhase::Backward, SkewPoint{5e-12, 6e-12},
+                           7e-12, 0);
     row.stats = sampleStats();
 
     const LibraryRow back =
@@ -307,6 +351,7 @@ TEST(StoreSerialize, LibraryRowRoundTripsIncludingStrings) {
     EXPECT_EQ(back.holdTime, row.holdTime);
     ASSERT_EQ(back.contour.size(), row.contour.size());
     EXPECT_EQ(back.contour[1].hold, row.contour[1].hold);
+    expectSameDiagnostics(row.diagnostics, back.diagnostics);
     expectSameStats(row.stats, back.stats);
 }
 

@@ -1,0 +1,485 @@
+// Tracer-hardening tests: every TraceDiagnostics kind is reachable and
+// correctly classified under scripted faults (fault_injection.hpp), the
+// recovery policies fire before step halving, NaN/Inf never reaches a
+// TracedContour, and the diagnostics are thread-count deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fault_injection.hpp"
+#include "shtrace/analysis/transient.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/library.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/seed.hpp"
+#include "shtrace/chz/tracer.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+
+namespace shtrace {
+namespace {
+
+using faults::DeviceFaultKind;
+using faults::FaultInjectingDevice;
+using faults::FaultInjectingHFunction;
+using faults::FaultKind;
+using faults::FaultWindow;
+
+bool finitePoint(const SkewPoint& p) {
+    return std::isfinite(p.setup) && std::isfinite(p.hold);
+}
+
+void expectContourFinite(const TracedContour& contour) {
+    for (const SkewPoint& p : contour.points) {
+        EXPECT_TRUE(finitePoint(p)) << "(" << p.setup << ", " << p.hold
+                                    << ")";
+    }
+    for (const double r : contour.residuals) {
+        EXPECT_TRUE(std::isfinite(r));
+    }
+}
+
+int countKind(const TraceDiagnostics& diag, TraceEventKind kind) {
+    return static_cast<int>(diag.count(kind));
+}
+
+// ---------------------------------------------------------------- taxonomy
+
+TEST(TraceTaxonomy, EveryKindAndPhaseRoundTripsThroughStrings) {
+    for (int i = 0; i < kTraceEventKindCount; ++i) {
+        const auto kind = static_cast<TraceEventKind>(i);
+        bool ok = false;
+        EXPECT_EQ(traceEventKindFromString(toString(kind), ok), kind);
+        EXPECT_TRUE(ok) << toString(kind);
+    }
+    for (const TracePhase phase :
+         {TracePhase::Seed, TracePhase::Forward, TracePhase::Backward}) {
+        bool ok = false;
+        EXPECT_EQ(tracePhaseFromString(toString(phase), ok), phase);
+        EXPECT_TRUE(ok) << toString(phase);
+    }
+    bool ok = true;
+    traceEventKindFromString("NotAKind", ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(TraceTaxonomy, SummaryAggregatesByKind) {
+    TraceDiagnostics diag;
+    diag.record(TraceEventKind::LeftBounds, TracePhase::Forward,
+                SkewPoint{1e-12, 2e-12}, 1e-12, 3);
+    diag.record(TraceEventKind::LeftBounds, TracePhase::Backward,
+                SkewPoint{3e-12, 4e-12}, 1e-12, 2);
+    diag.record(TraceEventKind::TransientFailed, TracePhase::Forward,
+                SkewPoint{5e-12, 6e-12}, 2e-12, 1);
+    EXPECT_EQ(diag.summary(), "TransientFailed x1, LeftBounds x2");
+}
+
+// ------------------------------------------------- fault-injected tracing
+//
+// All tests share one TSPC problem; the fault decorator copies the h
+// recipe, so each test gets an independent call counter. The seed
+// correction takes a handful of evaluations, so faults scripted from call
+// 8 onward land in the tracing loop proper.
+
+class FaultedTracerOnTspc : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        fixture_ = new RegisterFixture(buildTspcRegister());
+        problem_ = new CharacterizationProblem(*fixture_);
+    }
+    static void TearDownTestSuite() {
+        delete problem_;
+        delete fixture_;
+        problem_ = nullptr;
+        fixture_ = nullptr;
+    }
+
+    static TracerOptions window() {
+        TracerOptions opt;
+        opt.bounds = SkewBounds{100e-12, 600e-12, 50e-12, 450e-12};
+        opt.maxPoints = 14;
+        return opt;
+    }
+
+    static constexpr SkewPoint kSeed{220e-12, 450e-12};
+
+    static RegisterFixture* fixture_;
+    static CharacterizationProblem* problem_;
+};
+
+RegisterFixture* FaultedTracerOnTspc::fixture_ = nullptr;
+CharacterizationProblem* FaultedTracerOnTspc::problem_ = nullptr;
+
+TEST_F(FaultedTracerOnTspc, CleanTraceLogsOnlyItsTerminations) {
+    SimStats stats;
+    const TracedContour contour =
+        traceContour(problem_->h(), kSeed, window(), &stats);
+    ASSERT_TRUE(contour.seedConverged);
+    ASSERT_GE(contour.points.size(), 8u);
+    // A healthy trace records nothing but how each direction ended.
+    ASSERT_FALSE(contour.diagnostics.empty());
+    for (const TraceEvent& e : contour.diagnostics.events) {
+        EXPECT_TRUE(e.kind == TraceEventKind::LeftBounds ||
+                    e.kind == TraceEventKind::BudgetExhausted)
+            << toString(e.kind);
+        EXPECT_NE(e.phase, TracePhase::Seed);
+    }
+    // And none of the recovery machinery fired.
+    EXPECT_EQ(stats.traceTransientRetries, 0u);
+    EXPECT_EQ(stats.tracePlateauReseeds, 0u);
+    EXPECT_EQ(stats.traceNonFiniteRejections, 0u);
+    EXPECT_EQ(contour.predictorRetries, 0);
+}
+
+TEST_F(FaultedTracerOnTspc, BudgetExhaustionIsRecorded) {
+    TracerOptions opt = window();
+    opt.maxPoints = 5;
+    const TracedContour contour = traceContour(problem_->h(), kSeed, opt);
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_GE(countKind(contour.diagnostics,
+                        TraceEventKind::BudgetExhausted),
+              1);
+}
+
+TEST_F(FaultedTracerOnTspc, TransientFaultIsClassifiedAndRetried) {
+    // Two consecutive failed transients mid-trace: the recovery policy must
+    // re-aim the predictor (same alpha) instead of halving, then continue.
+    FaultInjectingHFunction h(
+        problem_->h(), {{FaultKind::TransientFail, 8, 9}});
+    SimStats stats;
+    const TracedContour contour =
+        traceContour(h, kSeed, window(), &stats);
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_GE(countKind(contour.diagnostics,
+                        TraceEventKind::TransientFailed),
+              1);
+    EXPECT_GE(stats.traceTransientRetries, 1u);
+    EXPECT_EQ(stats.traceStepHalvings, 0u);  // retries absorbed the fault
+    EXPECT_GE(contour.points.size(), 8u);    // and the trace completed
+    expectContourFinite(contour);
+}
+
+TEST_F(FaultedTracerOnTspc, PersistentTransientFaultEndsInStepUnderflow) {
+    // From call 8 on, every transient fails: retries, then halvings, then a
+    // classified underflow -- never a hang and never an unexplained stop.
+    FaultInjectingHFunction h(
+        problem_->h(), {{FaultKind::TransientFail, 8, -1}});
+    SimStats stats;
+    const TracedContour contour =
+        traceContour(h, kSeed, window(), &stats);
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_GE(countKind(contour.diagnostics,
+                        TraceEventKind::TransientFailed),
+              1);
+    EXPECT_GE(countKind(contour.diagnostics,
+                        TraceEventKind::StepUnderflow),
+              1);
+    EXPECT_GT(stats.traceStepHalvings, 0u);
+    expectContourFinite(contour);
+}
+
+TEST_F(FaultedTracerOnTspc, FlatGradientTriggersPlateauReseed) {
+    FaultInjectingHFunction h(
+        problem_->h(), {{FaultKind::FlatGradient, 8, 9}});
+    SimStats stats;
+    const TracedContour contour =
+        traceContour(h, kSeed, window(), &stats);
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_GE(countKind(contour.diagnostics,
+                        TraceEventKind::GradientVanished),
+              1);
+    EXPECT_GE(stats.tracePlateauReseeds, 1u);
+    EXPECT_GE(contour.points.size(), 8u);
+    expectContourFinite(contour);
+}
+
+TEST_F(FaultedTracerOnTspc, HostileNanEvaluationIsCaughtByCorrectorGuard) {
+    // h = NaN while still claiming success: only a misbehaving HFunction
+    // override can do this, and the corrector-level guard must classify it
+    // instead of letting `wander > limit` (false for NaN) accept the point.
+    FaultInjectingHFunction h(problem_->h(), {{FaultKind::NanH, 8, 9}});
+    SimStats stats;
+    const TracedContour contour =
+        traceContour(h, kSeed, window(), &stats);
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_GE(countKind(contour.diagnostics, TraceEventKind::NonFinite), 1);
+    EXPECT_GE(stats.traceNonFiniteRejections, 1u);
+    expectContourFinite(contour);
+}
+
+TEST_F(FaultedTracerOnTspc, GuardedNonFiniteTransientIsClassified) {
+    // The concrete HFunction's own guard output (success=false,
+    // nonFinite=true) must reach the taxonomy as NonFinite, not be lumped
+    // with ordinary transient failures.
+    FaultInjectingHFunction h(
+        problem_->h(), {{FaultKind::NonFiniteEval, 8, 9}});
+    SimStats stats;
+    const TracedContour contour =
+        traceContour(h, kSeed, window(), &stats);
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_GE(countKind(contour.diagnostics, TraceEventKind::NonFinite), 1);
+    EXPECT_EQ(countKind(contour.diagnostics,
+                        TraceEventKind::TransientFailed),
+              0);
+    expectContourFinite(contour);
+}
+
+TEST_F(FaultedTracerOnTspc, AmplifiedResidualDivergesTheCorrector) {
+    FaultInjectingHFunction h(
+        problem_->h(), {{FaultKind::AmplifyH, 8, -1}});
+    const TracedContour contour = traceContour(h, kSeed, window());
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_GE(countKind(contour.diagnostics,
+                        TraceEventKind::CorrectorDiverged),
+              1);
+    // Every termination is still explained.
+    EXPECT_GE(countKind(contour.diagnostics,
+                        TraceEventKind::StepUnderflow),
+              1);
+    expectContourFinite(contour);
+}
+
+TEST_F(FaultedTracerOnTspc, OverflowingGradientNeverPutsNanInTheContour) {
+    // A finite-but-enormous gradient overflows the Gram product H H^T; the
+    // corrector must fail in a classified way and the contour stay finite.
+    FaultInjectingHFunction h(
+        problem_->h(), {{FaultKind::OverflowGradient, 8, -1}});
+    const TracedContour contour = traceContour(h, kSeed, window());
+    ASSERT_TRUE(contour.seedConverged);
+    ASSERT_FALSE(contour.diagnostics.empty());
+    EXPECT_LE(contour.points.size(),
+              static_cast<std::size_t>(window().maxPoints));
+    expectContourFinite(contour);
+}
+
+TEST_F(FaultedTracerOnTspc, SeedFaultIsClassifiedWithoutAnyPoints) {
+    FaultInjectingHFunction h(
+        problem_->h(), {{FaultKind::NonFiniteEval, 0, -1}});
+    const TracedContour contour = traceContour(h, kSeed, window());
+    EXPECT_FALSE(contour.seedConverged);
+    EXPECT_TRUE(contour.points.empty());
+    // No empty contour without a reason: the seed failure is on record.
+    ASSERT_EQ(contour.diagnostics.events.size(), 1u);
+    EXPECT_EQ(contour.diagnostics.events[0].kind,
+              TraceEventKind::NonFinite);
+    EXPECT_EQ(contour.diagnostics.events[0].phase, TracePhase::Seed);
+}
+
+TEST_F(FaultedTracerOnTspc, SeedCorrectedOutsideBoundsReportsLeftBounds) {
+    // The window sits far from where the seed lands on the curve: the
+    // corrector succeeds but the tracer must refuse to emit the
+    // out-of-window point -- and say why. Tracing still proceeds from the
+    // converged seed (the standard flow clamps seeds to the window edge, so
+    // an overshoot must not kill the whole contour), but here every traced
+    // point is also outside, so the contour stays empty.
+    TracerOptions opt = window();
+    opt.bounds = SkewBounds{500e-12, 600e-12, 50e-12, 120e-12};
+    const TracedContour contour = traceContour(problem_->h(), kSeed, opt);
+    EXPECT_TRUE(contour.seedConverged);
+    EXPECT_TRUE(contour.points.empty());
+    ASSERT_GE(contour.diagnostics.events.size(), 1u);
+    EXPECT_EQ(contour.diagnostics.events[0].kind,
+              TraceEventKind::LeftBounds);
+    EXPECT_EQ(contour.diagnostics.events[0].phase, TracePhase::Seed);
+}
+
+TEST_F(FaultedTracerOnTspc, ArclengthCorrectorSurvivesTheSameFaults) {
+    TracerOptions opt = window();
+    opt.correctorKind = CorrectorKind::PseudoArclength;
+    FaultInjectingHFunction h(
+        problem_->h(), {{FaultKind::TransientFail, 8, 9}});
+    SimStats stats;
+    const TracedContour contour = traceContour(h, kSeed, opt, &stats);
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_GE(countKind(contour.diagnostics,
+                        TraceEventKind::TransientFailed),
+              1);
+    expectContourFinite(contour);
+}
+
+TEST_F(FaultedTracerOnTspc, DisabledRecoveryReproducesLegacyHalving) {
+    TracerOptions opt = window();
+    opt.transientRetryLimit = 0;  // legacy: halve immediately
+    FaultInjectingHFunction h(
+        problem_->h(), {{FaultKind::TransientFail, 8, 8}});
+    SimStats stats;
+    const TracedContour contour = traceContour(h, kSeed, opt, &stats);
+    ASSERT_TRUE(contour.seedConverged);
+    EXPECT_EQ(stats.traceTransientRetries, 0u);
+    EXPECT_GE(stats.traceStepHalvings, 1u);
+    expectContourFinite(contour);
+}
+
+// -------------------------------------------- corrector-level consistency
+
+TEST_F(FaultedTracerOnTspc, MpnrReportsResidualAtItsReturnedPoint) {
+    // Out-of-budget exits rewind the speculative last step: the reported
+    // (point, h) pair must be exactly consistent, bit for bit.
+    MpnrOptions opt;
+    opt.maxIterations = 2;
+    const MpnrResult r = solveMpnr(problem_->h(), kSeed, opt);
+    ASSERT_FALSE(r.converged);
+    const HEvaluation check =
+        problem_->h().evaluate(r.point.setup, r.point.hold);
+    ASSERT_TRUE(check.success);
+    EXPECT_EQ(check.h, r.h);
+    EXPECT_EQ(check.dhds, r.dhds);
+    EXPECT_EQ(check.dhdh, r.dhdh);
+}
+
+TEST_F(FaultedTracerOnTspc, SeedSearchNamesTheNonFiniteGuard) {
+    // The scalar drivers cannot classify into TraceDiagnostics (they do not
+    // trace); they must instead say "NaN/Inf guard" in the thrown message.
+    FaultInjectingHFunction h(
+        problem_->h(), {{FaultKind::NonFiniteEval, 0, -1}});
+    try {
+        (void)findSeedPoint(h, problem_->passSign());
+        FAIL() << "findSeedPoint accepted a non-finite transient";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("NaN/Inf guard"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ------------------------------------------------ transient-engine guards
+
+TEST(TransientGuards, InjectedSensitivityNanTripsTheGuard) {
+    // NaN enters through addSkewDerivative: the state trajectory is clean,
+    // so only the new sensitivity guard can catch this (before it, the NaN
+    // flowed silently into dh/dtau and was misclassified as a vanished
+    // gradient).
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<VoltageSource>("V1", a, kGround, 1.0);
+    ckt.add<FaultInjectingDevice>(
+        std::make_unique<Resistor>("R1", a, kGround, 1e3), a,
+        DeviceFaultKind::SensitivityNan, 0);
+    ckt.finalize();
+
+    TransientOptions opt;
+    opt.tStop = 1e-9;
+    opt.fixedSteps = 10;
+    opt.trackSkewSensitivities = true;
+    const TransientResult tr = TransientAnalysis(ckt, opt).run();
+    EXPECT_FALSE(tr.success);
+    EXPECT_TRUE(tr.nonFinite);
+    EXPECT_NE(tr.failureReason.find("non-finite sensitivity"),
+              std::string::npos)
+        << tr.failureReason;
+}
+
+TEST(TransientGuards, InjectedResidualNanIsCaughtByAcceptedStateGuard) {
+    // NaN stamped into the KCL residual slips PAST Newton: its tolerance
+    // comparisons are false for NaN, so the iteration "converges" onto a
+    // NaN state. The accepted-state guard is the backstop that turns this
+    // into a classified non-finite failure instead of a poisoned waveform.
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<VoltageSource>("V1", a, kGround, 1.0);
+    // The DC solve takes the first few eval calls; call 8 lands inside the
+    // stepping loop so the failure is a step failure, not a DC throw.
+    ckt.add<FaultInjectingDevice>(
+        std::make_unique<Resistor>("R1", a, kGround, 1e3), a,
+        DeviceFaultKind::ResidualNan, 8);
+    ckt.finalize();
+
+    TransientOptions opt;
+    opt.tStop = 1e-9;
+    opt.fixedSteps = 10;
+    const TransientResult tr = TransientAnalysis(ckt, opt).run();
+    EXPECT_FALSE(tr.success);
+    EXPECT_TRUE(tr.nonFinite);
+    EXPECT_NE(tr.failureReason.find("non-finite accepted state"),
+              std::string::npos)
+        << tr.failureReason;
+}
+
+TEST(TransientGuards, FaultWrapperForwardsCleanlyWhenDisarmed) {
+    // kind=None: the wrapped circuit must behave exactly like the bare one.
+    const auto build = [](bool wrapped) {
+        Circuit ckt;
+        const NodeId a = ckt.node("a");
+        ckt.add<VoltageSource>("V1", a, kGround, 1.0);
+        if (wrapped) {
+            ckt.add<FaultInjectingDevice>(
+                std::make_unique<Resistor>("R1", a, kGround, 1e3), a,
+                DeviceFaultKind::None, 0);
+        } else {
+            ckt.add<Resistor>("R1", a, kGround, 1e3);
+        }
+        ckt.finalize();
+        TransientOptions opt;
+        opt.tStop = 1e-9;
+        opt.fixedSteps = 10;
+        return TransientAnalysis(ckt, opt).run();
+    };
+    const TransientResult bare = build(false);
+    const TransientResult wrapped = build(true);
+    ASSERT_TRUE(bare.success);
+    ASSERT_TRUE(wrapped.success);
+    ASSERT_EQ(bare.finalState.size(), wrapped.finalState.size());
+    for (std::size_t i = 0; i < bare.finalState.size(); ++i) {
+        EXPECT_EQ(bare.finalState[i], wrapped.finalState[i]);
+    }
+}
+
+// -------------------------------------------- batch-level determinism
+
+std::vector<LibraryCell> smallLibrary() {
+    const auto tspcAt = [](double load) {
+        return [load] {
+            TspcOptions opt;
+            opt.outputLoadCapacitance = load;
+            return buildTspcRegister(opt);
+        };
+    };
+    return {
+        LibraryCell{"TSPC_X1", tspcAt(20e-15), CriterionOptions{}},
+        LibraryCell{"TSPC_X2", tspcAt(40e-15), CriterionOptions{}},
+    };
+}
+
+RunConfig fastConfig(int threads) {
+    RunConfig cfg = RunConfig::defaults().withThreads(threads);
+    cfg.tracer.maxPoints = 6;
+    cfg.tracer.bounds = SkewBounds{80e-12, 900e-12, 40e-12, 700e-12};
+    return cfg;
+}
+
+TEST(TraceDiagnosticsParallel, DiagnosticsAreThreadCountDeterministic) {
+    // The per-row incident log (and the new trace counters) must be
+    // byte-identical for any worker count -- this binary also runs under
+    // tsan in the sanitizer sweep.
+    const LibraryResult serial =
+        characterizeLibrary(smallLibrary(), fastConfig(1));
+    const LibraryResult parallel =
+        characterizeLibrary(smallLibrary(), fastConfig(8));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const TraceDiagnostics& a = serial[i].diagnostics;
+        const TraceDiagnostics& b = parallel[i].diagnostics;
+        ASSERT_EQ(a.events.size(), b.events.size()) << serial[i].cell;
+        for (std::size_t k = 0; k < a.events.size(); ++k) {
+            EXPECT_EQ(a.events[k].kind, b.events[k].kind);
+            EXPECT_EQ(a.events[k].phase, b.events[k].phase);
+            EXPECT_EQ(a.events[k].at.setup, b.events[k].at.setup);
+            EXPECT_EQ(a.events[k].at.hold, b.events[k].at.hold);
+            EXPECT_EQ(a.events[k].stepLength, b.events[k].stepLength);
+            EXPECT_EQ(a.events[k].correctorIterations,
+                      b.events[k].correctorIterations);
+        }
+        EXPECT_EQ(serial[i].stats.traceStepHalvings,
+                  parallel[i].stats.traceStepHalvings);
+        EXPECT_EQ(serial[i].stats.traceTransientRetries,
+                  parallel[i].stats.traceTransientRetries);
+    }
+    EXPECT_EQ(serial.stats.traceStepHalvings,
+              parallel.stats.traceStepHalvings);
+    EXPECT_EQ(serial.stats.traceNonFiniteRejections,
+              parallel.stats.traceNonFiniteRejections);
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -52,6 +52,42 @@ int runList(const store::ResultStore& cache) {
     return 0;
 }
 
+/// Decodes the payload's trace incident log (characterize and library_row
+/// entries carry one since format v3) into a human-readable block.
+void showDiagnostics(const store::StoreEntry& entry) {
+    TraceDiagnostics diag;
+    std::string summary;
+    try {
+        if (entry.kind == store::kKindCharacterize) {
+            const CharacterizeResult r =
+                store::deserializeCharacterizeResult(entry.payload);
+            diag = r.contour.diagnostics;
+            summary = r.failureReason;
+        } else if (entry.kind == store::kKindLibraryRow) {
+            const LibraryRow r = store::deserializeLibraryRow(entry.payload);
+            diag = r.diagnostics;
+            summary = r.failureReason;
+        } else {
+            return;  // other kinds carry no trace
+        }
+    } catch (const store::StoreFormatError&) {
+        return;  // raw payload above is all we can show
+    }
+    std::cout << "trace   "
+              << (diag.empty() ? "clean (no recorded events)"
+                               : diag.summary())
+              << "\n";
+    if (!summary.empty()) {
+        std::cout << "reason  " << summary << "\n";
+    }
+    for (const TraceEvent& e : diag.events) {
+        std::cout << "  " << toString(e.kind) << " [" << toString(e.phase)
+                  << "] at (" << e.at.setup << ", " << e.at.hold
+                  << ") alpha=" << e.stepLength
+                  << " iters=" << e.correctorIterations << "\n";
+    }
+}
+
 int runShow(const store::ResultStore& cache, const std::string& keyText) {
     const auto key = store::parseHexKey(keyText);
     if (!key) {
@@ -69,8 +105,9 @@ int runShow(const store::ResultStore& cache, const std::string& keyText) {
               << "problem " << store::toHexKey(entry->problem) << "\n"
               << "kind    " << entry->kind << "\n"
               << "label   " << (entry->label.empty() ? "-" : entry->label)
-              << "\n"
-              << "payload (" << payloadLines(*entry) << " lines)\n"
+              << "\n";
+    showDiagnostics(*entry);
+    std::cout << "payload (" << payloadLines(*entry) << " lines)\n"
               << entry->payload;
     return 0;
 }
