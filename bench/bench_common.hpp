@@ -4,14 +4,22 @@
 // same configuration the tests validated.
 #pragma once
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "shtrace/cells/c2mos.hpp"
 #include "shtrace/cells/tspc.hpp"
 #include "shtrace/chz/characterize.hpp"
 #include "shtrace/chz/problem.hpp"
 #include "shtrace/chz/surface_method.hpp"
+#include "shtrace/obs/obs.hpp"
+#include "shtrace/util/stats.hpp"
 #include "shtrace/util/table.hpp"
 #include "shtrace/util/units.hpp"
 
@@ -64,6 +72,100 @@ inline void printCriterion(const CharacterizationProblem& problem) {
               << ", 10% degraded = " << ps(problem.degradedClockToQ())
               << ", t_f = " << ps(problem.tf()) << ", r = " << problem.r()
               << " V\n";
+}
+
+// ------------------------------------------------ bench_obs.json reporting
+//
+// Every experiment bench contributes one fragment to results/bench_obs.json:
+// machine-readable op counts, wall time, and histogram summaries, so the
+// BENCH trajectory is tracked from PR to PR alongside the figure CSVs.
+// Benches run from results/ (CsvWriter paths are cwd-relative), so the
+// fragments land in ./bench_obs/<bench>.json and the merged report in
+// ./bench_obs.json.
+
+/// Enables Coarse instrumentation for the duration of a bench so its
+/// fragment carries histogram summaries, and restores the prior detail
+/// level on destruction. Instrumentation never touches numerics, contour
+/// output, or CSV bytes -- only the metrics/span side channel.
+class ObsBenchScope {
+public:
+    ObsBenchScope() : previous_(obs::detailLevel()) {
+        obs::clearAll();
+        obs::setDetail(obs::Detail::Coarse);
+    }
+    ~ObsBenchScope() {
+        obs::setDetail(static_cast<obs::Detail>(previous_));
+    }
+    ObsBenchScope(const ObsBenchScope&) = delete;
+    ObsBenchScope& operator=(const ObsBenchScope&) = delete;
+
+private:
+    int previous_;
+};
+
+/// Writes this bench's fragment (op counts + wall time + histogram
+/// summaries) and regenerates the merged bench_obs.json from every
+/// fragment present. `publishCounters` is false when a driver-side
+/// RunObservation already published the run's SimStats into the registry
+/// (the --obs modes), so counters are not double-counted.
+inline void writeObsBenchReport(const std::string& bench,
+                                const SimStats& stats, double wallSeconds,
+                                const std::string& unitName,
+                                std::size_t unitCount,
+                                bool publishCounters = true) {
+    namespace fs = std::filesystem;
+    if (publishCounters) {
+        obs::addRunCounters(stats);
+    }
+    std::string metrics = obs::metricsJson(obs::metricsSnapshot());
+    while (!metrics.empty() && metrics.back() == '\n') {
+        metrics.pop_back();
+    }
+
+    std::ostringstream frag;
+    frag.precision(17);
+    frag << "{\n\"bench\": \"" << bench << "\",\n\"wall_seconds\": "
+         << wallSeconds << ",\n\"" << unitName << "\": " << unitCount
+         << ",\n\"metrics\": " << metrics << "\n}";
+
+    fs::create_directories("bench_obs");
+    {
+        std::ofstream out("bench_obs/" + bench + ".json",
+                          std::ios::binary | std::ios::trunc);
+        out << frag.str() << "\n";
+    }
+
+    // Regenerate the merged report from whatever fragments exist, sorted by
+    // name so the output is stable regardless of which bench ran last.
+    std::vector<std::pair<std::string, std::string>> fragments;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator("bench_obs")) {
+        if (entry.path().extension() != ".json") {
+            continue;
+        }
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream body;
+        body << in.rdbuf();
+        std::string text = body.str();
+        while (!text.empty() &&
+               (text.back() == '\n' || text.back() == '\r')) {
+            text.pop_back();
+        }
+        fragments.emplace_back(entry.path().stem().string(),
+                               std::move(text));
+    }
+    std::sort(fragments.begin(), fragments.end());
+    std::ofstream merged("bench_obs.json",
+                         std::ios::binary | std::ios::trunc);
+    merged << "{\n";
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+        merged << "\"" << fragments[i].first << "\": "
+               << fragments[i].second << (i + 1 < fragments.size() ? ",\n"
+                                                                   : "\n");
+    }
+    merged << "}\n";
+    std::cout << "obs report written: bench_obs.json (fragment bench_obs/"
+              << bench << ".json)\n";
 }
 
 }  // namespace shtrace::bench

@@ -7,6 +7,8 @@
 // t_f = 12.155 ns; contour spans setup ~350-500 ps, hold ~200-300 ps.
 #include "bench_common.hpp"
 
+#include <chrono>
+
 #include "shtrace/measure/contour.hpp"
 
 int main() {
@@ -14,6 +16,8 @@ int main() {
     using namespace shtrace::bench;
 
     printHeader("FIG12", "C2MOS contour (90% criterion) + surface overlay");
+
+    ObsBenchScope obsScope;
 
     const RegisterFixture reg = buildC2mosRegister();
     CharacterizeOptions opt;
@@ -23,7 +27,11 @@ int main() {
     opt.tracer.stepLength = 8e-12;
     opt.tracer.maxStepLength = 30e-12;
 
+    const auto wallStart = std::chrono::steady_clock::now();
     const CharacterizeResult result = characterizeInterdependent(reg, opt);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wallStart)
+                            .count();
     if (!result.success) {
         std::cerr << "characterization failed\n";
         return 1;
@@ -58,5 +66,7 @@ int main() {
               << (dev < cell ? "MATCH" : "MISMATCH") << "\n";
     std::cout << "cost (tracer): " << result.stats << "\n";
     std::cout << "CSV written: fig12_c2mos_contour.csv\n";
+    writeObsBenchReport("fig12_c2mos_contour", result.stats, wall,
+                        "contour_points", result.contour.points.size());
     return dev < cell ? 0 : 1;
 }

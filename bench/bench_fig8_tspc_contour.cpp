@@ -7,15 +7,32 @@
 // characteristic clock-to-Q = 298 ps, t_f = 11.3778 ns, r = 1.25 V; contour
 // spans setup ~150-350 ps, hold ~100-200 ps. Our process differs, so match
 // the SHAPE and regimes, not the exact picoseconds.
+//
+// Usage: bench_fig8_tspc_contour [--obs <dir>]
+//   --obs <dir> additionally writes <dir>/fig8_metrics.json (+ .prom
+//   Prometheus exposition), <dir>/fig8_trace.json (+ .folded collapsed
+//   stacks), and a store-v4 entry under <dir>/store whose timeline
+//   `shtrace-store show --timeline` decodes.
 #include "bench_common.hpp"
+
+#include <chrono>
 
 #include "shtrace/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace shtrace;
     using namespace shtrace::bench;
 
     printHeader("FIG8", "TSPC constant clock-to-Q contour via Euler-Newton");
+
+    std::string obsDir;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--obs") {
+            obsDir = argv[i + 1];
+        }
+    }
+
+    ObsBenchScope obsScope;
 
     const RegisterFixture reg = buildTspcRegister();
     CharacterizeOptions opt;
@@ -24,8 +41,18 @@ int main() {
     opt.tracer.bounds = tspcWindow();
     opt.tracer.stepLength = 8e-12;
     opt.tracer.maxStepLength = 30e-12;
+    if (!obsDir.empty()) {
+        std::filesystem::create_directories(obsDir);
+        opt.withMetrics(obsDir + "/fig8_metrics.json")
+            .withSpanTrace(obsDir + "/fig8_trace.json")
+            .withCacheDir(obsDir + "/store");
+    }
 
+    const auto wallStart = std::chrono::steady_clock::now();
     const CharacterizeResult result = characterizeInterdependent(reg, opt);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wallStart)
+                            .count();
     if (!result.success) {
         std::cerr << "characterization failed\n";
         return 1;
@@ -55,5 +82,13 @@ int main() {
               << " (paper: 2-3 typical)\n";
     std::cout << "cost: " << result.stats << "\n";
     std::cout << "CSV written: fig8_tspc_contour.csv\n";
+    // In --obs mode the driver's RunObservation already published the
+    // run's counters; don't publish them a second time.
+    writeObsBenchReport("fig8_tspc_contour", result.stats, wall,
+                        "contour_points", result.contour.points.size(),
+                        /*publishCounters=*/obsDir.empty());
+    if (!obsDir.empty()) {
+        std::cout << "obs files written under " << obsDir << "/\n";
+    }
     return 0;
 }

@@ -14,6 +14,7 @@
 #include "shtrace/cells/tspc.hpp"
 #include "shtrace/chz/problem.hpp"
 #include "shtrace/linalg/lu.hpp"
+#include "shtrace/obs/span.hpp"
 
 namespace {
 
@@ -162,6 +163,31 @@ void BM_TspcChordStepKernel(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_TspcChordStepKernel);
+
+void BM_TspcChordStepKernelSpanned(benchmark::State& state) {
+    // The chord-step kernel again, but with the span macros placed the way
+    // the instrumented hot loop places them, run at the default detail
+    // level (Off). The gap to BM_TspcChordStepKernel is the disabled cost
+    // of instrumentation -- one relaxed atomic load per span site -- and
+    // scripts/check.sh's obs stage gates it at <2%.
+    const TspcMidTransient mid;
+    const std::size_t n = mid.reg.circuit.systemSize();
+    Assembler asmb(n);
+    LuFactorization lu;
+    lu.factor(tspcIterationMatrix(mid));
+    Vector rhs(n);
+    for (auto _ : state) {
+        SHTRACE_SPAN("bench.chord_step");
+        mid.reg.circuit.assembleResidual(mid.x, mid.t, asmb);
+        {
+            SHTRACE_FINE_SPAN("bench.back_substitute");
+            rhs = asmb.f();
+            lu.solveInPlace(rhs);
+        }
+        benchmark::DoNotOptimize(rhs);
+    }
+}
+BENCHMARK(BM_TspcChordStepKernelSpanned);
 
 void BM_TspcTransient(benchmark::State& state) {
     const bool sensitivities = state.range(0) != 0;

@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
     std::cout << "hardware concurrency: "
               << std::thread::hardware_concurrency() << "\n";
 
+    ObsBenchScope obsScope;
+
     // Eight TSPC drive strengths: comparable per-cell cost, so static or
     // dynamic scheduling both balance and the speedup ceiling is the
     // thread count, not job skew.
@@ -60,6 +62,9 @@ int main(int argc, char** argv) {
     double wallAt1 = 0.0;
     double speedupAt4 = 0.0;
     bool allDeterministic = true;
+    SimStats totalStats;
+    double totalWall = 0.0;
+    std::size_t totalRows = 0;
     for (const int threads : {1, 2, 4, 8}) {
         SimStats timer;
         LibraryResult result;
@@ -68,6 +73,9 @@ int main(int argc, char** argv) {
             result = characterizeLibrary(cells, configAt(threads));
         }
         const double wall = timer.wallSeconds;
+        totalStats.merge(result.stats);
+        totalWall += wall;
+        totalRows += result.size();
         if (threads == 1) {
             reference = result;
             wallAt1 = wall;
@@ -103,6 +111,10 @@ int main(int argc, char** argv) {
               << "x (target >= 2.5x on >= 4 physical cores)\n"
               << "rows byte-identical across thread counts: "
               << (allDeterministic ? "YES" : "NO") << "\n";
+    // Op counts and wall time summed over all four thread-count runs;
+    // histograms accumulate across them in the shared registry.
+    writeObsBenchReport("parallel_scaling", totalStats, totalWall,
+                        "library_rows", totalRows);
     // Exit gates on determinism only: the speedup target depends on the
     // physical core count of the machine running the bench.
     return allDeterministic ? 0 : 1;

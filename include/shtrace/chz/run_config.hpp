@@ -41,6 +41,8 @@ struct RunConfig {
     std::string cacheDir;            ///< persistent store dir; empty: off
     CachePolicy cachePolicy = CachePolicy::ReadWrite;
     bool warmStart = true;           ///< seed traces from near-hit contours
+    std::string metricsPath;         ///< metrics JSON path; empty: obs off
+    std::string spanTracePath;       ///< Chrome trace path; empty: obs off
 
     static RunConfig defaults() { return RunConfig{}; }
 
@@ -118,6 +120,18 @@ struct RunConfig {
     }
     RunConfig& withWarmStart(bool enabled) {
         warmStart = enabled;
+        return *this;
+    }
+    /// Writes a metrics snapshot (JSON at `path`, Prometheus text next to
+    /// it) when the run finishes. Enables the obs layer for the run.
+    RunConfig& withMetrics(std::string path) {
+        metricsPath = std::move(path);
+        return *this;
+    }
+    /// Writes a Chrome trace_event JSON (and a collapsed-stack twin at
+    /// `path` + ".folded") when the run finishes. Enables the obs layer.
+    RunConfig& withSpanTrace(std::string path) {
+        spanTracePath = std::move(path);
         return *this;
     }
 };

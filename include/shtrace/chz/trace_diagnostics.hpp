@@ -113,14 +113,97 @@ struct TraceEvent {
     int correctorIterations = 0; ///< iterations the corrector spent
 };
 
+/// What happened, in order, while a contour was traced. Where TraceEvent
+/// records incidents (things that went wrong), the timeline records the
+/// whole story: seeding, every accepted point, and every recovery action,
+/// each stamped with a deterministic operation index and -- when span
+/// tracing is enabled -- a wall-clock offset.
+enum class TimelineEventKind : std::uint8_t {
+    SeedFound,      ///< seed bisection located the pass/fail transition
+    SeedCorrected,  ///< MPNR pulled the seed exactly onto the curve
+    WarmStart,      ///< trace started from a cached contour point instead
+    PointAccepted,  ///< corrector converged; point joined the contour
+    Retry,          ///< perturbed-predictor retry after a transient failure
+    Reseed,         ///< pulled-back re-seed after a gradient plateau
+    Halving,        ///< predictor step length alpha was halved
+};
+
+inline constexpr int kTimelineEventKindCount = 7;
+
+constexpr const char* toString(TimelineEventKind kind) {
+    switch (kind) {
+        case TimelineEventKind::SeedFound:
+            return "SeedFound";
+        case TimelineEventKind::SeedCorrected:
+            return "SeedCorrected";
+        case TimelineEventKind::WarmStart:
+            return "WarmStart";
+        case TimelineEventKind::PointAccepted:
+            return "PointAccepted";
+        case TimelineEventKind::Retry:
+            return "Retry";
+        case TimelineEventKind::Reseed:
+            return "Reseed";
+        case TimelineEventKind::Halving:
+            return "Halving";
+    }
+    return "?";
+}
+
+/// Inverse of toString(TimelineEventKind); `ok` reports a match.
+inline TimelineEventKind timelineEventKindFromString(const std::string& name,
+                                                     bool& ok) {
+    ok = true;
+    for (int i = 0; i < kTimelineEventKindCount; ++i) {
+        const auto kind = static_cast<TimelineEventKind>(i);
+        if (name == toString(kind)) {
+            return kind;
+        }
+    }
+    ok = false;
+    return TimelineEventKind::SeedFound;
+}
+
+/// One timeline entry. Two clocks on purpose: `opIndex` is the number of
+/// h evaluations completed when the event fired -- deterministic across
+/// thread counts and reruns, so it is what store round-trip tests compare.
+/// `wallNs` is monotonic nanoseconds since the trace started; it is
+/// recorded only while obs::enabled() and stays exactly 0.0 otherwise,
+/// keeping default-mode store payloads byte-identical run to run.
+struct TimelineEvent {
+    TimelineEventKind kind = TimelineEventKind::SeedFound;
+    TracePhase phase = TracePhase::Seed;
+    SkewPoint at;                ///< the (tau_s, tau_h) involved
+    std::uint64_t opIndex = 0;   ///< h evaluations completed so far
+    double wallNs = 0.0;         ///< ns since trace start; 0 when obs is off
+};
+
 /// The ordered incident log of one traceContour call.
 struct TraceDiagnostics {
     std::vector<TraceEvent> events;
+    /// Ordered whole-trace event log (store format v4). Pre-trace entries
+    /// (SeedFound, WarmStart) are prepended by the drivers via
+    /// markPreTrace(); everything else is appended in occurrence order.
+    std::vector<TimelineEvent> timeline;
 
     void record(TraceEventKind kind, TracePhase phase, const SkewPoint& at,
                 double stepLength, int correctorIterations) {
         events.push_back(
             TraceEvent{kind, phase, at, stepLength, correctorIterations});
+    }
+
+    void mark(TimelineEventKind kind, TracePhase phase, const SkewPoint& at,
+              std::uint64_t opIndex, double wallNs) {
+        timeline.push_back(TimelineEvent{kind, phase, at, opIndex, wallNs});
+    }
+
+    /// Inserts a driver-side event (seed search, cache warm start) that
+    /// happened before traceContour ran, keeping the log ordered.
+    void markPreTrace(TimelineEventKind kind, const SkewPoint& at,
+                      std::uint64_t opIndex) {
+        timeline.insert(timeline.begin(),
+                        TimelineEvent{kind, TracePhase::Seed, at, opIndex,
+                                      0.0});
     }
 
     bool empty() const { return events.empty(); }

@@ -1,0 +1,104 @@
+// shtrace -- metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// The registry follows the same sharding discipline as SimStats::merge: each
+// thread observes into its own thread-local shard (no atomics, no locks on
+// the hot path), and shards are summed under a mutex at export time, after
+// the worker pool has joined. Histogram bucket counts are integers and the
+// per-job observations are deterministic, so exported counts are identical
+// across thread counts -- only wall-time-valued sums vary.
+//
+// Counters are not observed incrementally: the 21 SimStats fields already
+// count every primitive operation deterministically, so drivers publish the
+// merged per-run SimStats into the registry once, at join (addRunCounters).
+//
+// Export formats: Prometheus text exposition (validated in CI by
+// scripts/prom_lint.sh) and JSON. Metric names/units are documented in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shtrace/util/stats.hpp"
+
+namespace shtrace::obs {
+
+/// Fixed-bucket histograms. Buckets are compile-time constants (see
+/// metrics.cpp) so shards are plain arrays and merging is index-wise
+/// addition.
+enum class Hist : unsigned {
+    NewtonIterationsPerStep = 0,   ///< full Newton iterations per step solve
+    ChordIterationsPerStep,        ///< reused-LU iterations per step solve
+    CorrectorIterationsPerPoint,   ///< MPNR iterations per contour point
+    SeedEvaluationsPerSearch,      ///< h evaluations per seed bisection
+    TransientWallMilliseconds,     ///< wall time of one transient analysis
+    kCount
+};
+
+enum class Gauge : unsigned {
+    WorkerThreads = 0,  ///< resolved thread count of the last batch run
+    BatchJobs,          ///< job count of the last batch run
+    kCount
+};
+
+/// Records one sample into the calling thread's shard. No-op unless
+/// obs::enabled().
+void observe(Hist hist, double value) noexcept;
+
+/// Sets a gauge (cold path: once per batch run). No-op unless enabled.
+void setGauge(Gauge gauge, double value) noexcept;
+
+/// Publishes a run's merged SimStats into the registry's counters
+/// (accumulating across runs). Call once per driver run, after the join,
+/// with the deterministic merged stats.
+void addRunCounters(const SimStats& stats) noexcept;
+
+struct CounterSnapshot {
+    std::string name;  ///< Prometheus name, `_total`-suffixed
+    std::string help;
+    double value = 0.0;  ///< uint64 counters are exactly representable here
+};
+
+struct GaugeSnapshot {
+    std::string name;
+    std::string help;
+    double value = 0.0;
+};
+
+struct HistogramSnapshot {
+    std::string name;
+    std::string help;
+    std::vector<double> upperBounds;      ///< finite bucket bounds, ascending
+    std::vector<std::uint64_t> counts;    ///< per-bucket (non-cumulative);
+                                          ///< size = upperBounds.size() + 1,
+                                          ///< last bucket is +Inf
+    std::uint64_t totalCount = 0;
+    double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+    std::vector<CounterSnapshot> counters;
+    std::vector<GaugeSnapshot> gauges;
+    std::vector<HistogramSnapshot> histograms;
+};
+
+/// Merges every shard (quiesced-only, like collectSpans()).
+MetricsSnapshot metricsSnapshot();
+
+/// Resets shards, gauges, and accumulated counters. Quiesced-only.
+void clearMetrics() noexcept;
+
+/// Prometheus text exposition format.
+std::string prometheusText(const MetricsSnapshot& snapshot);
+/// JSON mirror of the same snapshot.
+std::string metricsJson(const MetricsSnapshot& snapshot);
+
+/// Writes metricsJson() to `jsonPath` and prometheusText() to a sibling
+/// path with the extension replaced by `.prom` (appended when `jsonPath`
+/// has no `.json` suffix).
+void writeMetricsFiles(const std::string& jsonPath);
+/// The `.prom` sibling writeMetricsFiles() derives from `jsonPath`.
+std::string prometheusPathFor(const std::string& jsonPath);
+
+}  // namespace shtrace::obs

@@ -1,0 +1,48 @@
+// shtrace -- observability umbrella: spans + metrics + per-run export glue.
+#pragma once
+
+#include <string>
+
+#include "shtrace/obs/metrics.hpp"
+#include "shtrace/obs/span.hpp"
+
+namespace shtrace::obs {
+
+/// Resets spans and metrics together (quiesced-only). Tests and benches use
+/// this between runs so exported counts cover exactly one run.
+void clearAll() noexcept;
+
+/// RAII per-run export glue for the batch drivers. Construction enables
+/// instrumentation when either path is non-empty (restoring the previous
+/// detail level on destruction); finish() -- called once, after the worker
+/// pool has joined, with the run's deterministic merged SimStats -- publishes
+/// the counters and writes the requested files:
+///
+///   metricsPath   -> metrics JSON + sibling `.prom` Prometheus exposition
+///   spanTracePath -> Chrome trace_event JSON + sibling `.folded` collapsed
+///                    stacks
+///
+/// With both paths empty (the default RunConfig) the whole object is a
+/// no-op and instrumentation stays off.
+class RunObservation {
+public:
+    RunObservation(const std::string& metricsPath,
+                   const std::string& spanTracePath);
+    ~RunObservation();
+    RunObservation(const RunObservation&) = delete;
+    RunObservation& operator=(const RunObservation&) = delete;
+
+    /// True when a path was configured (instrumentation active).
+    bool active() const noexcept { return wanted_; }
+
+    void finish(const SimStats& merged);
+
+private:
+    std::string metricsPath_;
+    std::string spanTracePath_;
+    bool wanted_ = false;
+    bool finished_ = false;
+    int previousDetail_ = 0;
+};
+
+}  // namespace shtrace::obs

@@ -1,0 +1,188 @@
+// shtrace -- span tracing: where does the time go inside a run?
+//
+// SimStats answers "how many primitive operations" (the paper's cost-ratio
+// claim); spans answer "which phase spent the wall time". A ScopedSpan
+// records {name, start, duration, depth} into a thread-local ring buffer on
+// destruction -- no heap allocation in steady state, no locks on the hot
+// path, and a single relaxed atomic load when tracing is disabled (the
+// default). Buffers are registered globally through shared_ptr so span data
+// survives worker-pool threads that exit before export.
+//
+// Two detail levels keep the ring useful on real runs: Coarse spans mark
+// phase boundaries (one transient solve, one seed bisection, one contour
+// direction), Fine spans mark hot kernels (one LU factorization, one Newton
+// solve) that would otherwise flood the ring with hundreds of thousands of
+// records per characterization.
+//
+// Export (cold path, after worker joins): Chrome `trace_event` JSON for
+// chrome://tracing / Perfetto, and collapsed-stack text for flamegraph
+// tools. See docs/OBSERVABILITY.md for the span taxonomy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace shtrace::obs {
+
+/// Global instrumentation level. Off is the default and must stay near-free:
+/// every instrumentation site guards on one relaxed atomic load.
+enum class Detail : int {
+    Off = 0,     ///< no spans, no metric observations
+    Coarse = 1,  ///< phase-level spans + metric observations
+    Fine = 2,    ///< adds per-kernel spans (LU, Newton solve, step loop)
+};
+
+int detailLevel() noexcept;
+void setDetail(Detail level) noexcept;
+/// Convenience: toggles between Off and Coarse (leaves Fine alone when
+/// already enabled at Fine).
+void setEnabled(bool on) noexcept;
+
+inline bool enabled() noexcept {
+    return detailLevel() >= static_cast<int>(Detail::Coarse);
+}
+inline bool fineEnabled() noexcept {
+    return detailLevel() >= static_cast<int>(Detail::Fine);
+}
+
+/// Monotonic nanoseconds since an arbitrary process-local anchor. All span
+/// timestamps share this clock.
+long long monotonicNanos() noexcept;
+
+/// One completed span, copied out of the thread-local rings by
+/// collectSpans(). threadIndex is a stable small integer per recording
+/// thread (registration order), not an OS thread id.
+struct CollectedSpan {
+    std::string name;
+    long long startNs = 0;
+    long long durationNs = 0;
+    unsigned depth = 0;
+    unsigned threadIndex = 0;
+};
+
+struct SpanCounts {
+    std::size_t recorded = 0;  ///< spans pushed into rings since last clear
+    std::size_t dropped = 0;   ///< pushes that overwrote an older record
+};
+
+/// Snapshot of every thread's ring, ordered by (threadIndex, start time).
+/// Call after worker threads have joined; live writers race with this.
+std::vector<CollectedSpan> collectSpans();
+SpanCounts spanCounts();
+
+/// Resets every registered ring. Quiesced-only, like collectSpans().
+void clearSpans() noexcept;
+
+/// Chrome trace_event JSON ({"traceEvents":[{"ph":"X",...},...]}).
+std::string chromeTraceJson();
+/// Collapsed-stack lines ("root;child;leaf <exclusive_ns>") for flamegraph
+/// tools; stacks are rebuilt per thread from span nesting.
+std::string collapsedStacks();
+void writeChromeTrace(const std::string& path);
+void writeCollapsedStacks(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// ScopedSpan: the instrumentation primitive.
+//
+// BasicScopedSpan is parameterized on a sink so the disabled configuration is
+// compile-time checkable: BasicScopedSpan<NullSpanSink> is an empty type (the
+// static_assert below is the proof), which is what the SHTRACE_SPAN macros
+// expand to under -DSHTRACE_OBS_COMPILED_OUT. The default RuntimeSpanSink
+// variant checks the runtime flag instead, so one binary serves both modes.
+// ---------------------------------------------------------------------------
+
+template <typename Sink>
+class BasicScopedSpan;
+
+/// Discards everything; instantiating BasicScopedSpan with it compiles to
+/// nothing.
+struct NullSpanSink {};
+
+template <>
+class BasicScopedSpan<NullSpanSink> {
+public:
+    explicit BasicScopedSpan(const char*) noexcept {}
+};
+static_assert(std::is_empty_v<BasicScopedSpan<NullSpanSink>>,
+              "the null-sink span must compile to nothing");
+
+namespace detail {
+/// Increments the thread's nesting depth and returns the start timestamp.
+long long spanBegin() noexcept;
+/// Pushes the completed record and decrements the nesting depth.
+void spanEnd(const char* name, long long startNs) noexcept;
+}  // namespace detail
+
+/// Records into the thread-local ring when the runtime flag is on. `name`
+/// must be a string literal (the ring stores the pointer, not a copy).
+struct RuntimeSpanSink {};
+
+template <>
+class BasicScopedSpan<RuntimeSpanSink> {
+public:
+    explicit BasicScopedSpan(const char* name) noexcept
+        : name_(enabled() ? name : nullptr) {
+        if (name_ != nullptr) {
+            startNs_ = detail::spanBegin();
+        }
+    }
+    ~BasicScopedSpan() {
+        if (name_ != nullptr) {
+            detail::spanEnd(name_, startNs_);
+        }
+    }
+    BasicScopedSpan(const BasicScopedSpan&) = delete;
+    BasicScopedSpan& operator=(const BasicScopedSpan&) = delete;
+
+private:
+    const char* name_;
+    long long startNs_ = 0;
+};
+
+using ScopedSpan = BasicScopedSpan<RuntimeSpanSink>;
+
+/// Like ScopedSpan but only records at Detail::Fine -- for kernels that run
+/// hundreds of thousands of times per characterization.
+class FineScopedSpan {
+public:
+    explicit FineScopedSpan(const char* name) noexcept
+        : name_(fineEnabled() ? name : nullptr) {
+        if (name_ != nullptr) {
+            startNs_ = detail::spanBegin();
+        }
+    }
+    ~FineScopedSpan() {
+        if (name_ != nullptr) {
+            detail::spanEnd(name_, startNs_);
+        }
+    }
+    FineScopedSpan(const FineScopedSpan&) = delete;
+    FineScopedSpan& operator=(const FineScopedSpan&) = delete;
+
+private:
+    const char* name_;
+    long long startNs_ = 0;
+};
+
+}  // namespace shtrace::obs
+
+#define SHTRACE_OBS_CONCAT2(a, b) a##b
+#define SHTRACE_OBS_CONCAT(a, b) SHTRACE_OBS_CONCAT2(a, b)
+
+#if defined(SHTRACE_OBS_COMPILED_OUT)
+#define SHTRACE_SPAN(name)                                              \
+    ::shtrace::obs::BasicScopedSpan<::shtrace::obs::NullSpanSink>       \
+        SHTRACE_OBS_CONCAT(shtraceObsSpan_, __LINE__)(name)
+#define SHTRACE_FINE_SPAN(name)                                         \
+    ::shtrace::obs::BasicScopedSpan<::shtrace::obs::NullSpanSink>       \
+        SHTRACE_OBS_CONCAT(shtraceObsSpan_, __LINE__)(name)
+#else
+#define SHTRACE_SPAN(name)                                              \
+    ::shtrace::obs::ScopedSpan SHTRACE_OBS_CONCAT(shtraceObsSpan_,      \
+                                                  __LINE__)(name)
+#define SHTRACE_FINE_SPAN(name)                                         \
+    ::shtrace::obs::FineScopedSpan SHTRACE_OBS_CONCAT(shtraceObsSpan_,  \
+                                                      __LINE__)(name)
+#endif

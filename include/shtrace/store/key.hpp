@@ -34,7 +34,9 @@ namespace shtrace::store {
 /// v3: trace diagnostics block in traced contours, failure reasons on
 /// characterize payloads, 21-field stats line, tracer recovery knobs in
 /// the canonical tracer text.
-inline constexpr int kFormatVersion = 3;
+/// v4: ordered per-contour event timeline ("timeline" block) appended to
+/// every diagnostics block (docs/STORE.md).
+inline constexpr int kFormatVersion = 4;
 
 /// Streaming 64-bit FNV-1a.
 class Fnv1a {

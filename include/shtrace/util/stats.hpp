@@ -43,7 +43,9 @@ struct SimStats {
     std::uint64_t traceTransientRetries = 0;  ///< perturbed-predictor retries
     std::uint64_t tracePlateauReseeds = 0;    ///< pulled-back re-seeds
     std::uint64_t traceStepHalvings = 0;      ///< predictor alpha halvings
-    double wallSeconds = 0.0;             ///< accumulated via ScopedTimer
+    /// Inclusive wall time accumulated via ScopedTimer. Nested timers on
+    /// the same accumulator count once (outermost scope only).
+    double wallSeconds = 0.0;
 
     SimStats& operator+=(const SimStats& other) noexcept;
     friend SimStats operator+(SimStats a, const SimStats& b) noexcept {
@@ -63,11 +65,25 @@ struct SimStats {
 std::ostream& operator<<(std::ostream& os, const SimStats& s);
 
 /// Adds the lifetime of the scope to `stats.wallSeconds` (no-op when null).
+///
+/// Nesting-safe: when a ScopedTimer on the SAME accumulator is already
+/// active on this thread (a driver timing a run that calls a sub-driver
+/// timing the same SimStats), the inner timer is inert -- only the
+/// outermost scope accumulates, so wallSeconds is inclusive wall time,
+/// never a double count. Timers on different accumulators nest freely.
+/// The active-timer list is thread-local; a timer must be destroyed on
+/// the thread that created it (scoped use guarantees this).
 class ScopedTimer {
 public:
     explicit ScopedTimer(SimStats* stats) noexcept
-        : stats_(stats), start_(Clock::now()) {}
+        : stats_(stats), start_(Clock::now()), prev_(activeHead()) {
+        if (stats_ != nullptr && enclosedBy(prev_, stats_)) {
+            stats_ = nullptr;  // outer timer on this accumulator owns it
+        }
+        activeHead() = this;
+    }
     ~ScopedTimer() {
+        activeHead() = prev_;
         if (stats_ != nullptr) {
             stats_->wallSeconds += elapsedSeconds();
         }
@@ -79,10 +95,30 @@ public:
         return std::chrono::duration<double>(Clock::now() - start_).count();
     }
 
+    /// True when an enclosing timer on the same accumulator suppressed
+    /// this one (exposed for the regression test).
+    bool suppressed() const noexcept { return stats_ == nullptr; }
+
 private:
     using Clock = std::chrono::steady_clock;
+
+    static ScopedTimer*& activeHead() noexcept {
+        thread_local ScopedTimer* head = nullptr;
+        return head;
+    }
+    static bool enclosedBy(const ScopedTimer* frame,
+                           const SimStats* stats) noexcept {
+        for (; frame != nullptr; frame = frame->prev_) {
+            if (frame->stats_ == stats) {
+                return true;
+            }
+        }
+        return false;
+    }
+
     SimStats* stats_;
     Clock::time_point start_;
+    ScopedTimer* prev_;  ///< enclosing timer on this thread (intrusive stack)
 };
 
 }  // namespace shtrace

@@ -9,6 +9,10 @@
 #                               ubsan-labeled tests (the fault-injection
 #                               suite, where the NaN/Inf paths live)
 #   scripts/check.sh bench      build bench targets, one quick hot-path run
+#   scripts/check.sh obs        metrics/tracing tests, in-repo Prometheus
+#                               format lint on a real Fig. 8 exposition,
+#                               <2% disabled-instrumentation overhead gate
+#                               on the chord-step micro kernel
 #
 # Each stage uses its own build tree (build/, build-tsan/, build-asan/,
 # build-ubsan/) so the sanitizer configurations never dirty the primary
@@ -31,7 +35,8 @@ run_tsan() {
     cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DSHTRACE_SANITIZE=thread
     cmake --build build-tsan -j "${JOBS}" \
-          --target test_parallel test_store_cache test_trace_robustness
+          --target test_parallel test_store_cache test_trace_robustness \
+                   test_obs
     ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
 }
 
@@ -70,14 +75,49 @@ run_bench() {
         --benchmark_filter='BM_Tspc(Chord|FullNewton)StepKernel'
 }
 
+run_obs() {
+    echo "== obs: metrics/tracing tests, prom lint, disabled-overhead gate =="
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "${JOBS}" \
+          --target test_obs test_stats test_store \
+                   bench_fig8_tspc_contour bench_micro_kernels
+    ./build/tests/test_obs
+    ./build/tests/test_stats
+    ./build/tests/test_store
+    # Lint a REAL exposition file, not a canned fixture: an instrumented
+    # Fig. 8 run writes fig8_metrics.prom, and prom_lint.sh (in-repo awk,
+    # no network) checks the format invariants.
+    local root obsdir
+    root="$(pwd)"
+    obsdir="$(mktemp -d)"
+    trap 'rm -rf "${obsdir}"' RETURN
+    (cd "${obsdir}" && "${root}/build/bench/bench_fig8_tspc_contour" --obs obs > /dev/null)
+    scripts/prom_lint.sh "${obsdir}/obs/fig8_metrics.prom"
+    # Disabled-overhead gate: the spanned chord-step twin vs the plain one,
+    # min-of-repetitions (the noise-robust statistic), must stay under 2%.
+    ./build/bench/bench_micro_kernels \
+        --benchmark_filter='^BM_TspcChordStepKernel(Spanned)?$' \
+        --benchmark_repetitions=9 --benchmark_min_time=0.02 \
+        | tee "${obsdir}/overhead.txt"
+    awk '
+        $1 == "BM_TspcChordStepKernel"        { if (!p || $2 < p) p = $2 }
+        $1 == "BM_TspcChordStepKernelSpanned" { if (!s || $2 < s) s = $2 }
+        END {
+            if (!p || !s) { print "obs overhead: benchmarks missing"; exit 2 }
+            printf "obs disabled-span overhead: %+.2f%% (gate < 2%%)\n", (s / p - 1) * 100
+            exit (s / p < 1.02) ? 0 : 1
+        }' "${obsdir}/overhead.txt"
+}
+
 case "${STAGE}" in
     tier1) run_tier1 ;;
     tsan)  run_tsan ;;
     asan)  run_asan ;;
     ubsan) run_ubsan ;;
     bench) run_bench ;;
-    all)   run_tier1; run_tsan; run_asan; run_ubsan; run_bench ;;
-    *)     echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|bench|all]" >&2; exit 2 ;;
+    obs)   run_obs ;;
+    all)   run_tier1; run_tsan; run_asan; run_ubsan; run_bench; run_obs ;;
+    *)     echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|bench|obs|all]" >&2; exit 2 ;;
 esac
 
 echo "check.sh: ${STAGE} OK"

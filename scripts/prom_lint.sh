@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# In-repo Prometheus text-exposition lint -- no network, no external
+# dependencies beyond awk. Validates the invariants the obs exporter
+# promises (docs/OBSERVABILITY.md):
+#
+#   * every sample is preceded by # HELP and # TYPE for its metric family
+#   * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+#   * TYPE is one of counter|gauge|histogram, stated once per family
+#   * counters end in _total
+#   * every counter/gauge family has a sample
+#   * histogram buckets are cumulative (non-decreasing), include
+#     le="+Inf", and carry _sum and _count with _count == +Inf bucket
+#
+# Usage: scripts/prom_lint.sh <file.prom>
+set -euo pipefail
+
+file="${1:?usage: scripts/prom_lint.sh <file.prom>}"
+
+awk '
+function err(msg) { printf "prom_lint: %s:%d: %s\n", FILENAME, FNR, msg; bad = 1 }
+/^# HELP / {
+    if (NF < 4) err("HELP without text")
+    name = $3
+    if (help[name]++) err("duplicate HELP for " name)
+    next
+}
+/^# TYPE / {
+    name = $3; t = $4
+    if (!(name in help)) err("TYPE before HELP for " name)
+    if (name in type) err("duplicate TYPE for " name)
+    if (t != "counter" && t != "gauge" && t != "histogram")
+        err("unknown type \"" t "\" for " name)
+    type[name] = t
+    if (t == "counter" && name !~ /_total$/)
+        err("counter " name " must end in _total")
+    next
+}
+/^#/ { next }
+/^[ \t]*$/ { next }
+{
+    metric = $1
+    base = metric
+    sub(/\{.*/, "", base)
+    if (base !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) { err("bad metric name " base); next }
+    root = base
+    sub(/_(bucket|sum|count)$/, "", root)
+    if (!(base in type) && !(root in type)) { err("sample without TYPE: " base); next }
+    fam = (base in type) ? base : root
+    seen[fam] = 1
+    val = $NF
+    if (val !~ /^[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$/)
+        err("bad sample value \"" val "\" for " base)
+    if (type[fam] == "histogram") {
+        if (base ~ /_bucket$/) {
+            if (metric !~ /le="/) err("bucket without le label: " metric)
+            if ((fam in lastBucket) && val + 0 < lastBucket[fam])
+                err("non-cumulative buckets for " fam)
+            lastBucket[fam] = val + 0
+            if (metric ~ /le="\+Inf"/) { infBucket[fam] = val + 0; hasInf[fam] = 1 }
+        }
+        if (base ~ /_sum$/)   hasSum[fam] = 1
+        if (base ~ /_count$/) countVal[fam] = val + 0
+    } else if (metric ~ /\{/) {
+        # Our exporter emits no labels outside histogram buckets.
+        err("unexpected labels on " type[fam] " " base)
+    }
+}
+END {
+    for (n in type) {
+        if (!(n in seen)) { printf "prom_lint: %s declared but has no sample\n", n; bad = 1 }
+        if (type[n] != "histogram") continue
+        if (!(n in hasInf)) { printf "prom_lint: histogram %s missing le=\"+Inf\" bucket\n", n; bad = 1 }
+        if (!(n in hasSum)) { printf "prom_lint: histogram %s missing _sum\n", n; bad = 1 }
+        if (!(n in countVal)) { printf "prom_lint: histogram %s missing _count\n", n; bad = 1 }
+        else if ((n in infBucket) && countVal[n] != infBucket[n]) {
+            printf "prom_lint: histogram %s _count %d != +Inf bucket %d\n", \
+                   n, countVal[n], infBucket[n]
+            bad = 1
+        }
+    }
+    exit bad ? 1 : 0
+}
+' "${file}"
+
+echo "prom_lint: OK (${file})"

@@ -4,11 +4,24 @@
 #include <cmath>
 #include <limits>
 
+#include "shtrace/obs/obs.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
 
 namespace {
+
+/// One histogram sample per step solve: how many fresh-Jacobian and how
+/// many reused-LU iterations this solve took.
+void observeSolve(const NewtonResult& result) {
+    if (!obs::enabled()) {
+        return;
+    }
+    obs::observe(obs::Hist::NewtonIterationsPerStep,
+                 static_cast<double>(result.iterations));
+    obs::observe(obs::Hist::ChordIterationsPerStep,
+                 static_cast<double>(result.chordIterations));
+}
 
 // Applies the (possibly damped) update x -= scale*dx and evaluates the SPICE
 // per-unknown tolerance model. Returns true when every component passed.
@@ -88,6 +101,7 @@ NewtonResult solveNewton(const NewtonSystemFn& system, Vector& x,
     LuFactorization& lu =
         finalFactorization != nullptr ? *finalFactorization : localLu;
     runFullNewton(system, x, nodeRows, options, lu, ws, stats, result);
+    observeSolve(result);
     return result;
 }
 
@@ -99,6 +113,7 @@ NewtonResult solveNewtonChord(const NewtonSystemFn& system,
                               NewtonWorkspace& ws, SimStats* stats) {
     require(nodeRows <= x.size(),
             "solveNewtonChord: nodeRows exceeds system size");
+    SHTRACE_FINE_SPAN("newton.solve");
     const std::size_t n = x.size();
     NewtonResult result;
     ws.resize(n);
@@ -140,6 +155,7 @@ NewtonResult solveNewtonChord(const NewtonSystemFn& system,
             // is within the same tolerance no matter which phase found it.
             if (updateConverged && residualNorm <= options.residualTol) {
                 result.converged = true;
+                observeSolve(result);
                 return result;
             }
         }
@@ -147,6 +163,7 @@ NewtonResult solveNewtonChord(const NewtonSystemFn& system,
 
     result.refactored = true;
     runFullNewton(system, x, nodeRows, options, lu, ws, stats, result);
+    observeSolve(result);
     return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "shtrace/analysis/dc_op.hpp"
 #include "shtrace/circuit/assembler.hpp"
+#include "shtrace/obs/obs.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -65,6 +66,20 @@ public:
           asmb_(circuit.systemSize()) {}
 
     TransientResult run() {
+        SHTRACE_SPAN("transient.solve");
+        if (!obs::enabled()) {
+            return runImpl();
+        }
+        const long long startNs = obs::monotonicNanos();
+        TransientResult result = runImpl();
+        obs::observe(
+            obs::Hist::TransientWallMilliseconds,
+            static_cast<double>(obs::monotonicNanos() - startNs) / 1.0e6);
+        return result;
+    }
+
+private:
+    TransientResult runImpl() {
         TransientResult result;
         const double span = opt_.tStop - opt_.tStart;
         require(span > 0.0, "TransientAnalysis: tStop must exceed tStart");
@@ -305,6 +320,7 @@ private:
     ///                                                       J = 1.5C/dt + G
     bool solveStep(const StepHistory& prev, const StepHistory* prev2,
                    StepHistory& next, double dt) {
+        SHTRACE_FINE_SPAN("transient.step");
         const IntegrationMethod method = effectiveMethod(prev2);
         const bool trap = method == IntegrationMethod::Trapezoidal;
         const bool gear = method == IntegrationMethod::Gear2;
@@ -411,6 +427,7 @@ private:
     void advanceSensitivities(const StepHistory& prev,
                               const StepHistory* prev2, StepHistory& next,
                               double dt) {
+        SHTRACE_FINE_SPAN("transient.sensitivities");
         const IntegrationMethod method = effectiveMethod(prev2);
         const bool trap = method == IntegrationMethod::Trapezoidal;
         const bool gear = method == IntegrationMethod::Gear2;

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "cache_glue.hpp"
+#include "shtrace/obs/obs.hpp"
 
 namespace shtrace {
 
@@ -34,10 +35,8 @@ void traceFrom(const CharacterizationProblem& problem, SkewPoint seed,
     }
 }
 
-}  // namespace
-
-CharacterizeResult characterizeInterdependent(
-    const RegisterFixture& fixture, const CharacterizeOptions& options) {
+CharacterizeResult characterizeImpl(const RegisterFixture& fixture,
+                                    const CharacterizeOptions& options) {
     CharacterizeResult result;
     ScopedTimer timer(&result.stats);
 
@@ -80,7 +79,10 @@ CharacterizeResult characterizeInterdependent(
             result.seed.found = true;
             result.seed.seed = *warm;
             result.stats.cacheWarmStarts = 1;
+            const std::uint64_t op = result.stats.hEvaluations;
             traceFrom(problem, *warm, options, &result);
+            result.contour.diagnostics.markPreTrace(
+                TimelineEventKind::WarmStart, *warm, op);
         }
     }
 
@@ -91,7 +93,10 @@ CharacterizeResult characterizeInterdependent(
             result.failureReason = "contour seed search failed";
             return result;
         }
+        const std::uint64_t op = result.stats.hEvaluations;
         traceFrom(problem, result.seed.seed, options, &result);
+        result.contour.diagnostics.markPreTrace(TimelineEventKind::SeedFound,
+                                                result.seed.seed, op);
     }
 
     if (result.success && cache && chz_detail::mayWrite(options)) {
@@ -102,6 +107,23 @@ CharacterizeResult characterizeInterdependent(
         entry.payload = store::serializeCharacterizeResult(result);
         cache->save(entry);
     }
+    return result;
+}
+
+}  // namespace
+
+CharacterizeResult characterizeInterdependent(
+    const RegisterFixture& fixture, const CharacterizeOptions& options) {
+    obs::RunObservation observation(options.metricsPath,
+                                    options.spanTracePath);
+    CharacterizeResult result;
+    {
+        // Scoped so the span is closed (and in the ring) before finish()
+        // snapshots the trace.
+        SHTRACE_SPAN("chz.characterize");
+        result = characterizeImpl(fixture, options);
+    }
+    observation.finish(result.stats);
     return result;
 }
 

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "cache_glue.hpp"
+#include "shtrace/obs/obs.hpp"
 #include "shtrace/util/error.hpp"
 #include "shtrace/util/units.hpp"
 
@@ -14,6 +15,7 @@ namespace {
 
 LibraryRow characterizeOne(const LibraryCell& cell, const RunConfig& opt,
                            const store::ResultStore* cache) {
+    SHTRACE_SPAN("chz.library_row");
     LibraryRow row;
     row.cell = cell.name;
     ScopedTimer timer(&row.stats);
@@ -81,9 +83,12 @@ LibraryRow characterizeOne(const LibraryCell& cell, const RunConfig& opt,
                 if (const auto warm = chz_detail::warmStartPoint(
                         *cache, *key, opt.tracer)) {
                     row.stats.cacheWarmStarts = 1;
+                    const std::uint64_t op = row.stats.hEvaluations;
                     const TracedContour contour = traceContour(
                         problem.h(), *warm, opt.tracer, &row.stats);
                     row.diagnostics = contour.diagnostics;
+                    row.diagnostics.markPreTrace(TimelineEventKind::WarmStart,
+                                                 *warm, op);
                     if (contour.seedConverged && !contour.points.empty()) {
                         row.contour = contour.points;
                         traced = true;
@@ -101,9 +106,12 @@ LibraryRow characterizeOne(const LibraryCell& cell, const RunConfig& opt,
                 start.hold =
                     std::clamp(start.hold, opt.tracer.bounds.holdMin,
                                opt.tracer.bounds.holdMax);
+                const std::uint64_t op = row.stats.hEvaluations;
                 const TracedContour contour =
                     traceContour(problem.h(), start, opt.tracer, &row.stats);
                 row.diagnostics = contour.diagnostics;
+                row.diagnostics.markPreTrace(TimelineEventKind::SeedFound,
+                                             seed.seed, op);
                 if (!contour.seedConverged || contour.points.empty()) {
                     const std::string why = contour.diagnostics.summary();
                     row.failureReason =
@@ -134,6 +142,12 @@ LibraryRow characterizeOne(const LibraryCell& cell, const RunConfig& opt,
 
 LibraryResult characterizeLibrary(const std::vector<LibraryCell>& cells,
                                   const RunConfig& config) {
+    obs::RunObservation observation(config.metricsPath,
+                                    config.spanTracePath);
+    obs::setGauge(obs::Gauge::WorkerThreads,
+                  resolveThreadCount(config.parallel.threads, cells.size()));
+    obs::setGauge(obs::Gauge::BatchJobs,
+                  static_cast<double>(cells.size()));
     LibraryResult result;
     result.rows.resize(cells.size());
     const std::optional<store::ResultStore> cache =
@@ -158,6 +172,7 @@ LibraryResult characterizeLibrary(const std::vector<LibraryCell>& cells,
     for (const LibraryRow& row : result.rows) {
         result.stats.merge(row.stats);
     }
+    observation.finish(result.stats);
     return result;
 }
 

@@ -6,6 +6,7 @@
 #include <random>
 
 #include "cache_glue.hpp"
+#include "shtrace/obs/obs.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -61,6 +62,7 @@ MonteCarloResult runMonteCarlo(const ProcessCorner& nominal,
                                const MonteCarloOptions& opt,
                                SimStats* stats) {
     require(opt.samples >= 1, "runMonteCarlo: need at least one sample");
+    obs::RunObservation observation(opt.metricsPath, opt.spanTracePath);
     MonteCarloResult result;
     result.samplesRequested = opt.samples;
 
@@ -76,11 +78,14 @@ MonteCarloResult runMonteCarlo(const ProcessCorner& nominal,
     const std::size_t jobs = static_cast<std::size_t>(opt.samples);
     std::vector<SampleSlot> slots(jobs);
     RunContext context(opt, jobs);
+    obs::setGauge(obs::Gauge::WorkerThreads, context.threads());
+    obs::setGauge(obs::Gauge::BatchJobs, static_cast<double>(jobs));
     const std::optional<store::ResultStore> cache = chz_detail::openStore(opt);
 
     parallelRun(
         jobs,
         [&](std::size_t job, std::size_t /*worker*/) {
+            SHTRACE_SPAN("chz.mc_sample");
             SimStats& jobStats = context.jobStats(job);
             try {
                 const ProcessCorner corner = sampleCorner(
@@ -163,6 +168,7 @@ MonteCarloResult runMonteCarlo(const ProcessCorner& nominal,
     result.setup = summarize(result.setupTimes);
     result.hold = summarize(result.holdTimes);
     result.clockToQ = summarize(result.clockToQs);
+    observation.finish(result.stats);
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "shtrace/linalg/pseudo_inverse.hpp"
+#include "shtrace/obs/obs.hpp"
 
 namespace shtrace {
 
@@ -30,10 +31,8 @@ bool absorbEvaluation(const HEvaluation& eval, MpnrResult& result) {
     return true;
 }
 
-}  // namespace
-
-MpnrResult solveMpnr(const HFunction& h, SkewPoint guess,
-                     const MpnrOptions& options, SimStats* stats) {
+MpnrResult solveMpnrIterate(const HFunction& h, SkewPoint guess,
+                            const MpnrOptions& options, SimStats* stats) {
     MpnrResult result;
     result.point = guess;
 
@@ -95,10 +94,10 @@ MpnrResult solveMpnr(const HFunction& h, SkewPoint guess,
     return result;
 }
 
-MpnrResult solveArclengthCorrector(const HFunction& h, SkewPoint guess,
-                                   const Vector& tangent,
-                                   const MpnrOptions& options,
-                                   SimStats* stats) {
+MpnrResult solveArclengthIterate(const HFunction& h, SkewPoint guess,
+                                 const Vector& tangent,
+                                 const MpnrOptions& options,
+                                 SimStats* stats) {
     require(tangent.size() == 2, "solveArclengthCorrector: tangent must be 2D");
     MpnrResult result;
     result.point = guess;
@@ -165,6 +164,35 @@ MpnrResult solveArclengthCorrector(const HFunction& h, SkewPoint guess,
             return result;
         }
     }
+    return result;
+}
+
+/// One histogram sample per corrector attempt, converged or not.
+void observeCorrector(const MpnrResult& result) {
+    if (obs::enabled()) {
+        obs::observe(obs::Hist::CorrectorIterationsPerPoint,
+                     static_cast<double>(result.iterations));
+    }
+}
+
+}  // namespace
+
+MpnrResult solveMpnr(const HFunction& h, SkewPoint guess,
+                     const MpnrOptions& options, SimStats* stats) {
+    SHTRACE_SPAN("mpnr.solve");
+    const MpnrResult result = solveMpnrIterate(h, guess, options, stats);
+    observeCorrector(result);
+    return result;
+}
+
+MpnrResult solveArclengthCorrector(const HFunction& h, SkewPoint guess,
+                                   const Vector& tangent,
+                                   const MpnrOptions& options,
+                                   SimStats* stats) {
+    SHTRACE_SPAN("mpnr.solve");
+    const MpnrResult result =
+        solveArclengthIterate(h, guess, tangent, options, stats);
+    observeCorrector(result);
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "cache_glue.hpp"
+#include "shtrace/obs/obs.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -13,6 +14,7 @@ PvtCornerResult characterizeCorner(const ProcessCorner& corner,
                                    const CornerFixtureBuilder& builder,
                                    const RunConfig& config,
                                    const store::ResultStore* cache) {
+    SHTRACE_SPAN("chz.pvt_corner");
     PvtCornerResult row;
     row.corner = corner.name;
     ScopedTimer timer(&row.stats);
@@ -78,6 +80,13 @@ PvtCornerResult characterizeCorner(const ProcessCorner& corner,
 PvtSweepResult sweepPvtCorners(const std::vector<ProcessCorner>& corners,
                                const CornerFixtureBuilder& builder,
                                const RunConfig& config) {
+    obs::RunObservation observation(config.metricsPath,
+                                    config.spanTracePath);
+    obs::setGauge(
+        obs::Gauge::WorkerThreads,
+        resolveThreadCount(config.parallel.threads, corners.size()));
+    obs::setGauge(obs::Gauge::BatchJobs,
+                  static_cast<double>(corners.size()));
     PvtSweepResult result;
     result.rows.resize(corners.size());
     const std::optional<store::ResultStore> cache =
@@ -99,6 +108,7 @@ PvtSweepResult sweepPvtCorners(const std::vector<ProcessCorner>& corners,
     for (const PvtCornerResult& row : result.rows) {
         result.stats.merge(row.stats);
     }
+    observation.finish(result.stats);
     return result;
 }
 

@@ -2,9 +2,24 @@
 
 #include <cmath>
 
+#include "shtrace/obs/obs.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
+
+namespace {
+
+struct SeedSearchObservation {
+    const SeedResult* result;
+    ~SeedSearchObservation() {
+        if (obs::enabled()) {
+            obs::observe(obs::Hist::SeedEvaluationsPerSearch,
+                         static_cast<double>(result->evaluations));
+        }
+    }
+};
+
+}  // namespace
 
 SeedResult findSeedPoint(const HFunction& h, double passSign,
                          const SeedOptions& opt, SimStats* stats) {
@@ -12,7 +27,9 @@ SeedResult findSeedPoint(const HFunction& h, double passSign,
             "findSeedPoint: passSign must be +1 or -1");
     require(opt.setupLo < opt.setupHi, "findSeedPoint: bad initial bracket");
 
+    SHTRACE_SPAN("seed.bisection");
     SeedResult result;
+    const SeedSearchObservation observation{&result};
     const double th = opt.holdSkewLarge;
 
     // Signed pass metric: positive when the register latched in time.

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "cache_glue.hpp"
+#include "shtrace/obs/obs.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -66,6 +67,8 @@ SurfaceMethodResult runSurfaceMethod(const FixtureSource& source,
                                      const RunConfig& config,
                                      const SurfaceMethodOptions& opt) {
     require(source != nullptr, "runSurfaceMethod: null fixture source");
+    obs::RunObservation observation(config.metricsPath,
+                                    config.spanTracePath);
 
     // The store can answer the whole grid: one entry per (fixture,
     // criterion, recipe, grid spec). Building one fixture for the key is
@@ -84,6 +87,7 @@ SurfaceMethodResult runSurfaceMethod(const FixtureSource& source,
                         store::deserializeSurfaceResult(entry->payload);
                     cached.stats = SimStats{};
                     cached.stats.cacheHits = 1;
+                    observation.finish(cached.stats);
                     return cached;
                 } catch (const store::StoreFormatError&) {
                     // Unreadable payload: recompute and overwrite.
@@ -112,12 +116,15 @@ SurfaceMethodResult runSurfaceMethod(const FixtureSource& source,
     };
     const std::size_t rows = surface.setupCount();
     const int threads = resolveThreadCount(config.parallel.threads, rows);
+    obs::setGauge(obs::Gauge::WorkerThreads, threads);
+    obs::setGauge(obs::Gauge::BatchJobs, static_cast<double>(rows));
     std::vector<std::unique_ptr<Worker>> workers(
         static_cast<std::size_t>(threads));
 
     parallelRun(
         rows,
         [&](std::size_t i, std::size_t workerIndex) {
+            SHTRACE_SPAN("chz.surface_row");
             // Lazily build the context on the worker's first job; each
             // worker only ever touches its own slot.
             std::unique_ptr<Worker>& slot = workers[workerIndex];
@@ -155,6 +162,7 @@ SurfaceMethodResult runSurfaceMethod(const FixtureSource& source,
             cache->save(entry);
         }
     }
+    observation.finish(result.stats);
     return result;
 }
 

@@ -4,11 +4,38 @@
 #include <cmath>
 
 #include "shtrace/linalg/pseudo_inverse.hpp"
+#include "shtrace/obs/obs.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
 
 namespace {
+
+/// The two clocks a TimelineEvent carries: the deterministic operation
+/// index (h evaluations completed, identical across thread counts) and a
+/// wall-clock offset that is recorded only while obs is enabled -- it must
+/// stay exactly 0.0 otherwise so default-mode store payloads are
+/// byte-identical.
+class TimelineClock {
+public:
+    explicit TimelineClock(const SimStats* stats)
+        : stats_(stats),
+          live_(obs::enabled()),
+          startNs_(live_ ? obs::monotonicNanos() : 0) {}
+
+    std::uint64_t opIndex() const {
+        return stats_ != nullptr ? stats_->hEvaluations : 0;
+    }
+    double wallNs() const {
+        return live_ ? static_cast<double>(obs::monotonicNanos() - startNs_)
+                     : 0.0;
+    }
+
+private:
+    const SimStats* stats_;
+    bool live_;
+    long long startNs_;
+};
 
 struct PointOnCurve {
     SkewPoint p;
@@ -46,7 +73,9 @@ TraceEventKind classifyRejection(const MpnrResult& r) {
 void traceDirection(const HFunction& h, const TracerOptions& opt,
                     PointOnCurve start, Vector tangent, int budget,
                     TracePhase phase, std::vector<PointOnCurve>& out,
-                    int& retries, TraceDiagnostics& diag, SimStats* stats) {
+                    int& retries, TraceDiagnostics& diag, SimStats* stats,
+                    const TimelineClock& clock) {
+    SHTRACE_SPAN("tracer.direction");
     PointOnCurve current = start;
     double alpha = opt.stepLength;
 
@@ -65,6 +94,8 @@ void traceDirection(const HFunction& h, const TracerOptions& opt,
         if (stats != nullptr) {
             ++stats->traceStepHalvings;
         }
+        diag.mark(TimelineEventKind::Halving, phase, current.p,
+                  clock.opIndex(), clock.wallNs());
         lateral = 0.0;
         if (resetPull) {
             pull = 1.0;
@@ -136,6 +167,9 @@ void traceDirection(const HFunction& h, const TracerOptions& opt,
                         if (stats != nullptr) {
                             ++stats->traceTransientRetries;
                         }
+                        diag.mark(TimelineEventKind::Retry, phase,
+                                  corrected.point, clock.opIndex(),
+                                  clock.wallNs());
                         lateral = opt.transientRetryJitter * alpha *
                                   (transientRetries % 2 == 1 ? 1.0 : -1.0);
                     } else {
@@ -151,6 +185,9 @@ void traceDirection(const HFunction& h, const TracerOptions& opt,
                         if (stats != nullptr) {
                             ++stats->tracePlateauReseeds;
                         }
+                        diag.mark(TimelineEventKind::Reseed, phase,
+                                  corrected.point, clock.opIndex(),
+                                  clock.wallNs());
                         pull *= opt.plateauReseedPull;
                         lateral = 0.0;
                     } else {
@@ -183,6 +220,8 @@ void traceDirection(const HFunction& h, const TracerOptions& opt,
         next.dhdh = corrected.dhdh;
         next.iterations = corrected.iterations;
         out.push_back(next);
+        diag.mark(TimelineEventKind::PointAccepted, phase, next.p,
+                  clock.opIndex(), clock.wallNs());
         lateral = 0.0;
         pull = 1.0;
         transientRetries = 0;
@@ -220,6 +259,8 @@ double TracedContour::averageCorrectorIterations() const {
 TracedContour traceContour(const HFunction& h, SkewPoint seed,
                            const TracerOptions& opt, SimStats* stats) {
     require(opt.maxPoints >= 1, "traceContour: maxPoints must be >= 1");
+    SHTRACE_SPAN("tracer.contour");
+    const TimelineClock clock(stats);
     TracedContour contour;
 
     // Put the seed exactly on the curve.
@@ -236,6 +277,9 @@ TracedContour traceContour(const HFunction& h, SkewPoint seed,
         return contour;  // seedConverged stays false
     }
     contour.seedConverged = true;
+    contour.diagnostics.mark(TimelineEventKind::SeedCorrected,
+                             TracePhase::Seed, seedResult.point,
+                             clock.opIndex(), clock.wallNs());
     const bool seedInWindow = opt.bounds.contains(seedResult.point);
     if (!seedInWindow) {
         // The corrector pulled the seed onto the curve but OUTSIDE the
@@ -266,14 +310,15 @@ TracedContour traceContour(const HFunction& h, SkewPoint seed,
     std::vector<PointOnCurve> forward;
     std::vector<PointOnCurve> backward;
     traceDirection(h, opt, p0, t0, remaining, TracePhase::Forward, forward,
-                   contour.predictorRetries, contour.diagnostics, stats);
+                   contour.predictorRetries, contour.diagnostics, stats,
+                   clock);
     if (opt.traceBothDirections) {
         Vector tNeg = t0;
         tNeg *= -1.0;
         const int budget = remaining - static_cast<int>(forward.size());
         traceDirection(h, opt, p0, tNeg, budget, TracePhase::Backward,
                        backward, contour.predictorRetries,
-                       contour.diagnostics, stats);
+                       contour.diagnostics, stats, clock);
     }
 
     // Splice: reversed backward + seed + forward, then order by setup skew

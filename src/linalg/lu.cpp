@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "shtrace/obs/span.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -11,6 +12,7 @@ bool LuFactorization::factor(const Matrix& a, SimStats* stats,
                              double pivotTol) {
     require(a.rows() == a.cols(), "LU requires a square matrix, got ",
             a.rows(), "x", a.cols());
+    SHTRACE_FINE_SPAN("lu.factor");
     const std::size_t n = a.rows();
     // Vector copy-assignment reuses existing capacity, so after the first
     // factor() at a given size this copy allocates nothing -- the transient
@@ -92,6 +94,7 @@ Vector LuFactorization::solve(const Vector& b, SimStats* stats) const {
 void LuFactorization::solveInPlace(Vector& b, SimStats* stats) const {
     require(valid_, "LuFactorization::solve on invalid factorization");
     require(b.size() == dimension(), "LU solve dimension mismatch");
+    SHTRACE_FINE_SPAN("lu.solve");
     const std::size_t n = dimension();
     // Apply the permutation into the reused scratch buffer (resize is a
     // no-op after the first solve at this size).

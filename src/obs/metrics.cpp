@@ -1,0 +1,441 @@
+#include "shtrace/obs/obs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace::obs {
+
+namespace {
+
+constexpr std::size_t kHistCount = static_cast<std::size_t>(Hist::kCount);
+constexpr std::size_t kGaugeCount = static_cast<std::size_t>(Gauge::kCount);
+// Largest finite-bound count across all histograms; shards are fixed-size
+// arrays so observe() never allocates.
+constexpr std::size_t kMaxBounds = 12;
+
+struct HistDef {
+    const char* name;
+    const char* help;
+    std::size_t boundCount;
+    std::array<double, kMaxBounds> bounds;
+};
+
+constexpr std::array<HistDef, kHistCount> kHistDefs{{
+    {"shtrace_newton_iterations_per_step",
+     "Full Newton iterations per transient step solve.", 8,
+     {1, 2, 3, 4, 5, 6, 8, 12}},
+    {"shtrace_chord_iterations_per_step",
+     "Reused-LU (chord) Newton iterations per transient step solve.", 8,
+     {1, 2, 3, 4, 5, 6, 8, 12}},
+    {"shtrace_corrector_iterations_per_point",
+     "Moore-Penrose corrector iterations per contour point attempt.", 8,
+     {1, 2, 3, 4, 6, 8, 12, 16}},
+    {"shtrace_seed_evaluations_per_search",
+     "h evaluations per seed bisection search.", 10,
+     {2, 4, 6, 8, 12, 16, 24, 32, 48, 64}},
+    {"shtrace_transient_wall_milliseconds",
+     "Wall time of one complete transient analysis in milliseconds.", 12,
+     {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}},
+}};
+
+struct GaugeDef {
+    const char* name;
+    const char* help;
+};
+
+constexpr std::array<GaugeDef, kGaugeCount> kGaugeDefs{{
+    {"shtrace_worker_threads",
+     "Resolved worker thread count of the most recent batch run."},
+    {"shtrace_batch_jobs", "Job count of the most recent batch run."},
+}};
+
+struct HistShard {
+    std::array<std::uint64_t, kMaxBounds + 1> buckets{};  // last is +Inf
+    std::uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/// One thread's private slice of the registry. Written by the owner thread
+/// only; merged under the registry mutex after workers join (the SimStats
+/// discipline).
+struct MetricsShard {
+    std::array<HistShard, kHistCount> hists{};
+};
+
+struct MetricsRegistry {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<MetricsShard>> shards;
+    MetricsShard retired;  ///< folded-in shards of exited threads
+    std::array<double, kGaugeCount> gauges{};
+    SimStats counters;  ///< accumulated per-run merged stats
+};
+
+MetricsRegistry& registry() {
+    static MetricsRegistry* r = new MetricsRegistry();  // outlives TLS dtors
+    return *r;
+}
+
+MetricsShard& localShard() {
+    thread_local std::shared_ptr<MetricsShard> shard = [] {
+        auto s = std::make_shared<MetricsShard>();
+        MetricsRegistry& reg = registry();
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        reg.shards.push_back(s);
+        return s;
+    }();
+    return *shard;
+}
+
+void foldShardInto(MetricsShard& into, const MetricsShard& from) {
+    for (std::size_t h = 0; h < kHistCount; ++h) {
+        for (std::size_t b = 0; b <= kMaxBounds; ++b) {
+            into.hists[h].buckets[b] += from.hists[h].buckets[b];
+        }
+        into.hists[h].count += from.hists[h].count;
+        into.hists[h].sum += from.hists[h].sum;
+    }
+}
+
+/// Folds shards whose owner thread has exited (registry holds the last
+/// reference) into `retired`, bounding registry growth across many batch
+/// runs. Caller holds the registry mutex.
+void compactLocked(MetricsRegistry& reg) {
+    auto dead = std::remove_if(reg.shards.begin(), reg.shards.end(),
+                               [&](const std::shared_ptr<MetricsShard>& s) {
+                                   if (s.use_count() != 1) {
+                                       return false;
+                                   }
+                                   foldShardInto(reg.retired, *s);
+                                   return true;
+                               });
+    reg.shards.erase(dead, reg.shards.end());
+}
+
+void formatNumber(std::ostringstream& os, double v) {
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v >= -9.0e15 && v <= 9.0e15) {
+        os << static_cast<long long>(v);
+    } else {
+        std::ostringstream tmp;
+        tmp.precision(17);
+        tmp << v;
+        os << tmp.str();
+    }
+}
+
+struct CounterField {
+    const char* name;
+    const char* help;
+    std::uint64_t SimStats::*field;
+};
+
+// One row per SimStats counter; wallSeconds is appended separately (it is
+// the only double). test_stats.cpp guards the field count against drift.
+constexpr std::array<CounterField, 20> kCounterFields{{
+    {"shtrace_transient_solves_total", "Complete transient analyses.",
+     &SimStats::transientSolves},
+    {"shtrace_time_steps_total", "Accepted time steps.", &SimStats::timeSteps},
+    {"shtrace_rejected_steps_total", "Steps rejected by LTE control.",
+     &SimStats::rejectedSteps},
+    {"shtrace_newton_iterations_total",
+     "Nonlinear iterations across all solvers.", &SimStats::newtonIterations},
+    {"shtrace_lu_factorizations_total", "LU factorizations.",
+     &SimStats::luFactorizations},
+    {"shtrace_lu_solves_total",
+     "LU back-substitutions including sensitivities.", &SimStats::luSolves},
+    {"shtrace_device_evaluations_total", "Full-circuit assembly passes.",
+     &SimStats::deviceEvaluations},
+    {"shtrace_residual_only_assemblies_total",
+     "Residual-only (f/q, no G/C) assembly passes.",
+     &SimStats::residualOnlyAssemblies},
+    {"shtrace_chord_iterations_total",
+     "Newton iterations on a reused LU factorization.",
+     &SimStats::chordIterations},
+    {"shtrace_bypassed_factorizations_total",
+     "LU factorizations avoided by chord reuse.",
+     &SimStats::bypassedFactorizations},
+    {"shtrace_sensitivity_steps_total", "Sensitivity recurrence updates.",
+     &SimStats::sensitivitySteps},
+    {"shtrace_h_evaluations_total", "Evaluations of h(tau_s, tau_h).",
+     &SimStats::hEvaluations},
+    {"shtrace_mpnr_iterations_total", "Moore-Penrose Newton iterations.",
+     &SimStats::mpnrIterations},
+    {"shtrace_cache_hits_total", "Jobs served from the persistent store.",
+     &SimStats::cacheHits},
+    {"shtrace_cache_misses_total", "Store lookups that computed.",
+     &SimStats::cacheMisses},
+    {"shtrace_cache_warm_starts_total",
+     "Traces seeded from a near-hit cached contour.",
+     &SimStats::cacheWarmStarts},
+    {"shtrace_trace_nonfinite_rejections_total",
+     "NaN/Inf rejections at tracer guards.",
+     &SimStats::traceNonFiniteRejections},
+    {"shtrace_trace_transient_retries_total",
+     "Perturbed-predictor retries after transient failures.",
+     &SimStats::traceTransientRetries},
+    {"shtrace_trace_plateau_reseeds_total",
+     "Pulled-back re-seeds after gradient plateaus.",
+     &SimStats::tracePlateauReseeds},
+    {"shtrace_trace_step_halvings_total", "Predictor step-length halvings.",
+     &SimStats::traceStepHalvings},
+}};
+
+}  // namespace
+
+void observe(Hist hist, double value) noexcept {
+    if (!enabled()) {
+        return;
+    }
+    const auto h = static_cast<std::size_t>(hist);
+    if (h >= kHistCount) {
+        return;
+    }
+    HistShard& shard = localShard().hists[h];
+    ++shard.count;
+    shard.sum += value;
+    const HistDef& def = kHistDefs[h];
+    std::size_t b = 0;
+    while (b < def.boundCount && value > def.bounds[b]) {
+        ++b;
+    }
+    // b == boundCount lands in the +Inf bucket, stored at index boundCount.
+    ++shard.buckets[b];
+}
+
+void setGauge(Gauge gauge, double value) noexcept {
+    if (!enabled()) {
+        return;
+    }
+    const auto g = static_cast<std::size_t>(gauge);
+    if (g >= kGaugeCount) {
+        return;
+    }
+    MetricsRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.gauges[g] = value;
+}
+
+void addRunCounters(const SimStats& stats) noexcept {
+    if (!enabled()) {
+        return;
+    }
+    MetricsRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    // Field-wise (not SimStats::operator+=) so the obs module stays at the
+    // bottom of the link graph, below shtrace::util.
+    for (const CounterField& field : kCounterFields) {
+        reg.counters.*(field.field) += stats.*(field.field);
+    }
+    reg.counters.wallSeconds += stats.wallSeconds;
+}
+
+MetricsSnapshot metricsSnapshot() {
+    MetricsSnapshot snapshot;
+    MetricsRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    compactLocked(reg);
+
+    MetricsShard merged = reg.retired;
+    for (const auto& shard : reg.shards) {
+        foldShardInto(merged, *shard);
+    }
+
+    for (const CounterField& field : kCounterFields) {
+        CounterSnapshot c;
+        c.name = field.name;
+        c.help = field.help;
+        c.value = static_cast<double>(reg.counters.*(field.field));
+        snapshot.counters.push_back(std::move(c));
+    }
+    {
+        CounterSnapshot wall;
+        wall.name = "shtrace_wall_seconds_total";
+        wall.help = "Accumulated ScopedTimer wall seconds.";
+        wall.value = reg.counters.wallSeconds;
+        snapshot.counters.push_back(std::move(wall));
+    }
+
+    for (std::size_t g = 0; g < kGaugeCount; ++g) {
+        GaugeSnapshot gauge;
+        gauge.name = kGaugeDefs[g].name;
+        gauge.help = kGaugeDefs[g].help;
+        gauge.value = reg.gauges[g];
+        snapshot.gauges.push_back(std::move(gauge));
+    }
+
+    for (std::size_t h = 0; h < kHistCount; ++h) {
+        const HistDef& def = kHistDefs[h];
+        HistogramSnapshot hist;
+        hist.name = def.name;
+        hist.help = def.help;
+        hist.upperBounds.assign(def.bounds.begin(),
+                                def.bounds.begin() + def.boundCount);
+        hist.counts.assign(merged.hists[h].buckets.begin(),
+                           merged.hists[h].buckets.begin() +
+                               def.boundCount + 1);
+        hist.totalCount = merged.hists[h].count;
+        hist.sum = merged.hists[h].sum;
+        snapshot.histograms.push_back(std::move(hist));
+    }
+    return snapshot;
+}
+
+void clearMetrics() noexcept {
+    MetricsRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    compactLocked(reg);
+    reg.retired = MetricsShard{};
+    for (const auto& shard : reg.shards) {
+        *shard = MetricsShard{};
+    }
+    reg.gauges.fill(0.0);
+    reg.counters.reset();
+}
+
+std::string prometheusText(const MetricsSnapshot& snapshot) {
+    std::ostringstream os;
+    for (const CounterSnapshot& c : snapshot.counters) {
+        os << "# HELP " << c.name << ' ' << c.help << '\n';
+        os << "# TYPE " << c.name << " counter\n";
+        os << c.name << ' ';
+        formatNumber(os, c.value);
+        os << '\n';
+    }
+    for (const GaugeSnapshot& g : snapshot.gauges) {
+        os << "# HELP " << g.name << ' ' << g.help << '\n';
+        os << "# TYPE " << g.name << " gauge\n";
+        os << g.name << ' ';
+        formatNumber(os, g.value);
+        os << '\n';
+    }
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+        os << "# HELP " << h.name << ' ' << h.help << '\n';
+        os << "# TYPE " << h.name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.upperBounds.size(); ++b) {
+            cumulative += h.counts[b];
+            os << h.name << "_bucket{le=\"";
+            formatNumber(os, h.upperBounds[b]);
+            os << "\"} " << cumulative << '\n';
+        }
+        cumulative += h.counts.back();
+        os << h.name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+        os << h.name << "_sum ";
+        formatNumber(os, h.sum);
+        os << '\n';
+        os << h.name << "_count " << h.totalCount << '\n';
+    }
+    return os.str();
+}
+
+std::string metricsJson(const MetricsSnapshot& snapshot) {
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << "    \""
+           << snapshot.counters[i].name << "\": ";
+        formatNumber(os, snapshot.counters[i].value);
+    }
+    os << "\n  },\n  \"gauges\": {";
+    for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << "    \""
+           << snapshot.gauges[i].name << "\": ";
+        formatNumber(os, snapshot.gauges[i].value);
+    }
+    os << "\n  },\n  \"histograms\": {";
+    for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+        const HistogramSnapshot& h = snapshot.histograms[i];
+        os << (i == 0 ? "\n" : ",\n") << "    \"" << h.name
+           << "\": {\"count\": " << h.totalCount << ", \"sum\": ";
+        formatNumber(os, h.sum);
+        os << ", \"buckets\": [";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.upperBounds.size(); ++b) {
+            cumulative += h.counts[b];
+            os << (b == 0 ? "" : ", ") << "{\"le\": ";
+            formatNumber(os, h.upperBounds[b]);
+            os << ", \"count\": " << cumulative << "}";
+        }
+        cumulative += h.counts.back();
+        os << (h.upperBounds.empty() ? "" : ", ")
+           << "{\"le\": \"+Inf\", \"count\": " << cumulative << "}]}";
+    }
+    os << "\n  }\n}\n";
+    return os.str();
+}
+
+std::string prometheusPathFor(const std::string& jsonPath) {
+    const std::string suffix = ".json";
+    if (jsonPath.size() > suffix.size() &&
+        jsonPath.compare(jsonPath.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+        return jsonPath.substr(0, jsonPath.size() - suffix.size()) + ".prom";
+    }
+    return jsonPath + ".prom";
+}
+
+namespace {
+
+void writeTextFile(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw Error(message("obs: cannot open '", path, "' for writing"));
+    }
+    out << text;
+    if (!out) {
+        throw Error(message("obs: failed writing '", path, "'"));
+    }
+}
+
+}  // namespace
+
+void writeMetricsFiles(const std::string& jsonPath) {
+    const MetricsSnapshot snapshot = metricsSnapshot();
+    writeTextFile(jsonPath, metricsJson(snapshot));
+    writeTextFile(prometheusPathFor(jsonPath), prometheusText(snapshot));
+}
+
+void clearAll() noexcept {
+    clearSpans();
+    clearMetrics();
+}
+
+RunObservation::RunObservation(const std::string& metricsPath,
+                               const std::string& spanTracePath)
+    : metricsPath_(metricsPath),
+      spanTracePath_(spanTracePath),
+      wanted_(!metricsPath.empty() || !spanTracePath.empty()),
+      previousDetail_(detailLevel()) {
+    if (wanted_ && previousDetail_ < static_cast<int>(Detail::Coarse)) {
+        setDetail(Detail::Coarse);
+    }
+}
+
+RunObservation::~RunObservation() {
+    if (wanted_) {
+        setDetail(static_cast<Detail>(previousDetail_));
+    }
+}
+
+void RunObservation::finish(const SimStats& merged) {
+    if (!wanted_ || finished_) {
+        return;
+    }
+    finished_ = true;
+    if (!metricsPath_.empty()) {
+        addRunCounters(merged);
+        writeMetricsFiles(metricsPath_);
+    }
+    if (!spanTracePath_.empty()) {
+        writeChromeTrace(spanTracePath_);
+        writeCollapsedStacks(spanTracePath_ + ".folded");
+    }
+}
+
+}  // namespace shtrace::obs

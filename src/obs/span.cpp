@@ -1,0 +1,317 @@
+#include "shtrace/obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace::obs {
+
+namespace {
+
+// Most-recent 16k spans per thread; a Coarse-level characterization run
+// stays well inside this, Fine-level runs overwrite the oldest records
+// (reported via SpanCounts::dropped rather than silently).
+constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+
+struct SpanSlot {
+    const char* name = nullptr;
+    long long startNs = 0;
+    long long durationNs = 0;
+    unsigned depth = 0;
+};
+
+// Owned jointly by the recording thread (thread_local shared_ptr) and the
+// registry, so rings survive worker-pool threads that exit before export.
+// Slots are written by the owner thread only; readers (collect/clear) must
+// run quiesced -- after the worker pool joins -- which is the same contract
+// SimStats merging already imposes on the drivers.
+struct SpanRing {
+    unsigned threadIndex = 0;
+    std::size_t written = 0;  ///< lifetime pushes; ring keeps the newest
+    unsigned depth = 0;       ///< current nesting depth of the owner thread
+    std::vector<SpanSlot> slots;
+};
+
+struct SpanRegistry {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<SpanRing>> rings;
+    unsigned nextThreadIndex = 0;
+};
+
+SpanRegistry& registry() {
+    static SpanRegistry* r = new SpanRegistry();  // leaked: outlives TLS dtors
+    return *r;
+}
+
+SpanRing& localRing() {
+    thread_local std::shared_ptr<SpanRing> ring = [] {
+        auto r = std::make_shared<SpanRing>();
+        r->slots.resize(kRingCapacity);
+        SpanRegistry& reg = registry();
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        r->threadIndex = reg.nextThreadIndex++;
+        reg.rings.push_back(r);
+        return r;
+    }();
+    return *ring;
+}
+
+std::atomic<int> gDetail{static_cast<int>(Detail::Off)};
+
+std::chrono::steady_clock::time_point clockAnchor() {
+    static const std::chrono::steady_clock::time_point anchor =
+        std::chrono::steady_clock::now();
+    return anchor;
+}
+
+}  // namespace
+
+int detailLevel() noexcept {
+    return gDetail.load(std::memory_order_relaxed);
+}
+
+void setDetail(Detail level) noexcept {
+    gDetail.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void setEnabled(bool on) noexcept {
+    if (on) {
+        if (detailLevel() < static_cast<int>(Detail::Coarse)) {
+            setDetail(Detail::Coarse);
+        }
+    } else {
+        setDetail(Detail::Off);
+    }
+}
+
+long long monotonicNanos() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - clockAnchor())
+        .count();
+}
+
+namespace detail {
+
+long long spanBegin() noexcept {
+    SpanRing& ring = localRing();
+    ++ring.depth;
+    return monotonicNanos();
+}
+
+void spanEnd(const char* name, long long startNs) noexcept {
+    SpanRing& ring = localRing();
+    SpanSlot& slot = ring.slots[ring.written % kRingCapacity];
+    slot.name = name;
+    slot.startNs = startNs;
+    slot.durationNs = monotonicNanos() - startNs;
+    slot.depth = ring.depth > 0 ? ring.depth - 1 : 0;
+    ++ring.written;
+    if (ring.depth > 0) {
+        --ring.depth;
+    }
+}
+
+}  // namespace detail
+
+std::vector<CollectedSpan> collectSpans() {
+    std::vector<CollectedSpan> out;
+    SpanRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& ring : reg.rings) {
+        const std::size_t kept = std::min(ring->written, kRingCapacity);
+        const std::size_t first = ring->written - kept;
+        for (std::size_t i = first; i < ring->written; ++i) {
+            const SpanSlot& slot = ring->slots[i % kRingCapacity];
+            CollectedSpan span;
+            span.name = slot.name != nullptr ? slot.name : "?";
+            span.startNs = slot.startNs;
+            span.durationNs = slot.durationNs;
+            span.depth = slot.depth;
+            span.threadIndex = ring->threadIndex;
+            out.push_back(std::move(span));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CollectedSpan& a, const CollectedSpan& b) {
+                  if (a.threadIndex != b.threadIndex) {
+                      return a.threadIndex < b.threadIndex;
+                  }
+                  if (a.startNs != b.startNs) {
+                      return a.startNs < b.startNs;
+                  }
+                  return a.depth < b.depth;
+              });
+    return out;
+}
+
+SpanCounts spanCounts() {
+    SpanCounts counts;
+    SpanRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& ring : reg.rings) {
+        counts.recorded += ring->written;
+        if (ring->written > kRingCapacity) {
+            counts.dropped += ring->written - kRingCapacity;
+        }
+    }
+    return counts;
+}
+
+void clearSpans() noexcept {
+    SpanRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    // Rings whose owner thread has exited (registry holds the last
+    // reference) are dropped entirely; live rings are rewound in place.
+    auto keep = std::remove_if(
+        reg.rings.begin(), reg.rings.end(),
+        [](const std::shared_ptr<SpanRing>& r) { return r.use_count() == 1; });
+    reg.rings.erase(keep, reg.rings.end());
+    for (const auto& ring : reg.rings) {
+        ring->written = 0;
+        ring->depth = 0;
+    }
+}
+
+namespace {
+
+void jsonEscapeInto(std::ostringstream& os, const std::string& s) {
+    for (char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default: os << c; break;
+        }
+    }
+}
+
+/// Rebuilds the call tree of one thread's spans (sorted by start time)
+/// using interval containment, and emits either trace events or collapsed
+/// stacks. Returns, for each span, the sum of its direct children's
+/// durations (for exclusive-time reporting).
+struct StackFrame {
+    const CollectedSpan* span;
+    long long childNs = 0;
+};
+
+}  // namespace
+
+std::string chromeTraceJson() {
+    const std::vector<CollectedSpan> spans = collectSpans();
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const CollectedSpan& span : spans) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        os << "{\"name\":\"";
+        jsonEscapeInto(os, span.name);
+        // trace_event ts/dur are microseconds.
+        os << "\",\"cat\":\"shtrace\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << span.threadIndex + 1 << ",\"ts\":"
+           << static_cast<double>(span.startNs) / 1000.0
+           << ",\"dur\":" << static_cast<double>(span.durationNs) / 1000.0
+           << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string collapsedStacks() {
+    const std::vector<CollectedSpan> spans = collectSpans();
+    // Aggregate exclusive nanoseconds per unique stack path across all
+    // threads. Spans are sorted (thread, start), so a simple containment
+    // stack rebuilds nesting per thread.
+    std::vector<std::pair<std::string, long long>> lines;
+    std::vector<StackFrame> stack;
+    unsigned currentThread = 0;
+    bool haveThread = false;
+
+    const auto flush = [&](std::size_t downTo) {
+        while (stack.size() > downTo) {
+            const StackFrame frame = stack.back();
+            stack.pop_back();
+            std::string path;
+            for (const StackFrame& f : stack) {
+                path += f.span->name;
+                path += ';';
+            }
+            path += frame.span->name;
+            const long long exclusive =
+                frame.span->durationNs - frame.childNs;
+            lines.emplace_back(std::move(path),
+                               exclusive > 0 ? exclusive : 0);
+            if (!stack.empty()) {
+                stack.back().childNs += frame.span->durationNs;
+            }
+        }
+    };
+
+    for (const CollectedSpan& span : spans) {
+        if (!haveThread || span.threadIndex != currentThread) {
+            flush(0);
+            currentThread = span.threadIndex;
+            haveThread = true;
+        }
+        while (!stack.empty() &&
+               span.startNs >= stack.back().span->startNs +
+                                   stack.back().span->durationNs) {
+            flush(stack.size() - 1);
+        }
+        stack.push_back(StackFrame{&span, 0});
+    }
+    flush(0);
+
+    // Merge identical paths (ring order can interleave same-path spans) and
+    // sort for a deterministic file.
+    std::sort(lines.begin(), lines.end());
+    std::ostringstream os;
+    std::size_t i = 0;
+    while (i < lines.size()) {
+        long long total = 0;
+        std::size_t j = i;
+        while (j < lines.size() && lines[j].first == lines[i].first) {
+            total += lines[j].second;
+            ++j;
+        }
+        os << lines[i].first << ' ' << total << '\n';
+        i = j;
+    }
+    return os.str();
+}
+
+namespace {
+
+void writeTextFile(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw Error(message("obs: cannot open '", path, "' for writing"));
+    }
+    out << text;
+    if (!out) {
+        throw Error(message("obs: failed writing '", path, "'"));
+    }
+}
+
+}  // namespace
+
+void writeChromeTrace(const std::string& path) {
+    writeTextFile(path, chromeTraceJson());
+}
+
+void writeCollapsedStacks(const std::string& path) {
+    writeTextFile(path, collapsedStacks());
+}
+
+}  // namespace shtrace::obs

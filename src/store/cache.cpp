@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "shtrace/obs/span.hpp"
 #include "shtrace/store/key.hpp"
 #include "shtrace/store/serialize.hpp"
 #include "shtrace/util/error.hpp"
@@ -247,6 +248,7 @@ std::string ResultStore::pathFor(std::uint64_t key) const {
 }
 
 std::optional<StoreEntry> ResultStore::load(std::uint64_t key) const {
+    SHTRACE_SPAN("store.load");
     auto entry = parseEntryFile(pathFor(key));
     if (entry && entry->key != key) {
         return std::nullopt;  // renamed or mislabeled entry
@@ -255,6 +257,7 @@ std::optional<StoreEntry> ResultStore::load(std::uint64_t key) const {
 }
 
 void ResultStore::save(const StoreEntry& entry) const {
+    SHTRACE_SPAN("store.save");
     require(!entry.kind.empty(), "ResultStore::save: empty kind");
     require(entry.payload.empty() || entry.payload.back() == '\n',
             "ResultStore::save: payload must be newline-terminated");

@@ -182,6 +182,15 @@ private:
     std::istringstream in_;
 };
 
+// Drift guard: the stats line serializes every SimStats field (20 uint64
+// counters + wallSeconds). A newly added counter changes sizeof(SimStats)
+// and must not silently vanish from the v-format -- update writeStats,
+// readStats, the 21-field check below, and bump kFormatVersion.
+static_assert(sizeof(SimStats) ==
+                  20 * sizeof(std::uint64_t) + sizeof(double),
+              "SimStats changed: extend the store stats line and bump "
+              "kFormatVersion");
+
 void writeStats(std::ostream& os, const SimStats& s) {
     os << "stats " << s.transientSolves << ' ' << s.timeSteps << ' '
        << s.rejectedSteps << ' ' << s.newtonIterations << ' '
@@ -271,6 +280,15 @@ void writeDiagnostics(std::ostream& os, const TraceDiagnostics& d) {
            << toHexFloat(e.stepLength) << ' ' << e.correctorIterations
            << '\n';
     }
+    // Format v4: the ordered whole-trace event timeline. opIndex is the
+    // deterministic operation clock (h evaluations completed); wallNs is
+    // 0.0 unless span tracing was enabled during the trace.
+    os << "timeline " << d.timeline.size() << '\n';
+    for (const TimelineEvent& e : d.timeline) {
+        os << toString(e.kind) << ' ' << toString(e.phase) << ' '
+           << toHexFloat(e.at.setup) << ' ' << toHexFloat(e.at.hold) << ' '
+           << e.opIndex << ' ' << toHexFloat(e.wallNs) << '\n';
+    }
 }
 
 TraceDiagnostics readDiagnostics(Reader& r) {
@@ -298,6 +316,30 @@ TraceDiagnostics readDiagnostics(Reader& r) {
         e.stepLength = num(toks[4]);
         e.correctorIterations = static_cast<int>(integer(toks[5]));
         d.events.push_back(e);
+    }
+    const auto t = r.fields("timeline", 1);
+    const std::size_t m = count(t[0]);
+    d.timeline.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto toks = tokens(r.line());
+        if (toks.size() != 6) {
+            throw StoreFormatError("timeline event needs 6 fields");
+        }
+        TimelineEvent e;
+        bool ok = false;
+        e.kind = timelineEventKindFromString(toks[0], ok);
+        if (!ok) {
+            throw StoreFormatError("bad timeline kind '" + toks[0] + "'");
+        }
+        e.phase = tracePhaseFromString(toks[1], ok);
+        if (!ok) {
+            throw StoreFormatError("bad timeline phase '" + toks[1] + "'");
+        }
+        e.at.setup = num(toks[2]);
+        e.at.hold = num(toks[3]);
+        e.opIndex = counter(toks[4]);
+        e.wallNs = num(toks[5]);
+        d.timeline.push_back(e);
     }
     return d;
 }

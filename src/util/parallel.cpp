@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "shtrace/obs/span.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -51,6 +52,7 @@ void parallelRun(std::size_t jobCount,
     std::string firstFailure;
 
     const auto workerLoop = [&](std::size_t worker) {
+        SHTRACE_SPAN("parallel.worker");
         for (;;) {
             if (stop.load(std::memory_order_relaxed)) {
                 return;
@@ -63,6 +65,7 @@ void parallelRun(std::size_t jobCount,
             const std::size_t end = std::min(jobCount, start + chunk);
             for (std::size_t job = start; job < end; ++job) {
                 try {
+                    SHTRACE_FINE_SPAN("parallel.job");
                     body(job, worker);
                 } catch (const std::exception& e) {
                     std::lock_guard<std::mutex> lock(mutex);

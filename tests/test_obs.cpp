@@ -1,0 +1,406 @@
+// Tests for the obs subsystem: span tracing (ring buffers, detail gating,
+// Chrome trace / collapsed-stack export), the metrics registry (histograms,
+// gauges, SimStats counter publication, Prometheus/JSON export), and the
+// determinism guarantee that histogram counts are identical across thread
+// counts. Runs under the tsan sweep: the collect/export paths must be clean
+// against worker-pool threads that have already joined.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "shtrace/obs/obs.hpp"
+#include "shtrace/util/parallel.hpp"
+
+namespace shtrace {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ObsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::setDetail(obs::Detail::Off);
+        obs::clearAll();
+    }
+    void TearDown() override {
+        obs::setDetail(obs::Detail::Off);
+        obs::clearAll();
+    }
+};
+
+std::string slurp(const fs::path& path) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST_F(ObsTest, DisabledRecordsNothing) {
+    {
+        SHTRACE_SPAN("should.not.appear");
+        SHTRACE_FINE_SPAN("nor.this");
+    }
+    EXPECT_EQ(obs::spanCounts().recorded, 0u);
+    EXPECT_TRUE(obs::collectSpans().empty());
+}
+
+TEST_F(ObsTest, NullSinkSpanIsAnEmptyType) {
+    using NullSpan = obs::BasicScopedSpan<obs::NullSpanSink>;
+    EXPECT_TRUE(std::is_empty_v<NullSpan>);
+    NullSpan proof("compiles and does nothing");
+    (void)proof;
+}
+
+TEST_F(ObsTest, NestedSpansRecordNamesDepthsAndDurations) {
+    obs::setDetail(obs::Detail::Coarse);
+    {
+        SHTRACE_SPAN("outer");
+        {
+            SHTRACE_SPAN("inner");
+        }
+    }
+    obs::setDetail(obs::Detail::Off);
+
+    const std::vector<obs::CollectedSpan> spans = obs::collectSpans();
+    ASSERT_EQ(spans.size(), 2u);
+    // Sorted by (thread, start, depth): outer starts first.
+    EXPECT_EQ(spans[0].name, "outer");
+    EXPECT_EQ(spans[0].depth, 0u);
+    EXPECT_EQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[1].depth, 1u);
+    EXPECT_GE(spans[1].startNs, spans[0].startNs);
+    EXPECT_GE(spans[0].durationNs, spans[1].durationNs);
+}
+
+TEST_F(ObsTest, FineSpansNeedFineDetail) {
+    obs::setDetail(obs::Detail::Coarse);
+    {
+        SHTRACE_FINE_SPAN("kernel");
+    }
+    EXPECT_EQ(obs::spanCounts().recorded, 0u);
+
+    obs::setDetail(obs::Detail::Fine);
+    {
+        SHTRACE_FINE_SPAN("kernel");
+    }
+    obs::setDetail(obs::Detail::Off);
+    const auto spans = obs::collectSpans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "kernel");
+}
+
+TEST_F(ObsTest, RingOverwritesOldestAndCountsDrops) {
+    obs::setDetail(obs::Detail::Coarse);
+    constexpr std::size_t kPushes = 20000;  // ring capacity is 16384
+    for (std::size_t i = 0; i < kPushes; ++i) {
+        SHTRACE_SPAN("tick");
+    }
+    obs::setDetail(obs::Detail::Off);
+    const obs::SpanCounts counts = obs::spanCounts();
+    EXPECT_EQ(counts.recorded, kPushes);
+    EXPECT_GT(counts.dropped, 0u);
+    EXPECT_EQ(obs::collectSpans().size(), kPushes - counts.dropped);
+}
+
+TEST_F(ObsTest, ClearSpansResets) {
+    obs::setDetail(obs::Detail::Coarse);
+    {
+        SHTRACE_SPAN("gone");
+    }
+    obs::setDetail(obs::Detail::Off);
+    obs::clearSpans();
+    EXPECT_EQ(obs::spanCounts().recorded, 0u);
+    EXPECT_TRUE(obs::collectSpans().empty());
+}
+
+TEST_F(ObsTest, ChromeTraceJsonCarriesCompleteEvents) {
+    obs::setDetail(obs::Detail::Coarse);
+    {
+        SHTRACE_SPAN("phase.alpha");
+        SHTRACE_SPAN("phase.beta");
+    }
+    obs::setDetail(obs::Detail::Off);
+    const std::string json = obs::chromeTraceJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"phase.alpha\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"phase.beta\""), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(ObsTest, CollapsedStacksRebuildNesting) {
+    obs::setDetail(obs::Detail::Coarse);
+    {
+        SHTRACE_SPAN("root");
+        {
+            SHTRACE_SPAN("child");
+        }
+    }
+    obs::setDetail(obs::Detail::Off);
+    const std::string folded = obs::collapsedStacks();
+    EXPECT_NE(folded.find("root;child "), std::string::npos);
+    EXPECT_NE(folded.find("root "), std::string::npos);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST_F(ObsTest, ObserveIsNoOpWhileDisabled) {
+    obs::observe(obs::Hist::NewtonIterationsPerStep, 3.0);
+    const obs::MetricsSnapshot snap = obs::metricsSnapshot();
+    for (const obs::HistogramSnapshot& h : snap.histograms) {
+        EXPECT_EQ(h.totalCount, 0u) << h.name;
+    }
+}
+
+TEST_F(ObsTest, HistogramBucketsPlaceValues) {
+    obs::setDetail(obs::Detail::Coarse);
+    // NewtonIterationsPerStep bounds: {1,2,3,4,5,6,8,12}.
+    obs::observe(obs::Hist::NewtonIterationsPerStep, 1.0);   // first bucket
+    obs::observe(obs::Hist::NewtonIterationsPerStep, 7.0);   // le=8 bucket
+    obs::observe(obs::Hist::NewtonIterationsPerStep, 100.0); // +Inf bucket
+    obs::setDetail(obs::Detail::Off);
+
+    const obs::MetricsSnapshot snap = obs::metricsSnapshot();
+    const obs::HistogramSnapshot* hist = nullptr;
+    for (const obs::HistogramSnapshot& h : snap.histograms) {
+        if (h.name == "shtrace_newton_iterations_per_step") {
+            hist = &h;
+        }
+    }
+    ASSERT_NE(hist, nullptr);
+    ASSERT_EQ(hist->counts.size(), hist->upperBounds.size() + 1);
+    EXPECT_EQ(hist->totalCount, 3u);
+    EXPECT_DOUBLE_EQ(hist->sum, 108.0);
+    EXPECT_EQ(hist->counts.front(), 1u);  // the 1.0 observation
+    EXPECT_EQ(hist->counts.back(), 1u);   // the 100.0 overflow
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : hist->counts) {
+        total += c;
+    }
+    EXPECT_EQ(total, hist->totalCount);
+}
+
+TEST_F(ObsTest, GaugesHoldLastValue) {
+    obs::setDetail(obs::Detail::Coarse);
+    obs::setGauge(obs::Gauge::WorkerThreads, 4.0);
+    obs::setGauge(obs::Gauge::WorkerThreads, 8.0);
+    obs::setGauge(obs::Gauge::BatchJobs, 128.0);
+    obs::setDetail(obs::Detail::Off);
+
+    const obs::MetricsSnapshot snap = obs::metricsSnapshot();
+    for (const obs::GaugeSnapshot& g : snap.gauges) {
+        if (g.name == "shtrace_worker_threads") {
+            EXPECT_DOUBLE_EQ(g.value, 8.0);
+        } else if (g.name == "shtrace_batch_jobs") {
+            EXPECT_DOUBLE_EQ(g.value, 128.0);
+        }
+    }
+}
+
+TEST_F(ObsTest, AddRunCountersPublishesAndAccumulates) {
+    obs::setDetail(obs::Detail::Coarse);
+    SimStats stats;
+    stats.transientSolves = 10;
+    stats.hEvaluations = 4;
+    stats.wallSeconds = 0.5;
+    obs::addRunCounters(stats);
+    obs::addRunCounters(stats);
+    obs::setDetail(obs::Detail::Off);
+
+    const obs::MetricsSnapshot snap = obs::metricsSnapshot();
+    // One counter per SimStats field plus wall seconds.
+    EXPECT_EQ(snap.counters.size(), 21u);
+    bool sawTransients = false;
+    bool sawWall = false;
+    for (const obs::CounterSnapshot& c : snap.counters) {
+        if (c.name == "shtrace_transient_solves_total") {
+            sawTransients = true;
+            EXPECT_DOUBLE_EQ(c.value, 20.0);
+        } else if (c.name == "shtrace_wall_seconds_total") {
+            sawWall = true;
+            EXPECT_DOUBLE_EQ(c.value, 1.0);
+        } else if (c.name == "shtrace_h_evaluations_total") {
+            EXPECT_DOUBLE_EQ(c.value, 8.0);
+        }
+    }
+    EXPECT_TRUE(sawTransients);
+    EXPECT_TRUE(sawWall);
+}
+
+TEST_F(ObsTest, PrometheusTextSpeaksTheExpositionFormat) {
+    obs::setDetail(obs::Detail::Coarse);
+    obs::observe(obs::Hist::SeedEvaluationsPerSearch, 5.0);
+    obs::setGauge(obs::Gauge::WorkerThreads, 2.0);
+    SimStats stats;
+    stats.transientSolves = 3;
+    obs::addRunCounters(stats);
+    obs::setDetail(obs::Detail::Off);
+
+    const std::string text = obs::prometheusText(obs::metricsSnapshot());
+    EXPECT_NE(text.find("# HELP shtrace_transient_solves_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE shtrace_transient_solves_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("shtrace_transient_solves_total 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE shtrace_worker_threads gauge"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE shtrace_seed_evaluations_per_search histogram"),
+        std::string::npos);
+    EXPECT_NE(text.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+    EXPECT_NE(text.find("shtrace_seed_evaluations_per_search_sum 5"),
+              std::string::npos);
+    EXPECT_NE(text.find("shtrace_seed_evaluations_per_search_count 1"),
+              std::string::npos);
+    EXPECT_EQ(text.back(), '\n');
+}
+
+TEST_F(ObsTest, JsonMirrorsTheSnapshot) {
+    obs::setDetail(obs::Detail::Coarse);
+    obs::observe(obs::Hist::CorrectorIterationsPerPoint, 2.0);
+    obs::setDetail(obs::Detail::Off);
+    const std::string json = obs::metricsJson(obs::metricsSnapshot());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"shtrace_corrector_iterations_per_point\""),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusPathDerivation) {
+    EXPECT_EQ(obs::prometheusPathFor("a/b/metrics.json"), "a/b/metrics.prom");
+    EXPECT_EQ(obs::prometheusPathFor("noext"), "noext.prom");
+}
+
+TEST_F(ObsTest, WriteMetricsFilesEmitsJsonAndProm) {
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "shtrace_obs_files";
+    fs::create_directories(dir);
+    const std::string jsonPath = (dir / "metrics.json").string();
+
+    obs::setDetail(obs::Detail::Coarse);
+    obs::observe(obs::Hist::TransientWallMilliseconds, 1.5);
+    obs::setDetail(obs::Detail::Off);
+    obs::writeMetricsFiles(jsonPath);
+
+    EXPECT_NE(slurp(jsonPath).find("\"histograms\""), std::string::npos);
+    EXPECT_NE(
+        slurp(obs::prometheusPathFor(jsonPath)).find("# TYPE"),
+        std::string::npos);
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------ determinism
+
+obs::MetricsSnapshot snapshotOfRun(int threads) {
+    obs::clearAll();
+    obs::setDetail(obs::Detail::Coarse);
+    ParallelOptions par;
+    par.threads = threads;
+    parallelRun(
+        64,
+        [](std::size_t job, std::size_t /*worker*/) {
+            obs::observe(obs::Hist::NewtonIterationsPerStep,
+                         static_cast<double>(job % 13));
+            obs::observe(obs::Hist::SeedEvaluationsPerSearch,
+                         static_cast<double>(job));
+        },
+        par);
+    obs::MetricsSnapshot snap = obs::metricsSnapshot();
+    obs::setDetail(obs::Detail::Off);
+    obs::clearAll();
+    return snap;
+}
+
+TEST_F(ObsTest, HistogramCountsIdenticalAcrossThreadCounts) {
+    const obs::MetricsSnapshot serial = snapshotOfRun(1);
+    const obs::MetricsSnapshot pooled = snapshotOfRun(8);
+    ASSERT_EQ(serial.histograms.size(), pooled.histograms.size());
+    for (std::size_t i = 0; i < serial.histograms.size(); ++i) {
+        const obs::HistogramSnapshot& a = serial.histograms[i];
+        const obs::HistogramSnapshot& b = pooled.histograms[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.totalCount, b.totalCount) << a.name;
+        EXPECT_DOUBLE_EQ(a.sum, b.sum) << a.name;
+        ASSERT_EQ(a.counts.size(), b.counts.size());
+        for (std::size_t j = 0; j < a.counts.size(); ++j) {
+            EXPECT_EQ(a.counts[j], b.counts[j]) << a.name << " bucket " << j;
+        }
+    }
+}
+
+TEST_F(ObsTest, SpansFromJoinedWorkersSurviveCollection) {
+    obs::setDetail(obs::Detail::Coarse);
+    ParallelOptions par;
+    par.threads = 4;
+    parallelRun(
+        16,
+        [](std::size_t, std::size_t) {
+            SHTRACE_SPAN("pool.job");
+        },
+        par);
+    obs::setDetail(obs::Detail::Off);
+    // The pool's threads have exited; their rings must still be readable.
+    std::size_t jobSpans = 0;
+    for (const obs::CollectedSpan& span : obs::collectSpans()) {
+        if (span.name == std::string("pool.job")) {
+            ++jobSpans;
+        }
+    }
+    EXPECT_EQ(jobSpans, 16u);
+}
+
+// --------------------------------------------------------- RunObservation
+
+TEST_F(ObsTest, RunObservationEnablesWritesAndRestores) {
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "shtrace_obs_run";
+    fs::create_directories(dir);
+    const std::string jsonPath = (dir / "run.json").string();
+    const std::string tracePath = (dir / "run.trace.json").string();
+
+    ASSERT_FALSE(obs::enabled());
+    {
+        obs::RunObservation observation(jsonPath, tracePath);
+        EXPECT_TRUE(observation.active());
+        EXPECT_TRUE(obs::enabled());
+        {
+            SHTRACE_SPAN("observed.phase");
+        }
+        SimStats stats;
+        stats.transientSolves = 7;
+        observation.finish(stats);
+    }
+    EXPECT_FALSE(obs::enabled());
+
+    EXPECT_NE(slurp(jsonPath).find("shtrace_transient_solves_total"),
+              std::string::npos);
+    EXPECT_NE(slurp(obs::prometheusPathFor(jsonPath))
+                  .find("shtrace_transient_solves_total 7"),
+              std::string::npos);
+    EXPECT_NE(slurp(tracePath).find("observed.phase"), std::string::npos);
+    EXPECT_TRUE(fs::exists(tracePath + ".folded"));
+    fs::remove_all(dir);
+}
+
+TEST_F(ObsTest, RunObservationWithEmptyPathsIsInert) {
+    obs::RunObservation observation("", "");
+    EXPECT_FALSE(observation.active());
+    EXPECT_FALSE(obs::enabled());
+    SimStats stats;
+    observation.finish(stats);  // must not write anywhere or throw
+}
+
+}  // namespace
+}  // namespace shtrace

@@ -1,0 +1,219 @@
+// Tests for the SimStats cost accumulator: merge laws across every field
+// (associativity/commutativity -- the property the parallel batch engine's
+// merge-at-join discipline rests on), the stats-line store round-trip, the
+// field-count drift guard, and the ScopedTimer nesting regression (nested
+// timers on one accumulator must not double-count wall time).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "shtrace/store/serialize.hpp"
+#include "shtrace/util/stats.hpp"
+
+namespace shtrace {
+namespace {
+
+/// Every field distinct, wallSeconds a power of two so double addition is
+/// exactly associative and the merge-law checks can demand equality.
+SimStats distinctStats(std::uint64_t base, double wall) {
+    SimStats s;
+    s.transientSolves = base + 1;
+    s.timeSteps = base + 2;
+    s.rejectedSteps = base + 3;
+    s.newtonIterations = base + 4;
+    s.luFactorizations = base + 5;
+    s.luSolves = base + 6;
+    s.deviceEvaluations = base + 7;
+    s.residualOnlyAssemblies = base + 8;
+    s.chordIterations = base + 9;
+    s.bypassedFactorizations = base + 10;
+    s.sensitivitySteps = base + 11;
+    s.hEvaluations = base + 12;
+    s.mpnrIterations = base + 13;
+    s.cacheHits = base + 14;
+    s.cacheMisses = base + 15;
+    s.cacheWarmStarts = base + 16;
+    s.traceNonFiniteRejections = base + 17;
+    s.traceTransientRetries = base + 18;
+    s.tracePlateauReseeds = base + 19;
+    s.traceStepHalvings = base + 20;
+    s.wallSeconds = wall;
+    return s;
+}
+
+/// serializeSimStats spells every field in declaration order, so comparing
+/// the serialized lines compares ALL fields at once -- a new field that
+/// misses operator+= would surface here without updating 21 EXPECT lines.
+std::string line(const SimStats& s) { return store::serializeSimStats(s); }
+
+TEST(SimStatsMergeLaws, CommutativeOnEveryField) {
+    const SimStats a = distinctStats(100, 0.5);
+    const SimStats b = distinctStats(4000, 0.03125);
+    EXPECT_EQ(line(a + b), line(b + a));
+}
+
+TEST(SimStatsMergeLaws, AssociativeOnEveryField) {
+    const SimStats a = distinctStats(100, 0.5);
+    const SimStats b = distinctStats(4000, 0.03125);
+    const SimStats c = distinctStats(900000, 8.0);
+    EXPECT_EQ(line((a + b) + c), line(a + (b + c)));
+}
+
+TEST(SimStatsMergeLaws, MergeMatchesPlusAndIdentity) {
+    const SimStats a = distinctStats(7, 0.25);
+    SimStats viaMerge = a;
+    viaMerge.merge(distinctStats(31, 2.0));
+    EXPECT_EQ(line(viaMerge), line(a + distinctStats(31, 2.0)));
+    // Zero is the identity.
+    EXPECT_EQ(line(a + SimStats{}), line(a));
+
+    SimStats r = a;
+    r.reset();
+    EXPECT_EQ(line(r), line(SimStats{}));
+}
+
+TEST(SimStatsMergeLaws, SumsAndNeverDrops) {
+    const SimStats sum = distinctStats(100, 0.5) + distinctStats(4000, 0.25);
+    EXPECT_EQ(sum.transientSolves, 101u + 4001u);
+    EXPECT_EQ(sum.traceStepHalvings, 120u + 4020u);
+    EXPECT_DOUBLE_EQ(sum.wallSeconds, 0.75);
+}
+
+// ------------------------------------------------------- drift guards
+
+// The store's stats line, the CLI pretty-printer, and the obs counter
+// export all enumerate SimStats fields by hand. A new field must visit
+// all of them; these guards make forgetting loud.
+
+TEST(SimStatsDriftGuard, StructIsExactlyTwentyCountersPlusWall) {
+    static_assert(sizeof(SimStats) ==
+                      20 * sizeof(std::uint64_t) + sizeof(double),
+                  "SimStats changed: update serialize.cpp, obs/metrics.cpp, "
+                  "shtrace_store_cli.cpp, and this test");
+    SUCCEED();
+}
+
+TEST(SimStatsDriftGuard, StatsLineCarriesTwentyOneFields) {
+    std::istringstream in(store::serializeSimStats(SimStats{}));
+    std::string tag;
+    in >> tag;
+    EXPECT_EQ(tag, "stats");
+    int fields = 0;
+    std::string token;
+    while (in >> token) {
+        ++fields;
+    }
+    EXPECT_EQ(fields, 21);
+}
+
+TEST(SimStatsDriftGuard, StatsLineRoundTripsEveryField) {
+    const SimStats s = distinctStats(12345, 0.12345678901234567);
+    const SimStats back = store::deserializeSimStats(line(s));
+    EXPECT_EQ(line(back), line(s));
+}
+
+// -------------------------------------------------- ScopedTimer nesting
+
+TEST(ScopedTimerNesting, InnerTimerOnSameStatsIsSuppressed) {
+    SimStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        ScopedTimer outer(&stats);
+        EXPECT_FALSE(outer.suppressed());
+        {
+            ScopedTimer inner(&stats);
+            EXPECT_TRUE(inner.suppressed());
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        // Post-inner work is still covered by the outer timer.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const double external =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    // Double counting would make wallSeconds exceed the external window
+    // (outer + inner > elapsed); inclusive-outermost-only stays inside it.
+    EXPECT_GT(stats.wallSeconds, 0.0);
+    EXPECT_LE(stats.wallSeconds, external);
+}
+
+TEST(ScopedTimerNesting, DeepNestingCountsOnce) {
+    SimStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        ScopedTimer a(&stats);
+        ScopedTimer b(&stats);
+        ScopedTimer c(&stats);
+        ScopedTimer d(&stats);
+        EXPECT_TRUE(b.suppressed());
+        EXPECT_TRUE(c.suppressed());
+        EXPECT_TRUE(d.suppressed());
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const double external =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LE(stats.wallSeconds, external);
+}
+
+TEST(ScopedTimerNesting, DifferentStatsNestFreely) {
+    SimStats outerStats;
+    SimStats innerStats;
+    {
+        ScopedTimer outer(&outerStats);
+        ScopedTimer inner(&innerStats);
+        EXPECT_FALSE(inner.suppressed());
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GT(outerStats.wallSeconds, 0.0);
+    EXPECT_GT(innerStats.wallSeconds, 0.0);
+}
+
+TEST(ScopedTimerNesting, SequentialSiblingsBothAccumulate) {
+    SimStats stats;
+    {
+        ScopedTimer first(&stats);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const double afterFirst = stats.wallSeconds;
+    EXPECT_GT(afterFirst, 0.0);
+    {
+        // The first timer is gone: this is NOT nesting and must count.
+        ScopedTimer second(&stats);
+        EXPECT_FALSE(second.suppressed());
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GT(stats.wallSeconds, afterFirst);
+}
+
+TEST(ScopedTimerNesting, SuppressionIsPerThread) {
+    SimStats stats;
+    double wallAtJoin = 0.0;
+    {
+        ScopedTimer outer(&stats);
+        std::thread worker([&] {
+            // The active-timer list is thread-local: another thread's
+            // timer on the SAME accumulator is not "nesting" and counts.
+            // (The worker finishes -- and writes -- before outer does.)
+            ScopedTimer t(&stats);
+            EXPECT_FALSE(t.suppressed());
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        });
+        worker.join();
+        wallAtJoin = stats.wallSeconds;
+    }
+    EXPECT_GT(wallAtJoin, 0.0);
+    EXPECT_GT(stats.wallSeconds, wallAtJoin);  // outer added its own share
+}
+
+TEST(ScopedTimerNesting, NullStatsRemainsNoOp) {
+    ScopedTimer t(nullptr);
+    EXPECT_GE(t.elapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace shtrace

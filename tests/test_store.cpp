@@ -254,6 +254,40 @@ void expectSameDiagnostics(const TraceDiagnostics& a,
         EXPECT_EQ(a.events[i].correctorIterations,
                   b.events[i].correctorIterations);
     }
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_EQ(a.timeline[i].kind, b.timeline[i].kind);
+        EXPECT_EQ(a.timeline[i].phase, b.timeline[i].phase);
+        EXPECT_EQ(std::memcmp(&a.timeline[i].at.setup,
+                              &b.timeline[i].at.setup, sizeof(double)),
+                  0);
+        EXPECT_EQ(std::memcmp(&a.timeline[i].at.hold,
+                              &b.timeline[i].at.hold, sizeof(double)),
+                  0);
+        EXPECT_EQ(a.timeline[i].opIndex, b.timeline[i].opIndex);
+        EXPECT_EQ(std::memcmp(&a.timeline[i].wallNs, &b.timeline[i].wallNs,
+                              sizeof(double)),
+                  0);
+    }
+}
+
+/// An every-kind timeline (pre-trace insertion included) for round trips.
+void fillSampleTimeline(TraceDiagnostics& d) {
+    d.mark(TimelineEventKind::SeedCorrected, TracePhase::Seed,
+           SkewPoint{10e-12, 20e-12}, 31, 0.0);
+    d.mark(TimelineEventKind::PointAccepted, TracePhase::Forward,
+           SkewPoint{11e-12, 19e-12}, 40, 1234.5);
+    d.mark(TimelineEventKind::Retry, TracePhase::Forward,
+           SkewPoint{12e-12, 18e-12}, 55, 2500.0);
+    d.mark(TimelineEventKind::Reseed, TracePhase::Backward,
+           SkewPoint{9e-12, 21e-12}, 60, 0.0);
+    d.mark(TimelineEventKind::Halving, TracePhase::Backward,
+           SkewPoint{8e-12, 22e-12}, 72, 9.75e6);
+    d.markPreTrace(TimelineEventKind::WarmStart, SkewPoint{10e-12, 20e-12},
+                   25);
+    d.markPreTrace(TimelineEventKind::SeedFound, SkewPoint{10e-12, 20e-12},
+                   25);
+    ASSERT_EQ(d.timeline.front().kind, TimelineEventKind::SeedFound);
 }
 
 TEST(StoreSerialize, SimStatsRoundTripsBitForBit) {
@@ -290,6 +324,7 @@ TEST(StoreSerialize, CharacterizeResultRoundTripsBitForBit) {
     r.contour.diagnostics.record(TraceEventKind::LeftBounds,
                                  TracePhase::Backward,
                                  SkewPoint{-3e-12, 4e-12}, 1.25e-12, 2);
+    fillSampleTimeline(r.contour.diagnostics);
     r.stats = sampleStats();
 
     const CharacterizeResult back = store::deserializeCharacterizeResult(
@@ -339,6 +374,7 @@ TEST(StoreSerialize, LibraryRowRoundTripsIncludingStrings) {
     row.diagnostics.record(TraceEventKind::BudgetExhausted,
                            TracePhase::Backward, SkewPoint{5e-12, 6e-12},
                            7e-12, 0);
+    fillSampleTimeline(row.diagnostics);
     row.stats = sampleStats();
 
     const LibraryRow back =
@@ -424,6 +460,33 @@ TEST(StoreSerialize, MalformedPayloadsThrowNotCrash) {
     EXPECT_THROW(store::deserializeMcRow(
                      store::serializeMcRow({true, 1, 2, 3}) + "extra\n"),
                  store::StoreFormatError);
+}
+
+TEST(StoreSerialize, CorruptTimelineThrowsNotCrash) {
+    LibraryRow row;
+    row.cell = "X";
+    row.success = true;
+    fillSampleTimeline(row.diagnostics);
+    const std::string good = store::serializeLibraryRow(row);
+    ASSERT_NE(good.find("\ntimeline "), std::string::npos);
+
+    // Unknown event kind.
+    {
+        std::string bad = good;
+        const std::size_t pos = bad.find("PointAccepted");
+        ASSERT_NE(pos, std::string::npos);
+        bad.replace(pos, std::strlen("PointAccepted"), "PointAccepte?");
+        EXPECT_THROW(store::deserializeLibraryRow(bad),
+                     store::StoreFormatError);
+    }
+    // Count larger than the lines that follow.
+    {
+        std::string bad = good;
+        const std::size_t pos = bad.find("\ntimeline ");
+        bad.replace(pos, std::strlen("\ntimeline "), "\ntimeline 9");
+        EXPECT_THROW(store::deserializeLibraryRow(bad),
+                     store::StoreFormatError);
+    }
 }
 
 // ------------------------------------------------------------ ResultStore

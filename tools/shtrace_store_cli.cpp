@@ -2,7 +2,13 @@
 // store (docs/STORE.md).
 //
 //   shtrace-store list <dir>                 one line per valid entry
-//   shtrace-store show <dir> <key>           framing + raw payload text
+//   shtrace-store show <dir> <key> [--timeline] [--stats]
+//                                            framing + raw payload text;
+//                                            --timeline decodes the ordered
+//                                            per-contour event log (v4),
+//                                            --stats pretty-prints the
+//                                            21-field stats line with
+//                                            derived ratios
 //   shtrace-store gc <dir>                   delete corrupt/stale entries
 //   shtrace-store export <dir> <out.lib> [library-name]
 //                                            Liberty-lite from cached rows
@@ -26,7 +32,8 @@ using namespace shtrace;
 
 int usage() {
     std::cerr << "usage: shtrace-store list <dir>\n"
-                 "       shtrace-store show <dir> <key>\n"
+                 "       shtrace-store show <dir> <key> [--timeline] "
+                 "[--stats]\n"
                  "       shtrace-store gc <dir>\n"
                  "       shtrace-store export <dir> <out.lib> "
                  "[library-name]\n";
@@ -88,7 +95,135 @@ void showDiagnostics(const store::StoreEntry& entry) {
     }
 }
 
-int runShow(const store::ResultStore& cache, const std::string& keyText) {
+/// Extracts the serialized cost accounting, for any kind that carries one.
+bool statsOfEntry(const store::StoreEntry& entry, SimStats& out) {
+    try {
+        if (entry.kind == store::kKindCharacterize) {
+            out = store::deserializeCharacterizeResult(entry.payload).stats;
+        } else if (entry.kind == store::kKindLibraryRow) {
+            out = store::deserializeLibraryRow(entry.payload).stats;
+        } else if (entry.kind == store::kKindPvtRow) {
+            out = store::deserializePvtRow(entry.payload).stats;
+        } else if (entry.kind == store::kKindSurface) {
+            out = store::deserializeSurfaceResult(entry.payload).stats;
+        } else {
+            return false;  // mc_row and friends carry no stats line
+        }
+        return true;
+    } catch (const store::StoreFormatError&) {
+        return false;
+    }
+}
+
+/// --stats: the 21-field stats line with names, plus the derived ratios
+/// that tell whether the hot paths actually engaged.
+void showStats(const store::StoreEntry& entry) {
+    SimStats s;
+    if (!statsOfEntry(entry, s)) {
+        std::cout << "stats   (none: '" << entry.kind
+                  << "' entries carry no stats line)\n";
+        return;
+    }
+    TablePrinter table({"field", "value"});
+    table.addRowValues("transientSolves", static_cast<double>(s.transientSolves));
+    table.addRowValues("timeSteps", static_cast<double>(s.timeSteps));
+    table.addRowValues("rejectedSteps", static_cast<double>(s.rejectedSteps));
+    table.addRowValues("newtonIterations",
+                       static_cast<double>(s.newtonIterations));
+    table.addRowValues("luFactorizations",
+                       static_cast<double>(s.luFactorizations));
+    table.addRowValues("luSolves", static_cast<double>(s.luSolves));
+    table.addRowValues("deviceEvaluations",
+                       static_cast<double>(s.deviceEvaluations));
+    table.addRowValues("residualOnlyAssemblies",
+                       static_cast<double>(s.residualOnlyAssemblies));
+    table.addRowValues("chordIterations",
+                       static_cast<double>(s.chordIterations));
+    table.addRowValues("bypassedFactorizations",
+                       static_cast<double>(s.bypassedFactorizations));
+    table.addRowValues("sensitivitySteps",
+                       static_cast<double>(s.sensitivitySteps));
+    table.addRowValues("hEvaluations", static_cast<double>(s.hEvaluations));
+    table.addRowValues("mpnrIterations",
+                       static_cast<double>(s.mpnrIterations));
+    table.addRowValues("cacheHits", static_cast<double>(s.cacheHits));
+    table.addRowValues("cacheMisses", static_cast<double>(s.cacheMisses));
+    table.addRowValues("cacheWarmStarts",
+                       static_cast<double>(s.cacheWarmStarts));
+    table.addRowValues("traceNonFiniteRejections",
+                       static_cast<double>(s.traceNonFiniteRejections));
+    table.addRowValues("traceTransientRetries",
+                       static_cast<double>(s.traceTransientRetries));
+    table.addRowValues("tracePlateauReseeds",
+                       static_cast<double>(s.tracePlateauReseeds));
+    table.addRowValues("traceStepHalvings",
+                       static_cast<double>(s.traceStepHalvings));
+    table.addRowValues("wallSeconds", s.wallSeconds);
+    std::cout << "stats\n";
+    table.print(std::cout);
+
+    const auto ratio = [](double part, double whole) {
+        return whole > 0.0 ? std::to_string(part / whole) : std::string("-");
+    };
+    const double newtonAll = static_cast<double>(s.newtonIterations) +
+                             static_cast<double>(s.chordIterations);
+    const double factorAll = static_cast<double>(s.luFactorizations) +
+                             static_cast<double>(s.bypassedFactorizations);
+    const double lookups = static_cast<double>(s.cacheHits) +
+                           static_cast<double>(s.cacheMisses);
+    std::cout << "derived\n"
+              << "  chord-iteration share        "
+              << ratio(static_cast<double>(s.chordIterations), newtonAll)
+              << "\n"
+              << "  bypassed-factorization share "
+              << ratio(static_cast<double>(s.bypassedFactorizations),
+                       factorAll)
+              << "\n"
+              << "  cache hit rate               "
+              << ratio(static_cast<double>(s.cacheHits), lookups) << "\n"
+              << "  steps per transient          "
+              << ratio(static_cast<double>(s.timeSteps),
+                       static_cast<double>(s.transientSolves))
+              << "\n"
+              << "  newton iters per step        "
+              << ratio(newtonAll, static_cast<double>(s.timeSteps) +
+                                      static_cast<double>(s.rejectedSteps))
+              << "\n";
+}
+
+/// --timeline: the ordered whole-trace event log (store format v4).
+void showTimeline(const store::StoreEntry& entry) {
+    TraceDiagnostics diag;
+    try {
+        if (entry.kind == store::kKindCharacterize) {
+            diag = store::deserializeCharacterizeResult(entry.payload)
+                       .contour.diagnostics;
+        } else if (entry.kind == store::kKindLibraryRow) {
+            diag = store::deserializeLibraryRow(entry.payload).diagnostics;
+        } else {
+            std::cout << "timeline (none: '" << entry.kind
+                      << "' entries carry no trace)\n";
+            return;
+        }
+    } catch (const store::StoreFormatError& e) {
+        std::cout << "timeline (undecodable: " << e.what() << ")\n";
+        return;
+    }
+    std::cout << "timeline (" << diag.timeline.size() << " events)\n";
+    for (std::size_t i = 0; i < diag.timeline.size(); ++i) {
+        const TimelineEvent& e = diag.timeline[i];
+        std::cout << "  [" << i << "] " << toString(e.kind) << " ["
+                  << toString(e.phase) << "] at (" << e.at.setup << ", "
+                  << e.at.hold << ") op=" << e.opIndex;
+        if (e.wallNs > 0.0) {
+            std::cout << " t=" << e.wallNs / 1e6 << "ms";
+        }
+        std::cout << "\n";
+    }
+}
+
+int runShow(const store::ResultStore& cache, const std::string& keyText,
+            bool withTimeline, bool withStats) {
     const auto key = store::parseHexKey(keyText);
     if (!key) {
         std::cerr << "shtrace-store: '" << keyText
@@ -107,6 +242,12 @@ int runShow(const store::ResultStore& cache, const std::string& keyText) {
               << "label   " << (entry->label.empty() ? "-" : entry->label)
               << "\n";
     showDiagnostics(*entry);
+    if (withStats) {
+        showStats(*entry);
+    }
+    if (withTimeline) {
+        showTimeline(*entry);
+    }
     std::cout << "payload (" << payloadLines(*entry) << " lines)\n"
               << entry->payload;
     return 0;
@@ -162,8 +303,22 @@ int main(int argc, char** argv) {
         if (command == "list" && args.size() == 2) {
             return runList(cache);
         }
-        if (command == "show" && args.size() == 3) {
-            return runShow(cache, args[2]);
+        if (command == "show" && args.size() >= 3 && args.size() <= 5) {
+            bool withTimeline = false;
+            bool withStats = false;
+            bool badFlag = false;
+            for (std::size_t i = 3; i < args.size(); ++i) {
+                if (args[i] == "--timeline") {
+                    withTimeline = true;
+                } else if (args[i] == "--stats") {
+                    withStats = true;
+                } else {
+                    badFlag = true;
+                }
+            }
+            if (!badFlag) {
+                return runShow(cache, args[2], withTimeline, withStats);
+            }
         }
         if (command == "gc" && args.size() == 2) {
             return runGc(cache);
