@@ -11,8 +11,11 @@
 
 #include "shtrace/analysis/adjoint.hpp"
 #include "shtrace/analysis/transient.hpp"
+#include "shtrace/cells/register_chain.hpp"
 #include "shtrace/cells/tspc.hpp"
 #include "shtrace/chz/problem.hpp"
+#include "shtrace/devices/mosfet_batch.hpp"
+#include "shtrace/linalg/linear_solver.hpp"
 #include "shtrace/linalg/lu.hpp"
 #include "shtrace/obs/span.hpp"
 
@@ -216,6 +219,106 @@ void BM_TspcTransient(benchmark::State& state) {
 BENCHMARK(BM_TspcTransient)
     ->Args({0, 0})->Args({0, 1})->Args({1, 0})->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Backend kernels on the N-bit register chain (7N + 6 unknowns): the same
+// mid-transient iteration matrix factored dense vs sparse (first factor and
+// numeric refactor), and the scalar vs SoA-batched assembly pass. These are
+// the per-iteration quantities behind the bench_sparse.json crossover and
+// kSparseAutoThreshold.
+
+// A chain advanced to the middle of the capture transient (cf.
+// TspcMidTransient), sized by the benchmark argument.
+struct ChainMidTransient {
+    RegisterFixture reg;
+    Vector x;
+    double t = 5.8e-9;
+
+    explicit ChainMidTransient(int bits) {
+        RegisterChainOptions opt;
+        opt.bits = bits;
+        reg = buildTspcRegisterChain(opt);
+        reg.data->setSkews(300e-12, 300e-12);
+        TransientOptions tran;
+        tran.tStop = t;
+        tran.fixedSteps = 580;
+        tran.storeStates = false;
+        x = TransientAnalysis(reg.circuit, tran).run().finalState;
+    }
+};
+
+// J = C/dt + G at the mid-transient state, in the requested backend.
+SystemMatrix chainIterationMatrix(const ChainMidTransient& mid, bool sparse) {
+    Assembler asmb(mid.reg.circuit.systemSize(),
+                   sparse ? mid.reg.circuit.sparsityPattern() : nullptr);
+    mid.reg.circuit.assemble(mid.x, mid.t, asmb);
+    SystemMatrix j = asmb.cSystem();
+    j *= 1.0 / 10e-12;
+    j += asmb.gSystem();
+    return j;
+}
+
+void BM_ChainLuFactorDense(benchmark::State& state) {
+    const ChainMidTransient mid(static_cast<int>(state.range(0)));
+    const SystemMatrix j = chainIterationMatrix(mid, false);
+    DenseLinearSolver solver;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solver.factor(j));
+    }
+}
+BENCHMARK(BM_ChainLuFactorDense)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ChainLuFactorSparse(benchmark::State& state) {
+    // Steady-state sparse factor cost: after the first call this is the
+    // numeric refactor replay (exactly what the transient hot loop pays,
+    // where the symbolic analysis is a one-time cost per pattern).
+    const ChainMidTransient mid(static_cast<int>(state.range(0)));
+    const SystemMatrix j = chainIterationMatrix(mid, true);
+    SparseLinearSolver solver;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solver.factor(j));
+    }
+}
+BENCHMARK(BM_ChainLuFactorSparse)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ChainLuSolve(benchmark::State& state) {
+    const bool sparse = state.range(1) != 0;
+    const ChainMidTransient mid(static_cast<int>(state.range(0)));
+    const SystemMatrix j = chainIterationMatrix(mid, sparse);
+    const std::unique_ptr<LinearSolver> solver = makeLinearSolver(
+        sparse ? LinalgBackend::Sparse : LinalgBackend::Dense);
+    solver->factor(j);
+    Vector rhs(j.dimension(), 1e-3);
+    Vector b(j.dimension());
+    for (auto _ : state) {
+        b = rhs;
+        solver->solveInPlace(b);
+        benchmark::DoNotOptimize(b);
+    }
+}
+// Args {bits, sparse}.
+BENCHMARK(BM_ChainLuSolve)
+    ->Args({16, 0})->Args({16, 1})->Args({64, 0})->Args({64, 1});
+
+void BM_ChainAssembly(benchmark::State& state) {
+    // Scalar vs SoA-batched full assembly pass (bit-identical results; the
+    // gap is the AoS->SoA device-evaluation saving).
+    const bool batch = state.range(1) != 0;
+    const ChainMidTransient mid(static_cast<int>(state.range(0)));
+    Assembler asmb(mid.reg.circuit.systemSize());
+    MosfetBatchScratch scratch;
+    for (auto _ : state) {
+        if (batch) {
+            mid.reg.circuit.assembleBatch(mid.x, mid.t, asmb, scratch);
+        } else {
+            mid.reg.circuit.assemble(mid.x, mid.t, asmb);
+        }
+        benchmark::DoNotOptimize(asmb.f());
+    }
+}
+// Args {bits, batch}.
+BENCHMARK(BM_ChainAssembly)
+    ->Args({4, 0})->Args({4, 1})->Args({64, 0})->Args({64, 1});
 
 void BM_TspcAdjointGradient(benchmark::State& state) {
     // Tape-recording transient + backward sweep: the adjoint route to the

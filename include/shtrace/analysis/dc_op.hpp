@@ -24,6 +24,10 @@ struct DcOptions {
     double gminFloor = 1e-9;  ///< final leak conductance (kept, not removed)
     /// gmin continuation ladder used when the direct solve fails.
     std::vector<double> gminLadder = {1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8};
+    /// Linear-algebra backend (Auto resolves by system size; docs/LINALG.md).
+    LinalgBackend linalg = LinalgBackend::Auto;
+    /// SoA-batched MOSFET evaluation (bit-identical to the scalar path).
+    bool batchDeviceEval = false;
 };
 
 struct DcResult {

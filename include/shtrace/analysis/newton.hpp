@@ -5,10 +5,18 @@
 // satisfy |dx_i| <= relTol*max(|x_i^new|, |x_i^old|) + absTol_i, where
 // absTol_i is a voltage tolerance on node rows and a current tolerance on
 // branch rows, plus an absolute residual check.
+//
+// The solver is backend-agnostic: the system callback fills a SystemMatrix
+// (dense or CSC over the circuit's union pattern) and factor/solve go
+// through the LinearSolver interface, so the same iteration drives both
+// the dense and the sparse path (docs/LINALG.md). The pre-PR 6 dense-only
+// entry points survive below as deprecated thin wrappers.
 #pragma once
 
 #include <functional>
+#include <memory>
 
+#include "shtrace/linalg/linear_solver.hpp"
 #include "shtrace/linalg/lu.hpp"
 #include "shtrace/linalg/matrix.hpp"
 #include "shtrace/util/stats.hpp"
@@ -43,8 +51,16 @@ struct NewtonResult {
     bool refactored = false;  ///< solveNewtonChord assembled a fresh Jacobian
 };
 
-/// Evaluates the residual and Jacobian at x. Must fill both outputs.
-using NewtonSystemFn =
+/// Evaluates the residual and Jacobian at x. Must fill both outputs. The
+/// jacobian arrives pre-bound (dense or sparse) by the caller's workspace;
+/// the callback only writes values.
+using NewtonSystemFn = std::function<void(const Vector& x, Vector& residual,
+                                          SystemMatrix& jacobian)>;
+
+/// DEPRECATED (PR 6): dense-only system callback, kept one release for
+/// pre-LinearSolver call sites. New code fills a SystemMatrix via
+/// NewtonSystemFn.
+using DenseNewtonSystemFn =
     std::function<void(const Vector& x, Vector& residual, Matrix& jacobian)>;
 
 /// Evaluates only the residual at x (chord iterations; the Jacobian is not
@@ -58,13 +74,27 @@ using NewtonResidualFn = std::function<void(const Vector& x, Vector& residual)>;
 struct NewtonWorkspace {
     Vector residual;
     Vector dx;
-    Matrix jacobian;
+    SystemMatrix jacobian;
 
+    /// Legacy sizing: binds the Jacobian dense (the pre-PR 6 behavior).
     void resize(std::size_t n) {
         residual.resize(n);
         dx.resize(n);
-        if (jacobian.rows() != n || jacobian.cols() != n) {
-            jacobian.resize(n, n);
+        if (!jacobian.isDense() || jacobian.dimension() != n) {
+            jacobian.bindDense(n);
+        }
+    }
+
+    /// Backend-aware sizing: binds the Jacobian sparse over `pattern` when
+    /// one is given, dense otherwise.
+    void bind(std::size_t n,
+              const std::shared_ptr<const SparsePattern>& pattern) {
+        residual.resize(n);
+        dx.resize(n);
+        if (pattern != nullptr) {
+            jacobian.bindSparse(pattern);
+        } else if (!jacobian.isDense() || jacobian.dimension() != n) {
+            jacobian.bindDense(n);
         }
     }
 };
@@ -73,23 +103,26 @@ struct NewtonWorkspace {
 /// number of leading rows using the voltage tolerance; remaining rows use
 /// the current tolerance.
 ///
-/// When `finalFactorization` is non-null it receives the LU factors of the
-/// LAST Jacobian the iteration assembled (i.e. at the final pre-update
+/// `solver` performs every factor/solve and on return holds the factors of
+/// the LAST Jacobian the iteration assembled (i.e. at the final pre-update
 /// iterate, which is within the Newton tolerance of the converged
 /// solution). The transient engine hands this to the sensitivity
 /// recurrences so each sensitivity costs only a pair of back-substitutions
 /// -- the reuse the paper's efficiency argument rests on. The O(relTol)
 /// Jacobian mismatch perturbs the computed gradient by the same relative
 /// amount, far below what the Moore-Penrose Newton needs.
+///
+/// `ws.jacobian` must be bound (dense or sparse) to x.size() before the
+/// call; the residual/dx buffers are resized here.
 NewtonResult solveNewton(const NewtonSystemFn& system, Vector& x,
                          std::size_t nodeRows, const NewtonOptions& options,
-                         SimStats* stats = nullptr,
-                         LuFactorization* finalFactorization = nullptr);
+                         LinearSolver& solver, NewtonWorkspace& ws,
+                         SimStats* stats = nullptr);
 
 /// Chord-Newton: like solveNewton, but when `reuseFactorization` is true and
-/// `lu` holds a valid factorization, the solve first runs a chord phase --
-/// exact residuals against the REUSED factorization, no assembly of G/C and
-/// no refactorization. The chord phase hands over to full Newton (fresh
+/// `solver` holds a valid factorization, the solve first runs a chord phase
+/// -- exact residuals against the REUSED factorization, no assembly of G/C
+/// and no refactorization. The chord phase hands over to full Newton (fresh
 /// Jacobian each iteration, `result.refactored = true`) as soon as it
 /// stalls: update growth, contraction slower than
 /// `options.chordContraction`, a step that would trigger damping, or the
@@ -97,11 +130,31 @@ NewtonResult solveNewton(const NewtonSystemFn& system, Vector& x,
 /// solveNewton, so an accepted solution is within the same tolerance
 /// regardless of which phase produced it.
 ///
-/// On return `lu` holds the factorization the converged solution was
+/// On return `solver` holds the factorization the converged solution was
 /// computed against (stale for a pure-chord solve, fresh otherwise); the
 /// transient engine reuses it both for the sensitivity recurrences and as
-/// the candidate chord factorization of the NEXT step.
+/// the candidate chord factorization of the NEXT step. On the sparse
+/// backend a refactorization is usually a numeric replay of the stored
+/// symbolic structure (SparseLuFactorization), so even the handover is
+/// cheap.
 NewtonResult solveNewtonChord(const NewtonSystemFn& system,
+                              const NewtonResidualFn& residualOnly, Vector& x,
+                              std::size_t nodeRows,
+                              const NewtonOptions& options,
+                              LinearSolver& solver, bool reuseFactorization,
+                              NewtonWorkspace& ws, SimStats* stats = nullptr);
+
+/// DEPRECATED (PR 6): dense-only overload, kept one release. Wraps the
+/// callback and a DenseLinearSolver; when `finalFactorization` is non-null
+/// it receives the final LU factors exactly as before.
+NewtonResult solveNewton(const DenseNewtonSystemFn& system, Vector& x,
+                         std::size_t nodeRows, const NewtonOptions& options,
+                         SimStats* stats = nullptr,
+                         LuFactorization* finalFactorization = nullptr);
+
+/// DEPRECATED (PR 6): dense-only chord overload, kept one release. The
+/// factors move in and out of `lu` across the call (cheap buffer swaps).
+NewtonResult solveNewtonChord(const DenseNewtonSystemFn& system,
                               const NewtonResidualFn& residualOnly, Vector& x,
                               std::size_t nodeRows,
                               const NewtonOptions& options,

@@ -69,6 +69,15 @@ struct TransientOptions {
     NewtonOptions newton;
     double gmin = 1e-12;  ///< node-row leak applied throughout
 
+    /// Linear-algebra backend for every factor/solve of this run. Auto
+    /// resolves against the circuit's system size (docs/LINALG.md); Dense
+    /// preserves the pre-PR 6 trajectories bit-for-bit.
+    LinalgBackend linalg = LinalgBackend::Auto;
+
+    /// SoA-batched MOSFET evaluation in every assembly pass (bit-identical
+    /// to the scalar path; see Circuit::assembleBatch).
+    bool batchDeviceEval = false;
+
     /// Reuse the factored step Jacobian a*C + G across Newton iterations
     /// AND across accepted steps while the integration coefficient a =
     /// coef/dt is unchanged (chord/bypass Newton). Iterations on the reused
@@ -88,16 +97,19 @@ struct TransientOptions {
 
     /// Record the per-step Jacobian pieces (C_i, G_i incl. gmin, times and
     /// method) needed by the adjoint backward sweep (adjoint.hpp). Costs
-    /// two dense matrices per accepted step of memory, no extra compute.
+    /// two system matrices per accepted step of memory (CSC values on the
+    /// sparse backend -- the tape never densifies), no extra compute.
     bool recordAdjointTape = false;
 };
 
 /// One entry of the adjoint tape: the epilogue assembly of an accepted
-/// step (entry 0 is the initial condition's assembly at tStart).
+/// step (entry 0 is the initial condition's assembly at tStart). The
+/// matrices are stored in the run's backend representation; consumers that
+/// need a dense view (shooting's monodromy product) call toDense().
 struct AdjointTapeEntry {
     double t = 0.0;
-    Matrix c;  ///< dq/dx at the accepted solution
-    Matrix g;  ///< df/dx at the accepted solution, including gmin
+    SystemMatrix c;  ///< dq/dx at the accepted solution
+    SystemMatrix g;  ///< df/dx at the accepted solution, including gmin
 };
 
 struct TransientResult {

@@ -1,0 +1,31 @@
+// shtrace -- an N-bit TSPC shift-register chain sharing one clock.
+//
+// Bit 0's data input is the skew-parameterized DataPulse; bit k's data
+// input is bit k-1's Q. Every bit is the full 11T TSPC structure of
+// tspc.hpp, so the MNA system grows as ~7 nodes per bit (7N + 6 unknowns
+// plus three source branch rows) while keeping real latch physics in every
+// stamp. This is the scaling vehicle for the sparse-vs-dense backend work
+// (docs/LINALG.md): the characterization semantics -- measured output,
+// data source, clock handles -- are those of bit 0, identical to a single
+// TSPC fixture, so h(tau_s, tau_h) and the paper's contours stay
+// meaningful at any chain length; the downstream bits are honest load.
+#pragma once
+
+#include "shtrace/cells/tspc.hpp"
+
+namespace shtrace {
+
+struct RegisterChainOptions {
+    /// Per-bit TSPC cell parameters (clock, corner, sizes, loads).
+    TspcOptions bit;
+    /// Chain length N >= 1. N = 1 is topologically a single TSPC register
+    /// plus nothing; sizes of interest for the backend benches are
+    /// 1, 4, 16, 64.
+    int bits = 4;
+};
+
+/// Builds the finalized chain. The fixture's q/d/data/clock refer to BIT 0
+/// (the characterized register); bits 1..N-1 ride behind it as load.
+RegisterFixture buildTspcRegisterChain(const RegisterChainOptions& options = {});
+
+}  // namespace shtrace

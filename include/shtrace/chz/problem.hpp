@@ -20,6 +20,7 @@
 
 #include "shtrace/cells/register_fixture.hpp"
 #include "shtrace/chz/h_function.hpp"
+#include "shtrace/linalg/linear_solver.hpp"
 #include "shtrace/measure/clock_to_q.hpp"
 
 namespace shtrace {
@@ -40,6 +41,13 @@ struct SimulationRecipe {
     /// Chord-Newton LU reuse in every transient this recipe drives (see
     /// TransientOptions::jacobianReuse). Part of the store cache key.
     bool jacobianReuse = true;
+    /// Linear-algebra backend for every factor/solve this recipe drives.
+    /// Auto resolves per circuit size (docs/LINALG.md); part of the store
+    /// cache key.
+    LinalgBackend linalg = LinalgBackend::Auto;
+    /// SoA-batched MOSFET evaluation in every assembly pass (bit-identical
+    /// to the scalar path; part of the store cache key).
+    bool batchDeviceEval = false;
 };
 
 class CharacterizationProblem {

@@ -61,6 +61,19 @@ struct RunConfig {
         recipe.jacobianReuse = enabled;
         return *this;
     }
+    /// Linear-algebra backend for every transient/DC solve: Dense, Sparse,
+    /// or Auto (pick by circuit size; docs/LINALG.md). Part of the store
+    /// cache key.
+    RunConfig& withLinalgBackend(LinalgBackend backend) {
+        recipe.linalg = backend;
+        return *this;
+    }
+    /// SoA-batched MOSFET evaluation in every assembly pass (results are
+    /// bit-identical to the scalar path).
+    RunConfig& withBatchDeviceEval(bool enabled) {
+        recipe.batchDeviceEval = enabled;
+        return *this;
+    }
     RunConfig& withIndependent(const IndependentOptions& value) {
         independent = value;
         return *this;

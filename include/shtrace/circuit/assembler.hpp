@@ -5,46 +5,91 @@
 // rows and columns are silently dropped, which keeps device stamping code
 // free of special cases.
 //
+// Storage backend: an Assembler is bound at construction to either dense
+// Matrix storage (the default, byte-compatible with every release so far)
+// or CSC values over the circuit's fixed union SparsePattern. Devices stamp
+// through the same addConductance/addCapacitance calls either way; in
+// sparse mode each stamp resolves its (row, col) to a nonzero slot with a
+// binary search over the short sorted column (MNA columns hold a handful
+// of entries). G and C share the ONE pattern object, so the step Jacobian
+// a*C + G stays an elementwise combine downstream.
+//
 // Residual-only passes: beginResidualPass() zeroes only f/q and makes every
 // G/C stamp a no-op, so chord (bypass) Newton iterations -- which reuse a
-// previously factored Jacobian -- skip both the O(n^2) matrix zeroing and
-// the Jacobian arithmetic. Devices may additionally override
+// previously factored Jacobian -- skip both the matrix zeroing and the
+// Jacobian arithmetic. Devices may additionally override
 // Device::evalResidual to skip computing derivative terms entirely; the
 // mode flag here keeps the default eval() fallback correct regardless.
 // Reading g()/c() after a residual pass is a misuse and throws.
+//
+// Pattern-discovery passes: beginPatternPass() records the (row, col)
+// position of every Jacobian stamp -- symmetrized, values ignored -- into a
+// caller-provided sink. Circuit::finalize() drives one such pass through
+// Device::stampPattern to build the union SparsePattern the sparse backend
+// stamps into.
 #pragma once
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "shtrace/circuit/device.hpp"
+#include "shtrace/linalg/linear_solver.hpp"
 #include "shtrace/linalg/matrix.hpp"
 
 namespace shtrace {
 
 class Assembler {
 public:
-    explicit Assembler(std::size_t systemSize)
-        : f_(systemSize),
-          q_(systemSize),
-          g_(systemSize, systemSize),
-          c_(systemSize, systemSize) {}
+    /// Dense-backed when `pattern` is null (the legacy default), sparse
+    /// CSC-backed over `pattern` otherwise.
+    explicit Assembler(std::size_t systemSize,
+                       std::shared_ptr<const SparsePattern> pattern = nullptr)
+        : f_(systemSize), q_(systemSize), pattern_(std::move(pattern)) {
+        if (pattern_ != nullptr) {
+            require(pattern_->dimension() == systemSize,
+                    "Assembler: pattern dimension ", pattern_->dimension(),
+                    " != system size ", systemSize);
+            gSys_.bindSparse(pattern_);
+            cSys_.bindSparse(pattern_);
+        } else {
+            gSys_.bindDense(systemSize);
+            cSys_.bindDense(systemSize);
+        }
+    }
+
+    bool sparse() const noexcept { return pattern_ != nullptr; }
 
     void beginPass() {
-        residualOnly_ = false;
+        pass_ = Pass::Full;
+        patternSink_ = nullptr;
         f_.setZero();
         q_.setZero();
-        g_.setZero();
-        c_.setZero();
+        gSys_.setZero();
+        cSys_.setZero();
     }
 
     /// Starts an f/q-only pass: G/C keep their (stale) values and every
     /// Jacobian stamp below becomes a no-op.
     void beginResidualPass() {
-        residualOnly_ = true;
+        pass_ = Pass::ResidualOnly;
+        patternSink_ = nullptr;
+        f_.setZero();
+        q_.setZero();
+    }
+
+    /// Starts a pattern-discovery pass: every G/C stamp appends its
+    /// symmetrized (row, col) + (col, row) positions to `sink` and no
+    /// matrix value is touched; f/q accumulate but are meaningless.
+    void beginPatternPass(std::vector<std::pair<int, int>>& sink) {
+        pass_ = Pass::Pattern;
+        patternSink_ = &sink;
         f_.setZero();
         q_.setZero();
     }
 
     /// True while the current pass accumulates only f and q.
-    bool residualOnly() const noexcept { return residualOnly_; }
+    bool residualOnly() const noexcept { return pass_ == Pass::ResidualOnly; }
 
     std::size_t systemSize() const { return f_.size(); }
 
@@ -64,14 +109,14 @@ public:
     }
     /// G[a][b] += g.
     void addConductance(NodeId a, NodeId b, double g) {
-        if (!residualOnly_ && !a.isGround() && !b.isGround()) {
-            g_(row(a), row(b)) += g;
+        if (!a.isGround() && !b.isGround()) {
+            stamp(gSys_, row(a), row(b), g);
         }
     }
     /// C[a][b] += c.
     void addCapacitance(NodeId a, NodeId b, double c) {
-        if (!residualOnly_ && !a.isGround() && !b.isGround()) {
-            c_(row(a), row(b)) += c;
+        if (!a.isGround() && !b.isGround()) {
+            stamp(cSys_, row(a), row(b), c);
         }
     }
 
@@ -80,25 +125,24 @@ public:
     void addToF(int rowIdx, double v) { f_[check(rowIdx)] += v; }
     void addToQ(int rowIdx, double v) { q_[check(rowIdx)] += v; }
     void addToG(int rowIdx, NodeId col, double v) {
-        if (!residualOnly_ && !col.isGround()) {
-            g_(check(rowIdx), row(col)) += v;
+        if (!col.isGround()) {
+            stamp(gSys_, static_cast<std::size_t>(check(rowIdx)), row(col), v);
         }
     }
     void addToGRaw(int rowIdx, int colIdx, double v) {
-        if (!residualOnly_) {
-            g_(check(rowIdx), check(colIdx)) += v;
-        }
+        stamp(gSys_, static_cast<std::size_t>(check(rowIdx)),
+              static_cast<std::size_t>(check(colIdx)), v);
     }
     void addToCRaw(int rowIdx, int colIdx, double v) {
-        if (!residualOnly_) {
-            c_(check(rowIdx), check(colIdx)) += v;
-        }
+        stamp(cSys_, static_cast<std::size_t>(check(rowIdx)),
+              static_cast<std::size_t>(check(colIdx)), v);
     }
     /// Column-only stamp: G[row(a)][branchCol] += v (node KCL row picks up a
     /// branch current).
     void addBranchToNode(NodeId a, int branchCol, double v) {
-        if (!residualOnly_ && !a.isGround()) {
-            g_(row(a), check(branchCol)) += v;
+        if (!a.isGround()) {
+            stamp(gSys_, row(a), static_cast<std::size_t>(check(branchCol)),
+                  v);
         }
     }
 
@@ -109,16 +153,51 @@ public:
 
     const Vector& f() const { return f_; }
     const Vector& q() const { return q_; }
-    const Matrix& g() const {
-        require(!residualOnly_, "Assembler::g() after a residual-only pass");
-        return g_;
+
+    /// Jacobians in whichever storage this Assembler is bound to.
+    const SystemMatrix& gSystem() const {
+        require(pass_ == Pass::Full,
+                "Assembler::gSystem() outside a full pass");
+        return gSys_;
     }
-    const Matrix& c() const {
-        require(!residualOnly_, "Assembler::c() after a residual-only pass");
-        return c_;
+    const SystemMatrix& cSystem() const {
+        require(pass_ == Pass::Full,
+                "Assembler::cSystem() outside a full pass");
+        return cSys_;
     }
 
+    /// Deprecated dense accessors (pre-LinearSolver API): valid only on a
+    /// dense-backed Assembler. New code should read gSystem()/cSystem().
+    const Matrix& g() const { return gSystem().dense(); }
+    const Matrix& c() const { return cSystem().dense(); }
+
 private:
+    enum class Pass { Full, ResidualOnly, Pattern };
+
+    void stamp(SystemMatrix& m, std::size_t r, std::size_t c, double v) {
+        switch (pass_) {
+            case Pass::Full:
+                if (pattern_ != nullptr) {
+                    const int nz = pattern_->indexOf(static_cast<int>(r),
+                                                     static_cast<int>(c));
+                    require(nz >= 0, "Assembler: stamp (", r, ",", c,
+                            ") outside the circuit's sparsity pattern");
+                    m.sparse().addAt(nz, v);
+                } else {
+                    m.dense()(r, c) += v;
+                }
+                break;
+            case Pass::ResidualOnly:
+                break;
+            case Pass::Pattern:
+                patternSink_->emplace_back(static_cast<int>(r),
+                                           static_cast<int>(c));
+                patternSink_->emplace_back(static_cast<int>(c),
+                                           static_cast<int>(r));
+                break;
+        }
+    }
+
     std::size_t row(NodeId n) const {
         return static_cast<std::size_t>(check(n.index));
     }
@@ -130,9 +209,11 @@ private:
 
     Vector f_;
     Vector q_;
-    Matrix g_;
-    Matrix c_;
-    bool residualOnly_ = false;
+    std::shared_ptr<const SparsePattern> pattern_;  ///< null in dense mode
+    SystemMatrix gSys_;
+    SystemMatrix cSys_;
+    Pass pass_ = Pass::Full;
+    std::vector<std::pair<int, int>>* patternSink_ = nullptr;
 };
 
 }  // namespace shtrace

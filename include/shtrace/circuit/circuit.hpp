@@ -22,9 +22,15 @@
 
 namespace shtrace {
 
+struct MosfetBatchPlan;
+struct MosfetBatchScratch;
+
 class Circuit {
 public:
-    Circuit() = default;
+    Circuit();
+    ~Circuit();
+    Circuit(Circuit&&) noexcept;
+    Circuit& operator=(Circuit&&) noexcept;
 
     /// Returns the node with `name`, creating it when new. "0" and "gnd"
     /// (case-sensitive) map to ground.
@@ -68,6 +74,28 @@ public:
     void assembleResidual(const Vector& x, double t, Assembler& out,
                           SimStats* stats = nullptr) const;
 
+    /// SoA-batched assembly: all MOSFET Shichman-Hodges evaluations run in
+    /// one pass over the finalize()-built contiguous parameter arrays, then
+    /// every device stamps in declaration order (bit-identical to
+    /// assemble(); also counted in SimStats::batchAssemblies). `scratch` is
+    /// per-caller state, never shared across threads.
+    void assembleBatch(const Vector& x, double t, Assembler& out,
+                       MosfetBatchScratch& scratch,
+                       SimStats* stats = nullptr) const;
+    /// Batched counterpart of assembleResidual().
+    void assembleResidualBatch(const Vector& x, double t, Assembler& out,
+                               MosfetBatchScratch& scratch,
+                               SimStats* stats = nullptr) const;
+
+    /// The union Jacobian sparsity pattern over every device's
+    /// Device::stampPattern positions plus the full diagonal; what a
+    /// sparse-backed Assembler and the G/C/J matrices share. Requires
+    /// finalize().
+    const std::shared_ptr<const SparsePattern>& sparsityPattern() const;
+
+    /// The SoA batch plan over this circuit's MOSFETs. Requires finalize().
+    const MosfetBatchPlan& batchPlan() const;
+
     /// Accumulates sum over devices of b * du/dtau_p at time t into `rhs`
     /// (rhs must be systemSize() long; contributions are ADDED).
     void addSkewDerivative(double t, SkewParam p, Vector& rhs) const;
@@ -93,6 +121,8 @@ private:
     std::unordered_map<std::string, int> nodeIndex_;
     std::vector<std::string> nodeNames_;
     std::vector<std::unique_ptr<Device>> devices_;
+    std::shared_ptr<const SparsePattern> pattern_;  ///< built by finalize()
+    std::unique_ptr<MosfetBatchPlan> batchPlan_;    ///< built by finalize()
     int branchRows_ = 0;
     bool finalized_ = false;
 };

@@ -83,6 +83,17 @@ public:
         eval(ctx, out);
     }
 
+    /// Declares every (row, col) Jacobian position the device can EVER
+    /// stamp, by stamping into an Assembler pattern-discovery pass
+    /// (Circuit::finalize builds the sparse backend's union pattern from
+    /// one such pass; values are ignored, positions are symmetrized). The
+    /// default evaluates the device at x = 0, t = 0, which is exact for
+    /// devices whose stamp positions are state-independent -- every
+    /// built-in except Mosfet, whose drain/source symmetry swap moves
+    /// stamps between terminals and which therefore overrides this to
+    /// declare both orientations.
+    virtual void stampPattern(Assembler& out) const;
+
     /// Writes a one-line canonical description: device type, terminal node
     /// indices, and every parameter that influences eval(), numbers in
     /// hex-float. The persistent store (store/) hashes this text as part

@@ -18,6 +18,9 @@
 // Parameters are given as magnitudes for both types.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "shtrace/circuit/assembler.hpp"
 #include "shtrace/circuit/device.hpp"
 
@@ -53,6 +56,71 @@ struct MosfetOperatingPoint {
     int region = 0;        ///< 0 cutoff, 1 triode, 2 saturation
 };
 
+/// The Shichman-Hodges core, parameterized on scalars so the scalar path
+/// (Mosfet::operatingPoint) and the SoA batch path (mosfet_batch.cpp) run
+/// the IDENTICAL operation sequence -- batched and per-device evaluation
+/// agree bit-for-bit by construction. `sgn` is +1 for NMOS, -1 for PMOS;
+/// `beta` is the precomputed kp * w / l.
+inline MosfetOperatingPoint shichmanHodgesOp(double sgn, double vt0,
+                                             double beta, double lambda,
+                                             double gamma, double phi,
+                                             double vd, double vg, double vs,
+                                             double vb) noexcept {
+    MosfetOperatingPoint op;
+
+    // Normalize polarities so the NMOS equations apply.
+    double nvd = sgn * vd;
+    double nvs = sgn * vs;
+    const double nvg = sgn * vg;
+    const double nvb = sgn * vb;
+
+    // The level-1 model is symmetric: for vds < 0 exchange drain and source.
+    op.swapped = nvd < nvs;
+    if (op.swapped) {
+        const double tmp = nvd;
+        nvd = nvs;
+        nvs = tmp;
+    }
+    const double vgs = nvg - nvs;
+    const double vds = nvd - nvs;
+    const double vbs = nvb - nvs;
+
+    // Threshold with body effect; clamp the sqrt argument to keep the model
+    // defined (and C1) for forward-biased bulk junctions during iterates.
+    double vt = vt0;
+    double dvtDvbs = 0.0;
+    if (gamma > 0.0) {
+        const double kMinArg = 1e-4;
+        const double arg = std::max(phi - vbs, kMinArg);
+        vt = vt0 + gamma * (std::sqrt(arg) - std::sqrt(phi));
+        if (phi - vbs > kMinArg) {
+            dvtDvbs = -gamma / (2.0 * std::sqrt(arg));
+        }
+    }
+
+    const double vov = vgs - vt;
+    if (vov <= 0.0) {
+        op.region = 0;  // cutoff
+        return op;
+    }
+    const double clm = 1.0 + lambda * vds;
+    if (vds < vov) {
+        op.region = 1;  // triode
+        const double shape = vov * vds - 0.5 * vds * vds;
+        op.id = beta * shape * clm;
+        op.gm = beta * vds * clm;
+        op.gds = beta * (vov - vds) * clm + beta * shape * lambda;
+    } else {
+        op.region = 2;  // saturation
+        op.id = 0.5 * beta * vov * vov * clm;
+        op.gm = beta * vov * clm;
+        op.gds = 0.5 * beta * vov * vov * lambda;
+    }
+    // dId/dvbs = dId/dvt * dvt/dvbs = -gm * dvt/dvbs.
+    op.gmb = -op.gm * dvtDvbs;
+    return op;
+}
+
 class Mosfet final : public Device {
 public:
     Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
@@ -60,15 +128,28 @@ public:
 
     void eval(const EvalContext& ctx, Assembler& out) const override;
     void evalResidual(const EvalContext& ctx, Assembler& out) const override;
+    void stampPattern(Assembler& out) const override;
     void describe(std::ostream& os) const override;
 
     const MosfetParams& params() const { return params_; }
+    NodeId drain() const noexcept { return drain_; }
+    NodeId gate() const noexcept { return gate_; }
+    NodeId source() const noexcept { return source_; }
+    NodeId bulk() const noexcept { return bulk_; }
 
     /// Computes the DC operating point at the given terminal voltages
     /// (exposed for unit tests; `id` is the current flowing from the actual
     /// drain terminal to the actual source terminal).
     MosfetOperatingPoint operatingPoint(double vd, double vg, double vs,
                                         double vb) const;
+
+    /// Stamps everything eval() stamps, given an already-computed operating
+    /// point for ctx.x (the SoA batch pass; Circuit::assembleBatch).
+    void stampWithOp(const EvalContext& ctx, Assembler& out,
+                     const MosfetOperatingPoint& op) const;
+    /// Residual-only counterpart (evalResidual with a precomputed op).
+    void stampResidualWithOp(const EvalContext& ctx, Assembler& out,
+                             const MosfetOperatingPoint& op) const;
 
 private:
     void stampLinearCap(Assembler& out, const Vector& x, NodeId a, NodeId b,

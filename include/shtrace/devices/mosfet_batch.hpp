@@ -1,0 +1,58 @@
+// shtrace -- structure-of-arrays batch MOSFET evaluation.
+//
+// A register chain is mostly MOSFETs, and every assembly pass walks them
+// through a virtual eval() that reloads parameters from scattered device
+// objects. Circuit::finalize() flattens every Mosfet's model parameters and
+// terminal indices into the contiguous arrays below (one-time, immutable,
+// shared by all threads); Circuit::assembleBatch() then runs ALL
+// Shichman-Hodges evaluations in one tight pass over those arrays before
+// stamping results in the original device order.
+//
+// The compute pass calls the same inline shichmanHodgesOp core the scalar
+// path uses, with beta precomputed exactly as params().beta() computes it,
+// so batched and scalar assembly agree bit-for-bit -- the batch flag can
+// never move a contour.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "shtrace/devices/mosfet.hpp"
+
+namespace shtrace {
+
+/// Immutable SoA view of every Mosfet in a finalized Circuit, in device
+/// declaration order. Built once by Circuit::finalize().
+struct MosfetBatchPlan {
+    // Model parameters, one slot per MOSFET.
+    std::vector<double> sgn;     ///< +1 NMOS, -1 PMOS
+    std::vector<double> vt0;
+    std::vector<double> beta;    ///< kp * w / l, precomputed
+    std::vector<double> lambda;
+    std::vector<double> gamma;
+    std::vector<double> phi;
+    // Terminal node indices (-1 = ground), one slot per MOSFET.
+    std::vector<int> drain;
+    std::vector<int> gate;
+    std::vector<int> source;
+    std::vector<int> bulk;
+
+    std::vector<const Mosfet*> devices;  ///< slot -> device
+    /// Circuit device index -> slot, or -1 for non-MOSFET devices.
+    std::vector<int> slotOfDevice;
+
+    std::size_t size() const noexcept { return devices.size(); }
+};
+
+/// Per-engine scratch for one batched pass. Owned by whoever drives the
+/// assembly (transient engine, bench); never shared across threads.
+struct MosfetBatchScratch {
+    std::vector<MosfetOperatingPoint> op;
+};
+
+/// The SoA compute pass: evaluates every slot's operating point from the
+/// contiguous parameter arrays into scratch.op (resized as needed).
+void evaluateMosfetBatch(const MosfetBatchPlan& plan, const Vector& x,
+                         MosfetBatchScratch& scratch);
+
+}  // namespace shtrace

@@ -1,0 +1,208 @@
+// shtrace -- pluggable linear-solver backend for the MNA hot path.
+//
+// Everything downstream of the Assembler (Newton, transient, sensitivity,
+// adjoint) talks to two abstractions instead of concrete dense types:
+//
+//  * SystemMatrix -- a G/C/Jacobian-shaped matrix that is EITHER a dense
+//    Matrix or a SparseMatrixCsc over the circuit's fixed union pattern.
+//    The operations it exposes are exactly the ones the engines perform
+//    (setZero, *= a, += G, diagonal gmin bump, mat-vec accumulate,
+//    transpose mat-vec), and in dense mode each delegates verbatim to the
+//    pre-existing Matrix call, so dense results stay byte-identical.
+//
+//  * LinearSolver -- factor / solve / solveTransposed over a SystemMatrix.
+//    DenseLinearSolver wraps the PR 3 LuFactorization; SparseLinearSolver
+//    wraps SparseLuFactorization, whose factor() transparently replays the
+//    stored symbolic structure when the pattern repeats (the numeric
+//    refactor), preserving the chord-reuse contract: one instance per
+//    engine, factor when the Jacobian changes, solve many times.
+//
+// Backend selection: resolveLinalgBackend maps Auto to Dense below
+// kSparseAutoThreshold unknowns and Sparse at or above it, so paper-scale
+// latches (~10 unknowns) keep their bit-exact dense trajectories while
+// multi-bit register chains get the sparse path automatically.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "shtrace/linalg/lu.hpp"
+#include "shtrace/linalg/matrix.hpp"
+#include "shtrace/linalg/sparse.hpp"
+#include "shtrace/linalg/sparse_lu.hpp"
+#include "shtrace/util/stats.hpp"
+
+namespace shtrace {
+
+/// Which linear-algebra backend an engine should use.
+enum class LinalgBackend {
+    Auto,    ///< pick by system size (resolveLinalgBackend)
+    Dense,   ///< dense Matrix + LuFactorization
+    Sparse,  ///< CSC + SparseLuFactorization with numeric refactor
+};
+
+/// Auto resolves to Sparse at or above this many unknowns. Chosen from
+/// results/bench_sparse.json: below it the dense O(n^3) constant still wins
+/// on cache locality; above it fill-in-free sparse factors pull ahead.
+inline constexpr std::size_t kSparseAutoThreshold = 48;
+
+/// Resolves Auto against the system size; Dense/Sparse pass through.
+LinalgBackend resolveLinalgBackend(LinalgBackend requested,
+                                   std::size_t systemSize) noexcept;
+
+/// Stable lowercase name ("auto" / "dense" / "sparse") for cache keys,
+/// CLI flags, and diagnostics.
+const char* linalgBackendName(LinalgBackend backend) noexcept;
+
+/// A system-sized matrix (G, C, or the step Jacobian a*C + G) in whichever
+/// representation the selected backend uses. Copyable: copies share the
+/// immutable pattern in sparse mode and duplicate values in both modes,
+/// so history rotation and the adjoint tape work unchanged.
+class SystemMatrix {
+public:
+    SystemMatrix() = default;
+
+    /// Rebinds to an n x n dense matrix (zeroed).
+    void bindDense(std::size_t n);
+    /// Rebinds to CSC values over the circuit's union pattern (zeroed).
+    void bindSparse(std::shared_ptr<const SparsePattern> pattern);
+
+    bool bound() const noexcept { return mode_ != Mode::Unbound; }
+    bool isDense() const noexcept { return mode_ == Mode::Dense; }
+    bool isSparse() const noexcept { return mode_ == Mode::Sparse; }
+    std::size_t dimension() const noexcept;
+
+    /// Underlying representation; mode-checked.
+    Matrix& dense();
+    const Matrix& dense() const;
+    SparseMatrixCsc& sparse();
+    const SparseMatrixCsc& sparse() const;
+
+    void setZero();
+    SystemMatrix& operator*=(double s);
+    /// Elementwise add; both sides must be in the same mode (and share the
+    /// pattern object in sparse mode).
+    SystemMatrix& operator+=(const SystemMatrix& o);
+    /// (i, i) += v. The diagonal is structurally present in sparse mode.
+    void addToDiagonal(std::size_t i, double v);
+
+    /// y += s * (A x), allocation-free.
+    void multiplyAccumulate(const Vector& x, double s, Vector& y) const;
+    /// y = A^T x.
+    Vector multiplyTransposed(const Vector& x) const;
+
+    /// Dense copy regardless of mode (shooting's monodromy product and
+    /// diagnostics; NOT on the transient hot path).
+    Matrix toDense() const;
+
+private:
+    enum class Mode { Unbound, Dense, Sparse };
+
+    Mode mode_ = Mode::Unbound;
+    Matrix dense_;
+    SparseMatrixCsc sparse_;
+};
+
+/// Factor/solve interface the engines hold. One instance per engine, reused
+/// across steps (the implementations recycle their buffers and must not be
+/// shared across threads -- same contract as LuFactorization).
+class LinearSolver {
+public:
+    virtual ~LinearSolver() = default;
+
+    /// Factors `a`. Returns false when numerically singular; the instance
+    /// is invalid until the next successful factor. Counted in
+    /// stats->luFactorizations (sparse numeric replays additionally in
+    /// stats->sparseRefactorizations).
+    virtual bool factor(const SystemMatrix& a, SimStats* stats = nullptr,
+                        double pivotTol = 1e-14) = 0;
+
+    virtual bool valid() const noexcept = 0;
+    virtual std::size_t dimension() const noexcept = 0;
+
+    virtual Vector solve(const Vector& b, SimStats* stats = nullptr) const = 0;
+    virtual void solveInPlace(Vector& b, SimStats* stats = nullptr) const = 0;
+    virtual Vector solveTransposed(const Vector& b,
+                                   SimStats* stats = nullptr) const = 0;
+
+    /// Crude reciprocal condition estimate: min|pivot| / max|pivot|.
+    virtual double reciprocalPivotRatio() const noexcept = 0;
+
+    /// Which concrete backend this is (never Auto).
+    virtual LinalgBackend backend() const noexcept = 0;
+};
+
+/// Dense backend: delegates to LuFactorization, preserving its numerics
+/// bit-for-bit.
+class DenseLinearSolver final : public LinearSolver {
+public:
+    bool factor(const SystemMatrix& a, SimStats* stats = nullptr,
+                double pivotTol = 1e-14) override;
+    bool valid() const noexcept override { return lu_.valid(); }
+    std::size_t dimension() const noexcept override { return lu_.dimension(); }
+    Vector solve(const Vector& b, SimStats* stats = nullptr) const override {
+        return lu_.solve(b, stats);
+    }
+    void solveInPlace(Vector& b, SimStats* stats = nullptr) const override {
+        lu_.solveInPlace(b, stats);
+    }
+    Vector solveTransposed(const Vector& b,
+                           SimStats* stats = nullptr) const override {
+        return lu_.solveTransposed(b, stats);
+    }
+    double reciprocalPivotRatio() const noexcept override {
+        return lu_.reciprocalPivotRatio();
+    }
+    LinalgBackend backend() const noexcept override {
+        return LinalgBackend::Dense;
+    }
+
+    /// The wrapped factorization, for legacy call sites that hand a
+    /// LuFactorization across an API boundary (deprecated Newton overloads).
+    LuFactorization& lu() noexcept { return lu_; }
+    const LuFactorization& lu() const noexcept { return lu_; }
+
+private:
+    LuFactorization lu_;
+};
+
+/// Sparse backend: first factor() on a pattern performs the full symbolic +
+/// numeric factorization; later factor() calls on the SAME pattern object
+/// replay the stored schedule (numeric refactor) with automatic fallback.
+class SparseLinearSolver final : public LinearSolver {
+public:
+    bool factor(const SystemMatrix& a, SimStats* stats = nullptr,
+                double pivotTol = 1e-14) override;
+    bool valid() const noexcept override { return lu_.valid(); }
+    std::size_t dimension() const noexcept override { return lu_.dimension(); }
+    Vector solve(const Vector& b, SimStats* stats = nullptr) const override {
+        return lu_.solve(b, stats);
+    }
+    void solveInPlace(Vector& b, SimStats* stats = nullptr) const override {
+        lu_.solveInPlace(b, stats);
+    }
+    Vector solveTransposed(const Vector& b,
+                           SimStats* stats = nullptr) const override {
+        return lu_.solveTransposed(b, stats);
+    }
+    double reciprocalPivotRatio() const noexcept override {
+        return lu_.reciprocalPivotRatio();
+    }
+    LinalgBackend backend() const noexcept override {
+        return LinalgBackend::Sparse;
+    }
+
+    /// True when the most recent factor() was a numeric replay.
+    bool lastFactorWasRefactor() const noexcept {
+        return lu_.lastFactorWasRefactor();
+    }
+
+private:
+    SparseLuFactorization lu_;
+};
+
+/// Creates the solver for a RESOLVED backend (Dense or Sparse; Auto is a
+/// caller error -- resolve against the system size first).
+std::unique_ptr<LinearSolver> makeLinearSolver(LinalgBackend backend);
+
+}  // namespace shtrace

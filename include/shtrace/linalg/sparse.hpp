@@ -1,0 +1,117 @@
+// shtrace -- compressed-sparse-column storage for MNA systems.
+//
+// The sparsity pattern of an MNA Jacobian is FIXED once the circuit is
+// finalized: devices stamp the same (row, col) positions at every (x, t),
+// only the values change. SparsePattern captures that structure once
+// (sorted CSC with the full diagonal always present, so the gmin leak and
+// the pivot slots exist structurally), and SparseMatrixCsc is a values
+// array over a shared pattern. G, C, and the step Jacobian a*C + G of one
+// circuit all share ONE pattern object, which makes the Jacobian
+// combination an elementwise operation over aligned values arrays and lets
+// devices stamp straight into CSC storage through a precomputed
+// stamp->nonzero index map (Assembler).
+//
+// MNA rows hold a handful of nonzeros (a MOSFET couples 4 terminals), so
+// indexOf() is a binary search over a short sorted column: cheap enough for
+// the assembly hot path without an extra per-device cursor cache.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "shtrace/linalg/matrix.hpp"
+#include "shtrace/linalg/vector.hpp"
+
+namespace shtrace {
+
+class SparsePattern {
+public:
+    /// Builds the pattern from (row, col) stamp positions. Duplicates are
+    /// merged; the full diagonal is added unconditionally (gmin slots,
+    /// pivot slots). Indices must lie in [0, n).
+    SparsePattern(std::size_t n, std::vector<std::pair<int, int>> entries);
+
+    std::size_t dimension() const noexcept { return n_; }
+    std::size_t nonZeros() const noexcept { return rowIdx_.size(); }
+
+    /// colPtr()[j] .. colPtr()[j+1] indexes column j's slice of rowIdx().
+    const std::vector<int>& colPtr() const noexcept { return colPtr_; }
+    /// Row indices, sorted ascending within each column.
+    const std::vector<int>& rowIdx() const noexcept { return rowIdx_; }
+
+    /// Nonzero index of (row, col), or -1 when the position is not in the
+    /// pattern (binary search within the column).
+    int indexOf(int row, int col) const noexcept;
+
+    /// Nonzero index of (i, i); the diagonal is always present.
+    int diagonalIndex(std::size_t i) const noexcept {
+        return diag_[i];
+    }
+
+private:
+    std::size_t n_ = 0;
+    std::vector<int> colPtr_;
+    std::vector<int> rowIdx_;
+    std::vector<int> diag_;
+};
+
+/// Values over a shared immutable pattern. Copying a SparseMatrixCsc copies
+/// the values and shares the pattern, so the transient engine's history
+/// rotation and the adjoint tape stay cheap.
+class SparseMatrixCsc {
+public:
+    SparseMatrixCsc() = default;
+    explicit SparseMatrixCsc(std::shared_ptr<const SparsePattern> pattern)
+        : pattern_(std::move(pattern)),
+          values_(pattern_->nonZeros(), 0.0) {}
+
+    bool bound() const noexcept { return pattern_ != nullptr; }
+    const SparsePattern& pattern() const { return *pattern_; }
+    const std::shared_ptr<const SparsePattern>& patternPtr() const noexcept {
+        return pattern_;
+    }
+    std::size_t dimension() const noexcept {
+        return pattern_ != nullptr ? pattern_->dimension() : 0;
+    }
+
+    double* values() noexcept { return values_.data(); }
+    const double* values() const noexcept { return values_.data(); }
+    std::size_t nonZeros() const noexcept { return values_.size(); }
+
+    void setZero() noexcept {
+        for (double& v : values_) {
+            v = 0.0;
+        }
+    }
+
+    /// values[nz] += v, where nz came from SparsePattern::indexOf.
+    void addAt(int nz, double v) noexcept {
+        values_[static_cast<std::size_t>(nz)] += v;
+    }
+
+    SparseMatrixCsc& operator*=(double s) noexcept {
+        for (double& v : values_) {
+            v *= s;
+        }
+        return *this;
+    }
+
+    /// Elementwise add; both operands must share the SAME pattern object
+    /// (that is the invariant the per-circuit union pattern guarantees).
+    SparseMatrixCsc& operator+=(const SparseMatrixCsc& o);
+
+    /// y += s * (A x), without allocating.
+    void multiplyAccumulate(const Vector& x, double s, Vector& y) const;
+    /// y = A^T x.
+    Vector multiplyTransposed(const Vector& x) const;
+
+    Matrix toDense() const;
+
+private:
+    std::shared_ptr<const SparsePattern> pattern_;
+    std::vector<double> values_;
+};
+
+}  // namespace shtrace

@@ -1,0 +1,94 @@
+// shtrace -- sparse LU over the fixed MNA pattern.
+//
+// Left-looking (Gilbert-Peierls) LU with partial pivoting and a
+// minimum-degree column pre-ordering on the symmetrized pattern. Because an
+// MNA circuit factors the SAME pattern tens of thousands of times per
+// contour (only values change), the first factor() stores the complete
+// symbolic structure -- column order, pivot sequence, L/U patterns, and the
+// per-column topological update schedule -- and every later factor() of a
+// matrix on the same pattern REPLAYS that schedule numerically: no reach
+// DFS, no pivot search, no allocation. A pivot-health check (the chosen
+// pivot must stay within a growth factor of its column maximum) guards the
+// replay; when values drift far enough that the stored pivot sequence goes
+// bad, factor() falls back to a fresh full factorization transparently.
+//
+// Like LuFactorization, one instance recycles its buffers across calls and
+// must not be shared across threads.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "shtrace/linalg/sparse.hpp"
+#include "shtrace/util/stats.hpp"
+
+namespace shtrace {
+
+class SparseLuFactorization {
+public:
+    SparseLuFactorization() = default;
+
+    /// Factors PAQ = LU. Returns false when the matrix is numerically
+    /// singular (best available pivot below `pivotTol` relative to the
+    /// matrix magnitude) -- including structural singularity (a column
+    /// whose reach holds no eligible pivot row). On success the instance
+    /// is valid() and ready to solve.
+    ///
+    /// Counted in stats->luFactorizations; a successful numeric replay
+    /// additionally counts in stats->sparseRefactorizations.
+    bool factor(const SparseMatrixCsc& a, SimStats* stats = nullptr,
+                double pivotTol = 1e-14);
+
+    bool valid() const noexcept { return valid_; }
+    std::size_t dimension() const noexcept { return n_; }
+
+    /// True when the most recent successful factor() was a numeric replay
+    /// of the stored symbolic structure (exposed for tests and benches).
+    bool lastFactorWasRefactor() const noexcept { return lastWasRefactor_; }
+
+    Vector solve(const Vector& b, SimStats* stats = nullptr) const;
+    void solveInPlace(Vector& b, SimStats* stats = nullptr) const;
+    Vector solveTransposed(const Vector& b, SimStats* stats = nullptr) const;
+
+    /// Crude reciprocal condition estimate: min|pivot| / max|pivot|.
+    double reciprocalPivotRatio() const noexcept;
+
+private:
+    bool fullFactor(const SparseMatrixCsc& a, double pivotTol);
+    bool refactor(const SparseMatrixCsc& a, double pivotTol);
+    static double maxAbsValue(const SparseMatrixCsc& a) noexcept;
+
+    std::size_t n_ = 0;
+    /// Pattern the symbolic structure was computed for; a factor() against
+    /// a different pattern object rebuilds everything.
+    std::shared_ptr<const SparsePattern> pattern_;
+
+    std::vector<int> colOrder_;  ///< q: step k factors original column q[k]
+    std::vector<int> rowPerm_;   ///< p: pivot index k <- original row p[k]
+    std::vector<int> pinv_;      ///< original row -> pivot index
+
+    // L (unit diagonal, rows > k) and U (rows < k) by factor column, row
+    // indices in PIVOT coordinates. Ui_ keeps each column in the
+    // topological order the update loop processed, which is exactly the
+    // schedule the numeric refactor replays.
+    std::vector<int> lColPtr_, lRowIdx_;
+    std::vector<double> lValues_;
+    std::vector<int> uColPtr_, uRowIdx_;
+    std::vector<double> uValues_;
+    std::vector<double> uDiag_;
+
+    // Scratch recycled across factor/solve calls.
+    std::vector<double> work_;
+    std::vector<int> mark_, stack_, stackPos_, topo_;
+    mutable std::vector<double> solveWork_;
+
+    bool valid_ = false;
+    bool lastWasRefactor_ = false;
+};
+
+/// Fill-reducing ordering: naive minimum degree on the pattern of A + A^T.
+/// One-time cost per circuit; exposed for tests.
+std::vector<int> minimumDegreeOrder(const SparsePattern& pattern);
+
+}  // namespace shtrace

@@ -36,7 +36,9 @@ namespace shtrace::store {
 /// the canonical tracer text.
 /// v4: ordered per-contour event timeline ("timeline" block) appended to
 /// every diagnostics block (docs/STORE.md).
-inline constexpr int kFormatVersion = 4;
+/// v5: 23-field stats line (sparseRefactorizations, batchAssemblies) and
+/// linalg-backend + batch-evaluation fields in the canonical recipe text.
+inline constexpr int kFormatVersion = 5;
 
 /// Streaming 64-bit FNV-1a.
 class Fnv1a {

@@ -43,6 +43,12 @@ struct SimStats {
     std::uint64_t traceTransientRetries = 0;  ///< perturbed-predictor retries
     std::uint64_t tracePlateauReseeds = 0;    ///< pulled-back re-seeds
     std::uint64_t traceStepHalvings = 0;      ///< predictor alpha halvings
+    // Sparse-backend accounting (linalg/sparse_lu.cpp, circuit/): a numeric
+    // refactor replays the stored pivot sequence instead of re-running the
+    // symbolic analysis + pivot search; a batch assembly evaluates all
+    // MOSFETs through the SoA evaluator in one pass.
+    std::uint64_t sparseRefactorizations = 0;  ///< symbolic-reuse replays
+    std::uint64_t batchAssemblies = 0;    ///< SoA batched device passes
     /// Inclusive wall time accumulated via ScopedTimer. Nested timers on
     /// the same accumulator count once (outermost scope only).
     double wallSeconds = 0.0;

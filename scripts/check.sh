@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Full local gate: the tier-1 suite plus both sanitizer sweeps.
 #
-#   scripts/check.sh            everything (tier-1 + tsan + asan + ubsan + bench smoke)
+#   scripts/check.sh            everything (tier-1 + tsan + asan + ubsan +
+#                               sparse + bench smoke + obs)
 #   scripts/check.sh tier1      plain build + full ctest only
 #   scripts/check.sh tsan       ThreadSanitizer build, tsan-labeled tests
 #   scripts/check.sh asan       address,undefined build, store + parallel
 #   scripts/check.sh ubsan      UBSan (incl. float-divide-by-zero) build,
 #                               ubsan-labeled tests (the fault-injection
 #                               suite, where the NaN/Inf paths live)
+#   scripts/check.sh sparse     sparse-labeled tests (CSC/LU unit tests +
+#                               dense-vs-sparse backend equivalence) under
+#                               BOTH the asan and ubsan builds -- index
+#                               arithmetic over colPtr/rowIdx is where
+#                               memory and UB bugs would hide
 #   scripts/check.sh bench      build bench targets, one quick hot-path run
 #   scripts/check.sh obs        metrics/tracing tests, in-repo Prometheus
 #                               format lint on a real Fig. 8 exposition,
@@ -36,8 +42,22 @@ run_tsan() {
           -DSHTRACE_SANITIZE=thread
     cmake --build build-tsan -j "${JOBS}" \
           --target test_parallel test_store_cache test_trace_robustness \
-                   test_obs
+                   test_obs test_backend_equivalence
     ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
+}
+
+run_sparse() {
+    echo "== sparse: sparse-labeled tests under asan and ubsan =="
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DSHTRACE_SANITIZE=address,undefined
+    cmake --build build-asan -j "${JOBS}" \
+          --target test_sparse_linalg test_backend_equivalence
+    ctest --test-dir build-asan -L sparse --output-on-failure -j "${JOBS}"
+    cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DSHTRACE_SANITIZE=undefined,float-divide-by-zero
+    cmake --build build-ubsan -j "${JOBS}" \
+          --target test_sparse_linalg test_backend_equivalence
+    ctest --test-dir build-ubsan -L sparse --output-on-failure -j "${JOBS}"
 }
 
 run_asan() {
@@ -110,14 +130,15 @@ run_obs() {
 }
 
 case "${STAGE}" in
-    tier1) run_tier1 ;;
-    tsan)  run_tsan ;;
-    asan)  run_asan ;;
-    ubsan) run_ubsan ;;
-    bench) run_bench ;;
-    obs)   run_obs ;;
-    all)   run_tier1; run_tsan; run_asan; run_ubsan; run_bench; run_obs ;;
-    *)     echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|bench|obs|all]" >&2; exit 2 ;;
+    tier1)  run_tier1 ;;
+    tsan)   run_tsan ;;
+    asan)   run_asan ;;
+    ubsan)  run_ubsan ;;
+    sparse) run_sparse ;;
+    bench)  run_bench ;;
+    obs)    run_obs ;;
+    all)    run_tier1; run_tsan; run_asan; run_ubsan; run_sparse; run_bench; run_obs ;;
+    *)      echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|sparse|bench|obs|all]" >&2; exit 2 ;;
 esac
 
 echo "check.sh: ${STAGE} OK"

@@ -1,6 +1,6 @@
 #include "shtrace/analysis/adjoint.hpp"
 
-#include "shtrace/linalg/lu.hpp"
+#include "shtrace/linalg/linear_solver.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -28,6 +28,13 @@ AdjointGradient computeAdjointGradient(const Circuit& circuit,
     Vector lambda;
     Vector nextLambdaRhs = selector;  // rhs for the final step's solve
 
+    // One solver for the whole sweep, matching the tape's representation;
+    // on the sparse backend every step after the first is a numeric replay
+    // of the shared symbolic factorization.
+    const std::unique_ptr<LinearSolver> solver = makeLinearSolver(
+        tape[1].c.isSparse() ? LinalgBackend::Sparse : LinalgBackend::Dense);
+    SystemMatrix jacobian;
+
     // Backward sweep: i = steps .. 1 (tape[i] is the accepted state of
     // step i; tape[i-1] its predecessor).
     for (std::size_t i = steps; i >= 1; --i) {
@@ -38,16 +45,15 @@ AdjointGradient computeAdjointGradient(const Circuit& circuit,
         const double a = (trap ? 2.0 : 1.0) / dt;
 
         // J_i = a C_i + G_i; solve J_i^T lambda_i = rhs.
-        Matrix jacobian = cur.c;
+        jacobian = cur.c;
         jacobian *= a;
         jacobian += cur.g;
-        LuFactorization lu;
-        if (!lu.factor(jacobian, stats)) {
+        if (!solver->factor(jacobian, stats)) {
             throw NumericalError(message(
                 "computeAdjointGradient: singular step Jacobian at t=",
                 cur.t));
         }
-        lambda = lu.solveTransposed(nextLambdaRhs, stats);
+        lambda = solver->solveTransposed(nextLambdaRhs, stats);
 
         // Gradient accumulation: dJ/dtau -= lambda^T dF_i/dtau, where
         // dF_i/dtau = b z(t_i) (+ b z(t_{i-1}) for TRAP).

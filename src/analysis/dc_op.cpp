@@ -1,28 +1,56 @@
 #include "shtrace/analysis/dc_op.hpp"
 
 #include "shtrace/circuit/assembler.hpp"
+#include "shtrace/devices/mosfet_batch.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
 
 namespace {
 
+/// Per-run solver state the gmin stages share: the backend-bound assembler
+/// and workspace, the LinearSolver, and the batch scratch. Sharing keeps
+/// the continuation ladder allocation-free after the first stage (and, on
+/// the sparse backend, lets later stages reuse the symbolic factorization).
+struct DcScratch {
+    Assembler asmb;
+    NewtonWorkspace ws;
+    std::unique_ptr<LinearSolver> solver;
+    MosfetBatchScratch batch;
+
+    DcScratch(const Circuit& circuit, LinalgBackend backend)
+        : asmb(circuit.systemSize(), backend == LinalgBackend::Sparse
+                                         ? circuit.sparsityPattern()
+                                         : nullptr),
+          solver(makeLinearSolver(backend)) {
+        ws.bind(circuit.systemSize(), backend == LinalgBackend::Sparse
+                                          ? circuit.sparsityPattern()
+                                          : nullptr);
+    }
+};
+
 /// One Newton solve of f(x) + gmin*v = 0 at fixed gmin, from the given seed.
-NewtonResult solveAtGmin(const Circuit& circuit, double time, double gmin,
-                         const NewtonOptions& newtonOptions, Vector& x,
-                         Assembler& asmb, SimStats* stats) {
+NewtonResult solveAtGmin(const Circuit& circuit, const DcOptions& options,
+                         double gmin, Vector& x, DcScratch& scratch,
+                         SimStats* stats) {
     const std::size_t nodeRows = static_cast<std::size_t>(circuit.nodeCount());
     const NewtonSystemFn system = [&](const Vector& xi, Vector& residual,
-                                      Matrix& jacobian) {
-        circuit.assemble(xi, time, asmb, stats);
-        residual = asmb.f();
-        jacobian = asmb.g();
+                                      SystemMatrix& jacobian) {
+        if (options.batchDeviceEval) {
+            circuit.assembleBatch(xi, options.time, scratch.asmb,
+                                  scratch.batch, stats);
+        } else {
+            circuit.assemble(xi, options.time, scratch.asmb, stats);
+        }
+        residual = scratch.asmb.f();
+        jacobian = scratch.asmb.gSystem();
         for (std::size_t i = 0; i < nodeRows; ++i) {
             residual[i] += gmin * xi[i];
-            jacobian(i, i) += gmin;
+            jacobian.addToDiagonal(i, gmin);
         }
     };
-    return solveNewton(system, x, nodeRows, newtonOptions, stats);
+    return solveNewton(system, x, nodeRows, options.newton, *scratch.solver,
+                       scratch.ws, stats);
 }
 
 }  // namespace
@@ -32,11 +60,12 @@ DcResult solveDcOperatingPoint(const Circuit& circuit, const DcOptions& options,
     require(circuit.finalized(), "solveDcOperatingPoint: circuit not finalized");
     DcResult result;
     result.x = Vector(circuit.systemSize());
-    Assembler asmb(circuit.systemSize());
+    DcScratch scratch(
+        circuit, resolveLinalgBackend(options.linalg, circuit.systemSize()));
 
     // Direct attempt at the gmin floor.
-    NewtonResult nr = solveAtGmin(circuit, options.time, options.gminFloor,
-                                  options.newton, result.x, asmb, stats);
+    NewtonResult nr = solveAtGmin(circuit, options, options.gminFloor,
+                                  result.x, scratch, stats);
     result.totalNewtonIterations += nr.iterations;
     if (nr.converged) {
         result.converged = true;
@@ -53,8 +82,7 @@ DcResult solveDcOperatingPoint(const Circuit& circuit, const DcOptions& options,
             continue;
         }
         Vector trial = result.x;
-        nr = solveAtGmin(circuit, options.time, gmin, options.newton, trial,
-                         asmb, stats);
+        nr = solveAtGmin(circuit, options, gmin, trial, scratch, stats);
         result.totalNewtonIterations += nr.iterations;
         if (!nr.converged) {
             if (!haveSeed) {
@@ -71,8 +99,8 @@ DcResult solveDcOperatingPoint(const Circuit& circuit, const DcOptions& options,
     require(haveSeed, "DC gmin ladder is empty or entirely below the floor");
 
     // Final polish at the floor from the continuation seed.
-    nr = solveAtGmin(circuit, options.time, options.gminFloor, options.newton,
-                     result.x, asmb, stats);
+    nr = solveAtGmin(circuit, options, options.gminFloor, result.x, scratch,
+                     stats);
     result.totalNewtonIterations += nr.iterations;
     result.converged = nr.converged;
     if (!result.converged) {

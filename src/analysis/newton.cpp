@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "shtrace/obs/obs.hpp"
 #include "shtrace/util/error.hpp"
@@ -48,7 +49,7 @@ bool applyUpdate(Vector& x, const Vector& dx, double scale,
 // across phases (chord iterations already counted by the caller).
 void runFullNewton(const NewtonSystemFn& system, Vector& x,
                    std::size_t nodeRows, const NewtonOptions& options,
-                   LuFactorization& lu, NewtonWorkspace& ws, SimStats* stats,
+                   LinearSolver& solver, NewtonWorkspace& ws, SimStats* stats,
                    NewtonResult& result) {
     for (result.iterations = 1; result.iterations <= options.maxIterations;
          ++result.iterations) {
@@ -58,12 +59,12 @@ void runFullNewton(const NewtonSystemFn& system, Vector& x,
         system(x, ws.residual, ws.jacobian);
         result.finalResidualNorm = ws.residual.normInf();
 
-        if (!lu.factor(ws.jacobian, stats)) {
+        if (!solver.factor(ws.jacobian, stats)) {
             result.singular = true;
             return;
         }
         ws.dx = ws.residual;
-        lu.solveInPlace(ws.dx, stats);
+        solver.solveInPlace(ws.dx, stats);
 
         // Damping: scale the whole update so no component exceeds maxUpdate.
         const double updateNorm = ws.dx.normInf();
@@ -88,19 +89,28 @@ void runFullNewton(const NewtonSystemFn& system, Vector& x,
     result.iterations = options.maxIterations;
 }
 
+/// Adapts a dense-only callback to the SystemMatrix signature (deprecated
+/// entry points; the workspace is always dense-bound there).
+NewtonSystemFn wrapDense(const DenseNewtonSystemFn& system) {
+    return [&system](const Vector& x, Vector& residual,
+                     SystemMatrix& jacobian) {
+        system(x, residual, jacobian.dense());
+    };
+}
+
 }  // namespace
 
 NewtonResult solveNewton(const NewtonSystemFn& system, Vector& x,
                          std::size_t nodeRows, const NewtonOptions& options,
-                         SimStats* stats, LuFactorization* finalFactorization) {
+                         LinearSolver& solver, NewtonWorkspace& ws,
+                         SimStats* stats) {
     require(nodeRows <= x.size(), "solveNewton: nodeRows exceeds system size");
+    require(ws.jacobian.bound() && ws.jacobian.dimension() == x.size(),
+            "solveNewton: workspace Jacobian not bound to the system size");
+    ws.residual.resize(x.size());
+    ws.dx.resize(x.size());
     NewtonResult result;
-    NewtonWorkspace ws;
-    ws.resize(x.size());
-    LuFactorization localLu;
-    LuFactorization& lu =
-        finalFactorization != nullptr ? *finalFactorization : localLu;
-    runFullNewton(system, x, nodeRows, options, lu, ws, stats, result);
+    runFullNewton(system, x, nodeRows, options, solver, ws, stats, result);
     observeSolve(result);
     return result;
 }
@@ -109,23 +119,27 @@ NewtonResult solveNewtonChord(const NewtonSystemFn& system,
                               const NewtonResidualFn& residualOnly, Vector& x,
                               std::size_t nodeRows,
                               const NewtonOptions& options,
-                              LuFactorization& lu, bool reuseFactorization,
+                              LinearSolver& solver, bool reuseFactorization,
                               NewtonWorkspace& ws, SimStats* stats) {
     require(nodeRows <= x.size(),
             "solveNewtonChord: nodeRows exceeds system size");
+    require(ws.jacobian.bound() && ws.jacobian.dimension() == x.size(),
+            "solveNewtonChord: workspace Jacobian not bound to the system "
+            "size");
     SHTRACE_FINE_SPAN("newton.solve");
     const std::size_t n = x.size();
     NewtonResult result;
-    ws.resize(n);
+    ws.residual.resize(n);
+    ws.dx.resize(n);
 
-    if (reuseFactorization && lu.valid() && lu.dimension() == n) {
+    if (reuseFactorization && solver.valid() && solver.dimension() == n) {
         double prevUpdateNorm = std::numeric_limits<double>::infinity();
         for (int it = 1; it <= options.chordMaxIterations; ++it) {
             residualOnly(x, ws.residual);
             const double residualNorm = ws.residual.normInf();
 
             ws.dx = ws.residual;
-            lu.solveInPlace(ws.dx, stats);
+            solver.solveInPlace(ws.dx, stats);
             const double updateNorm = ws.dx.normInf();
 
             // A step large enough to need damping means the iterate left the
@@ -162,8 +176,45 @@ NewtonResult solveNewtonChord(const NewtonSystemFn& system,
     }
 
     result.refactored = true;
-    runFullNewton(system, x, nodeRows, options, lu, ws, stats, result);
+    runFullNewton(system, x, nodeRows, options, solver, ws, stats, result);
     observeSolve(result);
+    return result;
+}
+
+// ------------------------------------------------- deprecated dense shims ---
+
+NewtonResult solveNewton(const DenseNewtonSystemFn& system, Vector& x,
+                         std::size_t nodeRows, const NewtonOptions& options,
+                         SimStats* stats, LuFactorization* finalFactorization) {
+    NewtonWorkspace ws;
+    ws.resize(x.size());
+    DenseLinearSolver solver;
+    if (finalFactorization != nullptr) {
+        // Move the caller's buffers in so they get recycled, and the factors
+        // move back out below -- same storage lifecycle as before PR 6.
+        solver.lu() = std::move(*finalFactorization);
+    }
+    const NewtonResult result = solveNewton(wrapDense(system), x, nodeRows,
+                                            options, solver, ws, stats);
+    if (finalFactorization != nullptr) {
+        *finalFactorization = std::move(solver.lu());
+    }
+    return result;
+}
+
+NewtonResult solveNewtonChord(const DenseNewtonSystemFn& system,
+                              const NewtonResidualFn& residualOnly, Vector& x,
+                              std::size_t nodeRows,
+                              const NewtonOptions& options,
+                              LuFactorization& lu, bool reuseFactorization,
+                              NewtonWorkspace& ws, SimStats* stats) {
+    ws.resize(x.size());
+    DenseLinearSolver solver;
+    solver.lu() = std::move(lu);
+    const NewtonResult result =
+        solveNewtonChord(wrapDense(system), residualOnly, x, nodeRows, options,
+                         solver, reuseFactorization, ws, stats);
+    lu = std::move(solver.lu());
     return result;
 }
 

@@ -21,19 +21,21 @@ Matrix propagateMonodromy(const TransientResult& tr, std::size_t n,
         const double dt = cur.t - prev.t;
         const double a = (trap ? 2.0 : 1.0) / dt;
 
-        Matrix jacobian = cur.c;
+        // The monodromy product is dense regardless of the tape's backend
+        // (M itself fills in); NOT on the transient hot path.
+        Matrix jacobian = cur.c.toDense();
         jacobian *= a;
-        jacobian += cur.g;
+        jacobian += cur.g.toDense();
         LuFactorization lu;
         if (!lu.factor(jacobian, stats)) {
             throw NumericalError(message(
                 "shooting: singular step Jacobian at t=", cur.t));
         }
         // rhs = (a C_{i-1} [- G_{i-1}]) M_{i-1}, column by column.
-        Matrix rhsBase = prev.c;
+        Matrix rhsBase = prev.c.toDense();
         rhsBase *= a;
         if (trap) {
-            rhsBase -= prev.g;
+            rhsBase -= prev.g.toDense();
         }
         Matrix next(n, n);
         Vector col(n);

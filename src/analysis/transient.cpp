@@ -5,6 +5,8 @@
 
 #include "shtrace/analysis/dc_op.hpp"
 #include "shtrace/circuit/assembler.hpp"
+#include "shtrace/devices/mosfet_batch.hpp"
+#include "shtrace/linalg/linear_solver.hpp"
 #include "shtrace/obs/obs.hpp"
 #include "shtrace/util/error.hpp"
 
@@ -49,10 +51,10 @@ struct StepHistory {
     Vector x;
     Vector q;
     Vector fTotal;  ///< f(x,t) + b(t) + gmin*v  (the complete algebraic part)
-    Matrix c;
-    Matrix g;       ///< df/dx + gmin on node diagonal
-    Vector ms;      ///< dx/dtau_s
-    Vector mh;      ///< dx/dtau_h
+    SystemMatrix c;
+    SystemMatrix g;  ///< df/dx + gmin on node diagonal
+    Vector ms;       ///< dx/dtau_s
+    Vector mh;       ///< dx/dtau_h
 };
 
 class Engine {
@@ -63,7 +65,15 @@ public:
           stats_(stats),
           n_(circuit.systemSize()),
           nodeRows_(static_cast<std::size_t>(circuit.nodeCount())),
-          asmb_(circuit.systemSize()) {}
+          backend_(resolveLinalgBackend(opt.linalg, circuit.systemSize())),
+          asmb_(circuit.systemSize(), backend_ == LinalgBackend::Sparse
+                                          ? circuit.sparsityPattern()
+                                          : nullptr),
+          stepSolver_(makeLinearSolver(backend_)) {
+        ws_.bind(n_, backend_ == LinalgBackend::Sparse
+                         ? circuit.sparsityPattern()
+                         : nullptr);
+    }
 
     TransientResult run() {
         SHTRACE_SPAN("transient.solve");
@@ -99,6 +109,8 @@ private:
             DcOptions dcOpt;
             dcOpt.newton = opt_.newton;
             dcOpt.time = opt_.tStart;
+            dcOpt.linalg = opt_.linalg;
+            dcOpt.batchDeviceEval = opt_.batchDeviceEval;
             prev.x = solveDcOperatingPoint(circuit_, dcOpt, stats_).x;
         }
         assembleHistory(prev.x, prev.t, prev);
@@ -266,9 +278,9 @@ private:
         const bool needJacobians =
             opt_.trackSkewSensitivities || opt_.recordAdjointTape;
         if (needJacobians) {
-            circuit_.assemble(x, t, asmb_, stats_);
+            assembleFull(x, t);
         } else {
-            circuit_.assembleResidual(x, t, asmb_, stats_);
+            assembleResidualOnly(x, t);
         }
         h.x = x;
         h.t = t;
@@ -278,11 +290,29 @@ private:
             h.fTotal[i] += opt_.gmin * x[i];
         }
         if (needJacobians) {
-            h.c = asmb_.c();
-            h.g = asmb_.g();
+            h.c = asmb_.cSystem();
+            h.g = asmb_.gSystem();
             for (std::size_t i = 0; i < nodeRows_; ++i) {
-                h.g(i, i) += opt_.gmin;
+                h.g.addToDiagonal(i, opt_.gmin);
             }
+        }
+    }
+
+    /// Full assembly with the recipe's device-evaluation mode.
+    void assembleFull(const Vector& x, double t) {
+        if (opt_.batchDeviceEval) {
+            circuit_.assembleBatch(x, t, asmb_, batchScratch_, stats_);
+        } else {
+            circuit_.assemble(x, t, asmb_, stats_);
+        }
+    }
+
+    /// Residual-only assembly with the recipe's device-evaluation mode.
+    void assembleResidualOnly(const Vector& x, double t) {
+        if (opt_.batchDeviceEval) {
+            circuit_.assembleResidualBatch(x, t, asmb_, batchScratch_, stats_);
+        } else {
+            circuit_.assembleResidual(x, t, asmb_, stats_);
         }
     }
 
@@ -327,8 +357,8 @@ private:
         const double a = (trap ? 2.0 : (gear ? 1.5 : 1.0)) / dt;
         const double tNew = next.t;
         const NewtonSystemFn system = [&](const Vector& xi, Vector& residual,
-                                          Matrix& jacobian) {
-            circuit_.assemble(xi, tNew, asmb_, stats_);
+                                          SystemMatrix& jacobian) {
+            assembleFull(xi, tNew);
             residual = asmb_.q();
             residual *= a;
             if (gear) {
@@ -338,12 +368,12 @@ private:
                 residual.addScaled(-a, prev.q);
             }
             residual += asmb_.f();
-            jacobian = asmb_.c();
+            jacobian = asmb_.cSystem();
             jacobian *= a;
-            jacobian += asmb_.g();
+            jacobian += asmb_.gSystem();
             for (std::size_t i = 0; i < nodeRows_; ++i) {
                 residual[i] += opt_.gmin * xi[i];
-                jacobian(i, i) += opt_.gmin;
+                jacobian.addToDiagonal(i, opt_.gmin);
             }
             if (trap) {
                 residual += prev.fTotal;
@@ -353,7 +383,7 @@ private:
         // restamp and no Jacobian build (chord iterations keep the old LU).
         const NewtonResidualFn residualOnly = [&](const Vector& xi,
                                                   Vector& residual) {
-            circuit_.assembleResidual(xi, tNew, asmb_, stats_);
+            assembleResidualOnly(xi, tNew);
             residual = asmb_.q();
             residual *= a;
             if (gear) {
@@ -379,11 +409,11 @@ private:
         // stepDt from the remaining span each step, so `a` drifts by a few
         // ulps even when the grid is nominally uniform.
         const bool reuse = opt_.jacobianReuse && !forceRefactor_ &&
-                           stepLu_.valid() && haveLuCoef_ &&
+                           stepSolver_->valid() && haveLuCoef_ &&
                            std::fabs(a - luCoef_) <= 1e-9 * std::fabs(a);
         const NewtonResult nr =
             solveNewtonChord(system, residualOnly, next.x, nodeRows_,
-                             opt_.newton, stepLu_, reuse, ws_, stats_);
+                             opt_.newton, *stepSolver_, reuse, ws_, stats_);
         if (!nr.converged) {
             forceRefactor_ = true;
             return false;
@@ -443,14 +473,14 @@ private:
             ws_.jacobian = next.c;
             ws_.jacobian *= a;
             ws_.jacobian += next.g;
-            if (!stepLu_.factor(ws_.jacobian, stats_)) {
+            if (!stepSolver_->factor(ws_.jacobian, stats_)) {
                 throw NumericalError(message(
                     "singular Jacobian at accepted step t=", next.t));
             }
             luCoef_ = a;
             haveLuCoef_ = true;
         }
-        const LuFactorization& lu = stepLu_;
+        const LinearSolver& lu = *stepSolver_;
         if (!lu.valid()) {
             throw NumericalError(message(
                 "sensitivity update without a factored step Jacobian at t=",
@@ -525,11 +555,16 @@ private:
     SimStats* stats_;
     std::size_t n_;
     std::size_t nodeRows_;
+    /// Resolved (never Auto) linear-algebra backend of this run.
+    LinalgBackend backend_;
     Assembler asmb_;
-    /// Factorization of the last Newton Jacobian this engine assembled,
-    /// reused by the sensitivity recurrences and -- with jacobianReuse --
-    /// as the chord factorization of subsequent iterations and steps.
-    LuFactorization stepLu_;
+    /// Solver holding the factors of the last Newton Jacobian this engine
+    /// assembled, reused by the sensitivity recurrences and -- with
+    /// jacobianReuse -- as the chord factorization of subsequent iterations
+    /// and steps.
+    std::unique_ptr<LinearSolver> stepSolver_;
+    /// SoA scratch for batchDeviceEval (per-engine, never shared).
+    MosfetBatchScratch batchScratch_;
     /// Integration coefficient a = coef/dt the stepLu_ factors were built
     /// with; chord reuse requires the current step's a to match.
     double luCoef_ = 0.0;

@@ -1,0 +1,102 @@
+#include "shtrace/cells/register_chain.hpp"
+
+#include <string>
+
+#include "shtrace/devices/capacitor.hpp"
+#include "shtrace/devices/mosfet.hpp"
+#include "shtrace/devices/sources.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+RegisterFixture buildTspcRegisterChain(const RegisterChainOptions& options) {
+    const TspcOptions& opt = options.bit;
+    require(options.bits >= 1, "buildTspcRegisterChain: bits must be >= 1");
+    require(opt.outputLoadCapacitance > 0.0,
+            "buildTspcRegisterChain: output load must be positive");
+
+    RegisterFixture fx;
+    fx.name = "TSPC-chain" + std::to_string(options.bits);
+    fx.vdd = opt.corner.vdd;
+    fx.activeEdgeIndex = opt.activeEdgeIndex;
+
+    Circuit& ckt = fx.circuit;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId clk = ckt.node("clk");
+    const NodeId d = ckt.node("d");
+    fx.clk = clk;
+    fx.d = d;
+
+    // --- shared sources (identical to the single-bit builder) ---
+    ckt.add<VoltageSource>("Vdd", vdd, kGround, opt.corner.vdd);
+
+    ClockWaveform::Spec clockSpec = opt.clockSpec;
+    clockSpec.v1 = opt.corner.vdd;
+    fx.clock = std::make_shared<ClockWaveform>(clockSpec);
+    ckt.add<VoltageSource>("Vclk", clk, kGround, fx.clock);
+
+    DataPulse::Spec dataSpec;
+    dataSpec.v0 = opt.risingData ? 0.0 : opt.corner.vdd;
+    dataSpec.v1 = opt.risingData ? opt.corner.vdd : 0.0;
+    dataSpec.activeEdgeTime = fx.clock->risingEdgeMidpoint(opt.activeEdgeIndex);
+    dataSpec.transitionTime = opt.dataTransitionTime;
+    fx.data = std::make_shared<DataPulse>(dataSpec);
+    ckt.add<VoltageSource>("Vdata", d, kGround, fx.data);
+
+    fx.qInitial = dataSpec.v0;
+    fx.qFinal = dataSpec.v1;
+
+    const auto nmos = [&](double w) { return makeNmos(opt.corner, w, opt.l); };
+    const auto pmos = [&](double w) { return makePmos(opt.corner, w, opt.l); };
+
+    // --- one TSPC bit per iteration, data chained from the previous Q ---
+    NodeId din = d;
+    for (int b = 0; b < options.bits; ++b) {
+        const std::string p = "b" + std::to_string(b) + "_";
+        const NodeId x1 = ckt.node(p + "x1");
+        const NodeId s1 = ckt.node(p + "s1");
+        const NodeId y = ckt.node(p + "y");
+        const NodeId s2 = ckt.node(p + "s2");
+        const NodeId qb = ckt.node(p + "qb");
+        const NodeId s3 = ckt.node(p + "s3");
+        const NodeId q = ckt.node(p + "q");
+
+        // Stage 1: p-section, transparent at CLK=0.
+        ckt.add<Mosfet>(p + "MP1a", s1, din, vdd, vdd, pmos(opt.wp));
+        ckt.add<Mosfet>(p + "MP1b", x1, clk, s1, vdd, pmos(opt.wp));
+        ckt.add<Mosfet>(p + "MN1", x1, din, kGround, kGround, nmos(opt.wn));
+        // Stage 2: n-section precharge / evaluate.
+        ckt.add<Mosfet>(p + "MP2", y, clk, vdd, vdd, pmos(opt.wp));
+        ckt.add<Mosfet>(p + "MN3", y, x1, s2, kGround, nmos(opt.wn));
+        ckt.add<Mosfet>(p + "MN4", s2, clk, kGround, kGround, nmos(opt.wn));
+        // Stage 3: qb = ~y at CLK=1, dynamic hold at CLK=0.
+        ckt.add<Mosfet>(p + "MP3", qb, y, vdd, vdd, pmos(opt.wp));
+        ckt.add<Mosfet>(p + "MN5", qb, clk, s3, kGround, nmos(opt.wn));
+        ckt.add<Mosfet>(p + "MN6", s3, y, kGround, kGround, nmos(opt.wn));
+        // Output inverter: Q = ~qb.
+        ckt.add<Mosfet>(p + "MP4", q, qb, vdd, vdd, pmos(opt.wp));
+        ckt.add<Mosfet>(p + "MN7", q, qb, kGround, kGround, nmos(opt.wn));
+
+        // Per-bit parasitics, same values as the single-bit builder; the
+        // next bit's gate loading on q is real (MP1a/MN1 of bit b+1).
+        ckt.add<Capacitor>(p + "Cload", q, kGround, opt.outputLoadCapacitance);
+        if (opt.internalNodeCapacitance > 0.0) {
+            ckt.add<Capacitor>(p + "Cx1", x1, kGround,
+                               opt.internalNodeCapacitance);
+            ckt.add<Capacitor>(p + "Cy", y, kGround,
+                               opt.internalNodeCapacitance);
+            ckt.add<Capacitor>(p + "Cqb", qb, kGround,
+                               opt.internalNodeCapacitance);
+        }
+
+        if (b == 0) {
+            fx.q = q;  // the characterized output is bit 0's Q
+        }
+        din = q;
+    }
+
+    ckt.finalize();
+    return fx;
+}
+
+}  // namespace shtrace

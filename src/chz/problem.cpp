@@ -30,6 +30,8 @@ CharacterizationProblem::CharacterizationProblem(
                            criterion.referenceHoldSkew);
     DcOptions dcOpt;
     dcOpt.newton = recipe.newton;
+    dcOpt.linalg = recipe.linalg;
+    dcOpt.batchDeviceEval = recipe.batchDeviceEval;
     x0_ = solveDcOperatingPoint(fixture.circuit, dcOpt, stats).x;
 
     // Reference transient at very large skews -> t_c and the
@@ -45,6 +47,8 @@ CharacterizationProblem::CharacterizationProblem(
     refOpt.newton = recipe.newton;
     refOpt.gmin = recipe.gmin;
     refOpt.jacobianReuse = recipe.jacobianReuse;
+    refOpt.linalg = recipe.linalg;
+    refOpt.batchDeviceEval = recipe.batchDeviceEval;
     refOpt.initialCondition = x0_;
     refOpt.storeStates = true;
 
@@ -78,6 +82,8 @@ CharacterizationProblem::CharacterizationProblem(
     hOpt.newton = recipe.newton;
     hOpt.gmin = recipe.gmin;
     hOpt.jacobianReuse = recipe.jacobianReuse;
+    hOpt.linalg = recipe.linalg;
+    hOpt.batchDeviceEval = recipe.batchDeviceEval;
     hOpt.initialCondition = x0_;
 
     h_ = std::make_unique<HFunction>(fixture.circuit, fixture.data, selector,
@@ -98,6 +104,8 @@ std::optional<double> CharacterizationProblem::measureClockToQAt(
     opt.newton = recipe_.newton;
     opt.gmin = recipe_.gmin;
     opt.jacobianReuse = recipe_.jacobianReuse;
+    opt.linalg = recipe_.linalg;
+    opt.batchDeviceEval = recipe_.batchDeviceEval;
     opt.initialCondition = x0_;
     opt.storeStates = true;
     const TransientResult tr =

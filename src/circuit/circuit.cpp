@@ -4,7 +4,22 @@
 #include <cmath>
 #include <sstream>
 
+#include "shtrace/devices/mosfet_batch.hpp"
+
 namespace shtrace {
+
+// Default pattern discovery: evaluate at x = 0, t = 0 and let the
+// Assembler's pattern pass record the stamp positions. Exact whenever the
+// positions are state-independent (see the header).
+void Device::stampPattern(Assembler& out) const {
+    const Vector x(out.systemSize());
+    eval(EvalContext{x, 0.0}, out);
+}
+
+Circuit::Circuit() = default;
+Circuit::~Circuit() = default;
+Circuit::Circuit(Circuit&&) noexcept = default;
+Circuit& Circuit::operator=(Circuit&&) noexcept = default;
 
 NodeId Circuit::node(const std::string& name) {
     if (name == "0" || name == "gnd") {
@@ -53,6 +68,53 @@ void Circuit::finalize() {
     }
     branchRows_ = alloc.next() - nodeCount();
     finalized_ = true;
+
+    // Union sparsity pattern: one pattern-discovery pass over every device.
+    // The pattern object is shared by every sparse Assembler / G / C / J of
+    // this circuit, which is what makes their combine elementwise.
+    Assembler discovery(systemSize());
+    std::vector<std::pair<int, int>> positions;
+    discovery.beginPatternPass(positions);
+    for (const auto& dev : devices_) {
+        dev->stampPattern(discovery);
+    }
+    pattern_ =
+        std::make_shared<SparsePattern>(systemSize(), std::move(positions));
+
+    // SoA batch plan: flatten every Mosfet's parameters and terminals into
+    // contiguous arrays, in declaration order.
+    batchPlan_ = std::make_unique<MosfetBatchPlan>();
+    batchPlan_->slotOfDevice.assign(devices_.size(), -1);
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        const auto* m = dynamic_cast<const Mosfet*>(devices_[i].get());
+        if (m == nullptr) {
+            continue;
+        }
+        batchPlan_->slotOfDevice[i] =
+            static_cast<int>(batchPlan_->devices.size());
+        const MosfetParams& p = m->params();
+        batchPlan_->sgn.push_back(p.type == MosfetType::Nmos ? 1.0 : -1.0);
+        batchPlan_->vt0.push_back(p.vt0);
+        batchPlan_->beta.push_back(p.beta());
+        batchPlan_->lambda.push_back(p.lambda);
+        batchPlan_->gamma.push_back(p.gamma);
+        batchPlan_->phi.push_back(p.phi);
+        batchPlan_->drain.push_back(m->drain().index);
+        batchPlan_->gate.push_back(m->gate().index);
+        batchPlan_->source.push_back(m->source().index);
+        batchPlan_->bulk.push_back(m->bulk().index);
+        batchPlan_->devices.push_back(m);
+    }
+}
+
+const std::shared_ptr<const SparsePattern>& Circuit::sparsityPattern() const {
+    require(finalized_, "Circuit::sparsityPattern before finalize()");
+    return pattern_;
+}
+
+const MosfetBatchPlan& Circuit::batchPlan() const {
+    require(finalized_, "Circuit::batchPlan before finalize()");
+    return *batchPlan_;
 }
 
 std::size_t Circuit::systemSize() const {
@@ -87,6 +149,56 @@ void Circuit::assembleResidual(const Vector& x, double t, Assembler& out,
     }
     if (stats != nullptr) {
         ++stats->residualOnlyAssemblies;
+    }
+}
+
+void Circuit::assembleBatch(const Vector& x, double t, Assembler& out,
+                            MosfetBatchScratch& scratch,
+                            SimStats* stats) const {
+    require(finalized_, "Circuit::assembleBatch before finalize()");
+    require(x.size() == systemSize(), "Circuit::assembleBatch: x has size ",
+            x.size(), ", expected ", systemSize());
+    evaluateMosfetBatch(*batchPlan_, x, scratch);
+    out.beginPass();
+    const EvalContext ctx{x, t};
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        const int slot = batchPlan_->slotOfDevice[i];
+        if (slot >= 0) {
+            batchPlan_->devices[static_cast<std::size_t>(slot)]->stampWithOp(
+                ctx, out, scratch.op[static_cast<std::size_t>(slot)]);
+        } else {
+            devices_[i]->eval(ctx, out);
+        }
+    }
+    if (stats != nullptr) {
+        ++stats->deviceEvaluations;
+        ++stats->batchAssemblies;
+    }
+}
+
+void Circuit::assembleResidualBatch(const Vector& x, double t, Assembler& out,
+                                    MosfetBatchScratch& scratch,
+                                    SimStats* stats) const {
+    require(finalized_, "Circuit::assembleResidualBatch before finalize()");
+    require(x.size() == systemSize(),
+            "Circuit::assembleResidualBatch: x has size ", x.size(),
+            ", expected ", systemSize());
+    evaluateMosfetBatch(*batchPlan_, x, scratch);
+    out.beginResidualPass();
+    const EvalContext ctx{x, t};
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        const int slot = batchPlan_->slotOfDevice[i];
+        if (slot >= 0) {
+            batchPlan_->devices[static_cast<std::size_t>(slot)]
+                ->stampResidualWithOp(
+                    ctx, out, scratch.op[static_cast<std::size_t>(slot)]);
+        } else {
+            devices_[i]->evalResidual(ctx, out);
+        }
+    }
+    if (stats != nullptr) {
+        ++stats->residualOnlyAssemblies;
+        ++stats->batchAssemblies;
     }
 }
 

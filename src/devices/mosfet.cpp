@@ -29,59 +29,8 @@ Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
 MosfetOperatingPoint Mosfet::operatingPoint(double vd, double vg, double vs,
                                             double vb) const {
     const double sgn = (params_.type == MosfetType::Nmos) ? 1.0 : -1.0;
-    MosfetOperatingPoint op;
-
-    // Normalize polarities so the NMOS equations apply.
-    double nvd = sgn * vd;
-    double nvs = sgn * vs;
-    const double nvg = sgn * vg;
-    const double nvb = sgn * vb;
-
-    // The level-1 model is symmetric: for vds < 0 exchange drain and source.
-    op.swapped = nvd < nvs;
-    if (op.swapped) {
-        std::swap(nvd, nvs);
-    }
-    const double vgs = nvg - nvs;
-    const double vds = nvd - nvs;
-    const double vbs = nvb - nvs;
-
-    // Threshold with body effect; clamp the sqrt argument to keep the model
-    // defined (and C1) for forward-biased bulk junctions during iterates.
-    double vt = params_.vt0;
-    double dvtDvbs = 0.0;
-    if (params_.gamma > 0.0) {
-        const double kMinArg = 1e-4;
-        const double arg = std::max(params_.phi - vbs, kMinArg);
-        vt = params_.vt0 +
-             params_.gamma * (std::sqrt(arg) - std::sqrt(params_.phi));
-        if (params_.phi - vbs > kMinArg) {
-            dvtDvbs = -params_.gamma / (2.0 * std::sqrt(arg));
-        }
-    }
-
-    const double vov = vgs - vt;
-    const double beta = params_.beta();
-    if (vov <= 0.0) {
-        op.region = 0;  // cutoff
-        return op;
-    }
-    const double clm = 1.0 + params_.lambda * vds;
-    if (vds < vov) {
-        op.region = 1;  // triode
-        const double shape = vov * vds - 0.5 * vds * vds;
-        op.id = beta * shape * clm;
-        op.gm = beta * vds * clm;
-        op.gds = beta * (vov - vds) * clm + beta * shape * params_.lambda;
-    } else {
-        op.region = 2;  // saturation
-        op.id = 0.5 * beta * vov * vov * clm;
-        op.gm = beta * vov * clm;
-        op.gds = 0.5 * beta * vov * vov * params_.lambda;
-    }
-    // dId/dvbs = dId/dvt * dvt/dvbs = -gm * dvt/dvbs.
-    op.gmb = -op.gm * dvtDvbs;
-    return op;
+    return shichmanHodgesOp(sgn, params_.vt0, params_.beta(), params_.lambda,
+                            params_.gamma, params_.phi, vd, vg, vs, vb);
 }
 
 void Mosfet::stampLinearCap(Assembler& out, const Vector& x, NodeId a,
@@ -105,8 +54,11 @@ void Mosfet::eval(const EvalContext& ctx, Assembler& out) const {
     const double vg = Assembler::nodeVoltage(ctx.x, gate_);
     const double vs = Assembler::nodeVoltage(ctx.x, source_);
     const double vb = Assembler::nodeVoltage(ctx.x, bulk_);
+    stampWithOp(ctx, out, operatingPoint(vd, vg, vs, vb));
+}
 
-    const MosfetOperatingPoint op = operatingPoint(vd, vg, vs, vb);
+void Mosfet::stampWithOp(const EvalContext& ctx, Assembler& out,
+                         const MosfetOperatingPoint& op) const {
     const double sgn = (params_.type == MosfetType::Nmos) ? 1.0 : -1.0;
 
     // Effective drain/source after the symmetry swap: conduction current
@@ -159,8 +111,12 @@ void Mosfet::evalResidual(const EvalContext& ctx, Assembler& out) const {
 
     // operatingPoint() computes gm/gds/gmb alongside id for negligible extra
     // cost; the saving here is skipping the eight conductance stamps and the
-    // capacitance stamps below.
-    const MosfetOperatingPoint op = operatingPoint(vd, vg, vs, vb);
+    // capacitance stamps.
+    stampResidualWithOp(ctx, out, operatingPoint(vd, vg, vs, vb));
+}
+
+void Mosfet::stampResidualWithOp(const EvalContext& ctx, Assembler& out,
+                                 const MosfetOperatingPoint& op) const {
     const double sgn = (params_.type == MosfetType::Nmos) ? 1.0 : -1.0;
     const NodeId dEff = op.swapped ? source_ : drain_;
     const NodeId sEff = op.swapped ? drain_ : source_;
@@ -173,6 +129,37 @@ void Mosfet::evalResidual(const EvalContext& ctx, Assembler& out) const {
     stampLinearCapCharge(out, ctx.x, gate_, bulk_, params_.cgb);
     stampLinearCapCharge(out, ctx.x, drain_, bulk_, params_.cdb);
     stampLinearCapCharge(out, ctx.x, source_, bulk_, params_.csb);
+}
+
+void Mosfet::stampPattern(Assembler& out) const {
+    // The symmetry swap moves the conduction stamps between drain and
+    // source depending on sign(vds), so the union covers BOTH orientations:
+    // rows {d, s} x cols {g, d, s, b}.
+    const NodeId rows[2] = {drain_, source_};
+    const NodeId cols[4] = {gate_, drain_, source_, bulk_};
+    for (const NodeId r : rows) {
+        for (const NodeId c : cols) {
+            out.addConductance(r, c, 0.0);
+        }
+    }
+    const NodeId capPairs[5][2] = {{gate_, source_},
+                                   {gate_, drain_},
+                                   {gate_, bulk_},
+                                   {drain_, bulk_},
+                                   {source_, bulk_}};
+    const double capVals[5] = {params_.cgs, params_.cgd, params_.cgb,
+                               params_.cdb, params_.csb};
+    for (int i = 0; i < 5; ++i) {
+        if (capVals[i] <= 0.0) {
+            continue;
+        }
+        const NodeId a = capPairs[i][0];
+        const NodeId b = capPairs[i][1];
+        out.addCapacitance(a, a, 0.0);
+        out.addCapacitance(a, b, 0.0);
+        out.addCapacitance(b, a, 0.0);
+        out.addCapacitance(b, b, 0.0);
+    }
 }
 
 

@@ -1,0 +1,20 @@
+#include "shtrace/devices/mosfet_batch.hpp"
+
+namespace shtrace {
+
+void evaluateMosfetBatch(const MosfetBatchPlan& plan, const Vector& x,
+                         MosfetBatchScratch& scratch) {
+    const std::size_t n = plan.size();
+    scratch.op.resize(n);
+    const auto volt = [&x](int node) {
+        return node < 0 ? 0.0 : x[static_cast<std::size_t>(node)];
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        scratch.op[i] = shichmanHodgesOp(
+            plan.sgn[i], plan.vt0[i], plan.beta[i], plan.lambda[i],
+            plan.gamma[i], plan.phi[i], volt(plan.drain[i]),
+            volt(plan.gate[i]), volt(plan.source[i]), volt(plan.bulk[i]));
+    }
+}
+
+}  // namespace shtrace

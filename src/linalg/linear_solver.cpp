@@ -1,0 +1,155 @@
+#include "shtrace/linalg/linear_solver.hpp"
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+LinalgBackend resolveLinalgBackend(LinalgBackend requested,
+                                   std::size_t systemSize) noexcept {
+    if (requested != LinalgBackend::Auto) {
+        return requested;
+    }
+    return systemSize >= kSparseAutoThreshold ? LinalgBackend::Sparse
+                                              : LinalgBackend::Dense;
+}
+
+const char* linalgBackendName(LinalgBackend backend) noexcept {
+    switch (backend) {
+        case LinalgBackend::Auto:
+            return "auto";
+        case LinalgBackend::Dense:
+            return "dense";
+        case LinalgBackend::Sparse:
+            return "sparse";
+    }
+    return "unknown";
+}
+
+void SystemMatrix::bindDense(std::size_t n) {
+    mode_ = Mode::Dense;
+    dense_.resize(n, n);
+    sparse_ = SparseMatrixCsc{};
+}
+
+void SystemMatrix::bindSparse(std::shared_ptr<const SparsePattern> pattern) {
+    require(pattern != nullptr, "SystemMatrix::bindSparse: null pattern");
+    mode_ = Mode::Sparse;
+    sparse_ = SparseMatrixCsc(std::move(pattern));
+    dense_ = Matrix{};
+}
+
+std::size_t SystemMatrix::dimension() const noexcept {
+    switch (mode_) {
+        case Mode::Dense:
+            return dense_.rows();
+        case Mode::Sparse:
+            return sparse_.dimension();
+        case Mode::Unbound:
+            break;
+    }
+    return 0;
+}
+
+Matrix& SystemMatrix::dense() {
+    require(mode_ == Mode::Dense, "SystemMatrix::dense: not in dense mode");
+    return dense_;
+}
+
+const Matrix& SystemMatrix::dense() const {
+    require(mode_ == Mode::Dense, "SystemMatrix::dense: not in dense mode");
+    return dense_;
+}
+
+SparseMatrixCsc& SystemMatrix::sparse() {
+    require(mode_ == Mode::Sparse, "SystemMatrix::sparse: not in sparse mode");
+    return sparse_;
+}
+
+const SparseMatrixCsc& SystemMatrix::sparse() const {
+    require(mode_ == Mode::Sparse, "SystemMatrix::sparse: not in sparse mode");
+    return sparse_;
+}
+
+void SystemMatrix::setZero() {
+    require(bound(), "SystemMatrix::setZero: unbound");
+    if (mode_ == Mode::Dense) {
+        dense_.setZero();
+    } else {
+        sparse_.setZero();
+    }
+}
+
+SystemMatrix& SystemMatrix::operator*=(double s) {
+    require(bound(), "SystemMatrix::operator*=: unbound");
+    if (mode_ == Mode::Dense) {
+        dense_ *= s;
+    } else {
+        sparse_ *= s;
+    }
+    return *this;
+}
+
+SystemMatrix& SystemMatrix::operator+=(const SystemMatrix& o) {
+    require(bound() && mode_ == o.mode_,
+            "SystemMatrix::operator+=: operands must share a mode");
+    if (mode_ == Mode::Dense) {
+        dense_ += o.dense_;
+    } else {
+        sparse_ += o.sparse_;
+    }
+    return *this;
+}
+
+void SystemMatrix::addToDiagonal(std::size_t i, double v) {
+    if (mode_ == Mode::Dense) {
+        dense_(i, i) += v;
+    } else {
+        sparse_.addAt(sparse_.pattern().diagonalIndex(i), v);
+    }
+}
+
+void SystemMatrix::multiplyAccumulate(const Vector& x, double s,
+                                      Vector& y) const {
+    require(bound(), "SystemMatrix::multiplyAccumulate: unbound");
+    if (mode_ == Mode::Dense) {
+        dense_.multiplyAccumulate(x, s, y);
+    } else {
+        sparse_.multiplyAccumulate(x, s, y);
+    }
+}
+
+Vector SystemMatrix::multiplyTransposed(const Vector& x) const {
+    require(bound(), "SystemMatrix::multiplyTransposed: unbound");
+    return mode_ == Mode::Dense ? dense_.multiplyTransposed(x)
+                                : sparse_.multiplyTransposed(x);
+}
+
+Matrix SystemMatrix::toDense() const {
+    require(bound(), "SystemMatrix::toDense: unbound");
+    return mode_ == Mode::Dense ? dense_ : sparse_.toDense();
+}
+
+bool DenseLinearSolver::factor(const SystemMatrix& a, SimStats* stats,
+                               double pivotTol) {
+    return lu_.factor(a.dense(), stats, pivotTol);
+}
+
+bool SparseLinearSolver::factor(const SystemMatrix& a, SimStats* stats,
+                                double pivotTol) {
+    return lu_.factor(a.sparse(), stats, pivotTol);
+}
+
+std::unique_ptr<LinearSolver> makeLinearSolver(LinalgBackend backend) {
+    switch (backend) {
+        case LinalgBackend::Dense:
+            return std::make_unique<DenseLinearSolver>();
+        case LinalgBackend::Sparse:
+            return std::make_unique<SparseLinearSolver>();
+        case LinalgBackend::Auto:
+            break;
+    }
+    throw InvalidArgumentError(
+        "makeLinearSolver: backend must be resolved (Dense or Sparse)");
+}
+
+}  // namespace shtrace

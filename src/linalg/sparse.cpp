@@ -1,0 +1,118 @@
+#include "shtrace/linalg/sparse.hpp"
+
+#include <algorithm>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+SparsePattern::SparsePattern(std::size_t n,
+                             std::vector<std::pair<int, int>> entries)
+    : n_(n) {
+    require(n > 0, "SparsePattern: dimension must be positive");
+    for (std::size_t i = 0; i < n; ++i) {
+        entries.emplace_back(static_cast<int>(i), static_cast<int>(i));
+    }
+    for (const auto& [row, col] : entries) {
+        require(row >= 0 && col >= 0 && static_cast<std::size_t>(row) < n &&
+                    static_cast<std::size_t>(col) < n,
+                "SparsePattern: entry (", row, ",", col, ") out of range ", n);
+    }
+    // Column-major order with rows sorted within each column.
+    std::sort(entries.begin(), entries.end(),
+              [](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+                  return a.second != b.second ? a.second < b.second
+                                              : a.first < b.first;
+              });
+    entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+
+    colPtr_.assign(n + 1, 0);
+    rowIdx_.reserve(entries.size());
+    for (const auto& [row, col] : entries) {
+        rowIdx_.push_back(row);
+        ++colPtr_[static_cast<std::size_t>(col) + 1];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        colPtr_[j + 1] += colPtr_[j];
+    }
+    diag_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        diag_[i] = indexOf(static_cast<int>(i), static_cast<int>(i));
+    }
+}
+
+int SparsePattern::indexOf(int row, int col) const noexcept {
+    const int lo = colPtr_[static_cast<std::size_t>(col)];
+    const int hi = colPtr_[static_cast<std::size_t>(col) + 1];
+    const auto first = rowIdx_.begin() + lo;
+    const auto last = rowIdx_.begin() + hi;
+    const auto it = std::lower_bound(first, last, row);
+    if (it == last || *it != row) {
+        return -1;
+    }
+    return static_cast<int>(it - rowIdx_.begin());
+}
+
+SparseMatrixCsc& SparseMatrixCsc::operator+=(const SparseMatrixCsc& o) {
+    require(pattern_ != nullptr && pattern_ == o.pattern_,
+            "SparseMatrixCsc::operator+=: operands must share one pattern");
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        values_[i] += o.values_[i];
+    }
+    return *this;
+}
+
+void SparseMatrixCsc::multiplyAccumulate(const Vector& x, double s,
+                                         Vector& y) const {
+    require(bound(), "SparseMatrixCsc::multiplyAccumulate: unbound matrix");
+    const std::size_t n = pattern_->dimension();
+    require(x.size() == n && y.size() == n,
+            "SparseMatrixCsc::multiplyAccumulate: size mismatch");
+    const std::vector<int>& colPtr = pattern_->colPtr();
+    const std::vector<int>& rowIdx = pattern_->rowIdx();
+    for (std::size_t j = 0; j < n; ++j) {
+        const double xj = s * x[j];
+        if (xj == 0.0) {
+            continue;
+        }
+        for (int p = colPtr[j]; p < colPtr[j + 1]; ++p) {
+            y[static_cast<std::size_t>(rowIdx[static_cast<std::size_t>(p)])] +=
+                values_[static_cast<std::size_t>(p)] * xj;
+        }
+    }
+}
+
+Vector SparseMatrixCsc::multiplyTransposed(const Vector& x) const {
+    require(bound(), "SparseMatrixCsc::multiplyTransposed: unbound matrix");
+    const std::size_t n = pattern_->dimension();
+    require(x.size() == n, "SparseMatrixCsc::multiplyTransposed: size mismatch");
+    const std::vector<int>& colPtr = pattern_->colPtr();
+    const std::vector<int>& rowIdx = pattern_->rowIdx();
+    Vector y(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (int p = colPtr[j]; p < colPtr[j + 1]; ++p) {
+            sum += values_[static_cast<std::size_t>(p)] *
+                   x[static_cast<std::size_t>(rowIdx[static_cast<std::size_t>(p)])];
+        }
+        y[j] = sum;
+    }
+    return y;
+}
+
+Matrix SparseMatrixCsc::toDense() const {
+    require(bound(), "SparseMatrixCsc::toDense: unbound matrix");
+    const std::size_t n = pattern_->dimension();
+    Matrix out(n, n);
+    const std::vector<int>& colPtr = pattern_->colPtr();
+    const std::vector<int>& rowIdx = pattern_->rowIdx();
+    for (std::size_t j = 0; j < n; ++j) {
+        for (int p = colPtr[j]; p < colPtr[j + 1]; ++p) {
+            out(static_cast<std::size_t>(rowIdx[static_cast<std::size_t>(p)]),
+                j) = values_[static_cast<std::size_t>(p)];
+        }
+    }
+    return out;
+}
+
+}  // namespace shtrace

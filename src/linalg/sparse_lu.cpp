@@ -1,0 +1,448 @@
+#include "shtrace/linalg/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+/// Sorted-vector union of `a` and `b` excluding `drop1`/`drop2`.
+void mergeInto(const std::vector<int>& a, const std::vector<int>& b,
+               int drop1, int drop2, std::vector<int>& out) {
+    out.clear();
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        int v;
+        if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+            v = a[i];
+            if (i < a.size() && j < b.size() && a[i] == b[j]) {
+                ++j;
+            }
+            ++i;
+        } else {
+            v = b[j];
+            ++j;
+        }
+        if (v != drop1 && v != drop2) {
+            out.push_back(v);
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<int> minimumDegreeOrder(const SparsePattern& pattern) {
+    const int n = static_cast<int>(pattern.dimension());
+    const std::vector<int>& colPtr = pattern.colPtr();
+    const std::vector<int>& rowIdx = pattern.rowIdx();
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+        for (int p = colPtr[static_cast<std::size_t>(j)];
+             p < colPtr[static_cast<std::size_t>(j) + 1]; ++p) {
+            const int r = rowIdx[static_cast<std::size_t>(p)];
+            if (r != j) {
+                adj[static_cast<std::size_t>(r)].push_back(j);
+                adj[static_cast<std::size_t>(j)].push_back(r);
+            }
+        }
+    }
+    for (auto& list : adj) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+
+    std::vector<char> alive(static_cast<std::size_t>(n), 1);
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<int> scratch;
+    for (int step = 0; step < n; ++step) {
+        // Deterministic tie-break: smallest index among minimum degrees.
+        int best = -1;
+        std::size_t bestDeg = 0;
+        for (int v = 0; v < n; ++v) {
+            if (alive[static_cast<std::size_t>(v)] &&
+                (best < 0 || adj[static_cast<std::size_t>(v)].size() < bestDeg)) {
+                best = v;
+                bestDeg = adj[static_cast<std::size_t>(v)].size();
+            }
+        }
+        order.push_back(best);
+        alive[static_cast<std::size_t>(best)] = 0;
+        // Eliminating `best` turns its neighborhood into a clique.
+        const std::vector<int> nbrs =
+            std::move(adj[static_cast<std::size_t>(best)]);
+        adj[static_cast<std::size_t>(best)].clear();
+        for (const int u : nbrs) {
+            mergeInto(adj[static_cast<std::size_t>(u)], nbrs, u, best, scratch);
+            adj[static_cast<std::size_t>(u)].swap(scratch);
+        }
+    }
+    return order;
+}
+
+double SparseLuFactorization::maxAbsValue(const SparseMatrixCsc& a) noexcept {
+    double m = 0.0;
+    const double* v = a.values();
+    for (std::size_t i = 0; i < a.nonZeros(); ++i) {
+        const double av = std::fabs(v[i]);
+        if (av > m) {
+            m = av;
+        }
+    }
+    return m;
+}
+
+bool SparseLuFactorization::factor(const SparseMatrixCsc& a, SimStats* stats,
+                                   double pivotTol) {
+    require(a.bound(), "SparseLuFactorization::factor: unbound matrix");
+    lastWasRefactor_ = false;
+    if (stats != nullptr) {
+        ++stats->luFactorizations;
+    }
+    if (valid_ && pattern_ == a.patternPtr()) {
+        if (refactor(a, pivotTol)) {
+            lastWasRefactor_ = true;
+            if (stats != nullptr) {
+                ++stats->sparseRefactorizations;
+            }
+            return true;
+        }
+        // Values drifted past the stored pivot sequence: fall through to a
+        // fresh factorization with live pivoting.
+        valid_ = false;
+    }
+    valid_ = fullFactor(a, pivotTol);
+    return valid_;
+}
+
+bool SparseLuFactorization::fullFactor(const SparseMatrixCsc& a,
+                                       double pivotTol) {
+    const SparsePattern& pat = a.pattern();
+    const int n = static_cast<int>(pat.dimension());
+    n_ = static_cast<std::size_t>(n);
+    pattern_ = a.patternPtr();
+    colOrder_ = minimumDegreeOrder(pat);
+    pinv_.assign(n_, -1);
+    rowPerm_.assign(n_, -1);
+    lColPtr_.assign(n_ + 1, 0);
+    lRowIdx_.clear();
+    lValues_.clear();
+    uColPtr_.assign(n_ + 1, 0);
+    uRowIdx_.clear();
+    uValues_.clear();
+    uDiag_.assign(n_, 0.0);
+    work_.assign(n_, 0.0);
+    mark_.assign(n_, -1);
+    stack_.resize(n_);
+    stackPos_.resize(n_);
+    topo_.resize(n_);
+
+    const double matScale = maxAbsValue(a);
+    if (matScale == 0.0) {
+        return false;
+    }
+    const double singularTol = pivotTol * matScale;
+
+    const std::vector<int>& colPtr = pat.colPtr();
+    const std::vector<int>& rowIdx = pat.rowIdx();
+    const double* av = a.values();
+
+    // lRowIdx_ holds ORIGINAL row indices during construction (the pivot
+    // index of a fill row is unknown until that row is chosen as a pivot);
+    // converted to pivot coordinates after the last column.
+    for (int k = 0; k < n; ++k) {
+        const int j = colOrder_[static_cast<std::size_t>(k)];
+
+        // Symbolic: reach of the pattern of A(:,j) over the graph of L
+        // (node r -> rows of L(:,pinv[r])), as a reverse DFS postorder so
+        // topo_[top..n) is a valid update schedule.
+        int top = n;
+        for (int p = colPtr[static_cast<std::size_t>(j)];
+             p < colPtr[static_cast<std::size_t>(j) + 1]; ++p) {
+            const int seed = rowIdx[static_cast<std::size_t>(p)];
+            if (mark_[static_cast<std::size_t>(seed)] == k) {
+                continue;
+            }
+            int head = 0;
+            stack_[0] = seed;
+            while (head >= 0) {
+                const int node = stack_[static_cast<std::size_t>(head)];
+                const int piv = pinv_[static_cast<std::size_t>(node)];
+                if (mark_[static_cast<std::size_t>(node)] != k) {
+                    mark_[static_cast<std::size_t>(node)] = k;
+                    stackPos_[static_cast<std::size_t>(head)] =
+                        piv >= 0 ? lColPtr_[static_cast<std::size_t>(piv)] : 0;
+                }
+                bool descended = false;
+                if (piv >= 0) {
+                    const int end =
+                        lColPtr_[static_cast<std::size_t>(piv) + 1];
+                    while (stackPos_[static_cast<std::size_t>(head)] < end) {
+                        const int child = lRowIdx_[static_cast<std::size_t>(
+                            stackPos_[static_cast<std::size_t>(head)]++)];
+                        if (mark_[static_cast<std::size_t>(child)] != k) {
+                            stack_[static_cast<std::size_t>(++head)] = child;
+                            descended = true;
+                            break;
+                        }
+                    }
+                }
+                if (!descended) {
+                    topo_[static_cast<std::size_t>(--top)] = node;
+                    --head;
+                }
+            }
+        }
+
+        // Numeric: scatter A(:,j), then eliminate in topological order.
+        for (int p = colPtr[static_cast<std::size_t>(j)];
+             p < colPtr[static_cast<std::size_t>(j) + 1]; ++p) {
+            work_[static_cast<std::size_t>(rowIdx[static_cast<std::size_t>(p)])] =
+                av[p];
+        }
+        for (int t = top; t < n; ++t) {
+            const int r = topo_[static_cast<std::size_t>(t)];
+            const int i = pinv_[static_cast<std::size_t>(r)];
+            if (i < 0) {
+                continue;  // below-diagonal candidate, handled after
+            }
+            const double uval = work_[static_cast<std::size_t>(r)];
+            work_[static_cast<std::size_t>(r)] = 0.0;
+            uRowIdx_.push_back(i);
+            uValues_.push_back(uval);
+            for (int q = lColPtr_[static_cast<std::size_t>(i)];
+                 q < lColPtr_[static_cast<std::size_t>(i) + 1]; ++q) {
+                work_[static_cast<std::size_t>(
+                    lRowIdx_[static_cast<std::size_t>(q)])] -=
+                    uval * lValues_[static_cast<std::size_t>(q)];
+            }
+        }
+
+        // Partial pivoting over the not-yet-pivotal reach rows.
+        int pivRow = -1;
+        double colMax = 0.0;
+        for (int t = top; t < n; ++t) {
+            const int r = topo_[static_cast<std::size_t>(t)];
+            if (pinv_[static_cast<std::size_t>(r)] < 0) {
+                const double mag = std::fabs(work_[static_cast<std::size_t>(r)]);
+                if (mag > colMax) {
+                    colMax = mag;
+                    pivRow = r;
+                }
+            }
+        }
+        if (pivRow < 0 || colMax <= singularTol) {
+            // Structurally deficient (no eligible pivot row) or numerically
+            // singular column. Leave the instance invalid; scratch is
+            // re-initialized by the next fullFactor call.
+            return false;
+        }
+        pinv_[static_cast<std::size_t>(pivRow)] = k;
+        rowPerm_[static_cast<std::size_t>(k)] = pivRow;
+        const double pivot = work_[static_cast<std::size_t>(pivRow)];
+        uDiag_[static_cast<std::size_t>(k)] = pivot;
+        work_[static_cast<std::size_t>(pivRow)] = 0.0;
+        for (int t = top; t < n; ++t) {
+            const int r = topo_[static_cast<std::size_t>(t)];
+            if (pinv_[static_cast<std::size_t>(r)] < 0) {
+                lRowIdx_.push_back(r);
+                lValues_.push_back(work_[static_cast<std::size_t>(r)] / pivot);
+                work_[static_cast<std::size_t>(r)] = 0.0;
+            }
+        }
+        lColPtr_[static_cast<std::size_t>(k) + 1] =
+            static_cast<int>(lRowIdx_.size());
+        uColPtr_[static_cast<std::size_t>(k) + 1] =
+            static_cast<int>(uRowIdx_.size());
+    }
+
+    for (int& r : lRowIdx_) {
+        r = pinv_[static_cast<std::size_t>(r)];
+    }
+    return true;
+}
+
+bool SparseLuFactorization::refactor(const SparseMatrixCsc& a,
+                                     double pivotTol) {
+    const SparsePattern& pat = a.pattern();
+    const int n = static_cast<int>(n_);
+    const double matScale = maxAbsValue(a);
+    if (matScale == 0.0) {
+        return false;
+    }
+    const double singularTol = pivotTol * matScale;
+    const std::vector<int>& colPtr = pat.colPtr();
+    const std::vector<int>& rowIdx = pat.rowIdx();
+    const double* av = a.values();
+
+    // work_ is all-zero between columns (every touched slot is cleared on
+    // consumption below); indices are PIVOT coordinates throughout.
+    for (int k = 0; k < n; ++k) {
+        const int j = colOrder_[static_cast<std::size_t>(k)];
+        for (int p = colPtr[static_cast<std::size_t>(j)];
+             p < colPtr[static_cast<std::size_t>(j) + 1]; ++p) {
+            work_[static_cast<std::size_t>(
+                pinv_[static_cast<std::size_t>(
+                    rowIdx[static_cast<std::size_t>(p)])])] = av[p];
+        }
+        for (int p = uColPtr_[static_cast<std::size_t>(k)];
+             p < uColPtr_[static_cast<std::size_t>(k) + 1]; ++p) {
+            const int i = uRowIdx_[static_cast<std::size_t>(p)];
+            const double uval = work_[static_cast<std::size_t>(i)];
+            work_[static_cast<std::size_t>(i)] = 0.0;
+            uValues_[static_cast<std::size_t>(p)] = uval;
+            if (uval == 0.0) {
+                continue;
+            }
+            for (int q = lColPtr_[static_cast<std::size_t>(i)];
+                 q < lColPtr_[static_cast<std::size_t>(i) + 1]; ++q) {
+                work_[static_cast<std::size_t>(
+                    lRowIdx_[static_cast<std::size_t>(q)])] -=
+                    uval * lValues_[static_cast<std::size_t>(q)];
+            }
+        }
+        const double pivot = work_[static_cast<std::size_t>(k)];
+        work_[static_cast<std::size_t>(k)] = 0.0;
+        double colMax = std::fabs(pivot);
+        for (int q = lColPtr_[static_cast<std::size_t>(k)];
+             q < lColPtr_[static_cast<std::size_t>(k) + 1]; ++q) {
+            colMax = std::max(
+                colMax, std::fabs(work_[static_cast<std::size_t>(
+                            lRowIdx_[static_cast<std::size_t>(q)])]));
+        }
+        // Pivot health: the stored pivot row must stay both nonsingular and
+        // within a growth factor of its column maximum, else the stale
+        // pivot sequence would amplify roundoff -- bail to a full factor.
+        if (std::fabs(pivot) <= singularTol ||
+            std::fabs(pivot) < 0.1 * colMax) {
+            for (int q = lColPtr_[static_cast<std::size_t>(k)];
+                 q < lColPtr_[static_cast<std::size_t>(k) + 1]; ++q) {
+                work_[static_cast<std::size_t>(
+                    lRowIdx_[static_cast<std::size_t>(q)])] = 0.0;
+            }
+            return false;
+        }
+        uDiag_[static_cast<std::size_t>(k)] = pivot;
+        for (int q = lColPtr_[static_cast<std::size_t>(k)];
+             q < lColPtr_[static_cast<std::size_t>(k) + 1]; ++q) {
+            const int r = lRowIdx_[static_cast<std::size_t>(q)];
+            lValues_[static_cast<std::size_t>(q)] =
+                work_[static_cast<std::size_t>(r)] / pivot;
+            work_[static_cast<std::size_t>(r)] = 0.0;
+        }
+    }
+    return true;
+}
+
+void SparseLuFactorization::solveInPlace(Vector& b, SimStats* stats) const {
+    require(valid_, "SparseLuFactorization::solveInPlace without factor()");
+    require(b.size() == n_,
+            "SparseLuFactorization::solveInPlace: size mismatch");
+    solveWork_.resize(n_);
+    const int n = static_cast<int>(n_);
+    for (int k = 0; k < n; ++k) {
+        solveWork_[static_cast<std::size_t>(k)] =
+            b[static_cast<std::size_t>(rowPerm_[static_cast<std::size_t>(k)])];
+    }
+    for (int k = 0; k < n; ++k) {  // L (unit lower) forward
+        const double xk = solveWork_[static_cast<std::size_t>(k)];
+        if (xk == 0.0) {
+            continue;
+        }
+        for (int q = lColPtr_[static_cast<std::size_t>(k)];
+             q < lColPtr_[static_cast<std::size_t>(k) + 1]; ++q) {
+            solveWork_[static_cast<std::size_t>(
+                lRowIdx_[static_cast<std::size_t>(q)])] -=
+                lValues_[static_cast<std::size_t>(q)] * xk;
+        }
+    }
+    for (int k = n - 1; k >= 0; --k) {  // U backward
+        const double xk = solveWork_[static_cast<std::size_t>(k)] /
+                          uDiag_[static_cast<std::size_t>(k)];
+        solveWork_[static_cast<std::size_t>(k)] = xk;
+        if (xk == 0.0) {
+            continue;
+        }
+        for (int p = uColPtr_[static_cast<std::size_t>(k)];
+             p < uColPtr_[static_cast<std::size_t>(k) + 1]; ++p) {
+            solveWork_[static_cast<std::size_t>(
+                uRowIdx_[static_cast<std::size_t>(p)])] -=
+                uValues_[static_cast<std::size_t>(p)] * xk;
+        }
+    }
+    for (int k = 0; k < n; ++k) {
+        b[static_cast<std::size_t>(colOrder_[static_cast<std::size_t>(k)])] =
+            solveWork_[static_cast<std::size_t>(k)];
+    }
+    if (stats != nullptr) {
+        ++stats->luSolves;
+    }
+}
+
+Vector SparseLuFactorization::solve(const Vector& b, SimStats* stats) const {
+    Vector x = b;
+    solveInPlace(x, stats);
+    return x;
+}
+
+Vector SparseLuFactorization::solveTransposed(const Vector& b,
+                                              SimStats* stats) const {
+    require(valid_, "SparseLuFactorization::solveTransposed without factor()");
+    require(b.size() == n_,
+            "SparseLuFactorization::solveTransposed: size mismatch");
+    solveWork_.resize(n_);
+    const int n = static_cast<int>(n_);
+    for (int k = 0; k < n; ++k) {
+        solveWork_[static_cast<std::size_t>(k)] =
+            b[static_cast<std::size_t>(colOrder_[static_cast<std::size_t>(k)])];
+    }
+    for (int k = 0; k < n; ++k) {  // U^T (lower triangular) forward
+        double sum = solveWork_[static_cast<std::size_t>(k)];
+        for (int p = uColPtr_[static_cast<std::size_t>(k)];
+             p < uColPtr_[static_cast<std::size_t>(k) + 1]; ++p) {
+            sum -= uValues_[static_cast<std::size_t>(p)] *
+                   solveWork_[static_cast<std::size_t>(
+                       uRowIdx_[static_cast<std::size_t>(p)])];
+        }
+        solveWork_[static_cast<std::size_t>(k)] =
+            sum / uDiag_[static_cast<std::size_t>(k)];
+    }
+    for (int k = n - 1; k >= 0; --k) {  // L^T (unit upper) backward
+        double sum = solveWork_[static_cast<std::size_t>(k)];
+        for (int q = lColPtr_[static_cast<std::size_t>(k)];
+             q < lColPtr_[static_cast<std::size_t>(k) + 1]; ++q) {
+            sum -= lValues_[static_cast<std::size_t>(q)] *
+                   solveWork_[static_cast<std::size_t>(
+                       lRowIdx_[static_cast<std::size_t>(q)])];
+        }
+        solveWork_[static_cast<std::size_t>(k)] = sum;
+    }
+    Vector x(n_);
+    for (int k = 0; k < n; ++k) {
+        x[static_cast<std::size_t>(rowPerm_[static_cast<std::size_t>(k)])] =
+            solveWork_[static_cast<std::size_t>(k)];
+    }
+    if (stats != nullptr) {
+        ++stats->luSolves;
+    }
+    return x;
+}
+
+double SparseLuFactorization::reciprocalPivotRatio() const noexcept {
+    if (!valid_ || uDiag_.empty()) {
+        return 0.0;
+    }
+    double minAbs = std::fabs(uDiag_[0]);
+    double maxAbs = minAbs;
+    for (const double d : uDiag_) {
+        const double mag = std::fabs(d);
+        minAbs = std::min(minAbs, mag);
+        maxAbs = std::max(maxAbs, mag);
+    }
+    return maxAbs > 0.0 ? minAbs / maxAbs : 0.0;
+}
+
+}  // namespace shtrace

@@ -137,7 +137,7 @@ struct CounterField {
 
 // One row per SimStats counter; wallSeconds is appended separately (it is
 // the only double). test_stats.cpp guards the field count against drift.
-constexpr std::array<CounterField, 20> kCounterFields{{
+constexpr std::array<CounterField, 22> kCounterFields{{
     {"shtrace_transient_solves_total", "Complete transient analyses.",
      &SimStats::transientSolves},
     {"shtrace_time_steps_total", "Accepted time steps.", &SimStats::timeSteps},
@@ -184,6 +184,11 @@ constexpr std::array<CounterField, 20> kCounterFields{{
      &SimStats::tracePlateauReseeds},
     {"shtrace_trace_step_halvings_total", "Predictor step-length halvings.",
      &SimStats::traceStepHalvings},
+    {"shtrace_sparse_refactorizations_total",
+     "Sparse numeric replays of a stored symbolic factorization.",
+     &SimStats::sparseRefactorizations},
+    {"shtrace_batch_assemblies_total", "SoA-batched device assembly passes.",
+     &SimStats::batchAssemblies},
 }};
 
 }  // namespace

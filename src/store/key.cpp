@@ -97,6 +97,8 @@ std::string canonicalRecipe(const SimulationRecipe& r) {
        << " dt=" << toHexFloat(r.dtNominal)
        << " gmin=" << toHexFloat(r.gmin)
        << " reuse=" << (r.jacobianReuse ? 1 : 0)
+       << " linalg=" << linalgBackendName(r.linalg)
+       << " batch=" << (r.batchDeviceEval ? 1 : 0)
        << " newton=" << r.newton.maxIterations << ' '
        << toHexFloat(r.newton.relTol) << ' ' << toHexFloat(r.newton.vAbsTol)
        << ' ' << toHexFloat(r.newton.iAbsTol) << ' '

@@ -182,12 +182,12 @@ private:
     std::istringstream in_;
 };
 
-// Drift guard: the stats line serializes every SimStats field (20 uint64
+// Drift guard: the stats line serializes every SimStats field (22 uint64
 // counters + wallSeconds). A newly added counter changes sizeof(SimStats)
 // and must not silently vanish from the v-format -- update writeStats,
-// readStats, the 21-field check below, and bump kFormatVersion.
+// readStats, the 23-field check below, and bump kFormatVersion.
 static_assert(sizeof(SimStats) ==
-                  20 * sizeof(std::uint64_t) + sizeof(double),
+                  22 * sizeof(std::uint64_t) + sizeof(double),
               "SimStats changed: extend the store stats line and bump "
               "kFormatVersion");
 
@@ -201,12 +201,13 @@ void writeStats(std::ostream& os, const SimStats& s) {
        << s.mpnrIterations << ' ' << s.cacheHits << ' ' << s.cacheMisses
        << ' ' << s.cacheWarmStarts << ' ' << s.traceNonFiniteRejections
        << ' ' << s.traceTransientRetries << ' ' << s.tracePlateauReseeds
-       << ' ' << s.traceStepHalvings << ' ' << toHexFloat(s.wallSeconds)
+       << ' ' << s.traceStepHalvings << ' ' << s.sparseRefactorizations
+       << ' ' << s.batchAssemblies << ' ' << toHexFloat(s.wallSeconds)
        << '\n';
 }
 
 SimStats readStats(Reader& r) {
-    const auto f = r.fields("stats", 21);
+    const auto f = r.fields("stats", 23);
     SimStats s;
     s.transientSolves = counter(f[0]);
     s.timeSteps = counter(f[1]);
@@ -228,7 +229,9 @@ SimStats readStats(Reader& r) {
     s.traceTransientRetries = counter(f[17]);
     s.tracePlateauReseeds = counter(f[18]);
     s.traceStepHalvings = counter(f[19]);
-    s.wallSeconds = num(f[20]);
+    s.sparseRefactorizations = counter(f[20]);
+    s.batchAssemblies = counter(f[21]);
+    s.wallSeconds = num(f[22]);
     return s;
 }
 

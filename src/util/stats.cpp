@@ -25,6 +25,8 @@ SimStats& SimStats::operator+=(const SimStats& other) noexcept {
     traceTransientRetries += other.traceTransientRetries;
     tracePlateauReseeds += other.tracePlateauReseeds;
     traceStepHalvings += other.traceStepHalvings;
+    sparseRefactorizations += other.sparseRefactorizations;
+    batchAssemblies += other.batchAssemblies;
     wallSeconds += other.wallSeconds;
     return *this;
 }
@@ -44,6 +46,10 @@ std::ostream& operator<<(std::ostream& os, const SimStats& s) {
     if (s.cacheHits != 0 || s.cacheMisses != 0 || s.cacheWarmStarts != 0) {
         os << " cache=" << s.cacheHits << "h/" << s.cacheMisses << "m/"
            << s.cacheWarmStarts << "w";
+    }
+    if (s.sparseRefactorizations != 0 || s.batchAssemblies != 0) {
+        os << " sparseRefactor=" << s.sparseRefactorizations
+           << " batchAsm=" << s.batchAssemblies;
     }
     if (s.traceNonFiniteRejections != 0 || s.traceTransientRetries != 0 ||
         s.tracePlateauReseeds != 0 || s.traceStepHalvings != 0) {

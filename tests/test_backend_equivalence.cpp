@@ -1,0 +1,307 @@
+// Dense-vs-sparse backend equivalence, end to end: the same circuit run
+// through LinalgBackend::Dense and LinalgBackend::Sparse must produce the
+// same DC operating point, transient trajectory, skew sensitivities,
+// adjoint gradient, and -- the acceptance criterion for the whole PR --
+// the same Fig. 8 setup/hold contour to within 2 ps. The SoA batch device
+// path is held to a stricter standard (bit-identical to scalar), and the
+// chord determinism guarantee (threads=1 == threads=8, byte for byte) is
+// re-proven on the sparse backend; this binary runs under tsan in the
+// sanitizer sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "fault_injection.hpp"
+#include "shtrace/analysis/adjoint.hpp"
+#include "shtrace/analysis/dc_op.hpp"
+#include "shtrace/analysis/transient.hpp"
+#include "shtrace/cells/register_chain.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/characterize.hpp"
+#include "shtrace/chz/library.hpp"
+#include "shtrace/devices/resistor.hpp"
+#include "shtrace/devices/sources.hpp"
+
+namespace shtrace {
+namespace {
+
+double worstAbsDiff(const Vector& a, const Vector& b) {
+    EXPECT_EQ(a.size(), b.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    }
+    return worst;
+}
+
+double relDiff(const Vector& a, const Vector& b) {
+    double scale = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        scale = std::max(scale, std::abs(a[i]));
+    }
+    return scale > 0.0 ? worstAbsDiff(a, b) / scale : worstAbsDiff(a, b);
+}
+
+TransientOptions chainTransientOptions(LinalgBackend backend) {
+    TransientOptions opt;
+    opt.tStart = 10e-9;
+    opt.tStop = 11.6e-9;
+    opt.method = IntegrationMethod::Trapezoidal;
+    opt.adaptive = false;
+    opt.fixedSteps = 640;
+    opt.linalg = backend;
+    return opt;
+}
+
+// ------------------------------------------------------------------- DC ---
+
+TEST(BackendEquivalence, DcOperatingPointMatchesOnAnEightBitChain) {
+    const RegisterChainOptions chainOpt{TspcOptions{}, 8};  // 62 unknowns
+    const RegisterFixture reg = buildTspcRegisterChain(chainOpt);
+    reg.data->setSkews(300e-12, 300e-12);
+
+    DcOptions dense;
+    dense.time = 10e-9;
+    dense.linalg = LinalgBackend::Dense;
+    DcOptions sparse = dense;
+    sparse.linalg = LinalgBackend::Sparse;
+
+    const DcResult xd = solveDcOperatingPoint(reg.circuit, dense);
+    const DcResult xs = solveDcOperatingPoint(reg.circuit, sparse);
+    ASSERT_TRUE(xd.converged);
+    ASSERT_TRUE(xs.converged);
+    // Both backends converge the same Newton iteration to the same
+    // tolerance; only factorization rounding differs.
+    EXPECT_LT(worstAbsDiff(xd.x, xs.x), 1e-7) << "volts";
+}
+
+// ------------------------------------------- transient + sensitivities ---
+
+TEST(BackendEquivalence, TransientAndSensitivitiesMatchOnAFourBitChain) {
+    const RegisterChainOptions chainOpt{TspcOptions{}, 4};
+    const RegisterFixture reg = buildTspcRegisterChain(chainOpt);
+    reg.data->setSkews(300e-12, 300e-12);
+
+    TransientOptions dOpt = chainTransientOptions(LinalgBackend::Dense);
+    dOpt.trackSkewSensitivities = true;
+    TransientOptions sOpt = dOpt;
+    sOpt.linalg = LinalgBackend::Sparse;
+
+    const TransientResult td = TransientAnalysis(reg.circuit, dOpt).run();
+    const TransientResult ts = TransientAnalysis(reg.circuit, sOpt).run();
+    ASSERT_TRUE(td.success) << td.failureReason;
+    ASSERT_TRUE(ts.success) << ts.failureReason;
+
+    EXPECT_LT(worstAbsDiff(td.finalState, ts.finalState), 1e-6) << "volts";
+    // Sensitivities are single back-substitutions (not iterated to a
+    // tolerance), so backend rounding shows up scaled by the conditioning;
+    // compare relative to the trajectory's own magnitude.
+    EXPECT_LT(relDiff(td.finalSensitivitySetup, ts.finalSensitivitySetup),
+              1e-3);
+    EXPECT_LT(relDiff(td.finalSensitivityHold, ts.finalSensitivityHold),
+              1e-3);
+}
+
+TEST(BackendEquivalence, AdjointGradientMatchesOnAFourBitChain) {
+    const RegisterChainOptions chainOpt{TspcOptions{}, 4};
+    const RegisterFixture reg = buildTspcRegisterChain(chainOpt);
+    reg.data->setSkews(300e-12, 300e-12);
+    const std::size_t n = reg.circuit.systemSize();
+
+    Vector selector(n);
+    selector[static_cast<std::size_t>(reg.q.index)] = 1.0;
+
+    const auto gradientFor = [&](LinalgBackend backend) {
+        TransientOptions opt = chainTransientOptions(backend);
+        opt.method = IntegrationMethod::BackwardEuler;
+        opt.recordAdjointTape = true;
+        const TransientResult tr = TransientAnalysis(reg.circuit, opt).run();
+        EXPECT_TRUE(tr.success) << tr.failureReason;
+        // The tape is stored in the run's backend representation; the
+        // adjoint sweep (and its solveTransposed) must follow it.
+        EXPECT_EQ(tr.adjointTape.at(1).c.isSparse(),
+                  backend == LinalgBackend::Sparse);
+        return computeAdjointGradient(reg.circuit, tr, selector);
+    };
+    const AdjointGradient gd = gradientFor(LinalgBackend::Dense);
+    const AdjointGradient gs = gradientFor(LinalgBackend::Sparse);
+    const double scale =
+        std::max({std::abs(gd.dSetup), std::abs(gd.dHold), 1e-6});
+    EXPECT_LT(std::abs(gd.dSetup - gs.dSetup) / scale, 1e-6);
+    EXPECT_LT(std::abs(gd.dHold - gs.dHold) / scale, 1e-6);
+}
+
+// ---------------------------------------------------- Auto resolution ---
+
+TEST(BackendEquivalence, AutoRoutesChainsSparseAndLatchesDense) {
+    // A 16-bit chain (118 unknowns) crosses kSparseAutoThreshold; the
+    // single-bit TSPC (13 unknowns) must stay on the bit-exact dense path.
+    const RegisterChainOptions chainOpt{TspcOptions{}, 16};
+    const RegisterFixture chain = buildTspcRegisterChain(chainOpt);
+    chain.data->setSkews(300e-12, 300e-12);
+    ASSERT_GE(chain.circuit.systemSize(), kSparseAutoThreshold);
+
+    TransientOptions opt = chainTransientOptions(LinalgBackend::Auto);
+    opt.fixedSteps = 160;  // enough steps to factor many times
+    SimStats chainStats;
+    const TransientResult tr =
+        TransientAnalysis(chain.circuit, opt).run(&chainStats);
+    ASSERT_TRUE(tr.success) << tr.failureReason;
+    EXPECT_GT(chainStats.sparseRefactorizations, 0u);
+
+    const RegisterFixture tspc = buildTspcRegister();
+    tspc.data->setSkews(300e-12, 300e-12);
+    ASSERT_LT(tspc.circuit.systemSize(), kSparseAutoThreshold);
+    SimStats tspcStats;
+    const TransientResult tl =
+        TransientAnalysis(tspc.circuit, opt).run(&tspcStats);
+    ASSERT_TRUE(tl.success) << tl.failureReason;
+    EXPECT_EQ(tspcStats.sparseRefactorizations, 0u);
+}
+
+// ------------------------------------------------ Fig. 8 contour (2 ps) ---
+
+CharacterizeOptions contourConfig(LinalgBackend backend, bool batch) {
+    CharacterizeOptions opt;
+    opt.tracer.maxPoints = 12;
+    opt.tracer.bounds = SkewBounds{120e-12, 560e-12, 60e-12, 460e-12};
+    opt.recipe.linalg = backend;
+    opt.recipe.batchDeviceEval = batch;
+    return opt;
+}
+
+TEST(BackendEquivalence, Fig8ContourAgreesWithinTwoPicoseconds) {
+    const RegisterFixture reg = buildTspcRegister();
+    const CharacterizeResult dense = characterizeInterdependent(
+        reg, contourConfig(LinalgBackend::Dense, false));
+    const CharacterizeResult sparse = characterizeInterdependent(
+        reg, contourConfig(LinalgBackend::Sparse, false));
+    ASSERT_TRUE(dense.success) << dense.failureReason;
+    ASSERT_TRUE(sparse.success) << sparse.failureReason;
+
+    // Same seed, same predictor schedule, h solved to the same tolerance:
+    // the traced polylines must be pointwise within the PR's 2 ps budget
+    // (they are far closer in practice).
+    ASSERT_EQ(dense.contour.points.size(), sparse.contour.points.size());
+    for (std::size_t i = 0; i < dense.contour.points.size(); ++i) {
+        EXPECT_NEAR(dense.contour.points[i].setup,
+                    sparse.contour.points[i].setup, 2e-12)
+            << "point " << i;
+        EXPECT_NEAR(dense.contour.points[i].hold,
+                    sparse.contour.points[i].hold, 2e-12)
+            << "point " << i;
+    }
+    EXPECT_NEAR(dense.characteristicClockToQ, sparse.characteristicClockToQ,
+                2e-12);
+    // The sparse run actually exercised the sparse solver.
+    EXPECT_GT(sparse.stats.sparseRefactorizations, 0u);
+    EXPECT_EQ(dense.stats.sparseRefactorizations, 0u);
+}
+
+TEST(BackendEquivalence, BatchDeviceEvalIsBitIdenticalThroughTheContour) {
+    const RegisterFixture reg = buildTspcRegister();
+    const CharacterizeResult scalar = characterizeInterdependent(
+        reg, contourConfig(LinalgBackend::Dense, false));
+    const CharacterizeResult batch = characterizeInterdependent(
+        reg, contourConfig(LinalgBackend::Dense, true));
+    ASSERT_TRUE(scalar.success) << scalar.failureReason;
+    ASSERT_TRUE(batch.success) << batch.failureReason;
+
+    // The batch evaluator runs the same Shichman-Hodges arithmetic in the
+    // same stamping order: byte-identical results, not approximately equal.
+    EXPECT_EQ(scalar.characteristicClockToQ, batch.characteristicClockToQ);
+    ASSERT_EQ(scalar.contour.points.size(), batch.contour.points.size());
+    for (std::size_t i = 0; i < scalar.contour.points.size(); ++i) {
+        EXPECT_EQ(scalar.contour.points[i].setup,
+                  batch.contour.points[i].setup);
+        EXPECT_EQ(scalar.contour.points[i].hold,
+                  batch.contour.points[i].hold);
+    }
+    EXPECT_EQ(scalar.stats.newtonIterations, batch.stats.newtonIterations);
+    EXPECT_GT(batch.stats.batchAssemblies, 0u);
+    EXPECT_EQ(scalar.stats.batchAssemblies, 0u);
+}
+
+// ------------------------------------- chord determinism across threads ---
+
+std::vector<LibraryCell> tspcLibrary() {
+    const auto tspcAt = [](double load) {
+        return [load] {
+            TspcOptions opt;
+            opt.outputLoadCapacitance = load;
+            return buildTspcRegister(opt);
+        };
+    };
+    return {
+        LibraryCell{"TSPC_X1", tspcAt(20e-15), CriterionOptions{}},
+        LibraryCell{"TSPC_X2", tspcAt(40e-15), CriterionOptions{}},
+        LibraryCell{"TSPC_X4", tspcAt(80e-15), CriterionOptions{}},
+    };
+}
+
+TEST(BackendEquivalence, SparseChordReuseIsDeterministicAcrossThreads) {
+    // PR 3's guarantee, re-proven on the sparse backend: each worker owns
+    // its SparseLinearSolver (symbolic structure included), so rows and
+    // chord counters are byte-identical for any thread count. Runs under
+    // tsan in the sanitizer sweep.
+    RunConfig cfg = RunConfig::defaults()
+                        .withThreads(1)
+                        .withJacobianReuse(true)
+                        .withLinalgBackend(LinalgBackend::Sparse);
+    cfg.tracer.maxPoints = 5;
+    cfg.tracer.bounds = SkewBounds{80e-12, 900e-12, 40e-12, 700e-12};
+    const LibraryResult serial = characterizeLibrary(tspcLibrary(), cfg);
+    const LibraryResult parallel =
+        characterizeLibrary(tspcLibrary(), cfg.withThreads(8));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].success) << serial[i].failureReason;
+        EXPECT_EQ(serial[i].setupTime, parallel[i].setupTime);
+        EXPECT_EQ(serial[i].holdTime, parallel[i].holdTime);
+        ASSERT_EQ(serial[i].contour.size(), parallel[i].contour.size());
+        for (std::size_t j = 0; j < serial[i].contour.size(); ++j) {
+            EXPECT_EQ(serial[i].contour[j].setup,
+                      parallel[i].contour[j].setup);
+            EXPECT_EQ(serial[i].contour[j].hold, parallel[i].contour[j].hold);
+        }
+        EXPECT_EQ(serial[i].stats.chordIterations,
+                  parallel[i].stats.chordIterations);
+        EXPECT_EQ(serial[i].stats.sparseRefactorizations,
+                  parallel[i].stats.sparseRefactorizations);
+    }
+    EXPECT_GT(serial.stats.sparseRefactorizations, 0u);
+    EXPECT_GT(serial.stats.chordIterations, 0u);
+}
+
+// ----------------------------------------------- fault-path equivalence ---
+
+TEST(BackendEquivalence, ResidualNanOnSparseFailsLikeDense) {
+    // PR 4 taxonomy: a NaN stamped into the KCL row is an ordinary
+    // transient failure on BOTH backends -- same flags, same reason text.
+    const auto run = [](LinalgBackend backend) {
+        Circuit ckt;
+        const NodeId a = ckt.node("a");
+        ckt.add<VoltageSource>("V1", a, kGround, 1.0);
+        ckt.add<faults::FaultInjectingDevice>(
+            std::make_unique<Resistor>("R1", a, kGround, 1e3), a,
+            faults::DeviceFaultKind::ResidualNan, 8);
+        ckt.finalize();
+        TransientOptions opt;
+        opt.tStop = 1e-9;
+        opt.fixedSteps = 10;
+        opt.linalg = backend;
+        return TransientAnalysis(ckt, opt).run();
+    };
+    const TransientResult dense = run(LinalgBackend::Dense);
+    const TransientResult sparse = run(LinalgBackend::Sparse);
+    EXPECT_FALSE(dense.success);
+    EXPECT_FALSE(sparse.success);
+    EXPECT_EQ(dense.nonFinite, sparse.nonFinite);
+    EXPECT_EQ(dense.failureReason, sparse.failureReason);
+}
+
+}  // namespace
+}  // namespace shtrace

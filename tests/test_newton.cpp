@@ -13,7 +13,7 @@ namespace {
 
 TEST(Newton, SolvesLinearSystemInOneCorrection) {
     // F(x) = A x - b with A = [[2, 1], [1, 3]].
-    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+    const DenseNewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
         j.resize(2, 2);
         j(0, 0) = 2;
         j(0, 1) = 1;
@@ -35,7 +35,7 @@ TEST(Newton, SolvesLinearSystemInOneCorrection) {
 
 TEST(Newton, QuadraticConvergenceOnScalarRoot) {
     // F(x) = x^2 - 4 from x0 = 3: classic quadratic contraction.
-    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+    const DenseNewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
         f.resize(1);
         j.resize(1, 1);
         f[0] = x[0] * x[0] - 4.0;
@@ -55,7 +55,7 @@ TEST(Newton, QuadraticConvergenceOnScalarRoot) {
 TEST(Newton, DampingClampsLargeUpdates) {
     // Steep residual far from the root would take a huge first step;
     // maxUpdate must clamp it.
-    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+    const DenseNewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
         f.resize(1);
         j.resize(1, 1);
         f[0] = 1e-3 * (x[0] - 1000.0);
@@ -71,7 +71,7 @@ TEST(Newton, DampingClampsLargeUpdates) {
 }
 
 TEST(Newton, ReportsSingularJacobian) {
-    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+    const DenseNewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
         f.resize(2);
         j.resize(2, 2);
         f[0] = x[0] + x[1] - 1;
@@ -89,7 +89,7 @@ TEST(Newton, ReportsSingularJacobian) {
 
 TEST(Newton, HonoursIterationLimit) {
     // A cycle-inducing system (Newton on x^(1/3)-style residual diverges).
-    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+    const DenseNewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
         f.resize(1);
         j.resize(1, 1);
         const double v = x[0];
@@ -112,7 +112,7 @@ TEST(Newton, BranchRowsUseCurrentTolerance) {
     // a "branch" row (iAbsTol = 1e-9 -> must actually converge). Verify
     // that the solver does NOT stop until the branch row's tighter
     // tolerance is met.
-    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+    const DenseNewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
         f.resize(2);
         j.resize(2, 2);
         f[0] = x[0] - 1e-7;
@@ -132,7 +132,7 @@ TEST(Newton, BranchRowsUseCurrentTolerance) {
 }
 
 TEST(Newton, CountsIterationsInStats) {
-    const NewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
+    const DenseNewtonSystemFn system = [](const Vector& x, Vector& f, Matrix& j) {
         f.resize(1);
         j.resize(1, 1);
         f[0] = x[0] - 1;
@@ -146,7 +146,7 @@ TEST(Newton, CountsIterationsInStats) {
 }
 
 TEST(Newton, RejectsBadNodeRows) {
-    const NewtonSystemFn system = [](const Vector&, Vector&, Matrix&) {};
+    const DenseNewtonSystemFn system = [](const Vector&, Vector&, Matrix&) {};
     Vector x(2);
     EXPECT_THROW(solveNewton(system, x, 5, NewtonOptions{}),
                  InvalidArgumentError);

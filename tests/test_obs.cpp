@@ -218,7 +218,7 @@ TEST_F(ObsTest, AddRunCountersPublishesAndAccumulates) {
 
     const obs::MetricsSnapshot snap = obs::metricsSnapshot();
     // One counter per SimStats field plus wall seconds.
-    EXPECT_EQ(snap.counters.size(), 21u);
+    EXPECT_EQ(snap.counters.size(), 23u);
     bool sawTransients = false;
     bool sawWall = false;
     for (const obs::CounterSnapshot& c : snap.counters) {

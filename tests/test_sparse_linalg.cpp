@@ -1,0 +1,496 @@
+// Tests for the PR 6 sparse stack: SparsePattern/SparseMatrixCsc storage,
+// minimum-degree ordering, the Gilbert-Peierls LU with its numeric-refactor
+// replay and fallback, SystemMatrix dense/sparse parity, backend
+// resolution, and the singular / structurally-deficient failure paths --
+// which must surface exactly like the dense ones (factor() -> false ->
+// NewtonResult.singular -> ordinary transient failure), so the PR 4
+// failure taxonomy keeps classifying them as TransientFailed rather than
+// crashing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "shtrace/analysis/newton.hpp"
+#include "shtrace/analysis/transient.hpp"
+#include "shtrace/cells/register_chain.hpp"
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/circuit/assembler.hpp"
+#include "shtrace/circuit/circuit.hpp"
+#include "shtrace/devices/mosfet_batch.hpp"
+#include "shtrace/linalg/linear_solver.hpp"
+#include "shtrace/linalg/lu.hpp"
+#include "shtrace/linalg/sparse.hpp"
+#include "shtrace/linalg/sparse_lu.hpp"
+
+namespace shtrace {
+namespace {
+
+using Positions = std::vector<std::pair<int, int>>;
+
+/// An asymmetric 5x5 test pattern with off-diagonal structure in both
+/// triangles (duplicates included to exercise the merge).
+std::shared_ptr<const SparsePattern> testPattern() {
+    const Positions pos = {{0, 1}, {1, 0}, {0, 1}, {2, 4}, {4, 2},
+                           {3, 1}, {1, 3}, {2, 0}, {4, 4}, {0, 3}};
+    return std::make_shared<SparsePattern>(5, pos);
+}
+
+SparseMatrixCsc fill(const std::shared_ptr<const SparsePattern>& p,
+                     const Matrix& dense) {
+    SparseMatrixCsc m(p);
+    const std::size_t n = p->dimension();
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t r = 0; r < n; ++r) {
+            const int nz = p->indexOf(static_cast<int>(r),
+                                      static_cast<int>(c));
+            if (nz >= 0) {
+                m.addAt(nz, dense(r, c));
+            }
+        }
+    }
+    return m;
+}
+
+/// A well-conditioned unsymmetric matrix confined to the test pattern.
+Matrix testDense() {
+    Matrix a(5, 5);
+    a(0, 0) = 4.0;
+    a(1, 1) = 5.0;
+    a(2, 2) = 6.0;
+    a(3, 3) = 7.0;
+    a(4, 4) = 8.0;
+    a(0, 1) = 1.5;
+    a(1, 0) = -2.0;
+    a(2, 4) = 0.5;
+    a(4, 2) = 3.0;
+    a(3, 1) = -1.0;
+    a(1, 3) = 2.5;
+    a(2, 0) = 1.0;
+    a(0, 3) = -0.5;
+    return a;
+}
+
+TEST(SparsePattern, MergesDuplicatesAndAlwaysHoldsTheDiagonal) {
+    const auto p = testPattern();
+    EXPECT_EQ(p->dimension(), 5u);
+    // 8 unique off-diagonals + 5 diagonal slots.
+    EXPECT_EQ(p->nonZeros(), 13u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_GE(p->diagonalIndex(static_cast<std::size_t>(i)), 0);
+        EXPECT_EQ(p->indexOf(i, i),
+                  p->diagonalIndex(static_cast<std::size_t>(i)));
+    }
+    EXPECT_GE(p->indexOf(0, 1), 0);
+    EXPECT_GE(p->indexOf(4, 2), 0);
+    EXPECT_EQ(p->indexOf(4, 0), -1);  // outside the pattern
+    // Rows sorted ascending within each column.
+    for (std::size_t c = 0; c < 5; ++c) {
+        for (int k = p->colPtr()[c]; k + 1 < p->colPtr()[c + 1]; ++k) {
+            EXPECT_LT(p->rowIdx()[static_cast<std::size_t>(k)],
+                      p->rowIdx()[static_cast<std::size_t>(k) + 1]);
+        }
+    }
+}
+
+TEST(SparseMatrixCsc, ValueOpsMatchDense) {
+    const auto p = testPattern();
+    const Matrix ad = testDense();
+    SparseMatrixCsc a = fill(p, ad);
+
+    // toDense round-trip.
+    const Matrix back = a.toDense();
+    for (std::size_t r = 0; r < 5; ++r) {
+        for (std::size_t c = 0; c < 5; ++c) {
+            EXPECT_DOUBLE_EQ(back(r, c), ad(r, c));
+        }
+    }
+
+    // multiplyAccumulate and multiplyTransposed against dense arithmetic.
+    Vector x(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        x[i] = 0.25 * static_cast<double>(i) - 0.5;
+    }
+    Vector y(5);
+    y.setZero();
+    a.multiplyAccumulate(x, 2.0, y);
+    const Vector yt = a.multiplyTransposed(x);
+    for (std::size_t r = 0; r < 5; ++r) {
+        double accum = 0.0;
+        double accumT = 0.0;
+        for (std::size_t c = 0; c < 5; ++c) {
+            accum += ad(r, c) * x[c];
+            accumT += ad(c, r) * x[c];
+        }
+        EXPECT_NEAR(y[r], 2.0 * accum, 1e-14);
+        EXPECT_NEAR(yt[r], accumT, 1e-14);
+    }
+
+    // Scale + aligned elementwise add.
+    SparseMatrixCsc b = fill(p, ad);
+    b *= 3.0;
+    b += a;
+    const Matrix sum = b.toDense();
+    for (std::size_t r = 0; r < 5; ++r) {
+        for (std::size_t c = 0; c < 5; ++c) {
+            EXPECT_NEAR(sum(r, c), 4.0 * ad(r, c), 1e-14);
+        }
+    }
+}
+
+TEST(MinimumDegree, ProducesADeterministicPermutation) {
+    const auto p = testPattern();
+    const std::vector<int> order = minimumDegreeOrder(*p);
+    ASSERT_EQ(order.size(), 5u);
+    std::vector<bool> seen(5, false);
+    for (int c : order) {
+        ASSERT_GE(c, 0);
+        ASSERT_LT(c, 5);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(c)]);
+        seen[static_cast<std::size_t>(c)] = true;
+    }
+    // Same pattern, same order: the symbolic analysis is reproducible.
+    EXPECT_EQ(order, minimumDegreeOrder(*p));
+}
+
+TEST(SparseLu, FactorsAndSolvesLikeDense) {
+    const auto p = testPattern();
+    const Matrix ad = testDense();
+    const SparseMatrixCsc a = fill(p, ad);
+
+    LuFactorization dense;
+    ASSERT_TRUE(dense.factor(ad));
+    SparseLuFactorization sparse;
+    ASSERT_TRUE(sparse.factor(a));
+    EXPECT_TRUE(sparse.valid());
+    EXPECT_FALSE(sparse.lastFactorWasRefactor());
+    EXPECT_GT(sparse.reciprocalPivotRatio(), 0.0);
+
+    Vector b(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        b[i] = 1.0 + static_cast<double>(i);
+    }
+    const Vector xs = sparse.solve(b);
+    const Vector xd = dense.solve(b);
+    const Vector ts = sparse.solveTransposed(b);
+    const Vector td = dense.solveTransposed(b);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_NEAR(xs[i], xd[i], 1e-12);
+        EXPECT_NEAR(ts[i], td[i], 1e-12);
+    }
+}
+
+TEST(SparseLu, NumericRefactorReplaysAndStaysCorrect) {
+    const auto p = testPattern();
+    SparseLuFactorization lu;
+    SimStats stats;
+    ASSERT_TRUE(lu.factor(fill(p, testDense()), &stats));
+    EXPECT_EQ(stats.sparseRefactorizations, 0u);
+    EXPECT_EQ(stats.luFactorizations, 1u);
+
+    // Gentle value drift (the chord-Newton situation): the stored pivot
+    // sequence stays healthy, so this must be a replay.
+    Matrix drifted = testDense();
+    drifted *= 1.25;
+    drifted(0, 1) = 1.0;
+    ASSERT_TRUE(lu.factor(fill(p, drifted), &stats));
+    EXPECT_TRUE(lu.lastFactorWasRefactor());
+    EXPECT_EQ(stats.sparseRefactorizations, 1u);
+    EXPECT_EQ(stats.luFactorizations, 2u);
+
+    LuFactorization dense;
+    ASSERT_TRUE(dense.factor(drifted));
+    Vector b(5);
+    b[0] = 1.0;
+    b[3] = -2.0;
+    const Vector xs = lu.solve(b);
+    const Vector xd = dense.solve(b);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_NEAR(xs[i], xd[i], 1e-12);
+    }
+}
+
+TEST(SparseLu, RefactorFallsBackWhenThePivotSequenceGoesBad) {
+    const auto p = testPattern();
+    SparseLuFactorization lu;
+    ASSERT_TRUE(lu.factor(fill(p, testDense())));
+
+    // Invert the dominance structure: testDense is diagonally dominant, so
+    // the stored pivots sit on the diagonal; now every diagonal is tiny
+    // against its off-diagonal column mates. The health check (pivot vs
+    // 0.1x column max) must reject the replay, and the transparent full
+    // fallback -- free to pivot off-diagonal -- must still succeed.
+    Matrix flipped(5, 5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        flipped(i, i) = 1e-8;
+    }
+    flipped(1, 0) = 3.0;
+    flipped(2, 0) = 1.0;
+    flipped(0, 1) = 2.0;
+    flipped(3, 1) = 4.0;
+    flipped(1, 3) = 5.0;
+    flipped(0, 3) = 1.0;
+    flipped(2, 4) = 6.0;
+    flipped(4, 2) = 7.0;
+    SimStats stats;
+    ASSERT_TRUE(lu.factor(fill(p, flipped), &stats));
+    EXPECT_FALSE(lu.lastFactorWasRefactor());
+    EXPECT_EQ(stats.sparseRefactorizations, 0u);
+
+    LuFactorization dense;
+    ASSERT_TRUE(dense.factor(flipped));
+    Vector b(5);
+    b[2] = 1.0;
+    const Vector xs = lu.solve(b);
+    const Vector xd = dense.solve(b);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_NEAR(xs[i], xd[i], 1e-10);
+    }
+}
+
+// ------------------------------------------- singular / deficient faults ---
+
+TEST(SparseLuFaults, NumericallySingularMatrixIsReportedNotCrashed) {
+    const auto p = testPattern();
+    Matrix singular = testDense();
+    // Row 4 := 2 * row 2 on the shared support {2, 4}: rank deficient.
+    singular(4, 4) = 2.0 * singular(2, 4);
+    singular(4, 2) = 2.0 * singular(2, 2);
+    singular(2, 2) = 0.5 * singular(4, 2);
+    singular(2, 4) = 0.5 * singular(4, 4);
+    SparseLuFactorization lu;
+    EXPECT_FALSE(lu.factor(fill(p, singular)));
+    EXPECT_FALSE(lu.valid());
+    EXPECT_EQ(lu.reciprocalPivotRatio(), 0.0);
+}
+
+TEST(SparseLuFaults, StructurallyDeficientColumnIsSingular) {
+    // Column 3 exists only through its (structural) diagonal slot and its
+    // value is zero: no eligible pivot anywhere in its reach.
+    const Positions pos = {{0, 1}, {1, 0}, {2, 1}};
+    const auto p = std::make_shared<SparsePattern>(4, pos);
+    SparseMatrixCsc a(p);
+    a.addAt(p->indexOf(0, 0), 2.0);
+    a.addAt(p->indexOf(1, 1), 3.0);
+    a.addAt(p->indexOf(2, 2), 4.0);
+    a.addAt(p->indexOf(0, 1), 1.0);
+    a.addAt(p->indexOf(1, 0), -1.0);
+    a.addAt(p->indexOf(2, 1), 0.5);
+    // (3, 3) left at 0.0.
+    SparseLuFactorization lu;
+    EXPECT_FALSE(lu.factor(a));
+    EXPECT_FALSE(lu.valid());
+}
+
+TEST(SparseLuFaults, FailedRefactorAfterValidFactorInvalidatesCleanly) {
+    const auto p = testPattern();
+    SparseLuFactorization lu;
+    ASSERT_TRUE(lu.factor(fill(p, testDense())));
+    // Zero matrix on the same pattern: both the replay and the fallback
+    // must fail, leaving the instance invalid (not stale-valid).
+    const SparseMatrixCsc zero(p);
+    EXPECT_FALSE(lu.factor(zero));
+    EXPECT_FALSE(lu.valid());
+    // And a subsequent good factor recovers.
+    ASSERT_TRUE(lu.factor(fill(p, testDense())));
+    EXPECT_TRUE(lu.valid());
+}
+
+TEST(SparseLuFaults, SingularJacobianSurfacesAsNewtonSingular) {
+    // The PR 4 taxonomy contract: a singular sparse Jacobian is an ordinary
+    // NewtonResult.singular -- the same classification the dense backend
+    // produces, which the transient engine then reports as a plain
+    // non-convergence (TransientFailed at the tracer level), never a crash.
+    const auto p = testPattern();
+    NewtonWorkspace ws;
+    ws.bind(5, p);
+    SparseLinearSolver solver;
+    const NewtonSystemFn system = [&](const Vector&, Vector& r,
+                                      SystemMatrix& j) {
+        r.setZero();
+        r[0] = 1.0;
+        j.setZero();  // identically singular
+    };
+    Vector x(5);
+    const NewtonResult nr =
+        solveNewton(system, x, 5, NewtonOptions{}, solver, ws);
+    EXPECT_FALSE(nr.converged);
+    EXPECT_TRUE(nr.singular);
+}
+
+// ------------------------------------------------- SystemMatrix parity ---
+
+TEST(SystemMatrix, DenseAndSparseModesAgreeOnEveryOp) {
+    const auto p = testPattern();
+    const Matrix cd = testDense();
+    Matrix gd(5, 5);
+    gd(0, 0) = 1.0;
+    gd(1, 1) = -0.5;
+    gd(2, 0) = 2.0;
+    gd(3, 1) = 0.25;
+    gd(4, 4) = 1.5;
+
+    SystemMatrix dense;
+    dense.bindDense(5);
+    dense.dense() = cd;
+    SystemMatrix sparse;
+    sparse.bindSparse(p);
+    sparse.sparse() = fill(p, cd);
+
+    SystemMatrix denseG;
+    denseG.bindDense(5);
+    denseG.dense() = gd;
+    SystemMatrix sparseG;
+    sparseG.bindSparse(p);
+    sparseG.sparse() = fill(p, gd);
+
+    // J = a*C + G + gmin on the diagonal, both modes.
+    const double a = 7.5;
+    dense *= a;
+    dense += denseG;
+    sparse *= a;
+    sparse += sparseG;
+    for (std::size_t i = 0; i < 5; ++i) {
+        dense.addToDiagonal(i, 1e-3);
+        sparse.addToDiagonal(i, 1e-3);
+    }
+    const Matrix dd = dense.toDense();
+    const Matrix ds = sparse.toDense();
+    for (std::size_t r = 0; r < 5; ++r) {
+        for (std::size_t c = 0; c < 5; ++c) {
+            EXPECT_NEAR(dd(r, c), ds(r, c), 1e-12) << r << "," << c;
+        }
+    }
+
+    Vector x(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        x[i] = 0.1 * static_cast<double>(i + 1);
+    }
+    Vector yd(5), ys(5);
+    yd.setZero();
+    ys.setZero();
+    dense.multiplyAccumulate(x, -1.5, yd);
+    sparse.multiplyAccumulate(x, -1.5, ys);
+    const Vector td = dense.multiplyTransposed(x);
+    const Vector ts = sparse.multiplyTransposed(x);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_NEAR(yd[i], ys[i], 1e-12);
+        EXPECT_NEAR(td[i], ts[i], 1e-12);
+    }
+}
+
+TEST(LinalgBackendResolution, AutoSplitsAtTheThreshold) {
+    EXPECT_EQ(resolveLinalgBackend(LinalgBackend::Auto,
+                                   kSparseAutoThreshold - 1),
+              LinalgBackend::Dense);
+    EXPECT_EQ(resolveLinalgBackend(LinalgBackend::Auto, kSparseAutoThreshold),
+              LinalgBackend::Sparse);
+    EXPECT_EQ(resolveLinalgBackend(LinalgBackend::Dense, 10000),
+              LinalgBackend::Dense);
+    EXPECT_EQ(resolveLinalgBackend(LinalgBackend::Sparse, 2),
+              LinalgBackend::Sparse);
+    EXPECT_THROW(makeLinearSolver(LinalgBackend::Auto), InvalidArgumentError);
+    EXPECT_EQ(makeLinearSolver(LinalgBackend::Dense)->backend(),
+              LinalgBackend::Dense);
+    EXPECT_EQ(makeLinearSolver(LinalgBackend::Sparse)->backend(),
+              LinalgBackend::Sparse);
+}
+
+// ------------------------------------------------- circuit-level checks ---
+
+TEST(CircuitPattern, SparseAssemblyMatchesDenseOnARealLatch) {
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(300e-12, 300e-12);
+    const std::size_t n = reg.circuit.systemSize();
+
+    Assembler dense(n);
+    Assembler sparse(n, reg.circuit.sparsityPattern());
+    EXPECT_FALSE(dense.sparse());
+    EXPECT_TRUE(sparse.sparse());
+
+    // A mid-transition operating point exercises every region: triode,
+    // saturation, and cutoff devices all stamp.
+    Vector x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = (i % 3 == 0) ? 2.5 : ((i % 3 == 1) ? 1.1 : 0.2);
+    }
+    const double t = 11.05e-9;
+    reg.circuit.assemble(x, t, dense);
+    reg.circuit.assemble(x, t, sparse);
+
+    const Matrix gd = dense.gSystem().toDense();
+    const Matrix gs = sparse.gSystem().toDense();
+    const Matrix cd = dense.cSystem().toDense();
+    const Matrix cs = sparse.cSystem().toDense();
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            // Bit-identical: the sparse stamp adds the same doubles in the
+            // same device order, just into CSC slots.
+            EXPECT_DOUBLE_EQ(gd(r, c), gs(r, c)) << r << "," << c;
+            EXPECT_DOUBLE_EQ(cd(r, c), cs(r, c)) << r << "," << c;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_DOUBLE_EQ(dense.f()[i], sparse.f()[i]);
+        EXPECT_DOUBLE_EQ(dense.q()[i], sparse.q()[i]);
+    }
+}
+
+TEST(CircuitPattern, PatternCoversEveryStampOfTheChainAcrossTheSwing) {
+    // If Device::stampPattern under-declared (the MOSFET drain/source swap
+    // is the classic trap), a sparse assembly at SOME state would throw.
+    // Sweep both polarities of every internal node.
+    const RegisterChainOptions chainOpt{TspcOptions{}, 2};
+    const RegisterFixture reg = buildTspcRegisterChain(chainOpt);
+    const std::size_t n = reg.circuit.systemSize();
+    Assembler sparse(n, reg.circuit.sparsityPattern());
+    for (int pattern = 0; pattern < 8; ++pattern) {
+        Vector x(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] = ((i + static_cast<std::size_t>(pattern)) % 3) * 1.25;
+        }
+        EXPECT_NO_THROW(reg.circuit.assemble(x, 11.0e-9, sparse));
+    }
+}
+
+TEST(CircuitPattern, BatchAssemblyIsBitIdenticalToScalar) {
+    const RegisterFixture reg = buildTspcRegister();
+    reg.data->setSkews(250e-12, 350e-12);
+    const std::size_t n = reg.circuit.systemSize();
+    Assembler scalar(n);
+    Assembler batched(n);
+    MosfetBatchScratch scratch;
+    Vector x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = 2.5 - 0.3 * static_cast<double>(i % 7);
+    }
+    SimStats stats;
+    reg.circuit.assemble(x, 11.02e-9, scalar);
+    reg.circuit.assembleBatch(x, 11.02e-9, batched, scratch, &stats);
+    EXPECT_EQ(stats.batchAssemblies, 1u);
+    for (std::size_t r = 0; r < n; ++r) {
+        EXPECT_DOUBLE_EQ(scalar.f()[r], batched.f()[r]);
+        EXPECT_DOUBLE_EQ(scalar.q()[r], batched.q()[r]);
+        for (std::size_t c = 0; c < n; ++c) {
+            EXPECT_DOUBLE_EQ(scalar.g()(r, c), batched.g()(r, c));
+            EXPECT_DOUBLE_EQ(scalar.c()(r, c), batched.c()(r, c));
+        }
+    }
+}
+
+TEST(CircuitPattern, ChainScalesAndKeepsBitZeroSemantics) {
+    const RegisterChainOptions one{TspcOptions{}, 1};
+    const RegisterChainOptions four{TspcOptions{}, 4};
+    const RegisterFixture r1 = buildTspcRegisterChain(one);
+    const RegisterFixture r4 = buildTspcRegisterChain(four);
+    // 7 internal nodes per bit on top of the shared vdd/clk/d + 3 branches.
+    EXPECT_EQ(r4.circuit.systemSize(), r1.circuit.systemSize() + 3u * 7u);
+    // The single-bit chain is a plain TSPC (plus nothing).
+    const RegisterFixture tspc = buildTspcRegister();
+    EXPECT_EQ(r1.circuit.systemSize(), tspc.circuit.systemSize());
+}
+
+}  // namespace
+}  // namespace shtrace

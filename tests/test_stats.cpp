@@ -41,13 +41,15 @@ SimStats distinctStats(std::uint64_t base, double wall) {
     s.traceTransientRetries = base + 18;
     s.tracePlateauReseeds = base + 19;
     s.traceStepHalvings = base + 20;
+    s.sparseRefactorizations = base + 21;
+    s.batchAssemblies = base + 22;
     s.wallSeconds = wall;
     return s;
 }
 
 /// serializeSimStats spells every field in declaration order, so comparing
 /// the serialized lines compares ALL fields at once -- a new field that
-/// misses operator+= would surface here without updating 21 EXPECT lines.
+/// misses operator+= would surface here without updating 23 EXPECT lines.
 std::string line(const SimStats& s) { return store::serializeSimStats(s); }
 
 TEST(SimStatsMergeLaws, CommutativeOnEveryField) {
@@ -89,15 +91,15 @@ TEST(SimStatsMergeLaws, SumsAndNeverDrops) {
 // export all enumerate SimStats fields by hand. A new field must visit
 // all of them; these guards make forgetting loud.
 
-TEST(SimStatsDriftGuard, StructIsExactlyTwentyCountersPlusWall) {
+TEST(SimStatsDriftGuard, StructIsExactlyTwentyTwoCountersPlusWall) {
     static_assert(sizeof(SimStats) ==
-                      20 * sizeof(std::uint64_t) + sizeof(double),
+                      22 * sizeof(std::uint64_t) + sizeof(double),
                   "SimStats changed: update serialize.cpp, obs/metrics.cpp, "
                   "shtrace_store_cli.cpp, and this test");
     SUCCEED();
 }
 
-TEST(SimStatsDriftGuard, StatsLineCarriesTwentyOneFields) {
+TEST(SimStatsDriftGuard, StatsLineCarriesTwentyThreeFields) {
     std::istringstream in(store::serializeSimStats(SimStats{}));
     std::string tag;
     in >> tag;
@@ -107,7 +109,7 @@ TEST(SimStatsDriftGuard, StatsLineCarriesTwentyOneFields) {
     while (in >> token) {
         ++fields;
     }
-    EXPECT_EQ(fields, 21);
+    EXPECT_EQ(fields, 23);
 }
 
 TEST(SimStatsDriftGuard, StatsLineRoundTripsEveryField) {

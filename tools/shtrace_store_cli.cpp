@@ -158,6 +158,10 @@ void showStats(const store::StoreEntry& entry) {
                        static_cast<double>(s.tracePlateauReseeds));
     table.addRowValues("traceStepHalvings",
                        static_cast<double>(s.traceStepHalvings));
+    table.addRowValues("sparseRefactorizations",
+                       static_cast<double>(s.sparseRefactorizations));
+    table.addRowValues("batchAssemblies",
+                       static_cast<double>(s.batchAssemblies));
     table.addRowValues("wallSeconds", s.wallSeconds);
     std::cout << "stats\n";
     table.print(std::cout);
