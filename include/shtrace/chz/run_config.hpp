@@ -43,6 +43,11 @@ struct RunConfig {
     bool warmStart = true;           ///< seed traces from near-hit contours
     std::string metricsPath;         ///< metrics JSON path; empty: obs off
     std::string spanTracePath;       ///< Chrome trace path; empty: obs off
+    /// Display-only provenance stamped on store entries this run saves
+    /// (`shtrace-store list`/`stats` group by it). NOT part of the cache
+    /// key: two runs of the same physics share an entry whatever they
+    /// were called.
+    std::string storeLabel;
 
     static RunConfig defaults() { return RunConfig{}; }
 
@@ -133,6 +138,12 @@ struct RunConfig {
     }
     RunConfig& withWarmStart(bool enabled) {
         warmStart = enabled;
+        return *this;
+    }
+    /// Labels the store entries this run saves (display-only; see
+    /// storeLabel).
+    RunConfig& withStoreLabel(std::string label) {
+        storeLabel = std::move(label);
         return *this;
     }
     /// Writes a metrics snapshot (JSON at `path`, Prometheus text next to

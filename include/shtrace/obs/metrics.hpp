@@ -33,14 +33,39 @@ enum class Hist : unsigned {
     CorrectorIterationsPerPoint,   ///< MPNR iterations per contour point
     SeedEvaluationsPerSearch,      ///< h evaluations per seed bisection
     TransientWallMilliseconds,     ///< wall time of one transient analysis
+    ServeRequestMilliseconds,      ///< admission -> response-ready, serve/
+    ServeQueueWaitMilliseconds,    ///< admission -> worker pickup, serve/
     kCount
 };
 
 enum class Gauge : unsigned {
     WorkerThreads = 0,  ///< resolved thread count of the last batch run
     BatchJobs,          ///< job count of the last batch run
+    ServeQueueDepth,    ///< admitted-not-yet-started requests (serve/)
+    ServeInflight,      ///< requests executing on a worker (serve/)
     kCount
 };
+
+/// Event counters for the long-running service layer -- unlike the
+/// SimStats-backed run counters these are observed incrementally, one
+/// event at a time, from the serve hot path (cold: a mutex per request,
+/// not per solver iteration). Exported `_total`-suffixed like every
+/// counter.
+enum class Count : unsigned {
+    ServeRequests = 0,   ///< characterize POSTs reaching admission
+    ServeResponsesOk,    ///< 200 responses with ok=true
+    ServeResponsesFailed,  ///< 200 responses with ok=false (clean negative)
+    ServeBadRequests,    ///< 400 schema/parse rejections
+    ServeRejected,       ///< 503 admission-control rejections
+    ServeCoalesced,      ///< followers attached to an in-flight leader
+    ServeComputed,       ///< leader computations executed by a worker
+    ServeDrainedJobs,    ///< jobs completed after drain began
+    kCount
+};
+
+/// Adds `n` to an event counter (registry mutex; cold path). No-op unless
+/// enabled().
+void addCount(Count count, std::uint64_t n = 1) noexcept;
 
 /// Records one sample into the calling thread's shard. No-op unless
 /// obs::enabled().

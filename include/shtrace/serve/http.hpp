@@ -1,0 +1,153 @@
+// shtrace -- dependency-free HTTP/1.1 over POSIX sockets.
+//
+// Exactly the subset the characterization service needs: Content-Length
+// framed requests and responses (no chunked transfer, no TLS), keep-alive
+// connections, one OS thread per connection. Characterizations run for
+// milliseconds (cache hit) to seconds (cold trace), so per-connection
+// threads blocked on a result future are the honest concurrency model --
+// the bounded work queue behind the handler, not the socket layer, is
+// what limits compute concurrency.
+//
+// Shutdown contract: stop() closes the listener, wakes every connection
+// (reads poll a stop flag on a short timeout), lets each in-flight request
+// finish and flush its response, then joins all connection threads. No
+// response is ever truncated by shutdown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace::serve {
+
+struct HttpRequest {
+    std::string method;   ///< "GET", "POST", ...
+    std::string target;   ///< request path incl. query, e.g. "/healthz"
+    std::string version;  ///< "HTTP/1.1"
+    /// Header field names lowercased (field names are case-insensitive,
+    /// RFC 9110); values are trimmed of surrounding whitespace.
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /// Path without the query string.
+    std::string path() const;
+    const std::string* header(const std::string& lowercaseName) const;
+};
+
+struct HttpResponse {
+    int status = 200;
+    std::string contentType = "application/json";
+    /// Extra headers beyond Content-Type/Content-Length/Connection.
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    static HttpResponse json(int status, const std::string& body);
+    static HttpResponse text(int status, const std::string& body);
+};
+
+/// Standard reason phrase for the handful of status codes the service
+/// emits; "Unknown" otherwise.
+const char* statusText(int status);
+
+/// The application: request in, response out. Runs on a connection
+/// thread; may block (the characterize handler waits on a result future).
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+public:
+    /// Binds and listens on 127.0.0.1:`port` (port 0 picks an ephemeral
+    /// port; see port()). Throws Error when the socket cannot be bound.
+    explicit HttpServer(std::uint16_t port);
+    ~HttpServer();
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// The bound port (the resolved one when constructed with 0).
+    std::uint16_t port() const noexcept { return port_; }
+
+    /// Accept loop: blocks until stop() is called. Each connection gets a
+    /// thread running keep-alive request/response cycles through
+    /// `handler`. A handler exception produces a 500 response and closes
+    /// the connection; it never kills the server.
+    void serve(const HttpHandler& handler);
+
+    /// Initiates shutdown: stops accepting, wakes idle keep-alive reads,
+    /// and makes serve() return once every in-flight request has been
+    /// answered and its connection thread joined. Safe to call from any
+    /// thread (including a signal-watcher thread) and idempotent.
+    void stop() noexcept;
+
+    /// True once stop() has been requested.
+    bool stopping() const noexcept {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+private:
+    /// One live connection: the thread plus a done flag the reaper uses
+    /// (a finished thread is still joinable, so joinable() cannot tell
+    /// "done" from "running").
+    struct Connection {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
+    void handleConnection(int fd, const HttpHandler& handler,
+                          const std::shared_ptr<std::atomic<bool>>& done);
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::mutex threadsMutex_;
+    std::vector<Connection> connections_;
+};
+
+/// Reads one Content-Length framed request from `fd`. Returns false on a
+/// clean EOF before any bytes (keep-alive connection closed by peer) and
+/// throws Error on a malformed request; `stopFlag` (may be null) aborts a
+/// blocked read at the next poll tick, reported as a clean EOF.
+bool readHttpRequest(int fd, HttpRequest* request,
+                     const std::atomic<bool>* stopFlag);
+
+/// Serializes and writes a response; `closeAfter` emits
+/// "Connection: close". Throws Error on a short write.
+void writeHttpResponse(int fd, const HttpResponse& response,
+                       bool closeAfter);
+
+/// Minimal blocking client for tests, the load driver, and the soak
+/// bench: one request per call over a fresh or kept-alive connection.
+class HttpClient {
+public:
+    /// Connects to 127.0.0.1:`port`. Throws Error on refusal.
+    HttpClient(std::uint16_t port, int timeoutMillis = 60000);
+    ~HttpClient();
+    HttpClient(HttpClient&& other) noexcept;
+    HttpClient& operator=(HttpClient&&) = delete;
+    HttpClient(const HttpClient&) = delete;
+    HttpClient& operator=(const HttpClient&) = delete;
+
+    struct Response {
+        int status = 0;
+        std::map<std::string, std::string> headers;  ///< lowercased names
+        std::string body;
+    };
+
+    /// Sends one request and blocks for the response (keep-alive: the
+    /// connection is reused across calls). Throws Error on transport
+    /// failure or timeout.
+    Response request(const std::string& method, const std::string& target,
+                     const std::string& body = "",
+                     const std::string& contentType = "application/json");
+
+private:
+    int fd_ = -1;
+};
+
+}  // namespace shtrace::serve

@@ -1,0 +1,119 @@
+// shtrace -- minimal JSON reader/writer for the serve subsystem.
+//
+// The daemon's wire format is JSON, but the repo is dependency-free by
+// policy, so this is a small in-repo implementation covering exactly what
+// the protocol needs: the six JSON value kinds, strict recursive-descent
+// parsing with line-accurate errors, and deterministic serialization
+// (object keys keep insertion order; doubles round-trip through %.17g).
+// It is NOT a general-purpose library: no comments, no trailing commas,
+// no \u surrogate pairs beyond the BMP escape itself (kept verbatim as
+// UTF-8 passthrough is all the protocol requires).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace::serve {
+
+/// Thrown by parseJson on any malformed document.
+class JsonParseError : public Error {
+public:
+    JsonParseError(const std::string& what, std::size_t offset)
+        : Error("json: " + what + " (at byte " + std::to_string(offset) +
+                ")"),
+          offset_(offset) {}
+    std::size_t offset() const noexcept { return offset_; }
+
+private:
+    std::size_t offset_;
+};
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// Insertion-ordered object: serialization is deterministic and mirrors
+/// the order fields were added (or appeared in the parsed document).
+using JsonMember = std::pair<std::string, JsonValue>;
+
+class JsonValue {
+public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(std::nullptr_t) : kind_(Kind::Null) {}  // NOLINT
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}  // NOLINT
+    JsonValue(double n) : kind_(Kind::Number), number_(n) {}  // NOLINT
+    JsonValue(int n)  // NOLINT
+        : kind_(Kind::Number), number_(static_cast<double>(n)) {}
+    JsonValue(std::int64_t n)  // NOLINT
+        : kind_(Kind::Number), number_(static_cast<double>(n)) {}
+    JsonValue(std::uint64_t n)  // NOLINT
+        : kind_(Kind::Number), number_(static_cast<double>(n)) {}
+    JsonValue(std::string s)  // NOLINT
+        : kind_(Kind::String), string_(std::move(s)) {}
+    JsonValue(const char* s) : kind_(Kind::String), string_(s) {}  // NOLINT
+    JsonValue(JsonArray a)  // NOLINT
+        : kind_(Kind::Array), array_(std::move(a)) {}
+
+    static JsonValue object() {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+    static JsonValue array() {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    Kind kind() const noexcept { return kind_; }
+    bool isNull() const noexcept { return kind_ == Kind::Null; }
+    bool isBool() const noexcept { return kind_ == Kind::Bool; }
+    bool isNumber() const noexcept { return kind_ == Kind::Number; }
+    bool isString() const noexcept { return kind_ == Kind::String; }
+    bool isArray() const noexcept { return kind_ == Kind::Array; }
+    bool isObject() const noexcept { return kind_ == Kind::Object; }
+
+    /// Typed accessors; throw InvalidArgumentError on a kind mismatch (the
+    /// request parser converts these into 400 responses).
+    bool asBool() const;
+    double asNumber() const;
+    const std::string& asString() const;
+    const JsonArray& asArray() const;
+    const std::vector<JsonMember>& members() const;
+
+    /// Object field lookup; nullptr when absent (or not an object).
+    const JsonValue* find(const std::string& key) const;
+
+    /// Appends/overwrites an object member (object-kind only).
+    JsonValue& set(const std::string& key, JsonValue value);
+    /// Appends an array element (array-kind only).
+    JsonValue& push(JsonValue value);
+
+private:
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    JsonArray array_;
+    std::vector<JsonMember> object_;
+};
+
+/// Strict parse of a complete document (trailing whitespace allowed,
+/// trailing junk is an error). Throws JsonParseError.
+JsonValue parseJson(const std::string& text);
+
+/// Compact serialization (no added whitespace).
+std::string writeJson(const JsonValue& value);
+/// Pretty serialization (2-space indent) -- for files meant to be read.
+std::string writeJsonPretty(const JsonValue& value);
+
+/// Serialization of one string with JSON escaping, including the quotes.
+std::string jsonQuote(const std::string& text);
+
+}  // namespace shtrace::serve

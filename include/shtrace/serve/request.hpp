@@ -1,0 +1,69 @@
+// shtrace -- the characterization-as-a-service request/response schema.
+//
+// A POST /v1/characterize body names a cell from the in-tree zoo, a model
+// card (process corner + temperature), and optional criterion / recipe /
+// tracer overrides (docs/SERVE.md documents every field). Parsing is
+// STRICT: unknown fields, wrong types, and unknown enum spellings are
+// rejected with a 400 rather than silently ignored -- a typo in a knob
+// name must never characterize the wrong thing at scale.
+//
+// Every parsed request canonicalizes to the persistent store's CacheKey
+// (store/key.hpp), which is what the service coalesces concurrent
+// identical requests on and what makes the store a shared cache tier:
+// two requests spelling the same physics hash to the same key no matter
+// which fields they left defaulted.
+#pragma once
+
+#include <string>
+
+#include "shtrace/cells/register_fixture.hpp"
+#include "shtrace/chz/characterize.hpp"
+#include "shtrace/serve/json.hpp"
+#include "shtrace/store/key.hpp"
+
+namespace shtrace::serve {
+
+/// Thrown by parseServeRequest on a schema violation; the HTTP layer maps
+/// it to a 400 with the message in the error body.
+class BadRequestError : public Error {
+public:
+    explicit BadRequestError(const std::string& what)
+        : Error("bad request: " + what) {}
+};
+
+/// One admitted characterization job: the built fixture, the resolved run
+/// configuration, and the content-addressed identity everything keys on.
+struct ServeRequest {
+    std::string cell;          ///< zoo name: tspc | c2mos | tg_dff | latch
+    std::string label;         ///< display-only provenance (store label)
+    int priority = 0;          ///< higher runs first; FIFO within a level
+    RegisterFixture fixture;   ///< built from cell + model card
+    RunConfig config;          ///< criterion/recipe/tracer after overrides
+    store::CacheKey key;       ///< coalescing + store identity
+};
+
+/// Parses and validates a request body; builds the fixture and computes
+/// the cache key. `cacheDir` (empty = no store tier) is stamped into the
+/// config. Throws BadRequestError (schema) or JsonParseError (syntax).
+ServeRequest parseServeRequest(const std::string& body,
+                               const std::string& cacheDir);
+
+/// How the service disposed of one request -- rendered into the response's
+/// "served" block and the live metrics.
+struct ServeDisposition {
+    bool coalesced = false;    ///< follower: shared a leader's computation
+    double queueMillis = 0.0;  ///< admission -> worker pickup
+    double computeMillis = 0.0;  ///< worker pickup -> result ready
+};
+
+/// Renders the response body for a finished characterization.
+/// result.success=false renders ok=false plus the failure reason (still
+/// HTTP 200: a clean negative is a result, not a transport error).
+std::string renderServeResponse(const ServeRequest& request,
+                                const CharacterizeResult& result,
+                                const ServeDisposition& disposition);
+
+/// Renders an error body: {"error": ...}.
+std::string renderServeError(const std::string& what);
+
+}  // namespace shtrace::serve

@@ -1,0 +1,55 @@
+// shtrace -- the served daemon: HTTP routes over the characterization
+// service.
+//
+// Ties HttpServer (transport) to CharacterizationService (execution) and
+// exposes exactly three routes:
+//
+//   POST /v1/characterize  -- request schema in request.hpp/docs/SERVE.md
+//   GET  /metrics          -- live Prometheus exposition of the obs
+//                             registry (text/plain; version=0.0.4)
+//   GET  /healthz          -- liveness: "ok\n" (or "draining\n", 503)
+//
+// ServedDaemon is usable in-process (tests, the soak bench's fork/exec
+// target is a thin main() around it): construct, call run() on a thread,
+// shutdown() to drain and stop.
+#pragma once
+
+#include <string>
+
+#include "shtrace/serve/http.hpp"
+#include "shtrace/serve/service.hpp"
+
+namespace shtrace::serve {
+
+struct DaemonOptions {
+    int port = 0;  ///< 0 = kernel-assigned ephemeral port (see port())
+    ServiceOptions service;
+};
+
+class ServedDaemon {
+public:
+    explicit ServedDaemon(const DaemonOptions& options);
+
+    /// The bound port (resolved when options.port was 0).
+    int port() const noexcept { return server_.port(); }
+
+    /// Accept-and-dispatch loop; blocks until shutdown(). Safe to call
+    /// from a dedicated thread.
+    void run();
+
+    /// Graceful drain: stop admitting work, finish everything in flight,
+    /// stop the accept loop. Signal-safe enough for a SIGTERM handler to
+    /// trigger via a flag; call it from normal thread context.
+    void shutdown();
+
+    CharacterizationService& service() noexcept { return service_; }
+
+    /// Route dispatch, exposed for in-process tests (no sockets needed).
+    HttpResponse handle(const HttpRequest& request);
+
+private:
+    CharacterizationService service_;
+    HttpServer server_;
+};
+
+}  // namespace shtrace::serve

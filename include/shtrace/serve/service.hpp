@@ -1,0 +1,140 @@
+// shtrace -- the characterization service: queue, workers, coalescing.
+//
+// The execution core behind `shtrace-served`, independent of HTTP so
+// tests and the soak bench can drive it in-process. Three cooperating
+// mechanisms:
+//
+//   * A bounded PRIORITY queue feeds a fixed worker pool (thread count
+//     resolved by util/parallel's rule). Higher `priority` runs first;
+//     FIFO within a level (admission sequence number breaks ties).
+//     Admission beyond the bound returns 503-with-Retry-After -- the
+//     service degrades by shedding load, never by queueing unboundedly.
+//
+//   * COALESCING: every request canonicalizes to its store CacheKey, and
+//     concurrent identical requests collapse onto one computation. The
+//     first request (the leader) enqueues a job; followers arriving while
+//     it is queued or executing attach to the leader's future, consume no
+//     queue slot, and share the result. A 100-client thundering herd on
+//     one cell costs exactly one trace.
+//
+//   * The persistent store (store/cache.hpp) is the cache tier ACROSS
+//     restarts and processes: every computation runs with the store
+//     mounted, so a repeat of yesterday's request is a hit (zero
+//     transients) and a near-miss warm-starts the tracer.
+//
+// Graceful drain: beginDrain() stops admission (503), every already
+// admitted job still runs to completion, and awaitDrain() returns when
+// the queue is empty and all workers are idle. No admitted request is
+// ever dropped by shutdown.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "shtrace/serve/request.hpp"
+
+namespace shtrace::serve {
+
+struct ServiceOptions {
+    /// Worker count; 0 = hardware concurrency (util/parallel's rule).
+    int threads = 0;
+    /// Bound on admitted-but-not-started jobs; beyond it, 503.
+    std::size_t queueDepth = 64;
+    /// Retry-After hint on 503 responses (seconds).
+    int retryAfterSeconds = 1;
+    /// Persistent store tier; empty disables it.
+    std::string cacheDir;
+};
+
+/// Monotonic service totals (mirrored into the obs registry as
+/// `shtrace_serve_*_total`; this struct is for in-process assertions).
+struct ServiceCounters {
+    std::uint64_t requests = 0;    ///< POSTs reaching admission
+    std::uint64_t ok = 0;          ///< responses with ok=true
+    std::uint64_t failed = 0;      ///< responses with ok=false
+    std::uint64_t badRequests = 0;
+    std::uint64_t rejected = 0;    ///< 503 admission rejections
+    std::uint64_t coalesced = 0;   ///< followers sharing a leader
+    std::uint64_t computed = 0;    ///< leader computations executed
+    std::uint64_t drained = 0;     ///< jobs completed after drain began
+    std::uint64_t cacheHits = 0;   ///< computations served by the store
+    std::uint64_t warmStarts = 0;  ///< computations tracer-warm-started
+};
+
+class CharacterizationService {
+public:
+    explicit CharacterizationService(const ServiceOptions& options);
+    ~CharacterizationService();  ///< drains (all admitted jobs finish)
+    CharacterizationService(const CharacterizationService&) = delete;
+    CharacterizationService& operator=(const CharacterizationService&) =
+        delete;
+
+    /// One HTTP-shaped outcome: status + body (+ Retry-After on 503).
+    struct Outcome {
+        int status = 200;
+        std::string body;
+        int retryAfterSeconds = 0;  ///< >0: emit a Retry-After header
+    };
+
+    /// The whole request lifecycle: parse/validate (400 on schema
+    /// errors), admission (503 when draining or the queue is full,
+    /// coalescing onto an in-flight twin when one exists), then block
+    /// until the result is ready and render it. Called from connection
+    /// threads; thread-safe.
+    Outcome characterize(const std::string& requestBody);
+
+    /// Stops admission. Already admitted jobs keep running.
+    void beginDrain();
+    /// Blocks until every admitted job has completed and workers have
+    /// exited. Idempotent; implies beginDrain().
+    void awaitDrain();
+
+    bool draining() const noexcept {
+        return draining_.load(std::memory_order_acquire);
+    }
+
+    ServiceCounters counters() const;
+    /// Admitted-but-not-started jobs right now.
+    std::size_t queuedJobs() const;
+    int workerThreads() const noexcept { return threads_; }
+
+private:
+    struct Job;
+
+    void workerLoop();
+    void runJob(const std::shared_ptr<Job>& job);
+
+    ServiceOptions options_;
+    int threads_ = 1;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable drained_;
+    struct JobOrder {
+        bool operator()(const std::shared_ptr<Job>& a,
+                        const std::shared_ptr<Job>& b) const;
+    };
+    std::priority_queue<std::shared_ptr<Job>,
+                        std::vector<std::shared_ptr<Job>>, JobOrder>
+        queue_;
+    /// Coalescing index: full CacheKey -> in-flight job (queued or
+    /// executing). Erased after the result is published.
+    std::unordered_map<std::uint64_t, std::shared_ptr<Job>> inflight_;
+    std::uint64_t nextSequence_ = 0;
+    std::size_t executing_ = 0;
+    ServiceCounters counters_;
+    std::atomic<bool> draining_{false};
+    bool workersJoined_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace shtrace::serve

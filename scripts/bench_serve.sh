@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Service-level soak bench for shtrace-served (docs/SERVE.md).
+#
+# Builds the daemon and load driver, then runs `shtrace-load soak`, which
+# forks the daemon on an ephemeral port and walks it through the asserted
+# phases (cold trace, warm store hit >= 10x faster, N-client coalesce
+# burst with exactly one computation, SIGTERM drain with exit 0), writing
+# the numbers to results/bench_serve.json.
+#
+#   scripts/bench_serve.sh [clients]     default 8 coalescing clients
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+CLIENTS="${1:-8}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "${JOBS}" --target shtrace-served shtrace-load
+
+mkdir -p results
+./build/tools/shtrace-load soak \
+    --daemon ./build/tools/shtrace-served \
+    --out results/bench_serve.json \
+    --clients "${CLIENTS}"
+
+echo "bench_serve: results/bench_serve.json"

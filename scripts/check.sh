@@ -19,6 +19,11 @@
 #                               format lint on a real Fig. 8 exposition,
 #                               <2% disabled-instrumentation overhead gate
 #                               on the chord-step micro kernel
+#   scripts/check.sh serve      serve-labeled tests, then a live daemon on
+#                               an ephemeral port: load driver (all 200s,
+#                               identical requests coalesce to one
+#                               computation), GET /metrics scrape through
+#                               prom_lint.sh, SIGTERM clean drain (exit 0)
 #
 # Each stage uses its own build tree (build/, build-tsan/, build-asan/,
 # build-ubsan/) so the sanitizer configurations never dirty the primary
@@ -42,7 +47,7 @@ run_tsan() {
           -DSHTRACE_SANITIZE=thread
     cmake --build build-tsan -j "${JOBS}" \
           --target test_parallel test_store_cache test_trace_robustness \
-                   test_obs test_backend_equivalence
+                   test_obs test_backend_equivalence test_serve
     ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
 }
 
@@ -129,6 +134,54 @@ run_obs() {
         }' "${obsdir}/overhead.txt"
 }
 
+run_serve() {
+    echo "== serve: daemon end-to-end + live Prometheus scrape lint =="
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "${JOBS}" \
+          --target test_serve shtrace-served shtrace-load
+    ctest --test-dir build -L serve --output-on-failure -j "${JOBS}"
+    local dir pid port
+    dir="$(mktemp -d)"
+    trap 'rm -rf "${dir}"' RETURN
+    # Daemon output goes to a log file (NOT the inherited pipe: a pipe fd
+    # held by the background daemon would stall the caller's pipeline).
+    ./build/tools/shtrace-served --port 0 --port-file "${dir}/port" \
+        --cache-dir "${dir}/store" > "${dir}/daemon.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 100); do [ -s "${dir}/port" ] && break; sleep 0.1; done
+    port="$(cat "${dir}/port")"
+    # Eight requests, one body: every response must be a 200, duplicates
+    # must coalesce, and exactly ONE response may have paid for a fresh
+    # trace -- the rest were shared or store-served.
+    ./build/tools/shtrace-load run --port "${port}" --requests 8 \
+        --concurrency 4 --distinct 1 | tee "${dir}/load.json"
+    python3 - "${dir}/load.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["http200"] == r["requests"], "non-200 responses"
+assert r["coalesced"] > 0, "no coalesced duplicate"
+assert r["freshTraces"] == 1, "identical requests traced more than once"
+PY
+    # Lint a LIVE scrape (content type and all), not a written file.
+    python3 - "${port}" "${dir}/live.prom" <<'PY'
+import sys, http.client
+c = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=10)
+c.request("GET", "/metrics")
+r = c.getresponse()
+assert r.status == 200, r.status
+ct = r.getheader("Content-Type") or ""
+assert ct.startswith("text/plain; version=0.0.4"), ct
+open(sys.argv[2], "wb").write(r.read())
+PY
+    scripts/prom_lint.sh "${dir}/live.prom"
+    # Graceful drain: SIGTERM, and the daemon must exit 0 (wait under
+    # set -e is the assertion).
+    kill -TERM "${pid}"
+    wait "${pid}"
+    cat "${dir}/daemon.log"
+    echo "serve: daemon drained clean"
+}
+
 case "${STAGE}" in
     tier1)  run_tier1 ;;
     tsan)   run_tsan ;;
@@ -137,8 +190,9 @@ case "${STAGE}" in
     sparse) run_sparse ;;
     bench)  run_bench ;;
     obs)    run_obs ;;
-    all)    run_tier1; run_tsan; run_asan; run_ubsan; run_sparse; run_bench; run_obs ;;
-    *)      echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|sparse|bench|obs|all]" >&2; exit 2 ;;
+    serve)  run_serve ;;
+    all)    run_tier1; run_tsan; run_asan; run_ubsan; run_sparse; run_bench; run_obs; run_serve ;;
+    *)      echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|sparse|bench|obs|serve|all]" >&2; exit 2 ;;
 esac
 
 echo "check.sh: ${STAGE} OK"

@@ -104,6 +104,7 @@ CharacterizeResult characterizeImpl(const RegisterFixture& fixture,
         entry.kind = store::kKindCharacterize;
         entry.key = key->full;
         entry.problem = key->problem;
+        entry.label = options.storeLabel;
         entry.payload = store::serializeCharacterizeResult(result);
         cache->save(entry);
     }

@@ -42,6 +42,12 @@ constexpr std::array<HistDef, kHistCount> kHistDefs{{
     {"shtrace_transient_wall_milliseconds",
      "Wall time of one complete transient analysis in milliseconds.", 12,
      {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}},
+    {"shtrace_serve_request_milliseconds",
+     "Service latency from admission to response-ready in milliseconds.",
+     12, {1, 2.5, 5, 10, 25, 50, 100, 250, 1000, 2500, 10000, 60000}},
+    {"shtrace_serve_queue_wait_milliseconds",
+     "Queue wait from admission to worker pickup in milliseconds.", 10,
+     {0.5, 1, 2.5, 5, 10, 25, 100, 500, 2500, 10000}},
 }};
 
 struct GaugeDef {
@@ -53,6 +59,36 @@ constexpr std::array<GaugeDef, kGaugeCount> kGaugeDefs{{
     {"shtrace_worker_threads",
      "Resolved worker thread count of the most recent batch run."},
     {"shtrace_batch_jobs", "Job count of the most recent batch run."},
+    {"shtrace_serve_queue_depth",
+     "Admitted characterization requests waiting for a worker."},
+    {"shtrace_serve_inflight",
+     "Characterization requests currently executing on a worker."},
+}};
+
+constexpr std::size_t kCountCount = static_cast<std::size_t>(Count::kCount);
+
+struct CountDef {
+    const char* name;
+    const char* help;
+};
+
+constexpr std::array<CountDef, kCountCount> kCountDefs{{
+    {"shtrace_serve_requests_total",
+     "Characterization requests reaching service admission."},
+    {"shtrace_serve_responses_ok_total",
+     "Characterization responses with ok=true."},
+    {"shtrace_serve_responses_failed_total",
+     "Characterization responses with ok=false (clean negatives)."},
+    {"shtrace_serve_bad_requests_total",
+     "Requests rejected with 400 (schema or JSON errors)."},
+    {"shtrace_serve_rejected_total",
+     "Requests rejected with 503 by admission control."},
+    {"shtrace_serve_coalesced_total",
+     "Requests served by attaching to an identical in-flight computation."},
+    {"shtrace_serve_computed_total",
+     "Leader characterization computations executed by workers."},
+    {"shtrace_serve_drained_jobs_total",
+     "Jobs completed after graceful drain began."},
 }};
 
 struct HistShard {
@@ -74,6 +110,7 @@ struct MetricsRegistry {
     MetricsShard retired;  ///< folded-in shards of exited threads
     std::array<double, kGaugeCount> gauges{};
     SimStats counters;  ///< accumulated per-run merged stats
+    std::array<std::uint64_t, kCountCount> eventCounts{};  ///< serve layer
 };
 
 MetricsRegistry& registry() {
@@ -226,6 +263,19 @@ void setGauge(Gauge gauge, double value) noexcept {
     reg.gauges[g] = value;
 }
 
+void addCount(Count count, std::uint64_t n) noexcept {
+    if (!enabled()) {
+        return;
+    }
+    const auto c = static_cast<std::size_t>(count);
+    if (c >= kCountCount) {
+        return;
+    }
+    MetricsRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.eventCounts[c] += n;
+}
+
 void addRunCounters(const SimStats& stats) noexcept {
     if (!enabled()) {
         return;
@@ -265,6 +315,13 @@ MetricsSnapshot metricsSnapshot() {
         wall.value = reg.counters.wallSeconds;
         snapshot.counters.push_back(std::move(wall));
     }
+    for (std::size_t c = 0; c < kCountCount; ++c) {
+        CounterSnapshot event;
+        event.name = kCountDefs[c].name;
+        event.help = kCountDefs[c].help;
+        event.value = static_cast<double>(reg.eventCounts[c]);
+        snapshot.counters.push_back(std::move(event));
+    }
 
     for (std::size_t g = 0; g < kGaugeCount; ++g) {
         GaugeSnapshot gauge;
@@ -301,6 +358,7 @@ void clearMetrics() noexcept {
     }
     reg.gauges.fill(0.0);
     reg.counters.reset();
+    reg.eventCounts.fill(0);
 }
 
 std::string prometheusText(const MetricsSnapshot& snapshot) {

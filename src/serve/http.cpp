@@ -1,0 +1,545 @@
+#include "shtrace/serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "shtrace/serve/json.hpp"
+
+namespace shtrace::serve {
+
+namespace {
+
+/// Largest request body the server will buffer (a characterization request
+/// is a few KB; this bound rejects abuse, not legitimate traffic).
+constexpr std::size_t kMaxBodyBytes = 4u << 20;
+constexpr std::size_t kMaxHeaderBytes = 64u << 10;
+/// Poll tick for reads: the latency of noticing stop() on an idle
+/// keep-alive connection.
+constexpr int kReadPollMillis = 200;
+
+std::string toLower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string trim(const std::string& s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t')) {
+        ++b;
+    }
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' ||
+                     s[e - 1] == '\r')) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+/// recv with a stop-aware poll loop. Returns bytes read, 0 on EOF, and -1
+/// when the stop flag fired while idle.
+long pollRecv(int fd, char* buf, std::size_t len,
+              const std::atomic<bool>* stopFlag) {
+    while (true) {
+        if (stopFlag != nullptr &&
+            stopFlag->load(std::memory_order_acquire)) {
+            return -1;
+        }
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, kReadPollMillis);
+        if (ready < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw Error(message("http: poll failed: ",
+                                std::strerror(errno)));
+        }
+        if (ready == 0) {
+            continue;  // tick: re-check the stop flag
+        }
+        const long n = ::recv(fd, buf, len, 0);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK) {
+                continue;
+            }
+            throw Error(message("http: recv failed: ",
+                                std::strerror(errno)));
+        }
+        return n;
+    }
+}
+
+void sendAll(int fd, const char* data, std::size_t len) {
+    std::size_t sent = 0;
+    while (sent < len) {
+        const long n =
+            ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw Error(message("http: send failed: ",
+                                std::strerror(errno)));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace
+
+std::string HttpRequest::path() const {
+    const std::size_t q = target.find('?');
+    return q == std::string::npos ? target : target.substr(0, q);
+}
+
+const std::string* HttpRequest::header(
+    const std::string& lowercaseName) const {
+    const auto it = headers.find(lowercaseName);
+    return it == headers.end() ? nullptr : &it->second;
+}
+
+HttpResponse HttpResponse::json(int status, const std::string& body) {
+    HttpResponse r;
+    r.status = status;
+    r.contentType = "application/json";
+    r.body = body;
+    return r;
+}
+
+HttpResponse HttpResponse::text(int status, const std::string& body) {
+    HttpResponse r;
+    r.status = status;
+    r.contentType = "text/plain; charset=utf-8";
+    r.body = body;
+    return r;
+}
+
+const char* statusText(int status) {
+    switch (status) {
+        case 200:
+            return "OK";
+        case 400:
+            return "Bad Request";
+        case 404:
+            return "Not Found";
+        case 405:
+            return "Method Not Allowed";
+        case 411:
+            return "Length Required";
+        case 413:
+            return "Content Too Large";
+        case 500:
+            return "Internal Server Error";
+        case 501:
+            return "Not Implemented";
+        case 503:
+            return "Service Unavailable";
+        default:
+            return "Unknown";
+    }
+}
+
+bool readHttpRequest(int fd, HttpRequest* request,
+                     const std::atomic<bool>* stopFlag) {
+    std::string buf;
+    std::size_t headerEnd = std::string::npos;
+    char chunk[4096];
+    while (true) {
+        headerEnd = buf.find("\r\n\r\n");
+        if (headerEnd != std::string::npos) {
+            break;
+        }
+        if (buf.size() > kMaxHeaderBytes) {
+            throw Error("http: request header too large");
+        }
+        const long n = pollRecv(fd, chunk, sizeof chunk, stopFlag);
+        if (n < 0) {
+            return false;  // stop requested while idle
+        }
+        if (n == 0) {
+            if (buf.empty()) {
+                return false;  // clean keep-alive close
+            }
+            throw Error("http: connection closed mid-header");
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    // Request line.
+    const std::size_t lineEnd = buf.find("\r\n");
+    {
+        const std::string line = buf.substr(0, lineEnd);
+        const std::size_t sp1 = line.find(' ');
+        const std::size_t sp2 =
+            sp1 == std::string::npos ? std::string::npos
+                                     : line.find(' ', sp1 + 1);
+        if (sp1 == std::string::npos || sp2 == std::string::npos) {
+            throw Error("http: malformed request line");
+        }
+        request->method = line.substr(0, sp1);
+        request->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        request->version = line.substr(sp2 + 1);
+        if (request->version != "HTTP/1.1" &&
+            request->version != "HTTP/1.0") {
+            throw Error("http: unsupported version " + request->version);
+        }
+    }
+
+    // Header fields.
+    request->headers.clear();
+    std::size_t pos = lineEnd + 2;
+    while (pos < headerEnd) {
+        const std::size_t end = buf.find("\r\n", pos);
+        const std::string line = buf.substr(pos, end - pos);
+        pos = end + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            throw Error("http: malformed header line");
+        }
+        request->headers[toLower(trim(line.substr(0, colon)))] =
+            trim(line.substr(colon + 1));
+    }
+
+    if (request->header("transfer-encoding") != nullptr) {
+        throw Error("http: chunked transfer encoding unsupported");
+    }
+
+    std::size_t contentLength = 0;
+    if (const std::string* cl = request->header("content-length")) {
+        try {
+            std::size_t used = 0;
+            const unsigned long long n = std::stoull(*cl, &used);
+            if (used != cl->size() || n > kMaxBodyBytes) {
+                throw Error("http: bad content-length");
+            }
+            contentLength = static_cast<std::size_t>(n);
+        } catch (const std::exception&) {
+            throw Error("http: bad content-length");
+        }
+    }
+
+    request->body = buf.substr(headerEnd + 4);
+    while (request->body.size() < contentLength) {
+        const long n = pollRecv(fd, chunk, sizeof chunk, stopFlag);
+        if (n <= 0) {
+            throw Error("http: connection closed mid-body");
+        }
+        request->body.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (request->body.size() > contentLength) {
+        // Pipelined second request: unsupported, and the framing above
+        // would silently misattribute it to this body. Reject loudly.
+        throw Error("http: pipelined requests unsupported");
+    }
+    return true;
+}
+
+void writeHttpResponse(int fd, const HttpResponse& response,
+                       bool closeAfter) {
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
+                      statusText(response.status) + "\r\n";
+    out += "Content-Type: " + response.contentType + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n";
+    for (const auto& h : response.headers) {
+        out += h.first + ": " + h.second + "\r\n";
+    }
+    out += closeAfter ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+    out += "\r\n";
+    out += response.body;
+    sendAll(fd, out.data(), out.size());
+}
+
+HttpServer::HttpServer(std::uint16_t port) {
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        throw Error(message("http: socket failed: ", std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw Error(message("http: cannot bind 127.0.0.1:", port, ": ",
+                            why));
+    }
+    if (::listen(listenFd_, 128) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw Error(message("http: listen failed: ", why));
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw Error(message("http: getsockname failed: ", why));
+    }
+    port_ = ntohs(addr.sin_port);
+}
+
+HttpServer::~HttpServer() {
+    stop();
+    {
+        const std::lock_guard<std::mutex> lock(threadsMutex_);
+        for (Connection& c : connections_) {
+            if (c.thread.joinable()) {
+                c.thread.join();
+            }
+        }
+        connections_.clear();
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void HttpServer::stop() noexcept {
+    stop_.store(true, std::memory_order_release);
+}
+
+void HttpServer::serve(const HttpHandler& handler) {
+    while (!stopping()) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, kReadPollMillis);
+        if (ready < 0 && errno != EINTR) {
+            throw Error(message("http: accept poll failed: ",
+                                std::strerror(errno)));
+        }
+        if (ready <= 0) {
+            continue;  // tick: re-check the stop flag (EINTR included)
+        }
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        const std::lock_guard<std::mutex> lock(threadsMutex_);
+        // Reap connections whose handler loop has finished so a
+        // long-lived server does not accumulate done threads (joining a
+        // done thread is instant).
+        connections_.erase(
+            std::remove_if(connections_.begin(), connections_.end(),
+                           [](Connection& c) {
+                               if (c.done->load(
+                                       std::memory_order_acquire)) {
+                                   c.thread.join();
+                                   return true;
+                               }
+                               return false;
+                           }),
+            connections_.end());
+        Connection conn;
+        conn.done = std::make_shared<std::atomic<bool>>(false);
+        auto done = conn.done;
+        conn.thread = std::thread([this, fd, &handler, done] {
+            handleConnection(fd, handler, done);
+        });
+        connections_.push_back(std::move(conn));
+    }
+    // Drain: join every connection thread; each notices the stop flag at
+    // its next poll tick and exits after answering its in-flight request.
+    std::vector<Connection> drained;
+    {
+        const std::lock_guard<std::mutex> lock(threadsMutex_);
+        drained.swap(connections_);
+    }
+    for (Connection& c : drained) {
+        if (c.thread.joinable()) {
+            c.thread.join();
+        }
+    }
+}
+
+void HttpServer::handleConnection(
+    int fd, const HttpHandler& handler,
+    const std::shared_ptr<std::atomic<bool>>& done) {
+    while (true) {
+        HttpRequest request;
+        bool haveRequest = false;
+        try {
+            haveRequest = readHttpRequest(fd, &request, &stop_);
+        } catch (const Error&) {
+            // Malformed framing: best-effort 400, then close.
+            try {
+                writeHttpResponse(
+                    fd,
+                    HttpResponse::json(
+                        400, "{\"error\":\"malformed HTTP request\"}"),
+                    true);
+            } catch (const Error&) {
+            }
+            break;
+        }
+        if (!haveRequest) {
+            break;  // peer closed, or stop() while idle
+        }
+        HttpResponse response;
+        try {
+            response = handler(request);
+        } catch (const std::exception& e) {
+            response = HttpResponse::json(
+                500, "{\"error\":" + jsonQuote(e.what()) + "}");
+        }
+        // Once draining, tell the client this connection is done after
+        // the in-flight response.
+        const bool closing = stopping();
+        try {
+            writeHttpResponse(fd, response, closing);
+        } catch (const Error&) {
+            break;  // peer went away mid-write
+        }
+        if (closing) {
+            break;
+        }
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    done->store(true, std::memory_order_release);
+}
+
+HttpClient::HttpClient(std::uint16_t port, int timeoutMillis) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        throw Error(message("http: socket failed: ", std::strerror(errno)));
+    }
+    timeval tv{};
+    tv.tv_sec = timeoutMillis / 1000;
+    tv.tv_usec = (timeoutMillis % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw Error(
+            message("http: cannot connect to 127.0.0.1:", port, ": ", why));
+    }
+}
+
+HttpClient::~HttpClient() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+HttpClient::HttpClient(HttpClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+}
+
+HttpClient::Response HttpClient::request(const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body,
+                                         const std::string& contentType) {
+    std::string out = method + ' ' + target + " HTTP/1.1\r\n";
+    out += "Host: 127.0.0.1\r\n";
+    if (!body.empty() || method == "POST") {
+        out += "Content-Type: " + contentType + "\r\n";
+        out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    out += "\r\n";
+    out += body;
+    sendAll(fd_, out.data(), out.size());
+
+    // Read the status line + headers, then Content-Length body bytes.
+    std::string buf;
+    char chunk[4096];
+    std::size_t headerEnd = std::string::npos;
+    while ((headerEnd = buf.find("\r\n\r\n")) == std::string::npos) {
+        const long n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw Error(message("http: client recv failed: ",
+                                std::strerror(errno)));
+        }
+        if (n == 0) {
+            throw Error("http: server closed before response");
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    Response response;
+    const std::size_t lineEnd = buf.find("\r\n");
+    {
+        const std::string line = buf.substr(0, lineEnd);
+        const std::size_t sp1 = line.find(' ');
+        if (sp1 == std::string::npos || line.size() < sp1 + 4) {
+            throw Error("http: malformed status line");
+        }
+        response.status = std::atoi(line.c_str() + sp1 + 1);
+    }
+    std::size_t pos = lineEnd + 2;
+    while (pos < headerEnd) {
+        const std::size_t end = buf.find("\r\n", pos);
+        const std::string line = buf.substr(pos, end - pos);
+        pos = end + 2;
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+            response.headers[toLower(trim(line.substr(0, colon)))] =
+                trim(line.substr(colon + 1));
+        }
+    }
+    std::size_t contentLength = 0;
+    const auto cl = response.headers.find("content-length");
+    if (cl != response.headers.end()) {
+        contentLength =
+            static_cast<std::size_t>(std::strtoull(cl->second.c_str(),
+                                                   nullptr, 10));
+    }
+    response.body = buf.substr(headerEnd + 4);
+    while (response.body.size() < contentLength) {
+        const long n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw Error(message("http: client recv failed: ",
+                                std::strerror(errno)));
+        }
+        if (n == 0) {
+            throw Error("http: server closed mid-body");
+        }
+        response.body.append(chunk, static_cast<std::size_t>(n));
+    }
+    response.body.resize(contentLength);
+    return response;
+}
+
+}  // namespace shtrace::serve

@@ -1,0 +1,533 @@
+#include "shtrace/serve/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace shtrace::serve {
+
+namespace {
+
+void typeError(const char* wanted, JsonValue::Kind got) {
+    static const char* names[] = {"null",   "bool",  "number",
+                                  "string", "array", "object"};
+    throw InvalidArgumentError(
+        message("json: expected ", wanted, ", got ",
+                names[static_cast<int>(got)]));
+}
+
+}  // namespace
+
+bool JsonValue::asBool() const {
+    if (kind_ != Kind::Bool) {
+        typeError("bool", kind_);
+    }
+    return bool_;
+}
+
+double JsonValue::asNumber() const {
+    if (kind_ != Kind::Number) {
+        typeError("number", kind_);
+    }
+    return number_;
+}
+
+const std::string& JsonValue::asString() const {
+    if (kind_ != Kind::String) {
+        typeError("string", kind_);
+    }
+    return string_;
+}
+
+const JsonArray& JsonValue::asArray() const {
+    if (kind_ != Kind::Array) {
+        typeError("array", kind_);
+    }
+    return array_;
+}
+
+const std::vector<JsonMember>& JsonValue::members() const {
+    if (kind_ != Kind::Object) {
+        typeError("object", kind_);
+    }
+    return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    if (kind_ != Kind::Object) {
+        return nullptr;
+    }
+    for (const JsonMember& m : object_) {
+        if (m.first == key) {
+            return &m.second;
+        }
+    }
+    return nullptr;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+    if (kind_ != Kind::Object) {
+        typeError("object", kind_);
+    }
+    for (JsonMember& m : object_) {
+        if (m.first == key) {
+            m.second = std::move(value);
+            return *this;
+        }
+    }
+    object_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+    if (kind_ != Kind::Array) {
+        typeError("array", kind_);
+    }
+    array_.push_back(std::move(value));
+    return *this;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    JsonValue parseDocument() {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+        }
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) const {
+        throw JsonParseError(why, pos_);
+    }
+
+    void skipSpace() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of document");
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) {
+            fail(message("expected '", c, "'"));
+        }
+        ++pos_;
+    }
+
+    bool consumeWord(const char* word) {
+        std::size_t n = 0;
+        while (word[n] != '\0') {
+            ++n;
+        }
+        if (text_.compare(pos_, n, word) != 0) {
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue parseValue() {
+        if (++depth_ > kMaxDepth) {
+            fail("nesting too deep");
+        }
+        skipSpace();
+        const char c = peek();
+        JsonValue out;
+        switch (c) {
+            case '{':
+                out = parseObject();
+                break;
+            case '[':
+                out = parseArray();
+                break;
+            case '"':
+                out = JsonValue(parseString());
+                break;
+            case 't':
+                if (!consumeWord("true")) {
+                    fail("bad literal");
+                }
+                out = JsonValue(true);
+                break;
+            case 'f':
+                if (!consumeWord("false")) {
+                    fail("bad literal");
+                }
+                out = JsonValue(false);
+                break;
+            case 'n':
+                if (!consumeWord("null")) {
+                    fail("bad literal");
+                }
+                out = JsonValue(nullptr);
+                break;
+            default:
+                out = JsonValue(parseNumber());
+        }
+        --depth_;
+        return out;
+    }
+
+    JsonValue parseObject() {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipSpace();
+            if (peek() != '"') {
+                fail("expected object key string");
+            }
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            if (obj.find(key) != nullptr) {
+                fail("duplicate object key \"" + key + "\"");
+            }
+            obj.set(key, parseValue());
+            skipSpace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return obj;
+            }
+            fail("expected ',' or '}'");
+        }
+    }
+
+    JsonValue parseArray() {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipSpace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return arr;
+            }
+            fail("expected ',' or ']'");
+        }
+    }
+
+    std::string parseString() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+            }
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_++]);
+            if (c == '"') {
+                return out;
+            }
+            if (c < 0x20) {
+                fail("raw control character in string");
+            }
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+            }
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"':
+                    out += '"';
+                    break;
+                case '\\':
+                    out += '\\';
+                    break;
+                case '/':
+                    out += '/';
+                    break;
+                case 'b':
+                    out += '\b';
+                    break;
+                case 'f':
+                    out += '\f';
+                    break;
+                case 'n':
+                    out += '\n';
+                    break;
+                case 'r':
+                    out += '\r';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("short \\u escape");
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') {
+                            code |= static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            fail("bad \\u escape digit");
+                        }
+                    }
+                    // UTF-8 encode the BMP code point (surrogate pairs are
+                    // rejected: the protocol is ASCII-dominant and the
+                    // writer never emits them).
+                    if (code >= 0xD800 && code <= 0xDFFF) {
+                        fail("surrogate \\u escapes unsupported");
+                    }
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default:
+                    fail("unknown escape");
+            }
+        }
+    }
+
+    double parseNumber() {
+        const std::size_t start = pos_;
+        if (peek() == '-') {
+            ++pos_;
+        }
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_]))) {
+            fail("expected number");
+        }
+        // JSON int grammar: "0" or nonzero-leading digits -- "01" is two
+        // tokens and therefore an error, not an octal-looking number.
+        if (text_[pos_] == '0') {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("leading zero in number");
+            }
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("digit required after decimal point");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("digit required in exponent");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+            fail("unrepresentable number");
+        }
+        return v;
+    }
+
+    static constexpr int kMaxDepth = 64;
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+void writeNumber(std::string& out, double v) {
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v >= -9.0e15 && v <= 9.0e15) {
+        out += std::to_string(static_cast<long long>(v));
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+void writeValue(std::string& out, const JsonValue& v, int indent,
+                int depth) {
+    const auto newline = [&](int d) {
+        if (indent >= 0) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent * d), ' ');
+        }
+    };
+    switch (v.kind()) {
+        case JsonValue::Kind::Null:
+            out += "null";
+            break;
+        case JsonValue::Kind::Bool:
+            out += v.asBool() ? "true" : "false";
+            break;
+        case JsonValue::Kind::Number:
+            writeNumber(out, v.asNumber());
+            break;
+        case JsonValue::Kind::String:
+            out += jsonQuote(v.asString());
+            break;
+        case JsonValue::Kind::Array: {
+            const JsonArray& a = v.asArray();
+            if (a.empty()) {
+                out += "[]";
+                break;
+            }
+            out += '[';
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                if (i != 0) {
+                    out += ',';
+                }
+                newline(depth + 1);
+                writeValue(out, a[i], indent, depth + 1);
+            }
+            newline(depth);
+            out += ']';
+            break;
+        }
+        case JsonValue::Kind::Object: {
+            const auto& m = v.members();
+            if (m.empty()) {
+                out += "{}";
+                break;
+            }
+            out += '{';
+            for (std::size_t i = 0; i < m.size(); ++i) {
+                if (i != 0) {
+                    out += ',';
+                }
+                newline(depth + 1);
+                out += jsonQuote(m[i].first);
+                out += indent >= 0 ? ": " : ":";
+                writeValue(out, m[i].second, indent, depth + 1);
+            }
+            newline(depth);
+            out += '}';
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+JsonValue parseJson(const std::string& text) {
+    return Parser(text).parseDocument();
+}
+
+std::string jsonQuote(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        switch (c) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\b':
+                out += "\\b";
+                break;
+            case '\f':
+                out += "\\f";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\r':
+                out += "\\r";
+                break;
+            case '\t':
+                out += "\\t";
+                break;
+            default:
+                if (u < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", u);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string writeJson(const JsonValue& value) {
+    std::string out;
+    writeValue(out, value, -1, 0);
+    return out;
+}
+
+std::string writeJsonPretty(const JsonValue& value) {
+    std::string out;
+    writeValue(out, value, 2, 0);
+    out += '\n';
+    return out;
+}
+
+}  // namespace shtrace::serve

@@ -1,0 +1,468 @@
+#include "shtrace/serve/request.hpp"
+
+#include <cmath>
+
+#include "shtrace/cells/c2mos.hpp"
+#include "shtrace/cells/latch.hpp"
+#include "shtrace/cells/tg_dff.hpp"
+#include "shtrace/cells/tspc.hpp"
+
+namespace shtrace::serve {
+
+namespace {
+
+/// Strict field walker: every object member must be claimed by exactly
+/// one take*() call, and leftovers are a 400. This is what turns a typo'd
+/// knob name into an error instead of a silently-defaulted run.
+class Fields {
+public:
+    Fields(const JsonValue& object, std::string where)
+        : where_(std::move(where)) {
+        if (!object.isObject()) {
+            throw BadRequestError(where_ + " must be an object");
+        }
+        for (const JsonMember& m : object.members()) {
+            pending_.emplace_back(&m);
+        }
+    }
+
+    const JsonValue* take(const std::string& name) {
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if ((*it)->first == name) {
+                const JsonValue* v = &(*it)->second;
+                pending_.erase(it);
+                return v;
+            }
+        }
+        return nullptr;
+    }
+
+    double takeNumber(const std::string& name, double fallback) {
+        const JsonValue* v = take(name);
+        if (v == nullptr) {
+            return fallback;
+        }
+        if (!v->isNumber()) {
+            throw BadRequestError(where_ + "." + name +
+                                  " must be a number");
+        }
+        const double n = v->asNumber();
+        if (!std::isfinite(n)) {
+            throw BadRequestError(where_ + "." + name + " must be finite");
+        }
+        return n;
+    }
+
+    int takeInt(const std::string& name, int fallback) {
+        const double n =
+            takeNumber(name, static_cast<double>(fallback));
+        const int i = static_cast<int>(n);
+        if (static_cast<double>(i) != n) {
+            throw BadRequestError(where_ + "." + name +
+                                  " must be an integer");
+        }
+        return i;
+    }
+
+    bool takeBool(const std::string& name, bool fallback) {
+        const JsonValue* v = take(name);
+        if (v == nullptr) {
+            return fallback;
+        }
+        if (!v->isBool()) {
+            throw BadRequestError(where_ + "." + name + " must be a bool");
+        }
+        return v->asBool();
+    }
+
+    std::string takeString(const std::string& name,
+                           const std::string& fallback) {
+        const JsonValue* v = take(name);
+        if (v == nullptr) {
+            return fallback;
+        }
+        if (!v->isString()) {
+            throw BadRequestError(where_ + "." + name +
+                                  " must be a string");
+        }
+        return v->asString();
+    }
+
+    /// Call last: any unclaimed member is a schema violation.
+    void finish() const {
+        if (!pending_.empty()) {
+            throw BadRequestError("unknown field " + where_ + "." +
+                                  pending_.front()->first);
+        }
+    }
+
+private:
+    std::string where_;
+    std::vector<const JsonMember*> pending_;
+};
+
+ProcessCorner parseCorner(const JsonValue* node) {
+    ProcessCorner corner = ProcessCorner::typical();
+    if (node == nullptr) {
+        return corner;
+    }
+    Fields f(*node, "corner");
+    const std::string base = f.takeString("base", "TT");
+    if (base == "TT") {
+        corner = ProcessCorner::typical();
+    } else if (base == "FF") {
+        corner = ProcessCorner::fast();
+    } else if (base == "SS") {
+        corner = ProcessCorner::slow();
+    } else {
+        throw BadRequestError("corner.base must be TT, FF, or SS");
+    }
+    const double celsius = f.takeNumber("temperatureC", 27.0);
+    if (celsius != 27.0) {
+        corner = corner.atTemperature(celsius);
+    }
+    // Model-card overrides after the base + temperature derating.
+    corner.vdd = f.takeNumber("vdd", corner.vdd);
+    corner.vtn = f.takeNumber("vtn", corner.vtn);
+    corner.vtp = f.takeNumber("vtp", corner.vtp);
+    corner.kpn = f.takeNumber("kpn", corner.kpn);
+    corner.kpp = f.takeNumber("kpp", corner.kpp);
+    f.finish();
+    if (corner.vdd <= 0.0) {
+        throw BadRequestError("corner.vdd must be positive");
+    }
+    return corner;
+}
+
+/// The geometry/load knobs shared by every cell builder.
+struct CellKnobs {
+    double dataTransitionTime;
+    double outputLoadCapacitance;
+    double wn, wp, l;
+    bool risingData;
+    bool risingDataSet = false;  ///< honor each cell's own default
+    double clkBarDelay;
+    bool clkBarDelaySet = false;
+};
+
+CellKnobs parseCellKnobs(Fields& f) {
+    CellKnobs k{};
+    k.dataTransitionTime = f.takeNumber("dataTransitionTime", 0.1e-9);
+    k.outputLoadCapacitance = f.takeNumber("outputLoadCapacitance", 20e-15);
+    k.wn = f.takeNumber("wn", 0.6e-6);
+    k.wp = f.takeNumber("wp", 1.2e-6);
+    k.l = f.takeNumber("l", 0.25e-6);
+    if (const JsonValue* v = f.take("risingData")) {
+        if (!v->isBool()) {
+            throw BadRequestError("cellOptions.risingData must be a bool");
+        }
+        k.risingData = v->asBool();
+        k.risingDataSet = true;
+    }
+    if (const JsonValue* v = f.take("clkBarDelay")) {
+        if (!v->isNumber()) {
+            throw BadRequestError(
+                "cellOptions.clkBarDelay must be a number");
+        }
+        k.clkBarDelay = v->asNumber();
+        k.clkBarDelaySet = true;
+    }
+    if (k.dataTransitionTime <= 0.0 || k.wn <= 0.0 || k.wp <= 0.0 ||
+        k.l <= 0.0 || k.outputLoadCapacitance < 0.0) {
+        throw BadRequestError("cellOptions geometry must be positive");
+    }
+    return k;
+}
+
+RegisterFixture buildCell(const std::string& cell,
+                          const ProcessCorner& corner,
+                          const JsonValue* optionsNode) {
+    JsonValue empty = JsonValue::object();
+    Fields f(optionsNode != nullptr ? *optionsNode : empty, "cellOptions");
+    const CellKnobs k = parseCellKnobs(f);
+    f.finish();
+    if (cell == "tspc") {
+        TspcOptions o;
+        o.corner = corner;
+        o.dataTransitionTime = k.dataTransitionTime;
+        o.outputLoadCapacitance = k.outputLoadCapacitance;
+        o.wn = k.wn;
+        o.wp = k.wp;
+        o.l = k.l;
+        if (k.risingDataSet) {
+            o.risingData = k.risingData;
+        }
+        if (k.clkBarDelaySet) {
+            throw BadRequestError("tspc has no clk-bar (single-phase)");
+        }
+        return buildTspcRegister(o);
+    }
+    if (cell == "c2mos") {
+        C2mosOptions o;
+        o.corner = corner;
+        o.dataTransitionTime = k.dataTransitionTime;
+        o.outputLoadCapacitance = k.outputLoadCapacitance;
+        o.wn = k.wn;
+        o.wp = k.wp;
+        o.l = k.l;
+        if (k.risingDataSet) {
+            o.risingData = k.risingData;
+        }
+        if (k.clkBarDelaySet) {
+            o.clkBarDelay = k.clkBarDelay;
+        }
+        return buildC2mosRegister(o);
+    }
+    if (cell == "tg_dff") {
+        TgDffOptions o;
+        o.corner = corner;
+        o.dataTransitionTime = k.dataTransitionTime;
+        o.outputLoadCapacitance = k.outputLoadCapacitance;
+        o.wn = k.wn;
+        o.wp = k.wp;
+        o.l = k.l;
+        if (k.risingDataSet) {
+            o.risingData = k.risingData;
+        }
+        if (k.clkBarDelaySet) {
+            o.clkBarDelay = k.clkBarDelay;
+        }
+        return buildTgDffRegister(o);
+    }
+    if (cell == "latch") {
+        LatchOptions o;
+        o.corner = corner;
+        o.dataTransitionTime = k.dataTransitionTime;
+        o.outputLoadCapacitance = k.outputLoadCapacitance;
+        o.wn = k.wn;
+        o.wp = k.wp;
+        o.l = k.l;
+        if (k.risingDataSet) {
+            o.risingData = k.risingData;
+        }
+        if (k.clkBarDelaySet) {
+            o.clkBarDelay = k.clkBarDelay;
+        }
+        return buildTransparentLatch(o);
+    }
+    throw BadRequestError("unknown cell \"" + cell +
+                          "\" (tspc, c2mos, tg_dff, latch)");
+}
+
+void parseCriterion(const JsonValue* node, CriterionOptions* c) {
+    if (node == nullptr) {
+        return;
+    }
+    Fields f(*node, "criterion");
+    c->transitionFraction =
+        f.takeNumber("transitionFraction", c->transitionFraction);
+    c->degradation = f.takeNumber("degradation", c->degradation);
+    c->referenceSetupSkew =
+        f.takeNumber("referenceSetupSkew", c->referenceSetupSkew);
+    c->referenceHoldSkew =
+        f.takeNumber("referenceHoldSkew", c->referenceHoldSkew);
+    c->observationWindow =
+        f.takeNumber("observationWindow", c->observationWindow);
+    f.finish();
+    if (c->transitionFraction <= 0.0 || c->transitionFraction >= 1.0) {
+        throw BadRequestError(
+            "criterion.transitionFraction must be in (0, 1)");
+    }
+    if (c->degradation <= 0.0 || c->degradation > 10.0) {
+        throw BadRequestError("criterion.degradation must be in (0, 10]");
+    }
+}
+
+void parseRecipe(const JsonValue* node, SimulationRecipe* r) {
+    if (node == nullptr) {
+        return;
+    }
+    Fields f(*node, "recipe");
+    const std::string method = f.takeString("method", "trap");
+    if (method == "be") {
+        r->method = IntegrationMethod::BackwardEuler;
+    } else if (method == "trap") {
+        r->method = IntegrationMethod::Trapezoidal;
+    } else if (method == "gear2") {
+        r->method = IntegrationMethod::Gear2;
+    } else {
+        throw BadRequestError("recipe.method must be be, trap, or gear2");
+    }
+    r->dtNominal = f.takeNumber("dtNominal", r->dtNominal);
+    r->gmin = f.takeNumber("gmin", r->gmin);
+    r->jacobianReuse = f.takeBool("jacobianReuse", r->jacobianReuse);
+    r->batchDeviceEval = f.takeBool("batchDeviceEval", r->batchDeviceEval);
+    const std::string linalg = f.takeString("linalg", "auto");
+    if (linalg == "dense") {
+        r->linalg = LinalgBackend::Dense;
+    } else if (linalg == "sparse") {
+        r->linalg = LinalgBackend::Sparse;
+    } else if (linalg == "auto") {
+        r->linalg = LinalgBackend::Auto;
+    } else {
+        throw BadRequestError(
+            "recipe.linalg must be dense, sparse, or auto");
+    }
+    f.finish();
+    if (r->dtNominal <= 0.0 || r->dtNominal > 1e-9) {
+        throw BadRequestError("recipe.dtNominal must be in (0, 1ns]");
+    }
+}
+
+void parseTracer(const JsonValue* node, TracerOptions* t) {
+    if (node == nullptr) {
+        return;
+    }
+    Fields f(*node, "tracer");
+    if (const JsonValue* b = f.take("bounds")) {
+        Fields bf(*b, "tracer.bounds");
+        t->bounds.setupMin = bf.takeNumber("setupMin", t->bounds.setupMin);
+        t->bounds.setupMax = bf.takeNumber("setupMax", t->bounds.setupMax);
+        t->bounds.holdMin = bf.takeNumber("holdMin", t->bounds.holdMin);
+        t->bounds.holdMax = bf.takeNumber("holdMax", t->bounds.holdMax);
+        bf.finish();
+        if (t->bounds.setupMin >= t->bounds.setupMax ||
+            t->bounds.holdMin >= t->bounds.holdMax) {
+            throw BadRequestError("tracer.bounds must be a proper window");
+        }
+    }
+    t->stepLength = f.takeNumber("stepLength", t->stepLength);
+    t->maxPoints = f.takeInt("maxPoints", t->maxPoints);
+    t->traceBothDirections =
+        f.takeBool("traceBothDirections", t->traceBothDirections);
+    f.finish();
+    if (t->maxPoints < 1 || t->maxPoints > 4096) {
+        throw BadRequestError("tracer.maxPoints must be in [1, 4096]");
+    }
+    if (t->stepLength <= 0.0) {
+        throw BadRequestError("tracer.stepLength must be positive");
+    }
+}
+
+void parseSeed(const JsonValue* node, SeedOptions* s) {
+    if (node == nullptr) {
+        return;
+    }
+    Fields f(*node, "seed");
+    s->holdSkewLarge = f.takeNumber("holdSkewLarge", s->holdSkewLarge);
+    s->setupLo = f.takeNumber("setupLo", s->setupLo);
+    s->setupHi = f.takeNumber("setupHi", s->setupHi);
+    s->bracketTarget = f.takeNumber("bracketTarget", s->bracketTarget);
+    f.finish();
+    if (s->setupLo >= s->setupHi || s->bracketTarget <= 0.0) {
+        throw BadRequestError("seed bracket must satisfy lo < hi");
+    }
+}
+
+}  // namespace
+
+ServeRequest parseServeRequest(const std::string& body,
+                               const std::string& cacheDir) {
+    const JsonValue doc = parseJson(body);
+    Fields f(doc, "request");
+
+    ServeRequest request;
+    const JsonValue* cell = f.take("cell");
+    if (cell == nullptr || !cell->isString() || cell->asString().empty()) {
+        throw BadRequestError("\"cell\" (string) is required");
+    }
+    request.cell = cell->asString();
+    request.label = f.takeString("label", request.cell);
+    request.priority = f.takeInt("priority", 0);
+    if (request.priority < -100 || request.priority > 100) {
+        throw BadRequestError("priority must be in [-100, 100]");
+    }
+    const bool warmStart = f.takeBool("warmStart", true);
+
+    const ProcessCorner corner = parseCorner(f.take("corner"));
+    request.fixture =
+        buildCell(request.cell, corner, f.take("cellOptions"));
+
+    RunConfig& config = request.config;
+    parseCriterion(f.take("criterion"), &config.criterion);
+    parseRecipe(f.take("recipe"), &config.recipe);
+    parseTracer(f.take("tracer"), &config.tracer);
+    parseSeed(f.take("seed"), &config.seed);
+    f.finish();
+
+    config.cacheDir = cacheDir;
+    config.warmStart = warmStart;
+    config.storeLabel = request.label;  // display-only; never in the key
+    // The service is the one place deciding store policy; requests cannot
+    // turn writes off (the shared tier is an operator concern).
+    config.cachePolicy = CachePolicy::ReadWrite;
+
+    request.key = store::characterizeKey(request.fixture, config);
+    return request;
+}
+
+std::string renderServeResponse(const ServeRequest& request,
+                                const CharacterizeResult& result,
+                                const ServeDisposition& disposition) {
+    JsonValue out = JsonValue::object();
+    out.set("ok", JsonValue(result.success));
+    out.set("cell", JsonValue(request.cell));
+    out.set("key", JsonValue(store::toHexKey(request.key.full)));
+    out.set("problem", JsonValue(store::toHexKey(request.key.problem)));
+    if (!result.success) {
+        out.set("error", JsonValue(result.failureReason));
+    }
+    out.set("characteristicClockToQ",
+            JsonValue(result.characteristicClockToQ));
+    out.set("degradedClockToQ", JsonValue(result.degradedClockToQ));
+    out.set("tf", JsonValue(result.tf));
+    out.set("r", JsonValue(result.r));
+
+    JsonValue contour = JsonValue::array();
+    const TracedContour& traced = result.contour;
+    for (std::size_t i = 0; i < traced.points.size(); ++i) {
+        JsonValue row = JsonValue::object();
+        row.set("setup", JsonValue(traced.points[i].setup));
+        row.set("hold", JsonValue(traced.points[i].hold));
+        if (i < traced.residuals.size()) {
+            row.set("residual", JsonValue(traced.residuals[i]));
+        }
+        contour.push(std::move(row));
+    }
+    out.set("contour", std::move(contour));
+
+    JsonValue diag = JsonValue::object();
+    diag.set("events",
+             JsonValue(static_cast<std::uint64_t>(
+                 traced.diagnostics.events.size())));
+    diag.set("summary", JsonValue(traced.diagnostics.summary()));
+    out.set("diagnostics", std::move(diag));
+
+    const SimStats& s = result.stats;
+    JsonValue stats = JsonValue::object();
+    stats.set("transientSolves", JsonValue(s.transientSolves));
+    stats.set("timeSteps", JsonValue(s.timeSteps));
+    stats.set("newtonIterations", JsonValue(s.newtonIterations));
+    stats.set("chordIterations", JsonValue(s.chordIterations));
+    stats.set("luFactorizations", JsonValue(s.luFactorizations));
+    stats.set("hEvaluations", JsonValue(s.hEvaluations));
+    stats.set("mpnrIterations", JsonValue(s.mpnrIterations));
+    stats.set("cacheHits", JsonValue(s.cacheHits));
+    stats.set("cacheMisses", JsonValue(s.cacheMisses));
+    stats.set("cacheWarmStarts", JsonValue(s.cacheWarmStarts));
+    stats.set("wallSeconds", JsonValue(s.wallSeconds));
+    out.set("stats", std::move(stats));
+
+    JsonValue served = JsonValue::object();
+    served.set("coalesced", JsonValue(disposition.coalesced));
+    served.set("cacheHit", JsonValue(s.cacheHits > 0));
+    served.set("warmStart", JsonValue(s.cacheWarmStarts > 0));
+    served.set("queueMillis", JsonValue(disposition.queueMillis));
+    served.set("computeMillis", JsonValue(disposition.computeMillis));
+    out.set("served", std::move(served));
+
+    return writeJson(out);
+}
+
+std::string renderServeError(const std::string& what) {
+    JsonValue out = JsonValue::object();
+    out.set("error", JsonValue(what));
+    return writeJson(out);
+}
+
+}  // namespace shtrace::serve

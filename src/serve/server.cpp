@@ -1,0 +1,80 @@
+// shtrace -- served daemon route dispatch.
+#include "shtrace/serve/server.hpp"
+
+#include "shtrace/obs/metrics.hpp"
+#include "shtrace/obs/span.hpp"
+
+namespace shtrace::serve {
+
+ServedDaemon::ServedDaemon(const DaemonOptions& options)
+    : service_(options.service),
+      server_(static_cast<std::uint16_t>(options.port)) {
+    // A long-running service is an observability consumer by definition:
+    // GET /metrics is only live when the registry records.
+    if (!obs::enabled()) {
+        obs::setDetail(obs::Detail::Coarse);
+    }
+}
+
+void ServedDaemon::run() {
+    server_.serve([this](const HttpRequest& request) {
+        return handle(request);
+    });
+}
+
+void ServedDaemon::shutdown() {
+    // Order matters: drain the service first (every admitted job
+    // completes and its connection thread gets its response), then stop
+    // the transport (which itself waits for in-flight responses to
+    // flush). New requests arriving mid-drain get clean 503s.
+    service_.beginDrain();
+    service_.awaitDrain();
+    server_.stop();
+}
+
+HttpResponse ServedDaemon::handle(const HttpRequest& request) {
+    const std::string path = request.path();
+
+    if (path == "/healthz") {
+        if (request.method != "GET") {
+            return HttpResponse::text(405, "method not allowed\n");
+        }
+        if (service_.draining()) {
+            return HttpResponse::text(503, "draining\n");
+        }
+        return HttpResponse::text(200, "ok\n");
+    }
+
+    if (path == "/metrics") {
+        if (request.method != "GET") {
+            return HttpResponse::text(405, "method not allowed\n");
+        }
+        HttpResponse response;
+        response.status = 200;
+        // Prometheus text exposition format version, per the spec; the
+        // lint stage (scripts/prom_lint.sh) scrapes this live.
+        response.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        response.body = obs::prometheusText(obs::metricsSnapshot());
+        return response;
+    }
+
+    if (path == "/v1/characterize") {
+        if (request.method != "POST") {
+            return HttpResponse::json(
+                405, renderServeError("method not allowed; POST required"));
+        }
+        CharacterizationService::Outcome outcome =
+            service_.characterize(request.body);
+        HttpResponse response =
+            HttpResponse::json(outcome.status, outcome.body);
+        if (outcome.retryAfterSeconds > 0) {
+            response.headers.emplace_back(
+                "Retry-After", std::to_string(outcome.retryAfterSeconds));
+        }
+        return response;
+    }
+
+    return HttpResponse::json(404, renderServeError("no such route"));
+}
+
+}  // namespace shtrace::serve

@@ -1,0 +1,306 @@
+// shtrace -- characterization service implementation.
+//
+// Concurrency model, in one place:
+//
+//   * `mutex_` guards the queue, the coalescing index, the counters, and
+//     the executing-worker count. It is held only for bookkeeping --
+//     never across a characterization.
+//
+//   * A Job carries a std::promise<void> / shared_future<void> pair. The
+//     worker that executes the job (the leader) fills the job's result
+//     fields and then fulfills the promise; every waiter (the leader's
+//     own connection thread and any coalesced followers) blocks on the
+//     shared future. The promise/future synchronizes-with, so waiters
+//     read the result fields without further locking.
+//
+//   * The coalescing index maps CacheKey.full -> the in-flight Job. A
+//     follower that finds its key in the index attaches to that job
+//     without consuming a queue slot. The index entry is erased by the
+//     worker right before it fulfills the promise: a request arriving
+//     after that starts a fresh job (which will then hit the persistent
+//     store, the durable tier under this in-memory one).
+//
+//   * Drain: beginDrain() flips an atomic and wakes the workers. Workers
+//     keep pulling until the queue is empty, then exit; awaitDrain()
+//     joins them. Jobs admitted before the flip always complete --
+//     admission and the flip are both under `mutex_`, so there is no
+//     window where an admitted job can be abandoned.
+#include "shtrace/serve/service.hpp"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "shtrace/obs/metrics.hpp"
+#include "shtrace/util/parallel.hpp"
+
+namespace shtrace::serve {
+
+namespace {
+
+using MonoClock = std::chrono::steady_clock;
+
+double millisBetween(MonoClock::time_point from, MonoClock::time_point to) {
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+/// One admitted characterization: shared between the leader's connection
+/// thread, any coalesced followers, and the worker that executes it. The
+/// result fields are written by the worker before `promise.set_value()`
+/// and read by waiters after `future.wait()` -- the promise/future pair
+/// is the only synchronization they need.
+struct CharacterizationService::Job {
+    ServeRequest request;
+    int priority = 0;
+    std::uint64_t sequence = 0;  ///< admission order, for FIFO tiebreak
+    MonoClock::time_point admitted;
+
+    std::promise<void> promise;
+    std::shared_future<void> future;
+
+    // Written by the worker, read by waiters (synchronized via future).
+    CharacterizeResult result;
+    std::exception_ptr error;
+    double queueMillis = 0.0;
+    double computeMillis = 0.0;
+};
+
+bool CharacterizationService::JobOrder::operator()(
+    const std::shared_ptr<Job>& a, const std::shared_ptr<Job>& b) const {
+    // priority_queue pops the LARGEST element: higher priority wins, and
+    // within a level the smaller (earlier) sequence wins.
+    if (a->priority != b->priority) {
+        return a->priority < b->priority;
+    }
+    return a->sequence > b->sequence;
+}
+
+CharacterizationService::CharacterizationService(const ServiceOptions& options)
+    : options_(options) {
+    // Same resolution rule as the batch drivers; the "job count" is the
+    // queue bound since that is the most work that can ever be pending.
+    threads_ = resolveThreadCount(
+        options_.threads,
+        options_.queueDepth > 0 ? options_.queueDepth : std::size_t{1});
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int i = 0; i < threads_; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+CharacterizationService::~CharacterizationService() { awaitDrain(); }
+
+CharacterizationService::Outcome CharacterizationService::characterize(
+    const std::string& requestBody) {
+    ServeRequest parsed;
+    try {
+        parsed = parseServeRequest(requestBody, options_.cacheDir);
+    } catch (const JsonParseError& e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.badRequests;
+        obs::addCount(obs::Count::ServeBadRequests);
+        return Outcome{400, renderServeError(e.what()), 0};
+    } catch (const BadRequestError& e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.badRequests;
+        obs::addCount(obs::Count::ServeBadRequests);
+        return Outcome{400, renderServeError(e.what()), 0};
+    }
+
+    const auto admitted = MonoClock::now();
+    std::shared_ptr<Job> job;
+    bool coalesced = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.requests;
+        obs::addCount(obs::Count::ServeRequests);
+
+        auto found = inflight_.find(parsed.key.full);
+        if (found != inflight_.end()) {
+            // Identical physics already queued or executing: attach.
+            job = found->second;
+            coalesced = true;
+            ++counters_.coalesced;
+            obs::addCount(obs::Count::ServeCoalesced);
+        } else {
+            if (draining_.load(std::memory_order_acquire) ||
+                queue_.size() >= options_.queueDepth) {
+                ++counters_.rejected;
+                obs::addCount(obs::Count::ServeRejected);
+                return Outcome{503,
+                               renderServeError(
+                                   draining() ? "service is draining"
+                                              : "queue full, retry later"),
+                               options_.retryAfterSeconds};
+            }
+            job = std::make_shared<Job>();
+            job->request = std::move(parsed);
+            job->priority = job->request.priority;
+            job->sequence = nextSequence_++;
+            job->admitted = admitted;
+            job->future = job->promise.get_future().share();
+            inflight_.emplace(job->request.key.full, job);
+            queue_.push(job);
+            obs::setGauge(obs::Gauge::ServeQueueDepth,
+                          static_cast<double>(queue_.size()));
+            workReady_.notify_one();
+        }
+    }
+
+    job->future.wait();
+
+    std::string body;
+    bool ok = false;
+    if (job->error != nullptr) {
+        try {
+            std::rethrow_exception(job->error);
+        } catch (const std::exception& e) {
+            body = renderServeError(e.what());
+        }
+    } else {
+        ServeDisposition disposition;
+        disposition.coalesced = coalesced;
+        disposition.queueMillis = job->queueMillis;
+        disposition.computeMillis = job->computeMillis;
+        // Followers render against the leader's request (identical key,
+        // possibly different label/priority spelling -- the physics is
+        // what is shared).
+        body = renderServeResponse(job->request, job->result, disposition);
+        ok = job->result.success;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (job->error == nullptr && ok) {
+            ++counters_.ok;
+            obs::addCount(obs::Count::ServeResponsesOk);
+        } else {
+            ++counters_.failed;
+            obs::addCount(obs::Count::ServeResponsesFailed);
+        }
+    }
+    obs::observe(obs::Hist::ServeRequestMilliseconds,
+                 millisBetween(admitted, MonoClock::now()));
+    return Outcome{job->error != nullptr ? 500 : 200, std::move(body), 0};
+}
+
+void CharacterizationService::beginDrain() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_.store(true, std::memory_order_release);
+    }
+    workReady_.notify_all();
+}
+
+void CharacterizationService::awaitDrain() {
+    beginDrain();
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        drained_.wait(lock,
+                      [this] { return queue_.empty() && executing_ == 0; });
+        if (workersJoined_) {
+            return;
+        }
+        workersJoined_ = true;
+    }
+    workReady_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+    workers_.clear();
+}
+
+ServiceCounters CharacterizationService::counters() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::size_t CharacterizationService::queuedJobs() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void CharacterizationService::workerLoop() {
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return !queue_.empty() ||
+                       draining_.load(std::memory_order_acquire);
+            });
+            if (queue_.empty()) {
+                // Draining and nothing left: exit. The drained_ notify
+                // below already fired when the last job finished.
+                return;
+            }
+            job = queue_.top();
+            queue_.pop();
+            ++executing_;
+            obs::setGauge(obs::Gauge::ServeQueueDepth,
+                          static_cast<double>(queue_.size()));
+            obs::setGauge(obs::Gauge::ServeInflight,
+                          static_cast<double>(executing_));
+        }
+
+        runJob(job);
+
+        bool drainedNow = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --executing_;
+            obs::setGauge(obs::Gauge::ServeInflight,
+                          static_cast<double>(executing_));
+            if (draining_.load(std::memory_order_acquire)) {
+                ++counters_.drained;
+                obs::addCount(obs::Count::ServeDrainedJobs);
+                drainedNow = queue_.empty() && executing_ == 0;
+            }
+        }
+        if (drainedNow) {
+            drained_.notify_all();
+        }
+    }
+}
+
+void CharacterizationService::runJob(const std::shared_ptr<Job>& job) {
+    const auto pickedUp = MonoClock::now();
+    job->queueMillis = millisBetween(job->admitted, pickedUp);
+    obs::observe(obs::Hist::ServeQueueWaitMilliseconds, job->queueMillis);
+
+    try {
+        job->result =
+            characterizeInterdependent(job->request.fixture,
+                                       job->request.config);
+        // The registry's run counters are normally published by the
+        // metrics-file writer; a long-running service publishes after
+        // every computation so GET /metrics is live.
+        obs::addRunCounters(job->result.stats);
+    } catch (...) {
+        job->error = std::current_exception();
+    }
+    job->computeMillis = millisBetween(pickedUp, MonoClock::now());
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.computed;
+        obs::addCount(obs::Count::ServeComputed);
+        if (job->error == nullptr) {
+            if (job->result.stats.cacheHits > 0) {
+                ++counters_.cacheHits;
+            }
+            if (job->result.stats.cacheWarmStarts > 0) {
+                ++counters_.warmStarts;
+            }
+        }
+        inflight_.erase(job->request.key.full);
+    }
+    // Publish: after this, waiters may read the result fields, and a new
+    // identical request starts a fresh job (served by the store).
+    job->promise.set_value();
+}
+
+}  // namespace shtrace::serve

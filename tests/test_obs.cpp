@@ -217,8 +217,9 @@ TEST_F(ObsTest, AddRunCountersPublishesAndAccumulates) {
     obs::setDetail(obs::Detail::Off);
 
     const obs::MetricsSnapshot snap = obs::metricsSnapshot();
-    // One counter per SimStats field plus wall seconds.
-    EXPECT_EQ(snap.counters.size(), 23u);
+    // One counter per SimStats field, plus wall seconds, plus the serve
+    // layer's 8 event counters.
+    EXPECT_EQ(snap.counters.size(), 31u);
     bool sawTransients = false;
     bool sawWall = false;
     for (const obs::CounterSnapshot& c : snap.counters) {

@@ -1,0 +1,394 @@
+// Tests for the characterization-as-a-service layer (serve/): the JSON
+// reader/writer, the strict request schema, HTTP framing, the coalescing
+// service core, admission control, priority ordering, and a live
+// end-to-end daemon on an ephemeral port. In the tsan sweep: the service
+// is the repo's most concurrent component (connection threads x worker
+// pool x coalesced waiters).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "shtrace/serve/http.hpp"
+#include "shtrace/serve/json.hpp"
+#include "shtrace/serve/request.hpp"
+#include "shtrace/serve/server.hpp"
+#include "shtrace/serve/service.hpp"
+
+namespace shtrace::serve {
+namespace {
+
+// A request body with a tiny trace budget so service tests run fast.
+// `variant` perturbs the data transition time into a distinct cache key.
+std::string smallBody(int variant = 0, int priority = 0) {
+    std::string body =
+        R"({"cell":"tspc","tracer":{"bounds":{"setupMin":8e-11,)"
+        R"("setupMax":7e-10,"holdMin":4e-11,"holdMax":5e-10},)"
+        R"("maxPoints":3})";
+    if (variant != 0) {
+        body += R"(,"cellOptions":{"dataTransitionTime":1.)" +
+                std::to_string(1000 + variant) + "e-10}";
+    }
+    if (priority != 0) {
+        body += ",\"priority\":" + std::to_string(priority);
+    }
+    return body + "}";
+}
+
+// ------------------------------------------------------------- JSON --
+
+TEST(ServeJson, RoundTripsScalarsAndNesting) {
+    const JsonValue doc = parseJson(
+        R"({"a":1.5,"b":"x\n\"y\"","c":[true,false,null],"d":{"e":-2e3}})");
+    EXPECT_DOUBLE_EQ(doc.find("a")->asNumber(), 1.5);
+    EXPECT_EQ(doc.find("b")->asString(), "x\n\"y\"");
+    EXPECT_EQ(doc.find("c")->asArray().size(), 3u);
+    EXPECT_TRUE(doc.find("c")->asArray()[0].asBool());
+    EXPECT_TRUE(doc.find("c")->asArray()[2].isNull());
+    EXPECT_DOUBLE_EQ(doc.find("d")->find("e")->asNumber(), -2000.0);
+    // Serialize -> reparse -> identical text (deterministic writer).
+    const std::string text = writeJson(doc);
+    EXPECT_EQ(writeJson(parseJson(text)), text);
+}
+
+TEST(ServeJson, NumbersSurviveRoundTrip) {
+    for (const double v : {0.0, -0.0, 1e-300, 3.141592653589793,
+                           4.715356675226939e-10, 1e15, -7.25}) {
+        const std::string text = writeJson(JsonValue(v));
+        EXPECT_DOUBLE_EQ(parseJson(text).asNumber(), v) << text;
+    }
+    // Integer fast path: no exponent noise on counters.
+    EXPECT_EQ(writeJson(JsonValue(std::uint64_t{42})), "42");
+}
+
+TEST(ServeJson, RejectsMalformedDocuments) {
+    EXPECT_THROW(parseJson(""), JsonParseError);
+    EXPECT_THROW(parseJson("{"), JsonParseError);
+    EXPECT_THROW(parseJson("{}x"), JsonParseError);
+    EXPECT_THROW(parseJson("{\"a\":1,}"), JsonParseError);
+    EXPECT_THROW(parseJson("[1,]"), JsonParseError);
+    EXPECT_THROW(parseJson("nul"), JsonParseError);
+    EXPECT_THROW(parseJson("\"\\q\""), JsonParseError);
+    EXPECT_THROW(parseJson("01"), JsonParseError);
+    EXPECT_THROW(parseJson("{\"a\":1,\"a\":2}"), JsonParseError);  // dup key
+    EXPECT_THROW(parseJson("1e999"), JsonParseError);  // non-finite
+}
+
+// ---------------------------------------------------------- request --
+
+TEST(ServeRequestParse, DefaultsAndKeyStability) {
+    const ServeRequest a = parseServeRequest(smallBody(), "");
+    EXPECT_EQ(a.cell, "tspc");
+    EXPECT_EQ(a.label, "tspc");
+    EXPECT_EQ(a.priority, 0);
+    EXPECT_EQ(a.config.tracer.maxPoints, 3);
+    // Same physics, different spelling (explicit default) -> same key.
+    const ServeRequest b = parseServeRequest(
+        R"({"cell":"tspc","label":"other","priority":5,)"
+        R"("cellOptions":{"dataTransitionTime":1e-10},)"
+        R"("tracer":{"bounds":{"setupMin":8e-11,"setupMax":7e-10,)"
+        R"("holdMin":4e-11,"holdMax":5e-10},"maxPoints":3}})",
+        "");
+    EXPECT_EQ(a.key.full, b.key.full);
+    // Different physics -> different key.
+    const ServeRequest c = parseServeRequest(smallBody(1), "");
+    EXPECT_NE(a.key.full, c.key.full);
+}
+
+TEST(ServeRequestParse, RejectsSchemaViolations) {
+    // Unknown fields at every level.
+    EXPECT_THROW(parseServeRequest(R"({"cell":"tspc","bogus":1})", ""),
+                 BadRequestError);
+    EXPECT_THROW(parseServeRequest(
+                     R"({"cell":"tspc","tracer":{"maxPoint":4}})", ""),
+                 BadRequestError);
+    // Missing / unknown cell.
+    EXPECT_THROW(parseServeRequest(R"({})", ""), BadRequestError);
+    EXPECT_THROW(parseServeRequest(R"({"cell":"dff9000"})", ""),
+                 BadRequestError);
+    // Type errors and range violations.
+    EXPECT_THROW(parseServeRequest(R"({"cell":"tspc","priority":"hi"})",
+                                   ""),
+                 BadRequestError);
+    EXPECT_THROW(
+        parseServeRequest(
+            R"({"cell":"tspc","criterion":{"transitionFraction":1.5}})",
+            ""),
+        BadRequestError);
+    EXPECT_THROW(
+        parseServeRequest(R"({"cell":"tspc","recipe":{"method":"rk4"}})",
+                          ""),
+        BadRequestError);
+    // TSPC is single-phase: clkBarDelay must be rejected, not ignored.
+    EXPECT_THROW(
+        parseServeRequest(
+            R"({"cell":"tspc","cellOptions":{"clkBarDelay":1e-11}})", ""),
+        BadRequestError);
+    // Syntax errors surface as JsonParseError (mapped to 400 upstream).
+    EXPECT_THROW(parseServeRequest("{", ""), JsonParseError);
+}
+
+// ------------------------------------------------------------- http --
+
+TEST(ServeHttp, EchoesOverRealSockets) {
+    HttpServer server(0);
+    ASSERT_GT(server.port(), 0);
+    std::thread loop([&server] {
+        server.serve([](const HttpRequest& request) {
+            HttpResponse response;
+            response.body = request.method + " " + request.target + " " +
+                            request.body;
+            response.contentType = "text/plain";
+            return response;
+        });
+    });
+    {
+        HttpClient client(server.port());
+        // Keep-alive: three requests over one connection.
+        for (int i = 0; i < 3; ++i) {
+            const auto response =
+                client.request("POST", "/echo", "hello" + std::to_string(i));
+            EXPECT_EQ(response.status, 200);
+            EXPECT_EQ(response.body,
+                      "POST /echo hello" + std::to_string(i));
+        }
+        const auto get = client.request("GET", "/path?q=1");
+        EXPECT_EQ(get.body, "GET /path?q=1 ");
+    }
+    server.stop();
+    loop.join();
+}
+
+TEST(ServeHttp, HandlerExceptionBecomes500NotCrash) {
+    HttpServer server(0);
+    std::thread loop([&server] {
+        server.serve([](const HttpRequest&) -> HttpResponse {
+            throw Error("boom");
+        });
+    });
+    HttpClient client(server.port());
+    const auto response = client.request("GET", "/");
+    EXPECT_EQ(response.status, 500);
+    EXPECT_NE(response.body.find("boom"), std::string::npos);
+    server.stop();
+    loop.join();
+}
+
+// ---------------------------------------------------------- service --
+
+TEST(ServeService, ComputesAndRendersAResult) {
+    ServiceOptions options;
+    options.threads = 1;
+    CharacterizationService service(options);
+    const auto outcome = service.characterize(smallBody());
+    EXPECT_EQ(outcome.status, 200);
+    const JsonValue doc = parseJson(outcome.body);
+    EXPECT_TRUE(doc.find("ok")->asBool());
+    EXPECT_GT(doc.find("characteristicClockToQ")->asNumber(), 0.0);
+    EXPECT_GE(doc.find("contour")->asArray().size(), 1u);
+    EXPECT_FALSE(doc.find("served")->find("coalesced")->asBool());
+    const auto counters = service.counters();
+    EXPECT_EQ(counters.requests, 1u);
+    EXPECT_EQ(counters.ok, 1u);
+    EXPECT_EQ(counters.computed, 1u);
+}
+
+TEST(ServeService, BadRequestIs400WithoutComputing) {
+    CharacterizationService service(ServiceOptions{});
+    const auto outcome = service.characterize(R"({"cell":"nope"})");
+    EXPECT_EQ(outcome.status, 400);
+    EXPECT_NE(outcome.body.find("error"), std::string::npos);
+    EXPECT_EQ(service.counters().badRequests, 1u);
+    EXPECT_EQ(service.counters().computed, 0u);
+}
+
+TEST(ServeService, ConcurrentIdenticalRequestsCoalesceOntoOneComputation) {
+    ServiceOptions options;
+    options.threads = 2;
+    CharacterizationService service(options);
+    constexpr int kClients = 8;
+    std::vector<std::thread> clients;
+    std::atomic<int> ok{0};
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&service, &ok] {
+            const auto outcome = service.characterize(smallBody(7));
+            if (outcome.status == 200 &&
+                parseJson(outcome.body).find("ok")->asBool()) {
+                ok.fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : clients) {
+        t.join();
+    }
+    const auto counters = service.counters();
+    EXPECT_EQ(ok.load(), kClients);
+    EXPECT_EQ(counters.requests, static_cast<std::uint64_t>(kClients));
+    // The acceptance criterion: N identical concurrent requests, exactly
+    // one traced computation; everyone else attached to the leader.
+    EXPECT_EQ(counters.computed, 1u);
+    EXPECT_EQ(counters.coalesced,
+              static_cast<std::uint64_t>(kClients - 1));
+}
+
+TEST(ServeService, SecondRequestAfterCompletionHitsTheStore) {
+    const std::filesystem::path dir =
+        std::filesystem::path(testing::TempDir()) / "serve_store_hit";
+    std::filesystem::remove_all(dir);
+
+    {
+        ServiceOptions options;
+        options.threads = 1;
+        options.cacheDir = dir.string();
+        CharacterizationService service(options);
+        const auto first = service.characterize(smallBody(3));
+        const auto second = service.characterize(smallBody(3));
+        EXPECT_EQ(first.status, 200);
+        EXPECT_EQ(second.status, 200);
+        const JsonValue doc = parseJson(second.body);
+        EXPECT_TRUE(doc.find("served")->find("cacheHit")->asBool());
+        // Sequential (not concurrent) -> no coalescing; the store is
+        // what made the second one cheap.
+        const auto counters = service.counters();
+        EXPECT_EQ(counters.coalesced, 0u);
+        EXPECT_EQ(counters.computed, 2u);
+        EXPECT_EQ(counters.cacheHits, 1u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServeService, FullQueueShedsWithRetryAfter) {
+    ServiceOptions options;
+    options.threads = 1;
+    options.queueDepth = 1;
+    options.retryAfterSeconds = 7;
+    CharacterizationService service(options);
+
+    // A slow job (large trace budget) occupies the single worker; its
+    // runtime dwarfs every synchronization window below.
+    const std::string slowBody =
+        R"({"cell":"tspc","cellOptions":{"dataTransitionTime":1.2e-10},)"
+        R"("tracer":{"bounds":{"setupMin":8e-11,"setupMax":7e-10,)"
+        R"("holdMin":4e-11,"holdMax":5e-10},"maxPoints":16}})";
+    std::thread occupant([&service, &slowBody] {
+        (void)service.characterize(slowBody);
+    });
+    // Wait until the worker has actually PICKED UP the occupant (admitted
+    // and then dequeued) -- polling queuedJobs() >= 1 right away could be
+    // satisfied by the occupant itself still sitting in the queue, and a
+    // slow scheduler (tsan) could then drain it before the probe below.
+    while (service.counters().requests < 1 || service.queuedJobs() != 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // A second distinct job fills the depth-1 queue behind it.
+    std::thread filler([&service] {
+        (void)service.characterize(smallBody(21));
+    });
+    while (service.queuedJobs() < 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Worker busy, queue full: a third distinct request must be shed.
+    const auto shed = service.characterize(smallBody(22));
+    occupant.join();
+    filler.join();
+    ASSERT_EQ(shed.status, 503);
+    EXPECT_EQ(shed.retryAfterSeconds, 7);
+    EXPECT_NE(shed.body.find("queue full"), std::string::npos);
+    EXPECT_GE(service.counters().rejected, 1u);
+}
+
+TEST(ServeService, DrainRejectsNewWorkAndFinishesAdmitted) {
+    ServiceOptions options;
+    options.threads = 1;
+    CharacterizationService service(options);
+    std::thread inflight([&service] {
+        const auto outcome = service.characterize(smallBody(31));
+        EXPECT_EQ(outcome.status, 200);
+    });
+    // Give the in-flight job a moment to admit, then drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    service.beginDrain();
+    const auto rejected = service.characterize(smallBody(32));
+    EXPECT_EQ(rejected.status, 503);
+    EXPECT_NE(rejected.body.find("draining"), std::string::npos);
+    service.awaitDrain();
+    inflight.join();
+    EXPECT_EQ(service.counters().ok, 1u);
+}
+
+TEST(ServeService, HigherPriorityRunsFirst) {
+    ServiceOptions options;
+    options.threads = 1;
+    CharacterizationService service(options);
+
+    // Block the single worker with a job, then queue a low-priority and a
+    // high-priority request; the high one must complete first.
+    std::atomic<int> finishOrder{0};
+    std::atomic<int> lowFinished{0}, highFinished{0};
+    std::thread blocker([&service] {
+        (void)service.characterize(smallBody(41));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::thread low([&] {
+        (void)service.characterize(smallBody(42, -5));
+        lowFinished.store(finishOrder.fetch_add(1) + 1);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::thread high([&] {
+        (void)service.characterize(smallBody(43, 5));
+        highFinished.store(finishOrder.fetch_add(1) + 1);
+    });
+    blocker.join();
+    low.join();
+    high.join();
+    EXPECT_LT(highFinished.load(), lowFinished.load());
+}
+
+// ------------------------------------------------------- end to end --
+
+TEST(ServeDaemonTest, EndToEndOverEphemeralPort) {
+    DaemonOptions options;
+    options.port = 0;
+    options.service.threads = 2;
+    ServedDaemon daemon(options);
+    ASSERT_GT(daemon.port(), 0);
+    std::thread loop([&daemon] { daemon.run(); });
+
+    {
+        HttpClient client(static_cast<std::uint16_t>(daemon.port()));
+        const auto health = client.request("GET", "/healthz");
+        EXPECT_EQ(health.status, 200);
+        EXPECT_EQ(health.body, "ok\n");
+
+        // Prometheus content type is part of the exposition contract.
+        const auto metrics = client.request("GET", "/metrics");
+        EXPECT_EQ(metrics.status, 200);
+        const auto type = metrics.headers.find("content-type");
+        ASSERT_NE(type, metrics.headers.end());
+        EXPECT_EQ(type->second, "text/plain; version=0.0.4; charset=utf-8");
+        EXPECT_NE(metrics.body.find("shtrace_serve_requests_total"),
+                  std::string::npos);
+
+        const auto wrongMethod = client.request("GET", "/v1/characterize");
+        EXPECT_EQ(wrongMethod.status, 405);
+        const auto missing = client.request("GET", "/nope");
+        EXPECT_EQ(missing.status, 404);
+
+        const auto result =
+            client.request("POST", "/v1/characterize", smallBody(60));
+        EXPECT_EQ(result.status, 200);
+        EXPECT_TRUE(parseJson(result.body).find("ok")->asBool());
+
+        const auto bad = client.request("POST", "/v1/characterize", "{");
+        EXPECT_EQ(bad.status, 400);
+    }
+
+    daemon.shutdown();
+    loop.join();
+    EXPECT_EQ(daemon.service().counters().ok, 1u);
+}
+
+}  // namespace
+}  // namespace shtrace::serve

@@ -5,10 +5,12 @@
 // clock-to-Q target warm-starts the tracer from the cached contour.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "shtrace/cells/tspc.hpp"
 #include "shtrace/chz/characterize.hpp"
@@ -18,6 +20,7 @@
 #include "shtrace/chz/surface_method.hpp"
 #include "shtrace/store/cache.hpp"
 #include "shtrace/store/key.hpp"
+#include "shtrace/store/serialize.hpp"
 
 namespace shtrace {
 namespace {
@@ -307,6 +310,73 @@ TEST_F(StoreCacheTest, SurfaceMethodCachesTheWholeGrid) {
         runSurfaceMethod(source, config, denser);
     EXPECT_EQ(third.stats.cacheHits, 0u);
     EXPECT_EQ(entryCount(), 2u);
+}
+
+// The serve daemon's coalescing prevents identical CONCURRENT requests
+// from racing, but two independent processes (or a follower arriving just
+// after the index entry is erased) can still publish the same key at the
+// same time. save()'s unique-temp-file + atomic-rename contract says
+// that race is benign: whichever rename lands last wins with identical
+// content, readers never observe a torn entry, and no temp debris
+// survives. This is the tsan-swept proof.
+TEST_F(StoreCacheTest, ConcurrentSameKeyPublicationIsAtomic) {
+    const store::ResultStore cache(dir());
+    store::StoreEntry entry;
+    entry.kind = store::kKindCharacterize;
+    entry.key = 0x1234abcd5678ef00ull;
+    entry.problem = 0x9999888877776666ull;
+    entry.label = "racer";
+    // A payload big enough that a torn write could not look complete.
+    std::string payload;
+    for (int i = 0; i < 200; ++i) {
+        payload += "line " + std::to_string(i) + " of the same payload\n";
+    }
+    entry.payload = payload;
+
+    constexpr int kWriters = 8;
+    constexpr int kRoundsPerWriter = 25;
+    std::vector<std::thread> writers;
+    std::atomic<bool> readerSawTorn{false};
+    std::atomic<bool> done{false};
+    // Concurrent reader: every load during the race must be either a
+    // clean miss (before the first publish) or the complete entry.
+    std::thread reader([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            const auto loaded = cache.load(entry.key);
+            if (loaded && loaded->payload != payload) {
+                readerSawTorn.store(true, std::memory_order_release);
+            }
+        }
+    });
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&cache, &entry] {
+            for (int round = 0; round < kRoundsPerWriter; ++round) {
+                cache.save(entry);
+            }
+        });
+    }
+    for (auto& t : writers) {
+        t.join();
+    }
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_FALSE(readerSawTorn.load());
+    const auto final = cache.load(entry.key);
+    ASSERT_TRUE(final.has_value());
+    EXPECT_EQ(final->payload, payload);
+    EXPECT_EQ(final->label, "racer");
+    // Exactly one entry file and zero leaked temp files.
+    std::size_t files = 0, temps = 0;
+    for (const auto& f : fs::directory_iterator(dir())) {
+        ++files;
+        if (f.path().filename().string().find(".tmp-") !=
+            std::string::npos) {
+            ++temps;
+        }
+    }
+    EXPECT_EQ(files, 1u);
+    EXPECT_EQ(temps, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,570 @@
+// shtrace-load -- load driver and soak bench for shtrace-served.
+//
+// Two modes:
+//
+//   shtrace-load run --port P [--requests N] [--concurrency C]
+//                    [--distinct K] [--max-points M] [--cell NAME]
+//     Fires N characterization requests over C keep-alive connections at
+//     an already-running daemon (K distinct physics variants round-robin)
+//     and prints a JSON latency/throughput summary to stdout.
+//
+//   shtrace-load soak --daemon PATH [--out results/bench_serve.json]
+//                     [--cache-dir DIR] [--clients N] [--max-points M]
+//     The full service-level benchmark: forks the daemon on an ephemeral
+//     port and walks it through four asserted phases --
+//       cold      one fresh request, full trace             (baseline)
+//       warm      the same request again; must be a store hit and
+//                 >= 10x faster than cold
+//       coalesce  N concurrent identical fresh requests; exactly ONE
+//                 computation may run (N-1 responses coalesced)
+//       drain     fresh requests in flight, SIGTERM; every response
+//                 must still arrive 200 and the daemon must exit 0
+//     Writes the numbers to --out and exits nonzero if any phase's
+//     assertion fails. scripts/bench_serve.sh wraps this mode.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shtrace/serve/http.hpp"
+#include "shtrace/serve/json.hpp"
+
+namespace {
+
+using shtrace::serve::HttpClient;
+using shtrace::serve::JsonValue;
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/// A request body for the in-tree TSPC/C2MOS/... zoo with a small trace
+/// budget. `variant` perturbs the data transition time so distinct
+/// variants are distinct physics (distinct cache keys); variant 0 is the
+/// cell's default card.
+std::string requestBody(const std::string& cell, int maxPoints,
+                        int variant, const std::string& label) {
+    JsonValue tracer = JsonValue::object();
+    JsonValue bounds = JsonValue::object();
+    bounds.set("setupMin", 80e-12);
+    bounds.set("setupMax", 700e-12);
+    bounds.set("holdMin", 40e-12);
+    bounds.set("holdMax", 500e-12);
+    tracer.set("bounds", std::move(bounds));
+    tracer.set("maxPoints", maxPoints);
+
+    JsonValue body = JsonValue::object();
+    body.set("cell", cell);
+    body.set("label", label);
+    if (variant != 0) {
+        JsonValue cellOptions = JsonValue::object();
+        // +-0.01 ps steps around the 100 ps default: physically inert,
+        // key-distinct.
+        cellOptions.set("dataTransitionTime", 0.1e-9 + variant * 1e-17);
+        body.set("cellOptions", std::move(cellOptions));
+    }
+    body.set("tracer", std::move(tracer));
+    return writeJson(body);
+}
+
+struct Sample {
+    double millis = 0.0;
+    int status = 0;
+    bool ok = false;         ///< response body ok=true
+    bool coalesced = false;  ///< served.coalesced
+    bool cacheHit = false;   ///< served.cacheHit
+};
+
+Sample postOnce(int port, const std::string& body, int timeoutMillis) {
+    Sample sample;
+    const auto start = Clock::now();
+    HttpClient client(static_cast<std::uint16_t>(port), timeoutMillis);
+    HttpClient::Response response =
+        client.request("POST", "/v1/characterize", body);
+    sample.millis = millisSince(start);
+    sample.status = response.status;
+    if (response.status == 200) {
+        const JsonValue doc = shtrace::serve::parseJson(response.body);
+        if (const JsonValue* ok = doc.find("ok")) {
+            sample.ok = ok->asBool();
+        }
+        if (const JsonValue* served = doc.find("served")) {
+            if (const JsonValue* c = served->find("coalesced")) {
+                sample.coalesced = c->asBool();
+            }
+            if (const JsonValue* h = served->find("cacheHit")) {
+                sample.cacheHit = h->asBool();
+            }
+        }
+    }
+    return sample;
+}
+
+/// Fires `total` requests over `concurrency` threads (one keep-alive
+/// connection each); bodies round-robin over `bodies`.
+std::vector<Sample> fire(int port, const std::vector<std::string>& bodies,
+                         int total, int concurrency, int timeoutMillis) {
+    std::vector<Sample> samples(static_cast<std::size_t>(total));
+    std::atomic<int> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(concurrency));
+    for (int c = 0; c < concurrency; ++c) {
+        threads.emplace_back([&] {
+            for (;;) {
+                const int i = next.fetch_add(1);
+                if (i >= total) {
+                    return;
+                }
+                const std::string& body =
+                    bodies[static_cast<std::size_t>(i) % bodies.size()];
+                try {
+                    samples[static_cast<std::size_t>(i)] =
+                        postOnce(port, body, timeoutMillis);
+                } catch (const std::exception&) {
+                    samples[static_cast<std::size_t>(i)].status = -1;
+                }
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    return samples;
+}
+
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+JsonValue latencySummary(const std::vector<Sample>& samples,
+                         double wallMillis) {
+    std::vector<double> millis;
+    int http200 = 0, http503 = 0, errors = 0, okTrue = 0, coalesced = 0,
+        cacheHits = 0, freshTraces = 0;
+    for (const Sample& s : samples) {
+        if (s.status == 200) {
+            ++http200;
+            millis.push_back(s.millis);
+            // Neither shared nor store-served: this response paid for a
+            // full trace. "N identical requests -> 1 fresh trace" is the
+            // coalescing+store contract.
+            freshTraces += (s.ok && !s.coalesced && !s.cacheHit) ? 1 : 0;
+        } else if (s.status == 503) {
+            ++http503;
+        } else {
+            ++errors;
+        }
+        okTrue += s.ok ? 1 : 0;
+        coalesced += s.coalesced ? 1 : 0;
+        cacheHits += s.cacheHit ? 1 : 0;
+    }
+    JsonValue out = JsonValue::object();
+    out.set("requests", static_cast<int>(samples.size()));
+    out.set("http200", http200);
+    out.set("http503", http503);
+    out.set("transportErrors", errors);
+    out.set("okTrue", okTrue);
+    out.set("coalesced", coalesced);
+    out.set("cacheHits", cacheHits);
+    out.set("freshTraces", freshTraces);
+    out.set("p50Millis", percentile(millis, 50));
+    out.set("p90Millis", percentile(millis, 90));
+    out.set("p99Millis", percentile(millis, 99));
+    out.set("wallMillis", wallMillis);
+    out.set("throughputRps",
+            wallMillis > 0.0
+                ? static_cast<double>(http200) / (wallMillis / 1000.0)
+                : 0.0);
+    return out;
+}
+
+/// Scrapes one counter value from GET /metrics exposition text.
+double scrapeCounter(int port, const std::string& name) {
+    HttpClient client(static_cast<std::uint16_t>(port), 10000);
+    const HttpClient::Response response =
+        client.request("GET", "/metrics");
+    std::istringstream lines(response.body);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind(name + " ", 0) == 0) {
+            return std::strtod(line.c_str() + name.size() + 1, nullptr);
+        }
+    }
+    return 0.0;
+}
+
+int usage() {
+    std::cerr <<
+        "usage: shtrace-load run  --port P [--requests N] "
+        "[--concurrency C]\n"
+        "                         [--distinct K] [--max-points M] "
+        "[--cell NAME]\n"
+        "       shtrace-load soak --daemon PATH "
+        "[--out results/bench_serve.json]\n"
+        "                         [--cache-dir DIR] [--clients N] "
+        "[--max-points M]\n";
+    return 2;
+}
+
+// ---------------------------------------------------------------- run --
+
+int runMode(int port, int requests, int concurrency, int distinct,
+            int maxPoints, const std::string& cell) {
+    std::vector<std::string> bodies;
+    for (int k = 0; k < distinct; ++k) {
+        bodies.push_back(requestBody(cell, maxPoints, k, "load"));
+    }
+    const auto start = Clock::now();
+    const std::vector<Sample> samples =
+        fire(port, bodies, requests, concurrency, 600000);
+    JsonValue out = latencySummary(samples, millisSince(start));
+    out.set("concurrency", concurrency);
+    out.set("distinctBodies", distinct);
+    out.set("servedComputedTotal",
+            scrapeCounter(port, "shtrace_serve_computed_total"));
+    out.set("servedCoalescedTotal",
+            scrapeCounter(port, "shtrace_serve_coalesced_total"));
+    std::cout << writeJsonPretty(out) << "\n";
+    int bad = 0;
+    for (const Sample& s : samples) {
+        bad += (s.status == 200 || s.status == 503) ? 0 : 1;
+    }
+    return bad == 0 ? 0 : 1;
+}
+
+// --------------------------------------------------------------- soak --
+
+struct DaemonProcess {
+    pid_t pid = -1;
+    int port = 0;
+};
+
+/// Forks the daemon on an ephemeral port and waits for it to come up.
+DaemonProcess startDaemon(const std::string& daemonPath,
+                          const std::string& cacheDir,
+                          const std::string& portFile) {
+    ::unlink(portFile.c_str());
+    DaemonProcess process;
+    process.pid = fork();
+    if (process.pid < 0) {
+        throw shtrace::Error("fork failed");
+    }
+    if (process.pid == 0) {
+        ::execl(daemonPath.c_str(), daemonPath.c_str(), "--port", "0",
+                "--port-file", portFile.c_str(), "--cache-dir",
+                cacheDir.c_str(), "--queue-depth", "64",
+                static_cast<char*>(nullptr));
+        std::perror("execl shtrace-served");
+        std::_Exit(127);
+    }
+    // Wait for the port file, then for /healthz.
+    for (int tick = 0; tick < 200; ++tick) {
+        std::ifstream in(portFile);
+        if (in >> process.port && process.port > 0) {
+            break;
+        }
+        int status = 0;
+        if (::waitpid(process.pid, &status, WNOHANG) == process.pid) {
+            throw shtrace::Error("daemon exited before binding");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (process.port <= 0) {
+        throw shtrace::Error("daemon never wrote its port file");
+    }
+    for (int tick = 0; tick < 100; ++tick) {
+        try {
+            HttpClient client(static_cast<std::uint16_t>(process.port),
+                              2000);
+            if (client.request("GET", "/healthz").status == 200) {
+                return process;
+            }
+        } catch (const std::exception&) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    throw shtrace::Error("daemon never became healthy");
+}
+
+/// Waits up to ~60 s for the daemon to exit; returns its exit code, or -1
+/// on timeout/abnormal termination.
+int awaitDaemonExit(pid_t pid) {
+    for (int tick = 0; tick < 1200; ++tick) {
+        int status = 0;
+        const pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == pid) {
+            return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return -1;
+}
+
+int soakMode(const std::string& daemonPath, const std::string& outPath,
+             std::string cacheDir, int clients, int maxPoints) {
+    if (cacheDir.empty()) {
+        char tmpl[] = "/tmp/shtrace-soak-XXXXXX";
+        if (::mkdtemp(tmpl) == nullptr) {
+            throw shtrace::Error("mkdtemp failed");
+        }
+        cacheDir = tmpl;
+    }
+    const std::string portFile = cacheDir + "/daemon.port";
+    std::cerr << "soak: store at " << cacheDir << "\n";
+
+    const DaemonProcess daemon =
+        startDaemon(daemonPath, cacheDir, portFile);
+    std::cerr << "soak: daemon pid " << daemon.pid << " on port "
+              << daemon.port << "\n";
+
+    JsonValue report = JsonValue::object();
+    report.set("daemon", daemonPath);
+    report.set("port", daemon.port);
+    report.set("clients", clients);
+    report.set("maxPoints", maxPoints);
+    std::vector<std::string> failures;
+
+    // -- Phase 1: cold ---------------------------------------------------
+    const std::string coldBody = requestBody("tspc", maxPoints, 0, "soak");
+    const Sample cold = postOnce(daemon.port, coldBody, 600000);
+    std::cerr << "soak: cold " << cold.millis << " ms (status "
+              << cold.status << ")\n";
+    if (cold.status != 200 || !cold.ok) {
+        failures.push_back("cold request did not succeed");
+    }
+    if (cold.cacheHit) {
+        failures.push_back("cold request claimed a cache hit");
+    }
+    JsonValue coldJson = JsonValue::object();
+    coldJson.set("millis", cold.millis);
+    coldJson.set("ok", cold.ok);
+    report.set("cold", std::move(coldJson));
+
+    // -- Phase 2: warm (same body -> store hit, >= 10x faster) -----------
+    const Sample warm = postOnce(daemon.port, coldBody, 600000);
+    const double speedup =
+        warm.millis > 0.0 ? cold.millis / warm.millis : 0.0;
+    std::cerr << "soak: warm " << warm.millis << " ms (cacheHit="
+              << (warm.cacheHit ? "true" : "false") << ", speedup "
+              << speedup << "x)\n";
+    if (warm.status != 200 || !warm.ok) {
+        failures.push_back("warm request did not succeed");
+    }
+    if (!warm.cacheHit) {
+        failures.push_back("warm request missed the store");
+    }
+    if (speedup < 10.0) {
+        failures.push_back("warm speedup below 10x");
+    }
+    JsonValue warmJson = JsonValue::object();
+    warmJson.set("millis", warm.millis);
+    warmJson.set("cacheHit", warm.cacheHit);
+    warmJson.set("speedup", speedup);
+    report.set("warm", std::move(warmJson));
+
+    // -- Phase 3: coalesce (N concurrent identical -> 1 computation) -----
+    const double computedBefore =
+        scrapeCounter(daemon.port, "shtrace_serve_computed_total");
+    const std::string burstBody =
+        requestBody("tspc", maxPoints, 1, "soak-burst");
+    std::vector<std::string> burst(1, burstBody);
+    const auto burstStart = Clock::now();
+    const std::vector<Sample> burstSamples =
+        fire(daemon.port, burst, clients, clients, 600000);
+    const double burstWall = millisSince(burstStart);
+    const double computedAfter =
+        scrapeCounter(daemon.port, "shtrace_serve_computed_total");
+    const double computedDelta = computedAfter - computedBefore;
+    int burstOk = 0, burstCoalesced = 0;
+    for (const Sample& s : burstSamples) {
+        burstOk += (s.status == 200 && s.ok) ? 1 : 0;
+        burstCoalesced += s.coalesced ? 1 : 0;
+    }
+    std::cerr << "soak: coalesce " << clients << " clients -> "
+              << computedDelta << " computation(s), " << burstCoalesced
+              << " coalesced\n";
+    if (burstOk != clients) {
+        failures.push_back("coalesce burst had failed responses");
+    }
+    if (computedDelta != 1.0) {
+        failures.push_back("coalesce burst ran more than one computation");
+    }
+    if (burstCoalesced != clients - 1) {
+        failures.push_back("coalesce burst follower count wrong");
+    }
+    JsonValue burstJson = JsonValue::object();
+    burstJson.set("clients", clients);
+    burstJson.set("ok", burstOk);
+    burstJson.set("coalesced", burstCoalesced);
+    burstJson.set("computations", computedDelta);
+    burstJson.set("wallMillis", burstWall);
+    report.set("coalesce", std::move(burstJson));
+
+    // -- Phase 4: warm throughput ----------------------------------------
+    std::vector<std::string> warmBodies{coldBody, burstBody};
+    const auto tpStart = Clock::now();
+    const std::vector<Sample> tpSamples =
+        fire(daemon.port, warmBodies, 24, 4, 600000);
+    report.set("warmThroughput",
+               latencySummary(tpSamples, millisSince(tpStart)));
+
+    // -- Phase 5: drain (SIGTERM with work in flight -> all 200, exit 0) -
+    const int drainJobs = 3;
+    std::vector<std::thread> drainThreads;
+    std::vector<Sample> drainSamples(drainJobs);
+    for (int i = 0; i < drainJobs; ++i) {
+        drainThreads.emplace_back([&, i] {
+            // Fresh physics per job: these are real computations that
+            // SIGTERM must let finish.
+            const std::string body =
+                requestBody("tspc", maxPoints, 10 + i, "soak-drain");
+            try {
+                drainSamples[static_cast<std::size_t>(i)] =
+                    postOnce(daemon.port, body, 600000);
+            } catch (const std::exception&) {
+                drainSamples[static_cast<std::size_t>(i)].status = -1;
+            }
+        });
+    }
+    // Let the jobs admit, then pull the trigger mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ::kill(daemon.pid, SIGTERM);
+    for (auto& t : drainThreads) {
+        t.join();
+    }
+    const int exitCode = awaitDaemonExit(daemon.pid);
+    int drainOk = 0;
+    for (const Sample& s : drainSamples) {
+        drainOk += (s.status == 200 && s.ok) ? 1 : 0;
+    }
+    std::cerr << "soak: drain " << drainOk << "/" << drainJobs
+              << " responses after SIGTERM, daemon exit " << exitCode
+              << "\n";
+    if (drainOk != drainJobs) {
+        failures.push_back("drain dropped in-flight requests");
+    }
+    if (exitCode != 0) {
+        failures.push_back("daemon exit code nonzero after drain");
+    }
+    JsonValue drainJson = JsonValue::object();
+    drainJson.set("inflightJobs", drainJobs);
+    drainJson.set("completed", drainOk);
+    drainJson.set("daemonExitCode", exitCode);
+    report.set("drain", std::move(drainJson));
+
+    // -- Report ----------------------------------------------------------
+    JsonValue failJson = JsonValue::array();
+    for (const std::string& f : failures) {
+        failJson.push(f);
+    }
+    report.set("failures", std::move(failJson));
+    report.set("passed", failures.empty());
+
+    if (!outPath.empty()) {
+        std::ofstream out(outPath, std::ios::trunc);
+        out << writeJsonPretty(report) << "\n";
+        if (!out) {
+            std::cerr << "soak: cannot write " << outPath << "\n";
+            return 1;
+        }
+        std::cerr << "soak: report at " << outPath << "\n";
+    } else {
+        std::cout << writeJsonPretty(report) << "\n";
+    }
+    for (const std::string& f : failures) {
+        std::cerr << "soak: FAIL: " << f << "\n";
+    }
+    return failures.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string mode = argv[1];
+    std::string daemonPath, outPath, cacheDir, cell = "tspc";
+    int port = 0, requests = 16, concurrency = 4, distinct = 1;
+    int maxPoints = 4, clients = 8;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            port = std::atoi(value());
+        } else if (arg == "--requests") {
+            requests = std::atoi(value());
+        } else if (arg == "--concurrency") {
+            concurrency = std::atoi(value());
+        } else if (arg == "--distinct") {
+            distinct = std::atoi(value());
+        } else if (arg == "--max-points") {
+            maxPoints = std::atoi(value());
+        } else if (arg == "--cell") {
+            cell = value();
+        } else if (arg == "--daemon") {
+            daemonPath = value();
+        } else if (arg == "--out") {
+            outPath = value();
+        } else if (arg == "--cache-dir") {
+            cacheDir = value();
+        } else if (arg == "--clients") {
+            clients = std::atoi(value());
+        } else {
+            return usage();
+        }
+    }
+
+    try {
+        if (mode == "run") {
+            if (port <= 0 || requests <= 0 || concurrency <= 0 ||
+                distinct <= 0) {
+                return usage();
+            }
+            return runMode(port, requests, concurrency, distinct,
+                           maxPoints, cell);
+        }
+        if (mode == "soak") {
+            if (daemonPath.empty() || clients < 2) {
+                return usage();
+            }
+            return soakMode(daemonPath, outPath, cacheDir, clients,
+                            maxPoints);
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "shtrace-load: fatal: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}

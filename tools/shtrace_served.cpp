@@ -1,0 +1,144 @@
+// shtrace-served -- the characterization daemon.
+//
+// Binds 127.0.0.1:<port>, serves POST /v1/characterize, GET /metrics,
+// GET /healthz (see docs/SERVE.md), and drains gracefully on SIGTERM or
+// SIGINT: admission stops (503), every in-flight characterization
+// finishes and flushes its response, the store is already durable (each
+// result was published at compute time), and the process exits 0.
+//
+//   shtrace-served [--port N] [--port-file PATH] [--cache-dir DIR]
+//                  [--threads N] [--queue-depth N] [--retry-after SEC]
+//
+// --port 0 (the default) binds an ephemeral port; --port-file writes the
+// resolved port as a decimal line, which is how scripts/check.sh and the
+// soak bench discover where the daemon landed.
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "shtrace/serve/server.hpp"
+
+namespace {
+
+// Signal handlers may only touch lock-free atomics; the main thread polls
+// this flag and performs the actual drain in normal context.
+volatile std::sig_atomic_t g_stopRequested = 0;
+
+void onStopSignal(int) { g_stopRequested = 1; }
+
+int usage(const char* argv0) {
+    std::cerr
+        << "usage: " << argv0
+        << " [--port N] [--port-file PATH] [--cache-dir DIR]\n"
+           "       [--threads N] [--queue-depth N] [--retry-after SEC]\n\n"
+           "Characterization-as-a-service daemon (docs/SERVE.md).\n"
+           "  --port N         listen port; 0 = ephemeral (default 0)\n"
+           "  --port-file P    write the resolved port to P\n"
+           "  --cache-dir D    persistent result store (default: none)\n"
+           "  --threads N      worker threads; 0 = hardware (default 0)\n"
+           "  --queue-depth N  admission bound before 503 (default 64)\n"
+           "  --retry-after S  Retry-After hint on 503 (default 1)\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    shtrace::serve::DaemonOptions options;
+    std::string portFile;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            options.port = std::atoi(value("--port"));
+        } else if (arg == "--port-file") {
+            portFile = value("--port-file");
+        } else if (arg == "--cache-dir") {
+            options.service.cacheDir = value("--cache-dir");
+        } else if (arg == "--threads") {
+            options.service.threads = std::atoi(value("--threads"));
+        } else if (arg == "--queue-depth") {
+            options.service.queueDepth = static_cast<std::size_t>(
+                std::atol(value("--queue-depth")));
+        } else if (arg == "--retry-after") {
+            options.service.retryAfterSeconds =
+                std::atoi(value("--retry-after"));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::cerr << "error: unknown flag " << arg << "\n";
+            return usage(argv[0]);
+        }
+    }
+    if (options.port < 0 || options.port > 65535) {
+        std::cerr << "error: --port out of range\n";
+        return 2;
+    }
+    if (options.service.queueDepth == 0) {
+        std::cerr << "error: --queue-depth must be positive\n";
+        return 2;
+    }
+
+    try {
+        shtrace::serve::ServedDaemon daemon(options);
+
+        if (!portFile.empty()) {
+            std::ofstream out(portFile, std::ios::trunc);
+            out << daemon.port() << "\n";
+            if (!out) {
+                std::cerr << "error: cannot write " << portFile << "\n";
+                return 1;
+            }
+        }
+
+        // No SA_RESTART: a signal must interrupt blocking syscalls so the
+        // poll-based accept loop notices promptly.
+        struct sigaction action;
+        std::memset(&action, 0, sizeof(action));
+        action.sa_handler = onStopSignal;
+        sigemptyset(&action.sa_mask);
+        sigaction(SIGTERM, &action, nullptr);
+        sigaction(SIGINT, &action, nullptr);
+
+        std::cerr << "shtrace-served: listening on 127.0.0.1:"
+                  << daemon.port() << " with "
+                  << daemon.service().workerThreads() << " workers"
+                  << (options.service.cacheDir.empty()
+                          ? std::string()
+                          : ", store at " + options.service.cacheDir)
+                  << "\n";
+
+        std::thread acceptLoop([&daemon] { daemon.run(); });
+        while (g_stopRequested == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        std::cerr << "shtrace-served: drain requested, finishing "
+                     "in-flight work\n";
+        daemon.shutdown();
+        acceptLoop.join();
+
+        const auto counters = daemon.service().counters();
+        std::cerr << "shtrace-served: drained clean ("
+                  << counters.requests << " requests, "
+                  << counters.computed << " computed, "
+                  << counters.coalesced << " coalesced, "
+                  << counters.cacheHits << " store hits)\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "shtrace-served: fatal: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -9,6 +9,9 @@
 //                                            --stats pretty-prints the
 //                                            21-field stats line with
 //                                            derived ratios
+//   shtrace-store stats <dir>                entry count, bytes on disk,
+//                                            per-kind and per-cell
+//                                            breakdowns
 //   shtrace-store gc <dir>                   delete corrupt/stale entries
 //   shtrace-store export <dir> <out.lib> [library-name]
 //                                            Liberty-lite from cached rows
@@ -16,7 +19,10 @@
 // Exit status: 0 on success, 1 on a failed operation (unknown key, write
 // error), 2 on a usage error.
 #include <algorithm>
+#include <cstdint>
+#include <filesystem>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -34,6 +40,7 @@ int usage() {
     std::cerr << "usage: shtrace-store list <dir>\n"
                  "       shtrace-store show <dir> <key> [--timeline] "
                  "[--stats]\n"
+                 "       shtrace-store stats <dir>\n"
                  "       shtrace-store gc <dir>\n"
                  "       shtrace-store export <dir> <out.lib> "
                  "[library-name]\n";
@@ -257,6 +264,58 @@ int runShow(const store::ResultStore& cache, const std::string& keyText,
     return 0;
 }
 
+/// `stats`: what a store operator asks before a gc or a capacity call --
+/// how many entries, how many bytes, and what they are (per payload kind
+/// and per cell label).
+int runStats(const store::ResultStore& cache) {
+    struct Bucket {
+        std::size_t entries = 0;
+        std::uintmax_t bytes = 0;
+    };
+    Bucket total;
+    std::map<std::string, Bucket> byKind;
+    std::map<std::string, Bucket> byCell;
+    for (const store::StoreEntry& entry : cache.list()) {
+        std::uintmax_t bytes = 0;
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(
+            std::filesystem::path(cache.dir()) /
+                store::ResultStore::entryFileName(entry.key),
+            ec);
+        if (!ec) {
+            bytes = size;
+        }
+        ++total.entries;
+        total.bytes += bytes;
+        Bucket& kind = byKind[entry.kind];
+        ++kind.entries;
+        kind.bytes += bytes;
+        Bucket& cell = byCell[entry.label.empty() ? "-" : entry.label];
+        ++cell.entries;
+        cell.bytes += bytes;
+    }
+    std::cout << total.entries << " entries, " << total.bytes
+              << " bytes in " << cache.dir() << "\n";
+    if (total.entries == 0) {
+        return 0;
+    }
+    std::cout << "by kind\n";
+    TablePrinter kindTable({"kind", "entries", "bytes"});
+    for (const auto& [kind, bucket] : byKind) {
+        kindTable.addRowValues(kind, static_cast<int>(bucket.entries),
+                               static_cast<double>(bucket.bytes));
+    }
+    kindTable.print(std::cout);
+    std::cout << "by cell\n";
+    TablePrinter cellTable({"cell", "entries", "bytes"});
+    for (const auto& [cell, bucket] : byCell) {
+        cellTable.addRowValues(cell, static_cast<int>(bucket.entries),
+                               static_cast<double>(bucket.bytes));
+    }
+    cellTable.print(std::cout);
+    return 0;
+}
+
 int runGc(const store::ResultStore& cache) {
     const store::ResultStore::GcReport report = cache.gc();
     std::cout << "kept " << report.kept << ", removed " << report.removed
@@ -323,6 +382,9 @@ int main(int argc, char** argv) {
             if (!badFlag) {
                 return runShow(cache, args[2], withTimeline, withStats);
             }
+        }
+        if (command == "stats" && args.size() == 2) {
+            return runStats(cache);
         }
         if (command == "gc" && args.size() == 2) {
             return runGc(cache);
