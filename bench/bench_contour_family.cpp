@@ -28,18 +28,29 @@ int main() {
               << ps(fam.characteristicClockToQ) << "\n\n";
 
     TablePrinter table({"degradation", "t_f", "points", "setup asymptote",
-                        "hold asymptote", "seed evals"});
+                        "hold asymptote", "seed evals", "transients",
+                        "wall [ms]"});
     CsvWriter csv("contour_family.csv");
     csv.writeHeader({"degradation", "setup_skew_s", "hold_skew_s"});
+    // Per-member cost attribution, so Pareto plots never have to re-derive
+    // a member's share from the merged totals.
+    CsvWriter cost("contour_family_cost.csv");
+    cost.writeHeader({"degradation", "points", "transients", "wall_seconds"});
     for (const auto& m : fam.members) {
         for (const SkewPoint& p : m.contour.points) {
             csv.writeRow({m.degradation, p.setup, p.hold});
         }
+        cost.writeRow({m.degradation,
+                       static_cast<double>(m.contour.points.size()),
+                       static_cast<double>(m.stats.transientSolves),
+                       m.stats.wallSeconds});
         table.addRowValues(message(m.degradation * 100.0, "%"), ps(m.tf),
                            static_cast<int>(m.contour.points.size()),
                            ps(m.contour.points.front().setup),
                            ps(m.contour.points.back().hold),
-                           m.seed.evaluations);
+                           m.seed.evaluations,
+                           static_cast<int>(m.stats.transientSolves),
+                           m.stats.wallSeconds * 1e3);
     }
     table.print(std::cout);
 
@@ -51,6 +62,6 @@ int main() {
     std::cout << "\nnesting check (5% outermost -> 20% innermost): "
               << (nested ? "PASS" : "FAIL") << "\n";
     std::cout << "total cost: " << fam.stats << "\n";
-    std::cout << "CSV written: contour_family.csv\n";
+    std::cout << "CSV written: contour_family.csv, contour_family_cost.csv\n";
     return nested ? 0 : 1;
 }

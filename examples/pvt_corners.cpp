@@ -38,17 +38,19 @@ int main() {
         RunConfig::defaults().withThreads(0));
 
     TablePrinter table({"corner", "clock-to-Q", "setup time", "hold time",
-                        "transients"});
+                        "transients", "wall"});
     for (const auto& row : rows) {
         if (!row.success) {
-            table.addRowValues(row.corner, "FAILED", "-", "-", 0);
+            table.addRowValues(row.corner, "FAILED", "-", "-", 0,
+                               formatEngineering(row.stats.wallSeconds, "s"));
             continue;
         }
         table.addRowValues(row.corner,
                            formatEngineering(row.characteristicClockToQ, "s"),
                            formatEngineering(row.setupTime, "s"),
                            formatEngineering(row.holdTime, "s"),
-                           row.transientCount);
+                           row.transientCount,
+                           formatEngineering(row.stats.wallSeconds, "s"));
     }
     table.print(std::cout);
     std::cout << "\ntotal cost: " << rows.stats << "\n";

@@ -1,0 +1,113 @@
+// shtrace -- cross-corner contour families with active learning.
+//
+// `sweepPvtCorners` pays a full characterization at every corner of the
+// PVT cube; production libraries want the cube collapsed. This driver
+// traces full Euler-Newton contours only at a few ANCHOR corners (cube
+// vertices + center by default), fits the cross-corner surrogate
+// (corner_surrogate.hpp), then runs an active-learning loop: every
+// untraced corner is scored by the surrogate's propagated leave-one-out
+// error plus a cheap single-point h-residual probe, corners above
+// tolerance escalate to a full trace (warm-started from the nearest
+// traced corner in normalized PVT space), and the surrogate refits
+// until the score is below tolerance everywhere. Surrogate-accepted
+// corners are published to the store and Liberty-lite export with
+// provenance "surrogate", so downstream consumers can always tell a
+// predicted contour from a traced one.
+//
+// With config.traceContours = false there is no contour to interpolate;
+// the driver delegates to sweepPvtCorners over the full grid, so
+// exhaustive mode reproduces today's results bit-identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shtrace/chz/corner_surrogate.hpp"
+#include "shtrace/chz/library.hpp"
+#include "shtrace/chz/pvt.hpp"
+#include "shtrace/chz/run_config.hpp"
+
+namespace shtrace {
+
+/// How a corner's numbers were obtained.
+enum class CornerProvenance {
+    Traced,     ///< full Euler-Newton trace at this corner
+    Surrogate,  ///< predicted by the cross-corner interpolant
+};
+
+// Inline so the store serializers (which sit below chz in the link graph)
+// can spell provenance without a chz dependency.
+inline const char* toString(CornerProvenance provenance) {
+    return provenance == CornerProvenance::Surrogate ? "surrogate" : "traced";
+}
+inline CornerProvenance cornerProvenanceFromString(const std::string& text,
+                                                   bool& ok) {
+    ok = true;
+    if (text == "traced") {
+        return CornerProvenance::Traced;
+    }
+    if (text == "surrogate") {
+        return CornerProvenance::Surrogate;
+    }
+    ok = false;
+    return CornerProvenance::Traced;
+}
+
+/// One corner of the family, in grid (PvtAxes) order.
+struct CornerFamilyRow {
+    std::string corner;   ///< display name (cornerAtPvt spelling)
+    PvtPoint point;
+    bool success = false;
+    std::string failureReason;
+    bool anchor = false;  ///< traced in the initial anchor round
+    CornerProvenance provenance = CornerProvenance::Traced;
+    double characteristicClockToQ = 0.0;
+    double setupTime = 0.0;  ///< contour setup asymptote (max-hold point)
+    double holdTime = 0.0;   ///< contour hold asymptote (max-setup point)
+    /// Traced contour points, or the predicted control points for
+    /// surrogate rows.
+    std::vector<SkewPoint> contour;
+    /// The acquisition score this corner was accepted/escalated at
+    /// (0 for anchors).
+    double acquisitionScore = 0.0;
+    /// Grid index of the warm-start donor for escalated traces; -1 for
+    /// anchors and surrogate rows.
+    int warmStartCorner = -1;
+    int transientCount = 0;  ///< stats.transientSolves, CSV-friendly
+    /// Full per-corner cost (fixture build, probe or trace, store I/O);
+    /// stats.wallSeconds is the per-member wall clock.
+    SimStats stats;
+};
+
+struct CornerFamilyResult {
+    PvtAxes axes;
+    std::vector<CornerFamilyRow> rows;  ///< grid order, one per corner
+    std::size_t anchorsTraced = 0;
+    std::size_t escalated = 0;
+    std::size_t surrogateAccepted = 0;
+    /// Max acquisition score among surrogate-accepted corners (the
+    /// certified error bound of the collapse).
+    double surrogateMaxScore = 0.0;
+    int rounds = 0;          ///< active-learning refit rounds run
+    /// False when maxRounds or maxEscalations left corners above
+    /// tolerance (their rows are surrogate-filled regardless).
+    bool converged = true;
+    SimStats stats;          ///< merged in grid order (thread-stable)
+
+    std::size_t tracedCount() const { return anchorsTraced + escalated; }
+    bool allSucceeded() const;
+};
+
+/// Characterizes every corner of the grid, tracing as few as the
+/// tolerance allows. Failures are reported per row, never thrown;
+/// traces run in parallel on config.parallel.threads workers.
+CornerFamilyResult characterizeCornerFamily(const PvtAxes& axes,
+                                            const CornerFixtureBuilder& builder,
+                                            const RunConfig& config = {});
+
+/// Converts the family into Liberty-lite rows (cell name = corner name,
+/// provenance carried through) for writeLibertyLite.
+std::vector<LibraryRow> libraryRowsFromCornerFamily(
+    const CornerFamilyResult& result);
+
+}  // namespace shtrace

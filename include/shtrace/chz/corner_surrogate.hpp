@@ -1,0 +1,160 @@
+// shtrace -- cross-corner contour surrogate math.
+//
+// SetupKit-style corner collapsing (PAPERS.md, arXiv:2512.00044): trace
+// full Euler-Newton contours only at a few anchor corners of the PVT
+// cube, resample each contour to a fixed set of arc-length control
+// points, and interpolate those control points over the normalized PVT
+// axes with a polyharmonic RBF (phi(r) = r^3) plus a linear polynomial
+// tail. The tail gives exact reproduction of contour families that vary
+// linearly across the cube, so the surrogate's leave-one-out error is a
+// meaningful acquisition signal rather than kernel artifact. The driver
+// (corner_family.hpp) owns the active-learning loop; this header owns
+// the geometry: grids, normalization, donor selection, resampling, and
+// the interpolant itself.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "shtrace/cells/mos_library.hpp"
+#include "shtrace/linalg/lu.hpp"
+#include "shtrace/measure/surface.hpp"
+
+namespace shtrace {
+
+/// One point of the PVT cube in raw axis coordinates. `process` is the
+/// conventional corner coordinate: -1 = SS, 0 = TT, +1 = FF; fractional
+/// and mildly extrapolated values blend the library corners linearly.
+struct PvtPoint {
+    double process = 0.0;
+    double vdd = 2.5;
+    double temperatureC = 27.0;
+};
+
+/// Synthesizes a ProcessCorner at an arbitrary cube point: piecewise
+/// linear blend of the SS/TT/FF library corners along `process`
+/// (extrapolating the end segments beyond [-1, 1]), then the standard
+/// temperature derating, then the explicit vdd override. The name
+/// encodes the coordinates (e.g. "P+0.50/V2.400/T+085"), so sweep rows
+/// and store labels are self-describing.
+ProcessCorner cornerAtPvt(const PvtPoint& point);
+
+/// A rectangular PVT grid: the cross product of three sorted axes.
+/// Corners are indexed process-major: index = (ip*nv + iv)*nt + it --
+/// the same order `corners()` returns, which exhaustive equivalence
+/// tests rely on.
+struct PvtAxes {
+    std::vector<double> process{0.0};
+    std::vector<double> vdd{2.5};
+    std::vector<double> temperatureC{27.0};
+
+    /// Throws Error unless every axis is non-empty and strictly
+    /// ascending.
+    void validate() const;
+
+    std::size_t cornerCount() const {
+        return process.size() * vdd.size() * temperatureC.size();
+    }
+    PvtPoint at(std::size_t index) const;
+
+    /// Maps a point into [0,1]^3 by the axis spans. A degenerate axis
+    /// (single value) contributes coordinate 0 so distances and the
+    /// interpolant ignore it.
+    std::array<double, 3> normalized(const PvtPoint& point) const;
+
+    /// The full grid as synthesized corners, in index order.
+    std::vector<ProcessCorner> corners() const;
+
+    /// The cube vertices plus the (index-)center corner, deduplicated,
+    /// ascending. These are the default surrogate anchors.
+    std::vector<std::size_t> anchorIndices() const;
+};
+
+/// Euclidean distance between two points in the axes' normalized space.
+double normalizedPvtDistance(const PvtAxes& axes, const PvtPoint& a,
+                             const PvtPoint& b);
+
+/// The candidate nearest to `target` in normalized PVT space; ties break
+/// toward the smaller corner index, so donor selection is deterministic
+/// whatever order candidates were traced in. Throws Error on an empty
+/// candidate list.
+std::size_t nearestCornerIndex(const PvtAxes& axes, std::size_t target,
+                               const std::vector<std::size_t>& candidates);
+
+/// Resamples a polyline to exactly `samples` points equally spaced in
+/// arc length (endpoints preserved). A single-point or zero-length
+/// contour replicates its point. Throws Error on an empty contour,
+/// samples < 2, or non-finite coordinates.
+std::vector<SkewPoint> resampleByArcLength(
+    const std::vector<SkewPoint>& contour, std::size_t samples);
+
+/// Interpolates arc-length-resampled contours (and arbitrary per-node
+/// scalars) over normalized PVT coordinates.
+///
+/// Kernel: phi(r) = r^3 with a linear tail over the coordinates that
+/// actually vary across the fitted nodes; the saddle-point system is
+/// solved by dense partial-pivot LU. If the full system is singular
+/// (e.g. too few nodes for the tail) the fit degrades deterministically:
+/// constant-only tail, then tail-free RBF, then nearest-node lookup.
+class CornerSurrogate {
+public:
+    /// `contours[i]` is the resampled contour traced at `nodes[i]`; all
+    /// contours must share one control-point count. Throws Error on
+    /// size mismatches, empty input, or non-finite values.
+    void fit(std::vector<std::array<double, 3>> nodes,
+             std::vector<std::vector<SkewPoint>> contours);
+
+    bool fitted() const { return !nodes_.empty(); }
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t controlPoints() const { return controlPoints_; }
+
+    /// The interpolated contour at a normalized coordinate.
+    std::vector<SkewPoint> predict(const std::array<double, 3>& x) const;
+
+    /// Interpolates one scalar per fitted node with the same kernel and
+    /// tail (reusing the factored fit matrix); used to propagate
+    /// leave-one-out errors from the anchors to untraced corners.
+    double predictScalar(const std::array<double, 3>& x,
+                         const std::vector<double>& nodeValues) const;
+
+    /// Per-node leave-one-out cross-validation error: refit without node
+    /// j, predict at node j, report the max control-point distance to
+    /// the held-out contour. With fewer than 3 nodes there is nothing to
+    /// cross-validate; errors are 0.
+    std::vector<double> looErrors() const;
+
+private:
+    // One fitted interpolant over a fixed node set: the factored saddle
+    // matrix plus per-output weight columns.
+    struct Model {
+        std::vector<std::array<double, 3>> nodes;
+        std::vector<int> tailDims;  // varying dims, subset of {0,1,2}
+        // Quadratic tail terms x[a]*x[b] (a <= b, varying dims only);
+        // populated only when the node set is rich enough to support them.
+        std::vector<std::array<int, 2>> quadTerms;
+        bool constantTail = false;  // the leading all-ones tail column
+        bool nearestOnly = false;   // last-resort fallback
+        LuFactorization lu;         // factored saddle matrix
+        std::size_t rows = 0;       // nodes + tail columns
+        // weights[c] holds the `rows` solution entries for output c.
+        std::vector<std::vector<double>> weights;
+    };
+
+    static Model buildModel(const std::vector<std::array<double, 3>>& nodes,
+                            const std::vector<std::vector<double>>& outputs);
+    static double evaluateModel(const Model& model, std::size_t output,
+                                const std::array<double, 3>& x);
+    static std::vector<double> solveWeights(const Model& model,
+                                            const std::vector<double>& values);
+
+    std::vector<std::array<double, 3>> nodes_;
+    std::vector<std::vector<SkewPoint>> contours_;
+    std::size_t controlPoints_ = 0;
+    // outputs_[c][i]: control coordinate c (x0,y0,x1,y1,...) at node i.
+    std::vector<std::vector<double>> outputs_;
+    Model model_;
+};
+
+}  // namespace shtrace

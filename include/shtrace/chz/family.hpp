@@ -30,12 +30,16 @@ struct ContourFamilyMember {
     bool success = false;
     SeedResult seed;
     TracedContour contour;
+    /// This member's own cost (criterion + seed + trace); stats.wallSeconds
+    /// is the per-member wall clock, so benches can attribute cost per
+    /// contour without re-deriving it from the merged total.
+    SimStats stats;
 };
 
 struct ContourFamilyResult {
     double characteristicClockToQ = 0.0;
     std::vector<ContourFamilyMember> members;
-    SimStats stats;
+    SimStats stats;  ///< merged member costs, in member order
 
     bool allSucceeded() const;
 };

@@ -41,6 +41,11 @@ struct LibraryRow {
     double setupTime = 0.0;  ///< independent (other skew pinned large)
     double holdTime = 0.0;
     std::vector<SkewPoint> contour;  ///< interdependent pairs (may be empty)
+    /// How the row's numbers were obtained: empty for a directly
+    /// characterized cell, "traced" / "surrogate" for rows exported from a
+    /// corner family (corner_family.hpp). Carried through the store and
+    /// emitted as a vendor attribute in Liberty-lite when non-empty.
+    std::string provenance;
     /// The contour trace's incident log (empty when contours are off or the
     /// row failed before tracing); serialized with the row.
     TraceDiagnostics diagnostics;

@@ -29,6 +29,38 @@
 
 namespace shtrace {
 
+/// Knobs for the cross-corner surrogate driver (chz/corner_family.hpp).
+/// Defaults give the SetupKit-style economy: trace the cube vertices +
+/// center, surrogate-fill the rest, escalate corners whose acquisition
+/// score exceeds 2 ps.
+struct CornerSweepOptions {
+    /// Trace every corner fully; the surrogate never fills anything.
+    /// Equivalent to tolerance = 0, spelled explicitly for audits.
+    bool anchorsAll = false;
+    /// Explicit anchor corner indices (grid order); empty = cube
+    /// vertices + center (PvtAxes::anchorIndices).
+    std::vector<std::size_t> anchorIndices;
+    /// Acceptance tolerance (seconds) on the per-corner acquisition
+    /// score: max(propagated leave-one-out error, h-residual probe
+    /// distance). Corners above it escalate to a full trace; 0 traces
+    /// everything.
+    double tolerance = 2e-12;
+    /// Cap on corners traced beyond the anchors (-1 = unlimited). When
+    /// the cap bites, remaining above-tolerance corners are still
+    /// surrogate-filled but the result reports converged = false.
+    int maxEscalations = -1;
+    /// Arc-length control points each traced contour is resampled to
+    /// before fitting (and the point count of predicted contours).
+    int controlPoints = 16;
+    /// Active-learning refit rounds before giving up (safety valve
+    /// against an acquisition score that will not settle).
+    int maxRounds = 6;
+    /// Evaluate h once at the predicted contour midpoint of every
+    /// candidate corner (a few transients each) and fold the residual
+    /// distance |h|/||grad h|| into the score. Off trusts LOO alone.
+    bool probeResidual = true;
+};
+
 struct RunConfig {
     CriterionOptions criterion;      ///< per-cell criteria override this
     SimulationRecipe recipe;
@@ -36,6 +68,7 @@ struct RunConfig {
     SeedOptions seed;                ///< contour seed search (Fig. 7)
     TracerOptions tracer;            ///< Euler-Newton contour tracing
     ParallelOptions parallel;        ///< worker pool (threads=1: serial)
+    CornerSweepOptions corners;      ///< cross-corner surrogate driver
     bool traceContours = true;       ///< false: independent numbers only
     ProgressCallback onJobDone;      ///< optional batch observability hook
     std::string cacheDir;            ///< persistent store dir; empty: off
@@ -117,6 +150,26 @@ struct RunConfig {
     }
     RunConfig& withChunk(int chunk) {
         parallel.chunk = chunk;
+        return *this;
+    }
+    RunConfig& withCornerSweep(const CornerSweepOptions& value) {
+        corners = value;
+        return *this;
+    }
+    /// Trace every corner of the cube fully (disables the surrogate).
+    RunConfig& withCornerAnchorsAll(bool enabled) {
+        corners.anchorsAll = enabled;
+        return *this;
+    }
+    /// Acceptance tolerance (seconds) for surrogate-filled corners;
+    /// 0 = exhaustive.
+    RunConfig& withCornerTolerance(double seconds) {
+        corners.tolerance = seconds;
+        return *this;
+    }
+    /// Max full traces beyond the anchors (-1 = unlimited).
+    RunConfig& withCornerBudget(int maxEscalations) {
+        corners.maxEscalations = maxEscalations;
         return *this;
     }
     RunConfig& withContours(bool enabled) {

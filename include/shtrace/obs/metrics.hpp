@@ -43,6 +43,7 @@ enum class Gauge : unsigned {
     BatchJobs,          ///< job count of the last batch run
     ServeQueueDepth,    ///< admitted-not-yet-started requests (serve/)
     ServeInflight,      ///< requests executing on a worker (serve/)
+    CornerSurrogateMaxError,  ///< max accepted acquisition score (seconds)
     kCount
 };
 
@@ -60,6 +61,9 @@ enum class Count : unsigned {
     ServeCoalesced,      ///< followers attached to an in-flight leader
     ServeComputed,       ///< leader computations executed by a worker
     ServeDrainedJobs,    ///< jobs completed after drain began
+    CornerAnchorsTraced,     ///< anchor corners fully traced (corner_family)
+    CornerEscalated,         ///< corners escalated above tolerance
+    CornerSurrogateAccepted, ///< corners filled by the surrogate
     kCount
 };
 

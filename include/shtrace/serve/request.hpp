@@ -18,6 +18,7 @@
 
 #include "shtrace/cells/register_fixture.hpp"
 #include "shtrace/chz/characterize.hpp"
+#include "shtrace/chz/corner_family.hpp"
 #include "shtrace/serve/json.hpp"
 #include "shtrace/store/key.hpp"
 
@@ -40,6 +41,14 @@ struct ServeRequest {
     RegisterFixture fixture;   ///< built from cell + model card
     RunConfig config;          ///< criterion/recipe/tracer after overrides
     store::CacheKey key;       ///< coalescing + store identity
+
+    /// Set when the request carries a "pvtSweep" block: run the corner-
+    /// family driver over `sweepAxes` instead of one characterization.
+    /// The coalescing key then also covers the grid geometry and surrogate
+    /// knobs, so sweeps only coalesce with byte-equivalent sweeps.
+    bool sweep = false;
+    PvtAxes sweepAxes;
+    CornerFixtureBuilder sweepBuilder;  ///< rebuilds the cell per corner
 };
 
 /// Parses and validates a request body; builds the fixture and computes
@@ -62,6 +71,13 @@ struct ServeDisposition {
 std::string renderServeResponse(const ServeRequest& request,
                                 const CharacterizeResult& result,
                                 const ServeDisposition& disposition);
+
+/// Renders the response body for a finished PVT sweep: a summary block
+/// (traced/escalated/surrogate counts, convergence) plus a per-corner
+/// disposition array carrying each corner's provenance.
+std::string renderPvtSweepResponse(const ServeRequest& request,
+                                   const CornerFamilyResult& result,
+                                   const ServeDisposition& disposition);
 
 /// Renders an error body: {"error": ...}.
 std::string renderServeError(const std::string& what);

@@ -38,7 +38,9 @@ namespace shtrace::store {
 /// every diagnostics block (docs/STORE.md).
 /// v5: 23-field stats line (sparseRefactorizations, batchAssemblies) and
 /// linalg-backend + batch-evaluation fields in the canonical recipe text.
-inline constexpr int kFormatVersion = 5;
+/// v6: corner_row entry kind (cross-corner families, provenance-flagged)
+/// and a provenance line on library_row payloads.
+inline constexpr int kFormatVersion = 6;
 
 /// Streaming 64-bit FNV-1a.
 class Fnv1a {
@@ -97,5 +99,14 @@ CacheKey independentRowKey(const RegisterFixture& fixture,
 /// Key for a brute-force surface run.
 CacheKey surfaceKey(const RegisterFixture& fixture, const RunConfig& config,
                     const SurfaceMethodOptions& options);
+
+/// Key for one corner of a cross-corner family (corner_family.hpp). The
+/// corner's identity is entirely in the built fixture; the driver's
+/// surrogate strategy (anchors, tolerance, budget) is deliberately
+/// EXCLUDED -- it decides how a row is produced, not what physics it
+/// answers. Provenance disambiguates traced vs surrogate payloads at the
+/// same key.
+CacheKey cornerRowKey(const RegisterFixture& fixture,
+                      const RunConfig& config);
 
 }  // namespace shtrace::store

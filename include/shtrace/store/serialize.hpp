@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "shtrace/chz/characterize.hpp"
+#include "shtrace/chz/corner_family.hpp"
 #include "shtrace/chz/library.hpp"
 #include "shtrace/chz/pvt.hpp"
 #include "shtrace/chz/surface_method.hpp"
@@ -47,6 +48,7 @@ inline constexpr const char* kKindLibraryRow = "library_row";
 inline constexpr const char* kKindPvtRow = "pvt_row";
 inline constexpr const char* kKindMcRow = "mc_row";
 inline constexpr const char* kKindSurface = "surface";
+inline constexpr const char* kKindCornerRow = "corner_row";
 
 // Serializers produce the entry payload text; deserializers parse it back
 // (throwing StoreFormatError on any malformation).
@@ -70,6 +72,13 @@ McSampleRow deserializeMcRow(const std::string& text);
 
 std::string serializeSurfaceResult(const SurfaceMethodResult& result);
 SurfaceMethodResult deserializeSurfaceResult(const std::string& text);
+
+/// One corner of a cross-corner family. Stats/warm-start bookkeeping are
+/// run-local and not serialized (a cache hit reports fresh zero-cost
+/// stats, like pvt rows); provenance IS serialized, so a surrogate-filled
+/// entry stays recognizably surrogate across runs.
+std::string serializeCornerRow(const CornerFamilyRow& row);
+CornerFamilyRow deserializeCornerRow(const std::string& text);
 
 /// The contour points a cached entry carries: the traced contour for
 /// characterize/library_row payloads, empty for everything else (and for

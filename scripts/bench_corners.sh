@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates results/bench_corners.json: the committed cross-corner
+# surrogate report (5x5x5 TSPC PVT cube, exhaustive reference vs the
+# active-learning tolerance ladder). Builds Release so the wall times are
+# meaningful; the bench's exit code enforces the acceptance criterion --
+# fewer than 20% of the corners traced AND max surrogate error <= 2 ps
+# against the per-corner h-residual oracle.
+#
+#   scripts/bench_corners.sh [build-dir]   default build dir: build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD}" -j "${JOBS}" --target bench_corners
+
+mkdir -p results
+"./${BUILD}/bench/bench_corners" results/bench_corners.json
+echo "bench_corners.sh: OK -> results/bench_corners.json"

@@ -24,6 +24,12 @@
 #                               identical requests coalesce to one
 #                               computation), GET /metrics scrape through
 #                               prom_lint.sh, SIGTERM clean drain (exit 0)
+#   scripts/check.sh corners    corners-labeled tests (surrogate math,
+#                               active-learning driver, exhaustive
+#                               bit-identity), then the full PVT-cube
+#                               bench whose exit code asserts <20% of
+#                               corners traced AND <=2 ps max surrogate
+#                               error
 #
 # Each stage uses its own build tree (build/, build-tsan/, build-asan/,
 # build-ubsan/) so the sanitizer configurations never dirty the primary
@@ -182,6 +188,18 @@ PY
     echo "serve: daemon drained clean"
 }
 
+run_corners() {
+    echo "== corners: surrogate tests + PVT-cube acceptance bench =="
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "${JOBS}" \
+          --target test_corner_surrogate bench_corners
+    ctest --test-dir build -L corners --output-on-failure -j "${JOBS}"
+    # The bench is the perf gate: exit code asserts the 5x5x5 TSPC cube
+    # characterizes with <20% of the corners traced and <=2 ps max
+    # surrogate error against the h-residual oracle.
+    ./build/bench/bench_corners /tmp/bench_corners_smoke.json
+}
+
 case "${STAGE}" in
     tier1)  run_tier1 ;;
     tsan)   run_tsan ;;
@@ -191,8 +209,9 @@ case "${STAGE}" in
     bench)  run_bench ;;
     obs)    run_obs ;;
     serve)  run_serve ;;
-    all)    run_tier1; run_tsan; run_asan; run_ubsan; run_sparse; run_bench; run_obs; run_serve ;;
-    *)      echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|sparse|bench|obs|serve|all]" >&2; exit 2 ;;
+    corners) run_corners ;;
+    all)    run_tier1; run_tsan; run_asan; run_ubsan; run_sparse; run_bench; run_obs; run_serve; run_corners ;;
+    *)      echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|sparse|bench|obs|serve|corners|all]" >&2; exit 2 ;;
 esac
 
 echo "check.sh: ${STAGE} OK"

@@ -1,0 +1,831 @@
+#include "shtrace/chz/corner_family.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "cache_glue.hpp"
+#include "shtrace/chz/independent.hpp"
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/chz/seed.hpp"
+#include "shtrace/chz/tracer.hpp"
+#include "shtrace/obs/obs.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+constexpr double kInfiniteScore = std::numeric_limits<double>::infinity();
+
+/// Scalar-Newton solve for one contour asymptote at the window plateau
+/// (h = 0 along one axis with the other pinned at its window max). The
+/// plateau solve gives every corner -- traced, probed, or predicted --
+/// the SAME asymptote definition, which is what lets the surrogate
+/// interpolate contour SHAPES (contour minus asymptotes) and re-anchor
+/// them per corner: the shape varies far less across the cube than the
+/// absolute contour position does. Returns nullopt (caller keeps its
+/// contour-derived fallback) when Newton fails to converge.
+std::optional<double> newtonAsymptote(const CharacterizationProblem& problem,
+                                      SkewAxis axis, const SkewBounds& bounds,
+                                      double guess, SimStats* stats) {
+    IndependentOptions opt;
+    if (axis == SkewAxis::Setup) {
+        opt.lo = bounds.setupMin;
+        opt.hi = bounds.setupMax;
+        opt.pinnedSkew = bounds.holdMax;
+    } else {
+        opt.lo = bounds.holdMin;
+        opt.hi = bounds.holdMax;
+        opt.pinnedSkew = bounds.setupMax;
+    }
+    const double margin = 1e-3 * (opt.hi - opt.lo);
+    opt.newtonSeed = std::clamp(guess, opt.lo + margin, opt.hi - margin);
+    try {
+        const IndependentResult r = characterizeByNewton(
+            problem.h(), axis, problem.passSign(), opt, stats);
+        if (r.converged && std::isfinite(r.skew)) {
+            return r.skew;
+        }
+    } catch (const Error&) {
+        // Non-finite or failed transient on the plateau: fall back.
+    }
+    return std::nullopt;
+}
+
+/// The independent setup/hold numbers a bounded contour supports: the
+/// setup asymptote is read at the contour's max-hold end, the hold
+/// asymptote at its max-setup end. Used identically for traced and
+/// predicted contours so the two row kinds are comparable.
+void deriveAsymptotes(CornerFamilyRow* row) {
+    if (row->contour.empty()) {
+        return;
+    }
+    const SkewPoint* maxHold = &row->contour.front();
+    const SkewPoint* maxSetup = &row->contour.front();
+    for (const SkewPoint& p : row->contour) {
+        if (p.hold > maxHold->hold) {
+            maxHold = &p;
+        }
+        if (p.setup > maxSetup->setup) {
+            maxSetup = &p;
+        }
+    }
+    row->setupTime = maxHold->setup;
+    row->holdTime = maxSetup->hold;
+}
+
+/// Clips a polyline to the upper-bound box {setup <= sCap, hold <= hCap},
+/// inserting the linear boundary crossings. Used on SHIFTED contours
+/// (contour minus asymptotes) before arc-length resampling: each traced
+/// window spans a different extent relative to its asymptotes, and
+/// clipping to the common extent makes control point j mean the same
+/// piece of curve at every corner. Returns the input untouched when
+/// nothing survives the clip (degenerate caps).
+std::vector<SkewPoint> clipShape(const std::vector<SkewPoint>& points,
+                                 double sCap, double hCap) {
+    if (points.size() < 2) {
+        return points;
+    }
+    std::vector<SkewPoint> out;
+    const auto push = [&](const SkewPoint& p) {
+        if (out.empty() || out.back().setup != p.setup ||
+            out.back().hold != p.hold) {
+            out.push_back(p);
+        }
+    };
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+        const SkewPoint& a = points[i];
+        const SkewPoint& b = points[i + 1];
+        const double ds = b.setup - a.setup;
+        const double dh = b.hold - a.hold;
+        double t0 = 0.0;
+        double t1 = 1.0;
+        bool reject = false;
+        const auto clipAxis = [&](double v0, double d, double cap) {
+            if (d > 0.0) {
+                t1 = std::min(t1, (cap - v0) / d);
+            } else if (d < 0.0) {
+                t0 = std::max(t0, (cap - v0) / d);
+            } else if (v0 > cap) {
+                reject = true;
+            }
+        };
+        clipAxis(a.setup, ds, sCap);
+        clipAxis(a.hold, dh, hCap);
+        if (reject || t0 >= t1) {
+            continue;
+        }
+        push(SkewPoint{a.setup + t0 * ds, a.hold + t0 * dh});
+        push(SkewPoint{a.setup + t1 * ds, a.hold + t1 * dh});
+    }
+    return out.size() < 2 ? points : out;
+}
+
+/// Per-corner probe state for the acquisition score. The problem holds a
+/// reference to the fixture, so the pair lives heap-pinned together; the
+/// construction cost (one reference transient + DC solve) is paid once
+/// per corner and reused across refit rounds -- and it yields a MEASURED
+/// characteristic clock-to-Q for surrogate-accepted rows.
+struct ProbeState {
+    RegisterFixture fixture;
+    std::optional<CharacterizationProblem> problem;
+    SimStats stats;
+    bool broken = false;
+    std::string failureReason;
+    // Plateau asymptotes measured once per corner (newtonAsymptote);
+    // they anchor the predicted shape at this corner's TRUE setup/hold
+    // position, so the surrogate only has to get the shape right.
+    bool asymTried = false;
+    bool asymMeasured = false;
+    double setupAsym = 0.0;
+    double holdAsym = 0.0;
+
+    explicit ProbeState(RegisterFixture f) : fixture(std::move(f)) {}
+};
+
+CornerFamilyRow traceCornerRow(const PvtAxes& axes, std::size_t index,
+                               const CornerFixtureBuilder& builder,
+                               const RunConfig& config,
+                               const store::ResultStore* cache,
+                               const std::vector<SkewPoint>* donorContour,
+                               int donorIndex) {
+    SHTRACE_SPAN("chz.corner_trace");
+    CornerFamilyRow row;
+    row.point = axes.at(index);
+    row.provenance = CornerProvenance::Traced;
+    row.warmStartCorner = donorIndex;
+    ScopedTimer timer(&row.stats);
+    try {
+        const ProcessCorner corner = cornerAtPvt(row.point);
+        row.corner = corner.name;
+        const RegisterFixture fixture = builder(corner);
+
+        std::optional<store::CacheKey> key;
+        if (cache != nullptr) {
+            key = store::cornerRowKey(fixture, config);
+            if (chz_detail::mayRead(config)) {
+                if (const auto entry = chz_detail::loadKind(
+                        *cache, key->full, store::kKindCornerRow)) {
+                    try {
+                        CornerFamilyRow cached =
+                            store::deserializeCornerRow(entry->payload);
+                        // Only a TRACED payload may satisfy a corner this
+                        // run decided to trace: a surrogate-provenance
+                        // entry answers the same physics question with a
+                        // prediction, which is exactly what the caller
+                        // asked not to trust here. Recompute those.
+                        if (cached.provenance == CornerProvenance::Traced) {
+                            cached.corner = corner.name;
+                            cached.point = row.point;
+                            cached.warmStartCorner = donorIndex;
+                            cached.stats = SimStats{};
+                            cached.stats.cacheHits = 1;
+                            return cached;
+                        }
+                    } catch (const store::StoreFormatError&) {
+                        // Unreadable payload: recompute and overwrite.
+                    }
+                }
+            }
+            row.stats.cacheMisses = 1;
+        }
+
+        const CharacterizationProblem problem(fixture, config.criterion,
+                                              config.recipe, &row.stats);
+        row.characteristicClockToQ = problem.characteristicClockToQ();
+
+        TracedContour contour;
+        bool traced = false;
+        if (donorContour != nullptr && !donorContour->empty()) {
+            // Warm start: the donor contour's large-hold end (the same
+            // geometry the seed search produces), clamped into this
+            // corner's tracer window; MPNR pulls it onto the new curve.
+            SkewPoint warm = *std::max_element(
+                donorContour->begin(), donorContour->end(),
+                [](const SkewPoint& a, const SkewPoint& b) {
+                    return a.hold < b.hold;
+                });
+            warm.setup = std::clamp(warm.setup, config.tracer.bounds.setupMin,
+                                    config.tracer.bounds.setupMax);
+            warm.hold = std::clamp(warm.hold, config.tracer.bounds.holdMin,
+                                   config.tracer.bounds.holdMax);
+            row.stats.cacheWarmStarts = 1;
+            const std::uint64_t op = row.stats.hEvaluations;
+            contour =
+                traceContour(problem.h(), warm, config.tracer, &row.stats);
+            contour.diagnostics.markPreTrace(TimelineEventKind::WarmStart,
+                                             warm, op);
+            traced = contour.seedConverged && !contour.points.empty();
+        }
+        if (!traced) {
+            const SeedResult seed = findSeedPoint(
+                problem.h(), problem.passSign(), config.seed, &row.stats);
+            if (!seed.found) {
+                row.failureReason = "contour seed search failed";
+                return row;
+            }
+            SkewPoint start = seed.seed;
+            start.hold = std::clamp(start.hold, config.tracer.bounds.holdMin,
+                                    config.tracer.bounds.holdMax);
+            const std::uint64_t op = row.stats.hEvaluations;
+            contour =
+                traceContour(problem.h(), start, config.tracer, &row.stats);
+            contour.diagnostics.markPreTrace(TimelineEventKind::SeedFound,
+                                             seed.seed, op);
+            traced = contour.seedConverged && !contour.points.empty();
+        }
+        if (!traced) {
+            const std::string why = contour.diagnostics.summary();
+            row.failureReason =
+                "contour tracing failed" +
+                (why.empty() ? std::string() : " (" + why + ")");
+            return row;
+        }
+        row.contour = contour.points;
+        deriveAsymptotes(&row);
+        // Pin the asymptotes at the window plateau (see newtonAsymptote):
+        // the contour's own endpoints depend on where the trace stopped,
+        // the plateau solve does not. Seeded from the endpoints, the
+        // refinement is a couple of transients per axis.
+        if (const auto s =
+                newtonAsymptote(problem, SkewAxis::Setup,
+                                config.tracer.bounds, row.setupTime,
+                                &row.stats)) {
+            row.setupTime = *s;
+        }
+        if (const auto h =
+                newtonAsymptote(problem, SkewAxis::Hold,
+                                config.tracer.bounds, row.holdTime,
+                                &row.stats)) {
+            row.holdTime = *h;
+        }
+        row.success = true;
+
+        if (cache != nullptr && chz_detail::mayWrite(config)) {
+            store::StoreEntry entry;
+            entry.kind = store::kKindCornerRow;
+            entry.key = key->full;
+            entry.problem = key->problem;
+            entry.label = corner.name;
+            entry.payload = store::serializeCornerRow(row);
+            cache->save(entry);
+        }
+    } catch (const Error& e) {
+        row.success = false;
+        row.failureReason = e.what();
+    }
+    row.transientCount = static_cast<int>(row.stats.transientSolves);
+    return row;
+}
+
+}  // namespace
+
+bool CornerFamilyResult::allSucceeded() const {
+    return std::all_of(rows.begin(), rows.end(),
+                       [](const CornerFamilyRow& r) { return r.success; });
+}
+
+CornerFamilyResult characterizeCornerFamily(const PvtAxes& axes,
+                                            const CornerFixtureBuilder& builder,
+                                            const RunConfig& config) {
+    axes.validate();
+    CornerFamilyResult result;
+    result.axes = axes;
+    const std::size_t n = axes.cornerCount();
+
+    if (!config.traceContours) {
+        // No contour, nothing to interpolate: delegate the whole grid to
+        // sweepPvtCorners so this mode is bit-identical with the classic
+        // exhaustive sweep (it also owns its obs run).
+        const PvtSweepResult sweep =
+            sweepPvtCorners(axes.corners(), builder, config);
+        result.rows.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            CornerFamilyRow& row = result.rows[i];
+            const PvtCornerResult& src = sweep.rows[i];
+            row.corner = src.corner;
+            row.point = axes.at(i);
+            row.success = src.success;
+            row.failureReason = src.failureReason;
+            row.anchor = true;
+            row.provenance = CornerProvenance::Traced;
+            row.characteristicClockToQ = src.characteristicClockToQ;
+            row.setupTime = src.setupTime;
+            row.holdTime = src.holdTime;
+            row.transientCount = src.transientCount;
+            row.stats = src.stats;
+        }
+        result.anchorsTraced = n;
+        result.stats = sweep.stats;
+        return result;
+    }
+
+    obs::RunObservation observation(config.metricsPath, config.spanTracePath);
+    obs::setGauge(obs::Gauge::BatchJobs, static_cast<double>(n));
+    result.rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        result.rows[i].point = axes.at(i);
+        result.rows[i].corner = cornerAtPvt(result.rows[i].point).name;
+    }
+
+    const CornerSweepOptions& sweep = config.corners;
+    const bool exhaustive = sweep.anchorsAll || sweep.tolerance <= 0.0;
+    std::vector<std::size_t> anchors;
+    if (exhaustive) {
+        anchors.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            anchors[i] = i;
+        }
+    } else if (!sweep.anchorIndices.empty()) {
+        anchors = sweep.anchorIndices;
+        std::sort(anchors.begin(), anchors.end());
+        anchors.erase(std::unique(anchors.begin(), anchors.end()),
+                      anchors.end());
+        require(anchors.back() < n, "characterizeCornerFamily: anchor index ",
+                anchors.back(), " out of range ", n);
+    } else {
+        anchors = axes.anchorIndices();
+    }
+
+    const std::optional<store::ResultStore> cache =
+        chz_detail::openStore(config);
+    const store::ResultStore* cachePtr = cache ? &*cache : nullptr;
+    obs::setGauge(
+        obs::Gauge::WorkerThreads,
+        resolveThreadCount(config.parallel.threads, anchors.size()));
+
+    std::vector<char> isTraced(n, 0);
+    const auto traceWave = [&](const std::vector<std::size_t>& targets,
+                               const std::vector<int>& donors, bool asAnchor) {
+        parallelRun(
+            targets.size(),
+            [&](std::size_t job, std::size_t /*worker*/) {
+                const std::size_t idx = targets[job];
+                const int donor = donors.empty() ? -1 : donors[job];
+                const std::vector<SkewPoint>* donorContour =
+                    donor >= 0 ? &result.rows[static_cast<std::size_t>(donor)]
+                                      .contour
+                               : nullptr;
+                try {
+                    result.rows[idx] =
+                        traceCornerRow(axes, idx, builder, config, cachePtr,
+                                       donorContour, donor);
+                } catch (const std::exception& e) {
+                    result.rows[idx].success = false;
+                    result.rows[idx].failureReason = e.what();
+                }
+                result.rows[idx].anchor = asAnchor;
+                isTraced[idx] = 1;
+            },
+            config.parallel, config.onJobDone);
+    };
+
+    traceWave(anchors, {}, true);
+    result.anchorsTraced = anchors.size();
+
+    // ---- Active learning over the untraced remainder ----
+    std::vector<std::unique_ptr<ProbeState>> probes(n);
+    const auto probeFor = [&](std::size_t i) -> ProbeState* {
+        if (!probes[i]) {
+            auto state = std::make_unique<ProbeState>(RegisterFixture{});
+            ScopedTimer timer(&state->stats);
+            try {
+                state->fixture = builder(cornerAtPvt(result.rows[i].point));
+                state->problem.emplace(state->fixture, config.criterion,
+                                       config.recipe, &state->stats);
+            } catch (const Error& e) {
+                state->broken = true;
+                state->failureReason = e.what();
+            }
+            probes[i] = std::move(state);
+        }
+        return probes[i].get();
+    };
+    // |h| at the predicted contour midpoint, converted to a skew-plane
+    // distance through the gradient (floored by the tracer's vanished-
+    // gradient threshold so a plateau cannot fake an infinite distance).
+    const auto probeScore = [&](std::size_t i,
+                                const std::vector<SkewPoint>& predicted) {
+        ProbeState* probe = probeFor(i);
+        if (probe->broken || predicted.empty()) {
+            return kInfiniteScore;
+        }
+        ScopedTimer timer(&probe->stats);
+        const SkewPoint mid = predicted[predicted.size() / 2];
+        const HEvaluation eval =
+            probe->problem->h().evaluate(mid.setup, mid.hold, &probe->stats);
+        if (!eval.success) {
+            return kInfiniteScore;
+        }
+        const double gradNorm = std::hypot(eval.dhds, eval.dhdh);
+        const double floor = config.tracer.corrector.gradientTol;
+        return std::abs(eval.h) / std::max(gradNorm, floor);
+    };
+
+    CornerSurrogate surrogate;
+    std::vector<std::size_t> tracedOk;
+    const auto refit = [&]() {
+        tracedOk.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (isTraced[i] && result.rows[i].success) {
+                tracedOk.push_back(i);
+            }
+        }
+        if (tracedOk.empty()) {
+            return false;
+        }
+        std::vector<std::array<double, 3>> nodes;
+        std::vector<std::vector<SkewPoint>> contours;
+        nodes.reserve(tracedOk.size());
+        contours.reserve(tracedOk.size());
+        const std::size_t k =
+            static_cast<std::size_t>(std::max(2, sweep.controlPoints));
+        // Fit the SHAPE: each contour relative to its own plateau
+        // asymptotes, clipped to the common extent box so control point
+        // j samples the same piece of curve at every corner. Absolute
+        // position is re-anchored per corner at prediction time
+        // (measured when a probe exists, interpolated otherwise), which
+        // removes the dominant cross-corner variation from what the RBF
+        // has to model.
+        std::vector<std::vector<SkewPoint>> shapes;
+        shapes.reserve(tracedOk.size());
+        double sCap = kInfiniteScore;
+        double hCap = kInfiniteScore;
+        for (const std::size_t i : tracedOk) {
+            const CornerFamilyRow& row = result.rows[i];
+            std::vector<SkewPoint> shape = row.contour;
+            double sMax = -kInfiniteScore;
+            double hMax = -kInfiniteScore;
+            for (SkewPoint& p : shape) {
+                p.setup -= row.setupTime;
+                p.hold -= row.holdTime;
+                sMax = std::max(sMax, p.setup);
+                hMax = std::max(hMax, p.hold);
+            }
+            sCap = std::min(sCap, sMax);
+            hCap = std::min(hCap, hMax);
+            shapes.push_back(std::move(shape));
+        }
+        for (const std::size_t i : tracedOk) {
+            nodes.push_back(axes.normalized(result.rows[i].point));
+        }
+        for (std::vector<SkewPoint>& shape : shapes) {
+            contours.push_back(
+                resampleByArcLength(clipShape(shape, sCap, hCap), k));
+        }
+        surrogate.fit(std::move(nodes), std::move(contours));
+        return true;
+    };
+
+    // Interpolated asymptote pair at x, from the traced rows: the seed
+    // for a probe's Newton measurement and the anchor of last resort for
+    // probeless surrogate fills (exact whenever the family is linear
+    // across the cube, like the contours themselves).
+    const auto predictedShift = [&](const std::array<double, 3>& x) {
+        std::vector<double> setups;
+        std::vector<double> holds;
+        setups.reserve(tracedOk.size());
+        holds.reserve(tracedOk.size());
+        for (const std::size_t t : tracedOk) {
+            setups.push_back(result.rows[t].setupTime);
+            holds.push_back(result.rows[t].holdTime);
+        }
+        return std::pair<double, double>{surrogate.predictScalar(x, setups),
+                                         surrogate.predictScalar(x, holds)};
+    };
+    // The corner's own plateau asymptotes, measured once through its
+    // probe; falls back to the interpolated pair when the probe is
+    // broken or Newton does not converge.
+    const auto anchoredShift = [&](std::size_t i,
+                                   const std::array<double, 3>& x) {
+        const std::pair<double, double> guess = predictedShift(x);
+        ProbeState* probe = probeFor(i);
+        if (!probe->broken && !probe->asymTried) {
+            probe->asymTried = true;
+            ScopedTimer timer(&probe->stats);
+            const auto s =
+                newtonAsymptote(*probe->problem, SkewAxis::Setup,
+                                config.tracer.bounds, guess.first,
+                                &probe->stats);
+            const auto h =
+                newtonAsymptote(*probe->problem, SkewAxis::Hold,
+                                config.tracer.bounds, guess.second,
+                                &probe->stats);
+            if (s && h) {
+                probe->setupAsym = *s;
+                probe->holdAsym = *h;
+                probe->asymMeasured = true;
+            }
+        }
+        return probe->asymMeasured
+                   ? std::pair<double, double>{probe->setupAsym,
+                                               probe->holdAsym}
+                   : guess;
+    };
+    // The full predicted contour at corner i: interpolated shape plus
+    // the corner's anchor.
+    const auto predictContour = [&](std::size_t i, bool measureAnchor) {
+        const std::array<double, 3> x = axes.normalized(result.rows[i].point);
+        std::vector<SkewPoint> contour = surrogate.predict(x);
+        const std::pair<double, double> shift =
+            measureAnchor ? anchoredShift(i, x) : predictedShift(x);
+        for (SkewPoint& p : contour) {
+            p.setup += shift.first;
+            p.hold += shift.second;
+        }
+        return std::pair<std::vector<SkewPoint>,
+                         std::pair<double, double>>{std::move(contour), shift};
+    };
+    // One Euler-Newton corrector pass over a predicted contour before it
+    // is published: evaluate h and its gradient at a handful of control
+    // points, take the Newton projection step -h*grad/|grad|^2 at each,
+    // and spread the displacement field across the remaining points by
+    // linear interpolation in control index. The surrogate plays the
+    // predictor and the probe the corrector -- the same split the tracer
+    // itself uses, at a fraction of a full trace's transient cost. Only
+    // the contour interior moves; the published setup/hold asymptotes
+    // stay as measured.
+    const auto newtonCorrect = [&](std::size_t i,
+                                   std::vector<SkewPoint>& contour) {
+        constexpr std::size_t kCorrectorSamples = 7;
+        constexpr double kMaxCorrection = 50e-12;
+        ProbeState* probe = probeFor(i);
+        if (probe->broken || contour.size() < 2) {
+            return;
+        }
+        ScopedTimer timer(&probe->stats);
+        const std::size_t last = contour.size() - 1;
+        const std::size_t samples =
+            std::min(kCorrectorSamples, contour.size());
+        const double floor = config.tracer.corrector.gradientTol;
+        std::vector<std::size_t> at;
+        std::vector<double> ds;
+        std::vector<double> dh;
+        for (std::size_t s = 0; s < samples; ++s) {
+            const std::size_t c = last * s / (samples - 1);
+            const HEvaluation eval = probe->problem->h().evaluate(
+                contour[c].setup, contour[c].hold, &probe->stats);
+            if (!eval.success) {
+                continue;
+            }
+            const double g2 = eval.dhds * eval.dhds + eval.dhdh * eval.dhdh;
+            if (g2 <= floor * floor) {
+                continue;
+            }
+            const double stepS = -eval.h * eval.dhds / g2;
+            const double stepH = -eval.h * eval.dhdh / g2;
+            const double norm = std::hypot(stepS, stepH);
+            // A wild step means the sample landed somewhere the local
+            // linearization cannot be trusted; skip it rather than drag
+            // the contour along.
+            if (!std::isfinite(norm) || norm > kMaxCorrection) {
+                continue;
+            }
+            at.push_back(c);
+            ds.push_back(stepS);
+            dh.push_back(stepH);
+        }
+        if (at.empty()) {
+            return;
+        }
+        std::size_t seg = 0;
+        for (std::size_t c = 0; c <= last; ++c) {
+            while (seg + 1 < at.size() && at[seg + 1] < c) {
+                ++seg;
+            }
+            double fs = ds.back();
+            double fh = dh.back();
+            if (c <= at.front()) {
+                fs = ds.front();
+                fh = dh.front();
+            } else if (c < at.back()) {
+                const double t = static_cast<double>(c - at[seg]) /
+                                 static_cast<double>(at[seg + 1] - at[seg]);
+                fs = ds[seg] + t * (ds[seg + 1] - ds[seg]);
+                fh = dh[seg] + t * (dh[seg + 1] - dh[seg]);
+            }
+            contour[c].setup += fs;
+            contour[c].hold += fh;
+        }
+    };
+
+    std::vector<double> scores(n, 0.0);
+    bool fitOk = false;
+    int round = 0;
+    std::size_t budget = sweep.maxEscalations < 0
+                             ? n
+                             : static_cast<std::size_t>(sweep.maxEscalations);
+    while (!exhaustive) {
+        fitOk = refit();
+        if (!fitOk) {
+            result.converged = false;
+            break;
+        }
+        const std::vector<double> loo = surrogate.looErrors();
+        std::vector<std::size_t> candidates;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (isTraced[i]) {
+                continue;
+            }
+            const std::array<double, 3> x =
+                axes.normalized(result.rows[i].point);
+            double score = std::abs(surrogate.predictScalar(x, loo));
+            if (!std::isfinite(score)) {
+                score = kInfiniteScore;
+            }
+            if (sweep.probeResidual) {
+                // Every candidate pays the probe: the measured residual
+                // both confirms sub-tolerance corners AND ranks the
+                // escalation queue by actual error instead of by the
+                // kernel's own (smooth, clustered) LOO field.
+                score = std::max(
+                    score, probeScore(i, predictContour(i, true).first));
+            }
+            scores[i] = score;
+            if (score > sweep.tolerance) {
+                candidates.push_back(i);
+            }
+        }
+        if (candidates.empty()) {
+            result.converged = true;
+            break;
+        }
+        if (budget == 0 || round >= sweep.maxRounds) {
+            result.converged = false;
+            break;
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) {
+                          return scores[a] > scores[b];
+                      }
+                      return a < b;
+                  });
+        // Spread the budget over waves with a refit between: the first
+        // wave's traces sharpen the surrogate (and the scores) before
+        // the next wave commits, instead of burning the whole budget on
+        // the initial ranking.
+        const std::size_t wave = std::max<std::size_t>(1, (budget + 2) / 3);
+        const std::size_t take =
+            std::min({budget, candidates.size(), wave});
+        candidates.resize(take);
+        budget -= take;
+        std::vector<int> donors;
+        donors.reserve(take);
+        for (const std::size_t idx : candidates) {
+            donors.push_back(static_cast<int>(
+                nearestCornerIndex(axes, idx, tracedOk)));
+        }
+        traceWave(candidates, donors, false);
+        for (const std::size_t idx : candidates) {
+            CornerFamilyRow& row = result.rows[idx];
+            row.acquisitionScore = scores[idx];
+            if (probes[idx]) {
+                // The probe's transients were real cost of deciding this
+                // corner; attribute them to its row and retire the state.
+                row.stats.merge(probes[idx]->stats);
+                row.transientCount =
+                    static_cast<int>(row.stats.transientSolves);
+                probes[idx].reset();
+            }
+        }
+        result.escalated += take;
+        ++round;
+    }
+    result.rounds = round;
+
+    // ---- Surrogate fill for everything still untraced ----
+    for (std::size_t i = 0; i < n; ++i) {
+        if (isTraced[i]) {
+            continue;
+        }
+        CornerFamilyRow& row = result.rows[i];
+        row.provenance = CornerProvenance::Surrogate;
+        row.acquisitionScore = scores[i];
+        if (!fitOk) {
+            if (probes[i]) {
+                row.stats.merge(probes[i]->stats);
+                row.transientCount =
+                    static_cast<int>(row.stats.transientSolves);
+            }
+            row.success = false;
+            row.failureReason =
+                "no traced corner succeeded; surrogate unavailable";
+            continue;
+        }
+        // Shape from the surrogate, anchor from the corner's own plateau
+        // measurement when probing is on (so the published setup/hold
+        // numbers are MEASURED; only the contour interior between the
+        // asymptotes is predicted). Probeless runs interpolate the
+        // anchor with the same kernel. The probe's cost is merged below,
+        // AFTER the anchor measurement it may pay for.
+        auto predicted = predictContour(i, sweep.probeResidual);
+        if (sweep.probeResidual) {
+            // The acquisition score stays the PRE-correction residual: a
+            // conservative upper bound on the published contour's error.
+            newtonCorrect(i, predicted.first);
+        }
+        row.contour = std::move(predicted.first);
+        row.setupTime = predicted.second.first;
+        row.holdTime = predicted.second.second;
+        if (probes[i] && !probes[i]->broken) {
+            row.characteristicClockToQ =
+                probes[i]->problem->characteristicClockToQ();
+        } else {
+            // No probe was built (probeResidual off): interpolate the
+            // clock-to-Q with the same kernel as the contour.
+            std::vector<double> c2q;
+            c2q.reserve(tracedOk.size());
+            for (const std::size_t t : tracedOk) {
+                c2q.push_back(result.rows[t].characteristicClockToQ);
+            }
+            row.characteristicClockToQ = surrogate.predictScalar(
+                axes.normalized(row.point), c2q);
+        }
+        if (probes[i]) {
+            row.stats.merge(probes[i]->stats);
+        }
+        row.success = true;
+        result.surrogateAccepted += 1;
+        result.surrogateMaxScore =
+            std::max(result.surrogateMaxScore, row.acquisitionScore);
+
+        if (cachePtr != nullptr && chz_detail::mayWrite(config)) {
+            try {
+                std::optional<RegisterFixture> fresh;
+                const RegisterFixture* fixture =
+                    probes[i] && !probes[i]->broken ? &probes[i]->fixture
+                                                    : nullptr;
+                if (fixture == nullptr) {
+                    fresh.emplace(builder(cornerAtPvt(row.point)));
+                    fixture = &*fresh;
+                }
+                const store::CacheKey key =
+                    store::cornerRowKey(*fixture, config);
+                // Never downgrade a traced entry to a surrogate one: the
+                // traced payload answers the same key with strictly more
+                // authority.
+                bool keepExisting = false;
+                if (const auto entry = chz_detail::loadKind(
+                        *cachePtr, key.full, store::kKindCornerRow)) {
+                    try {
+                        keepExisting =
+                            store::deserializeCornerRow(entry->payload)
+                                .provenance == CornerProvenance::Traced;
+                    } catch (const store::StoreFormatError&) {
+                    }
+                }
+                if (!keepExisting) {
+                    store::StoreEntry entry;
+                    entry.kind = store::kKindCornerRow;
+                    entry.key = key.full;
+                    entry.problem = key.problem;
+                    entry.label = row.corner;
+                    entry.payload = store::serializeCornerRow(row);
+                    cachePtr->save(entry);
+                }
+            } catch (const Error&) {
+                // Store publication is best-effort for surrogate rows;
+                // the in-memory result is already complete.
+            }
+        }
+        row.transientCount = static_cast<int>(row.stats.transientSolves);
+    }
+
+    for (const CornerFamilyRow& row : result.rows) {
+        result.stats.merge(row.stats);
+    }
+    obs::addCount(obs::Count::CornerAnchorsTraced, result.anchorsTraced);
+    obs::addCount(obs::Count::CornerEscalated, result.escalated);
+    obs::addCount(obs::Count::CornerSurrogateAccepted,
+                  result.surrogateAccepted);
+    obs::setGauge(obs::Gauge::CornerSurrogateMaxError,
+                  result.surrogateMaxScore);
+    observation.finish(result.stats);
+    return result;
+}
+
+std::vector<LibraryRow> libraryRowsFromCornerFamily(
+    const CornerFamilyResult& result) {
+    std::vector<LibraryRow> rows;
+    rows.reserve(result.rows.size());
+    for (const CornerFamilyRow& corner : result.rows) {
+        LibraryRow row;
+        row.cell = corner.corner;
+        row.success = corner.success;
+        row.failureReason = corner.failureReason;
+        row.characteristicClockToQ = corner.characteristicClockToQ;
+        row.setupTime = corner.setupTime;
+        row.holdTime = corner.holdTime;
+        row.contour = corner.contour;
+        row.provenance = toString(corner.provenance);
+        row.stats = corner.stats;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+}  // namespace shtrace

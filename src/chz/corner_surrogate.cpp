@@ -1,0 +1,479 @@
+#include "shtrace/chz/corner_surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace {
+
+namespace {
+
+/// Piecewise linear through (-1, slow), (0, typ), (+1, fast); the end
+/// segments extend for mild extrapolation beyond the library corners.
+double blendCornerField(double slow, double typ, double fast, double p) {
+    return p < 0.0 ? typ + (typ - slow) * p : typ + (fast - typ) * p;
+}
+
+double kernel(double r) { return r * r * r; }
+
+double distance3(const std::array<double, 3>& a,
+                 const std::array<double, 3>& b) {
+    const double dx = a[0] - b[0];
+    const double dy = a[1] - b[1];
+    const double dz = a[2] - b[2];
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+void validateAxis(const std::vector<double>& axis, const char* name) {
+    require(!axis.empty(), "PvtAxes: axis '", name, "' is empty");
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+        require(std::isfinite(axis[i]), "PvtAxes: axis '", name,
+                "' has a non-finite value");
+        require(i == 0 || axis[i] > axis[i - 1], "PvtAxes: axis '", name,
+                "' must be strictly ascending");
+    }
+}
+
+double normalizedCoord(const std::vector<double>& axis, double value) {
+    const double span = axis.back() - axis.front();
+    return span > 0.0 ? (value - axis.front()) / span : 0.0;
+}
+
+}  // namespace
+
+ProcessCorner cornerAtPvt(const PvtPoint& point) {
+    require(std::isfinite(point.process) && std::isfinite(point.vdd) &&
+                std::isfinite(point.temperatureC),
+            "cornerAtPvt: non-finite coordinate");
+    const ProcessCorner ss = ProcessCorner::slow();
+    const ProcessCorner tt = ProcessCorner::typical();
+    const ProcessCorner ff = ProcessCorner::fast();
+    const double p = point.process;
+    ProcessCorner blended;
+    blended.vdd = blendCornerField(ss.vdd, tt.vdd, ff.vdd, p);
+    blended.vtn = blendCornerField(ss.vtn, tt.vtn, ff.vtn, p);
+    blended.vtp = blendCornerField(ss.vtp, tt.vtp, ff.vtp, p);
+    blended.kpn = blendCornerField(ss.kpn, tt.kpn, ff.kpn, p);
+    blended.kpp = blendCornerField(ss.kpp, tt.kpp, ff.kpp, p);
+    blended.lambdaN = blendCornerField(ss.lambdaN, tt.lambdaN, ff.lambdaN, p);
+    blended.lambdaP = blendCornerField(ss.lambdaP, tt.lambdaP, ff.lambdaP, p);
+    blended.coxPerArea =
+        blendCornerField(ss.coxPerArea, tt.coxPerArea, ff.coxPerArea, p);
+    blended.overlapCapPerWidth =
+        blendCornerField(ss.overlapCapPerWidth, tt.overlapCapPerWidth,
+                         ff.overlapCapPerWidth, p);
+    blended.junctionCapPerWidth =
+        blendCornerField(ss.junctionCapPerWidth, tt.junctionCapPerWidth,
+                         ff.junctionCapPerWidth, p);
+
+    ProcessCorner corner = blended.atTemperature(point.temperatureC);
+    corner.vdd = point.vdd;
+    char name[48];
+    std::snprintf(name, sizeof(name), "P%+.2f/V%.3f/T%+04.0f", point.process,
+                  point.vdd, point.temperatureC);
+    corner.name = name;
+    return corner;
+}
+
+void PvtAxes::validate() const {
+    validateAxis(process, "process");
+    validateAxis(vdd, "vdd");
+    validateAxis(temperatureC, "temperatureC");
+}
+
+PvtPoint PvtAxes::at(std::size_t index) const {
+    require(index < cornerCount(), "PvtAxes::at index ", index,
+            " out of range ", cornerCount());
+    const std::size_t nt = temperatureC.size();
+    const std::size_t nv = vdd.size();
+    PvtPoint point;
+    point.temperatureC = temperatureC[index % nt];
+    point.vdd = vdd[(index / nt) % nv];
+    point.process = process[index / (nt * nv)];
+    return point;
+}
+
+std::array<double, 3> PvtAxes::normalized(const PvtPoint& point) const {
+    return {normalizedCoord(process, point.process),
+            normalizedCoord(vdd, point.vdd),
+            normalizedCoord(temperatureC, point.temperatureC)};
+}
+
+std::vector<ProcessCorner> PvtAxes::corners() const {
+    validate();
+    std::vector<ProcessCorner> out;
+    out.reserve(cornerCount());
+    for (std::size_t i = 0; i < cornerCount(); ++i) {
+        out.push_back(cornerAtPvt(at(i)));
+    }
+    return out;
+}
+
+std::vector<std::size_t> PvtAxes::anchorIndices() const {
+    validate();
+    const std::size_t nt = temperatureC.size();
+    const std::size_t nv = vdd.size();
+    auto flat = [&](std::size_t ip, std::size_t iv, std::size_t it) {
+        return (ip * nv + iv) * nt + it;
+    };
+    auto ends = [](std::size_t n) {
+        return n == 1 ? std::vector<std::size_t>{0}
+                      : std::vector<std::size_t>{0, n - 1};
+    };
+    std::vector<std::size_t> anchors;
+    for (std::size_t ip : ends(process.size())) {
+        for (std::size_t iv : ends(nv)) {
+            for (std::size_t it : ends(nt)) {
+                anchors.push_back(flat(ip, iv, it));
+            }
+        }
+    }
+    anchors.push_back(flat((process.size() - 1) / 2, (nv - 1) / 2,
+                           (nt - 1) / 2));
+    std::sort(anchors.begin(), anchors.end());
+    anchors.erase(std::unique(anchors.begin(), anchors.end()), anchors.end());
+    return anchors;
+}
+
+double normalizedPvtDistance(const PvtAxes& axes, const PvtPoint& a,
+                             const PvtPoint& b) {
+    return distance3(axes.normalized(a), axes.normalized(b));
+}
+
+std::size_t nearestCornerIndex(const PvtAxes& axes, std::size_t target,
+                               const std::vector<std::size_t>& candidates) {
+    require(!candidates.empty(),
+            "nearestCornerIndex: empty candidate list");
+    const std::array<double, 3> t = axes.normalized(axes.at(target));
+    std::size_t best = candidates.front();
+    double bestDist = distance3(t, axes.normalized(axes.at(best)));
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        const std::size_t c = candidates[i];
+        const double d = distance3(t, axes.normalized(axes.at(c)));
+        if (d < bestDist || (d == bestDist && c < best)) {
+            best = c;
+            bestDist = d;
+        }
+    }
+    return best;
+}
+
+std::vector<SkewPoint> resampleByArcLength(
+    const std::vector<SkewPoint>& contour, std::size_t samples) {
+    require(!contour.empty(), "resampleByArcLength: empty contour");
+    require(samples >= 2, "resampleByArcLength: need at least 2 samples");
+    for (const SkewPoint& p : contour) {
+        require(std::isfinite(p.setup) && std::isfinite(p.hold),
+                "resampleByArcLength: non-finite contour point");
+    }
+
+    // Cumulative arc length along the polyline.
+    std::vector<double> cum(contour.size(), 0.0);
+    for (std::size_t i = 1; i < contour.size(); ++i) {
+        const double dx = contour[i].setup - contour[i - 1].setup;
+        const double dy = contour[i].hold - contour[i - 1].hold;
+        cum[i] = cum[i - 1] + std::sqrt(dx * dx + dy * dy);
+    }
+    const double total = cum.back();
+    std::vector<SkewPoint> out(samples);
+    if (total <= 0.0) {
+        std::fill(out.begin(), out.end(), contour.front());
+        return out;
+    }
+    std::size_t seg = 0;
+    for (std::size_t k = 0; k < samples; ++k) {
+        const double target =
+            total * static_cast<double>(k) / static_cast<double>(samples - 1);
+        while (seg + 2 < contour.size() && cum[seg + 1] < target) {
+            ++seg;
+        }
+        const double len = cum[seg + 1] - cum[seg];
+        const double t =
+            len > 0.0 ? std::clamp((target - cum[seg]) / len, 0.0, 1.0) : 0.0;
+        out[k].setup = contour[seg].setup +
+                       t * (contour[seg + 1].setup - contour[seg].setup);
+        out[k].hold =
+            contour[seg].hold + t * (contour[seg + 1].hold - contour[seg].hold);
+    }
+    return out;
+}
+
+CornerSurrogate::Model CornerSurrogate::buildModel(
+    const std::vector<std::array<double, 3>>& nodes,
+    const std::vector<std::vector<double>>& outputs) {
+    Model model;
+    model.nodes = nodes;
+    const std::size_t n = nodes.size();
+
+    // Tail columns only for coordinates that actually vary: a constant
+    // column duplicated by a degenerate coordinate would make the saddle
+    // system singular.
+    std::vector<int> varying;
+    for (int d = 0; d < 3; ++d) {
+        double lo = nodes.front()[d];
+        double hi = lo;
+        for (const auto& node : nodes) {
+            lo = std::min(lo, node[d]);
+            hi = std::max(hi, node[d]);
+        }
+        if (hi - lo > 1e-12) {
+            varying.push_back(d);
+        }
+    }
+
+    // Deterministic degradation ladder: quadratic tail, full linear tail,
+    // constant-only tail, bare RBF, nearest node. The first system that
+    // factorizes AND interpolates its own nodes wins. The quadratic rung
+    // is offered only when the node count comfortably exceeds the tail
+    // size: on a bare vertex lattice x^2 == x column-for-column and the
+    // saddle system is singular, and the r^3 kernel is only conditionally
+    // positive definite w.r.t. linears, so the quadratic-tail system is
+    // not guaranteed nonsingular — the reproduction check below catches
+    // the cases where it factors but cannot interpolate.
+    struct Attempt {
+        bool constant;
+        std::vector<int> dims;
+        std::vector<std::array<int, 2>> quad;
+    };
+    std::vector<std::array<int, 2>> quad;
+    for (std::size_t a = 0; a < varying.size(); ++a) {
+        for (std::size_t b = a; b < varying.size(); ++b) {
+            quad.push_back({varying[a], varying[b]});
+        }
+    }
+    std::vector<Attempt> attempts;
+    const std::size_t quadTail = 1 + varying.size() + quad.size();
+    if (!quad.empty() && n >= quadTail + 3) {
+        attempts.push_back({true, varying, quad});
+    }
+    attempts.push_back({true, varying, {}});
+    attempts.push_back({true, {}, {}});
+    attempts.push_back({false, {}, {}});
+    for (const Attempt& attempt : attempts) {
+        const std::size_t rows = n + (attempt.constant ? 1 : 0) +
+                                 attempt.dims.size() + attempt.quad.size();
+        Matrix a(rows, rows, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                a(i, j) = kernel(distance3(nodes[i], nodes[j]));
+            }
+            std::size_t col = n;
+            if (attempt.constant) {
+                a(i, col) = 1.0;
+                a(col, i) = 1.0;
+                ++col;
+            }
+            for (int d : attempt.dims) {
+                a(i, col) = nodes[i][d];
+                a(col, i) = nodes[i][d];
+                ++col;
+            }
+            for (const auto& q : attempt.quad) {
+                const double v = nodes[i][q[0]] * nodes[i][q[1]];
+                a(i, col) = v;
+                a(col, i) = v;
+                ++col;
+            }
+        }
+        if (!model.lu.factor(a)) {
+            continue;
+        }
+        model.constantTail = attempt.constant;
+        model.tailDims = attempt.dims;
+        model.quadTerms = attempt.quad;
+        model.rows = rows;
+        model.weights.clear();
+        model.weights.reserve(outputs.size());
+        for (const std::vector<double>& values : outputs) {
+            model.weights.push_back(solveWeights(model, values));
+        }
+        if (!attempt.quad.empty()) {
+            bool reproduces = true;
+            for (std::size_t c = 0; c < outputs.size() && reproduces; ++c) {
+                double scale = 0.0;
+                for (const double v : outputs[c]) {
+                    scale = std::max(scale, std::abs(v));
+                }
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double err = std::abs(
+                        evaluateModel(model, c, nodes[i]) - outputs[c][i]);
+                    if (!(err <= 1e-6 * scale)) {
+                        reproduces = false;
+                        break;
+                    }
+                }
+            }
+            if (!reproduces) {
+                continue;
+            }
+        }
+        return model;
+    }
+
+    // Every system was singular (coincident nodes): fall back to a
+    // nearest-node lookup, storing the raw outputs as "weights".
+    model.nearestOnly = true;
+    model.rows = n;
+    model.weights = outputs;
+    return model;
+}
+
+std::vector<double> CornerSurrogate::solveWeights(
+    const Model& model, const std::vector<double>& values) {
+    if (model.nearestOnly) {
+        return values;
+    }
+    Vector rhs(model.rows, 0.0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        rhs[i] = values[i];
+    }
+    const Vector solution = model.lu.solve(rhs);
+    std::vector<double> weights(model.rows);
+    for (std::size_t i = 0; i < model.rows; ++i) {
+        weights[i] = solution[i];
+    }
+    return weights;
+}
+
+double CornerSurrogate::evaluateModel(const Model& model, std::size_t output,
+                                      const std::array<double, 3>& x) {
+    const std::vector<double>& w = model.weights[output];
+    const std::size_t n = model.nodes.size();
+    if (model.nearestOnly) {
+        std::size_t best = 0;
+        double bestDist = distance3(x, model.nodes[0]);
+        for (std::size_t i = 1; i < n; ++i) {
+            const double d = distance3(x, model.nodes[i]);
+            if (d < bestDist) {
+                best = i;
+                bestDist = d;
+            }
+        }
+        return w[best];
+    }
+    double value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        value += w[i] * kernel(distance3(x, model.nodes[i]));
+    }
+    std::size_t col = n;
+    if (model.constantTail) {
+        value += w[col++];
+    }
+    for (int d : model.tailDims) {
+        value += w[col++] * x[d];
+    }
+    for (const auto& q : model.quadTerms) {
+        value += w[col++] * x[q[0]] * x[q[1]];
+    }
+    return value;
+}
+
+void CornerSurrogate::fit(std::vector<std::array<double, 3>> nodes,
+                          std::vector<std::vector<SkewPoint>> contours) {
+    require(!nodes.empty(), "CornerSurrogate::fit: no nodes");
+    require(nodes.size() == contours.size(),
+            "CornerSurrogate::fit: ", nodes.size(), " nodes vs ",
+            contours.size(), " contours");
+    const std::size_t k = contours.front().size();
+    require(k > 0, "CornerSurrogate::fit: empty contour");
+    for (const auto& node : nodes) {
+        require(std::isfinite(node[0]) && std::isfinite(node[1]) &&
+                    std::isfinite(node[2]),
+                "CornerSurrogate::fit: non-finite node coordinate");
+    }
+    for (const auto& contour : contours) {
+        require(contour.size() == k,
+                "CornerSurrogate::fit: contours must share one "
+                "control-point count (",
+                k, " vs ", contour.size(), ")");
+        for (const SkewPoint& p : contour) {
+            require(std::isfinite(p.setup) && std::isfinite(p.hold),
+                    "CornerSurrogate::fit: non-finite contour point");
+        }
+    }
+
+    nodes_ = std::move(nodes);
+    contours_ = std::move(contours);
+    controlPoints_ = k;
+    outputs_.assign(2 * k, std::vector<double>(nodes_.size(), 0.0));
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        for (std::size_t c = 0; c < k; ++c) {
+            outputs_[2 * c][i] = contours_[i][c].setup;
+            outputs_[2 * c + 1][i] = contours_[i][c].hold;
+        }
+    }
+    model_ = buildModel(nodes_, outputs_);
+}
+
+std::vector<SkewPoint> CornerSurrogate::predict(
+    const std::array<double, 3>& x) const {
+    require(fitted(), "CornerSurrogate::predict before fit");
+    std::vector<SkewPoint> contour(controlPoints_);
+    for (std::size_t c = 0; c < controlPoints_; ++c) {
+        contour[c].setup = evaluateModel(model_, 2 * c, x);
+        contour[c].hold = evaluateModel(model_, 2 * c + 1, x);
+    }
+    return contour;
+}
+
+double CornerSurrogate::predictScalar(
+    const std::array<double, 3>& x,
+    const std::vector<double>& nodeValues) const {
+    require(fitted(), "CornerSurrogate::predictScalar before fit");
+    require(nodeValues.size() == nodes_.size(),
+            "CornerSurrogate::predictScalar: ", nodeValues.size(),
+            " values vs ", nodes_.size(), " nodes");
+    Model scratch;
+    scratch.nodes = model_.nodes;
+    scratch.tailDims = model_.tailDims;
+    scratch.quadTerms = model_.quadTerms;
+    scratch.constantTail = model_.constantTail;
+    scratch.nearestOnly = model_.nearestOnly;
+    scratch.rows = model_.rows;
+    scratch.weights.push_back(solveWeights(model_, nodeValues));
+    // solveWeights reuses the already-factored fit matrix via model_.lu;
+    // evaluateModel only needs geometry + weights, so borrow them.
+    return evaluateModel(scratch, 0, x);
+}
+
+std::vector<double> CornerSurrogate::looErrors() const {
+    require(fitted(), "CornerSurrogate::looErrors before fit");
+    const std::size_t n = nodes_.size();
+    std::vector<double> errors(n, 0.0);
+    if (n < 3) {
+        return errors;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        std::vector<std::array<double, 3>> subNodes;
+        subNodes.reserve(n - 1);
+        std::vector<std::vector<double>> subOutputs(
+            outputs_.size(), std::vector<double>());
+        for (auto& column : subOutputs) {
+            column.reserve(n - 1);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == j) {
+                continue;
+            }
+            subNodes.push_back(nodes_[i]);
+            for (std::size_t c = 0; c < outputs_.size(); ++c) {
+                subOutputs[c].push_back(outputs_[c][i]);
+            }
+        }
+        const Model sub = buildModel(subNodes, subOutputs);
+        double worst = 0.0;
+        for (std::size_t c = 0; c < controlPoints_; ++c) {
+            const double ds =
+                evaluateModel(sub, 2 * c, nodes_[j]) - contours_[j][c].setup;
+            const double dh = evaluateModel(sub, 2 * c + 1, nodes_[j]) -
+                              contours_[j][c].hold;
+            worst = std::max(worst, std::sqrt(ds * ds + dh * dh));
+        }
+        errors[j] = worst;
+    }
+    return errors;
+}
+
+}  // namespace shtrace

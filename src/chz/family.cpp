@@ -19,36 +19,43 @@ ContourFamilyResult characterizeContourFamily(
     require(!options.degradations.empty(),
             "characterizeContourFamily: no degradation levels given");
     ContourFamilyResult result;
-    ScopedTimer timer(&result.stats);
 
     SeedOptions seedOpt = options.seed;
     for (double degradation : options.degradations) {
         ContourFamilyMember member;
         member.degradation = degradation;
+        {
+            // Each member accumulates its own cost (and wall clock); the
+            // result total is the merge, like the parallel batch drivers.
+            ScopedTimer timer(&member.stats);
 
-        CriterionOptions criterion = options.criterion;
-        criterion.degradation = degradation;
-        const CharacterizationProblem problem(fixture, criterion,
-                                              options.recipe, &result.stats);
-        result.characteristicClockToQ = problem.characteristicClockToQ();
-        member.tf = problem.tf();
+            CriterionOptions criterion = options.criterion;
+            criterion.degradation = degradation;
+            const CharacterizationProblem problem(
+                fixture, criterion, options.recipe, &member.stats);
+            result.characteristicClockToQ = problem.characteristicClockToQ();
+            member.tf = problem.tf();
 
-        member.seed = findSeedPoint(problem.h(), problem.passSign(), seedOpt,
-                                    &result.stats);
-        if (member.seed.found) {
-            SkewPoint seed = member.seed.seed;
-            seed.hold = std::clamp(seed.hold, options.tracer.bounds.holdMin,
-                                   options.tracer.bounds.holdMax);
-            member.contour = traceContour(problem.h(), seed, options.tracer,
-                                          &result.stats);
-            member.success = member.contour.seedConverged &&
-                             !member.contour.points.empty();
+            member.seed = findSeedPoint(problem.h(), problem.passSign(),
+                                        seedOpt, &member.stats);
+            if (member.seed.found) {
+                SkewPoint seed = member.seed.seed;
+                seed.hold =
+                    std::clamp(seed.hold, options.tracer.bounds.holdMin,
+                               options.tracer.bounds.holdMax);
+                member.contour = traceContour(problem.h(), seed,
+                                              options.tracer, &member.stats);
+                member.success = member.contour.seedConverged &&
+                                 !member.contour.points.empty();
 
-            // Warm start the next member: contours are nested, so the next
-            // setup asymptote is near (at most somewhat below) this one.
-            seedOpt.setupLo = 0.5 * member.seed.seed.setup;
-            seedOpt.setupHi = 2.0 * member.seed.seed.setup;
+                // Warm start the next member: contours are nested, so the
+                // next setup asymptote is near (at most somewhat below)
+                // this one.
+                seedOpt.setupLo = 0.5 * member.seed.seed.setup;
+                seedOpt.setupHi = 2.0 * member.seed.seed.setup;
+            }
         }
+        result.stats.merge(member.stats);
         result.members.push_back(std::move(member));
     }
     return result;

@@ -196,6 +196,9 @@ void writeLibertyLite(const std::vector<LibraryRow>& rows,
                 << " */\n  }\n";
             continue;
         }
+        if (!row.provenance.empty()) {
+            out << "    shtrace_provenance : " << row.provenance << ";\n";
+        }
         out << "    ff (IQ) { clocked_on : \"CLK\"; next_state : \"D\"; }\n";
         out << "    pin (Q) {\n"
             << "      timing () {\n"

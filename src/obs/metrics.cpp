@@ -63,6 +63,9 @@ constexpr std::array<GaugeDef, kGaugeCount> kGaugeDefs{{
      "Admitted characterization requests waiting for a worker."},
     {"shtrace_serve_inflight",
      "Characterization requests currently executing on a worker."},
+    {"shtrace_corner_surrogate_max_error_seconds",
+     "Max acquisition score among surrogate-accepted corners of the most "
+     "recent corner-family run (seconds)."},
 }};
 
 constexpr std::size_t kCountCount = static_cast<std::size_t>(Count::kCount);
@@ -89,6 +92,12 @@ constexpr std::array<CountDef, kCountCount> kCountDefs{{
      "Leader characterization computations executed by workers."},
     {"shtrace_serve_drained_jobs_total",
      "Jobs completed after graceful drain began."},
+    {"shtrace_corner_anchors_traced_total",
+     "Anchor corners fully traced by the corner-family driver."},
+    {"shtrace_corner_escalated_total",
+     "Corners escalated to a full trace by the acquisition score."},
+    {"shtrace_corner_surrogate_accepted_total",
+     "Corners filled by the cross-corner surrogate without a trace."},
 }};
 
 struct HistShard {

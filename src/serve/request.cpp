@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "shtrace/util/hexfloat.hpp"
+
 #include "shtrace/cells/c2mos.hpp"
 #include "shtrace/cells/latch.hpp"
 #include "shtrace/cells/tg_dff.hpp"
@@ -175,12 +177,7 @@ CellKnobs parseCellKnobs(Fields& f) {
 }
 
 RegisterFixture buildCell(const std::string& cell,
-                          const ProcessCorner& corner,
-                          const JsonValue* optionsNode) {
-    JsonValue empty = JsonValue::object();
-    Fields f(optionsNode != nullptr ? *optionsNode : empty, "cellOptions");
-    const CellKnobs k = parseCellKnobs(f);
-    f.finish();
+                          const ProcessCorner& corner, const CellKnobs& k) {
     if (cell == "tspc") {
         TspcOptions o;
         o.corner = corner;
@@ -354,6 +351,57 @@ void parseSeed(const JsonValue* node, SeedOptions* s) {
     }
 }
 
+std::vector<double> takeAxis(Fields& f, const std::string& name,
+                             std::vector<double> fallback) {
+    const JsonValue* v = f.take(name);
+    if (v == nullptr) {
+        return fallback;
+    }
+    if (!v->isArray()) {
+        throw BadRequestError("pvtSweep." + name +
+                              " must be an array of numbers");
+    }
+    std::vector<double> out;
+    out.reserve(v->asArray().size());
+    for (const JsonValue& e : v->asArray()) {
+        if (!e.isNumber() || !std::isfinite(e.asNumber())) {
+            throw BadRequestError("pvtSweep." + name +
+                                  " must contain finite numbers");
+        }
+        out.push_back(e.asNumber());
+    }
+    return out;
+}
+
+/// Fills the sweep fields from a "pvtSweep" block. The grid's own corner
+/// synthesis replaces the single "corner" block; the surrogate knobs ride
+/// in config.corners.
+void parsePvtSweep(const JsonValue& node, ServeRequest* request) {
+    Fields f(node, "pvtSweep");
+    PvtAxes& axes = request->sweepAxes;
+    axes.process = takeAxis(f, "process", axes.process);
+    axes.vdd = takeAxis(f, "vdd", axes.vdd);
+    axes.temperatureC = takeAxis(f, "temperatureC", axes.temperatureC);
+    CornerSweepOptions& corners = request->config.corners;
+    corners.anchorsAll = f.takeBool("anchorsAll", corners.anchorsAll);
+    corners.tolerance = f.takeNumber("tolerance", corners.tolerance);
+    corners.maxEscalations =
+        f.takeInt("maxEscalations", corners.maxEscalations);
+    corners.controlPoints = f.takeInt("controlPoints", corners.controlPoints);
+    corners.maxRounds = f.takeInt("maxRounds", corners.maxRounds);
+    corners.probeResidual = f.takeBool("probeResidual", corners.probeResidual);
+    f.finish();
+    if (corners.controlPoints < 2 || corners.controlPoints > 4096) {
+        throw BadRequestError("pvtSweep.controlPoints must be in [2, 4096]");
+    }
+    try {
+        axes.validate();
+    } catch (const Error& e) {
+        throw BadRequestError(e.what());
+    }
+    request->sweep = true;
+}
+
 }  // namespace
 
 ServeRequest parseServeRequest(const std::string& body,
@@ -374,11 +422,37 @@ ServeRequest parseServeRequest(const std::string& body,
     }
     const bool warmStart = f.takeBool("warmStart", true);
 
-    const ProcessCorner corner = parseCorner(f.take("corner"));
-    request.fixture =
-        buildCell(request.cell, corner, f.take("cellOptions"));
+    const JsonValue* sweepNode = f.take("pvtSweep");
+    const JsonValue* cornerNode = f.take("corner");
+    if (sweepNode != nullptr && cornerNode != nullptr) {
+        throw BadRequestError(
+            "pvtSweep and corner are mutually exclusive (the grid defines "
+            "the corners)");
+    }
+
+    JsonValue emptyOptions = JsonValue::object();
+    const JsonValue* optionsNode = f.take("cellOptions");
+    Fields cellFields(optionsNode != nullptr ? *optionsNode : emptyOptions,
+                      "cellOptions");
+    const CellKnobs knobs = parseCellKnobs(cellFields);
+    cellFields.finish();
 
     RunConfig& config = request.config;
+    if (sweepNode != nullptr) {
+        parsePvtSweep(*sweepNode, &request);
+        request.sweepBuilder = [cell = request.cell,
+                                knobs](const ProcessCorner& corner) {
+            return buildCell(cell, corner, knobs);
+        };
+        // Representative fixture (first grid corner): validates the cell
+        // spelling now and anchors the coalescing key to the physics.
+        request.fixture =
+            request.sweepBuilder(cornerAtPvt(request.sweepAxes.at(0)));
+    } else {
+        const ProcessCorner corner = parseCorner(cornerNode);
+        request.fixture = buildCell(request.cell, corner, knobs);
+    }
+
     parseCriterion(f.take("criterion"), &config.criterion);
     parseRecipe(f.take("recipe"), &config.recipe);
     parseTracer(f.take("tracer"), &config.tracer);
@@ -393,6 +467,34 @@ ServeRequest parseServeRequest(const std::string& body,
     config.cachePolicy = CachePolicy::ReadWrite;
 
     request.key = store::characterizeKey(request.fixture, config);
+    if (request.sweep) {
+        // Fold the grid geometry and surrogate strategy into the
+        // coalescing key: two sweeps may only share a computation when
+        // they would produce byte-identical results.
+        store::Fnv1a h;
+        h.update("pvt_sweep\n").update(store::toHexKey(request.key.full));
+        for (const std::vector<double>* axis :
+             {&request.sweepAxes.process, &request.sweepAxes.vdd,
+              &request.sweepAxes.temperatureC}) {
+            h.update("\naxis");
+            for (const double v : *axis) {
+                h.update(" ").update(toHexFloat(v));
+            }
+        }
+        const CornerSweepOptions& corners = config.corners;
+        h.update("\nstrategy ")
+            .update(corners.anchorsAll ? "all" : "anchors")
+            .update(" ")
+            .update(toHexFloat(corners.tolerance))
+            .update(" ")
+            .update(std::to_string(corners.maxEscalations))
+            .update(" ")
+            .update(std::to_string(corners.controlPoints))
+            .update(" ")
+            .update(std::to_string(corners.maxRounds))
+            .update(corners.probeResidual ? " probe" : " noprobe");
+        request.key.full = h.value();
+    }
     return request;
 }
 
@@ -442,6 +544,91 @@ std::string renderServeResponse(const ServeRequest& request,
     stats.set("luFactorizations", JsonValue(s.luFactorizations));
     stats.set("hEvaluations", JsonValue(s.hEvaluations));
     stats.set("mpnrIterations", JsonValue(s.mpnrIterations));
+    stats.set("cacheHits", JsonValue(s.cacheHits));
+    stats.set("cacheMisses", JsonValue(s.cacheMisses));
+    stats.set("cacheWarmStarts", JsonValue(s.cacheWarmStarts));
+    stats.set("wallSeconds", JsonValue(s.wallSeconds));
+    out.set("stats", std::move(stats));
+
+    JsonValue served = JsonValue::object();
+    served.set("coalesced", JsonValue(disposition.coalesced));
+    served.set("cacheHit", JsonValue(s.cacheHits > 0));
+    served.set("warmStart", JsonValue(s.cacheWarmStarts > 0));
+    served.set("queueMillis", JsonValue(disposition.queueMillis));
+    served.set("computeMillis", JsonValue(disposition.computeMillis));
+    out.set("served", std::move(served));
+
+    return writeJson(out);
+}
+
+std::string renderPvtSweepResponse(const ServeRequest& request,
+                                   const CornerFamilyResult& result,
+                                   const ServeDisposition& disposition) {
+    JsonValue out = JsonValue::object();
+    out.set("ok", JsonValue(result.allSucceeded()));
+    out.set("cell", JsonValue(request.cell));
+    out.set("key", JsonValue(store::toHexKey(request.key.full)));
+
+    const auto axisArray = [](const std::vector<double>& axis) {
+        JsonValue arr = JsonValue::array();
+        for (const double v : axis) {
+            arr.push(JsonValue(v));
+        }
+        return arr;
+    };
+    JsonValue grid = JsonValue::object();
+    grid.set("process", axisArray(result.axes.process));
+    grid.set("vdd", axisArray(result.axes.vdd));
+    grid.set("temperatureC", axisArray(result.axes.temperatureC));
+    out.set("grid", std::move(grid));
+
+    JsonValue sweep = JsonValue::object();
+    sweep.set("corners", JsonValue(static_cast<std::uint64_t>(
+                             result.rows.size())));
+    sweep.set("anchorsTraced",
+              JsonValue(static_cast<std::uint64_t>(result.anchorsTraced)));
+    sweep.set("escalated",
+              JsonValue(static_cast<std::uint64_t>(result.escalated)));
+    sweep.set("surrogateAccepted", JsonValue(static_cast<std::uint64_t>(
+                                       result.surrogateAccepted)));
+    sweep.set("tracedFraction",
+              JsonValue(result.rows.empty()
+                            ? 0.0
+                            : static_cast<double>(result.tracedCount()) /
+                                  static_cast<double>(result.rows.size())));
+    sweep.set("rounds", JsonValue(result.rounds));
+    sweep.set("converged", JsonValue(result.converged));
+    sweep.set("surrogateMaxScore", JsonValue(result.surrogateMaxScore));
+    out.set("sweep", std::move(sweep));
+
+    JsonValue corners = JsonValue::array();
+    for (const CornerFamilyRow& row : result.rows) {
+        JsonValue c = JsonValue::object();
+        c.set("corner", JsonValue(row.corner));
+        c.set("ok", JsonValue(row.success));
+        c.set("provenance", JsonValue(toString(row.provenance)));
+        c.set("anchor", JsonValue(row.anchor));
+        if (!row.success) {
+            c.set("error", JsonValue(row.failureReason));
+        }
+        c.set("characteristicClockToQ",
+              JsonValue(row.characteristicClockToQ));
+        c.set("setupTime", JsonValue(row.setupTime));
+        c.set("holdTime", JsonValue(row.holdTime));
+        c.set("contourPoints",
+              JsonValue(static_cast<std::uint64_t>(row.contour.size())));
+        c.set("acquisitionScore", JsonValue(row.acquisitionScore));
+        c.set("warmStartCorner", JsonValue(row.warmStartCorner));
+        c.set("transients", JsonValue(row.transientCount));
+        c.set("wallSeconds", JsonValue(row.stats.wallSeconds));
+        corners.push(std::move(c));
+    }
+    out.set("corners", std::move(corners));
+
+    const SimStats& s = result.stats;
+    JsonValue stats = JsonValue::object();
+    stats.set("transientSolves", JsonValue(s.transientSolves));
+    stats.set("hEvaluations", JsonValue(s.hEvaluations));
     stats.set("cacheHits", JsonValue(s.cacheHits));
     stats.set("cacheMisses", JsonValue(s.cacheMisses));
     stats.set("cacheWarmStarts", JsonValue(s.cacheWarmStarts));

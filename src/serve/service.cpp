@@ -63,9 +63,14 @@ struct CharacterizationService::Job {
 
     // Written by the worker, read by waiters (synchronized via future).
     CharacterizeResult result;
+    CornerFamilyResult sweepResult;  ///< filled instead when request.sweep
     std::exception_ptr error;
     double queueMillis = 0.0;
     double computeMillis = 0.0;
+
+    const SimStats& stats() const {
+        return request.sweep ? sweepResult.stats : result.stats;
+    }
 };
 
 bool CharacterizationService::JobOrder::operator()(
@@ -168,8 +173,15 @@ CharacterizationService::Outcome CharacterizationService::characterize(
         // Followers render against the leader's request (identical key,
         // possibly different label/priority spelling -- the physics is
         // what is shared).
-        body = renderServeResponse(job->request, job->result, disposition);
-        ok = job->result.success;
+        if (job->request.sweep) {
+            body = renderPvtSweepResponse(job->request, job->sweepResult,
+                                          disposition);
+            ok = job->sweepResult.allSucceeded();
+        } else {
+            body = renderServeResponse(job->request, job->result,
+                                       disposition);
+            ok = job->result.success;
+        }
     }
 
     {
@@ -272,13 +284,19 @@ void CharacterizationService::runJob(const std::shared_ptr<Job>& job) {
     obs::observe(obs::Hist::ServeQueueWaitMilliseconds, job->queueMillis);
 
     try {
-        job->result =
-            characterizeInterdependent(job->request.fixture,
-                                       job->request.config);
+        if (job->request.sweep) {
+            job->sweepResult = characterizeCornerFamily(
+                job->request.sweepAxes, job->request.sweepBuilder,
+                job->request.config);
+        } else {
+            job->result =
+                characterizeInterdependent(job->request.fixture,
+                                           job->request.config);
+        }
         // The registry's run counters are normally published by the
         // metrics-file writer; a long-running service publishes after
         // every computation so GET /metrics is live.
-        obs::addRunCounters(job->result.stats);
+        obs::addRunCounters(job->stats());
     } catch (...) {
         job->error = std::current_exception();
     }
@@ -289,10 +307,10 @@ void CharacterizationService::runJob(const std::shared_ptr<Job>& job) {
         ++counters_.computed;
         obs::addCount(obs::Count::ServeComputed);
         if (job->error == nullptr) {
-            if (job->result.stats.cacheHits > 0) {
+            if (job->stats().cacheHits > 0) {
                 ++counters_.cacheHits;
             }
-            if (job->result.stats.cacheWarmStarts > 0) {
+            if (job->stats().cacheWarmStarts > 0) {
                 ++counters_.warmStarts;
             }
         }

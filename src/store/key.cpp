@@ -215,6 +215,22 @@ CacheKey independentRowKey(const RegisterFixture& fixture,
     return key;
 }
 
+CacheKey cornerRowKey(const RegisterFixture& fixture,
+                      const RunConfig& config) {
+    std::ostringstream os;
+    os << "format " << kFormatVersion << '\n' << "kind corner_row\n"
+       << canonicalFixture(fixture) << canonicalCriterion(config.criterion)
+       << canonicalRecipe(config.recipe) << canonicalSeed(config.seed)
+       << canonicalTracer(config.tracer);
+    CacheKey key;
+    key.full = Fnv1a().update(os.str()).value();
+    key.problem =
+        Fnv1a()
+            .update(problemText(fixture, config.criterion, config.recipe))
+            .value();
+    return key;
+}
+
 CacheKey surfaceKey(const RegisterFixture& fixture, const RunConfig& config,
                     const SurfaceMethodOptions& options) {
     std::ostringstream os;

@@ -447,6 +447,7 @@ std::string serializeLibraryRow(const LibraryRow& row) {
     os << "library_row " << (row.success ? 1 : 0) << '\n';
     os << "cell " << quoted(row.cell) << '\n';
     os << "reason " << quoted(row.failureReason) << '\n';
+    os << "provenance " << quoted(row.provenance) << '\n';
     os << "values " << toHexFloat(row.characteristicClockToQ) << ' '
        << toHexFloat(row.setupTime) << ' ' << toHexFloat(row.holdTime)
        << '\n';
@@ -462,6 +463,7 @@ LibraryRow deserializeLibraryRow(const std::string& text) {
     row.success = boolean(r.fields("library_row", 1)[0]);
     row.cell = unquoted(r.tagged("cell"));
     row.failureReason = unquoted(r.tagged("reason"));
+    row.provenance = unquoted(r.tagged("provenance"));
     const auto v = r.fields("values", 3);
     row.characteristicClockToQ = num(v[0]);
     row.setupTime = num(v[1]);
@@ -593,6 +595,51 @@ SurfaceMethodResult deserializeSurfaceResult(const std::string& text) {
     return result;
 }
 
+std::string serializeCornerRow(const CornerFamilyRow& row) {
+    std::ostringstream os;
+    os << "corner_row " << (row.success ? 1 : 0) << ' ' << row.transientCount
+       << '\n';
+    os << "provenance " << toString(row.provenance) << '\n';
+    os << "corner " << quoted(row.corner) << '\n';
+    os << "reason " << quoted(row.failureReason) << '\n';
+    os << "point " << toHexFloat(row.point.process) << ' '
+       << toHexFloat(row.point.vdd) << ' '
+       << toHexFloat(row.point.temperatureC) << '\n';
+    os << "score " << toHexFloat(row.acquisitionScore) << '\n';
+    os << "values " << toHexFloat(row.characteristicClockToQ) << ' '
+       << toHexFloat(row.setupTime) << ' ' << toHexFloat(row.holdTime)
+       << '\n';
+    writePoints(os, row.contour);
+    return os.str();
+}
+
+CornerFamilyRow deserializeCornerRow(const std::string& text) {
+    Reader r(text);
+    CornerFamilyRow row;
+    const auto head = r.fields("corner_row", 2);
+    row.success = boolean(head[0]);
+    row.transientCount = static_cast<int>(integer(head[1]));
+    bool ok = false;
+    row.provenance = cornerProvenanceFromString(r.tagged("provenance"), ok);
+    if (!ok) {
+        throw StoreFormatError("bad corner provenance");
+    }
+    row.corner = unquoted(r.tagged("corner"));
+    row.failureReason = unquoted(r.tagged("reason"));
+    const auto p = r.fields("point", 3);
+    row.point.process = num(p[0]);
+    row.point.vdd = num(p[1]);
+    row.point.temperatureC = num(p[2]);
+    row.acquisitionScore = num(r.fields("score", 1)[0]);
+    const auto v = r.fields("values", 3);
+    row.characteristicClockToQ = num(v[0]);
+    row.setupTime = num(v[1]);
+    row.holdTime = num(v[2]);
+    row.contour = readPoints(r);
+    r.expectEnd();
+    return row;
+}
+
 std::vector<SkewPoint> contourOfEntry(const StoreEntry& entry) {
     try {
         if (entry.kind == kKindCharacterize) {
@@ -600,6 +647,9 @@ std::vector<SkewPoint> contourOfEntry(const StoreEntry& entry) {
         }
         if (entry.kind == kKindLibraryRow) {
             return deserializeLibraryRow(entry.payload).contour;
+        }
+        if (entry.kind == kKindCornerRow) {
+            return deserializeCornerRow(entry.payload).contour;
         }
     } catch (const StoreFormatError&) {
         // A malformed near-hit is not worth failing a run over.

@@ -1,0 +1,463 @@
+// Tests for the cross-corner surrogate math (corner_surrogate.hpp) and
+// the corner-family driver (corner_family.hpp): grids and donor metric,
+// arc-length resampling, linear-exact interpolation with leave-one-out
+// errors, fault injection (a failed anchor never poisons the surrogate),
+// exhaustive bit-identity with sweepPvtCorners, donor determinism across
+// thread counts, the corner_row store round trip, and Liberty-lite
+// provenance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "shtrace/cells/tspc.hpp"
+#include "shtrace/chz/corner_family.hpp"
+#include "shtrace/store/serialize.hpp"
+
+namespace shtrace {
+namespace {
+
+RegisterFixture buildTspcAt(const ProcessCorner& corner) {
+    TspcOptions opt;
+    opt.corner = corner;
+    return buildTspcRegister(opt);
+}
+
+/// A process-only grid (vdd and temperature degenerate), the cheapest
+/// shape that still exercises anchors / escalation / surrogate fill.
+PvtAxes processAxis(std::vector<double> values) {
+    PvtAxes axes;
+    axes.process = std::move(values);
+    return axes;
+}
+
+/// Contour-mode config kept cheap: few points, the known TSPC window.
+RunConfig cheapContourConfig() {
+    RunConfig config;
+    config.tracer.maxPoints = 6;
+    config.tracer.bounds = SkewBounds{120e-12, 560e-12, 60e-12, 460e-12};
+    return config;
+}
+
+TEST(CornerAtPvt, BlendsProcessAndAppliesOverrides) {
+    const ProcessCorner ss = cornerAtPvt({-1.0, 2.25, 27.0});
+    const ProcessCorner tt = cornerAtPvt({0.0, 2.5, 27.0});
+    const ProcessCorner ff = cornerAtPvt({1.0, 2.75, 27.0});
+    // FF is fast (low thresholds, high gain), SS the opposite.
+    EXPECT_LT(ff.vtn, tt.vtn);
+    EXPECT_GT(ss.vtn, tt.vtn);
+    EXPECT_GT(ff.kpn, tt.kpn);
+    EXPECT_LT(ss.kpn, tt.kpn);
+    // The explicit vdd override is exact.
+    EXPECT_DOUBLE_EQ(ss.vdd, 2.25);
+    EXPECT_DOUBLE_EQ(ff.vdd, 2.75);
+    // The name is self-describing.
+    EXPECT_EQ(cornerAtPvt({0.5, 2.4, 85.0}).name, "P+0.50/V2.400/T+085");
+    // A midpoint blend lands between its neighbors.
+    const ProcessCorner half = cornerAtPvt({0.5, 2.5, 27.0});
+    EXPECT_LT(half.vtn, tt.vtn);
+    EXPECT_GT(half.vtn, ff.vtn);
+}
+
+TEST(PvtAxes, IndexingRoundTripsAndValidates) {
+    PvtAxes axes;
+    axes.process = {-1.0, 0.0, 1.0};
+    axes.vdd = {2.25, 2.75};
+    axes.temperatureC = {-40.0, 27.0, 125.0};
+    axes.validate();
+    ASSERT_EQ(axes.cornerCount(), 18u);
+    for (std::size_t i = 0; i < axes.cornerCount(); ++i) {
+        const PvtPoint p = axes.at(i);
+        // Process-major flat index: index = (ip*nv + iv)*nt + it.
+        const std::size_t it = i % 3, iv = (i / 3) % 2, ip = i / 6;
+        EXPECT_DOUBLE_EQ(p.process, axes.process[ip]);
+        EXPECT_DOUBLE_EQ(p.vdd, axes.vdd[iv]);
+        EXPECT_DOUBLE_EQ(p.temperatureC, axes.temperatureC[it]);
+    }
+
+    PvtAxes bad;
+    bad.process = {};
+    EXPECT_THROW(bad.validate(), Error);
+    bad.process = {1.0, 0.0};
+    EXPECT_THROW(bad.validate(), Error);
+    bad.process = {0.0, 0.0};
+    EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(PvtAxes, NormalizedIgnoresDegenerateAxes) {
+    const PvtAxes axes = processAxis({-1.0, 0.0, 1.0});
+    const auto lo = axes.normalized(axes.at(0));
+    const auto mid = axes.normalized(axes.at(1));
+    const auto hi = axes.normalized(axes.at(2));
+    EXPECT_DOUBLE_EQ(lo[0], 0.0);
+    EXPECT_DOUBLE_EQ(mid[0], 0.5);
+    EXPECT_DOUBLE_EQ(hi[0], 1.0);
+    // Degenerate vdd / temperature axes contribute exactly 0.
+    EXPECT_DOUBLE_EQ(lo[1], 0.0);
+    EXPECT_DOUBLE_EQ(hi[2], 0.0);
+}
+
+TEST(PvtAxes, AnchorsAreVerticesPlusCenter) {
+    PvtAxes axes;
+    axes.process = {-1.0, 0.0, 1.0};
+    axes.temperatureC = {-40.0, 27.0, 125.0};
+    // 3x1x3 grid: vertices {0,2,6,8} + index-center (1,0,1) -> 4.
+    EXPECT_EQ(axes.anchorIndices(),
+              (std::vector<std::size_t>{0, 2, 4, 6, 8}));
+    // A degenerate 1x1x1 grid has a single anchor.
+    EXPECT_EQ(PvtAxes{}.anchorIndices(), (std::vector<std::size_t>{0}));
+}
+
+TEST(NearestCorner, TieBreaksTowardSmallerIndex) {
+    const PvtAxes axes = processAxis({-1.0, -0.5, 0.0, 0.5, 1.0});
+    // Corner 1 is equidistant from 0 and 2: the smaller index wins.
+    EXPECT_EQ(nearestCornerIndex(axes, 1, {0, 2, 4}), 0u);
+    EXPECT_EQ(nearestCornerIndex(axes, 1, {4, 2, 0}), 0u);
+    // Corner 3 ties between 2 and 4.
+    EXPECT_EQ(nearestCornerIndex(axes, 3, {0, 2, 4}), 2u);
+    // A strictly nearer candidate wins regardless of order.
+    EXPECT_EQ(nearestCornerIndex(axes, 4, {0, 2}), 2u);
+    EXPECT_THROW(nearestCornerIndex(axes, 0, {}), Error);
+}
+
+TEST(ArcLengthResample, UniformSpacingAndRoundTrip) {
+    // A straight segment sampled very non-uniformly.
+    const std::vector<SkewPoint> line{
+        {0.0, 0.0}, {1e-12, 1e-12}, {90e-12, 90e-12}, {100e-12, 100e-12}};
+    const auto even = resampleByArcLength(line, 5);
+    ASSERT_EQ(even.size(), 5u);
+    // Endpoints preserved, interior points equally spaced in arc length.
+    EXPECT_DOUBLE_EQ(even.front().setup, 0.0);
+    EXPECT_DOUBLE_EQ(even.back().setup, 100e-12);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_NEAR(even[i].setup, 25e-12 * static_cast<double>(i), 1e-24);
+        EXPECT_NEAR(even[i].hold, 25e-12 * static_cast<double>(i), 1e-24);
+    }
+    // Resampling an already-uniform polyline is idempotent.
+    const auto again = resampleByArcLength(even, 5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_NEAR(again[i].setup, even[i].setup, 1e-24);
+        EXPECT_NEAR(again[i].hold, even[i].hold, 1e-24);
+    }
+}
+
+TEST(ArcLengthResample, DegenerateContoursReplicate) {
+    const auto single = resampleByArcLength({{5e-12, 7e-12}}, 4);
+    ASSERT_EQ(single.size(), 4u);
+    for (const SkewPoint& p : single) {
+        EXPECT_DOUBLE_EQ(p.setup, 5e-12);
+        EXPECT_DOUBLE_EQ(p.hold, 7e-12);
+    }
+    // Zero total arc length (repeated point) also replicates.
+    const auto repeated =
+        resampleByArcLength({{5e-12, 7e-12}, {5e-12, 7e-12}}, 3);
+    EXPECT_DOUBLE_EQ(repeated[2].hold, 7e-12);
+    EXPECT_THROW(resampleByArcLength({}, 4), Error);
+    EXPECT_THROW(resampleByArcLength({{0.0, 0.0}}, 1), Error);
+}
+
+/// An analytically-known family: every control point depends LINEARLY on
+/// the normalized coordinates, which the polyharmonic + linear-tail
+/// interpolant must reproduce exactly (up to solver roundoff).
+std::vector<SkewPoint> linearFamilyContour(const std::array<double, 3>& x,
+                                           std::size_t points) {
+    std::vector<SkewPoint> contour;
+    contour.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double t =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        contour.push_back(
+            {(100.0 + 200.0 * t + 40.0 * x[0] - 25.0 * x[1] + 10.0 * x[2]) *
+                 1e-12,
+             (400.0 - 300.0 * t - 15.0 * x[0] + 30.0 * x[1] - 5.0 * x[2]) *
+                 1e-12});
+    }
+    return contour;
+}
+
+std::vector<std::array<double, 3>> cubeNodes() {
+    std::vector<std::array<double, 3>> nodes;
+    for (const double a : {0.0, 1.0}) {
+        for (const double b : {0.0, 1.0}) {
+            for (const double c : {0.0, 1.0}) {
+                nodes.push_back({a, b, c});
+            }
+        }
+    }
+    nodes.push_back({0.5, 0.5, 0.5});
+    return nodes;
+}
+
+TEST(CornerSurrogate, ReproducesLinearFamiliesExactly) {
+    const auto nodes = cubeNodes();
+    std::vector<std::vector<SkewPoint>> contours;
+    for (const auto& node : nodes) {
+        contours.push_back(linearFamilyContour(node, 8));
+    }
+    CornerSurrogate surrogate;
+    surrogate.fit(nodes, contours);
+    ASSERT_TRUE(surrogate.fitted());
+    EXPECT_EQ(surrogate.nodeCount(), 9u);
+    EXPECT_EQ(surrogate.controlPoints(), 8u);
+
+    // An untrained interior point: linear reproduction is exact.
+    const std::array<double, 3> x{0.3, 0.7, 0.2};
+    const auto expected = linearFamilyContour(x, 8);
+    const auto predicted = surrogate.predict(x);
+    ASSERT_EQ(predicted.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(predicted[i].setup, expected[i].setup, 1e-22);
+        EXPECT_NEAR(predicted[i].hold, expected[i].hold, 1e-22);
+    }
+    // And so is a linear scalar field interpolated through the same fit.
+    std::vector<double> field;
+    for (const auto& node : nodes) {
+        field.push_back(3.0 + 2.0 * node[0] - node[1] + 0.5 * node[2]);
+    }
+    EXPECT_NEAR(surrogate.predictScalar(x, field),
+                3.0 + 2.0 * x[0] - x[1] + 0.5 * x[2], 1e-9);
+}
+
+TEST(CornerSurrogate, LooErrorsVanishOnLinearFamilies) {
+    const auto nodes = cubeNodes();
+    std::vector<std::vector<SkewPoint>> contours;
+    for (const auto& node : nodes) {
+        contours.push_back(linearFamilyContour(node, 6));
+    }
+    CornerSurrogate surrogate;
+    surrogate.fit(nodes, contours);
+    const std::vector<double> loo = surrogate.looErrors();
+    ASSERT_EQ(loo.size(), 9u);
+    for (const double e : loo) {
+        EXPECT_LT(e, 1e-20);  // exact modulo roundoff, on a 1e-10 scale
+    }
+}
+
+TEST(CornerSurrogate, LooFlagsTheNonlinearNode) {
+    // Eight linear nodes plus one corrupted contour: leave-one-out must
+    // rank the corrupted node's error far above the linear ones.
+    auto nodes = cubeNodes();
+    std::vector<std::vector<SkewPoint>> contours;
+    for (const auto& node : nodes) {
+        contours.push_back(linearFamilyContour(node, 6));
+    }
+    for (SkewPoint& p : contours.back()) {
+        p.hold += 50e-12;
+    }
+    CornerSurrogate surrogate;
+    surrogate.fit(nodes, contours);
+    const std::vector<double> loo = surrogate.looErrors();
+    const std::size_t last = loo.size() - 1;
+    for (std::size_t i = 0; i + 1 < loo.size(); ++i) {
+        EXPECT_LT(loo[i], loo[last]);
+    }
+    EXPECT_GT(loo[last], 10e-12);
+}
+
+TEST(CornerSurrogate, DegradesToNearestNodeOnDegenerateFits) {
+    // Two coincident-coordinate nodes defeat every tail and the RBF
+    // matrix itself; the deterministic fallback is nearest-node lookup.
+    CornerSurrogate surrogate;
+    surrogate.fit({{0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}},
+                  {{{100e-12, 200e-12}}, {{300e-12, 400e-12}}});
+    ASSERT_TRUE(surrogate.fitted());
+    const auto p = surrogate.predict({0.0, 0.0, 0.0});
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_TRUE(std::isfinite(p[0].setup));
+    EXPECT_TRUE(std::isfinite(p[0].hold));
+}
+
+TEST(CornerFamily, ExhaustiveModeMatchesPvtSweepBitIdentically) {
+    const PvtAxes axes = processAxis({-1.0, 0.0, 1.0});
+    RunConfig config;
+    config.traceContours = false;  // independent numbers only
+
+    const CornerFamilyResult family =
+        characterizeCornerFamily(axes, buildTspcAt, config);
+    const PvtSweepResult sweep =
+        sweepPvtCorners(axes.corners(), buildTspcAt, config);
+
+    ASSERT_EQ(family.rows.size(), sweep.rows.size());
+    EXPECT_EQ(family.anchorsTraced, 3u);
+    EXPECT_EQ(family.surrogateAccepted, 0u);
+    for (std::size_t i = 0; i < sweep.rows.size(); ++i) {
+        const CornerFamilyRow& a = family.rows[i];
+        const PvtCornerResult& b = sweep.rows[i];
+        EXPECT_TRUE(a.success) << a.corner;
+        EXPECT_EQ(a.corner, b.corner);
+        EXPECT_EQ(a.provenance, CornerProvenance::Traced);
+        // Bit-identical: the family driver DELEGATES, it does not
+        // reimplement.
+        EXPECT_EQ(a.characteristicClockToQ, b.characteristicClockToQ);
+        EXPECT_EQ(a.setupTime, b.setupTime);
+        EXPECT_EQ(a.holdTime, b.holdTime);
+        EXPECT_EQ(a.transientCount, b.transientCount);
+    }
+}
+
+TEST(CornerFamily, FailedAnchorIsExcludedNotPoisoning) {
+    const PvtAxes axes = processAxis({-1.0, -0.5, 0.0, 0.5, 1.0});
+    RunConfig config = cheapContourConfig();
+    config.corners.probeResidual = false;  // pure-surrogate acceptance
+
+    const auto builder = [](const ProcessCorner& corner) -> RegisterFixture {
+        if (corner.name.find("P-1.00") != std::string::npos) {
+            throw NumericalError("injected anchor failure");
+        }
+        return buildTspcAt(corner);
+    };
+    const CornerFamilyResult result =
+        characterizeCornerFamily(axes, builder, config);
+
+    ASSERT_EQ(result.rows.size(), 5u);
+    EXPECT_FALSE(result.rows[0].success);
+    EXPECT_TRUE(result.rows[0].anchor);
+    EXPECT_FALSE(result.allSucceeded());
+    // The two surviving anchors still feed the surrogate; the untraced
+    // corners are filled, finite, and flagged as surrogate.
+    for (const std::size_t i : {1u, 3u}) {
+        const CornerFamilyRow& row = result.rows[i];
+        EXPECT_TRUE(row.success) << row.corner;
+        EXPECT_EQ(row.provenance, CornerProvenance::Surrogate);
+        ASSERT_FALSE(row.contour.empty());
+        for (const SkewPoint& p : row.contour) {
+            EXPECT_TRUE(std::isfinite(p.setup));
+            EXPECT_TRUE(std::isfinite(p.hold));
+        }
+        EXPECT_TRUE(std::isfinite(row.setupTime));
+        EXPECT_TRUE(std::isfinite(row.holdTime));
+    }
+    EXPECT_EQ(result.surrogateAccepted, 2u);
+}
+
+TEST(CornerFamily, AllAnchorsFailingFailsCleanly) {
+    const PvtAxes axes = processAxis({-1.0, 0.0, 1.0});
+    RunConfig config = cheapContourConfig();
+    const CornerFamilyResult result = characterizeCornerFamily(
+        axes,
+        [](const ProcessCorner&) -> RegisterFixture {
+            throw NumericalError("no fixture for you");
+        },
+        config);
+    EXPECT_FALSE(result.allSucceeded());
+    EXPECT_FALSE(result.converged);
+    for (const CornerFamilyRow& row : result.rows) {
+        EXPECT_FALSE(row.success);
+        EXPECT_FALSE(row.failureReason.empty());
+    }
+}
+
+TEST(CornerFamily, DonorSelectionIsDeterministicAcrossThreadCounts) {
+    const PvtAxes axes = processAxis({-1.0, -0.5, 0.0, 0.5, 1.0});
+    RunConfig config = cheapContourConfig();
+    // Force escalation of every non-anchor corner: zero-ish tolerance
+    // with the probe disabled means the propagated LOO score alone
+    // decides, and it cannot be below 1e-18 on a real family.
+    config.corners.tolerance = 1e-18;
+    config.corners.probeResidual = false;
+
+    const CornerFamilyResult one =
+        characterizeCornerFamily(axes, buildTspcAt, config.withThreads(1));
+    const CornerFamilyResult eight =
+        characterizeCornerFamily(axes, buildTspcAt, config.withThreads(8));
+
+    ASSERT_EQ(one.rows.size(), eight.rows.size());
+    EXPECT_EQ(one.escalated, 2u);
+    EXPECT_EQ(eight.escalated, 2u);
+    for (std::size_t i = 0; i < one.rows.size(); ++i) {
+        const CornerFamilyRow& a = one.rows[i];
+        const CornerFamilyRow& b = eight.rows[i];
+        EXPECT_TRUE(a.success) << a.corner;
+        // The donor (and therefore the whole warm-started trace) must not
+        // depend on worker scheduling.
+        EXPECT_EQ(a.warmStartCorner, b.warmStartCorner) << a.corner;
+        EXPECT_EQ(a.provenance, b.provenance);
+        ASSERT_EQ(a.contour.size(), b.contour.size()) << a.corner;
+        for (std::size_t j = 0; j < a.contour.size(); ++j) {
+            EXPECT_EQ(a.contour[j].setup, b.contour[j].setup);
+            EXPECT_EQ(a.contour[j].hold, b.contour[j].hold);
+        }
+        EXPECT_EQ(a.setupTime, b.setupTime);
+        EXPECT_EQ(a.holdTime, b.holdTime);
+    }
+    // The nearest-corner metric itself: corner 1 ties anchors 0 and 2 in
+    // normalized process distance and must pick the smaller index.
+    EXPECT_EQ(one.rows[1].warmStartCorner, 0);
+    EXPECT_EQ(one.rows[3].warmStartCorner, 2);
+}
+
+TEST(CornerRowStore, SerializationRoundTripsBitForBit) {
+    CornerFamilyRow row;
+    row.corner = "P+0.50/V2.400/T+085";
+    row.point = {0.5, 2.4, 85.0};
+    row.success = true;
+    row.provenance = CornerProvenance::Surrogate;
+    row.characteristicClockToQ = 123.456e-12;
+    row.setupTime = 0x1.23p-33;
+    row.holdTime = 0x1.77p-34;
+    row.acquisitionScore = 1.5e-12;
+    row.transientCount = 42;
+    row.contour = {{100e-12, 400e-12}, {250e-12, 150e-12}};
+
+    const std::string payload = store::serializeCornerRow(row);
+    const CornerFamilyRow back = store::deserializeCornerRow(payload);
+    EXPECT_EQ(back.corner, row.corner);
+    EXPECT_EQ(back.success, row.success);
+    EXPECT_EQ(back.provenance, CornerProvenance::Surrogate);
+    EXPECT_EQ(back.point.process, row.point.process);
+    EXPECT_EQ(back.point.vdd, row.point.vdd);
+    EXPECT_EQ(back.point.temperatureC, row.point.temperatureC);
+    EXPECT_EQ(back.characteristicClockToQ, row.characteristicClockToQ);
+    EXPECT_EQ(back.setupTime, row.setupTime);
+    EXPECT_EQ(back.holdTime, row.holdTime);
+    EXPECT_EQ(back.acquisitionScore, row.acquisitionScore);
+    EXPECT_EQ(back.transientCount, row.transientCount);
+    ASSERT_EQ(back.contour.size(), 2u);
+    EXPECT_EQ(back.contour[1].setup, row.contour[1].setup);
+    EXPECT_EQ(back.contour[1].hold, row.contour[1].hold);
+
+    // A corrupted provenance line is a format error (clean cache miss),
+    // never a silently-defaulted value.
+    std::string corrupted = payload;
+    corrupted.replace(corrupted.find("surrogate"), 9, "guesswork");
+    EXPECT_THROW(store::deserializeCornerRow(corrupted),
+                 store::StoreFormatError);
+}
+
+TEST(CornerFamilyLiberty, ProvenanceReachesTheExport) {
+    CornerFamilyResult result;
+    result.rows.resize(2);
+    result.rows[0].corner = "P+0.00/V2.500/T+027";
+    result.rows[0].success = true;
+    result.rows[0].provenance = CornerProvenance::Traced;
+    result.rows[0].contour = {{100e-12, 400e-12}, {400e-12, 100e-12}};
+    result.rows[1].corner = "P+0.50/V2.500/T+027";
+    result.rows[1].success = true;
+    result.rows[1].provenance = CornerProvenance::Surrogate;
+
+    const std::vector<LibraryRow> rows =
+        libraryRowsFromCornerFamily(result);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].provenance, "traced");
+    EXPECT_EQ(rows[1].provenance, "surrogate");
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "shtrace_test_corner_family.lib")
+            .string();
+    writeLibertyLite(rows, path, "corner_family");
+    std::ifstream in(path);
+    std::stringstream text;
+    text << in.rdbuf();
+    std::remove(path.c_str());
+    EXPECT_NE(text.str().find("shtrace_provenance : traced;"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("shtrace_provenance : surrogate;"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace shtrace

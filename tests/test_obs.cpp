@@ -218,8 +218,8 @@ TEST_F(ObsTest, AddRunCountersPublishesAndAccumulates) {
 
     const obs::MetricsSnapshot snap = obs::metricsSnapshot();
     // One counter per SimStats field, plus wall seconds, plus the serve
-    // layer's 8 event counters.
-    EXPECT_EQ(snap.counters.size(), 31u);
+    // layer's 8 event counters, plus the corner-family driver's 3.
+    EXPECT_EQ(snap.counters.size(), 34u);
     bool sawTransients = false;
     bool sawWall = false;
     for (const obs::CounterSnapshot& c : snap.counters) {

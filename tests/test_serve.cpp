@@ -130,6 +130,93 @@ TEST(ServeRequestParse, RejectsSchemaViolations) {
     EXPECT_THROW(parseServeRequest("{", ""), JsonParseError);
 }
 
+TEST(ServeRequestParse, PvtSweepBlockIsStrictAndKeyed) {
+    const std::string sweepBody =
+        R"({"cell":"tspc","pvtSweep":{"process":[-1,0,1],)"
+        R"("vdd":[2.25,2.75],"temperatureC":[-40,27,125],)"
+        R"("tolerance":2e-12,"probeResidual":false}})";
+    const ServeRequest sweep = parseServeRequest(sweepBody, "");
+    EXPECT_TRUE(sweep.sweep);
+    EXPECT_EQ(sweep.sweepAxes.cornerCount(), 18u);
+    EXPECT_DOUBLE_EQ(sweep.config.corners.tolerance, 2e-12);
+    EXPECT_FALSE(sweep.config.corners.probeResidual);
+    ASSERT_TRUE(static_cast<bool>(sweep.sweepBuilder));
+    // The builder synthesizes per-corner fixtures on demand.
+    const RegisterFixture fixture =
+        sweep.sweepBuilder(cornerAtPvt(sweep.sweepAxes.at(0)));
+    EXPECT_GT(fixture.circuit.nodeCount(), 0u);
+
+    // A sweep never coalesces with the single-corner spelling of the
+    // same cell, nor with a different grid or strategy.
+    const ServeRequest single =
+        parseServeRequest(R"({"cell":"tspc"})", "");
+    EXPECT_FALSE(single.sweep);
+    EXPECT_NE(sweep.key.full, single.key.full);
+    const ServeRequest otherGrid = parseServeRequest(
+        R"({"cell":"tspc","pvtSweep":{"process":[-1,0,1],)"
+        R"("vdd":[2.25,2.75],"temperatureC":[-40,27],)"
+        R"("tolerance":2e-12,"probeResidual":false}})",
+        "");
+    EXPECT_NE(sweep.key.full, otherGrid.key.full);
+    const ServeRequest otherTolerance = parseServeRequest(
+        R"({"cell":"tspc","pvtSweep":{"process":[-1,0,1],)"
+        R"("vdd":[2.25,2.75],"temperatureC":[-40,27,125],)"
+        R"("tolerance":1e-12,"probeResidual":false}})",
+        "");
+    EXPECT_NE(sweep.key.full, otherTolerance.key.full);
+
+    // Strictness: unknown knobs, malformed axes, corner conflicts.
+    EXPECT_THROW(parseServeRequest(
+                     R"({"cell":"tspc","pvtSweep":{"bogus":1}})", ""),
+                 BadRequestError);
+    EXPECT_THROW(
+        parseServeRequest(
+            R"({"cell":"tspc","pvtSweep":{"process":[1,0]}})", ""),
+        BadRequestError);
+    EXPECT_THROW(
+        parseServeRequest(
+            R"({"cell":"tspc","pvtSweep":{"process":"all"}})", ""),
+        BadRequestError);
+    EXPECT_THROW(parseServeRequest(
+                     R"({"cell":"tspc","pvtSweep":{},"corner":{}})", ""),
+                 BadRequestError);
+}
+
+TEST(ServeRequestParse, PvtSweepResponseCarriesPerCornerDisposition) {
+    const ServeRequest request = parseServeRequest(
+        R"({"cell":"tspc","pvtSweep":{"process":[-1,0,1]}})", "");
+    CornerFamilyResult result;
+    result.axes = request.sweepAxes;
+    result.rows.resize(3);
+    result.rows[0].corner = "P-1.00/V2.500/T+027";
+    result.rows[0].success = true;
+    result.rows[0].anchor = true;
+    result.rows[1].corner = "P+0.00/V2.500/T+027";
+    result.rows[1].success = true;
+    result.rows[1].provenance = CornerProvenance::Surrogate;
+    result.rows[1].acquisitionScore = 1.25e-12;
+    result.rows[2].corner = "P+1.00/V2.500/T+027";
+    result.rows[2].success = false;
+    result.rows[2].failureReason = "injected";
+    result.anchorsTraced = 2;
+    result.surrogateAccepted = 1;
+
+    const std::string body =
+        renderPvtSweepResponse(request, result, ServeDisposition{});
+    const JsonValue doc = parseJson(body);
+    EXPECT_FALSE(doc.find("ok")->asBool());  // one corner failed
+    const JsonArray& corners = doc.find("corners")->asArray();
+    ASSERT_EQ(corners.size(), 3u);
+    EXPECT_EQ(corners[0].find("provenance")->asString(), "traced");
+    EXPECT_TRUE(corners[0].find("anchor")->asBool());
+    EXPECT_EQ(corners[1].find("provenance")->asString(), "surrogate");
+    EXPECT_DOUBLE_EQ(corners[1].find("acquisitionScore")->asNumber(),
+                     1.25e-12);
+    EXPECT_EQ(corners[2].find("error")->asString(), "injected");
+    EXPECT_DOUBLE_EQ(doc.find("sweep")->find("tracedFraction")->asNumber(),
+                     2.0 / 3.0);
+}
+
 // ------------------------------------------------------------- http --
 
 TEST(ServeHttp, EchoesOverRealSockets) {

@@ -252,6 +252,19 @@ int runShow(const store::ResultStore& cache, const std::string& keyText,
               << "kind    " << entry->kind << "\n"
               << "label   " << (entry->label.empty() ? "-" : entry->label)
               << "\n";
+    if (entry->kind == store::kKindCornerRow) {
+        try {
+            const CornerFamilyRow row =
+                store::deserializeCornerRow(entry->payload);
+            std::cout << "corner  " << row.corner << " ("
+                      << toString(row.provenance) << ")\n";
+            if (!row.failureReason.empty()) {
+                std::cout << "reason  " << row.failureReason << "\n";
+            }
+        } catch (const store::StoreFormatError&) {
+            // Raw payload below is all we can show.
+        }
+    }
     showDiagnostics(*entry);
     if (withStats) {
         showStats(*entry);
@@ -327,11 +340,25 @@ int runExport(const store::ResultStore& cache, const std::string& outPath,
               const std::string& libraryName) {
     std::vector<LibraryRow> rows;
     for (const store::StoreEntry& entry : cache.list()) {
-        if (entry.kind != store::kKindLibraryRow) {
-            continue;
-        }
         try {
-            rows.push_back(store::deserializeLibraryRow(entry.payload));
+            if (entry.kind == store::kKindLibraryRow) {
+                rows.push_back(store::deserializeLibraryRow(entry.payload));
+            } else if (entry.kind == store::kKindCornerRow) {
+                // Corner family entries export like cells, one per corner,
+                // keeping the traced/surrogate provenance visible.
+                const CornerFamilyRow corner =
+                    store::deserializeCornerRow(entry.payload);
+                LibraryRow row;
+                row.cell = corner.corner;
+                row.success = corner.success;
+                row.failureReason = corner.failureReason;
+                row.characteristicClockToQ = corner.characteristicClockToQ;
+                row.setupTime = corner.setupTime;
+                row.holdTime = corner.holdTime;
+                row.contour = corner.contour;
+                row.provenance = toString(corner.provenance);
+                rows.push_back(std::move(row));
+            }
         } catch (const store::StoreFormatError& e) {
             std::cerr << "shtrace-store: skipping "
                       << store::toHexKey(entry.key) << ": " << e.what()
@@ -339,7 +366,7 @@ int runExport(const store::ResultStore& cache, const std::string& outPath,
         }
     }
     if (rows.empty()) {
-        std::cerr << "shtrace-store: no library_row entries in "
+        std::cerr << "shtrace-store: no library_row or corner_row entries in "
                   << cache.dir() << "\n";
         return 1;
     }
