@@ -1,0 +1,290 @@
+// STA -- the SHIA-STA engine over the shipped benchmark netlists. Runs
+// the contour-aware analysis on pipeline4 / chain8 / diamond twice
+// against one persistent store (cold, then warm) and writes
+// results/bench_sta.json.
+//
+// The exit code enforces the acceptance triplet:
+//   1. RECOVERY: at least one endpoint a classical knee check flags as a
+//      hold violation passes the contour check with positive hold slack;
+//   2. NO FALSE ADMITS: every endpoint the contour admits also passes a
+//      transistor-level oracle -- h evaluated at the endpoint's budget
+//      (clamped DOWN into the cell's characterization window, which is
+//      conservative) must sit on the passing side;
+//   3. WARM STORE: the rerun completes every characterization request
+//      from the store -- zero fresh transient solves.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "shtrace/chz/problem.hpp"
+#include "shtrace/sta/engine.hpp"
+
+#ifndef SHTRACE_NETLIST_DIR
+#error "SHTRACE_NETLIST_DIR must point at the shipped netlists"
+#endif
+
+namespace {
+
+using namespace shtrace;
+
+struct DesignRun {
+    std::string name;
+    sta::StaReport cold;
+    sta::StaReport warm;
+};
+
+std::string jsonEscape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace shtrace::bench;
+    const std::string outPath =
+        argc > 1 ? argv[1] : "results/bench_sta.json";
+    printHeader("STA", "contour-aware slack over the benchmark netlists");
+    ObsBenchScope obsScope;
+    const auto benchStart = std::chrono::steady_clock::now();
+    SimStats totalStats;
+
+    const std::filesystem::path storeDir =
+        std::filesystem::temp_directory_path() / "shtrace_bench_sta_store";
+    std::filesystem::remove_all(storeDir);
+
+    RunConfig config = RunConfig::defaults().withThreads(0);
+    config.tracer.maxPoints = 24;
+    config.cacheDir = storeDir.string();
+
+    const std::vector<sta::StaCell> library = sta::builtinStaCells();
+    const std::vector<std::string> designs = {"pipeline4", "chain8",
+                                              "diamond"};
+    std::vector<DesignRun> runs;
+    for (const std::string& name : designs) {
+        const std::string path =
+            std::string(SHTRACE_NETLIST_DIR) + "/" + name + ".stanet";
+        DesignRun run;
+        run.name = name;
+        const sta::Design design = sta::loadDesign(path);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        run.cold = sta::analyzeDesign(design, library, config);
+        const double coldWall = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count();
+        if (!run.cold.success) {
+            std::cerr << name << " (cold): " << run.cold.failureReason
+                      << "\n";
+            return 1;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        run.warm = sta::analyzeDesign(design, library, config);
+        const double warmWall = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - t1)
+                                    .count();
+        if (!run.warm.success) {
+            std::cerr << name << " (warm): " << run.warm.failureReason
+                      << "\n";
+            return 1;
+        }
+        std::cout << name << ": " << run.cold.endpoints.size()
+                  << " endpoints; cold " << run.cold.stats.transientSolves
+                  << " transients / " << run.cold.stats.cacheMisses
+                  << " misses / " << run.cold.stats.cacheHits
+                  << " hits in " << ps(coldWall) << "; warm "
+                  << run.warm.stats.transientSolves << " transients / "
+                  << run.warm.stats.cacheHits << " hits in "
+                  << ps(warmWall) << "\n";
+        totalStats.merge(run.cold.stats);
+        totalStats.merge(run.warm.stats);
+        runs.push_back(std::move(run));
+    }
+    std::cout << "\n";
+
+    // --- acceptance 1: at least one recovered endpoint, positive slack --
+    std::size_t recovered = 0;
+    std::size_t recoveredPositive = 0;
+    for (const DesignRun& run : runs) {
+        for (const sta::EndpointCheck& ep : run.cold.endpoints) {
+            if (!ep.recovered) {
+                continue;
+            }
+            ++recovered;
+            recoveredPositive += ep.shiaFeasible && ep.shiaHoldSlack > 0.0;
+            std::cout << "recovered: " << run.name << "/" << ep.reg
+                      << " classical hold slack "
+                      << ps(ep.classicalHoldSlack) << " -> SHIA hold slack "
+                      << ps(ep.shiaHoldSlack) << "\n";
+        }
+    }
+    const bool recoveryOk = recovered >= 1 && recoveredPositive == recovered;
+
+    // --- acceptance 2: transistor-level oracle on every SHIA pass ------
+    // One CharacterizationProblem per cell; budgets clamped down into the
+    // cell's window (conservative: h is monotone in both margins, so a
+    // pass at the clamped budget implies a pass at the true one).
+    // Identical (cell, budget) endpoints -- e.g. the chain8 stages --
+    // share one evaluation.
+    std::size_t oracleChecks = 0;
+    std::size_t falseAdmits = 0;
+    SimStats oracleStats;
+    {
+        std::map<std::string, std::unique_ptr<CharacterizationProblem>>
+            problems;
+        std::map<std::string, RegisterFixture> fixtures;
+        std::set<std::string> evaluated;
+        for (const DesignRun& run : runs) {
+            for (const sta::EndpointCheck& ep : run.cold.endpoints) {
+                if (!ep.shiaOk) {
+                    continue;
+                }
+                const auto cellIt = std::find_if(
+                    library.begin(), library.end(),
+                    [&](const sta::StaCell& c) { return c.name == ep.cell; });
+                const SkewBounds& w = cellIt->window;
+                const double s = std::min(ep.availSetup, w.setupMax);
+                const double h = std::min(ep.availHold, w.holdMax);
+                // Femtosecond-rounded key: std::to_string on a
+                // seconds-scale double collapses everything to 0.000000.
+                const std::string key =
+                    ep.cell + ":" + std::to_string(llround(s * 1e15)) +
+                    ":" + std::to_string(llround(h * 1e15));
+                if (!evaluated.insert(key).second) {
+                    continue;
+                }
+                if (problems.count(ep.cell) == 0) {
+                    fixtures.emplace(ep.cell, cellIt->build());
+                    problems.emplace(
+                        ep.cell,
+                        std::make_unique<CharacterizationProblem>(
+                            fixtures.at(ep.cell), cellIt->criterion,
+                            config.recipe, &oracleStats));
+                }
+                const CharacterizationProblem& problem =
+                    *problems.at(ep.cell);
+                const HEvaluation eval = problem.h().evaluateValueOnly(
+                    s, h, &oracleStats);
+                ++oracleChecks;
+                const bool pass =
+                    eval.success && problem.passSign() * eval.h >= 0.0;
+                if (!pass) {
+                    ++falseAdmits;
+                    std::cerr << "FALSE ADMIT: " << run.name << "/"
+                              << ep.reg << " budget (" << ps(s) << ", "
+                              << ps(h) << ") fails the oracle (h = "
+                              << eval.h << ")\n";
+                }
+            }
+        }
+    }
+    std::cout << "oracle: " << oracleChecks
+              << " distinct admitted budgets checked, " << falseAdmits
+              << " false admits (" << oracleStats.transientSolves
+              << " transients)\n";
+    const bool oracleOk = falseAdmits == 0 && oracleChecks > 0;
+
+    // --- acceptance 3: warm reruns never touch the simulator -----------
+    std::uint64_t warmTransients = 0;
+    std::uint64_t warmHits = 0;
+    std::size_t registerRequests = 0;
+    for (const DesignRun& run : runs) {
+        warmTransients += run.warm.stats.transientSolves;
+        warmHits += run.warm.stats.cacheHits;
+        registerRequests += run.warm.endpoints.size();
+    }
+    const bool warmOk =
+        warmTransients == 0 && warmHits == registerRequests;
+    std::cout << "warm store: " << warmTransients << " transients, "
+              << warmHits << " hits for " << registerRequests
+              << " register requests\n\n";
+
+    // --- report ---------------------------------------------------------
+    std::filesystem::create_directories(
+        std::filesystem::path(outPath).parent_path());
+    std::ofstream out(outPath, std::ios::trunc);
+    out << "{\n  \"bench\": \"sta\",\n  \"designs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const DesignRun& run = runs[i];
+        out << "    {\n      \"name\": \"" << jsonEscape(run.name)
+            << "\",\n      \"endpoints\": [\n";
+        for (std::size_t j = 0; j < run.cold.endpoints.size(); ++j) {
+            const sta::EndpointCheck& ep = run.cold.endpoints[j];
+            out << "        {\"reg\": \"" << jsonEscape(ep.reg)
+                << "\", \"cell\": \"" << jsonEscape(ep.cell)
+                << "\", \"availSetup\": " << ep.availSetup
+                << ", \"availHold\": " << ep.availHold
+                << ", \"classicalHoldSlack\": " << ep.classicalHoldSlack
+                << ", \"classicalOk\": "
+                << ((ep.classicalSetupOk && ep.classicalHoldOk) ? "true"
+                                                                : "false")
+                << ", \"shiaOk\": " << (ep.shiaOk ? "true" : "false")
+                << ", \"shiaHoldSlack\": "
+                << (ep.shiaFeasible ? ep.shiaHoldSlack
+                                    : -std::numeric_limits<double>::max())
+                << ", \"recovered\": " << (ep.recovered ? "true" : "false")
+                << "}" << (j + 1 < run.cold.endpoints.size() ? "," : "")
+                << "\n";
+        }
+        out << "      ],\n";
+        out << "      \"coldTransients\": " << run.cold.stats.transientSolves
+            << ",\n      \"coldMisses\": " << run.cold.stats.cacheMisses
+            << ",\n      \"coldHits\": " << run.cold.stats.cacheHits
+            << ",\n      \"warmTransients\": "
+            << run.warm.stats.transientSolves
+            << ",\n      \"warmHits\": " << run.warm.stats.cacheHits
+            << ",\n      \"classicalHoldViolations\": "
+            << run.cold.classicalHoldViolations
+            << ",\n      \"shiaViolations\": " << run.cold.shiaViolations
+            << ",\n      \"recoveredEndpoints\": "
+            << run.cold.recoveredEndpoints << "\n    }"
+            << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"recoveredEndpoints\": " << recovered << ",\n";
+    out << "  \"oracleChecks\": " << oracleChecks << ",\n";
+    out << "  \"falseAdmits\": " << falseAdmits << ",\n";
+    out << "  \"warmTransients\": " << warmTransients << ",\n";
+    out << "  \"acceptance\": {\"recovery\": "
+        << (recoveryOk ? "true" : "false")
+        << ", \"noFalseAdmits\": " << (oracleOk ? "true" : "false")
+        << ", \"warmStore\": " << (warmOk ? "true" : "false") << "}\n";
+    out << "}\n";
+    out.close();
+    std::cout << "report written: " << outPath << "\n";
+
+    totalStats.merge(oracleStats);
+    const double benchWall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      benchStart)
+            .count();
+    writeObsBenchReport("sta", totalStats, benchWall, "endpoints",
+                        registerRequests);
+
+    std::filesystem::remove_all(storeDir);
+    if (!recoveryOk) {
+        std::cerr << "ACCEPTANCE FAILED: no recovered endpoint with "
+                     "positive SHIA slack\n";
+    }
+    if (!oracleOk) {
+        std::cerr << "ACCEPTANCE FAILED: the contour admitted an endpoint "
+                     "the oracle rejects\n";
+    }
+    if (!warmOk) {
+        std::cerr << "ACCEPTANCE FAILED: warm rerun was not free\n";
+    }
+    return (recoveryOk && oracleOk && warmOk) ? 0 : 1;
+}

@@ -8,92 +8,90 @@
 // degradation: trading a longer (non-critical) setup time buys a shorter
 // hold requirement, clearing the violation with no circuit change.
 //
-// This example traces the TSPC contour, then walks it to re-time a small
-// synthetic path pair.
-#include <algorithm>
+// This example drives the real sta/ engine (shtrace/sta/engine.hpp) over
+// a three-path netlist whose capture skews put one endpoint in each
+// regime: comfortable, SHIA-recovered, and truly violating.
 #include <iostream>
 
-#include "shtrace/cells/tspc.hpp"
-#include "shtrace/chz/characterize.hpp"
-#include "shtrace/chz/shia_contour.hpp"
+#include "shtrace/sta/engine.hpp"
 #include "shtrace/util/table.hpp"
 #include "shtrace/util/units.hpp"
 
 int main() {
     using namespace shtrace;
 
-    // --- characterize the register interdependently ---
-    const RegisterFixture reg = buildTspcRegister();
-    RunConfig opt;  // unified options bundle (ex CharacterizeOptions)
-    opt.tracer.maxPoints = 24;
-    opt.tracer.bounds = SkewBounds{120e-12, 560e-12, 60e-12, 460e-12};
-    const CharacterizeResult chz = characterizeInterdependent(reg, opt);
-    if (!chz.success) {
-        std::cerr << "characterization failed\n";
+    // A TSPC launch register fans out into three shortcut paths; the
+    // capture skews step the hold budget from comfortable (P1) through
+    // knee-violating-but-contour-safe (P2) down past the contour's hold
+    // asymptote (P3). Same grammar as netlists/*.stanet.
+    const char* kDesign = R"(
+        design shia_demo
+        clock clk period 2n
+        input din arrival 100p 300p
+
+        reg r0 cell tspc d d0 q q0
+        reg p1 cell tspc d n1 q x1 skew 400p
+        reg p2 cell tspc d n2 q x2 skew 515p
+        reg p3 cell tspc d n3 q x3 skew 570p
+
+        gate g_in d0 from din 150p
+        gate g1 n1 from q0 200p
+        gate g2 n2 from q0 200p
+        gate g3 n3 from q0 200p
+    )";
+    const sta::Design design = sta::parseDesign(kDesign);
+
+    RunConfig config;  // unified options bundle (ex CharacterizeOptions)
+    config.tracer.maxPoints = 24;
+    const sta::StaReport report =
+        sta::analyzeDesign(design, sta::builtinStaCells(), config);
+    if (!report.success) {
+        std::cerr << "analysis failed: " << report.failureReason << "\n";
         return 1;
     }
-    const auto& contour = chz.contour.points;
-    // The STA-facing view: monotone interpolation + admission queries.
-    const ShiaContour shia = ShiaContour::fromTrace(chz.contour);
 
     // Conventional library characterization publishes ONE valid
-    // (setup, hold) pair -- here the balanced knee of the contour. Any
-    // path must meet BOTH numbers; the rest of the contour's flexibility
-    // is thrown away.
-    const SkewPoint knee = contour[contour.size() / 2];
-    const double holdMin = contour.back().hold;  // horizontal asymptote
+    // (setup, hold) pair. The engine picks it as the Pareto-normalized
+    // contour's knee (ShiaContour::kneePoint) -- NOT a raw traced
+    // midpoint, which could land on a dominated point or the vertical
+    // setup-asymptote segment. Any path must meet BOTH numbers; the rest
+    // of the contour's flexibility is thrown away.
+    const sta::CharacterizedStaCell& tspc = report.cells.at("tspc");
+    const ShiaContour& shia = *tspc.contour;
+    std::cout << "register: tspc, conventional (knee) setup/hold = ("
+              << formatEngineering(tspc.knee.setup, "s") << ", "
+              << formatEngineering(tspc.knee.hold, "s") << ")\n";
+    std::cout << "interdependent contour: " << shia.size()
+              << " Pareto points from ("
+              << formatEngineering(shia.points().front().setup, "s") << ", "
+              << formatEngineering(shia.points().front().hold, "s")
+              << ") to ("
+              << formatEngineering(shia.points().back().setup, "s") << ", "
+              << formatEngineering(shia.points().back().hold, "s")
+              << "), hold asymptote "
+              << formatEngineering(shia.minHold(), "s") << "\n\n";
 
-    // --- synthetic timing paths into this register ---
-    // Data arrives `arrival` before the capture edge (that margin is the
-    // available setup skew) and is held `stability` after the edge (the
-    // available hold skew).
-    struct Path {
-        const char* name;
-        double arrival;    // data-valid margin before the edge
-        double stability;  // data-stable margin after the edge
-    };
-    const Path paths[] = {
-        {"P1 (comfortable)", knee.setup + 100e-12, knee.hold + 100e-12},
-        // Plenty of setup margin, hold margin BELOW the knee requirement
-        // but above the contour's hold asymptote: SHIA-STA territory.
-        {"P2 (hold-critical)", contour.back().setup + 30e-12,
-         0.5 * (knee.hold + holdMin)},
-        // Below the smallest hold any contour point allows: truly broken.
-        {"P3 (truly violating)", contour.back().setup + 30e-12,
-         0.7 * holdMin},
-    };
-
-    TablePrinter table({"path", "avail setup", "avail hold",
+    TablePrinter table({"endpoint", "avail setup", "avail hold",
                         "conventional STA", "SHIA-STA", "SHIA hold slack"});
-    for (const Path& p : paths) {
+    for (const sta::EndpointCheck& ep : report.endpoints) {
         const bool conventionalOk =
-            p.arrival >= knee.setup && p.stability >= knee.hold;
-        // SHIA-STA: the path is safe when its (setup, hold) budget admits
-        // SOME valid pair on the contour.
-        const bool shiaOk = shia.admits(p.arrival, p.stability);
-        const auto slack = shia.holdSlack(p.arrival, p.stability);
-        table.addRowValues(p.name, formatEngineering(p.arrival, "s"),
-                           formatEngineering(p.stability, "s"),
+            ep.classicalSetupOk && ep.classicalHoldOk;
+        table.addRowValues(ep.reg, formatEngineering(ep.availSetup, "s"),
+                           formatEngineering(ep.availHold, "s"),
                            conventionalOk ? "PASS" : "VIOLATION",
-                           shiaOk ? "PASS" : "VIOLATION",
-                           slack ? formatEngineering(*slack, "s")
-                                 : std::string("infeasible"));
+                           ep.shiaOk ? "PASS" : "VIOLATION",
+                           ep.shiaFeasible
+                               ? formatEngineering(ep.shiaHoldSlack, "s")
+                               : std::string("infeasible"));
     }
-
-    std::cout << "register: " << reg.name
-              << ", conventional (knee) setup/hold = ("
-              << formatEngineering(knee.setup, "s") << ", "
-              << formatEngineering(knee.hold, "s") << ")\n";
-    std::cout << "interdependent contour: " << contour.size()
-              << " points from (" << formatEngineering(contour.front().setup, "s")
-              << ", " << formatEngineering(contour.front().hold, "s")
-              << ") to (" << formatEngineering(contour.back().setup, "s")
-              << ", " << formatEngineering(contour.back().hold, "s") << ")\n\n";
     table.print(std::cout);
-    std::cout << "\nP2 is flagged by conventional STA (hold margin below "
-                 "the independent hold\ntime) but clears under SHIA-STA: "
-                 "its generous setup margin buys a point on\nthe contour "
-                 "with a smaller hold requirement. P3 violates both -- the "
+
+    std::cout << "\np2 is flagged by conventional STA (hold margin below "
+                 "the knee hold time)\nbut clears under SHIA-STA: its "
+                 "generous setup margin buys a point on the\ncontour with "
+                 "a smaller hold requirement. p3 violates both -- the "
                  "contour\ncannot rescue a genuinely bad path.\n";
+    std::cout << "recovered endpoints: " << report.recoveredEndpoints
+              << " of " << report.endpoints.size() << "\n";
     return 0;
 }

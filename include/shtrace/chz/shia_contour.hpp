@@ -23,9 +23,17 @@ namespace shtrace {
 class ShiaContour {
 public:
     /// Takes tracer output and keeps its Pareto-minimal staircase. Throws
-    /// InvalidArgumentError when fewer than 2 points are supplied or the
-    /// frontier degenerates to a single point (no tradeoff present). The
-    /// second parameter is accepted for API stability and unused.
+    /// InvalidArgumentError when fewer than 2 points are supplied, any
+    /// point is non-finite, or the frontier degenerates to a single point
+    /// (no tradeoff present).
+    ///
+    /// `monotoneSlack` (seconds, >= 0) is the corrector-wiggle tolerance:
+    /// a point whose hold exceeds the running minimum by at most this much
+    /// is RETAINED as genuine curve shape instead of being dropped as
+    /// dominated, so a few ps of corrector wiggle survives normalization
+    /// as documented. 0 (the default) keeps the strict frontier. Points
+    /// sharing one setup (the vertical setup-asymptote segment) always
+    /// collapse to their lowest hold regardless of the slack.
     explicit ShiaContour(std::vector<SkewPoint> points,
                          double monotoneSlack = 0.0);
 
@@ -39,25 +47,38 @@ public:
     /// Smallest setup skew on the contour (the setup-time asymptote end).
     double minSetup() const { return points_.front().setup; }
     /// Smallest hold skew on the contour (the hold-time asymptote end).
-    double minHold() const { return points_.back().hold; }
+    /// With a nonzero monotoneSlack the minimum may sit at an interior
+    /// point; this is the true minimum over the retained set.
+    double minHold() const { return minHold_; }
+
+    /// The conventional single-pair "knee" a classical library would
+    /// publish: the Pareto-normalized point minimizing setup + hold (the
+    /// balanced corner of the staircase); ties resolve to the smaller
+    /// setup. Selecting it from the normalized points -- never from the
+    /// raw trace -- keeps it off dominated points and off the vertical
+    /// setup-asymptote segment.
+    SkewPoint kneePoint() const;
 
     /// The minimal hold requirement at a given setup margin: linear
-    /// interpolation along the curve; nullopt when `setup` is below the
-    /// contour's smallest setup (no valid pair exists there); clamped to
-    /// minHold() beyond the largest traced setup.
+    /// interpolation along the curve; nullopt when `setup` is non-finite
+    /// or below the contour's smallest setup (no valid pair exists
+    /// there); clamped to minHold() beyond the largest traced setup.
     std::optional<double> holdRequirementAt(double setup) const;
 
     /// SHIA-STA admission test: the budget (setupAvail, holdAvail)
-    /// dominates some valid pair on the contour.
+    /// dominates some valid pair on the contour. Non-finite budgets are
+    /// rejected (never admitted).
     bool admits(double setupAvail, double holdAvail) const;
 
     /// Hold slack at the given budget: holdAvail - holdRequirementAt
-    /// (negative = violation; nullopt when setup itself is infeasible).
+    /// (negative = violation; nullopt when setup itself is infeasible or
+    /// either budget is non-finite).
     std::optional<double> holdSlack(double setupAvail,
                                     double holdAvail) const;
 
 private:
     std::vector<SkewPoint> points_;  ///< sorted by increasing setup
+    double minHold_ = 0.0;           ///< minimum hold over points_
 };
 
 }  // namespace shtrace

@@ -1,0 +1,60 @@
+// shtrace -- binding netlist cell names to characterizable register cells.
+//
+// A netlist `reg ... cell tspc` statement names a cell; StaCell resolves
+// that name to a fixture builder plus the characterization criterion and
+// skew window the cell's contour lives in. CharacterizedStaCell is what
+// the engine actually checks endpoints against: the traced contour (raw
+// points for audits, Pareto ShiaContour for queries), the conventional
+// knee pair a classical library would publish, and the clock-to-Q values
+// that seed launch arrivals.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shtrace/cells/register_fixture.hpp"
+#include "shtrace/chz/run_config.hpp"
+#include "shtrace/chz/shia_contour.hpp"
+
+namespace shtrace::sta {
+
+/// One characterizable cell the engine can bind registers to.
+struct StaCell {
+    std::string name;
+    std::function<RegisterFixture()> build;
+    CriterionOptions criterion;
+    /// Tracer skew window containing the cell's contour (the same windows
+    /// the figure benches use; see bench/bench_common.hpp).
+    SkewBounds window;
+};
+
+/// The built-in bindings: `tspc` (Fig. 6/8 register, 50% criterion),
+/// `c2mos` (Fig. 11 register, 90% criterion), and `tspc_x4` (4-bit TSPC
+/// register chain, cells/register_chain.hpp -- bit 0 characterized, the
+/// rest honest load).
+std::vector<StaCell> builtinStaCells();
+
+/// The per-cell RunConfig a characterization request uses: `base` with
+/// the cell's criterion and skew window substituted, batch-only knobs
+/// (progress callback, observation paths) cleared, and a display label
+/// naming the cell. Shared by the engine and any caller that wants to
+/// pre-warm the store with cache-key-identical requests.
+RunConfig staCellConfig(const RunConfig& base, const StaCell& cell);
+
+/// A characterized cell ready for endpoint checking.
+struct CharacterizedStaCell {
+    std::string name;
+    /// Raw traced contour points -- the ground truth audits check against.
+    std::vector<SkewPoint> traced;
+    /// Pareto-normalized query view of `traced`.
+    std::optional<ShiaContour> contour;
+    /// Conventional single (setup, hold) pair: the Pareto knee
+    /// (ShiaContour::kneePoint), NOT a raw trace midpoint.
+    SkewPoint knee{};
+    double clockToQ = 0.0;          ///< characteristic (earliest launch)
+    double degradedClockToQ = 0.0;  ///< contour-degraded (latest launch)
+};
+
+}  // namespace shtrace::sta

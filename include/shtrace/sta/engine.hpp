@@ -1,0 +1,117 @@
+// shtrace -- the SHIA-STA timing engine: contour-aware slack over real
+// netlists.
+//
+// This is the paper's motivating consumer. A classical STA checks every
+// register endpoint against ONE (setup, hold) pair -- the contour knee a
+// conventional library publishes -- and must flag any path whose hold
+// margin falls below that single hold number. The interdependent contour
+// says more: a generous setup margin buys a smaller hold requirement, so
+// an endpoint the knee flags can be provably safe. The engine runs both
+// checks side by side on every endpoint so the recovered pessimism is
+// measurable per endpoint and per design (docs/STA.md).
+//
+// Pipeline:
+//   1. one cache-keyed characterization request PER REGISTER through the
+//      persistent store (RunConfig.withCacheDir) -- an N-register design
+//      is an N-request workload; in-process, concurrent requests for the
+//      same cell coalesce onto one leader computation (the serve-tier
+//      pattern), and the followers' requests are then served from the
+//      store, so a warm store completes the whole design with zero fresh
+//      transients;
+//   2. levelized forward sweep: earliest/latest arrival per net, levels
+//      in sequence, nets within a level in parallel on util/parallel;
+//   3. endpoint checks: classical knee pass/fail AND ShiaContour
+//      admission with hold-slack decomposition;
+//   4. levelized backward sweep: required times (from the classical knee
+//      requirements and output constraints) and per-net slacks.
+#pragma once
+
+#include <limits>
+#include <map>
+
+#include "shtrace/sta/cells.hpp"
+#include "shtrace/sta/netlist.hpp"
+#include "shtrace/sta/timing_graph.hpp"
+
+namespace shtrace::sta {
+
+/// One register endpoint, checked both ways.
+struct EndpointCheck {
+    std::string reg;
+    std::string cell;
+    std::string dNet;
+    /// Available setup skew: capture edge (period + skew) minus the
+    /// latest arrival at D.
+    double availSetup = 0.0;
+    /// Available hold skew: earliest next-cycle arrival at D minus the
+    /// capture edge skew.
+    double availHold = 0.0;
+    // Classical check against the knee pair.
+    double kneeSetup = 0.0;
+    double kneeHold = 0.0;
+    bool classicalSetupOk = false;
+    bool classicalHoldOk = false;
+    double classicalSetupSlack = 0.0;
+    double classicalHoldSlack = 0.0;
+    // SHIA check against the contour.
+    bool shiaOk = false;
+    /// False when availSetup is below the contour's setup asymptote (the
+    /// budget is infeasible at ANY hold; shiaHoldSlack is meaningless).
+    bool shiaFeasible = false;
+    double shiaHoldSlack = 0.0;
+    /// The headline event: the classical check flags a hold violation,
+    /// the contour proves the endpoint safe.
+    bool recovered = false;
+};
+
+/// Arrival/required/slack view of one net (classical requirements).
+struct NetTiming {
+    std::string net;
+    int level = 0;
+    double atMin = 0.0;
+    double atMax = 0.0;
+    /// +/- infinity when no downstream constraint reaches this net.
+    double requiredMax = std::numeric_limits<double>::infinity();
+    double requiredMin = -std::numeric_limits<double>::infinity();
+    double setupSlack = std::numeric_limits<double>::infinity();
+    double holdSlack = std::numeric_limits<double>::infinity();
+};
+
+struct StaReport {
+    std::string design;
+    bool success = false;
+    std::string failureReason;
+    double clockPeriod = 0.0;
+    std::vector<EndpointCheck> endpoints;  ///< register statement order
+    std::vector<NetTiming> nets;           ///< net index order
+    std::map<std::string, CharacterizedStaCell> cells;
+    // Design-level summary.
+    std::size_t classicalSetupViolations = 0;
+    std::size_t classicalHoldViolations = 0;
+    std::size_t shiaViolations = 0;
+    std::size_t recoveredEndpoints = 0;
+    double worstSetupSlack = std::numeric_limits<double>::infinity();
+    double classicalWorstHoldSlack = std::numeric_limits<double>::infinity();
+    double shiaWorstHoldSlack = std::numeric_limits<double>::infinity();
+    /// Complete cost: characterization requests (cache hits/misses/
+    /// transients) plus the sweeps.
+    SimStats stats;
+};
+
+/// Characterize-then-check. Every register issues its own request; cell
+/// resolution failures, characterization failures, and structural graph
+/// errors land in failureReason (never thrown). `config` carries threads,
+/// cacheDir/cachePolicy, tracer depth, and observability knobs; the
+/// per-cell criterion and window come from the library entries
+/// (staCellConfig).
+StaReport analyzeDesign(const Design& design,
+                        const std::vector<StaCell>& library,
+                        const RunConfig& config = {});
+
+/// Check against already-characterized cells (tests, pre-baked flows).
+/// Every register's cell name must be present in `cells` with a contour.
+StaReport analyzeDesign(const Design& design,
+                        const std::map<std::string, CharacterizedStaCell>& cells,
+                        const RunConfig& config = {});
+
+}  // namespace shtrace::sta

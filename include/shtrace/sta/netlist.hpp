@@ -1,0 +1,98 @@
+// shtrace -- gate-level netlist format for the SHIA-STA timing engine.
+//
+// The characterizer produces interdependent setup/hold contours; this
+// module describes the DESIGNS that consume them: sequential netlists of
+// combinational gates (pin-to-pin delays) and registers bound to
+// characterized cells (sta/cells.hpp). The format is deliberately tiny --
+// timing-only, one clock domain -- but structurally honest: arbitrary
+// DAGs, reconvergent fanout, register-to-register, input-to-register and
+// register-to-output paths all work (docs/STA.md).
+//
+// Grammar (line oriented; '#' starts a comment; times are SPICE-style
+// engineering numbers, "2n" = 2 ns, "250p" = 250 ps):
+//
+//   design  <name>
+//   clock   <name> period <time>
+//   input   <net> [arrival <min> <max>]
+//   output  <net> [require <time>]
+//   gate    <name> <outNet> from <inNet> <delay> [from <inNet> <delay> ...]
+//   reg     <name> cell <cellName> d <net> q <net> [skew <time>]
+//
+// Semantics:
+//   * one clock drives every register; its rising edges sit at multiples
+//     of `period`, shifted per register by `skew` (clock-tree insertion
+//     delay at that register);
+//   * `input` arrivals are a [min, max] window relative to the launching
+//     clock edge at t = 0 (omitted: data changes exactly at the edge);
+//   * `output require` is the latest allowed (max) arrival at a primary
+//     output (omitted: one clock period);
+//   * a gate contributes one timing arc per `from` clause: the output net
+//     settles `delay` after that input settles (max over arcs for late
+//     arrivals, min for early);
+//   * `reg` binds an instance to a characterized cell by name -- the
+//     timing engine resolves the cell through sta/cells.hpp and checks
+//     the register's D-pin budget against the cell's traced contour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shtrace::sta {
+
+struct PrimaryInput {
+    std::string net;
+    double arrivalMin = 0.0;  ///< earliest data change after the edge
+    double arrivalMax = 0.0;  ///< latest data-settle after the edge
+    int line = 0;
+};
+
+struct PrimaryOutput {
+    std::string net;
+    double requiredMax = 0.0;  ///< latest allowed arrival; see hasRequirement
+    bool hasRequirement = false;  ///< false: defaults to the clock period
+    int line = 0;
+};
+
+/// One pin-to-pin timing arc of a gate.
+struct GateArc {
+    std::string from;
+    double delay = 0.0;
+};
+
+struct Gate {
+    std::string name;
+    std::string output;
+    std::vector<GateArc> arcs;
+    int line = 0;
+};
+
+struct Register {
+    std::string name;
+    std::string cell;  ///< characterized cell binding (sta/cells.hpp)
+    std::string d;     ///< data input net (a timing endpoint)
+    std::string q;     ///< output net (a timing startpoint)
+    double skew = 0.0;  ///< clock arrival offset at this register
+    int line = 0;
+};
+
+struct Design {
+    std::string name;
+    std::string clockName;
+    double clockPeriod = 0.0;
+    std::vector<PrimaryInput> inputs;
+    std::vector<PrimaryOutput> outputs;
+    std::vector<Gate> gates;
+    std::vector<Register> registers;
+};
+
+/// Parses the grammar above. Throws ParseError (with the offending line
+/// number) on syntax errors and local semantic errors: duplicate names,
+/// duplicate net drivers, a register whose d and q coincide, arrival
+/// min > max, a missing/duplicate design or clock statement, a
+/// non-positive clock period when registers are present.
+Design parseDesign(const std::string& text);
+
+/// Reads `path` and parses it. Throws Error when the file is unreadable.
+Design loadDesign(const std::string& path);
+
+}  // namespace shtrace::sta

@@ -1,0 +1,71 @@
+// shtrace -- levelized timing graph over a gate-level Design.
+//
+// One node per NET (every net has exactly one driver -- the parser
+// enforces it). Sources are primary inputs and register Q nets; a
+// gate-driven net carries one fanin arc per gate `from` clause. The graph
+// is levelized ASAP (level = longest fanin chain in arc count), which is
+// what makes the arrival/required sweeps embarrassingly parallel WITHIN a
+// level and deterministic across thread counts: a node at level L reads
+// only nodes at levels < L (forward) or > L (backward), every node writes
+// its own slot, and reductions over fanin/fanout arcs run in the fixed
+// arc order -- so the floating-point results are bit-identical whether
+// one worker or sixteen sweep the level (in the style of libtatum's
+// levelized traversals, arXiv:1705.04993's consumer).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "shtrace/sta/netlist.hpp"
+
+namespace shtrace::sta {
+
+/// How the forward sweep seeds a net.
+enum class NetKind {
+    PrimaryInput,    ///< arrival window from the input statement
+    RegisterOutput,  ///< launch: clock skew + characterized clock-to-Q
+    GateOutput,      ///< propagated: reduce over fanin arcs
+};
+
+struct FaninArc {
+    int from = -1;  ///< net index the arc leaves
+    double delay = 0.0;
+};
+
+struct FanoutArc {
+    int to = -1;  ///< net index the arc enters
+    double delay = 0.0;
+};
+
+struct TimingGraph {
+    /// Net index order is first mention in the Design (deterministic).
+    std::vector<std::string> netNames;
+    std::unordered_map<std::string, int> netIndex;
+    std::vector<NetKind> kinds;
+    /// Per net: arcs in gate-clause order (empty unless GateOutput).
+    std::vector<std::vector<FaninArc>> fanins;
+    /// Per net: arcs to every gate input this net feeds, in gate order.
+    std::vector<std::vector<FanoutArc>> fanouts;
+    /// ASAP level per net; sources are level 0.
+    std::vector<int> levels;
+    /// Net indices grouped by level, ascending within each group.
+    std::vector<std::vector<int>> byLevel;
+    /// Index into Design.gates of the driving gate (-1 otherwise).
+    std::vector<int> driverGate;
+    /// Index into Design.registers whose q drives this net (-1 otherwise).
+    std::vector<int> driverRegister;
+
+    int netCount() const { return static_cast<int>(netNames.size()); }
+
+    /// Throws InvalidArgumentError on an unknown net name.
+    int indexOf(const std::string& net) const;
+};
+
+/// Builds and levelizes the graph. Throws Error on structural problems the
+/// parser cannot see locally: a net that is read (gate input, register d,
+/// primary output) but never driven, or a combinational cycle (reported
+/// with a net on the cycle).
+TimingGraph buildTimingGraph(const Design& design);
+
+}  // namespace shtrace::sta

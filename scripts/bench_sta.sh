@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates results/bench_sta.json: the SHIA-STA engine over the shipped
+# benchmark netlists (netlists/*.stanet), cold store then warm store. The
+# bench's exit code enforces the acceptance triplet -- at least one
+# classically-violating endpoint recovered with positive contour slack,
+# zero false admits against the transistor-level h oracle, and a warm
+# rerun that completes with zero fresh transient solves.
+#
+#   scripts/bench_sta.sh [build-dir]   default build dir: build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD}" -j "${JOBS}" --target bench_sta
+
+mkdir -p results
+"./${BUILD}/bench/bench_sta" results/bench_sta.json
+echo "bench_sta.sh: OK -> results/bench_sta.json"

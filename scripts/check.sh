@@ -30,6 +30,15 @@
 #                               bench whose exit code asserts <20% of
 #                               corners traced AND <=2 ps max surrogate
 #                               error
+#   scripts/check.sh sta        sta-labeled tests (netlist grammar, graph
+#                               levelization, contour-aware endpoint
+#                               checks, thread-count determinism), then
+#                               the netlist acceptance bench: >=1
+#                               classically-violating endpoint recovered
+#                               with positive contour slack, zero false
+#                               admits vs the transistor-level h oracle,
+#                               warm store rerun with zero fresh
+#                               transients
 #
 # Each stage uses its own build tree (build/, build-tsan/, build-asan/,
 # build-ubsan/) so the sanitizer configurations never dirty the primary
@@ -53,7 +62,7 @@ run_tsan() {
           -DSHTRACE_SANITIZE=thread
     cmake --build build-tsan -j "${JOBS}" \
           --target test_parallel test_store_cache test_trace_robustness \
-                   test_obs test_backend_equivalence test_serve
+                   test_obs test_backend_equivalence test_serve test_sta
     ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
 }
 
@@ -200,6 +209,17 @@ run_corners() {
     ./build/bench/bench_corners /tmp/bench_corners_smoke.json
 }
 
+run_sta() {
+    echo "== sta: timing-graph engine tests + netlist acceptance bench =="
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "${JOBS}" --target test_sta bench_sta shtrace-sta
+    ctest --test-dir build -L sta --output-on-failure -j "${JOBS}"
+    # The bench is the acceptance gate (see scripts/bench_sta.sh): its
+    # exit code asserts the recovery / no-false-admit / free-warm-rerun
+    # triplet over the shipped netlists.
+    ./build/bench/bench_sta /tmp/bench_sta_smoke.json
+}
+
 case "${STAGE}" in
     tier1)  run_tier1 ;;
     tsan)   run_tsan ;;
@@ -210,8 +230,9 @@ case "${STAGE}" in
     obs)    run_obs ;;
     serve)  run_serve ;;
     corners) run_corners ;;
-    all)    run_tier1; run_tsan; run_asan; run_ubsan; run_sparse; run_bench; run_obs; run_serve; run_corners ;;
-    *)      echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|sparse|bench|obs|serve|corners|all]" >&2; exit 2 ;;
+    sta)    run_sta ;;
+    all)    run_tier1; run_tsan; run_asan; run_ubsan; run_sparse; run_bench; run_obs; run_serve; run_corners; run_sta ;;
+    *)      echo "usage: scripts/check.sh [tier1|tsan|asan|ubsan|sparse|bench|obs|serve|corners|sta|all]" >&2; exit 2 ;;
 esac
 
 echo "check.sh: ${STAGE} OK"

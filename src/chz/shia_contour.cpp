@@ -1,18 +1,28 @@
 #include "shtrace/chz/shia_contour.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
 
-ShiaContour::ShiaContour(std::vector<SkewPoint> points, double) {
+ShiaContour::ShiaContour(std::vector<SkewPoint> points, double monotoneSlack) {
     require(points.size() >= 2, "ShiaContour: need at least 2 contour points");
+    require(std::isfinite(monotoneSlack) && monotoneSlack >= 0.0,
+            "ShiaContour: monotoneSlack must be finite and >= 0");
+    for (const SkewPoint& p : points) {
+        require(std::isfinite(p.setup) && std::isfinite(p.hold),
+                "ShiaContour: non-finite contour point");
+    }
     // Normalize to the Pareto frontier (lower-left staircase): every traced
     // point is a valid (setup, hold) pair, but for QUERIES only the
     // non-dominated ones matter. This also absorbs the vertical
-    // setup-asymptote segment (many holds at one setup -> keep the lowest)
-    // and any few-ps corrector wiggle (dominated points drop out).
+    // setup-asymptote segment (many holds at one setup -> keep the lowest).
+    // A dominated point whose hold is within `monotoneSlack` of the running
+    // minimum is retained: few-ps corrector wiggle is curve shape, not
+    // noise, at that tolerance.
     std::sort(points.begin(), points.end(),
               [](const SkewPoint& a, const SkewPoint& b) {
                   if (a.setup != b.setup) {
@@ -20,11 +30,20 @@ ShiaContour::ShiaContour(std::vector<SkewPoint> points, double) {
                   }
                   return a.hold < b.hold;
               });
+    double runningMin = std::numeric_limits<double>::infinity();
     for (const SkewPoint& p : points) {
-        if (points_.empty() || p.hold < points_.back().hold) {
+        if (!points_.empty() && p.setup == points_.back().setup) {
+            continue;  // vertical segment: the first (lowest hold) stays
+        }
+        const bool improves = p.hold < runningMin;
+        const bool withinSlack =
+            monotoneSlack > 0.0 && p.hold <= runningMin + monotoneSlack;
+        if (points_.empty() || improves || withinSlack) {
             points_.push_back(p);
+            runningMin = std::min(runningMin, p.hold);
         }
     }
+    minHold_ = runningMin;
     require(points_.size() >= 2,
             "ShiaContour: contour degenerates to a single non-dominated "
             "point (no setup/hold tradeoff present)");
@@ -35,12 +54,26 @@ ShiaContour ShiaContour::fromTrace(const TracedContour& contour,
     return ShiaContour(contour.points, monotoneSlack);
 }
 
+SkewPoint ShiaContour::kneePoint() const {
+    const auto it = std::min_element(
+        points_.begin(), points_.end(),
+        [](const SkewPoint& a, const SkewPoint& b) {
+            // Strict < keeps the FIRST minimizer on ties; points_ is
+            // sorted by setup, so ties resolve to the smaller setup.
+            return a.setup + a.hold < b.setup + b.hold;
+        });
+    return *it;
+}
+
 std::optional<double> ShiaContour::holdRequirementAt(double setup) const {
+    if (!std::isfinite(setup)) {
+        return std::nullopt;  // NaN/Inf budgets are never feasible
+    }
     if (setup < points_.front().setup) {
         return std::nullopt;  // below the setup asymptote: infeasible
     }
     if (setup >= points_.back().setup) {
-        return points_.back().hold;  // clamped to the hold asymptote
+        return minHold_;  // clamped to the hold asymptote
     }
     const auto it = std::upper_bound(
         points_.begin(), points_.end(), setup,
@@ -56,12 +89,18 @@ std::optional<double> ShiaContour::holdRequirementAt(double setup) const {
 }
 
 bool ShiaContour::admits(double setupAvail, double holdAvail) const {
+    if (!std::isfinite(holdAvail)) {
+        return false;
+    }
     const auto requirement = holdRequirementAt(setupAvail);
     return requirement.has_value() && holdAvail >= *requirement;
 }
 
 std::optional<double> ShiaContour::holdSlack(double setupAvail,
                                              double holdAvail) const {
+    if (!std::isfinite(holdAvail)) {
+        return std::nullopt;
+    }
     const auto requirement = holdRequirementAt(setupAvail);
     if (!requirement.has_value()) {
         return std::nullopt;

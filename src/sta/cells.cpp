@@ -1,0 +1,60 @@
+#include "shtrace/sta/cells.hpp"
+
+#include "shtrace/cells/c2mos.hpp"
+#include "shtrace/cells/register_chain.hpp"
+#include "shtrace/cells/tspc.hpp"
+
+namespace shtrace::sta {
+
+std::vector<StaCell> builtinStaCells() {
+    std::vector<StaCell> cells;
+
+    // Windows and criteria mirror bench/bench_common.hpp so STA-driven
+    // characterizations share store entries with the figure benches.
+    {
+        StaCell tspc;
+        tspc.name = "tspc";
+        tspc.build = [] { return buildTspcRegister(); };
+        tspc.criterion = CriterionOptions{};  // 50%, 10% degradation
+        tspc.window = SkewBounds{120e-12, 560e-12, 60e-12, 460e-12};
+        cells.push_back(std::move(tspc));
+    }
+    {
+        StaCell c2mos;
+        c2mos.name = "c2mos";
+        c2mos.build = [] { return buildC2mosRegister(); };
+        c2mos.criterion.transitionFraction = 0.9;  // Fig. 11: 90%
+        c2mos.window = SkewBounds{250e-12, 800e-12, 100e-12, 600e-12};
+        cells.push_back(std::move(c2mos));
+    }
+    {
+        StaCell chain;
+        chain.name = "tspc_x4";
+        chain.build = [] {
+            RegisterChainOptions options;
+            options.bits = 4;
+            return buildTspcRegisterChain(options);
+        };
+        chain.criterion = CriterionOptions{};
+        chain.window = SkewBounds{120e-12, 560e-12, 60e-12, 460e-12};
+        cells.push_back(std::move(chain));
+    }
+    return cells;
+}
+
+RunConfig staCellConfig(const RunConfig& base, const StaCell& cell) {
+    RunConfig config = base;
+    config.criterion = cell.criterion;
+    config.tracer.bounds = cell.window;
+    // Batch-only knobs: the engine owns progress reporting and the
+    // observation scope; a per-cell request must not re-enter either.
+    config.onJobDone = nullptr;
+    config.metricsPath.clear();
+    config.spanTracePath.clear();
+    if (config.storeLabel.empty()) {
+        config.storeLabel = "sta:" + cell.name;
+    }
+    return config;
+}
+
+}  // namespace shtrace::sta

@@ -1,0 +1,365 @@
+#include "shtrace/sta/engine.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "shtrace/chz/characterize.hpp"
+#include "shtrace/obs/obs.hpp"
+#include "shtrace/util/error.hpp"
+
+namespace shtrace::sta {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// In-process coalescing slot: the first register request for a cell runs
+/// the characterization (which itself consults the persistent store);
+/// concurrent requests for the same cell wait on the once_flag instead of
+/// paying a duplicate fresh trace.
+struct CellSlot {
+    const StaCell* cell = nullptr;
+    std::once_flag once;
+    CharacterizeResult leader;
+};
+
+/// Builds the endpoint-facing view from a characterization result.
+/// Throws InvalidArgumentError when the contour degenerates (ShiaContour
+/// constructor); the caller maps that to a failureReason.
+CharacterizedStaCell makeCharacterizedCell(const std::string& name,
+                                           const CharacterizeResult& result) {
+    CharacterizedStaCell cell;
+    cell.name = name;
+    cell.traced = result.contour.points;
+    cell.contour = ShiaContour::fromTrace(result.contour);
+    cell.knee = cell.contour->kneePoint();
+    cell.clockToQ = result.characteristicClockToQ;
+    cell.degradedClockToQ = result.degradedClockToQ;
+    return cell;
+}
+
+/// The propagation + check core both public overloads share. `cells` must
+/// cover every register's cell name with a usable contour.
+void runTimingCore(const Design& design,
+                   const std::map<std::string, CharacterizedStaCell>& cells,
+                   const RunConfig& config, StaReport* report) {
+    TimingGraph graph;
+    try {
+        graph = buildTimingGraph(design);
+    } catch (const Error& e) {
+        report->failureReason = e.what();
+        return;
+    }
+    for (const Register& reg : design.registers) {
+        const auto it = cells.find(reg.cell);
+        if (it == cells.end() || !it->second.contour.has_value()) {
+            report->failureReason = "register '" + reg.name +
+                                    "': cell '" + reg.cell +
+                                    "' is not characterized";
+            return;
+        }
+    }
+
+    const int netCount = graph.netCount();
+    std::vector<double> atMin(netCount, 0.0);
+    std::vector<double> atMax(netCount, 0.0);
+
+    // --- forward sweep: earliest/latest arrival per net -------------------
+    // Levels run in sequence; nets within a level in parallel. Each net
+    // reduces over its own fanin arcs in fixed arc order and writes only
+    // its own slot, so results are bit-identical for any thread count.
+    {
+        SHTRACE_SPAN("sta.arrival_sweep");
+        for (const std::vector<int>& level : graph.byLevel) {
+            parallelRun(
+                level.size(),
+                [&](std::size_t job, std::size_t /*worker*/) {
+                    const int net = level[job];
+                    switch (graph.kinds[net]) {
+                        case NetKind::PrimaryInput: {
+                            // Interned in statement order; find the input
+                            // record by name (inputs are few).
+                            for (const PrimaryInput& input : design.inputs) {
+                                if (input.net == graph.netNames[net]) {
+                                    atMin[net] = input.arrivalMin;
+                                    atMax[net] = input.arrivalMax;
+                                    break;
+                                }
+                            }
+                            break;
+                        }
+                        case NetKind::RegisterOutput: {
+                            const Register& reg =
+                                design.registers[graph.driverRegister[net]];
+                            const CharacterizedStaCell& cell =
+                                cells.at(reg.cell);
+                            // Earliest launch: nominal clock-to-Q. Latest
+                            // launch: a register operating ON the contour
+                            // runs at the degraded clock-to-Q by
+                            // construction, so the late arrival carries it.
+                            atMin[net] = reg.skew + cell.clockToQ;
+                            atMax[net] = reg.skew + cell.degradedClockToQ;
+                            break;
+                        }
+                        case NetKind::GateOutput: {
+                            double lo = kInf;
+                            double hi = -kInf;
+                            for (const FaninArc& arc : graph.fanins[net]) {
+                                lo = std::min(lo,
+                                              atMin[arc.from] + arc.delay);
+                                hi = std::max(hi,
+                                              atMax[arc.from] + arc.delay);
+                            }
+                            atMin[net] = lo;
+                            atMax[net] = hi;
+                            break;
+                        }
+                    }
+                },
+                config.parallel);
+        }
+    }
+
+    // --- endpoint checks --------------------------------------------------
+    report->endpoints.reserve(design.registers.size());
+    for (const Register& reg : design.registers) {
+        const CharacterizedStaCell& cell = cells.at(reg.cell);
+        const int d = graph.indexOf(reg.d);
+
+        EndpointCheck check;
+        check.reg = reg.name;
+        check.cell = reg.cell;
+        check.dNet = reg.d;
+        // Capture edge at period + skew; data must settle availSetup
+        // before it and the next-cycle datum holds off until availHold
+        // after it (same-edge hold: the new datum launches at t = 0).
+        check.availSetup = design.clockPeriod + reg.skew - atMax[d];
+        check.availHold = atMin[d] - reg.skew;
+
+        check.kneeSetup = cell.knee.setup;
+        check.kneeHold = cell.knee.hold;
+        check.classicalSetupSlack = check.availSetup - cell.knee.setup;
+        check.classicalHoldSlack = check.availHold - cell.knee.hold;
+        check.classicalSetupOk = check.classicalSetupSlack >= 0.0;
+        check.classicalHoldOk = check.classicalHoldSlack >= 0.0;
+
+        const ShiaContour& contour = *cell.contour;
+        check.shiaOk = contour.admits(check.availSetup, check.availHold);
+        if (const auto slack =
+                contour.holdSlack(check.availSetup, check.availHold)) {
+            check.shiaFeasible = true;
+            check.shiaHoldSlack = *slack;
+        }
+        check.recovered = !check.classicalHoldOk && check.shiaOk;
+
+        report->classicalSetupViolations += !check.classicalSetupOk;
+        report->classicalHoldViolations += !check.classicalHoldOk;
+        report->shiaViolations += !check.shiaOk;
+        report->recoveredEndpoints += check.recovered;
+        report->worstSetupSlack =
+            std::min(report->worstSetupSlack, check.classicalSetupSlack);
+        report->classicalWorstHoldSlack =
+            std::min(report->classicalWorstHoldSlack,
+                     check.classicalHoldSlack);
+        if (check.shiaFeasible) {
+            report->shiaWorstHoldSlack =
+                std::min(report->shiaWorstHoldSlack, check.shiaHoldSlack);
+        } else {
+            // Infeasible setup: the contour excludes the budget outright.
+            report->shiaWorstHoldSlack = -kInf;
+        }
+        report->endpoints.push_back(std::move(check));
+    }
+
+    // --- backward sweep: required times from classical constraints -------
+    std::vector<double> requiredMax(netCount, kInf);
+    std::vector<double> requiredMin(netCount, -kInf);
+    for (const Register& reg : design.registers) {
+        const CharacterizedStaCell& cell = cells.at(reg.cell);
+        const int d = graph.indexOf(reg.d);
+        requiredMax[d] = std::min(
+            requiredMax[d],
+            design.clockPeriod + reg.skew - cell.knee.setup);
+        requiredMin[d] =
+            std::max(requiredMin[d], reg.skew + cell.knee.hold);
+    }
+    for (const PrimaryOutput& output : design.outputs) {
+        const int net = graph.indexOf(output.net);
+        const double required = output.hasRequirement ? output.requiredMax
+                                                      : design.clockPeriod;
+        requiredMax[net] = std::min(requiredMax[net], required);
+    }
+    {
+        SHTRACE_SPAN("sta.required_sweep");
+        for (auto levelIt = graph.byLevel.rbegin();
+             levelIt != graph.byLevel.rend(); ++levelIt) {
+            const std::vector<int>& level = *levelIt;
+            parallelRun(
+                level.size(),
+                [&](std::size_t job, std::size_t /*worker*/) {
+                    const int net = level[job];
+                    // Fanout targets sit at strictly higher levels, so
+                    // their required times are final by now.
+                    for (const FanoutArc& arc : graph.fanouts[net]) {
+                        requiredMax[net] =
+                            std::min(requiredMax[net],
+                                     requiredMax[arc.to] - arc.delay);
+                        requiredMin[net] =
+                            std::max(requiredMin[net],
+                                     requiredMin[arc.to] - arc.delay);
+                    }
+                },
+                config.parallel);
+        }
+    }
+
+    report->nets.reserve(netCount);
+    for (int net = 0; net < netCount; ++net) {
+        NetTiming timing;
+        timing.net = graph.netNames[net];
+        timing.level = graph.levels[net];
+        timing.atMin = atMin[net];
+        timing.atMax = atMax[net];
+        timing.requiredMax = requiredMax[net];
+        timing.requiredMin = requiredMin[net];
+        timing.setupSlack = requiredMax[net] - atMax[net];
+        timing.holdSlack = atMin[net] - requiredMin[net];
+        report->nets.push_back(std::move(timing));
+    }
+    report->success = true;
+}
+
+}  // namespace
+
+StaReport analyzeDesign(const Design& design,
+                        const std::vector<StaCell>& library,
+                        const RunConfig& config) {
+    obs::RunObservation observation(config.metricsPath,
+                                    config.spanTracePath);
+    StaReport report;
+    report.design = design.name;
+    report.clockPeriod = design.clockPeriod;
+    ScopedTimer timer(&report.stats);
+
+    // Resolve each distinct referenced cell to its library entry.
+    std::map<std::string, CellSlot> slots;
+    for (const Register& reg : design.registers) {
+        if (slots.count(reg.cell) != 0) {
+            continue;
+        }
+        const auto it =
+            std::find_if(library.begin(), library.end(),
+                         [&](const StaCell& c) { return c.name == reg.cell; });
+        if (it == library.end()) {
+            report.failureReason = "register '" + reg.name +
+                                   "': unknown cell '" + reg.cell + "'";
+            observation.finish(report.stats);
+            return report;
+        }
+        slots[reg.cell].cell = &*it;
+    }
+
+    // One characterization request per register. The leader for each cell
+    // computes (or store-loads); followers wait, then issue their own
+    // request -- a guaranteed store hit once the leader published -- so
+    // the store sees the design's true fan-out. Without a readable store
+    // the followers reuse the leader's result at zero cost.
+    const bool followersRequest =
+        !config.cacheDir.empty() && config.cachePolicy != CachePolicy::Refresh;
+    RunContext ctx(config, design.registers.size());
+    std::vector<const CharacterizeResult*> leaderOf(design.registers.size());
+    std::vector<CharacterizeResult> followerResults(design.registers.size());
+    {
+        SHTRACE_SPAN("sta.characterize_cells");
+        parallelRun(
+            design.registers.size(),
+            [&](std::size_t job, std::size_t /*worker*/) {
+                CellSlot& slot = slots.at(design.registers[job].cell);
+                bool isLeader = false;
+                std::call_once(slot.once, [&] {
+                    isLeader = true;
+                    const RunConfig cellConfig =
+                        staCellConfig(config, *slot.cell);
+                    try {
+                        slot.leader = characterizeInterdependent(
+                            slot.cell->build(), cellConfig);
+                    } catch (const std::exception& e) {
+                        slot.leader.success = false;
+                        slot.leader.failureReason = e.what();
+                    }
+                });
+                if (isLeader) {
+                    ctx.jobStats(job) = slot.leader.stats;
+                    leaderOf[job] = &slot.leader;
+                } else if (followersRequest && slot.leader.success) {
+                    const RunConfig cellConfig =
+                        staCellConfig(config, *slot.cell);
+                    try {
+                        followerResults[job] = characterizeInterdependent(
+                            slot.cell->build(), cellConfig);
+                    } catch (const std::exception& e) {
+                        followerResults[job].success = false;
+                        followerResults[job].failureReason = e.what();
+                    }
+                    ctx.jobStats(job) = followerResults[job].stats;
+                    leaderOf[job] = &followerResults[job];
+                } else {
+                    // Coalesced reuse: the follower's request is satisfied
+                    // by the in-process leader at zero additional cost.
+                    leaderOf[job] = &slot.leader;
+                }
+            },
+            config.parallel, config.onJobDone);
+    }
+    report.stats.merge(ctx.mergedStats());
+
+    for (const auto& [name, slot] : slots) {
+        const CharacterizeResult& result = slot.leader;
+        if (!result.success) {
+            report.failureReason = "characterization of cell '" + name +
+                                   "' failed: " + result.failureReason;
+            observation.finish(report.stats);
+            return report;
+        }
+        try {
+            report.cells.emplace(name,
+                                 makeCharacterizedCell(name, result));
+        } catch (const Error& e) {
+            report.failureReason = "cell '" + name +
+                                   "': unusable contour: " + e.what();
+            observation.finish(report.stats);
+            return report;
+        }
+    }
+    // Per-register requests that recomputed independently (disjoint store
+    // race) would still agree bit-exactly; only failures matter here.
+    for (std::size_t job = 0; job < design.registers.size(); ++job) {
+        if (leaderOf[job] != nullptr && !leaderOf[job]->success) {
+            report.failureReason =
+                "characterization request for register '" +
+                design.registers[job].name +
+                "' failed: " + leaderOf[job]->failureReason;
+            observation.finish(report.stats);
+            return report;
+        }
+    }
+
+    runTimingCore(design, report.cells, config, &report);
+    observation.finish(report.stats);
+    return report;
+}
+
+StaReport analyzeDesign(
+    const Design& design,
+    const std::map<std::string, CharacterizedStaCell>& cells,
+    const RunConfig& config) {
+    StaReport report;
+    report.design = design.name;
+    report.clockPeriod = design.clockPeriod;
+    report.cells = cells;
+    ScopedTimer timer(&report.stats);
+    runTimingCore(design, report.cells, config, &report);
+    return report;
+}
+
+}  // namespace shtrace::sta

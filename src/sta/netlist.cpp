@@ -1,0 +1,241 @@
+#include "shtrace/sta/netlist.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "shtrace/util/error.hpp"
+#include "shtrace/util/units.hpp"
+
+namespace shtrace::sta {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::istringstream in(line.substr(0, line.find('#')));
+    std::string token;
+    while (in >> token) {
+        tokens.push_back(token);
+    }
+    return tokens;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+    throw ParseError(what, line);
+}
+
+/// Statement-level cursor over one line's token list.
+class Cursor {
+public:
+    Cursor(const std::vector<std::string>& tokens, int line)
+        : tokens_(tokens), line_(line) {}
+
+    bool done() const { return next_ >= tokens_.size(); }
+    bool peekIs(const std::string& word) const {
+        return !done() && tokens_[next_] == word;
+    }
+    const std::string& word(const char* what) {
+        if (done()) {
+            fail(line_, std::string("expected ") + what);
+        }
+        return tokens_[next_++];
+    }
+    double time(const char* what) {
+        return parseEngineeringOrThrow(word(what), line_);
+    }
+    void keyword(const char* word) {
+        const std::string& got = this->word(word);
+        if (got != word) {
+            fail(line_, std::string("expected '") + word + "', got '" + got +
+                            "'");
+        }
+    }
+    void end() const {
+        if (!done()) {
+            fail(line_, "trailing token '" + tokens_[next_] + "'");
+        }
+    }
+
+private:
+    const std::vector<std::string>& tokens_;
+    std::size_t next_ = 0;
+    int line_;
+};
+
+/// Tracks which statement drives each net so a second driver is reported
+/// at ITS line, naming the first.
+class DriverMap {
+public:
+    void claim(const std::string& net, const std::string& by, int line) {
+        const auto [it, fresh] = drivers_.emplace(net, by);
+        if (!fresh) {
+            fail(line, "net '" + net + "' already driven by " + it->second);
+        }
+    }
+
+private:
+    std::unordered_map<std::string, std::string> drivers_;
+};
+
+}  // namespace
+
+Design parseDesign(const std::string& text) {
+    Design design;
+    DriverMap drivers;
+    std::unordered_set<std::string> names;  // gate/register instance names
+    std::unordered_set<std::string> sinkNets;  // output nets (one use each)
+    bool sawDesign = false;
+    bool sawClock = false;
+
+    const auto claimName = [&](const std::string& name, int line) {
+        if (!names.insert(name).second) {
+            fail(line, "duplicate instance name '" + name + "'");
+        }
+    };
+
+    std::istringstream in(text);
+    std::string lineText;
+    int lineNo = 0;
+    while (std::getline(in, lineText)) {
+        ++lineNo;
+        const std::vector<std::string> tokens = tokenize(lineText);
+        if (tokens.empty()) {
+            continue;
+        }
+        Cursor cur(tokens, lineNo);
+        const std::string& stmt = cur.word("statement");
+        if (stmt == "design") {
+            if (sawDesign) {
+                fail(lineNo, "duplicate design statement");
+            }
+            sawDesign = true;
+            design.name = cur.word("design name");
+            cur.end();
+        } else if (stmt == "clock") {
+            if (sawClock) {
+                fail(lineNo, "duplicate clock statement (one clock domain)");
+            }
+            sawClock = true;
+            design.clockName = cur.word("clock name");
+            cur.keyword("period");
+            design.clockPeriod = cur.time("clock period");
+            if (design.clockPeriod <= 0.0) {
+                fail(lineNo, "clock period must be positive");
+            }
+            cur.end();
+        } else if (stmt == "input") {
+            PrimaryInput input;
+            input.line = lineNo;
+            input.net = cur.word("input net");
+            if (cur.peekIs("arrival")) {
+                cur.keyword("arrival");
+                input.arrivalMin = cur.time("arrival min");
+                input.arrivalMax = cur.time("arrival max");
+                if (input.arrivalMin > input.arrivalMax) {
+                    fail(lineNo, "arrival min exceeds arrival max");
+                }
+            }
+            cur.end();
+            drivers.claim(input.net, "input (line " + std::to_string(lineNo) +
+                                         ")",
+                          lineNo);
+            design.inputs.push_back(std::move(input));
+        } else if (stmt == "output") {
+            PrimaryOutput output;
+            output.line = lineNo;
+            output.net = cur.word("output net");
+            if (cur.peekIs("require")) {
+                cur.keyword("require");
+                output.requiredMax = cur.time("required time");
+                output.hasRequirement = true;
+            }
+            cur.end();
+            if (!sinkNets.insert(output.net).second) {
+                fail(lineNo, "duplicate output statement for net '" +
+                                 output.net + "'");
+            }
+            design.outputs.push_back(std::move(output));
+        } else if (stmt == "gate") {
+            Gate gate;
+            gate.line = lineNo;
+            gate.name = cur.word("gate name");
+            claimName(gate.name, lineNo);
+            gate.output = cur.word("gate output net");
+            while (!cur.done()) {
+                cur.keyword("from");
+                GateArc arc;
+                arc.from = cur.word("arc input net");
+                arc.delay = cur.time("arc delay");
+                if (arc.delay < 0.0) {
+                    fail(lineNo, "negative arc delay");
+                }
+                if (arc.from == gate.output) {
+                    fail(lineNo, "gate '" + gate.name +
+                                     "' feeds its own output net");
+                }
+                gate.arcs.push_back(std::move(arc));
+            }
+            if (gate.arcs.empty()) {
+                fail(lineNo, "gate '" + gate.name + "' has no 'from' arcs");
+            }
+            drivers.claim(gate.output,
+                          "gate '" + gate.name + "' (line " +
+                              std::to_string(lineNo) + ")",
+                          lineNo);
+            design.gates.push_back(std::move(gate));
+        } else if (stmt == "reg") {
+            Register reg;
+            reg.line = lineNo;
+            reg.name = cur.word("register name");
+            claimName(reg.name, lineNo);
+            cur.keyword("cell");
+            reg.cell = cur.word("cell name");
+            cur.keyword("d");
+            reg.d = cur.word("d net");
+            cur.keyword("q");
+            reg.q = cur.word("q net");
+            if (cur.peekIs("skew")) {
+                cur.keyword("skew");
+                reg.skew = cur.time("clock skew");
+            }
+            cur.end();
+            if (reg.d == reg.q) {
+                fail(lineNo, "register '" + reg.name +
+                                 "' ties d and q to the same net");
+            }
+            drivers.claim(reg.q,
+                          "register '" + reg.name + "' (line " +
+                              std::to_string(lineNo) + ")",
+                          lineNo);
+            design.registers.push_back(std::move(reg));
+        } else {
+            fail(lineNo, "unknown statement '" + stmt + "'");
+        }
+    }
+
+    if (!sawDesign) {
+        fail(lineNo, "missing design statement");
+    }
+    if (!design.registers.empty() && !sawClock) {
+        fail(lineNo, "design has registers but no clock statement");
+    }
+    return design;
+}
+
+Design loadDesign(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw Error(message("loadDesign: cannot open '", path, "'"));
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    try {
+        return parseDesign(body.str());
+    } catch (const ParseError& e) {
+        throw ParseError(message("in '", path, "': ", e.what()), e.line());
+    }
+}
+
+}  // namespace shtrace::sta

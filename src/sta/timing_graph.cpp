@@ -1,0 +1,126 @@
+#include "shtrace/sta/timing_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "shtrace/util/error.hpp"
+
+namespace shtrace::sta {
+
+int TimingGraph::indexOf(const std::string& net) const {
+    const auto it = netIndex.find(net);
+    if (it == netIndex.end()) {
+        throw InvalidArgumentError(
+            message("TimingGraph: unknown net '", net, "'"));
+    }
+    return it->second;
+}
+
+TimingGraph buildTimingGraph(const Design& design) {
+    TimingGraph graph;
+
+    const auto intern = [&graph](const std::string& net) {
+        const auto [it, fresh] =
+            graph.netIndex.emplace(net, graph.netCount());
+        if (fresh) {
+            graph.netNames.push_back(net);
+            graph.kinds.push_back(NetKind::GateOutput);  // until driven
+            graph.fanins.emplace_back();
+            graph.fanouts.emplace_back();
+            graph.driverGate.push_back(-1);
+            graph.driverRegister.push_back(-1);
+        }
+        return it->second;
+    };
+
+    // Intern nets in statement order so indices are deterministic, then
+    // record each net's driver kind.
+    std::vector<bool> driven;
+    const auto markDriven = [&](int net) {
+        if (static_cast<std::size_t>(net) >= driven.size()) {
+            driven.resize(net + 1, false);
+        }
+        driven[net] = true;
+    };
+    for (const PrimaryInput& input : design.inputs) {
+        const int net = intern(input.net);
+        graph.kinds[net] = NetKind::PrimaryInput;
+        markDriven(net);
+    }
+    for (std::size_t r = 0; r < design.registers.size(); ++r) {
+        const int q = intern(design.registers[r].q);
+        graph.kinds[q] = NetKind::RegisterOutput;
+        graph.driverRegister[q] = static_cast<int>(r);
+        markDriven(q);
+        intern(design.registers[r].d);
+    }
+    for (std::size_t g = 0; g < design.gates.size(); ++g) {
+        const Gate& gate = design.gates[g];
+        const int out = intern(gate.output);
+        graph.driverGate[out] = static_cast<int>(g);
+        markDriven(out);
+        for (const GateArc& arc : gate.arcs) {
+            const int from = intern(arc.from);
+            graph.fanins[out].push_back({from, arc.delay});
+            graph.fanouts[from].push_back({out, arc.delay});
+        }
+    }
+    for (const PrimaryOutput& output : design.outputs) {
+        intern(output.net);
+    }
+    driven.resize(graph.netCount(), false);
+
+    for (int net = 0; net < graph.netCount(); ++net) {
+        if (!driven[net]) {
+            throw Error(message("timing graph: net '", graph.netNames[net],
+                                "' is read but never driven (no input, "
+                                "gate output, or register q)"));
+        }
+    }
+
+    // ASAP levelization (Kahn over fanin arcs). Sources -- inputs and
+    // register Q nets -- are level 0; a gate output is one past its
+    // deepest fanin. Whatever never levels is on a combinational cycle.
+    graph.levels.assign(graph.netCount(), -1);
+    std::vector<int> pending(graph.netCount(), 0);
+    std::deque<int> ready;
+    for (int net = 0; net < graph.netCount(); ++net) {
+        pending[net] = static_cast<int>(graph.fanins[net].size());
+        if (pending[net] == 0) {
+            graph.levels[net] = 0;
+            ready.push_back(net);
+        }
+    }
+    int leveled = 0;
+    while (!ready.empty()) {
+        const int net = ready.front();
+        ready.pop_front();
+        ++leveled;
+        for (const FanoutArc& arc : graph.fanouts[net]) {
+            graph.levels[arc.to] =
+                std::max(graph.levels[arc.to], graph.levels[net] + 1);
+            if (--pending[arc.to] == 0) {
+                ready.push_back(arc.to);
+            }
+        }
+    }
+    if (leveled != graph.netCount()) {
+        for (int net = 0; net < graph.netCount(); ++net) {
+            if (graph.levels[net] < 0) {
+                throw Error(message(
+                    "timing graph: combinational cycle through net '",
+                    graph.netNames[net], "'"));
+            }
+        }
+    }
+
+    const int depth =
+        1 + *std::max_element(graph.levels.begin(), graph.levels.end());
+    graph.byLevel.resize(depth);
+    for (int net = 0; net < graph.netCount(); ++net) {
+        graph.byLevel[graph.levels[net]].push_back(net);
+    }
+    return graph;
+}
+
+}  // namespace shtrace::sta

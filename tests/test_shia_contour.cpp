@@ -91,6 +91,107 @@ TEST(ShiaContour, VerticalAsymptoteSegmentCollapsesToItsLowestPoint) {
     EXPECT_NEAR(*c.holdRequirementAt(204e-12), 300e-12, 1e-15);
 }
 
+TEST(ShiaContour, MonotoneSlackRetainsNearFrontierPoints) {
+    // Regression: fromTrace/the constructor used to accept monotoneSlack
+    // and silently drop it, always producing the strict frontier. The
+    // (300, 202) point sits 2 ps above the running minimum: the strict
+    // frontier drops it, a 5 ps tolerance must RETAIN it.
+    const std::vector<SkewPoint> wiggly = {{100e-12, 300e-12},
+                                           {200e-12, 200e-12},
+                                           {300e-12, 202e-12},
+                                           {400e-12, 150e-12}};
+    const ShiaContour strict(wiggly);
+    const ShiaContour tolerant(wiggly, 5e-12);
+    EXPECT_EQ(strict.size(), 3u);
+    ASSERT_EQ(tolerant.size(), 4u);  // the nonzero slack changed the set
+    // The retained wiggle point participates in interpolation...
+    EXPECT_NEAR(*tolerant.holdRequirementAt(300e-12), 202e-12, 1e-15);
+    EXPECT_NEAR(*strict.holdRequirementAt(300e-12), 175e-12, 1e-15);
+    // ...but the true minimum over the retained set is still reported.
+    EXPECT_DOUBLE_EQ(tolerant.minHold(), 150e-12);
+}
+
+TEST(ShiaContour, MonotoneSlackDoesNotResurrectFarDominatedPoints) {
+    // A point 20 ps above the running minimum is outside a 5 ps slack:
+    // still dropped.
+    const ShiaContour c({{100e-12, 300e-12},
+                         {200e-12, 200e-12},
+                         {300e-12, 220e-12},
+                         {400e-12, 150e-12}},
+                        5e-12);
+    EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(ShiaContour, MonotoneSlackStillCollapsesEqualSetupPlateaus) {
+    // The vertical setup-asymptote segment collapses to its lowest hold
+    // regardless of the slack; a plateau of equal setups never spans.
+    const ShiaContour c({{204e-12, 460e-12},
+                         {204e-12, 380e-12},
+                         {204e-12, 300e-12},
+                         {250e-12, 180e-12},
+                         {400e-12, 140e-12}},
+                        500e-12);
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_NEAR(*c.holdRequirementAt(204e-12), 300e-12, 1e-15);
+}
+
+TEST(ShiaContour, RejectsNonFiniteConstructionAndSlack) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(ShiaContour({{100e-12, nan}, {200e-12, 100e-12}}),
+                 InvalidArgumentError);
+    EXPECT_THROW(ShiaContour({{inf, 200e-12}, {200e-12, 100e-12}}),
+                 InvalidArgumentError);
+    const std::vector<SkewPoint> good = {{100e-12, 300e-12},
+                                         {200e-12, 200e-12}};
+    EXPECT_THROW(ShiaContour(good, nan), InvalidArgumentError);
+    EXPECT_THROW(ShiaContour(good, -1e-12), InvalidArgumentError);
+}
+
+TEST(ShiaContour, QueriesRejectNonFiniteBudgets) {
+    const ShiaContour c = synthetic();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(c.admits(nan, 1e-9));
+    EXPECT_FALSE(c.admits(1e-9, nan));
+    EXPECT_FALSE(c.admits(inf, inf));  // an infinite budget is a bug upstream
+    EXPECT_FALSE(c.holdSlack(nan, 1e-9).has_value());
+    EXPECT_FALSE(c.holdSlack(1e-9, nan).has_value());
+    EXPECT_FALSE(c.holdRequirementAt(nan).has_value());
+    EXPECT_FALSE(c.holdRequirementAt(inf).has_value());
+}
+
+TEST(ShiaContour, BoundaryExactQueries) {
+    const ShiaContour c = synthetic();
+    // Exactly at the smallest traced setup: the first point's hold.
+    EXPECT_NEAR(*c.holdRequirementAt(100e-12), 400e-12, 1e-15);
+    // Exactly at the largest traced setup: the last point's hold.
+    EXPECT_NEAR(*c.holdRequirementAt(400e-12), 100e-12, 1e-15);
+    // One ulp-scale step below the smallest setup: infeasible.
+    EXPECT_FALSE(c.holdRequirementAt(100e-12 * (1 - 1e-12)).has_value());
+    // Budget exactly equal to a contour point admits (closed curve).
+    EXPECT_TRUE(c.admits(100e-12, 400e-12));
+    EXPECT_TRUE(c.admits(400e-12, 100e-12));
+    EXPECT_NEAR(*c.holdSlack(400e-12, 100e-12), 0.0, 1e-18);
+}
+
+TEST(ShiaContour, KneePointMinimizesTheBudgetSum) {
+    // synthetic(): sums are 500, 400, 400, 500 -- the tie between
+    // (150, 250) and (250, 150) resolves to the smaller setup.
+    const SkewPoint knee = synthetic().kneePoint();
+    EXPECT_DOUBLE_EQ(knee.setup, 150e-12);
+    EXPECT_DOUBLE_EQ(knee.hold, 250e-12);
+    // The knee never lands on a dominated point: (300, 202) is dropped
+    // before selection even though its sum beats (400, 150)'s.
+    const ShiaContour wiggly({{100e-12, 320e-12},
+                              {200e-12, 200e-12},
+                              {300e-12, 202e-12},
+                              {400e-12, 150e-12}});
+    const SkewPoint k2 = wiggly.kneePoint();
+    EXPECT_DOUBLE_EQ(k2.setup, 200e-12);
+    EXPECT_DOUBLE_EQ(k2.hold, 200e-12);
+}
+
 TEST(ShiaContour, FromRealTracedContour) {
     const RegisterFixture reg = buildTspcRegister();
     CharacterizeOptions opt;

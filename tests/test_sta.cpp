@@ -1,0 +1,313 @@
+// Tests for the SHIA-STA timing engine: netlist grammar, graph
+// levelization, contour-aware endpoint checks, and thread-count
+// determinism of the parallel sweeps (tsan-labeled).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "shtrace/sta/engine.hpp"
+
+namespace shtrace {
+namespace {
+
+sta::CharacterizedStaCell fakeCell(const std::string& name) {
+    // Clean L-shaped tradeoff; knee ties resolve to (150, 250).
+    sta::CharacterizedStaCell cell;
+    cell.name = name;
+    cell.traced = {{100e-12, 400e-12},
+                   {150e-12, 250e-12},
+                   {250e-12, 150e-12},
+                   {400e-12, 100e-12}};
+    cell.contour = ShiaContour(cell.traced);
+    cell.knee = cell.contour->kneePoint();
+    cell.clockToQ = 400e-12;
+    cell.degradedClockToQ = 440e-12;
+    return cell;
+}
+
+std::map<std::string, sta::CharacterizedStaCell> fakeLibrary() {
+    std::map<std::string, sta::CharacterizedStaCell> cells;
+    cells.emplace("fake", fakeCell("fake"));
+    return cells;
+}
+
+TEST(StaNetlist, ParsesTheFullGrammar) {
+    const sta::Design d = sta::parseDesign(R"(
+        # comment lines and blank lines are ignored
+        design demo
+        clock clk period 2n
+
+        input a arrival 100p 0.3n   # engineering suffixes everywhere
+        input b
+        output y require 1.8n
+
+        gate g1 n1 from a 150p from b 250p
+        reg r1 cell tspc d n1 q q1 skew 50p
+        gate g2 y from q1 120p
+    )");
+    EXPECT_EQ(d.name, "demo");
+    EXPECT_EQ(d.clockName, "clk");
+    EXPECT_DOUBLE_EQ(d.clockPeriod, 2e-9);
+    ASSERT_EQ(d.inputs.size(), 2u);
+    EXPECT_DOUBLE_EQ(d.inputs[0].arrivalMin, 100e-12);
+    EXPECT_DOUBLE_EQ(d.inputs[0].arrivalMax, 0.3e-9);
+    EXPECT_DOUBLE_EQ(d.inputs[1].arrivalMin, 0.0);
+    ASSERT_EQ(d.outputs.size(), 1u);
+    EXPECT_TRUE(d.outputs[0].hasRequirement);
+    EXPECT_DOUBLE_EQ(d.outputs[0].requiredMax, 1.8e-9);
+    ASSERT_EQ(d.gates.size(), 2u);
+    ASSERT_EQ(d.gates[0].arcs.size(), 2u);
+    EXPECT_EQ(d.gates[0].arcs[1].from, "b");
+    EXPECT_DOUBLE_EQ(d.gates[0].arcs[1].delay, 250e-12);
+    ASSERT_EQ(d.registers.size(), 1u);
+    EXPECT_EQ(d.registers[0].cell, "tspc");
+    EXPECT_DOUBLE_EQ(d.registers[0].skew, 50e-12);
+}
+
+TEST(StaNetlist, RejectsBrokenInputsWithLineNumbers) {
+    const auto expectParseError = [](const std::string& text,
+                                     const std::string& needle) {
+        try {
+            sta::parseDesign(text);
+            FAIL() << "expected ParseError for: " << needle;
+        } catch (const ParseError& e) {
+            EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+                << "got: " << e.what();
+        }
+    };
+    expectParseError("gate g1 y from a 1p\n", "missing design");
+    expectParseError("design d\nfrobnicate x\n", "unknown statement");
+    expectParseError("design d\ndesign d2\n", "duplicate design");
+    expectParseError("design d\nclock c period 1n\nclock c2 period 1n\n",
+                     "duplicate clock");
+    expectParseError("design d\nclock c period -1n\n", "must be positive");
+    expectParseError("design d\ninput a arrival 2n 1n\n",
+                     "arrival min exceeds arrival max");
+    expectParseError("design d\ngate g1 y\n", "has no 'from' arcs");
+    expectParseError("design d\ngate g1 y from a -5p\n",
+                     "negative arc delay");
+    expectParseError("design d\ngate g1 y from y 5p\n",
+                     "feeds its own output net");
+    expectParseError("design d\ngate g1 y from a 5p\ngate g1 z from a 5p\n",
+                     "duplicate instance name");
+    expectParseError(
+        "design d\ninput a\ngate g1 a from b 5p\n", "already driven by");
+    expectParseError(
+        "design d\nclock c period 1n\nreg r1 cell t d n q n\n",
+        "ties d and q");
+    expectParseError("design d\nreg r1 cell t d n q q1\n",
+                     "registers but no clock");
+    expectParseError("design d\noutput y\noutput y\n",
+                     "duplicate output statement");
+    expectParseError("design d\nclock c period xyz\n", "");  // bad number
+    // Line numbers point at the offending statement.
+    try {
+        sta::parseDesign("design d\n\ngate g1 y from a -5p\n");
+        FAIL();
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 3);
+    }
+}
+
+TEST(StaGraph, LevelizesAReconvergentDiamond) {
+    const sta::Design d = sta::parseDesign(R"(
+        design diamond
+        input a
+        gate top n1 from a 1p
+        gate left n2 from n1 1p
+        gate right n3 from n1 3p
+        gate join n4 from n2 1p from n3 1p
+        output n4
+    )");
+    const sta::TimingGraph g = sta::buildTimingGraph(d);
+    EXPECT_EQ(g.netCount(), 5);
+    EXPECT_EQ(g.levels[g.indexOf("a")], 0);
+    EXPECT_EQ(g.levels[g.indexOf("n1")], 1);
+    EXPECT_EQ(g.levels[g.indexOf("n2")], 2);
+    EXPECT_EQ(g.levels[g.indexOf("n3")], 2);
+    // The join waits for BOTH diamond arms: level 3, not 2.
+    EXPECT_EQ(g.levels[g.indexOf("n4")], 3);
+    ASSERT_EQ(g.byLevel.size(), 4u);
+    EXPECT_EQ(g.byLevel[2].size(), 2u);
+    EXPECT_THROW(g.indexOf("nope"), InvalidArgumentError);
+}
+
+TEST(StaGraph, RejectsUndrivenNetsAndCycles) {
+    const sta::Design undriven = sta::parseDesign(
+        "design d\ninput a\ngate g1 y from a 1p from ghost 1p\n");
+    EXPECT_THROW(sta::buildTimingGraph(undriven), Error);
+
+    const sta::Design cyclic = sta::parseDesign(
+        "design d\ninput a\n"
+        "gate g1 n1 from a 1p from n2 1p\n"
+        "gate g2 n2 from n1 1p\n");
+    try {
+        sta::buildTimingGraph(cyclic);
+        FAIL() << "expected a cycle error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("combinational cycle"),
+                  std::string::npos);
+    }
+}
+
+TEST(StaEngine, EndpointRegimesClassicalVsContour) {
+    // One launch register, three capture registers whose skews step the
+    // hold budget through the three regimes of the fake contour
+    // (knee hold 250p, asymptote 100p, clock-to-Q 400p):
+    //   comfortable: availHold = 400p + 100p - 0    = 500p  (both pass)
+    //   recovered:   availHold = 400p + 100p - 380p = 120p  (knee fails,
+    //                contour admits: availSetup 840p dominates (400p,100p))
+    //   violating:   availHold = 400p + 100p - 450p =  50p  (both fail)
+    const sta::Design d = sta::parseDesign(R"(
+        design regimes
+        clock clk period 1n
+        input a arrival 200p 200p
+        reg launch cell fake d d0 q q0
+        gate gin d0 from a 100p
+        gate g1 n1 from q0 100p
+        gate g2 n2 from q0 100p
+        gate g3 n3 from q0 100p
+        reg comfortable cell fake d n1 q x1
+        reg recovered cell fake d n2 q x2 skew 380p
+        reg violating cell fake d n3 q x3 skew 450p
+    )");
+    const sta::StaReport report = sta::analyzeDesign(d, fakeLibrary());
+    ASSERT_TRUE(report.success) << report.failureReason;
+    ASSERT_EQ(report.endpoints.size(), 4u);
+
+    const auto& comfortable = report.endpoints[1];
+    EXPECT_TRUE(comfortable.classicalHoldOk);
+    EXPECT_TRUE(comfortable.shiaOk);
+    EXPECT_FALSE(comfortable.recovered);
+
+    const auto& recovered = report.endpoints[2];
+    EXPECT_NEAR(recovered.availHold, 120e-12, 1e-15);
+    EXPECT_NEAR(recovered.availSetup, 840e-12, 1e-15);
+    EXPECT_FALSE(recovered.classicalHoldOk);  // 120p < knee hold 250p
+    EXPECT_TRUE(recovered.shiaOk);            // contour asymptote is 100p
+    EXPECT_TRUE(recovered.recovered);
+    ASSERT_TRUE(recovered.shiaFeasible);
+    EXPECT_NEAR(recovered.shiaHoldSlack, 20e-12, 1e-15);
+
+    const auto& violating = report.endpoints[3];
+    EXPECT_FALSE(violating.classicalHoldOk);
+    EXPECT_FALSE(violating.shiaOk);
+    EXPECT_FALSE(violating.recovered);
+
+    EXPECT_EQ(report.classicalHoldViolations, 2u);
+    EXPECT_EQ(report.shiaViolations, 1u);
+    EXPECT_EQ(report.recoveredEndpoints, 1u);
+    // The design-level hold pessimism gap: classical worst is the
+    // violating endpoint either way, but SHIA's is less negative.
+    EXPECT_GT(report.shiaWorstHoldSlack, report.classicalWorstHoldSlack);
+}
+
+TEST(StaEngine, UnknownCellLandsInFailureReasonNotAThrow) {
+    const sta::Design d = sta::parseDesign(
+        "design d\nclock c period 1n\ninput a\n"
+        "reg r1 cell nosuch d a q q1\n");
+    const sta::StaReport viaLibrary =
+        sta::analyzeDesign(d, std::vector<sta::StaCell>{});
+    EXPECT_FALSE(viaLibrary.success);
+    EXPECT_NE(viaLibrary.failureReason.find("nosuch"), std::string::npos);
+
+    const sta::StaReport viaCells =
+        sta::analyzeDesign(d, std::map<std::string, sta::CharacterizedStaCell>{});
+    EXPECT_FALSE(viaCells.success);
+    EXPECT_NE(viaCells.failureReason.find("nosuch"), std::string::npos);
+}
+
+TEST(StaEngine, StructuralErrorsLandInFailureReason) {
+    const sta::Design cyclic = sta::parseDesign(
+        "design d\nclock c period 1n\ninput a\n"
+        "gate g1 n1 from a 1p from n2 1p\n"
+        "gate g2 n2 from n1 1p\n"
+        "reg r1 cell fake d n2 q q1\n");
+    const sta::StaReport report = sta::analyzeDesign(cyclic, fakeLibrary());
+    EXPECT_FALSE(report.success);
+    EXPECT_NE(report.failureReason.find("combinational cycle"),
+              std::string::npos);
+}
+
+/// A wide layered design: `width` parallel chains with cross-links, so
+/// every level holds many nets and the per-level parallel sweeps have
+/// real contention to get wrong.
+sta::Design wideDesign(int width, int depth) {
+    std::ostringstream text;
+    text << "design wide\nclock clk period 5n\n";
+    for (int w = 0; w < width; ++w) {
+        text << "input a" << w << " arrival 0 " << (w + 1) << "0p\n";
+        text << "reg l" << w << " cell fake d a" << w << " q q" << w
+             << "_0 skew " << w * 7 << "p\n";
+    }
+    for (int l = 0; l < depth; ++l) {
+        for (int w = 0; w < width; ++w) {
+            // Each gate merges its own chain and the neighbor chain:
+            // reconvergence everywhere, deterministic arc order.
+            text << "gate g" << w << "_" << l << " q" << w << "_" << (l + 1)
+                 << " from q" << w << "_" << l << " " << (13 + w) << "p"
+                 << " from q" << ((w + 1) % width) << "_" << l << " "
+                 << (29 + l) << "p\n";
+        }
+    }
+    for (int w = 0; w < width; ++w) {
+        text << "reg c" << w << " cell fake d q" << w << "_" << depth
+             << " q z" << w << " skew " << w * 11 << "p\n";
+        text << "output z" << w << "\n";
+    }
+    return sta::parseDesign(text.str());
+}
+
+TEST(StaEngine, ThreadCountDoesNotChangeAnyResult) {
+    const sta::Design d = wideDesign(16, 12);
+    const auto cells = fakeLibrary();
+    RunConfig serial;
+    serial.parallel.threads = 1;
+    RunConfig wide;
+    wide.parallel.threads = 8;
+    const sta::StaReport a = sta::analyzeDesign(d, cells, serial);
+    const sta::StaReport b = sta::analyzeDesign(d, cells, wide);
+    ASSERT_TRUE(a.success) << a.failureReason;
+    ASSERT_TRUE(b.success) << b.failureReason;
+
+    ASSERT_EQ(a.nets.size(), b.nets.size());
+    for (std::size_t i = 0; i < a.nets.size(); ++i) {
+        EXPECT_EQ(a.nets[i].net, b.nets[i].net);
+        // Bit-exact, not approximately equal: per-net slots plus fixed
+        // arc order make the sweeps independent of the thread count.
+        EXPECT_EQ(a.nets[i].atMin, b.nets[i].atMin);
+        EXPECT_EQ(a.nets[i].atMax, b.nets[i].atMax);
+        EXPECT_EQ(a.nets[i].requiredMax, b.nets[i].requiredMax);
+        EXPECT_EQ(a.nets[i].requiredMin, b.nets[i].requiredMin);
+        EXPECT_EQ(a.nets[i].setupSlack, b.nets[i].setupSlack);
+        EXPECT_EQ(a.nets[i].holdSlack, b.nets[i].holdSlack);
+    }
+    ASSERT_EQ(a.endpoints.size(), b.endpoints.size());
+    for (std::size_t i = 0; i < a.endpoints.size(); ++i) {
+        EXPECT_EQ(a.endpoints[i].availSetup, b.endpoints[i].availSetup);
+        EXPECT_EQ(a.endpoints[i].availHold, b.endpoints[i].availHold);
+        EXPECT_EQ(a.endpoints[i].shiaOk, b.endpoints[i].shiaOk);
+        EXPECT_EQ(a.endpoints[i].shiaHoldSlack,
+                  b.endpoints[i].shiaHoldSlack);
+    }
+    EXPECT_EQ(a.worstSetupSlack, b.worstSetupSlack);
+    EXPECT_EQ(a.classicalWorstHoldSlack, b.classicalWorstHoldSlack);
+    EXPECT_EQ(a.shiaWorstHoldSlack, b.shiaWorstHoldSlack);
+}
+
+TEST(StaNetlist, ShippedBenchmarkNetlistsParseAndLevelize) {
+    for (const char* name : {"pipeline4", "chain8", "diamond"}) {
+        const sta::Design d = sta::loadDesign(
+            std::string(SHTRACE_NETLIST_DIR) + "/" + name + ".stanet");
+        EXPECT_FALSE(d.registers.empty()) << name;
+        EXPECT_GT(d.clockPeriod, 0.0) << name;
+        EXPECT_NO_THROW(sta::buildTimingGraph(d)) << name;
+    }
+    const sta::Design pipeline = sta::loadDesign(
+        std::string(SHTRACE_NETLIST_DIR) + "/pipeline4.stanet");
+    EXPECT_EQ(pipeline.registers.size(), 4u);
+    EXPECT_EQ(pipeline.name, "pipeline4");
+}
+
+}  // namespace
+}  // namespace shtrace

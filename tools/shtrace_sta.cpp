@@ -1,0 +1,154 @@
+// shtrace-sta -- contour-aware static timing analysis over a gate-level
+// netlist (docs/STA.md).
+//
+//   shtrace-sta <design.stanet> [options]
+//     --cache <dir>     persistent characterization store (recommended:
+//                       reruns and sibling designs reuse traces)
+//     --threads <n>     worker threads (0 = hardware concurrency)
+//     --max-points <n>  tracer point budget per cell contour (default 24)
+//     --nets            also print the per-net arrival/required table
+//
+// Every register endpoint is checked twice: against the conventional
+// single (setup, hold) knee pair a classical library would publish, and
+// against the full interdependent ShiaContour. The difference column is
+// the paper's payoff: endpoints the knee flags that the contour proves
+// safe ("recovered").
+//
+// Exit status: 0 when the design meets timing under the contour check
+// (classical violations alone do not fail the run -- that pessimism is
+// the point), 1 on analysis failure or usage error, 2 when one or more
+// endpoints genuinely violate (SHIA check fails).
+#include <iostream>
+#include <string>
+
+#include "shtrace/sta/engine.hpp"
+#include "shtrace/util/table.hpp"
+#include "shtrace/util/units.hpp"
+
+namespace {
+
+using namespace shtrace;
+
+int usage() {
+    std::cerr << "usage: shtrace-sta <design.stanet> [--cache <dir>] "
+                 "[--threads <n>] [--max-points <n>] [--nets]\n";
+    return 1;
+}
+
+std::string fmt(double seconds) { return formatEngineering(seconds, "s"); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string netlistPath;
+    std::string cacheDir;
+    int threads = 0;
+    int maxPoints = 24;
+    bool printNets = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--cache" && i + 1 < argc) {
+            cacheDir = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::stoi(argv[++i]);
+        } else if (arg == "--max-points" && i + 1 < argc) {
+            maxPoints = std::stoi(argv[++i]);
+        } else if (arg == "--nets") {
+            printNets = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "shtrace-sta: unknown option '" << arg << "'\n";
+            return usage();
+        } else if (netlistPath.empty()) {
+            netlistPath = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (netlistPath.empty()) {
+        return usage();
+    }
+
+    sta::Design design;
+    try {
+        design = sta::loadDesign(netlistPath);
+    } catch (const std::exception& e) {
+        std::cerr << "shtrace-sta: " << e.what() << "\n";
+        return 1;
+    }
+
+    RunConfig config = RunConfig::defaults().withThreads(threads);
+    config.tracer.maxPoints = maxPoints;
+    if (!cacheDir.empty()) {
+        config.cacheDir = cacheDir;
+    }
+
+    const sta::StaReport report =
+        sta::analyzeDesign(design, sta::builtinStaCells(), config);
+    if (!report.success) {
+        std::cerr << "shtrace-sta: " << report.failureReason << "\n";
+        return 1;
+    }
+
+    std::cout << "design " << report.design << ": clock period "
+              << fmt(report.clockPeriod) << ", "
+              << report.endpoints.size() << " register endpoints, "
+              << report.nets.size() << " nets\n";
+    for (const auto& [name, cell] : report.cells) {
+        std::cout << "  cell " << name << ": knee ("
+                  << fmt(cell.knee.setup) << ", " << fmt(cell.knee.hold)
+                  << "), contour " << cell.contour->points().size()
+                  << " points, hold asymptote "
+                  << fmt(cell.contour->minHold()) << ", clock-to-Q "
+                  << fmt(cell.clockToQ) << " (degraded "
+                  << fmt(cell.degradedClockToQ) << ")\n";
+    }
+    std::cout << "\n";
+
+    TablePrinter endpoints({"endpoint", "cell", "avail setup", "avail hold",
+                            "classical", "SHIA", "SHIA hold slack",
+                            "verdict"});
+    for (const sta::EndpointCheck& ep : report.endpoints) {
+        std::string classical =
+            ep.classicalSetupOk && ep.classicalHoldOk ? "PASS" : "VIOLATION";
+        std::string verdict = "pass";
+        if (!ep.shiaOk) {
+            verdict = "VIOLATION";
+        } else if (ep.recovered) {
+            verdict = "recovered";
+        }
+        endpoints.addRowValues(
+            ep.reg, ep.cell, fmt(ep.availSetup), fmt(ep.availHold),
+            classical, ep.shiaOk ? "PASS" : "VIOLATION",
+            ep.shiaFeasible ? fmt(ep.shiaHoldSlack)
+                            : std::string("infeasible"),
+            verdict);
+    }
+    endpoints.print(std::cout);
+
+    if (printNets) {
+        std::cout << "\n";
+        TablePrinter nets({"net", "level", "at min", "at max",
+                           "setup slack", "hold slack"});
+        for (const sta::NetTiming& t : report.nets) {
+            nets.addRowValues(t.net, std::to_string(t.level), fmt(t.atMin),
+                              fmt(t.atMax), fmt(t.setupSlack),
+                              fmt(t.holdSlack));
+        }
+        nets.print(std::cout);
+    }
+
+    std::cout << "\nsummary: classical setup/hold violations "
+              << report.classicalSetupViolations << "/"
+              << report.classicalHoldViolations << ", SHIA violations "
+              << report.shiaViolations << ", recovered endpoints "
+              << report.recoveredEndpoints << "\n";
+    std::cout << "worst slack: setup " << fmt(report.worstSetupSlack)
+              << ", hold (classical) " << fmt(report.classicalWorstHoldSlack)
+              << ", hold (SHIA) " << fmt(report.shiaWorstHoldSlack) << "\n";
+    std::cout << "cost: " << report.stats.transientSolves << " transients, "
+              << report.stats.cacheHits << " store hits, "
+              << report.stats.cacheMisses << " misses\n";
+
+    return report.shiaViolations > 0 ? 2 : 0;
+}
