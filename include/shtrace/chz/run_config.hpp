@@ -24,6 +24,7 @@
 #include "shtrace/chz/problem.hpp"
 #include "shtrace/chz/seed.hpp"
 #include "shtrace/chz/tracer.hpp"
+#include "shtrace/obs/trace_context.hpp"
 #include "shtrace/store/policy.hpp"
 #include "shtrace/util/parallel.hpp"
 
@@ -81,6 +82,12 @@ struct RunConfig {
     /// key: two runs of the same physics share an entry whatever they
     /// were called.
     std::string storeLabel;
+    /// Request identity threaded from the serve layer (or any caller):
+    /// drivers install it as the ambient obs::RequestContext so span
+    /// records and log lines carry the originating request. Invalid
+    /// (all-zero, the default) leaves the ambient context untouched. NOT
+    /// part of the cache key.
+    obs::TraceContext traceContext;
 
     static RunConfig defaults() { return RunConfig{}; }
 
@@ -211,7 +218,24 @@ struct RunConfig {
         spanTracePath = std::move(path);
         return *this;
     }
+    /// Stamps this run's spans and log lines with a request identity.
+    RunConfig& withTraceContext(const obs::TraceContext& context) {
+        traceContext = context;
+        return *this;
+    }
 };
+
+/// The ambient request context a driver should run under: the config's
+/// trace identity when one was supplied, otherwise whatever the calling
+/// thread already carries (so nested drivers inherit). The caller's stage
+/// accumulator is preserved either way.
+inline obs::RequestContext requestContextFor(const RunConfig& config) {
+    obs::RequestContext context = obs::currentRequestContext();
+    if (config.traceContext.valid()) {
+        context.trace = config.traceContext;
+    }
+    return context;
+}
 
 /// Per-run state shared by the batch drivers: the resolved worker count
 /// and one SimStats slot per job. Jobs accumulate into their own slot (no

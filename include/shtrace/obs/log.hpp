@@ -1,0 +1,108 @@
+// shtrace -- structured event log: one JSON object per line, machine-first.
+//
+// logEvent() renders a record with a stable field schema and hands the
+// finished line to a user-installed sink:
+//
+//   {"ts":"2026-08-09T12:34:56.789Z","level":"info","event":"serve.request",
+//    "trace":"<32 hex>","span":"<16 hex>", ...caller fields...}
+//
+// Contract:
+//   * `ts` (UTC wall clock, millisecond ISO-8601), `level`, and `event` are
+//     always present, in that order. `trace`/`span` appear whenever the
+//     calling thread carries a request context (trace_context.hpp). Caller
+//     fields follow in call order.
+//   * Logging is OFF until a sink is installed; the disabled fast path is
+//     one relaxed atomic load, so hot kernels may log unconditionally.
+//   * The sink returns false to signal saturation (full pipe, closed file).
+//     Dropped records are COUNTED, never silently lost: logCounts() exposes
+//     emitted/dropped totals and the next successful write is preceded by a
+//     synthetic `log.dropped` record carrying the gap size.
+//   * One mutex serializes rendering and sink calls: lines never interleave,
+//     and the counters stay exact under concurrent writers (tsan-proven in
+//     tests/test_request_obs.cpp).
+//
+// scripts/log_lint.sh checks the emitted stream against this contract.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+namespace shtrace::obs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+const char* logLevelName(LogLevel level) noexcept;
+
+/// One key/value pair in a log record. Keys must be string literals (the
+/// pointer is kept only for the duration of the logEvent call).
+class LogField {
+public:
+    LogField(const char* key, const char* value)
+        : key_(key), kind_(Kind::String), text_(value) {}
+    LogField(const char* key, const std::string& value)
+        : key_(key), kind_(Kind::String), text_(value) {}
+    LogField(const char* key, double value)
+        : key_(key), kind_(Kind::Number), number_(value) {}
+    LogField(const char* key, int value)
+        : key_(key), kind_(Kind::Integer), integer_(value) {}
+    LogField(const char* key, long value)
+        : key_(key), kind_(Kind::Integer), integer_(value) {}
+    LogField(const char* key, long long value)
+        : key_(key), kind_(Kind::Integer), integer_(value) {}
+    LogField(const char* key, unsigned value)
+        : key_(key), kind_(Kind::Integer),
+          integer_(static_cast<long long>(value)) {}
+    LogField(const char* key, unsigned long value)
+        : key_(key), kind_(Kind::Integer),
+          integer_(static_cast<long long>(value)) {}
+    LogField(const char* key, unsigned long long value)
+        : key_(key), kind_(Kind::Integer),
+          integer_(static_cast<long long>(value)) {}
+    LogField(const char* key, bool value)
+        : key_(key), kind_(Kind::Boolean), boolean_(value) {}
+
+    void appendTo(std::string* line) const;
+
+private:
+    enum class Kind { String, Number, Integer, Boolean };
+    const char* key_;
+    Kind kind_;
+    std::string text_;
+    double number_ = 0;
+    long long integer_ = 0;
+    bool boolean_ = false;
+};
+
+/// Receives one finished JSON line (no trailing newline). Returns false when
+/// the record could not be written; the logger counts it as dropped.
+using LogSink = std::function<bool(const std::string& line)>;
+
+/// Installs the sink and enables logging; a null sink disables it again.
+void setLogSink(LogSink sink);
+/// Records below `minLevel` are skipped before rendering (default Info).
+void setLogLevel(LogLevel minLevel) noexcept;
+/// True when a record at `level` would reach the sink -- for callers that
+/// want to skip expensive field construction.
+bool logEnabled(LogLevel level) noexcept;
+
+/// Renders and emits one record. No-op (one atomic load) when disabled.
+void logEvent(LogLevel level, const char* event,
+              std::initializer_list<LogField> fields = {});
+
+struct LogCounts {
+    std::uint64_t emitted = 0;  ///< caller records accepted by the sink
+    std::uint64_t dropped = 0;  ///< caller records the sink refused
+};
+LogCounts logCounts() noexcept;
+
+/// Convenience sink: appends lines to `stream` and flushes per record, so a
+/// crashing daemon keeps its tail. Reports saturation on write failure.
+void logToStream(std::FILE* stream);
+
+/// Test helper: uninstalls the sink, restores Info, zeroes the counters.
+void resetLogging();
+
+}  // namespace shtrace::obs

@@ -35,6 +35,11 @@ enum class Hist : unsigned {
     TransientWallMilliseconds,     ///< wall time of one transient analysis
     ServeRequestMilliseconds,      ///< admission -> response-ready, serve/
     ServeQueueWaitMilliseconds,    ///< admission -> worker pickup, serve/
+    ServeCoalesceWaitMilliseconds,   ///< follower wait on an in-flight leader
+    ServeStoreReadMilliseconds,      ///< store lookup + warm-start load
+    ServeComputeMilliseconds,        ///< leader compute (minus store I/O)
+    ServeStorePublishMilliseconds,   ///< store save of a fresh result
+    StaRegisterCharacterizeMilliseconds,  ///< one register cell, sta/ engine
     kCount
 };
 
@@ -61,9 +66,12 @@ enum class Count : unsigned {
     ServeCoalesced,      ///< followers attached to an in-flight leader
     ServeComputed,       ///< leader computations executed by a worker
     ServeDrainedJobs,    ///< jobs completed after drain began
+    ServeWorkerExceptions,  ///< exceptions caught in the serve worker loop
     CornerAnchorsTraced,     ///< anchor corners fully traced (corner_family)
     CornerEscalated,         ///< corners escalated above tolerance
     CornerSurrogateAccepted, ///< corners filled by the surrogate
+    StaEndpointsChecked,     ///< register endpoints evaluated by sta/
+    StaEndpointsRecovered,   ///< classical violations the contour cleared
     kCount
 };
 

@@ -3,8 +3,10 @@
 
 #include <string>
 
+#include "shtrace/obs/log.hpp"
 #include "shtrace/obs/metrics.hpp"
 #include "shtrace/obs/span.hpp"
+#include "shtrace/obs/trace_context.hpp"
 
 namespace shtrace::obs {
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -53,13 +54,17 @@ long long monotonicNanos() noexcept;
 
 /// One completed span, copied out of the thread-local rings by
 /// collectSpans(). threadIndex is a stable small integer per recording
-/// thread (registration order), not an OS thread id.
+/// thread (registration order), not an OS thread id. traceHi/traceLo carry
+/// the recording thread's ambient request identity (trace_context.hpp) at
+/// completion time -- zero outside a request.
 struct CollectedSpan {
     std::string name;
     long long startNs = 0;
     long long durationNs = 0;
     unsigned depth = 0;
     unsigned threadIndex = 0;
+    std::uint64_t traceHi = 0;
+    std::uint64_t traceLo = 0;
 };
 
 struct SpanCounts {
@@ -75,12 +80,19 @@ SpanCounts spanCounts();
 /// Resets every registered ring. Quiesced-only, like collectSpans().
 void clearSpans() noexcept;
 
-/// Chrome trace_event JSON ({"traceEvents":[{"ph":"X",...},...]}).
+/// Chrome trace_event JSON ({"traceEvents":[{"ph":"X",...},...]}). Spans
+/// recorded under a request context carry `args.trace` for filtering.
 std::string chromeTraceJson();
+/// Chrome trace restricted to spans stamped with one trace id -- the serve
+/// slow-request sampler's per-request export.
+std::string chromeTraceJsonForTrace(std::uint64_t traceHi,
+                                    std::uint64_t traceLo);
 /// Collapsed-stack lines ("root;child;leaf <exclusive_ns>") for flamegraph
 /// tools; stacks are rebuilt per thread from span nesting.
 std::string collapsedStacks();
 void writeChromeTrace(const std::string& path);
+void writeChromeTraceForTrace(const std::string& path, std::uint64_t traceHi,
+                              std::uint64_t traceLo);
 void writeCollapsedStacks(const std::string& path);
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,140 @@
+// shtrace -- request-scoped trace context: who asked for this work?
+//
+// A TraceContext is a W3C-style 128-bit trace id plus a 64-bit span id. The
+// serve layer mints one per POST /v1/characterize (or adopts the trace id
+// from an inbound `traceparent` header), echoes it back as the request id,
+// and threads it through RunConfig into the characterization drivers. Every
+// layer below reads the ambient context from a thread-local RequestContext:
+// span records stamp it (so a Chrome trace can be filtered to one request),
+// log lines attach it, and the serve flight recorder keys on it.
+//
+// The RequestContext also carries an optional StageAccumulator pointer so
+// deep layers (the store read/publish sites in chz/characterize.cpp) can
+// attribute wall time to a named request stage without any serve dependency:
+// obs sits at the bottom of the link graph, so everything above can reach it.
+//
+// Everything here is near-free when unused: an invalid context is three
+// zero words, the thread-local read is one TLS load, and the stage timer
+// no-ops when no accumulator is installed.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace shtrace::obs {
+
+long long monotonicNanos() noexcept;  // span.cpp owns the clock
+
+/// 128-bit trace id (hi/lo) + 64-bit span id. All-zero means "no context".
+struct TraceContext {
+    std::uint64_t traceHi = 0;
+    std::uint64_t traceLo = 0;
+    std::uint64_t spanId = 0;
+
+    bool valid() const noexcept { return (traceHi | traceLo) != 0; }
+    /// 32 lowercase hex chars; this is the wire request id.
+    std::string traceIdHex() const;
+    /// 16 lowercase hex chars.
+    std::string spanIdHex() const;
+    /// `00-<traceIdHex>-<spanIdHex>-01`, the outbound traceparent form.
+    std::string traceparent() const;
+};
+
+/// Mints a fresh context (nonzero trace and span ids) from a process-local
+/// splitmix64 stream seeded once from std::random_device. Lock-free.
+TraceContext mintTraceContext() noexcept;
+
+/// Parses a W3C traceparent header (`00-<32 hex>-<16 hex>-<2 hex>`). On a
+/// valid header the trace id is adopted verbatim and a fresh span id is
+/// minted for our side of the trace; anything malformed (wrong length, bad
+/// separators, non-hex, all-zero trace id, version ff) yields a freshly
+/// minted context instead. `adopted`, when non-null, reports which happened.
+TraceContext adoptOrMintTraceContext(const std::string& traceparent,
+                                     bool* adopted = nullptr) noexcept;
+
+// ---------------------------------------------------------------------------
+// Stage accounting: wall-time attribution for the serve request breakdown.
+// ---------------------------------------------------------------------------
+
+/// Stages accumulated from inside the characterization drivers. The other
+/// serve stages (queue-wait, coalesce-wait, compute) are measured at the
+/// service layer itself and never flow through the accumulator.
+enum class Stage : unsigned {
+    StoreRead = 0,  ///< persistent-store lookup + warm-start donor load
+    StorePublish,   ///< persistent-store save of a fresh result
+};
+inline constexpr std::size_t kStageCount = 2;
+
+/// Thread-safe nanosecond tallies per stage; pool workers of one request add
+/// concurrently. Plain relaxed atomics: tallies, not synchronization.
+class StageAccumulator {
+public:
+    void add(Stage stage, long long nanos) noexcept {
+        ns_[static_cast<unsigned>(stage)].fetch_add(
+            nanos, std::memory_order_relaxed);
+    }
+    long long nanos(Stage stage) const noexcept {
+        return ns_[static_cast<unsigned>(stage)].load(
+            std::memory_order_relaxed);
+    }
+    double millis(Stage stage) const noexcept {
+        return static_cast<double>(nanos(stage)) / 1e6;
+    }
+
+private:
+    std::array<std::atomic<long long>, kStageCount> ns_{};
+};
+
+// ---------------------------------------------------------------------------
+// Ambient per-thread request context.
+// ---------------------------------------------------------------------------
+
+struct RequestContext {
+    TraceContext trace;
+    StageAccumulator* stages = nullptr;
+};
+
+/// The calling thread's current context (invalid/null outside a request).
+const RequestContext& currentRequestContext() noexcept;
+
+/// Installs a context for the current scope and restores the previous one on
+/// destruction. parallelRun() uses this to hand the submitting thread's
+/// context to its pool workers.
+class ScopedRequestContext {
+public:
+    explicit ScopedRequestContext(const RequestContext& context) noexcept;
+    ~ScopedRequestContext();
+    ScopedRequestContext(const ScopedRequestContext&) = delete;
+    ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+private:
+    RequestContext previous_;
+};
+
+/// RAII stage timer: adds its lifetime to the ambient accumulator, or does
+/// nothing when the thread is not serving a request.
+class ScopedStageTimer {
+public:
+    explicit ScopedStageTimer(Stage stage) noexcept
+        : stages_(currentRequestContext().stages), stage_(stage) {
+        if (stages_ != nullptr) {
+            startNs_ = monotonicNanos();
+        }
+    }
+    ~ScopedStageTimer() {
+        if (stages_ != nullptr) {
+            stages_->add(stage_, monotonicNanos() - startNs_);
+        }
+    }
+    ScopedStageTimer(const ScopedStageTimer&) = delete;
+    ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+private:
+    StageAccumulator* stages_;
+    Stage stage_;
+    long long startNs_ = 0;
+};
+
+}  // namespace shtrace::obs

@@ -1,0 +1,110 @@
+// shtrace -- serve flight recorder: the last N requests, always on call.
+//
+// A fixed-size ring of completed-request records answering "why was this
+// characterization slow, and what did it actually do?" without grepping
+// logs or re-running anything. Each record carries the request identity
+// (the trace id echoed to the client as X-Request-Id), the disposition
+// (coalesced / store hit / warm start / sweep), a five-stage wall-time
+// breakdown that sums to the recorded wall clock by construction, and a
+// SimStats digest of the work performed.
+//
+// Served at GET /debug/requests (newest first) and
+// GET /debug/requests/<id> (full record, 404 on a miss). The ring is
+// bounded and mutex-guarded; recording is one short critical section per
+// request, far off the solver hot path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace shtrace::serve {
+
+/// The five serve stages. queueWait/coalesceWait/compute are measured by
+/// the service layer; storeRead/storePublish are attributed from inside
+/// the characterization drivers via obs::ScopedStageTimer. For a leader,
+/// compute is the residual (wall minus the other stages) so the five
+/// always sum to wallMillis; for a follower, coalesceWait is the whole
+/// wait and the rest are zero.
+struct StageTimings {
+    double queueWaitMillis = 0.0;
+    double coalesceWaitMillis = 0.0;
+    double storeReadMillis = 0.0;
+    double computeMillis = 0.0;
+    double storePublishMillis = 0.0;
+
+    double sumMillis() const {
+        return queueWaitMillis + coalesceWaitMillis + storeReadMillis +
+               computeMillis + storePublishMillis;
+    }
+};
+
+/// Cost digest of the work behind one response (zeros for followers that
+/// only waited, and for store hits that re-ran nothing).
+struct StatsDigest {
+    std::uint64_t transientSolves = 0;
+    std::uint64_t newtonIterations = 0;
+    std::uint64_t hEvaluations = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheWarmStarts = 0;
+    double wallSeconds = 0.0;
+};
+
+struct RequestRecord {
+    std::string id;      ///< 32-hex trace id == X-Request-Id
+    std::string spanId;  ///< 16-hex server-side span id
+    bool tracedByClient = false;  ///< trace id adopted from `traceparent`
+    std::uint64_t sequence = 0;   ///< completion order (recorder-assigned)
+
+    std::string cell;
+    std::string key;  ///< store cache key, hex
+    int status = 0;
+    bool ok = false;
+    bool sweep = false;
+    bool coalesced = false;
+    bool cacheHit = false;
+    bool warmStart = false;
+    std::string error;  ///< worker exception message, when status == 500
+
+    StageTimings stages;
+    double wallMillis = 0.0;  ///< admission -> recorded, server side
+    StatsDigest stats;
+    long long completedAtNs = 0;  ///< obs::monotonicNanos() at record time
+};
+
+class FlightRecorder {
+public:
+    explicit FlightRecorder(std::size_t capacity);
+
+    /// Appends one completed request, evicting the oldest past capacity.
+    /// Assigns and returns the record's sequence number.
+    std::uint64_t record(RequestRecord record);
+
+    /// Every retained record, newest first.
+    std::vector<RequestRecord> recent() const;
+    /// The newest record with this id (a client may reuse a traceparent
+    /// across requests; each gets its own record).
+    std::optional<RequestRecord> find(const std::string& id) const;
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    /// Lifetime record count (>= size once the ring has wrapped).
+    std::uint64_t totalRecorded() const;
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<RequestRecord> ring_;  ///< ring_[total_ % capacity_] is next
+    std::uint64_t total_ = 0;
+};
+
+/// JSON for one record (the /debug/requests/<id> body).
+std::string renderRequestRecord(const RequestRecord& record);
+/// JSON listing for /debug/requests: {"capacity":..,"recorded":..,
+/// "requests":[...]} newest first, each entry the full record.
+std::string renderRequestRecords(const FlightRecorder& recorder);
+
+}  // namespace shtrace::serve

@@ -140,11 +140,15 @@ public:
     };
 
     /// Sends one request and blocks for the response (keep-alive: the
-    /// connection is reused across calls). Throws Error on transport
-    /// failure or timeout.
-    Response request(const std::string& method, const std::string& target,
-                     const std::string& body = "",
-                     const std::string& contentType = "application/json");
+    /// connection is reused across calls). `extraHeaders` are emitted
+    /// verbatim after Host/Content-Type (e.g. {"traceparent", ...}).
+    /// Throws Error on transport failure or timeout.
+    Response request(
+        const std::string& method, const std::string& target,
+        const std::string& body = "",
+        const std::string& contentType = "application/json",
+        const std::vector<std::pair<std::string, std::string>>&
+            extraHeaders = {});
 
 private:
     int fd_ = -1;

@@ -63,6 +63,10 @@ struct ServeDisposition {
     bool coalesced = false;    ///< follower: shared a leader's computation
     double queueMillis = 0.0;  ///< admission -> worker pickup
     double computeMillis = 0.0;  ///< worker pickup -> result ready
+    /// 32-hex trace id for this request (== X-Request-Id); empty when the
+    /// caller predates trace-context wiring (in-process tests).
+    std::string requestId;
+    bool tracedByClient = false;  ///< trace id adopted from `traceparent`
 };
 
 /// Renders the response body for a finished characterization.
@@ -81,5 +85,8 @@ std::string renderPvtSweepResponse(const ServeRequest& request,
 
 /// Renders an error body: {"error": ...}.
 std::string renderServeError(const std::string& what);
+/// Same, with the request identity: {"error": ..., "requestId": ...}.
+std::string renderServeError(const std::string& what,
+                             const std::string& requestId);
 
 }  // namespace shtrace::serve

@@ -2,18 +2,28 @@
 // service.
 //
 // Ties HttpServer (transport) to CharacterizationService (execution) and
-// exposes exactly three routes:
+// exposes the routes:
 //
-//   POST /v1/characterize  -- request schema in request.hpp/docs/SERVE.md
-//   GET  /metrics          -- live Prometheus exposition of the obs
-//                             registry (text/plain; version=0.0.4)
-//   GET  /healthz          -- liveness: "ok\n" (or "draining\n", 503)
+//   POST /v1/characterize      -- request schema in request.hpp +
+//                                 docs/SERVE.md; honors an inbound W3C
+//                                 `traceparent` header and echoes the
+//                                 request's trace id as X-Request-Id
+//   GET  /metrics              -- live Prometheus exposition of the obs
+//                                 registry (text/plain; version=0.0.4)
+//   GET  /healthz              -- liveness JSON: status/version/uptime/
+//                                 queue depth/flight-recorder fill
+//                                 (503 + status "draining" mid-drain)
+//   GET  /debug/requests       -- flight recorder: last N completed
+//                                 requests, newest first
+//   GET  /debug/requests/<id>  -- one record by 32-hex request id
+//                                 (404 JSON on a miss)
 //
 // ServedDaemon is usable in-process (tests, the soak bench's fork/exec
 // target is a thin main() around it): construct, call run() on a thread,
 // shutdown() to drain and stop.
 #pragma once
 
+#include <chrono>
 #include <string>
 
 #include "shtrace/serve/http.hpp"
@@ -50,6 +60,8 @@ public:
 private:
     CharacterizationService service_;
     HttpServer server_;
+    /// Construction time, for /healthz's uptimeSeconds.
+    std::chrono::steady_clock::time_point started_;
 };
 
 }  // namespace shtrace::serve

@@ -37,8 +37,11 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "shtrace/obs/trace_context.hpp"
+#include "shtrace/serve/flight_recorder.hpp"
 #include "shtrace/serve/request.hpp"
 
 namespace shtrace::serve {
@@ -52,6 +55,14 @@ struct ServiceOptions {
     int retryAfterSeconds = 1;
     /// Persistent store tier; empty disables it.
     std::string cacheDir;
+    /// Completed requests retained for GET /debug/requests.
+    std::size_t flightRecorderCapacity = 128;
+    /// Slow-request sampler: directory for per-request fine-detail Chrome
+    /// traces (empty disables the sampler). Enabling it raises the obs
+    /// detail level to Fine for the process.
+    std::string slowTraceDir;
+    /// How many slowest requests the sampler keeps traces for.
+    std::size_t slowTraceCount = 4;
 };
 
 /// Monotonic service totals (mirrored into the obs registry as
@@ -67,6 +78,7 @@ struct ServiceCounters {
     std::uint64_t drained = 0;     ///< jobs completed after drain began
     std::uint64_t cacheHits = 0;   ///< computations served by the store
     std::uint64_t warmStarts = 0;  ///< computations tracer-warm-started
+    std::uint64_t workerExceptions = 0;  ///< exceptions caught in runJob
 };
 
 class CharacterizationService {
@@ -78,18 +90,28 @@ public:
         delete;
 
     /// One HTTP-shaped outcome: status + body (+ Retry-After on 503).
+    /// requestId is the 32-hex trace id minted (or adopted from the
+    /// inbound `traceparent`) for this request; the HTTP layer echoes it
+    /// as X-Request-Id and it resolves at GET /debug/requests/<id>.
     struct Outcome {
         int status = 200;
         std::string body;
         int retryAfterSeconds = 0;  ///< >0: emit a Retry-After header
+        std::string requestId;
     };
 
     /// The whole request lifecycle: parse/validate (400 on schema
     /// errors), admission (503 when draining or the queue is full,
     /// coalescing onto an in-flight twin when one exists), then block
-    /// until the result is ready and render it. Called from connection
-    /// threads; thread-safe.
-    Outcome characterize(const std::string& requestBody);
+    /// until the result is ready and render it. `traceparent`, when
+    /// non-empty and well-formed (W3C), donates the trace id; anything
+    /// else mints a fresh one. Called from connection threads;
+    /// thread-safe.
+    Outcome characterize(const std::string& requestBody,
+                         const std::string& traceparent);
+    Outcome characterize(const std::string& requestBody) {
+        return characterize(requestBody, std::string());
+    }
 
     /// Stops admission. Already admitted jobs keep running.
     void beginDrain();
@@ -105,15 +127,22 @@ public:
     /// Admitted-but-not-started jobs right now.
     std::size_t queuedJobs() const;
     int workerThreads() const noexcept { return threads_; }
+    const FlightRecorder& flightRecorder() const { return recorder_; }
 
 private:
     struct Job;
 
     void workerLoop();
     void runJob(const std::shared_ptr<Job>& job);
+    void maybeSampleSlowRequest(const RequestRecord& record,
+                                const obs::TraceContext& trace);
 
     ServiceOptions options_;
     int threads_ = 1;
+    FlightRecorder recorder_;
+
+    std::mutex slowMutex_;  ///< guards slowKept_ and the sampler's files
+    std::vector<std::pair<double, std::string>> slowKept_;  ///< wall, path
 
     mutable std::mutex mutex_;
     std::condition_variable workReady_;

@@ -15,15 +15,25 @@
 #                               arithmetic over colPtr/rowIdx is where
 #                               memory and UB bugs would hide
 #   scripts/check.sh bench      build bench targets, one quick hot-path run
-#   scripts/check.sh obs        metrics/tracing tests, in-repo Prometheus
-#                               format lint on a real Fig. 8 exposition,
-#                               <2% disabled-instrumentation overhead gate
-#                               on the chord-step micro kernel
+#   scripts/check.sh obs        metrics/tracing/flight-recorder tests,
+#                               in-repo Prometheus format lint on a real
+#                               Fig. 8 exposition, <2% disabled-
+#                               instrumentation overhead gate on the
+#                               chord-step micro kernel, then a live
+#                               daemon round-trip: inbound traceparent
+#                               adopted verbatim into X-Request-Id, the
+#                               id resolves at /debug/requests/<id>, and
+#                               the five stage durations sum to the
+#                               observed wall clock within 5%
 #   scripts/check.sh serve      serve-labeled tests, then a live daemon on
 #                               an ephemeral port: load driver (all 200s,
 #                               identical requests coalesce to one
-#                               computation), GET /metrics scrape through
-#                               prom_lint.sh, SIGTERM clean drain (exit 0)
+#                               computation), GET /metrics scrape (incl.
+#                               the per-stage histograms) through
+#                               prom_lint.sh, /debug/requests flight-
+#                               recorder scrape, SIGTERM clean drain
+#                               (exit 0), log_lint.sh over the daemon's
+#                               JSON-lines event log
 #   scripts/check.sh corners    corners-labeled tests (surrogate math,
 #                               active-learning driver, exhaustive
 #                               bit-identity), then the full PVT-cube
@@ -62,7 +72,8 @@ run_tsan() {
           -DSHTRACE_SANITIZE=thread
     cmake --build build-tsan -j "${JOBS}" \
           --target test_parallel test_store_cache test_trace_robustness \
-                   test_obs test_backend_equivalence test_serve test_sta
+                   test_obs test_backend_equivalence test_serve \
+                   test_request_obs test_sta
     ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
 }
 
@@ -119,11 +130,13 @@ run_obs() {
     echo "== obs: metrics/tracing tests, prom lint, disabled-overhead gate =="
     cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build build -j "${JOBS}" \
-          --target test_obs test_stats test_store \
-                   bench_fig8_tspc_contour bench_micro_kernels
+          --target test_obs test_stats test_store test_request_obs \
+                   bench_fig8_tspc_contour bench_micro_kernels \
+                   shtrace-served
     ./build/tests/test_obs
     ./build/tests/test_stats
     ./build/tests/test_store
+    ./build/tests/test_request_obs
     # Lint a REAL exposition file, not a canned fixture: an instrumented
     # Fig. 8 run writes fig8_metrics.prom, and prom_lint.sh (in-repo awk,
     # no network) checks the format invariants.
@@ -147,6 +160,63 @@ run_obs() {
             printf "obs disabled-span overhead: %+.2f%% (gate < 2%%)\n", (s / p - 1) * 100
             exit (s / p < 1.02) ? 0 : 1
         }' "${obsdir}/overhead.txt"
+    # Live-daemon acceptance round-trip (the ISSUE 10 contract): a cold
+    # request carrying a fixed W3C traceparent must come back with that
+    # trace id adopted verbatim in X-Request-Id, the id must resolve at
+    # /debug/requests/<id>, and the five recorded stage durations must
+    # sum to the observed wall clock within 5%.
+    local pid port
+    ./build/tools/shtrace-served --port 0 --port-file "${obsdir}/port" \
+        --cache-dir "${obsdir}/store" > "${obsdir}/daemon.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 100); do [ -s "${obsdir}/port" ] && break; sleep 0.1; done
+    port="$(cat "${obsdir}/port")"
+    python3 - "${port}" <<'PY'
+import http.client, json, sys, time
+port = int(sys.argv[1])
+traceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+trace_id = traceparent.split("-")[1]
+body = json.dumps({
+    "cell": "tspc", "label": "check-obs",
+    "tracer": {"bounds": {"setupMin": 80e-12, "setupMax": 700e-12,
+                          "holdMin": 40e-12, "holdMax": 500e-12},
+               "maxPoints": 3}})
+conn = http.client.HTTPConnection("127.0.0.1", port, timeout=600)
+start = time.monotonic()
+conn.request("POST", "/v1/characterize", body,
+             {"Content-Type": "application/json",
+              "traceparent": traceparent})
+response = conn.getresponse()
+payload = response.read()
+client_wall = (time.monotonic() - start) * 1e3
+assert response.status == 200, (response.status, payload)
+assert response.getheader("X-Request-Id") == trace_id, \
+    response.getheader("X-Request-Id")
+doc = json.loads(payload)
+assert doc["requestId"] == trace_id, doc.get("requestId")
+assert doc["served"]["tracedByClient"] is True, doc["served"]
+
+conn.request("GET", "/debug/requests/" + trace_id)
+response = conn.getresponse()
+record = json.loads(response.read())
+assert response.status == 200, (response.status, record)
+assert record["requestId"] == trace_id
+stages = record["stages"]
+stage_sum = sum(stages[k] for k in
+                ("queueWaitMillis", "coalesceWaitMillis", "storeReadMillis",
+                 "computeMillis", "storePublishMillis"))
+wall = record["wallMillis"]
+assert abs(stage_sum - wall) <= 0.05 * wall, (stage_sum, wall)
+# The server-side wall must also be a faithful account of what the
+# client saw (loopback transport rides in the 5% + 5 ms allowance).
+assert abs(wall - client_wall) <= 0.05 * client_wall + 5.0, \
+    (wall, client_wall)
+print("obs round-trip: client=%.1fms server=%.1fms stage-sum=%.1fms"
+      % (client_wall, wall, stage_sum))
+PY
+    kill -TERM "${pid}"
+    wait "${pid}"
+    scripts/log_lint.sh "${obsdir}/daemon.log"
 }
 
 run_serve() {
@@ -189,11 +259,46 @@ assert ct.startswith("text/plain; version=0.0.4"), ct
 open(sys.argv[2], "wb").write(r.read())
 PY
     scripts/prom_lint.sh "${dir}/live.prom"
+    # The per-stage request histograms must be present in the live scrape
+    # (coalesce-wait fired because the load run coalesced duplicates).
+    for metric in shtrace_serve_queue_wait_milliseconds \
+                  shtrace_serve_coalesce_wait_milliseconds \
+                  shtrace_serve_store_read_milliseconds \
+                  shtrace_serve_compute_milliseconds \
+                  shtrace_serve_store_publish_milliseconds; do
+        grep -q "^${metric}_count " "${dir}/live.prom" \
+            || { echo "serve: ${metric} missing from live scrape"; exit 1; }
+    done
+    # Flight recorder: every request the load driver sent must be
+    # resolvable in the live /debug/requests listing.
+    python3 - "${port}" "${dir}/load.json" <<'PY'
+import http.client, json, sys
+conn = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=10)
+conn.request("GET", "/debug/requests")
+response = conn.getresponse()
+listing = json.loads(response.read())
+assert response.status == 200, response.status
+load = json.load(open(sys.argv[2]))
+assert listing["recorded"] >= load["requests"], listing["recorded"]
+assert len(listing["requests"]) >= 1
+for record in listing["requests"]:
+    stages = record["stages"]
+    total = sum(stages[k] for k in
+                ("queueWaitMillis", "coalesceWaitMillis", "storeReadMillis",
+                 "computeMillis", "storePublishMillis"))
+    wall = record["wallMillis"]
+    assert abs(total - wall) <= 0.05 * max(wall, 1e-9), (total, wall)
+print("serve: %d flight-recorder records, stage sums == wall"
+      % listing["recorded"])
+PY
     # Graceful drain: SIGTERM, and the daemon must exit 0 (wait under
     # set -e is the assertion).
     kill -TERM "${pid}"
     wait "${pid}"
     cat "${dir}/daemon.log"
+    # The daemon's stderr is a structured JSON-lines event log; hold it to
+    # the documented schema.
+    scripts/log_lint.sh "${dir}/daemon.log"
     echo "serve: daemon drained clean"
 }
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# In-repo structured-event-log lint -- no network, nothing beyond the
+# python3 stdlib (the same interpreter scripts/check.sh already drives
+# its HTTP assertions with). Validates the JSON-lines contract the
+# logger promises (docs/OBSERVABILITY.md, include/shtrace/obs/log.hpp):
+#
+#   * every line is exactly one JSON object -- no blank lines, no
+#     banners, no interleaved fragments
+#   * `ts`, `level`, `event` lead every record, in that order
+#   * `ts` is millisecond ISO-8601 UTC ("...Z"); `level` is one of
+#     debug|info|warn|error; `event` is a non-empty dotted name
+#   * `trace`/`span`, when present, are 32/16 lowercase hex digits
+#
+# Usage: scripts/log_lint.sh <file.jsonl>
+set -euo pipefail
+
+file="${1:?usage: scripts/log_lint.sh <file.jsonl>}"
+
+python3 - "${file}" <<'PY'
+import json
+import re
+import sys
+
+path = sys.argv[1]
+levels = {"debug", "info", "warn", "error"}
+ts_re = re.compile(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z$")
+event_re = re.compile(r"^[a-z][a-z0-9_.]*$")
+hex_re = {"trace": re.compile(r"^[0-9a-f]{32}$"),
+          "span": re.compile(r"^[0-9a-f]{16}$")}
+
+bad = 0
+records = 0
+
+
+def err(line_no, message):
+    global bad
+    bad += 1
+    print(f"log_lint: {path}:{line_no}: {message}")
+
+
+with open(path, "r", encoding="utf-8") as handle:
+    for n, line in enumerate(handle.read().splitlines(), 1):
+        if line.strip() != line or not line:
+            err(n, "not exactly one JSON object on the line")
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            err(n, f"invalid JSON: {exc}")
+            continue
+        if not isinstance(doc, dict):
+            err(n, "line is not a JSON object")
+            continue
+        records += 1
+        keys = list(doc.keys())
+        if keys[:3] != ["ts", "level", "event"]:
+            err(n, f"leading fields must be ts, level, event (got {keys[:3]})")
+            continue
+        if not isinstance(doc["ts"], str) or not ts_re.match(doc["ts"]):
+            err(n, f"bad ts {doc['ts']!r}")
+        if doc["level"] not in levels:
+            err(n, f"bad level {doc['level']!r}")
+        if not isinstance(doc["event"], str) or not event_re.match(doc["event"]):
+            err(n, f"bad event {doc['event']!r}")
+        for key, pattern in hex_re.items():
+            if key in doc and (not isinstance(doc[key], str)
+                               or not pattern.match(doc[key])):
+                err(n, f"bad {key} {doc[key]!r}")
+
+if records == 0:
+    err(0, "no records (empty log is a lint failure: nothing was checked)")
+print(f"log_lint: {path}: {records} records, {bad} problems")
+sys.exit(0 if bad == 0 else 1)
+PY

@@ -44,6 +44,7 @@ CharacterizeResult characterizeImpl(const RegisterFixture& fixture,
         chz_detail::openStore(options);
     std::optional<store::CacheKey> key;
     if (cache) {
+        const obs::ScopedStageTimer storeRead(obs::Stage::StoreRead);
         key = store::characterizeKey(fixture, options);
         if (chz_detail::mayRead(options)) {
             if (const auto entry = chz_detail::loadKind(
@@ -73,8 +74,13 @@ CharacterizeResult characterizeImpl(const RegisterFixture& fixture,
     // different degradation target) replaces the seed bisection entirely;
     // a failed warm trace falls back to the cold path below.
     if (cache && options.warmStart) {
-        if (const auto warm =
-                chz_detail::warmStartPoint(*cache, *key, options.tracer)) {
+        std::optional<SkewPoint> warmSeed;
+        {
+            const obs::ScopedStageTimer storeRead(obs::Stage::StoreRead);
+            warmSeed =
+                chz_detail::warmStartPoint(*cache, *key, options.tracer);
+        }
+        if (const auto& warm = warmSeed) {
             result.seed = SeedResult{};
             result.seed.found = true;
             result.seed.seed = *warm;
@@ -100,6 +106,7 @@ CharacterizeResult characterizeImpl(const RegisterFixture& fixture,
     }
 
     if (result.success && cache && chz_detail::mayWrite(options)) {
+        const obs::ScopedStageTimer storePublish(obs::Stage::StorePublish);
         store::StoreEntry entry;
         entry.kind = store::kKindCharacterize;
         entry.key = key->full;
@@ -115,6 +122,7 @@ CharacterizeResult characterizeImpl(const RegisterFixture& fixture,
 
 CharacterizeResult characterizeInterdependent(
     const RegisterFixture& fixture, const CharacterizeOptions& options) {
+    const obs::ScopedRequestContext requestScope(requestContextFor(options));
     obs::RunObservation observation(options.metricsPath,
                                     options.spanTracePath);
     CharacterizeResult result;

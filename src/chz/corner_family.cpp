@@ -292,6 +292,7 @@ CornerFamilyResult characterizeCornerFamily(const PvtAxes& axes,
                                             const CornerFixtureBuilder& builder,
                                             const RunConfig& config) {
     axes.validate();
+    const obs::ScopedRequestContext requestScope(requestContextFor(config));
     CornerFamilyResult result;
     result.axes = axes;
     const std::size_t n = axes.cornerCount();

@@ -80,6 +80,7 @@ PvtCornerResult characterizeCorner(const ProcessCorner& corner,
 PvtSweepResult sweepPvtCorners(const std::vector<ProcessCorner>& corners,
                                const CornerFixtureBuilder& builder,
                                const RunConfig& config) {
+    const obs::ScopedRequestContext requestScope(requestContextFor(config));
     obs::RunObservation observation(config.metricsPath,
                                     config.spanTracePath);
     obs::setGauge(

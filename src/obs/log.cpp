@@ -1,0 +1,226 @@
+#include "shtrace/obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <utility>
+
+#include "shtrace/obs/trace_context.hpp"
+
+namespace shtrace::obs {
+namespace {
+
+// gActive is the hot-path guard; everything else lives behind gMutex.
+std::atomic<bool> gActive{false};
+std::atomic<int> gMinLevel{static_cast<int>(LogLevel::Info)};
+
+std::mutex gMutex;
+LogSink gSink;                    // guarded by gMutex
+std::uint64_t gEmitted = 0;       // guarded by gMutex
+std::uint64_t gDropped = 0;       // guarded by gMutex
+std::uint64_t gPendingDrops = 0;  // drops not yet announced, guarded by gMutex
+
+void appendEscaped(std::string* line, const char* text) {
+    for (const char* p = text; *p != '\0'; ++p) {
+        const unsigned char c = static_cast<unsigned char>(*p);
+        switch (c) {
+            case '"': *line += "\\\""; break;
+            case '\\': *line += "\\\\"; break;
+            case '\n': *line += "\\n"; break;
+            case '\r': *line += "\\r"; break;
+            case '\t': *line += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    *line += buf;
+                } else {
+                    line->push_back(static_cast<char>(c));
+                }
+        }
+    }
+}
+
+void appendKey(std::string* line, const char* key) {
+    line->push_back(',');
+    line->push_back('"');
+    appendEscaped(line, key);
+    line->push_back('"');
+    line->push_back(':');
+}
+
+void appendTimestamp(std::string* line) {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+    const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            now.time_since_epoch())
+                            .count() %
+                        1000;
+    std::tm utc{};
+    gmtime_r(&seconds, &utc);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
+                  utc.tm_hour, utc.tm_min, utc.tm_sec,
+                  static_cast<int>(millis < 0 ? millis + 1000 : millis));
+    *line += "{\"ts\":\"";
+    *line += buf;
+    *line += "\"";
+}
+
+std::string renderLine(LogLevel level, const char* event,
+                       std::initializer_list<LogField> fields) {
+    std::string line;
+    line.reserve(160);
+    appendTimestamp(&line);
+    line += ",\"level\":\"";
+    line += logLevelName(level);
+    line += "\",\"event\":\"";
+    appendEscaped(&line, event);
+    line.push_back('"');
+    const RequestContext& context = currentRequestContext();
+    if (context.trace.valid()) {
+        line += ",\"trace\":\"";
+        line += context.trace.traceIdHex();
+        line += "\",\"span\":\"";
+        line += context.trace.spanIdHex();
+        line.push_back('"');
+    }
+    for (const LogField& field : fields) {
+        field.appendTo(&line);
+    }
+    line.push_back('}');
+    return line;
+}
+
+/// Hands one line to the sink; true when the sink accepted it. The caller
+/// holds gMutex.
+bool writeLocked(const std::string& line) {
+    try {
+        return gSink && gSink(line);
+    } catch (...) {
+        return false;
+    }
+}
+
+}  // namespace
+
+const char* logLevelName(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::Debug: return "debug";
+        case LogLevel::Info: return "info";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Error: return "error";
+    }
+    return "info";
+}
+
+void LogField::appendTo(std::string* line) const {
+    appendKey(line, key_);
+    switch (kind_) {
+        case Kind::String:
+            line->push_back('"');
+            appendEscaped(line, text_.c_str());
+            line->push_back('"');
+            break;
+        case Kind::Number: {
+            char buf[40];
+            if (std::isfinite(number_)) {
+                std::snprintf(buf, sizeof(buf), "%.12g", number_);
+            } else {
+                // JSON has no Inf/NaN; string form keeps the line parseable.
+                std::snprintf(buf, sizeof(buf), "\"%g\"", number_);
+            }
+            *line += buf;
+            break;
+        }
+        case Kind::Integer: {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%lld", integer_);
+            *line += buf;
+            break;
+        }
+        case Kind::Boolean:
+            *line += boolean_ ? "true" : "false";
+            break;
+    }
+}
+
+void setLogSink(LogSink sink) {
+    std::lock_guard<std::mutex> lock(gMutex);
+    gSink = std::move(sink);
+    gActive.store(static_cast<bool>(gSink), std::memory_order_release);
+}
+
+void setLogLevel(LogLevel minLevel) noexcept {
+    gMinLevel.store(static_cast<int>(minLevel), std::memory_order_relaxed);
+}
+
+bool logEnabled(LogLevel level) noexcept {
+    return gActive.load(std::memory_order_acquire) &&
+           static_cast<int>(level) >=
+               gMinLevel.load(std::memory_order_relaxed);
+}
+
+void logEvent(LogLevel level, const char* event,
+              std::initializer_list<LogField> fields) {
+    if (!logEnabled(level)) {
+        return;
+    }
+    const std::string line = renderLine(level, event, fields);
+    std::lock_guard<std::mutex> lock(gMutex);
+    if (gSink == nullptr) {
+        return;  // sink removed between the guard and the lock
+    }
+    // Announce any gap BEFORE the next record so a reader sees the drop
+    // notice in stream order. The notice itself is synthetic and does not
+    // count toward emitted/dropped.
+    if (gPendingDrops > 0) {
+        const std::string notice = renderLine(
+            LogLevel::Warn, "log.dropped",
+            {{"count", static_cast<unsigned long long>(gPendingDrops)}});
+        if (writeLocked(notice)) {
+            gPendingDrops = 0;
+        }
+    }
+    if (gPendingDrops == 0 && writeLocked(line)) {
+        ++gEmitted;
+    } else {
+        ++gDropped;
+        ++gPendingDrops;
+    }
+}
+
+LogCounts logCounts() noexcept {
+    std::lock_guard<std::mutex> lock(gMutex);
+    return LogCounts{gEmitted, gDropped};
+}
+
+void logToStream(std::FILE* stream) {
+    setLogSink([stream](const std::string& line) {
+        if (std::fwrite(line.data(), 1, line.size(), stream) != line.size()) {
+            return false;
+        }
+        if (std::fputc('\n', stream) == EOF) {
+            return false;
+        }
+        std::fflush(stream);
+        return true;
+    });
+}
+
+void resetLogging() {
+    std::lock_guard<std::mutex> lock(gMutex);
+    gSink = nullptr;
+    gActive.store(false, std::memory_order_release);
+    gMinLevel.store(static_cast<int>(LogLevel::Info),
+                    std::memory_order_relaxed);
+    gEmitted = 0;
+    gDropped = 0;
+    gPendingDrops = 0;
+}
+
+}  // namespace shtrace::obs

@@ -48,6 +48,23 @@ constexpr std::array<HistDef, kHistCount> kHistDefs{{
     {"shtrace_serve_queue_wait_milliseconds",
      "Queue wait from admission to worker pickup in milliseconds.", 10,
      {0.5, 1, 2.5, 5, 10, 25, 100, 500, 2500, 10000}},
+    {"shtrace_serve_coalesce_wait_milliseconds",
+     "Follower wait on an identical in-flight computation in milliseconds.",
+     10, {0.5, 1, 2.5, 5, 10, 25, 100, 500, 2500, 10000}},
+    {"shtrace_serve_store_read_milliseconds",
+     "Persistent-store lookup plus warm-start load per request in "
+     "milliseconds.",
+     10, {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 100, 500}},
+    {"shtrace_serve_compute_milliseconds",
+     "Leader compute time excluding store I/O in milliseconds.", 12,
+     {1, 2.5, 5, 10, 25, 50, 100, 250, 1000, 2500, 10000, 60000}},
+    {"shtrace_serve_store_publish_milliseconds",
+     "Persistent-store save of a fresh result in milliseconds.", 10,
+     {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 100, 500}},
+    {"shtrace_sta_register_characterize_milliseconds",
+     "One register cell characterization inside the STA engine in "
+     "milliseconds.",
+     12, {1, 2.5, 5, 10, 25, 50, 100, 250, 1000, 2500, 10000, 60000}},
 }};
 
 struct GaugeDef {
@@ -92,12 +109,18 @@ constexpr std::array<CountDef, kCountCount> kCountDefs{{
      "Leader characterization computations executed by workers."},
     {"shtrace_serve_drained_jobs_total",
      "Jobs completed after graceful drain began."},
+    {"shtrace_serve_worker_exceptions_total",
+     "Exceptions caught in the serve worker loop (failed jobs)."},
     {"shtrace_corner_anchors_traced_total",
      "Anchor corners fully traced by the corner-family driver."},
     {"shtrace_corner_escalated_total",
      "Corners escalated to a full trace by the acquisition score."},
     {"shtrace_corner_surrogate_accepted_total",
      "Corners filled by the cross-corner surrogate without a trace."},
+    {"shtrace_sta_endpoints_checked_total",
+     "Register endpoints evaluated by the STA engine."},
+    {"shtrace_sta_endpoints_recovered_total",
+     "Classical setup/hold violations the interdependent contour cleared."},
 }};
 
 struct HistShard {

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "shtrace/obs/trace_context.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace::obs {
@@ -24,6 +25,8 @@ struct SpanSlot {
     long long startNs = 0;
     long long durationNs = 0;
     unsigned depth = 0;
+    std::uint64_t traceHi = 0;
+    std::uint64_t traceLo = 0;
 };
 
 // Owned jointly by the recording thread (thread_local shared_ptr) and the
@@ -111,6 +114,9 @@ void spanEnd(const char* name, long long startNs) noexcept {
     slot.startNs = startNs;
     slot.durationNs = monotonicNanos() - startNs;
     slot.depth = ring.depth > 0 ? ring.depth - 1 : 0;
+    const TraceContext& trace = currentRequestContext().trace;
+    slot.traceHi = trace.traceHi;
+    slot.traceLo = trace.traceLo;
     ++ring.written;
     if (ring.depth > 0) {
         --ring.depth;
@@ -134,6 +140,8 @@ std::vector<CollectedSpan> collectSpans() {
             span.durationNs = slot.durationNs;
             span.depth = slot.depth;
             span.threadIndex = ring->threadIndex;
+            span.traceHi = slot.traceHi;
+            span.traceLo = slot.traceLo;
             out.push_back(std::move(span));
         }
     }
@@ -203,8 +211,9 @@ struct StackFrame {
 
 }  // namespace
 
-std::string chromeTraceJson() {
-    const std::vector<CollectedSpan> spans = collectSpans();
+namespace {
+
+std::string chromeTraceJsonFrom(const std::vector<CollectedSpan>& spans) {
     std::ostringstream os;
     os.precision(3);
     os << std::fixed;
@@ -221,11 +230,33 @@ std::string chromeTraceJson() {
         os << "\",\"cat\":\"shtrace\",\"ph\":\"X\",\"pid\":1,\"tid\":"
            << span.threadIndex + 1 << ",\"ts\":"
            << static_cast<double>(span.startNs) / 1000.0
-           << ",\"dur\":" << static_cast<double>(span.durationNs) / 1000.0
-           << "}";
+           << ",\"dur\":" << static_cast<double>(span.durationNs) / 1000.0;
+        if ((span.traceHi | span.traceLo) != 0) {
+            TraceContext id;
+            id.traceHi = span.traceHi;
+            id.traceLo = span.traceLo;
+            os << ",\"args\":{\"trace\":\"" << id.traceIdHex() << "\"}";
+        }
+        os << "}";
     }
     os << "]}";
     return os.str();
+}
+
+}  // namespace
+
+std::string chromeTraceJson() { return chromeTraceJsonFrom(collectSpans()); }
+
+std::string chromeTraceJsonForTrace(std::uint64_t traceHi,
+                                    std::uint64_t traceLo) {
+    std::vector<CollectedSpan> spans = collectSpans();
+    spans.erase(std::remove_if(spans.begin(), spans.end(),
+                               [&](const CollectedSpan& span) {
+                                   return span.traceHi != traceHi ||
+                                          span.traceLo != traceLo;
+                               }),
+                spans.end());
+    return chromeTraceJsonFrom(spans);
 }
 
 std::string collapsedStacks() {
@@ -308,6 +339,11 @@ void writeTextFile(const std::string& path, const std::string& text) {
 
 void writeChromeTrace(const std::string& path) {
     writeTextFile(path, chromeTraceJson());
+}
+
+void writeChromeTraceForTrace(const std::string& path, std::uint64_t traceHi,
+                              std::uint64_t traceLo) {
+    writeTextFile(path, chromeTraceJsonForTrace(traceHi, traceLo));
 }
 
 void writeCollapsedStacks(const std::string& path) {

@@ -1,0 +1,144 @@
+#include "shtrace/obs/trace_context.hpp"
+
+#include <chrono>
+#include <random>
+
+namespace shtrace::obs {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void appendHex64(std::string* out, std::uint64_t value) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+        out->push_back(kHexDigits[(value >> shift) & 0xF]);
+    }
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t initialSeed() noexcept {
+    std::random_device rd;
+    std::uint64_t seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    seed ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return seed;
+}
+
+std::uint64_t nextRandom64() noexcept {
+    static std::atomic<std::uint64_t> state{initialSeed()};
+    return splitmix64(
+        state.fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed));
+}
+
+int hexNibble(char c) noexcept {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;  // uppercase is invalid per the W3C spec
+}
+
+bool parseHex64(const char* text, std::size_t digits,
+                std::uint64_t* out) noexcept {
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < digits; ++i) {
+        const int nibble = hexNibble(text[i]);
+        if (nibble < 0) {
+            return false;
+        }
+        value = (value << 4) | static_cast<std::uint64_t>(nibble);
+    }
+    *out = value;
+    return true;
+}
+
+thread_local RequestContext tCurrent;
+
+}  // namespace
+
+std::string TraceContext::traceIdHex() const {
+    std::string out;
+    out.reserve(32);
+    appendHex64(&out, traceHi);
+    appendHex64(&out, traceLo);
+    return out;
+}
+
+std::string TraceContext::spanIdHex() const {
+    std::string out;
+    out.reserve(16);
+    appendHex64(&out, spanId);
+    return out;
+}
+
+std::string TraceContext::traceparent() const {
+    std::string out = "00-";
+    out.reserve(55);
+    appendHex64(&out, traceHi);
+    appendHex64(&out, traceLo);
+    out.push_back('-');
+    appendHex64(&out, spanId);
+    out += "-01";
+    return out;
+}
+
+TraceContext mintTraceContext() noexcept {
+    TraceContext context;
+    do {
+        context.traceHi = nextRandom64();
+        context.traceLo = nextRandom64();
+    } while (!context.valid());
+    do {
+        context.spanId = nextRandom64();
+    } while (context.spanId == 0);
+    return context;
+}
+
+TraceContext adoptOrMintTraceContext(const std::string& traceparent,
+                                     bool* adopted) noexcept {
+    if (adopted != nullptr) {
+        *adopted = false;
+    }
+    // version(2) - traceid(32) - spanid(16) - flags(2), lowercase hex only.
+    if (traceparent.size() != 55 || traceparent[2] != '-' ||
+        traceparent[35] != '-' || traceparent[52] != '-') {
+        return mintTraceContext();
+    }
+    const char* text = traceparent.c_str();
+    std::uint64_t version = 0;
+    std::uint64_t parentSpan = 0;
+    std::uint64_t flags = 0;
+    TraceContext context;
+    const bool wellFormed =
+        parseHex64(text, 2, &version) && version != 0xFF &&
+        parseHex64(text + 3, 16, &context.traceHi) &&
+        parseHex64(text + 19, 16, &context.traceLo) &&
+        parseHex64(text + 36, 16, &parentSpan) && parentSpan != 0 &&
+        parseHex64(text + 53, 2, &flags);
+    if (!wellFormed || !context.valid()) {
+        return mintTraceContext();
+    }
+    // Adopt the caller's trace id verbatim; our work is a new span in it.
+    do {
+        context.spanId = nextRandom64();
+    } while (context.spanId == 0);
+    if (adopted != nullptr) {
+        *adopted = true;
+    }
+    return context;
+}
+
+const RequestContext& currentRequestContext() noexcept { return tCurrent; }
+
+ScopedRequestContext::ScopedRequestContext(
+    const RequestContext& context) noexcept
+    : previous_(tCurrent) {
+    tCurrent = context;
+}
+
+ScopedRequestContext::~ScopedRequestContext() { tCurrent = previous_; }
+
+}  // namespace shtrace::obs

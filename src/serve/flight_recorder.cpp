@@ -1,0 +1,122 @@
+#include "shtrace/serve/flight_recorder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "shtrace/serve/json.hpp"
+
+namespace shtrace::serve {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+    ring_.reserve(capacity_);
+}
+
+std::uint64_t FlightRecorder::record(RequestRecord record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t sequence = total_;
+    record.sequence = sequence;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(record));
+    } else {
+        ring_[total_ % capacity_] = std::move(record);
+    }
+    ++total_;
+    return sequence;
+}
+
+std::vector<RequestRecord> FlightRecorder::recent() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<RequestRecord> out;
+    out.reserve(ring_.size());
+    for (std::uint64_t back = 0; back < ring_.size(); ++back) {
+        out.push_back(ring_[(total_ - 1 - back) % capacity_]);
+    }
+    return out;
+}
+
+std::optional<RequestRecord> FlightRecorder::find(
+    const std::string& id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint64_t back = 0; back < ring_.size(); ++back) {
+        const RequestRecord& r = ring_[(total_ - 1 - back) % capacity_];
+        if (r.id == id) {
+            return r;
+        }
+    }
+    return std::nullopt;
+}
+
+std::size_t FlightRecorder::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::uint64_t FlightRecorder::totalRecorded() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
+namespace {
+
+JsonValue recordJson(const RequestRecord& r) {
+    JsonValue out = JsonValue::object();
+    out.set("requestId", JsonValue(r.id));
+    out.set("spanId", JsonValue(r.spanId));
+    out.set("tracedByClient", JsonValue(r.tracedByClient));
+    out.set("sequence", JsonValue(r.sequence));
+    out.set("cell", JsonValue(r.cell));
+    out.set("key", JsonValue(r.key));
+    out.set("status", JsonValue(static_cast<double>(r.status)));
+    out.set("ok", JsonValue(r.ok));
+    out.set("sweep", JsonValue(r.sweep));
+    out.set("coalesced", JsonValue(r.coalesced));
+    out.set("cacheHit", JsonValue(r.cacheHit));
+    out.set("warmStart", JsonValue(r.warmStart));
+    if (!r.error.empty()) {
+        out.set("error", JsonValue(r.error));
+    }
+
+    JsonValue stages = JsonValue::object();
+    stages.set("queueWaitMillis", JsonValue(r.stages.queueWaitMillis));
+    stages.set("coalesceWaitMillis",
+               JsonValue(r.stages.coalesceWaitMillis));
+    stages.set("storeReadMillis", JsonValue(r.stages.storeReadMillis));
+    stages.set("computeMillis", JsonValue(r.stages.computeMillis));
+    stages.set("storePublishMillis",
+               JsonValue(r.stages.storePublishMillis));
+    out.set("stages", std::move(stages));
+    out.set("wallMillis", JsonValue(r.wallMillis));
+
+    JsonValue stats = JsonValue::object();
+    stats.set("transientSolves", JsonValue(r.stats.transientSolves));
+    stats.set("newtonIterations", JsonValue(r.stats.newtonIterations));
+    stats.set("hEvaluations", JsonValue(r.stats.hEvaluations));
+    stats.set("cacheHits", JsonValue(r.stats.cacheHits));
+    stats.set("cacheMisses", JsonValue(r.stats.cacheMisses));
+    stats.set("cacheWarmStarts", JsonValue(r.stats.cacheWarmStarts));
+    stats.set("wallSeconds", JsonValue(r.stats.wallSeconds));
+    out.set("stats", std::move(stats));
+    return out;
+}
+
+}  // namespace
+
+std::string renderRequestRecord(const RequestRecord& record) {
+    return writeJson(recordJson(record));
+}
+
+std::string renderRequestRecords(const FlightRecorder& recorder) {
+    JsonValue out = JsonValue::object();
+    out.set("capacity",
+            JsonValue(static_cast<std::uint64_t>(recorder.capacity())));
+    out.set("recorded", JsonValue(recorder.totalRecorded()));
+    JsonValue requests = JsonValue::array();
+    for (const RequestRecord& r : recorder.recent()) {
+        requests.push(recordJson(r));
+    }
+    out.set("requests", std::move(requests));
+    return writeJson(out);
+}
+
+}  // namespace shtrace::serve

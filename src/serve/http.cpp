@@ -462,15 +462,18 @@ HttpClient::HttpClient(HttpClient&& other) noexcept : fd_(other.fd_) {
     other.fd_ = -1;
 }
 
-HttpClient::Response HttpClient::request(const std::string& method,
-                                         const std::string& target,
-                                         const std::string& body,
-                                         const std::string& contentType) {
+HttpClient::Response HttpClient::request(
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& contentType,
+    const std::vector<std::pair<std::string, std::string>>& extraHeaders) {
     std::string out = method + ' ' + target + " HTTP/1.1\r\n";
     out += "Host: 127.0.0.1\r\n";
     if (!body.empty() || method == "POST") {
         out += "Content-Type: " + contentType + "\r\n";
         out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    for (const auto& [name, value] : extraHeaders) {
+        out += name + ": " + value + "\r\n";
     }
     out += "\r\n";
     out += body;

@@ -556,6 +556,10 @@ std::string renderServeResponse(const ServeRequest& request,
     served.set("warmStart", JsonValue(s.cacheWarmStarts > 0));
     served.set("queueMillis", JsonValue(disposition.queueMillis));
     served.set("computeMillis", JsonValue(disposition.computeMillis));
+    if (!disposition.requestId.empty()) {
+        served.set("tracedByClient", JsonValue(disposition.tracedByClient));
+        out.set("requestId", JsonValue(disposition.requestId));
+    }
     out.set("served", std::move(served));
 
     return writeJson(out);
@@ -641,6 +645,10 @@ std::string renderPvtSweepResponse(const ServeRequest& request,
     served.set("warmStart", JsonValue(s.cacheWarmStarts > 0));
     served.set("queueMillis", JsonValue(disposition.queueMillis));
     served.set("computeMillis", JsonValue(disposition.computeMillis));
+    if (!disposition.requestId.empty()) {
+        served.set("tracedByClient", JsonValue(disposition.tracedByClient));
+        out.set("requestId", JsonValue(disposition.requestId));
+    }
     out.set("served", std::move(served));
 
     return writeJson(out);
@@ -649,6 +657,16 @@ std::string renderPvtSweepResponse(const ServeRequest& request,
 std::string renderServeError(const std::string& what) {
     JsonValue out = JsonValue::object();
     out.set("error", JsonValue(what));
+    return writeJson(out);
+}
+
+std::string renderServeError(const std::string& what,
+                             const std::string& requestId) {
+    JsonValue out = JsonValue::object();
+    out.set("error", JsonValue(what));
+    if (!requestId.empty()) {
+        out.set("requestId", JsonValue(requestId));
+    }
     return writeJson(out);
 }
 

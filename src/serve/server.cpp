@@ -3,12 +3,22 @@
 
 #include "shtrace/obs/metrics.hpp"
 #include "shtrace/obs/span.hpp"
+#include "shtrace/serve/json.hpp"
 
 namespace shtrace::serve {
 
+namespace {
+
+// Kept in sync with the CMake project() VERSION; surfaced by /healthz so
+// fleet tooling can tell what is actually running.
+constexpr const char* kServeVersion = "1.0.0";
+
+}  // namespace
+
 ServedDaemon::ServedDaemon(const DaemonOptions& options)
     : service_(options.service),
-      server_(static_cast<std::uint16_t>(options.port)) {
+      server_(static_cast<std::uint16_t>(options.port)),
+      started_(std::chrono::steady_clock::now()) {
     // A long-running service is an observability consumer by definition:
     // GET /metrics is only live when the registry records.
     if (!obs::enabled()) {
@@ -39,10 +49,29 @@ HttpResponse ServedDaemon::handle(const HttpRequest& request) {
         if (request.method != "GET") {
             return HttpResponse::text(405, "method not allowed\n");
         }
-        if (service_.draining()) {
-            return HttpResponse::text(503, "draining\n");
-        }
-        return HttpResponse::text(200, "ok\n");
+        const bool draining = service_.draining();
+        JsonValue out = JsonValue::object();
+        out.set("status", JsonValue(draining ? std::string("draining")
+                                             : std::string("ok")));
+        out.set("version", JsonValue(std::string(kServeVersion)));
+        out.set("uptimeSeconds",
+                JsonValue(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started_)
+                              .count()));
+        out.set("queueDepth", JsonValue(static_cast<std::uint64_t>(
+                                  service_.queuedJobs())));
+        out.set("workerThreads", JsonValue(static_cast<double>(
+                                     service_.workerThreads())));
+        JsonValue recorder = JsonValue::object();
+        recorder.set("size", JsonValue(static_cast<std::uint64_t>(
+                                 service_.flightRecorder().size())));
+        recorder.set("capacity",
+                     JsonValue(static_cast<std::uint64_t>(
+                         service_.flightRecorder().capacity())));
+        recorder.set("recorded",
+                     JsonValue(service_.flightRecorder().totalRecorded()));
+        out.set("flightRecorder", std::move(recorder));
+        return HttpResponse::json(draining ? 503 : 200, writeJson(out));
     }
 
     if (path == "/metrics") {
@@ -58,15 +87,40 @@ HttpResponse ServedDaemon::handle(const HttpRequest& request) {
         return response;
     }
 
+    if (path == "/debug/requests" ||
+        path.rfind("/debug/requests/", 0) == 0) {
+        if (request.method != "GET") {
+            return HttpResponse::json(
+                405, renderServeError("method not allowed; GET required"));
+        }
+        if (path == "/debug/requests") {
+            return HttpResponse::json(
+                200, renderRequestRecords(service_.flightRecorder()));
+        }
+        const std::string id =
+            path.substr(std::string("/debug/requests/").size());
+        if (const auto record = service_.flightRecorder().find(id)) {
+            return HttpResponse::json(200, renderRequestRecord(*record));
+        }
+        return HttpResponse::json(
+            404, renderServeError("no such request id", id));
+    }
+
     if (path == "/v1/characterize") {
         if (request.method != "POST") {
             return HttpResponse::json(
                 405, renderServeError("method not allowed; POST required"));
         }
-        CharacterizationService::Outcome outcome =
-            service_.characterize(request.body);
+        const std::string* traceparent = request.header("traceparent");
+        CharacterizationService::Outcome outcome = service_.characterize(
+            request.body,
+            traceparent != nullptr ? *traceparent : std::string());
         HttpResponse response =
             HttpResponse::json(outcome.status, outcome.body);
+        if (!outcome.requestId.empty()) {
+            response.headers.emplace_back("X-Request-Id",
+                                          outcome.requestId);
+        }
         if (outcome.retryAfterSeconds > 0) {
             response.headers.emplace_back(
                 "Retry-After", std::to_string(outcome.retryAfterSeconds));

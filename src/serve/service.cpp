@@ -27,12 +27,19 @@
 //     window where an admitted job can be abandoned.
 #include "shtrace/serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <future>
 #include <utility>
 
+#include "shtrace/obs/log.hpp"
 #include "shtrace/obs/metrics.hpp"
+#include "shtrace/obs/span.hpp"
+#include "shtrace/obs/trace_context.hpp"
+#include "shtrace/store/key.hpp"
 #include "shtrace/util/parallel.hpp"
 
 namespace shtrace::serve {
@@ -57,6 +64,14 @@ struct CharacterizationService::Job {
     int priority = 0;
     std::uint64_t sequence = 0;  ///< admission order, for FIFO tiebreak
     MonoClock::time_point admitted;
+
+    /// The leader's request identity; the worker runs under it, so spans
+    /// and log lines from deep inside the solvers carry this trace id.
+    obs::TraceContext trace;
+    /// Store read/publish wall time attributed by obs::ScopedStageTimer
+    /// from inside the drivers (atomic: corner-family pool workers add
+    /// concurrently).
+    obs::StageAccumulator stageNs;
 
     std::promise<void> promise;
     std::shared_future<void> future;
@@ -84,12 +99,26 @@ bool CharacterizationService::JobOrder::operator()(
 }
 
 CharacterizationService::CharacterizationService(const ServiceOptions& options)
-    : options_(options) {
+    : options_(options), recorder_(options.flightRecorderCapacity) {
     // Same resolution rule as the batch drivers; the "job count" is the
     // queue bound since that is the most work that can ever be pending.
     threads_ = resolveThreadCount(
         options_.threads,
         options_.queueDepth > 0 ? options_.queueDepth : std::size_t{1});
+    // The slow-request sampler needs per-kernel spans to be worth keeping.
+    if (!options_.slowTraceDir.empty()) {
+        if (!obs::fineEnabled()) {
+            obs::setDetail(obs::Detail::Fine);
+        }
+        std::error_code ec;
+        std::filesystem::create_directories(options_.slowTraceDir, ec);
+        if (ec || !std::filesystem::is_directory(options_.slowTraceDir)) {
+            // Keep serving -- a broken sampler dir degrades observability,
+            // not availability -- but say so where an operator will look.
+            obs::logEvent(obs::LogLevel::Warn, "serve.slow_trace_dir_failed",
+                          {{"dir", options_.slowTraceDir}});
+        }
+    }
     workers_.reserve(static_cast<std::size_t>(threads_));
     for (int i = 0; i < threads_; ++i) {
         workers_.emplace_back([this] { workerLoop(); });
@@ -99,7 +128,17 @@ CharacterizationService::CharacterizationService(const ServiceOptions& options)
 CharacterizationService::~CharacterizationService() { awaitDrain(); }
 
 CharacterizationService::Outcome CharacterizationService::characterize(
-    const std::string& requestBody) {
+    const std::string& requestBody, const std::string& traceparent) {
+    bool adopted = false;
+    const obs::TraceContext trace =
+        obs::adoptOrMintTraceContext(traceparent, &adopted);
+    // The connection thread carries the request identity for the whole
+    // lifecycle: every log line below (including 400/503 rejections)
+    // attaches trace/span automatically.
+    const obs::ScopedRequestContext requestScope(
+        obs::RequestContext{trace, nullptr});
+    const std::string requestId = trace.traceIdHex();
+
     ServeRequest parsed;
     try {
         parsed = parseServeRequest(requestBody, options_.cacheDir);
@@ -107,12 +146,18 @@ CharacterizationService::Outcome CharacterizationService::characterize(
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.badRequests;
         obs::addCount(obs::Count::ServeBadRequests);
-        return Outcome{400, renderServeError(e.what()), 0};
+        obs::logEvent(obs::LogLevel::Warn, "serve.bad_request",
+                      {{"what", e.what()}});
+        return Outcome{400, renderServeError(e.what(), requestId), 0,
+                       requestId};
     } catch (const BadRequestError& e) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.badRequests;
         obs::addCount(obs::Count::ServeBadRequests);
-        return Outcome{400, renderServeError(e.what()), 0};
+        obs::logEvent(obs::LogLevel::Warn, "serve.bad_request",
+                      {{"what", e.what()}});
+        return Outcome{400, renderServeError(e.what(), requestId), 0,
+                       requestId};
     }
 
     const auto admitted = MonoClock::now();
@@ -135,17 +180,29 @@ CharacterizationService::Outcome CharacterizationService::characterize(
                 queue_.size() >= options_.queueDepth) {
                 ++counters_.rejected;
                 obs::addCount(obs::Count::ServeRejected);
+                obs::logEvent(obs::LogLevel::Warn, "serve.rejected",
+                              {{"cell", parsed.cell},
+                               {"draining", draining()},
+                               {"queueDepth",
+                                static_cast<unsigned long long>(
+                                    queue_.size())}});
                 return Outcome{503,
                                renderServeError(
                                    draining() ? "service is draining"
-                                              : "queue full, retry later"),
-                               options_.retryAfterSeconds};
+                                              : "queue full, retry later",
+                                   requestId),
+                               options_.retryAfterSeconds, requestId};
             }
             job = std::make_shared<Job>();
             job->request = std::move(parsed);
             job->priority = job->request.priority;
             job->sequence = nextSequence_++;
             job->admitted = admitted;
+            // The leader's identity travels with the job: the worker and
+            // its pool threads run under it, and the drivers re-install it
+            // from the config.
+            job->trace = trace;
+            job->request.config.traceContext = trace;
             job->future = job->promise.get_future().share();
             inflight_.emplace(job->request.key.full, job);
             queue_.push(job);
@@ -159,17 +216,21 @@ CharacterizationService::Outcome CharacterizationService::characterize(
 
     std::string body;
     bool ok = false;
+    std::string errorWhat;
     if (job->error != nullptr) {
         try {
             std::rethrow_exception(job->error);
         } catch (const std::exception& e) {
-            body = renderServeError(e.what());
+            errorWhat = e.what();
+            body = renderServeError(errorWhat, requestId);
         }
     } else {
         ServeDisposition disposition;
         disposition.coalesced = coalesced;
         disposition.queueMillis = job->queueMillis;
         disposition.computeMillis = job->computeMillis;
+        disposition.requestId = requestId;
+        disposition.tracedByClient = adopted;
         // Followers render against the leader's request (identical key,
         // possibly different label/priority spelling -- the physics is
         // what is shared).
@@ -194,9 +255,110 @@ CharacterizationService::Outcome CharacterizationService::characterize(
             obs::addCount(obs::Count::ServeResponsesFailed);
         }
     }
-    obs::observe(obs::Hist::ServeRequestMilliseconds,
-                 millisBetween(admitted, MonoClock::now()));
-    return Outcome{job->error != nullptr ? 500 : 200, std::move(body), 0};
+
+    // Flight-recorder entry: wall is measured HERE, after rendering, and
+    // the leader's compute stage is the residual, so the five stages sum
+    // to wallMillis exactly (the /debug/requests contract).
+    const double wallMillis = millisBetween(admitted, MonoClock::now());
+    RequestRecord record;
+    record.id = requestId;
+    record.spanId = trace.spanIdHex();
+    record.tracedByClient = adopted;
+    record.cell = job->request.cell;
+    record.key = store::toHexKey(job->request.key.full);
+    record.status = job->error != nullptr ? 500 : 200;
+    record.ok = job->error == nullptr && ok;
+    record.sweep = job->request.sweep;
+    record.coalesced = coalesced;
+    record.cacheHit = job->stats().cacheHits > 0;
+    record.warmStart = job->stats().cacheWarmStarts > 0;
+    record.error = errorWhat;
+    record.wallMillis = wallMillis;
+    if (coalesced) {
+        // A follower never queued or computed; its whole life was the
+        // wait on the leader's future (plus render, folded in).
+        record.stages.coalesceWaitMillis = wallMillis;
+        obs::observe(obs::Hist::ServeCoalesceWaitMilliseconds,
+                     record.stages.coalesceWaitMillis);
+    } else {
+        record.stages.queueWaitMillis = job->queueMillis;
+        record.stages.storeReadMillis =
+            job->stageNs.millis(obs::Stage::StoreRead);
+        record.stages.storePublishMillis =
+            job->stageNs.millis(obs::Stage::StorePublish);
+        record.stages.computeMillis = std::max(
+            0.0, wallMillis - record.stages.queueWaitMillis -
+                     record.stages.storeReadMillis -
+                     record.stages.storePublishMillis);
+        obs::observe(obs::Hist::ServeStoreReadMilliseconds,
+                     record.stages.storeReadMillis);
+        obs::observe(obs::Hist::ServeComputeMilliseconds,
+                     record.stages.computeMillis);
+        obs::observe(obs::Hist::ServeStorePublishMilliseconds,
+                     record.stages.storePublishMillis);
+    }
+    const SimStats& s = job->stats();
+    record.stats.transientSolves = s.transientSolves;
+    record.stats.newtonIterations = s.newtonIterations;
+    record.stats.hEvaluations = s.hEvaluations;
+    record.stats.cacheHits = s.cacheHits;
+    record.stats.cacheMisses = s.cacheMisses;
+    record.stats.cacheWarmStarts = s.cacheWarmStarts;
+    record.stats.wallSeconds = s.wallSeconds;
+    record.completedAtNs = obs::monotonicNanos();
+    record.sequence = recorder_.record(record);
+    maybeSampleSlowRequest(record, trace);
+
+    obs::observe(obs::Hist::ServeRequestMilliseconds, wallMillis);
+    obs::logEvent(obs::LogLevel::Info, "serve.request",
+                  {{"cell", record.cell},
+                   {"key", record.key},
+                   {"status", record.status},
+                   {"ok", record.ok},
+                   {"coalesced", record.coalesced},
+                   {"cacheHit", record.cacheHit},
+                   {"wallMillis", wallMillis},
+                   {"computeMillis", record.stages.computeMillis}});
+    return Outcome{job->error != nullptr ? 500 : 200, std::move(body), 0,
+                   requestId};
+}
+
+void CharacterizationService::maybeSampleSlowRequest(
+    const RequestRecord& record, const obs::TraceContext& trace) {
+    if (options_.slowTraceDir.empty() || record.coalesced) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(slowMutex_);
+    const std::size_t keep =
+        options_.slowTraceCount > 0 ? options_.slowTraceCount : 1;
+    std::string evicted;
+    if (slowKept_.size() >= keep) {
+        auto slowest = std::min_element(
+            slowKept_.begin(), slowKept_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+        if (slowest->first >= record.wallMillis) {
+            return;  // not among the K slowest
+        }
+        evicted = slowest->second;
+        slowKept_.erase(slowest);
+    }
+    const std::string path = options_.slowTraceDir + "/slow_" + record.id +
+                             "_" + std::to_string(record.sequence) +
+                             ".trace.json";
+    try {
+        obs::writeChromeTraceForTrace(path, trace.traceHi, trace.traceLo);
+    } catch (const std::exception& e) {
+        // The sampler must never take the service down with it.
+        obs::logEvent(obs::LogLevel::Warn, "serve.slow_trace_failed",
+                      {{"what", e.what()}, {"path", path}});
+        return;
+    }
+    if (!evicted.empty()) {
+        std::remove(evicted.c_str());
+    }
+    slowKept_.emplace_back(record.wallMillis, path);
+    obs::logEvent(obs::LogLevel::Info, "serve.slow_trace",
+                  {{"path", path}, {"wallMillis", record.wallMillis}});
 }
 
 void CharacterizationService::beginDrain() {
@@ -283,6 +445,11 @@ void CharacterizationService::runJob(const std::shared_ptr<Job>& job) {
     job->queueMillis = millisBetween(job->admitted, pickedUp);
     obs::observe(obs::Hist::ServeQueueWaitMilliseconds, job->queueMillis);
 
+    // The worker runs under the leader's identity, with the job's stage
+    // accumulator armed so the drivers' store-read/publish timers land in
+    // this request's breakdown.
+    const obs::ScopedRequestContext requestScope(
+        obs::RequestContext{job->trace, &job->stageNs});
     try {
         if (job->request.sweep) {
             job->sweepResult = characterizeCornerFamily(
@@ -297,8 +464,20 @@ void CharacterizationService::runJob(const std::shared_ptr<Job>& job) {
         // metrics-file writer; a long-running service publishes after
         // every computation so GET /metrics is live.
         obs::addRunCounters(job->stats());
+    } catch (const std::exception& e) {
+        job->error = std::current_exception();
+        obs::addCount(obs::Count::ServeWorkerExceptions);
+        obs::logEvent(obs::LogLevel::Error, "serve.worker_exception",
+                      {{"what", e.what()},
+                       {"cell", job->request.cell},
+                       {"key", store::toHexKey(job->request.key.full)}});
     } catch (...) {
         job->error = std::current_exception();
+        obs::addCount(obs::Count::ServeWorkerExceptions);
+        obs::logEvent(obs::LogLevel::Error, "serve.worker_exception",
+                      {{"what", "non-standard exception"},
+                       {"cell", job->request.cell},
+                       {"key", store::toHexKey(job->request.key.full)}});
     }
     job->computeMillis = millisBetween(pickedUp, MonoClock::now());
 
@@ -306,7 +485,9 @@ void CharacterizationService::runJob(const std::shared_ptr<Job>& job) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.computed;
         obs::addCount(obs::Count::ServeComputed);
-        if (job->error == nullptr) {
+        if (job->error != nullptr) {
+            ++counters_.workerExceptions;
+        } else {
             if (job->stats().cacheHits > 0) {
                 ++counters_.cacheHits;
             }

@@ -1,6 +1,7 @@
 #include "shtrace/sta/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 
 #include "shtrace/chz/characterize.hpp"
@@ -71,6 +72,9 @@ void runTimingCore(const Design& design,
     {
         SHTRACE_SPAN("sta.arrival_sweep");
         for (const std::vector<int>& level : graph.byLevel) {
+            // One fine span per level: the per-level fan-out width is the
+            // thing a slow-sweep investigation needs to see.
+            SHTRACE_FINE_SPAN("sta.arrival_level");
             parallelRun(
                 level.size(),
                 [&](std::size_t job, std::size_t /*worker*/) {
@@ -170,6 +174,10 @@ void runTimingCore(const Design& design,
         }
         report->endpoints.push_back(std::move(check));
     }
+    obs::addCount(obs::Count::StaEndpointsChecked,
+                  report->endpoints.size());
+    obs::addCount(obs::Count::StaEndpointsRecovered,
+                  static_cast<std::uint64_t>(report->recoveredEndpoints));
 
     // --- backward sweep: required times from classical constraints -------
     std::vector<double> requiredMax(netCount, kInf);
@@ -194,6 +202,7 @@ void runTimingCore(const Design& design,
         for (auto levelIt = graph.byLevel.rbegin();
              levelIt != graph.byLevel.rend(); ++levelIt) {
             const std::vector<int>& level = *levelIt;
+            SHTRACE_FINE_SPAN("sta.required_level");
             parallelRun(
                 level.size(),
                 [&](std::size_t job, std::size_t /*worker*/) {
@@ -234,6 +243,7 @@ void runTimingCore(const Design& design,
 StaReport analyzeDesign(const Design& design,
                         const std::vector<StaCell>& library,
                         const RunConfig& config) {
+    const obs::ScopedRequestContext requestScope(requestContextFor(config));
     obs::RunObservation observation(config.metricsPath,
                                     config.spanTracePath);
     StaReport report;
@@ -274,6 +284,7 @@ StaReport analyzeDesign(const Design& design,
         parallelRun(
             design.registers.size(),
             [&](std::size_t job, std::size_t /*worker*/) {
+                const auto requestStart = std::chrono::steady_clock::now();
                 CellSlot& slot = slots.at(design.registers[job].cell);
                 bool isLeader = false;
                 std::call_once(slot.once, [&] {
@@ -308,6 +319,11 @@ StaReport analyzeDesign(const Design& design,
                     // by the in-process leader at zero additional cost.
                     leaderOf[job] = &slot.leader;
                 }
+                obs::observe(
+                    obs::Hist::StaRegisterCharacterizeMilliseconds,
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - requestStart)
+                        .count());
             },
             config.parallel, config.onJobDone);
     }

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "shtrace/obs/span.hpp"
+#include "shtrace/obs/trace_context.hpp"
 #include "shtrace/util/error.hpp"
 
 namespace shtrace {
@@ -51,7 +52,14 @@ void parallelRun(std::size_t jobCount,
     std::mutex mutex;  // guards firstFailure and serializes onJobDone
     std::string firstFailure;
 
+    // Pool threads inherit the submitter's request identity so spans and
+    // log lines recorded inside jobs stay attributable to the originating
+    // request (the serial path above runs on the submitting thread and
+    // needs nothing).
+    const obs::RequestContext inherited = obs::currentRequestContext();
+
     const auto workerLoop = [&](std::size_t worker) {
+        const obs::ScopedRequestContext requestScope(inherited);
         SHTRACE_SPAN("parallel.worker");
         for (;;) {
             if (stop.load(std::memory_order_relaxed)) {

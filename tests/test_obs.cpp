@@ -218,8 +218,9 @@ TEST_F(ObsTest, AddRunCountersPublishesAndAccumulates) {
 
     const obs::MetricsSnapshot snap = obs::metricsSnapshot();
     // One counter per SimStats field, plus wall seconds, plus the serve
-    // layer's 8 event counters, plus the corner-family driver's 3.
-    EXPECT_EQ(snap.counters.size(), 34u);
+    // layer's 9 event counters, plus the corner-family driver's 3, plus
+    // the SHIA-STA engine's 2 endpoint counters.
+    EXPECT_EQ(snap.counters.size(), 37u);
     bool sawTransients = false;
     bool sawWall = false;
     for (const obs::CounterSnapshot& c : snap.counters) {

@@ -1,0 +1,466 @@
+// Tests for the request-scoped observability layer: W3C traceparent
+// adoption, the structured JSON-lines event log (schema + bounded-drop
+// accounting under a saturated sink), the serve flight recorder (ring
+// wraparound, /debug routes, stage-sum contract), and metrics snapshot
+// determinism under concurrent counter writers. In the tsan sweep: the
+// logger and the counter registry are written from many threads by
+// design.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shtrace/obs/log.hpp"
+#include "shtrace/obs/metrics.hpp"
+#include "shtrace/obs/obs.hpp"
+#include "shtrace/obs/trace_context.hpp"
+#include "shtrace/serve/flight_recorder.hpp"
+#include "shtrace/serve/json.hpp"
+#include "shtrace/serve/server.hpp"
+#include "shtrace/serve/service.hpp"
+
+namespace shtrace {
+namespace {
+
+using obs::LogLevel;
+using serve::JsonValue;
+using serve::parseJson;
+
+// ------------------------------------------------------ trace context --
+
+TEST(TraceContextTest, MintsValidDistinctContexts) {
+    const obs::TraceContext a = obs::mintTraceContext();
+    const obs::TraceContext b = obs::mintTraceContext();
+    EXPECT_TRUE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_NE(a.traceIdHex(), b.traceIdHex());
+    EXPECT_EQ(a.traceIdHex().size(), 32u);
+    EXPECT_EQ(a.spanIdHex().size(), 16u);
+}
+
+TEST(TraceContextTest, AdoptsWellFormedTraceparentVerbatim) {
+    const std::string parent =
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+    bool adopted = false;
+    const obs::TraceContext context =
+        obs::adoptOrMintTraceContext(parent, &adopted);
+    EXPECT_TRUE(adopted);
+    EXPECT_TRUE(context.valid());
+    // The trace id is the client's, verbatim; the span id is OURS (a
+    // fresh server-side span, not the client's parent span).
+    EXPECT_EQ(context.traceIdHex(), "4bf92f3577b34da6a3ce929d0e0e4736");
+    EXPECT_NE(context.spanIdHex(), "00f067aa0ba902b7");
+    EXPECT_EQ(context.traceparent(),
+              "00-4bf92f3577b34da6a3ce929d0e0e4736-" +
+                  context.spanIdHex() + "-01");
+}
+
+TEST(TraceContextTest, MalformedTraceparentMintsFresh) {
+    const std::vector<std::string> malformed = {
+        "",
+        "garbage",
+        // Wrong length.
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0",
+        // Uppercase hex is invalid per W3C trace-context.
+        "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+        // All-zero trace id.
+        "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+        // All-zero parent span id.
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+        // Forbidden version 0xff.
+        "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        // Dashes in the wrong place.
+        "004-bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+    };
+    for (const std::string& header : malformed) {
+        bool adopted = true;
+        const obs::TraceContext context =
+            obs::adoptOrMintTraceContext(header, &adopted);
+        EXPECT_FALSE(adopted) << "adopted: " << header;
+        EXPECT_TRUE(context.valid()) << "not minted: " << header;
+        EXPECT_NE(context.traceIdHex(),
+                  "4bf92f3577b34da6a3ce929d0e0e4736");
+    }
+}
+
+TEST(TraceContextTest, ScopedContextInstallsAndRestores) {
+    EXPECT_FALSE(obs::currentRequestContext().trace.valid());
+    const obs::TraceContext trace = obs::mintTraceContext();
+    {
+        const obs::ScopedRequestContext scope(
+            obs::RequestContext{trace, nullptr});
+        EXPECT_EQ(obs::currentRequestContext().trace.traceIdHex(),
+                  trace.traceIdHex());
+    }
+    EXPECT_FALSE(obs::currentRequestContext().trace.valid());
+}
+
+TEST(TraceContextTest, StageTimerAccumulates) {
+    obs::StageAccumulator stages;
+    {
+        const obs::ScopedRequestContext scope(
+            obs::RequestContext{obs::mintTraceContext(), &stages});
+        const obs::ScopedStageTimer timer(obs::Stage::StoreRead);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GT(stages.nanos(obs::Stage::StoreRead), 0);
+    EXPECT_EQ(stages.nanos(obs::Stage::StorePublish), 0);
+}
+
+// -------------------------------------------------------- event log --
+
+TEST(EventLogTest, SchemaFieldsInOrderWithTraceContext) {
+    obs::resetLogging();
+    std::vector<std::string> lines;
+    obs::setLogSink([&lines](const std::string& line) {
+        lines.push_back(line);
+        return true;
+    });
+
+    const obs::TraceContext trace = obs::mintTraceContext();
+    {
+        const obs::ScopedRequestContext scope(
+            obs::RequestContext{trace, nullptr});
+        obs::logEvent(LogLevel::Info, "test.event",
+                      {{"text", "a \"quoted\" value"},
+                       {"count", 42},
+                       {"ratio", 0.5},
+                       {"flag", true}});
+    }
+    obs::logEvent(LogLevel::Warn, "test.plain", {});
+
+    ASSERT_EQ(lines.size(), 2u);
+    const JsonValue doc = parseJson(lines[0]);
+    ASSERT_TRUE(doc.isObject());
+    const auto& members = doc.members();
+    // ts, level, event lead in that order; trace/span follow while a
+    // request context is installed; caller fields in call order.
+    ASSERT_GE(members.size(), 5u);
+    EXPECT_EQ(members[0].first, "ts");
+    EXPECT_EQ(members[1].first, "level");
+    EXPECT_EQ(members[2].first, "event");
+    EXPECT_EQ(members[3].first, "trace");
+    EXPECT_EQ(members[4].first, "span");
+    EXPECT_EQ(doc.find("level")->asString(), "info");
+    EXPECT_EQ(doc.find("event")->asString(), "test.event");
+    EXPECT_EQ(doc.find("trace")->asString(), trace.traceIdHex());
+    EXPECT_EQ(doc.find("text")->asString(), "a \"quoted\" value");
+    EXPECT_EQ(doc.find("count")->asNumber(), 42.0);
+    EXPECT_TRUE(doc.find("flag")->asBool());
+
+    // Without a request context there is no trace/span.
+    const JsonValue plain = parseJson(lines[1]);
+    EXPECT_EQ(plain.find("trace"), nullptr);
+    EXPECT_EQ(plain.find("span"), nullptr);
+
+    obs::resetLogging();
+}
+
+TEST(EventLogTest, LevelFilterSkipsBelowMinimum) {
+    obs::resetLogging();
+    int sunk = 0;
+    obs::setLogSink([&sunk](const std::string&) {
+        ++sunk;
+        return true;
+    });
+    obs::setLogLevel(LogLevel::Warn);
+    EXPECT_FALSE(obs::logEnabled(LogLevel::Info));
+    EXPECT_TRUE(obs::logEnabled(LogLevel::Error));
+    obs::logEvent(LogLevel::Debug, "drop.me", {});
+    obs::logEvent(LogLevel::Info, "drop.me.too", {});
+    obs::logEvent(LogLevel::Error, "keep.me", {});
+    EXPECT_EQ(sunk, 1);
+    const obs::LogCounts counts = obs::logCounts();
+    EXPECT_EQ(counts.emitted, 1u);
+    EXPECT_EQ(counts.dropped, 0u);
+    obs::resetLogging();
+}
+
+// The drop-accounting contract under a saturated sink, with concurrent
+// writers (tsan exercises the mutex): every record is either emitted or
+// counted dropped, and the gap is announced by a synthetic log.dropped
+// record once the sink recovers.
+TEST(EventLogTest, SaturatedSinkCountsDropsExactly) {
+    obs::resetLogging();
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 200;
+    constexpr int kAccept = 100;
+
+    std::atomic<int> accepted{0};
+    std::atomic<bool> saturated{false};
+    obs::setLogSink([&](const std::string&) {
+        if (saturated.load(std::memory_order_relaxed)) {
+            return false;
+        }
+        if (accepted.fetch_add(1) + 1 >= kAccept) {
+            saturated.store(true, std::memory_order_relaxed);
+        }
+        return true;
+    });
+
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                obs::logEvent(LogLevel::Info, "saturate",
+                              {{"thread", t}, {"i", i}});
+            }
+        });
+    }
+    for (std::thread& w : writers) {
+        w.join();
+    }
+
+    const obs::LogCounts counts = obs::logCounts();
+    EXPECT_EQ(counts.emitted + counts.dropped,
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_GT(counts.dropped, 0u);
+
+    // Recovery: the next successful write is preceded by the synthetic
+    // drop notice carrying the exact gap.
+    std::vector<std::string> after;
+    obs::setLogSink([&after](const std::string& line) {
+        after.push_back(line);
+        return true;
+    });
+    obs::logEvent(LogLevel::Info, "recovered", {});
+    ASSERT_EQ(after.size(), 2u);
+    const JsonValue notice = parseJson(after[0]);
+    EXPECT_EQ(notice.find("event")->asString(), "log.dropped");
+    EXPECT_EQ(notice.find("count")->asNumber(),
+              static_cast<double>(counts.dropped));
+    EXPECT_EQ(parseJson(after[1]).find("event")->asString(), "recovered");
+
+    obs::resetLogging();
+}
+
+// ---------------------------------------------------- flight recorder --
+
+serve::RequestRecord makeRecord(const std::string& id, double wall) {
+    serve::RequestRecord record;
+    record.id = id;
+    record.cell = "tspc";
+    record.status = 200;
+    record.ok = true;
+    record.wallMillis = wall;
+    record.stages.computeMillis = wall;
+    return record;
+}
+
+TEST(FlightRecorderTest, RingWrapsAndKeepsNewest) {
+    serve::FlightRecorder recorder(4);
+    EXPECT_EQ(recorder.capacity(), 4u);
+    for (int i = 0; i < 10; ++i) {
+        const std::uint64_t seq = recorder.record(
+            makeRecord("id" + std::to_string(i), 1.0 + i));
+        EXPECT_EQ(seq, static_cast<std::uint64_t>(i));
+    }
+    EXPECT_EQ(recorder.size(), 4u);
+    EXPECT_EQ(recorder.totalRecorded(), 10u);
+
+    const std::vector<serve::RequestRecord> recent = recorder.recent();
+    ASSERT_EQ(recent.size(), 4u);
+    EXPECT_EQ(recent[0].id, "id9");  // newest first
+    EXPECT_EQ(recent[1].id, "id8");
+    EXPECT_EQ(recent[2].id, "id7");
+    EXPECT_EQ(recent[3].id, "id6");
+
+    EXPECT_TRUE(recorder.find("id7").has_value());
+    EXPECT_FALSE(recorder.find("id5").has_value());  // evicted
+    EXPECT_FALSE(recorder.find("nope").has_value());
+}
+
+TEST(FlightRecorderTest, FindReturnsNewestForReusedId) {
+    serve::FlightRecorder recorder(8);
+    recorder.record(makeRecord("dup", 1.0));
+    recorder.record(makeRecord("dup", 2.0));
+    const auto found = recorder.find("dup");
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->sequence, 1u);
+    EXPECT_EQ(found->wallMillis, 2.0);
+}
+
+TEST(FlightRecorderTest, RenderedListingIsValidJson) {
+    serve::FlightRecorder recorder(2);
+    recorder.record(makeRecord("a", 1.0));
+    recorder.record(makeRecord("b", 2.0));
+    const JsonValue doc = parseJson(serve::renderRequestRecords(recorder));
+    EXPECT_EQ(doc.find("capacity")->asNumber(), 2.0);
+    EXPECT_EQ(doc.find("recorded")->asNumber(), 2.0);
+    const auto& requests = doc.find("requests")->asArray();
+    ASSERT_EQ(requests.size(), 2u);
+    EXPECT_EQ(requests[0].find("requestId")->asString(), "b");
+    const JsonValue* stages = requests[0].find("stages");
+    ASSERT_NE(stages, nullptr);
+    EXPECT_EQ(stages->find("computeMillis")->asNumber(), 2.0);
+}
+
+// ------------------------------------------------------ debug routes --
+
+serve::HttpRequest getRequest(const std::string& target) {
+    serve::HttpRequest request;
+    request.method = "GET";
+    request.target = target;
+    request.version = "HTTP/1.1";
+    return request;
+}
+
+TEST(DebugRoutesTest, UnknownRequestIdIs404Json) {
+    serve::DaemonOptions options;
+    options.port = 0;
+    options.service.threads = 1;
+    serve::ServedDaemon daemon(options);
+
+    const serve::HttpResponse miss = daemon.handle(
+        getRequest("/debug/requests/00000000000000000000000000000000"));
+    EXPECT_EQ(miss.status, 404);
+    EXPECT_EQ(miss.contentType, "application/json");
+    const JsonValue doc = parseJson(miss.body);
+    ASSERT_NE(doc.find("error"), nullptr);
+
+    const serve::HttpResponse empty =
+        daemon.handle(getRequest("/debug/requests"));
+    EXPECT_EQ(empty.status, 200);
+    const JsonValue listing = parseJson(empty.body);
+    EXPECT_EQ(listing.find("recorded")->asNumber(), 0.0);
+    EXPECT_EQ(listing.find("requests")->asArray().size(), 0u);
+}
+
+// The live round-trip contract: a 200 response carries a requestId that
+// resolves at /debug/requests/<id> to a record whose five stages sum to
+// the recorded wall clock, and an inbound traceparent id is adopted
+// verbatim end to end.
+TEST(DebugRoutesTest, RequestIdResolvesWithStageSumMatchingWall) {
+    serve::DaemonOptions options;
+    options.port = 0;
+    options.service.threads = 1;
+    serve::ServedDaemon daemon(options);
+
+    serve::HttpRequest post;
+    post.method = "POST";
+    post.target = "/v1/characterize";
+    post.version = "HTTP/1.1";
+    post.headers["traceparent"] =
+        "00-aaaabbbbccccddddeeeeffff00001111-1234123412341234-01";
+    post.body =
+        R"({"cell":"tspc","tracer":{"bounds":{"setupMin":8e-11,)"
+        R"("setupMax":7e-10,"holdMin":4e-11,"holdMax":5e-10},)"
+        R"("maxPoints":3}})";
+
+    const serve::HttpResponse response = daemon.handle(post);
+    ASSERT_EQ(response.status, 200);
+
+    std::string headerId;
+    for (const auto& [name, value] : response.headers) {
+        if (name == "X-Request-Id") {
+            headerId = value;
+        }
+    }
+    EXPECT_EQ(headerId, "aaaabbbbccccddddeeeeffff00001111");
+
+    const JsonValue body = parseJson(response.body);
+    ASSERT_NE(body.find("requestId"), nullptr);
+    EXPECT_EQ(body.find("requestId")->asString(), headerId);
+    EXPECT_TRUE(body.find("served")->find("tracedByClient")->asBool());
+
+    const serve::HttpResponse debug =
+        daemon.handle(getRequest("/debug/requests/" + headerId));
+    ASSERT_EQ(debug.status, 200);
+    const JsonValue record = parseJson(debug.body);
+    EXPECT_EQ(record.find("requestId")->asString(), headerId);
+    EXPECT_TRUE(record.find("tracedByClient")->asBool());
+    EXPECT_TRUE(record.find("ok")->asBool());
+    EXPECT_FALSE(record.find("coalesced")->asBool());
+
+    const JsonValue* stages = record.find("stages");
+    ASSERT_NE(stages, nullptr);
+    const double sum = stages->find("queueWaitMillis")->asNumber() +
+                       stages->find("coalesceWaitMillis")->asNumber() +
+                       stages->find("storeReadMillis")->asNumber() +
+                       stages->find("computeMillis")->asNumber() +
+                       stages->find("storePublishMillis")->asNumber();
+    const double wall = record.find("wallMillis")->asNumber();
+    ASSERT_GT(wall, 0.0);
+    EXPECT_NEAR(sum, wall, 0.05 * wall);
+
+    daemon.shutdown();
+}
+
+TEST(DebugRoutesTest, FreshRequestMintsIdWithoutTraceparent) {
+    serve::ServiceOptions options;
+    options.threads = 1;
+    serve::CharacterizationService service(options);
+    const std::string body =
+        R"({"cell":"tspc","tracer":{"bounds":{"setupMin":8e-11,)"
+        R"("setupMax":7e-10,"holdMin":4e-11,"holdMax":5e-10},)"
+        R"("maxPoints":3}})";
+    const auto outcome = service.characterize(body);
+    EXPECT_EQ(outcome.status, 200);
+    ASSERT_EQ(outcome.requestId.size(), 32u);
+    const auto record = service.flightRecorder().find(outcome.requestId);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_FALSE(record->tracedByClient);
+    EXPECT_NEAR(record->stages.sumMillis(), record->wallMillis,
+                0.05 * record->wallMillis);
+}
+
+// ------------------------------------------------- metrics snapshot --
+
+// addCount is mutex-serialized with metricsSnapshot, so a snapshot taken
+// concurrently with counter writers is a consistent point-in-time view:
+// values only grow, and after the writers join the total is exact.
+TEST(MetricsSnapshotTest, CounterSnapshotsAreMonotonicUnderWriters) {
+    obs::clearMetrics();
+    const int previousDetail = obs::detailLevel();
+    obs::setDetail(obs::Detail::Coarse);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 5000;
+    const char* kCounter = "shtrace_serve_worker_exceptions_total";
+
+    const auto counterValue = [&](const obs::MetricsSnapshot& snapshot) {
+        for (const obs::CounterSnapshot& c : snapshot.counters) {
+            if (c.name == kCounter) {
+                return c.value;
+            }
+        }
+        return -1.0;
+    };
+
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([] {
+            for (int i = 0; i < kPerThread; ++i) {
+                obs::addCount(obs::Count::ServeWorkerExceptions);
+            }
+        });
+    }
+    std::thread reader([&] {
+        double previous = 0.0;
+        while (!done.load(std::memory_order_acquire)) {
+            const double value = counterValue(obs::metricsSnapshot());
+            EXPECT_GE(value, previous);
+            previous = value;
+        }
+    });
+    for (std::thread& w : writers) {
+        w.join();
+    }
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(counterValue(obs::metricsSnapshot()),
+              static_cast<double>(kThreads * kPerThread));
+
+    obs::clearMetrics();
+    obs::setDetail(static_cast<obs::Detail>(previousDetail));
+}
+
+}  // namespace
+}  // namespace shtrace

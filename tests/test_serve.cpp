@@ -447,7 +447,15 @@ TEST(ServeDaemonTest, EndToEndOverEphemeralPort) {
         HttpClient client(static_cast<std::uint16_t>(daemon.port()));
         const auto health = client.request("GET", "/healthz");
         EXPECT_EQ(health.status, 200);
-        EXPECT_EQ(health.body, "ok\n");
+        const auto healthType = health.headers.find("content-type");
+        ASSERT_NE(healthType, health.headers.end());
+        EXPECT_EQ(healthType->second, "application/json");
+        const JsonValue healthDoc = parseJson(health.body);
+        EXPECT_EQ(healthDoc.find("status")->asString(), "ok");
+        EXPECT_EQ(healthDoc.find("version")->asString(), "1.0.0");
+        EXPECT_GE(healthDoc.find("uptimeSeconds")->asNumber(), 0.0);
+        ASSERT_NE(healthDoc.find("queueDepth"), nullptr);
+        ASSERT_NE(healthDoc.find("flightRecorder"), nullptr);
 
         // Prometheus content type is part of the exposition contract.
         const auto metrics = client.request("GET", "/metrics");

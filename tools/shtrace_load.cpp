@@ -30,6 +30,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -87,6 +88,7 @@ struct Sample {
     bool ok = false;         ///< response body ok=true
     bool coalesced = false;  ///< served.coalesced
     bool cacheHit = false;   ///< served.cacheHit
+    std::string requestId;   ///< response requestId == X-Request-Id
 };
 
 Sample postOnce(int port, const std::string& body, int timeoutMillis) {
@@ -102,6 +104,9 @@ Sample postOnce(int port, const std::string& body, int timeoutMillis) {
         if (const JsonValue* ok = doc.find("ok")) {
             sample.ok = ok->asBool();
         }
+        if (const JsonValue* id = doc.find("requestId")) {
+            sample.requestId = id->asString();
+        }
         if (const JsonValue* served = doc.find("served")) {
             if (const JsonValue* c = served->find("coalesced")) {
                 sample.coalesced = c->asBool();
@@ -112,6 +117,18 @@ Sample postOnce(int port, const std::string& body, int timeoutMillis) {
         }
     }
     return sample;
+}
+
+/// Which tier answered: a fresh computation, a coalesced wait on another
+/// request's computation, or a persistent-store hit. Latency is only
+/// comparable within a tier, so the summaries split on it.
+enum class Outcome { Fresh, Coalesced, StoreHit };
+
+Outcome outcomeOf(const Sample& s) {
+    if (s.coalesced) {
+        return Outcome::Coalesced;
+    }
+    return s.cacheHit ? Outcome::StoreHit : Outcome::Fresh;
 }
 
 /// Fires `total` requests over `concurrency` threads (one keep-alive
@@ -158,19 +175,46 @@ double percentile(std::vector<double> values, double p) {
     return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+/// {count,p50,...,p999,max} over one outcome class's latencies.
+JsonValue percentileBlock(const std::vector<double>& millis) {
+    JsonValue out = JsonValue::object();
+    out.set("count", static_cast<int>(millis.size()));
+    out.set("p50Millis", percentile(millis, 50));
+    out.set("p90Millis", percentile(millis, 90));
+    out.set("p99Millis", percentile(millis, 99));
+    out.set("p999Millis", percentile(millis, 99.9));
+    out.set("maxMillis",
+            millis.empty()
+                ? 0.0
+                : *std::max_element(millis.begin(), millis.end()));
+    return out;
+}
+
 JsonValue latencySummary(const std::vector<Sample>& samples,
                          double wallMillis) {
-    std::vector<double> millis;
+    std::vector<double> millis, freshMillis, coalescedMillis,
+        storeHitMillis;
     int http200 = 0, http503 = 0, errors = 0, okTrue = 0, coalesced = 0,
         cacheHits = 0, freshTraces = 0;
     for (const Sample& s : samples) {
         if (s.status == 200) {
             ++http200;
             millis.push_back(s.millis);
-            // Neither shared nor store-served: this response paid for a
-            // full trace. "N identical requests -> 1 fresh trace" is the
-            // coalescing+store contract.
-            freshTraces += (s.ok && !s.coalesced && !s.cacheHit) ? 1 : 0;
+            switch (outcomeOf(s)) {
+                case Outcome::Fresh:
+                    // Neither shared nor store-served: this response paid
+                    // for a full trace. "N identical requests -> 1 fresh
+                    // trace" is the coalescing+store contract.
+                    freshTraces += s.ok ? 1 : 0;
+                    freshMillis.push_back(s.millis);
+                    break;
+                case Outcome::Coalesced:
+                    coalescedMillis.push_back(s.millis);
+                    break;
+                case Outcome::StoreHit:
+                    storeHitMillis.push_back(s.millis);
+                    break;
+            }
         } else if (s.status == 503) {
             ++http503;
         } else {
@@ -192,12 +236,141 @@ JsonValue latencySummary(const std::vector<Sample>& samples,
     out.set("p50Millis", percentile(millis, 50));
     out.set("p90Millis", percentile(millis, 90));
     out.set("p99Millis", percentile(millis, 99));
+    out.set("p999Millis", percentile(millis, 99.9));
+    out.set("maxMillis",
+            millis.empty()
+                ? 0.0
+                : *std::max_element(millis.begin(), millis.end()));
+    // One latency distribution per serving tier: fresh computations live
+    // on a different scale from coalesced waits and store hits, and a
+    // blended percentile hides regressions in all three.
+    JsonValue byOutcome = JsonValue::object();
+    byOutcome.set("fresh", percentileBlock(freshMillis));
+    byOutcome.set("coalesced", percentileBlock(coalescedMillis));
+    byOutcome.set("storeHit", percentileBlock(storeHitMillis));
+    out.set("byOutcome", std::move(byOutcome));
     out.set("wallMillis", wallMillis);
     out.set("throughputRps",
             wallMillis > 0.0
                 ? static_cast<double>(http200) / (wallMillis / 1000.0)
                 : 0.0);
     return out;
+}
+
+/// Scrapes GET /debug/requests and reduces the flight recorder's
+/// per-stage breakdowns to per-tier means: leaders (queue-wait,
+/// store-read, compute, store-publish) and followers (coalesce-wait).
+JsonValue scrapeServeStages(int port) {
+    HttpClient client(static_cast<std::uint16_t>(port), 10000);
+    const HttpClient::Response response =
+        client.request("GET", "/debug/requests");
+    const JsonValue doc = shtrace::serve::parseJson(response.body);
+
+    double queueWait = 0, storeRead = 0, compute = 0, storePublish = 0,
+           leaderWall = 0, coalesceWait = 0;
+    int leaders = 0, followers = 0;
+    if (const JsonValue* requests = doc.find("requests")) {
+        for (const JsonValue& r : requests->asArray()) {
+            const JsonValue* stages = r.find("stages");
+            const JsonValue* c = r.find("coalesced");
+            if (stages == nullptr || c == nullptr) {
+                continue;
+            }
+            auto stage = [&](const char* name) {
+                const JsonValue* v = stages->find(name);
+                return v != nullptr ? v->asNumber() : 0.0;
+            };
+            if (c->asBool()) {
+                ++followers;
+                coalesceWait += stage("coalesceWaitMillis");
+            } else {
+                ++leaders;
+                queueWait += stage("queueWaitMillis");
+                storeRead += stage("storeReadMillis");
+                compute += stage("computeMillis");
+                storePublish += stage("storePublishMillis");
+                if (const JsonValue* w = r.find("wallMillis")) {
+                    leaderWall += w->asNumber();
+                }
+            }
+        }
+    }
+
+    JsonValue out = JsonValue::object();
+    out.set("recordsSeen",
+            doc.find("recorded") != nullptr
+                ? doc.find("recorded")->asNumber()
+                : 0.0);
+    out.set("leaders", leaders);
+    out.set("followers", followers);
+    JsonValue leaderMeans = JsonValue::object();
+    const double ln = leaders > 0 ? static_cast<double>(leaders) : 1.0;
+    leaderMeans.set("queueWaitMillis", queueWait / ln);
+    leaderMeans.set("storeReadMillis", storeRead / ln);
+    leaderMeans.set("computeMillis", compute / ln);
+    leaderMeans.set("storePublishMillis", storePublish / ln);
+    leaderMeans.set("wallMillis", leaderWall / ln);
+    out.set("leaderMeans", std::move(leaderMeans));
+    JsonValue followerMeans = JsonValue::object();
+    followerMeans.set(
+        "coalesceWaitMillis",
+        coalesceWait /
+            (followers > 0 ? static_cast<double>(followers) : 1.0));
+    out.set("followerMeans", std::move(followerMeans));
+    return out;
+}
+
+/// Writes the serve per-stage breakdown as a bench_obs fragment next to
+/// the other benches' fragments and regenerates the merged
+/// bench_obs.json, byte-compatible with bench/bench_common.hpp's format
+/// (fragments in <resultsDir>/bench_obs/<stem>.json; merged report keyed
+/// by stem, sorted).
+void writeServeStagesFragment(const std::string& resultsDir,
+                              const JsonValue& stages, double wallSeconds,
+                              int requestCount) {
+    namespace fs = std::filesystem;
+    std::ostringstream frag;
+    frag.precision(17);
+    frag << "{\n\"bench\": \"serve_stages\",\n\"wall_seconds\": "
+         << wallSeconds << ",\n\"requests\": " << requestCount
+         << ",\n\"stages\": " << writeJson(stages) << "\n}";
+
+    const fs::path fragDir = fs::path(resultsDir) / "bench_obs";
+    fs::create_directories(fragDir);
+    {
+        std::ofstream out(fragDir / "serve_stages.json",
+                          std::ios::binary | std::ios::trunc);
+        out << frag.str() << "\n";
+    }
+
+    std::vector<std::pair<std::string, std::string>> fragments;
+    for (const fs::directory_entry& entry : fs::directory_iterator(fragDir)) {
+        if (entry.path().extension() != ".json") {
+            continue;
+        }
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream body;
+        body << in.rdbuf();
+        std::string text = body.str();
+        while (!text.empty() &&
+               (text.back() == '\n' || text.back() == '\r')) {
+            text.pop_back();
+        }
+        fragments.emplace_back(entry.path().stem().string(),
+                               std::move(text));
+    }
+    std::sort(fragments.begin(), fragments.end());
+    std::ofstream merged(fs::path(resultsDir) / "bench_obs.json",
+                         std::ios::binary | std::ios::trunc);
+    merged << "{\n";
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+        merged << "\"" << fragments[i].first
+               << "\": " << fragments[i].second
+               << (i + 1 < fragments.size() ? ",\n" : "\n");
+    }
+    merged << "}\n";
+    std::cerr << "soak: serve stage fragment at "
+              << (fragDir / "serve_stages.json").string() << "\n";
 }
 
 /// Scrapes one counter value from GET /metrics exposition text.
@@ -429,8 +602,27 @@ int soakMode(const std::string& daemonPath, const std::string& outPath,
     const auto tpStart = Clock::now();
     const std::vector<Sample> tpSamples =
         fire(daemon.port, warmBodies, 24, 4, 600000);
-    report.set("warmThroughput",
-               latencySummary(tpSamples, millisSince(tpStart)));
+    const double tpWall = millisSince(tpStart);
+    report.set("warmThroughput", latencySummary(tpSamples, tpWall));
+
+    // -- Stage breakdown: flight recorder -> bench_obs fragment ----------
+    // Must happen before drain: /debug/requests dies with the daemon.
+    try {
+        const JsonValue stages = scrapeServeStages(daemon.port);
+        report.set("serveStages", stages);
+        if (!outPath.empty()) {
+            const std::size_t slash = outPath.find_last_of('/');
+            const std::string resultsDir =
+                slash == std::string::npos ? std::string(".")
+                                           : outPath.substr(0, slash);
+            writeServeStagesFragment(
+                resultsDir, stages,
+                (cold.millis + warm.millis + burstWall + tpWall) / 1000.0,
+                2 + clients + 24);
+        }
+    } catch (const std::exception& e) {
+        failures.push_back(std::string("stage scrape failed: ") + e.what());
+    }
 
     // -- Phase 5: drain (SIGTERM with work in flight -> all 200, exit 0) -
     const int drainJobs = 3;

@@ -1,19 +1,27 @@
 // shtrace-served -- the characterization daemon.
 //
 // Binds 127.0.0.1:<port>, serves POST /v1/characterize, GET /metrics,
-// GET /healthz (see docs/SERVE.md), and drains gracefully on SIGTERM or
-// SIGINT: admission stops (503), every in-flight characterization
-// finishes and flushes its response, the store is already durable (each
-// result was published at compute time), and the process exits 0.
+// GET /healthz, GET /debug/requests[/<id>] (see docs/SERVE.md), and
+// drains gracefully on SIGTERM or SIGINT: admission stops (503), every
+// in-flight characterization finishes and flushes its response, the
+// store is already durable (each result was published at compute time),
+// and the process exits 0.
 //
 //   shtrace-served [--port N] [--port-file PATH] [--cache-dir DIR]
 //                  [--threads N] [--queue-depth N] [--retry-after SEC]
+//                  [--log-level LEVEL] [--flight-recorder N]
+//                  [--slow-trace-dir DIR] [--slow-traces K]
 //
 // --port 0 (the default) binds an ephemeral port; --port-file writes the
 // resolved port as a decimal line, which is how scripts/check.sh and the
 // soak bench discover where the daemon landed.
+//
+// All daemon output on stderr is the structured JSON-lines event log
+// (docs/OBSERVABILITY.md): one object per line, `ts`/`level`/`event`
+// first, request-scoped lines carrying `trace`/`span`.
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -21,6 +29,7 @@
 #include <string>
 #include <thread>
 
+#include "shtrace/obs/log.hpp"
 #include "shtrace/serve/server.hpp"
 
 namespace {
@@ -35,15 +44,38 @@ int usage(const char* argv0) {
     std::cerr
         << "usage: " << argv0
         << " [--port N] [--port-file PATH] [--cache-dir DIR]\n"
-           "       [--threads N] [--queue-depth N] [--retry-after SEC]\n\n"
+           "       [--threads N] [--queue-depth N] [--retry-after SEC]\n"
+           "       [--log-level LEVEL] [--flight-recorder N]\n"
+           "       [--slow-trace-dir DIR] [--slow-traces K]\n\n"
            "Characterization-as-a-service daemon (docs/SERVE.md).\n"
-           "  --port N         listen port; 0 = ephemeral (default 0)\n"
-           "  --port-file P    write the resolved port to P\n"
-           "  --cache-dir D    persistent result store (default: none)\n"
-           "  --threads N      worker threads; 0 = hardware (default 0)\n"
-           "  --queue-depth N  admission bound before 503 (default 64)\n"
-           "  --retry-after S  Retry-After hint on 503 (default 1)\n";
+           "  --port N           listen port; 0 = ephemeral (default 0)\n"
+           "  --port-file P      write the resolved port to P\n"
+           "  --cache-dir D      persistent result store (default: none)\n"
+           "  --threads N        worker threads; 0 = hardware (default 0)\n"
+           "  --queue-depth N    admission bound before 503 (default 64)\n"
+           "  --retry-after S    Retry-After hint on 503 (default 1)\n"
+           "  --log-level L      debug|info|warn|error (default info)\n"
+           "  --flight-recorder N  requests kept for GET /debug/requests\n"
+           "                     (default 128)\n"
+           "  --slow-trace-dir D persist fine Chrome traces for the K\n"
+           "                     slowest requests into D (default: off)\n"
+           "  --slow-traces K    how many slowest to keep (default 4)\n";
     return 2;
+}
+
+bool parseLogLevel(const std::string& name, shtrace::obs::LogLevel* out) {
+    if (name == "debug") {
+        *out = shtrace::obs::LogLevel::Debug;
+    } else if (name == "info") {
+        *out = shtrace::obs::LogLevel::Info;
+    } else if (name == "warn") {
+        *out = shtrace::obs::LogLevel::Warn;
+    } else if (name == "error") {
+        *out = shtrace::obs::LogLevel::Error;
+    } else {
+        return false;
+    }
+    return true;
 }
 
 }  // namespace
@@ -51,6 +83,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
     shtrace::serve::DaemonOptions options;
     std::string portFile;
+    shtrace::obs::LogLevel logLevel = shtrace::obs::LogLevel::Info;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -75,6 +108,21 @@ int main(int argc, char** argv) {
         } else if (arg == "--retry-after") {
             options.service.retryAfterSeconds =
                 std::atoi(value("--retry-after"));
+        } else if (arg == "--log-level") {
+            const std::string name = value("--log-level");
+            if (!parseLogLevel(name, &logLevel)) {
+                std::cerr << "error: unknown --log-level " << name << "\n";
+                return 2;
+            }
+        } else if (arg == "--flight-recorder") {
+            options.service.flightRecorderCapacity =
+                static_cast<std::size_t>(
+                    std::atol(value("--flight-recorder")));
+        } else if (arg == "--slow-trace-dir") {
+            options.service.slowTraceDir = value("--slow-trace-dir");
+        } else if (arg == "--slow-traces") {
+            options.service.slowTraceCount = static_cast<std::size_t>(
+                std::atol(value("--slow-traces")));
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -91,6 +139,17 @@ int main(int argc, char** argv) {
         std::cerr << "error: --queue-depth must be positive\n";
         return 2;
     }
+    if (options.service.flightRecorderCapacity == 0) {
+        std::cerr << "error: --flight-recorder must be positive\n";
+        return 2;
+    }
+
+    // From here on, everything the daemon says is one JSON object per
+    // line on stderr (scripts/log_lint.sh holds this to account).
+    shtrace::obs::logToStream(stderr);
+    shtrace::obs::setLogLevel(logLevel);
+    using shtrace::obs::logEvent;
+    using shtrace::obs::LogLevel;
 
     try {
         shtrace::serve::ServedDaemon daemon(options);
@@ -99,7 +158,8 @@ int main(int argc, char** argv) {
             std::ofstream out(portFile, std::ios::trunc);
             out << daemon.port() << "\n";
             if (!out) {
-                std::cerr << "error: cannot write " << portFile << "\n";
+                logEvent(LogLevel::Error, "served.port_file_failed",
+                         {{"path", portFile}});
                 return 1;
             }
         }
@@ -113,32 +173,33 @@ int main(int argc, char** argv) {
         sigaction(SIGTERM, &action, nullptr);
         sigaction(SIGINT, &action, nullptr);
 
-        std::cerr << "shtrace-served: listening on 127.0.0.1:"
-                  << daemon.port() << " with "
-                  << daemon.service().workerThreads() << " workers"
-                  << (options.service.cacheDir.empty()
-                          ? std::string()
-                          : ", store at " + options.service.cacheDir)
-                  << "\n";
+        logEvent(LogLevel::Info, "served.listening",
+                 {{"port", daemon.port()},
+                  {"workers", daemon.service().workerThreads()},
+                  {"cacheDir", options.service.cacheDir},
+                  {"flightRecorder",
+                   static_cast<unsigned long long>(
+                       options.service.flightRecorderCapacity)},
+                  {"slowTraceDir", options.service.slowTraceDir}});
 
         std::thread acceptLoop([&daemon] { daemon.run(); });
         while (g_stopRequested == 0) {
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
         }
-        std::cerr << "shtrace-served: drain requested, finishing "
-                     "in-flight work\n";
+        logEvent(LogLevel::Info, "served.drain_requested", {});
         daemon.shutdown();
         acceptLoop.join();
 
         const auto counters = daemon.service().counters();
-        std::cerr << "shtrace-served: drained clean ("
-                  << counters.requests << " requests, "
-                  << counters.computed << " computed, "
-                  << counters.coalesced << " coalesced, "
-                  << counters.cacheHits << " store hits)\n";
+        logEvent(LogLevel::Info, "served.drained",
+                 {{"requests", counters.requests},
+                  {"computed", counters.computed},
+                  {"coalesced", counters.coalesced},
+                  {"cacheHits", counters.cacheHits},
+                  {"workerExceptions", counters.workerExceptions}});
         return 0;
     } catch (const std::exception& e) {
-        std::cerr << "shtrace-served: fatal: " << e.what() << "\n";
+        logEvent(LogLevel::Error, "served.fatal", {{"what", e.what()}});
         return 1;
     }
 }

@@ -7,6 +7,8 @@
 //     --threads <n>     worker threads (0 = hardware concurrency)
 //     --max-points <n>  tracer point budget per cell contour (default 24)
 //     --nets            also print the per-net arrival/required table
+//     --trace-out <p>   write a Chrome trace of the run (per-level sweep
+//                       spans, per-cell characterizations) to <p>
 //
 // Every register endpoint is checked twice: against the conventional
 // single (setup, hold) knee pair a classical library would publish, and
@@ -21,6 +23,7 @@
 #include <iostream>
 #include <string>
 
+#include "shtrace/obs/obs.hpp"
 #include "shtrace/sta/engine.hpp"
 #include "shtrace/util/table.hpp"
 #include "shtrace/util/units.hpp"
@@ -31,7 +34,8 @@ using namespace shtrace;
 
 int usage() {
     std::cerr << "usage: shtrace-sta <design.stanet> [--cache <dir>] "
-                 "[--threads <n>] [--max-points <n>] [--nets]\n";
+                 "[--threads <n>] [--max-points <n>] [--nets] "
+                 "[--trace-out <path>]\n";
     return 1;
 }
 
@@ -42,6 +46,7 @@ std::string fmt(double seconds) { return formatEngineering(seconds, "s"); }
 int main(int argc, char** argv) {
     std::string netlistPath;
     std::string cacheDir;
+    std::string traceOut;
     int threads = 0;
     int maxPoints = 24;
     bool printNets = false;
@@ -56,6 +61,8 @@ int main(int argc, char** argv) {
             maxPoints = std::stoi(argv[++i]);
         } else if (arg == "--nets") {
             printNets = true;
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            traceOut = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "shtrace-sta: unknown option '" << arg << "'\n";
             return usage();
@@ -81,6 +88,12 @@ int main(int argc, char** argv) {
     config.tracer.maxPoints = maxPoints;
     if (!cacheDir.empty()) {
         config.cacheDir = cacheDir;
+    }
+    if (!traceOut.empty()) {
+        config.withSpanTrace(traceOut);
+        // An explicit trace request wants the whole story: fine detail
+        // records the per-level sweep spans, not just the run phases.
+        obs::setDetail(obs::Detail::Fine);
     }
 
     const sta::StaReport report =
